@@ -1,0 +1,316 @@
+//! Stencil-driven transformation (§4.2) and the combined analysis entry
+//! point.
+//!
+//! "If any stencil is Unknown we attempt to apply a set of rewrite rules to
+//! improve the access patterns. […] These rules do not overlap and we only
+//! try to apply a single rule at a time rather than an exponential
+//! combination of them. If all available transformations fail, we fall back
+//! to transferring data at runtime."
+//!
+//! We additionally treat an `All` stencil over a *partitioned* collection as
+//! problematic: broadcasting the primary dataset to every node defeats
+//! distribution (the paper's own motivation for transforming the
+//! shared-memory k-means and the textbook logistic regression).
+
+use crate::partition::{self, PartitionReport};
+use crate::stencil::{self, Stencil, StencilReport};
+use dmll_core::{Def, LayoutHint, Program, Sym, Ty};
+use dmll_transform::rewrite::fixpoint;
+use std::collections::BTreeSet;
+
+/// Everything the runtime needs to place data and work.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Read stencils per top-level loop and globally per collection.
+    pub stencils: StencilReport,
+    /// Layouts, broadcasts, co-partitioning and warnings.
+    pub partition: PartitionReport,
+    /// Names of Figure 3 rules applied to repair problematic stencils.
+    pub repairs: Vec<String>,
+}
+
+/// Collections rooted in partitioned inputs: the input symbols themselves
+/// plus top-level collection projections of partitioned records
+/// (`matrix.data`).
+fn partitioned_roots(program: &Program) -> BTreeSet<Sym> {
+    let mut roots: BTreeSet<Sym> = program
+        .inputs
+        .iter()
+        .filter(|i| i.layout == LayoutHint::Partitioned)
+        .map(|i| i.sym)
+        .collect();
+    let tys = dmll_core::typecheck::infer(program).ok();
+    for stmt in &program.body.stmts {
+        if let Def::StructGet { obj, .. } = &stmt.def {
+            if obj.as_sym().is_some_and(|s| roots.contains(&s)) {
+                let is_coll = tys
+                    .as_ref()
+                    .and_then(|t| t.get(&stmt.lhs[0]))
+                    .is_some_and(|t| matches!(t, Ty::Arr(_)));
+                if is_coll {
+                    roots.insert(stmt.lhs[0]);
+                }
+            }
+        }
+    }
+    roots
+}
+
+fn find_problem(program: &Program) -> Option<(Sym, Stencil)> {
+    let roots = partitioned_roots(program);
+    let rep = stencil::analyze(program);
+    for (&coll, &st) in &rep.global {
+        if roots.contains(&coll) && matches!(st, Stencil::All | Stencil::Unknown) {
+            return Some((coll, st));
+        }
+    }
+    None
+}
+
+/// Attempt the Figure 3 rewrites, one at a time, until no partitioned
+/// collection is read with an `All`/`Unknown` stencil or no rule helps.
+/// Returns the names of the rules that were kept.
+pub fn improve_stencils(program: &mut Program) -> Vec<String> {
+    let mut applied = Vec::new();
+    for _ in 0..8 {
+        let Some((coll, _)) = find_problem(program) else {
+            break;
+        };
+        type Rule = fn(&mut Program) -> dmll_transform::PassReport;
+        let rules: [(&str, Rule); 3] = [
+            (
+                "Conditional Reduce",
+                dmll_transform::conditional_reduce::run,
+            ),
+            ("GroupBy-Reduce", dmll_transform::groupby_reduce::run),
+            (
+                "Column-to-Row Reduce",
+                dmll_transform::interchange::column_to_row,
+            ),
+        ];
+        let snapshot = program.clone();
+        let mut fixed = false;
+        for (name, rule) in rules {
+            let rep = fixpoint(program, rule);
+            if !rep.changed() {
+                continue;
+            }
+            renormalize(program);
+            let still_bad = find_problem(program)
+                .map(|(c, _)| c == coll)
+                .unwrap_or(false);
+            if still_bad {
+                *program = snapshot.clone();
+            } else {
+                applied.push(name.to_string());
+                fixed = true;
+                break;
+            }
+        }
+        if !fixed {
+            // Paper: fall back to transferring data at runtime; the
+            // partitioning analysis will emit the warning.
+            break;
+        }
+    }
+    applied
+}
+
+/// Light cleanup after a repair so the stencil analysis sees the normalized
+/// loop structure.
+fn renormalize(program: &mut Program) {
+    fixpoint(program, dmll_transform::fusion::run);
+    fixpoint(program, dmll_transform::horizontal::run);
+    dmll_transform::cleanup::cse(program);
+    fixpoint(program, dmll_transform::code_motion::run);
+    fixpoint(program, dmll_transform::cleanup::copy_elim);
+    dmll_transform::cleanup::dce(program);
+}
+
+/// Run stencil repair, the stencil analysis and the partitioning analysis.
+pub fn analyze(program: &mut Program) -> AnalysisResult {
+    let repairs = improve_stencils(program);
+    let stencils = stencil::analyze(program);
+    let partition = partition::analyze(program, &stencils);
+    AnalysisResult {
+        stencils,
+        partition,
+        repairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::DataLayout;
+    use dmll_frontend::{Stage, Val};
+    use dmll_interp::{eval, Value};
+    use rand::prelude::*;
+
+    /// Shared-memory k-means update (conditional reduces over the whole
+    /// matrix inside a per-cluster loop): as written, the matrix would be
+    /// broadcast.
+    fn kmeans_update() -> Program {
+        let mut st = Stage::new();
+        let matrix = st.input_matrix("matrix", LayoutHint::Partitioned);
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(3);
+        let rows = matrix.rows(&mut st);
+        let sums = st.collect(&k, |st, i| {
+            let i = i.clone();
+            let a = assigned.clone();
+            let m = matrix.clone();
+            st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &Val| {
+                    let aj = st.read(&a, j);
+                    st.eq(&aj, &i)
+                }),
+                move |st, j| m.row(st, j),
+                |st, x, y| st.vec_add(x, y),
+                None,
+            )
+        });
+        st.finish(&sums)
+    }
+
+    #[test]
+    fn kmeans_matrix_stencil_repaired_by_conditional_reduce() {
+        let mut p = kmeans_update();
+        let p0 = p.clone();
+        // Before: the matrix data is consumed whole per cluster.
+        assert!(find_problem(&p).is_some(), "{p}");
+        let repairs = improve_stencils(&mut p);
+        assert!(
+            repairs.iter().any(|r| r == "Conditional Reduce"),
+            "{repairs:?}"
+        );
+        assert!(find_problem(&p).is_none(), "{p}");
+        // Semantics preserved.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (rows, cols) = (12, 3);
+        let inputs = vec![
+            (
+                "matrix",
+                Value::matrix(
+                    (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    rows,
+                    cols,
+                ),
+            ),
+            (
+                "assigned",
+                Value::i64_arr((0..rows).map(|_| rng.gen_range(0..3)).collect()),
+            ),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn logreg_textbook_repaired_by_column_to_row() {
+        // Outer loop over features, inner reduce over samples: column
+        // access spans the whole matrix per feature.
+        let mut st = Stage::new();
+        let x = st.input_matrix("x", LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let cols = x.cols(&mut st);
+        let rows = x.rows(&mut st);
+        let zero = st.lit_f(0.0);
+        let grad = st.collect(&cols, |st, j| {
+            let j = j.clone();
+            let x2 = x.clone();
+            let y2 = y.clone();
+            st.reduce(
+                &rows,
+                move |st, i| {
+                    let xij = x2.get(st, i, &j);
+                    let yi = st.read(&y2, i);
+                    st.mul(&xij, &yi)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&grad);
+        let p0 = p.clone();
+        assert!(find_problem(&p).is_some(), "{p}");
+        let repairs = improve_stencils(&mut p);
+        assert!(
+            repairs.iter().any(|r| r == "Column-to-Row Reduce"),
+            "{repairs:?}"
+        );
+        assert!(find_problem(&p).is_none(), "{p}");
+        let inputs = [
+            ("x", Value::matrix(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3)),
+            ("y", Value::f64_arr(vec![0.5, -1.0])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn genuinely_random_access_falls_back_with_warning() {
+        // Graph-style gather: no rule can fix it; analysis warns and the
+        // runtime will move data dynamically (§5 remote reads).
+        let mut st = Stage::new();
+        let values = st.input("values", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let nbrs = st.input("nbrs", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let gathered = st.map(&nbrs, |st, e| st.read(&values, e));
+        let total = st.sum(&gathered);
+        let mut p = st.finish(&total);
+        let result = analyze(&mut p);
+        assert!(result.repairs.is_empty(), "{:?}", result.repairs);
+        assert_eq!(
+            result.stencils.global_of(values.exp.as_sym().unwrap()),
+            Some(Stencil::Unknown)
+        );
+        assert!(result.partition.has_warnings());
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_repairs_or_warnings() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let mut p = st.finish(&s);
+        let result = analyze(&mut p);
+        assert!(result.repairs.is_empty());
+        assert!(!result.partition.has_warnings());
+        assert_eq!(
+            result.partition.layout_of(x.exp.as_sym().unwrap()),
+            DataLayout::Partitioned
+        );
+    }
+
+    #[test]
+    fn column_access_classified_as_all() {
+        // Direct check of the Spread form: x(i*cols + j) with i inner.
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let data = m.data(&mut st);
+        let cols = m.cols(&mut st);
+        let rows = m.rows(&mut st);
+        let zero = st.lit_f(0.0);
+        let col_sums = st.collect(&cols, |st, j| {
+            let d = data.clone();
+            let c = cols.clone();
+            let j = j.clone();
+            st.reduce(
+                &rows,
+                move |st, i| {
+                    let base = st.mul(i, &c);
+                    let idx = st.add(&base, &j);
+                    st.read(&d, &idx)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let p = st.finish(&col_sums);
+        let rep = stencil::analyze(&p);
+        assert_eq!(
+            rep.global_of(data.exp.as_sym().unwrap()),
+            Some(Stencil::All),
+            "column-major access must not be Interval"
+        );
+    }
+}

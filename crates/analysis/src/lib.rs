@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # DMLL distribution analyses (§4)
+//!
+//! * [`stencil`] — the read-stencil analysis: classify every collection read
+//!   inside a multiloop as `Interval` / `Const` / `All` / `Unknown` using
+//!   affine analysis of the index expression, then join per-collection
+//!   stencils across loops.
+//! * [`partition`] — the partitioning analysis (Algorithm 1): a forward
+//!   dataflow that propagates `Local` / `Partitioned` layouts from annotated
+//!   data sources through parallel patterns, warning on sequential
+//!   consumption of partitioned data (with a whitelist).
+//! * [`driver`] — ties the two together per §4.2: when a partitioned
+//!   collection is read with a problematic stencil, attempt the Figure 3
+//!   rewrites one at a time and keep whichever repairs the access pattern;
+//!   otherwise fall back to runtime data movement with a warning.
+
+pub mod driver;
+pub mod partition;
+pub mod stencil;
+
+pub use driver::{analyze, improve_stencils, AnalysisResult};
+pub use partition::{DataLayout, PartitionReport, Warning};
+pub use stencil::{Stencil, StencilReport};

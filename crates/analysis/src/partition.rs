@@ -1,0 +1,375 @@
+//! Partitioning analysis — Algorithm 1 (§4.1).
+//!
+//! A forward dataflow over the program's top-level statements. Data sources
+//! carry user layout annotations; everything else is derived by "move the
+//! computation to the data":
+//!
+//! * a parallel pattern consuming only `Local` data produces `Local` data;
+//! * a pattern consuming `Partitioned` data is itself distributed — its
+//!   `Collect` outputs are `Partitioned` when the loop traverses partitioned
+//!   data element-aligned (an `Interval` stencil), while reductions and
+//!   bucket results come back `Local`;
+//! * `Local` values consumed by a distributed loop are *broadcast*;
+//! * sequential operations may not consume partitioned data unless
+//!   whitelisted (e.g. reading a length field), otherwise the analysis
+//!   warns, matching the paper's `warn()`.
+
+use crate::stencil::{Stencil, StencilReport};
+use dmll_core::visit::free_syms;
+use dmll_core::{Def, LayoutHint, Program, Sym, Ty};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a value lives (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DataLayout {
+    /// Allocated entirely within one memory region.
+    #[default]
+    Local,
+    /// Spread across memory regions / machines.
+    Partitioned,
+}
+
+impl fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLayout::Local => write!(f, "Local"),
+            DataLayout::Partitioned => write!(f, "Partitioned"),
+        }
+    }
+}
+
+/// A diagnostic raised by the analysis (the paper's `warn()`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// The symbol the warning concerns, when known.
+    pub sym: Option<Sym>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The result of the partitioning analysis.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionReport {
+    /// Layout of every top-level symbol.
+    pub layouts: HashMap<Sym, DataLayout>,
+    /// Local values that must be broadcast to distributed loops.
+    pub broadcasts: Vec<Sym>,
+    /// Pairs of partitioned collections consumed by the same loop with
+    /// aligned accesses — the runtime must co-partition them.
+    pub copartitioned: Vec<(Sym, Sym)>,
+    /// Diagnostics.
+    pub warnings: Vec<Warning>,
+}
+
+impl PartitionReport {
+    /// The layout of a symbol (Local if never assigned).
+    pub fn layout_of(&self, s: Sym) -> DataLayout {
+        self.layouts.get(&s).copied().unwrap_or_default()
+    }
+
+    /// True when any warning was produced.
+    pub fn has_warnings(&self) -> bool {
+        !self.warnings.is_empty()
+    }
+}
+
+/// Run the partitioning analysis given the program's stencils.
+pub fn analyze(program: &Program, stencils: &StencilReport) -> PartitionReport {
+    let mut report = PartitionReport::default();
+    let tys = dmll_core::typecheck::infer(program).ok();
+    for input in &program.inputs {
+        let layout = match input.layout {
+            LayoutHint::Partitioned => DataLayout::Partitioned,
+            LayoutHint::Local => DataLayout::Local,
+        };
+        report.layouts.insert(input.sym, layout);
+    }
+
+    for stmt in &program.body.stmts {
+        match &stmt.def {
+            Def::Loop(ml) => {
+                let out = stmt.lhs.first().copied();
+                let loop_stencils = out.and_then(|o| stencils.per_loop.get(&o));
+                let reads: Vec<Sym> = {
+                    // Free symbols of the whole loop statement.
+                    let mut tmp = dmll_core::Block::ret(vec![], dmll_core::Exp::unit());
+                    tmp.stmts.push(stmt.clone());
+                    free_syms(&tmp).into_iter().collect()
+                };
+                let partitioned_inputs: Vec<Sym> = reads
+                    .iter()
+                    .copied()
+                    .filter(|s| report.layout_of(*s) == DataLayout::Partitioned)
+                    .collect();
+                if partitioned_inputs.is_empty() {
+                    // Consumes only Local data: outputs Local.
+                    for s in &stmt.lhs {
+                        report.layouts.insert(*s, DataLayout::Local);
+                    }
+                    continue;
+                }
+                // Distributed loop: check input stencils.
+                let mut interval_inputs = Vec::new();
+                for &p in &partitioned_inputs {
+                    match loop_stencils.and_then(|m| m.get(&p)).copied() {
+                        Some(Stencil::Interval) => interval_inputs.push(p),
+                        Some(Stencil::Unknown) => report.warnings.push(Warning {
+                            sym: Some(p),
+                            message: format!(
+                                "partitioned collection {p} accessed with an Unknown stencil; \
+                                 falling back to runtime data movement"
+                            ),
+                        }),
+                        Some(Stencil::All) => report.warnings.push(Warning {
+                            sym: Some(p),
+                            message: format!(
+                                "partitioned collection {p} is consumed entirely per iteration; \
+                                 it will be broadcast"
+                            ),
+                        }),
+                        // Const or not read as a collection: fine.
+                        _ => {}
+                    }
+                }
+                // Local inputs of a distributed loop are broadcast.
+                for &s in &reads {
+                    if report.layout_of(s) == DataLayout::Local && !report.broadcasts.contains(&s) {
+                        report.broadcasts.push(s);
+                    }
+                }
+                // Aligned partitioned inputs must be co-partitioned.
+                for pair in interval_inputs.windows(2) {
+                    report.copartitioned.push((pair[0], pair[1]));
+                }
+                // Outputs: Collects over partitioned intervals stay
+                // partitioned; reductions and buckets come back Local.
+                let traverses_partitioned = !interval_inputs.is_empty();
+                for (gen, s) in ml.gens.iter().zip(&stmt.lhs) {
+                    let layout = if gen.output_is_partitionable() && traverses_partitioned {
+                        DataLayout::Partitioned
+                    } else {
+                        DataLayout::Local
+                    };
+                    report.layouts.insert(*s, layout);
+                }
+            }
+            Def::StructGet { obj, .. } => {
+                // Projections of a partitioned record: collection fields
+                // stay partitioned, scalar metadata (rows/cols) is local —
+                // and reading it is always allowed (the paper's size-field
+                // whitelist example).
+                let src = obj
+                    .as_sym()
+                    .map(|s| report.layout_of(s))
+                    .unwrap_or_default();
+                let out_ty = tys.as_ref().and_then(|t| t.get(&stmt.lhs[0]));
+                let layout = match (src, out_ty) {
+                    (DataLayout::Partitioned, Some(Ty::Arr(_))) => DataLayout::Partitioned,
+                    _ => DataLayout::Local,
+                };
+                report.layouts.insert(stmt.lhs[0], layout);
+            }
+            Def::ArrayLen(_) | Def::BucketLen(_) => {
+                // Whitelisted: length is a metadata field.
+                report.layouts.insert(stmt.lhs[0], DataLayout::Local);
+            }
+            Def::Extern {
+                name,
+                args,
+                whitelisted,
+                ..
+            } => {
+                let touches_partitioned = args.iter().any(|a| {
+                    a.as_sym()
+                        .is_some_and(|s| report.layout_of(s) == DataLayout::Partitioned)
+                });
+                if touches_partitioned && !whitelisted {
+                    report.warnings.push(Warning {
+                        sym: stmt.lhs.first().copied(),
+                        message: format!(
+                            "sequential operation `{name}` consumes partitioned data; \
+                             it must run at a single location"
+                        ),
+                    });
+                }
+                for s in &stmt.lhs {
+                    report.layouts.insert(*s, DataLayout::Local);
+                }
+            }
+            other => {
+                // Any other sequential op touching partitioned data warns
+                // (e.g. a top-level random read of a distributed array).
+                let mut touches = false;
+                dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                    if let dmll_core::Exp::Sym(s) = e {
+                        if report.layout_of(*s) == DataLayout::Partitioned {
+                            touches = true;
+                        }
+                    }
+                });
+                if touches {
+                    report.warnings.push(Warning {
+                        sym: stmt.lhs.first().copied(),
+                        message: "sequential operation consumes partitioned data".to_string(),
+                    });
+                }
+                for s in &stmt.lhs {
+                    report.layouts.insert(*s, DataLayout::Local);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn map_over_partitioned_stays_partitioned() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| {
+            let two = st.lit_f(2.0);
+            st.mul(e, &two)
+        });
+        let total = st.sum(&doubled);
+        let p = st.finish(&total);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        let doubled_sym = doubled.exp.as_sym().unwrap();
+        let total_sym = total.exp.as_sym().unwrap();
+        assert_eq!(rep.layout_of(doubled_sym), DataLayout::Partitioned);
+        assert_eq!(
+            rep.layout_of(total_sym),
+            DataLayout::Local,
+            "reduce is Local"
+        );
+        assert!(!rep.has_warnings(), "{:?}", rep.warnings);
+    }
+
+    #[test]
+    fn local_only_loop_stays_local() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let out = st.map(&x, |st, e| st.mul(e, e));
+        let p = st.finish(&out);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert_eq!(rep.layout_of(out.exp.as_sym().unwrap()), DataLayout::Local);
+    }
+
+    #[test]
+    fn broadcast_of_local_inputs_recorded() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let c = st.input("centroid", Ty::arr(Ty::F64), LayoutHint::Local);
+        let out = st.map(&x, |st, e| {
+            let z = st.lit_i(0);
+            let c0 = st.read(&c, &z);
+            st.sub(e, &c0)
+        });
+        let p = st.finish(&out);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert!(
+            rep.broadcasts.contains(&c.exp.as_sym().unwrap()),
+            "{:?}",
+            rep.broadcasts
+        );
+    }
+
+    #[test]
+    fn zip_of_two_partitioned_is_copartitioned() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let z = st.zip_with(&x, &y, |st, a, b| st.add(a, b));
+        let p = st.finish(&z);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert_eq!(rep.copartitioned.len(), 1);
+        assert_eq!(
+            rep.layout_of(z.exp.as_sym().unwrap()),
+            DataLayout::Partitioned
+        );
+    }
+
+    #[test]
+    fn unknown_stencil_warns() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let out = st.map(&idx, |st, e| st.read(&x, e));
+        let p = st.finish(&out);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert!(rep.warnings.iter().any(|w| w.message.contains("Unknown")));
+    }
+
+    #[test]
+    fn sequential_read_of_partitioned_warns() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let z = st.lit_i(3);
+        let v = st.read(&x, &z); // top-level sequential access
+        let p = st.finish(&v);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert!(rep.has_warnings());
+    }
+
+    #[test]
+    fn length_field_is_whitelisted() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let p = st.finish(&n);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert!(!rep.has_warnings(), "{:?}", rep.warnings);
+    }
+
+    #[test]
+    fn whitelisted_extern_is_silent_unwhitelisted_warns() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let ok = st.extern_call("meta", &[&x], Ty::I64, false, true);
+        let _bad = st.extern_call("mutate", &[&x], Ty::Unit, true, false);
+        let p = st.finish(&ok);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert_eq!(rep.warnings.len(), 1, "{:?}", rep.warnings);
+        assert!(rep.warnings[0].message.contains("mutate"));
+    }
+
+    #[test]
+    fn matrix_projection_layouts() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let data = m.data(&mut st);
+        let rows = m.rows(&mut st);
+        let out = st.map(&data, |st, e| st.mul(e, e));
+        let pair = st.tuple(&[&out, &rows]);
+        let p = st.finish(&pair);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        assert_eq!(
+            rep.layout_of(data.exp.as_sym().unwrap()),
+            DataLayout::Partitioned,
+            "collection field of a partitioned matrix"
+        );
+        assert_eq!(
+            rep.layout_of(rows.exp.as_sym().unwrap()),
+            DataLayout::Local,
+            "scalar metadata is local and whitelisted"
+        );
+        assert_eq!(
+            rep.layout_of(out.exp.as_sym().unwrap()),
+            DataLayout::Partitioned
+        );
+    }
+}

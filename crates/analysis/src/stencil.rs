@@ -1,0 +1,468 @@
+//! Read-stencil analysis (§4.2).
+//!
+//! For every top-level multiloop and every external collection it reads, the
+//! analysis classifies the access pattern with standard affine analysis of
+//! the index expression relative to the loop index:
+//!
+//! * [`Stencil::Interval`] — the loop index selects the i-th element / row
+//!   (`data(i * cols + j)` with `cols` invariant): the runtime can split the
+//!   collection on interval boundaries so all accesses stay local;
+//! * [`Stencil::Const`] — a loop-invariant index: broadcast one element;
+//! * [`Stencil::All`] — the whole collection is consumed at each index
+//!   (inner full scans, e.g. the centroids in k-means): broadcast it;
+//! * [`Stencil::Unknown`] — a data-dependent index: either replicate or trap
+//!   and fetch remotely at runtime.
+//!
+//! Per-collection stencils from different loops are joined with
+//! `Const < Interval < All < Unknown`.
+
+use dmll_core::visit::{def_blocks, free_syms};
+use dmll_core::{Block, Def, Exp, Program, Sym};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The access pattern of one collection inside one multiloop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stencil {
+    /// Loop-invariant index: one element per loop, broadcast it.
+    Const,
+    /// Affine in the loop index: partition on interval boundaries.
+    Interval,
+    /// Entire collection consumed per iteration: broadcast the collection.
+    All,
+    /// Data-dependent index: replicate or fetch dynamically.
+    Unknown,
+}
+
+impl Stencil {
+    /// Lattice join (most conservative wins).
+    pub fn join(self, other: Stencil) -> Stencil {
+        self.max(other)
+    }
+
+    /// True when the runtime can partition the collection without dynamic
+    /// communication for this access.
+    pub fn is_local_friendly(self) -> bool {
+        matches!(self, Stencil::Interval)
+    }
+}
+
+impl fmt::Display for Stencil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stencil::Const => "Const",
+            Stencil::Interval => "Interval",
+            Stencil::All => "All",
+            Stencil::Unknown => "Unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Stencils for every top-level multiloop of a program.
+#[derive(Clone, Debug, Default)]
+pub struct StencilReport {
+    /// Per loop (keyed by its first output symbol), the stencil of each
+    /// external collection it reads.
+    pub per_loop: HashMap<Sym, HashMap<Sym, Stencil>>,
+    /// Per-collection join across all loops.
+    pub global: HashMap<Sym, Stencil>,
+}
+
+impl StencilReport {
+    /// The global stencil of a collection, if it is read by any loop.
+    pub fn global_of(&self, collection: Sym) -> Option<Stencil> {
+        self.global.get(&collection).copied()
+    }
+}
+
+/// Compute stencils for every **top-level** multiloop (the loops the runtime
+/// distributes).
+pub fn analyze(program: &Program) -> StencilReport {
+    let mut report = StencilReport::default();
+    for stmt in &program.body.stmts {
+        let Def::Loop(ml) = &stmt.def else { continue };
+        let Some(&out) = stmt.lhs.first() else {
+            continue;
+        };
+        let mut per: HashMap<Sym, Stencil> = HashMap::new();
+        for gen in &ml.gens {
+            for cb in gen.blocks() {
+                // Component blocks that take the loop index classify against
+                // their parameter; the reducer (two params) sees no index —
+                // its reads of external arrays are Unknown-ish but operate
+                // on reduction values; classify with no outer index.
+                let outer = if cb.params.len() == 1 {
+                    Some(cb.params[0])
+                } else {
+                    None
+                };
+                classify_block(cb, outer, &mut Ctx::new(cb), &mut per);
+            }
+        }
+        for (&arr, &st) in &per {
+            report
+                .global
+                .entry(arr)
+                .and_modify(|g| *g = g.join(st))
+                .or_insert(st);
+        }
+        report.per_loop.insert(out, per);
+    }
+    report
+}
+
+/// What we know about a symbol inside the loop body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Form {
+    /// Invariant with respect to the loop (defined outside or derived from
+    /// invariants only).
+    Inv,
+    /// Exactly the loop index.
+    Outer,
+    /// A row-aligned affine function of the loop index: `i*c + (unit inner
+    /// or invariant offsets)` — the per-iteration footprint is a contiguous
+    /// interval of the flattened representation.
+    OuterLinear,
+    /// A unit-stride inner-loop index (plus invariants): a scan whose span
+    /// does not depend on the outer index.
+    Inner,
+    /// An inner index scaled by an invariant (e.g. `j*cols`): a strided scan
+    /// covering the collection.
+    InnerScaled,
+    /// Depends on the outer index but with a footprint spanning the whole
+    /// collection per iteration (e.g. the column access `j*cols + i`).
+    Spread,
+    /// Anything else (data-dependent).
+    Opaque,
+}
+
+/// Per-block symbol-form environment. Symbols not bound within the analyzed
+/// loop are invariant by construction.
+struct Ctx {
+    forms: HashMap<Sym, Form>,
+    bound_inside: BTreeSet<Sym>,
+}
+
+impl Ctx {
+    fn new(root: &Block) -> Ctx {
+        let mut bound_inside = BTreeSet::new();
+        fn collect(b: &Block, out: &mut BTreeSet<Sym>) {
+            out.extend(b.params.iter().copied());
+            for s in &b.stmts {
+                out.extend(s.lhs.iter().copied());
+                for nb in def_blocks(&s.def) {
+                    collect(nb, out);
+                }
+            }
+        }
+        collect(root, &mut bound_inside);
+        Ctx {
+            forms: HashMap::new(),
+            bound_inside,
+        }
+    }
+
+    fn form_of_exp(&self, e: &Exp, outer: Option<Sym>) -> Form {
+        match e {
+            Exp::Const(_) => Form::Inv,
+            Exp::Sym(s) => {
+                if Some(*s) == outer {
+                    Form::Outer
+                } else if let Some(f) = self.forms.get(s) {
+                    *f
+                } else if self.bound_inside.contains(s) {
+                    // Bound inside but not yet classified (e.g. a reducer
+                    // parameter): opaque.
+                    Form::Opaque
+                } else {
+                    Form::Inv
+                }
+            }
+        }
+    }
+}
+
+fn combine_add(a: Form, b: Form) -> Form {
+    use Form::*;
+    match (a, b) {
+        (Opaque, _) | (_, Opaque) => Opaque,
+        (Inv, Inv) => Inv,
+        // Row-aligned combinations.
+        (Outer, Inv) | (Inv, Outer) => OuterLinear,
+        (OuterLinear, Inv) | (Inv, OuterLinear) => OuterLinear,
+        (OuterLinear, Inner) | (Inner, OuterLinear) => OuterLinear,
+        (Outer, Inner) | (Inner, Outer) => OuterLinear,
+        // Inner scans.
+        (Inner, Inv) | (Inv, Inner) => Inner,
+        (Inner, Inner) => InnerScaled,
+        (InnerScaled, Inv) | (Inv, InnerScaled) => InnerScaled,
+        (InnerScaled, Inner) | (Inner, InnerScaled) => InnerScaled,
+        // A scaled inner scan offset by the outer index spans the whole
+        // collection per iteration (column access).
+        (InnerScaled, Outer)
+        | (Outer, InnerScaled)
+        | (InnerScaled, OuterLinear)
+        | (OuterLinear, InnerScaled) => Spread,
+        // Doubling the outer index breaks interval alignment.
+        (Outer | OuterLinear, Outer | OuterLinear) => Spread,
+        (Spread, _) | (_, Spread) => Spread,
+        (InnerScaled, InnerScaled) => InnerScaled,
+    }
+}
+
+fn combine_mul(a: Form, b: Form) -> Form {
+    use Form::*;
+    match (a, b) {
+        (Inv, Inv) => Inv,
+        (Outer, Inv) | (Inv, Outer) => OuterLinear,
+        (Inner, Inv) | (Inv, Inner) => InnerScaled,
+        (InnerScaled, Inv) | (Inv, InnerScaled) => InnerScaled,
+        _ => Opaque,
+    }
+}
+
+/// Walk a component block classifying reads; `outer` is the distributed
+/// loop's index parameter (None inside reducers), and nested loop params are
+/// registered as `Inner`.
+fn classify_block(b: &Block, outer: Option<Sym>, ctx: &mut Ctx, per: &mut HashMap<Sym, Stencil>) {
+    for stmt in &b.stmts {
+        match &stmt.def {
+            Def::ArrayRead { arr, index } => {
+                if let Some(a) = arr.as_sym() {
+                    if !ctx.bound_inside.contains(&a) {
+                        let st = match ctx.form_of_exp(index, outer) {
+                            Form::Outer | Form::OuterLinear => Stencil::Interval,
+                            Form::Inv => Stencil::Const,
+                            Form::Inner | Form::InnerScaled | Form::Spread => Stencil::All,
+                            Form::Opaque => Stencil::Unknown,
+                        };
+                        per.entry(a).and_modify(|g| *g = g.join(st)).or_insert(st);
+                    }
+                }
+                ctx.forms.insert(stmt.lhs[0], Form::Opaque);
+            }
+            Def::Prim { op, args } => {
+                let form = match op {
+                    dmll_core::PrimOp::Add | dmll_core::PrimOp::Sub => combine_add(
+                        ctx.form_of_exp(&args[0], outer),
+                        ctx.form_of_exp(&args[1], outer),
+                    ),
+                    dmll_core::PrimOp::Mul => combine_mul(
+                        ctx.form_of_exp(&args[0], outer),
+                        ctx.form_of_exp(&args[1], outer),
+                    ),
+                    // Decomposing a flattened inner index (`t / cols`,
+                    // `t % cols`) stays an inner scan.
+                    dmll_core::PrimOp::Div | dmll_core::PrimOp::Rem => {
+                        match (
+                            ctx.form_of_exp(&args[0], outer),
+                            ctx.form_of_exp(&args[1], outer),
+                        ) {
+                            (Form::Inv, Form::Inv) => Form::Inv,
+                            (Form::Inner | Form::InnerScaled, Form::Inv) => Form::Inner,
+                            _ => Form::Opaque,
+                        }
+                    }
+                    _ => {
+                        if args.iter().all(|a| ctx.form_of_exp(a, outer) == Form::Inv) {
+                            Form::Inv
+                        } else {
+                            Form::Opaque
+                        }
+                    }
+                };
+                ctx.forms.insert(stmt.lhs[0], form);
+            }
+            Def::Loop(ml) => {
+                // Nested loop: its params are Inner; its body classified
+                // with the same outer index.
+                let _ = ml;
+                for nb in def_blocks(&stmt.def) {
+                    if nb.params.len() == 1 {
+                        ctx.forms.insert(nb.params[0], Form::Inner);
+                    } else {
+                        for p in &nb.params {
+                            ctx.forms.insert(*p, Form::Opaque);
+                        }
+                    }
+                    classify_block(nb, outer, ctx, per);
+                }
+                for s in &stmt.lhs {
+                    ctx.forms.insert(*s, Form::Opaque);
+                }
+            }
+            other => {
+                // Invariant-in, invariant-out for pure scalar ops; opaque
+                // otherwise.
+                let mut all_inv = true;
+                dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                    if ctx.form_of_exp(e, outer) != Form::Inv {
+                        all_inv = false;
+                    }
+                });
+                // Free variables of nested blocks count too.
+                for nb in def_blocks(other) {
+                    for s in free_syms(nb) {
+                        if ctx.form_of_exp(&Exp::Sym(s), outer) != Form::Inv {
+                            all_inv = false;
+                        }
+                    }
+                    classify_block(nb, outer, ctx, per);
+                }
+                let f = if all_inv { Form::Inv } else { Form::Opaque };
+                for s in &stmt.lhs {
+                    ctx.forms.insert(*s, f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn join_is_conservative_max() {
+        assert_eq!(Stencil::Const.join(Stencil::Interval), Stencil::Interval);
+        assert_eq!(Stencil::Interval.join(Stencil::All), Stencil::All);
+        assert_eq!(Stencil::All.join(Stencil::Unknown), Stencil::Unknown);
+        assert!(Stencil::Interval.is_local_friendly());
+        assert!(!Stencil::All.is_local_friendly());
+    }
+
+    #[test]
+    fn elementwise_map_is_interval() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let out = st.map(&x, |st, e| st.mul(e, e));
+        let p = st.finish(&out);
+        let rep = analyze(&p);
+        assert_eq!(
+            rep.global_of(x.exp.as_sym().unwrap()),
+            Some(Stencil::Interval)
+        );
+    }
+
+    #[test]
+    fn matrix_row_access_is_interval() {
+        // collect over rows, inner loop over cols reading data(i*cols + j).
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let rows = m.rows(&mut st);
+        let data = m.data(&mut st);
+        let cols = m.cols(&mut st);
+        let zero = st.lit_f(0.0);
+        let sums = st.collect(&rows, |st, i| {
+            let data = data.clone();
+            let cols2 = cols.clone();
+            let i = i.clone();
+            st.reduce(
+                &cols,
+                move |st, j| {
+                    let base = st.mul(&i, &cols2);
+                    let idx = st.add(&base, j);
+                    st.read(&data, &idx)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let p = st.finish(&sums);
+        let rep = analyze(&p);
+        assert_eq!(
+            rep.global_of(data.exp.as_sym().unwrap()),
+            Some(Stencil::Interval)
+        );
+    }
+
+    #[test]
+    fn constant_index_is_const() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.lit_i(10);
+        let out = st.collect(&n, |st, _i| {
+            let z = st.lit_i(0);
+            st.read(&x, &z)
+        });
+        let p = st.finish(&out);
+        let rep = analyze(&p);
+        assert_eq!(rep.global_of(x.exp.as_sym().unwrap()), Some(Stencil::Const));
+    }
+
+    #[test]
+    fn full_inner_scan_is_all() {
+        // For each i, sum the entire y: y must be broadcast.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Local);
+        let out = st.map(&x, |st, e| {
+            let sy = st.sum(&y);
+            st.add(e, &sy)
+        });
+        let p = st.finish(&out);
+        let rep = analyze(&p);
+        assert_eq!(rep.global_of(y.exp.as_sym().unwrap()), Some(Stencil::All));
+        assert_eq!(
+            rep.global_of(x.exp.as_sym().unwrap()),
+            Some(Stencil::Interval)
+        );
+    }
+
+    #[test]
+    fn data_dependent_index_is_unknown() {
+        // x(idx(i)): gather through an index array.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let out = st.map(&idx, |st, e| st.read(&x, e));
+        let p = st.finish(&out);
+        let rep = analyze(&p);
+        assert_eq!(
+            rep.global_of(x.exp.as_sym().unwrap()),
+            Some(Stencil::Unknown)
+        );
+        assert_eq!(
+            rep.global_of(idx.exp.as_sym().unwrap()),
+            Some(Stencil::Interval)
+        );
+    }
+
+    #[test]
+    fn global_join_across_loops() {
+        // One loop reads x element-wise, another scans it fully.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| st.mul(e, e));
+        let n = st.lit_i(5);
+        let b = st.collect(&n, |st, _i| st.sum(&x));
+        let t1 = st.sum(&a);
+        let t2 = st.sum(&b);
+        let pair = st.tuple(&[&t1, &t2]);
+        let p = st.finish(&pair);
+        let rep = analyze(&p);
+        assert_eq!(rep.global_of(x.exp.as_sym().unwrap()), Some(Stencil::All));
+    }
+
+    #[test]
+    fn shifted_affine_access_is_interval() {
+        // x(i + 1) is still an interval access (contiguous per index).
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.lit_i(8);
+        let out = st.collect(&n, |st, i| {
+            let one = st.lit_i(1);
+            let j = st.add(i, &one);
+            st.read(&x, &j)
+        });
+        let p = st.finish(&out);
+        let rep = analyze(&p);
+        assert_eq!(
+            rep.global_of(x.exp.as_sym().unwrap()),
+            Some(Stencil::Interval)
+        );
+    }
+}

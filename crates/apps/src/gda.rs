@@ -1,0 +1,174 @@
+//! Gaussian Discriminant Analysis: class prior, per-class means and pooled
+//! covariance. Iterates the dataset twice (means, then covariance) — the
+//! paper notes GDA "iterates over its dataset twice".
+
+use dmll_core::{LayoutHint, Program, Ty};
+use dmll_data::matrix::DenseMatrix;
+use dmll_frontend::{Stage, Val};
+use dmll_interp::{eval, EvalError, Value};
+
+/// Stage GDA for binary labels. Output:
+/// `(phi, mu0, mu1, sigma_flat)` where `sigma_flat` is row-major d×d.
+pub fn stage_gda() -> Program {
+    let mut st = Stage::new();
+    let x = st.input_matrix("x", LayoutHint::Partitioned);
+    let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let rows = x.rows(&mut st);
+    let cols = x.cols(&mut st);
+
+    // Pass 1: per-class sums and counts (conditional vector reduces).
+    let two = st.lit_i(2);
+    let izero = st.lit_i(0);
+    let class_stats = st.collect(&two, |st, c| {
+        let cf = st.i2f(c);
+        let c1 = cf.clone();
+        let c2 = cf.clone();
+        let y1 = y.clone();
+        let y2 = y.clone();
+        let m = x.clone();
+        let sum = st.reduce_if(
+            &rows,
+            Some(move |st: &mut Stage, j: &Val| {
+                let yj = st.read(&y1, j);
+                st.eq(&yj, &c1)
+            }),
+            move |st, j| m.row(st, j),
+            |st, a, b| st.vec_add(a, b),
+            None,
+        );
+        let cnt = st.reduce_if(
+            &rows,
+            Some(move |st: &mut Stage, j: &Val| {
+                let yj = st.read(&y2, j);
+                st.eq(&yj, &c2)
+            }),
+            |st, _j| st.lit_i(1),
+            |st, a, b| st.add(a, b),
+            Some(&izero),
+        );
+        let one = st.lit_i(1);
+        let safe = st.max(&cnt, &one);
+        let cf2 = st.i2f(&safe);
+        let mu = st.map(&sum, move |st, s| st.div(s, &cf2));
+        st.tuple(&[&mu, &cnt])
+    });
+    let z = st.lit_i(0);
+    let o = st.lit_i(1);
+    let s0 = st.read(&class_stats, &z);
+    let s1 = st.read(&class_stats, &o);
+    let mu0 = st.tuple_get(&s0, 0);
+    let mu1 = st.tuple_get(&s1, 0);
+    let n1 = st.tuple_get(&s1, 1);
+    let n1f = st.i2f(&n1);
+    let rf = st.i2f(&rows);
+    let phi = st.div(&n1f, &rf);
+
+    // Pass 2: pooled covariance — a vector (length d²) reduction over rows.
+    let d2 = st.mul(&cols, &cols);
+    let sigma_sum = st.reduce(
+        &rows,
+        |st, i| {
+            let m = x.clone();
+            let yv = y.clone();
+            let mu0 = mu0.clone();
+            let mu1 = mu1.clone();
+            let half = st.lit_f(0.5);
+            let yi = st.read(&yv, i);
+            let is1 = st.gt(&yi, &half);
+            let i = i.clone();
+            let colsv = m.cols(st);
+            st.collect(&d2, move |st, t| {
+                let a = st.div(t, &colsv);
+                let b = st.rem(t, &colsv);
+                let xa = m.get(st, &i, &a);
+                let xb = m.get(st, &i, &b);
+                let mu_a0 = st.read(&mu0, &a);
+                let mu_a1 = st.read(&mu1, &a);
+                let mu_b0 = st.read(&mu0, &b);
+                let mu_b1 = st.read(&mu1, &b);
+                let mu_a = st.mux(&is1, &mu_a1, &mu_a0);
+                let mu_b = st.mux(&is1, &mu_b1, &mu_b0);
+                let da = st.sub(&xa, &mu_a);
+                let db = st.sub(&xb, &mu_b);
+                st.mul(&da, &db)
+            })
+        },
+        |st, a, b| st.vec_add(a, b),
+        None,
+    );
+    let sigma = st.map(&sigma_sum, |st, s| st.div(s, &rf));
+    let out = st.tuple(&[&phi, &mu0, &mu1, &sigma]);
+    st.finish(&out)
+}
+
+/// Decoded GDA output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GdaOut {
+    /// P(y = 1).
+    pub phi: f64,
+    /// Class-0 mean.
+    pub mu0: Vec<f64>,
+    /// Class-1 mean.
+    pub mu1: Vec<f64>,
+    /// Pooled covariance, row-major.
+    pub sigma: Vec<f64>,
+}
+
+/// Run GDA.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run(program: &Program, x: &DenseMatrix, y: &[f64]) -> Result<GdaOut, EvalError> {
+    let out = eval(
+        program,
+        &[
+            ("x", crate::util::matrix_value(x)),
+            ("y", Value::f64_arr(y.to_vec())),
+        ],
+    )?;
+    let Value::Tuple(parts) = out else {
+        return Err(EvalError::TypeMismatch("gda output".into()));
+    };
+    Ok(GdaOut {
+        phi: parts[0].as_f64().expect("phi"),
+        mu0: parts[1].to_f64_vec().expect("mu0"),
+        mu1: parts[2].to_f64_vec().expect("mu1"),
+        sigma: parts[3].to_f64_vec().expect("sigma"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_baselines::handopt;
+    use dmll_data::matrix::labeled_binary;
+    use dmll_transform::{pipeline, Target};
+
+    #[test]
+    fn matches_handopt() {
+        let (x, y) = labeled_binary(80, 3, 12);
+        let p = stage_gda();
+        let got = run(&p, &x, &y).unwrap();
+        let want = handopt::gda(&x, &y);
+        assert!((got.phi - want.phi).abs() < 1e-12);
+        assert!(crate::util::close(&got.mu0, &want.mu0, 1e-9));
+        assert!(crate::util::close(&got.mu1, &want.mu1, 1e-9));
+        assert!(crate::util::close(&got.sigma, &want.sigma, 1e-9));
+    }
+
+    #[test]
+    fn numa_recipe_applies_conditional_reduce_and_matches() {
+        let (x, y) = labeled_binary(50, 3, 13);
+        let mut p = stage_gda();
+        let baseline = run(&p, &x, &y).unwrap();
+        let report = pipeline::optimize(&mut p, Target::Numa);
+        assert!(
+            report.applied("Conditional Reduce") >= 2,
+            "{:?}",
+            report.passes
+        );
+        let got = run(&p, &x, &y).unwrap();
+        assert_eq!(got, baseline);
+    }
+}

@@ -1,0 +1,134 @@
+//! Gene Barcoding: group sequencer reads by molecular barcode and reduce
+//! each group (counts and mean quality).
+
+use dmll_core::{LayoutHint, Program, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::{eval, EvalError, Value};
+
+/// Stage the pipeline. Output: `(barcodes, counts, mean_quality)`.
+pub fn stage_gene() -> Program {
+    let mut st = Stage::new();
+    let barcode = st.input("barcode", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let quality = st.input("quality", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let n = st.len(&barcode);
+    let izero = st.lit_i(0);
+    let b1 = barcode.clone();
+    let b2 = barcode.clone();
+    let counts = st.bucket_reduce(
+        &n,
+        move |st, i| st.read(&b1, i),
+        |st, _i| st.lit_i(1),
+        |st, a, b| st.add(a, b),
+        Some(&izero),
+    );
+    let qsums = st.bucket_reduce(
+        &n,
+        move |st, i| st.read(&b2, i),
+        move |st, i| st.read(&quality, i),
+        |st, a, b| st.add(a, b),
+        Some(&izero),
+    );
+    let keys = st.bucket_keys(&counts);
+    let cv = st.bucket_values(&counts);
+    let qv = st.bucket_values(&qsums);
+    let means = st.zip_with(&qv, &cv, |st, q, c| {
+        let qf = st.i2f(q);
+        let cf = st.i2f(c);
+        st.div(&qf, &cf)
+    });
+    let out = st.tuple(&[&keys, &cv, &means]);
+    st.finish(&out)
+}
+
+/// Decoded per-barcode statistics, sorted by barcode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BarcodeStats {
+    /// Barcode id.
+    pub barcode: i64,
+    /// Read count.
+    pub count: i64,
+    /// Mean quality.
+    pub mean_quality: f64,
+}
+
+/// Run and decode.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run(
+    program: &Program,
+    barcode: &[i64],
+    quality: &[i64],
+) -> Result<Vec<BarcodeStats>, EvalError> {
+    let out = eval(
+        program,
+        &[
+            ("barcode", Value::i64_arr(barcode.to_vec())),
+            ("quality", Value::i64_arr(quality.to_vec())),
+        ],
+    )?;
+    let Value::Tuple(parts) = out else {
+        return Err(EvalError::TypeMismatch("gene output".into()));
+    };
+    let keys = parts[0].to_i64_vec().expect("keys");
+    let counts = parts[1].to_i64_vec().expect("counts");
+    let means = parts[2].to_f64_vec().expect("means");
+    let mut rows: Vec<BarcodeStats> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, barcode)| BarcodeStats {
+            barcode,
+            count: counts[i],
+            mean_quality: means[i],
+        })
+        .collect();
+    rows.sort_by_key(|r| r.barcode);
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_baselines::handopt;
+    use dmll_core::printer::count_loops;
+    use dmll_data::gene;
+    use dmll_transform::{pipeline, Target};
+
+    fn check(rows: &[BarcodeStats], barcode: &[i64], quality: &[i64], num: usize) {
+        let (counts, means) = handopt::gene_barcode_stats(barcode, quality, num);
+        for r in rows {
+            assert_eq!(r.count, counts[r.barcode as usize], "{r:?}");
+            assert!((r.mean_quality - means[r.barcode as usize]).abs() < 1e-9);
+        }
+        let nonzero = counts.iter().filter(|c| **c > 0).count();
+        assert_eq!(rows.len(), nonzero);
+    }
+
+    #[test]
+    fn matches_handopt() {
+        let reads = gene::gen_reads(1500, 40, 8, 7);
+        let cols = gene::to_columns(&reads);
+        let p = stage_gene();
+        let rows = run(&p, &cols.barcode, &cols.quality).unwrap();
+        check(&rows, &cols.barcode, &cols.quality, 40);
+    }
+
+    #[test]
+    fn optimizer_fuses_both_groupings() {
+        let reads = gene::gen_reads(1000, 25, 4, 8);
+        let cols = gene::to_columns(&reads);
+        let mut p = stage_gene();
+        let baseline = run(&p, &cols.barcode, &cols.quality).unwrap();
+        let report = pipeline::optimize(&mut p, Target::Numa);
+        assert!(
+            report.applied("horizontal fusion") >= 1,
+            "{:?}",
+            report.passes
+        );
+        // One bucket traversal plus the mean zip.
+        assert!(count_loops(&p) <= 2, "{p}");
+        let rows = run(&p, &cols.barcode, &cols.quality).unwrap();
+        assert_eq!(rows, baseline);
+    }
+}

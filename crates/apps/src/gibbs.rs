@@ -1,0 +1,251 @@
+//! Gibbs sampling on factor graphs (§6.3, the DeepDive/DimmWitted
+//! workload).
+//!
+//! The paper's parallelization is *nested*: a distinct model replica per
+//! socket (outer parallelism), Hogwild! updates across the threads of a
+//! socket (inner parallelism), and averaging at the end. We stage the
+//! data-parallel (Jacobi-style, synchronous) sweep as a multiloop — each
+//! variable resamples from the *previous* assignment — and run one staged
+//! program per replica with independent seeds, averaging the marginals,
+//! which is exactly the replica structure with deterministic coin flips.
+
+use dmll_baselines::handopt::hash_unit;
+use dmll_core::{LayoutHint, Program, Ty};
+use dmll_data::FactorGraph;
+use dmll_frontend::Stage;
+use dmll_interp::{EvalError, Interp, Value};
+
+/// Stage one synchronous sweep. Inputs: the factor graph in flat arrays
+/// (`bias`, `fac_a`, `fac_b`, `fac_w`, `adj_offsets`, `adj`), the current
+/// `assignment` (±1 as i64), and `seed`/`sweep` scalars. Output: the new
+/// assignment.
+pub fn stage_gibbs_sweep() -> Program {
+    let mut st = Stage::new();
+    let bias = st.input("bias", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let fac_a = st.input("fac_a", Ty::arr(Ty::I64), LayoutHint::Local);
+    let fac_b = st.input("fac_b", Ty::arr(Ty::I64), LayoutHint::Local);
+    let fac_w = st.input("fac_w", Ty::arr(Ty::F64), LayoutHint::Local);
+    let offs = st.input("adj_offsets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let adj = st.input("adj", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let assign = st.input("assignment", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let seed = st.input("seed", Ty::I64, LayoutHint::Local);
+    let sweep = st.input("sweep", Ty::I64, LayoutHint::Local);
+    let n = st.len(&bias);
+    let one = st.lit_i(1);
+    let new_assign = st.collect(&n, |st, v| {
+        let start = st.read(&offs, v);
+        let v1 = st.add(v, &one);
+        let end = st.read(&offs, &v1);
+        let m = st.sub(&end, &start);
+        let b = st.read(&bias, v);
+        let (adj, fa, fb, fw, asg) = (
+            adj.clone(),
+            fac_a.clone(),
+            fac_b.clone(),
+            fac_w.clone(),
+            assign.clone(),
+        );
+        let start2 = start.clone();
+        let v2 = v.clone();
+        let field = st.reduce(
+            &m,
+            move |st, t| {
+                let idx = st.add(&start2, t);
+                let f = st.read(&adj, &idx);
+                let a = st.read(&fa, &f);
+                let bb = st.read(&fb, &f);
+                let w = st.read(&fw, &f);
+                let is_a = st.eq(&a, &v2);
+                let other = st.mux(&is_a, &bb, &a);
+                let s = st.read(&asg, &other);
+                let sf = st.i2f(&s);
+                st.mul(&w, &sf)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&b),
+        );
+        // p = sigmoid(2 * field); sample via the counter-based hash.
+        let two = st.lit_f(2.0);
+        let f2 = st.mul(&two, &field);
+        let nf = st.neg(&f2);
+        let e = st.math(dmll_core::MathFn::Exp, &nf);
+        let onef = st.lit_f(1.0);
+        let denom = st.add(&onef, &e);
+        let p = st.div(&onef, &denom);
+        let u = st.extern_call("hash_unit", &[&seed, &sweep, v], Ty::F64, false, false);
+        let lt = st.lt(&u, &p);
+        let pos = st.lit_i(1);
+        let neg = st.lit_i(-1);
+        st.mux(&lt, &pos, &neg)
+    });
+    st.finish(&new_assign)
+}
+
+/// Flat-array inputs for a factor graph.
+pub fn inputs_for(
+    fg: &FactorGraph,
+    assignment: &[i8],
+    seed: u64,
+    sweep: u64,
+) -> Vec<(&'static str, Value)> {
+    vec![
+        ("bias", Value::f64_arr(fg.bias.clone())),
+        (
+            "fac_a",
+            Value::i64_arr(fg.factors.iter().map(|f| f.a as i64).collect()),
+        ),
+        (
+            "fac_b",
+            Value::i64_arr(fg.factors.iter().map(|f| f.b as i64).collect()),
+        ),
+        (
+            "fac_w",
+            Value::f64_arr(fg.factors.iter().map(|f| f.weight).collect()),
+        ),
+        (
+            "adj_offsets",
+            Value::i64_arr(fg.adj_offsets.iter().map(|o| *o as i64).collect()),
+        ),
+        (
+            "adj",
+            Value::i64_arr(fg.adj.iter().map(|a| *a as i64).collect()),
+        ),
+        (
+            "assignment",
+            Value::i64_arr(assignment.iter().map(|s| *s as i64).collect()),
+        ),
+        ("seed", Value::I64(seed as i64)),
+        ("sweep", Value::I64(sweep as i64)),
+    ]
+}
+
+/// Run one staged sweep.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run_sweep(
+    program: &Program,
+    fg: &FactorGraph,
+    assignment: &[i8],
+    seed: u64,
+    sweep: u64,
+) -> Result<Vec<i8>, EvalError> {
+    let interp = Interp::new(program).with_extern("hash_unit", |args: &[Value]| {
+        let seed = args[0].as_i64().unwrap_or(0) as u64;
+        let sweep = args[1].as_i64().unwrap_or(0) as u64;
+        let v = args[2].as_i64().unwrap_or(0) as u64;
+        Ok(Value::F64(hash_unit(seed, sweep, v)))
+    });
+    let inputs = inputs_for(fg, assignment, seed, sweep);
+    let out = interp.run(&inputs)?;
+    Ok(out
+        .to_i64_vec()
+        .expect("assignment")
+        .into_iter()
+        .map(|v| v as i8)
+        .collect())
+}
+
+/// Reference Jacobi sweep in plain Rust (same coin flips).
+pub fn jacobi_reference(fg: &FactorGraph, assignment: &[i8], seed: u64, sweep: u64) -> Vec<i8> {
+    (0..fg.num_vars())
+        .map(|v| {
+            let field = fg.local_field(v, assignment);
+            let p = 1.0 / (1.0 + (-2.0 * field).exp());
+            if hash_unit(seed, sweep, v as u64) < p {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+/// Run `sweeps` sweeps on `replicas` independent replicas (the per-socket
+/// models) and average the positive-state marginals per variable.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run_replicated(
+    program: &Program,
+    fg: &FactorGraph,
+    replicas: usize,
+    sweeps: u64,
+    seed: u64,
+) -> Result<Vec<f64>, EvalError> {
+    let n = fg.num_vars();
+    let mut positive = vec![0.0f64; n];
+    for r in 0..replicas {
+        let mut asg = vec![1i8; n];
+        for sweep in 0..sweeps {
+            asg = run_sweep(program, fg, &asg, seed + r as u64 * 1_000_003, sweep)?;
+            for (v, s) in asg.iter().enumerate() {
+                if *s == 1 {
+                    positive[v] += 1.0;
+                }
+            }
+        }
+    }
+    let total = (replicas as f64) * (sweeps as f64);
+    for p in &mut positive {
+        *p /= total;
+    }
+    Ok(positive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_data::factor::gen_factor_graph;
+
+    #[test]
+    fn staged_sweep_matches_reference() {
+        let fg = gen_factor_graph(60, 4, 5);
+        let asg = vec![1i8; 60];
+        let p = stage_gibbs_sweep();
+        for sweep in 0..3 {
+            let got = run_sweep(&p, &fg, &asg, 9, sweep).unwrap();
+            let want = jacobi_reference(&fg, &asg, 9, sweep);
+            assert_eq!(got, want, "sweep {sweep}");
+        }
+    }
+
+    #[test]
+    fn chains_are_deterministic_per_seed() {
+        let fg = gen_factor_graph(40, 3, 6);
+        let p = stage_gibbs_sweep();
+        let m1 = run_replicated(&p, &fg, 2, 4, 100).unwrap();
+        let m2 = run_replicated(&p, &fg, 2, 4, 100).unwrap();
+        assert_eq!(m1, m2);
+        let m3 = run_replicated(&p, &fg, 2, 4, 101).unwrap();
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn marginals_follow_bias() {
+        // Strongly biased isolated variables: the marginal should track the
+        // bias sign.
+        let fg = FactorGraph {
+            bias: vec![3.0, -3.0, 3.0],
+            factors: vec![],
+            adj_offsets: vec![0, 0, 0, 0],
+            adj: vec![],
+        };
+        let p = stage_gibbs_sweep();
+        let marg = run_replicated(&p, &fg, 4, 25, 7).unwrap();
+        assert!(marg[0] > 0.9, "{marg:?}");
+        assert!(marg[1] < 0.1, "{marg:?}");
+        assert!(marg[2] > 0.9, "{marg:?}");
+    }
+
+    #[test]
+    fn missing_extern_is_reported() {
+        let fg = gen_factor_graph(10, 2, 3);
+        let p = stage_gibbs_sweep();
+        let inputs = inputs_for(&fg, &[1i8; 10], 1, 0);
+        let err = dmll_interp::eval(&p, &inputs).unwrap_err();
+        assert_eq!(err, EvalError::UnknownExtern("hash_unit".into()));
+    }
+}

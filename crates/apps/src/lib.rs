@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # Benchmark applications (§6)
+//!
+//! Every workload of the paper's evaluation, written against the implicitly
+//! parallel `dmll-frontend` API exactly as its source listing suggests, and
+//! validated against the hand-optimized native implementations in
+//! `dmll-baselines`:
+//!
+//! | Benchmark | Module | Headline transformations (Table 2) |
+//! |---|---|---|
+//! | TPC-H Query 1 | [`q1`] | GroupBy-Reduce, pipeline fusion, AoS→SoA, CSE, DFE |
+//! | Gene Barcoding | [`gene`] | pipeline fusion, DFE |
+//! | GDA | [`gda`] | pipeline fusion, horizontal fusion, CSE |
+//! | k-means | [`kmeans`] | Conditional Reduce, Row-to-Column Reduce, fusion |
+//! | Logistic Regression | [`logreg`] | Column-to-Row + Row-to-Column Reduce |
+//! | PageRank | [`pagerank`] | push↔pull (domain-specific), pipeline fusion |
+//! | Triangle Counting | [`triangles`] | push↔pull (domain-specific), pipeline fusion |
+//! | Gibbs Sampling | [`gibbs`] | nested parallelism (per-socket replicas) |
+//!
+//! Each module exposes `stage_*` constructors returning the
+//! [`dmll_core::Program`] plus runners that execute via `dmll-interp` and
+//! decode the outputs.
+
+pub mod gda;
+pub mod gene;
+pub mod gibbs;
+pub mod kmeans;
+pub mod logreg;
+pub mod pagerank;
+pub mod q1;
+pub mod triangles;
+pub mod util;

@@ -1,0 +1,201 @@
+//! PageRank in both the *pull* model (common in shared memory) and the
+//! *push* model (common in distributed systems).
+//!
+//! The push↔pull switch is the domain-specific transformation Table 2 lists
+//! for the graph benchmarks: pull gathers in-neighbor ranks with random
+//! reads (an `Unknown` stencil — the fundamental communication of graph
+//! problems, §4.2); push re-expresses the same computation as a
+//! `BucketReduce` over the edge list keyed by destination vertex.
+
+use dmll_core::{LayoutHint, Program, Ty};
+use dmll_data::graph::CsrGraph;
+use dmll_frontend::Stage;
+use dmll_interp::{eval, EvalError, Value};
+
+/// Stage one pull-model iteration.
+/// Inputs: `rev_offsets`, `rev_targets` (reverse CSR), `out_degree`,
+/// `ranks`. Output: new ranks.
+pub fn stage_pagerank_pull(damping: f64) -> Program {
+    let mut st = Stage::new();
+    let offs = st.input("rev_offsets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let targets = st.input("rev_targets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let degree = st.input("out_degree", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let ranks = st.input("ranks", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let n = st.len(&ranks);
+    let nf = st.i2f(&n);
+    let d = st.lit_f(damping);
+    let one = st.lit_f(1.0);
+    let keep = st.sub(&one, &d);
+    let base = st.div(&keep, &nf);
+    let new_ranks = st.collect(&n, |st, v| {
+        let start = st.read(&offs, v);
+        let onei = st.lit_i(1);
+        let v1 = st.add(v, &onei);
+        let end = st.read(&offs, &v1);
+        let m = st.sub(&end, &start);
+        let zero = st.lit_f(0.0);
+        let targets = targets.clone();
+        let degree = degree.clone();
+        let ranks = ranks.clone();
+        let start2 = start.clone();
+        let sum = st.reduce(
+            &m,
+            move |st, t| {
+                let idx = st.add(&start2, t);
+                let u = st.read(&targets, &idx);
+                let deg = st.read(&degree, &u);
+                let r = st.read(&ranks, &u);
+                let contrib = st.div(&r, &deg);
+                let z = st.lit_f(0.0);
+                let pos = st.gt(&deg, &z);
+                st.mux(&pos, &contrib, &z)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let damped = st.mul(&d, &sum);
+        st.add(&base, &damped)
+    });
+    st.finish(&new_ranks)
+}
+
+/// Stage one push-model iteration over the edge list: contributions are
+/// bucket-reduced by destination, then each vertex looks its total up.
+/// Inputs: `edge_src`, `edge_dst`, `out_degree`, `ranks`.
+pub fn stage_pagerank_push(damping: f64) -> Program {
+    let mut st = Stage::new();
+    let src = st.input("edge_src", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let dst = st.input("edge_dst", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let degree = st.input("out_degree", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let ranks = st.input("ranks", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let e = st.len(&src);
+    let n = st.len(&ranks);
+    let nf = st.i2f(&n);
+    let d = st.lit_f(damping);
+    let one = st.lit_f(1.0);
+    let keep = st.sub(&one, &d);
+    let base = st.div(&keep, &nf);
+    let fzero = st.lit_f(0.0);
+    let dst2 = dst.clone();
+    let contribs = st.bucket_reduce(
+        &e,
+        move |st, i| st.read(&dst2, i),
+        move |st, i| {
+            let u = st.read(&src, i);
+            let r = st.read(&ranks, &u);
+            let deg = st.read(&degree, &u);
+            st.div(&r, &deg)
+        },
+        |st, a, b| st.add(a, b),
+        Some(&fzero),
+    );
+    let new_ranks = st.collect(&n, |st, v| {
+        let z = st.lit_f(0.0);
+        let sum = st.bucket_get(&contribs, v, Some(&z));
+        let damped = st.mul(&d, &sum);
+        st.add(&base, &damped)
+    });
+    st.finish(&new_ranks)
+}
+
+/// Inputs shared by both models plus the model-specific graph encoding.
+pub fn inputs_pull(g: &CsrGraph, ranks: &[f64]) -> Vec<(&'static str, Value)> {
+    let rev = g.reversed();
+    let deg: Vec<f64> = (0..g.num_vertices()).map(|v| g.degree(v) as f64).collect();
+    vec![
+        ("rev_offsets", Value::i64_arr(rev.offsets.clone())),
+        ("rev_targets", Value::i64_arr(rev.targets.clone())),
+        ("out_degree", Value::f64_arr(deg)),
+        ("ranks", Value::f64_arr(ranks.to_vec())),
+    ]
+}
+
+/// Edge-list encoding for the push model.
+pub fn inputs_push(g: &CsrGraph, ranks: &[f64]) -> Vec<(&'static str, Value)> {
+    let mut src = Vec::with_capacity(g.num_edges());
+    let mut dst = Vec::with_capacity(g.num_edges());
+    for v in 0..g.num_vertices() {
+        for &t in g.neighbors(v) {
+            src.push(v as i64);
+            dst.push(t);
+        }
+    }
+    let deg: Vec<f64> = (0..g.num_vertices()).map(|v| g.degree(v) as f64).collect();
+    vec![
+        ("edge_src", Value::i64_arr(src)),
+        ("edge_dst", Value::i64_arr(dst)),
+        ("out_degree", Value::f64_arr(deg)),
+        ("ranks", Value::f64_arr(ranks.to_vec())),
+    ]
+}
+
+/// Run one iteration of either staged model.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run(program: &Program, inputs: &[(&str, Value)]) -> Result<Vec<f64>, EvalError> {
+    Ok(eval(program, inputs)?.to_f64_vec().expect("rank vector"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_analysis::Stencil;
+    use dmll_baselines::handopt;
+    use dmll_data::graph::rmat;
+
+    #[test]
+    fn pull_matches_handopt_exactly() {
+        let g = rmat(7, 4, 3);
+        let n = g.num_vertices();
+        let ranks = vec![1.0 / n as f64; n];
+        let p = stage_pagerank_pull(0.85);
+        let got = run(&p, &inputs_pull(&g, &ranks)).unwrap();
+        let want = handopt::pagerank_iter(&g, &g.reversed(), &ranks, 0.85);
+        assert!(crate::util::close(&got, &want, 1e-12));
+    }
+
+    #[test]
+    fn push_agrees_with_pull() {
+        let g = rmat(6, 5, 9);
+        let n = g.num_vertices();
+        let ranks: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let pull = stage_pagerank_pull(0.85);
+        let push = stage_pagerank_push(0.85);
+        let a = run(&pull, &inputs_pull(&g, &ranks)).unwrap();
+        let b = run(&push, &inputs_push(&g, &ranks)).unwrap();
+        // Different summation orders: tolerance comparison.
+        assert!(crate::util::close(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn pull_gather_is_unknown_stencil() {
+        // The fundamental communication of graph problems: the ranks array
+        // is read at data-dependent indices, and no Fig. 3 rule repairs it.
+        let mut p = stage_pagerank_pull(0.85);
+        let result = dmll_analysis::analyze(&mut p);
+        let ranks_sym = p.input("ranks").unwrap().sym;
+        assert_eq!(result.stencils.global_of(ranks_sym), Some(Stencil::Unknown));
+        assert!(result.partition.has_warnings());
+    }
+
+    #[test]
+    fn repeated_iterations_converge() {
+        let g = rmat(6, 6, 11);
+        let n = g.num_vertices();
+        let p = stage_pagerank_pull(0.85);
+        let mut ranks = vec![1.0 / n as f64; n];
+        let mut delta = f64::INFINITY;
+        for _ in 0..40 {
+            let next = run(&p, &inputs_pull(&g, &ranks)).unwrap();
+            delta = ranks
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+            ranks = next;
+        }
+        assert!(delta < 1e-3, "converged: {delta}");
+    }
+}

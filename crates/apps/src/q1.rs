@@ -1,0 +1,287 @@
+//! TPC-H Query 1: filter by ship date, group by (returnflag, linestatus),
+//! five aggregates — the paper's flagship data-querying benchmark.
+//!
+//! The query is staged the way a user writes it: a `filter` feeding five
+//! independent `groupByReduce`s over the record collection. The optimizer
+//! turns that into exactly the hand-written shape: horizontal fusion merges
+//! the five aggregations into one traversal, pipeline fusion folds the
+//! filter into the generator conditions, AoS→SoA splits the record input
+//! into primitive columns, and DFE drops unused ones.
+
+use dmll_core::{LayoutHint, Program, StructTy, Ty};
+use dmll_data::tpch::{LineItemColumns, Q1_SHIP_CUTOFF};
+use dmll_frontend::{Stage, Val};
+use dmll_interp::{eval, EvalError, StructVal, Value};
+use std::sync::Arc;
+
+/// The lineitem record type as staged.
+pub fn lineitem_ty() -> StructTy {
+    StructTy::new(
+        "LineItem",
+        vec![
+            ("quantity".into(), Ty::F64),
+            ("extended_price".into(), Ty::F64),
+            ("discount".into(), Ty::F64),
+            ("tax".into(), Ty::F64),
+            ("return_flag".into(), Ty::I64),
+            ("line_status".into(), Ty::I64),
+            ("ship_date".into(), Ty::I64),
+        ],
+    )
+}
+
+fn group_key(st: &mut Stage, item: &Val) -> Val {
+    let flag = st.field(item, "return_flag");
+    let status = st.field(item, "line_status");
+    let two = st.lit_i(2);
+    let f2 = st.mul(&flag, &two);
+    st.add(&f2, &status)
+}
+
+/// Stage the query. Output: a 6-tuple
+/// `(keys, sum_qty, sum_base_price, sum_disc_price, sum_charge, count)`.
+pub fn stage_q1() -> Program {
+    let mut st = Stage::new();
+    let items = st.input(
+        "items",
+        Ty::arr(Ty::Struct(lineitem_ty())),
+        LayoutHint::Partitioned,
+    );
+    let cutoff = st.lit_i(Q1_SHIP_CUTOFF);
+    let valid = st.filter(&items, |st, item| {
+        let d = st.field(item, "ship_date");
+        st.le(&d, &cutoff)
+    });
+    let fzero = st.lit_f(0.0);
+    let izero = st.lit_i(0);
+
+    let sum_qty = st.group_by_reduce(
+        &valid,
+        group_key,
+        |st, item| st.field(item, "quantity"),
+        |st, a, b| st.add(a, b),
+        Some(&fzero),
+    );
+    let sum_base = st.group_by_reduce(
+        &valid,
+        group_key,
+        |st, item| st.field(item, "extended_price"),
+        |st, a, b| st.add(a, b),
+        Some(&fzero),
+    );
+    let sum_disc = st.group_by_reduce(
+        &valid,
+        group_key,
+        |st, item| {
+            let p = st.field(item, "extended_price");
+            let d = st.field(item, "discount");
+            let one = st.lit_f(1.0);
+            let m = st.sub(&one, &d);
+            st.mul(&p, &m)
+        },
+        |st, a, b| st.add(a, b),
+        Some(&fzero),
+    );
+    let sum_charge = st.group_by_reduce(
+        &valid,
+        group_key,
+        |st, item| {
+            let p = st.field(item, "extended_price");
+            let d = st.field(item, "discount");
+            let t = st.field(item, "tax");
+            let one = st.lit_f(1.0);
+            let m = st.sub(&one, &d);
+            let disc = st.mul(&p, &m);
+            let tm = st.add(&one, &t);
+            st.mul(&disc, &tm)
+        },
+        |st, a, b| st.add(a, b),
+        Some(&fzero),
+    );
+    let count = st.group_by_reduce(
+        &valid,
+        group_key,
+        |st, _item| st.lit_i(1),
+        |st, a, b| st.add(a, b),
+        Some(&izero),
+    );
+
+    let keys = st.bucket_keys(&sum_qty);
+    let v_qty = st.bucket_values(&sum_qty);
+    let v_base = st.bucket_values(&sum_base);
+    let v_disc = st.bucket_values(&sum_disc);
+    let v_charge = st.bucket_values(&sum_charge);
+    let v_count = st.bucket_values(&count);
+    let out = st.tuple(&[&keys, &v_qty, &v_base, &v_disc, &v_charge, &v_count]);
+    st.finish(&out)
+}
+
+/// The lineitem table as a boxed record collection (pre-SoA input).
+pub fn boxed_items(cols: &LineItemColumns) -> Value {
+    let ty = lineitem_ty();
+    let n = cols.quantity.len();
+    Value::boxed_arr(
+        (0..n)
+            .map(|i| {
+                Value::Struct(Arc::new(StructVal {
+                    ty: ty.clone(),
+                    fields: vec![
+                        Value::F64(cols.quantity[i]),
+                        Value::F64(cols.extended_price[i]),
+                        Value::F64(cols.discount[i]),
+                        Value::F64(cols.tax[i]),
+                        Value::I64(cols.return_flag[i]),
+                        Value::I64(cols.line_status[i]),
+                        Value::I64(cols.ship_date[i]),
+                    ],
+                }))
+            })
+            .collect(),
+    )
+}
+
+/// Per-column inputs matching whatever the (possibly SoA-transformed)
+/// program declares.
+pub fn inputs_for(program: &Program, cols: &LineItemColumns) -> Vec<(String, Value)> {
+    program
+        .inputs
+        .iter()
+        .map(|i| {
+            let v = match i.name.as_str() {
+                "items" => boxed_items(cols),
+                "items.quantity" => Value::f64_arr(cols.quantity.clone()),
+                "items.extended_price" => Value::f64_arr(cols.extended_price.clone()),
+                "items.discount" => Value::f64_arr(cols.discount.clone()),
+                "items.tax" => Value::f64_arr(cols.tax.clone()),
+                "items.return_flag" => Value::i64_arr(cols.return_flag.clone()),
+                "items.line_status" => Value::i64_arr(cols.line_status.clone()),
+                "items.ship_date" => Value::i64_arr(cols.ship_date.clone()),
+                other => panic!("unexpected input {other}"),
+            };
+            (i.name.clone(), v)
+        })
+        .collect()
+}
+
+/// A decoded, key-sorted result row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Q1Out {
+    /// `return_flag * 2 + line_status`.
+    pub key: i64,
+    /// Aggregates in Table 2 order.
+    pub sum_qty: f64,
+    /// `sum(extendedprice)`.
+    pub sum_base_price: f64,
+    /// `sum(extendedprice * (1 - discount))`.
+    pub sum_disc_price: f64,
+    /// `sum(extendedprice * (1 - discount) * (1 + tax))`.
+    pub sum_charge: f64,
+    /// Row count.
+    pub count: i64,
+}
+
+/// Run the query and decode the result, sorted by group key.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run(program: &Program, cols: &LineItemColumns) -> Result<Vec<Q1Out>, EvalError> {
+    let inputs = inputs_for(program, cols);
+    let borrowed: Vec<(&str, Value)> = inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    let out = eval(program, &borrowed)?;
+    let Value::Tuple(parts) = out else {
+        return Err(EvalError::TypeMismatch("q1 output".into()));
+    };
+    let keys = parts[0].to_i64_vec().expect("keys");
+    let qty = parts[1].to_f64_vec().expect("qty");
+    let base = parts[2].to_f64_vec().expect("base");
+    let disc = parts[3].to_f64_vec().expect("disc");
+    let charge = parts[4].to_f64_vec().expect("charge");
+    let count = parts[5].to_i64_vec().expect("count");
+    let mut rows: Vec<Q1Out> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, key)| Q1Out {
+            key,
+            sum_qty: qty[i],
+            sum_base_price: base[i],
+            sum_disc_price: disc[i],
+            sum_charge: charge[i],
+            count: count[i],
+        })
+        .collect();
+    rows.sort_by_key(|r| r.key);
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_baselines::handopt;
+    use dmll_core::printer::count_loops;
+    use dmll_data::tpch;
+    use dmll_transform::{pipeline, Target};
+
+    fn check_against_handopt(rows: &[Q1Out], cols: &LineItemColumns) {
+        let expected = handopt::q1(cols);
+        assert_eq!(rows.len(), expected.len());
+        for (got, want) in rows.iter().zip(&expected) {
+            assert_eq!(got.key, want.return_flag * 2 + want.line_status);
+            assert_eq!(got.count, want.count);
+            assert!(
+                (got.sum_qty - want.sum_qty).abs() < 1e-6,
+                "{got:?} {want:?}"
+            );
+            assert!((got.sum_base_price - want.sum_base_price).abs() < 1e-3);
+            assert!((got.sum_disc_price - want.sum_disc_price).abs() < 1e-3);
+            assert!((got.sum_charge - want.sum_charge).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn unoptimized_matches_handopt() {
+        let cols = tpch::to_columns(&tpch::gen_lineitems(800, 42));
+        let p = stage_q1();
+        let rows = run(&p, &cols).unwrap();
+        check_against_handopt(&rows, &cols);
+    }
+
+    #[test]
+    fn optimizer_produces_single_traversal_and_soa() {
+        let cols = tpch::to_columns(&tpch::gen_lineitems(800, 43));
+        let mut p = stage_q1();
+        let baseline = run(&p, &cols).unwrap();
+        let report = pipeline::optimize(&mut p, Target::Cpu);
+        // Table 2's Query 1 row: GroupBy-Reduce machinery... here the five
+        // groupings fuse horizontally and the filter pipelines in.
+        assert!(
+            report.applied("horizontal fusion") >= 4,
+            "{:?}",
+            report.passes
+        );
+        assert!(
+            report.applied("pipeline fusion") >= 1,
+            "{:?}",
+            report.passes
+        );
+        assert!(report.applied("AoS to SoA") >= 1, "{:?}", report.passes);
+        assert_eq!(count_loops(&p), 1, "one traversal: {p}");
+        // SoA split the input into primitive columns.
+        assert!(p.input("items").is_none());
+        assert!(p.input("items.quantity").is_some());
+        let rows = run(&p, &cols).unwrap();
+        assert_eq!(rows, baseline);
+        check_against_handopt(&rows, &cols);
+    }
+
+    #[test]
+    fn all_four_classic_groups_appear() {
+        let cols = tpch::to_columns(&tpch::gen_lineitems(5000, 44));
+        let p = stage_q1();
+        let rows = run(&p, &cols).unwrap();
+        assert!(rows.len() >= 4, "{rows:?}");
+    }
+}

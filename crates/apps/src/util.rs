@@ -1,0 +1,95 @@
+//! Conversions between generated datasets and interpreter values.
+
+use dmll_data::matrix::DenseMatrix;
+use dmll_interp::Value;
+
+/// A dense matrix as the interpreter's `MatrixF64` struct value.
+pub fn matrix_value(m: &DenseMatrix) -> Value {
+    Value::matrix(m.data.clone(), m.rows, m.cols)
+}
+
+/// Decode a `Coll[Coll[Double]]` (list of rows) into a [`DenseMatrix`].
+///
+/// # Panics
+///
+/// Panics when the value is not a rectangular collection of float rows.
+pub fn rows_to_matrix(v: &Value) -> DenseMatrix {
+    let arr = v.as_arr().expect("collection of rows");
+    let mut data = Vec::new();
+    let mut cols = 0;
+    for i in 0..arr.len() {
+        let row = arr.get(i).expect("row");
+        let row = row.to_f64_vec().expect("float row");
+        cols = row.len();
+        data.extend(row);
+    }
+    DenseMatrix {
+        rows: arr.len(),
+        cols,
+        data,
+    }
+}
+
+/// Decode a pair of `(keys, values)` collections into sorted `(key, value)`
+/// tuples, normalizing the first-seen bucket order for comparisons.
+///
+/// # Panics
+///
+/// Panics when the value is not a 2-tuple of an int and a float collection.
+pub fn sorted_groups(pair: &Value) -> Vec<(i64, f64)> {
+    let Value::Tuple(parts) = pair else {
+        panic!("expected tuple, got {pair}");
+    };
+    let keys = parts[0].to_i64_vec().expect("int keys");
+    let vals = parts[1].to_f64_vec().expect("float values");
+    let mut out: Vec<(i64, f64)> = keys.into_iter().zip(vals).collect();
+    out.sort_by_key(|(k, _)| *k);
+    out
+}
+
+/// Compare float slices within a tolerance.
+pub fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = DenseMatrix {
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            rows: 2,
+            cols: 3,
+        };
+        let v = matrix_value(&m);
+        if let Value::Struct(s) = &v {
+            assert_eq!(s.field("rows"), Some(&Value::I64(2)));
+        } else {
+            panic!("not a struct");
+        }
+    }
+
+    #[test]
+    fn rows_decode() {
+        let v = Value::boxed_arr(vec![
+            Value::f64_arr(vec![1.0, 2.0]),
+            Value::f64_arr(vec![3.0, 4.0]),
+        ]);
+        let m = rows_to_matrix(&v);
+        assert_eq!(m.rows, 2);
+        assert_eq!(m.cols, 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn close_tolerance() {
+        assert!(close(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9));
+        assert!(!close(&[1.0], &[1.1], 1e-9));
+        assert!(!close(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+}

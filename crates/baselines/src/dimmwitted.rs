@@ -1,0 +1,149 @@
+//! A DimmWitted-style Gibbs sampling model (§6.3).
+//!
+//! DimmWitted samples factor graphs with per-socket model replicas and
+//! Hogwild! updates within each socket. Its hand-written implementation
+//! stores the factor graph with "more pointer indirections … for the sake
+//! of user-friendly abstractions", which is where DMLL's 2–3× advantage
+//! comes from (unwrapped arrays of primitives).
+
+use dmll_runtime::{ClusterSpec, SimBreakdown};
+
+/// Gibbs workload statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GibbsWorkload {
+    /// Variables in the factor graph.
+    pub variables: f64,
+    /// Average factors per variable.
+    pub factors_per_var: f64,
+    /// Full sweeps over the variables.
+    pub sweeps: f64,
+}
+
+impl GibbsWorkload {
+    fn flops(&self) -> f64 {
+        // Per variable: gather factor weights, logistic, update.
+        self.variables * self.sweeps * (self.factors_per_var * 4.0 + 20.0)
+    }
+
+    fn bytes(&self) -> f64 {
+        // Factor weights + neighbor states per variable.
+        self.variables * self.sweeps * (self.factors_per_var * 24.0 + 16.0)
+    }
+}
+
+/// Time for the DimmWitted implementation: per-socket replicas (near-linear
+/// socket scaling) but pointer-heavy storage.
+pub fn dimmwitted_time(w: &GibbsWorkload, cluster: &ClusterSpec, cores: usize) -> SimBreakdown {
+    gibbs_time_impl(w, cluster, cores, 2.4, 2.2)
+}
+
+/// Time for DMLL's generated implementation: the same per-socket-replica /
+/// Hogwild-within-socket strategy (nested parallelism), but unwrapped
+/// arrays of primitives.
+pub fn dmll_gibbs_time(w: &GibbsWorkload, cluster: &ClusterSpec, cores: usize) -> SimBreakdown {
+    gibbs_time_impl(w, cluster, cores, 1.0, 1.0)
+}
+
+/// GPU execution of the sampler: "limited by the random memory accesses
+/// into the factor graph, which greatly reduces the achievable bandwidth".
+pub fn dmll_gibbs_gpu_time(w: &GibbsWorkload, cluster: &ClusterSpec) -> SimBreakdown {
+    let gpu = cluster.node.gpu.expect("GPU node required");
+    let flops = w.flops();
+    let bytes = w.bytes();
+    // Random gathers: a small fraction of peak bandwidth is achievable.
+    let bw = gpu.mem_bw * 0.06;
+    let compute = flops / (gpu.flops * 0.3);
+    let memory = bytes / bw;
+    let mut out = SimBreakdown::default();
+    if compute >= memory {
+        out.compute = compute;
+    } else {
+        out.memory = memory;
+    }
+    out.pcie = bytes / w.sweeps.max(1.0) / gpu.pcie_bw;
+    out.overhead = gpu.launch_overhead * w.sweeps;
+    out
+}
+
+fn gibbs_time_impl(
+    w: &GibbsWorkload,
+    cluster: &ClusterSpec,
+    cores: usize,
+    compute_factor: f64,
+    bytes_factor: f64,
+) -> SimBreakdown {
+    let spec = cluster.node;
+    let cores = cores.clamp(1, spec.total_cores());
+    let sockets = spec.sockets_for_cores(cores);
+    let flops = w.flops() * compute_factor;
+    let bytes = w.bytes() * bytes_factor;
+    // Per-socket replicas: each socket works out of its own memory, so both
+    // systems scale across sockets; random access discounts bandwidth.
+    let bw = (spec.aggregate_bw(sockets) * 0.5).min(cores as f64 * spec.core_mem_bw);
+    let compute = flops / (cores as f64 * spec.core_flops);
+    let memory = bytes / bw;
+    // Exchanging the per-socket models' variable states at the end of each
+    // sweep (one byte per boolean variable).
+    let combine =
+        w.variables * 1.0 * (sockets as f64 - 1.0).max(0.0) * w.sweeps / spec.interconnect_bw;
+    let mut out = SimBreakdown::default();
+    if compute >= memory {
+        out.compute = compute;
+    } else {
+        out.memory = memory;
+    }
+    out.network = combine;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_runtime::MachineSpec;
+
+    fn workload() -> GibbsWorkload {
+        GibbsWorkload {
+            variables: 1e7,
+            factors_per_var: 10.0,
+            sweeps: 1.0,
+        }
+    }
+
+    fn numa() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::numa_4x12())
+    }
+
+    #[test]
+    fn dmll_2_to_3x_faster_than_dimmwitted() {
+        // §6.3: "over 2x faster sequentially and 3x faster with multi-core".
+        let w = workload();
+        let seq = dimmwitted_time(&w, &numa(), 1).total() / dmll_gibbs_time(&w, &numa(), 1).total();
+        let par =
+            dimmwitted_time(&w, &numa(), 48).total() / dmll_gibbs_time(&w, &numa(), 48).total();
+        assert!((1.8..3.5).contains(&seq), "sequential ratio {seq:.2}");
+        assert!((1.8..4.0).contains(&par), "parallel ratio {par:.2}");
+    }
+
+    #[test]
+    fn both_scale_across_sockets() {
+        // Fig. 8 right: near-linear scaling for both systems.
+        let w = workload();
+        for time_fn in [dimmwitted_time, dmll_gibbs_time] {
+            let t12 = time_fn(&w, &numa(), 12).total();
+            let t48 = time_fn(&w, &numa(), 48).total();
+            let scaling = t12 / t48;
+            assert!(scaling > 2.2, "4 sockets give {scaling:.1}x over 1");
+        }
+    }
+
+    #[test]
+    fn gpu_limited_by_random_access() {
+        let w = workload();
+        let gpu = dmll_gibbs_gpu_time(&w, &ClusterSpec::gpu_4()).total();
+        let cpu48 = dmll_gibbs_time(&w, &numa(), 48).total();
+        assert!(
+            gpu > cpu48,
+            "random factor-graph access keeps the GPU below 48 CPU cores: {gpu} vs {cpu48}"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! The programming-model feature matrix of Table 1.
+
+/// Programming-model features compared in Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Rich data parallelism beyond map/reduce.
+    RichDataParallelism,
+    /// Nested programming (parallel constructs may nest logically).
+    NestedProgramming,
+    /// Nested parallelism actually exploited at runtime.
+    NestedParallelism,
+    /// Operations over multiple collections at once.
+    MultipleCollections,
+    /// Arbitrary random reads of parallel collections.
+    RandomReads,
+}
+
+/// Hardware targets compared in Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hardware {
+    /// Basic multi-core.
+    MultiCore,
+    /// NUMA-aware big-memory machines.
+    Numa,
+    /// Distributed clusters.
+    Clusters,
+    /// GPUs.
+    Gpus,
+}
+
+/// A row of Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemRow {
+    /// System name.
+    pub name: &'static str,
+    /// Supported programming-model features.
+    pub features: &'static [Feature],
+    /// Supported hardware targets.
+    pub hardware: &'static [Hardware],
+}
+
+use Feature::*;
+use Hardware::*;
+
+/// Table 1, in the paper's chronological order.
+pub fn table1() -> Vec<SystemRow> {
+    vec![
+        SystemRow {
+            name: "MapReduce",
+            features: &[],
+            hardware: &[Clusters],
+        },
+        SystemRow {
+            name: "DryadLINQ",
+            features: &[RichDataParallelism, NestedProgramming],
+            hardware: &[Clusters],
+        },
+        SystemRow {
+            name: "Thrust",
+            features: &[RichDataParallelism],
+            hardware: &[Gpus],
+        },
+        SystemRow {
+            name: "Scala Collections",
+            features: &[
+                RichDataParallelism,
+                NestedProgramming,
+                NestedParallelism,
+                MultipleCollections,
+                RandomReads,
+            ],
+            hardware: &[MultiCore],
+        },
+        SystemRow {
+            name: "Delite",
+            features: &[
+                RichDataParallelism,
+                NestedProgramming,
+                MultipleCollections,
+                RandomReads,
+            ],
+            hardware: &[MultiCore, Gpus],
+        },
+        SystemRow {
+            name: "Spark",
+            features: &[RichDataParallelism, NestedProgramming],
+            hardware: &[Clusters],
+        },
+        SystemRow {
+            name: "Lime",
+            features: &[NestedProgramming, NestedParallelism, RandomReads],
+            hardware: &[MultiCore, Clusters, Gpus],
+        },
+        SystemRow {
+            name: "PowerGraph",
+            features: &[RandomReads],
+            hardware: &[MultiCore, Clusters],
+        },
+        SystemRow {
+            name: "Dandelion",
+            features: &[RichDataParallelism, NestedProgramming, MultipleCollections],
+            hardware: &[MultiCore, Clusters, Gpus],
+        },
+        SystemRow {
+            name: "DMLL",
+            features: &[
+                RichDataParallelism,
+                NestedProgramming,
+                NestedParallelism,
+                MultipleCollections,
+                RandomReads,
+            ],
+            hardware: &[MultiCore, Numa, Clusters, Gpus],
+        },
+    ]
+}
+
+/// Render the matrix as fixed-width text (for the `table1` harness binary).
+pub fn render() -> String {
+    let features = [
+        ("Rich data par.", RichDataParallelism),
+        ("Nested prog.", NestedProgramming),
+        ("Nested par.", NestedParallelism),
+        ("Multi colls", MultipleCollections),
+        ("Random reads", RandomReads),
+    ];
+    let hardware = [
+        ("Multi-core", MultiCore),
+        ("NUMA", Numa),
+        ("Clusters", Clusters),
+        ("GPUs", Gpus),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("{:<18}", "System"));
+    let labels = features
+        .iter()
+        .map(|(l, _)| *l)
+        .chain(hardware.iter().map(|(l, _)| *l));
+    for label in labels {
+        out.push_str(&format!("{label:<16}"));
+    }
+    out.push('\n');
+    for row in table1() {
+        out.push_str(&format!("{:<18}", row.name));
+        for (_, f) in &features {
+            out.push_str(&format!(
+                "{:<16}",
+                if row.features.contains(f) { "●" } else { "" }
+            ));
+        }
+        for (_, h) in &hardware {
+            out.push_str(&format!(
+                "{:<16}",
+                if row.hardware.contains(h) { "●" } else { "" }
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmll_is_feature_and_hardware_complete() {
+        let rows = table1();
+        let dmll = rows.iter().find(|r| r.name == "DMLL").unwrap();
+        assert_eq!(dmll.features.len(), 5);
+        assert_eq!(dmll.hardware.len(), 4);
+        // No other system covers all hardware targets.
+        for r in &rows {
+            if r.name != "DMLL" {
+                assert!(r.hardware.len() < 4, "{}", r.name);
+                assert!(
+                    !r.hardware.contains(&Numa),
+                    "{}: only DMLL does NUMA",
+                    r.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ten_systems_in_order() {
+        let rows = table1();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].name, "MapReduce");
+        assert_eq!(rows.last().unwrap().name, "DMLL");
+    }
+
+    #[test]
+    fn render_contains_all_systems() {
+        let s = render();
+        for r in table1() {
+            assert!(s.contains(r.name), "{s}");
+        }
+    }
+}

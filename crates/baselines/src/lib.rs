@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # Baselines
+//!
+//! Everything DMLL is compared against in §6:
+//!
+//! * [`handopt`] — hand-optimized native Rust implementations of every
+//!   benchmark (the "C++" column of Table 2). These double as the
+//!   correctness oracles for the DMLL-staged applications.
+//! * [`spark`] — a Spark-like execution model: per-stage task overheads,
+//!   JVM boxing/GC factors, serialization between stages, shuffles over the
+//!   network, and no NUMA-aware allocation (the JVM cannot pin memory
+//!   regions, §6.1).
+//! * [`powergraph`] — a PowerGraph-like vertex-centric model:
+//!   gather/apply/scatter with per-edge messages, efficient C++ library but
+//!   indirection-heavy data structures.
+//! * [`delite`] — the shared-memory Delite runtime without the DMLL
+//!   additions (re-exported from the runtime's cost model).
+//! * [`dimmwitted`] — the DimmWitted-style Gibbs sampler model with
+//!   pointer-chasing factor-graph storage.
+//! * [`features`] — the programming-model feature matrix of Table 1.
+
+pub mod dimmwitted;
+pub mod features;
+pub mod handopt;
+pub mod powergraph;
+pub mod spark;
+
+/// The Delite baseline is DMLL's cost model with locality-oblivious
+/// allocation and scheduling; see
+/// [`dmll_runtime::ExecMode::DeliteShared`].
+pub mod delite {
+    pub use dmll_runtime::ExecMode;
+}

@@ -1,0 +1,57 @@
+//! Real measured effect of fusion on interpreter time: the same staged
+//! Query 1, unoptimized (six traversals, boxed records) versus optimized
+//! (one fused traversal over SoA columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fusion_q1(c: &mut Criterion) {
+    let cols = dmll_data::tpch::to_columns(&dmll_data::tpch::gen_lineitems(5_000, 7));
+    let unopt = dmll_apps::q1::stage_q1();
+    let mut opt = dmll_apps::q1::stage_q1();
+    dmll_transform::pipeline::optimize(&mut opt, dmll_transform::Target::Cpu);
+    let mut g = c.benchmark_group("fusion/q1_5k");
+    g.sample_size(10);
+    g.bench_function("unoptimized", |b| {
+        b.iter(|| dmll_apps::q1::run(&unopt, &cols).unwrap())
+    });
+    g.bench_function("optimized", |b| {
+        b.iter(|| dmll_apps::q1::run(&opt, &cols).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_map_pipeline(c: &mut Criterion) {
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+    let build = |optimize: bool| {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| {
+            let c = st.lit_f(0.5);
+            st.mul(e, &c)
+        });
+        let b = st.map(&a, |st, e| st.math(dmll_core::MathFn::Exp, e));
+        let s = st.sum(&b);
+        let mut p = st.finish(&s);
+        if optimize {
+            dmll_transform::pipeline::optimize(&mut p, dmll_transform::Target::Cpu);
+        }
+        p
+    };
+    let data: Vec<f64> = (0..50_000).map(|i| (i as f64) * 1e-4).collect();
+    let unopt = build(false);
+    let opt = build(true);
+    let mut g = c.benchmark_group("fusion/map_map_sum_50k");
+    g.sample_size(10);
+    g.bench_function("unfused", |b| {
+        b.iter(|| eval(&unopt, &[("x", Value::f64_arr(data.clone()))]).unwrap())
+    });
+    g.bench_function("fused", |b| {
+        b.iter(|| eval(&opt, &[("x", Value::f64_arr(data.clone()))]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion_q1, bench_map_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Measured sequential comparison (Table 2's honest counterpart): the
+//! reference interpreter running the optimized IR versus the hand-optimized
+//! native implementations, on scaled-down data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (x, cents, _) = dmll_data::matrix::gaussian_clusters(500, 6, 4, 0.4, 1);
+    let mut p = dmll_apps::kmeans::stage_kmeans(4);
+    dmll_transform::pipeline::optimize(&mut p, dmll_transform::Target::Cpu);
+    let mut g = c.benchmark_group("sequential/kmeans_500x6");
+    g.sample_size(10);
+    g.bench_function("dmll_interpreter", |b| {
+        b.iter(|| dmll_apps::kmeans::run(&p, &x, &cents).unwrap())
+    });
+    g.bench_function("handopt_native", |b| {
+        b.iter(|| dmll_baselines::handopt::kmeans_iter(&x, &cents))
+    });
+    g.finish();
+}
+
+fn bench_q1(c: &mut Criterion) {
+    let cols = dmll_data::tpch::to_columns(&dmll_data::tpch::gen_lineitems(5_000, 2));
+    let mut p = dmll_apps::q1::stage_q1();
+    dmll_transform::pipeline::optimize(&mut p, dmll_transform::Target::Cpu);
+    let mut g = c.benchmark_group("sequential/q1_5k");
+    g.sample_size(10);
+    g.bench_function("dmll_interpreter", |b| {
+        b.iter(|| dmll_apps::q1::run(&p, &cols).unwrap())
+    });
+    g.bench_function("handopt_native", |b| {
+        b.iter(|| dmll_baselines::handopt::q1(&cols))
+    });
+    g.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let gph = dmll_data::graph::rmat(9, 6, 3);
+    let n = gph.num_vertices();
+    let ranks = vec![1.0 / n as f64; n];
+    let p = dmll_apps::pagerank::stage_pagerank_pull(0.85);
+    let inputs = dmll_apps::pagerank::inputs_pull(&gph, &ranks);
+    let rev = gph.reversed();
+    let mut g = c.benchmark_group("sequential/pagerank_512v");
+    g.sample_size(10);
+    g.bench_function("dmll_interpreter", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |i| dmll_apps::pagerank::run(&p, &i).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("handopt_native", |b| {
+        b.iter(|| dmll_baselines::handopt::pagerank_iter(&gph, &rev, &ranks, 0.85))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_q1, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Compile-time cost of the optimizer recipes and the measured runtime
+//! effect of the Conditional Reduce rule on k-means.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmll_transform::{pipeline, Target};
+
+fn bench_optimizer_compile_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    g.bench_function("optimize_kmeans_cluster", |b| {
+        b.iter(|| {
+            let mut p = dmll_apps::kmeans::stage_kmeans(8);
+            pipeline::optimize(&mut p, Target::Cluster)
+        })
+    });
+    g.bench_function("optimize_q1_cpu", |b| {
+        b.iter(|| {
+            let mut p = dmll_apps::q1::stage_q1();
+            pipeline::optimize(&mut p, Target::Cpu)
+        })
+    });
+    g.bench_function("optimize_logreg_gpu", |b| {
+        b.iter(|| {
+            let mut p = dmll_apps::logreg::stage_logreg(0.1);
+            pipeline::optimize(&mut p, Target::Cluster);
+            pipeline::optimize(&mut p, Target::Gpu)
+        })
+    });
+    g.finish();
+}
+
+fn bench_conditional_reduce_effect(c: &mut Criterion) {
+    // k = 16 clusters: untransformed does 2k+... full passes, transformed 1.
+    let (x, cents, _) = dmll_data::matrix::gaussian_clusters(400, 4, 16, 0.4, 2);
+    let unopt = dmll_apps::kmeans::stage_kmeans(16);
+    let mut opt = dmll_apps::kmeans::stage_kmeans(16);
+    pipeline::optimize(&mut opt, Target::Numa);
+    let mut g = c.benchmark_group("conditional_reduce/kmeans_400x4_k16");
+    g.sample_size(10);
+    g.bench_function("as_written", |b| {
+        b.iter(|| dmll_apps::kmeans::run(&unopt, &x, &cents).unwrap())
+    });
+    g.bench_function("transformed", |b| {
+        b.iter(|| dmll_apps::kmeans::run(&opt, &x, &cents).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimizer_compile_time,
+    bench_conditional_reduce_effect
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 6: speedups from the nested-pattern transformations.
+
+use dmll_bench::{experiments, render};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "gpu" {
+        print!(
+            "{}",
+            render::fig6(
+                &experiments::fig6_gpu(),
+                "Figure 6 (left): GPU — speedup over non-transformed"
+            )
+        );
+        println!();
+    }
+    if arg.is_empty() || arg == "cpu" {
+        print!(
+            "{}",
+            render::fig6(
+                &experiments::fig6_cpu(),
+                "Figure 6 (right): CPU — speedup over non-transformed"
+            )
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: scaling on the 4-socket NUMA machine.
+
+use dmll_bench::{experiments, render};
+
+fn main() {
+    println!("Figure 7: speedup over sequential DMLL, 4-socket x 12-core machine\n");
+    print!("{}", render::fig7(&experiments::fig7()));
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 8: heterogeneous cluster experiments.
+
+use dmll_bench::{experiments, render};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "amazon" {
+        print!(
+            "{}",
+            render::fig8(
+                &experiments::fig8_amazon(),
+                "Figure 8 (left): 20-node Amazon cluster",
+                "Spark"
+            )
+        );
+        println!();
+    }
+    if arg.is_empty() || arg == "gpu" {
+        print!(
+            "{}",
+            render::fig8(
+                &experiments::fig8_gpu_cluster(),
+                "Figure 8 (middle): 4-node GPU cluster",
+                "Spark"
+            )
+        );
+        println!();
+    }
+    if arg.is_empty() || arg == "graph" {
+        print!(
+            "{}",
+            render::fig8(
+                &experiments::fig8_graph(),
+                "Figure 8 (graphs): 4-node cluster",
+                "PowerGraph"
+            )
+        );
+        println!();
+    }
+    if arg.is_empty() || arg == "gibbs" {
+        print!(
+            "{}",
+            render::fig8(
+                &experiments::fig8_gibbs(),
+                "Figure 8 (right): Gibbs sampling",
+                "sequential DimmWitted"
+            )
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1: programming-model features and hardware targets.
+
+fn main() {
+    println!("Table 1: programming model features and hardware targets\n");
+    print!("{}", dmll_baselines::features::render());
+}

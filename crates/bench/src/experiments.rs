@@ -1,0 +1,605 @@
+//! Experiment drivers: one function per table/figure.
+
+use crate::workloads::{App, DataScale};
+use dmll_baselines::dimmwitted::{self, GibbsWorkload};
+use dmll_baselines::powergraph::{dmll_graph_time, GraphWorkload, PowerGraphModel};
+use dmll_baselines::spark::SparkModel;
+use dmll_runtime::{simulate_loops, ClusterSpec, ExecMode, GpuTuning, LoopProfile, MachineSpec};
+use dmll_transform::Target;
+
+fn numa() -> ClusterSpec {
+    ClusterSpec::single(MachineSpec::numa_4x12())
+}
+
+/// Sequential time of a profile list on the NUMA box.
+fn seq_time(profiles: &[LoopProfile]) -> f64 {
+    simulate_loops(profiles, &numa(), &ExecMode::Sequential).total()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Dataset description.
+    pub dataset: String,
+    /// Optimizations applied (from the optimizer's log).
+    pub optimizations: String,
+    /// Modeled sequential time of DMLL's generated code (seconds).
+    pub dmll_modeled: f64,
+    /// Modeled sequential time of the hand-optimized native version.
+    pub native_modeled: f64,
+    /// Modeled Δ (positive = DMLL slower), percent.
+    pub delta_pct: f64,
+}
+
+/// The hand-optimized baseline reuses buffers instead of allocating fresh
+/// outputs — and, for Query 1 specifically, pays for the slower C++11
+/// standard-library hash map (the two causes §6 gives for the sequential
+/// gaps; Gene's native grouping uses dense per-barcode arrays instead).
+fn native_profiles(profiles: &[LoopProfile], std_hash_map: bool) -> Vec<LoopProfile> {
+    profiles
+        .iter()
+        .map(|p| {
+            let mut n = p.clone();
+            // Buffer reuse: far less allocation/write traffic.
+            n.output_bytes_per_iter *= 0.3;
+            n.local_bytes_per_iter *= 0.85;
+            if n.is_bucket && std_hash_map {
+                // std::unordered_map vs the generated specialized map.
+                n.flops_per_iter += 45.0;
+            }
+            n
+        })
+        .collect()
+}
+
+/// Compute Table 2's modeled sequential comparison for the five
+/// dataset-parallel benchmarks (the graph pair is added by the binary from
+/// the graph model).
+pub fn table2() -> Vec<Table2Row> {
+    App::all()
+        .iter()
+        .map(|&app| {
+            let scale = app.scale();
+            let built = app.build(Target::Cpu, &scale);
+            let dmll = seq_time(&built.profiles);
+            let native = seq_time(&native_profiles(&built.profiles, app == App::Q1));
+            Table2Row {
+                name: app.name().to_string(),
+                dataset: format!("{} x {}", scale.rows, scale.cols),
+                optimizations: built.optimizations,
+                dmll_modeled: dmll,
+                native_modeled: native,
+                delta_pct: (dmll - native) / native * 100.0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 6.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Benchmark.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Speedup over the non-transformed configuration.
+    pub speedup: f64,
+}
+
+/// Figure 6 (left): GPU speedups from the transpose and the Row-to-Column
+/// (scalar reduce) transformations, for LogReg and k-means.
+pub fn fig6_gpu() -> Vec<Fig6Row> {
+    let cluster = ClusterSpec::gpu_4();
+    let mut rows = Vec::new();
+    for app in [App::LogReg, App::KMeans] {
+        let scale = app.scale();
+        // As written for distribution: vectorized (non-scalar) reductions.
+        let vectorized = app.build(Target::Cluster, &scale);
+        // Plus the Row-to-Column rule for the GPU kernel. Profile without
+        // the stencil-repair pass: repair targets distribution and would
+        // re-vectorize the kernel we just scalarized.
+        let mut scalar_program = vectorized.program.clone();
+        dmll_transform::pipeline::Optimizer::new(Target::Gpu).run(&mut scalar_program);
+        let scalar = crate::workloads::profiles_without_repair(app, &scalar_program, &scale);
+        let gpu = |profiles: &[LoopProfile], transposed: bool| {
+            simulate_loops(
+                profiles,
+                &cluster,
+                &ExecMode::Gpu {
+                    tuning: GpuTuning { transposed },
+                    amortized_iters: 100.0,
+                },
+            )
+            .total()
+        };
+        let base = gpu(&vectorized.profiles, false);
+        for (config, t) in [
+            ("transpose", gpu(&vectorized.profiles, true)),
+            ("scalar reduce", gpu(&scalar, false)),
+            ("both", gpu(&scalar, true)),
+        ] {
+            rows.push(Fig6Row {
+                app: app.name().to_string(),
+                config: config.to_string(),
+                speedup: base / t,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 6 (right): CPU speedups of the nested-pattern transformations at
+/// 1 and 4 sockets, for Query 1, LogReg and k-means.
+pub fn fig6_cpu() -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for app in [App::Q1, App::LogReg, App::KMeans] {
+        let scale = app.scale();
+        let before = app.build_untransformed(&scale);
+        let after = app.build(Target::Numa, &scale);
+        for (label, cores) in [("1 socket", 12usize), ("4 sockets", 48)] {
+            let t = |profiles: &[LoopProfile]| {
+                simulate_loops(profiles, &numa(), &ExecMode::DmllNumaAware { cores }).total()
+            };
+            rows.push(Fig6Row {
+                app: app.name().to_string(),
+                config: label.to_string(),
+                speedup: t(&before.profiles) / t(&after.profiles),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// Core counts studied in Figure 7.
+pub const FIG7_CORES: [usize; 4] = [1, 12, 24, 48];
+
+/// One scaling curve of Figure 7.
+#[derive(Clone, Debug)]
+pub struct ScalingCurve {
+    /// Benchmark.
+    pub app: String,
+    /// System.
+    pub system: String,
+    /// Speedup over sequential DMLL at each of [`FIG7_CORES`].
+    pub speedups: Vec<f64>,
+}
+
+/// The LiveJournal-like PageRank workload for the graph models.
+pub fn pagerank_workload() -> GraphWorkload {
+    GraphWorkload {
+        vertices: 4.8e6,
+        edges: 69e6,
+        flops_per_edge: 3.0,
+        bytes_per_edge: 24.0,
+        vertex_state_bytes: 8.0,
+        iterations: 1.0,
+    }
+}
+
+/// Triangle counting: more arithmetic per edge, cache-resident working sets
+/// ("the working sets tend to fit in cache, thereby hiding NUMA issues").
+pub fn triangle_workload() -> GraphWorkload {
+    GraphWorkload {
+        vertices: 4.8e6,
+        edges: 69e6,
+        flops_per_edge: 40.0,
+        bytes_per_edge: 6.0,
+        vertex_state_bytes: 8.0,
+        iterations: 1.0,
+    }
+}
+
+/// Figure 7: the five dataset benchmarks under DMLL / DMLL-pin-only /
+/// Delite / Spark, plus the two graph benchmarks under DMLL variants and
+/// PowerGraph.
+pub fn fig7() -> Vec<ScalingCurve> {
+    type TimeAt<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
+    let mut curves = Vec::new();
+    for app in App::all() {
+        let built = app.build(Target::Numa, &app.scale());
+        let baseline = seq_time(&built.profiles);
+        let modes: [(&str, TimeAt<'_>); 4] = [
+            (
+                "DMLL",
+                Box::new({
+                    let p = built.profiles.clone();
+                    move |c| {
+                        simulate_loops(&p, &numa(), &ExecMode::DmllNumaAware { cores: c }).total()
+                    }
+                }),
+            ),
+            (
+                "DMLL Pin Only",
+                Box::new({
+                    let p = built.profiles.clone();
+                    move |c| {
+                        simulate_loops(&p, &numa(), &ExecMode::DmllPinOnly { cores: c }).total()
+                    }
+                }),
+            ),
+            (
+                "Delite",
+                Box::new({
+                    let p = built.profiles.clone();
+                    move |c| {
+                        simulate_loops(&p, &numa(), &ExecMode::DeliteShared { cores: c }).total()
+                    }
+                }),
+            ),
+            (
+                "Spark",
+                Box::new({
+                    let p = built.profiles.clone();
+                    move |c| SparkModel::default().simulate(&p, &numa(), Some(c)).total()
+                }),
+            ),
+        ];
+        for (system, time_at) in modes {
+            curves.push(ScalingCurve {
+                app: app.name().to_string(),
+                system: system.to_string(),
+                speedups: FIG7_CORES.iter().map(|&c| baseline / time_at(c)).collect(),
+            });
+        }
+    }
+    // Graph benchmarks.
+    for (name, w) in [
+        ("PageRank", pagerank_workload()),
+        ("Triangle", triangle_workload()),
+    ] {
+        let baseline = dmll_graph_time(&w, &numa(), 1, true).total();
+        let systems: [(&str, TimeAt<'_>); 4] = [
+            (
+                "DMLL",
+                Box::new(move |c| dmll_graph_time(&w, &numa(), c, true).total()),
+            ),
+            (
+                "DMLL Pin Only",
+                Box::new(move |c| dmll_graph_time(&w, &numa(), c, false).total()),
+            ),
+            (
+                "Delite",
+                Box::new(move |c| dmll_graph_time(&w, &numa(), c, false).total() * 1.2),
+            ),
+            (
+                "PowerGraph",
+                Box::new(move |c| {
+                    PowerGraphModel::default()
+                        .simulate_with_cores(&w, &numa(), Some(c))
+                        .total()
+                }),
+            ),
+        ];
+        for (system, time_at) in systems {
+            curves.push(ScalingCurve {
+                app: name.to_string(),
+                system: system.to_string(),
+                speedups: FIG7_CORES.iter().map(|&c| baseline / time_at(c)).collect(),
+            });
+        }
+    }
+    curves
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 8 (a speedup over the named baseline).
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Panel label.
+    pub panel: String,
+    /// Benchmark (and variant).
+    pub app: String,
+    /// System whose speedup is reported.
+    pub system: String,
+    /// Speedup over the panel's baseline.
+    pub speedup: f64,
+}
+
+/// Figure 8, left panels: the 20-node Amazon cluster — compute-component
+/// speedup over Spark for Q1/Gene/GDA, and whole-run speedups for k-means
+/// and LogReg at two data scales.
+pub fn fig8_amazon() -> Vec<Fig8Row> {
+    let amazon = ClusterSpec::amazon_20();
+    let mut rows = Vec::new();
+    for app in [App::Q1, App::Gene, App::Gda] {
+        let built = app.build(Target::Cluster, &app.scale());
+        let dmll = simulate_loops(&built.profiles, &amazon, &ExecMode::Cluster).total();
+        let spark = SparkModel::default()
+            .simulate(&built.profiles, &amazon, None)
+            .total();
+        rows.push(Fig8Row {
+            panel: "compute component".into(),
+            app: app.name().to_string(),
+            system: "DMLL".into(),
+            speedup: spark / dmll,
+        });
+    }
+    for (app, scales) in [
+        (App::KMeans, [(2_000_000i64, "1.7GB"), (20_000_000, "17GB")]),
+        (App::LogReg, [(4_000_000, "3.4GB"), (20_000_000, "17GB")]),
+    ] {
+        for (rows_n, label) in scales {
+            let scale = DataScale {
+                rows: rows_n,
+                cols: 100,
+                buckets: app.scale().buckets,
+            };
+            let built = app.build(Target::Cluster, &scale);
+            let dmll = simulate_loops(&built.profiles, &amazon, &ExecMode::Cluster).total();
+            let spark = SparkModel::default()
+                .simulate(&built.profiles, &amazon, None)
+                .total();
+            rows.push(Fig8Row {
+                panel: "iterative".into(),
+                app: format!("{} {label}", app.name()),
+                system: "DMLL".into(),
+                speedup: spark / dmll,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 8, middle panel: the 4-node GPU cluster — DMLL CPU and DMLL GPU
+/// speedups over Spark for k-means, LogReg and GDA.
+pub fn fig8_gpu_cluster() -> Vec<Fig8Row> {
+    let cluster = ClusterSpec::gpu_4();
+    let mut rows = Vec::new();
+    for app in [App::KMeans, App::LogReg, App::Gda] {
+        let scale = app.scale();
+        let built = app.build(Target::Cluster, &scale);
+        let spark = SparkModel::default()
+            .simulate(&built.profiles, &cluster, None)
+            .total();
+        let cpu = simulate_loops(&built.profiles, &cluster, &ExecMode::Cluster).total();
+        // GPU path (§3.2): Column-to-Row for distribution across the
+        // cluster, then Row-to-Column *inside each node's kernel*. The
+        // distribution dimension (network/broadcast volume) is the cluster
+        // form's; the kernel-level scalarization removes the non-scalar
+        // reduction penalty.
+        let mut gp = built.program.clone();
+        let kernel_report = dmll_transform::pipeline::Optimizer::new(Target::Gpu).run(&mut gp);
+        let kernel_scalarized = kernel_report.applied("Row-to-Column Reduce") > 0;
+        let mut gpu_profiles = built.profiles.clone();
+        if kernel_scalarized {
+            for p in &mut gpu_profiles {
+                p.has_nonscalar_reduce = false;
+            }
+        }
+        let iterative = matches!(app, App::KMeans | App::LogReg);
+        let gpu = simulate_loops(
+            &gpu_profiles,
+            &cluster,
+            &ExecMode::GpuCluster {
+                tuning: GpuTuning { transposed: true },
+                amortized_iters: if iterative { 100.0 } else { 2.0 },
+            },
+        )
+        .total();
+        rows.push(Fig8Row {
+            panel: "GPU cluster".into(),
+            app: app.name().to_string(),
+            system: "DMLL CPU".into(),
+            speedup: spark / cpu,
+        });
+        rows.push(Fig8Row {
+            panel: "GPU cluster".into(),
+            app: app.name().to_string(),
+            system: "DMLL GPU".into(),
+            speedup: spark / gpu,
+        });
+    }
+    rows
+}
+
+/// Figure 8, graph panel: PageRank and Triangle Counting on the 4-node
+/// cluster, DMLL speedup over PowerGraph.
+pub fn fig8_graph() -> Vec<Fig8Row> {
+    let cluster = ClusterSpec::gpu_4();
+    [
+        ("PageRank", pagerank_workload()),
+        ("Triangle Ct", triangle_workload()),
+    ]
+    .into_iter()
+    .map(|(name, w)| {
+        let pg = PowerGraphModel::default().simulate(&w, &cluster).total();
+        let dm = dmll_graph_time(&w, &cluster, cluster.node.total_cores(), true).total();
+        Fig8Row {
+            panel: "graph".into(),
+            app: name.to_string(),
+            system: "DMLL".into(),
+            speedup: pg / dm,
+        }
+    })
+    .collect()
+}
+
+/// Figure 8, right panel: Gibbs sampling — speedup over *sequential
+/// DimmWitted* for both systems at 12 and 48 cores, plus the DMLL GPU.
+pub fn fig8_gibbs() -> Vec<Fig8Row> {
+    let w = GibbsWorkload {
+        variables: 1e7,
+        factors_per_var: 10.0,
+        sweeps: 1.0,
+    };
+    let base = dimmwitted::dimmwitted_time(&w, &numa(), 1).total();
+    let mut rows = vec![];
+    for cores in [12usize, 48] {
+        rows.push(Fig8Row {
+            panel: "gibbs".into(),
+            app: format!("{cores} CPU"),
+            system: "DimmWitted".into(),
+            speedup: base / dimmwitted::dimmwitted_time(&w, &numa(), cores).total(),
+        });
+        rows.push(Fig8Row {
+            panel: "gibbs".into(),
+            app: format!("{cores} CPU"),
+            system: "DMLL".into(),
+            speedup: base / dimmwitted::dmll_gibbs_time(&w, &numa(), cores).total(),
+        });
+    }
+    rows.push(Fig8Row {
+        panel: "gibbs".into(),
+        app: "GPU".into(),
+        system: "DMLL".into(),
+        speedup: base / dimmwitted::dmll_gibbs_gpu_time(&w, &ClusterSpec::gpu_4()).total(),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_deltas_have_paper_shape() {
+        let rows = table2();
+        assert_eq!(rows.len(), 5);
+        let q1 = rows.iter().find(|r| r.name == "TPCHQ1").unwrap();
+        assert!(
+            q1.delta_pct < 0.0,
+            "Query 1 beats native thanks to the specialized hash map: {:.1}%",
+            q1.delta_pct
+        );
+        for r in &rows {
+            assert!(
+                r.delta_pct < 30.0,
+                "{}: within ~25% of hand-optimized, got {:.1}%",
+                r.name,
+                r.delta_pct
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_gpu_transform_shapes() {
+        let rows = fig6_gpu();
+        let get = |app: &str, config: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.config == config)
+                .unwrap()
+                .speedup
+        };
+        // Both transformations help; combined is best for LogReg; for
+        // k-means the transpose provides most of the win (§6).
+        assert!(
+            get("LogReg", "both") > get("LogReg", "transpose"),
+            "{rows:?}"
+        );
+        assert!(
+            get("LogReg", "both") > get("LogReg", "scalar reduce"),
+            "{rows:?}"
+        );
+        assert!(get("LogReg", "scalar reduce") > 1.0, "{rows:?}");
+        assert!(get("k-means", "transpose") > 1.3, "{rows:?}");
+        // k-means' vector reduction lives in a BucketReduce, whose scalar
+        // split is not implemented (see EXPERIMENTS.md): only the transpose
+        // contributes — matching the paper's note that "transposing
+        // provides most of the performance improvement" for k-means.
+        assert!(
+            get("k-means", "both") >= get("k-means", "transpose"),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn fig6_cpu_kmeans_transform_matters_more_at_4_sockets() {
+        let rows = fig6_cpu();
+        let get = |app: &str, config: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.config == config)
+                .unwrap()
+                .speedup
+        };
+        assert!(
+            get("k-means", "4 sockets") > get("k-means", "1 socket"),
+            "{rows:?}"
+        );
+        // Query 1 and LogReg benefit even within one socket.
+        assert!(get("TPCHQ1", "1 socket") > 1.2, "{rows:?}");
+        assert!(get("LogReg", "1 socket") > 1.0, "{rows:?}");
+    }
+
+    #[test]
+    fn fig7_dmll_beats_baselines_at_scale() {
+        let curves = fig7();
+        let at48 = |app: &str, system: &str| {
+            curves
+                .iter()
+                .find(|c| c.app == app && c.system == system)
+                .unwrap_or_else(|| panic!("{app}/{system}"))
+                .speedups[3]
+        };
+        for app in ["TPCHQ1", "Gene", "GDA", "LogReg", "k-means"] {
+            assert!(
+                at48(app, "DMLL") >= at48(app, "DMLL Pin Only") * 0.99,
+                "{app}"
+            );
+            assert!(at48(app, "DMLL") > at48(app, "Delite"), "{app}");
+            assert!(at48(app, "DMLL") > at48(app, "Spark") * 2.0, "{app}");
+        }
+        assert!(
+            at48("PageRank", "DMLL") > at48("PageRank", "PowerGraph"),
+            "{curves:?}"
+        );
+    }
+
+    #[test]
+    fn fig8_shapes() {
+        let amazon = fig8_amazon();
+        for r in &amazon {
+            assert!(
+                r.speedup > 1.0 && r.speedup < 60.0,
+                "{}: {:.1} (smaller gap than NUMA, §6.2)",
+                r.app,
+                r.speedup
+            );
+        }
+        let gpu = fig8_gpu_cluster();
+        let get = |app: &str, system: &str| {
+            gpu.iter()
+                .find(|r| r.app == app && r.system == system)
+                .unwrap()
+                .speedup
+        };
+        assert!(
+            get("GDA", "DMLL GPU") > 3.0,
+            "GDA runs >5x faster than Spark: {gpu:?}"
+        );
+        assert!(
+            get("k-means", "DMLL GPU") > get("k-means", "DMLL CPU"),
+            "{gpu:?}"
+        );
+        let graph = fig8_graph();
+        for r in &graph {
+            assert!(
+                (0.5..4.0).contains(&r.speedup),
+                "graph systems are comparable on the cluster: {r:?}"
+            );
+        }
+        let gibbs = fig8_gibbs();
+        let dmll48 = gibbs
+            .iter()
+            .find(|r| r.app == "48 CPU" && r.system == "DMLL")
+            .unwrap()
+            .speedup;
+        assert!(dmll48 > 10.0, "{gibbs:?}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # Benchmark harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6). Each
+//! experiment runs the *actual compiler pipeline* — stage the application,
+//! optimize for the relevant target, run the distribution analyses, extract
+//! IR-derived work/traffic profiles — and feeds the result into the hardware
+//! cost model with the paper's testbed presets. Shapes (who wins, by
+//! roughly what factor, where scaling stops) therefore emerge from the
+//! transformations rather than being hard-coded.
+//!
+//! Binaries:
+//!
+//! * `table1_features` — the programming-model feature matrix;
+//! * `table2_sequential` — sequential DMLL vs hand-optimized native, with
+//!   the per-benchmark optimization log (measured interpreter times plus
+//!   modeled generated-code times);
+//! * `fig6_transforms` — speedups from the nested-pattern transformations
+//!   (GPU and CPU panels);
+//! * `fig7_numa` — NUMA scaling of DMLL / pin-only / Delite / Spark /
+//!   PowerGraph, 1–48 cores;
+//! * `fig8_cluster` — the 20-node EC2 cluster, the 4-node GPU cluster, the
+//!   graph comparison and the Gibbs case study.
+
+pub mod experiments;
+pub mod render;
+pub mod workloads;

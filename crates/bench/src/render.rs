@@ -1,0 +1,109 @@
+//! Plain-text rendering of experiment results.
+
+use crate::experiments::{Fig6Row, Fig8Row, ScalingCurve, Table2Row, FIG7_CORES};
+use std::fmt::Write;
+
+/// Render Table 2.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<20} {:>12} {:>12} {:>8}   Optimizations",
+        "Benchmark", "Data Set", "DMLL (s)", "native (s)", "Δ"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<20} {:>12.3} {:>12.3} {:>7.1}%   {}",
+            r.name, r.dataset, r.dmll_modeled, r.native_modeled, r.delta_pct, r.optimizations
+        );
+    }
+    out
+}
+
+/// Render a Figure 6 panel.
+pub fn fig6(rows: &[Fig6Row], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    let _ = writeln!(out, "{:<10} {:<14} {:>8}", "Benchmark", "Config", "Speedup");
+    for r in rows {
+        let _ = writeln!(out, "{:<10} {:<14} {:>7.2}x", r.app, r.config, r.speedup);
+    }
+    out
+}
+
+/// Render the Figure 7 scaling curves.
+pub fn fig7(curves: &[ScalingCurve]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<10} {:<14}", "Benchmark", "System");
+    for c in FIG7_CORES {
+        let _ = write!(out, " {c:>7}c");
+    }
+    out.push('\n');
+    let mut last_app = String::new();
+    for c in curves {
+        if c.app != last_app {
+            last_app = c.app.clone();
+            out.push('\n');
+        }
+        let _ = write!(out, "{:<10} {:<14}", c.app, c.system);
+        for s in &c.speedups {
+            let _ = write!(out, " {s:>7.1}x");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a Figure 8 panel.
+pub fn fig8(rows: &[Fig8Row], title: &str, baseline: &str) -> String {
+    let mut out = format!("{title} (speedup over {baseline})\n");
+    let _ = writeln!(out, "{:<16} {:<12} {:>8}", "Benchmark", "System", "Speedup");
+    for r in rows {
+        let _ = writeln!(out, "{:<16} {:<12} {:>7.2}x", r.app, r.system, r.speedup);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_are_nonempty() {
+        let t = table2(&[Table2Row {
+            name: "X".into(),
+            dataset: "1 x 1".into(),
+            optimizations: "CSE".into(),
+            dmll_modeled: 1.0,
+            native_modeled: 0.9,
+            delta_pct: 11.1,
+        }]);
+        assert!(t.contains("X") && t.contains("11.1%"), "{t}");
+        let f = fig6(
+            &[Fig6Row {
+                app: "k-means".into(),
+                config: "both".into(),
+                speedup: 2.5,
+            }],
+            "GPU",
+        );
+        assert!(f.contains("2.50x"), "{f}");
+        let c = fig7(&[ScalingCurve {
+            app: "GDA".into(),
+            system: "DMLL".into(),
+            speedups: vec![1.0, 10.0, 20.0, 40.0],
+        }]);
+        assert!(c.contains("40.0x"), "{c}");
+        let e = fig8(
+            &[Fig8Row {
+                panel: "graph".into(),
+                app: "PageRank".into(),
+                system: "DMLL".into(),
+                speedup: 1.2,
+            }],
+            "Graph",
+            "PowerGraph",
+        );
+        assert!(e.contains("1.20x"), "{e}");
+    }
+}

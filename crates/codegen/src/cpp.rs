@@ -1,0 +1,333 @@
+//! C++-flavoured code emission.
+//!
+//! Multiloops become sequential/OpenMP loops following Figure 2(b)'s
+//! reference semantics: the condition guards a buffer append for collects,
+//! buckets are maintained by **hashing**, and horizontally fused generators
+//! share one traversal.
+
+use crate::exprs::{exp, scalar_def, ty_name};
+use dmll_core::typecheck::{self, TypeMap};
+use dmll_core::{Block, Def, Gen, Program, StructTy, Ty};
+use std::fmt::Write;
+
+const PREAMBLE: &str = r#"#include <cstdint>
+#include <cmath>
+#include <string>
+#include <vector>
+#include <unordered_map>
+#include <tuple>
+#include <algorithm>
+
+template <class T> using Coll = std::vector<T>;
+
+// Bucket storage maintained by hashing (the CPU strategy).
+template <class K, class V> struct Buckets {
+  std::vector<K> keys;
+  std::vector<V> values;
+  std::unordered_map<K, size_t> index;
+  size_t slot(const K& k) {
+    auto it = index.find(k);
+    if (it != index.end()) return it->second;
+    index.emplace(k, keys.size());
+    keys.push_back(k);
+    values.emplace_back();
+    return keys.size() - 1;
+  }
+  V get(const K& k) const { return values.at(index.at(k)); }
+  V get_or(const K& k, V dflt) const {
+    auto it = index.find(k);
+    return it == index.end() ? dflt : values[it->second];
+  }
+};
+"#;
+
+/// Emit a complete C++-flavoured translation unit for the program.
+///
+/// # Panics
+///
+/// Panics if the program fails to type-check (emit after the optimizer,
+/// which validates).
+pub fn emit_cpp(program: &Program) -> String {
+    let tys = typecheck::infer(program).expect("well-typed program");
+    let mut out = String::new();
+    out.push_str(PREAMBLE);
+    out.push('\n');
+    for sty in struct_types(program, &tys) {
+        let _ = writeln!(out, "struct {} {{", sty.name);
+        for (name, ty) in &sty.fields {
+            let _ = writeln!(out, "  {} {};", ty_name(ty), name);
+        }
+        out.push_str("};\n\n");
+    }
+    // Entry point taking the annotated inputs.
+    let params: Vec<String> = program
+        .inputs
+        .iter()
+        .map(|i| format!("const {}& {} /* @{} */", ty_name(&i.ty), i.sym, i.layout))
+        .collect();
+    let ret_ty = dmll_core::typecheck::exp_ty(&program.body.result, &tys)
+        .map(|t| ty_name(&t))
+        .unwrap_or_else(|_| "void".into());
+    let _ = writeln!(out, "{} dmll_main({}) {{", ret_ty, params.join(", "));
+    emit_block_stmts(&program.body, 1, &tys, &mut out);
+    let _ = writeln!(out, "  return {};", exp(&program.body.result));
+    out.push_str("}\n");
+    out
+}
+
+fn struct_types(program: &Program, tys: &TypeMap) -> Vec<StructTy> {
+    let mut seen: Vec<StructTy> = Vec::new();
+    let mut note = |t: &Ty| {
+        collect_structs(t, &mut seen);
+    };
+    for i in &program.inputs {
+        note(&i.ty);
+    }
+    for t in tys.values() {
+        note(t);
+    }
+    seen
+}
+
+fn collect_structs(t: &Ty, seen: &mut Vec<StructTy>) {
+    match t {
+        Ty::Struct(s) => {
+            if !seen.iter().any(|x| x == s) {
+                seen.push(s.clone());
+            }
+            for (_, ft) in &s.fields {
+                collect_structs(ft, seen);
+            }
+        }
+        Ty::Arr(e) => collect_structs(e, seen),
+        Ty::Buckets { key, value } => {
+            collect_structs(key, seen);
+            collect_structs(value, seen);
+        }
+        Ty::Tuple(ts) => ts.iter().for_each(|t| collect_structs(t, seen)),
+        _ => {}
+    }
+}
+
+fn pad(n: usize) -> String {
+    "  ".repeat(n)
+}
+
+fn emit_block_stmts(b: &Block, indent: usize, tys: &TypeMap, out: &mut String) {
+    for stmt in &b.stmts {
+        match &stmt.def {
+            Def::Loop(ml) => emit_loop(stmt, ml, indent, tys, out),
+            other => {
+                if let Some(rhs) = scalar_def(other) {
+                    let ty = tys
+                        .get(&stmt.lhs[0])
+                        .map(ty_name)
+                        .unwrap_or_else(|| "auto".into());
+                    let _ = writeln!(out, "{}{} {} = {};", pad(indent), ty, stmt.lhs[0], rhs);
+                }
+            }
+        }
+    }
+}
+
+fn emit_loop(
+    stmt: &dmll_core::Stmt,
+    ml: &dmll_core::Multiloop,
+    indent: usize,
+    tys: &TypeMap,
+    out: &mut String,
+) {
+    let p = pad(indent);
+    // Accumulator declarations.
+    for (gen, sym) in ml.gens.iter().zip(&stmt.lhs) {
+        let ty = tys.get(sym).map(ty_name).unwrap_or_else(|| "auto".into());
+        match gen {
+            Gen::Collect { .. } => {
+                let _ = writeln!(out, "{p}{ty} {sym};");
+            }
+            Gen::Reduce { init, .. } => match init {
+                Some(i) => {
+                    let _ = writeln!(out, "{p}{ty} {sym} = {};", exp(i));
+                }
+                None => {
+                    let _ = writeln!(out, "{p}{ty} {sym}{{}}; bool {sym}_init = false;");
+                }
+            },
+            Gen::BucketCollect { .. } | Gen::BucketReduce { .. } => {
+                let _ = writeln!(out, "{p}{ty} {sym};");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{p}#pragma omp parallel for  // multiloop, {} generator(s)",
+        ml.gens.len()
+    );
+    let _ = writeln!(
+        out,
+        "{p}for (int64_t _i = 0; _i < {}; ++_i) {{",
+        exp(&ml.size)
+    );
+    for (gen, sym) in ml.gens.iter().zip(&stmt.lhs) {
+        let _ = writeln!(out, "{}{{", pad(indent + 1));
+        let body_indent = indent + 2;
+        // Condition guards the whole generator body.
+        if let Some(c) = gen.cond() {
+            alias_param(c, body_indent, out);
+            emit_block_stmts(c, body_indent, tys, out);
+            let _ = writeln!(
+                out,
+                "{}if (!({})) continue;",
+                pad(body_indent),
+                exp(&c.result)
+            );
+        }
+        if let Some(k) = gen.key() {
+            alias_param(k, body_indent, out);
+            emit_block_stmts(k, body_indent, tys, out);
+        }
+        let v = gen.value();
+        alias_param(v, body_indent, out);
+        emit_block_stmts(v, body_indent, tys, out);
+        let value = exp(&v.result);
+        match gen {
+            Gen::Collect { .. } => {
+                let _ = writeln!(out, "{}{sym}.push_back({value});", pad(body_indent));
+            }
+            Gen::Reduce { reducer, init, .. } => {
+                if init.is_none() {
+                    let _ = writeln!(
+                        out,
+                        "{}if (!{sym}_init) {{ {sym} = {value}; {sym}_init = true; continue; }}",
+                        pad(body_indent)
+                    );
+                }
+                emit_reduce_update(&format!("{sym}"), &value, reducer, body_indent, tys, out);
+            }
+            Gen::BucketCollect { key, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{}{sym}.values[{sym}.slot({})].push_back({value});",
+                    pad(body_indent),
+                    exp(&key.result)
+                );
+            }
+            Gen::BucketReduce { key, reducer, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{}auto& _slot = {sym}.values[{sym}.slot({})];",
+                    pad(body_indent),
+                    exp(&key.result)
+                );
+                emit_reduce_update("_slot", &value, reducer, body_indent, tys, out);
+            }
+        }
+        let _ = writeln!(out, "{}}}", pad(indent + 1));
+    }
+    let _ = writeln!(out, "{p}}}");
+}
+
+fn alias_param(b: &Block, indent: usize, out: &mut String) {
+    if let Some(param) = b.params.first() {
+        let _ = writeln!(out, "{}const int64_t {param} = _i;", pad(indent));
+    }
+}
+
+fn emit_reduce_update(
+    acc: &str,
+    value: &str,
+    reducer: &Block,
+    indent: usize,
+    tys: &TypeMap,
+    out: &mut String,
+) {
+    let p = pad(indent);
+    let _ = writeln!(out, "{p}{{  // reduction update");
+    let _ = writeln!(out, "{p}  auto {} = {acc};", reducer.params[0]);
+    let _ = writeln!(out, "{p}  auto {} = {value};", reducer.params[1]);
+    emit_block_stmts(reducer, indent + 1, tys, out);
+    let _ = writeln!(out, "{p}  {acc} = {};", exp(&reducer.result));
+    let _ = writeln!(out, "{p}}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::LayoutHint;
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn map_emits_openmp_loop() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let m = st.map(&x, |st, e| st.mul(e, e));
+        let p = st.finish(&m);
+        let code = emit_cpp(&p);
+        assert!(code.contains("#pragma omp parallel for"), "{code}");
+        assert!(code.contains("for (int64_t _i = 0;"), "{code}");
+        assert!(code.contains(".push_back("), "{code}");
+        assert!(code.contains("Coll<double>"), "{code}");
+    }
+
+    #[test]
+    fn filter_guards_append_with_condition() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let f = st.filter(&x, |st, e| {
+            let z = st.lit_f(0.0);
+            st.gt(e, &z)
+        });
+        let p = st.finish(&f);
+        let code = emit_cpp(&p);
+        assert!(code.contains("if (!("), "condition guard: {code}");
+    }
+
+    #[test]
+    fn group_by_uses_hash_buckets() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let g = st.group_by(&x, |st, e| {
+            let k = st.lit_i(5);
+            st.rem(e, &k)
+        });
+        let keys = st.bucket_keys(&g);
+        let p = st.finish(&keys);
+        let code = emit_cpp(&p);
+        assert!(code.contains("std::unordered_map"), "{code}");
+        assert!(code.contains(".slot("), "{code}");
+        assert!(code.contains("Buckets<int64_t, Coll<int64_t>>"), "{code}");
+    }
+
+    #[test]
+    fn reduce_without_identity_uses_first_element() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let m = st.reduce_elems(&x, |st, a, b| st.max(a, b));
+        let p = st.finish(&m);
+        let code = emit_cpp(&p);
+        assert!(code.contains("_init = false"), "{code}");
+        assert!(code.contains("std::max("), "{code}");
+    }
+
+    #[test]
+    fn matrix_struct_emitted() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let r = m.rows(&mut st);
+        let p = st.finish(&r);
+        let code = emit_cpp(&p);
+        assert!(code.contains("struct MatrixF64 {"), "{code}");
+        assert!(code.contains("Coll<double> data;"), "{code}");
+    }
+
+    #[test]
+    fn inputs_carry_layout_annotations() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let p = st.finish(&s);
+        let code = emit_cpp(&p);
+        assert!(code.contains("@Partitioned"), "{code}");
+        assert!(code.contains("return x"), "{code}");
+    }
+}

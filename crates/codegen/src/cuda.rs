@@ -1,0 +1,357 @@
+//! CUDA-flavoured code emission.
+//!
+//! The same generators compose differently on a GPU (§3.1):
+//!
+//! * a **conditional collect** cannot append to a shared buffer — emit two
+//!   phases: evaluate every condition up front, exclusive-scan the flags to
+//!   compute output offsets, then write values straight to their slots;
+//! * a **scalar reduce** accumulates in `__shared__` memory with a tree
+//!   reduction; a **non-scalar** (collection-valued) reduce is rejected with
+//!   a [`CudaError::NonScalarReduce`] pointing at the Row-to-Column Reduce
+//!   rule, mirroring the paper's code generator restriction;
+//! * **buckets** are maintained by *sorting* rather than hashing: compute
+//!   keys, sort by key, then segmented-reduce.
+
+use crate::exprs::{exp, scalar_def, ty_name};
+use dmll_core::typecheck::{self, TypeMap};
+use dmll_core::{Block, Def, Gen, Program, Sym, Ty};
+use std::fmt::Write;
+
+/// Why CUDA generation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CudaError {
+    /// A generator reduces collection values; apply Row-to-Column Reduce
+    /// first (§3.2).
+    NonScalarReduce {
+        /// The loop output symbol.
+        sym: Sym,
+    },
+}
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudaError::NonScalarReduce { sym } => write!(
+                f,
+                "loop {sym} reduces non-scalar values; GPU shared memory holds only \
+                 fixed-size reduction temporaries — apply the Row-to-Column Reduce rule"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+/// Emit CUDA-flavoured kernels for every top-level multiloop plus a host
+/// driver sketch.
+///
+/// # Errors
+///
+/// Returns [`CudaError::NonScalarReduce`] when a reduction's value type is
+/// not scalar.
+///
+/// # Panics
+///
+/// Panics if the program fails to type-check.
+pub fn emit_cuda(program: &Program) -> Result<String, CudaError> {
+    let tys = typecheck::infer(program).expect("well-typed program");
+    let mut kernels = String::new();
+    let mut host = String::new();
+    host.push_str("void dmll_host(/* device pointers for inputs */) {\n");
+    for stmt in &program.body.stmts {
+        if let Def::Loop(ml) = &stmt.def {
+            for (gi, (gen, sym)) in ml.gens.iter().zip(&stmt.lhs).enumerate() {
+                emit_gen(*sym, gi, gen, ml, &tys, &mut kernels, &mut host)?;
+            }
+        }
+    }
+    host.push_str("}\n");
+    let mut out = String::from("#include <cuda_runtime.h>\n#include <math.h>\n\n");
+    out.push_str(&kernels);
+    out.push_str(&host);
+    Ok(out)
+}
+
+fn emit_gen(
+    sym: Sym,
+    gi: usize,
+    gen: &Gen,
+    ml: &dmll_core::Multiloop,
+    tys: &TypeMap,
+    kernels: &mut String,
+    host: &mut String,
+) -> Result<(), CudaError> {
+    let size = exp(&ml.size);
+    match gen {
+        Gen::Collect { cond: None, value } => {
+            let _ = writeln!(
+                kernels,
+                "__global__ void kernel_{sym}_{gi}(double* out, int64_t n /*, inputs */) {{"
+            );
+            kernels.push_str("  int64_t _i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+            kernels.push_str("  if (_i >= n) return;\n");
+            emit_value_body(value, tys, kernels);
+            let _ = writeln!(kernels, "  out[_i] = {};", exp(&value.result));
+            kernels.push_str("}\n\n");
+            let _ = writeln!(
+                host,
+                "  kernel_{sym}_{gi}<<<({size} + 255) / 256, 256>>>({sym}_dev, {size});"
+            );
+        }
+        Gen::Collect {
+            cond: Some(c),
+            value,
+        } => {
+            // Phase 1: evaluate the condition for every index.
+            let _ = writeln!(
+                kernels,
+                "// two-phase conditional collect for {sym}\n__global__ void kernel_{sym}_{gi}_phase1(int* flags, int64_t n) {{"
+            );
+            kernels.push_str("  int64_t _i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+            kernels.push_str("  if (_i >= n) return;\n");
+            emit_value_body(c, tys, kernels);
+            let _ = writeln!(kernels, "  flags[_i] = ({}) ? 1 : 0;", exp(&c.result));
+            kernels.push_str("}\n\n");
+            // Phase 2: write values to scanned offsets.
+            let _ = writeln!(
+                kernels,
+                "__global__ void kernel_{sym}_{gi}_phase2(const int* offsets, const int* flags, double* out, int64_t n) {{"
+            );
+            kernels.push_str("  int64_t _i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+            kernels.push_str("  if (_i >= n || !flags[_i]) return;\n");
+            emit_value_body(value, tys, kernels);
+            let _ = writeln!(kernels, "  out[offsets[_i]] = {};", exp(&value.result));
+            kernels.push_str("}\n\n");
+            let _ = writeln!(
+                host,
+                "  kernel_{sym}_{gi}_phase1<<<({size} + 255) / 256, 256>>>(flags_{sym}, {size});\n  exclusive_scan(flags_{sym}, offsets_{sym}, {size});  // allocate exactly\n  kernel_{sym}_{gi}_phase2<<<({size} + 255) / 256, 256>>>(offsets_{sym}, flags_{sym}, {sym}_dev, {size});"
+            );
+        }
+        Gen::Reduce { value, reducer, .. } => {
+            let vt = tys.get(&sym).cloned().unwrap_or(Ty::F64);
+            if !vt.is_scalar() {
+                return Err(CudaError::NonScalarReduce { sym });
+            }
+            let ct = ty_name(&vt);
+            let _ = writeln!(
+                kernels,
+                "__global__ void kernel_{sym}_{gi}(({ct})* partials, int64_t n) {{"
+            );
+            let _ = writeln!(kernels, "  __shared__ {ct} sdata[256];");
+            kernels.push_str("  int64_t _i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+            kernels.push_str("  if (_i < n) {\n");
+            emit_value_body(value, tys, kernels);
+            let _ = writeln!(kernels, "    sdata[threadIdx.x] = {};", exp(&value.result));
+            kernels.push_str("  }\n  __syncthreads();\n");
+            kernels.push_str("  for (int s = blockDim.x / 2; s > 0; s >>= 1) {\n");
+            kernels.push_str("    if (threadIdx.x < s) {\n");
+            let _ = writeln!(
+                kernels,
+                "      {ct} {} = sdata[threadIdx.x];",
+                reducer.params[0]
+            );
+            let _ = writeln!(
+                kernels,
+                "      {ct} {} = sdata[threadIdx.x + s];",
+                reducer.params[1]
+            );
+            for st in &reducer.stmts {
+                if let Some(rhs) = scalar_def(&st.def) {
+                    let _ = writeln!(kernels, "      {ct} {} = {};", st.lhs[0], rhs);
+                }
+            }
+            let _ = writeln!(
+                kernels,
+                "      sdata[threadIdx.x] = {};",
+                exp(&reducer.result)
+            );
+            kernels.push_str("    }\n    __syncthreads();\n  }\n");
+            kernels.push_str("  if (threadIdx.x == 0) partials[blockIdx.x] = sdata[0];\n");
+            kernels.push_str("}\n\n");
+            let _ = writeln!(
+                host,
+                "  kernel_{sym}_{gi}<<<({size} + 255) / 256, 256>>>({sym}_partials, {size});  // then reduce partials"
+            );
+        }
+        Gen::BucketCollect { key, .. } | Gen::BucketReduce { key, .. } => {
+            // Sort-based bucket maintenance.
+            let _ = writeln!(
+                kernels,
+                "// sort-based buckets for {sym}\n__global__ void kernel_{sym}_{gi}_keys(int64_t* keys, int64_t n) {{"
+            );
+            kernels.push_str("  int64_t _i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+            kernels.push_str("  if (_i >= n) return;\n");
+            emit_value_body(key, tys, kernels);
+            let _ = writeln!(kernels, "  keys[_i] = {};", exp(&key.result));
+            kernels.push_str("}\n\n");
+            let _ = writeln!(
+                host,
+                "  kernel_{sym}_{gi}_keys<<<({size} + 255) / 256, 256>>>(keys_{sym}, {size});\n  sort_by_key(keys_{sym}, values_{sym}, {size});  // buckets by sorting\n  segmented_reduce(keys_{sym}, values_{sym}, {sym}_dev, {size});"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn emit_value_body(b: &Block, tys: &TypeMap, out: &mut String) {
+    if let Some(p) = b.params.first() {
+        let _ = writeln!(out, "  const int64_t {p} = _i;");
+    }
+    emit_stmts(b, tys, out, 1);
+}
+
+fn emit_stmts(b: &Block, tys: &TypeMap, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    for stmt in &b.stmts {
+        match &stmt.def {
+            Def::Loop(ml) => {
+                // Nested loops run sequentially inside the kernel thread.
+                for (gen, sym) in ml.gens.iter().zip(&stmt.lhs) {
+                    let ty = tys.get(sym).map(ty_name).unwrap_or_else(|| "double".into());
+                    match gen {
+                        Gen::Reduce { init, .. } => {
+                            let init_s = init.as_ref().map(exp).unwrap_or_else(|| "0".into());
+                            let _ = writeln!(out, "{pad}{ty} {sym} = {init_s};");
+                        }
+                        _ => {
+                            let _ = writeln!(out, "{pad}{ty} {sym}; // device-local buffer");
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{pad}for (int64_t _j = 0; _j < {}; ++_j) {{",
+                        exp(&ml.size)
+                    );
+                    let v = gen.value();
+                    if let Some(p) = v.params.first() {
+                        let _ = writeln!(out, "{pad}  const int64_t {p} = _j;");
+                    }
+                    emit_stmts(v, tys, out, depth + 1);
+                    match gen {
+                        Gen::Reduce { reducer, .. } => {
+                            let _ = writeln!(
+                                out,
+                                "{pad}  {{ auto {} = {sym}; auto {} = {};",
+                                reducer.params[0],
+                                reducer.params[1],
+                                exp(&v.result)
+                            );
+                            emit_stmts(reducer, tys, out, depth + 2);
+                            let _ = writeln!(out, "{pad}    {sym} = {}; }}", exp(&reducer.result));
+                        }
+                        _ => {
+                            let _ = writeln!(out, "{pad}  {sym}[_j] = {};", exp(&v.result));
+                        }
+                    }
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            other => {
+                if let Some(rhs) = scalar_def(other) {
+                    let ty = tys
+                        .get(&stmt.lhs[0])
+                        .map(ty_name)
+                        .unwrap_or_else(|| "auto".into());
+                    let _ = writeln!(out, "{pad}{ty} {} = {rhs};", stmt.lhs[0]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::LayoutHint;
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn unconditional_collect_single_kernel() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let m = st.map(&x, |st, e| st.mul(e, e));
+        let p = st.finish(&m);
+        let code = emit_cuda(&p).unwrap();
+        assert!(code.contains("__global__"), "{code}");
+        assert!(
+            code.contains("blockIdx.x * blockDim.x + threadIdx.x"),
+            "{code}"
+        );
+        assert!(!code.contains("phase1"), "no scan needed: {code}");
+    }
+
+    #[test]
+    fn conditional_collect_is_two_phase() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let f = st.filter(&x, |st, e| {
+            let z = st.lit_f(0.0);
+            st.gt(e, &z)
+        });
+        let p = st.finish(&f);
+        let code = emit_cuda(&p).unwrap();
+        assert!(code.contains("phase1"), "{code}");
+        assert!(code.contains("phase2"), "{code}");
+        assert!(code.contains("exclusive_scan"), "{code}");
+        assert!(code.contains("out[offsets[_i]]"), "{code}");
+    }
+
+    #[test]
+    fn scalar_reduce_uses_shared_memory() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let p = st.finish(&s);
+        let code = emit_cuda(&p).unwrap();
+        assert!(code.contains("__shared__ double sdata[256]"), "{code}");
+        assert!(code.contains("__syncthreads()"), "{code}");
+    }
+
+    #[test]
+    fn vector_reduce_rejected_until_row_to_column() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let rows = m.rows(&mut st);
+        let m2 = m.clone();
+        let s = st.reduce(
+            &rows,
+            move |st, i| m2.row(st, i),
+            |st, a, b| st.vec_add(a, b),
+            None,
+        );
+        let mut p = st.finish(&s);
+        let err = emit_cuda(&p).unwrap_err();
+        assert!(err.to_string().contains("Row-to-Column"), "{err}");
+        // Apply the rule; generation now succeeds with a shared-memory
+        // scalar reduction inside.
+        dmll_transform::rewrite::fixpoint(&mut p, dmll_transform::code_motion::run);
+        let rep =
+            dmll_transform::rewrite::fixpoint(&mut p, dmll_transform::interchange::row_to_column);
+        assert_eq!(rep.applied, 1);
+        let code = emit_cuda(&p).unwrap();
+        assert!(code.contains("__global__"), "{code}");
+    }
+
+    #[test]
+    fn buckets_by_sorting() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let zero = st.lit_i(0);
+        let g = st.group_by_reduce(
+            &x,
+            |st, e| {
+                let k = st.lit_i(3);
+                st.rem(e, &k)
+            },
+            |_st, e| e.clone(),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let vals = st.bucket_values(&g);
+        let p = st.finish(&vals);
+        let code = emit_cuda(&p).unwrap();
+        assert!(code.contains("sort_by_key"), "{code}");
+        assert!(code.contains("segmented_reduce"), "{code}");
+        assert!(!code.contains("unordered_map"), "no hashing on GPU: {code}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared scalar-expression emission for the source backends.
+
+use dmll_core::{Const, Def, Exp, MathFn, PrimOp, Ty};
+
+pub(crate) fn ty_name(ty: &Ty) -> String {
+    match ty {
+        Ty::I64 => "int64_t".into(),
+        Ty::F64 => "double".into(),
+        Ty::Bool => "bool".into(),
+        Ty::Str => "std::string".into(),
+        Ty::Unit => "void".into(),
+        Ty::Arr(e) => format!("Coll<{}>", ty_name(e)),
+        Ty::Buckets { key, value } => format!("Buckets<{}, {}>", ty_name(key), ty_name(value)),
+        Ty::Tuple(ts) => {
+            let inner: Vec<String> = ts.iter().map(ty_name).collect();
+            format!("std::tuple<{}>", inner.join(", "))
+        }
+        Ty::Struct(s) => s.name.clone(),
+    }
+}
+
+pub(crate) fn exp(e: &Exp) -> String {
+    match e {
+        Exp::Sym(s) => s.to_string(),
+        Exp::Const(Const::I64(v)) => format!("{v}LL"),
+        Exp::Const(Const::F64(v)) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Exp::Const(Const::Bool(v)) => v.to_string(),
+        Exp::Const(Const::Str(s)) => format!("{s:?}"),
+        Exp::Const(Const::Unit) => "/*unit*/0".into(),
+    }
+}
+
+fn math_name(f: MathFn) -> &'static str {
+    match f {
+        MathFn::Exp => "exp",
+        MathFn::Log => "log",
+        MathFn::Sqrt => "sqrt",
+        MathFn::Abs => "fabs",
+        MathFn::Sin => "sin",
+        MathFn::Cos => "cos",
+        MathFn::Tanh => "tanh",
+        MathFn::Floor => "floor",
+        MathFn::Ceil => "ceil",
+    }
+}
+
+/// Emit the right-hand side of a scalar (non-loop) definition.
+pub(crate) fn scalar_def(def: &Def) -> Option<String> {
+    Some(match def {
+        Def::Prim { op, args } => match op {
+            PrimOp::Add => format!("{} + {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Sub => format!("{} - {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Mul => format!("{} * {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Div => format!("{} / {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Rem => format!("{} % {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Min => format!("std::min({}, {})", exp(&args[0]), exp(&args[1])),
+            PrimOp::Max => format!("std::max({}, {})", exp(&args[0]), exp(&args[1])),
+            PrimOp::Neg => format!("-{}", exp(&args[0])),
+            PrimOp::Eq => format!("{} == {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Ne => format!("{} != {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Lt => format!("{} < {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Le => format!("{} <= {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Gt => format!("{} > {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Ge => format!("{} >= {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::And => format!("{} && {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Or => format!("{} || {}", exp(&args[0]), exp(&args[1])),
+            PrimOp::Not => format!("!{}", exp(&args[0])),
+            PrimOp::Mux => format!("{} ? {} : {}", exp(&args[0]), exp(&args[1]), exp(&args[2])),
+        },
+        Def::Math { f, arg } => format!("{}({})", math_name(*f), exp(arg)),
+        Def::Cast { to, value } => format!("({}){}", ty_name(to), exp(value)),
+        Def::ArrayLen(e) => format!("{}.size()", exp(e)),
+        Def::ArrayRead { arr, index } => format!("{}[{}]", exp(arr), exp(index)),
+        Def::TupleNew(es) => {
+            let parts: Vec<String> = es.iter().map(exp).collect();
+            format!("std::make_tuple({})", parts.join(", "))
+        }
+        Def::TupleGet { tuple, index } => format!("std::get<{index}>({})", exp(tuple)),
+        Def::StructNew { ty, fields } => {
+            let parts: Vec<String> = fields.iter().map(exp).collect();
+            format!("{}{{{}}}", ty.name, parts.join(", "))
+        }
+        Def::StructGet { obj, field } => format!("{}.{field}", exp(obj)),
+        Def::Flatten(e) => format!("flatten({})", exp(e)),
+        Def::BucketValues(e) => format!("{}.values", exp(e)),
+        Def::BucketKeys(e) => format!("{}.keys", exp(e)),
+        Def::BucketLen(e) => format!("{}.keys.size()", exp(e)),
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => match default {
+            Some(d) => format!("{}.get_or({}, {})", exp(buckets), exp(key), exp(d)),
+            None => format!("{}.get({})", exp(buckets), exp(key)),
+        },
+        Def::Extern { name, args, .. } => {
+            let parts: Vec<String> = args.iter().map(exp).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+        Def::Loop(_) => return None,
+    })
+}

@@ -1,0 +1,103 @@
+//! Scoped statement blocks.
+
+use crate::def::{Def, Stmt};
+use crate::exp::{Exp, Sym};
+
+/// A lexically scoped sequence of single-assignment statements ending in a
+/// result expression.
+///
+/// Blocks are the bodies of generator functions (condition, key, value,
+/// reduction) and of the program itself. A block may refer to symbols bound
+/// in enclosing scopes; those are its *free variables*
+/// (see [`crate::visit::free_syms`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Parameters bound on entry (e.g. the loop index `i`, or the `(a, b)`
+    /// pair of a reduction function).
+    pub params: Vec<Sym>,
+    /// Statements in dependency order.
+    pub stmts: Vec<Stmt>,
+    /// The block's value.
+    pub result: Exp,
+}
+
+impl Block {
+    /// A block with no statements that simply returns `result`.
+    pub fn ret(params: Vec<Sym>, result: impl Into<Exp>) -> Block {
+        Block {
+            params,
+            stmts: Vec::new(),
+            result: result.into(),
+        }
+    }
+
+    /// A parameterless block returning the constant `true` — the "always"
+    /// condition written `_` in the paper.
+    pub fn always(param: Sym) -> Block {
+        Block::ret(vec![param], Exp::bool(true))
+    }
+
+    /// Append a statement binding a fresh symbol and return that symbol.
+    pub fn push(&mut self, sym: Sym, def: Def) -> Sym {
+        self.stmts.push(Stmt::one(sym, def));
+        sym
+    }
+
+    /// Find the statement defining `sym`, if it is bound in this block
+    /// (not searching nested blocks).
+    pub fn stmt_defining(&self, sym: Sym) -> Option<&Stmt> {
+        self.stmts.iter().find(|s| s.lhs.contains(&sym))
+    }
+
+    /// Index of the statement defining `sym` at this block's top level.
+    pub fn stmt_index_defining(&self, sym: Sym) -> Option<usize> {
+        self.stmts.iter().position(|s| s.lhs.contains(&sym))
+    }
+
+    /// True when the block is exactly `params => true`.
+    pub fn is_always_true(&self) -> bool {
+        self.stmts.is_empty() && self.result.is_true()
+    }
+
+    /// True when the block immediately returns one of its parameters
+    /// (an identity function).
+    pub fn is_identity(&self) -> bool {
+        self.stmts.is_empty()
+            && self
+                .result
+                .as_sym()
+                .is_some_and(|s| self.params.contains(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::PrimOp;
+
+    #[test]
+    fn always_true() {
+        let b = Block::always(Sym(0));
+        assert!(b.is_always_true());
+        assert_eq!(b.params, vec![Sym(0)]);
+    }
+
+    #[test]
+    fn identity_detection() {
+        let b = Block::ret(vec![Sym(1)], Sym(1));
+        assert!(b.is_identity());
+        let b2 = Block::ret(vec![Sym(1)], Sym(2));
+        assert!(!b2.is_identity());
+        let b3 = Block::ret(vec![Sym(1)], Exp::i64(0));
+        assert!(!b3.is_identity());
+    }
+
+    #[test]
+    fn stmt_lookup() {
+        let mut b = Block::ret(vec![Sym(0)], Sym(2));
+        b.push(Sym(2), Def::prim2(PrimOp::Add, Sym(0), Exp::i64(1)));
+        assert!(b.stmt_defining(Sym(2)).is_some());
+        assert_eq!(b.stmt_index_defining(Sym(2)), Some(0));
+        assert!(b.stmt_defining(Sym(9)).is_none());
+    }
+}

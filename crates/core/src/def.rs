@@ -1,0 +1,390 @@
+//! Statement right-hand sides: the DMLL operation set.
+
+use crate::exp::{Exp, Sym};
+use crate::gen::Multiloop;
+use crate::ty::{StructTy, Ty};
+use std::fmt;
+
+/// Primitive scalar (and polymorphic) operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Addition (`I64`/`F64`).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder (`I64`).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic negation.
+    Neg,
+    /// Equality (any scalar or string type).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+    /// Logical not.
+    Not,
+    /// Polymorphic select: `mux(c, a, b)` is `a` when `c`, else `b`.
+    ///
+    /// Both branches are evaluated; DMLL multiloop bodies are pure so this is
+    /// only a (potential) efficiency concern, never a semantic one.
+    Mux,
+}
+
+impl PrimOp {
+    /// Number of operands the operator expects.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Neg | PrimOp::Not => 1,
+            PrimOp::Mux => 3,
+            _ => 2,
+        }
+    }
+
+    /// True if the operator returns `Bool` regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Eq | PrimOp::Ne | PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge
+        )
+    }
+
+    /// True for operators that are associative and commutative when applied
+    /// to exact types — used to recognize reduction operators.
+    pub fn is_assoc_comm(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Add | PrimOp::Mul | PrimOp::Min | PrimOp::Max | PrimOp::And | PrimOp::Or
+        )
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Rem => "%",
+            PrimOp::Min => "min",
+            PrimOp::Max => "max",
+            PrimOp::Neg => "neg",
+            PrimOp::Eq => "==",
+            PrimOp::Ne => "!=",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::And => "&&",
+            PrimOp::Or => "||",
+            PrimOp::Not => "!",
+            PrimOp::Mux => "mux",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary math functions over `F64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// `e^x`.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Round toward negative infinity.
+    Floor,
+    /// Round toward positive infinity.
+    Ceil,
+}
+
+impl fmt::Display for MathFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Sqrt => "sqrt",
+            MathFn::Abs => "abs",
+            MathFn::Sin => "sin",
+            MathFn::Cos => "cos",
+            MathFn::Tanh => "tanh",
+            MathFn::Floor => "floor",
+            MathFn::Ceil => "ceil",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The right-hand side of a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Def {
+    /// Primitive operator application.
+    Prim {
+        /// The operator.
+        op: PrimOp,
+        /// Operands (`op.arity()` of them).
+        args: Vec<Exp>,
+    },
+    /// Unary math function over `F64`.
+    Math {
+        /// The function.
+        f: MathFn,
+        /// The argument.
+        arg: Exp,
+    },
+    /// Numeric conversion.
+    Cast {
+        /// Target type (`I64` or `F64`).
+        to: Ty,
+        /// The value to convert.
+        value: Exp,
+    },
+    /// Length of a collection.
+    ArrayLen(Exp),
+    /// Random-access read: `arr(index)`.
+    ArrayRead {
+        /// The collection being read.
+        arr: Exp,
+        /// The index.
+        index: Exp,
+    },
+    /// Tuple construction.
+    TupleNew(Vec<Exp>),
+    /// Tuple projection.
+    TupleGet {
+        /// The tuple.
+        tuple: Exp,
+        /// Zero-based component index.
+        index: usize,
+    },
+    /// Record construction; `fields` are in `ty.fields` order.
+    StructNew {
+        /// The struct type being constructed.
+        ty: StructTy,
+        /// Field values, in declaration order.
+        fields: Vec<Exp>,
+    },
+    /// Record field read.
+    StructGet {
+        /// The record.
+        obj: Exp,
+        /// Field name.
+        field: String,
+    },
+    /// Concatenate a collection of collections (`flatMap` = map + flatten;
+    /// Fig. 2's collect "may produce zero or more values at each
+    /// iteration").
+    Flatten(Exp),
+    /// Dense per-bucket values of a bucket-generator result, in bucket
+    /// (first-seen key) order.
+    BucketValues(Exp),
+    /// The key of each bucket, aligned with [`Def::BucketValues`].
+    BucketKeys(Exp),
+    /// Number of buckets.
+    BucketLen(Exp),
+    /// Lookup of the bucket with the given key; yields `default` when the
+    /// key never occurred (e.g. an empty cluster in k-means).
+    BucketGet {
+        /// The bucket collection.
+        buckets: Exp,
+        /// Key to look up.
+        key: Exp,
+        /// Value produced for missing keys; a missing key with no default is
+        /// a runtime error.
+        default: Option<Exp>,
+    },
+    /// A multiloop. The statement binds one symbol per generator.
+    Loop(Multiloop),
+    /// An opaque external operation (file readers, RNG, printing…).
+    ///
+    /// Externs model §4.3's "arbitrary sequential code": the partitioning
+    /// analysis refuses to distribute through them unless whitelisted.
+    Extern {
+        /// External function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Exp>,
+        /// Result type.
+        ret: Ty,
+        /// True if the operation has side effects (never reordered/CSEd).
+        effectful: bool,
+        /// True if the partitioning analysis may silently accept this op
+        /// consuming partitioned data (paper example: reading a size field).
+        whitelisted: bool,
+    },
+}
+
+impl Def {
+    /// Convenience constructor for a binary primitive.
+    pub fn prim2(op: PrimOp, a: impl Into<Exp>, b: impl Into<Exp>) -> Def {
+        Def::Prim {
+            op,
+            args: vec![a.into(), b.into()],
+        }
+    }
+
+    /// Convenience constructor for a unary primitive.
+    pub fn prim1(op: PrimOp, a: impl Into<Exp>) -> Def {
+        Def::Prim {
+            op,
+            args: vec![a.into()],
+        }
+    }
+
+    /// The multiloop, if this definition is a loop.
+    pub fn as_loop(&self) -> Option<&Multiloop> {
+        match self {
+            Def::Loop(ml) => Some(ml),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the multiloop, if this definition is a loop.
+    pub fn as_loop_mut(&mut self) -> Option<&mut Multiloop> {
+        match self {
+            Def::Loop(ml) => Some(ml),
+            _ => None,
+        }
+    }
+
+    /// True if the definition may have observable side effects and must not
+    /// be removed, duplicated or reordered.
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            Def::Extern {
+                effectful: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A single-assignment statement: `lhs… = def`.
+///
+/// Every non-loop definition binds exactly one symbol. A [`Def::Loop`] binds
+/// one symbol **per generator**, which is how horizontally fused loops return
+/// multiple disjoint outputs from a single traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// Bound symbols.
+    pub lhs: Vec<Sym>,
+    /// The definition.
+    pub def: Def,
+}
+
+impl Stmt {
+    /// A statement binding a single symbol.
+    pub fn one(sym: Sym, def: Def) -> Stmt {
+        Stmt {
+            lhs: vec![sym],
+            def,
+        }
+    }
+
+    /// The single bound symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statement binds zero or several symbols.
+    pub fn sym(&self) -> Sym {
+        assert_eq!(
+            self.lhs.len(),
+            1,
+            "statement binds {} symbols, expected 1",
+            self.lhs.len()
+        );
+        self.lhs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::Sym;
+
+    #[test]
+    fn prim_arity() {
+        assert_eq!(PrimOp::Add.arity(), 2);
+        assert_eq!(PrimOp::Not.arity(), 1);
+        assert_eq!(PrimOp::Mux.arity(), 3);
+    }
+
+    #[test]
+    fn prim_classification() {
+        assert!(PrimOp::Lt.is_comparison());
+        assert!(!PrimOp::Add.is_comparison());
+        assert!(PrimOp::Add.is_assoc_comm());
+        assert!(!PrimOp::Sub.is_assoc_comm());
+    }
+
+    #[test]
+    fn stmt_one() {
+        let s = Stmt::one(Sym(1), Def::prim2(PrimOp::Add, Exp::i64(1), Exp::i64(2)));
+        assert_eq!(s.sym(), Sym(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1")]
+    fn stmt_sym_panics_on_multi() {
+        let s = Stmt {
+            lhs: vec![Sym(1), Sym(2)],
+            def: Def::ArrayLen(Exp::Sym(Sym(0))),
+        };
+        s.sym();
+    }
+
+    #[test]
+    fn effectful_detection() {
+        let pure = Def::Extern {
+            name: "len".into(),
+            args: vec![],
+            ret: Ty::I64,
+            effectful: false,
+            whitelisted: true,
+        };
+        let eff = Def::Extern {
+            name: "print".into(),
+            args: vec![],
+            ret: Ty::Unit,
+            effectful: true,
+            whitelisted: false,
+        };
+        assert!(!pure.is_effectful());
+        assert!(eff.is_effectful());
+    }
+
+    #[test]
+    fn display_ops() {
+        assert_eq!(PrimOp::Add.to_string(), "+");
+        assert_eq!(MathFn::Sqrt.to_string(), "sqrt");
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for IR construction and validation.
+
+use std::fmt;
+
+/// Errors produced while validating or manipulating DMLL IR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A type error with a human-readable description.
+    Type(String),
+    /// Structurally malformed IR (wrong lhs arity, unbound symbol, …).
+    Malformed(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Type(msg) => write!(f, "type error: {msg}"),
+            CoreError::Malformed(msg) => write!(f, "malformed IR: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for results carrying [`CoreError`].
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CoreError::Type("wat".into()).to_string(), "type error: wat");
+        assert_eq!(
+            CoreError::Malformed("x".into()).to_string(),
+            "malformed IR: x"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(CoreError::Type("t".into()));
+    }
+}

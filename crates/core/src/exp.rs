@@ -1,0 +1,257 @@
+//! Symbols, constants and atomic expressions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A globally unique symbol naming the result of a statement or a block
+/// parameter.
+///
+/// Symbols are allocated from [`crate::Program::fresh`] and are never reused
+/// within a program, which lets analyses key side tables by `Sym` without
+/// worrying about scoping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+///
+/// `F64` constants compare and hash by bit pattern so that [`Const`] can be
+/// used as a key during common-subexpression elimination.
+#[derive(Clone, Debug)]
+pub enum Const {
+    /// 64-bit signed integer (also used for loop indices and sizes).
+    I64(i64),
+    /// 64-bit IEEE float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned string constant.
+    Str(Arc<str>),
+    /// The unit value.
+    Unit,
+}
+
+impl Const {
+    /// The integer value, if this constant is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Const::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this constant is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Const::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float value, if this constant is an `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Const::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Const {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Const::I64(a), Const::I64(b)) => a == b,
+            (Const::F64(a), Const::F64(b)) => a.to_bits() == b.to_bits(),
+            (Const::Bool(a), Const::Bool(b)) => a == b,
+            (Const::Str(a), Const::Str(b)) => a == b,
+            (Const::Unit, Const::Unit) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Const {}
+
+impl std::hash::Hash for Const {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Const::I64(v) => v.hash(state),
+            Const::F64(v) => v.to_bits().hash(state),
+            Const::Bool(v) => v.hash(state),
+            Const::Str(v) => v.hash(state),
+            Const::Unit => {}
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::I64(v) => write!(f, "{v}"),
+            Const::F64(v) => write!(f, "{v:?}"),
+            Const::Bool(v) => write!(f, "{v}"),
+            Const::Str(v) => write!(f, "{v:?}"),
+            Const::Unit => write!(f, "()"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::I64(v)
+    }
+}
+
+impl From<f64> for Const {
+    fn from(v: f64) -> Self {
+        Const::F64(v)
+    }
+}
+
+impl From<bool> for Const {
+    fn from(v: bool) -> Self {
+        Const::Bool(v)
+    }
+}
+
+/// An atomic expression: either a constant or a reference to a symbol.
+///
+/// All structured computation lives in [`crate::Def`]s; `Exp` is what
+/// statement operands are made of.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Exp {
+    /// A literal constant.
+    Const(Const),
+    /// A reference to a previously bound symbol.
+    Sym(Sym),
+}
+
+impl Exp {
+    /// Integer literal shorthand.
+    pub fn i64(v: i64) -> Exp {
+        Exp::Const(Const::I64(v))
+    }
+
+    /// Float literal shorthand.
+    pub fn f64(v: f64) -> Exp {
+        Exp::Const(Const::F64(v))
+    }
+
+    /// Boolean literal shorthand.
+    pub fn bool(v: bool) -> Exp {
+        Exp::Const(Const::Bool(v))
+    }
+
+    /// The unit literal.
+    pub fn unit() -> Exp {
+        Exp::Const(Const::Unit)
+    }
+
+    /// The referenced symbol, if any.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Exp::Sym(s) => Some(*s),
+            Exp::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this expression is a literal.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Exp::Const(c) => Some(c),
+            Exp::Sym(_) => None,
+        }
+    }
+
+    /// True if this expression is the literal `true` (the "always" condition
+    /// written `_` in the paper).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Exp::Const(Const::Bool(true)))
+    }
+}
+
+impl From<Sym> for Exp {
+    fn from(s: Sym) -> Self {
+        Exp::Sym(s)
+    }
+}
+
+impl From<Const> for Exp {
+    fn from(c: Const) -> Self {
+        Exp::Const(c)
+    }
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exp::Const(c) => write!(f, "{c}"),
+            Exp::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sym_display() {
+        assert_eq!(Sym(7).to_string(), "x7");
+        assert_eq!(format!("{:?}", Sym(7)), "x7");
+    }
+
+    #[test]
+    fn const_eq_by_bits() {
+        assert_eq!(Const::F64(1.5), Const::F64(1.5));
+        assert_ne!(Const::F64(0.0), Const::F64(-0.0));
+        assert_eq!(Const::F64(f64::NAN), Const::F64(f64::NAN));
+        assert_ne!(Const::I64(1), Const::F64(1.0));
+    }
+
+    #[test]
+    fn const_hash_consistent_with_eq() {
+        let mut set = HashSet::new();
+        set.insert(Const::F64(2.0));
+        assert!(set.contains(&Const::F64(2.0)));
+        assert!(!set.contains(&Const::F64(-2.0)));
+    }
+
+    #[test]
+    fn exp_helpers() {
+        assert!(Exp::bool(true).is_true());
+        assert!(!Exp::bool(false).is_true());
+        assert_eq!(Exp::i64(3).as_const(), Some(&Const::I64(3)));
+        assert_eq!(Exp::Sym(Sym(1)).as_sym(), Some(Sym(1)));
+        assert_eq!(Exp::i64(3).as_sym(), None);
+    }
+
+    #[test]
+    fn const_accessors() {
+        assert_eq!(Const::I64(4).as_i64(), Some(4));
+        assert_eq!(Const::Bool(true).as_bool(), Some(true));
+        assert_eq!(Const::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Const::I64(4).as_bool(), None);
+    }
+
+    #[test]
+    fn exp_display() {
+        assert_eq!(Exp::i64(42).to_string(), "42");
+        assert_eq!(Exp::f64(1.0).to_string(), "1.0");
+        assert_eq!(Exp::Sym(Sym(3)).to_string(), "x3");
+        assert_eq!(Exp::unit().to_string(), "()");
+    }
+}

@@ -1,0 +1,318 @@
+//! Multiloops and their generators (Figure 2 of the paper).
+
+use crate::block::Block;
+use crate::exp::Exp;
+use std::fmt;
+
+/// Which kind of generator a [`Gen`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GenKind {
+    /// Accumulates all generated values into a collection.
+    Collect,
+    /// On-the-fly reduction with an associative operator.
+    Reduce,
+    /// Collects values into buckets indexed by key.
+    BucketCollect,
+    /// Reduces values per bucket as they arrive.
+    BucketReduce,
+}
+
+impl fmt::Display for GenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GenKind::Collect => "Collect",
+            GenKind::Reduce => "Reduce",
+            GenKind::BucketCollect => "BucketCollect",
+            GenKind::BucketReduce => "BucketReduce",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A generator: the high-level structure of a multiloop body.
+///
+/// Each generator keeps the user-defined component functions separate —
+/// condition `c`, key `k`, value `f` and reduction `r` in the paper's
+/// notation — so that code generation can recompose them per target.
+/// `cond = None` is the always-true condition (written `_` in the paper).
+///
+/// All of `cond`, `key` and `value` take the loop index as their single
+/// parameter; `reducer` takes two accumulands `(a, b)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gen {
+    /// `Collect_s(c)(f) : Coll[V]` — generalizes map, zipWith, filter and
+    /// flatMap.
+    Collect {
+        /// Condition `c`; `None` means always true.
+        cond: Option<Block>,
+        /// Value function `f`.
+        value: Block,
+    },
+    /// `Reduce_s(c)(f)(r) : V`.
+    ///
+    /// The reduction starts from the first accepted element (the paper's
+    /// `identity[V]`); `init` optionally supplies an explicit identity used
+    /// for empty reductions and for parallel chunk seeding.
+    Reduce {
+        /// Condition `c`; `None` means always true.
+        cond: Option<Block>,
+        /// Value function `f`.
+        value: Block,
+        /// Associative reduction `r(a, b)`.
+        reducer: Block,
+        /// Optional explicit identity element.
+        init: Option<Exp>,
+    },
+    /// `BucketCollect_s(c)(k)(f) : Buckets[K, Coll[V]]` — `groupBy` when the
+    /// value function is the identity.
+    BucketCollect {
+        /// Condition `c`; `None` means always true.
+        cond: Option<Block>,
+        /// Key function `k`.
+        key: Block,
+        /// Value function `f`.
+        value: Block,
+    },
+    /// `BucketReduce_s(c)(k)(f)(r) : Buckets[K, V]`.
+    BucketReduce {
+        /// Condition `c`; `None` means always true.
+        cond: Option<Block>,
+        /// Key function `k`.
+        key: Block,
+        /// Value function `f`.
+        value: Block,
+        /// Associative reduction `r(a, b)`.
+        reducer: Block,
+        /// Optional explicit identity element.
+        init: Option<Exp>,
+    },
+}
+
+impl Gen {
+    /// The generator's kind.
+    pub fn kind(&self) -> GenKind {
+        match self {
+            Gen::Collect { .. } => GenKind::Collect,
+            Gen::Reduce { .. } => GenKind::Reduce,
+            Gen::BucketCollect { .. } => GenKind::BucketCollect,
+            Gen::BucketReduce { .. } => GenKind::BucketReduce,
+        }
+    }
+
+    /// The condition block, if one is present.
+    pub fn cond(&self) -> Option<&Block> {
+        match self {
+            Gen::Collect { cond, .. }
+            | Gen::Reduce { cond, .. }
+            | Gen::BucketCollect { cond, .. }
+            | Gen::BucketReduce { cond, .. } => cond.as_ref(),
+        }
+    }
+
+    /// The value function `f`.
+    pub fn value(&self) -> &Block {
+        match self {
+            Gen::Collect { value, .. }
+            | Gen::Reduce { value, .. }
+            | Gen::BucketCollect { value, .. }
+            | Gen::BucketReduce { value, .. } => value,
+        }
+    }
+
+    /// Mutable access to the value function.
+    pub fn value_mut(&mut self) -> &mut Block {
+        match self {
+            Gen::Collect { value, .. }
+            | Gen::Reduce { value, .. }
+            | Gen::BucketCollect { value, .. }
+            | Gen::BucketReduce { value, .. } => value,
+        }
+    }
+
+    /// The key function `k` of a bucket generator.
+    pub fn key(&self) -> Option<&Block> {
+        match self {
+            Gen::BucketCollect { key, .. } | Gen::BucketReduce { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+
+    /// The reduction function `r` of a reducing generator.
+    pub fn reducer(&self) -> Option<&Block> {
+        match self {
+            Gen::Reduce { reducer, .. } | Gen::BucketReduce { reducer, .. } => Some(reducer),
+            _ => None,
+        }
+    }
+
+    /// All component blocks, in `cond, key, value, reducer` order.
+    pub fn blocks(&self) -> Vec<&Block> {
+        let mut out = Vec::with_capacity(4);
+        if let Some(c) = self.cond() {
+            out.push(c);
+        }
+        if let Some(k) = self.key() {
+            out.push(k);
+        }
+        out.push(self.value());
+        if let Some(r) = self.reducer() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// All component blocks, mutable.
+    pub fn blocks_mut(&mut self) -> Vec<&mut Block> {
+        match self {
+            Gen::Collect { cond, value } => {
+                let mut v: Vec<&mut Block> = Vec::new();
+                if let Some(c) = cond.as_mut() {
+                    v.push(c);
+                }
+                v.push(value);
+                v
+            }
+            Gen::Reduce {
+                cond,
+                value,
+                reducer,
+                ..
+            } => {
+                let mut v: Vec<&mut Block> = Vec::new();
+                if let Some(c) = cond.as_mut() {
+                    v.push(c);
+                }
+                v.push(value);
+                v.push(reducer);
+                v
+            }
+            Gen::BucketCollect { cond, key, value } => {
+                let mut v: Vec<&mut Block> = Vec::new();
+                if let Some(c) = cond.as_mut() {
+                    v.push(c);
+                }
+                v.push(key);
+                v.push(value);
+                v
+            }
+            Gen::BucketReduce {
+                cond,
+                key,
+                value,
+                reducer,
+                ..
+            } => {
+                let mut v: Vec<&mut Block> = Vec::new();
+                if let Some(c) = cond.as_mut() {
+                    v.push(c);
+                }
+                v.push(key);
+                v.push(value);
+                v.push(reducer);
+                v
+            }
+        }
+    }
+
+    /// True if this generator produces a partitionable (collection-shaped)
+    /// output when its input range is partitioned — `Collect` does, the
+    /// others produce results that Algorithm 1 treats as `Local`.
+    pub fn output_is_partitionable(&self) -> bool {
+        matches!(self, Gen::Collect { .. })
+    }
+}
+
+/// A multiloop: a single-dimensional traversal of `0..size` whose body is a
+/// set of generators that each accumulate one loop output.
+///
+/// A freshly staged multiloop has exactly one generator; horizontal fusion
+/// merges loops over the same range into one multiloop with several
+/// generators (returning multiple disjoint outputs from a single traversal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Multiloop {
+    /// The iteration count (an `I64` expression).
+    pub size: Exp,
+    /// One generator per loop output.
+    pub gens: Vec<Gen>,
+}
+
+impl Multiloop {
+    /// A multiloop with a single generator.
+    pub fn single(size: impl Into<Exp>, gen: Gen) -> Multiloop {
+        Multiloop {
+            size: size.into(),
+            gens: vec![gen],
+        }
+    }
+
+    /// The sole generator of a single-generator loop.
+    pub fn only_gen(&self) -> Option<&Gen> {
+        if self.gens.len() == 1 {
+            Some(&self.gens[0])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::Sym;
+
+    fn collect() -> Gen {
+        Gen::Collect {
+            cond: None,
+            value: Block::ret(vec![Sym(0)], Sym(0)),
+        }
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(collect().kind(), GenKind::Collect);
+        assert_eq!(GenKind::BucketReduce.to_string(), "BucketReduce");
+    }
+
+    #[test]
+    fn component_access() {
+        let g = Gen::BucketReduce {
+            cond: Some(Block::always(Sym(1))),
+            key: Block::ret(vec![Sym(2)], Sym(2)),
+            value: Block::ret(vec![Sym(3)], Sym(3)),
+            reducer: Block::ret(vec![Sym(4), Sym(5)], Sym(4)),
+            init: None,
+        };
+        assert!(g.cond().is_some());
+        assert!(g.key().is_some());
+        assert!(g.reducer().is_some());
+        assert_eq!(g.blocks().len(), 4);
+        let c = collect();
+        assert!(c.cond().is_none());
+        assert!(c.key().is_none());
+        assert!(c.reducer().is_none());
+        assert_eq!(c.blocks().len(), 1);
+    }
+
+    #[test]
+    fn partitionable_outputs() {
+        assert!(collect().output_is_partitionable());
+        let r = Gen::Reduce {
+            cond: None,
+            value: Block::ret(vec![Sym(0)], Sym(0)),
+            reducer: Block::ret(vec![Sym(1), Sym(2)], Sym(1)),
+            init: None,
+        };
+        assert!(!r.output_is_partitionable());
+    }
+
+    #[test]
+    fn single_loop() {
+        let ml = Multiloop::single(Exp::i64(10), collect());
+        assert!(ml.only_gen().is_some());
+        let ml2 = Multiloop {
+            size: Exp::i64(10),
+            gens: vec![collect(), collect()],
+        };
+        assert!(ml2.only_gen().is_none());
+    }
+}

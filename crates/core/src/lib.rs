@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # DMLL core intermediate representation
+//!
+//! This crate defines the **Distributed Multiloop Language** (DMLL), the
+//! intermediate language introduced by Brown et al. in *"Have Abstraction and
+//! Eat Performance, Too: Optimized Heterogeneous Computing with Parallel
+//! Patterns"* (CGO 2016).
+//!
+//! A DMLL program is a structured, scoped IR. Ordinary computation is a list
+//! of single-assignment statements inside [`Block`]s; data parallelism is
+//! expressed by the *multiloop* ([`Multiloop`]): a single-dimensional
+//! traversal of a fixed-size integer range carrying one or more *generators*
+//! ([`Gen`]) that accumulate loop outputs:
+//!
+//! * [`Gen::Collect`] — accumulates every produced value into a collection
+//!   (generalizes `map`, `zipWith`, `filter`, `flatMap`),
+//! * [`Gen::Reduce`] — on-the-fly reduction with an associative operator,
+//! * [`Gen::BucketCollect`] — collects values into buckets indexed by a key
+//!   function (`groupBy`),
+//! * [`Gen::BucketReduce`] — reduces values per bucket as they arrive.
+//!
+//! Each generator keeps its *condition*, *key*, *value* and *reduction*
+//! functions as **separate** blocks rather than one fused body. Keeping the
+//! components separated is what lets downstream passes recompose them
+//! differently per hardware target (e.g. a buffer-append collect on CPU
+//! versus a two-phase size-then-write collect on GPU).
+//!
+//! ## Example
+//!
+//! Building `x.map(e => e * 2.0)` by hand (the `dmll-frontend` crate offers
+//! a far more convenient staging API):
+//!
+//! ```
+//! use dmll_core::*;
+//!
+//! let mut p = Program::new();
+//! let x = p.add_input("x", Ty::Arr(Box::new(Ty::F64)), LayoutHint::Local);
+//!
+//! // Collect over x's size: i => x(i) * 2.0
+//! let i = p.fresh();
+//! let xi = p.fresh();
+//! let doubled = p.fresh();
+//! let value = Block {
+//!     params: vec![i],
+//!     stmts: vec![
+//!         Stmt::one(xi, Def::ArrayRead { arr: Exp::Sym(x), index: Exp::Sym(i) }),
+//!         Stmt::one(doubled, Def::Prim { op: PrimOp::Mul,
+//!             args: vec![Exp::Sym(xi), Exp::Const(Const::F64(2.0))] }),
+//!     ],
+//!     result: Exp::Sym(doubled),
+//! };
+//! let len = p.fresh();
+//! let mapped = p.fresh();
+//! let body_stmts = vec![
+//!     Stmt::one(len, Def::ArrayLen(Exp::Sym(x))),
+//!     Stmt::one(mapped, Def::Loop(Multiloop {
+//!         size: Exp::Sym(len),
+//!         gens: vec![Gen::Collect { cond: None, value }],
+//!     })),
+//! ];
+//! p.body = Block { params: vec![], stmts: body_stmts, result: Exp::Sym(mapped) };
+//! assert!(typecheck::infer(&p).is_ok());
+//! ```
+
+pub mod block;
+pub mod def;
+pub mod error;
+pub mod exp;
+pub mod gen;
+pub mod printer;
+pub mod program;
+pub mod rebind;
+pub mod ty;
+pub mod typecheck;
+pub mod visit;
+
+pub use block::Block;
+pub use def::{Def, MathFn, PrimOp, Stmt};
+pub use error::{CoreError, CoreResult};
+pub use exp::{Const, Exp, Sym};
+pub use gen::{Gen, Multiloop};
+pub use program::{Input, LayoutHint, Program};
+pub use ty::{StructTy, Ty};

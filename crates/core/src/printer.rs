@@ -1,0 +1,250 @@
+//! Human-readable pretty printer for DMLL programs.
+//!
+//! The output is stable and is used in golden-style assertions throughout
+//! the test suites (e.g. "after fusion the program contains exactly one
+//! `loop`").
+
+use crate::block::Block;
+use crate::def::Def;
+use crate::gen::Gen;
+use crate::program::Program;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for input in &p.inputs {
+        let _ = writeln!(
+            out,
+            "input {} = {} : {} @ {}",
+            input.sym, input.name, input.ty, input.layout
+        );
+    }
+    print_block_inner(&p.body, 0, &mut out);
+    out
+}
+
+/// Render a single block (at the given indentation depth).
+pub fn print_block(b: &Block, indent: usize) -> String {
+    let mut out = String::new();
+    print_block_inner(b, indent, &mut out);
+    out
+}
+
+fn pad(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn print_block_inner(b: &Block, indent: usize, out: &mut String) {
+    for stmt in &b.stmts {
+        pad(indent, out);
+        let names: Vec<String> = stmt.lhs.iter().map(|s| s.to_string()).collect();
+        let _ = write!(out, "{} = ", names.join(", "));
+        print_def(&stmt.def, indent, out);
+        out.push('\n');
+    }
+    pad(indent, out);
+    let _ = writeln!(out, "=> {}", b.result);
+}
+
+fn print_fn(name: &str, b: &Block, indent: usize, out: &mut String) {
+    pad(indent, out);
+    let params: Vec<String> = b.params.iter().map(|s| s.to_string()).collect();
+    if b.stmts.is_empty() {
+        let _ = writeln!(out, "{name} ({}) => {}", params.join(", "), b.result);
+    } else {
+        let _ = writeln!(out, "{name} ({}) {{", params.join(", "));
+        print_block_inner(b, indent + 1, out);
+        pad(indent, out);
+        out.push_str("}\n");
+    }
+}
+
+fn print_gen(g: &Gen, indent: usize, out: &mut String) {
+    pad(indent, out);
+    let _ = writeln!(out, "{} {{", g.kind());
+    if let Some(c) = g.cond() {
+        print_fn("cond", c, indent + 1, out);
+    }
+    if let Some(k) = g.key() {
+        print_fn("key", k, indent + 1, out);
+    }
+    print_fn("value", g.value(), indent + 1, out);
+    if let Some(r) = g.reducer() {
+        print_fn("reduce", r, indent + 1, out);
+    }
+    match g {
+        Gen::Reduce { init: Some(i), .. } | Gen::BucketReduce { init: Some(i), .. } => {
+            pad(indent + 1, out);
+            let _ = writeln!(out, "init {i}");
+        }
+        _ => {}
+    }
+    pad(indent, out);
+    out.push_str("}\n");
+}
+
+fn print_def(def: &Def, indent: usize, out: &mut String) {
+    match def {
+        Def::Prim { op, args } => {
+            if args.len() == 2 && !matches!(op, crate::def::PrimOp::Min | crate::def::PrimOp::Max) {
+                let _ = write!(out, "{} {op} {}", args[0], args[1]);
+            } else {
+                let strs: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let _ = write!(out, "{op}({})", strs.join(", "));
+            }
+        }
+        Def::Math { f, arg } => {
+            let _ = write!(out, "{f}({arg})");
+        }
+        Def::Cast { to, value } => {
+            let _ = write!(out, "cast[{to}]({value})");
+        }
+        Def::ArrayLen(e) => {
+            let _ = write!(out, "len({e})");
+        }
+        Def::ArrayRead { arr, index } => {
+            let _ = write!(out, "{arr}({index})");
+        }
+        Def::TupleNew(es) => {
+            let strs: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+            let _ = write!(out, "({})", strs.join(", "));
+        }
+        Def::TupleGet { tuple, index } => {
+            let _ = write!(out, "{tuple}._{index}");
+        }
+        Def::StructNew { ty, fields } => {
+            let strs: Vec<String> = ty
+                .fields
+                .iter()
+                .zip(fields)
+                .map(|((n, _), e)| format!("{n}: {e}"))
+                .collect();
+            let _ = write!(out, "{} {{ {} }}", ty.name, strs.join(", "));
+        }
+        Def::StructGet { obj, field } => {
+            let _ = write!(out, "{obj}.{field}");
+        }
+        Def::Flatten(e) => {
+            let _ = write!(out, "flatten({e})");
+        }
+        Def::BucketValues(e) => {
+            let _ = write!(out, "bucketValues({e})");
+        }
+        Def::BucketKeys(e) => {
+            let _ = write!(out, "bucketKeys({e})");
+        }
+        Def::BucketLen(e) => {
+            let _ = write!(out, "bucketLen({e})");
+        }
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => match default {
+            Some(d) => {
+                let _ = write!(out, "bucketGetOrElse({buckets}, {key}, {d})");
+            }
+            None => {
+                let _ = write!(out, "bucketGet({buckets}, {key})");
+            }
+        },
+        Def::Loop(ml) => {
+            let _ = writeln!(out, "loop({}) {{", ml.size);
+            for g in &ml.gens {
+                print_gen(g, indent + 1, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+        Def::Extern {
+            name,
+            args,
+            effectful,
+            ..
+        } => {
+            let strs: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let eff = if *effectful { "!" } else { "" };
+            let _ = write!(out, "extern{eff} {name}({})", strs.join(", "));
+        }
+    }
+}
+
+/// Count the number of multiloops anywhere in a program — a common assertion
+/// after fusion passes.
+pub fn count_loops(p: &Program) -> usize {
+    let mut n = 0;
+    crate::visit::for_each_def_deep(&p.body, &mut |d| {
+        if matches!(d, Def::Loop(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::{PrimOp, Stmt};
+    use crate::exp::{Exp, Sym};
+    use crate::gen::Multiloop;
+    use crate::program::LayoutHint;
+    use crate::ty::Ty;
+
+    #[test]
+    fn prints_inputs_and_loops() {
+        let mut p = Program::new();
+        let x = p.add_input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let i = p.fresh();
+        let xi = p.fresh();
+        let value = Block {
+            params: vec![i],
+            stmts: vec![Stmt::one(
+                xi,
+                Def::ArrayRead {
+                    arr: Exp::Sym(x),
+                    index: Exp::Sym(i),
+                },
+            )],
+            result: Exp::Sym(xi),
+        };
+        let n = p.fresh();
+        let out = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![
+                Stmt::one(n, Def::ArrayLen(Exp::Sym(x))),
+                Stmt::one(
+                    out,
+                    Def::Loop(Multiloop::single(n, Gen::Collect { cond: None, value })),
+                ),
+            ],
+            result: Exp::Sym(out),
+        };
+        let s = print_program(&p);
+        assert!(
+            s.contains("input x0 = x : Coll[Double] @ Partitioned"),
+            "{s}"
+        );
+        assert!(s.contains("loop(x3)"), "{s}");
+        assert!(s.contains("Collect {"), "{s}");
+        assert!(s.contains("value (x1)"), "{s}");
+        assert_eq!(count_loops(&p), 1);
+    }
+
+    #[test]
+    fn prints_binary_ops_infix() {
+        let mut out = String::new();
+        print_def(&Def::prim2(PrimOp::Add, Sym(1), Exp::i64(2)), 0, &mut out);
+        assert_eq!(out, "x1 + 2");
+    }
+
+    #[test]
+    fn prints_min_as_call() {
+        let mut out = String::new();
+        print_def(&Def::prim2(PrimOp::Min, Sym(1), Sym(2)), 0, &mut out);
+        assert_eq!(out, "min(x1, x2)");
+    }
+}

@@ -1,0 +1,161 @@
+//! Whole programs and input declarations.
+
+use crate::block::Block;
+use crate::exp::{Exp, Sym};
+use crate::ty::Ty;
+use std::fmt;
+
+/// The user-provided data layout annotation on a program input (§4.1).
+///
+/// The paper obtains this from annotations on data sources (file readers);
+/// everything else is derived by the partitioning analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum LayoutHint {
+    /// Allocate entirely in one memory region (default).
+    #[default]
+    Local,
+    /// Spread across memory regions / machines.
+    Partitioned,
+}
+
+impl fmt::Display for LayoutHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutHint::Local => write!(f, "Local"),
+            LayoutHint::Partitioned => write!(f, "Partitioned"),
+        }
+    }
+}
+
+/// A program input: a named, typed, layout-annotated data source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Input {
+    /// The symbol the input binds.
+    pub sym: Sym,
+    /// Human-readable name (used by the interpreter to bind data and by the
+    /// printers).
+    pub name: String,
+    /// The input's type.
+    pub ty: Ty,
+    /// User layout annotation.
+    pub layout: LayoutHint,
+}
+
+/// A complete DMLL program: inputs plus a top-level block.
+///
+/// The program owns the symbol generator; all passes allocate fresh symbols
+/// through [`Program::fresh`], which keeps symbols globally unique.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Declared inputs.
+    pub inputs: Vec<Input>,
+    /// Top-level computation; its free variables are exactly the input
+    /// symbols.
+    pub body: Block,
+    next_sym: u32,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program {
+            inputs: Vec::new(),
+            body: Block::ret(vec![], Exp::unit()),
+            next_sym: 0,
+        }
+    }
+
+    /// Allocate a fresh, never-before-used symbol.
+    pub fn fresh(&mut self) -> Sym {
+        let s = Sym(self.next_sym);
+        self.next_sym += 1;
+        s
+    }
+
+    /// Declare an input and return its symbol.
+    pub fn add_input(&mut self, name: impl Into<String>, ty: Ty, layout: LayoutHint) -> Sym {
+        let sym = self.fresh();
+        self.inputs.push(Input {
+            sym,
+            name: name.into(),
+            ty,
+            layout,
+        });
+        sym
+    }
+
+    /// Find an input by name.
+    pub fn input(&self, name: &str) -> Option<&Input> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// Find the input bound to `sym`.
+    pub fn input_by_sym(&self, sym: Sym) -> Option<&Input> {
+        self.inputs.iter().find(|i| i.sym == sym)
+    }
+
+    /// The value of the symbol counter; symbols `>= next_sym_id()` are
+    /// guaranteed unused.
+    pub fn next_sym_id(&self) -> u32 {
+        self.next_sym
+    }
+
+    /// Advance the symbol counter to at least `bound`. Useful when splicing
+    /// externally constructed fragments into a program.
+    pub fn reserve_syms(&mut self, bound: u32) {
+        self.next_sym = self.next_sym.max(bound);
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::printer::print_program(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_unique() {
+        let mut p = Program::new();
+        let a = p.fresh();
+        let b = p.fresh();
+        assert_ne!(a, b);
+        assert_eq!(p.next_sym_id(), 2);
+    }
+
+    #[test]
+    fn inputs_lookup() {
+        let mut p = Program::new();
+        let m = p.add_input("matrix", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let c = p.add_input("clusters", Ty::arr(Ty::F64), LayoutHint::Local);
+        assert_eq!(p.input("matrix").unwrap().sym, m);
+        assert_eq!(p.input_by_sym(c).unwrap().name, "clusters");
+        assert_eq!(p.input("nope"), None);
+        assert_eq!(p.input("matrix").unwrap().layout, LayoutHint::Partitioned);
+    }
+
+    #[test]
+    fn reserve_only_grows() {
+        let mut p = Program::new();
+        p.fresh();
+        p.reserve_syms(10);
+        assert_eq!(p.next_sym_id(), 10);
+        p.reserve_syms(5);
+        assert_eq!(p.next_sym_id(), 10);
+    }
+
+    #[test]
+    fn layout_default_is_local() {
+        assert_eq!(LayoutHint::default(), LayoutHint::Local);
+        assert_eq!(LayoutHint::Partitioned.to_string(), "Partitioned");
+    }
+}

@@ -1,0 +1,192 @@
+//! The DMLL type language.
+
+use std::fmt;
+
+/// A named record type.
+///
+/// Struct types are nominal: two structs are the same type iff both name and
+/// field list agree. The AoS→SoA and dead-field-elimination passes rewrite
+/// values of these types into flat arrays of primitives.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StructTy {
+    /// Type name (e.g. `"LineItem"`).
+    pub name: String,
+    /// Ordered `(field name, field type)` pairs.
+    pub fields: Vec<(String, Ty)>,
+}
+
+impl StructTy {
+    /// Create a struct type from name and fields.
+    pub fn new(name: impl Into<String>, fields: Vec<(String, Ty)>) -> StructTy {
+        StructTy {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Look up the type of a field by name.
+    pub fn field_ty(&self, field: &str) -> Option<&Ty> {
+        self.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t)
+    }
+
+    /// Position of a field within the struct.
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == field)
+    }
+}
+
+/// The type of a DMLL expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Boolean.
+    Bool,
+    /// Immutable string.
+    Str,
+    /// The unit type.
+    Unit,
+    /// Fixed arity heterogeneous tuple.
+    Tuple(Vec<Ty>),
+    /// Variable-length homogeneous collection (`Coll[V]` in the paper).
+    Arr(Box<Ty>),
+    /// Result of a bucket generator: dense per-bucket values of the element
+    /// type, plus the key directory that maps keys to bucket indices.
+    ///
+    /// `BucketCollect` produces `Buckets { key, value: Arr(V) }` and
+    /// `BucketReduce` produces `Buckets { key, value: V }`.
+    Buckets {
+        /// Key type (`K` in the paper).
+        key: Box<Ty>,
+        /// Per-bucket value type.
+        value: Box<Ty>,
+    },
+    /// Named record.
+    Struct(StructTy),
+}
+
+impl Ty {
+    /// Shorthand for `Arr`.
+    pub fn arr(elem: Ty) -> Ty {
+        Ty::Arr(Box::new(elem))
+    }
+
+    /// Shorthand for `Buckets`.
+    pub fn buckets(key: Ty, value: Ty) -> Ty {
+        Ty::Buckets {
+            key: Box::new(key),
+            value: Box::new(value),
+        }
+    }
+
+    /// Element type if this is an array.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Arr(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for `I64`/`F64`/`Bool` — the types a GPU reduction can keep in
+    /// shared memory (the motivation for the Row-to-Column Reduce rule).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::I64 | Ty::F64 | Ty::Bool)
+    }
+
+    /// True for numeric scalars.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::I64 | Ty::F64)
+    }
+
+    /// Rough per-element byte width used by the runtime cost model.
+    pub fn byte_width(&self) -> usize {
+        match self {
+            Ty::I64 | Ty::F64 => 8,
+            Ty::Bool => 1,
+            Ty::Str => 16,
+            Ty::Unit => 0,
+            Ty::Tuple(ts) => ts.iter().map(Ty::byte_width).sum(),
+            // Arrays and buckets are headers; payload is accounted separately.
+            Ty::Arr(_) | Ty::Buckets { .. } => 16,
+            Ty::Struct(s) => s.fields.iter().map(|(_, t)| t.byte_width()).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "Int"),
+            Ty::F64 => write!(f, "Double"),
+            Ty::Bool => write!(f, "Bool"),
+            Ty::Str => write!(f, "String"),
+            Ty::Unit => write!(f, "Unit"),
+            Ty::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Arr(e) => write!(f, "Coll[{e}]"),
+            Ty::Buckets { key, value } => write!(f, "Buckets[{key}, {value}]"),
+            Ty::Struct(s) => write!(f, "{}", s.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::arr(Ty::F64).to_string(), "Coll[Double]");
+        assert_eq!(
+            Ty::buckets(Ty::I64, Ty::arr(Ty::F64)).to_string(),
+            "Buckets[Int, Coll[Double]]"
+        );
+        assert_eq!(
+            Ty::Tuple(vec![Ty::I64, Ty::Bool]).to_string(),
+            "(Int, Bool)"
+        );
+    }
+
+    #[test]
+    fn struct_lookup() {
+        let s = StructTy::new(
+            "LineItem",
+            vec![("quantity".into(), Ty::F64), ("status".into(), Ty::I64)],
+        );
+        assert_eq!(s.field_ty("status"), Some(&Ty::I64));
+        assert_eq!(s.field_index("quantity"), Some(0));
+        assert_eq!(s.field_ty("missing"), None);
+    }
+
+    #[test]
+    fn scalar_predicate() {
+        assert!(Ty::F64.is_scalar());
+        assert!(!Ty::arr(Ty::F64).is_scalar());
+        assert!(Ty::I64.is_numeric());
+        assert!(!Ty::Bool.is_numeric());
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Ty::F64.byte_width(), 8);
+        assert_eq!(Ty::Tuple(vec![Ty::I64, Ty::Bool]).byte_width(), 9);
+        let s = StructTy::new("P", vec![("a".into(), Ty::F64), ("b".into(), Ty::F64)]);
+        assert_eq!(Ty::Struct(s).byte_width(), 16);
+    }
+
+    #[test]
+    fn elem_accessor() {
+        assert_eq!(Ty::arr(Ty::I64).elem(), Some(&Ty::I64));
+        assert_eq!(Ty::I64.elem(), None);
+    }
+}

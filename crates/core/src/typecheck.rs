@@ -1,0 +1,604 @@
+//! Type inference and validation for DMLL programs.
+//!
+//! Because transformation passes rebuild blocks wholesale, types are not
+//! stored in the IR; they are re-inferred on demand. [`infer`] walks the
+//! whole program and returns a [`TypeMap`] assigning a type to every symbol
+//! (inputs, parameters and statement results at any depth), failing with a
+//! descriptive [`CoreError`] on ill-typed or structurally malformed IR.
+//!
+//! Every transformation test in `dmll-transform` re-runs the checker after
+//! the pass, which is the project's main line of defence against rewrite
+//! bugs.
+
+use crate::block::Block;
+use crate::def::{Def, PrimOp, Stmt};
+use crate::error::{CoreError, CoreResult};
+use crate::exp::{Const, Exp, Sym};
+use crate::gen::Gen;
+use crate::program::Program;
+use crate::ty::Ty;
+use std::collections::HashMap;
+
+/// Symbol-to-type assignment for a whole program.
+pub type TypeMap = HashMap<Sym, Ty>;
+
+/// Infer the type of every symbol in the program.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Type`] when an operation is applied to operands of
+/// the wrong type, and [`CoreError::Malformed`] when the IR is structurally
+/// broken (unbound symbol, wrong operator arity, loop statement whose
+/// left-hand side arity differs from its generator count, …).
+pub fn infer(program: &Program) -> CoreResult<TypeMap> {
+    let mut env: TypeMap = HashMap::new();
+    for input in &program.inputs {
+        env.insert(input.sym, input.ty.clone());
+    }
+    if !program.body.params.is_empty() {
+        return Err(CoreError::Malformed(
+            "program body must not have parameters".into(),
+        ));
+    }
+    check_block(&program.body, &[], &mut env)?;
+    Ok(env)
+}
+
+/// Infer the result type of a single expression under an environment.
+pub fn exp_ty(exp: &Exp, env: &TypeMap) -> CoreResult<Ty> {
+    match exp {
+        Exp::Const(c) => Ok(match c {
+            Const::I64(_) => Ty::I64,
+            Const::F64(_) => Ty::F64,
+            Const::Bool(_) => Ty::Bool,
+            Const::Str(_) => Ty::Str,
+            Const::Unit => Ty::Unit,
+        }),
+        Exp::Sym(s) => env
+            .get(s)
+            .cloned()
+            .ok_or_else(|| CoreError::Malformed(format!("unbound symbol {s}"))),
+    }
+}
+
+fn check_block(block: &Block, param_tys: &[Ty], env: &mut TypeMap) -> CoreResult<Ty> {
+    if block.params.len() != param_tys.len() {
+        return Err(CoreError::Malformed(format!(
+            "block has {} params, expected {}",
+            block.params.len(),
+            param_tys.len()
+        )));
+    }
+    for (p, t) in block.params.iter().zip(param_tys) {
+        env.insert(*p, t.clone());
+    }
+    for stmt in &block.stmts {
+        check_stmt(stmt, env)?;
+    }
+    exp_ty(&block.result, env)
+}
+
+fn check_stmt(stmt: &Stmt, env: &mut TypeMap) -> CoreResult<()> {
+    let tys = def_tys(&stmt.def, env)?;
+    if stmt.lhs.len() != tys.len() {
+        return Err(CoreError::Malformed(format!(
+            "statement binds {} symbols but its definition produces {} values",
+            stmt.lhs.len(),
+            tys.len()
+        )));
+    }
+    for (s, t) in stmt.lhs.iter().zip(tys) {
+        env.insert(*s, t);
+    }
+    Ok(())
+}
+
+fn expect(cond: bool, msg: impl FnOnce() -> String) -> CoreResult<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(CoreError::Type(msg()))
+    }
+}
+
+fn def_tys(def: &Def, env: &mut TypeMap) -> CoreResult<Vec<Ty>> {
+    let one = |t: Ty| Ok(vec![t]);
+    match def {
+        Def::Prim { op, args } => {
+            if args.len() != op.arity() {
+                return Err(CoreError::Malformed(format!(
+                    "{op} expects {} operands, got {}",
+                    op.arity(),
+                    args.len()
+                )));
+            }
+            let ats: Vec<Ty> = args
+                .iter()
+                .map(|a| exp_ty(a, env))
+                .collect::<CoreResult<_>>()?;
+            one(prim_ty(*op, &ats)?)
+        }
+        Def::Math { f, arg } => {
+            let t = exp_ty(arg, env)?;
+            expect(t == Ty::F64, || {
+                format!("math fn {f} needs Double, got {t}")
+            })?;
+            one(Ty::F64)
+        }
+        Def::Cast { to, value } => {
+            let t = exp_ty(value, env)?;
+            expect(t.is_numeric() && to.is_numeric(), || {
+                format!("cast {t} -> {to} must be between numeric types")
+            })?;
+            one(to.clone())
+        }
+        Def::ArrayLen(e) => {
+            let t = exp_ty(e, env)?;
+            expect(matches!(t, Ty::Arr(_)), || {
+                format!("length of non-collection {t}")
+            })?;
+            one(Ty::I64)
+        }
+        Def::ArrayRead { arr, index } => {
+            let at = exp_ty(arr, env)?;
+            let it = exp_ty(index, env)?;
+            expect(it == Ty::I64, || format!("index must be Int, got {it}"))?;
+            match at {
+                Ty::Arr(e) => one(*e),
+                other => Err(CoreError::Type(format!("read of non-collection {other}"))),
+            }
+        }
+        Def::TupleNew(es) => {
+            let ts: Vec<Ty> = es
+                .iter()
+                .map(|e| exp_ty(e, env))
+                .collect::<CoreResult<_>>()?;
+            one(Ty::Tuple(ts))
+        }
+        Def::TupleGet { tuple, index } => {
+            let t = exp_ty(tuple, env)?;
+            match t {
+                Ty::Tuple(ts) if *index < ts.len() => one(ts[*index].clone()),
+                Ty::Tuple(ts) => Err(CoreError::Type(format!(
+                    "tuple index {index} out of range for arity {}",
+                    ts.len()
+                ))),
+                other => Err(CoreError::Type(format!(
+                    "projection from non-tuple {other}"
+                ))),
+            }
+        }
+        Def::StructNew { ty, fields } => {
+            if fields.len() != ty.fields.len() {
+                return Err(CoreError::Malformed(format!(
+                    "struct {} has {} fields, got {}",
+                    ty.name,
+                    ty.fields.len(),
+                    fields.len()
+                )));
+            }
+            for (e, (name, ft)) in fields.iter().zip(&ty.fields) {
+                let at = exp_ty(e, env)?;
+                expect(&at == ft, || {
+                    format!("field {}.{name}: expected {ft}, got {at}", ty.name)
+                })?;
+            }
+            one(Ty::Struct(ty.clone()))
+        }
+        Def::StructGet { obj, field } => {
+            let t = exp_ty(obj, env)?;
+            match t {
+                Ty::Struct(s) => s.field_ty(field).cloned().map(|t| vec![t]).ok_or_else(|| {
+                    CoreError::Type(format!("struct {} has no field {field}", s.name))
+                }),
+                other => Err(CoreError::Type(format!(
+                    "field read from non-struct {other}"
+                ))),
+            }
+        }
+        Def::Flatten(e) => match exp_ty(e, env)? {
+            Ty::Arr(inner) => match *inner {
+                Ty::Arr(elem) => one(Ty::Arr(elem)),
+                other => Err(CoreError::Type(format!(
+                    "flatten needs a collection of collections, got Coll[{other}]"
+                ))),
+            },
+            other => Err(CoreError::Type(format!("flatten of {other}"))),
+        },
+        Def::BucketValues(e) => match exp_ty(e, env)? {
+            Ty::Buckets { value, .. } => one(Ty::Arr(value)),
+            other => Err(CoreError::Type(format!("bucketValues of {other}"))),
+        },
+        Def::BucketKeys(e) => match exp_ty(e, env)? {
+            Ty::Buckets { key, .. } => one(Ty::Arr(key)),
+            other => Err(CoreError::Type(format!("bucketKeys of {other}"))),
+        },
+        Def::BucketLen(e) => match exp_ty(e, env)? {
+            Ty::Buckets { .. } => one(Ty::I64),
+            other => Err(CoreError::Type(format!("bucketLen of {other}"))),
+        },
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => {
+            let bt = exp_ty(buckets, env)?;
+            let kt = exp_ty(key, env)?;
+            match bt {
+                Ty::Buckets { key: bk, value } => {
+                    expect(*bk == kt, || {
+                        format!("bucket key type mismatch: {bk} vs {kt}")
+                    })?;
+                    if let Some(d) = default {
+                        let dt = exp_ty(d, env)?;
+                        expect(dt == *value, || {
+                            format!("bucket default type mismatch: {value} vs {dt}")
+                        })?;
+                    }
+                    one(*value)
+                }
+                other => Err(CoreError::Type(format!("bucketGet of {other}"))),
+            }
+        }
+        Def::Loop(ml) => {
+            let st = exp_ty(&ml.size, env)?;
+            expect(st == Ty::I64, || format!("loop size must be Int, got {st}"))?;
+            if ml.gens.is_empty() {
+                return Err(CoreError::Malformed("multiloop with no generators".into()));
+            }
+            ml.gens.iter().map(|g| gen_ty(g, env)).collect()
+        }
+        Def::Extern { ret, args, .. } => {
+            for a in args {
+                exp_ty(a, env)?;
+            }
+            one(ret.clone())
+        }
+    }
+}
+
+fn gen_ty(gen: &Gen, env: &mut TypeMap) -> CoreResult<Ty> {
+    if let Some(c) = gen.cond() {
+        let ct = check_block(c, &[Ty::I64], env)?;
+        expect(ct == Ty::Bool, || {
+            format!("generator condition must return Bool, got {ct}")
+        })?;
+    }
+    let vt = check_block(gen.value(), &[Ty::I64], env)?;
+    let kt = match gen.key() {
+        Some(k) => Some(check_block(k, &[Ty::I64], env)?),
+        None => None,
+    };
+    if let Some(r) = gen.reducer() {
+        let rt = check_block(r, &[vt.clone(), vt.clone()], env)?;
+        expect(rt == vt, || {
+            format!("reducer must return the value type {vt}, got {rt}")
+        })?;
+    }
+    let init = match gen {
+        Gen::Reduce { init, .. } | Gen::BucketReduce { init, .. } => init.as_ref(),
+        _ => None,
+    };
+    if let Some(i) = init {
+        let it = exp_ty(i, env)?;
+        expect(it == vt, || {
+            format!("reduce identity must have the value type {vt}, got {it}")
+        })?;
+    }
+    Ok(match gen {
+        Gen::Collect { .. } => Ty::arr(vt),
+        Gen::Reduce { .. } => vt,
+        Gen::BucketCollect { .. } => Ty::buckets(kt.expect("bucket has key"), Ty::arr(vt)),
+        Gen::BucketReduce { .. } => Ty::buckets(kt.expect("bucket has key"), vt),
+    })
+}
+
+fn prim_ty(op: PrimOp, args: &[Ty]) -> CoreResult<Ty> {
+    use PrimOp::*;
+    let same = |a: &Ty, b: &Ty| -> CoreResult<()> {
+        expect(a == b, || format!("{op}: operand types differ: {a} vs {b}"))
+    };
+    match op {
+        Add | Sub | Mul | Div | Min | Max => {
+            same(&args[0], &args[1])?;
+            expect(args[0].is_numeric(), || {
+                format!("{op} needs numeric operands, got {}", args[0])
+            })?;
+            Ok(args[0].clone())
+        }
+        Rem => {
+            same(&args[0], &args[1])?;
+            expect(args[0] == Ty::I64, || {
+                format!("% needs Int operands, got {}", args[0])
+            })?;
+            Ok(Ty::I64)
+        }
+        Neg => {
+            expect(args[0].is_numeric(), || {
+                format!("neg needs a numeric operand, got {}", args[0])
+            })?;
+            Ok(args[0].clone())
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            same(&args[0], &args[1])?;
+            expect(
+                args[0].is_scalar() || args[0] == Ty::Str || matches!(args[0], Ty::Tuple(_)),
+                || format!("{op} cannot compare {}", args[0]),
+            )?;
+            Ok(Ty::Bool)
+        }
+        And | Or => {
+            same(&args[0], &args[1])?;
+            expect(args[0] == Ty::Bool, || {
+                format!("{op} needs Bool operands, got {}", args[0])
+            })?;
+            Ok(Ty::Bool)
+        }
+        Not => {
+            expect(args[0] == Ty::Bool, || {
+                format!("! needs a Bool operand, got {}", args[0])
+            })?;
+            Ok(Ty::Bool)
+        }
+        Mux => {
+            expect(args[0] == Ty::Bool, || {
+                format!("mux condition must be Bool, got {}", args[0])
+            })?;
+            same(&args[1], &args[2])?;
+            Ok(args[1].clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Multiloop;
+    use crate::program::LayoutHint;
+
+    fn map_reduce_program() -> Program {
+        // x = input Coll[Double]
+        // m = Collect_{len(x)}(_)(i => exp(x(i)))
+        // r = Reduce_{len(m)}(_)(i => m(i))(+)
+        let mut p = Program::new();
+        let x = p.add_input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let i = p.fresh();
+        let xi = p.fresh();
+        let e = p.fresh();
+        let value = Block {
+            params: vec![i],
+            stmts: vec![
+                Stmt::one(
+                    xi,
+                    Def::ArrayRead {
+                        arr: Exp::Sym(x),
+                        index: Exp::Sym(i),
+                    },
+                ),
+                Stmt::one(
+                    e,
+                    Def::Math {
+                        f: crate::def::MathFn::Exp,
+                        arg: Exp::Sym(xi),
+                    },
+                ),
+            ],
+            result: Exp::Sym(e),
+        };
+        let len = p.fresh();
+        let m = p.fresh();
+        let j = p.fresh();
+        let mj = p.fresh();
+        let rv = Block {
+            params: vec![j],
+            stmts: vec![Stmt::one(
+                mj,
+                Def::ArrayRead {
+                    arr: Exp::Sym(m),
+                    index: Exp::Sym(j),
+                },
+            )],
+            result: Exp::Sym(mj),
+        };
+        let a = p.fresh();
+        let b = p.fresh();
+        let sum = p.fresh();
+        let reducer = Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(sum, Def::prim2(PrimOp::Add, a, b))],
+            result: Exp::Sym(sum),
+        };
+        let mlen = p.fresh();
+        let r = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![
+                Stmt::one(len, Def::ArrayLen(Exp::Sym(x))),
+                Stmt::one(
+                    m,
+                    Def::Loop(Multiloop::single(len, Gen::Collect { cond: None, value })),
+                ),
+                Stmt::one(mlen, Def::ArrayLen(Exp::Sym(m))),
+                Stmt::one(
+                    r,
+                    Def::Loop(Multiloop::single(
+                        mlen,
+                        Gen::Reduce {
+                            cond: None,
+                            value: rv,
+                            reducer,
+                            init: Some(Exp::f64(0.0)),
+                        },
+                    )),
+                ),
+            ],
+            result: Exp::Sym(r),
+        };
+        p
+    }
+
+    #[test]
+    fn map_reduce_types() {
+        let p = map_reduce_program();
+        let tys = infer(&p).expect("well-typed");
+        let m = p
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.def, Def::Loop(_)))
+            .unwrap()
+            .sym();
+        assert_eq!(tys[&m], Ty::arr(Ty::F64));
+        let r = p.body.result.as_sym().unwrap();
+        assert_eq!(tys[&r], Ty::F64);
+    }
+
+    #[test]
+    fn unbound_symbol_rejected() {
+        let mut p = Program::new();
+        p.body = Block::ret(vec![], Sym(42));
+        let err = infer(&p).unwrap_err();
+        assert!(matches!(err, CoreError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_operand_types_rejected() {
+        let mut p = Program::new();
+        let s = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![Stmt::one(
+                s,
+                Def::prim2(PrimOp::Add, Exp::i64(1), Exp::f64(1.0)),
+            )],
+            result: Exp::Sym(s),
+        };
+        assert!(matches!(infer(&p), Err(CoreError::Type(_))));
+    }
+
+    #[test]
+    fn loop_lhs_arity_checked() {
+        let mut p = Program::new();
+        let i = p.fresh();
+        let value = Block::ret(vec![i], i);
+        let s1 = p.fresh();
+        let s2 = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![Stmt {
+                lhs: vec![s1, s2],
+                def: Def::Loop(Multiloop::single(
+                    Exp::i64(4),
+                    Gen::Collect { cond: None, value },
+                )),
+            }],
+            result: Exp::Sym(s1),
+        };
+        let err = infer(&p).unwrap_err();
+        assert!(matches!(err, CoreError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn reducer_type_mismatch_rejected() {
+        let mut p = Program::new();
+        let i = p.fresh();
+        let value = Block::ret(vec![i], i); // Int values
+        let a = p.fresh();
+        let b = p.fresh();
+        // reducer returns Bool instead of Int
+        let eq = p.fresh();
+        let reducer = Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(eq, Def::prim2(PrimOp::Eq, a, b))],
+            result: Exp::Sym(eq),
+        };
+        let s = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![Stmt::one(
+                s,
+                Def::Loop(Multiloop::single(
+                    Exp::i64(4),
+                    Gen::Reduce {
+                        cond: None,
+                        value,
+                        reducer,
+                        init: None,
+                    },
+                )),
+            )],
+            result: Exp::Sym(s),
+        };
+        assert!(matches!(infer(&p), Err(CoreError::Type(_))));
+    }
+
+    #[test]
+    fn bucket_types() {
+        // BucketReduce over ints keyed by i % 3 summing i.
+        let mut p = Program::new();
+        let i = p.fresh();
+        let k = p.fresh();
+        let key = Block {
+            params: vec![i],
+            stmts: vec![Stmt::one(k, Def::prim2(PrimOp::Rem, i, Exp::i64(3)))],
+            result: Exp::Sym(k),
+        };
+        let j = p.fresh();
+        let value = Block::ret(vec![j], j);
+        let a = p.fresh();
+        let b = p.fresh();
+        let s = p.fresh();
+        let reducer = Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(s, Def::prim2(PrimOp::Add, a, b))],
+            result: Exp::Sym(s),
+        };
+        let out = p.fresh();
+        let vals = p.fresh();
+        let n = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![
+                Stmt::one(
+                    out,
+                    Def::Loop(Multiloop::single(
+                        Exp::i64(10),
+                        Gen::BucketReduce {
+                            cond: None,
+                            key,
+                            value,
+                            reducer,
+                            init: Some(Exp::i64(0)),
+                        },
+                    )),
+                ),
+                Stmt::one(vals, Def::BucketValues(Exp::Sym(out))),
+                Stmt::one(n, Def::BucketLen(Exp::Sym(out))),
+            ],
+            result: Exp::Sym(vals),
+        };
+        let tys = infer(&p).expect("well-typed");
+        assert_eq!(tys[&out], Ty::buckets(Ty::I64, Ty::I64));
+        assert_eq!(tys[&vals], Ty::arr(Ty::I64));
+        assert_eq!(tys[&n], Ty::I64);
+    }
+
+    #[test]
+    fn mux_types() {
+        let mut p = Program::new();
+        let s = p.fresh();
+        p.body = Block {
+            params: vec![],
+            stmts: vec![Stmt::one(
+                s,
+                Def::Prim {
+                    op: PrimOp::Mux,
+                    args: vec![Exp::bool(true), Exp::f64(1.0), Exp::f64(2.0)],
+                },
+            )],
+            result: Exp::Sym(s),
+        };
+        let tys = infer(&p).unwrap();
+        assert_eq!(tys[&s], Ty::F64);
+    }
+}

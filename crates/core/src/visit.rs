@@ -1,0 +1,315 @@
+//! IR traversal utilities: child blocks, expression walks, free variables
+//! and use counting.
+
+use crate::block::Block;
+use crate::def::Def;
+use crate::exp::{Exp, Sym};
+use std::collections::{BTreeSet, HashMap};
+
+/// The blocks nested directly inside a definition (generator component
+/// functions for loops; none for scalar ops).
+pub fn def_blocks(def: &Def) -> Vec<&Block> {
+    match def {
+        Def::Loop(ml) => ml.gens.iter().flat_map(|g| g.blocks()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Mutable version of [`def_blocks`].
+pub fn def_blocks_mut(def: &mut Def) -> Vec<&mut Block> {
+    match def {
+        Def::Loop(ml) => ml.gens.iter_mut().flat_map(|g| g.blocks_mut()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Visit every expression appearing *directly* in a definition — operands,
+/// multiloop sizes, generator `init` expressions — but not expressions inside
+/// nested blocks.
+pub fn for_each_exp_shallow(def: &Def, f: &mut impl FnMut(&Exp)) {
+    match def {
+        Def::Prim { args, .. } | Def::TupleNew(args) | Def::StructNew { fields: args, .. } => {
+            args.iter().for_each(&mut *f)
+        }
+        Def::Math { arg, .. } | Def::Cast { value: arg, .. } => f(arg),
+        Def::ArrayLen(e)
+        | Def::TupleGet { tuple: e, .. }
+        | Def::StructGet { obj: e, .. }
+        | Def::Flatten(e)
+        | Def::BucketValues(e)
+        | Def::BucketKeys(e)
+        | Def::BucketLen(e) => f(e),
+        Def::ArrayRead { arr, index } => {
+            f(arr);
+            f(index);
+        }
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => {
+            f(buckets);
+            f(key);
+            if let Some(d) = default {
+                f(d);
+            }
+        }
+        Def::Loop(ml) => {
+            f(&ml.size);
+            for g in &ml.gens {
+                match g {
+                    crate::gen::Gen::Reduce { init: Some(i), .. }
+                    | crate::gen::Gen::BucketReduce { init: Some(i), .. } => f(i),
+                    _ => {}
+                }
+            }
+        }
+        Def::Extern { args, .. } => args.iter().for_each(&mut *f),
+    }
+}
+
+/// Mutable version of [`for_each_exp_shallow`].
+pub fn for_each_exp_shallow_mut(def: &mut Def, f: &mut impl FnMut(&mut Exp)) {
+    match def {
+        Def::Prim { args, .. } | Def::TupleNew(args) | Def::StructNew { fields: args, .. } => {
+            args.iter_mut().for_each(&mut *f)
+        }
+        Def::Math { arg, .. } | Def::Cast { value: arg, .. } => f(arg),
+        Def::ArrayLen(e)
+        | Def::TupleGet { tuple: e, .. }
+        | Def::StructGet { obj: e, .. }
+        | Def::Flatten(e)
+        | Def::BucketValues(e)
+        | Def::BucketKeys(e)
+        | Def::BucketLen(e) => f(e),
+        Def::ArrayRead { arr, index } => {
+            f(arr);
+            f(index);
+        }
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => {
+            f(buckets);
+            f(key);
+            if let Some(d) = default {
+                f(d);
+            }
+        }
+        Def::Loop(ml) => {
+            f(&mut ml.size);
+            for g in &mut ml.gens {
+                match g {
+                    crate::gen::Gen::Reduce { init: Some(i), .. }
+                    | crate::gen::Gen::BucketReduce { init: Some(i), .. } => f(i),
+                    _ => {}
+                }
+            }
+        }
+        Def::Extern { args, .. } => args.iter_mut().for_each(&mut *f),
+    }
+}
+
+/// Visit every expression in a block, recursing into nested blocks.
+pub fn for_each_exp_deep(block: &Block, f: &mut impl FnMut(&Exp)) {
+    for stmt in &block.stmts {
+        for_each_exp_shallow(&stmt.def, f);
+        for b in def_blocks(&stmt.def) {
+            for_each_exp_deep(b, f);
+        }
+    }
+    f(&block.result);
+}
+
+/// Rewrite every expression in a block in place, recursing into nested
+/// blocks.
+pub fn for_each_exp_deep_mut(block: &mut Block, f: &mut impl FnMut(&mut Exp)) {
+    for stmt in &mut block.stmts {
+        for_each_exp_shallow_mut(&mut stmt.def, f);
+        for b in def_blocks_mut(&mut stmt.def) {
+            for_each_exp_deep_mut(b, f);
+        }
+    }
+    f(&mut block.result);
+}
+
+/// Visit every definition in a block, recursing into nested blocks,
+/// in statement order (outer statements before their nested blocks).
+pub fn for_each_def_deep(block: &Block, f: &mut impl FnMut(&Def)) {
+    for stmt in &block.stmts {
+        f(&stmt.def);
+        for b in def_blocks(&stmt.def) {
+            for_each_def_deep(b, f);
+        }
+    }
+}
+
+fn collect_free(block: &Block, bound: &mut Vec<Sym>, free: &mut BTreeSet<Sym>) {
+    let depth = bound.len();
+    bound.extend(block.params.iter().copied());
+    for stmt in &block.stmts {
+        let mut note = |e: &Exp| {
+            if let Exp::Sym(s) = e {
+                if !bound.contains(s) {
+                    free.insert(*s);
+                }
+            }
+        };
+        for_each_exp_shallow(&stmt.def, &mut note);
+        for b in def_blocks(&stmt.def) {
+            collect_free(b, bound, free);
+        }
+        bound.extend(stmt.lhs.iter().copied());
+    }
+    if let Exp::Sym(s) = &block.result {
+        if !bound.contains(s) {
+            free.insert(*s);
+        }
+    }
+    bound.truncate(depth);
+}
+
+/// The free variables of a block: symbols referenced but bound neither by
+/// the block's parameters nor by any statement within it (at any depth).
+pub fn free_syms(block: &Block) -> BTreeSet<Sym> {
+    let mut free = BTreeSet::new();
+    collect_free(block, &mut Vec::new(), &mut free);
+    free
+}
+
+/// Count how many times each symbol is referenced anywhere inside `block`
+/// (deep). Block results count as uses; bindings do not.
+pub fn count_uses(block: &Block, counts: &mut HashMap<Sym, usize>) {
+    for_each_exp_deep(block, &mut |e| {
+        if let Exp::Sym(s) = e {
+            *counts.entry(*s).or_insert(0) += 1;
+        }
+    });
+}
+
+/// All symbols bound anywhere inside a block (params and statement lhs,
+/// deep).
+pub fn bound_syms(block: &Block) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    fn go(b: &Block, out: &mut BTreeSet<Sym>) {
+        out.extend(b.params.iter().copied());
+        for stmt in &b.stmts {
+            out.extend(stmt.lhs.iter().copied());
+            for nb in def_blocks(&stmt.def) {
+                go(nb, out);
+            }
+        }
+    }
+    go(block, &mut out);
+    out
+}
+
+/// True when `block` (deep) references `sym`.
+pub fn uses_sym(block: &Block, sym: Sym) -> bool {
+    let mut found = false;
+    for_each_exp_deep(block, &mut |e| {
+        if e.as_sym() == Some(sym) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::{Def, PrimOp, Stmt};
+    use crate::gen::{Gen, Multiloop};
+
+    /// Builds: block(params=[]) { x2 = x0 + 1; x3 = loop(x2) { collect i:
+    /// x4 => x4 * x1 }; result x3 }
+    fn sample() -> Block {
+        let value = Block {
+            params: vec![Sym(4)],
+            stmts: vec![Stmt::one(Sym(5), Def::prim2(PrimOp::Mul, Sym(4), Sym(1)))],
+            result: Exp::Sym(Sym(5)),
+        };
+        Block {
+            params: vec![],
+            stmts: vec![
+                Stmt::one(Sym(2), Def::prim2(PrimOp::Add, Sym(0), Exp::i64(1))),
+                Stmt::one(
+                    Sym(3),
+                    Def::Loop(Multiloop::single(
+                        Sym(2),
+                        Gen::Collect { cond: None, value },
+                    )),
+                ),
+            ],
+            result: Exp::Sym(Sym(3)),
+        }
+    }
+
+    #[test]
+    fn free_variables() {
+        let b = sample();
+        let free = free_syms(&b);
+        assert!(free.contains(&Sym(0)), "x0 is free");
+        assert!(free.contains(&Sym(1)), "x1 is free inside nested block");
+        assert!(!free.contains(&Sym(2)), "x2 is bound");
+        assert!(!free.contains(&Sym(4)), "x4 is a nested param");
+        assert!(!free.contains(&Sym(5)), "x5 is bound in the nested block");
+    }
+
+    #[test]
+    fn use_counting() {
+        let b = sample();
+        let mut counts = HashMap::new();
+        count_uses(&b, &mut counts);
+        assert_eq!(counts.get(&Sym(2)), Some(&1), "loop size use");
+        assert_eq!(counts.get(&Sym(4)), Some(&1));
+        assert_eq!(counts.get(&Sym(3)), Some(&1), "block result use");
+        assert_eq!(counts.get(&Sym(9)), None);
+    }
+
+    #[test]
+    fn bound_symbols() {
+        let b = sample();
+        let bound = bound_syms(&b);
+        for s in [2u32, 3, 4, 5] {
+            assert!(bound.contains(&Sym(s)), "x{s} should be bound");
+        }
+        assert!(!bound.contains(&Sym(0)));
+    }
+
+    #[test]
+    fn uses_sym_deep() {
+        let b = sample();
+        assert!(uses_sym(&b, Sym(1)));
+        assert!(!uses_sym(&b, Sym(7)));
+    }
+
+    #[test]
+    fn shallow_visit_sees_loop_size_not_body() {
+        let b = sample();
+        let loop_def = &b.stmts[1].def;
+        let mut seen = Vec::new();
+        for_each_exp_shallow(loop_def, &mut |e| seen.push(e.clone()));
+        assert_eq!(seen, vec![Exp::Sym(Sym(2))]);
+    }
+
+    #[test]
+    fn deep_mut_rewrites() {
+        let mut b = sample();
+        for_each_exp_deep_mut(&mut b, &mut |e| {
+            if e.as_sym() == Some(Sym(1)) {
+                *e = Exp::i64(42);
+            }
+        });
+        assert!(!uses_sym(&b, Sym(1)));
+    }
+
+    #[test]
+    fn def_deep_visits_nested() {
+        let b = sample();
+        let mut n = 0;
+        for_each_def_deep(&b, &mut |_| n += 1);
+        assert_eq!(n, 3, "add, loop, and nested mul");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests over the IR utilities: free/bound variable computation,
+//! use counting, and rebinding.
+
+use dmll_core::rebind::Rebinder;
+use dmll_core::visit::{bound_syms, count_uses, free_syms};
+use dmll_core::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A recipe for one statement in a random straight-line block over f64s.
+#[derive(Clone, Debug)]
+enum StmtRecipe {
+    /// Binary op over two previous values (indices are taken modulo the
+    /// number of available values).
+    Bin(u8, usize, usize),
+    /// Math function of a previous value.
+    Math(u8, usize),
+    /// A nested collect loop whose body multiplies a previous value by the
+    /// loop index.
+    Nested(usize),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = StmtRecipe> {
+    prop_oneof![
+        (0u8..4, any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| StmtRecipe::Bin(o, a, b)),
+        (0u8..3, any::<usize>()).prop_map(|(f, a)| StmtRecipe::Math(f, a)),
+        any::<usize>().prop_map(StmtRecipe::Nested),
+    ]
+}
+
+/// Build a random (but well-formed) program from recipes. Returns the
+/// program; its body has one input and a chain of statements.
+fn build(recipes: &[StmtRecipe]) -> Program {
+    let mut p = Program::new();
+    let x = p.add_input("x", Ty::F64, LayoutHint::Local);
+    let mut avail: Vec<Sym> = vec![x];
+    let mut stmts = Vec::new();
+    for r in recipes {
+        match r {
+            StmtRecipe::Bin(op, a, b) => {
+                let ops = [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Max];
+                let s = p.fresh();
+                stmts.push(Stmt::one(
+                    s,
+                    Def::prim2(
+                        ops[*op as usize % ops.len()],
+                        avail[a % avail.len()],
+                        avail[b % avail.len()],
+                    ),
+                ));
+                avail.push(s);
+            }
+            StmtRecipe::Math(f, a) => {
+                let fns = [MathFn::Abs, MathFn::Tanh, MathFn::Cos];
+                let s = p.fresh();
+                stmts.push(Stmt::one(
+                    s,
+                    Def::Math {
+                        f: fns[*f as usize % fns.len()],
+                        arg: Exp::Sym(avail[a % avail.len()]),
+                    },
+                ));
+                avail.push(s);
+            }
+            StmtRecipe::Nested(a) => {
+                let i = p.fresh();
+                let cast = p.fresh();
+                let prod = p.fresh();
+                let captured = avail[a % avail.len()];
+                let value = Block {
+                    params: vec![i],
+                    stmts: vec![
+                        Stmt::one(
+                            cast,
+                            Def::Cast {
+                                to: Ty::F64,
+                                value: Exp::Sym(i),
+                            },
+                        ),
+                        Stmt::one(prod, Def::prim2(PrimOp::Mul, cast, captured)),
+                    ],
+                    result: Exp::Sym(prod),
+                };
+                let out = p.fresh();
+                stmts.push(Stmt::one(
+                    out,
+                    Def::Loop(Multiloop::single(
+                        Exp::i64(4),
+                        Gen::Collect { cond: None, value },
+                    )),
+                ));
+                // Loops produce arrays; keep chaining on scalars only, but
+                // record a use through len to keep the loop live.
+                let n = p.fresh();
+                stmts.push(Stmt::one(n, Def::ArrayLen(Exp::Sym(out))));
+                let nf = p.fresh();
+                stmts.push(Stmt::one(
+                    nf,
+                    Def::Cast {
+                        to: Ty::F64,
+                        value: Exp::Sym(n),
+                    },
+                ));
+                avail.push(nf);
+            }
+        }
+    }
+    let result = *avail.last().expect("at least the input");
+    p.body = Block {
+        params: vec![],
+        stmts,
+        result: Exp::Sym(result),
+    };
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random programs type-check, and their free variables are exactly the
+    /// inputs they use.
+    #[test]
+    fn generated_programs_are_well_formed(recipes in prop::collection::vec(recipe_strategy(), 1..12)) {
+        let p = build(&recipes);
+        prop_assert!(typecheck::infer(&p).is_ok());
+        let free = free_syms(&p.body);
+        for s in &free {
+            prop_assert!(p.input_by_sym(*s).is_some(), "free {s} must be an input");
+        }
+        // Free and bound are disjoint.
+        let bound = bound_syms(&p.body);
+        prop_assert!(free.is_disjoint(&bound));
+    }
+
+    /// Rebinding allocates only fresh symbols, preserves free variables,
+    /// and preserves structure (statement count, loop count).
+    #[test]
+    fn rebind_preserves_shape(recipes in prop::collection::vec(recipe_strategy(), 1..12)) {
+        let mut p = build(&recipes);
+        let body = p.body.clone();
+        let watermark = p.next_sym_id();
+        let rebound = Rebinder::new(&mut p).rebind_block(&body);
+        for s in bound_syms(&rebound) {
+            prop_assert!(s.0 >= watermark, "{s} is not fresh");
+        }
+        prop_assert_eq!(free_syms(&rebound), free_syms(&body));
+        prop_assert_eq!(rebound.stmts.len(), body.stmts.len());
+        let loops = |b: &Block| {
+            let mut n = 0;
+            dmll_core::visit::for_each_def_deep(b, &mut |d| {
+                if matches!(d, Def::Loop(_)) {
+                    n += 1;
+                }
+            });
+            n
+        };
+        prop_assert_eq!(loops(&rebound), loops(&body));
+    }
+
+    /// Use counts equal the number of symbol occurrences: every counted
+    /// symbol is either bound or free, and binders are not uses.
+    #[test]
+    fn use_counts_are_consistent(recipes in prop::collection::vec(recipe_strategy(), 1..12)) {
+        let p = build(&recipes);
+        let mut counts = HashMap::new();
+        count_uses(&p.body, &mut counts);
+        let bound = bound_syms(&p.body);
+        let free = free_syms(&p.body);
+        for s in counts.keys() {
+            prop_assert!(bound.contains(s) || free.contains(s));
+        }
+        // The result is a use.
+        if let Exp::Sym(r) = &p.body.result {
+            prop_assert!(counts.get(r).copied().unwrap_or(0) >= 1);
+        }
+    }
+
+    /// Two consecutive rebinds produce disjoint binder sets (global symbol
+    /// uniqueness is preserved under transformation).
+    #[test]
+    fn double_rebind_disjoint(recipes in prop::collection::vec(recipe_strategy(), 1..8)) {
+        let mut p = build(&recipes);
+        let body = p.body.clone();
+        let a = Rebinder::new(&mut p).rebind_block(&body);
+        let b = Rebinder::new(&mut p).rebind_block(&body);
+        prop_assert!(bound_syms(&a).is_disjoint(&bound_syms(&b)));
+    }
+}

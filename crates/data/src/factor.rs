@@ -1,0 +1,141 @@
+//! Factor graphs for Gibbs sampling (§6.3, the DeepDive/DimmWitted
+//! workload).
+//!
+//! We generate pairwise (Ising-style) factor graphs over boolean variables:
+//! each factor connects two variables with a weight; the conditional
+//! distribution of a variable given its neighbors is a logistic function of
+//! the weighted sum — exactly the structure DimmWitted samples.
+
+use rand::prelude::*;
+
+/// A pairwise factor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairFactor {
+    /// First variable.
+    pub a: usize,
+    /// Second variable.
+    pub b: usize,
+    /// Coupling weight.
+    pub weight: f64,
+}
+
+/// A factor graph over boolean variables with per-variable bias and
+/// pairwise factors, stored in CSR-like adjacency for fast sampling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactorGraph {
+    /// Per-variable bias weight.
+    pub bias: Vec<f64>,
+    /// Factors.
+    pub factors: Vec<PairFactor>,
+    /// `adj_offsets[v]..adj_offsets[v+1]` indexes `adj` with the factor ids
+    /// touching v.
+    pub adj_offsets: Vec<usize>,
+    /// Factor indices per variable.
+    pub adj: Vec<usize>,
+}
+
+impl FactorGraph {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Factor ids touching `v`.
+    pub fn factors_of(&self, v: usize) -> &[usize] {
+        &self.adj[self.adj_offsets[v]..self.adj_offsets[v + 1]]
+    }
+
+    /// The weighted sum a variable sees from its neighbors under the given
+    /// assignment (the Gibbs conditional's logit).
+    pub fn local_field(&self, v: usize, assignment: &[i8]) -> f64 {
+        let mut field = self.bias[v];
+        for &f in self.factors_of(v) {
+            let fac = self.factors[f];
+            let other = if fac.a == v { fac.b } else { fac.a };
+            field += fac.weight * f64::from(assignment[other]);
+        }
+        field
+    }
+}
+
+/// Generate a random factor graph with `vars` variables and
+/// `factors_per_var` pairwise factors per variable on average.
+pub fn gen_factor_graph(vars: usize, factors_per_var: usize, seed: u64) -> FactorGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bias: Vec<f64> = (0..vars).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let nf = vars * factors_per_var / 2;
+    let factors: Vec<PairFactor> = (0..nf)
+        .map(|_| {
+            let a = rng.gen_range(0..vars);
+            let mut b = rng.gen_range(0..vars);
+            if b == a {
+                b = (b + 1) % vars;
+            }
+            PairFactor {
+                a,
+                b,
+                weight: rng.gen_range(-1.0..1.0),
+            }
+        })
+        .collect();
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); vars];
+    for (i, f) in factors.iter().enumerate() {
+        lists[f.a].push(i);
+        lists[f.b].push(i);
+    }
+    let mut adj_offsets = Vec::with_capacity(vars + 1);
+    let mut adj = Vec::new();
+    adj_offsets.push(0);
+    for l in lists {
+        adj.extend(l);
+        adj_offsets.push(adj.len());
+    }
+    FactorGraph {
+        bias,
+        factors,
+        adj_offsets,
+        adj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_consistent() {
+        let g = gen_factor_graph(100, 6, 4);
+        assert_eq!(g.num_vars(), 100);
+        assert_eq!(g.factors.len(), 300);
+        // Every adjacency entry points to a factor touching that variable.
+        for v in 0..100 {
+            for &f in g.factors_of(v) {
+                let fac = g.factors[f];
+                assert!(fac.a == v || fac.b == v);
+            }
+        }
+    }
+
+    #[test]
+    fn local_field_reflects_neighbors() {
+        let g = FactorGraph {
+            bias: vec![0.1, -0.2],
+            factors: vec![PairFactor {
+                a: 0,
+                b: 1,
+                weight: 2.0,
+            }],
+            adj_offsets: vec![0, 1, 2],
+            adj: vec![0, 0],
+        };
+        let field = g.local_field(0, &[1, 1]);
+        assert!((field - 2.1).abs() < 1e-12);
+        let field = g.local_field(0, &[1, -1]);
+        assert!((field + 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gen_factor_graph(50, 4, 9), gen_factor_graph(50, 4, 9));
+    }
+}

@@ -1,0 +1,90 @@
+//! Gene barcoding reads (the "Gene Barcoding" benchmark).
+//!
+//! The real workload groups millions of sequencer reads by molecular
+//! barcode and reduces each group (consensus/counting). We generate reads
+//! carrying a barcode and a gene id with realistic group-size skew.
+
+use rand::prelude::*;
+
+/// One sequencer read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Read {
+    /// Molecular barcode.
+    pub barcode: i64,
+    /// Gene the read maps to.
+    pub gene: i64,
+    /// Base-call quality score (0–60).
+    pub quality: i64,
+}
+
+/// Generate `n` reads over `barcodes` barcodes and `genes` genes with a
+/// skewed (Zipf-ish) barcode distribution.
+pub fn gen_reads(n: usize, barcodes: usize, genes: usize, seed: u64) -> Vec<Read> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf via inverse-power sampling.
+    let skew = 0.8f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let b = ((barcodes as f64) * u.powf(1.0 / (1.0 - skew))).min(barcodes as f64 - 1.0);
+            Read {
+                barcode: b as i64,
+                gene: rng.gen_range(0..genes) as i64,
+                quality: rng.gen_range(10..=60),
+            }
+        })
+        .collect()
+}
+
+/// Column layout of a read set.
+#[derive(Clone, Debug, Default)]
+pub struct ReadColumns {
+    /// Barcodes.
+    pub barcode: Vec<i64>,
+    /// Genes.
+    pub gene: Vec<i64>,
+    /// Qualities.
+    pub quality: Vec<i64>,
+}
+
+/// Split reads into columns.
+pub fn to_columns(reads: &[Read]) -> ReadColumns {
+    let mut c = ReadColumns::default();
+    for r in reads {
+        c.barcode.push(r.barcode);
+        c.gene.push(r.gene);
+        c.quality.push(r.quality);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gen_reads(500, 50, 20, 1), gen_reads(500, 50, 20, 1));
+    }
+
+    #[test]
+    fn ranges_and_skew() {
+        let reads = gen_reads(20_000, 100, 30, 2);
+        assert!(reads.iter().all(|r| r.barcode < 100 && r.gene < 30));
+        // Skew: the most popular barcode sees far more than the mean.
+        let mut counts = vec![0usize; 100];
+        for r in &reads {
+            counts[r.barcode as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 3 * (20_000 / 100), "max group {max}");
+    }
+
+    #[test]
+    fn columns_align() {
+        let reads = gen_reads(64, 8, 4, 3);
+        let cols = to_columns(&reads);
+        assert_eq!(cols.barcode.len(), 64);
+        assert_eq!(cols.gene[10], reads[10].gene);
+    }
+}

@@ -1,0 +1,156 @@
+//! Graph generation (R-MAT) and the CSR structure used by PageRank and
+//! Triangle Counting.
+
+use rand::prelude::*;
+
+/// A directed graph in compressed-sparse-row form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-edges.
+    pub offsets: Vec<i64>,
+    /// Edge targets, sorted within each vertex.
+    pub targets: Vec<i64>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[i64] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Build from an edge list (deduplicates and drops self-loops).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> CsrGraph {
+        let mut adj: Vec<Vec<i64>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u != v && u < n && v < n {
+                adj[u].push(v as i64);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as i64);
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// The reverse graph (in-edges become out-edges) — what the push↔pull
+    /// transformation switches between.
+    pub fn reversed(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for v in 0..n {
+            for &t in self.neighbors(v) {
+                edges.push((t as usize, v));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Make the graph undirected (symmetrize), as Triangle Counting needs.
+    pub fn symmetrized(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut edges = Vec::with_capacity(self.num_edges() * 2);
+        for v in 0..n {
+            for &t in self.neighbors(v) {
+                edges.push((v, t as usize));
+                edges.push((t as usize, v));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+}
+
+/// R-MAT generator with LiveJournal-like skew
+/// (`a=0.57, b=0.19, c=0.19, d=0.05`).
+///
+/// `scale` gives `2^scale` vertices; `edge_factor` edges per vertex.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_construction() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 0), (0, 1), (3, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4, "dup and self-loop dropped");
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn reversal_inverts_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert_eq!(r.reversed(), g, "double reversal is identity");
+    }
+
+    #[test]
+    fn symmetrize() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let s = g.symmetrized();
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_skewed() {
+        let g1 = rmat(10, 8, 5);
+        let g2 = rmat(10, 8, 5);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1024);
+        assert!(g1.num_edges() > 4000, "{}", g1.num_edges());
+        // Power-law-ish: the max degree dwarfs the average.
+        let max_deg = (0..g1.num_vertices()).map(|v| g1.degree(v)).max().unwrap();
+        let avg = g1.num_edges() as f64 / g1.num_vertices() as f64;
+        assert!(max_deg as f64 > avg * 8.0, "max {max_deg} vs avg {avg:.1}");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # Synthetic dataset generators
+//!
+//! Deterministic (seeded) stand-ins for the paper's datasets:
+//!
+//! | Paper dataset | Generator |
+//! |---|---|
+//! | TPC-H SF5 lineitem (5.3 GB) | [`tpch::gen_lineitems`] — same schema & key skew, scaled down |
+//! | LiveJournal social graph (1.1 GB) | [`graph::rmat`] — R-MAT with LiveJournal-like skew |
+//! | 500k × 100 dense matrices (835 MB) | [`matrix`] — Gaussian clusters / labeled classes |
+//! | 3.5M gene reads (689 MB) | [`gene::gen_reads`] — barcoded reads over gene ids |
+//! | DeepDive factor graphs | [`factor::gen_factor_graph`] — pairwise factors |
+//!
+//! Every generator takes an explicit seed so experiments are reproducible.
+
+pub mod factor;
+pub mod gene;
+pub mod graph;
+pub mod matrix;
+pub mod tpch;
+
+pub use factor::{FactorGraph, PairFactor};
+pub use gene::Read;
+pub use graph::CsrGraph;
+pub use tpch::LineItem;

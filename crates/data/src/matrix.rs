@@ -1,0 +1,137 @@
+//! Dense matrix generators for the machine-learning benchmarks.
+
+use rand::prelude::*;
+
+/// A row-major dense matrix with its shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    /// Row-major data of length `rows * cols`.
+    pub data: Vec<f64>,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+}
+
+impl DenseMatrix {
+    /// Element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+/// Uniform random matrix in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix {
+        data: (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect(),
+        rows,
+        cols,
+    }
+}
+
+/// Rows drawn from `k` Gaussian clusters (the k-means workload). Returns the
+/// matrix, the true centroids (k × cols) and the true assignment per row.
+pub fn gaussian_clusters(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    spread: f64,
+    seed: u64,
+) -> (DenseMatrix, DenseMatrix, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<f64> = (0..k * cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut truth = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let c = rng.gen_range(0..k);
+        truth.push(c as i64);
+        for j in 0..cols {
+            let noise: f64 = rng.sample::<f64, _>(rand::distributions::Standard) - 0.5;
+            data.push(centroids[c * cols + j] + noise * 2.0 * spread);
+        }
+    }
+    (
+        DenseMatrix { data, rows, cols },
+        DenseMatrix {
+            data: centroids,
+            rows: k,
+            cols,
+        },
+        truth,
+    )
+}
+
+/// A binary-labeled dataset with linearly separable-ish classes (logistic
+/// regression / GDA workload). Returns `(x, y)` with `y ∈ {0.0, 1.0}`.
+pub fn labeled_binary(rows: usize, cols: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut dot = 0.0;
+        for wj in w.iter().take(cols) {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            data.push(v);
+            dot += v * wj;
+        }
+        let noise: f64 = rng.gen_range(-0.3..0.3);
+        y.push(f64::from(dot + noise > 0.0));
+    }
+    (DenseMatrix { data, rows, cols }, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_determinism() {
+        let a = uniform(10, 5, -1.0, 1.0, 3);
+        let b = uniform(10, 5, -1.0, 1.0, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.data.len(), 50);
+        assert!(a.data.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_eq!(a.get(2, 3), a.data[2 * 5 + 3]);
+        assert_eq!(a.row(1).len(), 5);
+    }
+
+    #[test]
+    fn clusters_are_separable() {
+        let (m, cents, truth) = gaussian_clusters(300, 4, 3, 0.2, 11);
+        assert_eq!(m.rows, 300);
+        assert_eq!(cents.rows, 3);
+        // Each row is closest to its true centroid for tight spread.
+        let mut correct = 0;
+        for i in 0..m.rows {
+            let mut best = (f64::INFINITY, 0usize);
+            for c in 0..3 {
+                let d: f64 = (0..4)
+                    .map(|j| (m.get(i, j) - cents.get(c, j)).powi(2))
+                    .sum();
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if best.1 as i64 == truth[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct > 290, "{correct}/300");
+    }
+
+    #[test]
+    fn labels_correlate_with_features() {
+        let (x, y) = labeled_binary(500, 6, 21);
+        assert_eq!(x.rows, 500);
+        assert_eq!(y.len(), 500);
+        let ones = y.iter().filter(|v| **v == 1.0).count();
+        assert!(ones > 100 && ones < 400, "balanced-ish: {ones}");
+    }
+}

@@ -1,0 +1,141 @@
+//! TPC-H lineitem generator (the Query 1 input).
+
+use rand::prelude::*;
+
+/// One `lineitem` row, restricted to the Query 1 columns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineItem {
+    /// `l_quantity`.
+    pub quantity: f64,
+    /// `l_extendedprice`.
+    pub extended_price: f64,
+    /// `l_discount` (0.0–0.1).
+    pub discount: f64,
+    /// `l_tax` (0.0–0.08).
+    pub tax: f64,
+    /// `l_returnflag` encoded as 0 = 'A', 1 = 'N', 2 = 'R'.
+    pub return_flag: i64,
+    /// `l_linestatus` encoded as 0 = 'F', 1 = 'O'.
+    pub line_status: i64,
+    /// `l_shipdate` as days since epoch (TPC-H range 1992-01-02..1998-12-01).
+    pub ship_date: i64,
+}
+
+/// Days-since-epoch bound used by Query 1's `shipdate <= date '1998-12-01' -
+/// interval '90' day` predicate.
+pub const Q1_SHIP_CUTOFF: i64 = 10_490;
+
+/// Generate `n` lineitem rows with TPC-H-like value distributions
+/// (quantity 1–50, realistic flag/status correlation with ship dates).
+pub fn gen_lineitems(n: usize, seed: u64) -> Vec<LineItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let ship_date = rng.gen_range(8_035..10_560); // 1992..1998-12
+            let returned = rng.gen_bool(0.25);
+            // Older shipments are final, newer ones open (as in TPC-H).
+            let line_status = i64::from(ship_date > 9_400 && !returned);
+            let return_flag = if returned {
+                if rng.gen_bool(0.5) {
+                    0 // 'A'
+                } else {
+                    2 // 'R'
+                }
+            } else {
+                1 // 'N'
+            };
+            LineItem {
+                quantity: rng.gen_range(1..=50) as f64,
+                extended_price: rng.gen_range(900.0..105_000.0),
+                discount: rng.gen_range(0..=10) as f64 / 100.0,
+                tax: rng.gen_range(0..=8) as f64 / 100.0,
+                return_flag,
+                line_status,
+                ship_date,
+            }
+        })
+        .collect()
+}
+
+/// Column-wise (struct-of-arrays) view of a lineitem table, the layout the
+/// AoS→SoA pass produces and the interpreter consumes.
+#[derive(Clone, Debug, Default)]
+pub struct LineItemColumns {
+    /// Quantities.
+    pub quantity: Vec<f64>,
+    /// Extended prices.
+    pub extended_price: Vec<f64>,
+    /// Discounts.
+    pub discount: Vec<f64>,
+    /// Taxes.
+    pub tax: Vec<f64>,
+    /// Return flags.
+    pub return_flag: Vec<i64>,
+    /// Line statuses.
+    pub line_status: Vec<i64>,
+    /// Ship dates.
+    pub ship_date: Vec<i64>,
+}
+
+/// Split rows into columns.
+pub fn to_columns(rows: &[LineItem]) -> LineItemColumns {
+    let mut c = LineItemColumns::default();
+    for r in rows {
+        c.quantity.push(r.quantity);
+        c.extended_price.push(r.extended_price);
+        c.discount.push(r.discount);
+        c.tax.push(r.tax);
+        c.return_flag.push(r.return_flag);
+        c.line_status.push(r.line_status);
+        c.ship_date.push(r.ship_date);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = gen_lineitems(1000, 42);
+        let b = gen_lineitems(1000, 42);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        let c = gen_lineitems(1000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn value_ranges() {
+        for li in gen_lineitems(2000, 1) {
+            assert!((1.0..=50.0).contains(&li.quantity));
+            assert!((0.0..=0.1).contains(&li.discount));
+            assert!((0.0..=0.08).contains(&li.tax));
+            assert!((0..=2).contains(&li.return_flag));
+            assert!((0..=1).contains(&li.line_status));
+        }
+    }
+
+    #[test]
+    fn q1_groups_all_present() {
+        // The classic four (flag, status) groups of Query 1 all occur.
+        let rows = gen_lineitems(20_000, 7);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &rows {
+            if r.ship_date <= Q1_SHIP_CUTOFF {
+                seen.insert((r.return_flag, r.line_status));
+            }
+        }
+        assert!(seen.len() >= 4, "{seen:?}");
+    }
+
+    #[test]
+    fn columns_align() {
+        let rows = gen_lineitems(100, 9);
+        let cols = to_columns(&rows);
+        assert_eq!(cols.quantity.len(), 100);
+        assert_eq!(cols.quantity[17], rows[17].quantity);
+        assert_eq!(cols.return_flag[55], rows[55].return_flag);
+    }
+}

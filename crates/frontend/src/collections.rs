@@ -1,0 +1,395 @@
+//! Derived collection operations (sugar over the four generators).
+//!
+//! These provide the "rich data parallelism" surface of Table 1: map,
+//! zipWith, filter, reduce, fold, groupBy, groupByReduce, sum, count,
+//! average, min/max-index — all staged down to multiloops.
+
+use crate::stage::{Stage, Val};
+use dmll_core::Ty;
+
+impl Stage {
+    /// `arr.map(f)`.
+    pub fn map(&mut self, arr: &Val, f: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let n = self.len(arr);
+        let arr = arr.clone();
+        self.collect(&n, move |st, i| {
+            let e = st.read(&arr, i);
+            f(st, &e)
+        })
+    }
+
+    /// `a.zip(b).map(f)` — consumes two collections directly (a Table 1
+    /// "multiple collections" feature).
+    pub fn zip_with(
+        &mut self,
+        a: &Val,
+        b: &Val,
+        f: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+    ) -> Val {
+        let n = self.len(a);
+        let (a, b) = (a.clone(), b.clone());
+        self.collect(&n, move |st, i| {
+            let ea = st.read(&a, i);
+            let eb = st.read(&b, i);
+            f(st, &ea, &eb)
+        })
+    }
+
+    /// Concatenate a collection of collections.
+    pub fn flatten(&mut self, arr: &Val) -> Val {
+        let ty = match arr.ty.elem() {
+            Some(dmll_core::Ty::Arr(inner)) => dmll_core::Ty::Arr(inner.clone()),
+            other => panic!("flatten needs Coll[Coll[_]], got {other:?}"),
+        };
+        self.emit_flatten(arr, ty)
+    }
+
+    /// `arr.flatMap(f)` where `f` produces a collection per element — the
+    /// zero-or-more-values-per-iteration face of `Collect` (Fig. 2).
+    pub fn flat_map(&mut self, arr: &Val, f: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let nested = self.map(arr, f);
+        self.flatten(&nested)
+    }
+
+    /// `arr.filter(p)`.
+    pub fn filter(&mut self, arr: &Val, p: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let n = self.len(arr);
+        let arr2 = arr.clone();
+        let arr3 = arr.clone();
+        self.collect_if(
+            &n,
+            move |st, i| {
+                let e = st.read(&arr2, i);
+                p(st, &e)
+            },
+            move |st, i| st.read(&arr3, i),
+        )
+    }
+
+    /// `arr.reduce(r)` over the elements of a collection (no explicit
+    /// identity: empty input is a runtime error, as in Scala's `reduce`).
+    pub fn reduce_elems(
+        &mut self,
+        arr: &Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+    ) -> Val {
+        let n = self.len(arr);
+        let arr = arr.clone();
+        self.reduce(&n, move |st, i| st.read(&arr, i), r, None)
+    }
+
+    /// Numeric sum of a collection.
+    pub fn sum(&mut self, arr: &Val) -> Val {
+        let elem = arr
+            .ty
+            .elem()
+            .unwrap_or_else(|| panic!("sum of non-collection {}", arr.ty))
+            .clone();
+        let zero = match elem {
+            Ty::I64 => self.lit_i(0),
+            Ty::F64 => self.lit_f(0.0),
+            other => panic!("sum over non-numeric elements {other}"),
+        };
+        let n = self.len(arr);
+        let arr = arr.clone();
+        self.reduce(
+            &n,
+            move |st, i| st.read(&arr, i),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        )
+    }
+
+    /// Arithmetic mean of a `Coll[Double]`.
+    pub fn mean(&mut self, arr: &Val) -> Val {
+        let total = self.sum(arr);
+        let n = self.len(arr);
+        let nf = self.i2f(&n);
+        self.div(&total, &nf)
+    }
+
+    /// Number of elements satisfying `p`.
+    pub fn count_if(&mut self, arr: &Val, p: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let n = self.len(arr);
+        let arr = arr.clone();
+        let zero = self.lit_i(0);
+        let (cb, cv) = self.block_public(&[Ty::I64], |st, params| {
+            let e = st.read(&arr, &params[0]);
+            p(st, &e)
+        });
+        assert_eq!(cv.ty, Ty::Bool);
+        self.reduce_with_cond_block(&n, cb, |st, _i| st.lit_i(1), |st, a, b| st.add(a, b), &zero)
+    }
+
+    /// `arr.groupBy(k)` — buckets of elements sharing a key.
+    pub fn group_by(&mut self, arr: &Val, k: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let n = self.len(arr);
+        let a1 = arr.clone();
+        let a2 = arr.clone();
+        self.bucket_collect(
+            &n,
+            move |st, i| {
+                let e = st.read(&a1, i);
+                k(st, &e)
+            },
+            move |st, i| st.read(&a2, i),
+        )
+    }
+
+    /// `arr.groupBy(k).map(_.map(f).reduce(r))` staged directly as a
+    /// `BucketReduce` (what the GroupBy-Reduce rule produces).
+    pub fn group_by_reduce(
+        &mut self,
+        arr: &Val,
+        k: impl FnOnce(&mut Stage, &Val) -> Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: Option<&Val>,
+    ) -> Val {
+        let n = self.len(arr);
+        let a1 = arr.clone();
+        let a2 = arr.clone();
+        self.bucket_reduce(
+            &n,
+            move |st, i| {
+                let e = st.read(&a1, i);
+                k(st, &e)
+            },
+            move |st, i| {
+                let e = st.read(&a2, i);
+                f(st, &e)
+            },
+            r,
+            init,
+        )
+    }
+
+    /// Index of the minimum element of a `Coll[Double]` (used by k-means'
+    /// nearest-centroid search). Returns an `Int`.
+    pub fn min_index(&mut self, arr: &Val) -> Val {
+        assert_eq!(arr.ty, Ty::arr(Ty::F64), "min_index over Coll[Double]");
+        let n = self.len(arr);
+        let arr = arr.clone();
+        let pair = self.reduce(
+            &n,
+            move |st, i| {
+                let v = st.read(&arr, i);
+                st.tuple(&[&v, i])
+            },
+            |st, a, b| {
+                let av = st.tuple_get(a, 0);
+                let bv = st.tuple_get(b, 0);
+                let le = st.le(&av, &bv);
+                st.mux(&le, a, b)
+            },
+            None,
+        );
+        self.tuple_get(&pair, 1)
+    }
+
+    /// Index of the maximum element of a `Coll[Double]`.
+    pub fn max_index(&mut self, arr: &Val) -> Val {
+        assert_eq!(arr.ty, Ty::arr(Ty::F64), "max_index over Coll[Double]");
+        let n = self.len(arr);
+        let arr = arr.clone();
+        let pair = self.reduce(
+            &n,
+            move |st, i| {
+                let v = st.read(&arr, i);
+                st.tuple(&[&v, i])
+            },
+            |st, a, b| {
+                let av = st.tuple_get(a, 0);
+                let bv = st.tuple_get(b, 0);
+                let ge = st.ge(&av, &bv);
+                st.mux(&ge, a, b)
+            },
+            None,
+        );
+        self.tuple_get(&pair, 1)
+    }
+
+    /// Element-wise sum of two equal-length `Coll[Double]`s (the vectorized
+    /// `+` the Column-to-Row Reduce rule relies on).
+    pub fn vec_add(&mut self, a: &Val, b: &Val) -> Val {
+        self.zip_with(a, b, |st, x, y| st.add(x, y))
+    }
+
+    // -- plumbing used by the sugar above ---------------------------------
+
+    /// Stage a block with the given parameter types (public wrapper over the
+    /// internal block constructor, for advanced/test use).
+    pub fn block_public(
+        &mut self,
+        param_tys: &[Ty],
+        f: impl FnOnce(&mut Stage, &[Val]) -> Val,
+    ) -> (dmll_core::Block, Val) {
+        self.block(param_tys, f)
+    }
+
+    fn reduce_with_cond_block(
+        &mut self,
+        size: &Val,
+        cond: dmll_core::Block,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: &Val,
+    ) -> Val {
+        use dmll_core::{Def, Gen, Multiloop};
+        let (value, v) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        let vt = v.ty.clone();
+        let (reducer, rv) = self.block(&[vt.clone(), vt.clone()], |st, params| {
+            r(st, &params[0], &params[1])
+        });
+        assert_eq!(rv.ty, vt);
+        assert_eq!(init.ty, vt);
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::Reduce {
+                    cond: Some(cond),
+                    value,
+                    reducer,
+                    init: Some(init.exp.clone()),
+                },
+            )),
+            vt,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint};
+
+    #[test]
+    fn map_filter_sum_stage() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| {
+            let two = st.lit_f(2.0);
+            st.mul(e, &two)
+        });
+        let pos = st.filter(&doubled, |st, e| {
+            let zero = st.lit_f(0.0);
+            st.gt(e, &zero)
+        });
+        let total = st.sum(&pos);
+        let p = st.finish(&total);
+        assert_eq!(count_loops(&p), 3);
+    }
+
+    #[test]
+    fn group_by_stage() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let ten = st.lit_i(10);
+            st.rem(e, &ten)
+        });
+        let vals = st.bucket_values(&groups);
+        let p = st.finish(&vals);
+        assert!(typecheck::infer(&p).is_ok());
+        assert!(p.to_string().contains("BucketCollect"));
+    }
+
+    #[test]
+    fn group_by_reduce_stage() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let zero = st.lit_f(0.0);
+        let sums = st.group_by_reduce(
+            &x,
+            |st, e| {
+                let one = st.lit_f(1.0);
+                let q = st.div(e, &one);
+                st.f2i(&q)
+            },
+            |_st, e| e.clone(),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let vals = st.bucket_values(&sums);
+        let p = st.finish(&vals);
+        assert!(p.to_string().contains("BucketReduce"));
+    }
+
+    #[test]
+    fn min_index_stage() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let mi = st.min_index(&x);
+        assert_eq!(mi.ty, Ty::I64);
+        let p = st.finish(&mi);
+        assert!(typecheck::infer(&p).is_ok());
+    }
+
+    #[test]
+    fn count_if_stage() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let c = st.count_if(&x, |st, e| {
+            let five = st.lit_i(5);
+            st.gt(e, &five)
+        });
+        let p = st.finish(&c);
+        assert!(p.to_string().contains("Reduce"), "{p}");
+        assert!(p.to_string().contains("cond"), "{p}");
+    }
+
+    #[test]
+    fn mean_and_vec_add() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Local);
+        let s = st.vec_add(&x, &y);
+        let m = st.mean(&s);
+        let p = st.finish(&m);
+        assert!(typecheck::infer(&p).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod flatmap_tests {
+    use super::*;
+    use dmll_core::{typecheck, LayoutHint};
+
+    #[test]
+    fn flat_map_stages_and_types() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        // Each element e expands to [e, e, e] (e copies of a constant would
+        // need data-dependent sizes, which collect supports via inner loop
+        // sizes).
+        let expanded = st.flat_map(&x, |st, e| {
+            let e = e.clone();
+            let three = st.lit_i(3);
+            st.collect(&three, move |_st, _i| e.clone())
+        });
+        let total = st.sum(&expanded);
+        let p = st.finish(&total);
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        assert!(p.to_string().contains("flatten("), "{p}");
+    }
+
+    #[test]
+    fn data_dependent_expansion() {
+        // Each element e expands to e copies of itself: total = sum(e * e).
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let expanded = st.flat_map(&x, |st, e| {
+            let e = e.clone();
+            st.collect(&e.clone(), move |_st, _i| e.clone())
+        });
+        let total = st.sum(&expanded);
+        let p = st.finish(&total);
+        let out = dmll_interp::eval(
+            &p,
+            &[("x", dmll_interp::Value::i64_arr(vec![1, 2, 3, 0, 4]))],
+        )
+        .unwrap();
+        assert_eq!(out, dmll_interp::Value::I64(1 + 4 + 9 + 0 + 16));
+    }
+}

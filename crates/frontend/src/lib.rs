@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # DMLL staging frontend
+//!
+//! A fluent, implicitly parallel programming model that *stages* DMLL IR:
+//! user code runs once at "staging time" and records a [`dmll_core::Program`]
+//! made of multiloops, which the optimizer (`dmll-transform`), the analyses
+//! (`dmll-analysis`) and the executors then consume.
+//!
+//! This plays the role of the Delite/OptiML embedding in the paper: the same
+//! rich data-parallel operations (`map`, `zipWith`, `filter`, `reduce`,
+//! `groupBy`, `groupByReduce`, nested patterns over matrices), with layout
+//! annotations only at the data sources.
+//!
+//! ## Example: dot product
+//!
+//! ```
+//! use dmll_frontend::Stage;
+//! use dmll_core::{LayoutHint, Ty};
+//!
+//! let mut st = Stage::new();
+//! let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+//! let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+//! let prods = st.zip_with(&x, &y, |st, a, b| st.mul(&a, &b));
+//! let dot = st.sum(&prods);
+//! let program = st.finish(&dot);
+//! assert!(dmll_core::typecheck::infer(&program).is_ok());
+//! ```
+
+pub mod collections;
+pub mod matrix;
+pub mod stage;
+
+pub use matrix::MatrixVal;
+pub use stage::{Stage, Val};

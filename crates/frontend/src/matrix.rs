@@ -1,0 +1,222 @@
+//! Dense row-major matrices on top of flat arrays.
+//!
+//! A matrix is a struct `{ data: Coll[Double], rows: Int, cols: Int }`; all
+//! element accesses stage to the affine read `data(i * cols + j)`, which is
+//! exactly what the read-stencil analysis (§4.2) needs to classify row-wise
+//! traversals as `Interval`.
+
+use crate::stage::{Stage, Val};
+use dmll_core::{LayoutHint, StructTy, Ty};
+
+/// The struct type backing every staged matrix.
+pub fn matrix_struct_ty() -> StructTy {
+    StructTy::new(
+        "MatrixF64",
+        vec![
+            ("data".into(), Ty::arr(Ty::F64)),
+            ("rows".into(), Ty::I64),
+            ("cols".into(), Ty::I64),
+        ],
+    )
+}
+
+/// A staged dense `Double` matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixVal {
+    /// The underlying struct value.
+    pub val: Val,
+}
+
+impl MatrixVal {
+    /// Wrap an existing struct value of type [`matrix_struct_ty`].
+    pub fn from_val(val: Val) -> MatrixVal {
+        assert_eq!(
+            val.ty,
+            Ty::Struct(matrix_struct_ty()),
+            "not a MatrixF64 value"
+        );
+        MatrixVal { val }
+    }
+
+    /// The flat row-major data array.
+    pub fn data(&self, st: &mut Stage) -> Val {
+        st.field(&self.val, "data")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self, st: &mut Stage) -> Val {
+        st.field(&self.val, "rows")
+    }
+
+    /// Number of columns.
+    pub fn cols(&self, st: &mut Stage) -> Val {
+        st.field(&self.val, "cols")
+    }
+
+    /// Element read `m(i, j)`, staged as `data(i * cols + j)`.
+    pub fn get(&self, st: &mut Stage, i: &Val, j: &Val) -> Val {
+        let data = self.data(st);
+        let cols = self.cols(st);
+        let base = st.mul(i, &cols);
+        let idx = st.add(&base, j);
+        st.read(&data, &idx)
+    }
+
+    /// `m.mapRows { i => f(i) }`: a collect over the row range. The closure
+    /// receives the row *index*; use [`MatrixVal::get`] to read elements.
+    pub fn map_rows(&self, st: &mut Stage, f: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        let rows = self.rows(st);
+        st.collect(&rows, f)
+    }
+
+    /// Materialize row `i` as a `Coll[Double]`.
+    pub fn row(&self, st: &mut Stage, i: &Val) -> Val {
+        let cols = self.cols(st);
+        let this = self.clone();
+        let i = i.clone();
+        st.collect(&cols, move |st, j| this.get(st, &i, j))
+    }
+
+    /// Squared Euclidean distance between row `i` of `self` and row `k` of
+    /// `other` (the `dist` of the paper's k-means).
+    pub fn row_dist2(&self, st: &mut Stage, i: &Val, other: &MatrixVal, k: &Val) -> Val {
+        let cols = self.cols(st);
+        let zero = st.lit_f(0.0);
+        let (this, other) = (self.clone(), other.clone());
+        let (i, k) = (i.clone(), k.clone());
+        st.reduce(
+            &cols,
+            move |st, j| {
+                let a = this.get(st, &i, j);
+                let b = other.get(st, &k, j);
+                let d = st.sub(&a, &b);
+                st.mul(&d, &d)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        )
+    }
+
+    /// Dot product of row `i` with a vector `v` (used by logistic
+    /// regression's hypothesis).
+    pub fn row_dot(&self, st: &mut Stage, i: &Val, v: &Val) -> Val {
+        let cols = self.cols(st);
+        let zero = st.lit_f(0.0);
+        let this = self.clone();
+        let (i, v) = (i.clone(), v.clone());
+        st.reduce(
+            &cols,
+            move |st, j| {
+                let a = this.get(st, &i, j);
+                let b = st.read(&v, j);
+                st.mul(&a, &b)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        )
+    }
+
+    /// Column sums as a `Coll[Double]` of length `cols` (a nested
+    /// column-reduce as written; the Column-to-Row rule restructures it).
+    pub fn sum_cols(&self, st: &mut Stage) -> Val {
+        let cols = self.cols(st);
+        let rows = self.rows(st);
+        let zero = st.lit_f(0.0);
+        let this = self.clone();
+        st.collect(&cols, move |st, j| {
+            let this2 = this.clone();
+            let j = j.clone();
+            st.reduce(
+                &rows,
+                move |st, i| this2.get(st, i, &j),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        })
+    }
+}
+
+impl Stage {
+    /// Declare a matrix input (`Matrix.fromFile` in the paper), annotated
+    /// with a layout like any other data source.
+    pub fn input_matrix(&mut self, name: impl Into<String>, layout: LayoutHint) -> MatrixVal {
+        let v = self.input(name, Ty::Struct(matrix_struct_ty()), layout);
+        MatrixVal { val: v }
+    }
+
+    /// Assemble a matrix from a flat data array and dimensions.
+    pub fn matrix_from_parts(&mut self, data: &Val, rows: &Val, cols: &Val) -> MatrixVal {
+        let v = self.struct_new(matrix_struct_ty(), &[data, rows, cols]);
+        MatrixVal { val: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::printer::count_loops;
+    use dmll_core::typecheck;
+
+    #[test]
+    fn matrix_access_is_affine() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let i = st.lit_i(3);
+        let j = st.lit_i(4);
+        let v = m.get(&mut st, &i, &j);
+        let p = st.finish(&v);
+        // data(3 * cols + 4): a mul and an add feed the read.
+        let s = p.to_string();
+        assert!(s.contains("* x"), "{s}");
+        assert!(typecheck::infer(&p).is_ok());
+    }
+
+    #[test]
+    fn row_dist2_stages_one_reduce() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let c = st.input_matrix("c", LayoutHint::Local);
+        let i = st.lit_i(0);
+        let k = st.lit_i(1);
+        let d = m.row_dist2(&mut st, &i, &c, &k);
+        let p = st.finish(&d);
+        assert_eq!(count_loops(&p), 1);
+    }
+
+    #[test]
+    fn sum_cols_is_nested_loop() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let s = m.sum_cols(&mut st);
+        let p = st.finish(&s);
+        assert_eq!(count_loops(&p), 2);
+        assert_eq!(s.ty, Ty::arr(Ty::F64));
+    }
+
+    #[test]
+    fn map_rows_min_index_kmeans_shape() {
+        // The shared-memory k-means assignment step stages cleanly.
+        let mut st = Stage::new();
+        let matrix = st.input_matrix("matrix", LayoutHint::Partitioned);
+        let clusters = st.input_matrix("clusters", LayoutHint::Local);
+        let assigned = matrix.map_rows(&mut st, |st, i| {
+            let dists = clusters.map_rows(st, |st, k| matrix.row_dist2(st, i, &clusters, k));
+            st.min_index(&dists)
+        });
+        let p = st.finish(&assigned);
+        assert_eq!(assigned.ty, Ty::arr(Ty::I64));
+        assert!(typecheck::infer(&p).is_ok());
+    }
+
+    #[test]
+    fn matrix_from_parts_roundtrip() {
+        let mut st = Stage::new();
+        let d = st.input("d", Ty::arr(Ty::F64), LayoutHint::Local);
+        let r = st.lit_i(2);
+        let c = st.lit_i(3);
+        let m = st.matrix_from_parts(&d, &r, &c);
+        let rows = m.rows(&mut st);
+        let p = st.finish(&rows);
+        assert!(typecheck::infer(&p).is_ok());
+    }
+}

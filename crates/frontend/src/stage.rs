@@ -1,0 +1,805 @@
+//! The staging context and typed value handles.
+
+use dmll_core::{
+    typecheck, Block, CoreResult, Def, Exp, Gen, LayoutHint, MathFn, Multiloop, PrimOp, Program,
+    Stmt, StructTy, Ty,
+};
+
+/// A staged value: an IR expression paired with its type.
+///
+/// `Val`s are cheap to clone and are only valid within the [`Stage`] that
+/// created them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Val {
+    /// The underlying IR expression.
+    pub exp: Exp,
+    /// Its DMLL type.
+    pub ty: Ty,
+}
+
+impl Val {
+    /// Wrap an expression with its type.
+    pub fn new(exp: impl Into<Exp>, ty: Ty) -> Val {
+        Val {
+            exp: exp.into(),
+            ty,
+        }
+    }
+}
+
+struct Frame {
+    stmts: Vec<Stmt>,
+}
+
+/// A staging context that records DMLL IR as frontend operations execute.
+///
+/// Operations panic with a descriptive message when applied to values of the
+/// wrong type — a staging-time error, analogous to a compile error in the
+/// embedded language (the final program is additionally validated by
+/// [`dmll_core::typecheck::infer`] in [`Stage::finish`]).
+pub struct Stage {
+    program: Program,
+    frames: Vec<Frame>,
+}
+
+impl Default for Stage {
+    fn default() -> Self {
+        Stage::new()
+    }
+}
+
+impl Stage {
+    /// A fresh, empty staging context.
+    pub fn new() -> Stage {
+        Stage {
+            program: Program::new(),
+            frames: vec![Frame { stmts: Vec::new() }],
+        }
+    }
+
+    /// Declare an input data source with a layout annotation (§4.1: the user
+    /// annotates data sources; everything else is inferred).
+    pub fn input(&mut self, name: impl Into<String>, ty: Ty, layout: LayoutHint) -> Val {
+        let sym = self.program.add_input(name, ty.clone(), layout);
+        Val::new(sym, ty)
+    }
+
+    /// Integer literal.
+    pub fn lit_i(&self, v: i64) -> Val {
+        Val::new(Exp::i64(v), Ty::I64)
+    }
+
+    /// Float literal.
+    pub fn lit_f(&self, v: f64) -> Val {
+        Val::new(Exp::f64(v), Ty::F64)
+    }
+
+    /// Boolean literal.
+    pub fn lit_b(&self, v: bool) -> Val {
+        Val::new(Exp::bool(v), Ty::Bool)
+    }
+
+    /// Finish staging: seal the program with `result` as its output and
+    /// type-check it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if staging produced ill-typed IR (a bug in the staged code or
+    /// the frontend itself) or if nested scopes were left open.
+    pub fn finish(mut self, result: &Val) -> Program {
+        assert_eq!(
+            self.frames.len(),
+            1,
+            "finish called with {} unclosed scopes",
+            self.frames.len() - 1
+        );
+        let frame = self.frames.pop().expect("root frame");
+        self.program.body = Block {
+            params: vec![],
+            stmts: frame.stmts,
+            result: result.exp.clone(),
+        };
+        if let Err(e) = typecheck::infer(&self.program) {
+            panic!("staged program failed to type-check: {e}\n{}", self.program);
+        }
+        self.program
+    }
+
+    /// Like [`Stage::finish`] but returning the type error instead of
+    /// panicking. Useful in tests.
+    pub fn try_finish(mut self, result: &Val) -> CoreResult<Program> {
+        let frame = self.frames.pop().expect("root frame");
+        self.program.body = Block {
+            params: vec![],
+            stmts: frame.stmts,
+            result: result.exp.clone(),
+        };
+        typecheck::infer(&self.program)?;
+        Ok(self.program)
+    }
+
+    // ----- internal emission helpers ------------------------------------
+
+    fn cur(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("a current frame")
+    }
+
+    pub(crate) fn emit(&mut self, def: Def, ty: Ty) -> Val {
+        let sym = self.program.fresh();
+        self.cur().stmts.push(Stmt::one(sym, def));
+        Val::new(sym, ty)
+    }
+
+    #[allow(dead_code)] // used by future multi-output staging
+    pub(crate) fn emit_multi(&mut self, def: Def, tys: Vec<Ty>) -> Vec<Val> {
+        let syms: Vec<_> = tys.iter().map(|_| self.program.fresh()).collect();
+        self.cur().stmts.push(Stmt {
+            lhs: syms.clone(),
+            def,
+        });
+        syms.into_iter()
+            .zip(tys)
+            .map(|(s, t)| Val::new(s, t))
+            .collect()
+    }
+
+    /// Stage a sub-block: runs `f` with fresh parameter symbols bound,
+    /// capturing emitted statements into a new [`Block`].
+    pub(crate) fn block<R>(
+        &mut self,
+        param_tys: &[Ty],
+        f: impl FnOnce(&mut Stage, &[Val]) -> R,
+    ) -> (Block, R)
+    where
+        R: BlockResult,
+    {
+        let params: Vec<_> = (0..param_tys.len()).map(|_| self.program.fresh()).collect();
+        let vals: Vec<Val> = params
+            .iter()
+            .zip(param_tys)
+            .map(|(s, t)| Val::new(*s, t.clone()))
+            .collect();
+        self.frames.push(Frame { stmts: Vec::new() });
+        let r = f(self, &vals);
+        let frame = self.frames.pop().expect("pushed frame");
+        let block = Block {
+            params,
+            stmts: frame.stmts,
+            result: r.result_exp(),
+        };
+        (block, r)
+    }
+
+    fn binop_numeric(&mut self, op: PrimOp, a: &Val, b: &Val) -> Val {
+        assert_eq!(
+            a.ty, b.ty,
+            "{op}: operand types differ ({} vs {})",
+            a.ty, b.ty
+        );
+        assert!(
+            a.ty.is_numeric(),
+            "{op}: operands must be numeric, got {}",
+            a.ty
+        );
+        self.emit(Def::prim2(op, a.exp.clone(), b.exp.clone()), a.ty.clone())
+    }
+
+    fn binop_cmp(&mut self, op: PrimOp, a: &Val, b: &Val) -> Val {
+        assert_eq!(
+            a.ty, b.ty,
+            "{op}: operand types differ ({} vs {})",
+            a.ty, b.ty
+        );
+        self.emit(Def::prim2(op, a.exp.clone(), b.exp.clone()), Ty::Bool)
+    }
+
+    // ----- scalar operations --------------------------------------------
+
+    /// `a + b`.
+    pub fn add(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Mul, a, b)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Div, a, b)
+    }
+
+    /// `a % b` (integers).
+    pub fn rem(&mut self, a: &Val, b: &Val) -> Val {
+        assert_eq!(a.ty, Ty::I64, "%: integer operands required");
+        self.binop_numeric(PrimOp::Rem, a, b)
+    }
+
+    /// `min(a, b)`.
+    pub fn min(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Min, a, b)
+    }
+
+    /// `max(a, b)`.
+    pub fn max(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_numeric(PrimOp::Max, a, b)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: &Val) -> Val {
+        assert!(a.ty.is_numeric());
+        self.emit(Def::prim1(PrimOp::Neg, a.exp.clone()), a.ty.clone())
+    }
+
+    /// `a == b`.
+    pub fn eq(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Ne, a, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Lt, a, b)
+    }
+
+    /// `a <= b`.
+    pub fn le(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Le, a, b)
+    }
+
+    /// `a > b`.
+    pub fn gt(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Gt, a, b)
+    }
+
+    /// `a >= b`.
+    pub fn ge(&mut self, a: &Val, b: &Val) -> Val {
+        self.binop_cmp(PrimOp::Ge, a, b)
+    }
+
+    /// `a && b`.
+    pub fn and(&mut self, a: &Val, b: &Val) -> Val {
+        assert_eq!((&a.ty, &b.ty), (&Ty::Bool, &Ty::Bool));
+        self.emit(
+            Def::prim2(PrimOp::And, a.exp.clone(), b.exp.clone()),
+            Ty::Bool,
+        )
+    }
+
+    /// `a || b`.
+    pub fn or(&mut self, a: &Val, b: &Val) -> Val {
+        assert_eq!((&a.ty, &b.ty), (&Ty::Bool, &Ty::Bool));
+        self.emit(
+            Def::prim2(PrimOp::Or, a.exp.clone(), b.exp.clone()),
+            Ty::Bool,
+        )
+    }
+
+    /// `!a`.
+    pub fn not(&mut self, a: &Val) -> Val {
+        assert_eq!(a.ty, Ty::Bool);
+        self.emit(Def::prim1(PrimOp::Not, a.exp.clone()), Ty::Bool)
+    }
+
+    /// Polymorphic select: `cond ? a : b` (both sides evaluated).
+    pub fn mux(&mut self, cond: &Val, a: &Val, b: &Val) -> Val {
+        assert_eq!(cond.ty, Ty::Bool, "mux condition must be Bool");
+        assert_eq!(a.ty, b.ty, "mux branches must have the same type");
+        self.emit(
+            Def::Prim {
+                op: PrimOp::Mux,
+                args: vec![cond.exp.clone(), a.exp.clone(), b.exp.clone()],
+            },
+            a.ty.clone(),
+        )
+    }
+
+    /// Apply a unary math function (`F64 -> F64`).
+    pub fn math(&mut self, f: MathFn, a: &Val) -> Val {
+        assert_eq!(a.ty, Ty::F64, "math fn {f} needs a Double");
+        self.emit(
+            Def::Math {
+                f,
+                arg: a.exp.clone(),
+            },
+            Ty::F64,
+        )
+    }
+
+    /// Convert an integer to a float.
+    pub fn i2f(&mut self, a: &Val) -> Val {
+        assert_eq!(a.ty, Ty::I64);
+        self.emit(
+            Def::Cast {
+                to: Ty::F64,
+                value: a.exp.clone(),
+            },
+            Ty::F64,
+        )
+    }
+
+    /// Truncate a float to an integer.
+    pub fn f2i(&mut self, a: &Val) -> Val {
+        assert_eq!(a.ty, Ty::F64);
+        self.emit(
+            Def::Cast {
+                to: Ty::I64,
+                value: a.exp.clone(),
+            },
+            Ty::I64,
+        )
+    }
+
+    // ----- collections ----------------------------------------------------
+
+    /// Length of a collection.
+    pub fn len(&mut self, arr: &Val) -> Val {
+        assert!(
+            matches!(arr.ty, Ty::Arr(_)),
+            "len of non-collection {}",
+            arr.ty
+        );
+        self.emit(Def::ArrayLen(arr.exp.clone()), Ty::I64)
+    }
+
+    /// Random-access read `arr(index)`.
+    pub fn read(&mut self, arr: &Val, index: &Val) -> Val {
+        let elem = arr
+            .ty
+            .elem()
+            .unwrap_or_else(|| panic!("read of non-collection {}", arr.ty))
+            .clone();
+        assert_eq!(index.ty, Ty::I64, "index must be Int");
+        self.emit(
+            Def::ArrayRead {
+                arr: arr.exp.clone(),
+                index: index.exp.clone(),
+            },
+            elem,
+        )
+    }
+
+    // ----- tuples & structs ------------------------------------------------
+
+    /// Build a tuple.
+    pub fn tuple(&mut self, parts: &[&Val]) -> Val {
+        let tys: Vec<Ty> = parts.iter().map(|v| v.ty.clone()).collect();
+        self.emit(
+            Def::TupleNew(parts.iter().map(|v| v.exp.clone()).collect()),
+            Ty::Tuple(tys),
+        )
+    }
+
+    /// Project a tuple component.
+    pub fn tuple_get(&mut self, tuple: &Val, index: usize) -> Val {
+        let ty = match &tuple.ty {
+            Ty::Tuple(ts) => ts
+                .get(index)
+                .unwrap_or_else(|| panic!("tuple index {index} out of range"))
+                .clone(),
+            other => panic!("tuple_get of non-tuple {other}"),
+        };
+        self.emit(
+            Def::TupleGet {
+                tuple: tuple.exp.clone(),
+                index,
+            },
+            ty,
+        )
+    }
+
+    /// Construct a struct value (fields in declaration order).
+    pub fn struct_new(&mut self, ty: StructTy, fields: &[&Val]) -> Val {
+        assert_eq!(fields.len(), ty.fields.len(), "struct {} arity", ty.name);
+        self.emit(
+            Def::StructNew {
+                ty: ty.clone(),
+                fields: fields.iter().map(|v| v.exp.clone()).collect(),
+            },
+            Ty::Struct(ty),
+        )
+    }
+
+    /// Read a struct field.
+    pub fn field(&mut self, obj: &Val, name: &str) -> Val {
+        let ty = match &obj.ty {
+            Ty::Struct(s) => s
+                .field_ty(name)
+                .unwrap_or_else(|| panic!("struct {} has no field {name}", s.name))
+                .clone(),
+            other => panic!("field read from non-struct {other}"),
+        };
+        self.emit(
+            Def::StructGet {
+                obj: obj.exp.clone(),
+                field: name.to_string(),
+            },
+            ty,
+        )
+    }
+
+    // ----- buckets ----------------------------------------------------------
+
+    /// Dense per-bucket values of a bucket result.
+    pub fn bucket_values(&mut self, b: &Val) -> Val {
+        let ty = match &b.ty {
+            Ty::Buckets { value, .. } => Ty::Arr(value.clone()),
+            other => panic!("bucket_values of {other}"),
+        };
+        self.emit(Def::BucketValues(b.exp.clone()), ty)
+    }
+
+    /// The keys of a bucket result, in bucket order.
+    pub fn bucket_keys(&mut self, b: &Val) -> Val {
+        let ty = match &b.ty {
+            Ty::Buckets { key, .. } => Ty::Arr(key.clone()),
+            other => panic!("bucket_keys of {other}"),
+        };
+        self.emit(Def::BucketKeys(b.exp.clone()), ty)
+    }
+
+    /// Number of buckets.
+    pub fn bucket_len(&mut self, b: &Val) -> Val {
+        assert!(matches!(b.ty, Ty::Buckets { .. }));
+        self.emit(Def::BucketLen(b.exp.clone()), Ty::I64)
+    }
+
+    /// Look up the bucket with key `key`, producing `default` when absent.
+    pub fn bucket_get(&mut self, b: &Val, key: &Val, default: Option<&Val>) -> Val {
+        let vt = match &b.ty {
+            Ty::Buckets { key: kt, value } => {
+                assert_eq!(**kt, key.ty, "bucket key type mismatch");
+                (**value).clone()
+            }
+            other => panic!("bucket_get of {other}"),
+        };
+        if let Some(d) = default {
+            assert_eq!(d.ty, vt, "bucket default type mismatch");
+        }
+        self.emit(
+            Def::BucketGet {
+                buckets: b.exp.clone(),
+                key: key.exp.clone(),
+                default: default.map(|d| d.exp.clone()),
+            },
+            vt,
+        )
+    }
+
+    // ----- multiloops --------------------------------------------------------
+
+    /// `Collect_size(_)(f)`: stage a loop over `0..size` collecting `f(i)`.
+    pub fn collect(&mut self, size: &Val, f: impl FnOnce(&mut Stage, &Val) -> Val) -> Val {
+        assert_eq!(size.ty, Ty::I64, "loop size must be Int");
+        let (value, r) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::Collect { cond: None, value },
+            )),
+            Ty::arr(r.ty),
+        )
+    }
+
+    /// `Collect_size(c)(f)`: a conditional collect (filter-style).
+    pub fn collect_if(
+        &mut self,
+        size: &Val,
+        cond: impl FnOnce(&mut Stage, &Val) -> Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+    ) -> Val {
+        assert_eq!(size.ty, Ty::I64);
+        let (cb, c) = self.block(&[Ty::I64], |st, params| cond(st, &params[0]));
+        assert_eq!(c.ty, Ty::Bool, "collect condition must be Bool");
+        let (value, r) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::Collect {
+                    cond: Some(cb),
+                    value,
+                },
+            )),
+            Ty::arr(r.ty),
+        )
+    }
+
+    /// `Reduce_size(_)(f)(r)` with an optional explicit identity.
+    pub fn reduce(
+        &mut self,
+        size: &Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: Option<&Val>,
+    ) -> Val {
+        self.reduce_if(size, None::<fn(&mut Stage, &Val) -> Val>, f, r, init)
+    }
+
+    /// `Reduce_size(c)(f)(r)`: a conditional reduce.
+    pub fn reduce_if<C>(
+        &mut self,
+        size: &Val,
+        cond: Option<C>,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: Option<&Val>,
+    ) -> Val
+    where
+        C: FnOnce(&mut Stage, &Val) -> Val,
+    {
+        assert_eq!(size.ty, Ty::I64);
+        let cb = cond.map(|c| {
+            let (b, cv) = self.block(&[Ty::I64], |st, params| c(st, &params[0]));
+            assert_eq!(cv.ty, Ty::Bool, "reduce condition must be Bool");
+            b
+        });
+        let (value, v) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        let vt = v.ty.clone();
+        let (reducer, rv) = self.block(&[vt.clone(), vt.clone()], |st, params| {
+            r(st, &params[0], &params[1])
+        });
+        assert_eq!(rv.ty, vt, "reducer must return the value type");
+        if let Some(i) = init {
+            assert_eq!(i.ty, vt, "reduce identity must have the value type");
+        }
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::Reduce {
+                    cond: cb,
+                    value,
+                    reducer,
+                    init: init.map(|i| i.exp.clone()),
+                },
+            )),
+            vt,
+        )
+    }
+
+    /// `BucketCollect_size(_)(k)(f)`.
+    pub fn bucket_collect(
+        &mut self,
+        size: &Val,
+        k: impl FnOnce(&mut Stage, &Val) -> Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+    ) -> Val {
+        assert_eq!(size.ty, Ty::I64);
+        let (key, kv) = self.block(&[Ty::I64], |st, params| k(st, &params[0]));
+        let (value, v) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::BucketCollect {
+                    cond: None,
+                    key,
+                    value,
+                },
+            )),
+            Ty::buckets(kv.ty, Ty::arr(v.ty)),
+        )
+    }
+
+    /// `BucketReduce_size(_)(k)(f)(r)`.
+    pub fn bucket_reduce(
+        &mut self,
+        size: &Val,
+        k: impl FnOnce(&mut Stage, &Val) -> Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: Option<&Val>,
+    ) -> Val {
+        assert_eq!(size.ty, Ty::I64);
+        let (key, kv) = self.block(&[Ty::I64], |st, params| k(st, &params[0]));
+        let (value, v) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
+        let vt = v.ty.clone();
+        let (reducer, rv) = self.block(&[vt.clone(), vt.clone()], |st, params| {
+            r(st, &params[0], &params[1])
+        });
+        assert_eq!(rv.ty, vt, "reducer must return the value type");
+        if let Some(i) = init {
+            assert_eq!(i.ty, vt);
+        }
+        self.emit(
+            Def::Loop(Multiloop::single(
+                size.exp.clone(),
+                Gen::BucketReduce {
+                    cond: None,
+                    key,
+                    value,
+                    reducer,
+                    init: init.map(|i| i.exp.clone()),
+                },
+            )),
+            Ty::buckets(kv.ty, vt),
+        )
+    }
+
+    pub(crate) fn emit_flatten(&mut self, arr: &Val, ty: Ty) -> Val {
+        self.emit(Def::Flatten(arr.exp.clone()), ty)
+    }
+
+    /// Call an opaque external operation (models §4.3 sequential code).
+    pub fn extern_call(
+        &mut self,
+        name: impl Into<String>,
+        args: &[&Val],
+        ret: Ty,
+        effectful: bool,
+        whitelisted: bool,
+    ) -> Val {
+        self.emit(
+            Def::Extern {
+                name: name.into(),
+                args: args.iter().map(|v| v.exp.clone()).collect(),
+                ret: ret.clone(),
+                effectful,
+                whitelisted,
+            },
+            ret,
+        )
+    }
+}
+
+/// Values a staged block may return.
+pub trait BlockResult {
+    /// The result expression recorded into the block.
+    fn result_exp(&self) -> Exp;
+}
+
+impl BlockResult for Val {
+    fn result_exp(&self) -> Exp {
+        self.exp.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::printer::count_loops;
+
+    #[test]
+    fn stage_scalar_ops() {
+        let mut st = Stage::new();
+        let a = st.lit_f(2.0);
+        let b = st.lit_f(3.0);
+        let c = st.add(&a, &b);
+        let d = st.math(MathFn::Sqrt, &c);
+        let p = st.finish(&d);
+        assert_eq!(p.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn stage_collect_reduce() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let doubled = st.collect(&n, |st, i| {
+            let xi = st.read(&x, i);
+            let two = st.lit_f(2.0);
+            st.mul(&xi, &two)
+        });
+        let m = st.len(&doubled);
+        let zero = st.lit_f(0.0);
+        let total = st.reduce(
+            &m,
+            |st, i| st.read(&doubled, i),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let p = st.finish(&total);
+        assert_eq!(count_loops(&p), 2);
+    }
+
+    #[test]
+    fn stage_bucket_reduce() {
+        let mut st = Stage::new();
+        let n = st.lit_i(100);
+        let three = st.lit_i(3);
+        let zero = st.lit_i(0);
+        let b = st.bucket_reduce(
+            &n,
+            |st, i| st.rem(i, &three),
+            |_st, i| i.clone(),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let vals = st.bucket_values(&b);
+        let p = st.finish(&vals);
+        assert_eq!(count_loops(&p), 1);
+        assert!(p.to_string().contains("BucketReduce"));
+    }
+
+    #[test]
+    fn stage_tuple_struct() {
+        let mut st = Stage::new();
+        let a = st.lit_i(1);
+        let b = st.lit_f(2.0);
+        let t = st.tuple(&[&a, &b]);
+        let second = st.tuple_get(&t, 1);
+        let sty = StructTy::new("P", vec![("x".into(), Ty::F64), ("y".into(), Ty::F64)]);
+        let s = st.struct_new(sty, &[&second, &second]);
+        let y = st.field(&s, "y");
+        let p = st.finish(&y);
+        assert!(typecheck::infer(&p).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "operand types differ")]
+    fn mixing_types_panics() {
+        let mut st = Stage::new();
+        let a = st.lit_i(1);
+        let b = st.lit_f(2.0);
+        st.add(&a, &b);
+    }
+
+    #[test]
+    fn conditional_collect() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let n = st.len(&x);
+        let evens = st.collect_if(
+            &n,
+            |st, i| {
+                let xi = st.read(&x, i);
+                let two = st.lit_i(2);
+                let r = st.rem(&xi, &two);
+                let zero = st.lit_i(0);
+                st.eq(&r, &zero)
+            },
+            |st, i| st.read(&x, i),
+        );
+        let p = st.finish(&evens);
+        assert!(p.to_string().contains("cond ("), "{p}");
+    }
+
+    #[test]
+    fn nested_loops_stage_correctly() {
+        // Matrix row sums: collect over rows of (reduce over cols).
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let rows = st.lit_i(10);
+        let cols = st.lit_i(5);
+        let sums = st.collect(&rows, |st, i| {
+            let zero = st.lit_f(0.0);
+            st.reduce(
+                &cols,
+                |st, j| {
+                    let scaled = st.mul(i, &cols);
+                    let idx = st.add(&scaled, j);
+                    st.read(&x, &idx)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let p = st.finish(&sums);
+        assert_eq!(count_loops(&p), 2);
+        // The inner loop must be nested inside the outer one, not at top level.
+        let top_loops = p
+            .body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s.def, Def::Loop(_)))
+            .count();
+        assert_eq!(top_loops, 1);
+    }
+
+    #[test]
+    fn extern_ops() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let sz = st.extern_call("size_field", &[&x], Ty::I64, false, true);
+        let p = st.finish(&sz);
+        assert!(p.to_string().contains("extern size_field"), "{p}");
+    }
+}

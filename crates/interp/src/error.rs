@@ -1,0 +1,71 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// An error raised while interpreting a DMLL program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A named input was not supplied.
+    MissingInput(String),
+    /// A collection read was out of bounds.
+    IndexOutOfBounds {
+        /// Attempted index.
+        index: i64,
+        /// Collection length.
+        len: usize,
+    },
+    /// A `Reduce` over an empty range with no explicit identity.
+    EmptyReduce,
+    /// A `bucketGet` missed and no default was provided.
+    MissingBucket(String),
+    /// An extern was called with no registered handler.
+    UnknownExtern(String),
+    /// A value had an unexpected shape (interpreter-side type error; should
+    /// be prevented by `dmll_core::typecheck`).
+    TypeMismatch(String),
+    /// Division or remainder by integer zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingInput(name) => write!(f, "missing input {name:?}"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for collection of length {len}"
+                )
+            }
+            EvalError::EmptyReduce => {
+                write!(f, "reduce over an empty range with no identity element")
+            }
+            EvalError::MissingBucket(k) => write!(f, "no bucket for key {k} and no default"),
+            EvalError::UnknownExtern(name) => write!(f, "no handler for extern {name:?}"),
+            EvalError::TypeMismatch(msg) => write!(f, "value shape mismatch: {msg}"),
+            EvalError::DivisionByZero => write!(f, "integer division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EvalError::IndexOutOfBounds { index: 5, len: 3 };
+        assert_eq!(
+            e.to_string(),
+            "index 5 out of bounds for collection of length 3"
+        );
+    }
+
+    #[test]
+    fn error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        assert_err(EvalError::EmptyReduce);
+    }
+}

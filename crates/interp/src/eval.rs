@@ -1,0 +1,729 @@
+//! The sequential evaluator: a direct implementation of Figure 2.
+
+use crate::error::EvalError;
+use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
+use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, Program};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A handler for [`Def::Extern`] operations.
+pub type ExternFn = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>;
+
+/// An interpreter instance bound to one program.
+pub struct Interp<'p> {
+    program: &'p Program,
+    externs: HashMap<String, ExternFn>,
+}
+
+/// Environment: one slot per symbol. Symbols are globally unique within a
+/// program, so a flat vector indexed by symbol id is both simple and fast.
+pub(crate) type Env = Vec<Option<Value>>;
+
+impl<'p> Interp<'p> {
+    /// Create an interpreter for `program`.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp {
+            program,
+            externs: HashMap::new(),
+        }
+    }
+
+    /// Register a handler for an extern operation.
+    pub fn with_extern(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    ) -> Self {
+        self.externs.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Run the program with named inputs, returning its result value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an input is missing or evaluation raises (out-of-bounds
+    /// read, empty reduce without identity, unknown extern, …).
+    pub fn run(&self, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
+        let mut env: Env = vec![None; self.program.next_sym_id() as usize];
+        for input in &self.program.inputs {
+            let v = inputs
+                .iter()
+                .find(|(n, _)| *n == input.name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| EvalError::MissingInput(input.name.clone()))?;
+            env[input.sym.0 as usize] = Some(v);
+        }
+        self.eval_block(&self.program.body, &[], &mut env)
+    }
+
+    pub(crate) fn eval_block(
+        &self,
+        b: &Block,
+        args: &[Value],
+        env: &mut Env,
+    ) -> Result<Value, EvalError> {
+        debug_assert_eq!(b.params.len(), args.len());
+        for (p, a) in b.params.iter().zip(args) {
+            env[p.0 as usize] = Some(a.clone());
+        }
+        for stmt in &b.stmts {
+            let vals = self.eval_def_internal(&stmt.def, env)?;
+            debug_assert_eq!(vals.len(), stmt.lhs.len());
+            for (s, v) in stmt.lhs.iter().zip(vals) {
+                env[s.0 as usize] = Some(v);
+            }
+        }
+        self.eval_exp(&b.result, env)
+    }
+
+    pub(crate) fn eval_exp(&self, e: &Exp, env: &Env) -> Result<Value, EvalError> {
+        match e {
+            Exp::Const(c) => Ok(const_value(c)),
+            Exp::Sym(s) => env[s.0 as usize]
+                .clone()
+                .ok_or_else(|| EvalError::TypeMismatch(format!("unset symbol {s}"))),
+        }
+    }
+
+    pub(crate) fn eval_def_internal(
+        &self,
+        d: &Def,
+        env: &mut Env,
+    ) -> Result<Vec<Value>, EvalError> {
+        let one = |v: Value| Ok(vec![v]);
+        match d {
+            Def::Prim { op, args } => {
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval_exp(a, env)?);
+                }
+                one(eval_prim(*op, &vs)?)
+            }
+            Def::Math { f, arg } => {
+                let v = self.eval_exp(arg, env)?;
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| EvalError::TypeMismatch("math on non-float".into()))?;
+                one(Value::F64(eval_math(*f, x)))
+            }
+            Def::Cast { to, value } => {
+                let v = self.eval_exp(value, env)?;
+                one(match (to, v) {
+                    (dmll_core::Ty::F64, Value::I64(i)) => Value::F64(i as f64),
+                    (dmll_core::Ty::F64, Value::F64(f)) => Value::F64(f),
+                    (dmll_core::Ty::I64, Value::F64(f)) => Value::I64(f as i64),
+                    (dmll_core::Ty::I64, Value::I64(i)) => Value::I64(i),
+                    (t, v) => return Err(EvalError::TypeMismatch(format!("cast {v:?} to {t}"))),
+                })
+            }
+            Def::ArrayLen(e) => {
+                let v = self.eval_exp(e, env)?;
+                let a = v
+                    .as_arr()
+                    .ok_or_else(|| EvalError::TypeMismatch("len of non-array".into()))?;
+                one(Value::I64(a.len() as i64))
+            }
+            Def::ArrayRead { arr, index } => {
+                let av = self.eval_exp(arr, env)?;
+                let iv = self.eval_exp(index, env)?;
+                one(read_array(&av, &iv)?)
+            }
+            Def::TupleNew(es) => {
+                let mut vs = Vec::with_capacity(es.len());
+                for e in es {
+                    vs.push(self.eval_exp(e, env)?);
+                }
+                one(Value::Tuple(Arc::new(vs)))
+            }
+            Def::TupleGet { tuple, index } => {
+                let v = self.eval_exp(tuple, env)?;
+                match v {
+                    Value::Tuple(vs) => vs
+                        .get(*index)
+                        .cloned()
+                        .map(|v| vec![v])
+                        .ok_or_else(|| EvalError::TypeMismatch("tuple index".into())),
+                    other => Err(EvalError::TypeMismatch(format!(
+                        "tuple projection from {other:?}"
+                    ))),
+                }
+            }
+            Def::StructNew { ty, fields } => {
+                let mut vs = Vec::with_capacity(fields.len());
+                for e in fields {
+                    vs.push(self.eval_exp(e, env)?);
+                }
+                one(Value::Struct(Arc::new(StructVal {
+                    ty: ty.clone(),
+                    fields: vs,
+                })))
+            }
+            Def::StructGet { obj, field } => {
+                let v = self.eval_exp(obj, env)?;
+                match v {
+                    Value::Struct(s) => s
+                        .field(field)
+                        .cloned()
+                        .map(|v| vec![v])
+                        .ok_or_else(|| EvalError::TypeMismatch(format!("no field {field}"))),
+                    other => Err(EvalError::TypeMismatch(format!(
+                        "field read from {other:?}"
+                    ))),
+                }
+            }
+            Def::Flatten(e) => {
+                let v = self.eval_exp(e, env)?;
+                let outer = v
+                    .as_arr()
+                    .ok_or_else(|| EvalError::TypeMismatch("flatten of non-array".into()))?;
+                let mut out = Vec::new();
+                for i in 0..outer.len() {
+                    let inner = outer.get(i).expect("in range");
+                    let inner = inner
+                        .as_arr()
+                        .ok_or_else(|| EvalError::TypeMismatch("flatten of non-nested".into()))?;
+                    for j in 0..inner.len() {
+                        out.push(inner.get(j).expect("in range"));
+                    }
+                }
+                one(Value::Arr(seal_array(out)))
+            }
+            Def::BucketValues(e) => {
+                let v = self.eval_exp(e, env)?;
+                match v {
+                    Value::Buckets(b) => one(Value::Arr(seal_array(b.vals.clone()))),
+                    other => Err(EvalError::TypeMismatch(format!(
+                        "bucketValues of {other:?}"
+                    ))),
+                }
+            }
+            Def::BucketKeys(e) => {
+                let v = self.eval_exp(e, env)?;
+                match v {
+                    Value::Buckets(b) => one(Value::Arr(seal_array(b.keys.clone()))),
+                    other => Err(EvalError::TypeMismatch(format!("bucketKeys of {other:?}"))),
+                }
+            }
+            Def::BucketLen(e) => {
+                let v = self.eval_exp(e, env)?;
+                match v {
+                    Value::Buckets(b) => one(Value::I64(b.len() as i64)),
+                    other => Err(EvalError::TypeMismatch(format!("bucketLen of {other:?}"))),
+                }
+            }
+            Def::BucketGet {
+                buckets,
+                key,
+                default,
+            } => {
+                let bv = self.eval_exp(buckets, env)?;
+                let kv = self.eval_exp(key, env)?;
+                match bv {
+                    Value::Buckets(b) => match b.get(&kv) {
+                        Some(v) => one(v.clone()),
+                        None => match default {
+                            Some(d) => one(self.eval_exp(d, env)?),
+                            None => Err(EvalError::MissingBucket(kv.to_string())),
+                        },
+                    },
+                    other => Err(EvalError::TypeMismatch(format!("bucketGet of {other:?}"))),
+                }
+            }
+            Def::Loop(ml) => self.eval_loop(ml, env, 0, None),
+            Def::Extern { name, args, .. } => {
+                let f = self
+                    .externs
+                    .get(name)
+                    .ok_or_else(|| EvalError::UnknownExtern(name.clone()))?
+                    .clone();
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval_exp(a, env)?);
+                }
+                one(f(&vs)?)
+            }
+        }
+    }
+
+    /// Evaluate a multiloop over `[start, end)` where `end` defaults to the
+    /// loop's size. Sub-range evaluation is what the hierarchical runtime
+    /// uses to split loops over hardware resources.
+    pub(crate) fn eval_loop(
+        &self,
+        ml: &Multiloop,
+        env: &mut Env,
+        start: i64,
+        end: Option<i64>,
+    ) -> Result<Vec<Value>, EvalError> {
+        let accs = self.eval_loop_accs(ml, env, start, end)?;
+        ml.gens
+            .iter()
+            .zip(accs)
+            .map(|(gen, acc)| self.seal_acc(gen, acc, env))
+            .collect()
+    }
+
+    /// Evaluate a multiloop over a sub-range, returning the raw per-generator
+    /// accumulators (unsealed). The parallel executor merges accumulators
+    /// from several sub-ranges before sealing.
+    pub(crate) fn eval_loop_accs(
+        &self,
+        ml: &Multiloop,
+        env: &mut Env,
+        start: i64,
+        end: Option<i64>,
+    ) -> Result<Vec<Acc>, EvalError> {
+        let size = self
+            .eval_exp(&ml.size, env)?
+            .as_i64()
+            .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
+        let end = end.unwrap_or(size).min(size);
+        let mut accs: Vec<Acc> = ml.gens.iter().map(Acc::for_gen).collect();
+        for i in start..end {
+            let iv = Value::I64(i);
+            for (gen, acc) in ml.gens.iter().zip(&mut accs) {
+                let pass = match gen.cond() {
+                    Some(c) => self
+                        .eval_block(c, std::slice::from_ref(&iv), env)?
+                        .as_bool()
+                        .ok_or_else(|| EvalError::TypeMismatch("condition".into()))?,
+                    None => true,
+                };
+                if !pass {
+                    continue;
+                }
+                let v = self.eval_block(gen.value(), std::slice::from_ref(&iv), env)?;
+                match (gen, acc) {
+                    (Gen::Collect { .. }, Acc::Collect(out)) => out.push(v),
+                    (Gen::Reduce { reducer, init, .. }, Acc::Reduce(state)) => {
+                        let next = match state.take() {
+                            Some(cur) => self.eval_block(reducer, &[cur, v], env)?,
+                            None => match init {
+                                Some(ie) => {
+                                    let i0 = self.eval_exp(ie, env)?;
+                                    self.eval_block(reducer, &[i0, v], env)?
+                                }
+                                None => v,
+                            },
+                        };
+                        *state = Some(next);
+                    }
+                    (Gen::BucketCollect { key, .. }, Acc::BucketCollect { keys, vals, index }) => {
+                        let k = self.eval_block(key, std::slice::from_ref(&iv), env)?;
+                        let slot = *index.entry(Key(k.clone())).or_insert_with(|| {
+                            keys.push(k);
+                            vals.push(Vec::new());
+                            keys.len() - 1
+                        });
+                        vals[slot].push(v);
+                    }
+                    (
+                        Gen::BucketReduce { key, reducer, .. },
+                        Acc::BucketReduce { keys, vals, index },
+                    ) => {
+                        let k = self.eval_block(key, std::slice::from_ref(&iv), env)?;
+                        match index.get(&Key(k.clone())) {
+                            Some(&slot) => {
+                                let cur = vals[slot].clone();
+                                vals[slot] = self.eval_block(reducer, &[cur, v], env)?;
+                            }
+                            None => {
+                                index.insert(Key(k.clone()), keys.len());
+                                keys.push(k);
+                                vals.push(v);
+                            }
+                        }
+                    }
+                    _ => unreachable!("accumulator matches generator"),
+                }
+            }
+        }
+        Ok(accs)
+    }
+
+    pub(crate) fn seal_acc(&self, gen: &Gen, acc: Acc, env: &mut Env) -> Result<Value, EvalError> {
+        Ok(match acc {
+            Acc::Collect(out) => Value::Arr(seal_array(out)),
+            Acc::Reduce(state) => match state {
+                Some(v) => v,
+                None => match gen {
+                    Gen::Reduce { init: Some(i), .. } => self.eval_exp(i, env)?,
+                    _ => return Err(EvalError::EmptyReduce),
+                },
+            },
+            Acc::BucketCollect { keys, vals, .. } => Value::Buckets(Arc::new(BucketsVal::new(
+                keys,
+                vals.into_iter()
+                    .map(|v| Value::Arr(seal_array(v)))
+                    .collect(),
+            ))),
+            Acc::BucketReduce { keys, vals, .. } => {
+                Value::Buckets(Arc::new(BucketsVal::new(keys, vals)))
+            }
+        })
+    }
+}
+
+/// Per-generator accumulator state (shared with the parallel executor).
+pub(crate) enum Acc {
+    Collect(Vec<Value>),
+    Reduce(Option<Value>),
+    BucketCollect {
+        keys: Vec<Value>,
+        vals: Vec<Vec<Value>>,
+        index: HashMap<Key, usize>,
+    },
+    BucketReduce {
+        keys: Vec<Value>,
+        vals: Vec<Value>,
+        index: HashMap<Key, usize>,
+    },
+}
+
+impl Acc {
+    pub(crate) fn for_gen(gen: &Gen) -> Acc {
+        match gen {
+            Gen::Collect { .. } => Acc::Collect(Vec::new()),
+            Gen::Reduce { .. } => Acc::Reduce(None),
+            Gen::BucketCollect { .. } => Acc::BucketCollect {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                index: HashMap::new(),
+            },
+            Gen::BucketReduce { .. } => Acc::BucketReduce {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                index: HashMap::new(),
+            },
+        }
+    }
+}
+
+/// Specialize a boxed value vector to unboxed storage when homogeneous.
+pub(crate) fn seal_array(vals: Vec<Value>) -> ArrayVal {
+    match vals.first() {
+        Some(Value::I64(_)) if vals.iter().all(|v| matches!(v, Value::I64(_))) => ArrayVal::I64(
+            Arc::new(vals.iter().map(|v| v.as_i64().expect("i64")).collect()),
+        ),
+        Some(Value::F64(_)) if vals.iter().all(|v| matches!(v, Value::F64(_))) => ArrayVal::F64(
+            Arc::new(vals.iter().map(|v| v.as_f64().expect("f64")).collect()),
+        ),
+        Some(Value::Bool(_)) if vals.iter().all(|v| matches!(v, Value::Bool(_))) => ArrayVal::Bool(
+            Arc::new(vals.iter().map(|v| v.as_bool().expect("bool")).collect()),
+        ),
+        _ => ArrayVal::Boxed(Arc::new(vals)),
+    }
+}
+
+pub(crate) fn read_array(arr: &Value, index: &Value) -> Result<Value, EvalError> {
+    let a = arr
+        .as_arr()
+        .ok_or_else(|| EvalError::TypeMismatch("read of non-array".into()))?;
+    let i = index
+        .as_i64()
+        .ok_or_else(|| EvalError::TypeMismatch("non-integer index".into()))?;
+    if i < 0 || i as usize >= a.len() {
+        return Err(EvalError::IndexOutOfBounds {
+            index: i,
+            len: a.len(),
+        });
+    }
+    Ok(a.get(i as usize).expect("in range"))
+}
+
+fn const_value(c: &Const) -> Value {
+    match c {
+        Const::I64(v) => Value::I64(*v),
+        Const::F64(v) => Value::F64(*v),
+        Const::Bool(v) => Value::Bool(*v),
+        Const::Str(s) => Value::Str(s.clone()),
+        Const::Unit => Value::Unit,
+    }
+}
+
+fn eval_math(f: MathFn, x: f64) -> f64 {
+    match f {
+        MathFn::Exp => x.exp(),
+        MathFn::Log => x.ln(),
+        MathFn::Sqrt => x.sqrt(),
+        MathFn::Abs => x.abs(),
+        MathFn::Sin => x.sin(),
+        MathFn::Cos => x.cos(),
+        MathFn::Tanh => x.tanh(),
+        MathFn::Floor => x.floor(),
+        MathFn::Ceil => x.ceil(),
+    }
+}
+
+fn eval_prim(op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
+    use PrimOp::*;
+    use Value::*;
+    let type_err = || EvalError::TypeMismatch(format!("{op} applied to {args:?}"));
+    Ok(match (op, args) {
+        (Add, [I64(a), I64(b)]) => I64(a.wrapping_add(*b)),
+        (Add, [F64(a), F64(b)]) => F64(a + b),
+        (Sub, [I64(a), I64(b)]) => I64(a.wrapping_sub(*b)),
+        (Sub, [F64(a), F64(b)]) => F64(a - b),
+        (Mul, [I64(a), I64(b)]) => I64(a.wrapping_mul(*b)),
+        (Mul, [F64(a), F64(b)]) => F64(a * b),
+        (Div, [I64(a), I64(b)]) => {
+            if *b == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            I64(a / b)
+        }
+        (Div, [F64(a), F64(b)]) => F64(a / b),
+        (Rem, [I64(a), I64(b)]) => {
+            if *b == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            I64(a % b)
+        }
+        (Min, [I64(a), I64(b)]) => I64(*a.min(b)),
+        (Min, [F64(a), F64(b)]) => F64(a.min(*b)),
+        (Max, [I64(a), I64(b)]) => I64(*a.max(b)),
+        (Max, [F64(a), F64(b)]) => F64(a.max(*b)),
+        (Neg, [I64(a)]) => I64(-a),
+        (Neg, [F64(a)]) => F64(-a),
+        (Eq, [a, b]) => Bool(a == b),
+        (Ne, [a, b]) => Bool(a != b),
+        (Lt, [I64(a), I64(b)]) => Bool(a < b),
+        (Lt, [F64(a), F64(b)]) => Bool(a < b),
+        (Le, [I64(a), I64(b)]) => Bool(a <= b),
+        (Le, [F64(a), F64(b)]) => Bool(a <= b),
+        (Gt, [I64(a), I64(b)]) => Bool(a > b),
+        (Gt, [F64(a), F64(b)]) => Bool(a > b),
+        (Ge, [I64(a), I64(b)]) => Bool(a >= b),
+        (Ge, [F64(a), F64(b)]) => Bool(a >= b),
+        (And, [Bool(a), Bool(b)]) => Bool(*a && *b),
+        (Or, [Bool(a), Bool(b)]) => Bool(*a || *b),
+        (Not, [Bool(a)]) => Bool(!a),
+        (Mux, [Bool(c), a, b]) => {
+            if *c {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        }
+        _ => return Err(type_err()),
+    })
+}
+
+/// Run `program` on the given named inputs with the default (empty) extern
+/// registry.
+///
+/// # Errors
+///
+/// See [`Interp::run`].
+pub fn eval(program: &Program, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
+    Interp::new(program).run(inputs)
+}
+
+/// Run `program` with a set of extern handlers.
+///
+/// # Errors
+///
+/// See [`Interp::run`].
+pub fn eval_with_externs(
+    program: &Program,
+    inputs: &[(&str, Value)],
+    externs: Vec<(String, ExternFn)>,
+) -> Result<Value, EvalError> {
+    let mut interp = Interp::new(program);
+    for (name, f) in externs {
+        interp.externs.insert(name, f);
+    }
+    interp.run(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn map_reduce_roundtrip() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let doubled = st.map(&x, |st, e| {
+            let two = st.lit_f(2.0);
+            st.mul(e, &two)
+        });
+        let total = st.sum(&doubled);
+        let p = st.finish(&total);
+        let out = eval(&p, &[("x", Value::f64_arr(vec![1.0, 2.0, 3.0]))]).unwrap();
+        assert_eq!(out, Value::F64(12.0));
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let evens = st.filter(&x, |st, e| {
+            let two = st.lit_i(2);
+            let r = st.rem(e, &two);
+            let zero = st.lit_i(0);
+            st.eq(&r, &zero)
+        });
+        let p = st.finish(&evens);
+        let out = eval(&p, &[("x", Value::i64_arr(vec![5, 2, 7, 4, 6, 1]))]).unwrap();
+        assert_eq!(out.to_i64_vec().unwrap(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn group_by_first_seen_order() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let g = st.group_by(&x, |st, e| {
+            let three = st.lit_i(3);
+            st.rem(e, &three)
+        });
+        let keys = st.bucket_keys(&g);
+        let p = st.finish(&keys);
+        let out = eval(&p, &[("x", Value::i64_arr(vec![7, 3, 5, 9, 8]))]).unwrap();
+        // 7%3=1 first, 3%3=0 second, 5%3=2 third.
+        assert_eq!(out.to_i64_vec().unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn bucket_reduce_sums_per_key() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let zero = st.lit_i(0);
+        let sums = st.group_by_reduce(
+            &x,
+            |st, e| {
+                let two = st.lit_i(2);
+                st.rem(e, &two)
+            },
+            |_st, e| e.clone(),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let vals = st.bucket_values(&sums);
+        let p = st.finish(&vals);
+        let out = eval(&p, &[("x", Value::i64_arr(vec![1, 2, 3, 4, 5]))]).unwrap();
+        // odd first (1+3+5=9), then even (2+4=6).
+        assert_eq!(out.to_i64_vec().unwrap(), vec![9, 6]);
+    }
+
+    #[test]
+    fn min_index_runs() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let mi = st.min_index(&x);
+        let p = st.finish(&mi);
+        let out = eval(&p, &[("x", Value::f64_arr(vec![3.0, 1.0, 2.0, 1.5]))]).unwrap();
+        assert_eq!(out, Value::I64(1));
+    }
+
+    #[test]
+    fn empty_reduce_without_init_errors() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let r = st.reduce_elems(&x, |st, a, b| st.add(a, b));
+        let p = st.finish(&r);
+        let err = eval(&p, &[("x", Value::f64_arr(vec![]))]).unwrap_err();
+        assert_eq!(err, EvalError::EmptyReduce);
+    }
+
+    #[test]
+    fn empty_reduce_with_init_yields_init() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let total = st.sum(&x);
+        let p = st.finish(&total);
+        let out = eval(&p, &[("x", Value::f64_arr(vec![]))]).unwrap();
+        assert_eq!(out, Value::F64(0.0));
+    }
+
+    #[test]
+    fn out_of_bounds_read_errors() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let idx = st.lit_i(10);
+        let v = st.read(&x, &idx);
+        let p = st.finish(&v);
+        let err = eval(&p, &[("x", Value::f64_arr(vec![1.0]))]).unwrap_err();
+        assert_eq!(err, EvalError::IndexOutOfBounds { index: 10, len: 1 });
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let total = st.sum(&x);
+        let p = st.finish(&total);
+        let err = eval(&p, &[]).unwrap_err();
+        assert_eq!(err, EvalError::MissingInput("x".into()));
+    }
+
+    #[test]
+    fn extern_dispatch() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let n = st.extern_call("my_len", &[&x], Ty::I64, false, true);
+        let p = st.finish(&n);
+        let out = eval_with_externs(
+            &p,
+            &[("x", Value::f64_arr(vec![1.0, 2.0]))],
+            vec![(
+                "my_len".to_string(),
+                Arc::new(|args: &[Value]| {
+                    Ok(Value::I64(args[0].as_arr().map_or(0, |a| a.len() as i64)))
+                }) as ExternFn,
+            )],
+        )
+        .unwrap();
+        assert_eq!(out, Value::I64(2));
+        assert_eq!(
+            eval(&p, &[("x", Value::f64_arr(vec![]))]).unwrap_err(),
+            EvalError::UnknownExtern("my_len".into())
+        );
+    }
+
+    #[test]
+    fn integer_division_by_zero() {
+        let mut st = Stage::new();
+        let a = st.lit_i(3);
+        let b = st.lit_i(0);
+        let d = st.div(&a, &b);
+        let p = st.finish(&d);
+        assert_eq!(eval(&p, &[]).unwrap_err(), EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn matrix_kmeans_assignment() {
+        // Two clear clusters; nearest-centroid assignment must separate them.
+        let mut st = Stage::new();
+        let matrix = st.input_matrix("matrix", LayoutHint::Partitioned);
+        let clusters = st.input_matrix("clusters", LayoutHint::Local);
+        let assigned = matrix.map_rows(&mut st, |st, i| {
+            let dists = clusters.map_rows(st, |st, k| matrix.row_dist2(st, i, &clusters, k));
+            st.min_index(&dists)
+        });
+        let p = st.finish(&assigned);
+        let matrix_v = Value::matrix(vec![0.0, 0.1, 10.0, 9.9, 0.2, 0.0, 9.8, 10.1], 4, 2);
+        let clusters_v = Value::matrix(vec![0.0, 0.0, 10.0, 10.0], 2, 2);
+        let out = eval(&p, &[("matrix", matrix_v), ("clusters", clusters_v)]).unwrap();
+        assert_eq!(out.to_i64_vec().unwrap(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut st = Stage::new();
+        let c = st.lit_b(false);
+        let a = st.lit_i(1);
+        let b = st.lit_i(2);
+        let m = st.mux(&c, &a, &b);
+        let p = st.finish(&m);
+        assert_eq!(eval(&p, &[]).unwrap(), Value::I64(2));
+    }
+}

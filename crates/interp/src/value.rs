@@ -1,0 +1,442 @@
+//! Runtime values.
+
+use dmll_core::StructTy;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime value produced by interpreting DMLL IR.
+///
+/// Aggregates are reference-counted so cloning a value is cheap; arrays of
+/// primitives use unboxed storage (the interpreter's small nod to the
+/// paper's AoS→SoA philosophy).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Arc<str>),
+    /// Unit.
+    Unit,
+    /// Tuple.
+    Tuple(Arc<Vec<Value>>),
+    /// Collection.
+    Arr(ArrayVal),
+    /// Result of a bucket generator.
+    Buckets(Arc<BucketsVal>),
+    /// Record.
+    Struct(Arc<StructVal>),
+}
+
+/// Typed collection storage.
+#[derive(Clone, Debug)]
+pub enum ArrayVal {
+    /// Unboxed integer array.
+    I64(Arc<Vec<i64>>),
+    /// Unboxed float array.
+    F64(Arc<Vec<f64>>),
+    /// Unboxed boolean array.
+    Bool(Arc<Vec<bool>>),
+    /// Boxed array of arbitrary values (tuples, nested arrays, structs…).
+    Boxed(Arc<Vec<Value>>),
+}
+
+impl ArrayVal {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayVal::I64(v) => v.len(),
+            ArrayVal::F64(v) => v.len(),
+            ArrayVal::Bool(v) => v.len(),
+            ArrayVal::Boxed(v) => v.len(),
+        }
+    }
+
+    /// True when the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        match self {
+            ArrayVal::I64(v) => v.get(i).map(|x| Value::I64(*x)),
+            ArrayVal::F64(v) => v.get(i).map(|x| Value::F64(*x)),
+            ArrayVal::Bool(v) => v.get(i).map(|x| Value::Bool(*x)),
+            ArrayVal::Boxed(v) => v.get(i).cloned(),
+        }
+    }
+}
+
+/// A bucket collection: per-bucket values plus the key directory.
+///
+/// Bucket order is *first-seen key order*, matching the sequential semantics
+/// in Figure 2 (`map(k(i))` assigns dense indices as keys appear).
+#[derive(Clone, Debug)]
+pub struct BucketsVal {
+    /// The key of each bucket, in bucket order.
+    pub keys: Vec<Value>,
+    /// The value of each bucket, aligned with `keys`.
+    pub vals: Vec<Value>,
+    /// Key-to-bucket-index directory.
+    pub index: HashMap<Key, usize>,
+}
+
+impl BucketsVal {
+    /// Build the directory from parallel key/value vectors.
+    pub fn new(keys: Vec<Value>, vals: Vec<Value>) -> BucketsVal {
+        assert_eq!(keys.len(), vals.len());
+        let index = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (Key(k.clone()), i))
+            .collect();
+        BucketsVal { keys, vals, index }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when there are no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The bucket value for `key`, if present.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.index.get(&Key(key.clone())).map(|&i| &self.vals[i])
+    }
+}
+
+/// A record value.
+#[derive(Clone, Debug)]
+pub struct StructVal {
+    /// The struct type.
+    pub ty: StructTy,
+    /// Field values, in declaration order.
+    pub fields: Vec<Value>,
+}
+
+impl StructVal {
+    /// Field value by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.ty.field_index(name).map(|i| &self.fields[i])
+    }
+}
+
+/// A hashable wrapper for values used as bucket keys.
+///
+/// Floats hash and compare by bit pattern; aggregates other than tuples are
+/// rejected at construction time by the type checker (bucket keys are
+/// scalars, strings or tuples of those).
+#[derive(Clone, Debug)]
+pub struct Key(pub Value);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        value_key_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        value_key_hash(&self.0, state);
+    }
+}
+
+fn value_key_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::I64(x), Value::I64(y)) => x == y,
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Unit, Value::Unit) => true,
+        (Value::Tuple(x), Value::Tuple(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(a, b)| value_key_eq(a, b))
+        }
+        _ => false,
+    }
+}
+
+fn value_key_hash<H: std::hash::Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::I64(x) => {
+            0u8.hash(state);
+            x.hash(state)
+        }
+        Value::F64(x) => {
+            1u8.hash(state);
+            x.to_bits().hash(state)
+        }
+        Value::Bool(x) => {
+            2u8.hash(state);
+            x.hash(state)
+        }
+        Value::Str(x) => {
+            3u8.hash(state);
+            x.hash(state)
+        }
+        Value::Unit => 4u8.hash(state),
+        Value::Tuple(xs) => {
+            5u8.hash(state);
+            xs.len().hash(state);
+            for x in xs.iter() {
+                value_key_hash(x, state);
+            }
+        }
+        other => panic!("value not usable as a bucket key: {other:?}"),
+    }
+    use std::hash::Hash;
+}
+
+impl Value {
+    /// Build an unboxed float array value.
+    pub fn f64_arr(v: Vec<f64>) -> Value {
+        Value::Arr(ArrayVal::F64(Arc::new(v)))
+    }
+
+    /// Build an unboxed integer array value.
+    pub fn i64_arr(v: Vec<i64>) -> Value {
+        Value::Arr(ArrayVal::I64(Arc::new(v)))
+    }
+
+    /// Build an unboxed boolean array value.
+    pub fn bool_arr(v: Vec<bool>) -> Value {
+        Value::Arr(ArrayVal::Bool(Arc::new(v)))
+    }
+
+    /// Build a boxed array value.
+    pub fn boxed_arr(v: Vec<Value>) -> Value {
+        Value::Arr(ArrayVal::Boxed(Arc::new(v)))
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a `MatrixF64` struct value from row-major data
+    /// (see `dmll_frontend::matrix`).
+    pub fn matrix(data: Vec<f64>, rows: usize, cols: usize) -> Value {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Value::Struct(Arc::new(StructVal {
+            ty: matrix_struct_ty(),
+            fields: vec![
+                Value::f64_arr(data),
+                Value::I64(rows as i64),
+                Value::I64(cols as i64),
+            ],
+        }))
+    }
+
+    /// The integer, if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is an `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is a collection.
+    pub fn as_arr(&self) -> Option<&ArrayVal> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Extract a `Vec<f64>`, if this is a float collection (or a boxed
+    /// collection of floats).
+    pub fn to_f64_vec(&self) -> Option<Vec<f64>> {
+        match self {
+            Value::Arr(ArrayVal::F64(v)) => Some(v.as_ref().clone()),
+            Value::Arr(ArrayVal::Boxed(v)) => {
+                v.iter().map(Value::as_f64).collect::<Option<Vec<_>>>()
+            }
+            _ => None,
+        }
+    }
+
+    /// Extract a `Vec<i64>`, if this is an integer collection.
+    pub fn to_i64_vec(&self) -> Option<Vec<i64>> {
+        match self {
+            Value::Arr(ArrayVal::I64(v)) => Some(v.as_ref().clone()),
+            Value::Arr(ArrayVal::Boxed(v)) => {
+                v.iter().map(Value::as_i64).collect::<Option<Vec<_>>>()
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Structural equality with float bit-equality; used by tests comparing
+/// pre/post-transformation results.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Arr(a), Value::Arr(b)) => {
+                a.len() == b.len() && (0..a.len()).all(|i| a.get(i) == b.get(i))
+            }
+            (Value::Buckets(a), Value::Buckets(b)) => a.keys == b.keys && a.vals == b.vals,
+            (Value::Struct(a), Value::Struct(b)) => a.ty == b.ty && a.fields == b.fields,
+            (Value::Tuple(a), Value::Tuple(b)) => a == b,
+            _ => value_key_eq(self, other),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Unit => write!(f, "()"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Arr(a) => {
+                write!(f, "[")?;
+                for i in 0..a.len().min(16) {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", a.get(i).expect("in range"))?;
+                }
+                if a.len() > 16 {
+                    write!(f, ", … ({} total)", a.len())?;
+                }
+                write!(f, "]")
+            }
+            Value::Buckets(b) => {
+                write!(f, "{{")?;
+                for i in 0..b.len().min(16) {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} -> {}", b.keys[i], b.vals[i])?;
+                }
+                if b.len() > 16 {
+                    write!(f, ", … ({} total)", b.len())?;
+                }
+                write!(f, "}}")
+            }
+            Value::Struct(s) => {
+                write!(f, "{} {{ ", s.ty.name)?;
+                for (i, ((name, _), v)) in s.ty.fields.iter().zip(&s.fields).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {v}")?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+fn matrix_struct_ty() -> StructTy {
+    StructTy::new(
+        "MatrixF64",
+        vec![
+            ("data".into(), dmll_core::Ty::arr(dmll_core::Ty::F64)),
+            ("rows".into(), dmll_core::Ty::I64),
+            ("cols".into(), dmll_core::Ty::I64),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_access() {
+        let a = Value::f64_arr(vec![1.0, 2.0]);
+        let arr = a.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr.get(1), Some(Value::F64(2.0)));
+        assert_eq!(arr.get(2), None);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    fn buckets_lookup() {
+        let b = BucketsVal::new(
+            vec![Value::I64(3), Value::I64(7)],
+            vec![Value::F64(1.0), Value::F64(2.0)],
+        );
+        assert_eq!(b.get(&Value::I64(7)), Some(&Value::F64(2.0)));
+        assert_eq!(b.get(&Value::I64(9)), None);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn tuple_keys_hash() {
+        let mut m: HashMap<Key, i32> = HashMap::new();
+        let k1 = Key(Value::Tuple(Arc::new(vec![Value::I64(1), Value::str("a")])));
+        let k2 = Key(Value::Tuple(Arc::new(vec![Value::I64(1), Value::str("a")])));
+        m.insert(k1, 10);
+        assert_eq!(m.get(&k2), Some(&10));
+    }
+
+    #[test]
+    fn value_equality_across_storage() {
+        let unboxed = Value::i64_arr(vec![1, 2, 3]);
+        let boxed = Value::boxed_arr(vec![Value::I64(1), Value::I64(2), Value::I64(3)]);
+        assert_eq!(unboxed, boxed);
+    }
+
+    #[test]
+    fn matrix_helper() {
+        let m = Value::matrix(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        if let Value::Struct(s) = &m {
+            assert_eq!(s.field("rows"), Some(&Value::I64(2)));
+            assert_eq!(
+                s.field("data").unwrap().to_f64_vec().unwrap(),
+                vec![1.0, 2.0, 3.0, 4.0]
+            );
+        } else {
+            panic!("not a struct");
+        }
+    }
+
+    #[test]
+    fn display_truncates() {
+        let a = Value::i64_arr((0..100).collect());
+        let s = a.to_string();
+        assert!(s.contains("(100 total)"), "{s}");
+    }
+}

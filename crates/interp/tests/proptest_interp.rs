@@ -1,0 +1,162 @@
+//! Property tests for the interpreter: parallel/sequential agreement,
+//! bucket-order determinism, and agreement with native folds.
+
+use dmll_core::{LayoutHint, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::{eval, eval_parallel, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// groupBy's bucket order is first-seen key order, exactly like a
+    /// native insertion-ordered grouping.
+    #[test]
+    fn group_by_is_first_seen_order(
+        data in prop::collection::vec(0i64..20, 0..150),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let g = st.group_by(&x, |st, e| {
+            let k = st.lit_i(5);
+            st.rem(e, &k)
+        });
+        let keys = st.bucket_keys(&g);
+        let p = st.finish(&keys);
+        let got = eval(&p, &[("x", Value::i64_arr(data.clone()))])
+            .unwrap()
+            .to_i64_vec()
+            .unwrap();
+        let mut seen = Vec::new();
+        for v in &data {
+            let k = v % 5;
+            if !seen.contains(&k) {
+                seen.push(k);
+            }
+        }
+        prop_assert_eq!(got, seen);
+    }
+
+    /// Conditional reduce equals the native filtered fold.
+    #[test]
+    fn conditional_reduce_matches_native(
+        data in prop::collection::vec(-100i64..100, 0..200),
+        threshold in -50i64..50,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let t = st.lit_i(threshold);
+        let n = st.len(&x);
+        let zero = st.lit_i(0);
+        let x2 = x.clone();
+        let s = st.reduce_if(
+            &n,
+            Some(move |st: &mut Stage, i: &dmll_frontend::Val| {
+                let xi = st.read(&x2, i);
+                st.gt(&xi, &t)
+            }),
+            move |st, i| st.read(&x, i),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let p = st.finish(&s);
+        let got = eval(&p, &[("x", Value::i64_arr(data.clone()))]).unwrap();
+        let want: i64 = data.iter().filter(|v| **v > threshold).sum();
+        prop_assert_eq!(got, Value::I64(want));
+    }
+
+    /// min_index always points at a true minimum.
+    #[test]
+    fn min_index_is_a_true_argmin(
+        data in prop::collection::vec(-1000i64..1000, 1..80),
+    ) {
+        let floats: Vec<f64> = data.iter().map(|v| *v as f64).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let mi = st.min_index(&x);
+        let p = st.finish(&mi);
+        let got = eval(&p, &[("x", Value::f64_arr(floats.clone()))])
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let min = floats.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(floats[got as usize] == min, "{} is not the minimum", got);
+    }
+
+    /// Parallel bucket-collect produces the same buckets with the same
+    /// element order as sequential, at any thread count.
+    #[test]
+    fn parallel_bucket_collect_deterministic(
+        data in prop::collection::vec(0i64..1000, 0..300),
+        threads in 1usize..7,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let g = st.group_by(&x, |st, e| {
+            let k = st.lit_i(7);
+            st.rem(e, &k)
+        });
+        let keys = st.bucket_keys(&g);
+        let vals = st.bucket_values(&g);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        let seq = eval(&p, &[("x", Value::i64_arr(data.clone()))]).unwrap();
+        let par = eval_parallel(&p, &[("x", Value::i64_arr(data))], threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Sum over integers equals the native sum regardless of chunking.
+    #[test]
+    fn integer_sums_are_exact(
+        data in prop::collection::vec(any::<i32>(), 0..500),
+        threads in 1usize..9,
+    ) {
+        let wide: Vec<i64> = data.iter().map(|v| *v as i64).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let p = st.finish(&s);
+        let want: i64 = wide.iter().sum();
+        let seq = eval(&p, &[("x", Value::i64_arr(wide.clone()))]).unwrap();
+        let par = eval_parallel(&p, &[("x", Value::i64_arr(wide))], threads).unwrap();
+        prop_assert_eq!(seq, Value::I64(want));
+        prop_assert_eq!(par, Value::I64(want));
+    }
+
+    /// Bucket counts partition the input: sizes sum to the input length and
+    /// match a native histogram.
+    #[test]
+    fn bucket_sizes_partition_input(
+        data in prop::collection::vec(0i64..10_000, 0..200),
+        modulus in 1i64..12,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let m = st.lit_i(modulus);
+        let zero = st.lit_i(0);
+        let counts = st.group_by_reduce(
+            &x,
+            move |st, e| st.rem(e, &m),
+            |st, _e| st.lit_i(1),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let keys = st.bucket_keys(&counts);
+        let vals = st.bucket_values(&counts);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        let out = eval(&p, &[("x", Value::i64_arr(data.clone()))]).unwrap();
+        let Value::Tuple(parts) = out else { panic!() };
+        let keys = parts[0].to_i64_vec().unwrap();
+        let counts = parts[1].to_i64_vec().unwrap();
+        prop_assert_eq!(counts.iter().sum::<i64>(), data.len() as i64);
+        let mut hist: HashMap<i64, i64> = HashMap::new();
+        for v in &data {
+            *hist.entry(v % modulus).or_insert(0) += 1;
+        }
+        for (k, c) in keys.iter().zip(&counts) {
+            prop_assert_eq!(hist.get(k).copied().unwrap_or(0), *c);
+        }
+    }
+}

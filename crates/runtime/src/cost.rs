@@ -1,0 +1,549 @@
+//! The hardware cost model: (loop profiles × machine × execution mode) →
+//! time.
+//!
+//! Each loop is charged compute time and memory time (overlapped — the
+//! maximum wins), plus one-time broadcast, post-loop combine, and
+//! synchronization overheads. The execution modes differ **only** in where
+//! data lives and which resources serve each traffic class, mirroring §6's
+//! experimental configurations:
+//!
+//! * `DmllNumaAware` — partitioned arrays spread across every socket's
+//!   memory: all traffic at aggregate bandwidth;
+//! * `DmllPinOnly` — threads pinned with thread-local heaps, but each
+//!   partitioned array allocated inside a single socket: streaming traffic
+//!   caps at one socket's bandwidth while thread-local traffic scales;
+//! * `DeliteShared` — no pinning, no partitioning: bandwidth barely exceeds
+//!   one socket and scheduling is locality-oblivious;
+//! * `Cluster` — work split across machines, broadcast/combine/remote reads
+//!   over the network;
+//! * `Gpu`/`GpuCluster` — kernel model with coalescing (transpose) and
+//!   shared-memory (scalar-reduce) effects, PCIe amortized over iterations.
+
+use crate::machine::{ClusterSpec, GpuSpec, MachineSpec};
+use crate::profile::LoopProfile;
+
+/// GPU kernel tuning knobs studied in Figure 6 (left).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GpuTuning {
+    /// Input matrix transposed on transfer so thread accesses coalesce.
+    pub transposed: bool,
+}
+
+/// An execution configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecMode {
+    /// One core, one socket.
+    Sequential,
+    /// NUMA-aware DMLL: pinning + partitioned allocation (§6.1 "DMLL").
+    DmllNumaAware {
+        /// Cores used (fill sockets in order).
+        cores: usize,
+    },
+    /// Pinning and thread-local heaps only (§6.1 "DMLL Pin Only").
+    DmllPinOnly {
+        /// Cores used.
+        cores: usize,
+    },
+    /// Baseline shared-memory runtime without NUMA awareness ("Delite").
+    DeliteShared {
+        /// Cores used.
+        cores: usize,
+    },
+    /// Distributed over every node of the cluster.
+    Cluster,
+    /// Single-node GPU offload.
+    Gpu {
+        /// Kernel tuning.
+        tuning: GpuTuning,
+        /// Iterations the host-to-device transfer is amortized over.
+        amortized_iters: f64,
+    },
+    /// GPU per node across the cluster.
+    GpuCluster {
+        /// Kernel tuning.
+        tuning: GpuTuning,
+        /// Iterations the host-to-device transfer is amortized over.
+        amortized_iters: f64,
+    },
+}
+
+/// Simulated time, by component (seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimBreakdown {
+    /// Arithmetic.
+    pub compute: f64,
+    /// Memory traffic.
+    pub memory: f64,
+    /// Network traffic (broadcast, combine, remote reads).
+    pub network: f64,
+    /// Host-device transfers.
+    pub pcie: f64,
+    /// Synchronization / launch overheads.
+    pub overhead: f64,
+}
+
+impl SimBreakdown {
+    /// Total simulated seconds.
+    pub fn total(&self) -> f64 {
+        self.compute + self.memory + self.network + self.pcie + self.overhead
+    }
+
+    fn add(&mut self, o: SimBreakdown) {
+        self.compute += o.compute;
+        self.memory += o.memory;
+        self.network += o.network;
+        self.pcie += o.pcie;
+        self.overhead += o.overhead;
+    }
+}
+
+/// Simulate all loops (run once each) under `mode`.
+pub fn simulate_loops(
+    profiles: &[LoopProfile],
+    cluster: &ClusterSpec,
+    mode: &ExecMode,
+) -> SimBreakdown {
+    let mut total = SimBreakdown::default();
+    for p in profiles {
+        total.add(simulate_one(p, cluster, mode));
+    }
+    total
+}
+
+fn log2c(n: usize) -> f64 {
+    (n.max(1) as f64).log2().max(1.0)
+}
+
+fn simulate_one(p: &LoopProfile, cluster: &ClusterSpec, mode: &ExecMode) -> SimBreakdown {
+    let spec = cluster.node;
+    match *mode {
+        ExecMode::Sequential => shared_memory(p, &spec, 1, BwPolicy::Single, 1.0),
+        ExecMode::DmllNumaAware { cores } => {
+            shared_memory(p, &spec, cores, BwPolicy::Aggregate, 1.0)
+        }
+        ExecMode::DmllPinOnly { cores } => shared_memory(p, &spec, cores, BwPolicy::PinOnly, 1.0),
+        ExecMode::DeliteShared { cores } => {
+            shared_memory(p, &spec, cores, BwPolicy::Oblivious, 0.87)
+        }
+        ExecMode::Cluster => cluster_time(p, cluster),
+        ExecMode::Gpu {
+            tuning,
+            amortized_iters,
+        } => gpu_time(
+            p,
+            spec.gpu.as_ref().expect("machine has a GPU"),
+            tuning,
+            amortized_iters,
+            1,
+            cluster,
+        ),
+        ExecMode::GpuCluster {
+            tuning,
+            amortized_iters,
+        } => gpu_time(
+            p,
+            spec.gpu.as_ref().expect("machine has a GPU"),
+            tuning,
+            amortized_iters,
+            cluster.nodes,
+            cluster,
+        ),
+    }
+}
+
+enum BwPolicy {
+    /// One socket's bandwidth for everything.
+    Single,
+    /// Partitioned allocation: all classes at aggregate bandwidth.
+    Aggregate,
+    /// Thread-local data at aggregate, partitioned streams at one socket
+    /// (the chunk was malloc'd by a single loading thread).
+    PinOnly,
+    /// No locality control: a bit above one socket for everything.
+    Oblivious,
+}
+
+fn shared_memory(
+    p: &LoopProfile,
+    spec: &MachineSpec,
+    cores: usize,
+    policy: BwPolicy,
+    compute_eff: f64,
+) -> SimBreakdown {
+    let cores = cores.clamp(1, spec.total_cores());
+    // Exposed parallelism bounds usable cores: a loop over k clusters can
+    // only occupy k cores (the paper's "more limited exposed parallelism"
+    // of untransformed k-means).
+    let cores = cores.min((p.iterations.max(1.0)) as usize);
+    let sockets = spec.sockets_for_cores(cores);
+    let flops = p.total_flops();
+    let stream = p.iterations * p.stream_bytes_per_iter;
+    let local = p.iterations * (p.local_bytes_per_iter + p.output_bytes_per_iter);
+    let random = p.iterations * p.random_bytes_per_iter;
+
+    // A bandwidth ceiling can only be reached with enough cores issuing
+    // requests: each core draws at most `core_mem_bw`.
+    let core_cap = cores as f64 * spec.core_mem_bw;
+    let (bw_stream, bw_local) = match policy {
+        BwPolicy::Single => (spec.socket_mem_bw, spec.socket_mem_bw),
+        BwPolicy::Aggregate => (spec.aggregate_bw(sockets), spec.aggregate_bw(sockets)),
+        BwPolicy::PinOnly => (spec.socket_mem_bw, spec.aggregate_bw(sockets)),
+        BwPolicy::Oblivious => {
+            let bw = (spec.socket_mem_bw * 1.3).min(spec.aggregate_bw(sockets));
+            (bw, bw)
+        }
+    };
+    let bw_stream = bw_stream.min(core_cap);
+    let bw_local = bw_local.min(core_cap);
+
+    let compute = flops / (cores as f64 * spec.core_flops * compute_eff);
+    // Random accesses crossing sockets pay the interconnect with small-
+    // message inefficiency.
+    let remote_frac = if sockets > 1 {
+        (sockets - 1) as f64 / sockets as f64
+    } else {
+        0.0
+    };
+    let random_time = random * remote_frac / (spec.interconnect_bw * 0.25)
+        + random * (1.0 - remote_frac) / bw_local;
+    // Materialized bucket output is shuffled across sockets by key hash
+    // ("constrained memory bandwidth due to shuffling data across sockets").
+    let shuffle = if p.is_bucket && sockets > 1 {
+        p.iterations * p.output_bytes_per_iter * remote_frac / spec.interconnect_bw
+    } else {
+        0.0
+    };
+    let memory = stream / bw_stream + local / bw_local + random_time + shuffle;
+
+    // Intra-machine broadcast: replicate to each used socket.
+    let broadcast = if sockets > 1 {
+        p.broadcast_bytes * sockets as f64 / spec.aggregate_bw(sockets)
+    } else {
+        0.0
+    };
+    // Combine per-socket partials over the interconnect.
+    let combine = if cores > 1 {
+        p.combine_bytes * log2c(cores) / spec.interconnect_bw
+    } else {
+        0.0
+    };
+    let overhead = if cores > 1 {
+        spec.sync_overhead * log2c(cores)
+    } else {
+        0.0
+    };
+
+    // Compute and memory traffic overlap; the slower one dominates and is
+    // reported in its own component.
+    SimBreakdown {
+        compute: if compute >= memory { compute } else { 0.0 },
+        memory: if memory > compute { memory } else { 0.0 },
+        network: broadcast + combine,
+        pcie: 0.0,
+        overhead,
+    }
+}
+
+fn cluster_time(p: &LoopProfile, cluster: &ClusterSpec) -> SimBreakdown {
+    let n = cluster.nodes.max(1);
+    let spec = cluster.node;
+    let per_node = shared_memory(
+        &scaled_profile(p, 1.0 / n as f64),
+        &spec,
+        spec.total_cores(),
+        BwPolicy::Aggregate,
+        1.0,
+    );
+    // Broadcast over the network, pipelined tree.
+    let broadcast = if n > 1 {
+        p.broadcast_bytes / cluster.network_bw * log2c(n)
+    } else {
+        0.0
+    };
+    // All-reduce combine.
+    let combine = if n > 1 {
+        p.combine_bytes / cluster.network_bw * log2c(n) + cluster.network_latency * log2c(n)
+    } else {
+        0.0
+    };
+    // Remote reads cross the network with probability (n-1)/n.
+    let random = p.iterations * p.random_bytes_per_iter;
+    let remote = if n > 1 {
+        random * ((n - 1) as f64 / n as f64) / (cluster.network_bw * 0.5) / n as f64
+            + cluster.network_latency * 2.0
+    } else {
+        0.0
+    };
+    let barrier = if n > 1 {
+        cluster.network_latency * 2.0 * log2c(n)
+    } else {
+        0.0
+    };
+    SimBreakdown {
+        compute: per_node.compute,
+        memory: per_node.memory,
+        network: per_node.network + broadcast + combine + remote,
+        pcie: 0.0,
+        overhead: per_node.overhead + barrier,
+    }
+}
+
+fn gpu_time(
+    p: &LoopProfile,
+    gpu: &GpuSpec,
+    tuning: GpuTuning,
+    amortized_iters: f64,
+    nodes: usize,
+    cluster: &ClusterSpec,
+) -> SimBreakdown {
+    let share = 1.0 / nodes.max(1) as f64;
+    let flops = p.total_flops() * share;
+    let bytes = (p.iterations
+        * (p.stream_bytes_per_iter
+            + p.local_bytes_per_iter
+            + p.random_bytes_per_iter
+            + p.output_bytes_per_iter))
+        * share;
+
+    // Coalescing: without the transpose, warp accesses to row-major data
+    // are strided and the memory controller wastes most of each transaction.
+    let mut bw_eff = gpu.mem_bw * if tuning.transposed { 0.85 } else { 0.22 };
+    // Non-scalar reductions cannot live in shared memory: temporaries spill
+    // to global memory and the reduction serializes partially (§6, Fig. 6).
+    let mut flops_eff = gpu.flops * 0.6;
+    if p.has_nonscalar_reduce {
+        bw_eff *= 0.35;
+        flops_eff *= 0.25;
+    }
+    // Random access (graph-style gather) wrecks achievable bandwidth.
+    if p.random_bytes_per_iter > 0.0 {
+        bw_eff *= 0.15;
+    }
+    let compute = flops / flops_eff;
+    let memory = bytes / bw_eff;
+
+    // Host-to-device transfer of the streamed partition and broadcast data,
+    // amortized across iterative reuse.
+    let input_bytes = p.iterations * p.stream_bytes_per_iter * share + p.broadcast_bytes;
+    let pcie = input_bytes / gpu.pcie_bw / amortized_iters.max(1.0);
+
+    let network = if nodes > 1 {
+        p.broadcast_bytes / cluster.network_bw * log2c(nodes)
+            + p.combine_bytes / cluster.network_bw * log2c(nodes)
+            + cluster.network_latency * 2.0 * log2c(nodes)
+    } else {
+        0.0
+    };
+
+    SimBreakdown {
+        compute: if compute >= memory { compute } else { 0.0 },
+        memory: if memory > compute { memory } else { 0.0 },
+        network,
+        pcie,
+        overhead: gpu.launch_overhead,
+    }
+}
+
+fn scaled_profile(p: &LoopProfile, k: f64) -> LoopProfile {
+    LoopProfile {
+        iterations: p.iterations * k,
+        broadcast_bytes: 0.0, // charged at cluster level
+        ..p.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A streaming-bound profile (Q1/k-means style): lots of bytes per flop.
+    fn stream_heavy() -> LoopProfile {
+        LoopProfile {
+            iterations: 50_000_000.0,
+            flops_per_iter: 4.0,
+            stream_bytes_per_iter: 64.0,
+            local_bytes_per_iter: 8.0,
+            combine_bytes: 4096.0,
+            reduce_bytes: 8.0,
+            partitioned: true,
+            ..Default::default()
+        }
+    }
+
+    /// A compute-bound profile (GDA style): heavy math on thread-local data.
+    fn compute_heavy() -> LoopProfile {
+        LoopProfile {
+            iterations: 500_000.0,
+            flops_per_iter: 20_000.0,
+            stream_bytes_per_iter: 80.0,
+            local_bytes_per_iter: 800.0,
+            combine_bytes: 80_000.0,
+            partitioned: true,
+            ..Default::default()
+        }
+    }
+
+    fn machine() -> ClusterSpec {
+        ClusterSpec::single(crate::machine::MachineSpec::numa_4x12())
+    }
+
+    fn speedup(p: &LoopProfile, mode: &ExecMode) -> f64 {
+        let seq = simulate_loops(&[p.clone()], &machine(), &ExecMode::Sequential).total();
+        let par = simulate_loops(&[p.clone()], &machine(), mode).total();
+        seq / par
+    }
+
+    #[test]
+    fn numa_aware_scales_past_pin_only_on_streaming() {
+        let p = stream_heavy();
+        let numa48 = speedup(&p, &ExecMode::DmllNumaAware { cores: 48 });
+        let pin48 = speedup(&p, &ExecMode::DmllPinOnly { cores: 48 });
+        assert!(
+            numa48 > pin48 * 2.0,
+            "partitioned allocation multiplies bandwidth: numa={numa48:.1} pin={pin48:.1}"
+        );
+        // Pin-only stops scaling beyond one socket for streamed data.
+        let pin12 = speedup(&p, &ExecMode::DmllPinOnly { cores: 12 });
+        assert!(
+            pin48 < pin12 * 1.6,
+            "pin-only plateaus: 12c={pin12:.1} 48c={pin48:.1}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_scales_everywhere() {
+        let p = compute_heavy();
+        let numa = speedup(&p, &ExecMode::DmllNumaAware { cores: 48 });
+        let pin = speedup(&p, &ExecMode::DmllPinOnly { cores: 48 });
+        assert!(numa > 30.0, "{numa:.1}");
+        assert!(pin > 30.0, "pinning suffices when compute-bound: {pin:.1}");
+    }
+
+    #[test]
+    fn delite_trails_dmll() {
+        let p = stream_heavy();
+        let delite = speedup(&p, &ExecMode::DeliteShared { cores: 48 });
+        let numa = speedup(&p, &ExecMode::DmllNumaAware { cores: 48 });
+        assert!(numa > delite * 2.0, "numa={numa:.1} delite={delite:.1}");
+    }
+
+    #[test]
+    fn monotone_in_cores_for_numa_aware() {
+        let p = stream_heavy();
+        let mut last = 0.0;
+        for cores in [1, 12, 24, 48] {
+            let s = speedup(&p, &ExecMode::DmllNumaAware { cores });
+            assert!(s >= last, "cores={cores}: {s:.2} < {last:.2}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn cluster_random_access_dominated_by_network() {
+        let mut p = stream_heavy();
+        p.random_bytes_per_iter = 16.0;
+        p.iterations = 1_000_000.0;
+        let cl = ClusterSpec::amazon_20();
+        let t = simulate_loops(&[p], &cl, &ExecMode::Cluster);
+        assert!(
+            t.network > t.compute + t.memory,
+            "graph-style gathers are network bound: {t:?}"
+        );
+    }
+
+    #[test]
+    fn broadcast_charged_on_cluster() {
+        let mut p = stream_heavy();
+        p.broadcast_bytes = 1e9; // 1 GB model broadcast
+        let cl = ClusterSpec::amazon_20();
+        let with = simulate_loops(&[p.clone()], &cl, &ExecMode::Cluster);
+        p.broadcast_bytes = 0.0;
+        let without = simulate_loops(&[p], &cl, &ExecMode::Cluster);
+        assert!(
+            with.network > without.network + 1.0,
+            "{with:?} vs {without:?}"
+        );
+    }
+
+    #[test]
+    fn gpu_transpose_and_scalar_reduce_help() {
+        let gpu_cluster = ClusterSpec::gpu_4();
+        let mut p = stream_heavy();
+        p.has_nonscalar_reduce = true;
+        let naive = simulate_loops(
+            &[p.clone()],
+            &gpu_cluster,
+            &ExecMode::Gpu {
+                tuning: GpuTuning { transposed: false },
+                amortized_iters: 100.0,
+            },
+        )
+        .total();
+        let transposed = simulate_loops(
+            &[p.clone()],
+            &gpu_cluster,
+            &ExecMode::Gpu {
+                tuning: GpuTuning { transposed: true },
+                amortized_iters: 100.0,
+            },
+        )
+        .total();
+        p.has_nonscalar_reduce = false; // Row-to-Column applied
+        let both = simulate_loops(
+            &[p],
+            &gpu_cluster,
+            &ExecMode::Gpu {
+                tuning: GpuTuning { transposed: true },
+                amortized_iters: 100.0,
+            },
+        )
+        .total();
+        assert!(
+            transposed < naive,
+            "transpose helps: {transposed} vs {naive}"
+        );
+        assert!(both < transposed, "scalar reduce helps further: {both}");
+        assert!(
+            naive / both > 2.0,
+            "combined effect is large: {}",
+            naive / both
+        );
+    }
+
+    #[test]
+    fn gpu_cluster_splits_work() {
+        let cl = ClusterSpec::gpu_4();
+        let p = compute_heavy();
+        let one = simulate_loops(
+            &[p.clone()],
+            &cl,
+            &ExecMode::Gpu {
+                tuning: GpuTuning { transposed: true },
+                amortized_iters: 10.0,
+            },
+        )
+        .total();
+        let four = simulate_loops(
+            &[p],
+            &cl,
+            &ExecMode::GpuCluster {
+                tuning: GpuTuning { transposed: true },
+                amortized_iters: 10.0,
+            },
+        )
+        .total();
+        assert!(four < one, "4 GPUs beat 1: {four} vs {one}");
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = SimBreakdown {
+            compute: 1.0,
+            memory: 2.0,
+            network: 3.0,
+            pcie: 4.0,
+            overhead: 5.0,
+        };
+        assert_eq!(b.total(), 15.0);
+    }
+}

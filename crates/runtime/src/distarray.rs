@@ -1,0 +1,289 @@
+//! Distributed arrays with a location directory (§5).
+//!
+//! A logical array is physically split into per-location chunks. Every
+//! instance holds, besides its local chunk, a *directory* of index ranges to
+//! locations, built when the array is first instantiated and broadcast to
+//! every physical instance. Reads of indices that are not physically present
+//! are trapped and transparently fetched from the owning location; the
+//! [`TransferStats`] counters make that communication observable to tests
+//! and to the simulator.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A physical placement: machine and memory region (socket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location {
+    /// Machine index within the cluster.
+    pub node: usize,
+    /// Socket (memory region) within the machine.
+    pub socket: usize,
+}
+
+impl Location {
+    /// Location 0/0 — the degenerate single-region placement.
+    pub fn root() -> Location {
+        Location { node: 0, socket: 0 }
+    }
+}
+
+/// Communication counters for one distributed array.
+#[derive(Debug, Default)]
+pub struct TransferStats {
+    /// Reads served by the local chunk.
+    pub local_reads: AtomicU64,
+    /// Reads trapped and served remotely.
+    pub remote_reads: AtomicU64,
+    /// Bytes moved for remote reads.
+    pub remote_bytes: AtomicU64,
+}
+
+impl TransferStats {
+    /// Snapshot `(local, remote, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.local_reads.load(Ordering::Relaxed),
+            self.remote_reads.load(Ordering::Relaxed),
+            self.remote_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct ChunkEntry<T> {
+    start: usize,
+    end: usize,
+    location: Location,
+    data: Mutex<Vec<T>>,
+}
+
+/// A partitioned array of `T` with trapped remote reads.
+pub struct DistArray<T> {
+    chunks: Vec<ChunkEntry<T>>,
+    len: usize,
+    stats: Arc<TransferStats>,
+}
+
+impl<T: Clone> DistArray<T> {
+    /// Partition `data` evenly across `locations` (in order), splitting only
+    /// on chunk boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty.
+    pub fn partition(data: Vec<T>, locations: &[Location]) -> DistArray<T> {
+        assert!(!locations.is_empty(), "at least one location required");
+        let len = data.len();
+        let n = locations.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut chunks = Vec::with_capacity(n);
+        let mut it = data.into_iter();
+        let mut start = 0usize;
+        for (i, &loc) in locations.iter().enumerate() {
+            let size = base + usize::from(i < extra);
+            let chunk: Vec<T> = it.by_ref().take(size).collect();
+            chunks.push(ChunkEntry {
+                start,
+                end: start + size,
+                location: loc,
+                data: Mutex::new(chunk),
+            });
+            start += size;
+        }
+        DistArray {
+            chunks,
+            len,
+            stats: Arc::new(TransferStats::default()),
+        }
+    }
+
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The directory: `(start, end, location)` per chunk — what §5
+    /// broadcasts to every physical instance of the logical array.
+    pub fn directory(&self) -> Vec<(usize, usize, Location)> {
+        self.chunks
+            .iter()
+            .map(|c| (c.start, c.end, c.location))
+            .collect()
+    }
+
+    /// The location owning index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn owner(&self, idx: usize) -> Location {
+        self.chunk_of(idx).location
+    }
+
+    /// The index range local to `loc` (empty range if none).
+    pub fn local_range(&self, loc: Location) -> (usize, usize) {
+        self.chunks
+            .iter()
+            .find(|c| c.location == loc)
+            .map(|c| (c.start, c.end))
+            .unwrap_or((0, 0))
+    }
+
+    /// Read `idx` from the perspective of a worker at `from`: local when the
+    /// owning chunk lives there, otherwise trapped, counted and fetched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn read(&self, from: Location, idx: usize) -> T {
+        let chunk = self.chunk_of(idx);
+        if chunk.location == from {
+            self.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .remote_bytes
+                .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        }
+        chunk.data.lock()[idx - chunk.start].clone()
+    }
+
+    /// Write `idx` (used when materializing partitioned collect outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn write(&self, idx: usize, value: T) {
+        let chunk = self.chunk_of(idx);
+        let mut data = chunk.data.lock();
+        data[idx - chunk.start] = value;
+    }
+
+    /// Shared transfer counters.
+    pub fn stats(&self) -> Arc<TransferStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Reassemble the logical array (gathers all chunks).
+    pub fn gather(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend(c.data.lock().iter().cloned());
+        }
+        out
+    }
+
+    fn chunk_of(&self, idx: usize) -> &ChunkEntry<T> {
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
+        // Directory lookup: binary search over chunk starts.
+        let mut lo = 0usize;
+        let mut hi = self.chunks.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.chunks[mid].start <= idx {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        &self.chunks[lo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn locs(n: usize) -> Vec<Location> {
+        (0..n)
+            .map(|i| Location {
+                node: i / 4,
+                socket: i % 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        let a = DistArray::partition((0..10).collect::<Vec<i32>>(), &locs(3));
+        assert_eq!(a.len(), 10);
+        let dir = a.directory();
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir[0].0, 0);
+        assert_eq!(dir.last().unwrap().1, 10);
+        // Contiguous, non-overlapping.
+        for w in dir.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert_eq!(a.gather(), (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn local_vs_remote_reads_are_counted() {
+        let a = DistArray::partition((0..100).collect::<Vec<i64>>(), &locs(4));
+        let first = a.owner(0);
+        // Local read.
+        assert_eq!(a.read(first, 0), 0);
+        // Remote read (index owned by the last location).
+        assert_eq!(a.read(first, 99), 99);
+        let (local, remote, bytes) = a.stats().snapshot();
+        assert_eq!(local, 1);
+        assert_eq!(remote, 1);
+        assert_eq!(bytes, 8);
+    }
+
+    #[test]
+    fn owner_matches_directory() {
+        let a = DistArray::partition((0..17).collect::<Vec<u8>>(), &locs(4));
+        for (start, end, loc) in a.directory() {
+            for i in start..end {
+                assert_eq!(a.owner(i), loc);
+            }
+        }
+    }
+
+    #[test]
+    fn local_range_lookup() {
+        let a = DistArray::partition((0..12).collect::<Vec<i32>>(), &locs(3));
+        let dir = a.directory();
+        for (start, end, loc) in dir {
+            assert_eq!(a.local_range(loc), (start, end));
+        }
+        assert_eq!(a.local_range(Location { node: 9, socket: 9 }), (0, 0));
+    }
+
+    #[test]
+    fn writes_land_in_right_chunk() {
+        let a = DistArray::partition(vec![0i64; 10], &locs(2));
+        a.write(7, 42);
+        assert_eq!(a.read(Location::root(), 7), 42);
+        assert_eq!(a.gather()[7], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let a = DistArray::partition(vec![1i32], &locs(1));
+        a.read(Location::root(), 5);
+    }
+
+    #[test]
+    fn uneven_partition_sizes_differ_by_at_most_one() {
+        let a = DistArray::partition((0..11).collect::<Vec<i32>>(), &locs(4));
+        let sizes: Vec<usize> = a.directory().iter().map(|(s, e, _)| e - s).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+}

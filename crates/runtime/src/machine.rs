@@ -1,0 +1,209 @@
+//! Hardware descriptions and the paper's testbed presets.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU accelerator attached to a machine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Peak arithmetic throughput in FLOP/s.
+    pub flops: f64,
+    /// Device memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Host-to-device transfer bandwidth (PCIe) in bytes/s.
+    pub pcie_bw: f64,
+    /// Per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla C2050 (the paper's GPU-cluster accelerator).
+    pub fn tesla_c2050() -> GpuSpec {
+        GpuSpec {
+            flops: 515e9,
+            mem_bw: 144e9,
+            pcie_bw: 6e9,
+            launch_overhead: 15e-6,
+            mem_capacity: 3e9,
+        }
+    }
+}
+
+/// One machine: sockets × cores with per-socket memory regions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Number of sockets (NUMA domains).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Effective per-core arithmetic throughput in FLOP/s.
+    pub core_flops: f64,
+    /// Per-socket local memory bandwidth in bytes/s.
+    pub socket_mem_bw: f64,
+    /// Memory bandwidth one core can draw by itself in bytes/s.
+    pub core_mem_bw: f64,
+    /// Cross-socket (interconnect) bandwidth in bytes/s, per link.
+    pub interconnect_bw: f64,
+    /// Per-parallel-loop synchronization overhead in seconds.
+    pub sync_overhead: f64,
+    /// Attached GPU, if any.
+    pub gpu: Option<GpuSpec>,
+}
+
+impl MachineSpec {
+    /// The paper's single-machine testbed: 4 sockets × 12 Xeon E5-4657L
+    /// cores, 256 GB per socket.
+    pub fn numa_4x12() -> MachineSpec {
+        MachineSpec {
+            sockets: 4,
+            cores_per_socket: 12,
+            core_flops: 4.0e9,
+            socket_mem_bw: 38e9,
+            core_mem_bw: 8e9,
+            interconnect_bw: 12e9,
+            sync_overhead: 20e-6,
+            gpu: None,
+        }
+    }
+
+    /// An Amazon EC2 m1.xlarge instance: 4 virtual cores, 15 GB.
+    pub fn m1_xlarge() -> MachineSpec {
+        MachineSpec {
+            sockets: 1,
+            cores_per_socket: 4,
+            core_flops: 1.5e9,
+            socket_mem_bw: 10e9,
+            core_mem_bw: 4e9,
+            interconnect_bw: 10e9,
+            sync_overhead: 50e-6,
+            gpu: None,
+        }
+    }
+
+    /// A GPU-cluster node: 12 Xeon X5680 cores, 48 GB, one Tesla C2050.
+    pub fn gpu_node() -> MachineSpec {
+        MachineSpec {
+            sockets: 2,
+            cores_per_socket: 6,
+            core_flops: 4.5e9,
+            socket_mem_bw: 30e9,
+            core_mem_bw: 8e9,
+            interconnect_bw: 12e9,
+            sync_overhead: 20e-6,
+            gpu: Some(GpuSpec::tesla_c2050()),
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Aggregate local memory bandwidth with `sockets_used` sockets reading
+    /// their own memory.
+    pub fn aggregate_bw(&self, sockets_used: usize) -> f64 {
+        self.socket_mem_bw * sockets_used.clamp(1, self.sockets) as f64
+    }
+
+    /// How many sockets a run on `cores` cores touches (cores fill sockets
+    /// in order, as the locality-aware pinned runtime does).
+    pub fn sockets_for_cores(&self, cores: usize) -> usize {
+        let cores = cores.clamp(1, self.total_cores());
+        cores.div_ceil(self.cores_per_socket)
+    }
+}
+
+/// A cluster of identical machines.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of machines.
+    pub nodes: usize,
+    /// Per-node machine description.
+    pub node: MachineSpec,
+    /// Network bandwidth per node in bytes/s.
+    pub network_bw: f64,
+    /// Per-message network latency in seconds.
+    pub network_latency: f64,
+}
+
+impl ClusterSpec {
+    /// One machine, no network: the degenerate cluster.
+    pub fn single(node: MachineSpec) -> ClusterSpec {
+        ClusterSpec {
+            nodes: 1,
+            node,
+            network_bw: f64::INFINITY,
+            network_latency: 0.0,
+        }
+    }
+
+    /// The paper's 20-node Amazon EC2 cluster (m1.xlarge, 1 GbE).
+    pub fn amazon_20() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 20,
+            node: MachineSpec::m1_xlarge(),
+            network_bw: 125e6,
+            network_latency: 200e-6,
+        }
+    }
+
+    /// The paper's 4-node GPU cluster (1 GbE within a rack).
+    pub fn gpu_4() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 4,
+            node: MachineSpec::gpu_node(),
+            network_bw: 125e6,
+            network_latency: 100e-6,
+        }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.total_cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shapes() {
+        let m = MachineSpec::numa_4x12();
+        assert_eq!(m.total_cores(), 48);
+        assert_eq!(m.sockets, 4);
+        let c = ClusterSpec::amazon_20();
+        assert_eq!(c.nodes, 20);
+        assert_eq!(c.total_cores(), 80);
+        let g = ClusterSpec::gpu_4();
+        assert!(g.node.gpu.is_some());
+        assert_eq!(g.node.total_cores(), 12);
+    }
+
+    #[test]
+    fn socket_filling() {
+        let m = MachineSpec::numa_4x12();
+        assert_eq!(m.sockets_for_cores(1), 1);
+        assert_eq!(m.sockets_for_cores(12), 1);
+        assert_eq!(m.sockets_for_cores(13), 2);
+        assert_eq!(m.sockets_for_cores(48), 4);
+        assert_eq!(m.sockets_for_cores(500), 4);
+    }
+
+    #[test]
+    fn bandwidth_aggregation() {
+        let m = MachineSpec::numa_4x12();
+        assert_eq!(m.aggregate_bw(1), 38e9);
+        assert_eq!(m.aggregate_bw(4), 4.0 * 38e9);
+        assert_eq!(m.aggregate_bw(9), 4.0 * 38e9, "clamped to socket count");
+    }
+
+    #[test]
+    fn specs_are_plain_data() {
+        let c = ClusterSpec::gpu_4();
+        let c2 = c;
+        assert_eq!(c, c2);
+        assert_eq!(ClusterSpec::single(MachineSpec::numa_4x12()).nodes, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Hierarchical scheduling (§5, *Hierarchical Heterogeneous Execution*).
+//!
+//! "A multiloop is agnostic to whether it runs over the entire loop bounds
+//! or a subset of the loop bounds": the cluster master partitions a loop
+//! into per-machine chunks — choosing each machine's range by combining the
+//! input's access stencil with the input's directory so reads stay local —
+//! and each machine further splits its chunk across sockets and cores (with
+//! dynamic load balancing via over-decomposition).
+
+use crate::distarray::Location;
+use crate::machine::ClusterSpec;
+
+/// A unit of scheduled work: a contiguous index sub-range on one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Which machine.
+    pub node: usize,
+    /// Which socket within the machine.
+    pub socket: usize,
+    /// Which core within the socket.
+    pub core: usize,
+    /// Half-open iteration range.
+    pub range: (i64, i64),
+}
+
+/// The full placement of one multiloop.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulePlan {
+    /// All chunks, covering `0..iterations` exactly once.
+    pub chunks: Vec<Chunk>,
+    /// True when node ranges were derived from a data directory (moving
+    /// computation to the data) rather than an even split.
+    pub aligned_to_data: bool,
+}
+
+impl SchedulePlan {
+    /// Number of distinct cores used.
+    pub fn cores_used(&self) -> usize {
+        use std::collections::BTreeSet;
+        self.chunks
+            .iter()
+            .map(|c| (c.node, c.socket, c.core))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Verify full, non-overlapping coverage of `0..n` (test helper).
+    pub fn covers(&self, n: i64) -> bool {
+        let mut ranges: Vec<(i64, i64)> = self.chunks.iter().map(|c| c.range).collect();
+        ranges.sort_unstable();
+        let mut pos = 0;
+        for (s, e) in ranges {
+            if s != pos || e < s {
+                return false;
+            }
+            pos = e;
+        }
+        pos == n
+    }
+}
+
+/// Partition `iterations` over a cluster.
+///
+/// When `directory` is provided (ranges of the loop's interval-accessed
+/// partitioned input, per node), each machine receives exactly the
+/// iterations whose reads are node-local. Otherwise iterations are split
+/// evenly. Within a machine, iterations are split across sockets, then
+/// cores, with `chunks_per_core`-way over-decomposition for dynamic load
+/// balancing (`chunks_per_core = 1` disables it).
+pub fn plan_loop(
+    iterations: i64,
+    cluster: &ClusterSpec,
+    directory: Option<&[(i64, i64, usize)]>,
+    chunks_per_core: usize,
+) -> SchedulePlan {
+    let mut plan = SchedulePlan::default();
+    if iterations <= 0 {
+        return plan;
+    }
+    // Node-level ranges.
+    let node_ranges: Vec<(usize, i64, i64)> = match directory {
+        Some(dir) => {
+            plan.aligned_to_data = true;
+            dir.iter()
+                .map(|&(s, e, node)| (node, s.max(0), e.min(iterations)))
+                .filter(|&(_, s, e)| s < e)
+                .collect()
+        }
+        None => {
+            let n = cluster.nodes as i64;
+            let base = iterations / n;
+            let extra = iterations % n;
+            let mut out = Vec::new();
+            let mut pos = 0;
+            for node in 0..cluster.nodes {
+                let size = base + i64::from((node as i64) < extra);
+                if size > 0 {
+                    out.push((node, pos, pos + size));
+                }
+                pos += size;
+            }
+            out
+        }
+    };
+    // Machine level: sockets → cores → over-decomposed chunks.
+    let spec = cluster.node;
+    for (node, start, end) in node_ranges {
+        let total = end - start;
+        let sockets = spec.sockets as i64;
+        for s in 0..spec.sockets {
+            let s_start = start + total * s as i64 / sockets;
+            let s_end = start + total * (s as i64 + 1) / sockets;
+            let s_total = s_end - s_start;
+            if s_total <= 0 {
+                continue;
+            }
+            let slots = (spec.cores_per_socket * chunks_per_core.max(1)) as i64;
+            for k in 0..slots {
+                let c_start = s_start + s_total * k / slots;
+                let c_end = s_start + s_total * (k + 1) / slots;
+                if c_start < c_end {
+                    plan.chunks.push(Chunk {
+                        node,
+                        socket: s,
+                        core: (k as usize) % spec.cores_per_socket,
+                        range: (c_start, c_end),
+                    });
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Derive a node-level directory from a [`crate::DistArray`] directory,
+/// mapping element ranges to owning nodes (socket detail dropped).
+pub fn node_directory(dir: &[(usize, usize, Location)]) -> Vec<(i64, i64, usize)> {
+    let mut out: Vec<(i64, i64, usize)> = Vec::new();
+    for &(s, e, loc) in dir {
+        match out.last_mut() {
+            Some(last) if last.2 == loc.node && last.1 == s as i64 => last.1 = e as i64,
+            _ => out.push((s as i64, e as i64, loc.node)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn even_split_covers_everything() {
+        let cluster = ClusterSpec::amazon_20();
+        let plan = plan_loop(1_000_003, &cluster, None, 1);
+        assert!(plan.covers(1_000_003));
+        assert_eq!(plan.cores_used(), cluster.total_cores());
+        assert!(!plan.aligned_to_data);
+    }
+
+    #[test]
+    fn directory_alignment_moves_computation_to_data() {
+        let cluster = ClusterSpec::gpu_4();
+        // Skewed ownership: node 0 owns much more.
+        let dir = vec![
+            (0, 700, 0usize),
+            (700, 800, 1),
+            (800, 900, 2),
+            (900, 1000, 3),
+        ];
+        let plan = plan_loop(1000, &cluster, Some(&dir), 1);
+        assert!(plan.aligned_to_data);
+        assert!(plan.covers(1000));
+        let node0: i64 = plan
+            .chunks
+            .iter()
+            .filter(|c| c.node == 0)
+            .map(|c| c.range.1 - c.range.0)
+            .sum();
+        assert_eq!(node0, 700, "node 0 processes exactly its local range");
+    }
+
+    #[test]
+    fn over_decomposition_multiplies_chunks() {
+        let cluster = ClusterSpec::single(MachineSpec::numa_4x12());
+        let p1 = plan_loop(48_000, &cluster, None, 1);
+        let p4 = plan_loop(48_000, &cluster, None, 4);
+        assert!(p4.chunks.len() > p1.chunks.len() * 3);
+        assert!(p4.covers(48_000));
+        assert_eq!(p1.cores_used(), 48);
+        assert_eq!(p4.cores_used(), 48);
+    }
+
+    #[test]
+    fn tiny_loops_do_not_overassign() {
+        let cluster = ClusterSpec::single(MachineSpec::numa_4x12());
+        let plan = plan_loop(3, &cluster, None, 1);
+        assert!(plan.covers(3));
+        assert!(plan.cores_used() <= 3);
+    }
+
+    #[test]
+    fn empty_loop_empty_plan() {
+        let cluster = ClusterSpec::amazon_20();
+        let plan = plan_loop(0, &cluster, None, 1);
+        assert!(plan.chunks.is_empty());
+        assert!(plan.covers(0));
+    }
+
+    #[test]
+    fn node_directory_merges_sockets() {
+        let dir = vec![
+            (0usize, 100usize, Location { node: 0, socket: 0 }),
+            (100, 200, Location { node: 0, socket: 1 }),
+            (200, 300, Location { node: 1, socket: 0 }),
+        ];
+        let nd = node_directory(&dir);
+        assert_eq!(nd, vec![(0, 200, 0), (200, 300, 1)]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Abstract shape evaluation: run a program over *sizes* instead of data.
+//!
+//! The cost model needs iteration counts and data-structure sizes, but loop
+//! sizes in the IR are ordinary expressions (`len(x)`, `matrix.rows`). This
+//! module evaluates a program abstractly, mapping every value to its
+//! [`ShapeVal`]: integers stay concrete when derivable from the input
+//! shapes, collections carry element counts, everything else collapses to a
+//! scalar.
+
+use dmll_core::{Block, Const, Def, Exp, Gen, Program, StructTy, Sym};
+use std::collections::HashMap;
+
+/// The shape of a runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShapeVal {
+    /// A concrete integer (sizes, indices derived from constants).
+    Int(i64),
+    /// A scalar of unknown value (floats, data-dependent ints, bools).
+    Scalar,
+    /// A collection with a known element count.
+    Arr {
+        /// Number of elements.
+        len: i64,
+        /// Shape of each element.
+        elem: Box<ShapeVal>,
+    },
+    /// A record.
+    Struct {
+        /// The struct type.
+        ty: StructTy,
+        /// Field shapes in declaration order.
+        fields: Vec<ShapeVal>,
+    },
+    /// A tuple.
+    Tuple(Vec<ShapeVal>),
+    /// A bucket collection with an estimated bucket count.
+    Buckets {
+        /// Estimated number of distinct keys.
+        count: i64,
+        /// Shape of each bucket value.
+        value: Box<ShapeVal>,
+    },
+}
+
+impl ShapeVal {
+    /// Shape of a `Coll[Double]` of the given length.
+    pub fn f64_arr(len: i64) -> ShapeVal {
+        ShapeVal::Arr {
+            len,
+            elem: Box::new(ShapeVal::Scalar),
+        }
+    }
+
+    /// Shape of a `Coll[Int]` of the given length.
+    pub fn i64_arr(len: i64) -> ShapeVal {
+        ShapeVal::Arr {
+            len,
+            elem: Box::new(ShapeVal::Scalar),
+        }
+    }
+
+    /// Shape of a `MatrixF64` (see `dmll_frontend::matrix`).
+    pub fn matrix(rows: i64, cols: i64) -> ShapeVal {
+        ShapeVal::Struct {
+            ty: StructTy::new(
+                "MatrixF64",
+                vec![
+                    ("data".into(), dmll_core::Ty::arr(dmll_core::Ty::F64)),
+                    ("rows".into(), dmll_core::Ty::I64),
+                    ("cols".into(), dmll_core::Ty::I64),
+                ],
+            ),
+            fields: vec![
+                ShapeVal::f64_arr(rows * cols),
+                ShapeVal::Int(rows),
+                ShapeVal::Int(cols),
+            ],
+        }
+    }
+
+    /// Shape of a `Coll[S]` of records.
+    pub fn struct_arr(len: i64, ty: StructTy) -> ShapeVal {
+        let fields = ty.fields.iter().map(|_| ShapeVal::Scalar).collect();
+        ShapeVal::Arr {
+            len,
+            elem: Box::new(ShapeVal::Struct { ty, fields }),
+        }
+    }
+
+    /// The concrete integer, if known.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ShapeVal::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Element count, if this is a collection.
+    pub fn len(&self) -> Option<i64> {
+        match self {
+            ShapeVal::Arr { len, .. } => Some(*len),
+            _ => None,
+        }
+    }
+
+    /// True when this is a collection with zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// Approximate in-memory size in bytes (8 bytes per scalar).
+    pub fn bytes(&self) -> f64 {
+        match self {
+            ShapeVal::Int(_) | ShapeVal::Scalar => 8.0,
+            ShapeVal::Arr { len, elem } => *len as f64 * elem.bytes(),
+            ShapeVal::Struct { fields, .. } => fields.iter().map(ShapeVal::bytes).sum(),
+            ShapeVal::Tuple(fs) => fs.iter().map(ShapeVal::bytes).sum(),
+            ShapeVal::Buckets { count, value } => *count as f64 * (value.bytes() + 8.0),
+        }
+    }
+}
+
+/// Configuration for abstract evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeConfig {
+    /// Estimated distinct-key count for bucket generators.
+    pub bucket_hint: i64,
+    /// Estimated selectivity of generator conditions (fraction of the range
+    /// that passes), used for filtered collect lengths.
+    pub selectivity: f64,
+}
+
+impl Default for ShapeConfig {
+    fn default() -> Self {
+        ShapeConfig {
+            bucket_hint: 16,
+            selectivity: 1.0,
+        }
+    }
+}
+
+/// A shape environment keyed by symbol.
+pub type ShapeEnv = HashMap<Sym, ShapeVal>;
+
+/// Build the initial environment from named input shapes.
+///
+/// # Panics
+///
+/// Panics if an input shape is missing — profiles require every input.
+pub fn seed_env(program: &Program, inputs: &[(&str, ShapeVal)]) -> ShapeEnv {
+    let mut env = ShapeEnv::new();
+    for input in &program.inputs {
+        let shape = inputs
+            .iter()
+            .find(|(n, _)| *n == input.name)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| panic!("no shape supplied for input {:?}", input.name));
+        env.insert(input.sym, shape);
+    }
+    env
+}
+
+/// Abstractly evaluate an expression.
+pub fn eval_exp(e: &Exp, env: &ShapeEnv) -> ShapeVal {
+    match e {
+        Exp::Const(Const::I64(v)) => ShapeVal::Int(*v),
+        Exp::Const(_) => ShapeVal::Scalar,
+        Exp::Sym(s) => env.get(s).cloned().unwrap_or(ShapeVal::Scalar),
+    }
+}
+
+/// Abstractly evaluate a block given parameter shapes, extending `env` with
+/// every statement's shape (symbols are globally unique, so the caller can
+/// inspect intermediates afterwards).
+pub fn eval_block(
+    b: &Block,
+    params: &[ShapeVal],
+    env: &mut ShapeEnv,
+    cfg: &ShapeConfig,
+) -> ShapeVal {
+    for (p, s) in b.params.iter().zip(params) {
+        env.insert(*p, s.clone());
+    }
+    for stmt in &b.stmts {
+        let shapes = eval_def(&stmt.def, env, cfg);
+        for (sym, sh) in stmt.lhs.iter().zip(shapes) {
+            env.insert(*sym, sh);
+        }
+    }
+    eval_exp(&b.result, env)
+}
+
+/// Abstractly evaluate a single definition.
+pub fn eval_def(def: &Def, env: &mut ShapeEnv, cfg: &ShapeConfig) -> Vec<ShapeVal> {
+    let one = |s: ShapeVal| vec![s];
+    match def {
+        Def::Prim { op, args } => {
+            use dmll_core::PrimOp::*;
+            let vals: Vec<ShapeVal> = args.iter().map(|a| eval_exp(a, env)).collect();
+            let ints: Option<Vec<i64>> = vals.iter().map(ShapeVal::as_int).collect();
+            match (op, ints) {
+                (Add, Some(v)) => one(ShapeVal::Int(v[0].wrapping_add(v[1]))),
+                (Sub, Some(v)) => one(ShapeVal::Int(v[0].wrapping_sub(v[1]))),
+                (Mul, Some(v)) => one(ShapeVal::Int(v[0].wrapping_mul(v[1]))),
+                (Div, Some(v)) if v[1] != 0 => one(ShapeVal::Int(v[0] / v[1])),
+                (Rem, Some(v)) if v[1] != 0 => one(ShapeVal::Int(v[0] % v[1])),
+                (Min, Some(v)) => one(ShapeVal::Int(v[0].min(v[1]))),
+                (Max, Some(v)) => one(ShapeVal::Int(v[0].max(v[1]))),
+                (Mux, _) => {
+                    // Join the branches; equal shapes stay precise.
+                    let a = eval_exp(&args[1], env);
+                    let b = eval_exp(&args[2], env);
+                    one(if a == b { a } else { ShapeVal::Scalar })
+                }
+                _ => one(ShapeVal::Scalar),
+            }
+        }
+        Def::Math { .. } | Def::Cast { .. } => one(ShapeVal::Scalar),
+        Def::ArrayLen(e) => one(match eval_exp(e, env) {
+            ShapeVal::Arr { len, .. } => ShapeVal::Int(len),
+            _ => ShapeVal::Scalar,
+        }),
+        Def::ArrayRead { arr, .. } => one(match eval_exp(arr, env) {
+            ShapeVal::Arr { elem, .. } => *elem,
+            _ => ShapeVal::Scalar,
+        }),
+        Def::TupleNew(es) => one(ShapeVal::Tuple(
+            es.iter().map(|e| eval_exp(e, env)).collect(),
+        )),
+        Def::TupleGet { tuple, index } => one(match eval_exp(tuple, env) {
+            ShapeVal::Tuple(fs) => fs.get(*index).cloned().unwrap_or(ShapeVal::Scalar),
+            _ => ShapeVal::Scalar,
+        }),
+        Def::StructNew { ty, fields } => one(ShapeVal::Struct {
+            ty: ty.clone(),
+            fields: fields.iter().map(|e| eval_exp(e, env)).collect(),
+        }),
+        Def::StructGet { obj, field } => one(match eval_exp(obj, env) {
+            ShapeVal::Struct { ty, fields } => ty
+                .field_index(field)
+                .and_then(|i| fields.get(i).cloned())
+                .unwrap_or(ShapeVal::Scalar),
+            _ => ShapeVal::Scalar,
+        }),
+        Def::Flatten(e) => one(match eval_exp(e, env) {
+            ShapeVal::Arr { len, elem } => match *elem {
+                ShapeVal::Arr {
+                    len: inner,
+                    elem: ie,
+                } => ShapeVal::Arr {
+                    len: len * inner,
+                    elem: ie,
+                },
+                _ => ShapeVal::Scalar,
+            },
+            _ => ShapeVal::Scalar,
+        }),
+        Def::BucketValues(e) => one(match eval_exp(e, env) {
+            ShapeVal::Buckets { count, value } => ShapeVal::Arr {
+                len: count,
+                elem: value,
+            },
+            _ => ShapeVal::Scalar,
+        }),
+        Def::BucketKeys(e) => one(match eval_exp(e, env) {
+            ShapeVal::Buckets { count, .. } => ShapeVal::Arr {
+                len: count,
+                elem: Box::new(ShapeVal::Scalar),
+            },
+            _ => ShapeVal::Scalar,
+        }),
+        Def::BucketLen(e) => one(match eval_exp(e, env) {
+            ShapeVal::Buckets { count, .. } => ShapeVal::Int(count),
+            _ => ShapeVal::Scalar,
+        }),
+        Def::BucketGet { buckets, .. } => one(match eval_exp(buckets, env) {
+            ShapeVal::Buckets { value, .. } => *value,
+            _ => ShapeVal::Scalar,
+        }),
+        Def::Loop(ml) => eval_loop(ml, env, cfg),
+        Def::Extern { .. } => one(ShapeVal::Scalar),
+    }
+}
+
+/// Abstractly evaluate a multiloop, producing one output shape per
+/// generator.
+pub fn eval_loop(
+    ml: &dmll_core::Multiloop,
+    env: &mut ShapeEnv,
+    cfg: &ShapeConfig,
+) -> Vec<ShapeVal> {
+    let n = eval_exp(&ml.size, env).as_int().unwrap_or(0).max(0);
+    ml.gens
+        .iter()
+        .map(|gen| {
+            // Evaluate component blocks once with an abstract index to learn
+            // the element shape.
+            if let Some(c) = gen.cond() {
+                eval_block(c, &[ShapeVal::Scalar], env, cfg);
+            }
+            let key_shape = gen
+                .key()
+                .map(|k| eval_block(k, &[ShapeVal::Scalar], env, cfg));
+            let _ = key_shape;
+            let v = eval_block(gen.value(), &[ShapeVal::Scalar], env, cfg);
+            if let Some(r) = gen.reducer() {
+                eval_block(r, &[v.clone(), v.clone()], env, cfg);
+            }
+            let out_len = if gen.cond().is_some() {
+                ((n as f64) * cfg.selectivity).round() as i64
+            } else {
+                n
+            };
+            match gen {
+                Gen::Collect { .. } => ShapeVal::Arr {
+                    len: out_len,
+                    elem: Box::new(v),
+                },
+                Gen::Reduce { .. } => v,
+                Gen::BucketCollect { .. } => {
+                    let count = cfg.bucket_hint.min(n.max(1));
+                    ShapeVal::Buckets {
+                        count,
+                        value: Box::new(ShapeVal::Arr {
+                            len: (n / count.max(1)).max(1),
+                            elem: Box::new(v),
+                        }),
+                    }
+                }
+                Gen::BucketReduce { .. } => ShapeVal::Buckets {
+                    count: cfg.bucket_hint.min(n.max(1)),
+                    value: Box::new(v),
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn sizes_flow_through_maps() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let m = st.map(&x, |st, e| st.mul(e, e));
+        let p = st.finish(&m);
+        let mut env = seed_env(&p, &[("x", ShapeVal::f64_arr(1000))]);
+        let cfg = ShapeConfig::default();
+        let out = eval_block(&p.body.clone(), &[], &mut env, &cfg);
+        assert_eq!(out.len(), Some(1000));
+    }
+
+    #[test]
+    fn matrix_shapes() {
+        let m = ShapeVal::matrix(500, 100);
+        assert_eq!(m.bytes(), 500.0 * 100.0 * 8.0 + 16.0);
+        let mut st = Stage::new();
+        let mm = st.input_matrix("m", LayoutHint::Partitioned);
+        let rows = mm.rows(&mut st);
+        let p = st.finish(&rows);
+        let mut env = seed_env(&p, &[("m", ShapeVal::matrix(500, 100))]);
+        let out = eval_block(&p.body.clone(), &[], &mut env, &ShapeConfig::default());
+        assert_eq!(out.as_int(), Some(500));
+    }
+
+    #[test]
+    fn filtered_collect_uses_selectivity() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let f = st.filter(&x, |st, e| {
+            let z = st.lit_f(0.0);
+            st.gt(e, &z)
+        });
+        let p = st.finish(&f);
+        let mut env = seed_env(&p, &[("x", ShapeVal::f64_arr(100))]);
+        let cfg = ShapeConfig {
+            selectivity: 0.25,
+            ..Default::default()
+        };
+        let out = eval_block(&p.body.clone(), &[], &mut env, &cfg);
+        assert_eq!(out.len(), Some(25));
+    }
+
+    #[test]
+    fn bucket_hint_bounds_groups() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Local);
+        let g = st.group_by(&x, |st, e| {
+            let k = st.lit_i(4);
+            st.rem(e, &k)
+        });
+        let vals = st.bucket_values(&g);
+        let p = st.finish(&vals);
+        let mut env = seed_env(&p, &[("x", ShapeVal::i64_arr(400))]);
+        let cfg = ShapeConfig {
+            bucket_hint: 4,
+            ..Default::default()
+        };
+        let out = eval_block(&p.body.clone(), &[], &mut env, &cfg);
+        assert_eq!(out.len(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no shape supplied")]
+    fn missing_shape_panics() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let s = st.sum(&x);
+        let p = st.finish(&s);
+        let _ = seed_env(&p, &[]);
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_concrete() {
+        let mut st = Stage::new();
+        let a = st.lit_i(6);
+        let b = st.lit_i(4);
+        let c = st.mul(&a, &b);
+        let d = st.lit_i(5);
+        let e = st.add(&c, &d);
+        let p = st.finish(&e);
+        let mut env = seed_env(&p, &[]);
+        let out = eval_block(&p.body.clone(), &[], &mut env, &ShapeConfig::default());
+        assert_eq!(out.as_int(), Some(29));
+    }
+}

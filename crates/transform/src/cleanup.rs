@@ -1,0 +1,596 @@
+//! Classic cleanup passes: constant folding, common-subexpression
+//! elimination, struct/tuple unwrapping (scalar replacement), dead code
+//! elimination and dead-input pruning (dead field elimination on data
+//! sources).
+
+use crate::rewrite::{for_each_block_mut, PassReport};
+use dmll_core::visit::{def_blocks_mut, for_each_exp_deep_mut, for_each_exp_shallow_mut};
+use dmll_core::{Block, Const, Def, Exp, PrimOp, Program, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// Fold primitive operations over constants and algebraic integer
+/// identities (`x + 0`, `x * 1`, `x * 0`, `mux(const, a, b)`, …).
+///
+/// Floating-point identities are deliberately *not* folded (`x + 0.0` is not
+/// an identity for `-0.0`, `x * 0.0` is not `0.0` for NaN/∞).
+pub fn const_fold(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    for_each_block_mut(program, &mut |b| {
+        fold_block(b, &mut report);
+    });
+    report
+}
+
+fn fold_block(b: &mut Block, report: &mut PassReport) {
+    let mut subst: HashMap<Sym, Exp> = HashMap::new();
+    let mut removed: HashSet<Sym> = HashSet::new();
+    for stmt in &mut b.stmts {
+        // Apply pending substitutions to this statement's own expressions.
+        if !subst.is_empty() {
+            for_each_exp_shallow_mut(&mut stmt.def, &mut |e| {
+                if let Exp::Sym(s) = e {
+                    if let Some(rep) = subst.get(s) {
+                        *e = rep.clone();
+                    }
+                }
+            });
+            for nb in def_blocks_mut(&mut stmt.def) {
+                let subst_ref = &subst;
+                for_each_exp_deep_mut(nb, &mut |e| {
+                    if let Exp::Sym(s) = e {
+                        if let Some(rep) = subst_ref.get(s) {
+                            *e = rep.clone();
+                        }
+                    }
+                });
+            }
+        }
+        if stmt.lhs.len() != 1 {
+            continue;
+        }
+        if let Some(folded) = try_fold(&stmt.def) {
+            subst.insert(stmt.lhs[0], folded);
+            removed.insert(stmt.lhs[0]);
+            report.record(format!("folded {}", stmt.lhs[0]));
+        }
+    }
+    if let Exp::Sym(s) = &b.result {
+        if let Some(rep) = subst.get(s) {
+            b.result = rep.clone();
+        }
+    }
+    b.stmts
+        .retain(|s| !s.lhs.iter().any(|l| removed.contains(l)));
+}
+
+fn try_fold(def: &Def) -> Option<Exp> {
+    let Def::Prim { op, args } = def else {
+        return None;
+    };
+    use PrimOp::*;
+    let c = |e: &Exp| e.as_const().cloned();
+    match (op, args.as_slice()) {
+        (Add, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::I64(x)), Some(Const::I64(y))) => Some(Exp::i64(x.wrapping_add(y))),
+            (Some(Const::I64(0)), None) => Some(b.clone()),
+            (None, Some(Const::I64(0))) => Some(a.clone()),
+            _ => None,
+        },
+        (Sub, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::I64(x)), Some(Const::I64(y))) => Some(Exp::i64(x.wrapping_sub(y))),
+            (None, Some(Const::I64(0))) => Some(a.clone()),
+            _ => None,
+        },
+        (Mul, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::I64(x)), Some(Const::I64(y))) => Some(Exp::i64(x.wrapping_mul(y))),
+            (Some(Const::I64(1)), None) => Some(b.clone()),
+            (None, Some(Const::I64(1))) => Some(a.clone()),
+            (Some(Const::I64(0)), None) | (None, Some(Const::I64(0))) => Some(Exp::i64(0)),
+            _ => None,
+        },
+        (Div, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::I64(x)), Some(Const::I64(y))) if y != 0 => Some(Exp::i64(x / y)),
+            (None, Some(Const::I64(1))) => Some(a.clone()),
+            _ => None,
+        },
+        (Rem, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::I64(x)), Some(Const::I64(y))) if y != 0 => Some(Exp::i64(x % y)),
+            _ => None,
+        },
+        (Eq, [a, b]) => match (c(a), c(b)) {
+            (Some(x), Some(y)) => Some(Exp::bool(x == y)),
+            _ => None,
+        },
+        (Lt, [a, b]) => cmp_fold(a, b, |x, y| x < y, |x, y| x < y),
+        (Le, [a, b]) => cmp_fold(a, b, |x, y| x <= y, |x, y| x <= y),
+        (Gt, [a, b]) => cmp_fold(a, b, |x, y| x > y, |x, y| x > y),
+        (Ge, [a, b]) => cmp_fold(a, b, |x, y| x >= y, |x, y| x >= y),
+        (And, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::Bool(true)), None) => Some(b.clone()),
+            (None, Some(Const::Bool(true))) => Some(a.clone()),
+            (Some(Const::Bool(false)), _) | (_, Some(Const::Bool(false))) => Some(Exp::bool(false)),
+            (Some(Const::Bool(x)), Some(Const::Bool(y))) => Some(Exp::bool(x && y)),
+            _ => None,
+        },
+        (Or, [a, b]) => match (c(a), c(b)) {
+            (Some(Const::Bool(false)), None) => Some(b.clone()),
+            (None, Some(Const::Bool(false))) => Some(a.clone()),
+            (Some(Const::Bool(true)), _) | (_, Some(Const::Bool(true))) => Some(Exp::bool(true)),
+            (Some(Const::Bool(x)), Some(Const::Bool(y))) => Some(Exp::bool(x || y)),
+            _ => None,
+        },
+        (Not, [a]) => match c(a) {
+            Some(Const::Bool(x)) => Some(Exp::bool(!x)),
+            _ => None,
+        },
+        (Mux, [cond, a, b]) => match c(cond) {
+            Some(Const::Bool(true)) => Some(a.clone()),
+            Some(Const::Bool(false)) => Some(b.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn cmp_fold(
+    a: &Exp,
+    b: &Exp,
+    fi: impl Fn(i64, i64) -> bool,
+    ff: impl Fn(f64, f64) -> bool,
+) -> Option<Exp> {
+    match (a.as_const(), b.as_const()) {
+        (Some(Const::I64(x)), Some(Const::I64(y))) => Some(Exp::bool(fi(*x, *y))),
+        (Some(Const::F64(x)), Some(Const::F64(y))) => Some(Exp::bool(ff(*x, *y))),
+        _ => None,
+    }
+}
+
+/// Common-subexpression elimination, scoped: a pure definition identical to
+/// one already available in an enclosing scope is replaced by the earlier
+/// symbol. Loops and externs are skipped (fusion handles loops).
+pub fn cse(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    cse_block(&mut body, &HashMap::new(), &mut report);
+    program.body = body;
+    report
+}
+
+fn cse_eligible(def: &Def) -> bool {
+    !matches!(def, Def::Loop(_) | Def::Extern { .. })
+}
+
+fn cse_block(b: &mut Block, outer: &HashMap<String, Sym>, report: &mut PassReport) {
+    let mut env = outer.clone();
+    let mut i = 0;
+    while i < b.stmts.len() {
+        // Recurse into nested blocks first with the current environment.
+        for nb in def_blocks_mut(&mut b.stmts[i].def) {
+            cse_block(nb, &env, report);
+        }
+        let stmt = &b.stmts[i];
+        if stmt.lhs.len() == 1 && cse_eligible(&stmt.def) {
+            let key = format!("{:?}", stmt.def);
+            if let Some(&prev) = env.get(&key) {
+                let dup = stmt.lhs[0];
+                report.record(format!("cse {dup} -> {prev}"));
+                b.stmts.remove(i);
+                // Substitute in the remainder of this block (deep).
+                let mut rest = Block {
+                    params: vec![],
+                    stmts: b.stmts.split_off(i),
+                    result: b.result.clone(),
+                };
+                for_each_exp_deep_mut(&mut rest, &mut |e| {
+                    if e.as_sym() == Some(dup) {
+                        *e = Exp::Sym(prev);
+                    }
+                });
+                b.stmts.extend(rest.stmts);
+                b.result = rest.result;
+                continue; // do not advance; a new stmt occupies index i
+            }
+            env.insert(key, stmt.lhs[0]);
+        }
+        i += 1;
+    }
+}
+
+/// Struct and tuple unwrapping: a projection from a locally constructed
+/// struct/tuple is forwarded to the underlying field expression, removing
+/// the indirection ("struct unwrapping" in §5).
+pub fn scalar_replace(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    scalar_replace_block(&mut body, &HashMap::new(), &mut report);
+    program.body = body;
+    report
+}
+
+#[derive(Clone)]
+enum AggDef {
+    Struct(dmll_core::StructTy, Vec<Exp>),
+    Tuple(Vec<Exp>),
+}
+
+fn scalar_replace_block(b: &mut Block, outer: &HashMap<Sym, AggDef>, report: &mut PassReport) {
+    let mut env = outer.clone();
+    let mut subst: HashMap<Sym, Exp> = HashMap::new();
+    for stmt in &mut b.stmts {
+        if !subst.is_empty() {
+            let subst_ref = &subst;
+            for_each_exp_shallow_mut(&mut stmt.def, &mut |e| {
+                if let Exp::Sym(s) = e {
+                    if let Some(rep) = subst_ref.get(s) {
+                        *e = rep.clone();
+                    }
+                }
+            });
+        }
+        for nb in def_blocks_mut(&mut stmt.def) {
+            if !subst.is_empty() {
+                let subst_ref = &subst;
+                for_each_exp_deep_mut(nb, &mut |e| {
+                    if let Exp::Sym(s) = e {
+                        if let Some(rep) = subst_ref.get(s) {
+                            *e = rep.clone();
+                        }
+                    }
+                });
+            }
+            scalar_replace_block(nb, &env, report);
+        }
+        if stmt.lhs.len() != 1 {
+            continue;
+        }
+        let lhs = stmt.lhs[0];
+        match &stmt.def {
+            Def::StructNew { ty, fields } => {
+                env.insert(lhs, AggDef::Struct(ty.clone(), fields.clone()));
+            }
+            Def::TupleNew(parts) => {
+                env.insert(lhs, AggDef::Tuple(parts.clone()));
+            }
+            Def::StructGet { obj, field } => {
+                if let Some(AggDef::Struct(ty, fields)) =
+                    obj.as_sym().and_then(|s| env.get(&s)).cloned()
+                {
+                    if let Some(idx) = ty.field_index(field) {
+                        subst.insert(lhs, fields[idx].clone());
+                        report.record(format!("unwrapped {lhs} = .{field}"));
+                    }
+                }
+            }
+            Def::TupleGet { tuple, index } => {
+                if let Some(AggDef::Tuple(parts)) =
+                    tuple.as_sym().and_then(|s| env.get(&s)).cloned()
+                {
+                    if let Some(part) = parts.get(*index) {
+                        subst.insert(lhs, part.clone());
+                        report.record(format!("unwrapped {lhs} = ._{index}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Exp::Sym(s) = &b.result {
+        if let Some(rep) = subst.get(s) {
+            b.result = rep.clone();
+        }
+    }
+    let dead: HashSet<Sym> = subst.keys().copied().collect();
+    b.stmts
+        .retain(|s| !(s.lhs.len() == 1 && dead.contains(&s.lhs[0])));
+}
+
+/// Dead code elimination. Removes pure statements whose results are never
+/// used; for multiloops with several generators, drops individual dead
+/// generators (the inverse of horizontal fusion).
+pub fn dce(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut live: HashSet<Sym> = HashSet::new();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    dce_block(&mut body, &mut live, &mut report);
+    program.body = body;
+    report
+}
+
+fn note_exp(live: &mut HashSet<Sym>, e: &Exp) {
+    if let Exp::Sym(s) = e {
+        live.insert(*s);
+    }
+}
+
+fn dce_block(b: &mut Block, live: &mut HashSet<Sym>, report: &mut PassReport) {
+    note_exp(live, &b.result);
+    let mut keep: Vec<bool> = vec![true; b.stmts.len()];
+    for (idx, stmt) in b.stmts.iter_mut().enumerate().rev() {
+        let needed = stmt.def.is_effectful() || stmt.lhs.iter().any(|s| live.contains(s));
+        if !needed {
+            keep[idx] = false;
+            report.record(format!(
+                "dce removed {}",
+                stmt.lhs
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            continue;
+        }
+        // Drop dead generators from kept multi-output loops.
+        if let Def::Loop(ml) = &mut stmt.def {
+            if ml.gens.len() > 1 {
+                let dead_outputs: Vec<usize> = stmt
+                    .lhs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !live.contains(*s))
+                    .map(|(i, _)| i)
+                    .collect();
+                if !dead_outputs.is_empty() && dead_outputs.len() < ml.gens.len() {
+                    for &i in dead_outputs.iter().rev() {
+                        ml.gens.remove(i);
+                        let s = stmt.lhs.remove(i);
+                        report.record(format!("dce dropped generator {s}"));
+                    }
+                }
+            }
+        }
+        dmll_core::visit::for_each_exp_shallow(&stmt.def, &mut |e| note_exp(live, e));
+        for nb in def_blocks_mut(&mut stmt.def) {
+            dce_block(nb, live, report);
+        }
+    }
+    let mut it = keep.iter();
+    b.stmts.retain(|_| *it.next().expect("keep flag"));
+}
+
+/// Identity-collect (copy) elimination: a loop of the shape
+/// `out = Collect_{len(arr)}(_)(i => arr(i))` is replaced by `arr` itself.
+///
+/// The Fig. 3 rules leave such loops behind when the "remaining enclosing
+/// context" of a transformed collect is empty — "this extra identity loop is
+/// simply optimized away" (§3.2).
+pub fn copy_elim(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    copy_elim_block(&mut body, &mut report);
+    program.body = body;
+    report
+}
+
+fn copy_elim_block(b: &mut Block, report: &mut PassReport) {
+    let mut i = 0;
+    while i < b.stmts.len() {
+        for nb in def_blocks_mut(&mut b.stmts[i].def) {
+            copy_elim_block(nb, report);
+        }
+        if let Some(arr) = match_identity_collect(b, i) {
+            let out = b.stmts[i].lhs[0];
+            report.record(format!("copy-eliminated {out} -> {arr}"));
+            b.stmts.remove(i);
+            for_each_exp_deep_mut(b, &mut |e| {
+                if e.as_sym() == Some(out) {
+                    *e = Exp::Sym(arr);
+                }
+            });
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn match_identity_collect(b: &Block, idx: usize) -> Option<Sym> {
+    let stmt = &b.stmts[idx];
+    let Def::Loop(ml) = &stmt.def else {
+        return None;
+    };
+    if stmt.lhs.len() != 1 {
+        return None;
+    }
+    let Some(dmll_core::Gen::Collect { cond: None, value }) = ml.only_gen() else {
+        return None;
+    };
+    // value: (j) { r = arr(j); => r }
+    if value.stmts.len() != 1 {
+        return None;
+    }
+    let j = value.params[0];
+    let Def::ArrayRead { arr, index } = &value.stmts[0].def else {
+        return None;
+    };
+    if index.as_sym() != Some(j) || value.result.as_sym() != Some(value.stmts[0].lhs[0]) {
+        return None;
+    }
+    let arr = arr.as_sym()?;
+    // The loop must provably cover all of `arr`: its size is len(arr), or
+    // `arr` is itself an unconditional collect over the same size.
+    if let Some(n) = ml.size.as_sym() {
+        if let Some(n_idx) = b.stmt_index_defining(n) {
+            if matches!(&b.stmts[n_idx].def, Def::ArrayLen(e) if e.as_sym() == Some(arr)) {
+                return Some(arr);
+            }
+        }
+    }
+    if let Some(a_idx) = b.stmt_index_defining(arr) {
+        if let Def::Loop(ml_a) = &b.stmts[a_idx].def {
+            if ml_a.size == ml.size
+                && matches!(
+                    ml_a.only_gen(),
+                    Some(dmll_core::Gen::Collect { cond: None, .. })
+                )
+            {
+                return Some(arr);
+            }
+        }
+    }
+    None
+}
+
+/// Remove declared inputs that the program body never reads — the data-source
+/// face of dead field elimination (after AoS→SoA splits an input into
+/// per-field arrays, the unused fields disappear here).
+pub fn prune_inputs(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let used = dmll_core::visit::free_syms(&program.body);
+    program.inputs.retain(|input| {
+        if used.contains(&input.sym) {
+            true
+        } else {
+            report.record(format!("pruned dead input {}", input.name));
+            false
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    #[test]
+    fn const_fold_arith() {
+        let mut st = Stage::new();
+        let a = st.lit_i(2);
+        let b = st.lit_i(3);
+        let c = st.add(&a, &b); // 5
+        let x = st.input("x", Ty::I64, LayoutHint::Local);
+        let y = st.mul(&x, &c);
+        let one = st.lit_i(1);
+        let z = st.mul(&y, &one); // identity
+        let mut p = st.finish(&z);
+        let before = eval(&p, &[("x", Value::I64(7))]).unwrap();
+        let r = crate::rewrite::fixpoint(&mut p, const_fold);
+        assert!(r.applied >= 2, "{r:?}");
+        assert!(typecheck::infer(&p).is_ok());
+        assert_eq!(eval(&p, &[("x", Value::I64(7))]).unwrap(), before);
+        assert_eq!(p.body.stmts.len(), 1, "only x*5 remains: {p}");
+    }
+
+    #[test]
+    fn const_fold_mux_and_bools() {
+        let mut st = Stage::new();
+        let t = st.lit_b(true);
+        let a = st.lit_f(1.5);
+        let b = st.lit_f(2.5);
+        let m = st.mux(&t, &a, &b);
+        let mut p = st.finish(&m);
+        crate::rewrite::fixpoint(&mut p, const_fold);
+        assert_eq!(eval(&p, &[]).unwrap(), Value::F64(1.5));
+        assert!(p.body.stmts.is_empty(), "{p}");
+    }
+
+    #[test]
+    fn cse_dedupes_across_scopes() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        // len(x) computed at top level and again inside the loop body.
+        let n = st.len(&x);
+        let out = st.collect(&n, |st, i| {
+            let n2 = st.len(&x); // duplicate of n
+            let _ = &n2;
+            let last = st.lit_i(1);
+            let idx = st.sub(&n2, &last);
+            let e = st.read(&x, &idx);
+            let xi = st.read(&x, i);
+            st.add(&e, &xi)
+        });
+        let mut p = st.finish(&out);
+        let before = eval(&p, &[("x", Value::f64_arr(vec![1.0, 2.0, 4.0]))]).unwrap();
+        let r = cse(&mut p);
+        assert!(r.applied >= 1, "inner len(x) should fold into outer: {r:?}");
+        assert!(typecheck::infer(&p).is_ok());
+        assert_eq!(
+            eval(&p, &[("x", Value::f64_arr(vec![1.0, 2.0, 4.0]))]).unwrap(),
+            before
+        );
+    }
+
+    #[test]
+    fn scalar_replace_tuples() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::F64, LayoutHint::Local);
+        let y = st.input("y", Ty::F64, LayoutHint::Local);
+        let t = st.tuple(&[&x, &y]);
+        let a = st.tuple_get(&t, 0);
+        let b = st.tuple_get(&t, 1);
+        let s = st.add(&a, &b);
+        let mut p = st.finish(&s);
+        let r = scalar_replace(&mut p);
+        assert_eq!(r.applied, 2);
+        dce(&mut p);
+        assert!(typecheck::infer(&p).is_ok());
+        // Tuple construction eliminated entirely.
+        assert!(!format!("{p}").contains("._"), "{p}");
+        assert_eq!(
+            eval(&p, &[("x", Value::F64(1.0)), ("y", Value::F64(2.0))]).unwrap(),
+            Value::F64(3.0)
+        );
+    }
+
+    #[test]
+    fn scalar_replace_structs() {
+        let mut st = Stage::new();
+        let d = st.input("d", Ty::arr(Ty::F64), LayoutHint::Local);
+        let r2 = st.lit_i(2);
+        let c3 = st.lit_i(3);
+        let m = st.matrix_from_parts(&d, &r2, &c3);
+        let rows = m.rows(&mut st);
+        let mut p = st.finish(&rows);
+        let rep = scalar_replace(&mut p);
+        assert!(rep.applied >= 1);
+        dce(&mut p);
+        assert!(typecheck::infer(&p).is_ok());
+        assert_eq!(
+            eval(&p, &[("d", Value::f64_arr(vec![0.0; 6]))]).unwrap(),
+            Value::I64(2)
+        );
+        assert!(!format!("{p}").contains("MatrixF64 {"), "{p}");
+    }
+
+    #[test]
+    fn dce_removes_unused_loop() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let _unused = st.map(&x, |st, e| st.mul(e, e));
+        let s = st.sum(&x);
+        let mut p = st.finish(&s);
+        assert_eq!(count_loops(&p), 2);
+        let r = dce(&mut p);
+        assert!(r.changed());
+        assert_eq!(count_loops(&p), 1);
+        assert!(typecheck::infer(&p).is_ok());
+        assert_eq!(
+            eval(&p, &[("x", Value::f64_arr(vec![1.0, 2.0]))]).unwrap(),
+            Value::F64(3.0)
+        );
+    }
+
+    #[test]
+    fn dce_keeps_effectful_externs() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::F64, LayoutHint::Local);
+        let _p = st.extern_call("print", &[&x], Ty::Unit, true, false);
+        let mut p = st.finish(&x);
+        dce(&mut p);
+        assert!(format!("{p}").contains("extern! print"), "{p}");
+    }
+
+    #[test]
+    fn prune_dead_inputs() {
+        let mut st = Stage::new();
+        let _unused = st.input("unused", Ty::arr(Ty::F64), LayoutHint::Local);
+        let x = st.input("x", Ty::F64, LayoutHint::Local);
+        let mut p = st.finish(&x);
+        let r = prune_inputs(&mut p);
+        assert_eq!(r.applied, 1);
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.inputs[0].name, "x");
+    }
+}

@@ -1,0 +1,209 @@
+//! Loop-invariant code motion.
+//!
+//! Pure statements inside a generator component block whose inputs are all
+//! defined outside the multiloop are hoisted in front of the loop. Besides
+//! the usual win (computing `matrix.cols` once rather than per element),
+//! hoisting normalizes the IR so the interchange rules and the read-stencil
+//! analysis see loop sizes and array operands as loop-invariant symbols.
+
+use crate::rewrite::PassReport;
+use dmll_core::visit::{def_blocks, free_syms};
+use dmll_core::{Block, Def, Exp, Program, Stmt, Sym};
+use std::collections::BTreeSet;
+
+/// Hoist loop-invariant statements one nesting level per call; run under
+/// [`crate::rewrite::fixpoint`] to bubble invariants through multiple
+/// levels.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    hoist_in_block(&mut body, &mut report);
+    program.body = body;
+    report
+}
+
+fn hoist_in_block(block: &mut Block, report: &mut PassReport) {
+    // Children first, so inner invariants can later move further out on the
+    // next fixpoint iteration.
+    for stmt in &mut block.stmts {
+        for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
+            hoist_in_block(nb, report);
+        }
+    }
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if matches!(block.stmts[i].def, Def::Loop(_)) {
+            let mut hoisted: Vec<Stmt> = Vec::new();
+            if let Def::Loop(ml) = &mut block.stmts[i].def {
+                for gen in &mut ml.gens {
+                    for cb in gen.blocks_mut() {
+                        hoist_from_component(cb, &mut hoisted);
+                    }
+                }
+            }
+            if !hoisted.is_empty() {
+                report.record(format!(
+                    "hoisted {} loop-invariant statement(s) out of loop {}",
+                    hoisted.len(),
+                    block.stmts[i]
+                        .lhs
+                        .first()
+                        .map(|s| s.to_string())
+                        .unwrap_or_default()
+                ));
+                let n = hoisted.len();
+                block.stmts.splice(i..i, hoisted);
+                i += n;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Uses of a statement: shallow expression operands plus free variables of
+/// nested blocks.
+fn stmt_uses(s: &Stmt) -> BTreeSet<Sym> {
+    let mut used = BTreeSet::new();
+    dmll_core::visit::for_each_exp_shallow(&s.def, &mut |e| {
+        if let Exp::Sym(sym) = e {
+            used.insert(*sym);
+        }
+    });
+    for nb in def_blocks(&s.def) {
+        used.extend(free_syms(nb));
+    }
+    used
+}
+
+fn hoist_from_component(cb: &mut Block, hoisted: &mut Vec<Stmt>) {
+    // Bound-inside set starts as the params plus every statement lhs, and
+    // shrinks as statements are marked hoistable in order.
+    let mut bound: BTreeSet<Sym> = cb.params.iter().copied().collect();
+    for s in &cb.stmts {
+        bound.extend(s.lhs.iter().copied());
+    }
+    let mut keep: Vec<Stmt> = Vec::with_capacity(cb.stmts.len());
+    for stmt in cb.stmts.drain(..) {
+        let pure = !stmt.def.is_effectful();
+        let invariant = pure && stmt_uses(&stmt).iter().all(|u| !bound.contains(u));
+        if invariant {
+            for s in &stmt.lhs {
+                bound.remove(s);
+            }
+            hoisted.push(stmt);
+        } else {
+            keep.push(stmt);
+        }
+    }
+    cb.stmts = keep;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    #[test]
+    fn hoists_invariant_field_reads() {
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let rows = m.rows(&mut st);
+        // Each element recomputes m.cols and m.data inside the loop body.
+        let sums = st.collect(&rows, |st, i| {
+            let cols = m.cols(st);
+            let zero = st.lit_f(0.0);
+            let m = m.clone();
+            let i = i.clone();
+            st.reduce(
+                &cols,
+                move |st, j| m.get(st, &i, j),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&sums);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert!(rep.applied >= 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        // m.cols is now computed before the outer loop, not inside it.
+        let printed = p.to_string();
+        let outer_loop_pos = printed.find("loop(").unwrap();
+        let cols_pos = printed.find(".cols").unwrap();
+        assert!(cols_pos < outer_loop_pos, "{printed}");
+        let inputs = [("m", Value::matrix(vec![1.0, 2.0, 3.0, 4.0], 2, 2))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn does_not_hoist_index_dependent_work() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let out = st.map(&x, |st, e| st.mul(e, e));
+        let mut p = st.finish(&out);
+        let before = p.to_string();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(p.to_string(), before);
+    }
+
+    #[test]
+    fn hoists_dependency_chains() {
+        let mut st = Stage::new();
+        let a = st.input("a", Ty::F64, LayoutHint::Local);
+        let n = st.lit_i(4);
+        let out = st.collect(&n, |st, i| {
+            let b = st.mul(&a, &a); // invariant
+            let c = st.add(&b, &a); // invariant, depends on b
+            let fi = st.i2f(i);
+            st.mul(&c, &fi)
+        });
+        let mut p = st.finish(&out);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert!(rep.applied >= 1, "{p}");
+        // Both invariant statements left the loop.
+        if let Def::Loop(ml) = &p.body.stmts.last().unwrap().def {
+            assert_eq!(ml.gens[0].value().stmts.len(), 2, "{p}");
+        } else {
+            panic!("last stmt should be the loop: {p}");
+        }
+        let inputs = [("a", Value::F64(1.5))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn hoists_whole_invariant_inner_loops() {
+        // An inner sum over y that ignores the outer index is hoisted
+        // entirely out of the outer loop.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Local);
+        let out = st.map(&x, |st, e| {
+            let sy = st.sum(&y);
+            st.add(e, &sy)
+        });
+        let mut p = st.finish(&out);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert!(rep.applied >= 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        assert_eq!(
+            p.body
+                .stmts
+                .iter()
+                .filter(|s| matches!(s.def, Def::Loop(_)))
+                .count(),
+            2,
+            "inner sum now at top level: {p}"
+        );
+        let inputs = [
+            ("x", Value::f64_arr(vec![1.0, 2.0])),
+            ("y", Value::f64_arr(vec![10.0, 20.0])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+}

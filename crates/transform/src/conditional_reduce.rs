@@ -1,0 +1,608 @@
+//! The Conditional Reduce rule (Figure 3):
+//!
+//! ```text
+//! Collect_s1(_)(i =>                       H = BucketReduce_s2(_)(g)(f)(r)
+//!   Reduce_s2(j => g(j) == h(i))(f)(r)) →  Collect_s1(_)(i => H(h(i)))
+//! ```
+//!
+//! An inner reduction whose *predicate* depends on the outer loop index is
+//! conditionally reducing a subset of a dataset per outer iteration —
+//! traversing the whole dataset once per outer index. The rule breaks the
+//! dependency by pre-computing **all** partial reductions in a single pass
+//! (each keyed by `g(j)`) and turning the inner loop into a bucket lookup.
+//!
+//! This is the transformation that makes the shared-memory formulation of
+//! k-means distributable: the per-cluster sums and counts become one
+//! `BucketReduce` over the partitioned matrix instead of one full traversal
+//! per cluster.
+
+use crate::rewrite::PassReport;
+use dmll_core::rebind::Rebinder;
+use dmll_core::visit::{def_blocks, free_syms};
+use dmll_core::{Block, Def, Exp, Gen, Multiloop, PrimOp, Program, Stmt, Sym};
+use std::collections::BTreeSet;
+
+/// Run the Conditional Reduce rule everywhere it matches.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    while let Some(site) = find(program) {
+        let note = format!(
+            "conditional-reduce: hoisted predicated Reduce {} into a BucketReduce",
+            site.rr_sym
+        );
+        apply(program, site);
+        report.record(note);
+    }
+    report
+}
+
+/// A match site.
+struct Site {
+    /// Path from the program body to the block containing the outer loop.
+    path: Vec<(usize, usize)>,
+    /// Index of the outer loop statement in that block.
+    l_idx: usize,
+    /// Which component block of the outer loop holds the reduce
+    /// (index into `def_blocks`).
+    comp_idx: usize,
+    /// Index of the inner reduce statement within that component block.
+    reduce_idx: usize,
+    rr_sym: Sym,
+    /// Statement indices (in the cond block) of the key chain (j-dependent).
+    jdep: Vec<usize>,
+    /// Statement indices of the residual (outer-dependent) chain.
+    jindep: Vec<usize>,
+    /// Which operand of the Eq is the key side (0 or 1).
+    key_operand: usize,
+    /// Index of the statement defining the Eq within the cond block.
+    eq_idx: usize,
+}
+
+fn block_at_mut<'a>(p: &'a mut Program, path: &[(usize, usize)]) -> &'a mut Block {
+    let mut b = &mut p.body;
+    for &(si, bi) in path {
+        b = dmll_core::visit::def_blocks_mut(&mut b.stmts[si].def)
+            .into_iter()
+            .nth(bi)
+            .expect("valid path");
+    }
+    b
+}
+
+fn find(program: &Program) -> Option<Site> {
+    find_in(&program.body, &mut Vec::new())
+}
+
+fn find_in(block: &Block, path: &mut Vec<(usize, usize)>) -> Option<Site> {
+    for (l_idx, stmt) in block.stmts.iter().enumerate() {
+        if let Def::Loop(_) = &stmt.def {
+            for (comp_idx, ob) in def_blocks(&stmt.def).into_iter().enumerate() {
+                if let Some(site) = match_in_component(ob) {
+                    return Some(Site {
+                        path: path.to_vec(),
+                        l_idx,
+                        comp_idx,
+                        ..site
+                    });
+                }
+            }
+        }
+    }
+    for (si, stmt) in block.stmts.iter().enumerate() {
+        for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
+            path.push((si, bi));
+            if let Some(site) = find_in(nb, path) {
+                return Some(site);
+            }
+            path.pop();
+        }
+    }
+    None
+}
+
+/// Shallow bound symbols of a block: its params plus top-level lhs.
+fn shallow_bound(b: &Block) -> BTreeSet<Sym> {
+    b.params
+        .iter()
+        .copied()
+        .chain(b.stmts.iter().flat_map(|s| s.lhs.iter().copied()))
+        .collect()
+}
+
+fn match_in_component(ob: &Block) -> Option<Site> {
+    let ob_bound = shallow_bound(ob);
+    for (reduce_idx, stmt) in ob.stmts.iter().enumerate() {
+        let Def::Loop(ml) = &stmt.def else { continue };
+        let Some(Gen::Reduce {
+            cond: Some(cb),
+            value: f,
+            reducer: r,
+            init,
+        }) = ml.only_gen()
+        else {
+            continue;
+        };
+        if stmt.lhs.len() != 1 {
+            continue;
+        }
+        // The inner size must not depend on the outer iteration.
+        if let Some(s) = ml.size.as_sym() {
+            if ob_bound.contains(&s) {
+                continue;
+            }
+        }
+        // The condition must be ... == ... with exactly one j-dependent side.
+        let j = cb.params[0];
+        let Some(res) = cb.result.as_sym() else {
+            continue;
+        };
+        let Some(eq_idx) = cb.stmt_index_defining(res) else {
+            continue;
+        };
+        let Def::Prim {
+            op: PrimOp::Eq,
+            args,
+        } = &cb.stmts[eq_idx].def
+        else {
+            continue;
+        };
+        // Transitive j-dependency over the cond block's statements.
+        let mut jdep_syms: BTreeSet<Sym> = BTreeSet::new();
+        jdep_syms.insert(j);
+        let mut jdep = Vec::new();
+        let mut jindep = Vec::new();
+        for (i, s) in cb.stmts.iter().enumerate() {
+            if i == eq_idx {
+                continue;
+            }
+            let uses = stmt_used_syms(s);
+            if uses.iter().any(|u| jdep_syms.contains(u)) {
+                jdep_syms.extend(s.lhs.iter().copied());
+                jdep.push(i);
+            } else {
+                jindep.push(i);
+            }
+        }
+        let dep = |e: &Exp| e.as_sym().is_some_and(|s| jdep_syms.contains(&s));
+        let key_operand = match (dep(&args[0]), dep(&args[1])) {
+            (true, false) => 0,
+            (false, true) => 1,
+            _ => continue,
+        };
+        // Everything that moves out (key chain, f, r, init) must not capture
+        // outer-iteration state.
+        let mut moved_free: BTreeSet<Sym> = BTreeSet::new();
+        for &i in &jdep {
+            moved_free.extend(stmt_used_syms(&cb.stmts[i]));
+        }
+        if let Some(s) = args[key_operand].as_sym() {
+            moved_free.insert(s);
+        }
+        moved_free.extend(free_syms(f));
+        moved_free.extend(free_syms(r));
+        if let Some(Exp::Sym(s)) = init {
+            moved_free.insert(*s);
+        }
+        moved_free.remove(&j);
+        for &i in &jdep {
+            for s in &cb.stmts[i].lhs {
+                moved_free.remove(s);
+            }
+        }
+        if moved_free.iter().any(|s| ob_bound.contains(s)) {
+            continue;
+        }
+        // The residual (outer) side must not depend on j.
+        if dep(&args[1 - key_operand]) {
+            continue;
+        }
+        return Some(Site {
+            path: Vec::new(),
+            l_idx: 0,
+            comp_idx: 0,
+            reduce_idx,
+            rr_sym: stmt.lhs[0],
+            jdep,
+            jindep,
+            key_operand,
+            eq_idx,
+        });
+    }
+    None
+}
+
+fn stmt_used_syms(s: &Stmt) -> BTreeSet<Sym> {
+    let mut used = BTreeSet::new();
+    dmll_core::visit::for_each_exp_shallow(&s.def, &mut |e| {
+        if let Exp::Sym(sym) = e {
+            used.insert(*sym);
+        }
+    });
+    for nb in def_blocks(&s.def) {
+        used.extend(free_syms(nb));
+    }
+    used
+}
+
+fn apply(program: &mut Program, site: Site) {
+    // Clone the pieces we need.
+    let (inner_size, cb, f, r, init, rr_sym, jdep_stmts, jindep_stmts, key_exp, outer_exp) = {
+        let block = block_at_mut(program, &site.path);
+        let ob = dmll_core::visit::def_blocks_mut(&mut block.stmts[site.l_idx].def)
+            .into_iter()
+            .nth(site.comp_idx)
+            .expect("component");
+        let Def::Loop(ml) = &ob.stmts[site.reduce_idx].def else {
+            unreachable!()
+        };
+        let Some(Gen::Reduce {
+            cond: Some(cb),
+            value: f,
+            reducer: r,
+            init,
+        }) = ml.only_gen()
+        else {
+            unreachable!()
+        };
+        let Def::Prim { args, .. } = &cb.stmts[site.eq_idx].def else {
+            unreachable!()
+        };
+        (
+            ml.size.clone(),
+            cb.clone(),
+            f.clone(),
+            r.clone(),
+            init.clone(),
+            ob.stmts[site.reduce_idx].lhs[0],
+            site.jdep
+                .iter()
+                .map(|&i| cb.stmts[i].clone())
+                .collect::<Vec<_>>(),
+            site.jindep
+                .iter()
+                .map(|&i| cb.stmts[i].clone())
+                .collect::<Vec<_>>(),
+            args[site.key_operand].clone(),
+            args[1 - site.key_operand].clone(),
+        )
+    };
+
+    // Key block: the j-dependent chain ending in the key expression,
+    // re-bound with a fresh parameter.
+    let key_block = {
+        let template = Block {
+            params: vec![cb.params[0]],
+            stmts: jdep_stmts,
+            result: key_exp,
+        };
+        Rebinder::new(program).rebind_block(&template)
+    };
+    let value_block = Rebinder::new(program).rebind_block(&f);
+    let reducer_block = Rebinder::new(program).rebind_block(&r);
+
+    let h = program.fresh();
+    let h_stmt = Stmt::one(
+        h,
+        Def::Loop(Multiloop::single(
+            inner_size,
+            Gen::BucketReduce {
+                cond: None,
+                key: key_block,
+                value: value_block,
+                reducer: reducer_block,
+                init: init.clone(),
+            },
+        )),
+    );
+
+    // Rewrite: insert H before the outer loop; inside the component block,
+    // replace the reduce with (residual stmts; rr = bucketGet(H, outer)).
+    let block = block_at_mut(program, &site.path);
+    let ob = dmll_core::visit::def_blocks_mut(&mut block.stmts[site.l_idx].def)
+        .into_iter()
+        .nth(site.comp_idx)
+        .expect("component");
+    let lookup = Stmt::one(
+        rr_sym,
+        Def::BucketGet {
+            buckets: Exp::Sym(h),
+            key: outer_exp,
+            default: init,
+        },
+    );
+    ob.stmts.splice(
+        site.reduce_idx..=site.reduce_idx,
+        jindep_stmts.into_iter().chain(std::iter::once(lookup)),
+    );
+    block.stmts.insert(site.l_idx, h_stmt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    /// The canonical shape: for each cluster i, sum the data points
+    /// assigned to it.
+    fn conditional_sum_program() -> Program {
+        let mut st = Stage::new();
+        let data = st.input("data", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(3);
+        let n = st.len(&data);
+        let zero = st.lit_f(0.0);
+        let sums = st.collect(&k, |st, i| {
+            let i = i.clone();
+            st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&assigned, j);
+                    st.eq(&aj, &i)
+                }),
+                |st, j| st.read(&data, j),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        st.finish(&sums)
+    }
+
+    #[test]
+    fn conditional_sum_becomes_bucket_reduce() {
+        let mut p = conditional_sum_program();
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let s = p.to_string();
+        assert!(s.contains("BucketReduce"), "{s}");
+        assert!(s.contains("bucketGetOrElse"), "{s}");
+        // The dataset is now traversed once, not once per cluster.
+        assert_eq!(count_loops(&p), 2, "bucket pass + lookup collect: {p}");
+        let inputs = [
+            ("data", Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+            ("assigned", Value::i64_arr(vec![0, 1, 0, 2, 1])),
+        ];
+        let before = eval(&p0, &inputs).unwrap();
+        let after = eval(&p, &inputs).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after.to_f64_vec().unwrap(), vec![4.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_cluster_uses_identity_default() {
+        let mut p = conditional_sum_program();
+        let p0 = p.clone();
+        fixpoint(&mut p, run);
+        // Cluster 2 receives no points: both versions must produce 0.0.
+        let inputs = [
+            ("data", Value::f64_arr(vec![1.0, 2.0])),
+            ("assigned", Value::i64_arr(vec![0, 1])),
+        ];
+        let before = eval(&p0, &inputs).unwrap();
+        let after = eval(&p, &inputs).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after.to_f64_vec().unwrap(), vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn count_variant_transforms() {
+        // Counting per-cluster membership: value is the constant 1.
+        let mut st = Stage::new();
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(4);
+        let n = st.len(&assigned);
+        let zero = st.lit_i(0);
+        let counts = st.collect(&k, |st, i| {
+            let i = i.clone();
+            st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&assigned, j);
+                    st.eq(&aj, &i)
+                }),
+                |st, _j| st.lit_i(1),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&counts);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        let inputs = [("assigned", Value::i64_arr(vec![0, 1, 1, 3, 1, 0]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn vector_valued_reduce_transforms() {
+        // Summing rows of a matrix per cluster: the reduce is over vectors
+        // (Coll[Double]), exercising collection-typed bucket values.
+        let mut st = Stage::new();
+        let m = st.input_matrix("matrix", LayoutHint::Partitioned);
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(2);
+        let rows = m.rows(&mut st);
+        let sums = st.collect(&k, |st, i| {
+            let i = i.clone();
+            let m = m.clone();
+            st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&assigned, j);
+                    st.eq(&aj, &i)
+                }),
+                move |st, j| m.row(st, j),
+                |st, a, b| st.vec_add(a, b),
+                None,
+            )
+        });
+        let mut p = st.finish(&sums);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [
+            (
+                "matrix",
+                Value::matrix(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2),
+            ),
+            ("assigned", Value::i64_arr(vec![0, 1, 0])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn both_sides_j_dependent_not_matched() {
+        let mut st = Stage::new();
+        let a = st.input("a", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&a);
+        let k = st.lit_i(3);
+        let zero = st.lit_i(0);
+        let out = st.collect(&k, |st, _i| {
+            st.reduce_if(
+                &n,
+                Some(|st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&a, j);
+                    st.eq(&aj, j) // both sides depend on j
+                }),
+                |st, j| st.read(&a, j),
+                |st, x, y| st.add(x, y),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&out);
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 0);
+    }
+
+    #[test]
+    fn value_capturing_outer_state_not_matched() {
+        // f uses the outer index i: the partial reductions differ per outer
+        // iteration, so no single pre-computation exists.
+        let mut st = Stage::new();
+        let a = st.input("a", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&a);
+        let k = st.lit_i(3);
+        let zero = st.lit_i(0);
+        let out = st.collect(&k, |st, i| {
+            let i = i.clone();
+            let i2 = i.clone();
+            let a1 = a.clone();
+            let a2 = a.clone();
+            st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&a1, j);
+                    st.eq(&aj, &i)
+                }),
+                move |st, j| {
+                    let aj = st.read(&a2, j);
+                    st.add(&aj, &i2) // captures outer i
+                },
+                |st, x, y| st.add(x, y),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&out);
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 0, "{p}");
+    }
+
+    #[test]
+    fn outer_side_computed_from_i_stays_in_outer_loop() {
+        // Predicate assigned(j) == i*2: the residual computation i*2 stays
+        // in the collect body, feeding the bucket lookup.
+        let mut st = Stage::new();
+        let data = st.input("data", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(3);
+        let n = st.len(&data);
+        let zero = st.lit_f(0.0);
+        let sums = st.collect(&k, |st, i| {
+            let i = i.clone();
+            st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&assigned, j);
+                    let two = st.lit_i(2);
+                    let i2 = st.mul(&i, &two);
+                    st.eq(&aj, &i2)
+                }),
+                |st, j| st.read(&data, j),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&sums);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [
+            ("data", Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0])),
+            ("assigned", Value::i64_arr(vec![0, 2, 4, 2])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn two_conditional_reduces_then_horizontal_fusion() {
+        // k-means' sums and counts: after Conditional Reduce fires twice,
+        // horizontal fusion must merge both BucketReduces into one traversal.
+        let mut st = Stage::new();
+        let data = st.input("data", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let assigned = st.input("assigned", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let k = st.lit_i(3);
+        let n = st.len(&data);
+        let fzero = st.lit_f(0.0);
+        let izero = st.lit_i(0);
+        let means = st.collect(&k, |st, i| {
+            let i1 = i.clone();
+            let i2 = i.clone();
+            let as1 = assigned.clone();
+            let as2 = assigned.clone();
+            let sum = st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&as1, j);
+                    st.eq(&aj, &i1)
+                }),
+                |st, j| st.read(&data, j),
+                |st, a, b| st.add(a, b),
+                Some(&fzero),
+            );
+            let cnt = st.reduce_if(
+                &n,
+                Some(move |st: &mut Stage, j: &dmll_frontend::Val| {
+                    let aj = st.read(&as2, j);
+                    st.eq(&aj, &i2)
+                }),
+                |st, _j| st.lit_i(1),
+                |st, a, b| st.add(a, b),
+                Some(&izero),
+            );
+            let one = st.lit_i(1);
+            let cnt1 = st.max(&cnt, &one);
+            let cf = st.i2f(&cnt1);
+            st.div(&sum, &cf)
+        });
+        let mut p = st.finish(&means);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 2, "{p}");
+        let hrep = fixpoint(&mut p, crate::horizontal::run);
+        assert_eq!(hrep.applied, 1, "two BucketReduces share a pass: {p}");
+        assert_eq!(count_loops(&p), 2, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [
+            ("data", Value::f64_arr(vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0])),
+            ("assigned", Value::i64_arr(vec![0, 0, 1, 1, 2, 2])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+}

@@ -1,0 +1,659 @@
+//! Pipeline (vertical) fusion: the generalized `Collect`-consumer rule.
+//!
+//! ```text
+//! C = Collect_s(c1)(f1)                      G_s(c1 & c2(f1))(k(f1))(f2(f1))(r)
+//! G_C(c2)(i => k(C(i)))(i => f2(C(i)))(r) →
+//! ```
+//!
+//! Any generator `G` (collect, reduce, bucket-collect, bucket-reduce) that
+//! consumes a `Collect` element-wise is fused with it, eliminating the
+//! intermediate collection. This single rule captures map-map, map-reduce,
+//! filter-groupBy and every other traditional pipeline-fusion pairing.
+//!
+//! Safety conditions enforced here:
+//!
+//! * the intermediate collection is consumed **only** by the one downstream
+//!   loop (plus the `len` feeding that loop's size);
+//! * every read is at the consumer's own loop index;
+//! * if the producer has a condition (filter), the consumer must use its
+//!   index *only* through the producer (a filtered collection's indices do
+//!   not align with any other collection).
+
+use crate::rewrite::PassReport;
+use dmll_core::rebind::Rebinder;
+use dmll_core::visit::{count_uses, def_blocks, for_each_exp_deep_mut};
+use dmll_core::{Block, Def, Exp, Gen, Multiloop, Program, Stmt, Sym};
+use std::collections::HashMap;
+
+/// Run fusion to a local fixpoint (each successful fusion re-scans, since it
+/// exposes new producer/consumer pairs).
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    while let Some(site) = find_site(program) {
+        let note = format!(
+            "pipeline-fused producer {} into consumer {}",
+            site.producer_sym, site.consumer_sym
+        );
+        apply(program, &site);
+        report.record(note);
+    }
+    report
+}
+
+/// A fusable producer/consumer pair, identified by a path of block indices
+/// from the program body plus statement indices within that block.
+struct Site {
+    /// Block path: sequence of (stmt index, block index within the def) to
+    /// descend from the program body.
+    path: Vec<(usize, usize)>,
+    producer_idx: usize,
+    consumer_idx: usize,
+    /// Statement index of `n = len(producer)` when the consumer's size is
+    /// that symbol.
+    len_idx: Option<usize>,
+    producer_sym: Sym,
+    consumer_sym: Sym,
+}
+
+fn block_at<'a>(program: &'a Program, path: &[(usize, usize)]) -> &'a Block {
+    let mut b = &program.body;
+    for &(si, bi) in path {
+        b = def_blocks(&b.stmts[si].def)[bi];
+    }
+    b
+}
+
+fn block_at_mut<'a>(program: &'a mut Program, path: &[(usize, usize)]) -> &'a mut Block {
+    let mut b = &mut program.body;
+    for &(si, bi) in path {
+        b = dmll_core::visit::def_blocks_mut(&mut b.stmts[si].def)
+            .into_iter()
+            .nth(bi)
+            .expect("path valid");
+    }
+    b
+}
+
+fn find_site(program: &Program) -> Option<Site> {
+    let mut uses = HashMap::new();
+    count_uses(&program.body, &mut uses);
+    find_in_block(&program.body, &mut Vec::new(), &uses)
+}
+
+fn find_in_block(
+    block: &Block,
+    path: &mut Vec<(usize, usize)>,
+    uses: &HashMap<Sym, usize>,
+) -> Option<Site> {
+    for (a_idx, stmt_a) in block.stmts.iter().enumerate() {
+        if let Some(site) = match_producer(block, a_idx, stmt_a, path, uses) {
+            return Some(site);
+        }
+    }
+    for (si, stmt) in block.stmts.iter().enumerate() {
+        for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
+            path.push((si, bi));
+            if let Some(site) = find_in_block(nb, path, uses) {
+                return Some(site);
+            }
+            path.pop();
+        }
+    }
+    None
+}
+
+fn match_producer(
+    block: &Block,
+    a_idx: usize,
+    stmt_a: &Stmt,
+    path: &[(usize, usize)],
+    uses: &HashMap<Sym, usize>,
+) -> Option<Site> {
+    let Def::Loop(ml_a) = &stmt_a.def else {
+        return None;
+    };
+    let Some(Gen::Collect { cond: c1, .. }) = ml_a.only_gen() else {
+        return None;
+    };
+    if stmt_a.lhs.len() != 1 {
+        return None;
+    }
+    let a = stmt_a.lhs[0];
+    let filtered = c1.is_some();
+
+    for (b_idx, stmt_b) in block.stmts.iter().enumerate().skip(a_idx + 1) {
+        let Def::Loop(ml_b) = &stmt_b.def else {
+            continue;
+        };
+        if ml_b.gens.is_empty() {
+            continue;
+        }
+        // Size must be len(a) or (unfiltered) the producer's own size.
+        let mut len_idx = None;
+        let size_ok = if !filtered && ml_b.size == ml_a.size {
+            true
+        } else if let Some(n) = ml_b.size.as_sym() {
+            match block.stmt_index_defining(n) {
+                Some(li) => match &block.stmts[li].def {
+                    Def::ArrayLen(e) if e.as_sym() == Some(a) => {
+                        len_idx = Some(li);
+                        true
+                    }
+                    _ => false,
+                },
+                None => false,
+            }
+        } else {
+            false
+        };
+        if !size_ok {
+            continue;
+        }
+        if !consumer_reads_ok(ml_b, a, filtered) {
+            continue;
+        }
+        // All uses of `a` program-wide must be the consumer's reads plus
+        // (optionally) the single len statement.
+        let reads_in_b = count_reads_of(ml_b, a);
+        let expected = reads_in_b + usize::from(len_idx.is_some());
+        if uses.get(&a).copied().unwrap_or(0) != expected {
+            continue;
+        }
+        // The len symbol must be replaceable: single-use, or unfiltered (in
+        // which case other uses are rewritten to the producer size).
+        if let Some(li) = len_idx {
+            let n = block.stmts[li].lhs[0];
+            let n_uses = uses.get(&n).copied().unwrap_or(0);
+            if n_uses != 1 && filtered {
+                continue;
+            }
+        }
+        return Some(Site {
+            path: path.to_vec(),
+            producer_idx: a_idx,
+            consumer_idx: b_idx,
+            len_idx,
+            producer_sym: a,
+            consumer_sym: stmt_b.lhs.first().copied().unwrap_or(a),
+        });
+    }
+    None
+}
+
+/// Every occurrence of `a` inside the consumer loop must be a read at the
+/// owning component block's parameter. If the producer is filtered, the
+/// parameter additionally must not be used for anything else.
+fn consumer_reads_ok(ml: &Multiloop, a: Sym, filtered: bool) -> bool {
+    if ml.size.as_sym() == Some(a) {
+        return false;
+    }
+    for gen in &ml.gens {
+        // The reducer never takes the loop index; any access to `a` there
+        // blocks fusion.
+        if let Some(r) = gen.reducer() {
+            if dmll_core::visit::uses_sym(r, a) {
+                return false;
+            }
+        }
+        for b in index_blocks(gen) {
+            let param = b.params[0];
+            if !reads_ok_in_block(b, a, param, filtered) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The component blocks of a generator that take the loop index.
+fn index_blocks(gen: &Gen) -> Vec<&Block> {
+    let mut out = Vec::new();
+    if let Some(c) = gen.cond() {
+        out.push(c);
+    }
+    if let Some(k) = gen.key() {
+        out.push(k);
+    }
+    out.push(gen.value());
+    out
+}
+
+fn reads_ok_in_block(b: &Block, a: Sym, param: Sym, filtered: bool) -> bool {
+    let mut ok = true;
+    fn walk(b: &Block, a: Sym, param: Sym, filtered: bool, ok: &mut bool) {
+        for stmt in &b.stmts {
+            match &stmt.def {
+                Def::ArrayRead { arr, index } if arr.as_sym() == Some(a) => {
+                    if index.as_sym() != Some(param) {
+                        *ok = false;
+                    }
+                }
+                other => {
+                    dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                        if e.as_sym() == Some(a) {
+                            *ok = false;
+                        }
+                        if filtered && e.as_sym() == Some(param) {
+                            *ok = false;
+                        }
+                    });
+                    for nb in def_blocks(other) {
+                        walk(nb, a, param, filtered, ok);
+                    }
+                }
+            }
+        }
+        if (filtered && b.result.as_sym() == Some(param)) || b.result.as_sym() == Some(a) {
+            *ok = false;
+        }
+    }
+    walk(b, a, param, filtered, &mut ok);
+    ok
+}
+
+fn count_reads_of(ml: &Multiloop, a: Sym) -> usize {
+    let mut n = 0;
+    for gen in &ml.gens {
+        for b in gen.blocks() {
+            dmll_core::visit::for_each_exp_deep(b, &mut |e| {
+                if e.as_sym() == Some(a) {
+                    n += 1;
+                }
+            });
+        }
+    }
+    n
+}
+
+fn apply(program: &mut Program, site: &Site) {
+    let block = block_at(program, &site.path);
+    let stmt_a = block.stmts[site.producer_idx].clone();
+    let stmt_b = block.stmts[site.consumer_idx].clone();
+    let Def::Loop(ml_a) = &stmt_a.def else {
+        unreachable!()
+    };
+    let Def::Loop(ml_b) = &stmt_b.def else {
+        unreachable!()
+    };
+    let Some(Gen::Collect {
+        cond: c1,
+        value: f1,
+    }) = ml_a.only_gen().cloned()
+    else {
+        unreachable!()
+    };
+    let consumer_gens = ml_b.gens.clone();
+    let a = site.producer_sym;
+    let size = ml_a.size.clone();
+
+    // Build one fused component: prologue computes v = f1(j), then the
+    // original component runs with reads `a(j)` aliased to v.
+    fn fuse_component(program: &mut Program, f1: &Block, h: &Block, a: Sym, size: &Exp) -> Block {
+        let j = program.fresh();
+        let prologue = Rebinder::new(program).inline_block(f1, &[Exp::Sym(j)]);
+        let v_exp = prologue.result.clone();
+        let mut body = {
+            let mut rb = Rebinder::new(program);
+            rb.map(h.params[0], Exp::Sym(j));
+            let mut b = rb.rebind_block(h);
+            b.params.clear();
+            b
+        };
+        replace_reads(&mut body, a, j, &v_exp, size);
+        let mut stmts = prologue.stmts;
+        stmts.append(&mut body.stmts);
+        Block {
+            params: vec![j],
+            stmts,
+            result: body.result,
+        }
+    }
+
+    let mut fused_gens = Vec::with_capacity(consumer_gens.len());
+    for g in &consumer_gens {
+        let fused_cond = match (&c1, g.cond()) {
+            (None, None) => None,
+            (Some(c), None) => Some(Rebinder::new(program).rebind_block(c)),
+            (None, Some(c2)) => Some(fuse_component(program, &f1, c2, a, &size)),
+            (Some(c), Some(c2)) => {
+                // params [j]: c1v = c(j); v = f1(j); c2v = c2 with a(j) -> v;
+                // result = c1v && c2v.
+                let j = program.fresh();
+                let c1b = Rebinder::new(program).inline_block(c, &[Exp::Sym(j)]);
+                let c1v = c1b.result.clone();
+                let mut prologue = Rebinder::new(program).inline_block(&f1, &[Exp::Sym(j)]);
+                let v_exp = prologue.result.clone();
+                let mut c2b = {
+                    let mut rb = Rebinder::new(program);
+                    rb.map(c2.params[0], Exp::Sym(j));
+                    let mut b = rb.rebind_block(c2);
+                    b.params.clear();
+                    b
+                };
+                replace_reads(&mut c2b, a, j, &v_exp, &size);
+                let c2v = c2b.result.clone();
+                let both = program.fresh();
+                let mut stmts = c1b.stmts;
+                stmts.append(&mut prologue.stmts);
+                stmts.append(&mut c2b.stmts);
+                stmts.push(Stmt::one(
+                    both,
+                    Def::prim2(dmll_core::PrimOp::And, c1v, c2v),
+                ));
+                Some(Block {
+                    params: vec![j],
+                    stmts,
+                    result: Exp::Sym(both),
+                })
+            }
+        };
+
+        let fused_gen = match g {
+            Gen::Collect { value, .. } => Gen::Collect {
+                cond: fused_cond,
+                value: fuse_component(program, &f1, value, a, &size),
+            },
+            Gen::Reduce {
+                value,
+                reducer,
+                init,
+                ..
+            } => Gen::Reduce {
+                cond: fused_cond,
+                value: fuse_component(program, &f1, value, a, &size),
+                reducer: Rebinder::new(program).rebind_block(reducer),
+                init: init.clone(),
+            },
+            Gen::BucketCollect { key, value, .. } => Gen::BucketCollect {
+                cond: fused_cond,
+                key: fuse_component(program, &f1, key, a, &size),
+                value: fuse_component(program, &f1, value, a, &size),
+            },
+            Gen::BucketReduce {
+                key,
+                value,
+                reducer,
+                init,
+                ..
+            } => Gen::BucketReduce {
+                cond: fused_cond,
+                key: fuse_component(program, &f1, key, a, &size),
+                value: fuse_component(program, &f1, value, a, &size),
+                reducer: Rebinder::new(program).rebind_block(reducer),
+                init: init.clone(),
+            },
+        };
+        fused_gens.push(fused_gen);
+    }
+
+    let filtered = c1.is_some();
+    let block = block_at_mut(program, &site.path);
+    block.stmts[site.consumer_idx].def = Def::Loop(Multiloop {
+        size: size.clone(),
+        gens: fused_gens,
+    });
+
+    // Drop the producer and handle the length statement.
+    let mut to_remove = vec![site.producer_idx];
+    if let Some(li) = site.len_idx {
+        let n = block.stmts[li].lhs[0];
+        to_remove.push(li);
+        if !filtered {
+            // n = len(a) becomes the producer size everywhere else.
+            for stmt in block.stmts.iter_mut() {
+                dmll_core::visit::for_each_exp_shallow_mut(&mut stmt.def, &mut |e| {
+                    if e.as_sym() == Some(n) {
+                        *e = size.clone();
+                    }
+                });
+                for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
+                    for_each_exp_deep_mut(nb, &mut |e| {
+                        if e.as_sym() == Some(n) {
+                            *e = size.clone();
+                        }
+                    });
+                }
+            }
+            if block.result.as_sym() == Some(n) {
+                block.result = size.clone();
+            }
+        }
+    }
+    to_remove.sort_unstable();
+    for idx in to_remove.into_iter().rev() {
+        block.stmts.remove(idx);
+    }
+}
+
+fn replace_reads(b: &mut Block, a: Sym, j: Sym, v_exp: &Exp, size: &Exp) {
+    let mut subst: HashMap<Sym, Exp> = HashMap::new();
+    fn walk(b: &mut Block, a: Sym, j: Sym, v_exp: &Exp, size: &Exp, subst: &mut HashMap<Sym, Exp>) {
+        let mut removed = Vec::new();
+        for (idx, stmt) in b.stmts.iter_mut().enumerate() {
+            match &stmt.def {
+                Def::ArrayRead { arr, index }
+                    if arr.as_sym() == Some(a) && index.as_sym() == Some(j) =>
+                {
+                    subst.insert(stmt.lhs[0], v_exp.clone());
+                    removed.push(idx);
+                }
+                Def::ArrayLen(e) if e.as_sym() == Some(a) => {
+                    subst.insert(stmt.lhs[0], size.clone());
+                    removed.push(idx);
+                }
+                _ => {
+                    for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
+                        walk(nb, a, j, v_exp, size, subst);
+                    }
+                }
+            }
+        }
+        for idx in removed.into_iter().rev() {
+            b.stmts.remove(idx);
+        }
+    }
+    walk(b, a, j, v_exp, size, &mut subst);
+    if !subst.is_empty() {
+        for_each_exp_deep_mut(b, &mut |e| {
+            if let Exp::Sym(s) = e {
+                if let Some(rep) = subst.get(s) {
+                    *e = rep.clone();
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    fn check_same(p0: &Program, p1: &Program, inputs: &[(&str, Value)]) {
+        let before = eval(p0, inputs).unwrap();
+        let after = eval(p1, inputs).unwrap();
+        assert_eq!(before, after, "fusion changed semantics");
+    }
+
+    #[test]
+    fn map_map_fuses_to_one_loop() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| {
+            let two = st.lit_f(2.0);
+            st.mul(e, &two)
+        });
+        let b = st.map(&a, |st, e| {
+            let one = st.lit_f(1.0);
+            st.add(e, &one)
+        });
+        let mut p = st.finish(&b);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1, "{r:?}");
+        assert_eq!(count_loops(&p), 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(&p0, &p, &[("x", Value::f64_arr(vec![1.0, -2.0, 3.0]))]);
+    }
+
+    #[test]
+    fn map_reduce_fuses() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| st.mul(e, e));
+        let s = st.sum(&a);
+        let mut p = st.finish(&s);
+        let p0 = p.clone();
+        fixpoint(&mut p, run);
+        assert_eq!(count_loops(&p), 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(&p0, &p, &[("x", Value::f64_arr(vec![1.0, 2.0, 3.0]))]);
+    }
+
+    #[test]
+    fn filter_sum_fuses_with_condition() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let pos = st.filter(&x, |st, e| {
+            let zero = st.lit_f(0.0);
+            st.gt(e, &zero)
+        });
+        let s = st.sum(&pos);
+        let mut p = st.finish(&s);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1);
+        assert_eq!(count_loops(&p), 1, "{p}");
+        assert!(p.to_string().contains("cond ("), "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(
+            &p0,
+            &p,
+            &[("x", Value::f64_arr(vec![1.0, -2.0, 3.0, -4.0, 5.0]))],
+        );
+    }
+
+    #[test]
+    fn filter_group_by_fuses() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let big = st.filter(&x, |st, e| {
+            let t = st.lit_i(10);
+            st.gt(e, &t)
+        });
+        let g = st.group_by(&big, |st, e| {
+            let h = st.lit_i(100);
+            st.rem(e, &h)
+        });
+        let keys = st.bucket_keys(&g);
+        let mut p = st.finish(&keys);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1);
+        assert_eq!(count_loops(&p), 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(
+            &p0,
+            &p,
+            &[("x", Value::i64_arr(vec![5, 112, 13, 212, 9, 112, 45]))],
+        );
+    }
+
+    #[test]
+    fn three_stage_pipeline_fuses_fully() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| {
+            let c = st.lit_f(0.5);
+            st.mul(e, &c)
+        });
+        let b = st.map(&a, |st, e| st.math(dmll_core::MathFn::Exp, e));
+        let s = st.sum(&b);
+        let mut p = st.finish(&s);
+        let p0 = p.clone();
+        fixpoint(&mut p, run);
+        assert_eq!(count_loops(&p), 1, "{p}");
+        check_same(&p0, &p, &[("x", Value::f64_arr(vec![0.1, 0.9, 2.0]))]);
+    }
+
+    #[test]
+    fn shared_intermediate_not_fused() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| st.mul(e, e));
+        let s1 = st.sum(&a);
+        let s2 = st.reduce_elems(&a, |st, p, q| st.max(p, q));
+        let total = st.add(&s1, &s2);
+        let mut p = st.finish(&total);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 0, "shared producer must not fuse: {p}");
+        assert_eq!(count_loops(&p), 3);
+        check_same(&p0, &p, &[("x", Value::f64_arr(vec![1.0, 2.0, 3.0]))]);
+    }
+
+    #[test]
+    fn filtered_zip_not_fused() {
+        // zipWith over (filter(x), y): consumer uses its index into another
+        // collection, so fusing with the filter would misalign indices.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let pos = st.filter(&x, |st, e| {
+            let zero = st.lit_f(0.0);
+            st.gt(e, &zero)
+        });
+        let z = st.zip_with(&pos, &y, |st, a, b| st.add(a, b));
+        let mut p = st.finish(&z);
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 0, "{p}");
+    }
+
+    #[test]
+    fn unfiltered_zip_fuses() {
+        // zipWith over (map(x), y): index alignment is preserved, fusion ok.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let m = st.map(&x, |st, e| st.mul(e, e));
+        let z = st.zip_with(&m, &y, |st, a, b| st.add(a, b));
+        let mut p = st.finish(&z);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1, "{p}");
+        assert_eq!(count_loops(&p), 1);
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(
+            &p0,
+            &p,
+            &[
+                ("x", Value::f64_arr(vec![1.0, 2.0, 3.0])),
+                ("y", Value::f64_arr(vec![10.0, 20.0, 30.0])),
+            ],
+        );
+    }
+
+    #[test]
+    fn fusion_inside_nested_block() {
+        // A map-sum pipeline staged inside an outer collect's body fuses too.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.lit_i(3);
+        let out = st.collect(&n, |st, i| {
+            let if64 = st.i2f(i);
+            let scaled = st.map(&x, move |st, e| st.mul(e, &if64));
+            st.sum(&scaled)
+        });
+        let mut p = st.finish(&out);
+        let p0 = p.clone();
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1, "{p}");
+        assert_eq!(count_loops(&p), 2, "outer collect + fused inner: {p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        check_same(&p0, &p, &[("x", Value::f64_arr(vec![1.0, 2.0]))]);
+    }
+}

@@ -1,0 +1,711 @@
+//! The GroupBy-Reduce rule (Figure 3):
+//!
+//! ```text
+//! A = BucketCollect_s(c)(k)(f1)                 H = BucketReduce_s(c)(k)(f2(f1))(r)
+//! Collect_A(_)(i => Reduce_{A(i)}(_)(f2)(r)) →  Collect_H(_)(i => H(i))
+//! ```
+//!
+//! Instead of materializing every bucket and then reducing each one, the
+//! values are reduced *as they are assigned to buckets*, in a single
+//! traversal. The consuming `Collect` keeps any remaining enclosing context
+//! (e.g. the division after a sum when averaging groups); when the context
+//! is empty the identity loop is removed by
+//! [`crate::cleanup`]'s copy elimination.
+
+use crate::rewrite::PassReport;
+use dmll_core::rebind::Rebinder;
+use dmll_core::visit::{count_uses, def_blocks, for_each_exp_deep, for_each_exp_deep_mut};
+use dmll_core::{Block, Def, Exp, Gen, Program, Stmt, Sym};
+use std::collections::HashMap;
+
+/// Run the GroupBy-Reduce rule everywhere it matches.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    while let Some(site) = find(program) {
+        let note = format!(
+            "groupby-reduce: fused BucketCollect {} with per-bucket Reduce",
+            site.group_sym
+        );
+        apply(program, site);
+        report.record(note);
+    }
+    report
+}
+
+struct Site {
+    /// Path to the block containing the BucketCollect.
+    path: Vec<(usize, usize)>,
+    g_idx: usize,
+    vals_idx: usize,
+    outer_idx: usize,
+    group_sym: Sym,
+    /// Indices, inside the outer collect's value block, of
+    /// `bucket = vals(j)`, `m = len(bucket)` and the inner reduce statement.
+    bucket_idx: usize,
+    len_idx: usize,
+    reduce_idx: usize,
+    /// True when the bucket length is also used by the remaining context
+    /// (`e.count`): the rewrite adds a fused count BucketReduce.
+    needs_count: bool,
+}
+
+fn block_at_mut<'a>(p: &'a mut Program, path: &[(usize, usize)]) -> &'a mut Block {
+    let mut b = &mut p.body;
+    for &(si, bi) in path {
+        b = dmll_core::visit::def_blocks_mut(&mut b.stmts[si].def)
+            .into_iter()
+            .nth(bi)
+            .expect("valid path");
+    }
+    b
+}
+
+fn find(program: &Program) -> Option<Site> {
+    let mut uses = HashMap::new();
+    count_uses(&program.body, &mut uses);
+    find_in(&program.body, &mut Vec::new(), &uses)
+}
+
+fn find_in(
+    block: &Block,
+    path: &mut Vec<(usize, usize)>,
+    uses: &HashMap<Sym, usize>,
+) -> Option<Site> {
+    'outer: for (g_idx, stmt_g) in block.stmts.iter().enumerate() {
+        let Def::Loop(ml_g) = &stmt_g.def else {
+            continue;
+        };
+        let Some(Gen::BucketCollect { .. }) = ml_g.only_gen() else {
+            continue;
+        };
+        if stmt_g.lhs.len() != 1 {
+            continue;
+        }
+        let g = stmt_g.lhs[0];
+
+        // Find `vals = bucketValues(g)` in the same block; every other use
+        // of g must be bucketKeys/bucketLen (they survive the rewrite).
+        let mut vals_idx = None;
+        let mut bucket_values_count = 0;
+        for (i, s) in block.stmts.iter().enumerate() {
+            if let Def::BucketValues(e) = &s.def {
+                if e.as_sym() == Some(g) {
+                    bucket_values_count += 1;
+                    vals_idx = Some(i);
+                }
+            }
+        }
+        if bucket_values_count != 1 {
+            continue;
+        }
+        let vals_idx = vals_idx.expect("found above");
+        let vals = block.stmts[vals_idx].lhs[0];
+        // g's other uses must be keys/len only. Count all g uses and the
+        // safe ones we can account for.
+        let mut g_safe = 0;
+        for b in all_blocks(block) {
+            for s in &b.stmts {
+                match &s.def {
+                    Def::BucketKeys(e) | Def::BucketLen(e) if e.as_sym() == Some(g) => g_safe += 1,
+                    _ => {}
+                }
+            }
+        }
+        if uses.get(&g).copied().unwrap_or(0) != g_safe + 1 {
+            continue;
+        }
+
+        // Find the consuming Collect: size = len(vals).
+        for (outer_idx, stmt_o) in block.stmts.iter().enumerate().skip(vals_idx + 1) {
+            let Def::Loop(ml_o) = &stmt_o.def else {
+                continue;
+            };
+            let Some(Gen::Collect { cond: None, value }) = ml_o.only_gen() else {
+                continue;
+            };
+            let Some(n) = ml_o.size.as_sym() else {
+                continue;
+            };
+            let Some(n_idx) = block.stmt_index_defining(n) else {
+                continue;
+            };
+            let Def::ArrayLen(e) = &block.stmts[n_idx].def else {
+                continue;
+            };
+            if e.as_sym() != Some(vals) {
+                continue;
+            }
+            // Inside the value block: bucket = vals(j); m = len(bucket);
+            // rr = Reduce over m consuming bucket element-wise.
+            let j = value.params[0];
+            let Some((bucket_idx, len_idx, reduce_idx, needs_count)) =
+                match_bucket_reduce(value, vals, j)
+            else {
+                continue;
+            };
+            // vals must be used exactly twice: the len and the bucket read.
+            if uses.get(&vals).copied().unwrap_or(0) != 2 {
+                continue 'outer;
+            }
+            return Some(Site {
+                path: path.to_vec(),
+                g_idx,
+                vals_idx,
+                outer_idx,
+                group_sym: g,
+                bucket_idx,
+                len_idx,
+                reduce_idx,
+                needs_count,
+            });
+        }
+    }
+    for (si, stmt) in block.stmts.iter().enumerate() {
+        for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
+            path.push((si, bi));
+            if let Some(site) = find_in(nb, path, uses) {
+                return Some(site);
+            }
+            path.pop();
+        }
+    }
+    None
+}
+
+fn all_blocks(b: &Block) -> Vec<&Block> {
+    let mut out = vec![b];
+    let mut i = 0;
+    while i < out.len() {
+        let cur = out[i];
+        for s in &cur.stmts {
+            out.extend(def_blocks(&s.def));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Match the `bucket = vals(j); m = len(bucket); rr = Reduce_m(_)(f2)(r)`
+/// triple inside the consumer's value block.
+fn match_bucket_reduce(value: &Block, vals: Sym, j: Sym) -> Option<(usize, usize, usize, bool)> {
+    let bucket_idx = value.stmts.iter().position(|s| {
+        matches!(&s.def, Def::ArrayRead { arr, index }
+            if arr.as_sym() == Some(vals) && index.as_sym() == Some(j))
+    })?;
+    let bucket = value.stmts[bucket_idx].lhs[0];
+    let len_idx = value
+        .stmts
+        .iter()
+        .position(|s| matches!(&s.def, Def::ArrayLen(e) if e.as_sym() == Some(bucket)))?;
+    let m = value.stmts[len_idx].lhs[0];
+    let reduce_idx = value.stmts.iter().position(|s| {
+        if let Def::Loop(ml) = &s.def {
+            if ml.size.as_sym() != Some(m) {
+                return false;
+            }
+            matches!(ml.only_gen(), Some(Gen::Reduce { cond: None, .. }))
+        } else {
+            false
+        }
+    })?;
+    // Safety checks.
+    let Def::Loop(ml_r) = &value.stmts[reduce_idx].def else {
+        unreachable!()
+    };
+    let Some(Gen::Reduce {
+        value: f2,
+        reducer: r,
+        init,
+        ..
+    }) = ml_r.only_gen()
+    else {
+        unreachable!()
+    };
+    // f2 reads bucket only at its own param and uses the param only through
+    // bucket (positions within a bucket have no analogue after the rewrite).
+    let t = f2.params[0];
+    if !reads_only_at(f2, bucket, t) || !param_only_through(f2, bucket, t) {
+        return None;
+    }
+    if dmll_core::visit::uses_sym(r, bucket) || dmll_core::visit::uses_sym(r, j) {
+        return None;
+    }
+    // f2, r and init must not capture anything bound in the consumer's value
+    // block (they are about to move to the BucketCollect's position).
+    let local: std::collections::BTreeSet<Sym> = value
+        .params
+        .iter()
+        .copied()
+        .chain(value.stmts.iter().flat_map(|s| s.lhs.iter().copied()))
+        .collect();
+    let mut captured = false;
+    for blk in [f2, r] {
+        for s in dmll_core::visit::free_syms(blk) {
+            if s != bucket && local.contains(&s) {
+                captured = true;
+            }
+        }
+    }
+    if let Some(Exp::Sym(s)) = init {
+        if local.contains(s) {
+            captured = true;
+        }
+    }
+    // Every use of bucket must be a read inside f2 or the len statement;
+    // the length itself (`e.count`) may flow into the remaining context —
+    // the rewrite then emits a second, horizontally fused count
+    // BucketReduce, exactly as the paper's Figure 5 does.
+    let mut bucket_uses = 0;
+    let mut m_uses = 0;
+    for_each_exp_deep(value, &mut |e| {
+        if e.as_sym() == Some(bucket) {
+            bucket_uses += 1;
+        }
+        if e.as_sym() == Some(m) {
+            m_uses += 1;
+        }
+    });
+    let reads_in_f2 = {
+        let mut n = 0;
+        for_each_exp_deep(f2, &mut |e| {
+            if e.as_sym() == Some(bucket) {
+                n += 1;
+            }
+        });
+        n
+    };
+    if captured || bucket_uses != reads_in_f2 + 1 || m_uses < 1 {
+        return None;
+    }
+    let needs_count = m_uses > 1;
+    Some((bucket_idx, len_idx, reduce_idx, needs_count))
+}
+
+fn reads_only_at(b: &Block, arr: Sym, idx: Sym) -> bool {
+    let mut ok = true;
+    fn walk(b: &Block, arr: Sym, idx: Sym, ok: &mut bool) {
+        for s in &b.stmts {
+            match &s.def {
+                Def::ArrayRead { arr: a, index } if a.as_sym() == Some(arr) => {
+                    if index.as_sym() != Some(idx) {
+                        *ok = false;
+                    }
+                }
+                other => {
+                    dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                        if e.as_sym() == Some(arr) {
+                            *ok = false;
+                        }
+                    });
+                    for nb in def_blocks(other) {
+                        walk(nb, arr, idx, ok);
+                    }
+                }
+            }
+        }
+        if b.result.as_sym() == Some(arr) {
+            *ok = false;
+        }
+    }
+    walk(b, arr, idx, &mut ok);
+    ok
+}
+
+fn param_only_through(b: &Block, arr: Sym, param: Sym) -> bool {
+    let mut ok = true;
+    fn walk(b: &Block, arr: Sym, param: Sym, ok: &mut bool) {
+        for s in &b.stmts {
+            match &s.def {
+                Def::ArrayRead { arr: a, .. } if a.as_sym() == Some(arr) => {}
+                other => {
+                    dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                        if e.as_sym() == Some(param) {
+                            *ok = false;
+                        }
+                    });
+                    for nb in def_blocks(other) {
+                        walk(nb, arr, param, ok);
+                    }
+                }
+            }
+        }
+        if b.result.as_sym() == Some(param) {
+            *ok = false;
+        }
+    }
+    walk(b, arr, param, &mut ok);
+    ok
+}
+
+fn apply(program: &mut Program, site: Site) {
+    // Extract the pieces (clones) before mutating.
+    let block = block_at_mut(program, &site.path);
+    let Def::Loop(ml_g) = &block.stmts[site.g_idx].def else {
+        unreachable!()
+    };
+    let Some(Gen::BucketCollect {
+        cond,
+        key,
+        value: f1,
+    }) = ml_g.only_gen().cloned()
+    else {
+        unreachable!()
+    };
+    let outer_stmt = block.stmts[site.outer_idx].clone();
+    let Def::Loop(ml_o) = &outer_stmt.def else {
+        unreachable!()
+    };
+    let Some(Gen::Collect { value: vb, .. }) = ml_o.only_gen() else {
+        unreachable!()
+    };
+    let Def::Loop(ml_r) = &vb.stmts[site.reduce_idx].def else {
+        unreachable!()
+    };
+    let Some(Gen::Reduce {
+        value: f2,
+        reducer: r,
+        init,
+        ..
+    }) = ml_r.only_gen().cloned()
+    else {
+        unreachable!()
+    };
+    let bucket = vb.stmts[site.bucket_idx].lhs[0];
+    let rr_syms = vb.stmts[site.reduce_idx].lhs.clone();
+    let vals = block.stmts[site.vals_idx].lhs[0];
+
+    // Composed value: params [i]; v = f1(i); f2 with bucket(t) -> v.
+    let composed = {
+        let i = program.fresh();
+        let prologue = Rebinder::new(program).inline_block(&f1, &[Exp::Sym(i)]);
+        let v_exp = prologue.result.clone();
+        let dead = program.fresh();
+        let mut body = {
+            let mut rb = Rebinder::new(program);
+            // Map the inner index param to a dead symbol; every use of it is
+            // inside bucket reads, which we replace below.
+            rb.map(f2.params[0], Exp::Sym(dead));
+            let mut b = rb.rebind_block(&f2);
+            b.params.clear();
+            (b, dead)
+        };
+        replace_bucket_reads(&mut body.0, bucket, &v_exp);
+        let mut stmts = prologue.stmts;
+        stmts.append(&mut body.0.stmts);
+        Block {
+            params: vec![i],
+            stmts,
+            result: body.0.result,
+        }
+    };
+    let new_reducer = Rebinder::new(program).rebind_block(&r);
+
+    // When the context also consumes `e.count`, emit a second,
+    // horizontally fused count BucketReduce over the same keys — the `cs`
+    // of the paper's Figure 5.
+    let count_gen = if site.needs_count {
+        let key2 = Rebinder::new(program).rebind_block(&key);
+        let cond2 = cond
+            .as_ref()
+            .map(|c| Rebinder::new(program).rebind_block(c));
+        let dead = program.fresh();
+        let a = program.fresh();
+        let b = program.fresh();
+        let sum = program.fresh();
+        Some(Gen::BucketReduce {
+            cond: cond2,
+            key: key2,
+            value: Block::ret(vec![dead], Exp::i64(1)),
+            reducer: Block {
+                params: vec![a, b],
+                stmts: vec![Stmt::one(sum, Def::prim2(dmll_core::PrimOp::Add, a, b))],
+                result: Exp::Sym(sum),
+            },
+            init: Some(Exp::i64(0)),
+        })
+    } else {
+        None
+    };
+    let cnt_sym = program.fresh();
+    let cnt_vals_sym = program.fresh();
+
+    // Swap the BucketCollect for a BucketReduce in place (plus the count
+    // generator when needed).
+    let block = block_at_mut(program, &site.path);
+    if let Def::Loop(ml_g) = &mut block.stmts[site.g_idx].def {
+        ml_g.gens[0] = Gen::BucketReduce {
+            cond,
+            key,
+            value: composed,
+            reducer: new_reducer,
+            init,
+        };
+        if let Some(cg) = count_gen {
+            ml_g.gens.push(cg);
+            block.stmts[site.g_idx].lhs.push(cnt_sym);
+        }
+    }
+
+    // Rewrite the consumer's value block: drop bucket/reduce, replace with
+    // rr = vals(j); the length (if consumed by the context) becomes a read
+    // of the fused per-bucket counts.
+    if let Def::Loop(ml_o) = &mut block.stmts[site.outer_idx].def {
+        let vb = ml_o.gens[0].value_mut();
+        let j = vb.params[0];
+        vb.stmts[site.reduce_idx] = Stmt {
+            lhs: rr_syms,
+            def: Def::ArrayRead {
+                arr: Exp::Sym(vals),
+                index: Exp::Sym(j),
+            },
+        };
+        if site.needs_count {
+            let m = vb.stmts[site.len_idx].lhs[0];
+            vb.stmts[site.len_idx] = Stmt::one(
+                m,
+                Def::ArrayRead {
+                    arr: Exp::Sym(cnt_vals_sym),
+                    index: Exp::Sym(j),
+                },
+            );
+            vb.stmts.remove(site.bucket_idx);
+        } else {
+            let mut remove = [site.bucket_idx, site.len_idx];
+            remove.sort_unstable();
+            for idx in remove.into_iter().rev() {
+                vb.stmts.remove(idx);
+            }
+        }
+    }
+    if site.needs_count {
+        block.stmts.insert(
+            site.vals_idx + 1,
+            Stmt::one(cnt_vals_sym, Def::BucketValues(Exp::Sym(cnt_sym))),
+        );
+    }
+}
+
+fn replace_bucket_reads(b: &mut Block, bucket: Sym, v_exp: &Exp) {
+    let mut subst: HashMap<Sym, Exp> = HashMap::new();
+    fn walk(b: &mut Block, bucket: Sym, v_exp: &Exp, subst: &mut HashMap<Sym, Exp>) {
+        let mut removed = Vec::new();
+        for (idx, stmt) in b.stmts.iter_mut().enumerate() {
+            match &stmt.def {
+                Def::ArrayRead { arr, .. } if arr.as_sym() == Some(bucket) => {
+                    subst.insert(stmt.lhs[0], v_exp.clone());
+                    removed.push(idx);
+                }
+                _ => {
+                    for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
+                        walk(nb, bucket, v_exp, subst);
+                    }
+                }
+            }
+        }
+        for idx in removed.into_iter().rev() {
+            b.stmts.remove(idx);
+        }
+    }
+    walk(b, bucket, v_exp, &mut subst);
+    if !subst.is_empty() {
+        for_each_exp_deep_mut(b, &mut |e| {
+            if let Exp::Sym(s) = e {
+                if let Some(rep) = subst.get(s) {
+                    *e = rep.clone();
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    /// lineItems.groupBy(status).map(group => group.sum) — §3.2's example.
+    fn aggregation_query() -> Program {
+        let mut st = Stage::new();
+        let qty = st.input("quantity", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let status = st.input("status", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let groups = group_by_paired(&mut st, &qty, &status);
+        let vals = st.bucket_values(&groups);
+        let sums = st.map(&vals, |st, bucket| st.sum(bucket));
+        let keys = st.bucket_keys(&groups);
+        let pair = st.tuple(&[&keys, &sums]);
+        st.finish(&pair)
+    }
+
+    /// groupBy over a pair of (value, key) arrays: buckets of `qty` values
+    /// keyed by the matching `status` (a Table 1 "multiple collections"
+    /// grouping).
+    fn group_by_paired(
+        st: &mut Stage,
+        qty: &dmll_frontend::Val,
+        status: &dmll_frontend::Val,
+    ) -> dmll_frontend::Val {
+        let n = st.len(qty);
+        let (q, s) = (qty.clone(), status.clone());
+        st.bucket_collect(&n, move |st, i| st.read(&s, i), move |st, i| st.read(&q, i))
+    }
+
+    #[test]
+    fn aggregation_becomes_bucket_reduce() {
+        let mut p = aggregation_query();
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let s = p.to_string();
+        assert!(s.contains("BucketReduce"), "{s}");
+        assert!(!s.contains("BucketCollect"), "{s}");
+        let inputs = [
+            (
+                "quantity",
+                Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            ),
+            ("status", Value::i64_arr(vec![2, 1, 2, 1, 2, 7])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn context_preserved_for_group_average() {
+        // groups.map(g => g.sum / g.count as double): the division remains
+        // in the collect context. We stage sum and a following division by a
+        // constant to keep a nontrivial context.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let t = st.lit_f(10.0);
+            let d = st.div(e, &t);
+            st.f2i(&d)
+        });
+        let vals = st.bucket_values(&groups);
+        let out = st.map(&vals, |st, bucket| {
+            let s = st.sum(bucket);
+            let two = st.lit_f(2.0);
+            st.div(&s, &two) // context after the reduce
+        });
+        let mut p = st.finish(&out);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [(
+            "x",
+            Value::f64_arr(vec![1.0, 11.0, 21.0, 2.0, 12.0, 22.0, 3.0]),
+        )];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn bucket_count_group_by_reduce() {
+        // Counting group sizes: f2 is the constant 1 function.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let k = st.lit_i(4);
+            st.rem(e, &k)
+        });
+        let vals = st.bucket_values(&groups);
+        let counts = st.map(&vals, |st, bucket| {
+            let n = st.len(bucket);
+            let _ = &n;
+            let one = st.lit_i(1);
+            let bucket = bucket.clone();
+            // sum of ones = count
+            let m = st.len(&bucket);
+            st.reduce(
+                &m,
+                move |_st, _t| one.clone(),
+                |st, a, b| st.add(a, b),
+                None,
+            )
+        });
+        let mut p = st.finish(&counts);
+        // The value block has an extra len(bucket) use (n), making
+        // bucket_uses != reads+1 — the conservative matcher must refuse.
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 0, "conservative: extra bucket use: {p}");
+    }
+
+    #[test]
+    fn min_per_group() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let t = st.lit_f(100.0);
+            let d = st.div(e, &t);
+            st.f2i(&d)
+        });
+        let vals = st.bucket_values(&groups);
+        let mins = st.map(&vals, |st, bucket| {
+            st.reduce_elems(bucket, |st, a, b| st.min(a, b))
+        });
+        let mut p = st.finish(&mins);
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        let inputs = [("x", Value::f64_arr(vec![105.0, 203.0, 101.0, 207.0, 102.0]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn group_average_emits_fused_count_reduce() {
+        // groups.map(e => e.sum / e.count) — Figure 5's ss/cs pair: the
+        // rewrite emits a second horizontally fused count BucketReduce.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let t = st.lit_f(10.0);
+            let d = st.div(e, &t);
+            st.f2i(&d)
+        });
+        let vals = st.bucket_values(&groups);
+        let avgs = st.map(&vals, |st, bucket| {
+            let s = st.sum(bucket);
+            let n = st.len(bucket);
+            let nf = st.i2f(&n);
+            st.div(&s, &nf)
+        });
+        let keys = st.bucket_keys(&groups);
+        let pair = st.tuple(&[&keys, &avgs]);
+        let mut p = st.finish(&pair);
+        let p0 = p.clone();
+        // CSE first merges the two len(bucket) uses into one symbol, the
+        // shape the matcher expects.
+        crate::cleanup::cse(&mut p);
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let printed = p.to_string();
+        assert_eq!(
+            printed.matches("BucketReduce").count(),
+            2,
+            "sum and count share one traversal: {printed}"
+        );
+        assert!(!printed.contains("BucketCollect"), "{printed}");
+        let inputs = [("x", Value::f64_arr(vec![1.0, 2.0, 11.0, 12.0, 13.0, 21.0]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn grouped_elements_used_directly_blocks_rule() {
+        // The consumer returns the bucket itself (not a reduce of it): no
+        // transformation applies.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let groups = st.group_by(&x, |st, e| {
+            let k = st.lit_i(2);
+            st.rem(e, &k)
+        });
+        let vals = st.bucket_values(&groups);
+        let mut p = st.finish(&vals);
+        let rep = fixpoint(&mut p, run);
+        assert_eq!(rep.applied, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Horizontal fusion: merge independent multiloops over the same range into
+//! one multiloop with several generators, "returning multiple disjoint
+//! outputs from a single traversal".
+//!
+//! This is what turns k-means' two `bucketReduce`s (per-cluster sums and
+//! per-cluster counts) into a single pass over the partitioned matrix after
+//! the Conditional Reduce rule has fired.
+
+use crate::rewrite::PassReport;
+use dmll_core::visit::{def_blocks, for_each_exp_shallow, free_syms};
+use dmll_core::{Block, Def, Exp, Program, Sym};
+use std::collections::BTreeSet;
+
+/// Run horizontal fusion to a local fixpoint.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    fuse_block(&mut body, &mut report);
+    program.body = body;
+    report
+}
+
+fn fuse_block(block: &mut Block, report: &mut PassReport) {
+    // Repeat until no pair in this block fuses.
+    while let Some((a_idx, b_idx, up)) = find_pair(block) {
+        apply(block, a_idx, b_idx, up, report);
+    }
+    for stmt in &mut block.stmts {
+        for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
+            fuse_block(nb, report);
+        }
+    }
+}
+
+/// Symbols a statement references (shallow exps plus free variables of its
+/// nested blocks).
+fn stmt_uses(stmt: &dmll_core::Stmt) -> BTreeSet<Sym> {
+    let mut used = BTreeSet::new();
+    for_each_exp_shallow(&stmt.def, &mut |e| {
+        if let Exp::Sym(s) = e {
+            used.insert(*s);
+        }
+    });
+    for nb in def_blocks(&stmt.def) {
+        used.extend(free_syms(nb));
+    }
+    used
+}
+
+/// Find a fusable pair: returns `(a_idx, b_idx, merge_up)` where `merge_up`
+/// means B's generators move up into A's position (otherwise A's move down
+/// into B's).
+fn find_pair(block: &Block) -> Option<(usize, usize, bool)> {
+    for a_idx in 0..block.stmts.len() {
+        let Def::Loop(ml_a) = &block.stmts[a_idx].def else {
+            continue;
+        };
+        for b_idx in a_idx + 1..block.stmts.len() {
+            let Def::Loop(ml_b) = &block.stmts[b_idx].def else {
+                continue;
+            };
+            if ml_a.size != ml_b.size {
+                continue;
+            }
+            let between: BTreeSet<Sym> = block.stmts[a_idx..b_idx]
+                .iter()
+                .flat_map(|s| s.lhs.iter().copied())
+                .collect();
+            let b_uses = stmt_uses(&block.stmts[b_idx]);
+            // Merge-up: B must not read anything defined in [a, b).
+            if b_uses.is_disjoint(&between) {
+                return Some((a_idx, b_idx, true));
+            }
+            // Merge-down: nothing in (a, b] may read A's outputs.
+            let a_outs: BTreeSet<Sym> = block.stmts[a_idx].lhs.iter().copied().collect();
+            let blocked = block.stmts[a_idx + 1..=b_idx]
+                .iter()
+                .any(|s| !stmt_uses(s).is_disjoint(&a_outs));
+            if !blocked {
+                return Some((a_idx, b_idx, false));
+            }
+        }
+    }
+    None
+}
+
+fn apply(block: &mut Block, a_idx: usize, b_idx: usize, up: bool, report: &mut PassReport) {
+    let stmt_b = block.stmts.remove(b_idx);
+    let Def::Loop(ml_b) = stmt_b.def else {
+        unreachable!()
+    };
+    let stmt_a = &mut block.stmts[a_idx];
+    let Def::Loop(ml_a) = &mut stmt_a.def else {
+        unreachable!()
+    };
+    report.record(format!(
+        "horizontally fused {} with {} ({} generators)",
+        stmt_a
+            .lhs
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        stmt_b
+            .lhs
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        ml_a.gens.len() + ml_b.gens.len()
+    ));
+    ml_a.gens.extend(ml_b.gens);
+    stmt_a.lhs.extend(stmt_b.lhs);
+    if !up {
+        // Move the merged loop down to B's position so that statements A's
+        // generators depended on stay above... (they already are above A).
+        // Statements between a and b that B's generators needed are above B;
+        // merging down means relocating the merged statement to b_idx - 1.
+        let merged = block.stmts.remove(a_idx);
+        block.stmts.insert(b_idx - 1, merged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    #[test]
+    fn two_reductions_share_one_traversal() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let total = st.sum(&x);
+        let m = st.reduce_elems(&x, |st, a, b| st.max(a, b));
+        let pair = st.tuple(&[&total, &m]);
+        let mut p = st.finish(&pair);
+        let p0 = p.clone();
+        // Both loops run over len(x); CSE first so the sizes are the same
+        // symbol.
+        fixpoint(&mut p, crate::cleanup::cse);
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 1, "{p}");
+        assert_eq!(count_loops(&p), 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [("x", Value::f64_arr(vec![3.0, -1.0, 7.5, 2.0]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn dependent_loops_do_not_fuse() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        // Second loop reads the first loop's output: cannot share traversal.
+        let a = st.map(&x, |st, e| st.mul(e, e));
+        let n = st.len(&x);
+        let b = st.collect(&n, |st, i| {
+            let ai = st.read(&a, i);
+            let xi = st.read(&x, i);
+            st.add(&ai, &xi)
+        });
+        let mut p = st.finish(&b);
+        fixpoint(&mut p, crate::cleanup::cse);
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 0, "{p}");
+    }
+
+    #[test]
+    fn merge_down_when_b_needs_intermediate() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        // Loop A.
+        let s1 = st.collect(&n, |st, i| st.read(&x, i));
+        // Intermediate that B needs but that does not depend on A.
+        let k = st.lit_i(3);
+        let kk = st.mul(&k, &k);
+        // Loop B uses kk.
+        let s2 = st.collect(&n, |st, i| {
+            let xi = st.read(&x, i);
+            st.mul(&xi, &kk)
+        });
+        let t1 = st.sum(&s1);
+        let t2 = st.sum(&s2);
+        let pair = st.tuple(&[&t1, &t2]);
+        let mut p = st.finish(&pair);
+        let p0 = p.clone();
+        fixpoint(&mut p, crate::cleanup::cse);
+        let r = fixpoint(&mut p, run);
+        assert!(r.applied >= 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [("x", Value::i64_arr(vec![1, 2, 3]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn different_sizes_do_not_fuse() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let sx = st.sum(&x);
+        let sy = st.sum(&y);
+        let pair = st.tuple(&[&sx, &sy]);
+        let mut p = st.finish(&pair);
+        fixpoint(&mut p, crate::cleanup::cse);
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 0);
+        assert_eq!(count_loops(&p), 2);
+    }
+
+    #[test]
+    fn three_way_fusion() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let mn = st.reduce_elems(&x, |st, a, b| st.min(a, b));
+        let mx = st.reduce_elems(&x, |st, a, b| st.max(a, b));
+        let t1 = st.tuple(&[&s, &mn]);
+        let t = st.tuple(&[&t1, &mx]);
+        let mut p = st.finish(&t);
+        let p0 = p.clone();
+        fixpoint(&mut p, crate::cleanup::cse);
+        let r = fixpoint(&mut p, run);
+        assert_eq!(r.applied, 2, "{p}");
+        assert_eq!(count_loops(&p), 1, "{p}");
+        let inputs = [("x", Value::f64_arr(vec![2.0, -5.0, 9.0]))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn fused_loop_outputs_remain_distinct() {
+        // After fusion, DCE must be able to drop one dead generator.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let _dead = st.reduce_elems(&x, |st, a, b| st.min(a, b));
+        let mut p = st.finish(&s);
+        fixpoint(&mut p, crate::cleanup::cse);
+        fixpoint(&mut p, run);
+        assert_eq!(count_loops(&p), 1);
+        let r = crate::cleanup::dce(&mut p);
+        assert!(
+            r.notes.iter().any(|n| n.contains("dropped generator")),
+            "{r:?}"
+        );
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        assert_eq!(
+            eval(&p, &[("x", Value::f64_arr(vec![1.0, 2.0]))]).unwrap(),
+            Value::F64(3.0)
+        );
+    }
+}

@@ -1,0 +1,1117 @@
+//! The reversible loop-interchange pair of Figure 3.
+//!
+//! **Column-to-Row Reduce** (for CPUs and clusters):
+//!
+//! ```text
+//! Collect_s1(_)(i => Reduce_s2(c)(f)(r))  →  R = Reduce_s2(c)(fv)(rv)
+//!                                            Collect_s1(_)(i => R(i))
+//! ```
+//!
+//! Instead of constructing a vector of sums, compute a **sum of vectors**:
+//! traverse the big dimension (`s2`, e.g. the samples of logistic
+//! regression) once, reducing whole `s1`-vectors element-wise. `fv` and `rv`
+//! are the vectorized `f` and `r`, built by wrapping each scalar function in
+//! a `Collect`.
+//!
+//! **Row-to-Column Reduce** (for GPUs) is the exact inverse: it splits a
+//! vector reduction back into per-element scalar reductions, because GPU
+//! code generation can only keep fixed-size (scalar) reduction temporaries
+//! in shared memory. The two rules are mutually inverse, which the tests
+//! verify by round-tripping.
+
+use crate::rewrite::PassReport;
+use dmll_core::rebind::Rebinder;
+use dmll_core::typecheck;
+use dmll_core::visit::{def_blocks, free_syms};
+use dmll_core::{Block, Def, Exp, Gen, Multiloop, Program, Stmt, Sym, Ty};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Column-to-Row
+// ---------------------------------------------------------------------------
+
+/// Apply Column-to-Row Reduce everywhere it matches.
+pub fn column_to_row(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    while let Some(site) = find_c2r(program) {
+        let note = format!(
+            "column-to-row: vectorized inner Reduce {} over the outer range",
+            site.rr_sym
+        );
+        apply_c2r(program, site);
+        report.record(note);
+    }
+    report
+}
+
+struct C2rSite {
+    path: Vec<(usize, usize)>,
+    /// Outer collect statement index in that block.
+    l_idx: usize,
+    /// Inner reduce statement index in the outer collect's value block.
+    reduce_idx: usize,
+    rr_sym: Sym,
+}
+
+fn block_at_mut<'a>(p: &'a mut Program, path: &[(usize, usize)]) -> &'a mut Block {
+    let mut b = &mut p.body;
+    for &(si, bi) in path {
+        b = dmll_core::visit::def_blocks_mut(&mut b.stmts[si].def)
+            .into_iter()
+            .nth(bi)
+            .expect("valid path");
+    }
+    b
+}
+
+fn shallow_bound(b: &Block) -> BTreeSet<Sym> {
+    b.params
+        .iter()
+        .copied()
+        .chain(b.stmts.iter().flat_map(|s| s.lhs.iter().copied()))
+        .collect()
+}
+
+fn invariant(e: &Exp, bound: &BTreeSet<Sym>) -> bool {
+    e.as_sym().is_none_or(|s| !bound.contains(&s))
+}
+
+fn find_c2r(program: &Program) -> Option<C2rSite> {
+    let tys = typecheck::infer(program).ok()?;
+    fn go(
+        block: &Block,
+        path: &mut Vec<(usize, usize)>,
+        tys: &dmll_core::typecheck::TypeMap,
+    ) -> Option<C2rSite> {
+        for (l_idx, stmt) in block.stmts.iter().enumerate() {
+            let Def::Loop(ml) = &stmt.def else { continue };
+            let Some(Gen::Collect {
+                cond: None,
+                value: ob,
+            }) = ml.only_gen()
+            else {
+                continue;
+            };
+            if let Some(reduce_idx) = match_c2r_inner(ob, tys) {
+                return Some(C2rSite {
+                    path: path.to_vec(),
+                    l_idx,
+                    reduce_idx,
+                    rr_sym: ob.stmts[reduce_idx].lhs[0],
+                });
+            }
+        }
+        for (si, stmt) in block.stmts.iter().enumerate() {
+            for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
+                path.push((si, bi));
+                if let Some(site) = go(nb, path, tys) {
+                    return Some(site);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+    go(&program.body, &mut Vec::new(), &tys)
+}
+
+fn match_c2r_inner(ob: &Block, tys: &dmll_core::typecheck::TypeMap) -> Option<usize> {
+    let bound = shallow_bound(ob);
+    let i = ob.params[0];
+    for (idx, stmt) in ob.stmts.iter().enumerate() {
+        let Def::Loop(ml) = &stmt.def else { continue };
+        let Some(Gen::Reduce {
+            cond,
+            value: f,
+            reducer: r,
+            init,
+        }) = ml.only_gen()
+        else {
+            continue;
+        };
+        if stmt.lhs.len() != 1 {
+            continue;
+        }
+        // Scalar reductions only: vectorizing a vector reduce would nest
+        // another level, which Row-to-Column owns.
+        if !matches!(tys.get(&stmt.lhs[0]), Some(Ty::I64) | Some(Ty::F64)) {
+            continue;
+        }
+        // Size, condition, reducer and identity must be outer-invariant.
+        if !invariant(&ml.size, &bound) {
+            continue;
+        }
+        if let Some(c) = cond {
+            if free_syms(c).iter().any(|s| bound.contains(s)) {
+                continue;
+            }
+        }
+        if free_syms(r).iter().any(|s| bound.contains(s)) {
+            continue;
+        }
+        if let Some(e) = init {
+            if !invariant(e, &bound) {
+                continue;
+            }
+        }
+        // The value may reference the outer index `i` but nothing else bound
+        // in the outer body.
+        if free_syms(f).iter().any(|s| *s != i && bound.contains(s)) {
+            continue;
+        }
+        return Some(idx);
+    }
+    None
+}
+
+fn apply_c2r(program: &mut Program, site: C2rSite) {
+    // Clone the pieces.
+    let (s1, outer_param, s2, cond, f, r, init) = {
+        let block = block_at_mut(program, &site.path);
+        let Def::Loop(ml_o) = &block.stmts[site.l_idx].def else {
+            unreachable!()
+        };
+        let Some(Gen::Collect { value: ob, .. }) = ml_o.only_gen() else {
+            unreachable!()
+        };
+        let Def::Loop(ml_r) = &ob.stmts[site.reduce_idx].def else {
+            unreachable!()
+        };
+        let Some(Gen::Reduce {
+            cond,
+            value: f,
+            reducer: r,
+            init,
+        }) = ml_r.only_gen()
+        else {
+            unreachable!()
+        };
+        (
+            ml_o.size.clone(),
+            ob.params[0],
+            ml_r.size.clone(),
+            cond.clone(),
+            f.clone(),
+            r.clone(),
+            init.clone(),
+        )
+    };
+
+    // fv(j) = Collect_s1(i2 => f[i -> i2, j_param -> j]).
+    let fv = {
+        let j = program.fresh();
+        let i2 = program.fresh();
+        let inner_value = {
+            let mut rb = Rebinder::new(program);
+            rb.map(f.params[0], Exp::Sym(j));
+            rb.map(outer_param, Exp::Sym(i2));
+            let mut b = rb.rebind_block(&f);
+            b.params = vec![i2];
+            b
+        };
+        let vec_out = program.fresh();
+        Block {
+            params: vec![j],
+            stmts: vec![Stmt::one(
+                vec_out,
+                Def::Loop(Multiloop::single(
+                    s1.clone(),
+                    Gen::Collect {
+                        cond: None,
+                        value: inner_value,
+                    },
+                )),
+            )],
+            result: Exp::Sym(vec_out),
+        }
+    };
+
+    // rv(a, b) = Collect_s1(t => r(a(t), b(t))).
+    let rv = {
+        let a = program.fresh();
+        let b = program.fresh();
+        let t = program.fresh();
+        let at = program.fresh();
+        let bt = program.fresh();
+        let combined = {
+            let mut rb = Rebinder::new(program);
+            rb.map(r.params[0], Exp::Sym(at));
+            rb.map(r.params[1], Exp::Sym(bt));
+            let mut blk = rb.rebind_block(&r);
+            blk.params.clear();
+            blk
+        };
+        let mut zip_stmts = vec![
+            Stmt::one(
+                at,
+                Def::ArrayRead {
+                    arr: Exp::Sym(a),
+                    index: Exp::Sym(t),
+                },
+            ),
+            Stmt::one(
+                bt,
+                Def::ArrayRead {
+                    arr: Exp::Sym(b),
+                    index: Exp::Sym(t),
+                },
+            ),
+        ];
+        zip_stmts.extend(combined.stmts);
+        let zip_value = Block {
+            params: vec![t],
+            stmts: zip_stmts,
+            result: combined.result,
+        };
+        let zipped = program.fresh();
+        Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(
+                zipped,
+                Def::Loop(Multiloop::single(
+                    s1.clone(),
+                    Gen::Collect {
+                        cond: None,
+                        value: zip_value,
+                    },
+                )),
+            )],
+            result: Exp::Sym(zipped),
+        }
+    };
+
+    // Optional vector identity: ivec = Collect_s1(_ => init).
+    let mut prefix_stmts = Vec::new();
+    let vec_init = init.map(|iexp| {
+        let dead = program.fresh();
+        let ivec = program.fresh();
+        prefix_stmts.push(Stmt::one(
+            ivec,
+            Def::Loop(Multiloop::single(
+                s1.clone(),
+                Gen::Collect {
+                    cond: None,
+                    value: Block::ret(vec![dead], iexp),
+                },
+            )),
+        ));
+        Exp::Sym(ivec)
+    });
+
+    let new_cond = cond.map(|c| Rebinder::new(program).rebind_block(&c));
+    let big_r = program.fresh();
+    prefix_stmts.push(Stmt::one(
+        big_r,
+        Def::Loop(Multiloop::single(
+            s2,
+            Gen::Reduce {
+                cond: new_cond,
+                value: fv,
+                reducer: rv,
+                init: vec_init,
+            },
+        )),
+    ));
+
+    // Splice: insert the prefix before the outer collect, and replace the
+    // inner reduce with R(i).
+    let block = block_at_mut(program, &site.path);
+    if let Def::Loop(ml_o) = &mut block.stmts[site.l_idx].def {
+        let ob = ml_o.gens[0].value_mut();
+        let i = ob.params[0];
+        ob.stmts[site.reduce_idx] = Stmt::one(
+            site.rr_sym,
+            Def::ArrayRead {
+                arr: Exp::Sym(big_r),
+                index: Exp::Sym(i),
+            },
+        );
+    }
+    block.stmts.splice(site.l_idx..site.l_idx, prefix_stmts);
+}
+
+// ---------------------------------------------------------------------------
+// Row-to-Column
+// ---------------------------------------------------------------------------
+
+/// Apply Row-to-Column Reduce everywhere it matches (the GPU direction).
+pub fn row_to_column(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    while let Some(site) = find_r2c(program) {
+        let note = format!(
+            "row-to-column: split vector Reduce {} into scalar reduces",
+            site.rr_sym
+        );
+        apply_r2c(program, site);
+        report.record(note);
+    }
+    report
+}
+
+struct R2cSite {
+    path: Vec<(usize, usize)>,
+    /// The vector-reduce statement index.
+    l_idx: usize,
+    rr_sym: Sym,
+    /// Index of the collect stmt inside fv.
+    fv_collect_idx: usize,
+    /// Init decomposition: Some(scalar exp) if the vector identity is a
+    /// constant collect, None if there is no identity.
+    scalar_init: Option<Exp>,
+    /// Statement index of the init-producing loop (to leave for DCE).
+    _init_idx: Option<usize>,
+}
+
+fn find_r2c(program: &Program) -> Option<R2cSite> {
+    fn go(block: &Block, path: &mut Vec<(usize, usize)>) -> Option<R2cSite> {
+        for (l_idx, stmt) in block.stmts.iter().enumerate() {
+            if let Some(site) = match_r2c(block, l_idx, stmt) {
+                return Some(R2cSite {
+                    path: path.to_vec(),
+                    l_idx,
+                    ..site
+                });
+            }
+        }
+        for (si, stmt) in block.stmts.iter().enumerate() {
+            for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
+                path.push((si, bi));
+                if let Some(site) = go(nb, path) {
+                    return Some(site);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+    go(&program.body, &mut Vec::new())
+}
+
+fn match_r2c(block: &Block, _l_idx: usize, stmt: &Stmt) -> Option<R2cSite> {
+    let Def::Loop(ml) = &stmt.def else {
+        return None;
+    };
+    let Some(Gen::Reduce {
+        cond: _,
+        value: fv,
+        reducer: rv,
+        init,
+    }) = ml.only_gen()
+    else {
+        return None;
+    };
+    if stmt.lhs.len() != 1 {
+        return None;
+    }
+    // fv must end in a collect over s1 (with possible per-j preamble).
+    let vec_sym = fv.result.as_sym()?;
+    let fv_collect_idx = fv.stmt_index_defining(vec_sym)?;
+    let Def::Loop(ml_f) = &fv.stmts[fv_collect_idx].def else {
+        return None;
+    };
+    let Some(Gen::Collect {
+        cond: None,
+        value: _,
+    }) = ml_f.only_gen()
+    else {
+        return None;
+    };
+    let s1 = ml_f.size.clone();
+    // The preamble must not consume the collect output (it cannot, SSA) and
+    // the collect output must only be the result.
+    let mut vec_uses = 0;
+    dmll_core::visit::for_each_exp_deep(fv, &mut |e| {
+        if e.as_sym() == Some(vec_sym) {
+            vec_uses += 1;
+        }
+    });
+    if vec_uses != 1 {
+        return None;
+    }
+    // The collect size must be invariant with respect to fv itself (it
+    // becomes the new outer range); loop-invariant code motion normalizes
+    // programs into this form.
+    if let Some(s) = s1.as_sym() {
+        let fv_bound: BTreeSet<Sym> = fv
+            .params
+            .iter()
+            .copied()
+            .chain(fv.stmts.iter().flat_map(|st| st.lhs.iter().copied()))
+            .collect();
+        if fv_bound.contains(&s) {
+            return None;
+        }
+    }
+    // rv must be a zipWith-collect over the same size applying a scalar
+    // combine; besides the zip loop it may only compute len(a)/len(b).
+    let (a, b) = (rv.params[0], rv.params[1]);
+    let zip_sym = rv.result.as_sym()?;
+    let mut len_syms: BTreeSet<Sym> = BTreeSet::new();
+    let mut zip_stmt = None;
+    for s in &rv.stmts {
+        match &s.def {
+            Def::ArrayLen(e) if e.as_sym() == Some(a) || e.as_sym() == Some(b) => {
+                len_syms.insert(s.lhs[0]);
+            }
+            Def::Loop(_) if s.lhs.contains(&zip_sym) => zip_stmt = Some(s),
+            _ => return None,
+        }
+    }
+    let zip_stmt = zip_stmt?;
+    let Def::Loop(ml_z) = &zip_stmt.def else {
+        return None;
+    };
+    let Some(Gen::Collect {
+        cond: None,
+        value: zv,
+    }) = ml_z.only_gen()
+    else {
+        return None;
+    };
+    // Zip size: syntactically s1, or the length of either operand (the
+    // "iff size(a1) == size(b1) == s2" premise of the rule).
+    let size_matches = ml_z.size == s1 || ml_z.size.as_sym().is_some_and(|s| len_syms.contains(&s));
+    if !size_matches {
+        return None;
+    }
+    // zv: t => r(a(t), b(t)) — reads of a and b at t only, t used only
+    // through them.
+    let t = zv.params[0];
+    let mut reads = 0;
+    let mut bad = false;
+    for s in &zv.stmts {
+        match &s.def {
+            Def::ArrayRead { arr, index }
+                if (arr.as_sym() == Some(a) || arr.as_sym() == Some(b)) =>
+            {
+                if index.as_sym() != Some(t) {
+                    bad = true;
+                }
+                reads += 1;
+            }
+            other => {
+                dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                    if let Exp::Sym(s) = e {
+                        if *s == t || *s == a || *s == b {
+                            bad = true;
+                        }
+                    }
+                });
+                for nb in def_blocks(other) {
+                    if free_syms(nb).iter().any(|s| *s == t || *s == a || *s == b) {
+                        bad = true;
+                    }
+                }
+            }
+        }
+    }
+    if bad || reads != 2 {
+        return None;
+    }
+    // Init: none, or a constant collect over s1 defined in this block.
+    let (scalar_init, init_idx) = match init {
+        None => (None, None),
+        Some(Exp::Const(_)) => return None, // a vector identity cannot be scalar
+        Some(Exp::Sym(isym)) => {
+            let idx = block.stmt_index_defining(*isym)?;
+            let Def::Loop(ml_i) = &block.stmts[idx].def else {
+                return None;
+            };
+            let Some(Gen::Collect {
+                cond: None,
+                value: iv,
+            }) = ml_i.only_gen()
+            else {
+                return None;
+            };
+            if !iv.stmts.is_empty() {
+                return None;
+            }
+            if iv.result.as_sym() == Some(iv.params[0]) {
+                return None;
+            }
+            if ml_i.size != s1 {
+                return None;
+            }
+            (Some(iv.result.clone()), Some(idx))
+        }
+    };
+    Some(R2cSite {
+        path: Vec::new(),
+        l_idx: 0,
+        rr_sym: stmt.lhs[0],
+        fv_collect_idx,
+        scalar_init,
+        _init_idx: init_idx,
+    })
+}
+
+fn apply_r2c(program: &mut Program, site: R2cSite) {
+    let (s1, s2, cond, fv, rv, rr_sym) = {
+        let block = block_at_mut(program, &site.path);
+        let Def::Loop(ml) = &block.stmts[site.l_idx].def else {
+            unreachable!()
+        };
+        let Some(Gen::Reduce {
+            cond,
+            value: fv,
+            reducer: rv,
+            ..
+        }) = ml.only_gen()
+        else {
+            unreachable!()
+        };
+        let Def::Loop(ml_f) = &fv.stmts[site.fv_collect_idx].def else {
+            unreachable!()
+        };
+        (
+            ml_f.size.clone(),
+            ml.size.clone(),
+            cond.clone(),
+            fv.clone(),
+            rv.clone(),
+            site.rr_sym,
+        )
+    };
+
+    // Extract f(i, j) from the fv preamble plus the inner collect value.
+    //
+    // When the preamble feeds the element function through a single value
+    // (e.g. logistic regression's per-sample hypothesis), *fission* it into
+    // a standalone precompute pass instead of inlining — inlining would
+    // recompute per-(i, j) work that the vectorized form did once per j.
+    let (f_template, precompute) = {
+        let Def::Loop(ml_f) = &fv.stmts[site.fv_collect_idx].def else {
+            unreachable!()
+        };
+        let Some(Gen::Collect { value: fb, .. }) = ml_f.only_gen() else {
+            unreachable!()
+        };
+        let preamble: Vec<Stmt> = fv
+            .stmts
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != site.fv_collect_idx)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let preamble_lhs: std::collections::BTreeSet<Sym> = preamble
+            .iter()
+            .flat_map(|s| s.lhs.iter().copied())
+            .collect();
+        let used: Vec<Sym> = {
+            let mut used = std::collections::BTreeSet::new();
+            dmll_core::visit::for_each_exp_deep(fb, &mut |e| {
+                if let Exp::Sym(s) = e {
+                    if preamble_lhs.contains(s) {
+                        used.insert(*s);
+                    }
+                }
+            });
+            used.into_iter().collect()
+        };
+        // Which preamble statements transitively involve a loop (expensive
+        // to recompute per element)?
+        let mut loop_dep: std::collections::BTreeSet<Sym> = std::collections::BTreeSet::new();
+        for s in &preamble {
+            let mut dep = matches!(s.def, Def::Loop(_));
+            dmll_core::visit::for_each_exp_shallow(&s.def, &mut |e| {
+                if let Exp::Sym(sym) = e {
+                    if loop_dep.contains(sym) {
+                        dep = true;
+                    }
+                }
+            });
+            for nb in dmll_core::visit::def_blocks(&s.def) {
+                if dmll_core::visit::free_syms(nb)
+                    .iter()
+                    .any(|sym| loop_dep.contains(sym))
+                {
+                    dep = true;
+                }
+            }
+            if dep {
+                loop_dep.extend(s.lhs.iter().copied());
+            }
+        }
+        // Expensive values are packaged in the precompute pass; cheap scalar
+        // chains (e.g. the affine row base `j * cols`) are recomputed per
+        // element so index expressions stay affine for the stencil analysis.
+        let packaged: Vec<Sym> = used
+            .iter()
+            .copied()
+            .filter(|u| loop_dep.contains(u))
+            .collect();
+        let cheap_stmts: Vec<Stmt> = preamble
+            .iter()
+            .filter(|s| s.lhs.iter().all(|l| !loop_dep.contains(l)))
+            .cloned()
+            .collect();
+        let used = packaged;
+        if !used.is_empty() {
+            // Fission: pre = Collect_s2(jp => preamble; (used…)), then the
+            // per-element function reads its per-j values from `pre`.
+            let jp = program.fresh();
+            let value = {
+                let packed = program.fresh();
+                let mut stmts = preamble;
+                stmts.push(Stmt::one(
+                    packed,
+                    Def::TupleNew(used.iter().map(|u| Exp::Sym(*u)).collect()),
+                ));
+                let mut rb = Rebinder::new(program);
+                rb.map(fv.params[0], Exp::Sym(jp));
+                let mut b = rb.rebind_block(&Block {
+                    params: vec![fv.params[0]],
+                    stmts,
+                    result: Exp::Sym(packed),
+                });
+                b.params = vec![jp];
+                b
+            };
+            let pre = program.fresh();
+            let pre_stmt = Stmt::one(
+                pre,
+                Def::Loop(Multiloop::single(
+                    s2.clone(),
+                    Gen::Collect { cond: None, value },
+                )),
+            );
+            // f(j, i): uval = pre(j); per-component projections; fb.
+            let uval = program.fresh();
+            let mut stmts = vec![Stmt::one(
+                uval,
+                Def::ArrayRead {
+                    arr: Exp::Sym(pre),
+                    index: Exp::Sym(fv.params[0]),
+                },
+            )];
+            let mut subst = std::collections::HashMap::new();
+            for (k, u) in used.iter().enumerate() {
+                let proj = program.fresh();
+                stmts.push(Stmt::one(
+                    proj,
+                    Def::TupleGet {
+                        tuple: Exp::Sym(uval),
+                        index: k,
+                    },
+                ));
+                subst.insert(*u, Exp::Sym(proj));
+            }
+            stmts.extend(cheap_stmts);
+            stmts.extend(fb.stmts.clone());
+            let mut template = Block {
+                params: vec![fv.params[0], fb.params[0]],
+                stmts,
+                result: fb.result.clone(),
+            };
+            dmll_core::rebind::subst_in_block(&mut template, &subst);
+            (template, Some(pre_stmt))
+        } else {
+            let mut stmts: Vec<Stmt> = preamble;
+            stmts.extend(fb.stmts.clone());
+            (
+                Block {
+                    params: vec![fv.params[0], fb.params[0]],
+                    stmts,
+                    result: fb.result.clone(),
+                },
+                None,
+            )
+        }
+    };
+
+    // Extract the scalar combine r(x, y) from rv's zip body.
+    let r_template = {
+        let zip_stmt = rv
+            .stmts
+            .iter()
+            .find(|s| matches!(s.def, Def::Loop(_)))
+            .expect("matched zip loop");
+        let Def::Loop(ml_z) = &zip_stmt.def else {
+            unreachable!()
+        };
+        let Some(Gen::Collect { value: zv, .. }) = ml_z.only_gen() else {
+            unreachable!()
+        };
+        let (a, b) = (rv.params[0], rv.params[1]);
+        // Identify the two reads and their bound symbols.
+        let mut na = None;
+        let mut nb = None;
+        let mut stmts = Vec::new();
+        for s in &zv.stmts {
+            match &s.def {
+                Def::ArrayRead { arr, .. } if arr.as_sym() == Some(a) => na = Some(s.lhs[0]),
+                Def::ArrayRead { arr, .. } if arr.as_sym() == Some(b) => nb = Some(s.lhs[0]),
+                Def::ArrayLen(e) if e.as_sym() == Some(a) || e.as_sym() == Some(b) => {}
+                _ => stmts.push(s.clone()),
+            }
+        }
+        Block {
+            params: vec![na.expect("read of a"), nb.expect("read of b")],
+            stmts,
+            result: zv.result.clone(),
+        }
+    };
+
+    // Build the outer collect.
+    let i2 = program.fresh();
+    let j2 = program.fresh();
+    let inner_value = {
+        let mut rb = Rebinder::new(program);
+        rb.map(f_template.params[0], Exp::Sym(j2));
+        rb.map(f_template.params[1], Exp::Sym(i2));
+        let mut blk = rb.rebind_block(&f_template);
+        blk.params = vec![j2];
+        blk
+    };
+    let inner_reducer = {
+        let mut rb = Rebinder::new(program);
+
+        rb.rebind_block(&r_template)
+    };
+    let new_cond = cond.map(|c| Rebinder::new(program).rebind_block(&c));
+    let rr2 = program.fresh();
+    let outer_value = Block {
+        params: vec![i2],
+        stmts: vec![Stmt::one(
+            rr2,
+            Def::Loop(Multiloop::single(
+                s2,
+                Gen::Reduce {
+                    cond: new_cond,
+                    value: inner_value,
+                    reducer: inner_reducer,
+                    init: site.scalar_init.clone(),
+                },
+            )),
+        )],
+        result: Exp::Sym(rr2),
+    };
+    let block = block_at_mut(program, &site.path);
+    block.stmts[site.l_idx] = Stmt::one(
+        rr_sym,
+        Def::Loop(Multiloop::single(
+            s1,
+            Gen::Collect {
+                cond: None,
+                value: outer_value,
+            },
+        )),
+    );
+    if let Some(pre_stmt) = precompute {
+        block.stmts.insert(site.l_idx, pre_stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::printer::count_loops;
+    use dmll_core::LayoutHint;
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    /// Textbook logistic-regression gradient shape: for each feature j,
+    /// sum over samples i of x(i,j) * (y(i) - x(i,0)).
+    fn logreg_like() -> Program {
+        let mut st = Stage::new();
+        let x = st.input_matrix("x", LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let cols = x.cols(&mut st);
+        let rows = x.rows(&mut st);
+        let zero = st.lit_f(0.0);
+        let grad = st.collect(&cols, |st, j| {
+            let j = j.clone();
+            let x = x.clone();
+            let y = y.clone();
+            st.reduce(
+                &rows,
+                move |st, i| {
+                    let xij = x.get(st, i, &j);
+                    let yi = st.read(&y, i);
+                    let z = st.lit_i(0);
+                    let xi0 = x.get(st, i, &z);
+                    let d = st.sub(&yi, &xi0);
+                    st.mul(&xij, &d)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        st.finish(&grad)
+    }
+
+    fn logreg_inputs() -> Vec<(&'static str, Value)> {
+        vec![
+            (
+                "x",
+                Value::matrix(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], 3, 3),
+            ),
+            ("y", Value::f64_arr(vec![0.5, 1.5, -0.5])),
+        ]
+    }
+
+    #[test]
+    fn column_to_row_vectorizes() {
+        let mut p = logreg_like();
+        let p0 = p.clone();
+        let rep = fixpoint(&mut p, column_to_row);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = logreg_inputs();
+        let before = eval(&p0, &inputs).unwrap();
+        let after = eval(&p, &inputs).unwrap();
+        assert_eq!(before, after);
+        // The transformed program reduces collections: the reducer contains
+        // a nested Collect (vectorized add).
+        let s = p.to_string();
+        assert!(s.contains("reduce (x"), "{s}");
+    }
+
+    #[test]
+    fn row_to_column_inverts() {
+        let mut p = logreg_like();
+        let p0 = p.clone();
+        fixpoint(&mut p, column_to_row);
+        let loops_mid = count_loops(&p);
+        let rep = fixpoint(&mut p, row_to_column);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = logreg_inputs();
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+        // Round-trip restores a nested scalar-reduce structure; the
+        // leftover identity collect and the dead vector identity disappear
+        // under copy elimination + DCE.
+        crate::cleanup::dce(&mut p);
+        fixpoint(&mut p, crate::cleanup::copy_elim);
+        crate::cleanup::dce(&mut p);
+        let loops_after = count_loops(&p);
+        assert!(
+            loops_after < loops_mid,
+            "inverse removed the vector machinery: {loops_mid} -> {loops_after}"
+        );
+        assert_eq!(count_loops(&p), 2, "{p}");
+        let inputs2 = logreg_inputs();
+        assert_eq!(eval(&p0, &inputs2).unwrap(), eval(&p, &inputs2).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics_on_random_matrices() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let rows = rng.gen_range(1..8);
+            let cols = rng.gen_range(1..6);
+            let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let yv: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let inputs = vec![
+                ("x", Value::matrix(data, rows, cols)),
+                ("y", Value::f64_arr(yv)),
+            ];
+            let p0 = logreg_like();
+            let mut p1 = p0.clone();
+            fixpoint(&mut p1, column_to_row);
+            let mut p2 = p1.clone();
+            fixpoint(&mut p2, row_to_column);
+            let r0 = eval(&p0, &inputs).unwrap();
+            let r1 = eval(&p1, &inputs).unwrap();
+            let r2 = eval(&p2, &inputs).unwrap();
+            // Identical data traversals up to float reassociation; with the
+            // same reduction order the results are bit-equal here.
+            assert_eq!(r0, r2, "round trip");
+            // Vectorized version reassociates identically too (same order).
+            assert_eq!(r0, r1, "vectorized");
+        }
+    }
+
+    #[test]
+    fn reduce_depending_on_outer_locals_not_matched() {
+        // The inner reduce's value uses a per-i temporary besides i itself:
+        // conservative matcher refuses.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let k = st.lit_i(4);
+        let out = st.collect(&k, |st, i| {
+            let fi = st.i2f(i);
+            let scale = st.mul(&fi, &fi); // bound in outer body, not i itself
+            let x = x.clone();
+            let zero = st.lit_f(0.0);
+            st.reduce(
+                &n,
+                move |st, jj| {
+                    let xj = st.read(&x, jj);
+                    st.mul(&xj, &scale)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            )
+        });
+        let mut p = st.finish(&out);
+        let rep = fixpoint(&mut p, column_to_row);
+        assert_eq!(rep.applied, 0, "{p}");
+    }
+
+    #[test]
+    fn vector_reduce_without_collect_shape_not_matched_by_r2c() {
+        // A scalar reduce is not a candidate for Row-to-Column.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let mut p = st.finish(&s);
+        let rep = fixpoint(&mut p, row_to_column);
+        assert_eq!(rep.applied, 0);
+    }
+
+    #[test]
+    fn kmeans_vector_sum_row_to_column() {
+        // A directly staged vector reduction (sum of matrix rows) splits
+        // into per-column scalar sums for the GPU.
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let rows = m.rows(&mut st);
+        let sum = st.reduce(
+            &rows,
+            |st, i| m.row(st, i),
+            |st, a, b| st.vec_add(a, b),
+            None,
+        );
+        let mut p = st.finish(&sum);
+        let p0 = p.clone();
+        // Normalize: hoist the loop-invariant `m.cols` that `row` stages
+        // inside the reduce value, so the collect size is visible outside.
+        fixpoint(&mut p, crate::code_motion::run);
+        let rep = fixpoint(&mut p, row_to_column);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = [(
+            "m",
+            Value::matrix(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], 2, 3),
+        )];
+        let before = eval(&p0, &inputs).unwrap();
+        let after = eval(&p, &inputs).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after.to_f64_vec().unwrap(), vec![11.0, 22.0, 33.0]);
+    }
+}
+
+#[cfg(test)]
+mod fission_tests {
+    use super::*;
+    use crate::rewrite::fixpoint;
+    use dmll_core::LayoutHint;
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+
+    /// A vectorized reduce whose per-j preamble contains an expensive inner
+    /// loop (a dot product), feeding the element function — the logistic
+    /// regression shape after Column-to-Row + code motion.
+    fn vectorized_with_preamble() -> dmll_core::Program {
+        let mut st = Stage::new();
+        let x = st.input_matrix("x", LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let cols = x.cols(&mut st);
+        let rows = x.rows(&mut st);
+        let grad = st.reduce(
+            &rows,
+            |st, j| {
+                // Per-row preamble: err = y(j) - dot(row j, row j).
+                let x2 = x.clone();
+                let yj = st.read(&y, j);
+                let zero = st.lit_f(0.0);
+                let j2 = j.clone();
+                let x3 = x2.clone();
+                let dot = st.reduce(
+                    &cols,
+                    move |st, t| {
+                        let a = x3.get(st, &j2, t);
+                        st.mul(&a, &a)
+                    },
+                    |st, a, b| st.add(a, b),
+                    Some(&zero),
+                );
+                let err = st.sub(&yj, &dot);
+                // Element function: x(j, i) * err over the columns.
+                let j3 = j.clone();
+                st.collect(&cols, move |st, i| {
+                    let v = x2.get(st, &j3, i);
+                    st.mul(&v, &err)
+                })
+            },
+            |st, a, b| st.vec_add(a, b),
+            None,
+        );
+        st.finish(&grad)
+    }
+
+    #[test]
+    fn expensive_preamble_is_fissioned_into_precompute_pass() {
+        let mut p = vectorized_with_preamble();
+        let p0 = p.clone();
+        fixpoint(&mut p, crate::code_motion::run);
+        let loops_before = dmll_core::printer::count_loops(&p);
+        let rep = fixpoint(&mut p, row_to_column);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        // A standalone precompute collect appears at top level, and the
+        // element function reads a tuple projection from it.
+        let printed = p.to_string();
+        assert!(printed.contains("._0"), "tuple projection: {printed}");
+        let top_loops = p
+            .body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s.def, Def::Loop(_)))
+            .count();
+        assert!(top_loops >= 2, "precompute + scalarized: {printed}");
+        let _ = loops_before;
+        // Semantics preserved.
+        let inputs = [
+            ("x", Value::matrix(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3)),
+            ("y", Value::f64_arr(vec![10.0, -4.0])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn cheap_preamble_is_inlined_not_fissioned() {
+        // Preamble = an affine row base only: recomputed per element, no
+        // precompute pass, and the index stays affine (Interval stencil).
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let rows = st.lit_i(4);
+        let cols = st.lit_i(3);
+        let sum = st.reduce(
+            &rows,
+            |st, j| {
+                let base = st.mul(j, &cols); // cheap per-j preamble
+                let x2 = x.clone();
+                st.collect(&cols, move |st, i| {
+                    let idx = st.add(&base, i);
+                    st.read(&x2, &idx)
+                })
+            },
+            |st, a, b| st.vec_add(a, b),
+            None,
+        );
+        let mut p = st.finish(&sum);
+        let p0 = p.clone();
+        fixpoint(&mut p, crate::code_motion::run);
+        let rep = fixpoint(&mut p, row_to_column);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(!p.to_string().contains("._0"), "no tuple pass: {p}");
+        let inputs = [("x", Value::f64_arr((0..12).map(|v| v as f64).collect()))];
+        let before = eval(&p0, &inputs).unwrap();
+        let after = eval(&p, &inputs).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(
+            after.to_f64_vec().unwrap(),
+            vec![
+                0.0 + 3.0 + 6.0 + 9.0,
+                1.0 + 4.0 + 7.0 + 10.0,
+                2.0 + 5.0 + 8.0 + 11.0
+            ]
+        );
+    }
+}

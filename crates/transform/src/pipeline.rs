@@ -1,0 +1,579 @@
+//! The optimizer: sequences all passes into per-target recipes and keeps the
+//! optimization log reported per benchmark in the paper's Table 2.
+
+use crate::rewrite::{fixpoint, PassReport};
+use dmll_core::Program;
+
+/// The hardware target a program is being optimized for.
+///
+/// The nested-pattern rules are *locality* transformations, so which ones to
+/// apply depends on the target (§3.2, Discussion): vectorizing reductions
+/// (Column-to-Row) suits CPUs, NUMA machines and clusters — it exposes the
+/// big-data dimension for partitioning — while GPUs want the inverse
+/// (Row-to-Column) because only fixed-size reduction temporaries fit in
+/// shared memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Single multi-core machine, one memory region.
+    Cpu,
+    /// Multi-socket machine with non-uniform memory.
+    Numa,
+    /// Distributed cluster of machines.
+    Cluster,
+    /// GPU-accelerated execution.
+    Gpu,
+}
+
+/// Which passes fired while optimizing one program, with the paper's
+/// terminology — the "Optimizations" column of Table 2.
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    /// `(paper name, times applied)` per pass, in recipe order.
+    pub passes: Vec<(String, usize)>,
+    /// Individual rewrite notes, for debugging and logs.
+    pub notes: Vec<String>,
+}
+
+impl OptReport {
+    fn add(&mut self, name: &str, rep: PassReport) {
+        if rep.applied > 0 {
+            match self.passes.iter_mut().find(|(n, _)| n == name) {
+                Some((_, count)) => *count += rep.applied,
+                None => self.passes.push((name.to_string(), rep.applied)),
+            }
+            self.notes.extend(rep.notes);
+        }
+    }
+
+    /// Times a pass (by paper name) was applied.
+    pub fn applied(&self, name: &str) -> usize {
+        self.passes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Comma-separated list of headline optimizations that fired (the
+    /// cleanup passes are omitted, as in the paper's table).
+    pub fn summary(&self) -> String {
+        const HEADLINE: &[&str] = &[
+            "GroupBy-Reduce",
+            "Conditional Reduce",
+            "Column-to-Row Reduce",
+            "Row-to-Column Reduce",
+            "pipeline fusion",
+            "horizontal fusion",
+            "AoS to SoA",
+            "DFE",
+            "CSE",
+        ];
+        let names: Vec<&str> = HEADLINE
+            .iter()
+            .copied()
+            .filter(|n| self.applied(n) > 0)
+            .collect();
+        names.join(", ")
+    }
+}
+
+/// The pass pipeline for one target.
+#[derive(Clone, Copy, Debug)]
+pub struct Optimizer {
+    target: Target,
+}
+
+impl Optimizer {
+    /// An optimizer for the given target.
+    pub fn new(target: Target) -> Optimizer {
+        Optimizer { target }
+    }
+
+    /// The target this optimizer compiles for.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Optimize `program` in place and report what fired.
+    pub fn run(&self, program: &mut Program) -> OptReport {
+        let mut report = OptReport::default();
+
+        self.cleanup_round(program, &mut report);
+
+        // Structural rounds: fuse, restructure nested patterns, repeat
+        // until stable.
+        for _ in 0..8 {
+            let mut changed = false;
+            changed |= self.structural_round(program, &mut report);
+            changed |= self.cleanup_round(program, &mut report);
+            if !changed {
+                break;
+            }
+        }
+
+        // Data-structure optimization: after fusion composes projections
+        // into the consuming generators, record inputs become
+        // projection-only and split into primitive columns ("reducing
+        // complex data structures to simple arrays of primitives", §5).
+        let soa = crate::soa::run(program);
+        if soa.changed() {
+            report.add("AoS to SoA", soa);
+            self.structural_round(program, &mut report);
+            self.cleanup_round(program, &mut report);
+        }
+
+        // Target-specific interchange.
+        match self.target {
+            Target::Cpu | Target::Numa | Target::Cluster => {
+                let rep = fixpoint(program, crate::interchange::column_to_row);
+                let changed = rep.changed();
+                report.add("Column-to-Row Reduce", rep);
+                if changed {
+                    self.cleanup_round(program, &mut report);
+                    self.structural_round(program, &mut report);
+                    self.cleanup_round(program, &mut report);
+                }
+            }
+            Target::Gpu => {
+                let rep = fixpoint(program, crate::interchange::row_to_column);
+                let changed = rep.changed();
+                report.add("Row-to-Column Reduce", rep);
+                if changed {
+                    self.cleanup_round(program, &mut report);
+                }
+            }
+        }
+
+        // Dead field elimination and final cleanup.
+        report.add("DFE", crate::cleanup::prune_inputs(program));
+        self.cleanup_round(program, &mut report);
+        debug_assert!(
+            dmll_core::typecheck::infer(program).is_ok(),
+            "optimizer produced ill-typed IR:\n{program}"
+        );
+        report
+    }
+
+    fn structural_round(&self, program: &mut Program, report: &mut OptReport) -> bool {
+        let mut changed = false;
+        let rep = fixpoint(program, crate::fusion::run);
+        changed |= rep.changed();
+        report.add("pipeline fusion", rep);
+
+        let rep = fixpoint(program, crate::groupby_reduce::run);
+        changed |= rep.changed();
+        report.add("GroupBy-Reduce", rep);
+
+        let rep = fixpoint(program, crate::conditional_reduce::run);
+        changed |= rep.changed();
+        report.add("Conditional Reduce", rep);
+
+        let rep = fixpoint(program, crate::horizontal::run);
+        changed |= rep.changed();
+        report.add("horizontal fusion", rep);
+        changed
+    }
+
+    fn cleanup_round(&self, program: &mut Program, report: &mut OptReport) -> bool {
+        let mut changed = false;
+        let rep = crate::cleanup::scalar_replace(program);
+        changed |= rep.changed();
+        report.add("struct unwrapping", rep);
+
+        let rep = fixpoint(program, crate::cleanup::const_fold);
+        changed |= rep.changed();
+        report.add("constant folding", rep);
+
+        let rep = crate::cleanup::cse(program);
+        changed |= rep.changed();
+        report.add("CSE", rep);
+
+        let rep = fixpoint(program, crate::code_motion::run);
+        changed |= rep.changed();
+        report.add("code motion", rep);
+
+        let rep = fixpoint(program, crate::cleanup::copy_elim);
+        changed |= rep.changed();
+        report.add("copy elimination", rep);
+
+        let rep = crate::cleanup::dce(program);
+        changed |= rep.changed();
+        report.add("DCE", rep);
+        changed
+    }
+}
+
+/// Optimize `program` for `target` with the default recipe.
+pub fn optimize(program: &mut Program, target: Target) -> OptReport {
+    Optimizer::new(target).run(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::printer::count_loops;
+    use dmll_core::{typecheck, LayoutHint, Ty};
+    use dmll_frontend::{MatrixVal, Stage, Val};
+    use dmll_interp::{eval, Value};
+    use rand::prelude::*;
+
+    /// One full iteration of shared-memory k-means as in Figure 1 (top):
+    /// assign each row to its nearest centroid, then recompute centroids by
+    /// averaging the member rows via conditional reduces.
+    fn kmeans_shared(k: i64) -> Program {
+        let mut st = Stage::new();
+        let matrix = st.input_matrix("matrix", LayoutHint::Partitioned);
+        let clusters = st.input_matrix("clusters", LayoutHint::Local);
+        let rows = matrix.rows(&mut st);
+        let kv = st.lit_i(k);
+        let assigned = st.collect(&rows, |st, i| {
+            let dists = clusters.map_rows(st, |st, c| matrix.row_dist2(st, i, &clusters, c));
+            st.min_index(&dists)
+        });
+        let izero = st.lit_i(0);
+        let new_clusters = st.collect(&kv, |st, i| {
+            let i1 = i.clone();
+            let i2 = i.clone();
+            let a1 = assigned.clone();
+            let a2 = assigned.clone();
+            let m = matrix.clone();
+            let sum = st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &Val| {
+                    let aj = st.read(&a1, j);
+                    st.eq(&aj, &i1)
+                }),
+                move |st, j| m.row(st, j),
+                |st, a, b| st.vec_add(a, b),
+                None,
+            );
+            let cnt = st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &Val| {
+                    let aj = st.read(&a2, j);
+                    st.eq(&aj, &i2)
+                }),
+                |st, _j| st.lit_i(1),
+                |st, a, b| st.add(a, b),
+                Some(&izero),
+            );
+            let one = st.lit_i(1);
+            let safe = st.max(&cnt, &one);
+            let cf = st.i2f(&safe);
+            st.map(&sum, move |st, s| st.div(s, &cf))
+        });
+        st.finish(&new_clusters)
+    }
+
+    fn kmeans_inputs(rows: usize, cols: usize, k: usize, seed: u64) -> Vec<(&'static str, Value)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let cents: Vec<f64> = (0..k * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        vec![
+            ("matrix", Value::matrix(data, rows, cols)),
+            ("clusters", Value::matrix(cents, k, cols)),
+        ]
+    }
+
+    #[test]
+    fn kmeans_cluster_recipe_applies_paper_optimizations() {
+        let mut p = kmeans_shared(3);
+        let p0 = p.clone();
+        let loops_before = count_loops(&p);
+        let report = optimize(&mut p, Target::Cluster);
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        // The paper's Table 2 lists Conditional Reduce + pipeline fusion for
+        // k-means (Row-to-Column applies on the GPU path).
+        assert!(
+            report.applied("Conditional Reduce") >= 2,
+            "sum and count hoisted: {:?}",
+            report.passes
+        );
+        assert!(
+            report.applied("horizontal fusion") >= 1,
+            "{:?}",
+            report.passes
+        );
+        assert!(
+            report.applied("pipeline fusion") >= 1,
+            "{:?}",
+            report.passes
+        );
+        let loops_after = count_loops(&p);
+        assert!(
+            loops_after < loops_before,
+            "loops {loops_before} -> {loops_after}"
+        );
+        // Semantics: identical traversal order per reduction, so results are
+        // bit-equal.
+        let inputs = kmeans_inputs(40, 4, 3, 11);
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn kmeans_optimized_matches_on_many_seeds() {
+        let mut p = kmeans_shared(4);
+        let p0 = p.clone();
+        optimize(&mut p, Target::Numa);
+        for seed in 0..4 {
+            let inputs = kmeans_inputs(25, 3, 4, seed);
+            assert_eq!(
+                eval(&p0, &inputs).unwrap(),
+                eval(&p, &inputs).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// TPC-H-Q1-like aggregation: sum(quantity) grouped by status.
+    fn q1_like() -> Program {
+        let mut st = Stage::new();
+        let qty = st.input("qty", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let status = st.input("status", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&qty);
+        let s2 = status.clone();
+        let q2 = qty.clone();
+        let groups = st.bucket_collect(
+            &n,
+            move |st, i| st.read(&s2, i),
+            move |st, i| st.read(&q2, i),
+        );
+        let vals = st.bucket_values(&groups);
+        let sums = st.map(&vals, |st, b| st.sum(b));
+        let keys = st.bucket_keys(&groups);
+        let pair = st.tuple(&[&keys, &sums]);
+        st.finish(&pair)
+    }
+
+    #[test]
+    fn q1_recipe_single_traversal() {
+        let mut p = q1_like();
+        let p0 = p.clone();
+        let report = optimize(&mut p, Target::Cpu);
+        assert!(report.applied("GroupBy-Reduce") >= 1, "{:?}", report.passes);
+        // One BucketReduce pass over the data; the identity collect over the
+        // bucket values is copy-eliminated.
+        assert_eq!(count_loops(&p), 1, "{p}");
+        let inputs = [
+            ("qty", Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+            ("status", Value::i64_arr(vec![7, 8, 7, 9, 8])),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    /// Textbook logistic-regression gradient (Fig. 1 style, nested over
+    /// features then samples).
+    fn logreg() -> Program {
+        let mut st = Stage::new();
+        let x = st.input_matrix("x", LayoutHint::Partitioned);
+        let y = st.input("y", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let theta = st.input("theta", Ty::arr(Ty::F64), LayoutHint::Local);
+        let cols = x.cols(&mut st);
+        let rows = x.rows(&mut st);
+        let alpha = st.lit_f(0.1);
+        let zero = st.lit_f(0.0);
+        let new_theta = st.collect(&cols, |st, j| {
+            let jc = j.clone();
+            let x2 = x.clone();
+            let y2 = y.clone();
+            let th = theta.clone();
+            let gradient = st.reduce(
+                &rows,
+                move |st, i| {
+                    let xij = x2.get(st, i, &jc);
+                    let yi = st.read(&y2, i);
+                    let dot = x2.row_dot(st, i, &th);
+                    let hyp = st.math(dmll_core::MathFn::Tanh, &dot);
+                    let d = st.sub(&yi, &hyp);
+                    st.mul(&xij, &d)
+                },
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            );
+            let tj = st.read(&theta, j);
+            let step = st.mul(&alpha, &gradient);
+            st.add(&tj, &step)
+        });
+        st.finish(&new_theta)
+    }
+
+    fn logreg_inputs(seed: u64) -> Vec<(&'static str, Value)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (rows, cols) = (12, 4);
+        vec![
+            (
+                "x",
+                Value::matrix(
+                    (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    rows,
+                    cols,
+                ),
+            ),
+            (
+                "y",
+                Value::f64_arr((0..rows).map(|_| rng.gen_range(0.0..1.0)).collect()),
+            ),
+            (
+                "theta",
+                Value::f64_arr((0..cols).map(|_| rng.gen_range(-0.5..0.5)).collect()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn logreg_cluster_recipe_vectorizes() {
+        let mut p = logreg();
+        let p0 = p.clone();
+        let report = optimize(&mut p, Target::Cluster);
+        assert!(
+            report.applied("Column-to-Row Reduce") >= 1,
+            "{:?}",
+            report.passes
+        );
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = logreg_inputs(3);
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn logreg_gpu_recipe_keeps_scalar_reduces() {
+        // As written, the textbook form reduces scalars — already optimal
+        // for the GPU; Row-to-Column has nothing to do.
+        let mut p = logreg();
+        let report = optimize(&mut p, Target::Gpu);
+        assert_eq!(
+            report.applied("Row-to-Column Reduce"),
+            0,
+            "{:?}",
+            report.passes
+        );
+    }
+
+    #[test]
+    fn logreg_cluster_then_gpu_roundtrip() {
+        // Cluster-of-GPUs flow (§3.2): Column-to-Row for distribution, then
+        // Row-to-Column inside the per-node kernel.
+        let mut p = logreg();
+        let p0 = p.clone();
+        optimize(&mut p, Target::Cluster);
+        let report = Optimizer::new(Target::Gpu).run(&mut p);
+        assert!(
+            report.applied("Row-to-Column Reduce") >= 1,
+            "{:?}",
+            report.passes
+        );
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        let inputs = logreg_inputs(9);
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn summary_names_match_paper_table() {
+        let mut p = q1_like();
+        let report = optimize(&mut p, Target::Cpu);
+        let s = report.summary();
+        assert!(s.contains("GroupBy-Reduce"), "{s}");
+        assert!(!s.contains("DCE"), "cleanup passes are not headline: {s}");
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let mut p = kmeans_shared(3);
+        optimize(&mut p, Target::Cluster);
+        let printed = p.to_string();
+        let report = optimize(&mut p, Target::Cluster);
+        assert_eq!(
+            report.applied("Conditional Reduce"),
+            0,
+            "second run finds nothing structural: {:?}",
+            report.passes
+        );
+        assert_eq!(p.to_string(), printed, "stable under re-optimization");
+    }
+
+    #[test]
+    fn gda_like_two_pass_stats() {
+        // Gaussian discriminant analysis core: per-class mean of features —
+        // conditional vector reduce keyed by the label.
+        let mut st = Stage::new();
+        let m = st.input_matrix("x", LayoutHint::Partitioned);
+        let labels = st.input("y", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let rows = m.rows(&mut st);
+        let two = st.lit_i(2);
+        let izero = st.lit_i(0);
+        let means = st.collect(&two, |st, c| {
+            let c1 = c.clone();
+            let c2 = c.clone();
+            let l1 = labels.clone();
+            let l2 = labels.clone();
+            let mm = m.clone();
+            let sum = st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &Val| {
+                    let lj = st.read(&l1, j);
+                    st.eq(&lj, &c1)
+                }),
+                move |st, j| mm.row(st, j),
+                |st, a, b| st.vec_add(a, b),
+                None,
+            );
+            let cnt = st.reduce_if(
+                &rows,
+                Some(move |st: &mut Stage, j: &Val| {
+                    let lj = st.read(&l2, j);
+                    st.eq(&lj, &c2)
+                }),
+                |st, _j| st.lit_i(1),
+                |st, a, b| st.add(a, b),
+                Some(&izero),
+            );
+            let one = st.lit_i(1);
+            let safe = st.max(&cnt, &one);
+            let cf = st.i2f(&safe);
+            st.map(&sum, move |st, s| st.div(s, &cf))
+        });
+        let mut p = st.finish(&means);
+        let p0 = p.clone();
+        let report = optimize(&mut p, Target::Numa);
+        assert!(
+            report.applied("Conditional Reduce") >= 2,
+            "{:?}",
+            report.passes
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let (rows_n, cols_n) = (20, 3);
+        let inputs = vec![
+            (
+                "x",
+                Value::matrix(
+                    (0..rows_n * cols_n)
+                        .map(|_| rng.gen_range(-2.0..2.0))
+                        .collect(),
+                    rows_n,
+                    cols_n,
+                ),
+            ),
+            (
+                "y",
+                Value::i64_arr((0..rows_n).map(|_| rng.gen_range(0..2)).collect()),
+            ),
+        ];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    #[test]
+    fn matrix_struct_inputs_survive() {
+        // Matrices are Struct inputs (not Coll[Struct]); the SoA pass must
+        // leave them alone and the recipe must still run end to end.
+        let mut st = Stage::new();
+        let m = st.input_matrix("m", LayoutHint::Partitioned);
+        let s = m.sum_cols(&mut st);
+        let mut p = st.finish(&s);
+        let p0 = p.clone();
+        optimize(&mut p, Target::Cpu);
+        let inputs = [("m", Value::matrix(vec![1.0, 2.0, 3.0, 4.0], 2, 2))];
+        assert_eq!(eval(&p0, &inputs).unwrap(), eval(&p, &inputs).unwrap());
+    }
+
+    fn _silence_unused(_: MatrixVal) {}
+}

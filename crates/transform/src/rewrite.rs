@@ -1,0 +1,126 @@
+//! Pass infrastructure: reports, block walkers and fixpoint drivers.
+
+use dmll_core::visit::def_blocks_mut;
+use dmll_core::{Block, Program};
+
+/// What a pass did to the program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Number of individual rewrites applied.
+    pub applied: usize,
+    /// Human-readable notes (one per rewrite, used for optimization logs).
+    pub notes: Vec<String>,
+}
+
+impl PassReport {
+    /// A report of zero rewrites.
+    pub fn none() -> PassReport {
+        PassReport::default()
+    }
+
+    /// True if the pass changed the program.
+    pub fn changed(&self) -> bool {
+        self.applied > 0
+    }
+
+    /// Record one rewrite.
+    pub fn record(&mut self, note: impl Into<String>) {
+        self.applied += 1;
+        self.notes.push(note.into());
+    }
+
+    /// Merge another report into this one.
+    pub fn absorb(&mut self, other: PassReport) {
+        self.applied += other.applied;
+        self.notes.extend(other.notes);
+    }
+}
+
+/// Apply `f` to every block in the program (the body and every generator
+/// component block at any depth), outermost first.
+pub fn for_each_block_mut(program: &mut Program, f: &mut impl FnMut(&mut Block)) {
+    fn go(b: &mut Block, f: &mut impl FnMut(&mut Block)) {
+        f(b);
+        for stmt in &mut b.stmts {
+            for nb in def_blocks_mut(&mut stmt.def) {
+                go(nb, f);
+            }
+        }
+    }
+    let mut body = std::mem::replace(
+        &mut program.body,
+        Block::ret(vec![], dmll_core::Exp::unit()),
+    );
+    go(&mut body, f);
+    program.body = body;
+}
+
+/// Run `pass` repeatedly until it stops changing the program (or the safety
+/// bound of 64 iterations is hit), accumulating one report.
+pub fn fixpoint(
+    program: &mut Program,
+    mut pass: impl FnMut(&mut Program) -> PassReport,
+) -> PassReport {
+    let mut total = PassReport::none();
+    for _ in 0..64 {
+        let r = pass(program);
+        let changed = r.changed();
+        total.absorb(r);
+        if !changed {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = PassReport::none();
+        assert!(!r.changed());
+        r.record("a");
+        r.record("b");
+        assert_eq!(r.applied, 2);
+        let mut r2 = PassReport::none();
+        r2.record("c");
+        r.absorb(r2);
+        assert_eq!(r.applied, 3);
+        assert_eq!(r.notes, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn block_walker_sees_nested() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Local);
+        let s = st.map(&x, |st, e| st.mul(e, e));
+        let t = st.sum(&s);
+        let mut p = st.finish(&t);
+        let mut n = 0;
+        for_each_block_mut(&mut p, &mut |_| n += 1);
+        // body + (map: value) + (sum: value, reducer) = 4
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn fixpoint_terminates() {
+        let st = Stage::new();
+        let a = st.lit_i(1);
+        let mut p = st.finish(&a);
+        let mut calls = 0;
+        let r = fixpoint(&mut p, |_| {
+            calls += 1;
+            let mut r = PassReport::none();
+            if calls < 3 {
+                r.record("tick");
+            }
+            r
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(r.applied, 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Array-of-structs → struct-of-arrays (§5, *Distributed Data Structures*).
+//!
+//! An input collection of records whose elements are only ever read and then
+//! projected (`lineitems(i).quantity`) is split into one primitive array per
+//! field (`lineitems.quantity(i)`), "reducing complex data structures to
+//! simple arrays of primitives". Together with dead-input pruning
+//! ([`crate::cleanup::prune_inputs`]) this also performs dead **field**
+//! elimination: fields never projected simply become unused inputs.
+//!
+//! The pass refuses (soundly) whenever a whole record value escapes — is
+//! compared, stored into another structure, or returned — since then the
+//! record representation is observable.
+
+use crate::rewrite::PassReport;
+use dmll_core::visit::{def_blocks, def_blocks_mut};
+use dmll_core::{Block, Def, Exp, Program, StructTy, Sym, Ty};
+use std::collections::HashMap;
+
+/// Split every eligible `Coll[Struct]` input into per-field array inputs
+/// named `<input>.<field>`.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let candidates: Vec<(Sym, String, StructTy, dmll_core::LayoutHint)> = program
+        .inputs
+        .iter()
+        .filter_map(|i| match &i.ty {
+            Ty::Arr(elem) => match elem.as_ref() {
+                Ty::Struct(sty) => Some((i.sym, i.name.clone(), sty.clone(), i.layout)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    for (sym, name, sty, layout) in candidates {
+        if !usage_is_projection_only(&program.body, sym) {
+            continue;
+        }
+        split_input(program, sym, &name, &sty, layout);
+        report.record(format!(
+            "aos-to-soa: split input {name} into {} field arrays",
+            sty.fields.len()
+        ));
+    }
+    report
+}
+
+/// Check that every use of `aos` is `ArrayLen(aos)` or `ArrayRead(aos, _)`
+/// whose result is consumed exclusively by `StructGet`s.
+fn usage_is_projection_only(body: &Block, aos: Sym) -> bool {
+    // Gather read result symbols, then verify their uses.
+    let mut read_syms = Vec::new();
+    let mut ok = true;
+    fn scan(b: &Block, aos: Sym, read_syms: &mut Vec<Sym>, ok: &mut bool) {
+        for stmt in &b.stmts {
+            match &stmt.def {
+                Def::ArrayRead { arr, .. } if arr.as_sym() == Some(aos) => {
+                    read_syms.push(stmt.lhs[0]);
+                }
+                Def::ArrayLen(e) if e.as_sym() == Some(aos) => {}
+                other => {
+                    dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                        if e.as_sym() == Some(aos) {
+                            *ok = false;
+                        }
+                    });
+                    for nb in def_blocks(other) {
+                        scan(nb, aos, read_syms, ok);
+                    }
+                }
+            }
+            // The index operand of a read may mention aos? No: it is an Exp;
+            // handled by the shallow scan above for non-read defs; for the
+            // read def itself check the index.
+            if let Def::ArrayRead { arr, index } = &stmt.def {
+                if arr.as_sym() == Some(aos) && index.as_sym() == Some(aos) {
+                    *ok = false;
+                }
+            }
+        }
+        if b.result.as_sym() == Some(aos) {
+            *ok = false;
+        }
+    }
+    scan(body, aos, &mut read_syms, &mut ok);
+    if !ok {
+        return false;
+    }
+    // Each read result must be used only as a StructGet receiver.
+    for r in read_syms {
+        let mut total = 0usize;
+        let mut as_get = 0usize;
+        fn count(b: &Block, r: Sym, total: &mut usize, as_get: &mut usize) {
+            for stmt in &b.stmts {
+                match &stmt.def {
+                    Def::StructGet { obj, .. } if obj.as_sym() == Some(r) => {
+                        *total += 1;
+                        *as_get += 1;
+                    }
+                    other => {
+                        dmll_core::visit::for_each_exp_shallow(other, &mut |e| {
+                            if e.as_sym() == Some(r) {
+                                *total += 1;
+                            }
+                        });
+                        for nb in def_blocks(other) {
+                            count(nb, r, total, as_get);
+                        }
+                    }
+                }
+            }
+            if b.result.as_sym() == Some(r) {
+                *total += 1;
+            }
+        }
+        count(body, r, &mut total, &mut as_get);
+        if total != as_get {
+            return false;
+        }
+    }
+    true
+}
+
+fn split_input(
+    program: &mut Program,
+    aos: Sym,
+    name: &str,
+    sty: &StructTy,
+    layout: dmll_core::LayoutHint,
+) {
+    // New per-field inputs.
+    let field_syms: HashMap<String, Sym> = sty
+        .fields
+        .iter()
+        .map(|(f, ft)| {
+            let s = program.add_input(format!("{name}.{f}"), Ty::arr(ft.clone()), layout);
+            (f.clone(), s)
+        })
+        .collect();
+    let first_field = field_syms[&sty.fields[0].0];
+
+    // Pass 1: find reads `r = aos(idx)` and remember their index exps.
+    let mut reads: HashMap<Sym, Exp> = HashMap::new();
+    fn collect_reads(b: &Block, aos: Sym, reads: &mut HashMap<Sym, Exp>) {
+        for stmt in &b.stmts {
+            if let Def::ArrayRead { arr, index } = &stmt.def {
+                if arr.as_sym() == Some(aos) {
+                    reads.insert(stmt.lhs[0], index.clone());
+                }
+            }
+            for nb in def_blocks(&stmt.def) {
+                collect_reads(nb, aos, reads);
+            }
+        }
+    }
+    collect_reads(&program.body, aos, &mut reads);
+
+    // Pass 2: rewrite StructGets, lens, and drop the struct reads.
+    fn rewrite(
+        b: &mut Block,
+        aos: Sym,
+        first_field: Sym,
+        reads: &HashMap<Sym, Exp>,
+        field_syms: &HashMap<String, Sym>,
+    ) {
+        b.stmts
+            .retain(|s| !matches!(&s.def, Def::ArrayRead { arr, .. } if arr.as_sym() == Some(aos)));
+        for stmt in &mut b.stmts {
+            let new_def = match &stmt.def {
+                Def::StructGet { obj, field } => obj
+                    .as_sym()
+                    .and_then(|o| reads.get(&o).map(|idx| (o, idx)))
+                    .map(|(_, idx)| Def::ArrayRead {
+                        arr: Exp::Sym(field_syms[field]),
+                        index: idx.clone(),
+                    }),
+                Def::ArrayLen(e) if e.as_sym() == Some(aos) => {
+                    Some(Def::ArrayLen(Exp::Sym(first_field)))
+                }
+                _ => None,
+            };
+            if let Some(d) = new_def {
+                stmt.def = d;
+            }
+            for nb in def_blocks_mut(&mut stmt.def) {
+                rewrite(nb, aos, first_field, reads, field_syms);
+            }
+        }
+    }
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    rewrite(&mut body, aos, first_field, &reads, &field_syms);
+    program.body = body;
+    program.inputs.retain(|i| i.sym != aos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cleanup::prune_inputs;
+    use dmll_core::{typecheck, LayoutHint};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+    use std::sync::Arc;
+
+    fn item_ty() -> StructTy {
+        StructTy::new(
+            "LineItem",
+            vec![
+                ("quantity".into(), Ty::F64),
+                ("price".into(), Ty::F64),
+                ("status".into(), Ty::I64),
+            ],
+        )
+    }
+
+    /// sum of quantity over items with status == 1.
+    fn query() -> Program {
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let n = st.len(&items);
+        let zero = st.lit_f(0.0);
+        let items2 = items.clone();
+        let total = st.reduce_if(
+            &n,
+            Some(move |st: &mut Stage, i: &dmll_frontend::Val| {
+                let it = st.read(&items2, i);
+                let status = st.field(&it, "status");
+                let one = st.lit_i(1);
+                st.eq(&status, &one)
+            }),
+            move |st, i| {
+                let it = st.read(&items, i);
+                st.field(&it, "quantity")
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        st.finish(&total)
+    }
+
+    fn items_value() -> Value {
+        let rows = [(2.0, 10.0, 1i64), (3.0, 20.0, 0), (4.0, 30.0, 1)];
+        Value::boxed_arr(
+            rows.iter()
+                .map(|(q, p, s)| {
+                    Value::Struct(Arc::new(dmll_interp::StructVal {
+                        ty: item_ty(),
+                        fields: vec![Value::F64(*q), Value::F64(*p), Value::I64(*s)],
+                    }))
+                })
+                .collect(),
+        )
+    }
+
+    fn soa_inputs() -> Vec<(&'static str, Value)> {
+        vec![
+            ("items.quantity", Value::f64_arr(vec![2.0, 3.0, 4.0])),
+            ("items.price", Value::f64_arr(vec![10.0, 20.0, 30.0])),
+            ("items.status", Value::i64_arr(vec![1, 0, 1])),
+        ]
+    }
+
+    #[test]
+    fn input_splits_into_field_arrays() {
+        let mut p = query();
+        let p0 = p.clone();
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        assert_eq!(p.inputs.len(), 3);
+        assert!(p.input("items.quantity").is_some());
+        // Semantics preserved given the equivalent SoA data.
+        let before = eval(&p0, &[("items", items_value())]).unwrap();
+        let after = eval(&p, &soa_inputs()).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after, Value::F64(6.0));
+    }
+
+    #[test]
+    fn dead_field_elimination_drops_price() {
+        let mut p = query();
+        run(&mut p);
+        let rep = prune_inputs(&mut p);
+        assert_eq!(rep.applied, 1, "{rep:?}");
+        assert!(p.input("items.price").is_none(), "price never projected");
+        assert_eq!(p.inputs.len(), 2);
+        // Still runs without the dead field.
+        let out = eval(
+            &p,
+            &[
+                ("items.quantity", Value::f64_arr(vec![2.0, 3.0, 4.0])),
+                ("items.status", Value::i64_arr(vec![1, 0, 1])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, Value::F64(6.0));
+    }
+
+    #[test]
+    fn escaping_struct_blocks_soa() {
+        // The program returns the raw record collection: representation is
+        // observable, so the pass must refuse.
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let mut p = st.finish(&items);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(p.inputs.len(), 1);
+    }
+
+    #[test]
+    fn whole_element_use_blocks_soa() {
+        // An element is passed to an extern whole.
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let zero = st.lit_i(0);
+        let first = st.read(&items, &zero);
+        let out = st.extern_call("inspect", &[&first], Ty::I64, false, false);
+        let mut p = st.finish(&out);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+    }
+
+    #[test]
+    fn non_struct_arrays_untouched() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let s = st.sum(&x);
+        let mut p = st.finish(&s);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: every individual pass preserves program semantics on
+//! randomly composed pipelines and random data, and produces well-typed IR.
+
+use dmll_core::{typecheck, LayoutHint, Program, Ty};
+use dmll_frontend::{Stage, Val};
+use dmll_interp::{eval, Value};
+use dmll_transform::rewrite::fixpoint;
+use dmll_transform::PassReport;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    MapScale,
+    MapAffine,
+    FilterPos,
+    MapSquare,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::MapScale),
+        Just(Op::MapAffine),
+        Just(Op::FilterPos),
+        Just(Op::MapSquare),
+    ]
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Tail {
+    Sum,
+    MaxReduce,
+    GroupSum,
+}
+
+fn tail_strategy() -> impl Strategy<Value = Tail> {
+    prop_oneof![Just(Tail::Sum), Just(Tail::MaxReduce), Just(Tail::GroupSum)]
+}
+
+fn build(ops: &[Op], tail: Tail) -> Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let mut cur: Val = x;
+    for &op in ops {
+        cur = match op {
+            Op::MapScale => st.map(&cur, |st, e| {
+                let c = st.lit_f(0.75);
+                st.mul(e, &c)
+            }),
+            Op::MapAffine => st.map(&cur, |st, e| {
+                let a = st.lit_f(2.0);
+                let b = st.lit_f(-1.0);
+                let m = st.mul(e, &a);
+                st.add(&m, &b)
+            }),
+            Op::FilterPos => st.filter(&cur, |st, e| {
+                let z = st.lit_f(0.0);
+                st.gt(e, &z)
+            }),
+            Op::MapSquare => st.map(&cur, |st, e| st.mul(e, e)),
+        };
+    }
+    let out = match tail {
+        Tail::Sum => st.sum(&cur),
+        Tail::MaxReduce => {
+            let big = st.lit_f(-1e300);
+            let n = st.len(&cur);
+            let cur2 = cur.clone();
+            st.reduce(
+                &n,
+                move |st, i| st.read(&cur2, i),
+                |st, a, b| st.max(a, b),
+                Some(&big),
+            )
+        }
+        Tail::GroupSum => {
+            let zero = st.lit_f(0.0);
+            let g = st.group_by_reduce(
+                &cur,
+                |st, e| {
+                    let ten = st.lit_f(10.0);
+                    let d = st.div(e, &ten);
+                    let f = st.math(dmll_core::MathFn::Floor, &d);
+                    st.f2i(&f)
+                },
+                |_st, e| e.clone(),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            );
+            let v = st.bucket_values(&g);
+            st.sum(&v)
+        }
+    };
+    st.finish(&out)
+}
+
+type Pass = (&'static str, fn(&mut Program) -> PassReport);
+
+const PASSES: &[Pass] = &[
+    ("const_fold", dmll_transform::cleanup::const_fold),
+    ("cse", dmll_transform::cleanup::cse),
+    ("scalar_replace", dmll_transform::cleanup::scalar_replace),
+    ("dce", dmll_transform::cleanup::dce),
+    ("copy_elim", dmll_transform::cleanup::copy_elim),
+    ("code_motion", dmll_transform::code_motion::run),
+    ("fusion", dmll_transform::fusion::run),
+    ("horizontal", dmll_transform::horizontal::run),
+    ("groupby_reduce", dmll_transform::groupby_reduce::run),
+    (
+        "conditional_reduce",
+        dmll_transform::conditional_reduce::run,
+    ),
+    ("column_to_row", dmll_transform::interchange::column_to_row),
+    ("row_to_column", dmll_transform::interchange::row_to_column),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Each pass, run alone to fixpoint, preserves results bit-for-bit on
+    /// random pipelines and leaves the program well-typed.
+    #[test]
+    fn each_pass_is_semantics_preserving(
+        ops in prop::collection::vec(op_strategy(), 0..4),
+        tail in tail_strategy(),
+        data in prop::collection::vec(-40.0f64..40.0, 1..50),
+        pass_idx in 0usize..PASSES.len(),
+    ) {
+        let (name, pass) = PASSES[pass_idx];
+        let p0 = build(&ops, tail);
+        let mut p1 = p0.clone();
+        fixpoint(&mut p1, pass);
+        prop_assert!(typecheck::infer(&p1).is_ok(), "{name} broke typing");
+        let before = eval(&p0, &[("x", Value::f64_arr(data.clone()))]).unwrap();
+        let after = eval(&p1, &[("x", Value::f64_arr(data))]).unwrap();
+        prop_assert_eq!(before, after, "{} changed semantics", name);
+    }
+
+    /// Random pass sequences compose safely.
+    #[test]
+    fn pass_sequences_compose(
+        ops in prop::collection::vec(op_strategy(), 0..4),
+        tail in tail_strategy(),
+        data in prop::collection::vec(-40.0f64..40.0, 1..40),
+        sequence in prop::collection::vec(0usize..PASSES.len(), 1..6),
+    ) {
+        let p0 = build(&ops, tail);
+        let mut p1 = p0.clone();
+        for &i in &sequence {
+            fixpoint(&mut p1, PASSES[i].1);
+        }
+        prop_assert!(typecheck::infer(&p1).is_ok());
+        let before = eval(&p0, &[("x", Value::f64_arr(data.clone()))]).unwrap();
+        let after = eval(&p1, &[("x", Value::f64_arr(data))]).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The full optimizer never leaves more loops than it found (fusion may
+    /// only reduce traversal count for straight-line pipelines).
+    #[test]
+    fn optimizer_never_adds_traversals(
+        ops in prop::collection::vec(op_strategy(), 0..4),
+        tail in tail_strategy(),
+    ) {
+        let p0 = build(&ops, tail);
+        let mut p1 = p0.clone();
+        dmll_transform::pipeline::optimize(&mut p1, dmll_transform::Target::Cpu);
+        let count = dmll_core::printer::count_loops;
+        prop_assert!(count(&p1) <= count(&p0), "{} -> {}", count(&p0), count(&p1));
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: stage a data-parallel pipeline, optimize it, inspect what
+//! the compiler did, and run it three ways (sequential interpreter,
+//! multithreaded executor, C++ code generator).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dmll::frontend::Stage;
+use dmll::interp::{eval, eval_parallel, Value};
+use dmll::ir::printer::count_loops;
+use dmll::ir::{LayoutHint, Ty};
+use dmll::transform::{pipeline, Target};
+
+fn main() {
+    // 1. Stage: an implicitly parallel pipeline over a "partitioned" input,
+    //    written exactly as the paper's Scala-like listings.
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let scaled = st.map(&x, |st, e| {
+        let c = st.lit_f(0.5);
+        st.mul(e, &c)
+    });
+    let positives = st.filter(&scaled, |st, e| {
+        let zero = st.lit_f(0.0);
+        st.gt(e, &zero)
+    });
+    let total = st.sum(&positives);
+    let mut program = st.finish(&total);
+
+    println!(
+        "=== staged program ({} loops) ===\n{program}",
+        count_loops(&program)
+    );
+
+    // 2. Optimize: pipeline fusion folds map → filter → sum into ONE
+    //    traversal with the filter as the generator condition.
+    let report = pipeline::optimize(&mut program, Target::Cpu);
+    println!("=== optimizations: {} ===", report.summary());
+    println!(
+        "=== optimized program ({} loop) ===\n{program}",
+        count_loops(&program)
+    );
+
+    // 3. Analyze: what would the distributed runtime do with it?
+    let analysis = dmll::analysis::analyze(&mut program);
+    for input in &program.inputs {
+        println!(
+            "input {:12} layout={:?} stencil={:?}",
+            input.name,
+            analysis.partition.layout_of(input.sym),
+            analysis.stencils.global_of(input.sym),
+        );
+    }
+
+    // 4. Execute, sequentially and with the chunked parallel executor.
+    let data: Vec<f64> = (0..1_000_000).map(|i| ((i % 101) as f64) - 50.0).collect();
+    let seq = eval(&program, &[("x", Value::f64_arr(data.clone()))]).expect("eval");
+    let par = eval_parallel(&program, &[("x", Value::f64_arr(data))], 4).expect("eval");
+    println!("\nsequential result: {seq}");
+    println!("parallel (4 threads): {par}");
+
+    // 5. Generate C++-flavoured code for the optimized program.
+    let cpp = dmll::codegen::emit_cpp(&program);
+    println!("\n=== generated C++ (first 30 lines) ===");
+    for line in cpp.lines().take(30) {
+        println!("{line}");
+    }
+}

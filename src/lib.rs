@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # DMLL: the Distributed Multiloop Language
+//!
+//! A from-scratch Rust implementation of *"Have Abstraction and Eat
+//! Performance, Too: Optimized Heterogeneous Computing with Parallel
+//! Patterns"* (Brown et al., CGO 2016): an intermediate language of
+//! multiloops with `Collect` / `Reduce` / `BucketCollect` / `BucketReduce`
+//! generators, locality-enhancing nested-pattern transformations, automatic
+//! data-distribution analyses, and a heterogeneous (NUMA / cluster / GPU)
+//! runtime and cost model.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`ir`] | `dmll-core` | the IR: multiloops, generators, programs |
+//! | [`frontend`] | `dmll-frontend` | the implicitly parallel staging API |
+//! | [`transform`] | `dmll-transform` | fusion, the Figure 3 rules, AoS→SoA, the per-target optimizer |
+//! | [`analysis`] | `dmll-analysis` | read-stencil + partitioning analyses |
+//! | [`interp`] | `dmll-interp` | reference sequential & multithreaded executors |
+//! | [`runtime`] | `dmll-runtime` | distributed arrays, hierarchical scheduler, machine cost model |
+//! | [`codegen`] | `dmll-codegen` | C++- and CUDA-flavoured source emitters |
+//! | [`baselines`] | `dmll-baselines` | hand-optimized natives + Spark/PowerGraph/DimmWitted models |
+//! | [`data`] | `dmll-data` | deterministic dataset generators |
+//! | [`apps`] | `dmll-apps` | the eight evaluation workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmll::frontend::Stage;
+//! use dmll::ir::{LayoutHint, Ty};
+//! use dmll::interp::{eval, Value};
+//! use dmll::transform::{pipeline, Target};
+//!
+//! // Stage: sum of squares over a partitioned dataset.
+//! let mut st = Stage::new();
+//! let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+//! let squares = st.map(&x, |st, e| st.mul(e, e));
+//! let total = st.sum(&squares);
+//! let mut program = st.finish(&total);
+//!
+//! // Optimize: the map fuses into the reduction (one traversal).
+//! let report = pipeline::optimize(&mut program, Target::Cpu);
+//! assert!(report.applied("pipeline fusion") >= 1);
+//!
+//! // Execute.
+//! let out = eval(&program, &[("x", Value::f64_arr(vec![1.0, 2.0, 3.0]))])?;
+//! assert_eq!(out, Value::F64(14.0));
+//! # Ok::<(), dmll::interp::EvalError>(())
+//! ```
+
+pub use dmll_analysis as analysis;
+pub use dmll_apps as apps;
+pub use dmll_baselines as baselines;
+pub use dmll_codegen as codegen;
+pub use dmll_core as ir;
+pub use dmll_data as data;
+pub use dmll_frontend as frontend;
+pub use dmll_interp as interp;
+pub use dmll_runtime as runtime;
+pub use dmll_transform as transform;

@@ -1,0 +1,212 @@
+//! Property-based tests: for randomly generated data (and randomly chosen
+//! pipeline shapes), the optimizer never changes program results, the
+//! parallel executor agrees with the sequential one, and staged programs
+//! agree with direct Rust computations.
+
+use dmll::frontend::{Stage, Val};
+use dmll::interp::{eval, eval_parallel, Value};
+use dmll::ir::{LayoutHint, Ty};
+use dmll::transform::{pipeline, Target};
+use proptest::prelude::*;
+
+/// A small algebra of pipeline stages to compose random programs from.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Scale,
+    Offset,
+    Square,
+    FilterPositive,
+    FilterSmall,
+}
+
+fn apply_staged(st: &mut Stage, arr: &Val, op: Op) -> Val {
+    match op {
+        Op::Scale => st.map(arr, |st, e| {
+            let c = st.lit_f(1.5);
+            st.mul(e, &c)
+        }),
+        Op::Offset => st.map(arr, |st, e| {
+            let c = st.lit_f(-2.0);
+            st.add(e, &c)
+        }),
+        Op::Square => st.map(arr, |st, e| st.mul(e, e)),
+        Op::FilterPositive => st.filter(arr, |st, e| {
+            let z = st.lit_f(0.0);
+            st.gt(e, &z)
+        }),
+        Op::FilterSmall => st.filter(arr, |st, e| {
+            let c = st.lit_f(100.0);
+            st.lt(e, &c)
+        }),
+    }
+}
+
+fn apply_native(data: Vec<f64>, op: Op) -> Vec<f64> {
+    match op {
+        Op::Scale => data.into_iter().map(|v| v * 1.5).collect(),
+        Op::Offset => data.into_iter().map(|v| v + -2.0).collect(),
+        Op::Square => data.into_iter().map(|v| v * v).collect(),
+        Op::FilterPositive => data.into_iter().filter(|v| *v > 0.0).collect(),
+        Op::FilterSmall => data.into_iter().filter(|v| *v < 100.0).collect(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Scale),
+        Just(Op::Offset),
+        Just(Op::Square),
+        Just(Op::FilterPositive),
+        Just(Op::FilterSmall),
+    ]
+}
+
+fn build_program(ops: &[Op]) -> dmll::ir::Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let mut cur = x;
+    for &op in ops {
+        cur = apply_staged(&mut st, &cur, op);
+    }
+    let total = st.sum(&cur);
+    st.finish(&total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimizer (any target) preserves the result of random pipelines
+    /// on random data, bit for bit.
+    #[test]
+    fn optimizer_preserves_random_pipelines(
+        ops in prop::collection::vec(op_strategy(), 1..5),
+        data in prop::collection::vec(-50.0f64..50.0, 0..60),
+        target_idx in 0usize..4,
+    ) {
+        let target = [Target::Cpu, Target::Numa, Target::Cluster, Target::Gpu][target_idx];
+        let p0 = build_program(&ops);
+        let mut p1 = p0.clone();
+        pipeline::optimize(&mut p1, target);
+        let before = eval(&p0, &[("x", Value::f64_arr(data.clone()))]).unwrap();
+        let after = eval(&p1, &[("x", Value::f64_arr(data))]).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Staged pipelines compute exactly what the equivalent Rust iterator
+    /// chain computes.
+    #[test]
+    fn staged_matches_native_iterators(
+        ops in prop::collection::vec(op_strategy(), 1..5),
+        data in prop::collection::vec(-50.0f64..50.0, 0..60),
+    ) {
+        let p = build_program(&ops);
+        let got = eval(&p, &[("x", Value::f64_arr(data.clone()))]).unwrap();
+        let mut cur = data;
+        for &op in &ops {
+            cur = apply_native(cur, op);
+        }
+        let want: f64 = cur.iter().sum();
+        // Numeric equality (0.0 == -0.0); the folds run in the same order.
+        let got = got.as_f64().expect("float result");
+        prop_assert!(got == want, "{} vs {}", got, want);
+    }
+
+    /// The chunked parallel executor is exact for integer programs at any
+    /// thread count.
+    #[test]
+    fn parallel_matches_sequential_int(
+        data in prop::collection::vec(-1000i64..1000, 0..300),
+        threads in 1usize..6,
+        modulus in 2i64..9,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let m = st.lit_i(modulus);
+        let zero = st.lit_i(0);
+        let groups = st.group_by_reduce(
+            &x,
+            move |st, e| {
+                let r = st.rem(e, &m);
+                // keys must be non-negative for stable grouping of negatives
+                let mm = st.mul(&m, &m);
+                let shifted = st.add(&r, &mm);
+                st.rem(&shifted, &m)
+            },
+            |_st, e| e.clone(),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let keys = st.bucket_keys(&groups);
+        let vals = st.bucket_values(&groups);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        let seq = eval(&p, &[("x", Value::i64_arr(data.clone()))]).unwrap();
+        let par = eval_parallel(&p, &[("x", Value::i64_arr(data))], threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    /// k-means: staged assignment equals the native assignment for random
+    /// matrices and centroids.
+    #[test]
+    fn kmeans_assignment_matches_native(
+        rows in 1usize..25,
+        cols in 1usize..5,
+        k in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let m = dmll::data::matrix::uniform(rows, cols, -5.0, 5.0, seed);
+        let c = dmll::data::matrix::uniform(k, cols, -5.0, 5.0, seed + 1);
+        let p = dmll::apps::kmeans::stage_kmeans(k as i64);
+        match dmll::apps::kmeans::run(&p, &m, &c) {
+            Ok((_, got)) => {
+                let (_, want) = dmll::baselines::handopt::kmeans_iter(&m, &c);
+                prop_assert_eq!(got, want);
+            }
+            // An empty cluster is an empty vector reduce without identity —
+            // the paper's semantics; the native baseline instead emits the
+            // zero centroid, so the comparison is skipped.
+            Err(dmll::interp::EvalError::EmptyReduce) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+
+    /// Distributed arrays: partitioning over any location count preserves
+    /// content and the directory is exact.
+    #[test]
+    fn distarray_partition_roundtrip(
+        data in prop::collection::vec(any::<i64>(), 0..200),
+        parts in 1usize..9,
+    ) {
+        use dmll::runtime::{DistArray, Location};
+        let locs: Vec<Location> = (0..parts)
+            .map(|i| Location { node: i / 2, socket: i % 2 })
+            .collect();
+        let a = DistArray::partition(data.clone(), &locs);
+        prop_assert_eq!(a.gather(), data.clone());
+        for (start, end, loc) in a.directory() {
+            for i in start..end {
+                prop_assert_eq!(a.owner(i), loc);
+                prop_assert_eq!(a.read(loc, i), data[i]);
+            }
+        }
+        let (_, remote, _) = a.stats().snapshot();
+        prop_assert_eq!(remote, 0, "owner-aligned reads are all local");
+    }
+
+    /// The hierarchical scheduler covers any loop size exactly once for any
+    /// cluster shape.
+    #[test]
+    fn schedule_covers_exactly(
+        iterations in 0i64..5_000,
+        nodes in 1usize..6,
+        chunks_per_core in 1usize..4,
+    ) {
+        use dmll::runtime::{plan_loop, ClusterSpec, MachineSpec};
+        let cluster = ClusterSpec {
+            nodes,
+            ..ClusterSpec::single(MachineSpec::m1_xlarge())
+        };
+        let plan = plan_loop(iterations, &cluster, None, chunks_per_core);
+        prop_assert!(plan.covers(iterations));
+    }
+}
