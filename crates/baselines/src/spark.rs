@@ -153,7 +153,7 @@ mod tests {
     fn per_stage_overhead_accumulates() {
         let cluster = ClusterSpec::single(MachineSpec::numa_4x12());
         let p = stream_profile();
-        let one = SparkModel::default().simulate(&[p.clone()], &cluster, None);
+        let one = SparkModel::default().simulate(std::slice::from_ref(&p), &cluster, None);
         let three = SparkModel::default().simulate(&[p.clone(), p.clone(), p], &cluster, None);
         assert!(three.overhead > one.overhead * 2.5);
     }

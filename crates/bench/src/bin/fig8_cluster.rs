@@ -37,6 +37,16 @@ fn main() {
         );
         println!();
     }
+    if arg.is_empty() || arg == "degraded" {
+        print!(
+            "{}",
+            render::fig8_degraded(
+                &experiments::fig8_degraded(),
+                "Degraded mode: 20-node Amazon cluster losing nodes mid-loop",
+            )
+        );
+        println!();
+    }
     if arg.is_empty() || arg == "gibbs" {
         print!(
             "{}",

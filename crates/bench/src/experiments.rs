@@ -4,7 +4,10 @@ use crate::workloads::{App, DataScale};
 use dmll_baselines::dimmwitted::{self, GibbsWorkload};
 use dmll_baselines::powergraph::{dmll_graph_time, GraphWorkload, PowerGraphModel};
 use dmll_baselines::spark::SparkModel;
-use dmll_runtime::{simulate_loops, ClusterSpec, ExecMode, GpuTuning, LoopProfile, MachineSpec};
+use dmll_runtime::{
+    simulate_loops, simulate_loops_degraded, ClusterSpec, ExecMode, FaultModel, GpuTuning,
+    LoopProfile, MachineSpec,
+};
 use dmll_transform::Target;
 
 fn numa() -> ClusterSpec {
@@ -431,6 +434,54 @@ pub fn fig8_graph() -> Vec<Fig8Row> {
     .collect()
 }
 
+/// One row of the degraded-mode companion to Figure 8: how much slower the
+/// same cluster run gets when nodes die mid-loop and the survivors
+/// re-execute the lost iteration ranges.
+#[derive(Clone, Debug)]
+pub struct DegradedRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Machines lost mid-run.
+    pub failed_nodes: usize,
+    /// Fault-free simulated seconds.
+    pub fault_free: f64,
+    /// Degraded-mode simulated seconds (partial run + replan + re-execution
+    /// on the survivors).
+    pub degraded: f64,
+    /// `degraded / fault_free`.
+    pub slowdown: f64,
+}
+
+/// Degraded-mode companion to Figure 8 (left): the 20-node Amazon cluster
+/// losing 1, 3 and 5 nodes halfway through each app's loop nest.
+pub fn fig8_degraded() -> Vec<DegradedRow> {
+    let amazon = ClusterSpec::amazon_20();
+    let mut rows = Vec::new();
+    for app in [App::Q1, App::Gene, App::Gda, App::KMeans, App::LogReg] {
+        let built = app.build(Target::Cluster, &app.scale());
+        for failed in [1usize, 3, 5] {
+            let sim = simulate_loops_degraded(
+                &built.profiles,
+                &amazon,
+                &ExecMode::Cluster,
+                &FaultModel {
+                    failed_nodes: failed,
+                    completed_before_failure: 0.5,
+                    replan_overhead: 1e-3,
+                },
+            );
+            rows.push(DegradedRow {
+                app: app.name().to_string(),
+                failed_nodes: failed,
+                fault_free: sim.fault_free.total(),
+                degraded: sim.degraded.total(),
+                slowdown: sim.slowdown(),
+            });
+        }
+    }
+    rows
+}
+
 /// Figure 8, right panel: Gibbs sampling — speedup over *sequential
 /// DimmWitted* for both systems at 12 and 48 cores, plus the DMLL GPU.
 pub fn fig8_gibbs() -> Vec<Fig8Row> {
@@ -467,6 +518,34 @@ pub fn fig8_gibbs() -> Vec<Fig8Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig8_degraded_slowdowns_grow_with_failures() {
+        let rows = fig8_degraded();
+        assert_eq!(rows.len(), 15, "5 apps × 3 failure counts");
+        for r in &rows {
+            assert!(
+                r.slowdown > 1.0,
+                "{} losing {} nodes must cost time: {:.3}x",
+                r.app,
+                r.failed_nodes,
+                r.slowdown
+            );
+            assert!(r.degraded > r.fault_free);
+        }
+        // Within one app, losing more nodes mid-run costs more.
+        for app in ["TPCHQ1", "k-means"] {
+            let per_app: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.app == app)
+                .map(|r| r.slowdown)
+                .collect();
+            assert!(
+                per_app.windows(2).all(|w| w[0] < w[1]),
+                "{app}: {per_app:?}"
+            );
+        }
+    }
 
     #[test]
     fn table2_deltas_have_paper_shape() {

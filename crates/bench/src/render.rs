@@ -1,6 +1,6 @@
 //! Plain-text rendering of experiment results.
 
-use crate::experiments::{Fig6Row, Fig8Row, ScalingCurve, Table2Row, FIG7_CORES};
+use crate::experiments::{DegradedRow, Fig6Row, Fig8Row, ScalingCurve, Table2Row, FIG7_CORES};
 use std::fmt::Write;
 
 /// Render Table 2.
@@ -60,6 +60,24 @@ pub fn fig8(rows: &[Fig8Row], title: &str, baseline: &str) -> String {
     let _ = writeln!(out, "{:<16} {:<12} {:>8}", "Benchmark", "System", "Speedup");
     for r in rows {
         let _ = writeln!(out, "{:<16} {:<12} {:>7.2}x", r.app, r.system, r.speedup);
+    }
+    out
+}
+
+/// Render the degraded-mode companion table.
+pub fn fig8_degraded(rows: &[DegradedRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>12} {:>12} {:>9}",
+        "Benchmark", "Lost", "Fault-free", "Degraded", "Slowdown"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>11.3}s {:>11.3}s {:>8.2}x",
+            r.app, r.failed_nodes, r.fault_free, r.degraded, r.slowdown
+        );
     }
     out
 }

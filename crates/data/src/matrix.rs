@@ -109,7 +109,7 @@ mod tests {
         assert_eq!(cents.rows, 3);
         // Each row is closest to its true centroid for tight spread.
         let mut correct = 0;
-        for i in 0..m.rows {
+        for (i, &label) in truth.iter().enumerate() {
             let mut best = (f64::INFINITY, 0usize);
             for c in 0..3 {
                 let d: f64 = (0..4)
@@ -119,7 +119,7 @@ mod tests {
                     best = (d, c);
                 }
             }
-            if best.1 as i64 == truth[i] {
+            if best.1 as i64 == label {
                 correct += 1;
             }
         }

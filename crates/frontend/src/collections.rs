@@ -390,6 +390,6 @@ mod flatmap_tests {
             &[("x", dmll_interp::Value::i64_arr(vec![1, 2, 3, 0, 4]))],
         )
         .unwrap();
-        assert_eq!(out, dmll_interp::Value::I64(1 + 4 + 9 + 0 + 16));
+        assert_eq!(out, dmll_interp::Value::I64(1 + 4 + 9 + 16), "0 contributes nothing");
     }
 }

@@ -25,6 +25,16 @@ pub enum EvalError {
     TypeMismatch(String),
     /// Division or remainder by integer zero.
     DivisionByZero,
+    /// A worker chunk kept failing after exhausting its re-executions
+    /// (injected faults or repeated worker panics).
+    ChunkRetriesExhausted {
+        /// Index of the failing chunk.
+        chunk: usize,
+        /// Executions attempted (first run + re-executions).
+        attempts: u32,
+        /// Message of the last failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -44,6 +54,14 @@ impl fmt::Display for EvalError {
             EvalError::UnknownExtern(name) => write!(f, "no handler for extern {name:?}"),
             EvalError::TypeMismatch(msg) => write!(f, "value shape mismatch: {msg}"),
             EvalError::DivisionByZero => write!(f, "integer division by zero"),
+            EvalError::ChunkRetriesExhausted {
+                chunk,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "chunk {chunk} failed after {attempts} executions: {message}"
+            ),
         }
     }
 }

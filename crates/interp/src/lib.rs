@@ -34,5 +34,7 @@ pub mod value;
 
 pub use error::EvalError;
 pub use eval::{eval, eval_with_externs, ExternFn, Interp};
-pub use parallel::eval_parallel;
+pub use parallel::{
+    eval_parallel, eval_parallel_report, ChunkFaults, ExecReport, ParallelOptions,
+};
 pub use value::{ArrayVal, BucketsVal, Key, StructVal, Value};

@@ -9,11 +9,92 @@
 //! partials with the (associative) reduction operator; for floating-point
 //! reductions this can reassociate rounding, exactly as on real parallel
 //! hardware.
+//!
+//! ## Fault tolerance
+//!
+//! The same agnosticism makes chunk-level recovery free of lineage
+//! machinery: a chunk that dies (worker panic, or an injected fault from
+//! [`ChunkFaults`]) is simply re-executed over just its subrange, and the
+//! merged result is identical to the fault-free run because merging is in
+//! chunk order regardless of *when* each chunk's accumulator was produced.
+//! Workers run under `catch_unwind`, so a panicking chunk cannot abort the
+//! process; deterministic interpreter errors (a real out-of-bounds read,
+//! say) propagate immediately rather than being retried. The
+//! [`ExecReport`] returned by [`eval_parallel_report`] makes recovery
+//! observable to tests and benchmarks.
 
 use crate::error::EvalError;
 use crate::eval::{Acc, Env, Interp};
 use crate::value::{Key, Value};
 use dmll_core::{Def, Exp, Gen, Program};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Injected chunk failures for chaos-testing the executor: the listed
+/// chunk indices fail on their first execution attempt, then succeed.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkFaults {
+    fail_once: BTreeSet<usize>,
+    panic_workers: bool,
+}
+
+impl ChunkFaults {
+    /// Fail the given chunk indices once each: a listed chunk dies the
+    /// first time it executes (across all top-level loops), then succeeds
+    /// on re-execution.
+    pub fn fail_once(chunks: impl IntoIterator<Item = usize>) -> ChunkFaults {
+        ChunkFaults {
+            fail_once: chunks.into_iter().collect(),
+            panic_workers: false,
+        }
+    }
+
+    /// Deliver the injected failures as real worker panics (exercising the
+    /// `catch_unwind` path) instead of synthetic failure markers.
+    pub fn panicking(mut self) -> ChunkFaults {
+        self.panic_workers = true;
+        self
+    }
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ParallelOptions {
+    /// Worker threads (and chunks per top-level loop).
+    pub threads: usize,
+    /// Re-executions allowed per failed chunk before giving up.
+    pub max_chunk_retries: u32,
+    /// Injected failures (empty by default).
+    pub faults: ChunkFaults,
+}
+
+impl ParallelOptions {
+    /// Defaults with the given thread count: 2 re-executions, no faults.
+    pub fn new(threads: usize) -> ParallelOptions {
+        ParallelOptions {
+            threads: threads.max(1),
+            max_chunk_retries: 2,
+            faults: ChunkFaults::default(),
+        }
+    }
+
+    /// Set injected faults.
+    pub fn with_faults(mut self, faults: ChunkFaults) -> ParallelOptions {
+        self.faults = faults;
+        self
+    }
+}
+
+/// What recovery happened during one parallel evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Chunk executions across all top-level loops (including re-runs).
+    pub chunk_executions: usize,
+    /// Chunk executions that failed (injected or panicked).
+    pub failed_executions: usize,
+    /// Chunks that recovered via subrange re-execution.
+    pub reexecuted_chunks: usize,
+}
 
 /// Run `program` evaluating top-level multiloops across `threads` worker
 /// threads. Nested loops run sequentially within their chunk, matching the
@@ -27,7 +108,23 @@ pub fn eval_parallel(
     inputs: &[(&str, Value)],
     threads: usize,
 ) -> Result<Value, EvalError> {
-    let threads = threads.max(1);
+    eval_parallel_report(program, inputs, &ParallelOptions::new(threads)).map(|(v, _)| v)
+}
+
+/// Like [`eval_parallel`], with explicit [`ParallelOptions`] and an
+/// [`ExecReport`] describing any chunk recovery that happened.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::eval`], plus
+/// [`EvalError::ChunkRetriesExhausted`] when a chunk keeps dying past its
+/// retry budget.
+pub fn eval_parallel_report(
+    program: &Program,
+    inputs: &[(&str, Value)],
+    options: &ParallelOptions,
+) -> Result<(Value, ExecReport), EvalError> {
+    let threads = options.threads.max(1);
     let interp = Interp::new(program);
     let mut env: Env = vec![None; program.next_sym_id() as usize];
     for input in &program.inputs {
@@ -38,6 +135,11 @@ pub fn eval_parallel(
             .ok_or_else(|| EvalError::MissingInput(input.name.clone()))?;
         env[input.sym.0 as usize] = Some(v);
     }
+    let mut report = ExecReport::default();
+    // Faults not yet delivered: each listed chunk index dies at most once
+    // across the whole evaluation (the coordinator decides before spawning,
+    // so injection is deterministic under any thread interleaving).
+    let mut pending_faults: BTreeSet<usize> = options.faults.fail_once.clone();
     for stmt in &program.body.stmts {
         match &stmt.def {
             Def::Loop(ml) => {
@@ -45,14 +147,23 @@ pub fn eval_parallel(
                     n if n <= 0 => 0,
                     n => n,
                 };
-                let vals = if size < threads as i64 * 4 {
+                let vals = if size < threads as i64 * 4 && pending_faults.is_empty() {
                     // Not worth splitting.
                     let mut env_mut = env.clone();
                     let out = interp.eval_loop_owned(ml, &mut env_mut, 0, None)?;
                     env = env_mut;
                     out
                 } else {
-                    run_chunked(&interp, ml, &mut env, size, threads)?
+                    run_chunked(
+                        &interp,
+                        ml,
+                        &mut env,
+                        size,
+                        threads,
+                        options,
+                        &mut pending_faults,
+                        &mut report,
+                    )?
                 };
                 for (s, v) in stmt.lhs.iter().zip(vals) {
                     env[s.0 as usize] = Some(v);
@@ -66,7 +177,8 @@ pub fn eval_parallel(
             }
         }
     }
-    interp.eval_exp(&program.body.result, &env)
+    let value = interp.eval_exp(&program.body.result, &env)?;
+    Ok((value, report))
 }
 
 fn interp_eval_size(interp: &Interp<'_>, size: &Exp, env: &Env) -> Result<i64, EvalError> {
@@ -76,39 +188,137 @@ fn interp_eval_size(interp: &Interp<'_>, size: &Exp, env: &Env) -> Result<i64, E
         .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))
 }
 
+/// How one chunk execution went wrong.
+enum ChunkFailure {
+    /// A deterministic interpreter error: retrying cannot help.
+    Eval(EvalError),
+    /// The worker died (real panic, or injected fault): re-executable.
+    Died(String),
+}
+
+/// Execute one chunk's subrange, optionally delivering an injected fault.
+fn execute_chunk(
+    interp: &Interp<'_>,
+    ml: &dmll_core::Multiloop,
+    env: &Env,
+    range: (i64, i64),
+    chunk_index: usize,
+    injected: bool,
+    panic_workers: bool,
+) -> Result<Vec<Acc>, ChunkFailure> {
+    if injected && !panic_workers {
+        return Err(ChunkFailure::Died(format!(
+            "injected fault on chunk {chunk_index}"
+        )));
+    }
+    let mut local_env = env.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if injected {
+            panic!("injected panic on chunk {chunk_index}");
+        }
+        interp.eval_loop_accs_owned(ml, &mut local_env, range.0, Some(range.1))
+    }));
+    match outcome {
+        Ok(Ok(accs)) => Ok(accs),
+        Ok(Err(e)) => Err(ChunkFailure::Eval(e)),
+        Err(payload) => Err(ChunkFailure::Died(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_chunked(
     interp: &Interp<'_>,
     ml: &dmll_core::Multiloop,
     env: &mut Env,
     size: i64,
     threads: usize,
+    options: &ParallelOptions,
+    pending_faults: &mut BTreeSet<usize>,
+    report: &mut ExecReport,
 ) -> Result<Vec<Value>, EvalError> {
     let chunk = (size + threads as i64 - 1) / threads as i64;
     let ranges: Vec<(i64, i64)> = (0..threads as i64)
         .map(|t| (t * chunk, ((t + 1) * chunk).min(size)))
         .filter(|(s, e)| s < e)
         .collect();
+    let inject: Vec<bool> = (0..ranges.len()).map(|ci| pending_faults.remove(&ci)).collect();
+    let panic_workers = options.faults.panic_workers;
 
-    let results: Vec<Result<Vec<Acc>, EvalError>> = crossbeam::thread::scope(|scope| {
+    // First round: every chunk on its own worker thread, failures caught.
+    let first_round: Vec<Result<Vec<Acc>, ChunkFailure>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
-            .map(|&(start, end)| {
-                let mut local_env = env.clone();
-                scope.spawn(move |_| {
-                    interp.eval_loop_accs_owned(ml, &mut local_env, start, Some(end))
+            .enumerate()
+            .map(|(ci, &range)| {
+                let env_ref = &*env;
+                let injected = inject[ci];
+                scope.spawn(move || {
+                    execute_chunk(interp, ml, env_ref, range, ci, injected, panic_workers)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    // Only reachable if a panic escapes catch_unwind
+                    // (e.g. a panic while unwinding); still recoverable
+                    // by re-execution.
+                    Err(ChunkFailure::Died(panic_message(payload.as_ref())))
+                })
+            })
             .collect()
-    })
-    .expect("thread scope");
+    });
+    report.chunk_executions += ranges.len();
 
-    let mut per_chunk: Vec<Vec<Acc>> = Vec::with_capacity(results.len());
-    for r in results {
-        per_chunk.push(r?);
+    // Recovery: re-execute just the failed chunks' subranges. A multiloop
+    // is agnostic to its bounds, so re-running `ranges[ci]` alone yields
+    // the same accumulator the lost worker would have produced.
+    let mut per_chunk: Vec<Vec<Acc>> = Vec::with_capacity(first_round.len());
+    for (ci, outcome) in first_round.into_iter().enumerate() {
+        match outcome {
+            Ok(accs) => per_chunk.push(accs),
+            Err(ChunkFailure::Eval(e)) => return Err(e),
+            Err(ChunkFailure::Died(mut message)) => {
+                report.failed_executions += 1;
+                let mut recovered = None;
+                for _attempt in 1..=options.max_chunk_retries {
+                    report.chunk_executions += 1;
+                    match execute_chunk(interp, ml, env, ranges[ci], ci, false, panic_workers) {
+                        Ok(accs) => {
+                            report.reexecuted_chunks += 1;
+                            recovered = Some(accs);
+                            break;
+                        }
+                        Err(ChunkFailure::Eval(e)) => return Err(e),
+                        Err(ChunkFailure::Died(m)) => {
+                            report.failed_executions += 1;
+                            message = m;
+                        }
+                    }
+                }
+                match recovered {
+                    Some(accs) => per_chunk.push(accs),
+                    None => {
+                        return Err(EvalError::ChunkRetriesExhausted {
+                            chunk: ci,
+                            attempts: options.max_chunk_retries + 1,
+                            message,
+                        })
+                    }
+                }
+            }
+        }
     }
 
     // Transpose: per-generator lists of per-chunk accumulators, merged in
@@ -143,7 +353,9 @@ fn merge_pair(
         }
         (Acc::Reduce(x), Acc::Reduce(y)) => Acc::Reduce(match (x, y) {
             (Some(x), Some(y)) => {
-                let reducer = gen.reducer().expect("reduce gen has reducer");
+                let reducer = gen
+                    .reducer()
+                    .ok_or_else(|| EvalError::TypeMismatch("reduce gen without reducer".into()))?;
                 Some(interp.eval_block_owned(reducer, &[x, y], env)?)
             }
             (Some(x), None) => Some(x),
@@ -181,7 +393,9 @@ fn merge_pair(
                 keys: bk, vals: bv, ..
             },
         ) => {
-            let reducer = gen.reducer().expect("bucket-reduce gen has reducer");
+            let reducer = gen.reducer().ok_or_else(|| {
+                EvalError::TypeMismatch("bucket-reduce gen without reducer".into())
+            })?;
             for (k, v) in bk.into_iter().zip(bv) {
                 match index.get(&Key(k.clone())) {
                     Some(&slot) => {
@@ -197,7 +411,11 @@ fn merge_pair(
             }
             Acc::BucketReduce { keys, vals, index }
         }
-        _ => unreachable!("mismatched accumulators"),
+        _ => {
+            return Err(EvalError::TypeMismatch(
+                "mismatched accumulators across chunks".into(),
+            ))
+        }
     })
 }
 
@@ -338,5 +556,69 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!((seq - par).abs() < 1e-9, "{seq} vs {par}");
+    }
+
+    #[test]
+    fn injected_chunk_faults_recover_with_identical_results() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let clean = eval_parallel(&p, &[("x", Value::i64_arr(data.clone()))], 4).unwrap();
+        let opts = ParallelOptions::new(4).with_faults(ChunkFaults::fail_once([0, 2]));
+        let (value, report) =
+            eval_parallel_report(&p, &[("x", Value::i64_arr(data))], &opts).unwrap();
+        assert_eq!(value, clean, "recovered run is bit-identical");
+        assert_eq!(report.failed_executions, 2);
+        assert_eq!(report.reexecuted_chunks, 2);
+        assert!(report.chunk_executions >= 6, "{report:?}");
+    }
+
+    #[test]
+    fn panicking_workers_are_caught_and_reexecuted() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let clean = eval_parallel(&p, &[("x", Value::i64_arr(data.clone()))], 3).unwrap();
+        let opts =
+            ParallelOptions::new(3).with_faults(ChunkFaults::fail_once([1]).panicking());
+        let (value, report) =
+            eval_parallel_report(&p, &[("x", Value::i64_arr(data))], &opts).unwrap();
+        assert_eq!(value, clean, "catch_unwind recovery is bit-identical");
+        assert_eq!(report.reexecuted_chunks, 1);
+    }
+
+    #[test]
+    fn collect_order_survives_chunk_reexecution() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| st.add(e, e));
+        let p = st.finish(&doubled);
+        let data: Vec<i64> = (0..997).rev().collect();
+        let clean = eval(&p, &[("x", Value::i64_arr(data.clone()))]).unwrap();
+        let opts = ParallelOptions::new(5).with_faults(ChunkFaults::fail_once([0, 3, 4]));
+        let (value, _) = eval_parallel_report(&p, &[("x", Value::i64_arr(data))], &opts).unwrap();
+        assert_eq!(value, clean, "Collect order preserved across recovery");
+    }
+
+    #[test]
+    fn unrecoverable_chunk_surfaces_typed_error() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let mut opts = ParallelOptions::new(4).with_faults(ChunkFaults::fail_once([1]));
+        opts.max_chunk_retries = 0;
+        let err = eval_parallel_report(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
+        match err {
+            EvalError::ChunkRetriesExhausted { chunk, attempts, .. } => {
+                assert_eq!(chunk, 1);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected ChunkRetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_eval_errors_are_not_retried() {
+        // A genuine missing input fails immediately, never retried.
+        let p = sum_squares_program();
+        let err = eval_parallel(&p, &[], 4).unwrap_err();
+        assert_eq!(err, EvalError::MissingInput("x".into()));
     }
 }

@@ -95,6 +95,111 @@ impl SimBreakdown {
         self.pcie += o.pcie;
         self.overhead += o.overhead;
     }
+
+    fn scaled(&self, k: f64) -> SimBreakdown {
+        SimBreakdown {
+            compute: self.compute * k,
+            memory: self.memory * k,
+            network: self.network * k,
+            pcie: self.pcie * k,
+            overhead: self.overhead * k,
+        }
+    }
+}
+
+/// Parameters of a fault-aware (degraded-mode) simulation: how many nodes
+/// die, when, and what the coordinator pays to replan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Machines lost mid-run.
+    pub failed_nodes: usize,
+    /// Fraction of the loop completed when the failure hits, in `[0, 1]`.
+    /// The dead nodes' completed share of that work is lost and
+    /// re-executed by the survivors.
+    pub completed_before_failure: f64,
+    /// Coordinator cost of one replan (directory re-broadcast + schedule
+    /// revision), seconds.
+    pub replan_overhead: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> FaultModel {
+        FaultModel {
+            failed_nodes: 1,
+            completed_before_failure: 0.5,
+            replan_overhead: 1e-3,
+        }
+    }
+}
+
+/// A fault-free run next to its degraded-mode counterpart.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegradedSim {
+    /// The run with no failures.
+    pub fault_free: SimBreakdown,
+    /// The run that loses nodes mid-loop, replans, and re-executes the
+    /// lost chunks on the survivors.
+    pub degraded: SimBreakdown,
+}
+
+impl DegradedSim {
+    /// Degraded-over-fault-free time ratio (≥ 1 for any real failure).
+    pub fn slowdown(&self) -> f64 {
+        let base = self.fault_free.total();
+        if base > 0.0 {
+            self.degraded.total() / base
+        } else {
+            1.0
+        }
+    }
+
+    /// Absolute recovery cost in seconds.
+    pub fn recovery_seconds(&self) -> f64 {
+        self.degraded.total() - self.fault_free.total()
+    }
+}
+
+/// Fault-aware simulation: run `profiles` under `mode`, losing
+/// `faults.failed_nodes` machines after `faults.completed_before_failure`
+/// of the work is done. The degraded time is
+///
+/// ```text
+/// f·T(n)  +  replan  +  ((1 − f) + f·failed/n)·T(n − failed)
+/// ```
+///
+/// — the run up to the failure on the full cluster, the replan, and the
+/// remaining work *plus the dead nodes' lost completed share* re-executed
+/// on the survivors (chunk re-execution from
+/// [`crate::SchedulePlan::replan`]: survivors keep their finished chunks,
+/// only the dead nodes' iteration ranges run again). When every node dies
+/// the survivors' side degrades to local single-machine execution,
+/// mirroring [`crate::ClusterSpec::degrade`].
+pub fn simulate_loops_degraded(
+    profiles: &[LoopProfile],
+    cluster: &ClusterSpec,
+    mode: &ExecMode,
+    faults: &FaultModel,
+) -> DegradedSim {
+    let fault_free = simulate_loops(profiles, cluster, mode);
+    let f = faults.completed_before_failure.clamp(0.0, 1.0);
+    let failed = faults.failed_nodes.min(cluster.nodes);
+    let surviving = (cluster.nodes - failed).max(1);
+    let degraded_cluster = ClusterSpec {
+        nodes: surviving,
+        ..*cluster
+    };
+    let on_survivors = simulate_loops(profiles, &degraded_cluster, mode);
+    let lost_share = f * failed as f64 / cluster.nodes.max(1) as f64;
+    let remaining = (1.0 - f) + lost_share;
+    let mut degraded = fault_free.scaled(f);
+    degraded.add(on_survivors.scaled(remaining));
+    if failed > 0 {
+        degraded.overhead += faults.replan_overhead;
+    }
+    DegradedSim {
+        fault_free,
+        degraded,
+    }
 }
 
 /// Simulate all loops (run once each) under `mode`.
@@ -388,8 +493,8 @@ mod tests {
     }
 
     fn speedup(p: &LoopProfile, mode: &ExecMode) -> f64 {
-        let seq = simulate_loops(&[p.clone()], &machine(), &ExecMode::Sequential).total();
-        let par = simulate_loops(&[p.clone()], &machine(), mode).total();
+        let seq = simulate_loops(std::slice::from_ref(p), &machine(), &ExecMode::Sequential).total();
+        let par = simulate_loops(std::slice::from_ref(p), &machine(), mode).total();
         seq / par
     }
 
@@ -515,7 +620,7 @@ mod tests {
         let cl = ClusterSpec::gpu_4();
         let p = compute_heavy();
         let one = simulate_loops(
-            &[p.clone()],
+            std::slice::from_ref(&p),
             &cl,
             &ExecMode::Gpu {
                 tuning: GpuTuning { transposed: true },
@@ -533,6 +638,84 @@ mod tests {
         )
         .total();
         assert!(four < one, "4 GPUs beat 1: {four} vs {one}");
+    }
+
+    #[test]
+    fn degraded_cluster_pays_for_node_loss() {
+        let p = stream_heavy();
+        let cl = ClusterSpec::amazon_20();
+        let sim = simulate_loops_degraded(
+            std::slice::from_ref(&p),
+            &cl,
+            &ExecMode::Cluster,
+            &FaultModel {
+                failed_nodes: 5,
+                completed_before_failure: 0.5,
+                replan_overhead: 1e-3,
+            },
+        );
+        assert!(
+            sim.slowdown() > 1.0,
+            "losing 5/20 nodes mid-run must cost time: {:.3}",
+            sim.slowdown()
+        );
+        assert!(sim.recovery_seconds() > 0.0);
+        // Losing more nodes at the same point costs more.
+        let worse = simulate_loops_degraded(
+            &[p],
+            &cl,
+            &ExecMode::Cluster,
+            &FaultModel {
+                failed_nodes: 15,
+                completed_before_failure: 0.5,
+                replan_overhead: 1e-3,
+            },
+        );
+        assert!(worse.degraded.total() > sim.degraded.total());
+    }
+
+    #[test]
+    fn zero_failures_cost_nothing_extra() {
+        let p = compute_heavy();
+        let cl = ClusterSpec::amazon_20();
+        let sim = simulate_loops_degraded(
+            &[p],
+            &cl,
+            &ExecMode::Cluster,
+            &FaultModel {
+                failed_nodes: 0,
+                completed_before_failure: 0.7,
+                replan_overhead: 1e-3,
+            },
+        );
+        assert!(
+            (sim.slowdown() - 1.0).abs() < 1e-9,
+            "no failure, no replan charge: {}",
+            sim.slowdown()
+        );
+    }
+
+    #[test]
+    fn replan_overhead_lands_in_overhead_component() {
+        let p = stream_heavy();
+        let cl = ClusterSpec::amazon_20();
+        let fm = FaultModel {
+            failed_nodes: 1,
+            completed_before_failure: 0.5,
+            replan_overhead: 2.5,
+        };
+        let sim = simulate_loops_degraded(std::slice::from_ref(&p), &cl, &ExecMode::Cluster, &fm);
+        let without = simulate_loops_degraded(
+            &[p],
+            &cl,
+            &ExecMode::Cluster,
+            &FaultModel {
+                replan_overhead: 0.0,
+                ..fm
+            },
+        );
+        let diff = sim.degraded.overhead - without.degraded.overhead;
+        assert!((diff - 2.5).abs() < 1e-9, "replan charged once: {diff}");
     }
 
     #[test]

@@ -7,10 +7,23 @@
 //! are trapped and transparently fetched from the owning location; the
 //! [`TransferStats`] counters make that communication observable to tests
 //! and to the simulator.
+//!
+//! ## Fault tolerance
+//!
+//! A trapped remote fetch crosses a socket interconnect or the network, so
+//! unlike a local read it can *fail*. When a [`FaultInjector`] is attached,
+//! remote reads consult it: transient drops are retried with capped
+//! exponential backoff ([`RetryPolicy`]), reads to permanently failed nodes
+//! return [`RuntimeError::NodeFailed`] so the scheduler can
+//! [`replan`](crate::SchedulePlan::replan), and every retry / failure /
+//! recovery is counted in [`TransferStats`]. Backoff is charged to the
+//! stats in simulated nanoseconds rather than slept, keeping scenario
+//! replay fast and bit-deterministic.
 
-use parking_lot::Mutex;
+use crate::error::RuntimeError;
+use crate::fault::FaultInjector;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A physical placement: machine and memory region (socket).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +50,28 @@ pub struct TransferStats {
     pub remote_reads: AtomicU64,
     /// Bytes moved for remote reads.
     pub remote_bytes: AtomicU64,
+    /// Remote-read attempts that were retried after a transient failure.
+    pub retries: AtomicU64,
+    /// Remote reads that ultimately failed (retries exhausted or owner
+    /// node permanently down).
+    pub failed_reads: AtomicU64,
+    /// Remote reads that succeeded only after at least one retry.
+    pub recovered_reads: AtomicU64,
+    /// Simulated nanoseconds spent in retry backoff and latency spikes.
+    pub backoff_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of the fault-related counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Remote-read attempts retried after a transient failure.
+    pub retries: u64,
+    /// Remote reads that ultimately failed.
+    pub failed_reads: u64,
+    /// Remote reads that recovered after at least one retry.
+    pub recovered_reads: u64,
+    /// Simulated nanoseconds of backoff + injected latency.
+    pub backoff_nanos: u64,
 }
 
 impl TransferStats {
@@ -47,6 +82,57 @@ impl TransferStats {
             self.remote_reads.load(Ordering::Relaxed),
             self.remote_bytes.load(Ordering::Relaxed),
         )
+    }
+
+    /// Snapshot of the fault/recovery counters.
+    pub fn fault_snapshot(&self) -> FaultStats {
+        FaultStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            failed_reads: self.failed_reads.load(Ordering::Relaxed),
+            recovered_reads: self.recovered_reads.load(Ordering::Relaxed),
+            backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Retry behavior for trapped remote reads: capped exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated nanoseconds.
+    pub base_backoff_nanos: u64,
+    /// Backoff ceiling, simulated nanoseconds.
+    pub max_backoff_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_nanos: 1_000,
+            max_backoff_nanos: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first drop.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_nanos: 0,
+            max_backoff_nanos: 0,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): base × 2^(retry−1),
+    /// capped.
+    pub fn backoff_nanos(&self, retry: u32) -> u64 {
+        let exp = retry.saturating_sub(1).min(63);
+        self.base_backoff_nanos
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_nanos)
     }
 }
 
@@ -62,17 +148,20 @@ pub struct DistArray<T> {
     chunks: Vec<ChunkEntry<T>>,
     len: usize,
     stats: Arc<TransferStats>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl<T: Clone> DistArray<T> {
     /// Partition `data` evenly across `locations` (in order), splitting only
     /// on chunk boundaries.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `locations` is empty.
-    pub fn partition(data: Vec<T>, locations: &[Location]) -> DistArray<T> {
-        assert!(!locations.is_empty(), "at least one location required");
+    /// [`RuntimeError::NoLocations`] if `locations` is empty.
+    pub fn try_partition(data: Vec<T>, locations: &[Location]) -> Result<DistArray<T>, RuntimeError> {
+        if locations.is_empty() {
+            return Err(RuntimeError::NoLocations);
+        }
         let len = data.len();
         let n = locations.len();
         let base = len / n;
@@ -91,11 +180,32 @@ impl<T: Clone> DistArray<T> {
             });
             start += size;
         }
-        DistArray {
+        Ok(DistArray {
             chunks,
             len,
             stats: Arc::new(TransferStats::default()),
-        }
+            faults: None,
+        })
+    }
+
+    /// Like [`DistArray::try_partition`], panicking on empty `locations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty.
+    pub fn partition(data: Vec<T>, locations: &[Location]) -> DistArray<T> {
+        Self::try_partition(data, locations).expect("at least one location required")
+    }
+
+    /// Attach a fault injector; subsequent remote reads consult it.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> DistArray<T> {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Logical length.
@@ -121,9 +231,19 @@ impl<T: Clone> DistArray<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of bounds.
+    /// Panics if `idx` is out of bounds. Use [`DistArray::try_owner`] for a
+    /// fallible lookup.
     pub fn owner(&self, idx: usize) -> Location {
-        self.chunk_of(idx).location
+        self.try_owner(idx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The location owning index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::IndexOutOfBounds`] when `idx >= len`.
+    pub fn try_owner(&self, idx: usize) -> Result<Location, RuntimeError> {
+        Ok(self.chunk_of(idx)?.location)
     }
 
     /// The index range local to `loc` (empty range if none).
@@ -140,29 +260,110 @@ impl<T: Clone> DistArray<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of bounds.
+    /// Panics if `idx` is out of bounds or an injected fault makes the read
+    /// unrecoverable. Use [`DistArray::try_read`] or
+    /// [`DistArray::read_retrying`] for fallible reads.
     pub fn read(&self, from: Location, idx: usize) -> T {
-        let chunk = self.chunk_of(idx);
+        self.read_retrying(from, idx, &RetryPolicy::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible read with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DistArray::read_retrying`].
+    pub fn try_read(&self, from: Location, idx: usize) -> Result<T, RuntimeError> {
+        self.read_retrying(from, idx, &RetryPolicy::default())
+    }
+
+    /// Read `idx` from `from`, retrying trapped remote fetches under
+    /// `policy` with capped exponential backoff. Local reads never fail
+    /// (local memory is only lost when the node itself dies, which kills
+    /// the worker too — that case is handled by chunk re-execution, not
+    /// here).
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::IndexOutOfBounds`] when `idx >= len`;
+    /// * [`RuntimeError::NodeFailed`] when the owning node is permanently
+    ///   down per the attached injector;
+    /// * [`RuntimeError::ReadTimeout`] when every attempt was dropped.
+    pub fn read_retrying(
+        &self,
+        from: Location,
+        idx: usize,
+        policy: &RetryPolicy,
+    ) -> Result<T, RuntimeError> {
+        let chunk = self.chunk_of(idx)?;
         if chunk.location == from {
             self.stats.local_reads.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .remote_bytes
-                .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+            return Ok(lock_recovering(&chunk.data)[idx - chunk.start].clone());
         }
-        chunk.data.lock()[idx - chunk.start].clone()
+        // Trapped remote fetch.
+        let owner = chunk.location;
+        let max_attempts = policy.max_attempts.max(1);
+        if let Some(inj) = &self.faults {
+            let spike = inj.remote_read_latency_nanos();
+            if spike > 0 {
+                self.stats.backoff_nanos.fetch_add(spike, Ordering::Relaxed);
+            }
+            if inj.node_is_down(owner.node) {
+                self.stats.failed_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(RuntimeError::NodeFailed { node: owner.node });
+            }
+            for attempt in 0..max_attempts {
+                if inj.remote_read_fails(from, owner, idx, attempt) {
+                    if attempt + 1 < max_attempts {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .backoff_nanos
+                            .fetch_add(policy.backoff_nanos(attempt + 1), Ordering::Relaxed);
+                    }
+                    continue;
+                }
+                if attempt > 0 {
+                    self.stats.recovered_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(self.complete_remote_read(chunk, idx));
+            }
+            self.stats.failed_reads.fetch_add(1, Ordering::Relaxed);
+            return Err(RuntimeError::ReadTimeout {
+                index: idx,
+                owner,
+                attempts: max_attempts,
+            });
+        }
+        Ok(self.complete_remote_read(chunk, idx))
+    }
+
+    fn complete_remote_read(&self, chunk: &ChunkEntry<T>, idx: usize) -> T {
+        self.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .remote_bytes
+            .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        lock_recovering(&chunk.data)[idx - chunk.start].clone()
     }
 
     /// Write `idx` (used when materializing partitioned collect outputs).
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of bounds.
+    /// Panics if `idx` is out of bounds. Use [`DistArray::try_write`] for a
+    /// fallible write.
     pub fn write(&self, idx: usize, value: T) {
-        let chunk = self.chunk_of(idx);
-        let mut data = chunk.data.lock();
-        data[idx - chunk.start] = value;
+        self.try_write(idx, value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible write.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::IndexOutOfBounds`] when `idx >= len`.
+    pub fn try_write(&self, idx: usize, value: T) -> Result<(), RuntimeError> {
+        let chunk = self.chunk_of(idx)?;
+        lock_recovering(&chunk.data)[idx - chunk.start] = value;
+        Ok(())
     }
 
     /// Shared transfer counters.
@@ -174,17 +375,18 @@ impl<T: Clone> DistArray<T> {
     pub fn gather(&self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.len);
         for c in &self.chunks {
-            out.extend(c.data.lock().iter().cloned());
+            out.extend(lock_recovering(&c.data).iter().cloned());
         }
         out
     }
 
-    fn chunk_of(&self, idx: usize) -> &ChunkEntry<T> {
-        assert!(
-            idx < self.len,
-            "index {idx} out of bounds (len {})",
-            self.len
-        );
+    fn chunk_of(&self, idx: usize) -> Result<&ChunkEntry<T>, RuntimeError> {
+        if idx >= self.len {
+            return Err(RuntimeError::IndexOutOfBounds {
+                index: idx,
+                len: self.len,
+            });
+        }
         // Directory lookup: binary search over chunk starts.
         let mut lo = 0usize;
         let mut hi = self.chunks.len();
@@ -196,13 +398,21 @@ impl<T: Clone> DistArray<T> {
                 hi = mid;
             }
         }
-        &self.chunks[lo]
+        Ok(&self.chunks[lo])
     }
+}
+
+/// Lock a chunk, recovering from poisoning: workers may panic mid-loop
+/// under fault injection, and chunk data is only ever read whole or
+/// overwritten whole, so the payload is always consistent.
+fn lock_recovering<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn locs(n: usize) -> Vec<Location> {
         (0..n)
@@ -278,6 +488,31 @@ mod tests {
     }
 
     #[test]
+    fn oob_read_is_a_typed_error() {
+        let a = DistArray::partition(vec![1i32], &locs(1));
+        assert_eq!(
+            a.try_read(Location::root(), 5),
+            Err(RuntimeError::IndexOutOfBounds { index: 5, len: 1 })
+        );
+        assert_eq!(
+            a.try_owner(5),
+            Err(RuntimeError::IndexOutOfBounds { index: 5, len: 1 })
+        );
+        assert_eq!(
+            a.try_write(5, 0),
+            Err(RuntimeError::IndexOutOfBounds { index: 5, len: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_locations_is_a_typed_error() {
+        assert_eq!(
+            DistArray::try_partition(vec![1i32], &[]).err(),
+            Some(RuntimeError::NoLocations)
+        );
+    }
+
+    #[test]
     fn uneven_partition_sizes_differ_by_at_most_one() {
         let a = DistArray::partition((0..11).collect::<Vec<i32>>(), &locs(4));
         let sizes: Vec<usize> = a.directory().iter().map(|(s, e, _)| e - s).collect();
@@ -285,5 +520,77 @@ mod tests {
         let max = sizes.iter().max().unwrap();
         let min = sizes.iter().min().unwrap();
         assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn transient_drops_recover_with_retries() {
+        let locations: Vec<Location> = (0..4).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(11).drop_remote_reads(0.5)));
+        let a = DistArray::partition((0..1000i64).collect(), &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        let generous = RetryPolicy {
+            max_attempts: 40,
+            base_backoff_nanos: 100,
+            max_backoff_nanos: 10_000,
+        };
+        for i in 0..1000 {
+            assert_eq!(a.read_retrying(me, i, &generous), Ok(i as i64));
+        }
+        let f = a.stats().fault_snapshot();
+        assert!(f.retries > 0, "50% drop rate must cause retries: {f:?}");
+        assert_eq!(f.failed_reads, 0);
+        assert!(f.recovered_reads > 0);
+        assert!(f.backoff_nanos > 0, "backoff is charged: {f:?}");
+    }
+
+    #[test]
+    fn certain_drop_times_out_with_counted_failure() {
+        let locations: Vec<Location> = (0..2).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(3).drop_remote_reads(1.0)));
+        let a = DistArray::partition(vec![5i64; 10], &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        let err = a.read_retrying(me, 9, &RetryPolicy::default());
+        assert_eq!(
+            err,
+            Err(RuntimeError::ReadTimeout {
+                index: 9,
+                owner: Location { node: 1, socket: 0 },
+                attempts: 4,
+            })
+        );
+        let f = a.stats().fault_snapshot();
+        assert_eq!(f.failed_reads, 1);
+        assert_eq!(f.retries, 3, "three retries after the first attempt");
+        // Local reads are unaffected.
+        assert_eq!(a.read_retrying(me, 0, &RetryPolicy::default()), Ok(5));
+    }
+
+    #[test]
+    fn dead_owner_fails_fast() {
+        let locations: Vec<Location> = (0..2).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(0).kill_node(1, 0)));
+        let a = DistArray::partition(vec![1i64; 10], &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        assert_eq!(
+            a.read_retrying(me, 9, &RetryPolicy::default()),
+            Err(RuntimeError::NodeFailed { node: 1 })
+        );
+        // Reads local to the survivor still work.
+        assert_eq!(a.read_retrying(me, 0, &RetryPolicy::default()), Ok(1));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_nanos: 100,
+            max_backoff_nanos: 1_000,
+        };
+        assert_eq!(p.backoff_nanos(1), 100);
+        assert_eq!(p.backoff_nanos(2), 200);
+        assert_eq!(p.backoff_nanos(3), 400);
+        assert_eq!(p.backoff_nanos(4), 800);
+        assert_eq!(p.backoff_nanos(5), 1_000, "capped");
+        assert_eq!(p.backoff_nanos(60), 1_000, "still capped far out");
     }
 }

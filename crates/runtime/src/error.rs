@@ -1,0 +1,93 @@
+//! Typed runtime errors.
+//!
+//! The seed runtime turned every bad input into a process abort
+//! (`panic!`/`assert!`). Fault tolerance needs failures to be *values* the
+//! scheduler can react to — a trapped remote read that times out must reach
+//! the retry loop, and a dead node must reach [`crate::SchedulePlan::replan`]
+//! — so the runtime's fallible paths all return `Result<_, RuntimeError>`.
+
+use crate::distarray::Location;
+use std::fmt;
+
+/// An error surfaced by the distributed runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A partition was requested over zero locations.
+    NoLocations,
+    /// An index was outside the logical array bounds.
+    IndexOutOfBounds {
+        /// Attempted index.
+        index: usize,
+        /// Logical length.
+        len: usize,
+    },
+    /// The location owning the requested data is permanently down.
+    NodeFailed {
+        /// The failed machine.
+        node: usize,
+    },
+    /// A trapped remote read kept failing after exhausting its retries.
+    ReadTimeout {
+        /// The index being fetched.
+        index: usize,
+        /// The owning location the fetch targeted.
+        owner: Location,
+        /// How many attempts were made (first try + retries).
+        attempts: u32,
+    },
+    /// A replan was requested but no surviving nodes remain.
+    NoSurvivors,
+    /// A replan named a node outside the cluster.
+    UnknownNode {
+        /// The out-of-range node index.
+        node: usize,
+        /// Cluster size.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoLocations => write!(f, "at least one location required"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            RuntimeError::NodeFailed { node } => write!(f, "node {node} has failed"),
+            RuntimeError::ReadTimeout {
+                index,
+                owner,
+                attempts,
+            } => write!(
+                f,
+                "remote read of index {index} from node {}/socket {} failed after {attempts} attempts",
+                owner.node, owner.socket
+            ),
+            RuntimeError::NoSurvivors => {
+                write!(f, "cannot replan: every node of the cluster has failed")
+            }
+            RuntimeError::UnknownNode { node, nodes } => {
+                write!(f, "node {node} does not exist in a {nodes}-node cluster")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_out_of_bounds() {
+        let e = RuntimeError::IndexOutOfBounds { index: 5, len: 1 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(RuntimeError::NoSurvivors);
+    }
+}

@@ -1,0 +1,327 @@
+//! Deterministic fault injection.
+//!
+//! Every failure scenario the runtime recovers from — a machine dying
+//! mid-loop, remote reads dropping, network latency spikes, straggler cores
+//! — can be scripted in a [`FaultPlan`] and replayed bit-identically. Two
+//! properties make the injector reproducible under real concurrency:
+//!
+//! * **Counter-based decisions.** Whether a particular remote read fails is
+//!   a pure hash of `(seed, reader location, index, attempt)` — never of a
+//!   shared call counter — so thread interleaving cannot change outcomes.
+//! * **Explicit time.** "Time" is an abstract step counter advanced by the
+//!   executor (e.g. once per scheduled chunk), not a wall clock, so a node
+//!   failure lands at exactly the same point in every run.
+//!
+//! This is the same recovery-enabling observation the paper makes of
+//! multiloops: because a multiloop "is agnostic to whether it runs over the
+//! entire loop bounds or a subset of the loop bounds" (§5), a failed chunk
+//! can be re-executed anywhere without lineage machinery, so faults only
+//! need to be *observable*, never fatal.
+
+use crate::distarray::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One scripted failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Machine `node` fails permanently once the step counter reaches
+    /// `at_step`.
+    NodeFailure {
+        /// The machine that dies.
+        node: usize,
+        /// Abstract time of death (inclusive).
+        at_step: u64,
+    },
+    /// Every trapped remote read independently fails with `probability`
+    /// (per attempt, deterministic given the plan seed).
+    RemoteReadDrop {
+        /// Per-attempt drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Remote reads between `at_step` and `at_step + duration_steps` incur
+    /// `extra_nanos` of additional simulated latency each.
+    LatencySpike {
+        /// First affected step.
+        at_step: u64,
+        /// How many steps the spike lasts.
+        duration_steps: u64,
+        /// Added latency per remote read, nanoseconds.
+        extra_nanos: u64,
+    },
+    /// Core `(node, socket, core)` runs `slowdown`× slower than nominal
+    /// (consumed by the cost model's degraded mode).
+    StragglerCore {
+        /// Machine of the slow core.
+        node: usize,
+        /// Socket of the slow core.
+        socket: usize,
+        /// Core index within the socket.
+        core: usize,
+        /// Multiplicative slowdown (≥ 1.0).
+        slowdown: f64,
+    },
+}
+
+/// A reproducible failure scenario: a seed plus scripted events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions.
+    pub seed: u64,
+    /// The scripted events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Script a permanent node failure at `at_step`.
+    pub fn kill_node(mut self, node: usize, at_step: u64) -> FaultPlan {
+        self.events.push(FaultEvent::NodeFailure { node, at_step });
+        self
+    }
+
+    /// Script per-attempt remote-read drops with `probability`.
+    pub fn drop_remote_reads(mut self, probability: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "drop probability {probability} out of [0,1]"
+        );
+        self.events.push(FaultEvent::RemoteReadDrop { probability });
+        self
+    }
+
+    /// Script a latency spike window.
+    pub fn latency_spike(mut self, at_step: u64, duration_steps: u64, extra_nanos: u64) -> FaultPlan {
+        self.events.push(FaultEvent::LatencySpike {
+            at_step,
+            duration_steps,
+            extra_nanos,
+        });
+        self
+    }
+
+    /// Script a straggler core.
+    pub fn straggler(mut self, node: usize, socket: usize, core: usize, slowdown: f64) -> FaultPlan {
+        self.events.push(FaultEvent::StragglerCore {
+            node,
+            socket,
+            core,
+            slowdown,
+        });
+        self
+    }
+
+    /// Nodes whose scripted failure time is `<= step`.
+    pub fn failed_nodes_at(&self, step: u64) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::NodeFailure { node, at_step } if at_step <= step => Some(node),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// SplitMix64-style avalanche; the core of every injector decision.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform value in `[0, 1)` from hashed inputs — a counter-based RNG, so
+/// outcomes depend only on the inputs, never on call order.
+fn hash_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let h = mix(seed ^ mix(a ^ mix(b ^ mix(c))));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Shared, thread-safe interpreter of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    step: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wrap a plan; the step counter starts at 0.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            step: AtomicU64::new(0),
+        }
+    }
+
+    /// The scripted plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Current abstract time.
+    pub fn step(&self) -> u64 {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    /// Advance abstract time by one step; returns the new step. The
+    /// executor calls this at chunk boundaries.
+    pub fn advance_step(&self) -> u64 {
+        self.step.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// True when `node` has failed at the current step.
+    pub fn node_is_down(&self, node: usize) -> bool {
+        let now = self.step();
+        self.plan.events.iter().any(|e| {
+            matches!(*e, FaultEvent::NodeFailure { node: n, at_step } if n == node && at_step <= now)
+        })
+    }
+
+    /// All currently-failed nodes, sorted and deduplicated.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        self.plan.failed_nodes_at(self.step())
+    }
+
+    /// Whether the remote read `(from, index)` fails on `attempt`
+    /// (0-based). A read targeting a failed node always fails; otherwise
+    /// each scripted drop probability is consulted via a counter-based
+    /// hash, so the answer is a pure function of the plan and arguments.
+    pub fn remote_read_fails(&self, from: Location, owner: Location, index: usize, attempt: u32) -> bool {
+        if self.node_is_down(owner.node) {
+            return true;
+        }
+        self.plan.events.iter().any(|e| match *e {
+            FaultEvent::RemoteReadDrop { probability } => {
+                let a = (from.node as u64) << 32 | from.socket as u64;
+                let b = (owner.node as u64) << 32 | owner.socket as u64;
+                let c = (index as u64) << 8 | attempt as u64;
+                hash_unit(self.plan.seed, a, b, c) < probability
+            }
+            _ => false,
+        })
+    }
+
+    /// Extra simulated latency (nanoseconds) a remote read pays at the
+    /// current step.
+    pub fn remote_read_latency_nanos(&self) -> u64 {
+        let now = self.step();
+        self.plan
+            .events
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::LatencySpike {
+                    at_step,
+                    duration_steps,
+                    extra_nanos,
+                } if at_step <= now && now < at_step + duration_steps => extra_nanos,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Multiplicative slowdown of core `(node, socket, core)` (1.0 when
+    /// nominal).
+    pub fn straggler_slowdown(&self, node: usize, socket: usize, core: usize) -> f64 {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::StragglerCore {
+                    node: n,
+                    socket: s,
+                    core: c,
+                    slowdown,
+                } if (n, s, c) == (node, socket, core) => Some(slowdown),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(node: usize) -> Location {
+        Location { node, socket: 0 }
+    }
+
+    #[test]
+    fn node_failure_respects_abstract_time() {
+        let inj = FaultInjector::new(FaultPlan::new(1).kill_node(2, 3));
+        assert!(!inj.node_is_down(2));
+        inj.advance_step();
+        inj.advance_step();
+        assert!(!inj.node_is_down(2), "step 2 < death at 3");
+        inj.advance_step();
+        assert!(inj.node_is_down(2));
+        assert!(!inj.node_is_down(0));
+        assert_eq!(inj.failed_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn read_drops_are_deterministic_given_seed() {
+        let plan = FaultPlan::new(42).drop_remote_reads(0.3);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let decisions_a: Vec<bool> = (0..1000)
+            .map(|i| a.remote_read_fails(loc(0), loc(1), i, 0))
+            .collect();
+        let decisions_b: Vec<bool> = (0..1000)
+            .map(|i| b.remote_read_fails(loc(0), loc(1), i, 0))
+            .collect();
+        assert_eq!(decisions_a, decisions_b);
+        let drops = decisions_a.iter().filter(|d| **d).count();
+        assert!((200..400).contains(&drops), "≈30% drop rate, got {drops}");
+    }
+
+    #[test]
+    fn different_attempts_get_independent_decisions() {
+        let inj = FaultInjector::new(FaultPlan::new(7).drop_remote_reads(0.5));
+        // Some read that fails on attempt 0 must eventually succeed on a
+        // later attempt (p = 0.5 per attempt).
+        let idx = (0..1000)
+            .find(|&i| inj.remote_read_fails(loc(0), loc(1), i, 0))
+            .expect("some first attempt fails");
+        let recovered = (1..20).any(|a| !inj.remote_read_fails(loc(0), loc(1), idx, a));
+        assert!(recovered, "independent per-attempt decisions allow recovery");
+    }
+
+    #[test]
+    fn reads_to_dead_nodes_always_fail() {
+        let inj = FaultInjector::new(FaultPlan::new(0).kill_node(1, 0));
+        assert!(inj.remote_read_fails(loc(0), loc(1), 7, 0));
+        assert!(inj.remote_read_fails(loc(0), loc(1), 7, 99));
+        assert!(!inj.remote_read_fails(loc(0), loc(2), 7, 0));
+    }
+
+    #[test]
+    fn latency_spike_window() {
+        let inj = FaultInjector::new(FaultPlan::new(0).latency_spike(1, 2, 500));
+        assert_eq!(inj.remote_read_latency_nanos(), 0);
+        inj.advance_step();
+        assert_eq!(inj.remote_read_latency_nanos(), 500);
+        inj.advance_step();
+        assert_eq!(inj.remote_read_latency_nanos(), 500);
+        inj.advance_step();
+        assert_eq!(inj.remote_read_latency_nanos(), 0);
+    }
+
+    #[test]
+    fn straggler_lookup() {
+        let inj = FaultInjector::new(FaultPlan::new(0).straggler(1, 0, 3, 4.0));
+        assert_eq!(inj.straggler_slowdown(1, 0, 3), 4.0);
+        assert_eq!(inj.straggler_slowdown(1, 0, 2), 1.0);
+    }
+}

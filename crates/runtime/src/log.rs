@@ -1,0 +1,36 @@
+//! Minimal runtime diagnostics.
+//!
+//! The build environment has no `tracing` crate available, so degraded-mode
+//! warnings go through this tiny shim instead: messages are counted (so
+//! tests can assert a warning fired without scraping stderr) and printed to
+//! stderr unless `DMLL_QUIET` is set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Emit a runtime warning. Always counted; printed unless `DMLL_QUIET` is
+/// set in the environment.
+pub fn warn(msg: &str) {
+    WARNINGS.fetch_add(1, Ordering::Relaxed);
+    if std::env::var_os("DMLL_QUIET").is_none() {
+        eprintln!("[dmll-runtime] warning: {msg}");
+    }
+}
+
+/// Total warnings emitted by this process so far.
+pub fn warning_count() -> u64 {
+    WARNINGS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_are_counted() {
+        let before = warning_count();
+        warn("test warning (ignore)");
+        assert!(warning_count() > before);
+    }
+}

@@ -1,9 +1,7 @@
 //! Hardware descriptions and the paper's testbed presets.
 
-use serde::{Deserialize, Serialize};
-
 /// A GPU accelerator attached to a machine.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GpuSpec {
     /// Peak arithmetic throughput in FLOP/s.
     pub flops: f64,
@@ -31,7 +29,7 @@ impl GpuSpec {
 }
 
 /// One machine: sockets × cores with per-socket memory regions.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineSpec {
     /// Number of sockets (NUMA domains).
     pub sockets: usize,
@@ -115,7 +113,7 @@ impl MachineSpec {
 }
 
 /// A cluster of identical machines.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// Number of machines.
     pub nodes: usize,
@@ -162,6 +160,51 @@ impl ClusterSpec {
     pub fn total_cores(&self) -> usize {
         self.nodes * self.node.total_cores()
     }
+
+    /// Gracefully degrade after losing `failed_nodes` machines: the same
+    /// cluster with the survivors. Losing *every* node falls back to local
+    /// single-machine execution (the coordinator itself) with a warning
+    /// rather than aborting — the multiloop re-executes locally.
+    pub fn degrade(&self, failed_nodes: &[usize]) -> ClusterSpec {
+        let lost = failed_nodes
+            .iter()
+            .filter(|&&n| n < self.nodes)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let surviving = self.nodes - lost;
+        if surviving == 0 {
+            crate::log::warn(&format!(
+                "all {} nodes failed; falling back to local execution",
+                self.nodes
+            ));
+            return ClusterSpec::single(self.node);
+        }
+        if lost > 0 {
+            crate::log::warn(&format!(
+                "degraded: {lost} of {} nodes failed, continuing on {surviving}",
+                self.nodes
+            ));
+        }
+        ClusterSpec {
+            nodes: surviving,
+            ..*self
+        }
+    }
+
+    /// The same cluster with GPUs dropped (e.g. after a device failure):
+    /// execution falls back to the host cores with a warning.
+    pub fn without_gpu(&self) -> ClusterSpec {
+        if self.node.gpu.is_some() {
+            crate::log::warn("GPU dropped from cluster spec; falling back to host cores");
+        }
+        ClusterSpec {
+            node: MachineSpec {
+                gpu: None,
+                ..self.node
+            },
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +240,29 @@ mod tests {
         assert_eq!(m.aggregate_bw(1), 38e9);
         assert_eq!(m.aggregate_bw(4), 4.0 * 38e9);
         assert_eq!(m.aggregate_bw(9), 4.0 * 38e9, "clamped to socket count");
+    }
+
+    #[test]
+    fn degrade_drops_nodes_and_falls_back_locally() {
+        std::env::set_var("DMLL_QUIET", "1");
+        let c = ClusterSpec::amazon_20();
+        let d = c.degrade(&[0, 5, 5, 99]);
+        assert_eq!(d.nodes, 18, "duplicate and out-of-range failures ignored");
+        assert_eq!(d.node, c.node);
+        let all: Vec<usize> = (0..20).collect();
+        let local = c.degrade(&all);
+        assert_eq!(local.nodes, 1);
+        assert!(local.network_bw.is_infinite(), "local fallback has no network");
+    }
+
+    #[test]
+    fn without_gpu_falls_back_to_host() {
+        std::env::set_var("DMLL_QUIET", "1");
+        let g = ClusterSpec::gpu_4();
+        let host = g.without_gpu();
+        assert!(host.node.gpu.is_none());
+        assert_eq!(host.nodes, 4);
+        assert_eq!(host.node.total_cores(), 12);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! dynamic load balancing via over-decomposition).
 
 use crate::distarray::Location;
+use crate::error::RuntimeError;
 use crate::machine::ClusterSpec;
 
 /// A unit of scheduled work: a contiguous index sub-range on one core.
@@ -31,6 +32,8 @@ pub struct SchedulePlan {
     /// True when node ranges were derived from a data directory (moving
     /// computation to the data) rather than an even split.
     pub aligned_to_data: bool,
+    /// How many chunks were moved off failed nodes by [`SchedulePlan::replan`].
+    pub reassigned_chunks: usize,
 }
 
 impl SchedulePlan {
@@ -42,6 +45,105 @@ impl SchedulePlan {
             .map(|c| (c.node, c.socket, c.core))
             .collect::<BTreeSet<_>>()
             .len()
+    }
+
+    /// Re-assign every chunk placed on a failed node across the surviving
+    /// nodes. Because a multiloop "is agnostic to whether it runs over the
+    /// entire loop bounds or a subset of the loop bounds" (§5), a dead
+    /// node's iteration ranges can simply be re-executed elsewhere: ranges
+    /// are preserved exactly, so the replanned schedule covers the same
+    /// iteration space as the original (no lineage machinery needed).
+    ///
+    /// Placement of orphaned chunks prefers the directory when one is
+    /// given: a chunk whose iteration range is owned by a surviving node's
+    /// data moves there ("move the computation to the data", even during
+    /// recovery). Chunks with no surviving owner round-robin over the
+    /// survivors, cycling through each survivor's sockets and cores so
+    /// recovered work spreads instead of piling onto one core.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownNode`] when `failed_nodes` names a node the
+    ///   cluster does not have;
+    /// * [`RuntimeError::NoSurvivors`] when every node failed. Callers that
+    ///   can re-run locally should degrade via
+    ///   [`crate::ClusterSpec::degrade`] instead of treating this as fatal.
+    pub fn replan(
+        &self,
+        failed_nodes: &[usize],
+        cluster: &ClusterSpec,
+        directory: Option<&[(i64, i64, usize)]>,
+    ) -> Result<SchedulePlan, RuntimeError> {
+        for &node in failed_nodes {
+            if node >= cluster.nodes {
+                return Err(RuntimeError::UnknownNode {
+                    node,
+                    nodes: cluster.nodes,
+                });
+            }
+        }
+        let survivors: Vec<usize> = (0..cluster.nodes)
+            .filter(|n| !failed_nodes.contains(n))
+            .collect();
+        if survivors.is_empty() {
+            return Err(RuntimeError::NoSurvivors);
+        }
+        let is_dead = |node: usize| failed_nodes.contains(&node);
+        let mut out = SchedulePlan {
+            chunks: Vec::with_capacity(self.chunks.len()),
+            aligned_to_data: self.aligned_to_data,
+            reassigned_chunks: 0,
+        };
+        // Deterministic spread of orphaned chunks: a slot cursor walking
+        // survivor × socket × core positions.
+        let spec = cluster.node;
+        let slots_per_node = spec.sockets * spec.cores_per_socket;
+        let mut cursor = 0usize;
+        for chunk in &self.chunks {
+            if !is_dead(chunk.node) {
+                out.chunks.push(*chunk);
+                continue;
+            }
+            out.reassigned_chunks += 1;
+            // Directory alignment first: the surviving owner of the data.
+            let owner = directory.and_then(|dir| {
+                dir.iter()
+                    .find(|&&(s, e, _)| s <= chunk.range.0 && chunk.range.1 <= e)
+                    .map(|&(_, _, node)| node)
+                    .filter(|&node| !is_dead(node) && node < cluster.nodes)
+            });
+            let (node, socket, core) = match owner {
+                Some(node) => {
+                    // Keep the chunk's socket/core shape on the new node.
+                    let socket = chunk.socket % spec.sockets;
+                    let core = chunk.core % spec.cores_per_socket;
+                    (node, socket, core)
+                }
+                None => {
+                    let slot = cursor;
+                    cursor += 1;
+                    // Nodes first, then slots within a node, so recovered
+                    // work spreads across machines before doubling up.
+                    let node = survivors[slot % survivors.len()];
+                    let within = slot / survivors.len() % slots_per_node;
+                    (
+                        node,
+                        within / spec.cores_per_socket,
+                        within % spec.cores_per_socket,
+                    )
+                }
+            };
+            if owner.is_none() && self.aligned_to_data {
+                out.aligned_to_data = false;
+            }
+            out.chunks.push(Chunk {
+                node,
+                socket,
+                core,
+                range: chunk.range,
+            });
+        }
+        Ok(out)
     }
 
     /// Verify full, non-overlapping coverage of `0..n` (test helper).
@@ -206,6 +308,60 @@ mod tests {
         let plan = plan_loop(0, &cluster, None, 1);
         assert!(plan.chunks.is_empty());
         assert!(plan.covers(0));
+    }
+
+    #[test]
+    fn replan_preserves_coverage_and_moves_work_off_dead_nodes() {
+        let cluster = ClusterSpec::amazon_20();
+        let plan = plan_loop(1_000_003, &cluster, None, 2);
+        let replanned = plan.replan(&[3, 17], &cluster, None).unwrap();
+        assert!(replanned.covers(1_000_003));
+        assert!(replanned.chunks.iter().all(|c| c.node != 3 && c.node != 17));
+        assert!(replanned.reassigned_chunks > 0);
+        assert_eq!(replanned.chunks.len(), plan.chunks.len());
+    }
+
+    #[test]
+    fn replan_prefers_surviving_data_owners() {
+        let cluster = ClusterSpec::gpu_4();
+        let dir = vec![(0i64, 250, 0usize), (250, 500, 1), (500, 750, 2), (750, 1000, 3)];
+        let plan = plan_loop(1000, &cluster, Some(&dir), 1);
+        // Kill node 1; its data range [250, 500) has no surviving owner, so
+        // those chunks round-robin. Then kill the *scheduler's* node 0 but
+        // pretend its data moved to node 2 via an updated directory.
+        let dir_after = vec![(0i64, 250, 2usize), (250, 500, 1), (500, 750, 2), (750, 1000, 3)];
+        let replanned = plan.replan(&[0], &cluster, Some(&dir_after)).unwrap();
+        assert!(replanned.covers(1000));
+        for c in &replanned.chunks {
+            assert_ne!(c.node, 0);
+            if c.range.1 <= 250 {
+                assert_eq!(c.node, 2, "recovered chunks follow the data: {c:?}");
+            }
+        }
+        assert!(replanned.aligned_to_data, "directory-aligned recovery");
+    }
+
+    #[test]
+    fn replan_with_no_survivors_is_an_error() {
+        let cluster = ClusterSpec::gpu_4();
+        let plan = plan_loop(100, &cluster, None, 1);
+        assert_eq!(
+            plan.replan(&[0, 1, 2, 3], &cluster, None).err(),
+            Some(crate::RuntimeError::NoSurvivors)
+        );
+        assert_eq!(
+            plan.replan(&[9], &cluster, None).err(),
+            Some(crate::RuntimeError::UnknownNode { node: 9, nodes: 4 })
+        );
+    }
+
+    #[test]
+    fn replan_without_failures_is_identity_shaped() {
+        let cluster = ClusterSpec::amazon_20();
+        let plan = plan_loop(5_000, &cluster, None, 1);
+        let same = plan.replan(&[], &cluster, None).unwrap();
+        assert_eq!(same.reassigned_chunks, 0);
+        assert_eq!(same.chunks, plan.chunks);
     }
 
     #[test]

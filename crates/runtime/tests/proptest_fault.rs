@@ -1,0 +1,139 @@
+//! Property-based tests for the fault-tolerance layer: replanning after
+//! node loss always preserves exact iteration coverage, and fault injection
+//! is a pure function of the plan seed (bit-deterministic under any query
+//! order — the property that makes failure scenarios replayable).
+
+use dmll_runtime::{plan_loop, ClusterSpec, FaultInjector, FaultPlan, Location, MachineSpec};
+use proptest::prelude::*;
+
+fn cluster_of(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        ..ClusterSpec::single(MachineSpec::m1_xlarge())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any loop size, cluster, over-decomposition factor and non-empty
+    /// surviving subset, the replanned schedule still covers `0..n` exactly
+    /// once and places nothing on a dead node.
+    #[test]
+    fn replan_covers_for_any_survivor_subset(
+        iterations in 1i64..50_000,
+        nodes in 2usize..9,
+        chunks_per_core in 1usize..4,
+        mask_raw in 0u32..256,
+    ) {
+        let cluster = cluster_of(nodes);
+        // Clamp the failure mask so at least one node survives.
+        let full = (1u32 << nodes) - 1;
+        let mask = mask_raw & full;
+        let mask = if mask == full { mask & !1 } else { mask };
+        let failed: Vec<usize> = (0..nodes).filter(|n| mask >> n & 1 == 1).collect();
+
+        let plan = plan_loop(iterations, &cluster, None, chunks_per_core);
+        prop_assert!(plan.covers(iterations));
+        let replanned = plan.replan(&failed, &cluster, None).unwrap();
+        prop_assert!(replanned.covers(iterations), "coverage after losing {failed:?}");
+        prop_assert!(replanned.chunks.iter().all(|c| !failed.contains(&c.node)));
+        prop_assert_eq!(replanned.chunks.len(), plan.chunks.len());
+    }
+
+    /// Replanning with a directory keeps coverage too, and every chunk
+    /// whose range is owned by a surviving node lands on that owner.
+    #[test]
+    fn replan_with_directory_covers_and_aligns(
+        per_node in 10i64..2_000,
+        mask_raw in 0u32..15,
+    ) {
+        let nodes = 4;
+        let cluster = cluster_of(nodes);
+        let n = per_node * nodes as i64;
+        let dir: Vec<(i64, i64, usize)> = (0..nodes)
+            .map(|k| (k as i64 * per_node, (k as i64 + 1) * per_node, k))
+            .collect();
+        let failed: Vec<usize> = (0..nodes).filter(|k| mask_raw >> k & 1 == 1).collect();
+        if failed.len() == nodes {
+            return Ok(());
+        }
+        let plan = plan_loop(n, &cluster, Some(&dir), 2);
+        let replanned = plan.replan(&failed, &cluster, Some(&dir)).unwrap();
+        prop_assert!(replanned.covers(n));
+        prop_assert!(replanned.chunks.iter().all(|c| !failed.contains(&c.node)));
+    }
+
+    /// Fault-injection decisions are a pure function of `(plan, query)`:
+    /// two injectors with the same plan agree on every query even when the
+    /// queries arrive in opposite orders (thread-interleaving independence).
+    #[test]
+    fn fault_injection_is_bit_deterministic(
+        seed in any::<u64>(),
+        permille in 0u32..1001,
+        queries in prop::collection::vec(
+            (0usize..8, 0usize..8, 0usize..10_000, 0u32..5),
+            1usize..50,
+        ),
+    ) {
+        let plan = FaultPlan::new(seed)
+            .drop_remote_reads(f64::from(permille) / 1000.0)
+            .kill_node(3, 10);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let loc = |node: usize| Location { node, socket: 0 };
+        let forward: Vec<bool> = queries
+            .iter()
+            .map(|&(f, o, i, at)| a.remote_read_fails(loc(f), loc(o), i, at))
+            .collect();
+        let mut backward: Vec<bool> = queries
+            .iter()
+            .rev()
+            .map(|&(f, o, i, at)| b.remote_read_fails(loc(f), loc(o), i, at))
+            .collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward, "decisions independent of query order");
+    }
+
+    /// Scripted node deaths are pure functions of abstract time: the set of
+    /// failed nodes at any step matches the plan, regardless of how the
+    /// step counter got there.
+    #[test]
+    fn node_death_depends_only_on_step(
+        deaths in prop::collection::vec((0usize..6, 0u64..20), 0usize..5),
+        at in 0u64..25,
+    ) {
+        let mut plan = FaultPlan::new(0);
+        for &(node, step) in &deaths {
+            plan = plan.kill_node(node, step);
+        }
+        let inj = FaultInjector::new(plan.clone());
+        for _ in 0..at {
+            inj.advance_step();
+        }
+        prop_assert_eq!(inj.failed_nodes(), plan.failed_nodes_at(at));
+        for &(node, step) in &deaths {
+            prop_assert_eq!(inj.node_is_down(node), step <= at || deaths
+                .iter()
+                .any(|&(n2, s2)| n2 == node && s2 <= at));
+        }
+    }
+}
+
+/// Exhaustive companion to the random subset property: a 4-node cluster,
+/// every non-empty proper failure subset (so every non-empty surviving
+/// subset), coverage must hold for each.
+#[test]
+fn replan_covers_for_every_survivor_subset_exhaustive() {
+    let cluster = cluster_of(4);
+    let n = 12_345;
+    let plan = plan_loop(n, &cluster, None, 2);
+    for mask in 0u32..15 {
+        let failed: Vec<usize> = (0..4).filter(|k| mask >> k & 1 == 1).collect();
+        let replanned = plan
+            .replan(&failed, &cluster, None)
+            .unwrap_or_else(|e| panic!("replan {failed:?}: {e}"));
+        assert!(replanned.covers(n), "failed={failed:?}");
+        assert!(replanned.chunks.iter().all(|c| !failed.contains(&c.node)));
+    }
+}

@@ -268,7 +268,10 @@ mod tests {
     fn kmeans_inputs(rows: usize, cols: usize, k: usize, seed: u64) -> Vec<(&'static str, Value)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
-        let cents: Vec<f64> = (0..k * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        // Forgy initialization: centroids are the first k data rows, so every
+        // centroid is nearest to at least its own point and no cluster is
+        // empty (EmptyReduce) for any RNG stream.
+        let cents: Vec<f64> = data[..k * cols].to_vec();
         vec![
             ("matrix", Value::matrix(data, rows, cols)),
             ("clusters", Value::matrix(cents, k, cols)),

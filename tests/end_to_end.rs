@@ -74,9 +74,11 @@ fn kmeans_figure5_structure_emerges() {
     }
 }
 
+type StageFn = Box<dyn Fn() -> dmll::ir::Program>;
+
 #[test]
 fn every_app_survives_every_target_recipe() {
-    let apps: Vec<(&str, Box<dyn Fn() -> dmll::ir::Program>)> = vec![
+    let apps: Vec<(&str, StageFn)> = vec![
         ("q1", Box::new(dmll::apps::q1::stage_q1)),
         ("gene", Box::new(dmll::apps::gene::stage_gene)),
         ("gda", Box::new(dmll::apps::gda::stage_gda)),

@@ -184,9 +184,9 @@ proptest! {
         let a = DistArray::partition(data.clone(), &locs);
         prop_assert_eq!(a.gather(), data.clone());
         for (start, end, loc) in a.directory() {
-            for i in start..end {
+            for (i, &v) in data.iter().enumerate().take(end).skip(start) {
                 prop_assert_eq!(a.owner(i), loc);
-                prop_assert_eq!(a.read(loc, i), data[i]);
+                prop_assert_eq!(a.read(loc, i), v);
             }
         }
         let (_, remote, _) = a.stats().snapshot();

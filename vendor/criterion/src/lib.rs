@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This crate provides a working wall-clock harness for
+//! the same API the workspace's benches use — `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with median-of-samples reporting and none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored by this harness; each batch
+/// runs one routine invocation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.measured.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.measured.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, measured: &mut [Duration]) {
+    if measured.is_empty() {
+        return;
+    }
+    measured.sort_unstable();
+    let median = measured[measured.len() / 2];
+    let min = measured[0];
+    let max = measured[measured.len() - 1];
+    println!(
+        "{name:<48} median {:>12.3?}  (min {:.3?}, max {:.3?}, n={})",
+        median,
+        min,
+        max,
+        measured.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.measured);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 10,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &mut b.measured);
+        self
+    }
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut produced = Vec::new();
+        let mut next = 0i32;
+        c.benchmark_group("test")
+            .sample_size(2)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || {
+                        next += 1;
+                        next
+                    },
+                    |input| produced.push(input),
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(produced, vec![1, 2, 3]);
+    }
+}
