@@ -1,0 +1,39 @@
+//! Measured execution-tier comparison: compiled bytecode kernels vs the
+//! tree-walking interpreter on real data, emitting `BENCH_kernels.json`.
+//!
+//! Usage: `kernels_tier [--smoke]`. `--smoke` runs the small CI size and
+//! exits nonzero if the compiled tier is slower than the tree-walker (or
+//! the tiers disagree) on any app.
+
+use dmll_bench::{render, tiers};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 1 } else { 10 };
+    let rows = tiers::tier_comparison(scale);
+    print!("{}", render::kernels(&rows));
+
+    let json = tiers::to_json(&rows);
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+
+    let mut failed = false;
+    for r in &rows {
+        if !r.identical {
+            eprintln!("FAIL: {} tiers produced different results", r.app);
+            failed = true;
+        }
+        if smoke && r.speedup() < 1.0 {
+            eprintln!(
+                "FAIL: {} compiled tier slower than tree-walker ({:.2}x)",
+                r.app,
+                r.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -19,8 +19,12 @@
 //! * `fig7_numa` — NUMA scaling of DMLL / pin-only / Delite / Spark /
 //!   PowerGraph, 1–48 cores;
 //! * `fig8_cluster` — the 20-node EC2 cluster, the 4-node GPU cluster, the
-//!   graph comparison and the Gibbs case study.
+//!   graph comparison and the Gibbs case study;
+//! * `kernels_tier` — measured interpreter execution-tier comparison
+//!   (compiled bytecode kernels vs the tree-walker), emitting
+//!   `BENCH_kernels.json`.
 
 pub mod experiments;
 pub mod render;
+pub mod tiers;
 pub mod workloads;

@@ -64,6 +64,31 @@ pub fn fig8(rows: &[Fig8Row], title: &str, baseline: &str) -> String {
     out
 }
 
+/// Render the execution-tier comparison (measured, not modeled).
+pub fn kernels(rows: &[crate::tiers::TierRow]) -> String {
+    let mut out = String::from("Execution tiers: compiled bytecode kernels vs tree-walker\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>12} {:>8} {:>7} {:>9} {:>10}",
+        "Benchmark", "Rows", "Compiled(s)", "Treewalk(s)", "Speedup", "Loops", "Fallback", "Identical"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12.4} {:>12.4} {:>7.2}x {:>7} {:>9} {:>10}",
+            r.app,
+            r.rows,
+            r.compiled_secs,
+            r.treewalk_secs,
+            r.speedup(),
+            r.compiled_loops,
+            r.fallback_loops,
+            if r.identical { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
 /// Render the degraded-mode companion table.
 pub fn fig8_degraded(rows: &[DegradedRow], title: &str) -> String {
     let mut out = format!("{title}\n");
@@ -123,5 +148,16 @@ mod tests {
             "PowerGraph",
         );
         assert!(e.contains("1.20x"), "{e}");
+        let k = kernels(&[crate::tiers::TierRow {
+            app: "k-means",
+            rows: 3000,
+            compiled_secs: 0.01,
+            treewalk_secs: 0.05,
+            identical: true,
+            compiled_loops: 2,
+            fallback_loops: 0,
+            stats: Default::default(),
+        }]);
+        assert!(k.contains("5.00x") && k.contains("yes"), "{k}");
     }
 }

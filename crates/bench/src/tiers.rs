@@ -1,0 +1,217 @@
+//! Execution-tier comparison: the same optimized programs, on real data,
+//! run on the interpreter's compiled bytecode tier and on the tree-walking
+//! tier, demanding bit-identical outputs and measuring throughput.
+//!
+//! Unlike the modeled experiments, everything here is *measured*: each app
+//! is staged, optimized for the CPU target (so the kernels see the
+//! post-SoA loop shapes), and executed twice per tier on deterministic
+//! synthetic data. Sequential execution keeps float reductions in the same
+//! association order on both tiers, so outputs must match exactly.
+
+use dmll_core::Program;
+use dmll_interp::{eval_tree_walk, reset_tier_totals, tier_totals, Interp, Value};
+use dmll_runtime::ExecTierStats;
+use dmll_transform::{pipeline, Target};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One app's tier-comparison measurements.
+pub struct TierRow {
+    /// Benchmark name.
+    pub app: &'static str,
+    /// Primary data dimension (rows / reads).
+    pub rows: usize,
+    /// Best-of-two wall time on the compiled tier, seconds.
+    pub compiled_secs: f64,
+    /// Best-of-two wall time on the tree-walking tier, seconds.
+    pub treewalk_secs: f64,
+    /// Outputs of the two tiers compared equal.
+    pub identical: bool,
+    /// Top-level loops that ran compiled in one compiled-tier execution.
+    pub compiled_loops: u64,
+    /// Top-level loops that fell back to the tree-walker in that execution.
+    pub fallback_loops: u64,
+    /// Tier counters bridged into the runtime's profiling type.
+    pub stats: ExecTierStats,
+}
+
+impl TierRow {
+    /// Tree-walk time over compiled time.
+    pub fn speedup(&self) -> f64 {
+        self.treewalk_secs / self.compiled_secs.max(1e-12)
+    }
+}
+
+struct Case {
+    app: &'static str,
+    program: Program,
+    inputs: Vec<(&'static str, Value)>,
+    rows: usize,
+}
+
+/// Build the three tier-comparison workloads at a size multiplier
+/// (`scale = 1` is the CI smoke size; the full bench uses 10).
+fn cases(scale: usize) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // k-means: one assignment + update iteration.
+    let (km_rows, km_cols, k) = (3_000 * scale, 16, 8);
+    let (x, cents, _) = dmll_data::matrix::gaussian_clusters(km_rows, km_cols, k, 0.5, 1);
+    let mut p = dmll_apps::kmeans::stage_kmeans(k as i64);
+    pipeline::optimize(&mut p, Target::Cpu);
+    out.push(Case {
+        app: "k-means",
+        program: p,
+        inputs: vec![
+            ("matrix", dmll_apps::util::matrix_value(&x)),
+            ("clusters", dmll_apps::util::matrix_value(&cents)),
+        ],
+        rows: km_rows,
+    });
+
+    // Logistic regression: one gradient step.
+    let (lr_rows, lr_cols) = (10_000 * scale, 16);
+    let (x, y) = dmll_data::matrix::labeled_binary(lr_rows, lr_cols, 2);
+    let mut p = dmll_apps::logreg::stage_logreg(0.01);
+    pipeline::optimize(&mut p, Target::Cpu);
+    out.push(Case {
+        app: "LogReg",
+        program: p,
+        inputs: vec![
+            ("x", dmll_apps::util::matrix_value(&x)),
+            ("y", Value::f64_arr(y)),
+            ("theta", Value::f64_arr(vec![0.0; lr_cols])),
+        ],
+        rows: lr_rows,
+    });
+
+    // Gene barcoding: group reads by barcode, count + mean quality.
+    let reads = 40_000 * scale;
+    let cols = dmll_data::gene::to_columns(&dmll_data::gene::gen_reads(reads, 1024, 64, 3));
+    let mut p = dmll_apps::gene::stage_gene();
+    pipeline::optimize(&mut p, Target::Cpu);
+    out.push(Case {
+        app: "Gene",
+        program: p,
+        inputs: vec![
+            ("barcode", Value::i64_arr(cols.barcode)),
+            ("quality", Value::i64_arr(cols.quality)),
+        ],
+        rows: reads,
+    });
+
+    out
+}
+
+/// Run the tier comparison at a size multiplier. Each tier executes every
+/// app twice (the first compiled-tier run pays kernel compilation, later
+/// runs hit the cache); wall times are best-of-two.
+pub fn tier_comparison(scale: usize) -> Vec<TierRow> {
+    cases(scale.max(1)).into_iter().map(run_case).collect()
+}
+
+fn run_case(case: Case) -> TierRow {
+    let interp = Interp::new(&case.program);
+
+    reset_tier_totals();
+    let mut compiled_secs = f64::INFINITY;
+    let mut compiled_out = None;
+    let mut compiled_loops: u64 = 0;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let (out, report) = interp.run_report(&case.inputs).expect("compiled tier run");
+        compiled_secs = compiled_secs.min(t0.elapsed().as_secs_f64());
+        compiled_loops = report.compiled_loops;
+        compiled_out = Some(out);
+    }
+    let ct = tier_totals();
+
+    reset_tier_totals();
+    let mut treewalk_secs = f64::INFINITY;
+    let mut treewalk_out = None;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let out = eval_tree_walk(&case.program, &case.inputs).expect("tree-walk tier run");
+        treewalk_secs = treewalk_secs.min(t0.elapsed().as_secs_f64());
+        treewalk_out = Some(out);
+    }
+    let tt = tier_totals();
+
+    // Bridge the interpreter counters into the runtime's profiling type:
+    // kernel/compile numbers from the compiled phase, walk numbers from the
+    // forced tree-walk phase.
+    let stats = ExecTierStats {
+        kernels_compiled: ct.kernels_compiled,
+        kernel_cache_hits: ct.kernel_cache_hits,
+        fallback_loops: ct.fallback_loops,
+        compile_nanos: ct.compile_nanos,
+        compiled_loops: ct.compiled_loops,
+        compiled_elements: ct.compiled_elements,
+        compiled_nanos: ct.compiled_nanos,
+        treewalk_loops: tt.treewalk_loops,
+        treewalk_elements: tt.treewalk_elements,
+        treewalk_nanos: tt.treewalk_nanos,
+    };
+    TierRow {
+        app: case.app,
+        rows: case.rows,
+        compiled_secs,
+        treewalk_secs,
+        identical: compiled_out == treewalk_out,
+        compiled_loops,
+        fallback_loops: ct.fallback_loops,
+        stats,
+    }
+}
+
+/// Serialize rows as the `BENCH_kernels.json` document.
+pub fn to_json(rows: &[TierRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"kernels_tier\",\n  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"app\": \"{}\", \"rows\": {}, \"compiled_secs\": {:.6}, \
+             \"treewalk_secs\": {:.6}, \"speedup\": {:.2}, \"identical\": {}, \
+             \"compiled_loops\": {}, \"fallback_loops\": {}, \
+             \"kernels_compiled\": {}, \"kernel_cache_hits\": {}, \
+             \"compile_millis\": {:.3}, \
+             \"compiled_elements_per_sec\": {:.0}, \"treewalk_elements_per_sec\": {:.0}}}{}",
+            r.app,
+            r.rows,
+            r.compiled_secs,
+            r.treewalk_secs,
+            r.speedup(),
+            r.identical,
+            r.compiled_loops,
+            r.fallback_loops,
+            r.stats.kernels_compiled,
+            r.stats.kernel_cache_hits,
+            r.stats.compile_nanos as f64 / 1e6,
+            r.stats.compiled_elements_per_sec().unwrap_or(0.0),
+            r.stats.treewalk_elements_per_sec().unwrap_or(0.0),
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_agree_and_kernels_fire() {
+        // Smallest scale: correctness of the comparison harness, not speed.
+        let rows = tier_comparison(1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.identical, "{} tiers disagree", r.app);
+            assert!(r.compiled_loops > 0, "{} never compiled a loop", r.app);
+            assert!(r.stats.treewalk_loops > 0, "{} never tree-walked", r.app);
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"k-means\""), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+    }
+}

@@ -1,0 +1,2774 @@
+//! The compiled execution tier: multiloop bodies lowered to a flat
+//! register-based bytecode over unboxed `i64`/`f64`/`bool` registers.
+//!
+//! The tree-walking evaluator ([`crate::eval`]) pays per element for every
+//! `Exp` match, every `Env` slot write and every boxed [`Value`]. This
+//! module removes that overhead for the hot path: each top-level
+//! [`Multiloop`]'s generator component functions (condition / key / value /
+//! reducer) are lowered once into straight-line instruction sequences whose
+//! operands are typed registers, and the per-element loop runs those
+//! sequences against typed accumulators that write straight into
+//! `Vec<i64>` / `Vec<f64>` buffers.
+//!
+//! Design rules (see DESIGN.md §8):
+//!
+//! * **Bit-identical semantics or bust.** Every typed instruction
+//!   replicates the tree-walker's behaviour exactly, including error
+//!   variants (`IndexOutOfBounds`, `DivisionByZero`, `EmptyReduce`, …),
+//!   wrapping integer arithmetic, first-seen bucket order, and the
+//!   `seal_array` storage rules (empty collects seal to `Boxed`). Anything
+//!   the compiler cannot prove it can replicate is *rejected* and the whole
+//!   loop falls back to the tree-walker — so a fallback is never a
+//!   behaviour change, only a missed speedup.
+//! * **Refined value types.** Free variables are classified from their
+//!   runtime values ([`VTy`]); the classification is part of the kernel
+//!   cache key, so a cached kernel is only reused when operand storage
+//!   (e.g. `ArrayVal::F64` vs `Boxed`) matches what it was compiled for.
+//! * **Loop-invariant hoisting.** Infallible statements whose operands are
+//!   loop-invariant are executed once per invocation in a preamble instead
+//!   of once per element. Fallible operations (division, reads, dynamic
+//!   projections) are never hoisted, because the tree-walker would not have
+//!   executed them for an empty loop.
+//! * **Boxed fallback ops.** Structs, tuples and polymorphic primitives
+//!   that cannot be typed still compile — into generic instructions over
+//!   `Value` registers that call the same helpers as the tree-walker.
+//!
+//! Kernels are cached process-wide, keyed by a structural hash of the
+//! multiloop plus the free-variable [`VTy`]s, so iterative apps (k-means,
+//! logreg, PageRank epochs) compile each loop once.
+
+use crate::error::EvalError;
+use crate::eval::{eval_math, eval_prim, read_array, seal_array, Env};
+use crate::stats;
+use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
+use dmll_core::gen::GenKind;
+use dmll_core::visit::free_syms;
+use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, StructTy, Sym, Ty};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Register model
+// ---------------------------------------------------------------------------
+
+/// Register class: which register file a value lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Class {
+    /// Unboxed `i64`.
+    I,
+    /// Unboxed `f64`.
+    F,
+    /// Unboxed `bool`.
+    B,
+    /// Boxed [`Value`] (tuples, structs, arrays, buckets, strings, unit).
+    V,
+}
+
+/// A typed register reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Reg {
+    pub class: Class,
+    pub idx: u16,
+}
+
+/// Refined runtime type of a symbol: drives register-class assignment and
+/// certifies typed instructions (e.g. an unboxed read requires the array
+/// operand to be `Arr(F)`). Also the kernel cache-key component for free
+/// variables.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum VTy {
+    /// `i64` scalar.
+    I,
+    /// `f64` scalar.
+    F,
+    /// `bool` scalar.
+    B,
+    /// String.
+    Str,
+    /// Unit.
+    Unit,
+    /// An array with unboxed element storage; the inner type is always
+    /// `I`, `F` or `B`.
+    Arr(Box<VTy>),
+    /// Definitely an array, element storage unknown (boxed or empty).
+    ArrGen,
+    /// A tuple with per-component refinements.
+    Tuple(Arc<Vec<VTy>>),
+    /// A struct of known type with per-field refinements.
+    Struct(Arc<StructTy>, Arc<Vec<VTy>>),
+    /// A bucket collection.
+    Buckets,
+    /// Anything else / unknown.
+    Gen,
+}
+
+impl VTy {
+    pub(crate) fn class(&self) -> Class {
+        match self {
+            VTy::I => Class::I,
+            VTy::F => Class::F,
+            VTy::B => Class::B,
+            _ => Class::V,
+        }
+    }
+
+    /// Classify a runtime value, depth-limited so adversarial nesting cannot
+    /// blow up the cache key.
+    pub(crate) fn of(v: &Value, depth: usize) -> VTy {
+        if depth > 4 {
+            return VTy::Gen;
+        }
+        match v {
+            Value::I64(_) => VTy::I,
+            Value::F64(_) => VTy::F,
+            Value::Bool(_) => VTy::B,
+            Value::Str(_) => VTy::Str,
+            Value::Unit => VTy::Unit,
+            Value::Arr(ArrayVal::I64(_)) => VTy::Arr(Box::new(VTy::I)),
+            Value::Arr(ArrayVal::F64(_)) => VTy::Arr(Box::new(VTy::F)),
+            Value::Arr(ArrayVal::Bool(_)) => VTy::Arr(Box::new(VTy::B)),
+            Value::Arr(ArrayVal::Boxed(_)) => VTy::ArrGen,
+            Value::Tuple(vs) => VTy::Tuple(Arc::new(
+                vs.iter().map(|x| VTy::of(x, depth + 1)).collect(),
+            )),
+            Value::Struct(s) => VTy::Struct(
+                Arc::new(s.ty.clone()),
+                Arc::new(s.fields.iter().map(|x| VTy::of(x, depth + 1)).collect()),
+            ),
+            Value::Buckets(_) => VTy::Buckets,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction set
+// ---------------------------------------------------------------------------
+
+/// Infallible integer binary ops (wrapping, like the tree-walker).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum IOp {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+}
+
+/// Float binary ops (all infallible in IEEE arithmetic).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+/// Comparison ops.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One bytecode instruction. Bare `u16` operands index the register file
+/// implied by the variant; [`Reg`] operands are polymorphic.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    ConstI { dst: u16, v: i64 },
+    ConstF { dst: u16, v: f64 },
+    ConstB { dst: u16, v: bool },
+    ConstV { dst: u16, v: Value },
+    BinI { op: IOp, dst: u16, a: u16, b: u16 },
+    DivI { dst: u16, a: u16, b: u16 },
+    RemI { dst: u16, a: u16, b: u16 },
+    BinF { op: FOp, dst: u16, a: u16, b: u16 },
+    NegI { dst: u16, a: u16 },
+    NegF { dst: u16, a: u16 },
+    CmpI { op: CmpOp, dst: u16, a: u16, b: u16 },
+    CmpF { op: CmpOp, dst: u16, a: u16, b: u16 },
+    CmpB { op: CmpOp, dst: u16, a: u16, b: u16 },
+    AndB { dst: u16, a: u16, b: u16 },
+    OrB { dst: u16, a: u16, b: u16 },
+    NotB { dst: u16, a: u16 },
+    MuxI { dst: u16, c: u16, a: u16, b: u16 },
+    MuxF { dst: u16, c: u16, a: u16, b: u16 },
+    MuxB { dst: u16, c: u16, a: u16, b: u16 },
+    MuxV { dst: u16, c: u16, a: u16, b: u16 },
+    MathF { f: MathFn, dst: u16, a: u16 },
+    /// Math on a boxed operand: `as_f64` or the tree-walker's error.
+    MathV { f: MathFn, dst: u16, a: Reg },
+    CastIF { dst: u16, a: u16 },
+    CastFI { dst: u16, a: u16 },
+    /// Cast with a boxed or ill-typed operand; replicates the tree-walker's
+    /// match (including its error for non-numeric targets).
+    CastDyn { to: Ty, dst: Reg, a: Reg },
+    /// Array length of any operand (errors on non-arrays, like the walker).
+    LenA { dst: u16, a: Reg },
+    /// Coerce a nested-loop size operand to `i64` (`"loop size"` error).
+    SizeI { dst: u16, a: Reg },
+    /// Coerce a condition result to `bool` (`"condition"` error).
+    CondB { dst: u16, a: Reg },
+    /// Certified unboxed reads: the array operand was proven `Arr(I/F/B)`.
+    ReadVI { dst: u16, arr: u16, idx: u16 },
+    ReadVF { dst: u16, arr: u16, idx: u16 },
+    ReadVB { dst: u16, arr: u16, idx: u16 },
+    /// Read from a V-register array into a V register.
+    ReadVV { dst: u16, arr: u16, idx: u16 },
+    /// Fully dynamic read (non-V array operand or non-I index).
+    ReadDyn { dst: u16, arr: Reg, idx: Reg },
+    /// Fallback primitive: boxes operands and calls the tree-walker's
+    /// `eval_prim` — identical results and identical errors by construction.
+    PrimV { op: PrimOp, dst: Reg, args: Vec<Reg> },
+    TupleNewV { dst: u16, args: Vec<Reg> },
+    /// Certified tuple projections (component class known at compile time).
+    TupleGetI { dst: u16, t: u16, idx: u32 },
+    TupleGetF { dst: u16, t: u16, idx: u32 },
+    TupleGetB { dst: u16, t: u16, idx: u32 },
+    TupleGetV { dst: u16, t: u16, idx: u32 },
+    TupleGetDyn { dst: u16, t: Reg, idx: u32 },
+    StructNewV { dst: u16, ty: Arc<StructTy>, args: Vec<Reg> },
+    /// Certified field read with a compile-time-resolved field index.
+    StructGetIdx { dst: Reg, obj: u16, idx: u32 },
+    StructGetDyn { dst: u16, obj: Reg, name: Arc<str> },
+    FlattenV { dst: u16, a: Reg },
+    BucketValuesV { dst: u16, a: Reg },
+    BucketKeysV { dst: u16, a: Reg },
+    BucketLenV { dst: u16, a: Reg },
+    BucketGetV { dst: u16, b: Reg, k: Reg, default: Option<Reg> },
+    /// Execute nested compiled loop `kernel.loops[i]`.
+    Loop(u32),
+}
+
+/// A compiled block: write `params`, run `instrs`, read `result`.
+#[derive(Clone, Debug)]
+pub(crate) struct CBlock {
+    pub params: Vec<Reg>,
+    pub instrs: Vec<Instr>,
+    pub result: Reg,
+}
+
+/// Recognized single-instruction reducers, applied without block dispatch.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FastRed {
+    I(IOp),
+    F(FOp),
+}
+
+/// A compiled generator.
+#[derive(Clone, Debug)]
+pub(crate) struct CGen {
+    pub kind: GenKind,
+    pub cond: Option<CBlock>,
+    pub key: Option<CBlock>,
+    pub value: CBlock,
+    pub reducer: Option<CBlock>,
+    /// Register holding the (loop-invariant) explicit reduce identity.
+    pub init: Option<Reg>,
+    pub val_class: Class,
+    /// Bucket keys are unboxed `i64` (typed hash index).
+    pub key_typed: bool,
+    pub fast_red: Option<FastRed>,
+}
+
+/// A nested compiled loop: size register, generators, one destination
+/// register per generator.
+#[derive(Clone, Debug)]
+pub(crate) struct CLoop {
+    pub size: u16,
+    pub gens: Vec<CGen>,
+    pub dsts: Vec<Reg>,
+}
+
+/// A compiled top-level multiloop.
+#[derive(Debug)]
+pub(crate) struct Kernel {
+    pub gens: Vec<CGen>,
+    pub preamble: Vec<Instr>,
+    pub loops: Vec<CLoop>,
+    /// Free symbols to bind from the environment, with their registers.
+    pub free: Vec<(Sym, Reg)>,
+    pub n_regs: [usize; 4],
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// Per-invocation register files. One state per worker chunk; re-used for
+/// chunk re-execution so recovery runs the very same kernel.
+pub(crate) struct KState {
+    ri: Vec<i64>,
+    rf: Vec<f64>,
+    rb: Vec<bool>,
+    rv: Vec<Value>,
+}
+
+/// An unboxed-or-boxed scalar crossing the accumulator boundary.
+#[derive(Clone, Debug)]
+pub(crate) enum Scalar {
+    I(i64),
+    F(f64),
+    B(bool),
+    V(Value),
+}
+
+impl KState {
+    fn read_scalar(&self, r: Reg) -> Scalar {
+        match r.class {
+            Class::I => Scalar::I(self.ri[r.idx as usize]),
+            Class::F => Scalar::F(self.rf[r.idx as usize]),
+            Class::B => Scalar::B(self.rb[r.idx as usize]),
+            Class::V => Scalar::V(self.rv[r.idx as usize].clone()),
+        }
+    }
+
+    fn write_scalar(&mut self, r: Reg, s: Scalar) -> Result<(), EvalError> {
+        match (r.class, s) {
+            (Class::I, Scalar::I(x)) => self.ri[r.idx as usize] = x,
+            (Class::F, Scalar::F(x)) => self.rf[r.idx as usize] = x,
+            (Class::B, Scalar::B(x)) => self.rb[r.idx as usize] = x,
+            (Class::V, Scalar::V(x)) => self.rv[r.idx as usize] = x,
+            (Class::V, s) => self.rv[r.idx as usize] = scalar_value(s),
+            _ => {
+                return Err(EvalError::TypeMismatch(
+                    "kernel register class mismatch".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Box the register's content into a [`Value`].
+    fn value_of(&self, r: Reg) -> Value {
+        match r.class {
+            Class::I => Value::I64(self.ri[r.idx as usize]),
+            Class::F => Value::F64(self.rf[r.idx as usize]),
+            Class::B => Value::Bool(self.rb[r.idx as usize]),
+            Class::V => self.rv[r.idx as usize].clone(),
+        }
+    }
+
+    fn write_value(&mut self, r: Reg, v: Value) -> Result<(), EvalError> {
+        match r.class {
+            Class::I => {
+                self.ri[r.idx as usize] = v
+                    .as_i64()
+                    .ok_or_else(|| EvalError::TypeMismatch("kernel expected i64".into()))?
+            }
+            Class::F => {
+                self.rf[r.idx as usize] = v
+                    .as_f64()
+                    .ok_or_else(|| EvalError::TypeMismatch("kernel expected f64".into()))?
+            }
+            Class::B => {
+                self.rb[r.idx as usize] = v
+                    .as_bool()
+                    .ok_or_else(|| EvalError::TypeMismatch("kernel expected bool".into()))?
+            }
+            Class::V => self.rv[r.idx as usize] = v,
+        }
+        Ok(())
+    }
+}
+
+fn scalar_value(s: Scalar) -> Value {
+    match s {
+        Scalar::I(x) => Value::I64(x),
+        Scalar::F(x) => Value::F64(x),
+        Scalar::B(x) => Value::Bool(x),
+        Scalar::V(v) => v,
+    }
+}
+
+#[inline]
+fn bounds(i: i64, len: usize) -> Result<usize, EvalError> {
+    if i < 0 || i as usize >= len {
+        Err(EvalError::IndexOutOfBounds { index: i, len })
+    } else {
+        Ok(i as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed accumulators
+// ---------------------------------------------------------------------------
+
+/// A typed collect buffer (per generator, or per bucket).
+#[derive(Debug)]
+pub(crate) enum ColBuf {
+    I(Vec<i64>),
+    F(Vec<f64>),
+    B(Vec<bool>),
+    V(Vec<Value>),
+}
+
+impl ColBuf {
+    fn new(class: Class, cap: usize) -> ColBuf {
+        match class {
+            Class::I => ColBuf::I(Vec::with_capacity(cap)),
+            Class::F => ColBuf::F(Vec::with_capacity(cap)),
+            Class::B => ColBuf::B(Vec::with_capacity(cap)),
+            Class::V => ColBuf::V(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn push_result(&mut self, st: &KState, res: Reg) {
+        match self {
+            ColBuf::I(v) => v.push(st.ri[res.idx as usize]),
+            ColBuf::F(v) => v.push(st.rf[res.idx as usize]),
+            ColBuf::B(v) => v.push(st.rb[res.idx as usize]),
+            ColBuf::V(v) => v.push(st.rv[res.idx as usize].clone()),
+        }
+    }
+
+    fn extend(&mut self, other: ColBuf) -> Result<(), EvalError> {
+        match (self, other) {
+            (ColBuf::I(a), ColBuf::I(b)) => a.extend(b),
+            (ColBuf::F(a), ColBuf::F(b)) => a.extend(b),
+            (ColBuf::B(a), ColBuf::B(b)) => a.extend(b),
+            (ColBuf::V(a), ColBuf::V(b)) => a.extend(b),
+            _ => {
+                return Err(EvalError::TypeMismatch(
+                    "mismatched accumulators across chunks".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal with the tree-walker's `seal_array` storage rules: typed
+    /// buffers stay typed when non-empty; empty collects are `Boxed`.
+    fn seal(self) -> ArrayVal {
+        match self {
+            ColBuf::I(v) if !v.is_empty() => ArrayVal::I64(Arc::new(v)),
+            ColBuf::F(v) if !v.is_empty() => ArrayVal::F64(Arc::new(v)),
+            ColBuf::B(v) if !v.is_empty() => ArrayVal::Bool(Arc::new(v)),
+            ColBuf::V(v) => seal_array(v),
+            _ => ArrayVal::Boxed(Arc::new(Vec::new())),
+        }
+    }
+}
+
+/// Slot-indexed per-bucket reduce states.
+#[derive(Debug)]
+pub(crate) enum RedBuf {
+    I(Vec<i64>),
+    F(Vec<f64>),
+    B(Vec<bool>),
+    V(Vec<Value>),
+}
+
+impl RedBuf {
+    fn new(class: Class) -> RedBuf {
+        match class {
+            Class::I => RedBuf::I(Vec::new()),
+            Class::F => RedBuf::F(Vec::new()),
+            Class::B => RedBuf::B(Vec::new()),
+            Class::V => RedBuf::V(Vec::new()),
+        }
+    }
+
+    fn get(&self, slot: usize) -> Scalar {
+        match self {
+            RedBuf::I(v) => Scalar::I(v[slot]),
+            RedBuf::F(v) => Scalar::F(v[slot]),
+            RedBuf::B(v) => Scalar::B(v[slot]),
+            RedBuf::V(v) => Scalar::V(v[slot].clone()),
+        }
+    }
+
+    fn set(&mut self, slot: usize, s: Scalar) -> Result<(), EvalError> {
+        match (self, s) {
+            (RedBuf::I(v), Scalar::I(x)) => v[slot] = x,
+            (RedBuf::F(v), Scalar::F(x)) => v[slot] = x,
+            (RedBuf::B(v), Scalar::B(x)) => v[slot] = x,
+            (RedBuf::V(v), Scalar::V(x)) => v[slot] = x,
+            (RedBuf::V(v), x) => v[slot] = scalar_value(x),
+            _ => {
+                return Err(EvalError::TypeMismatch(
+                    "bucket reduce class mismatch".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, s: Scalar) -> Result<(), EvalError> {
+        match (self, s) {
+            (RedBuf::I(v), Scalar::I(x)) => v.push(x),
+            (RedBuf::F(v), Scalar::F(x)) => v.push(x),
+            (RedBuf::B(v), Scalar::B(x)) => v.push(x),
+            (RedBuf::V(v), Scalar::V(x)) => v.push(x),
+            (RedBuf::V(v), x) => v.push(scalar_value(x)),
+            _ => {
+                return Err(EvalError::TypeMismatch(
+                    "bucket reduce class mismatch".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RedBuf::I(v) => v.len(),
+            RedBuf::F(v) => v.len(),
+            RedBuf::B(v) => v.len(),
+            RedBuf::V(v) => v.len(),
+        }
+    }
+
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            RedBuf::I(v) => v.into_iter().map(Value::I64).collect(),
+            RedBuf::F(v) => v.into_iter().map(Value::F64).collect(),
+            RedBuf::B(v) => v.into_iter().map(Value::Bool).collect(),
+            RedBuf::V(v) => v,
+        }
+    }
+}
+
+/// First-seen-order bucket key directory, with an unboxed `i64` fast path.
+#[derive(Debug)]
+pub(crate) enum KeyIx {
+    I {
+        keys: Vec<i64>,
+        ix: HashMap<i64, usize>,
+    },
+    V {
+        keys: Vec<Value>,
+        ix: HashMap<Key, usize>,
+    },
+}
+
+impl KeyIx {
+    fn new(typed: bool) -> KeyIx {
+        if typed {
+            KeyIx::I {
+                keys: Vec::new(),
+                ix: HashMap::new(),
+            }
+        } else {
+            KeyIx::V {
+                keys: Vec::new(),
+                ix: HashMap::new(),
+            }
+        }
+    }
+
+    /// Slot for the key currently in the key block's result register;
+    /// `Err(slot)` means the key is new and `slot` is its fresh index.
+    fn slot_of_result(&mut self, st: &KState, res: Reg) -> Result<usize, usize> {
+        match self {
+            KeyIx::I { keys, ix } => {
+                let k = st.ri[res.idx as usize];
+                match ix.get(&k) {
+                    Some(&s) => Ok(s),
+                    None => {
+                        let s = keys.len();
+                        ix.insert(k, s);
+                        keys.push(k);
+                        Err(s)
+                    }
+                }
+            }
+            KeyIx::V { keys, ix } => {
+                let k = st.value_of(res);
+                match ix.get(&Key(k.clone())) {
+                    Some(&s) => Ok(s),
+                    None => {
+                        let s = keys.len();
+                        ix.insert(Key(k.clone()), s);
+                        keys.push(k);
+                        Err(s)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slot for an already-boxed key value (used when merging chunks).
+    fn slot_of_value(&mut self, k: &Value) -> Result<usize, usize> {
+        match self {
+            KeyIx::I { keys, ix } => {
+                let ki = k.as_i64().expect("typed key index holds i64 keys");
+                match ix.get(&ki) {
+                    Some(&s) => Ok(s),
+                    None => {
+                        let s = keys.len();
+                        ix.insert(ki, s);
+                        keys.push(ki);
+                        Err(s)
+                    }
+                }
+            }
+            KeyIx::V { keys, ix } => match ix.get(&Key(k.clone())) {
+                Some(&s) => Ok(s),
+                None => {
+                    let s = keys.len();
+                    ix.insert(Key(k.clone()), s);
+                    keys.push(k.clone());
+                    Err(s)
+                }
+            },
+        }
+    }
+
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            KeyIx::I { keys, .. } => keys.into_iter().map(Value::I64).collect(),
+            KeyIx::V { keys, .. } => keys,
+        }
+    }
+
+    fn key_values(&self) -> Vec<Value> {
+        match self {
+            KeyIx::I { keys, .. } => keys.iter().copied().map(Value::I64).collect(),
+            KeyIx::V { keys, .. } => keys.clone(),
+        }
+    }
+}
+
+/// Per-generator accumulator (the compiled tier's counterpart of
+/// [`crate::eval::Acc`]); merged across chunks in chunk order.
+#[derive(Debug)]
+pub(crate) enum KAcc {
+    Col(ColBuf),
+    RedI(Option<i64>),
+    RedF(Option<f64>),
+    RedB(Option<bool>),
+    RedV(Option<Value>),
+    BCol { keys: KeyIx, vals: Vec<ColBuf> },
+    BRed { keys: KeyIx, vals: RedBuf },
+}
+
+impl KAcc {
+    pub(crate) fn for_gen(gen: &CGen, range_hint: usize) -> KAcc {
+        let cap = if gen.cond.is_none() {
+            range_hint.min(1 << 22)
+        } else {
+            0
+        };
+        match gen.kind {
+            GenKind::Collect => KAcc::Col(ColBuf::new(gen.val_class, cap)),
+            GenKind::Reduce => match gen.val_class {
+                Class::I => KAcc::RedI(None),
+                Class::F => KAcc::RedF(None),
+                Class::B => KAcc::RedB(None),
+                Class::V => KAcc::RedV(None),
+            },
+            GenKind::BucketCollect => KAcc::BCol {
+                keys: KeyIx::new(gen.key_typed),
+                vals: Vec::new(),
+            },
+            GenKind::BucketReduce => KAcc::BRed {
+                keys: KeyIx::new(gen.key_typed),
+                vals: RedBuf::new(gen.val_class),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+impl Kernel {
+    /// Bind free variables from `env` and run the loop-invariant preamble.
+    pub(crate) fn new_state(&self, env: &Env) -> Result<KState, EvalError> {
+        let mut st = KState {
+            ri: vec![0; self.n_regs[0]],
+            rf: vec![0.0; self.n_regs[1]],
+            rb: vec![false; self.n_regs[2]],
+            rv: vec![Value::Unit; self.n_regs[3]],
+        };
+        for (sym, reg) in &self.free {
+            let v = env[sym.0 as usize]
+                .as_ref()
+                .ok_or_else(|| EvalError::TypeMismatch(format!("unset symbol {sym}")))?;
+            st.write_value(*reg, v.clone())?;
+        }
+        for ins in &self.preamble {
+            self.step(ins, &mut st)?;
+        }
+        Ok(st)
+    }
+
+    /// Run the top-level generators over `[start, end)`, returning raw
+    /// accumulators (unsealed; the parallel executor merges them).
+    pub(crate) fn run_range(
+        &self,
+        st: &mut KState,
+        start: i64,
+        end: i64,
+    ) -> Result<Vec<KAcc>, EvalError> {
+        let hint = (end - start).max(0) as usize;
+        let mut accs: Vec<KAcc> = self.gens.iter().map(|g| KAcc::for_gen(g, hint)).collect();
+        self.exec_gens(&self.gens, &mut accs, st, start, end)?;
+        Ok(accs)
+    }
+
+    /// Seal top-level accumulators into output values, one per generator.
+    pub(crate) fn seal_values(
+        &self,
+        accs: Vec<KAcc>,
+        st: &mut KState,
+    ) -> Result<Vec<Value>, EvalError> {
+        self.gens
+            .iter()
+            .zip(accs)
+            .map(|(g, acc)| self.seal_gen(g, acc, st).map(scalar_value))
+            .collect()
+    }
+
+    /// Seal one generator's accumulator (at index `gi`) into a value.
+    pub(crate) fn seal_gen_value(
+        &self,
+        gi: usize,
+        acc: KAcc,
+        st: &mut KState,
+    ) -> Result<Value, EvalError> {
+        self.seal_gen(&self.gens[gi], acc, st).map(scalar_value)
+    }
+
+    fn seal_gen(&self, gen: &CGen, acc: KAcc, st: &mut KState) -> Result<Scalar, EvalError> {
+        Ok(match acc {
+            KAcc::Col(buf) => Scalar::V(Value::Arr(buf.seal())),
+            KAcc::RedI(s) => match (s, gen.init) {
+                (Some(x), _) => Scalar::I(x),
+                (None, Some(r)) => Scalar::I(st.ri[r.idx as usize]),
+                (None, None) => return Err(EvalError::EmptyReduce),
+            },
+            KAcc::RedF(s) => match (s, gen.init) {
+                (Some(x), _) => Scalar::F(x),
+                (None, Some(r)) => Scalar::F(st.rf[r.idx as usize]),
+                (None, None) => return Err(EvalError::EmptyReduce),
+            },
+            KAcc::RedB(s) => match (s, gen.init) {
+                (Some(x), _) => Scalar::B(x),
+                (None, Some(r)) => Scalar::B(st.rb[r.idx as usize]),
+                (None, None) => return Err(EvalError::EmptyReduce),
+            },
+            KAcc::RedV(s) => match (s, gen.init) {
+                (Some(x), _) => Scalar::V(x),
+                (None, Some(r)) => Scalar::V(st.value_of(r)),
+                (None, None) => return Err(EvalError::EmptyReduce),
+            },
+            KAcc::BCol { keys, vals } => Scalar::V(Value::Buckets(Arc::new(BucketsVal::new(
+                keys.into_values(),
+                vals.into_iter().map(|b| Value::Arr(b.seal())).collect(),
+            )))),
+            KAcc::BRed { keys, vals } => Scalar::V(Value::Buckets(Arc::new(BucketsVal::new(
+                keys.into_values(),
+                vals.into_values(),
+            )))),
+        })
+    }
+
+    /// Merge two chunk accumulators for generator `gi`, `a` from the earlier
+    /// chunk — exactly the tree-walking executor's `merge_pair` semantics.
+    pub(crate) fn merge(
+        &self,
+        gi: usize,
+        a: KAcc,
+        b: KAcc,
+        st: &mut KState,
+    ) -> Result<KAcc, EvalError> {
+        let gen = &self.gens[gi];
+        Ok(match (a, b) {
+            (KAcc::Col(mut x), KAcc::Col(y)) => {
+                x.extend(y)?;
+                KAcc::Col(x)
+            }
+            (KAcc::RedI(x), KAcc::RedI(y)) => KAcc::RedI(match (x, y) {
+                (Some(x), Some(y)) => Some(self.reduce_i(gen, x, y, st)?),
+                (Some(x), None) => Some(x),
+                (None, y) => y,
+            }),
+            (KAcc::RedF(x), KAcc::RedF(y)) => KAcc::RedF(match (x, y) {
+                (Some(x), Some(y)) => Some(self.reduce_f(gen, x, y, st)?),
+                (Some(x), None) => Some(x),
+                (None, y) => y,
+            }),
+            (KAcc::RedB(x), KAcc::RedB(y)) => KAcc::RedB(match (x, y) {
+                (Some(x), Some(y)) => Some(self.reduce_b(gen, x, y, st)?),
+                (Some(x), None) => Some(x),
+                (None, y) => y,
+            }),
+            (KAcc::RedV(x), KAcc::RedV(y)) => KAcc::RedV(match (x, y) {
+                (Some(x), Some(y)) => Some(self.reduce_v(gen, x, y, st)?),
+                (Some(x), None) => Some(x),
+                (None, y) => y,
+            }),
+            (
+                KAcc::BCol {
+                    mut keys,
+                    mut vals,
+                },
+                KAcc::BCol {
+                    keys: bk, vals: bv, ..
+                },
+            ) => {
+                for (k, v) in bk.key_values().into_iter().zip(bv) {
+                    match keys.slot_of_value(&k) {
+                        Ok(slot) => vals[slot].extend(v)?,
+                        Err(_new) => vals.push(v),
+                    }
+                }
+                KAcc::BCol { keys, vals }
+            }
+            (
+                KAcc::BRed {
+                    mut keys,
+                    mut vals,
+                },
+                KAcc::BRed {
+                    keys: bk, vals: bv, ..
+                },
+            ) => {
+                let n = bv.len();
+                for (ki, k) in bk.key_values().into_iter().enumerate() {
+                    debug_assert!(ki < n);
+                    let v = bv.get(ki);
+                    match keys.slot_of_value(&k) {
+                        Ok(slot) => {
+                            let cur = vals.get(slot);
+                            let next = self.reduce_scalar(gen, cur, v, st)?;
+                            vals.set(slot, next)?;
+                        }
+                        Err(_new) => vals.push(v)?,
+                    }
+                }
+                KAcc::BRed { keys, vals }
+            }
+            _ => {
+                return Err(EvalError::TypeMismatch(
+                    "mismatched accumulators across chunks".into(),
+                ))
+            }
+        })
+    }
+
+    /// The per-element loop shared by the top level and nested loops;
+    /// mirrors `eval_loop_accs` stmt-for-stmt (cond, then value, then key).
+    fn exec_gens(
+        &self,
+        gens: &[CGen],
+        accs: &mut [KAcc],
+        st: &mut KState,
+        start: i64,
+        end: i64,
+    ) -> Result<(), EvalError> {
+        for i in start..end {
+            for (gen, acc) in gens.iter().zip(accs.iter_mut()) {
+                if let Some(c) = &gen.cond {
+                    st.ri[c.params[0].idx as usize] = i;
+                    self.exec_block(c, st)?;
+                    if !st.rb[c.result.idx as usize] {
+                        continue;
+                    }
+                }
+                let vb = &gen.value;
+                st.ri[vb.params[0].idx as usize] = i;
+                self.exec_block(vb, st)?;
+                let res = vb.result;
+                match acc {
+                    KAcc::Col(buf) => buf.push_result(st, res),
+                    KAcc::RedI(state) => {
+                        let x = st.ri[res.idx as usize];
+                        let next = match state.take() {
+                            Some(cur) => self.reduce_i(gen, cur, x, st)?,
+                            None => match gen.init {
+                                Some(r) => {
+                                    let i0 = st.ri[r.idx as usize];
+                                    self.reduce_i(gen, i0, x, st)?
+                                }
+                                None => x,
+                            },
+                        };
+                        *state = Some(next);
+                    }
+                    KAcc::RedF(state) => {
+                        let x = st.rf[res.idx as usize];
+                        let next = match state.take() {
+                            Some(cur) => self.reduce_f(gen, cur, x, st)?,
+                            None => match gen.init {
+                                Some(r) => {
+                                    let i0 = st.rf[r.idx as usize];
+                                    self.reduce_f(gen, i0, x, st)?
+                                }
+                                None => x,
+                            },
+                        };
+                        *state = Some(next);
+                    }
+                    KAcc::RedB(state) => {
+                        let x = st.rb[res.idx as usize];
+                        let next = match state.take() {
+                            Some(cur) => self.reduce_b(gen, cur, x, st)?,
+                            None => match gen.init {
+                                Some(r) => {
+                                    let i0 = st.rb[r.idx as usize];
+                                    self.reduce_b(gen, i0, x, st)?
+                                }
+                                None => x,
+                            },
+                        };
+                        *state = Some(next);
+                    }
+                    KAcc::RedV(state) => {
+                        let x = st.rv[res.idx as usize].clone();
+                        let next = match state.take() {
+                            Some(cur) => self.reduce_v(gen, cur, x, st)?,
+                            None => match gen.init {
+                                Some(r) => {
+                                    let i0 = st.value_of(r);
+                                    self.reduce_v(gen, i0, x, st)?
+                                }
+                                None => x,
+                            },
+                        };
+                        *state = Some(next);
+                    }
+                    KAcc::BCol { keys, vals } => {
+                        let kb = gen.key.as_ref().expect("bucket gen has key");
+                        st.ri[kb.params[0].idx as usize] = i;
+                        self.exec_block(kb, st)?;
+                        match keys.slot_of_result(st, kb.result) {
+                            Ok(slot) => vals[slot].push_result(st, res),
+                            Err(_new) => {
+                                let mut buf = ColBuf::new(gen.val_class, 1);
+                                buf.push_result(st, res);
+                                vals.push(buf);
+                            }
+                        }
+                    }
+                    KAcc::BRed { keys, vals } => {
+                        let kb = gen.key.as_ref().expect("bucket gen has key");
+                        st.ri[kb.params[0].idx as usize] = i;
+                        self.exec_block(kb, st)?;
+                        match keys.slot_of_result(st, kb.result) {
+                            Ok(slot) => match (&mut *vals, res.class) {
+                                // Unboxed fast paths for scalar bucket sums.
+                                (RedBuf::I(v), Class::I) => {
+                                    let x = st.ri[res.idx as usize];
+                                    v[slot] = self.reduce_i(gen, v[slot], x, st)?;
+                                }
+                                (RedBuf::F(v), Class::F) => {
+                                    let x = st.rf[res.idx as usize];
+                                    v[slot] = self.reduce_f(gen, v[slot], x, st)?;
+                                }
+                                _ => {
+                                    let cur = vals.get(slot);
+                                    let x = st.read_scalar(res);
+                                    let next = self.reduce_scalar(gen, cur, x, st)?;
+                                    vals.set(slot, next)?;
+                                }
+                            },
+                            Err(_new) => vals.push(st.read_scalar(res))?,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_block(&self, b: &CBlock, st: &mut KState) -> Result<(), EvalError> {
+        for ins in &b.instrs {
+            self.step(ins, st)?;
+        }
+        Ok(())
+    }
+
+    fn reduce_i(&self, gen: &CGen, a: i64, b: i64, st: &mut KState) -> Result<i64, EvalError> {
+        if let Some(FastRed::I(op)) = gen.fast_red {
+            return Ok(apply_i(op, a, b));
+        }
+        let rb = gen.reducer.as_ref().expect("reduce gen has reducer");
+        st.ri[rb.params[0].idx as usize] = a;
+        st.ri[rb.params[1].idx as usize] = b;
+        self.exec_block(rb, st)?;
+        Ok(st.ri[rb.result.idx as usize])
+    }
+
+    fn reduce_f(&self, gen: &CGen, a: f64, b: f64, st: &mut KState) -> Result<f64, EvalError> {
+        if let Some(FastRed::F(op)) = gen.fast_red {
+            return Ok(apply_f(op, a, b));
+        }
+        let rb = gen.reducer.as_ref().expect("reduce gen has reducer");
+        st.rf[rb.params[0].idx as usize] = a;
+        st.rf[rb.params[1].idx as usize] = b;
+        self.exec_block(rb, st)?;
+        Ok(st.rf[rb.result.idx as usize])
+    }
+
+    fn reduce_b(&self, gen: &CGen, a: bool, b: bool, st: &mut KState) -> Result<bool, EvalError> {
+        let rb = gen.reducer.as_ref().expect("reduce gen has reducer");
+        st.rb[rb.params[0].idx as usize] = a;
+        st.rb[rb.params[1].idx as usize] = b;
+        self.exec_block(rb, st)?;
+        Ok(st.rb[rb.result.idx as usize])
+    }
+
+    fn reduce_v(&self, gen: &CGen, a: Value, b: Value, st: &mut KState) -> Result<Value, EvalError> {
+        let rb = gen.reducer.as_ref().expect("reduce gen has reducer");
+        st.rv[rb.params[0].idx as usize] = a;
+        st.rv[rb.params[1].idx as usize] = b;
+        self.exec_block(rb, st)?;
+        Ok(st.rv[rb.result.idx as usize].clone())
+    }
+
+    fn reduce_scalar(
+        &self,
+        gen: &CGen,
+        a: Scalar,
+        b: Scalar,
+        st: &mut KState,
+    ) -> Result<Scalar, EvalError> {
+        match (a, b) {
+            (Scalar::I(a), Scalar::I(b)) => Ok(Scalar::I(self.reduce_i(gen, a, b, st)?)),
+            (Scalar::F(a), Scalar::F(b)) => Ok(Scalar::F(self.reduce_f(gen, a, b, st)?)),
+            (Scalar::B(a), Scalar::B(b)) => Ok(Scalar::B(self.reduce_b(gen, a, b, st)?)),
+            (Scalar::V(a), Scalar::V(b)) => Ok(Scalar::V(self.reduce_v(gen, a, b, st)?)),
+            _ => Err(EvalError::TypeMismatch(
+                "mismatched accumulators across chunks".into(),
+            )),
+        }
+    }
+
+    fn run_cloop(&self, cl: &CLoop, st: &mut KState) -> Result<(), EvalError> {
+        let size = st.ri[cl.size as usize];
+        let hint = size.max(0) as usize;
+        let mut accs: Vec<KAcc> = cl.gens.iter().map(|g| KAcc::for_gen(g, hint)).collect();
+        self.exec_gens(&cl.gens, &mut accs, st, 0, size)?;
+        for ((gen, dst), acc) in cl.gens.iter().zip(&cl.dsts).zip(accs) {
+            let s = self.seal_gen(gen, acc, st)?;
+            st.write_scalar(*dst, s)?;
+        }
+        Ok(())
+    }
+
+    fn step(&self, ins: &Instr, st: &mut KState) -> Result<(), EvalError> {
+        match ins {
+            Instr::ConstI { dst, v } => st.ri[*dst as usize] = *v,
+            Instr::ConstF { dst, v } => st.rf[*dst as usize] = *v,
+            Instr::ConstB { dst, v } => st.rb[*dst as usize] = *v,
+            Instr::ConstV { dst, v } => st.rv[*dst as usize] = v.clone(),
+            Instr::BinI { op, dst, a, b } => {
+                st.ri[*dst as usize] = apply_i(*op, st.ri[*a as usize], st.ri[*b as usize])
+            }
+            Instr::DivI { dst, a, b } => {
+                let (x, y) = (st.ri[*a as usize], st.ri[*b as usize]);
+                if y == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                st.ri[*dst as usize] = x / y;
+            }
+            Instr::RemI { dst, a, b } => {
+                let (x, y) = (st.ri[*a as usize], st.ri[*b as usize]);
+                if y == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                st.ri[*dst as usize] = x % y;
+            }
+            Instr::BinF { op, dst, a, b } => {
+                st.rf[*dst as usize] = apply_f(*op, st.rf[*a as usize], st.rf[*b as usize])
+            }
+            Instr::NegI { dst, a } => st.ri[*dst as usize] = -st.ri[*a as usize],
+            Instr::NegF { dst, a } => st.rf[*dst as usize] = -st.rf[*a as usize],
+            Instr::CmpI { op, dst, a, b } => {
+                let (x, y) = (st.ri[*a as usize], st.ri[*b as usize]);
+                st.rb[*dst as usize] = apply_cmp(*op, x, y);
+            }
+            Instr::CmpF { op, dst, a, b } => {
+                let (x, y) = (st.rf[*a as usize], st.rf[*b as usize]);
+                st.rb[*dst as usize] = apply_cmp(*op, x, y);
+            }
+            Instr::CmpB { op, dst, a, b } => {
+                let (x, y) = (st.rb[*a as usize], st.rb[*b as usize]);
+                st.rb[*dst as usize] = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    _ => unreachable!("only Eq/Ne compiled for bools"),
+                };
+            }
+            Instr::AndB { dst, a, b } => {
+                st.rb[*dst as usize] = st.rb[*a as usize] && st.rb[*b as usize]
+            }
+            Instr::OrB { dst, a, b } => {
+                st.rb[*dst as usize] = st.rb[*a as usize] || st.rb[*b as usize]
+            }
+            Instr::NotB { dst, a } => st.rb[*dst as usize] = !st.rb[*a as usize],
+            Instr::MuxI { dst, c, a, b } => {
+                st.ri[*dst as usize] = if st.rb[*c as usize] {
+                    st.ri[*a as usize]
+                } else {
+                    st.ri[*b as usize]
+                }
+            }
+            Instr::MuxF { dst, c, a, b } => {
+                st.rf[*dst as usize] = if st.rb[*c as usize] {
+                    st.rf[*a as usize]
+                } else {
+                    st.rf[*b as usize]
+                }
+            }
+            Instr::MuxB { dst, c, a, b } => {
+                st.rb[*dst as usize] = if st.rb[*c as usize] {
+                    st.rb[*a as usize]
+                } else {
+                    st.rb[*b as usize]
+                }
+            }
+            Instr::MuxV { dst, c, a, b } => {
+                let v = if st.rb[*c as usize] {
+                    st.rv[*a as usize].clone()
+                } else {
+                    st.rv[*b as usize].clone()
+                };
+                st.rv[*dst as usize] = v;
+            }
+            Instr::MathF { f, dst, a } => {
+                st.rf[*dst as usize] = eval_math(*f, st.rf[*a as usize])
+            }
+            Instr::MathV { f, dst, a } => {
+                let x = st
+                    .value_of(*a)
+                    .as_f64()
+                    .ok_or_else(|| EvalError::TypeMismatch("math on non-float".into()))?;
+                st.rf[*dst as usize] = eval_math(*f, x);
+            }
+            Instr::CastIF { dst, a } => st.rf[*dst as usize] = st.ri[*a as usize] as f64,
+            Instr::CastFI { dst, a } => st.ri[*dst as usize] = st.rf[*a as usize] as i64,
+            Instr::CastDyn { to, dst, a } => {
+                let v = st.value_of(*a);
+                let out = match (to, v) {
+                    (Ty::F64, Value::I64(i)) => Value::F64(i as f64),
+                    (Ty::F64, Value::F64(f)) => Value::F64(f),
+                    (Ty::I64, Value::F64(f)) => Value::I64(f as i64),
+                    (Ty::I64, Value::I64(i)) => Value::I64(i),
+                    (t, v) => return Err(EvalError::TypeMismatch(format!("cast {v:?} to {t}"))),
+                };
+                st.write_value(*dst, out)?;
+            }
+            Instr::LenA { dst, a } => {
+                let v = st.value_of(*a);
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| EvalError::TypeMismatch("len of non-array".into()))?;
+                st.ri[*dst as usize] = arr.len() as i64;
+            }
+            Instr::SizeI { dst, a } => {
+                st.ri[*dst as usize] = st
+                    .value_of(*a)
+                    .as_i64()
+                    .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
+            }
+            Instr::CondB { dst, a } => {
+                st.rb[*dst as usize] = st
+                    .value_of(*a)
+                    .as_bool()
+                    .ok_or_else(|| EvalError::TypeMismatch("condition".into()))?;
+            }
+            Instr::ReadVI { dst, arr, idx } => {
+                let i = st.ri[*idx as usize];
+                let out = match &st.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::I64(v)) => v[bounds(i, v.len())?],
+                    other => read_array(other, &Value::I64(i))?
+                        .as_i64()
+                        .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))?,
+                };
+                st.ri[*dst as usize] = out;
+            }
+            Instr::ReadVF { dst, arr, idx } => {
+                let i = st.ri[*idx as usize];
+                let out = match &st.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::F64(v)) => v[bounds(i, v.len())?],
+                    other => read_array(other, &Value::I64(i))?
+                        .as_f64()
+                        .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))?,
+                };
+                st.rf[*dst as usize] = out;
+            }
+            Instr::ReadVB { dst, arr, idx } => {
+                let i = st.ri[*idx as usize];
+                let out = match &st.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::Bool(v)) => v[bounds(i, v.len())?],
+                    other => read_array(other, &Value::I64(i))?
+                        .as_bool()
+                        .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))?,
+                };
+                st.rb[*dst as usize] = out;
+            }
+            Instr::ReadVV { dst, arr, idx } => {
+                let i = st.ri[*idx as usize];
+                let out = read_array(&st.rv[*arr as usize], &Value::I64(i))?;
+                st.rv[*dst as usize] = out;
+            }
+            Instr::ReadDyn { dst, arr, idx } => {
+                let a = st.value_of(*arr);
+                let i = st.value_of(*idx);
+                st.rv[*dst as usize] = read_array(&a, &i)?;
+            }
+            Instr::PrimV { op, dst, args } => {
+                let vs: Vec<Value> = args.iter().map(|r| st.value_of(*r)).collect();
+                let out = eval_prim(*op, &vs)?;
+                st.write_value(*dst, out)?;
+            }
+            Instr::TupleNewV { dst, args } => {
+                let vs: Vec<Value> = args.iter().map(|r| st.value_of(*r)).collect();
+                st.rv[*dst as usize] = Value::Tuple(Arc::new(vs));
+            }
+            Instr::TupleGetI { dst, t, idx } => {
+                st.ri[*dst as usize] = tuple_component(&st.rv[*t as usize], *idx)?
+                    .as_i64()
+                    .ok_or_else(|| EvalError::TypeMismatch("typed tuple read".into()))?;
+            }
+            Instr::TupleGetF { dst, t, idx } => {
+                st.rf[*dst as usize] = tuple_component(&st.rv[*t as usize], *idx)?
+                    .as_f64()
+                    .ok_or_else(|| EvalError::TypeMismatch("typed tuple read".into()))?;
+            }
+            Instr::TupleGetB { dst, t, idx } => {
+                st.rb[*dst as usize] = tuple_component(&st.rv[*t as usize], *idx)?
+                    .as_bool()
+                    .ok_or_else(|| EvalError::TypeMismatch("typed tuple read".into()))?;
+            }
+            Instr::TupleGetV { dst, t, idx } => {
+                let v = tuple_component(&st.rv[*t as usize], *idx)?.clone();
+                st.rv[*dst as usize] = v;
+            }
+            Instr::TupleGetDyn { dst, t, idx } => {
+                let v = st.value_of(*t);
+                let out = tuple_component(&v, *idx)?.clone();
+                st.rv[*dst as usize] = out;
+            }
+            Instr::StructNewV { dst, ty, args } => {
+                let vs: Vec<Value> = args.iter().map(|r| st.value_of(*r)).collect();
+                st.rv[*dst as usize] = Value::Struct(Arc::new(StructVal {
+                    ty: ty.as_ref().clone(),
+                    fields: vs,
+                }));
+            }
+            Instr::StructGetIdx { dst, obj, idx } => {
+                let out = match &st.rv[*obj as usize] {
+                    Value::Struct(s) => s
+                        .fields
+                        .get(*idx as usize)
+                        .cloned()
+                        .ok_or_else(|| EvalError::TypeMismatch("typed field read".into()))?,
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!(
+                            "field read from {other:?}"
+                        )))
+                    }
+                };
+                st.write_value(*dst, out)?;
+            }
+            Instr::StructGetDyn { dst, obj, name } => {
+                let v = st.value_of(*obj);
+                let out = match v {
+                    Value::Struct(s) => s
+                        .field(name)
+                        .cloned()
+                        .ok_or_else(|| EvalError::TypeMismatch(format!("no field {name}")))?,
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!(
+                            "field read from {other:?}"
+                        )))
+                    }
+                };
+                st.rv[*dst as usize] = out;
+            }
+            Instr::FlattenV { dst, a } => {
+                let v = st.value_of(*a);
+                let outer = v
+                    .as_arr()
+                    .ok_or_else(|| EvalError::TypeMismatch("flatten of non-array".into()))?;
+                let mut out = Vec::new();
+                for i in 0..outer.len() {
+                    let inner = outer.get(i).expect("in range");
+                    let inner = inner
+                        .as_arr()
+                        .ok_or_else(|| EvalError::TypeMismatch("flatten of non-nested".into()))?;
+                    for j in 0..inner.len() {
+                        out.push(inner.get(j).expect("in range"));
+                    }
+                }
+                st.rv[*dst as usize] = Value::Arr(seal_array(out));
+            }
+            Instr::BucketValuesV { dst, a } => {
+                let out = match st.value_of(*a) {
+                    Value::Buckets(b) => Value::Arr(seal_array(b.vals.clone())),
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!(
+                            "bucketValues of {other:?}"
+                        )))
+                    }
+                };
+                st.rv[*dst as usize] = out;
+            }
+            Instr::BucketKeysV { dst, a } => {
+                let out = match st.value_of(*a) {
+                    Value::Buckets(b) => Value::Arr(seal_array(b.keys.clone())),
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!("bucketKeys of {other:?}")))
+                    }
+                };
+                st.rv[*dst as usize] = out;
+            }
+            Instr::BucketLenV { dst, a } => {
+                let out = match st.value_of(*a) {
+                    Value::Buckets(b) => b.len() as i64,
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!("bucketLen of {other:?}")))
+                    }
+                };
+                st.ri[*dst as usize] = out;
+            }
+            Instr::BucketGetV { dst, b, k, default } => {
+                let bv = st.value_of(*b);
+                let kv = st.value_of(*k);
+                let out = match bv {
+                    Value::Buckets(bk) => match bk.get(&kv) {
+                        Some(v) => v.clone(),
+                        None => match default {
+                            Some(d) => st.value_of(*d),
+                            None => return Err(EvalError::MissingBucket(kv.to_string())),
+                        },
+                    },
+                    other => {
+                        return Err(EvalError::TypeMismatch(format!("bucketGet of {other:?}")))
+                    }
+                };
+                st.rv[*dst as usize] = out;
+            }
+            Instr::Loop(li) => self.run_cloop(&self.loops[*li as usize], st)?,
+        }
+        Ok(())
+    }
+}
+
+fn tuple_component(v: &Value, idx: u32) -> Result<&Value, EvalError> {
+    match v {
+        Value::Tuple(vs) => vs
+            .get(idx as usize)
+            .ok_or_else(|| EvalError::TypeMismatch("tuple index".into())),
+        other => Err(EvalError::TypeMismatch(format!(
+            "tuple projection from {other:?}"
+        ))),
+    }
+}
+
+#[inline]
+fn apply_i(op: IOp, a: i64, b: i64) -> i64 {
+    match op {
+        IOp::Add => a.wrapping_add(b),
+        IOp::Sub => a.wrapping_sub(b),
+        IOp::Mul => a.wrapping_mul(b),
+        IOp::Min => a.min(b),
+        IOp::Max => a.max(b),
+    }
+}
+
+#[inline]
+fn apply_f(op: FOp, a: f64, b: f64) -> f64 {
+    match op {
+        FOp::Add => a + b,
+        FOp::Sub => a - b,
+        FOp::Mul => a * b,
+        FOp::Div => a / b,
+        FOp::Min => a.min(b),
+        FOp::Max => a.max(b),
+    }
+}
+
+#[inline]
+fn apply_cmp<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Why a multiloop could not be compiled; the loop falls back to the
+/// tree-walker, which is always semantically safe.
+#[derive(Debug)]
+pub(crate) struct Reject(pub &'static str);
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not compilable: {}", self.0)
+    }
+}
+
+#[derive(Clone)]
+struct SymInfo {
+    reg: Reg,
+    vty: VTy,
+    /// True when the symbol's value is the same for every loop element
+    /// (free variable, constant, or computed only from invariants).
+    inv: bool,
+}
+
+struct Compiler<'e> {
+    env: &'e Env,
+    n: [usize; 4],
+    syms: HashMap<Sym, SymInfo>,
+    consts: HashMap<Const, (Reg, VTy)>,
+    preamble: Vec<Instr>,
+    loops: Vec<CLoop>,
+    free: Vec<(Sym, Reg)>,
+}
+
+/// Free variables a multiloop's generators reference, in `Sym` order —
+/// the binding order is part of the kernel ABI and must match the cache
+/// key's `VTy` order.
+pub(crate) fn loop_free_syms(ml: &Multiloop) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    for g in &ml.gens {
+        for b in g.blocks() {
+            out.extend(free_syms(b));
+        }
+        if let Gen::Reduce { init: Some(e), .. } | Gen::BucketReduce { init: Some(e), .. } = g {
+            if let Exp::Sym(s) = e {
+                out.insert(*s);
+            }
+        }
+    }
+    out
+}
+
+/// Compile a multiloop against the refined types of the current
+/// environment. The top-level `size` is *not* compiled — callers evaluate
+/// it and drive [`Kernel::run_range`] with explicit bounds (that is how the
+/// parallel executor feeds chunk subranges to the same kernel).
+pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Reject> {
+    let mut c = Compiler {
+        env,
+        n: [0; 4],
+        syms: HashMap::new(),
+        consts: HashMap::new(),
+        preamble: Vec::new(),
+        loops: Vec::new(),
+        free: Vec::new(),
+    };
+    for sym in loop_free_syms(ml) {
+        c.bind_free(sym)?;
+    }
+    let mut gens = Vec::with_capacity(ml.gens.len());
+    for g in &ml.gens {
+        gens.push(c.compile_gen(g)?.0);
+    }
+    Ok(Kernel {
+        gens,
+        preamble: c.preamble,
+        loops: c.loops,
+        free: c.free,
+        n_regs: c.n,
+    })
+}
+
+impl<'e> Compiler<'e> {
+    fn alloc(&mut self, class: Class) -> Result<Reg, Reject> {
+        let slot = match class {
+            Class::I => &mut self.n[0],
+            Class::F => &mut self.n[1],
+            Class::B => &mut self.n[2],
+            Class::V => &mut self.n[3],
+        };
+        if *slot > u16::MAX as usize {
+            return Err(Reject("register file overflow"));
+        }
+        let idx = *slot as u16;
+        *slot += 1;
+        Ok(Reg { class, idx })
+    }
+
+    fn define(&mut self, sym: Sym, reg: Reg, vty: VTy, inv: bool) -> Result<(), Reject> {
+        if self.syms.insert(sym, SymInfo { reg, vty, inv }).is_some() {
+            return Err(Reject("symbol bound twice"));
+        }
+        Ok(())
+    }
+
+    fn bind_free(&mut self, sym: Sym) -> Result<(), Reject> {
+        let v = self
+            .env
+            .get(sym.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(Reject("free variable not bound in environment"))?;
+        let vty = VTy::of(v, 0);
+        let reg = self.alloc(vty.class())?;
+        self.define(sym, reg, vty, true)?;
+        self.free.push((sym, reg));
+        Ok(())
+    }
+
+    /// Resolve an operand expression to a register. Constants are
+    /// deduplicated and materialized once in the preamble.
+    fn operand(&mut self, e: &Exp) -> Result<(Reg, VTy, bool), Reject> {
+        match e {
+            Exp::Sym(s) => {
+                let info = self
+                    .syms
+                    .get(s)
+                    .ok_or(Reject("reference to undefined symbol"))?;
+                Ok((info.reg, info.vty.clone(), info.inv))
+            }
+            Exp::Const(c) => {
+                if let Some((reg, vty)) = self.consts.get(c) {
+                    return Ok((*reg, vty.clone(), true));
+                }
+                let (instr, reg, vty) = match c {
+                    Const::I64(v) => {
+                        let r = self.alloc(Class::I)?;
+                        (Instr::ConstI { dst: r.idx, v: *v }, r, VTy::I)
+                    }
+                    Const::F64(v) => {
+                        let r = self.alloc(Class::F)?;
+                        (Instr::ConstF { dst: r.idx, v: *v }, r, VTy::F)
+                    }
+                    Const::Bool(v) => {
+                        let r = self.alloc(Class::B)?;
+                        (Instr::ConstB { dst: r.idx, v: *v }, r, VTy::B)
+                    }
+                    Const::Str(s) => {
+                        let r = self.alloc(Class::V)?;
+                        (
+                            Instr::ConstV {
+                                dst: r.idx,
+                                v: Value::Str(s.clone()),
+                            },
+                            r,
+                            VTy::Str,
+                        )
+                    }
+                    Const::Unit => {
+                        let r = self.alloc(Class::V)?;
+                        (
+                            Instr::ConstV {
+                                dst: r.idx,
+                                v: Value::Unit,
+                            },
+                            r,
+                            VTy::Unit,
+                        )
+                    }
+                };
+                self.preamble.push(instr);
+                self.consts.insert(c.clone(), (reg, vty.clone()));
+                Ok((reg, vty, true))
+            }
+        }
+    }
+
+    fn compile_gen(&mut self, g: &Gen) -> Result<(CGen, VTy), Reject> {
+        let cond = match g.cond() {
+            Some(cb) => {
+                let (mut blk, _vty) = self.compile_block(cb, &[VTy::I])?;
+                if blk.result.class != Class::B {
+                    // The tree-walker coerces with `as_bool` and errors with
+                    // "condition"; CondB replicates that at runtime.
+                    let dst = self.alloc(Class::B)?;
+                    blk.instrs.push(Instr::CondB {
+                        dst: dst.idx,
+                        a: blk.result,
+                    });
+                    blk.result = dst;
+                }
+                Some(blk)
+            }
+            None => None,
+        };
+        let (value, val_vty) = self.compile_block(g.value(), &[VTy::I])?;
+        let val_class = value.result.class;
+        let key = match g.key() {
+            Some(kb) => Some(self.compile_block(kb, &[VTy::I])?.0),
+            None => None,
+        };
+        let key_typed = key.as_ref().is_some_and(|k| k.result.class == Class::I);
+        let (reducer, fast_red) = match g.reducer() {
+            Some(rb) => {
+                let (blk, _rty) = self.compile_block(rb, &[val_vty.clone(), val_vty.clone()])?;
+                if blk.result.class != val_class {
+                    return Err(Reject("reducer result class differs from value class"));
+                }
+                let fr = recognize_fast_red(&blk);
+                (Some(blk), fr)
+            }
+            None => (None, None),
+        };
+        // Only `Reduce` consults its explicit identity at runtime (empty
+        // reductions and chunk seeding); the tree-walker never reads a
+        // `BucketReduce` init, so compiling one would change semantics.
+        let init = match g {
+            Gen::Reduce { init: Some(e), .. } => {
+                let (reg, _vty, _inv) = self.operand(e)?;
+                if reg.class != val_class {
+                    return Err(Reject("reduce identity class differs from value class"));
+                }
+                Some(reg)
+            }
+            _ => None,
+        };
+        Ok((
+            CGen {
+                kind: g.kind(),
+                cond,
+                key,
+                value,
+                reducer,
+                init,
+                val_class,
+                key_typed,
+                fast_red,
+            },
+            val_vty,
+        ))
+    }
+
+    fn compile_block(&mut self, b: &Block, param_vtys: &[VTy]) -> Result<(CBlock, VTy), Reject> {
+        if b.params.len() != param_vtys.len() {
+            return Err(Reject("block parameter arity mismatch"));
+        }
+        let mut params = Vec::with_capacity(b.params.len());
+        for (p, vty) in b.params.iter().zip(param_vtys) {
+            let reg = self.alloc(vty.class())?;
+            self.define(*p, reg, vty.clone(), false)?;
+            params.push(reg);
+        }
+        let mut instrs = Vec::new();
+        for stmt in &b.stmts {
+            self.compile_stmt(stmt, &mut instrs)?;
+        }
+        let (result, vty, _inv) = self.operand(&b.result)?;
+        Ok((
+            CBlock {
+                params,
+                instrs,
+                result,
+            },
+            vty,
+        ))
+    }
+
+    /// Emit one instruction: into the preamble when it is infallible and all
+    /// its operands are loop-invariant, into the block body otherwise.
+    /// Returns whether it was hoisted (= the result is invariant).
+    fn emit(&mut self, out: &mut Vec<Instr>, hoistable: bool, inv: bool, instr: Instr) -> bool {
+        if hoistable && inv {
+            self.preamble.push(instr);
+            true
+        } else {
+            out.push(instr);
+            false
+        }
+    }
+
+    fn compile_stmt(&mut self, stmt: &dmll_core::Stmt, out: &mut Vec<Instr>) -> Result<(), Reject> {
+        if let Def::Loop(ml) = &stmt.def {
+            return self.compile_nested_loop(stmt, ml, out);
+        }
+        if stmt.lhs.len() != 1 {
+            return Err(Reject("non-loop statement with multiple bindings"));
+        }
+        let lhs = stmt.lhs[0];
+        let (reg, vty, inv) = self.compile_def(&stmt.def, out)?;
+        self.define(lhs, reg, vty, inv)
+    }
+
+    fn compile_def(
+        &mut self,
+        def: &Def,
+        out: &mut Vec<Instr>,
+    ) -> Result<(Reg, VTy, bool), Reject> {
+        match def {
+            Def::Prim { op, args } => {
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.operand(a)?);
+                }
+                self.compile_prim(*op, &ops, out)
+            }
+            Def::Math { f, arg } => {
+                let (a, _vty, inv) = self.operand(arg)?;
+                if a.class == Class::F {
+                    let dst = self.alloc(Class::F)?;
+                    let hoisted = self.emit(
+                        out,
+                        true,
+                        inv,
+                        Instr::MathF {
+                            f: *f,
+                            dst: dst.idx,
+                            a: a.idx,
+                        },
+                    );
+                    Ok((dst, VTy::F, hoisted))
+                } else {
+                    let dst = self.alloc(Class::F)?;
+                    out.push(Instr::MathV {
+                        f: *f,
+                        dst: dst.idx,
+                        a,
+                    });
+                    Ok((dst, VTy::F, false))
+                }
+            }
+            Def::Cast { to, value } => {
+                let (a, vty, inv) = self.operand(value)?;
+                match (to, a.class) {
+                    // Identity casts are register aliases: zero instructions.
+                    (Ty::I64, Class::I) => Ok((a, VTy::I, inv)),
+                    (Ty::F64, Class::F) => Ok((a, VTy::F, inv)),
+                    (Ty::F64, Class::I) => {
+                        let dst = self.alloc(Class::F)?;
+                        let h = self.emit(
+                            out,
+                            true,
+                            inv,
+                            Instr::CastIF {
+                                dst: dst.idx,
+                                a: a.idx,
+                            },
+                        );
+                        Ok((dst, VTy::F, h))
+                    }
+                    (Ty::I64, Class::F) => {
+                        let dst = self.alloc(Class::I)?;
+                        let h = self.emit(
+                            out,
+                            true,
+                            inv,
+                            Instr::CastFI {
+                                dst: dst.idx,
+                                a: a.idx,
+                            },
+                        );
+                        Ok((dst, VTy::I, h))
+                    }
+                    _ => {
+                        let _ = vty;
+                        let class = match to {
+                            Ty::I64 => Class::I,
+                            Ty::F64 => Class::F,
+                            _ => Class::V,
+                        };
+                        let dst = self.alloc(class)?;
+                        out.push(Instr::CastDyn {
+                            to: to.clone(),
+                            dst,
+                            a,
+                        });
+                        let vty = match class {
+                            Class::I => VTy::I,
+                            Class::F => VTy::F,
+                            _ => VTy::Gen,
+                        };
+                        Ok((dst, vty, false))
+                    }
+                }
+            }
+            Def::ArrayLen(e) => {
+                let (a, vty, inv) = self.operand(e)?;
+                let dst = self.alloc(Class::I)?;
+                // Infallible (thus hoistable) only when the operand is
+                // certainly an array.
+                let certain = matches!(vty, VTy::Arr(_) | VTy::ArrGen);
+                let h = self.emit(out, certain, inv, Instr::LenA { dst: dst.idx, a });
+                Ok((dst, VTy::I, h))
+            }
+            Def::ArrayRead { arr, index } => {
+                let (a, avty, _ai) = self.operand(arr)?;
+                let (i, _ivty, _ii) = self.operand(index)?;
+                if a.class == Class::V && i.class == Class::I {
+                    if let VTy::Arr(elem) = &avty {
+                        let (class, vty) = match **elem {
+                            VTy::I => (Class::I, VTy::I),
+                            VTy::F => (Class::F, VTy::F),
+                            _ => (Class::B, VTy::B),
+                        };
+                        let dst = self.alloc(class)?;
+                        let instr = match class {
+                            Class::I => Instr::ReadVI {
+                                dst: dst.idx,
+                                arr: a.idx,
+                                idx: i.idx,
+                            },
+                            Class::F => Instr::ReadVF {
+                                dst: dst.idx,
+                                arr: a.idx,
+                                idx: i.idx,
+                            },
+                            _ => Instr::ReadVB {
+                                dst: dst.idx,
+                                arr: a.idx,
+                                idx: i.idx,
+                            },
+                        };
+                        out.push(instr);
+                        return Ok((dst, vty, false));
+                    }
+                    let dst = self.alloc(Class::V)?;
+                    out.push(Instr::ReadVV {
+                        dst: dst.idx,
+                        arr: a.idx,
+                        idx: i.idx,
+                    });
+                    return Ok((dst, VTy::Gen, false));
+                }
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::ReadDyn {
+                    dst: dst.idx,
+                    arr: a,
+                    idx: i,
+                });
+                Ok((dst, VTy::Gen, false))
+            }
+            Def::TupleNew(es) => {
+                let mut regs = Vec::with_capacity(es.len());
+                let mut vtys = Vec::with_capacity(es.len());
+                let mut inv = true;
+                for e in es {
+                    let (r, vty, i) = self.operand(e)?;
+                    regs.push(r);
+                    vtys.push(vty);
+                    inv &= i;
+                }
+                let dst = self.alloc(Class::V)?;
+                let h = self.emit(
+                    out,
+                    true,
+                    inv,
+                    Instr::TupleNewV {
+                        dst: dst.idx,
+                        args: regs,
+                    },
+                );
+                Ok((dst, VTy::Tuple(Arc::new(vtys)), h))
+            }
+            Def::TupleGet { tuple, index } => {
+                let (t, tvty, inv) = self.operand(tuple)?;
+                if t.class == Class::V {
+                    if let VTy::Tuple(comps) = &tvty {
+                        if let Some(cvty) = comps.get(*index) {
+                            let cvty = cvty.clone();
+                            let dst = self.alloc(cvty.class())?;
+                            let idx = *index as u32;
+                            let instr = match dst.class {
+                                Class::I => Instr::TupleGetI {
+                                    dst: dst.idx,
+                                    t: t.idx,
+                                    idx,
+                                },
+                                Class::F => Instr::TupleGetF {
+                                    dst: dst.idx,
+                                    t: t.idx,
+                                    idx,
+                                },
+                                Class::B => Instr::TupleGetB {
+                                    dst: dst.idx,
+                                    t: t.idx,
+                                    idx,
+                                },
+                                Class::V => Instr::TupleGetV {
+                                    dst: dst.idx,
+                                    t: t.idx,
+                                    idx,
+                                },
+                            };
+                            let h = self.emit(out, true, inv, instr);
+                            return Ok((dst, cvty, h));
+                        }
+                    }
+                }
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::TupleGetDyn {
+                    dst: dst.idx,
+                    t,
+                    idx: *index as u32,
+                });
+                Ok((dst, VTy::Gen, false))
+            }
+            Def::StructNew { ty, fields } => {
+                let mut regs = Vec::with_capacity(fields.len());
+                let mut vtys = Vec::with_capacity(fields.len());
+                let mut inv = true;
+                for e in fields {
+                    let (r, vty, i) = self.operand(e)?;
+                    regs.push(r);
+                    vtys.push(vty);
+                    inv &= i;
+                }
+                let ty = Arc::new(ty.clone());
+                let dst = self.alloc(Class::V)?;
+                let h = self.emit(
+                    out,
+                    true,
+                    inv,
+                    Instr::StructNewV {
+                        dst: dst.idx,
+                        ty: ty.clone(),
+                        args: regs,
+                    },
+                );
+                Ok((dst, VTy::Struct(ty, Arc::new(vtys)), h))
+            }
+            Def::StructGet { obj, field } => {
+                let (o, ovty, inv) = self.operand(obj)?;
+                if o.class == Class::V {
+                    if let VTy::Struct(sty, ftys) = &ovty {
+                        if let Some(fi) = sty.field_index(field) {
+                            if let Some(fvty) = ftys.get(fi) {
+                                let fvty = fvty.clone();
+                                let dst = self.alloc(fvty.class())?;
+                                // Certified by the refined struct type, so
+                                // infallible — this is what hoists matrix
+                                // fields (data / rows / cols) out of loops.
+                                let h = self.emit(
+                                    out,
+                                    true,
+                                    inv,
+                                    Instr::StructGetIdx {
+                                        dst,
+                                        obj: o.idx,
+                                        idx: fi as u32,
+                                    },
+                                );
+                                return Ok((dst, fvty, h));
+                            }
+                        }
+                    }
+                }
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::StructGetDyn {
+                    dst: dst.idx,
+                    obj: o,
+                    name: Arc::from(field.as_str()),
+                });
+                Ok((dst, VTy::Gen, false))
+            }
+            Def::Flatten(e) => {
+                let (a, _vty, _inv) = self.operand(e)?;
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::FlattenV { dst: dst.idx, a });
+                Ok((dst, VTy::ArrGen, false))
+            }
+            Def::BucketValues(e) => {
+                let (a, _vty, _inv) = self.operand(e)?;
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::BucketValuesV { dst: dst.idx, a });
+                Ok((dst, VTy::ArrGen, false))
+            }
+            Def::BucketKeys(e) => {
+                let (a, _vty, _inv) = self.operand(e)?;
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::BucketKeysV { dst: dst.idx, a });
+                Ok((dst, VTy::ArrGen, false))
+            }
+            Def::BucketLen(e) => {
+                let (a, _vty, _inv) = self.operand(e)?;
+                let dst = self.alloc(Class::I)?;
+                out.push(Instr::BucketLenV { dst: dst.idx, a });
+                Ok((dst, VTy::I, false))
+            }
+            Def::BucketGet {
+                buckets,
+                key,
+                default,
+            } => {
+                let (b, _bvty, _bi) = self.operand(buckets)?;
+                let (k, _kvty, _ki) = self.operand(key)?;
+                let d = match default {
+                    Some(e) => Some(self.operand(e)?.0),
+                    None => None,
+                };
+                let dst = self.alloc(Class::V)?;
+                out.push(Instr::BucketGetV {
+                    dst: dst.idx,
+                    b,
+                    k,
+                    default: d,
+                });
+                Ok((dst, VTy::Gen, false))
+            }
+            Def::Loop(_) => unreachable!("handled by compile_stmt"),
+            Def::Extern { .. } => Err(Reject("extern call")),
+        }
+    }
+
+    fn compile_prim(
+        &mut self,
+        op: PrimOp,
+        ops: &[(Reg, VTy, bool)],
+        out: &mut Vec<Instr>,
+    ) -> Result<(Reg, VTy, bool), Reject> {
+        use Class as C;
+        let inv_all = ops.iter().all(|(_, _, i)| *i);
+        let classes: Vec<Class> = ops.iter().map(|(r, _, _)| r.class).collect();
+        // Typed two-operand emission.
+        if let ([a, b], [ca, cb]) = (
+            &ops.iter().map(|(r, _, _)| *r).collect::<Vec<_>>()[..],
+            &classes[..],
+        ) {
+            let (a, b) = (*a, *b);
+            match (op, ca, cb) {
+                (PrimOp::Add, C::I, C::I)
+                | (PrimOp::Sub, C::I, C::I)
+                | (PrimOp::Mul, C::I, C::I)
+                | (PrimOp::Min, C::I, C::I)
+                | (PrimOp::Max, C::I, C::I) => {
+                    let iop = match op {
+                        PrimOp::Add => IOp::Add,
+                        PrimOp::Sub => IOp::Sub,
+                        PrimOp::Mul => IOp::Mul,
+                        PrimOp::Min => IOp::Min,
+                        _ => IOp::Max,
+                    };
+                    let dst = self.alloc(C::I)?;
+                    let h = self.emit(
+                        out,
+                        true,
+                        inv_all,
+                        Instr::BinI {
+                            op: iop,
+                            dst: dst.idx,
+                            a: a.idx,
+                            b: b.idx,
+                        },
+                    );
+                    return Ok((dst, VTy::I, h));
+                }
+                (PrimOp::Div, C::I, C::I) => {
+                    let dst = self.alloc(C::I)?;
+                    out.push(Instr::DivI {
+                        dst: dst.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    });
+                    return Ok((dst, VTy::I, false));
+                }
+                (PrimOp::Rem, C::I, C::I) => {
+                    let dst = self.alloc(C::I)?;
+                    out.push(Instr::RemI {
+                        dst: dst.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    });
+                    return Ok((dst, VTy::I, false));
+                }
+                (PrimOp::Add, C::F, C::F)
+                | (PrimOp::Sub, C::F, C::F)
+                | (PrimOp::Mul, C::F, C::F)
+                | (PrimOp::Div, C::F, C::F)
+                | (PrimOp::Min, C::F, C::F)
+                | (PrimOp::Max, C::F, C::F) => {
+                    let fop = match op {
+                        PrimOp::Add => FOp::Add,
+                        PrimOp::Sub => FOp::Sub,
+                        PrimOp::Mul => FOp::Mul,
+                        PrimOp::Div => FOp::Div,
+                        PrimOp::Min => FOp::Min,
+                        _ => FOp::Max,
+                    };
+                    let dst = self.alloc(C::F)?;
+                    let h = self.emit(
+                        out,
+                        true,
+                        inv_all,
+                        Instr::BinF {
+                            op: fop,
+                            dst: dst.idx,
+                            a: a.idx,
+                            b: b.idx,
+                        },
+                    );
+                    return Ok((dst, VTy::F, h));
+                }
+                _ if op.is_comparison() && ca == cb && *ca != C::V => {
+                    let cop = match op {
+                        PrimOp::Eq => CmpOp::Eq,
+                        PrimOp::Ne => CmpOp::Ne,
+                        PrimOp::Lt => CmpOp::Lt,
+                        PrimOp::Le => CmpOp::Le,
+                        PrimOp::Gt => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    // Bool operands only support Eq/Ne in typed form; the
+                    // ordered comparisons on bools are walker type errors.
+                    let typed_ok = match ca {
+                        C::B => matches!(cop, CmpOp::Eq | CmpOp::Ne),
+                        _ => true,
+                    };
+                    if typed_ok {
+                        let dst = self.alloc(C::B)?;
+                        let instr = match ca {
+                            C::I => Instr::CmpI {
+                                op: cop,
+                                dst: dst.idx,
+                                a: a.idx,
+                                b: b.idx,
+                            },
+                            C::F => Instr::CmpF {
+                                op: cop,
+                                dst: dst.idx,
+                                a: a.idx,
+                                b: b.idx,
+                            },
+                            _ => Instr::CmpB {
+                                op: cop,
+                                dst: dst.idx,
+                                a: a.idx,
+                                b: b.idx,
+                            },
+                        };
+                        let h = self.emit(out, true, inv_all, instr);
+                        return Ok((dst, VTy::B, h));
+                    }
+                }
+                (PrimOp::And, C::B, C::B) | (PrimOp::Or, C::B, C::B) => {
+                    let dst = self.alloc(C::B)?;
+                    let instr = if op == PrimOp::And {
+                        Instr::AndB {
+                            dst: dst.idx,
+                            a: a.idx,
+                            b: b.idx,
+                        }
+                    } else {
+                        Instr::OrB {
+                            dst: dst.idx,
+                            a: a.idx,
+                            b: b.idx,
+                        }
+                    };
+                    let h = self.emit(out, true, inv_all, instr);
+                    return Ok((dst, VTy::B, h));
+                }
+                _ => {}
+            }
+        }
+        // Typed unary / ternary emission.
+        match (op, &classes[..]) {
+            (PrimOp::Neg, [C::I]) => {
+                // Not hoisted: `-i64::MIN` overflows (a debug panic the
+                // tree-walker only hits when it actually evaluates it).
+                let dst = self.alloc(C::I)?;
+                out.push(Instr::NegI {
+                    dst: dst.idx,
+                    a: ops[0].0.idx,
+                });
+                return Ok((dst, VTy::I, false));
+            }
+            (PrimOp::Neg, [C::F]) => {
+                let dst = self.alloc(C::F)?;
+                let h = self.emit(
+                    out,
+                    true,
+                    inv_all,
+                    Instr::NegF {
+                        dst: dst.idx,
+                        a: ops[0].0.idx,
+                    },
+                );
+                return Ok((dst, VTy::F, h));
+            }
+            (PrimOp::Not, [C::B]) => {
+                let dst = self.alloc(C::B)?;
+                let h = self.emit(
+                    out,
+                    true,
+                    inv_all,
+                    Instr::NotB {
+                        dst: dst.idx,
+                        a: ops[0].0.idx,
+                    },
+                );
+                return Ok((dst, VTy::B, h));
+            }
+            (PrimOp::Mux, [C::B, ca, cb]) if ca == cb => {
+                let (c, a, b) = (ops[0].0, ops[1].0, ops[2].0);
+                let dst = self.alloc(*ca)?;
+                let instr = match ca {
+                    C::I => Instr::MuxI {
+                        dst: dst.idx,
+                        c: c.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    },
+                    C::F => Instr::MuxF {
+                        dst: dst.idx,
+                        c: c.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    },
+                    C::B => Instr::MuxB {
+                        dst: dst.idx,
+                        c: c.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    },
+                    C::V => Instr::MuxV {
+                        dst: dst.idx,
+                        c: c.idx,
+                        a: a.idx,
+                        b: b.idx,
+                    },
+                };
+                let h = self.emit(out, true, inv_all, instr);
+                let vty = if ops[1].1 == ops[2].1 {
+                    ops[1].1.clone()
+                } else {
+                    match ca {
+                        C::I => VTy::I,
+                        C::F => VTy::F,
+                        C::B => VTy::B,
+                        C::V => VTy::Gen,
+                    }
+                };
+                return Ok((dst, vty, h));
+            }
+            _ => {}
+        }
+        // Fallback: box the operands and run the tree-walker's eval_prim —
+        // identical results and identical errors by construction.
+        let class = if op.is_comparison() || matches!(op, PrimOp::And | PrimOp::Or | PrimOp::Not) {
+            Class::B
+        } else {
+            Class::V
+        };
+        let dst = self.alloc(class)?;
+        out.push(Instr::PrimV {
+            op,
+            dst,
+            args: ops.iter().map(|(r, _, _)| *r).collect(),
+        });
+        let vty = if class == Class::B { VTy::B } else { VTy::Gen };
+        Ok((dst, vty, false))
+    }
+
+    fn compile_nested_loop(
+        &mut self,
+        stmt: &dmll_core::Stmt,
+        ml: &Multiloop,
+        out: &mut Vec<Instr>,
+    ) -> Result<(), Reject> {
+        if stmt.lhs.len() != ml.gens.len() {
+            return Err(Reject("loop binding arity mismatch"));
+        }
+        let (sreg, _svty, _sinv) = self.operand(&ml.size)?;
+        let size = if sreg.class == Class::I {
+            sreg.idx
+        } else {
+            let d = self.alloc(Class::I)?;
+            out.push(Instr::SizeI { dst: d.idx, a: sreg });
+            d.idx
+        };
+        let mut cgens = Vec::with_capacity(ml.gens.len());
+        let mut val_vtys = Vec::with_capacity(ml.gens.len());
+        for g in &ml.gens {
+            let (cg, vty) = self.compile_gen(g)?;
+            cgens.push(cg);
+            val_vtys.push(vty);
+        }
+        let mut dsts = Vec::with_capacity(cgens.len());
+        for ((lhs, cg), val_vty) in stmt.lhs.iter().zip(&cgens).zip(val_vtys) {
+            let (class, vty) = match cg.kind {
+                GenKind::Collect => match cg.val_class {
+                    Class::I => (Class::V, VTy::Arr(Box::new(VTy::I))),
+                    Class::F => (Class::V, VTy::Arr(Box::new(VTy::F))),
+                    Class::B => (Class::V, VTy::Arr(Box::new(VTy::B))),
+                    Class::V => (Class::V, VTy::ArrGen),
+                },
+                GenKind::Reduce => (cg.val_class, val_vty),
+                GenKind::BucketCollect | GenKind::BucketReduce => (Class::V, VTy::Buckets),
+            };
+            let dst = self.alloc(class)?;
+            self.define(*lhs, dst, vty, false)?;
+            dsts.push(dst);
+        }
+        let li = self.loops.len();
+        if li > u32::MAX as usize {
+            return Err(Reject("too many nested loops"));
+        }
+        self.loops.push(CLoop {
+            size,
+            gens: cgens,
+            dsts,
+        });
+        out.push(Instr::Loop(li as u32));
+        Ok(())
+    }
+}
+
+/// Recognize a reducer that is a single typed binary instruction over its
+/// two parameters (`a + b`, `a.min(b)`, …) so reduction steps skip block
+/// dispatch entirely.
+fn recognize_fast_red(blk: &CBlock) -> Option<FastRed> {
+    if blk.params.len() != 2 || blk.instrs.len() != 1 {
+        return None;
+    }
+    let (p0, p1) = (blk.params[0], blk.params[1]);
+    match &blk.instrs[0] {
+        Instr::BinI { op, dst, a, b }
+            if p0.class == Class::I
+                && *a == p0.idx
+                && *b == p1.idx
+                && *dst == blk.result.idx
+                && blk.result.class == Class::I =>
+        {
+            Some(FastRed::I(*op))
+        }
+        Instr::BinF { op, dst, a, b }
+            if p0.class == Class::F
+                && *a == p0.idx
+                && *b == p1.idx
+                && *dst == blk.result.idx
+                && blk.result.class == Class::F =>
+        {
+            Some(FastRed::F(*op))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel cache
+// ---------------------------------------------------------------------------
+
+/// Structural hash of a multiloop: discriminants, symbols, operators and
+/// constants, deep through nested blocks. Collisions are tolerated — cache
+/// entries store the loop itself and verify with full structural equality.
+fn structural_hash(ml: &Multiloop) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    hash_multiloop(ml, &mut h);
+    h.finish()
+}
+
+fn hash_multiloop(ml: &Multiloop, h: &mut impl Hasher) {
+    hash_exp(&ml.size, h);
+    ml.gens.len().hash(h);
+    for g in &ml.gens {
+        g.kind().hash(h);
+        for b in g.blocks() {
+            hash_block(b, h);
+        }
+        match g {
+            Gen::Reduce { init, .. } | Gen::BucketReduce { init, .. } => {
+                if let Some(e) = init {
+                    1u8.hash(h);
+                    hash_exp(e, h);
+                } else {
+                    0u8.hash(h);
+                }
+            }
+            _ => 2u8.hash(h),
+        }
+    }
+}
+
+fn hash_block(b: &Block, h: &mut impl Hasher) {
+    b.params.len().hash(h);
+    for p in &b.params {
+        p.0.hash(h);
+    }
+    b.stmts.len().hash(h);
+    for stmt in &b.stmts {
+        for s in &stmt.lhs {
+            s.0.hash(h);
+        }
+        hash_def(&stmt.def, h);
+    }
+    hash_exp(&b.result, h);
+}
+
+fn hash_exp(e: &Exp, h: &mut impl Hasher) {
+    match e {
+        Exp::Sym(s) => {
+            0u8.hash(h);
+            s.0.hash(h);
+        }
+        Exp::Const(c) => {
+            1u8.hash(h);
+            c.hash(h);
+        }
+    }
+}
+
+fn hash_def(d: &Def, h: &mut impl Hasher) {
+    match d {
+        Def::Prim { op, args } => {
+            0u8.hash(h);
+            op.hash(h);
+            for a in args {
+                hash_exp(a, h);
+            }
+        }
+        Def::Math { f, arg } => {
+            1u8.hash(h);
+            f.hash(h);
+            hash_exp(arg, h);
+        }
+        Def::Cast { to, value } => {
+            2u8.hash(h);
+            to.hash(h);
+            hash_exp(value, h);
+        }
+        Def::ArrayLen(e) => {
+            3u8.hash(h);
+            hash_exp(e, h);
+        }
+        Def::ArrayRead { arr, index } => {
+            4u8.hash(h);
+            hash_exp(arr, h);
+            hash_exp(index, h);
+        }
+        Def::TupleNew(es) => {
+            5u8.hash(h);
+            es.len().hash(h);
+            for e in es {
+                hash_exp(e, h);
+            }
+        }
+        Def::TupleGet { tuple, index } => {
+            6u8.hash(h);
+            hash_exp(tuple, h);
+            index.hash(h);
+        }
+        Def::StructNew { ty, fields } => {
+            7u8.hash(h);
+            ty.hash(h);
+            for e in fields {
+                hash_exp(e, h);
+            }
+        }
+        Def::StructGet { obj, field } => {
+            8u8.hash(h);
+            hash_exp(obj, h);
+            field.hash(h);
+        }
+        Def::Flatten(e) => {
+            9u8.hash(h);
+            hash_exp(e, h);
+        }
+        Def::BucketValues(e) => {
+            10u8.hash(h);
+            hash_exp(e, h);
+        }
+        Def::BucketKeys(e) => {
+            11u8.hash(h);
+            hash_exp(e, h);
+        }
+        Def::BucketLen(e) => {
+            12u8.hash(h);
+            hash_exp(e, h);
+        }
+        Def::BucketGet {
+            buckets,
+            key,
+            default,
+        } => {
+            13u8.hash(h);
+            hash_exp(buckets, h);
+            hash_exp(key, h);
+            if let Some(d) = default {
+                1u8.hash(h);
+                hash_exp(d, h);
+            } else {
+                0u8.hash(h);
+            }
+        }
+        Def::Loop(ml) => {
+            14u8.hash(h);
+            hash_multiloop(ml, h);
+        }
+        Def::Extern {
+            name,
+            args,
+            ret,
+            effectful,
+            whitelisted,
+        } => {
+            15u8.hash(h);
+            name.hash(h);
+            for a in args {
+                hash_exp(a, h);
+            }
+            ret.hash(h);
+            effectful.hash(h);
+            whitelisted.hash(h);
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct CacheKey {
+    hash: u64,
+    /// Refined types of the loop's free variables, in `Sym` order. A kernel
+    /// certified against `ArrayVal::F64` storage must not run against a
+    /// `Boxed` array, so the refinement is part of the key.
+    kinds: Vec<VTy>,
+}
+
+enum Cached {
+    Kernel(Arc<Kernel>),
+    /// Negative entry: compilation was rejected; don't retry every call.
+    Fallback,
+}
+
+struct CacheEntry {
+    ml: Multiloop,
+    cached: Cached,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<CacheKey, Vec<CacheEntry>>>> = OnceLock::new();
+
+/// Largest number of distinct (loop, refinement) entries kept; the cache is
+/// dropped wholesale beyond this (simple, and iterative workloads use a
+/// handful of kernels).
+const CACHE_CAP: usize = 512;
+
+/// Look up or compile the kernel for `ml` under the refined types of `env`.
+/// Returns `None` when the loop must run on the tree-walker (free variable
+/// missing from the environment, or the compiler rejected the loop).
+pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
+    let mut kinds = Vec::new();
+    for s in loop_free_syms(ml) {
+        let v = env.get(s.0 as usize)?.as_ref()?;
+        kinds.push(VTy::of(v, 0));
+    }
+    let key = CacheKey {
+        hash: structural_hash(ml),
+        kinds,
+    };
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let guard = cache.lock().expect("kernel cache poisoned");
+        if let Some(entries) = guard.get(&key) {
+            for e in entries {
+                if e.ml == *ml {
+                    return match &e.cached {
+                        Cached::Kernel(k) => {
+                            stats::record_cache_hit();
+                            Some(k.clone())
+                        }
+                        Cached::Fallback => None,
+                    };
+                }
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let compiled = compile_multiloop(ml, env);
+    let dt = t0.elapsed();
+    let mut guard = cache.lock().expect("kernel cache poisoned");
+    if guard.len() >= CACHE_CAP {
+        guard.clear();
+    }
+    let entries = guard.entry(key).or_default();
+    match compiled {
+        Ok(k) => {
+            let k = Arc::new(k);
+            stats::record_compile(dt);
+            entries.push(CacheEntry {
+                ml: ml.clone(),
+                cached: Cached::Kernel(k.clone()),
+            });
+            Some(k)
+        }
+        Err(_reject) => {
+            stats::record_fallback();
+            entries.push(CacheEntry {
+                ml: ml.clone(),
+                cached: Cached::Fallback,
+            });
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::Stmt;
+
+    fn env_with(bindings: Vec<(u32, Value)>) -> Env {
+        let max = bindings.iter().map(|(s, _)| *s).max().unwrap_or(0) as usize;
+        let mut env: Env = vec![None; max + 1];
+        for (s, v) in bindings {
+            env[s as usize] = Some(v);
+        }
+        env
+    }
+
+    /// sum of squares over a typed f64 array: free x10=arr.
+    fn square_sum_loop() -> Multiloop {
+        let value = Block {
+            params: vec![Sym(0)],
+            stmts: vec![
+                Stmt::one(
+                    Sym(1),
+                    Def::ArrayRead {
+                        arr: Exp::Sym(Sym(10)),
+                        index: Exp::Sym(Sym(0)),
+                    },
+                ),
+                Stmt::one(Sym(2), Def::prim2(PrimOp::Mul, Sym(1), Sym(1))),
+            ],
+            result: Exp::Sym(Sym(2)),
+        };
+        let reducer = Block {
+            params: vec![Sym(3), Sym(4)],
+            stmts: vec![Stmt::one(Sym(5), Def::prim2(PrimOp::Add, Sym(3), Sym(4)))],
+            result: Exp::Sym(Sym(5)),
+        };
+        Multiloop::single(
+            Exp::Sym(Sym(11)),
+            Gen::Reduce {
+                cond: None,
+                value,
+                reducer,
+                init: None,
+            },
+        )
+    }
+
+    #[test]
+    fn compiles_typed_reduce_with_fast_reducer() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.0, 3.0]))]);
+        let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
+        assert!(matches!(k.gens[0].fast_red, Some(FastRed::F(FOp::Add))));
+        assert_eq!(k.gens[0].val_class as u8, Class::F as u8);
+        let mut st = k.new_state(&env).unwrap();
+        let accs = k.run_range(&mut st, 0, 3).unwrap();
+        let vals = k.seal_values(accs, &mut st).unwrap();
+        assert_eq!(vals, vec![Value::F64(14.0)]);
+    }
+
+    #[test]
+    fn chunked_runs_merge_like_one_run() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0]))]);
+        let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
+        let mut st = k.new_state(&env).unwrap();
+        let a = k.run_range(&mut st, 0, 2).unwrap();
+        let b = k.run_range(&mut st, 2, 4).unwrap();
+        let merged: Vec<KAcc> = a
+            .into_iter()
+            .zip(b)
+            .enumerate()
+            .map(|(i, (x, y))| k.merge(i, x, y, &mut st).unwrap())
+            .collect();
+        let vals = k.seal_values(merged, &mut st).unwrap();
+        assert_eq!(vals, vec![Value::F64(30.0)]);
+    }
+
+    #[test]
+    fn empty_reduce_errors_without_init() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
+        let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
+        let mut st = k.new_state(&env).unwrap();
+        let accs = k.run_range(&mut st, 0, 0).unwrap();
+        assert_eq!(
+            k.seal_values(accs, &mut st).unwrap_err(),
+            EvalError::EmptyReduce
+        );
+    }
+
+    #[test]
+    fn read_out_of_bounds_matches_walker_error() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.0]))]);
+        let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
+        let mut st = k.new_state(&env).unwrap();
+        let err = k.run_range(&mut st, 0, 5).unwrap_err();
+        assert_eq!(err, EvalError::IndexOutOfBounds { index: 2, len: 2 });
+    }
+
+    #[test]
+    fn externs_are_rejected() {
+        let value = Block {
+            params: vec![Sym(0)],
+            stmts: vec![Stmt::one(
+                Sym(1),
+                Def::Extern {
+                    name: "rng".into(),
+                    args: vec![],
+                    ret: Ty::I64,
+                    effectful: true,
+                    whitelisted: false,
+                },
+            )],
+            result: Exp::Sym(Sym(1)),
+        };
+        let ml = Multiloop::single(Exp::i64(3), Gen::Collect { cond: None, value });
+        assert!(compile_multiloop(&ml, &Vec::new()).is_err());
+    }
+
+    #[test]
+    fn cache_reuses_kernel_for_same_types() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
+        let ml = square_sum_loop();
+        let k1 = kernel_for(&ml, &env).expect("compiled");
+        let k2 = kernel_for(&ml, &env).expect("cached");
+        assert!(Arc::ptr_eq(&k1, &k2));
+        // Different storage refinement → distinct kernel (not reused).
+        let env2 = env_with(vec![(10, Value::i64_arr(vec![1, 2]))]);
+        let k3 = kernel_for(&ml, &env2).expect("recompiled");
+        assert!(!Arc::ptr_eq(&k1, &k3));
+    }
+
+    #[test]
+    fn invariants_hoist_to_preamble() {
+        // value = arr[i] * c where c = 2.0 const and arr free: the constant
+        // load sits in the preamble; the read and multiply stay in the body.
+        let value = Block {
+            params: vec![Sym(0)],
+            stmts: vec![
+                Stmt::one(
+                    Sym(1),
+                    Def::ArrayRead {
+                        arr: Exp::Sym(Sym(10)),
+                        index: Exp::Sym(Sym(0)),
+                    },
+                ),
+                Stmt::one(
+                    Sym(2),
+                    Def::Prim {
+                        op: PrimOp::Mul,
+                        args: vec![Exp::Sym(Sym(1)), Exp::Const(Const::F64(2.0))],
+                    },
+                ),
+            ],
+            result: Exp::Sym(Sym(2)),
+        };
+        let ml = Multiloop::single(Exp::Sym(Sym(11)), Gen::Collect { cond: None, value });
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.5]))]);
+        let k = compile_multiloop(&ml, &env).expect("compiles");
+        assert_eq!(k.preamble.len(), 1, "const load hoisted");
+        assert_eq!(k.gens[0].value.instrs.len(), 2, "read + mul in body");
+        let mut st = k.new_state(&env).unwrap();
+        let accs = k.run_range(&mut st, 0, 2).unwrap();
+        let vals = k.seal_values(accs, &mut st).unwrap();
+        assert_eq!(vals[0], Value::f64_arr(vec![2.0, 5.0]));
+    }
+}
+
+
+
+

@@ -2,9 +2,11 @@
 
 use crate::error::EvalError;
 use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
+use crate::{compile, stats};
 use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, Program};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A handler for [`Def::Extern`] operations.
 pub type ExternFn = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>;
@@ -13,6 +15,19 @@ pub type ExternFn = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sy
 pub struct Interp<'p> {
     program: &'p Program,
     externs: HashMap<String, ExternFn>,
+    /// Whether top-level multiloops may run on the compiled kernel tier.
+    /// Loops the compiler rejects fall back to the tree-walker either way.
+    use_compiled: bool,
+}
+
+/// Per-run execution-tier accounting: how many top-level multiloops ran on
+/// each tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Top-level loops executed as compiled kernels.
+    pub compiled_loops: u64,
+    /// Top-level loops executed by the tree-walker.
+    pub treewalk_loops: u64,
 }
 
 /// Environment: one slot per symbol. Symbols are globally unique within a
@@ -25,7 +40,16 @@ impl<'p> Interp<'p> {
         Interp {
             program,
             externs: HashMap::new(),
+            use_compiled: true,
         }
+    }
+
+    /// Disable the compiled kernel tier: every loop tree-walks. Benches use
+    /// this to measure the baseline; differential tests use it as the
+    /// reference semantics.
+    pub fn without_compiled_tier(mut self) -> Self {
+        self.use_compiled = false;
+        self
     }
 
     /// Register a handler for an extern operation.
@@ -50,6 +74,16 @@ impl<'p> Interp<'p> {
     /// Fails when an input is missing or evaluation raises (out-of-bounds
     /// read, empty reduce without identity, unknown extern, …).
     pub fn run(&self, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
+        self.run_report(inputs).map(|(v, _)| v)
+    }
+
+    /// Like [`Interp::run`], also reporting which execution tier each
+    /// top-level multiloop ran on.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interp::run`].
+    pub fn run_report(&self, inputs: &[(&str, Value)]) -> Result<(Value, RunReport), EvalError> {
         let mut env: Env = vec![None; self.program.next_sym_id() as usize];
         for input in &self.program.inputs {
             let v = inputs
@@ -59,7 +93,72 @@ impl<'p> Interp<'p> {
                 .ok_or_else(|| EvalError::MissingInput(input.name.clone()))?;
             env[input.sym.0 as usize] = Some(v);
         }
-        self.eval_block(&self.program.body, &[], &mut env)
+        let mut report = RunReport::default();
+        let b = &self.program.body;
+        for stmt in &b.stmts {
+            let vals = match &stmt.def {
+                Def::Loop(ml) => self.eval_top_loop(ml, &mut env, &mut report)?,
+                d => self.eval_def_internal(d, &mut env)?,
+            };
+            debug_assert_eq!(vals.len(), stmt.lhs.len());
+            for (s, v) in stmt.lhs.iter().zip(vals) {
+                env[s.0 as usize] = Some(v);
+            }
+        }
+        let out = self.eval_exp(&b.result, &env)?;
+        Ok((out, report))
+    }
+
+    /// Evaluate a top-level multiloop on the fastest applicable tier.
+    /// Nested loops run inside whichever tier owns the enclosing loop.
+    fn eval_top_loop(
+        &self,
+        ml: &Multiloop,
+        env: &mut Env,
+        report: &mut RunReport,
+    ) -> Result<Vec<Value>, EvalError> {
+        let (vals, compiled) = self.eval_loop_tiered(ml, env, self.use_compiled)?;
+        if compiled {
+            report.compiled_loops += 1;
+        } else {
+            report.treewalk_loops += 1;
+        }
+        Ok(vals)
+    }
+
+    /// Run one top-level multiloop over its full range, compiled when
+    /// `use_compiled` and the loop compiles, tree-walking otherwise. The
+    /// returned flag says which tier ran. Shared with the parallel
+    /// executor's small-loop path.
+    pub(crate) fn eval_loop_tiered(
+        &self,
+        ml: &Multiloop,
+        env: &mut Env,
+        use_compiled: bool,
+    ) -> Result<(Vec<Value>, bool), EvalError> {
+        if use_compiled {
+            if let Some(kernel) = compile::kernel_for(ml, env) {
+                let size = self
+                    .eval_exp(&ml.size, env)?
+                    .as_i64()
+                    .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
+                let t0 = Instant::now();
+                let mut st = kernel.new_state(env)?;
+                let accs = kernel.run_range(&mut st, 0, size)?;
+                let vals = kernel.seal_values(accs, &mut st)?;
+                stats::record_compiled(size.max(0) as u64, t0.elapsed());
+                return Ok((vals, true));
+            }
+        }
+        let elements = self
+            .eval_exp(&ml.size, env)
+            .ok()
+            .and_then(|v| v.as_i64())
+            .map_or(0, |s| s.max(0) as u64);
+        let t0 = Instant::now();
+        let vals = self.eval_loop(ml, env, 0, None)?;
+        stats::record_treewalk(elements, t0.elapsed());
+        Ok((vals, false))
     }
 
     pub(crate) fn eval_block(
@@ -447,7 +546,7 @@ fn const_value(c: &Const) -> Value {
     }
 }
 
-fn eval_math(f: MathFn, x: f64) -> f64 {
+pub(crate) fn eval_math(f: MathFn, x: f64) -> f64 {
     match f {
         MathFn::Exp => x.exp(),
         MathFn::Log => x.ln(),
@@ -461,7 +560,7 @@ fn eval_math(f: MathFn, x: f64) -> f64 {
     }
 }
 
-fn eval_prim(op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
+pub(crate) fn eval_prim(op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
     use PrimOp::*;
     use Value::*;
     let type_err = || EvalError::TypeMismatch(format!("{op} applied to {args:?}"));
@@ -523,6 +622,16 @@ fn eval_prim(op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
 /// See [`Interp::run`].
 pub fn eval(program: &Program, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
     Interp::new(program).run(inputs)
+}
+
+/// Run `program` with the compiled tier disabled — pure tree-walking.
+/// Differential tests and tier benches use this as the reference.
+///
+/// # Errors
+///
+/// See [`Interp::run`].
+pub fn eval_tree_walk(program: &Program, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
+    Interp::new(program).without_compiled_tier().run(inputs)
 }
 
 /// Run `program` with a set of extern handlers.

@@ -27,14 +27,17 @@
 //! # Ok::<(), dmll_interp::EvalError>(())
 //! ```
 
+mod compile;
 pub mod error;
 pub mod eval;
 pub mod parallel;
+pub mod stats;
 pub mod value;
 
 pub use error::EvalError;
-pub use eval::{eval, eval_with_externs, ExternFn, Interp};
+pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};
 pub use parallel::{
     eval_parallel, eval_parallel_report, ChunkFaults, ExecReport, ParallelOptions,
 };
+pub use stats::{reset_tier_totals, tier_totals, TierTotals};
 pub use value::{ArrayVal, BucketsVal, Key, StructVal, Value};

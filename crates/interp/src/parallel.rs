@@ -22,13 +22,27 @@
 //! say) propagate immediately rather than being retried. The
 //! [`ExecReport`] returned by [`eval_parallel_report`] makes recovery
 //! observable to tests and benchmarks.
+//!
+//! ## Execution tiers
+//!
+//! Each top-level loop first tries the compiled bytecode tier
+//! (`crate::compile`): when the loop compiles, every worker chunk executes
+//! the *same* cached kernel over its subrange, and chunk recovery re-runs
+//! that kernel — so fault-tolerance semantics are preserved bit-for-bit
+//! across tiers. Loops the compiler rejects fall back to the tree-walking
+//! chunk path below, which reuses per-worker scratch environments instead
+//! of cloning the full environment for every chunk and retry.
 
+use crate::compile::{self, KAcc, Kernel};
 use crate::error::EvalError;
 use crate::eval::{Acc, Env, Interp};
 use crate::value::{Key, Value};
+use crate::stats;
+use dmll_core::visit::bound_syms;
 use dmll_core::{Def, Exp, Gen, Program};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Injected chunk failures for chaos-testing the executor: the listed
 /// chunk indices fail on their first execution attempt, then succeed.
@@ -66,6 +80,9 @@ pub struct ParallelOptions {
     pub max_chunk_retries: u32,
     /// Injected failures (empty by default).
     pub faults: ChunkFaults,
+    /// Run loops on the compiled bytecode tier when they compile (the
+    /// default). Disable to force every loop onto the tree-walking tier.
+    pub use_compiled: bool,
 }
 
 impl ParallelOptions {
@@ -75,12 +92,20 @@ impl ParallelOptions {
             threads: threads.max(1),
             max_chunk_retries: 2,
             faults: ChunkFaults::default(),
+            use_compiled: true,
         }
     }
 
     /// Set injected faults.
     pub fn with_faults(mut self, faults: ChunkFaults) -> ParallelOptions {
         self.faults = faults;
+        self
+    }
+
+    /// Force every loop onto the tree-walking tier (used by the
+    /// tier-comparison benchmarks).
+    pub fn tree_walk_only(mut self) -> ParallelOptions {
+        self.use_compiled = false;
         self
     }
 }
@@ -94,6 +119,10 @@ pub struct ExecReport {
     pub failed_executions: usize,
     /// Chunks that recovered via subrange re-execution.
     pub reexecuted_chunks: usize,
+    /// Top-level loops executed on the compiled bytecode tier.
+    pub compiled_loops: usize,
+    /// Top-level loops executed on the tree-walking tier.
+    pub treewalk_loops: usize,
 }
 
 /// Run `program` evaluating top-level multiloops across `threads` worker
@@ -140,6 +169,9 @@ pub fn eval_parallel_report(
     // across the whole evaluation (the coordinator decides before spawning,
     // so injection is deterministic under any thread interleaving).
     let mut pending_faults: BTreeSet<usize> = options.faults.fail_once.clone();
+    // Per-worker scratch environments for the tree-walking chunk path,
+    // reused across loops and retries.
+    let mut scratch_pool: Vec<ScratchEnv> = Vec::new();
     for stmt in &program.body.stmts {
         match &stmt.def {
             Def::Loop(ml) => {
@@ -148,10 +180,16 @@ pub fn eval_parallel_report(
                     n => n,
                 };
                 let vals = if size < threads as i64 * 4 && pending_faults.is_empty() {
-                    // Not worth splitting.
-                    let mut env_mut = env.clone();
-                    let out = interp.eval_loop_owned(ml, &mut env_mut, 0, None)?;
-                    env = env_mut;
+                    // Not worth splitting: run in place on whichever tier
+                    // applies. Loop bodies only bind loop-local symbols, so
+                    // no defensive clone of the environment is needed.
+                    let (out, compiled) =
+                        interp.eval_loop_tiered(ml, &mut env, options.use_compiled)?;
+                    if compiled {
+                        report.compiled_loops += 1;
+                    } else {
+                        report.treewalk_loops += 1;
+                    }
                     out
                 } else {
                     run_chunked(
@@ -163,6 +201,7 @@ pub fn eval_parallel_report(
                         options,
                         &mut pending_faults,
                         &mut report,
+                        &mut scratch_pool,
                     )?
                 };
                 for (s, v) in stmt.lhs.iter().zip(vals) {
@@ -196,27 +235,120 @@ enum ChunkFailure {
     Died(String),
 }
 
-/// Execute one chunk's subrange, optionally delivering an injected fault.
+/// A reusable per-chunk environment for the tree-walking tier. Chunk
+/// evaluation only reads the loop's free symbols (plus its size) and only
+/// writes symbols bound inside generator blocks, so instead of cloning the
+/// whole `Vec<Option<Value>>` for every chunk and every retry, each worker
+/// keeps one scratch env and refreshes just those slots per execution.
+struct ScratchEnv {
+    env: Env,
+    /// Slots possibly populated by the previous use; cleared on `prepare`.
+    dirty: Vec<usize>,
+}
+
+impl ScratchEnv {
+    fn new(len: usize) -> ScratchEnv {
+        ScratchEnv {
+            env: vec![None; len],
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Reset to "agrees with `parent` on `reads`, unset everywhere else the
+    /// previous use touched", and mark `reads` and `writes` dirty for the
+    /// next reset.
+    fn prepare(&mut self, parent: &Env, reads: &[usize], writes: &[usize]) {
+        for &s in &self.dirty {
+            self.env[s] = None;
+        }
+        self.dirty.clear();
+        if self.env.len() < parent.len() {
+            self.env.resize(parent.len(), None);
+        }
+        for &s in reads {
+            self.env[s] = parent[s].clone();
+        }
+        self.dirty.extend_from_slice(reads);
+        self.dirty.extend_from_slice(writes);
+    }
+}
+
+/// Environment slots a chunked tree-walk of `ml` can read (free symbols
+/// plus the loop size) and write (symbols bound inside generator blocks,
+/// including nested loops).
+fn loop_touched_slots(ml: &dmll_core::Multiloop) -> (Vec<usize>, Vec<usize>) {
+    let mut reads: BTreeSet<usize> = compile::loop_free_syms(ml)
+        .iter()
+        .map(|s| s.0 as usize)
+        .collect();
+    if let Exp::Sym(s) = &ml.size {
+        reads.insert(s.0 as usize);
+    }
+    let mut writes: BTreeSet<usize> = BTreeSet::new();
+    for g in &ml.gens {
+        for b in g.blocks() {
+            writes.extend(bound_syms(b).iter().map(|s| s.0 as usize));
+        }
+    }
+    (reads.into_iter().collect(), writes.into_iter().collect())
+}
+
+/// Execute one chunk's subrange on the tree-walking tier, optionally
+/// delivering an injected fault.
+#[allow(clippy::too_many_arguments)]
 fn execute_chunk(
     interp: &Interp<'_>,
     ml: &dmll_core::Multiloop,
     env: &Env,
+    scratch: &mut ScratchEnv,
     range: (i64, i64),
     chunk_index: usize,
     injected: bool,
     panic_workers: bool,
+    reads: &[usize],
+    writes: &[usize],
 ) -> Result<Vec<Acc>, ChunkFailure> {
     if injected && !panic_workers {
         return Err(ChunkFailure::Died(format!(
             "injected fault on chunk {chunk_index}"
         )));
     }
-    let mut local_env = env.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        scratch.prepare(env, reads, writes);
+        if injected {
+            panic!("injected panic on chunk {chunk_index}");
+        }
+        interp.eval_loop_accs_owned(ml, &mut scratch.env, range.0, Some(range.1))
+    }));
+    match outcome {
+        Ok(Ok(accs)) => Ok(accs),
+        Ok(Err(e)) => Err(ChunkFailure::Eval(e)),
+        Err(payload) => Err(ChunkFailure::Died(panic_message(payload.as_ref()))),
+    }
+}
+
+/// Execute one chunk's subrange on the compiled tier. Each attempt builds a
+/// fresh register state from the shared parent environment (no cloning of
+/// the environment itself) and runs the cached kernel.
+fn execute_chunk_kernel(
+    kernel: &Kernel,
+    env: &Env,
+    range: (i64, i64),
+    chunk_index: usize,
+    injected: bool,
+    panic_workers: bool,
+) -> Result<Vec<KAcc>, ChunkFailure> {
+    if injected && !panic_workers {
+        return Err(ChunkFailure::Died(format!(
+            "injected fault on chunk {chunk_index}"
+        )));
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if injected {
             panic!("injected panic on chunk {chunk_index}");
         }
-        interp.eval_loop_accs_owned(ml, &mut local_env, range.0, Some(range.1))
+        let mut st = kernel.new_state(env)?;
+        kernel.run_range(&mut st, range.0, range.1)
     }));
     match outcome {
         Ok(Ok(accs)) => Ok(accs),
@@ -245,6 +377,7 @@ fn run_chunked(
     options: &ParallelOptions,
     pending_faults: &mut BTreeSet<usize>,
     report: &mut ExecReport,
+    pool: &mut Vec<ScratchEnv>,
 ) -> Result<Vec<Value>, EvalError> {
     let chunk = (size + threads as i64 - 1) / threads as i64;
     let ranges: Vec<(i64, i64)> = (0..threads as i64)
@@ -252,39 +385,54 @@ fn run_chunked(
         .filter(|(s, e)| s < e)
         .collect();
     let inject: Vec<bool> = (0..ranges.len()).map(|ci| pending_faults.remove(&ci)).collect();
-    let panic_workers = options.faults.panic_workers;
 
-    // First round: every chunk on its own worker thread, failures caught.
-    let first_round: Vec<Result<Vec<Acc>, ChunkFailure>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .map(|(ci, &range)| {
-                let env_ref = &*env;
-                let injected = inject[ci];
-                scope.spawn(move || {
-                    execute_chunk(interp, ml, env_ref, range, ci, injected, panic_workers)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|payload| {
-                    // Only reachable if a panic escapes catch_unwind
-                    // (e.g. a panic while unwinding); still recoverable
-                    // by re-execution.
-                    Err(ChunkFailure::Died(panic_message(payload.as_ref())))
-                })
-            })
-            .collect()
-    });
-    report.chunk_executions += ranges.len();
+    // Compiled tier first: worker chunks and chunk recovery execute the
+    // very same cached kernel, so results (and fault-tolerance semantics)
+    // are bit-identical to the tree-walking tier.
+    if options.use_compiled {
+        if let Some(kernel) = compile::kernel_for(ml, env) {
+            let t0 = Instant::now();
+            let out = run_chunked_kernel(&kernel, env, &ranges, &inject, options, report)?;
+            stats::record_compiled(size.max(0) as u64, t0.elapsed());
+            report.compiled_loops += 1;
+            return Ok(out);
+        }
+    }
+    let t0 = Instant::now();
+    let out = run_chunked_treewalk(interp, ml, env, &ranges, &inject, options, report, pool)?;
+    stats::record_treewalk(size.max(0) as u64, t0.elapsed());
+    report.treewalk_loops += 1;
+    Ok(out)
+}
 
-    // Recovery: re-execute just the failed chunks' subranges. A multiloop
-    // is agnostic to its bounds, so re-running `ranges[ci]` alone yields
-    // the same accumulator the lost worker would have produced.
-    let mut per_chunk: Vec<Vec<Acc>> = Vec::with_capacity(first_round.len());
+/// Join first-round worker handles, turning an escaped panic (only
+/// reachable if a panic escapes `catch_unwind`, e.g. a panic while
+/// unwinding) into a recoverable chunk death.
+fn join_round<A>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<A>, ChunkFailure>>>,
+) -> Vec<Result<Vec<A>, ChunkFailure>> {
+    handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|payload| Err(ChunkFailure::Died(panic_message(payload.as_ref()))))
+        })
+        .collect()
+}
+
+/// Recover failed first-round chunks by re-executing just their subranges
+/// (the retry closure runs on the coordinator thread). A multiloop is
+/// agnostic to its bounds, so re-running `ranges[ci]` alone yields the
+/// same accumulator the lost worker would have produced. Shared by both
+/// execution tiers.
+fn recover_chunks<A>(
+    first_round: Vec<Result<Vec<A>, ChunkFailure>>,
+    ranges: &[(i64, i64)],
+    options: &ParallelOptions,
+    report: &mut ExecReport,
+    mut retry: impl FnMut(usize, (i64, i64)) -> Result<Vec<A>, ChunkFailure>,
+) -> Result<Vec<Vec<A>>, EvalError> {
+    let mut per_chunk: Vec<Vec<A>> = Vec::with_capacity(first_round.len());
     for (ci, outcome) in first_round.into_iter().enumerate() {
         match outcome {
             Ok(accs) => per_chunk.push(accs),
@@ -294,7 +442,7 @@ fn run_chunked(
                 let mut recovered = None;
                 for _attempt in 1..=options.max_chunk_retries {
                     report.chunk_executions += 1;
-                    match execute_chunk(interp, ml, env, ranges[ci], ci, false, panic_workers) {
+                    match retry(ci, ranges[ci]) {
                         Ok(accs) => {
                             report.reexecuted_chunks += 1;
                             recovered = Some(accs);
@@ -320,6 +468,74 @@ fn run_chunked(
             }
         }
     }
+    Ok(per_chunk)
+}
+
+/// Tree-walking chunk executor: per-worker scratch environments, merges in
+/// chunk order against the coordinator's real environment.
+#[allow(clippy::too_many_arguments)]
+fn run_chunked_treewalk(
+    interp: &Interp<'_>,
+    ml: &dmll_core::Multiloop,
+    env: &mut Env,
+    ranges: &[(i64, i64)],
+    inject: &[bool],
+    options: &ParallelOptions,
+    report: &mut ExecReport,
+    pool: &mut Vec<ScratchEnv>,
+) -> Result<Vec<Value>, EvalError> {
+    let panic_workers = options.faults.panic_workers;
+    let (reads, writes) = loop_touched_slots(ml);
+    if pool.len() < ranges.len() {
+        let len = env.len();
+        pool.resize_with(ranges.len(), || ScratchEnv::new(len));
+    }
+
+    // First round: every chunk on its own worker thread with its own
+    // scratch env, failures caught.
+    let first_round: Vec<Result<Vec<Acc>, ChunkFailure>> = std::thread::scope(|scope| {
+        let env_ref = &*env;
+        let (reads, writes) = (&reads, &writes);
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .zip(pool.iter_mut())
+            .map(|((ci, &range), scratch)| {
+                let injected = inject[ci];
+                scope.spawn(move || {
+                    execute_chunk(
+                        interp,
+                        ml,
+                        env_ref,
+                        scratch,
+                        range,
+                        ci,
+                        injected,
+                        panic_workers,
+                        reads,
+                        writes,
+                    )
+                })
+            })
+            .collect();
+        join_round(handles)
+    });
+    report.chunk_executions += ranges.len();
+
+    let mut per_chunk = recover_chunks(first_round, ranges, options, report, |ci, range| {
+        execute_chunk(
+            interp,
+            ml,
+            env,
+            &mut pool[ci],
+            range,
+            ci,
+            false,
+            panic_workers,
+            &reads,
+            &writes,
+        )
+    })?;
 
     // Transpose: per-generator lists of per-chunk accumulators, merged in
     // chunk order.
@@ -335,6 +551,59 @@ fn run_chunked(
         }
         let merged = merged.unwrap_or_else(|| Acc::for_gen(gen));
         outputs.push(interp.seal_acc_owned(gen, merged, env)?);
+    }
+    Ok(outputs)
+}
+
+/// Compiled-tier chunk executor: every worker runs the same cached kernel
+/// over its subrange, recovery re-runs that kernel, and merging/sealing
+/// happens on a coordinator register state.
+fn run_chunked_kernel(
+    kernel: &Kernel,
+    env: &Env,
+    ranges: &[(i64, i64)],
+    inject: &[bool],
+    options: &ParallelOptions,
+    report: &mut ExecReport,
+) -> Result<Vec<Value>, EvalError> {
+    let panic_workers = options.faults.panic_workers;
+
+    let first_round: Vec<Result<Vec<KAcc>, ChunkFailure>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(ci, &range)| {
+                let injected = inject[ci];
+                scope.spawn(move || {
+                    execute_chunk_kernel(kernel, env, range, ci, injected, panic_workers)
+                })
+            })
+            .collect();
+        join_round(handles)
+    });
+    report.chunk_executions += ranges.len();
+
+    let per_chunk = recover_chunks(first_round, ranges, options, report, |ci, range| {
+        execute_chunk_kernel(kernel, env, range, ci, false, panic_workers)
+    })?;
+
+    // Merge in chunk order on a coordinator state (reducer blocks execute
+    // as bytecode too), then seal each generator's accumulator.
+    let mut st = kernel.new_state(env)?;
+    let n_gens = kernel.gens.len();
+    let mut merged: Vec<Option<KAcc>> = (0..n_gens).map(|_| None).collect();
+    for chunk_accs in per_chunk {
+        for (gi, acc) in chunk_accs.into_iter().enumerate() {
+            merged[gi] = Some(match merged[gi].take() {
+                None => acc,
+                Some(m) => kernel.merge(gi, m, acc, &mut st)?,
+            });
+        }
+    }
+    let mut outputs = Vec::with_capacity(n_gens);
+    for (gi, m) in merged.into_iter().enumerate() {
+        let acc = m.unwrap_or_else(|| KAcc::for_gen(&kernel.gens[gi], 0));
+        outputs.push(kernel.seal_gen_value(gi, acc, &mut st)?);
     }
     Ok(outputs)
 }
@@ -420,16 +689,6 @@ fn merge_pair(
 }
 
 impl<'p> Interp<'p> {
-    pub(crate) fn eval_loop_owned(
-        &self,
-        ml: &dmll_core::Multiloop,
-        env: &mut Env,
-        start: i64,
-        end: Option<i64>,
-    ) -> Result<Vec<Value>, EvalError> {
-        self.eval_loop(ml, env, start, end)
-    }
-
     pub(crate) fn eval_loop_accs_owned(
         &self,
         ml: &dmll_core::Multiloop,
@@ -611,6 +870,49 @@ mod tests {
                 assert_eq!(attempts, 1);
             }
             other => panic!("expected ChunkRetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_counts_execution_tiers() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let (v1, r1) = eval_parallel_report(
+            &p,
+            &[("x", Value::i64_arr(data.clone()))],
+            &ParallelOptions::new(4),
+        )
+        .unwrap();
+        assert!(r1.compiled_loops >= 1, "{r1:?}");
+        let (v2, r2) = eval_parallel_report(
+            &p,
+            &[("x", Value::i64_arr(data))],
+            &ParallelOptions::new(4).tree_walk_only(),
+        )
+        .unwrap();
+        assert_eq!(v1, v2, "tiers agree");
+        assert_eq!(r2.compiled_loops, 0);
+        assert!(r2.treewalk_loops >= 1, "{r2:?}");
+    }
+
+    #[test]
+    fn tree_walk_tier_recovers_faults_identically() {
+        // Force the tree-walking tier so recovery exercises the reusable
+        // scratch environments (including re-prepare after a mid-chunk
+        // panic leaves one partially written).
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let clean = eval_parallel(&p, &[("x", Value::i64_arr(data.clone()))], 4).unwrap();
+        for faults in [
+            ChunkFaults::fail_once([0, 2]),
+            ChunkFaults::fail_once([0, 2]).panicking(),
+        ] {
+            let opts = ParallelOptions::new(4).tree_walk_only().with_faults(faults);
+            let (value, report) =
+                eval_parallel_report(&p, &[("x", Value::i64_arr(data.clone()))], &opts).unwrap();
+            assert_eq!(value, clean, "scratch-env recovery is bit-identical");
+            assert_eq!(report.reexecuted_chunks, 2);
+            assert_eq!(report.compiled_loops, 0);
         }
     }
 

@@ -1,0 +1,143 @@
+//! Process-wide execution-tier counters.
+//!
+//! The interpreter is invoked from many call sites (direct `run`, parallel
+//! chunks, benches), so tier accounting lives in atomics rather than being
+//! threaded through every call. `dmll-runtime` mirrors these numbers into
+//! its profiling report via [`TierTotals`]; see
+//! `crates/runtime/src/profile.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static KERNELS_COMPILED: AtomicU64 = AtomicU64::new(0);
+static KERNEL_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_LOOPS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+static COMPILED_LOOPS: AtomicU64 = AtomicU64::new(0);
+static COMPILED_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+static COMPILED_NANOS: AtomicU64 = AtomicU64::new(0);
+
+static TREEWALK_LOOPS: AtomicU64 = AtomicU64::new(0);
+static TREEWALK_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+static TREEWALK_NANOS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_compile(d: Duration) {
+    KERNELS_COMPILED.fetch_add(1, Ordering::Relaxed);
+    COMPILE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_hit() {
+    KERNEL_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_fallback() {
+    FALLBACK_LOOPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_compiled(elements: u64, d: Duration) {
+    COMPILED_LOOPS.fetch_add(1, Ordering::Relaxed);
+    COMPILED_ELEMENTS.fetch_add(elements, Ordering::Relaxed);
+    COMPILED_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_treewalk(elements: u64, d: Duration) {
+    TREEWALK_LOOPS.fetch_add(1, Ordering::Relaxed);
+    TREEWALK_ELEMENTS.fetch_add(elements, Ordering::Relaxed);
+    TREEWALK_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// A snapshot of the tier counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierTotals {
+    /// Multiloops lowered to bytecode (cache misses that compiled).
+    pub kernels_compiled: u64,
+    /// Kernel-cache hits.
+    pub kernel_cache_hits: u64,
+    /// Multiloops the compiler rejected (ran on the tree-walker).
+    pub fallback_loops: u64,
+    /// Total time spent compiling, in nanoseconds.
+    pub compile_nanos: u64,
+    /// Top-level loop executions on the compiled tier.
+    pub compiled_loops: u64,
+    /// Elements traversed by the compiled tier.
+    pub compiled_elements: u64,
+    /// Wall time of compiled-tier loop execution, in nanoseconds.
+    pub compiled_nanos: u64,
+    /// Top-level loop executions on the tree-walking tier.
+    pub treewalk_loops: u64,
+    /// Elements traversed by the tree-walking tier.
+    pub treewalk_elements: u64,
+    /// Wall time of tree-walking loop execution, in nanoseconds.
+    pub treewalk_nanos: u64,
+}
+
+impl TierTotals {
+    /// Elements per second on the compiled tier, if it ran at all.
+    pub fn compiled_elements_per_sec(&self) -> Option<f64> {
+        rate(self.compiled_elements, self.compiled_nanos)
+    }
+
+    /// Elements per second on the tree-walking tier, if it ran at all.
+    pub fn treewalk_elements_per_sec(&self) -> Option<f64> {
+        rate(self.treewalk_elements, self.treewalk_nanos)
+    }
+}
+
+fn rate(elements: u64, nanos: u64) -> Option<f64> {
+    if nanos == 0 {
+        None
+    } else {
+        Some(elements as f64 * 1e9 / nanos as f64)
+    }
+}
+
+/// Read the current counter values.
+pub fn tier_totals() -> TierTotals {
+    TierTotals {
+        kernels_compiled: KERNELS_COMPILED.load(Ordering::Relaxed),
+        kernel_cache_hits: KERNEL_CACHE_HITS.load(Ordering::Relaxed),
+        fallback_loops: FALLBACK_LOOPS.load(Ordering::Relaxed),
+        compile_nanos: COMPILE_NANOS.load(Ordering::Relaxed),
+        compiled_loops: COMPILED_LOOPS.load(Ordering::Relaxed),
+        compiled_elements: COMPILED_ELEMENTS.load(Ordering::Relaxed),
+        compiled_nanos: COMPILED_NANOS.load(Ordering::Relaxed),
+        treewalk_loops: TREEWALK_LOOPS.load(Ordering::Relaxed),
+        treewalk_elements: TREEWALK_ELEMENTS.load(Ordering::Relaxed),
+        treewalk_nanos: TREEWALK_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all counters (benches isolate per-tier measurements with this).
+pub fn reset_tier_totals() {
+    for c in [
+        &KERNELS_COMPILED,
+        &KERNEL_CACHE_HITS,
+        &FALLBACK_LOOPS,
+        &COMPILE_NANOS,
+        &COMPILED_LOOPS,
+        &COMPILED_ELEMENTS,
+        &COMPILED_NANOS,
+        &TREEWALK_LOOPS,
+        &TREEWALK_ELEMENTS,
+        &TREEWALK_NANOS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let t = TierTotals {
+            compiled_elements: 2_000,
+            compiled_nanos: 1_000_000_000,
+            ..TierTotals::default()
+        };
+        assert_eq!(t.compiled_elements_per_sec(), Some(2_000.0));
+        assert_eq!(t.treewalk_elements_per_sec(), None);
+    }
+}

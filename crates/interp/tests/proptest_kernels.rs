@@ -1,0 +1,249 @@
+//! Differential property tests for the compiled kernel tier: for every
+//! generator kind, the bytecode kernels must produce outputs bit-identical
+//! to the tree-walking reference — sequentially, in the parallel executor,
+//! and under injected chunk failures with subrange re-execution.
+
+use dmll_core::{LayoutHint, MathFn, Ty};
+use dmll_frontend::{Stage, Val};
+use dmll_interp::{
+    eval_parallel_report, eval_tree_walk, ChunkFaults, Interp, ParallelOptions, Value,
+};
+use proptest::prelude::*;
+
+/// Run on both tiers sequentially, demand bit-identical values, and demand
+/// that the compiled tier actually compiled at least one loop (otherwise
+/// the test silently compares the walker with itself).
+fn assert_tiers_identical(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let (compiled, report) = Interp::new(p)
+        .run_report(inputs)
+        .expect("compiled tier run");
+    prop_assert!(
+        report.compiled_loops >= 1,
+        "no loop compiled: {report:?}"
+    );
+    let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
+    prop_assert_eq!(compiled, walked);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Collect with a condition (filter + arithmetic map) over i64.
+    #[test]
+    fn collect_matches_tree_walk(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        modulus in 1i64..7,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let x2 = x.clone();
+        let kept = st.collect_if(
+            &n,
+            |st, i| {
+                let xi = st.read(&x, i);
+                let m = st.lit_i(modulus);
+                let r = st.rem(&xi, &m);
+                let zero = st.lit_i(0);
+                st.ne(&r, &zero)
+            },
+            move |st, i| {
+                let xi = st.read(&x2, i);
+                st.mul(&xi, &xi)
+            },
+        );
+        let p = st.finish(&kept);
+        assert_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Reduce over f64 with math functions in the value block — float
+    /// results must match bit-for-bit because both tiers reduce in the
+    /// same sequential order.
+    #[test]
+    fn reduce_matches_tree_walk(
+        data in prop::collection::vec(-100i64..100, 0..200),
+    ) {
+        let floats: Vec<f64> = data.iter().map(|v| *v as f64 / 7.0).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let zero = st.lit_f(0.0);
+        let s = st.reduce(
+            &n,
+            |st, i| {
+                let xi = st.read(&x, i);
+                let sq = st.mul(&xi, &xi);
+                let e = st.math(MathFn::Sqrt, &sq);
+                st.add(&e, &xi)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let p = st.finish(&s);
+        assert_tiers_identical(&p, &[("x", Value::f64_arr(floats))])?;
+    }
+
+    /// BucketCollect (group_by): first-seen key order and per-bucket
+    /// element order must survive compilation.
+    #[test]
+    fn bucket_collect_matches_tree_walk(
+        data in prop::collection::vec(0i64..5000, 0..250),
+        modulus in 1i64..11,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let g = st.group_by(&x, |st, e| {
+            let m = st.lit_i(modulus);
+            st.rem(e, &m)
+        });
+        let keys = st.bucket_keys(&g);
+        let vals = st.bucket_values(&g);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// BucketReduce (group_by_reduce) with a conditional element filter.
+    #[test]
+    fn bucket_reduce_matches_tree_walk(
+        data in prop::collection::vec(-500i64..500, 0..250),
+        modulus in 1i64..9,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let izero = st.lit_i(0);
+        let x1 = x.clone();
+        let x2 = x.clone();
+        let sums = st.bucket_reduce(
+            &n,
+            move |st, i| {
+                let xi = st.read(&x1, i);
+                let m = st.lit_i(modulus);
+                st.rem(&xi, &m)
+            },
+            move |st, i| st.read(&x2, i),
+            |st, a, b| st.add(a, b),
+            Some(&izero),
+        );
+        let keys = st.bucket_keys(&sums);
+        let vals = st.bucket_values(&sums);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// The parallel executor on the compiled tier matches the tree-walking
+    /// tier under injected chunk failures and re-execution, for a program
+    /// mixing all four generator kinds across its loops.
+    #[test]
+    fn parallel_kernels_survive_chunk_faults(
+        data in prop::collection::vec(0i64..2000, 20..300),
+        threads in 2usize..6,
+        fail_a in 0usize..4,
+        fail_b in 0usize..4,
+        panicking in any::<bool>(),
+    ) {
+        let build = || {
+            let mut st = Stage::new();
+            let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+            let doubled = st.map(&x, |st, e| st.add(e, e));
+            let total = st.sum(&doubled);
+            let m = st.lit_i(5);
+            let zero = st.lit_i(0);
+            let counts = st.group_by_reduce(
+                &x,
+                move |st, e| st.rem(e, &m),
+                |st, _e| st.lit_i(1),
+                |st, a, b| st.add(a, b),
+                Some(&zero),
+            );
+            let groups = st.group_by(&x, |st, e| {
+                let m = st.lit_i(3);
+                st.rem(e, &m)
+            });
+            let ckeys = st.bucket_keys(&counts);
+            let cvals = st.bucket_values(&counts);
+            let gkeys = st.bucket_keys(&groups);
+            let out = st.tuple(&[&total, &ckeys, &cvals, &gkeys]);
+            st.finish(&out)
+        };
+        let p = build();
+        let inputs = [("x", Value::i64_arr(data))];
+
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+        let opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (with_kernels, report) = eval_parallel_report(&p, &inputs, &opts).unwrap();
+        prop_assert!(
+            report.compiled_loops >= 1,
+            "no loop compiled in parallel run: {report:?}"
+        );
+
+        let tw_opts = ParallelOptions::new(threads)
+            .tree_walk_only()
+            .with_faults(faults);
+        let (tree_walk, tw_report) = eval_parallel_report(&p, &inputs, &tw_opts).unwrap();
+        prop_assert_eq!(tw_report.compiled_loops, 0);
+        prop_assert_eq!(&with_kernels, &tree_walk);
+
+        // And both match the plain sequential reference.
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(with_kernels, seq);
+    }
+
+    /// Fault recovery on the compiled tier is bit-identical to a fault-free
+    /// compiled run (chunk re-execution runs the very same kernel).
+    #[test]
+    fn kernel_chunk_recovery_is_bit_identical(
+        data in prop::collection::vec(-300i64..300, 30..400),
+        threads in 2usize..6,
+        failed in prop::collection::vec(0usize..6, 0..3),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let f = st.map(&x, |st, e| {
+            let ef = st.i2f(e);
+            let c = st.lit_f(3.0);
+            st.div(&ef, &c)
+        });
+        let s = st.sum(&f);
+        let pair = st.tuple(&[&f, &s]);
+        let p = st.finish(&pair);
+        let inputs = [("x", Value::i64_arr(data))];
+
+        let clean_opts = ParallelOptions::new(threads);
+        let (clean, _) = eval_parallel_report(&p, &inputs, &clean_opts).unwrap();
+
+        let fault_opts = ParallelOptions::new(threads)
+            .with_faults(ChunkFaults::fail_once(failed.iter().copied()));
+        let (recovered, report) = eval_parallel_report(&p, &inputs, &fault_opts).unwrap();
+        prop_assert!(report.compiled_loops >= 1, "{report:?}");
+        prop_assert_eq!(clean, recovered);
+    }
+}
+
+/// Mux requires identical branch types; keep a non-proptest regression for
+/// the compiled Mux instruction since random generators above don't emit it.
+#[test]
+fn mux_compiles_and_matches() {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let cap = st.lit_i(100);
+    let capped = st.map(&x, |st, e: &Val| {
+        let over = st.gt(e, &cap);
+        st.mux(&over, &cap, e)
+    });
+    let p = st.finish(&capped);
+    let inputs = [("x", Value::i64_arr((0..500).map(|i| i * 7 % 231).collect()))];
+    let (compiled, report) = Interp::new(&p).run_report(&inputs).unwrap();
+    assert!(report.compiled_loops >= 1, "{report:?}");
+    let walked = eval_tree_walk(&p, &inputs).unwrap();
+    assert_eq!(compiled, walked);
+}

@@ -316,6 +316,77 @@ fn block_cost(b: &Block, ctx: &Ctx<'_>, env: &mut ShapeEnv) -> Cost {
     total
 }
 
+/// Observed execution-tier counters for one run, mirroring the
+/// interpreter's `dmll_interp::TierTotals`. The runtime crate does not
+/// depend on the interpreter, so callers (the bench harness) copy the
+/// numbers across; keeping the type here lets profiling reports combine
+/// modeled traffic with measured tier throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecTierStats {
+    /// Multiloops lowered to bytecode (cache misses that compiled).
+    pub kernels_compiled: u64,
+    /// Kernel-cache hits.
+    pub kernel_cache_hits: u64,
+    /// Multiloops the compiler rejected (ran on the tree-walker).
+    pub fallback_loops: u64,
+    /// Total time spent compiling, in nanoseconds.
+    pub compile_nanos: u64,
+    /// Top-level loop executions on the compiled tier.
+    pub compiled_loops: u64,
+    /// Elements traversed by the compiled tier.
+    pub compiled_elements: u64,
+    /// Wall time of compiled-tier loop execution, in nanoseconds.
+    pub compiled_nanos: u64,
+    /// Top-level loop executions on the tree-walking tier.
+    pub treewalk_loops: u64,
+    /// Elements traversed by the tree-walking tier.
+    pub treewalk_elements: u64,
+    /// Wall time of tree-walking loop execution, in nanoseconds.
+    pub treewalk_nanos: u64,
+}
+
+impl ExecTierStats {
+    /// Elements per second on the compiled tier, if it ran at all.
+    pub fn compiled_elements_per_sec(&self) -> Option<f64> {
+        tier_rate(self.compiled_elements, self.compiled_nanos)
+    }
+
+    /// Elements per second on the tree-walking tier, if it ran at all.
+    pub fn treewalk_elements_per_sec(&self) -> Option<f64> {
+        tier_rate(self.treewalk_elements, self.treewalk_nanos)
+    }
+
+    /// Compiled-tier throughput relative to the tree-walker, when both
+    /// tiers ran.
+    pub fn speedup(&self) -> Option<f64> {
+        match (
+            self.compiled_elements_per_sec(),
+            self.treewalk_elements_per_sec(),
+        ) {
+            (Some(c), Some(t)) if t > 0.0 => Some(c / t),
+            _ => None,
+        }
+    }
+
+    /// Fraction of executed top-level loops that ran compiled.
+    pub fn compiled_fraction(&self) -> f64 {
+        let total = self.compiled_loops + self.treewalk_loops;
+        if total == 0 {
+            0.0
+        } else {
+            self.compiled_loops as f64 / total as f64
+        }
+    }
+}
+
+fn tier_rate(elements: u64, nanos: u64) -> Option<f64> {
+    if nanos == 0 {
+        None
+    } else {
+        Some(elements as f64 * 1e9 / nanos as f64)
+    }
+}
+
 enum ReadClass {
     Stream,
     Local,
@@ -529,5 +600,24 @@ mod tests {
             after_total * 3.0 < before_total,
             "one pass instead of {k}: before={before_total:.0} after={after_total:.0}"
         );
+    }
+
+    #[test]
+    fn tier_stats_rates_and_speedup() {
+        let s = ExecTierStats {
+            compiled_loops: 3,
+            compiled_elements: 9_000,
+            compiled_nanos: 1_000_000_000,
+            treewalk_loops: 1,
+            treewalk_elements: 1_000,
+            treewalk_nanos: 1_000_000_000,
+            ..Default::default()
+        };
+        assert_eq!(s.compiled_elements_per_sec(), Some(9_000.0));
+        assert_eq!(s.treewalk_elements_per_sec(), Some(1_000.0));
+        assert_eq!(s.speedup(), Some(9.0));
+        assert_eq!(s.compiled_fraction(), 0.75);
+        assert_eq!(ExecTierStats::default().speedup(), None);
+        assert_eq!(ExecTierStats::default().compiled_fraction(), 0.0);
     }
 }
