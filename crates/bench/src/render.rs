@@ -66,23 +66,37 @@ pub fn fig8(rows: &[Fig8Row], title: &str, baseline: &str) -> String {
 
 /// Render the execution-tier comparison (measured, not modeled).
 pub fn kernels(rows: &[crate::tiers::TierRow]) -> String {
-    let mut out = String::from("Execution tiers: compiled bytecode kernels vs tree-walker\n");
+    let mut out =
+        String::from("Execution tiers: batched kernels vs scalar bytecode vs tree-walker\n");
     let _ = writeln!(
         out,
-        "{:<10} {:>10} {:>12} {:>12} {:>8} {:>7} {:>9} {:>10}",
-        "Benchmark", "Rows", "Compiled(s)", "Treewalk(s)", "Speedup", "Loops", "Fallback", "Identical"
+        "{:<10} {:>10} {:>7} {:>11} {:>10} {:>11} {:>8} {:>8} {:>7} {:>6} {:>9}",
+        "Benchmark",
+        "Rows",
+        "Threads",
+        "Batched(s)",
+        "Scalar(s)",
+        "Treewalk(s)",
+        "Speedup",
+        "vScalar",
+        "Blocks",
+        "Stolen",
+        "Identical"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<10} {:>10} {:>12.4} {:>12.4} {:>7.2}x {:>7} {:>9} {:>10}",
+            "{:<10} {:>10} {:>7} {:>11.4} {:>10.4} {:>11.4} {:>7.2}x {:>7.2}x {:>7} {:>6} {:>9}",
             r.app,
             r.rows,
+            r.threads,
+            r.batched_secs,
             r.compiled_secs,
             r.treewalk_secs,
             r.speedup(),
-            r.compiled_loops,
-            r.fallback_loops,
+            r.batched_speedup(),
+            r.stats.batched_blocks,
+            r.stats.tasks_stolen,
             if r.identical { "yes" } else { "NO" }
         );
     }
@@ -151,13 +165,16 @@ mod tests {
         let k = kernels(&[crate::tiers::TierRow {
             app: "k-means",
             rows: 3000,
-            compiled_secs: 0.01,
+            threads: 1,
+            batched_secs: 0.01,
+            compiled_secs: 0.02,
             treewalk_secs: 0.05,
             identical: true,
             compiled_loops: 2,
+            batched_loops: 2,
             fallback_loops: 0,
             stats: Default::default(),
         }]);
-        assert!(k.contains("5.00x") && k.contains("yes"), "{k}");
+        assert!(k.contains("5.00x") && k.contains("2.00x") && k.contains("yes"), "{k}");
     }
 }

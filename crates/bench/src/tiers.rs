@@ -1,15 +1,20 @@
 //! Execution-tier comparison: the same optimized programs, on real data,
-//! run on the interpreter's compiled bytecode tier and on the tree-walking
-//! tier, demanding bit-identical outputs and measuring throughput.
+//! run on the interpreter's batched kernel tier, its scalar bytecode tier,
+//! and the tree-walking tier, demanding bit-identical outputs across all
+//! three and measuring throughput.
 //!
 //! Unlike the modeled experiments, everything here is *measured*: each app
 //! is staged, optimized for the CPU target (so the kernels see the
 //! post-SoA loop shapes), and executed twice per tier on deterministic
-//! synthetic data. Sequential execution keeps float reductions in the same
-//! association order on both tiers, so outputs must match exactly.
+//! synthetic data. Float reductions fold in the same lane order on every
+//! tier (the batched executor never reassociates), so outputs must match
+//! exactly, whether sequential or chunked across worker threads.
 
 use dmll_core::Program;
-use dmll_interp::{eval_tree_walk, reset_tier_totals, tier_totals, Interp, Value};
+use dmll_interp::{
+    eval_parallel_report, eval_tree_walk, reset_tier_totals, tier_totals, Interp, ParallelOptions,
+    Value,
+};
 use dmll_runtime::ExecTierStats;
 use dmll_transform::{pipeline, Target};
 use std::fmt::Write as _;
@@ -19,37 +24,52 @@ use std::time::Instant;
 pub struct TierRow {
     /// Benchmark name.
     pub app: &'static str,
-    /// Primary data dimension (rows / reads).
+    /// Primary data dimension (rows / reads / edges).
     pub rows: usize,
-    /// Best-of-two wall time on the compiled tier, seconds.
+    /// Worker threads used for every tier (1 = sequential).
+    pub threads: usize,
+    /// Best-of-two wall time on the batched kernel tier, seconds.
+    pub batched_secs: f64,
+    /// Best-of-two wall time on the scalar bytecode tier, seconds.
     pub compiled_secs: f64,
     /// Best-of-two wall time on the tree-walking tier, seconds.
     pub treewalk_secs: f64,
-    /// Outputs of the two tiers compared equal.
+    /// Outputs of all three tiers compared equal.
     pub identical: bool,
-    /// Top-level loops that ran compiled in one compiled-tier execution.
+    /// Top-level loops that ran compiled in one batched-tier execution.
     pub compiled_loops: u64,
-    /// Top-level loops that fell back to the tree-walker in that execution.
+    /// Compiled loops that executed block-at-a-time in that execution.
+    pub batched_loops: u64,
+    /// Top-level loops the compiler rejected (ran on the tree-walker).
     pub fallback_loops: u64,
     /// Tier counters bridged into the runtime's profiling type.
     pub stats: ExecTierStats,
 }
 
 impl TierRow {
-    /// Tree-walk time over compiled time.
+    /// Tree-walk time over batched time: the full tier stack's win.
     pub fn speedup(&self) -> f64 {
-        self.treewalk_secs / self.compiled_secs.max(1e-12)
+        self.treewalk_secs / self.batched_secs.max(1e-12)
+    }
+
+    /// Scalar bytecode time over batched time: the batched tier's own win.
+    pub fn batched_speedup(&self) -> f64 {
+        self.compiled_secs / self.batched_secs.max(1e-12)
     }
 }
 
 struct Case {
     app: &'static str,
     program: Program,
-    inputs: Vec<(&'static str, Value)>,
+    inputs: Vec<(String, Value)>,
     rows: usize,
 }
 
-/// Build the three tier-comparison workloads at a size multiplier
+fn owned(inputs: Vec<(&'static str, Value)>) -> Vec<(String, Value)> {
+    inputs.into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+}
+
+/// Build the five tier-comparison workloads at a size multiplier
 /// (`scale = 1` is the CI smoke size; the full bench uses 10).
 fn cases(scale: usize) -> Vec<Case> {
     let mut out = Vec::new();
@@ -62,10 +82,10 @@ fn cases(scale: usize) -> Vec<Case> {
     out.push(Case {
         app: "k-means",
         program: p,
-        inputs: vec![
+        inputs: owned(vec![
             ("matrix", dmll_apps::util::matrix_value(&x)),
             ("clusters", dmll_apps::util::matrix_value(&cents)),
-        ],
+        ]),
         rows: km_rows,
     });
 
@@ -77,11 +97,11 @@ fn cases(scale: usize) -> Vec<Case> {
     out.push(Case {
         app: "LogReg",
         program: p,
-        inputs: vec![
+        inputs: owned(vec![
             ("x", dmll_apps::util::matrix_value(&x)),
             ("y", Value::f64_arr(y)),
             ("theta", Value::f64_arr(vec![0.0; lr_cols])),
-        ],
+        ]),
         rows: lr_rows,
     });
 
@@ -93,53 +113,147 @@ fn cases(scale: usize) -> Vec<Case> {
     out.push(Case {
         app: "Gene",
         program: p,
-        inputs: vec![
+        inputs: owned(vec![
             ("barcode", Value::i64_arr(cols.barcode)),
             ("quality", Value::i64_arr(cols.quality)),
-        ],
+        ]),
         rows: reads,
+    });
+
+    // PageRank (push model): bucket-reduce contributions over the edge
+    // list. RMAT scale 12 at smoke size, 15 at full size.
+    let g_scale = if scale > 1 { 15 } else { 12 };
+    let g = dmll_data::graph::rmat(g_scale, 8, 7);
+    let n = g.num_vertices();
+    let ranks = vec![1.0 / n as f64; n];
+    let mut p = dmll_apps::pagerank::stage_pagerank_push(0.85);
+    pipeline::optimize(&mut p, Target::Cpu);
+    let edges = g.num_edges();
+    out.push(Case {
+        app: "PageRank",
+        program: p,
+        inputs: owned(dmll_apps::pagerank::inputs_push(&g, &ranks)),
+        rows: edges,
+    });
+
+    // TPC-H Q1: filtered group-by with five fused aggregates
+    // (BucketReduce-heavy, conditioned generators).
+    let li_rows = 30_000 * scale;
+    let cols = dmll_data::tpch::to_columns(&dmll_data::tpch::gen_lineitems(li_rows, 11));
+    let mut p = dmll_apps::q1::stage_q1();
+    pipeline::optimize(&mut p, Target::Cpu);
+    let inputs = dmll_apps::q1::inputs_for(&p, &cols);
+    out.push(Case {
+        app: "Q1",
+        program: p,
+        inputs,
+        rows: li_rows,
     });
 
     out
 }
 
-/// Run the tier comparison at a size multiplier. Each tier executes every
-/// app twice (the first compiled-tier run pays kernel compilation, later
-/// runs hit the cache); wall times are best-of-two.
+/// Run the tier comparison sequentially at a size multiplier.
 pub fn tier_comparison(scale: usize) -> Vec<TierRow> {
-    cases(scale.max(1)).into_iter().map(run_case).collect()
+    tier_comparison_threads(scale, 1)
 }
 
-fn run_case(case: Case) -> TierRow {
-    let interp = Interp::new(&case.program);
+/// Run the tier comparison at a size multiplier on `threads` workers.
+/// Each tier executes every app twice (the first compiled-tier run pays
+/// kernel compilation, later runs hit the cache); wall times are
+/// best-of-two. With `threads > 1` every tier runs through the
+/// work-stealing chunked executor, so the comparison isolates the batched
+/// inner loop rather than the scheduler.
+pub fn tier_comparison_threads(scale: usize, threads: usize) -> Vec<TierRow> {
+    cases(scale.max(1))
+        .into_iter()
+        .map(|c| run_case(c, threads.max(1)))
+        .collect()
+}
 
-    reset_tier_totals();
-    let mut compiled_secs = f64::INFINITY;
-    let mut compiled_out = None;
+/// Which executor configuration a measurement phase uses.
+#[derive(Clone, Copy)]
+enum Tier {
+    Batched,
+    ScalarKernel,
+    TreeWalk,
+}
+
+fn run_tier(
+    case: &Case,
+    borrowed: &[(&str, Value)],
+    tier: Tier,
+    threads: usize,
+) -> (f64, Value, u64, u64) {
+    let interp = match tier {
+        Tier::Batched => Interp::new(&case.program),
+        Tier::ScalarKernel => Interp::new(&case.program).without_batched_tier(),
+        Tier::TreeWalk => Interp::new(&case.program).without_compiled_tier(),
+    };
+    let options = match tier {
+        Tier::Batched => ParallelOptions::new(threads),
+        Tier::ScalarKernel => ParallelOptions::new(threads).scalar_kernel_only(),
+        Tier::TreeWalk => ParallelOptions::new(threads).tree_walk_only(),
+    };
+    let mut secs = f64::INFINITY;
+    let mut out = None;
     let mut compiled_loops: u64 = 0;
+    let mut stolen: u64 = 0;
     for _ in 0..2 {
         let t0 = Instant::now();
-        let (out, report) = interp.run_report(&case.inputs).expect("compiled tier run");
-        compiled_secs = compiled_secs.min(t0.elapsed().as_secs_f64());
-        compiled_loops = report.compiled_loops;
-        compiled_out = Some(out);
+        let v = if threads > 1 {
+            let (v, report) =
+                eval_parallel_report(&case.program, borrowed, &options).expect("parallel tier run");
+            compiled_loops = report.compiled_loops as u64;
+            stolen += report.stolen_tasks as u64;
+            v
+        } else {
+            let (v, report) = interp.run_report(borrowed).expect("tier run");
+            compiled_loops = report.compiled_loops;
+            v
+        };
+        secs = secs.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
     }
+    (secs, out.expect("two runs"), compiled_loops, stolen)
+}
+
+fn run_case(case: Case, threads: usize) -> TierRow {
+    let borrowed: Vec<(&str, Value)> = case
+        .inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+
+    reset_tier_totals();
+    let (batched_secs, batched_out, compiled_loops, stolen) =
+        run_tier(&case, &borrowed, Tier::Batched, threads);
     let ct = tier_totals();
 
     reset_tier_totals();
-    let mut treewalk_secs = f64::INFINITY;
-    let mut treewalk_out = None;
-    for _ in 0..2 {
-        let t0 = Instant::now();
-        let out = eval_tree_walk(&case.program, &case.inputs).expect("tree-walk tier run");
-        treewalk_secs = treewalk_secs.min(t0.elapsed().as_secs_f64());
-        treewalk_out = Some(out);
-    }
+    let (compiled_secs, scalar_out, _, _) = run_tier(&case, &borrowed, Tier::ScalarKernel, threads);
+
+    reset_tier_totals();
+    let (treewalk_secs, treewalk_out, _, _) = if threads > 1 {
+        run_tier(&case, &borrowed, Tier::TreeWalk, threads)
+    } else {
+        // The sequential tree-walk baseline bypasses the interpreter
+        // wrapper entirely, matching the paper's naive-recursive baseline.
+        let mut secs = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let v = eval_tree_walk(&case.program, &borrowed).expect("tree-walk tier run");
+            secs = secs.min(t0.elapsed().as_secs_f64());
+            out = Some(v);
+        }
+        (secs, out.expect("two runs"), 0, 0)
+    };
     let tt = tier_totals();
 
     // Bridge the interpreter counters into the runtime's profiling type:
-    // kernel/compile numbers from the compiled phase, walk numbers from the
-    // forced tree-walk phase.
+    // kernel/compile/batched numbers from the batched phase, walk numbers
+    // from the forced tree-walk phase.
     let stats = ExecTierStats {
         kernels_compiled: ct.kernels_compiled,
         kernel_cache_hits: ct.kernel_cache_hits,
@@ -151,14 +265,25 @@ fn run_case(case: Case) -> TierRow {
         treewalk_loops: tt.treewalk_loops,
         treewalk_elements: tt.treewalk_elements,
         treewalk_nanos: tt.treewalk_nanos,
+        batched_loops: ct.batched_loops,
+        batched_elements: ct.batched_elements,
+        batched_nanos: ct.batched_nanos,
+        batched_blocks: ct.batched_blocks,
+        tail_elements: ct.tail_elements,
+        tasks_stolen: ct.tasks_stolen.max(stolen),
+        cache_evictions: ct.cache_evictions,
+        negative_hits: ct.negative_hits,
     };
     TierRow {
         app: case.app,
         rows: case.rows,
+        threads,
+        batched_secs,
         compiled_secs,
         treewalk_secs,
-        identical: compiled_out == treewalk_out,
+        identical: batched_out == scalar_out && batched_out == treewalk_out,
         compiled_loops,
+        batched_loops: ct.batched_loops,
         fallback_loops: ct.fallback_loops,
         stats,
     }
@@ -170,23 +295,41 @@ pub fn to_json(rows: &[TierRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"app\": \"{}\", \"rows\": {}, \"compiled_secs\": {:.6}, \
-             \"treewalk_secs\": {:.6}, \"speedup\": {:.2}, \"identical\": {}, \
-             \"compiled_loops\": {}, \"fallback_loops\": {}, \
+            "    {{\"app\": \"{}\", \"rows\": {}, \"threads\": {}, \
+             \"batched_secs\": {:.6}, \"compiled_secs\": {:.6}, \
+             \"treewalk_secs\": {:.6}, \"speedup\": {:.2}, \
+             \"batched_speedup\": {:.2}, \"identical\": {}, \
+             \"compiled_loops\": {}, \"batched_loops\": {}, \
+             \"fallback_loops\": {}, \
              \"kernels_compiled\": {}, \"kernel_cache_hits\": {}, \
              \"compile_millis\": {:.3}, \
-             \"compiled_elements_per_sec\": {:.0}, \"treewalk_elements_per_sec\": {:.0}}}{}",
+             \"batched_blocks\": {}, \"tail_elements\": {}, \
+             \"tasks_stolen\": {}, \"cache_evictions\": {}, \
+             \"negative_hits\": {}, \
+             \"batched_elements_per_sec\": {:.0}, \
+             \"compiled_elements_per_sec\": {:.0}, \
+             \"treewalk_elements_per_sec\": {:.0}}}{}",
             r.app,
             r.rows,
+            r.threads,
+            r.batched_secs,
             r.compiled_secs,
             r.treewalk_secs,
             r.speedup(),
+            r.batched_speedup(),
             r.identical,
             r.compiled_loops,
+            r.batched_loops,
             r.fallback_loops,
             r.stats.kernels_compiled,
             r.stats.kernel_cache_hits,
             r.stats.compile_nanos as f64 / 1e6,
+            r.stats.batched_blocks,
+            r.stats.tail_elements,
+            r.stats.tasks_stolen,
+            r.stats.cache_evictions,
+            r.stats.negative_hits,
+            r.stats.batched_elements_per_sec().unwrap_or(0.0),
             r.stats.compiled_elements_per_sec().unwrap_or(0.0),
             r.stats.treewalk_elements_per_sec().unwrap_or(0.0),
             if i + 1 == rows.len() { "\n" } else { ",\n" }
@@ -204,14 +347,37 @@ mod tests {
     fn tiers_agree_and_kernels_fire() {
         // Smallest scale: correctness of the comparison harness, not speed.
         let rows = tier_comparison(1);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 5);
+        let mut batched_apps = 0;
         for r in &rows {
             assert!(r.identical, "{} tiers disagree", r.app);
             assert!(r.compiled_loops > 0, "{} never compiled a loop", r.app);
             assert!(r.stats.treewalk_loops > 0, "{} never tree-walked", r.app);
+            if r.batched_loops > 0 {
+                batched_apps += 1;
+                assert!(
+                    r.stats.batched_blocks > 0 || r.stats.tail_elements > 0,
+                    "{} batched without block or tail work",
+                    r.app
+                );
+            }
         }
+        assert!(
+            batched_apps >= 2,
+            "expected at least two apps on the batched tier, got {batched_apps}"
+        );
         let json = to_json(&rows);
         assert!(json.contains("\"k-means\""), "{json}");
+        assert!(json.contains("\"PageRank\""), "{json}");
+        assert!(json.contains("\"Q1\""), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn tiers_agree_across_threads() {
+        // The work-stealing chunked path must stay bit-identical too.
+        for r in tier_comparison_threads(1, 3) {
+            assert!(r.identical, "{} tiers disagree at 3 threads", r.app);
+        }
     }
 }

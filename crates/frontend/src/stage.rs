@@ -598,7 +598,35 @@ impl Stage {
         r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
         init: Option<&Val>,
     ) -> Val {
+        self.bucket_reduce_if(
+            size,
+            None::<fn(&mut Stage, &Val) -> Val>,
+            k,
+            f,
+            r,
+            init,
+        )
+    }
+
+    /// `BucketReduce_size(c)(k)(f)(r)`: a conditional grouped reduce.
+    pub fn bucket_reduce_if<C>(
+        &mut self,
+        size: &Val,
+        cond: Option<C>,
+        k: impl FnOnce(&mut Stage, &Val) -> Val,
+        f: impl FnOnce(&mut Stage, &Val) -> Val,
+        r: impl FnOnce(&mut Stage, &Val, &Val) -> Val,
+        init: Option<&Val>,
+    ) -> Val
+    where
+        C: FnOnce(&mut Stage, &Val) -> Val,
+    {
         assert_eq!(size.ty, Ty::I64);
+        let cb = cond.map(|c| {
+            let (b, cv) = self.block(&[Ty::I64], |st, params| c(st, &params[0]));
+            assert_eq!(cv.ty, Ty::Bool, "bucket_reduce condition must be Bool");
+            b
+        });
         let (key, kv) = self.block(&[Ty::I64], |st, params| k(st, &params[0]));
         let (value, v) = self.block(&[Ty::I64], |st, params| f(st, &params[0]));
         let vt = v.ty.clone();
@@ -613,7 +641,7 @@ impl Stage {
             Def::Loop(Multiloop::single(
                 size.exp.clone(),
                 Gen::BucketReduce {
-                    cond: None,
+                    cond: cb,
                     key,
                     value,
                     reducer,

@@ -37,6 +37,8 @@
 //! multiloop plus the free-variable [`VTy`]s, so iterative apps (k-means,
 //! logreg, PageRank epochs) compile each loop once.
 
+pub(crate) mod batch;
+
 use crate::error::EvalError;
 use crate::eval::{eval_math, eval_prim, read_array, seal_array, Env};
 use crate::stats;
@@ -296,6 +298,9 @@ pub(crate) struct Kernel {
     /// Free symbols to bind from the environment, with their registers.
     pub free: Vec<(Sym, Reg)>,
     pub n_regs: [usize; 4],
+    /// Whether every generator's per-element blocks certify for the batched
+    /// (block-at-a-time) executor; see [`batch`].
+    pub batchable: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -1477,13 +1482,16 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
     for g in &ml.gens {
         gens.push(c.compile_gen(g)?.0);
     }
-    Ok(Kernel {
+    let mut kernel = Kernel {
         gens,
         preamble: c.preamble,
         loops: c.loops,
         free: c.free,
         n_regs: c.n,
-    })
+        batchable: false,
+    };
+    kernel.batchable = batch::kernel_batchable(&kernel);
+    Ok(kernel)
 }
 
 impl<'e> Compiler<'e> {
@@ -2536,13 +2544,62 @@ enum Cached {
 struct CacheEntry {
     ml: Multiloop,
     cached: Cached,
+    /// Logical timestamp of the entry's last hit (or its insertion); the
+    /// entry with the smallest stamp is the LRU eviction victim.
+    last_used: u64,
 }
 
-static CACHE: OnceLock<Mutex<HashMap<CacheKey, Vec<CacheEntry>>>> = OnceLock::new();
+/// The kernel cache: hash-bucketed entries plus an LRU clock. `len` tracks
+/// the total entry count across buckets so capacity checks are O(1).
+#[derive(Default)]
+struct KernelCache {
+    map: HashMap<CacheKey, Vec<CacheEntry>>,
+    tick: u64,
+    len: usize,
+}
 
-/// Largest number of distinct (loop, refinement) entries kept; the cache is
-/// dropped wholesale beyond this (simple, and iterative workloads use a
-/// handful of kernels).
+impl KernelCache {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict the least-recently-used entry (O(n) scan; eviction is rare and
+    /// the cap is small, so a heap would cost more than it saves).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .flat_map(|(k, es)| es.iter().map(move |e| (e.last_used, k.hash)))
+            .min();
+        let Some((stamp, key_hash)) = victim else {
+            return;
+        };
+        let mut emptied = None;
+        for (k, es) in self.map.iter_mut() {
+            if k.hash != key_hash {
+                continue;
+            }
+            if let Some(pos) = es.iter().position(|e| e.last_used == stamp) {
+                es.remove(pos);
+                self.len -= 1;
+                stats::record_eviction();
+                if es.is_empty() {
+                    emptied = Some(k.hash);
+                }
+                break;
+            }
+        }
+        if emptied.is_some() {
+            self.map.retain(|_, es| !es.is_empty());
+        }
+    }
+}
+
+static CACHE: OnceLock<Mutex<KernelCache>> = OnceLock::new();
+
+/// Largest number of distinct (loop, refinement) entries kept; beyond this
+/// the least-recently-used entry is evicted.
 const CACHE_CAP: usize = 512;
 
 /// Look up or compile the kernel for `ml` under the refined types of `env`.
@@ -2558,18 +2615,23 @@ pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
         hash: structural_hash(ml),
         kinds,
     };
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(KernelCache::default()));
     {
-        let guard = cache.lock().expect("kernel cache poisoned");
-        if let Some(entries) = guard.get(&key) {
+        let mut guard = cache.lock().expect("kernel cache poisoned");
+        let stamp = guard.touch();
+        if let Some(entries) = guard.map.get_mut(&key) {
             for e in entries {
                 if e.ml == *ml {
+                    e.last_used = stamp;
                     return match &e.cached {
                         Cached::Kernel(k) => {
                             stats::record_cache_hit();
                             Some(k.clone())
                         }
-                        Cached::Fallback => None,
+                        Cached::Fallback => {
+                            stats::record_negative_hit();
+                            None
+                        }
                     };
                 }
             }
@@ -2579,17 +2641,19 @@ pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
     let compiled = compile_multiloop(ml, env);
     let dt = t0.elapsed();
     let mut guard = cache.lock().expect("kernel cache poisoned");
-    if guard.len() >= CACHE_CAP {
-        guard.clear();
+    while guard.len >= CACHE_CAP {
+        guard.evict_lru();
     }
-    let entries = guard.entry(key).or_default();
-    match compiled {
+    let stamp = guard.touch();
+    let entries = guard.map.entry(key).or_default();
+    let out = match compiled {
         Ok(k) => {
             let k = Arc::new(k);
             stats::record_compile(dt);
             entries.push(CacheEntry {
                 ml: ml.clone(),
                 cached: Cached::Kernel(k.clone()),
+                last_used: stamp,
             });
             Some(k)
         }
@@ -2598,10 +2662,13 @@ pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
             entries.push(CacheEntry {
                 ml: ml.clone(),
                 cached: Cached::Fallback,
+                last_used: stamp,
             });
             None
         }
-    }
+    };
+    guard.len += 1;
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,967 @@
+//! Batched (block-at-a-time) execution for compiled kernels.
+//!
+//! The scalar bytecode loop in [`super`] still pays one dispatch `match` per
+//! instruction *per element*. This module executes each instruction over a
+//! fixed-width block of [`BLOCK`] elements instead: every `i64`/`f64`/`bool`
+//! register becomes a column (`Vec<i64>` / `Vec<f64>` / `Vec<bool>`), the
+//! per-element blocks run as straight-line loops over those columns (which
+//! the compiler can autovectorize), and `Collect`/`Reduce` conditions become
+//! **selection vectors** — sorted lane lists that let predicated generators
+//! skip dead lanes without a per-element branch in the value block.
+//!
+//! Bit-identity rules (the tier contract from DESIGN.md §8 still binds):
+//!
+//! * **Certification.** Only kernels whose per-element blocks (cond, key,
+//!   value) consist entirely of typed, column-executable instructions are
+//!   batchable ([`kernel_batchable`]); everything else runs the scalar
+//!   bytecode loop. Reducer blocks are exempt — they execute on the embedded
+//!   scalar state per element, so any compilable reducer batches.
+//! * **Deferred errors.** A fallible instruction (division, bounds-checked
+//!   read) may fault at some lane; the scalar loop would have stopped there.
+//!   The batched executor records the first faulting lane, truncates the
+//!   active lanes to those *before* it, finishes the block, and reports the
+//!   winning error: minimum by (lane, generator index) — exactly the error
+//!   the element-at-a-time loop would have raised first.
+//! * **Float folds stay in lane order.** Wrapping integer arithmetic is
+//!   associative, so integer block reducers may be tree-folded/vectorized by
+//!   the compiler; float reduction order is observable in the bits, so float
+//!   folds run sequentially in lane order (and no FMA) — exact-merge
+//!   semantics allow nothing else.
+//! * **Scalar tail.** A range's final `len % BLOCK` elements run through the
+//!   scalar `exec_gens` loop against the same accumulators.
+//!
+//! Bucket generators keep their per-lane key lookups, but typed `i64` keys
+//! get a dense epoch-stamped directory ([`DenseDir`]) in front of the
+//! authoritative first-seen-order [`KeyIx`], turning the per-element hash
+//! into an array index for the small key domains real workloads have
+//! (quantiles of group-bys: flags, barcodes, vertex ids).
+
+use super::{
+    apply_f, apply_i, bounds, read_array, stats, ArrayVal, CBlock, CGen, Class, ColBuf, EvalError,
+    FastRed, Instr, KAcc, KState, Kernel, KeyIx, RedBuf, Reg, Scalar, Value,
+};
+use crate::eval::{eval_math, Env};
+
+/// Lanes per block. Wide enough to amortize dispatch and fill vector units;
+/// small enough that per-worker column files stay cache-resident.
+pub(crate) const BLOCK: usize = 1024;
+
+/// Keys `0 <= k < DENSE_KEY_CAP` use the dense bucket directory.
+const DENSE_KEY_CAP: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Certification
+// ---------------------------------------------------------------------------
+
+/// Instructions the column executor implements. Everything here is typed
+/// (no `V`-class destinations) and loop-free, so a block made only of these
+/// runs as straight-line column loops.
+fn instr_batchable(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::ConstI { .. }
+            | Instr::ConstF { .. }
+            | Instr::ConstB { .. }
+            | Instr::BinI { .. }
+            | Instr::DivI { .. }
+            | Instr::RemI { .. }
+            | Instr::BinF { .. }
+            | Instr::NegI { .. }
+            | Instr::NegF { .. }
+            | Instr::CmpI { .. }
+            | Instr::CmpF { .. }
+            | Instr::CmpB { .. }
+            | Instr::AndB { .. }
+            | Instr::OrB { .. }
+            | Instr::NotB { .. }
+            | Instr::MuxI { .. }
+            | Instr::MuxF { .. }
+            | Instr::MuxB { .. }
+            | Instr::MathF { .. }
+            | Instr::CastIF { .. }
+            | Instr::CastFI { .. }
+            | Instr::ReadVI { .. }
+            | Instr::ReadVF { .. }
+            | Instr::ReadVB { .. }
+    )
+}
+
+fn cblock_batchable(b: &CBlock) -> bool {
+    b.result.class != Class::V && b.instrs.iter().all(instr_batchable)
+}
+
+/// A kernel is batchable when every generator's per-element blocks certify.
+/// Reducer blocks always run on the scalar state, so they are not checked.
+pub(crate) fn kernel_batchable(k: &Kernel) -> bool {
+    k.gens.iter().all(|g| {
+        cblock_batchable(&g.value)
+            && g.cond.as_ref().is_none_or(cblock_batchable)
+            && g.key.as_ref().is_none_or(cblock_batchable)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Columnar state
+// ---------------------------------------------------------------------------
+
+/// Dense `i64`-key → bucket-slot directory, epoch-stamped so reusing a
+/// worker state across tasks never requires clearing the table: entries
+/// from an older epoch simply read as misses.
+struct DenseDir {
+    epoch: u64,
+    slots: Vec<(u64, u32)>,
+}
+
+impl DenseDir {
+    fn new() -> DenseDir {
+        DenseDir {
+            epoch: 0,
+            slots: Vec::new(),
+        }
+    }
+}
+
+/// Batched register files: one [`BLOCK`]-wide column per typed register,
+/// plus the embedded scalar state that holds `V` registers (all invariant
+/// under certification), runs the preamble, reducer blocks, and the tail.
+pub(crate) struct BState {
+    ci: Vec<Vec<i64>>,
+    cf: Vec<Vec<f64>>,
+    cb: Vec<Vec<bool>>,
+    /// One dense key directory per top-level generator.
+    dense: Vec<DenseDir>,
+    pub(crate) scalar: KState,
+}
+
+impl Kernel {
+    /// Bind free variables, run the preamble on the scalar state, then
+    /// splat every scalar register into its column: invariant registers get
+    /// their true value in every lane; varying registers hold junk that is
+    /// always overwritten before it is read (every non-invariant register
+    /// is a block param or an instruction destination, written over the
+    /// active lanes before any use in the same block run).
+    pub(crate) fn new_batched_state(&self, env: &Env) -> Result<BState, EvalError> {
+        let scalar = self.new_state(env)?;
+        Ok(BState {
+            ci: scalar.ri.iter().map(|&v| vec![v; BLOCK]).collect(),
+            cf: scalar.rf.iter().map(|&v| vec![v; BLOCK]).collect(),
+            cb: scalar.rb.iter().map(|&v| vec![v; BLOCK]).collect(),
+            dense: self.gens.iter().map(|_| DenseDir::new()).collect(),
+            scalar,
+        })
+    }
+}
+
+/// Active lanes of one block, in increasing order.
+enum Lanes {
+    /// All `0..BLOCK` lanes.
+    Full,
+    /// An explicit selection vector.
+    Sel(Vec<u32>),
+}
+
+impl Lanes {
+    /// Drop every lane `>= lane` (a fallible instruction faulted there).
+    fn truncate_before(&mut self, lane: usize) {
+        match self {
+            Lanes::Full => *self = Lanes::Sel((0..lane as u32).collect()),
+            Lanes::Sel(s) => {
+                let cut = s.partition_point(|&l| (l as usize) < lane);
+                s.truncate(cut);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        matches!(self, Lanes::Sel(s) if s.is_empty())
+    }
+}
+
+/// Run `f` over every active lane; the first `Err` is tagged with its lane.
+fn each_lane(
+    lanes: &Lanes,
+    mut f: impl FnMut(usize) -> Result<(), EvalError>,
+) -> Result<(), (usize, EvalError)> {
+    match lanes {
+        Lanes::Full => {
+            for l in 0..BLOCK {
+                f(l).map_err(|e| (l, e))?;
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                f(l).map_err(|e| (l, e))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Column loops
+// ---------------------------------------------------------------------------
+//
+// Destination columns are `mem::take`n out of the register file before the
+// operand columns are borrowed (instruction destinations are always freshly
+// allocated registers, so `dst` never aliases an operand), which gives the
+// optimizer clean, bounds-check-free inner loops over the `Full` lane set.
+
+fn unop<T: Copy, U: Copy>(d: &mut [U], a: &[T], lanes: &Lanes, f: impl Fn(T) -> U) {
+    match lanes {
+        Lanes::Full => {
+            let (d, a) = (&mut d[..BLOCK], &a[..BLOCK]);
+            for l in 0..BLOCK {
+                d[l] = f(a[l]);
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                d[l] = f(a[l]);
+            }
+        }
+    }
+}
+
+fn binop<T: Copy, U: Copy>(d: &mut [U], a: &[T], b: &[T], lanes: &Lanes, f: impl Fn(T, T) -> U) {
+    match lanes {
+        Lanes::Full => {
+            let (d, a, b) = (&mut d[..BLOCK], &a[..BLOCK], &b[..BLOCK]);
+            for l in 0..BLOCK {
+                d[l] = f(a[l], b[l]);
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                d[l] = f(a[l], b[l]);
+            }
+        }
+    }
+}
+
+fn try_binop<T: Copy, U: Copy>(
+    d: &mut [U],
+    a: &[T],
+    b: &[T],
+    lanes: &Lanes,
+    f: impl Fn(T, T) -> Result<U, EvalError>,
+) -> Result<(), (usize, EvalError)> {
+    each_lane(lanes, |l| {
+        d[l] = f(a[l], b[l])?;
+        Ok(())
+    })
+}
+
+fn muxop<T: Copy>(d: &mut [T], c: &[bool], a: &[T], b: &[T], lanes: &Lanes) {
+    match lanes {
+        Lanes::Full => {
+            let (d, c, a, b) = (&mut d[..BLOCK], &c[..BLOCK], &a[..BLOCK], &b[..BLOCK]);
+            for l in 0..BLOCK {
+                d[l] = if c[l] { a[l] } else { b[l] };
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                d[l] = if c[l] { a[l] } else { b[l] };
+            }
+        }
+    }
+}
+
+/// Gather `f(idx[l])` into `d` over the active lanes.
+fn try_gather<T: Copy>(
+    d: &mut [T],
+    idx: &[i64],
+    lanes: &Lanes,
+    f: impl Fn(i64) -> Result<T, EvalError>,
+) -> Result<(), (usize, EvalError)> {
+    each_lane(lanes, |l| {
+        d[l] = f(idx[l])?;
+        Ok(())
+    })
+}
+
+macro_rules! take_col {
+    ($st:expr, $file:ident, $r:expr) => {
+        std::mem::take(&mut $st.$file[$r as usize])
+    };
+}
+
+impl Kernel {
+    /// Execute one certified instruction over the active lanes.
+    #[allow(clippy::too_many_lines)]
+    fn bstep(&self, ins: &Instr, st: &mut BState, lanes: &Lanes) -> Result<(), (usize, EvalError)> {
+        match ins {
+            Instr::ConstI { dst, v } => st.ci[*dst as usize].fill(*v),
+            Instr::ConstF { dst, v } => st.cf[*dst as usize].fill(*v),
+            Instr::ConstB { dst, v } => st.cb[*dst as usize].fill(*v),
+            Instr::BinI { op, dst, a, b } => {
+                let mut d = take_col!(st, ci, *dst);
+                let op = *op;
+                binop(
+                    &mut d,
+                    &st.ci[*a as usize],
+                    &st.ci[*b as usize],
+                    lanes,
+                    |x, y| apply_i(op, x, y),
+                );
+                st.ci[*dst as usize] = d;
+            }
+            Instr::DivI { dst, a, b } => {
+                let mut d = take_col!(st, ci, *dst);
+                let r = try_binop(
+                    &mut d,
+                    &st.ci[*a as usize],
+                    &st.ci[*b as usize],
+                    lanes,
+                    |x, y| {
+                        if y == 0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            Ok(x / y)
+                        }
+                    },
+                );
+                st.ci[*dst as usize] = d;
+                r?;
+            }
+            Instr::RemI { dst, a, b } => {
+                let mut d = take_col!(st, ci, *dst);
+                let r = try_binop(
+                    &mut d,
+                    &st.ci[*a as usize],
+                    &st.ci[*b as usize],
+                    lanes,
+                    |x, y| {
+                        if y == 0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            Ok(x % y)
+                        }
+                    },
+                );
+                st.ci[*dst as usize] = d;
+                r?;
+            }
+            Instr::BinF { op, dst, a, b } => {
+                let mut d = take_col!(st, cf, *dst);
+                let op = *op;
+                binop(
+                    &mut d,
+                    &st.cf[*a as usize],
+                    &st.cf[*b as usize],
+                    lanes,
+                    |x, y| apply_f(op, x, y),
+                );
+                st.cf[*dst as usize] = d;
+            }
+            Instr::NegI { dst, a } => {
+                let mut d = take_col!(st, ci, *dst);
+                unop(&mut d, &st.ci[*a as usize], lanes, |x: i64| -x);
+                st.ci[*dst as usize] = d;
+            }
+            Instr::NegF { dst, a } => {
+                let mut d = take_col!(st, cf, *dst);
+                unop(&mut d, &st.cf[*a as usize], lanes, |x: f64| -x);
+                st.cf[*dst as usize] = d;
+            }
+            Instr::CmpI { op, dst, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                let op = *op;
+                binop(
+                    &mut d,
+                    &st.ci[*a as usize],
+                    &st.ci[*b as usize],
+                    lanes,
+                    |x, y| super::apply_cmp(op, x, y),
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::CmpF { op, dst, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                let op = *op;
+                binop(
+                    &mut d,
+                    &st.cf[*a as usize],
+                    &st.cf[*b as usize],
+                    lanes,
+                    |x, y| super::apply_cmp(op, x, y),
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::CmpB { op, dst, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                let eq = matches!(op, super::CmpOp::Eq);
+                binop(
+                    &mut d,
+                    &st.cb[*a as usize],
+                    &st.cb[*b as usize],
+                    lanes,
+                    |x, y| if eq { x == y } else { x != y },
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::AndB { dst, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                binop(
+                    &mut d,
+                    &st.cb[*a as usize],
+                    &st.cb[*b as usize],
+                    lanes,
+                    |x, y| x && y,
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::OrB { dst, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                binop(
+                    &mut d,
+                    &st.cb[*a as usize],
+                    &st.cb[*b as usize],
+                    lanes,
+                    |x, y| x || y,
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::NotB { dst, a } => {
+                let mut d = take_col!(st, cb, *dst);
+                unop(&mut d, &st.cb[*a as usize], lanes, |x: bool| !x);
+                st.cb[*dst as usize] = d;
+            }
+            Instr::MuxI { dst, c, a, b } => {
+                let mut d = take_col!(st, ci, *dst);
+                muxop(
+                    &mut d,
+                    &st.cb[*c as usize],
+                    &st.ci[*a as usize],
+                    &st.ci[*b as usize],
+                    lanes,
+                );
+                st.ci[*dst as usize] = d;
+            }
+            Instr::MuxF { dst, c, a, b } => {
+                let mut d = take_col!(st, cf, *dst);
+                muxop(
+                    &mut d,
+                    &st.cb[*c as usize],
+                    &st.cf[*a as usize],
+                    &st.cf[*b as usize],
+                    lanes,
+                );
+                st.cf[*dst as usize] = d;
+            }
+            Instr::MuxB { dst, c, a, b } => {
+                let mut d = take_col!(st, cb, *dst);
+                muxop(
+                    &mut d,
+                    &st.cb[*c as usize],
+                    &st.cb[*a as usize],
+                    &st.cb[*b as usize],
+                    lanes,
+                );
+                st.cb[*dst as usize] = d;
+            }
+            Instr::MathF { f, dst, a } => {
+                let mut d = take_col!(st, cf, *dst);
+                let f = *f;
+                unop(&mut d, &st.cf[*a as usize], lanes, |x| eval_math(f, x));
+                st.cf[*dst as usize] = d;
+            }
+            Instr::CastIF { dst, a } => {
+                let mut d = take_col!(st, cf, *dst);
+                unop(&mut d, &st.ci[*a as usize], lanes, |x: i64| x as f64);
+                st.cf[*dst as usize] = d;
+            }
+            Instr::CastFI { dst, a } => {
+                let mut d = take_col!(st, ci, *dst);
+                unop(&mut d, &st.cf[*a as usize], lanes, |x: f64| x as i64);
+                st.ci[*dst as usize] = d;
+            }
+            Instr::ReadVI { dst, arr, idx } => {
+                let mut d = take_col!(st, ci, *dst);
+                let ic = &st.ci[*idx as usize];
+                let r = match &st.scalar.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::I64(v)) => try_gather(&mut d, ic, lanes, |i| {
+                        let p = bounds(i, v.len())?;
+                        Ok(v[p])
+                    }),
+                    other => try_gather(&mut d, ic, lanes, |i| {
+                        read_array(other, &Value::I64(i))?
+                            .as_i64()
+                            .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))
+                    }),
+                };
+                st.ci[*dst as usize] = d;
+                r?;
+            }
+            Instr::ReadVF { dst, arr, idx } => {
+                let mut d = take_col!(st, cf, *dst);
+                let ic = &st.ci[*idx as usize];
+                let r = match &st.scalar.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::F64(v)) => try_gather(&mut d, ic, lanes, |i| {
+                        let p = bounds(i, v.len())?;
+                        Ok(v[p])
+                    }),
+                    other => try_gather(&mut d, ic, lanes, |i| {
+                        read_array(other, &Value::I64(i))?
+                            .as_f64()
+                            .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))
+                    }),
+                };
+                st.cf[*dst as usize] = d;
+                r?;
+            }
+            Instr::ReadVB { dst, arr, idx } => {
+                let mut d = take_col!(st, cb, *dst);
+                let ic = &st.ci[*idx as usize];
+                let r = match &st.scalar.rv[*arr as usize] {
+                    Value::Arr(ArrayVal::Bool(v)) => try_gather(&mut d, ic, lanes, |i| {
+                        let p = bounds(i, v.len())?;
+                        Ok(v[p])
+                    }),
+                    other => try_gather(&mut d, ic, lanes, |i| {
+                        read_array(other, &Value::I64(i))?
+                            .as_bool()
+                            .ok_or_else(|| EvalError::TypeMismatch("typed array read".into()))
+                    }),
+                };
+                st.cb[*dst as usize] = d;
+                r?;
+            }
+            other => unreachable!("instruction not certified for batched execution: {other:?}"),
+        }
+        Ok(())
+    }
+
+    /// Write the index-parameter column and run `b`'s instructions over the
+    /// active lanes. On a fault, truncates `lanes` to the lanes before the
+    /// faulting one and returns the (lane, error) pair.
+    fn run_cblock_batched(
+        &self,
+        b: &CBlock,
+        st: &mut BState,
+        base: i64,
+        lanes: &mut Lanes,
+    ) -> Option<(usize, EvalError)> {
+        debug_assert_eq!(b.params.len(), 1);
+        debug_assert_eq!(b.params[0].class, Class::I);
+        let col = &mut st.ci[b.params[0].idx as usize];
+        for (l, c) in col.iter_mut().enumerate() {
+            *c = base + l as i64;
+        }
+        for ins in &b.instrs {
+            if let Err((lane, e)) = self.bstep(ins, st, lanes) {
+                lanes.truncate_before(lane);
+                return Some((lane, e));
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accumulation
+// ---------------------------------------------------------------------------
+
+/// Append column lane `l` of register `res` to a collect buffer.
+fn push_lane(buf: &mut ColBuf, st: &BState, res: Reg, l: usize) {
+    match (buf, res.class) {
+        (ColBuf::I(v), Class::I) => v.push(st.ci[res.idx as usize][l]),
+        (ColBuf::F(v), Class::F) => v.push(st.cf[res.idx as usize][l]),
+        (ColBuf::B(v), Class::B) => v.push(st.cb[res.idx as usize][l]),
+        _ => unreachable!("batched collect register class"),
+    }
+}
+
+/// Box column lane `l` of register `res` as a [`Scalar`].
+fn lane_scalar(st: &BState, res: Reg, l: usize) -> Scalar {
+    match res.class {
+        Class::I => Scalar::I(st.ci[res.idx as usize][l]),
+        Class::F => Scalar::F(st.cf[res.idx as usize][l]),
+        Class::B => Scalar::B(st.cb[res.idx as usize][l]),
+        Class::V => unreachable!("batched value class"),
+    }
+}
+
+/// The authoritative slot lookup for an `i64` key (updates the first-seen
+/// key order and the hash index exactly like the scalar path).
+fn keyix_slot_i64(kx: &mut KeyIx, k: i64) -> Result<usize, usize> {
+    match kx {
+        KeyIx::I { keys, ix } => match ix.get(&k) {
+            Some(&s) => Ok(s),
+            None => {
+                let s = keys.len();
+                ix.insert(k, s);
+                keys.push(k);
+                Err(s)
+            }
+        },
+        KeyIx::V { .. } => kx.slot_of_value(&Value::I64(k)),
+    }
+}
+
+/// Dense-directory slot lookup: an epoch-valid entry answers without
+/// touching the hash index; misses fall through to [`keyix_slot_i64`] and
+/// are cached. Out-of-range keys always use the authoritative index.
+fn slot_dense(kx: &mut KeyIx, dir: &mut DenseDir, k: i64) -> Result<usize, usize> {
+    if k >= 0 && (k as usize) < DENSE_KEY_CAP {
+        let ki = k as usize;
+        if ki >= dir.slots.len() {
+            dir.slots.resize(ki + 1, (0, 0));
+        }
+        let (ep, slot) = dir.slots[ki];
+        if ep == dir.epoch {
+            return Ok(slot as usize);
+        }
+        let r = keyix_slot_i64(kx, k);
+        let s = match r {
+            Ok(s) | Err(s) => s,
+        };
+        dir.slots[ki] = (dir.epoch, s as u32);
+        r
+    } else {
+        keyix_slot_i64(kx, k)
+    }
+}
+
+/// Fold a column slice with a monomorphized combiner (so integer folds get
+/// clean, vectorizable loops — wrapping arithmetic is associative, which is
+/// the block-level "tree fold" the hardware actually performs).
+fn fold_slice<T: Copy>(cur: T, col: &[T], f: impl Fn(T, T) -> T) -> T {
+    let mut c = cur;
+    for &x in col {
+        c = f(c, x);
+    }
+    c
+}
+
+fn fold_i(op: super::IOp, cur: i64, col: &[i64]) -> i64 {
+    use super::IOp;
+    match op {
+        IOp::Add => fold_slice(cur, col, |a, b| a.wrapping_add(b)),
+        IOp::Sub => fold_slice(cur, col, |a, b| a.wrapping_sub(b)),
+        IOp::Mul => fold_slice(cur, col, |a, b| a.wrapping_mul(b)),
+        IOp::Min => fold_slice(cur, col, |a, b| a.min(b)),
+        IOp::Max => fold_slice(cur, col, |a, b| a.max(b)),
+    }
+}
+
+impl Kernel {
+    /// Accumulate the value (and key) columns of one generator over the
+    /// active lanes; faults (from reducer blocks) are lane-tagged.
+    fn baccumulate(
+        &self,
+        gi: usize,
+        gen: &CGen,
+        acc: &mut KAcc,
+        bst: &mut BState,
+        lanes: &Lanes,
+    ) -> Result<(), (usize, EvalError)> {
+        let res = gen.value.result;
+        match acc {
+            KAcc::Col(buf) => {
+                match lanes {
+                    Lanes::Full => match (buf, res.class) {
+                        (ColBuf::I(v), Class::I) => {
+                            v.extend_from_slice(&bst.ci[res.idx as usize][..BLOCK]);
+                        }
+                        (ColBuf::F(v), Class::F) => {
+                            v.extend_from_slice(&bst.cf[res.idx as usize][..BLOCK]);
+                        }
+                        (ColBuf::B(v), Class::B) => {
+                            v.extend_from_slice(&bst.cb[res.idx as usize][..BLOCK]);
+                        }
+                        _ => unreachable!("batched collect register class"),
+                    },
+                    Lanes::Sel(s) => {
+                        for &l in s {
+                            push_lane(buf, bst, res, l as usize);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            KAcc::RedI(state) => {
+                if let Some(FastRed::I(op)) = gen.fast_red {
+                    let col = &bst.ci[res.idx as usize];
+                    match lanes {
+                        Lanes::Full => {
+                            let col = &col[..BLOCK];
+                            let (cur, start) = self.seed_i(gen, state.take(), col[0], bst);
+                            *state = Some(fold_i(op, cur, &col[start..]));
+                        }
+                        Lanes::Sel(s) => {
+                            if s.is_empty() {
+                                return Ok(());
+                            }
+                            let (mut cur, start) =
+                                self.seed_i(gen, state.take(), col[s[0] as usize], bst);
+                            for &l in &s[start..] {
+                                cur = apply_i(op, cur, col[l as usize]);
+                            }
+                            *state = Some(cur);
+                        }
+                    }
+                    return Ok(());
+                }
+                each_lane(lanes, |l| {
+                    let x = bst.ci[res.idx as usize][l];
+                    let next = match state.take() {
+                        Some(cur) => self.reduce_i(gen, cur, x, &mut bst.scalar)?,
+                        None => match gen.init {
+                            Some(r) => {
+                                let i0 = bst.scalar.ri[r.idx as usize];
+                                self.reduce_i(gen, i0, x, &mut bst.scalar)?
+                            }
+                            None => x,
+                        },
+                    };
+                    *state = Some(next);
+                    Ok(())
+                })
+            }
+            KAcc::RedF(state) => {
+                if let Some(FastRed::F(op)) = gen.fast_red {
+                    // Float folds must stay in lane order: reassociating (or
+                    // fusing) would change the bits vs the scalar loop.
+                    let col = &bst.cf[res.idx as usize];
+                    match lanes {
+                        Lanes::Full => {
+                            let col = &col[..BLOCK];
+                            let (cur, start) = self.seed_f(gen, state.take(), col[0], bst);
+                            *state = Some(fold_slice(cur, &col[start..], |a, b| apply_f(op, a, b)));
+                        }
+                        Lanes::Sel(s) => {
+                            if s.is_empty() {
+                                return Ok(());
+                            }
+                            let (mut cur, start) =
+                                self.seed_f(gen, state.take(), col[s[0] as usize], bst);
+                            for &l in &s[start..] {
+                                cur = apply_f(op, cur, col[l as usize]);
+                            }
+                            *state = Some(cur);
+                        }
+                    }
+                    return Ok(());
+                }
+                each_lane(lanes, |l| {
+                    let x = bst.cf[res.idx as usize][l];
+                    let next = match state.take() {
+                        Some(cur) => self.reduce_f(gen, cur, x, &mut bst.scalar)?,
+                        None => match gen.init {
+                            Some(r) => {
+                                let i0 = bst.scalar.rf[r.idx as usize];
+                                self.reduce_f(gen, i0, x, &mut bst.scalar)?
+                            }
+                            None => x,
+                        },
+                    };
+                    *state = Some(next);
+                    Ok(())
+                })
+            }
+            KAcc::RedB(state) => each_lane(lanes, |l| {
+                let x = bst.cb[res.idx as usize][l];
+                let next = match state.take() {
+                    Some(cur) => self.reduce_b(gen, cur, x, &mut bst.scalar)?,
+                    None => match gen.init {
+                        Some(r) => {
+                            let i0 = bst.scalar.rb[r.idx as usize];
+                            self.reduce_b(gen, i0, x, &mut bst.scalar)?
+                        }
+                        None => x,
+                    },
+                };
+                *state = Some(next);
+                Ok(())
+            }),
+            KAcc::RedV(_) => unreachable!("batched reduce of V class"),
+            KAcc::BCol { keys, vals } => {
+                let kb = gen.key.as_ref().expect("bucket gen has key");
+                let kres = kb.result;
+                each_lane(lanes, |l| {
+                    let slot = if kres.class == Class::I {
+                        slot_dense(keys, &mut bst.dense[gi], bst.ci[kres.idx as usize][l])
+                    } else {
+                        keys.slot_of_value(&super::scalar_value(lane_scalar(bst, kres, l)))
+                    };
+                    match slot {
+                        Ok(s) => push_lane(&mut vals[s], bst, res, l),
+                        Err(_new) => {
+                            let mut buf = ColBuf::new(gen.val_class, 1);
+                            push_lane(&mut buf, bst, res, l);
+                            vals.push(buf);
+                        }
+                    }
+                    Ok(())
+                })
+            }
+            KAcc::BRed { keys, vals } => {
+                let kb = gen.key.as_ref().expect("bucket gen has key");
+                let kres = kb.result;
+                each_lane(lanes, |l| {
+                    let slot = if kres.class == Class::I {
+                        slot_dense(keys, &mut bst.dense[gi], bst.ci[kres.idx as usize][l])
+                    } else {
+                        keys.slot_of_value(&super::scalar_value(lane_scalar(bst, kres, l)))
+                    };
+                    match slot {
+                        Ok(s) => match (&mut *vals, res.class) {
+                            (RedBuf::I(v), Class::I) => {
+                                let x = bst.ci[res.idx as usize][l];
+                                v[s] = self.reduce_i(gen, v[s], x, &mut bst.scalar)?;
+                            }
+                            (RedBuf::F(v), Class::F) => {
+                                let x = bst.cf[res.idx as usize][l];
+                                v[s] = self.reduce_f(gen, v[s], x, &mut bst.scalar)?;
+                            }
+                            _ => {
+                                let cur = vals.get(s);
+                                let x = lane_scalar(bst, res, l);
+                                let next = self.reduce_scalar(gen, cur, x, &mut bst.scalar)?;
+                                vals.set(s, next)?;
+                            }
+                        },
+                        Err(_new) => vals.push(lane_scalar(bst, res, l))?,
+                    }
+                    Ok(())
+                })
+            }
+        }
+    }
+
+    /// Seed an integer fold exactly like the scalar loop: carry-over state,
+    /// or the explicit identity combined with the first element, or the
+    /// first element itself. Returns the seed and how many leading lanes it
+    /// consumed.
+    fn seed_i(&self, gen: &CGen, state: Option<i64>, x0: i64, bst: &BState) -> (i64, usize) {
+        match state {
+            Some(c) => (c, 0),
+            None => match gen.init {
+                Some(r) => {
+                    let fr = match gen.fast_red {
+                        Some(FastRed::I(op)) => op,
+                        _ => unreachable!("seed_i on fast integer reducer"),
+                    };
+                    (apply_i(fr, bst.scalar.ri[r.idx as usize], x0), 1)
+                }
+                None => (x0, 1),
+            },
+        }
+    }
+
+    /// Float analogue of [`Kernel::seed_i`].
+    fn seed_f(&self, gen: &CGen, state: Option<f64>, x0: f64, bst: &BState) -> (f64, usize) {
+        match state {
+            Some(c) => (c, 0),
+            None => match gen.init {
+                Some(r) => {
+                    let fr = match gen.fast_red {
+                        Some(FastRed::F(op)) => op,
+                        _ => unreachable!("seed_f on fast float reducer"),
+                    };
+                    (apply_f(fr, bst.scalar.rf[r.idx as usize], x0), 1)
+                }
+                None => (x0, 1),
+            },
+        }
+    }
+
+    /// Run one generator over one full block. Returns this generator's
+    /// earliest fault, if any; the caller picks the block-wide winner.
+    fn exec_gen_block(
+        &self,
+        gi: usize,
+        gen: &CGen,
+        acc: &mut KAcc,
+        bst: &mut BState,
+        base: i64,
+    ) -> Option<(usize, EvalError)> {
+        let mut pend: Option<(usize, EvalError)> = None;
+        let mut lanes = Lanes::Full;
+        if let Some(c) = &gen.cond {
+            if let Some(x) = self.run_cblock_batched(c, bst, base, &mut lanes) {
+                pend = Some(x);
+            }
+            let col = &bst.cb[c.result.idx as usize];
+            let sel: Vec<u32> = match &lanes {
+                Lanes::Full => (0..BLOCK as u32).filter(|&l| col[l as usize]).collect(),
+                Lanes::Sel(s) => s.iter().copied().filter(|&l| col[l as usize]).collect(),
+            };
+            lanes = Lanes::Sel(sel);
+        }
+        if !lanes.is_empty() {
+            if let Some(x) = self.run_cblock_batched(&gen.value, bst, base, &mut lanes) {
+                pend = Some(x);
+            }
+            if let Some(kb) = &gen.key {
+                if let Some(x) = self.run_cblock_batched(kb, bst, base, &mut lanes) {
+                    pend = Some(x);
+                }
+            }
+            if let Err(x) = self.baccumulate(gi, gen, acc, bst, &lanes) {
+                pend = Some(x);
+            }
+        }
+        pend
+    }
+
+    /// Execute all generators over the full block starting at `base`. The
+    /// stage-truncation inside each generator guarantees a later stage's
+    /// fault has a strictly smaller lane, so per-generator the last recorded
+    /// fault is the earliest; across generators the winner is the minimum
+    /// by (lane, generator index) — generator order breaks lane ties because
+    /// the scalar loop runs generators in order within one element.
+    fn exec_block_batched(
+        &self,
+        bst: &mut BState,
+        accs: &mut [KAcc],
+        base: i64,
+    ) -> Result<(), EvalError> {
+        let mut pend: Option<(usize, EvalError)> = None;
+        for (gi, (gen, acc)) in self.gens.iter().zip(accs.iter_mut()).enumerate() {
+            if let Some((lane, e)) = self.exec_gen_block(gi, gen, acc, bst, base) {
+                if pend.as_ref().is_none_or(|(pl, _)| lane < *pl) {
+                    pend = Some((lane, e));
+                }
+            }
+        }
+        match pend {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Run the top-level generators over `[start, end)` block-at-a-time,
+    /// with the final `len % BLOCK` elements on the scalar tail. Returns the
+    /// same raw accumulators as [`Kernel::run_range`], bit-identically.
+    pub(crate) fn run_range_batched(
+        &self,
+        bst: &mut BState,
+        start: i64,
+        end: i64,
+    ) -> Result<Vec<KAcc>, EvalError> {
+        for d in bst.dense.iter_mut() {
+            d.epoch += 1;
+        }
+        let hint = (end - start).max(0) as usize;
+        let mut accs: Vec<KAcc> = self.gens.iter().map(|g| KAcc::for_gen(g, hint)).collect();
+        let mut blocks = 0u64;
+        let mut i = start;
+        while i + (BLOCK as i64) <= end {
+            self.exec_block_batched(bst, &mut accs, i)?;
+            blocks += 1;
+            i += BLOCK as i64;
+        }
+        let tail = (end - i).max(0) as u64;
+        if i < end {
+            self.exec_gens(&self.gens, &mut accs, &mut bst.scalar, i, end)?;
+        }
+        stats::record_batched_range(blocks, tail);
+        Ok(accs)
+    }
+}

@@ -18,6 +18,10 @@ pub struct Interp<'p> {
     /// Whether top-level multiloops may run on the compiled kernel tier.
     /// Loops the compiler rejects fall back to the tree-walker either way.
     use_compiled: bool,
+    /// Whether batchable kernels may run block-at-a-time. Off means every
+    /// compiled loop uses the scalar bytecode loop (benches use this to
+    /// isolate the batched tier's contribution).
+    use_batched: bool,
 }
 
 /// Per-run execution-tier accounting: how many top-level multiloops ran on
@@ -41,6 +45,7 @@ impl<'p> Interp<'p> {
             program,
             externs: HashMap::new(),
             use_compiled: true,
+            use_batched: true,
         }
     }
 
@@ -49,6 +54,13 @@ impl<'p> Interp<'p> {
     /// reference semantics.
     pub fn without_compiled_tier(mut self) -> Self {
         self.use_compiled = false;
+        self
+    }
+
+    /// Keep the compiled tier but force the scalar (element-at-a-time)
+    /// bytecode loop, never the batched executor.
+    pub fn without_batched_tier(mut self) -> Self {
+        self.use_batched = false;
         self
     }
 
@@ -117,7 +129,7 @@ impl<'p> Interp<'p> {
         env: &mut Env,
         report: &mut RunReport,
     ) -> Result<Vec<Value>, EvalError> {
-        let (vals, compiled) = self.eval_loop_tiered(ml, env, self.use_compiled)?;
+        let (vals, compiled) = self.eval_loop_tiered(ml, env, self.use_compiled, self.use_batched)?;
         if compiled {
             report.compiled_loops += 1;
         } else {
@@ -135,6 +147,7 @@ impl<'p> Interp<'p> {
         ml: &Multiloop,
         env: &mut Env,
         use_compiled: bool,
+        use_batched: bool,
     ) -> Result<(Vec<Value>, bool), EvalError> {
         if use_compiled {
             if let Some(kernel) = compile::kernel_for(ml, env) {
@@ -143,9 +156,17 @@ impl<'p> Interp<'p> {
                     .as_i64()
                     .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
                 let t0 = Instant::now();
-                let mut st = kernel.new_state(env)?;
-                let accs = kernel.run_range(&mut st, 0, size)?;
-                let vals = kernel.seal_values(accs, &mut st)?;
+                let vals = if use_batched && kernel.batchable {
+                    let mut bst = kernel.new_batched_state(env)?;
+                    let accs = kernel.run_range_batched(&mut bst, 0, size)?;
+                    let vals = kernel.seal_values(accs, &mut bst.scalar)?;
+                    stats::record_batched(size.max(0) as u64, t0.elapsed());
+                    vals
+                } else {
+                    let mut st = kernel.new_state(env)?;
+                    let accs = kernel.run_range(&mut st, 0, size)?;
+                    kernel.seal_values(accs, &mut st)?
+                };
                 stats::record_compiled(size.max(0) as u64, t0.elapsed());
                 return Ok((vals, true));
             }

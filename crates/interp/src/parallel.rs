@@ -3,12 +3,24 @@
 //! The key runtime insight of §5 is that "a multiloop is agnostic to whether
 //! it runs over the entire loop bounds or a subset of the loop bounds": the
 //! executor splits each top-level loop's index range into chunks, evaluates
-//! each chunk on its own thread with a private accumulator, and merges the
+//! each chunk on a worker thread with a private accumulator, and merges the
 //! per-chunk accumulators *in chunk order* — so `Collect` and bucket outputs
 //! are bit-identical to sequential execution. `Reduce` outputs combine
 //! partials with the (associative) reduction operator; for floating-point
 //! reductions this can reassociate rounding, exactly as on real parallel
 //! hardware.
+//!
+//! ## Work stealing
+//!
+//! The range is over-decomposed into block-granular tasks (several per
+//! worker, block-aligned when the range spans full blocks) seeded onto
+//! per-worker deques. A worker pops its own deque from the front and, when
+//! empty, steals from the *back* of a victim's deque — so stragglers
+//! (including fault-injected latency spikes) no longer bound wall-clock the
+//! way a static one-chunk-per-thread split did. Stealing only changes
+//! *which thread* runs a task, never the merge: per-task accumulators are
+//! collected by task id and merged in task order after the round, so
+//! results remain bit-identical under any steal interleaving.
 //!
 //! ## Fault tolerance
 //!
@@ -33,15 +45,17 @@
 //! chunk path below, which reuses per-worker scratch environments instead
 //! of cloning the full environment for every chunk and retry.
 
-use crate::compile::{self, KAcc, Kernel};
+use crate::compile::{self, batch, KAcc, Kernel};
 use crate::error::EvalError;
 use crate::eval::{Acc, Env, Interp};
 use crate::value::{Key, Value};
 use crate::stats;
 use dmll_core::visit::bound_syms;
 use dmll_core::{Def, Exp, Gen, Program};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Injected chunk failures for chaos-testing the executor: the listed
@@ -83,6 +97,9 @@ pub struct ParallelOptions {
     /// Run loops on the compiled bytecode tier when they compile (the
     /// default). Disable to force every loop onto the tree-walking tier.
     pub use_compiled: bool,
+    /// Run batchable kernels block-at-a-time (the default). Disable to
+    /// force the scalar bytecode loop on every compiled chunk.
+    pub use_batched: bool,
 }
 
 impl ParallelOptions {
@@ -93,6 +110,7 @@ impl ParallelOptions {
             max_chunk_retries: 2,
             faults: ChunkFaults::default(),
             use_compiled: true,
+            use_batched: true,
         }
     }
 
@@ -106,6 +124,13 @@ impl ParallelOptions {
     /// tier-comparison benchmarks).
     pub fn tree_walk_only(mut self) -> ParallelOptions {
         self.use_compiled = false;
+        self
+    }
+
+    /// Keep the compiled tier but force the scalar (element-at-a-time)
+    /// bytecode loop (used to isolate the batched tier's speedup).
+    pub fn scalar_kernel_only(mut self) -> ParallelOptions {
+        self.use_batched = false;
         self
     }
 }
@@ -123,6 +148,11 @@ pub struct ExecReport {
     pub compiled_loops: usize,
     /// Top-level loops executed on the tree-walking tier.
     pub treewalk_loops: usize,
+    /// Chunked compiled loops that ran block-at-a-time (subset of
+    /// `compiled_loops`; in-place small loops are not counted here).
+    pub batched_loops: usize,
+    /// Tasks executed by a worker other than the one they were seeded on.
+    pub stolen_tasks: usize,
 }
 
 /// Run `program` evaluating top-level multiloops across `threads` worker
@@ -183,8 +213,12 @@ pub fn eval_parallel_report(
                     // Not worth splitting: run in place on whichever tier
                     // applies. Loop bodies only bind loop-local symbols, so
                     // no defensive clone of the environment is needed.
-                    let (out, compiled) =
-                        interp.eval_loop_tiered(ml, &mut env, options.use_compiled)?;
+                    let (out, compiled) = interp.eval_loop_tiered(
+                        ml,
+                        &mut env,
+                        options.use_compiled,
+                        options.use_batched,
+                    )?;
                     if compiled {
                         report.compiled_loops += 1;
                     } else {
@@ -234,6 +268,10 @@ enum ChunkFailure {
     /// The worker died (real panic, or injected fault): re-executable.
     Died(String),
 }
+
+/// What one task execution produced: per-generator accumulators, or how
+/// it failed.
+type TaskResult<A> = Result<Vec<A>, ChunkFailure>;
 
 /// A reusable per-chunk environment for the tree-walking tier. Chunk
 /// evaluation only reads the loop's free symbols (plus its size) and only
@@ -327,12 +365,25 @@ fn execute_chunk(
     }
 }
 
-/// Execute one chunk's subrange on the compiled tier. Each attempt builds a
-/// fresh register state from the shared parent environment (no cloning of
-/// the environment itself) and runs the cached kernel.
+/// A worker's lazily built, reusable kernel register state. Reuse across
+/// tasks is safe because every varying register is written before it is
+/// read and accumulators/key directories are fresh per `run_range*` call;
+/// any failure drops the state so the next task rebuilds from the parent
+/// environment.
+enum KernelState {
+    Scalar(compile::KState),
+    Batched(batch::BState),
+}
+
+/// Execute one task's subrange on the compiled tier, scalar or batched.
+/// Fault recovery re-executes with the same kernel *and the same mode*, so
+/// recovered runs stay bit-identical to the fault-free ones.
+#[allow(clippy::too_many_arguments)]
 fn execute_chunk_kernel(
     kernel: &Kernel,
     env: &Env,
+    state: &mut Option<KernelState>,
+    batched: bool,
     range: (i64, i64),
     chunk_index: usize,
     injected: bool,
@@ -347,13 +398,35 @@ fn execute_chunk_kernel(
         if injected {
             panic!("injected panic on chunk {chunk_index}");
         }
-        let mut st = kernel.new_state(env)?;
-        kernel.run_range(&mut st, range.0, range.1)
+        match (batched, &mut *state) {
+            (true, Some(KernelState::Batched(bst))) => {
+                kernel.run_range_batched(bst, range.0, range.1)
+            }
+            (true, _) => {
+                let mut bst = kernel.new_batched_state(env)?;
+                let accs = kernel.run_range_batched(&mut bst, range.0, range.1)?;
+                *state = Some(KernelState::Batched(bst));
+                Ok(accs)
+            }
+            (false, Some(KernelState::Scalar(st))) => kernel.run_range(st, range.0, range.1),
+            (false, _) => {
+                let mut st = kernel.new_state(env)?;
+                let accs = kernel.run_range(&mut st, range.0, range.1)?;
+                *state = Some(KernelState::Scalar(st));
+                Ok(accs)
+            }
+        }
     }));
     match outcome {
         Ok(Ok(accs)) => Ok(accs),
-        Ok(Err(e)) => Err(ChunkFailure::Eval(e)),
-        Err(payload) => Err(ChunkFailure::Died(panic_message(payload.as_ref()))),
+        Ok(Err(e)) => {
+            *state = None;
+            Err(ChunkFailure::Eval(e))
+        }
+        Err(payload) => {
+            *state = None;
+            Err(ChunkFailure::Died(panic_message(payload.as_ref())))
+        }
     }
 }
 
@@ -365,6 +438,117 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "worker panicked".to_string()
     }
+}
+
+/// Smallest task worth scheduling when the range doesn't span full blocks.
+const MIN_TASK_ELEMS: i64 = 16;
+
+/// Over-decompose `[0, size)` into contiguous tasks for work stealing:
+/// roughly four tasks per worker, block-aligned whenever the range spans at
+/// least one full block per worker so batched tasks are all-blocks (no
+/// scalar tail except in the final task).
+fn plan_tasks(size: i64, threads: usize) -> Vec<(i64, i64)> {
+    let threads = threads.max(1) as i64;
+    let block = batch::BLOCK as i64;
+    let task_len = if size >= threads * block {
+        ((size / block) / (threads * 4)).max(1) * block
+    } else {
+        ((size + threads * 4 - 1) / (threads * 4)).max(MIN_TASK_ELEMS)
+    };
+    let mut tasks = Vec::new();
+    let mut s = 0;
+    while s < size {
+        tasks.push((s, (s + task_len).min(size)));
+        s += task_len;
+    }
+    tasks
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-worker deques of task ids. Owners pop from the front of their own
+/// deque (preserving range locality); an idle worker steals from the back
+/// of the first non-empty victim.
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    stolen: AtomicUsize,
+}
+
+impl StealQueues {
+    /// Seed `n_tasks` task ids contiguously across `workers` deques.
+    fn new(n_tasks: usize, workers: usize) -> StealQueues {
+        let per = n_tasks.div_ceil(workers.max(1));
+        let deques = (0..workers)
+            .map(|w| {
+                let lo = (w * per).min(n_tasks);
+                let hi = ((w + 1) * per).min(n_tasks);
+                Mutex::new((lo..hi).collect::<VecDeque<usize>>())
+            })
+            .collect();
+        StealQueues {
+            deques,
+            stolen: AtomicUsize::new(0),
+        }
+    }
+
+    /// Next task for worker `w`: own front, else steal a victim's back.
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(t) = lock(&self.deques[w]).pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            if let Some(t) = lock(&self.deques[(w + off) % n]).pop_back() {
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Run all tasks across `states.len()` workers with work stealing. Results
+/// come back indexed by task id (so merge order is independent of which
+/// worker ran what); a task whose worker died before reporting is `None`
+/// and gets re-executed by the recovery pass. Returns the results and the
+/// number of stolen tasks.
+fn run_stealing<A: Send, S: Send>(
+    tasks: &[(i64, i64)],
+    inject: &[bool],
+    states: &mut [S],
+    exec: &(impl Fn(&mut S, usize, (i64, i64), bool) -> TaskResult<A> + Sync),
+) -> (Vec<Option<TaskResult<A>>>, usize) {
+    let queues = StealQueues::new(tasks.len(), states.len());
+    let mut results: Vec<Option<TaskResult<A>>> = (0..tasks.len()).map(|_| None).collect();
+    let reported: Vec<Vec<(usize, TaskResult<A>)>> = std::thread::scope(|scope| {
+        let queues = &queues;
+        let handles: Vec<_> = states
+            .iter_mut()
+            .enumerate()
+            .map(|(w, st)| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    while let Some(t) = queues.next(w) {
+                        let r = exec(st, t, tasks[t], inject[t]);
+                        done.push((t, r));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    for worker_done in reported {
+        for (t, r) in worker_done {
+            results[t] = Some(r);
+        }
+    }
+    (results, queues.stolen.load(Ordering::Relaxed))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -379,45 +563,36 @@ fn run_chunked(
     report: &mut ExecReport,
     pool: &mut Vec<ScratchEnv>,
 ) -> Result<Vec<Value>, EvalError> {
-    let chunk = (size + threads as i64 - 1) / threads as i64;
-    let ranges: Vec<(i64, i64)> = (0..threads as i64)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(size)))
-        .filter(|(s, e)| s < e)
-        .collect();
-    let inject: Vec<bool> = (0..ranges.len()).map(|ci| pending_faults.remove(&ci)).collect();
+    let tasks = plan_tasks(size, threads);
+    let workers = threads.min(tasks.len()).max(1);
+    let inject: Vec<bool> = (0..tasks.len()).map(|ci| pending_faults.remove(&ci)).collect();
 
-    // Compiled tier first: worker chunks and chunk recovery execute the
+    // Compiled tier first: worker tasks and chunk recovery execute the
     // very same cached kernel, so results (and fault-tolerance semantics)
     // are bit-identical to the tree-walking tier.
     if options.use_compiled {
         if let Some(kernel) = compile::kernel_for(ml, env) {
+            let batched = options.use_batched && kernel.batchable;
             let t0 = Instant::now();
-            let out = run_chunked_kernel(&kernel, env, &ranges, &inject, options, report)?;
-            stats::record_compiled(size.max(0) as u64, t0.elapsed());
+            let out =
+                run_chunked_kernel(&kernel, env, &tasks, &inject, workers, batched, options, report)?;
+            let dt = t0.elapsed();
+            stats::record_compiled(size.max(0) as u64, dt);
+            if batched {
+                stats::record_batched(size.max(0) as u64, dt);
+                report.batched_loops += 1;
+            }
             report.compiled_loops += 1;
             return Ok(out);
         }
     }
     let t0 = Instant::now();
-    let out = run_chunked_treewalk(interp, ml, env, &ranges, &inject, options, report, pool)?;
+    let out = run_chunked_treewalk(
+        interp, ml, env, &tasks, &inject, workers, options, report, pool,
+    )?;
     stats::record_treewalk(size.max(0) as u64, t0.elapsed());
     report.treewalk_loops += 1;
     Ok(out)
-}
-
-/// Join first-round worker handles, turning an escaped panic (only
-/// reachable if a panic escapes `catch_unwind`, e.g. a panic while
-/// unwinding) into a recoverable chunk death.
-fn join_round<A>(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<A>, ChunkFailure>>>,
-) -> Vec<Result<Vec<A>, ChunkFailure>> {
-    handles
-        .into_iter()
-        .map(|h| {
-            h.join()
-                .unwrap_or_else(|payload| Err(ChunkFailure::Died(panic_message(payload.as_ref()))))
-        })
-        .collect()
 }
 
 /// Recover failed first-round chunks by re-executing just their subranges
@@ -472,62 +647,62 @@ fn recover_chunks<A>(
 }
 
 /// Tree-walking chunk executor: per-worker scratch environments, merges in
-/// chunk order against the coordinator's real environment.
+/// task order against the coordinator's real environment.
 #[allow(clippy::too_many_arguments)]
 fn run_chunked_treewalk(
     interp: &Interp<'_>,
     ml: &dmll_core::Multiloop,
     env: &mut Env,
-    ranges: &[(i64, i64)],
+    tasks: &[(i64, i64)],
     inject: &[bool],
+    workers: usize,
     options: &ParallelOptions,
     report: &mut ExecReport,
     pool: &mut Vec<ScratchEnv>,
 ) -> Result<Vec<Value>, EvalError> {
     let panic_workers = options.faults.panic_workers;
     let (reads, writes) = loop_touched_slots(ml);
-    if pool.len() < ranges.len() {
+    if pool.len() < workers {
         let len = env.len();
-        pool.resize_with(ranges.len(), || ScratchEnv::new(len));
+        pool.resize_with(workers, || ScratchEnv::new(len));
     }
 
-    // First round: every chunk on its own worker thread with its own
-    // scratch env, failures caught.
-    let first_round: Vec<Result<Vec<Acc>, ChunkFailure>> = std::thread::scope(|scope| {
+    // First round: tasks run under work stealing, one scratch env per
+    // worker (reused across that worker's tasks), failures caught.
+    let (first_round, stolen) = {
         let env_ref = &*env;
         let (reads, writes) = (&reads, &writes);
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .zip(pool.iter_mut())
-            .map(|((ci, &range), scratch)| {
-                let injected = inject[ci];
-                scope.spawn(move || {
-                    execute_chunk(
-                        interp,
-                        ml,
-                        env_ref,
-                        scratch,
-                        range,
-                        ci,
-                        injected,
-                        panic_workers,
-                        reads,
-                        writes,
-                    )
-                })
-            })
-            .collect();
-        join_round(handles)
-    });
-    report.chunk_executions += ranges.len();
+        run_stealing(
+            tasks,
+            inject,
+            &mut pool[..workers],
+            &|scratch, ci, range, injected| {
+                execute_chunk(
+                    interp,
+                    ml,
+                    env_ref,
+                    scratch,
+                    range,
+                    ci,
+                    injected,
+                    panic_workers,
+                    reads,
+                    writes,
+                )
+            },
+        )
+    };
+    report.chunk_executions += tasks.len();
+    report.stolen_tasks += stolen;
+    stats::record_steals(stolen as u64);
+    let first_round = unreported_as_died(first_round);
 
-    let mut per_chunk = recover_chunks(first_round, ranges, options, report, |ci, range| {
+    let mut per_chunk = recover_chunks(first_round, tasks, options, report, |ci, range| {
         execute_chunk(
             interp,
             ml,
             env,
-            &mut pool[ci],
+            &mut pool[0],
             range,
             ci,
             false,
@@ -555,36 +730,70 @@ fn run_chunked_treewalk(
     Ok(outputs)
 }
 
+/// Map tasks a dead worker never reported into recoverable chunk deaths.
+fn unreported_as_died<A>(
+    results: Vec<Option<Result<Vec<A>, ChunkFailure>>>,
+) -> Vec<Result<Vec<A>, ChunkFailure>> {
+    results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| Err(ChunkFailure::Died("worker died before reporting".into())))
+        })
+        .collect()
+}
+
 /// Compiled-tier chunk executor: every worker runs the same cached kernel
-/// over its subrange, recovery re-runs that kernel, and merging/sealing
-/// happens on a coordinator register state.
+/// over its tasks' subranges (scalar or batched), recovery re-runs that
+/// kernel in the same mode, and merging/sealing happens on a coordinator
+/// register state, in task order.
+#[allow(clippy::too_many_arguments)]
 fn run_chunked_kernel(
     kernel: &Kernel,
     env: &Env,
-    ranges: &[(i64, i64)],
+    tasks: &[(i64, i64)],
     inject: &[bool],
+    workers: usize,
+    batched: bool,
     options: &ParallelOptions,
     report: &mut ExecReport,
 ) -> Result<Vec<Value>, EvalError> {
     let panic_workers = options.faults.panic_workers;
 
-    let first_round: Vec<Result<Vec<KAcc>, ChunkFailure>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .map(|(ci, &range)| {
-                let injected = inject[ci];
-                scope.spawn(move || {
-                    execute_chunk_kernel(kernel, env, range, ci, injected, panic_workers)
-                })
-            })
-            .collect();
-        join_round(handles)
-    });
-    report.chunk_executions += ranges.len();
+    let mut states: Vec<Option<KernelState>> = (0..workers).map(|_| None).collect();
+    let (first_round, stolen) = run_stealing(
+        tasks,
+        inject,
+        &mut states,
+        &|state, ci, range, injected| {
+            execute_chunk_kernel(
+                kernel,
+                env,
+                state,
+                batched,
+                range,
+                ci,
+                injected,
+                panic_workers,
+            )
+        },
+    );
+    report.chunk_executions += tasks.len();
+    report.stolen_tasks += stolen;
+    stats::record_steals(stolen as u64);
+    let first_round = unreported_as_died(first_round);
 
-    let per_chunk = recover_chunks(first_round, ranges, options, report, |ci, range| {
-        execute_chunk_kernel(kernel, env, range, ci, false, panic_workers)
+    let mut retry_state: Option<KernelState> = None;
+    let per_chunk = recover_chunks(first_round, tasks, options, report, |ci, range| {
+        execute_chunk_kernel(
+            kernel,
+            env,
+            &mut retry_state,
+            batched,
+            range,
+            ci,
+            false,
+            panic_workers,
+        )
     })?;
 
     // Merge in chunk order on a coordinator state (reducer blocks execute

@@ -22,6 +22,16 @@ static TREEWALK_LOOPS: AtomicU64 = AtomicU64::new(0);
 static TREEWALK_ELEMENTS: AtomicU64 = AtomicU64::new(0);
 static TREEWALK_NANOS: AtomicU64 = AtomicU64::new(0);
 
+static BATCHED_LOOPS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_NANOS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static TAIL_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+
+static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static NEGATIVE_HITS: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) fn record_compile(d: Duration) {
     KERNELS_COMPILED.fetch_add(1, Ordering::Relaxed);
     COMPILE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -47,6 +57,32 @@ pub(crate) fn record_treewalk(elements: u64, d: Duration) {
     TREEWALK_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
 }
 
+/// A top-level loop executed block-at-a-time. Batched loops are a subset of
+/// compiled loops: callers record both, so `batched_* <= compiled_*`.
+pub(crate) fn record_batched(elements: u64, d: Duration) {
+    BATCHED_LOOPS.fetch_add(1, Ordering::Relaxed);
+    BATCHED_ELEMENTS.fetch_add(elements, Ordering::Relaxed);
+    BATCHED_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Full blocks and scalar-tail elements from one `run_range_batched` call.
+pub(crate) fn record_batched_range(blocks: u64, tail_elements: u64) {
+    BATCHED_BLOCKS.fetch_add(blocks, Ordering::Relaxed);
+    TAIL_ELEMENTS.fetch_add(tail_elements, Ordering::Relaxed);
+}
+
+pub(crate) fn record_steals(n: u64) {
+    TASKS_STOLEN.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_eviction() {
+    CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_negative_hit() {
+    NEGATIVE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A snapshot of the tier counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierTotals {
@@ -70,6 +106,24 @@ pub struct TierTotals {
     pub treewalk_elements: u64,
     /// Wall time of tree-walking loop execution, in nanoseconds.
     pub treewalk_nanos: u64,
+    /// Compiled loops that executed block-at-a-time (subset of
+    /// `compiled_loops`).
+    pub batched_loops: u64,
+    /// Elements traversed by batched loop executions.
+    pub batched_elements: u64,
+    /// Wall time of batched loop execution, in nanoseconds (also counted
+    /// in `compiled_nanos`).
+    pub batched_nanos: u64,
+    /// Full-width blocks executed by the batched tier.
+    pub batched_blocks: u64,
+    /// Elements handled by the scalar-tail path of batched executions.
+    pub tail_elements: u64,
+    /// Block-granular tasks executed by a worker other than their owner.
+    pub tasks_stolen: u64,
+    /// Kernel-cache entries evicted (LRU).
+    pub cache_evictions: u64,
+    /// Cache hits on negative (rejected-compilation) entries.
+    pub negative_hits: u64,
 }
 
 impl TierTotals {
@@ -81,6 +135,11 @@ impl TierTotals {
     /// Elements per second on the tree-walking tier, if it ran at all.
     pub fn treewalk_elements_per_sec(&self) -> Option<f64> {
         rate(self.treewalk_elements, self.treewalk_nanos)
+    }
+
+    /// Elements per second on the batched sub-tier, if it ran at all.
+    pub fn batched_elements_per_sec(&self) -> Option<f64> {
+        rate(self.batched_elements, self.batched_nanos)
     }
 }
 
@@ -105,6 +164,14 @@ pub fn tier_totals() -> TierTotals {
         treewalk_loops: TREEWALK_LOOPS.load(Ordering::Relaxed),
         treewalk_elements: TREEWALK_ELEMENTS.load(Ordering::Relaxed),
         treewalk_nanos: TREEWALK_NANOS.load(Ordering::Relaxed),
+        batched_loops: BATCHED_LOOPS.load(Ordering::Relaxed),
+        batched_elements: BATCHED_ELEMENTS.load(Ordering::Relaxed),
+        batched_nanos: BATCHED_NANOS.load(Ordering::Relaxed),
+        batched_blocks: BATCHED_BLOCKS.load(Ordering::Relaxed),
+        tail_elements: TAIL_ELEMENTS.load(Ordering::Relaxed),
+        tasks_stolen: TASKS_STOLEN.load(Ordering::Relaxed),
+        cache_evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        negative_hits: NEGATIVE_HITS.load(Ordering::Relaxed),
     }
 }
 
@@ -121,6 +188,14 @@ pub fn reset_tier_totals() {
         &TREEWALK_LOOPS,
         &TREEWALK_ELEMENTS,
         &TREEWALK_NANOS,
+        &BATCHED_LOOPS,
+        &BATCHED_ELEMENTS,
+        &BATCHED_NANOS,
+        &BATCHED_BLOCKS,
+        &TAIL_ELEMENTS,
+        &TASKS_STOLEN,
+        &CACHE_EVICTIONS,
+        &NEGATIVE_HITS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

@@ -6,7 +6,7 @@
 use dmll_core::{LayoutHint, MathFn, Ty};
 use dmll_frontend::{Stage, Val};
 use dmll_interp::{
-    eval_parallel_report, eval_tree_walk, ChunkFaults, Interp, ParallelOptions, Value,
+    eval_parallel_report, eval_tree_walk, tier_totals, ChunkFaults, Interp, ParallelOptions, Value,
 };
 use proptest::prelude::*;
 
@@ -26,6 +26,33 @@ fn assert_tiers_identical(
     );
     let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
     prop_assert_eq!(compiled, walked);
+    Ok(())
+}
+
+/// Run on all three tiers sequentially — batched kernel, scalar bytecode
+/// kernel, tree-walker — and demand bit-identical values. Also demand that
+/// the batched tier actually ran block-at-a-time: the global batched
+/// counters must have grown across the run (they are monotonic, so this is
+/// sound even with other tests running concurrently in the same process).
+fn assert_three_tiers_identical(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let before = tier_totals();
+    let (batched, report) = Interp::new(p).run_report(inputs).expect("batched tier run");
+    let after = tier_totals();
+    prop_assert!(report.compiled_loops >= 1, "no loop compiled: {report:?}");
+    prop_assert!(
+        after.batched_loops > before.batched_loops,
+        "no loop ran on the batched tier"
+    );
+    let (scalar, _) = Interp::new(p)
+        .without_batched_tier()
+        .run_report(inputs)
+        .expect("scalar kernel tier run");
+    let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
+    prop_assert_eq!(&batched, &scalar, "batched vs scalar bytecode");
+    prop_assert_eq!(batched, walked, "batched vs tree-walker");
     Ok(())
 }
 
@@ -227,6 +254,243 @@ proptest! {
         prop_assert!(report.compiled_loops >= 1, "{report:?}");
         prop_assert_eq!(clean, recovered);
     }
+}
+
+// Differential tests for the batched executor: sizes span multiple
+// 1024-wide blocks plus a scalar tail, selection vectors cover the
+// all-true / all-false / mixed cases, and every generator kind is pinned
+// batched == scalar bytecode == tree-walker. Fewer cases than above —
+// each one traverses a few thousand elements.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conditioned Collect across full blocks and a tail. `mode` drives the
+    /// selection vector: 0 keeps nothing, 1 keeps everything, 2 is mixed.
+    #[test]
+    fn batched_collect_selection_vectors(
+        data in prop::collection::vec(-1000i64..1000, 800..2600),
+        mode in 0i64..3,
+    ) {
+        let threshold = match mode {
+            0 => -1001, // no element is below: all-false selection vectors
+            1 => 1001,  // every element is below: all-true selection vectors
+            _ => 0,     // mixed
+        };
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let x2 = x.clone();
+        let kept = st.collect_if(
+            &n,
+            move |st, i| {
+                let xi = st.read(&x, i);
+                let t = st.lit_i(threshold);
+                st.lt(&xi, &t)
+            },
+            move |st, i| {
+                let xi = st.read(&x2, i);
+                let three = st.lit_i(3);
+                st.mul(&xi, &three)
+            },
+        );
+        let p = st.finish(&kept);
+        assert_three_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Float Reduce spanning block boundaries: the batched fold must keep
+    /// the exact sequential lane order, so sums match bit-for-bit even
+    /// with a partial tail block.
+    #[test]
+    fn batched_reduce_tail_blocks(
+        data in prop::collection::vec(-400i64..400, 2048..2200),
+    ) {
+        let floats: Vec<f64> = data.iter().map(|v| *v as f64 / 3.0).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let zero = st.lit_f(0.0);
+        let s = st.reduce(
+            &n,
+            |st, i| {
+                let xi = st.read(&x, i);
+                let sq = st.mul(&xi, &xi);
+                st.math(MathFn::Sqrt, &sq)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let p = st.finish(&s);
+        assert_three_tiers_identical(&p, &[("x", Value::f64_arr(floats))])?;
+    }
+
+    /// BucketCollect over multiple blocks: first-seen key order must
+    /// survive blockwise accumulation and the dense key directory.
+    #[test]
+    fn batched_bucket_collect_blocks(
+        data in prop::collection::vec(0i64..6000, 900..2400),
+        modulus in 1i64..13,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let g = st.group_by(&x, |st, e| {
+            let m = st.lit_i(modulus);
+            st.rem(e, &m)
+        });
+        let keys = st.bucket_keys(&g);
+        let vals = st.bucket_values(&g);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_three_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Conditioned BucketReduce over multiple blocks with a float
+    /// accumulator: per-bucket fold order must match the scalar tiers.
+    #[test]
+    fn batched_bucket_reduce_blocks(
+        data in prop::collection::vec(-900i64..900, 900..2400),
+        modulus in 1i64..9,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let fzero = st.lit_f(0.0);
+        let x0 = x.clone();
+        let x1 = x.clone();
+        let x2 = x.clone();
+        let sums = st.bucket_reduce_if(
+            &n,
+            Some(move |st: &mut Stage, i: &Val| {
+                let xi = st.read(&x0, i);
+                let zero = st.lit_i(0);
+                st.ge(&xi, &zero)
+            }),
+            move |st, i| {
+                let xi = st.read(&x1, i);
+                let m = st.lit_i(modulus);
+                st.rem(&xi, &m)
+            },
+            move |st, i| {
+                let xi = st.read(&x2, i);
+                let f = st.i2f(&xi);
+                let c = st.lit_f(7.0);
+                st.div(&f, &c)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&fzero),
+        );
+        let keys = st.bucket_keys(&sums);
+        let vals = st.bucket_values(&sums);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_three_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// The work-stealing executor with injected chunk faults: the batched
+    /// parallel run must match the scalar-kernel parallel run and the
+    /// sequential tree-walker bit-for-bit, because recovery re-executes
+    /// stolen blocks with the very same kernel and mode.
+    #[test]
+    fn batched_parallel_stealing_survives_faults(
+        data in prop::collection::vec(0i64..3000, 1500..4000),
+        threads in 2usize..6,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        panicking in any::<bool>(),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| st.add(e, e));
+        let total = st.sum(&doubled);
+        let m = st.lit_i(7);
+        let zero = st.lit_i(0);
+        let counts = st.group_by_reduce(
+            &x,
+            move |st, e| st.rem(e, &m),
+            |st, _e| st.lit_i(1),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let ckeys = st.bucket_keys(&counts);
+        let cvals = st.bucket_values(&counts);
+        let out = st.tuple(&[&total, &ckeys, &cvals]);
+        let p = st.finish(&out);
+        let inputs = [("x", Value::i64_arr(data))];
+
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (batched, report) = eval_parallel_report(&p, &inputs, &opts).unwrap();
+        prop_assert!(report.compiled_loops >= 1, "{report:?}");
+        prop_assert!(report.batched_loops >= 1, "no batched loop: {report:?}");
+
+        let scalar_opts = ParallelOptions::new(threads)
+            .scalar_kernel_only()
+            .with_faults(faults);
+        let (scalar, scalar_report) = eval_parallel_report(&p, &inputs, &scalar_opts).unwrap();
+        prop_assert_eq!(scalar_report.batched_loops, 0);
+        prop_assert_eq!(&batched, &scalar, "batched vs scalar bytecode (parallel)");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(batched, seq, "batched (parallel) vs sequential tree-walker");
+    }
+}
+
+/// Exact multiple of the block width: no scalar tail at all.
+#[test]
+fn batched_exact_block_multiple() {
+    run_pinned_size(2048);
+}
+
+/// One block plus an odd tail: the scalar-tail path must splice in
+/// seamlessly after the last full block.
+#[test]
+fn batched_odd_tail() {
+    run_pinned_size(2048 + 37);
+}
+
+fn run_pinned_size(size: i64) {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+    let n = st.len(&x);
+    let zero = st.lit_f(0.0);
+    let x2 = x.clone();
+    let scaled = st.collect(&n, move |st, i| {
+        let xi = st.read(&x, i);
+        let c = st.lit_f(1.5);
+        st.mul(&xi, &c)
+    });
+    let s = st.reduce(
+        &n,
+        move |st, i| st.read(&x2, i),
+        |st, a, b| st.add(a, b),
+        Some(&zero),
+    );
+    let pair = st.tuple(&[&scaled, &s]);
+    let p = st.finish(&pair);
+    let data: Vec<f64> = (0..size).map(|i| (i as f64) / 11.0 - 90.0).collect();
+    let inputs = [("x", Value::f64_arr(data))];
+
+    let before = tier_totals();
+    let (batched, report) = Interp::new(&p).run_report(&inputs).unwrap();
+    let after = tier_totals();
+    assert!(report.compiled_loops >= 1, "{report:?}");
+    assert!(after.batched_loops > before.batched_loops, "batched tier never ran");
+    if size % 2048 == 37 {
+        assert!(
+            after.tail_elements > before.tail_elements,
+            "odd size must exercise the scalar tail"
+        );
+    }
+    let (scalar, _) = Interp::new(&p)
+        .without_batched_tier()
+        .run_report(&inputs)
+        .unwrap();
+    let walked = eval_tree_walk(&p, &inputs).unwrap();
+    assert_eq!(batched, scalar);
+    assert_eq!(batched, walked);
 }
 
 /// Mux requires identical branch types; keep a non-proptest regression for

@@ -343,6 +343,24 @@ pub struct ExecTierStats {
     pub treewalk_elements: u64,
     /// Wall time of tree-walking loop execution, in nanoseconds.
     pub treewalk_nanos: u64,
+    /// Compiled loops that executed block-at-a-time (subset of
+    /// `compiled_loops`).
+    pub batched_loops: u64,
+    /// Elements traversed by batched loop executions.
+    pub batched_elements: u64,
+    /// Wall time of batched loop execution, in nanoseconds (also counted
+    /// in `compiled_nanos`).
+    pub batched_nanos: u64,
+    /// Full-width blocks executed by the batched tier.
+    pub batched_blocks: u64,
+    /// Elements handled by the scalar-tail path of batched executions.
+    pub tail_elements: u64,
+    /// Work-stealing tasks executed off their seeded worker.
+    pub tasks_stolen: u64,
+    /// Kernel-cache entries evicted (LRU).
+    pub cache_evictions: u64,
+    /// Kernel-cache hits on negative (rejected-compilation) entries.
+    pub negative_hits: u64,
 }
 
 impl ExecTierStats {
@@ -354,6 +372,11 @@ impl ExecTierStats {
     /// Elements per second on the tree-walking tier, if it ran at all.
     pub fn treewalk_elements_per_sec(&self) -> Option<f64> {
         tier_rate(self.treewalk_elements, self.treewalk_nanos)
+    }
+
+    /// Elements per second on the batched sub-tier, if it ran at all.
+    pub fn batched_elements_per_sec(&self) -> Option<f64> {
+        tier_rate(self.batched_elements, self.batched_nanos)
     }
 
     /// Compiled-tier throughput relative to the tree-walker, when both
