@@ -1,0 +1,88 @@
+//! Deterministic chaos sweep of the supervised executor, emitting
+//! `BENCH_chaos.json`.
+//!
+//! Usage: `chaos [--smoke] [--threads N] [--seeds a,b,c]`. Every seeded
+//! fault plan runs against all four generator kinds on all three execution
+//! tiers; each run must be bit-identical to the fault-free sequential
+//! evaluation or fail with a typed error. The process exits nonzero on any
+//! contract violation (a mismatch, an escaped panic, an unexpected typed
+//! error), or if the deadline / speculation-parity probes fail.
+
+use dmll_bench::chaos;
+
+fn parse_args() -> (bool, usize, Vec<u64>) {
+    let mut smoke = false;
+    let mut threads = 4usize;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+                threads = if n == 0 {
+                    usage("--threads needs a positive integer")
+                } else {
+                    n
+                };
+            }
+            "--seeds" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--seeds needs a comma-separated list"));
+                let parsed: Result<Vec<u64>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                seeds = Some(parsed.unwrap_or_else(|_| usage("bad --seeds list")));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    // The fixed CI seeds: 3 covers the persistent-failure path (3 % 4 == 3,
+    // panicking delivery), 4 and 10 are recoverable mixes of kills,
+    // stragglers and latency spikes.
+    let seeds = seeds.unwrap_or_else(|| if smoke { vec![3, 4, 10] } else { (0..16).collect() });
+    (smoke, threads, seeds)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: chaos [--smoke] [--threads N] [--seeds a,b,c]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let (_smoke, threads, seeds) = parse_args();
+    let runs = chaos::run_chaos(&seeds, threads);
+    print!("{}", chaos::render(&runs));
+
+    let deadline = chaos::deadline_probe(threads);
+    println!(
+        "deadline probe: {} ({})",
+        if deadline.0 { "ok" } else { "FAIL" },
+        deadline.1
+    );
+    let parity = chaos::speculation_parity(threads);
+    println!(
+        "speculation parity: {} ({})",
+        if parity.0 { "ok" } else { "FAIL" },
+        parity.1
+    );
+
+    let json = chaos::to_json(&runs, threads, &deadline, &parity);
+    let path = format!("BENCH_chaos_t{threads}.json");
+    std::fs::write(&path, &json).expect("write chaos report");
+    println!("wrote {path}");
+
+    let violations: Vec<_> = runs.iter().filter(|r| !r.ok()).collect();
+    for v in &violations {
+        eprintln!(
+            "FAIL: seed {} {:?} on {:?}: {:?}",
+            v.seed, v.gen, v.tier, v.outcome
+        );
+    }
+    if !violations.is_empty() || !deadline.0 || !parity.0 {
+        std::process::exit(1);
+    }
+}

@@ -22,8 +22,12 @@
 //!   graph comparison and the Gibbs case study;
 //! * `kernels_tier` — measured interpreter execution-tier comparison
 //!   (compiled bytecode kernels vs the tree-walker), emitting
-//!   `BENCH_kernels.json`.
+//!   `BENCH_kernels.json`;
+//! * `chaos` — deterministic chaos sweep of the supervised executor
+//!   (seeded fault plans × generator kinds × execution tiers, plus
+//!   deadline and speculation-parity probes), emitting `BENCH_chaos.json`.
 
+pub mod chaos;
 pub mod experiments;
 pub mod render;
 pub mod tiers;

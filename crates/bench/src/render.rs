@@ -100,6 +100,19 @@ pub fn kernels(rows: &[crate::tiers::TierRow]) -> String {
             if r.identical { "yes" } else { "NO" }
         );
     }
+    // Supervision counters from the supervised measurement phase (one
+    // summary line: they are run-wide, not per-tier).
+    let spec: u64 = rows.iter().map(|r| r.stats.speculative_launches).sum();
+    let wins: u64 = rows.iter().map(|r| r.stats.speculation_wins).sum();
+    let trips: u64 = rows.iter().map(|r| r.stats.quarantine_trips).sum();
+    let deadline: u64 = rows.iter().map(|r| r.stats.deadline_aborts).sum();
+    let cancelled: u64 = rows.iter().map(|r| r.stats.cancelled_aborts).sum();
+    let _ = writeln!(
+        out,
+        "supervision: {spec} speculative launches ({wins} won), \
+         {trips} quarantine trips, {deadline} deadline aborts, \
+         {cancelled} cancellations"
+    );
     out
 }
 

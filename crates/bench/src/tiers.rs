@@ -15,7 +15,7 @@ use dmll_interp::{
     eval_parallel_report, eval_tree_walk, reset_tier_totals, tier_totals, Interp, ParallelOptions,
     Value,
 };
-use dmll_runtime::ExecTierStats;
+use dmll_runtime::{ExecTierStats, Supervisor, SupervisorPolicy};
 use dmll_transform::{pipeline, Target};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -58,11 +58,18 @@ impl TierRow {
     }
 }
 
-struct Case {
-    app: &'static str,
-    program: Program,
-    inputs: Vec<(String, Value)>,
-    rows: usize,
+/// A staged, optimized workload with deterministic synthetic inputs.
+/// Shared by the tier bench, the chaos harness, and the supervision e2e
+/// tests, so every consumer exercises the same real programs.
+pub struct Workload {
+    /// Benchmark name.
+    pub app: &'static str,
+    /// The optimized program.
+    pub program: Program,
+    /// Named input values.
+    pub inputs: Vec<(String, Value)>,
+    /// Primary data dimension (rows / reads / edges).
+    pub rows: usize,
 }
 
 fn owned(inputs: Vec<(&'static str, Value)>) -> Vec<(String, Value)> {
@@ -71,7 +78,7 @@ fn owned(inputs: Vec<(&'static str, Value)>) -> Vec<(String, Value)> {
 
 /// Build the five tier-comparison workloads at a size multiplier
 /// (`scale = 1` is the CI smoke size; the full bench uses 10).
-fn cases(scale: usize) -> Vec<Case> {
+pub fn workloads(scale: usize) -> Vec<Workload> {
     let mut out = Vec::new();
 
     // k-means: one assignment + update iteration.
@@ -79,7 +86,7 @@ fn cases(scale: usize) -> Vec<Case> {
     let (x, cents, _) = dmll_data::matrix::gaussian_clusters(km_rows, km_cols, k, 0.5, 1);
     let mut p = dmll_apps::kmeans::stage_kmeans(k as i64);
     pipeline::optimize(&mut p, Target::Cpu);
-    out.push(Case {
+    out.push(Workload {
         app: "k-means",
         program: p,
         inputs: owned(vec![
@@ -94,7 +101,7 @@ fn cases(scale: usize) -> Vec<Case> {
     let (x, y) = dmll_data::matrix::labeled_binary(lr_rows, lr_cols, 2);
     let mut p = dmll_apps::logreg::stage_logreg(0.01);
     pipeline::optimize(&mut p, Target::Cpu);
-    out.push(Case {
+    out.push(Workload {
         app: "LogReg",
         program: p,
         inputs: owned(vec![
@@ -110,7 +117,7 @@ fn cases(scale: usize) -> Vec<Case> {
     let cols = dmll_data::gene::to_columns(&dmll_data::gene::gen_reads(reads, 1024, 64, 3));
     let mut p = dmll_apps::gene::stage_gene();
     pipeline::optimize(&mut p, Target::Cpu);
-    out.push(Case {
+    out.push(Workload {
         app: "Gene",
         program: p,
         inputs: owned(vec![
@@ -129,7 +136,7 @@ fn cases(scale: usize) -> Vec<Case> {
     let mut p = dmll_apps::pagerank::stage_pagerank_push(0.85);
     pipeline::optimize(&mut p, Target::Cpu);
     let edges = g.num_edges();
-    out.push(Case {
+    out.push(Workload {
         app: "PageRank",
         program: p,
         inputs: owned(dmll_apps::pagerank::inputs_push(&g, &ranks)),
@@ -143,7 +150,7 @@ fn cases(scale: usize) -> Vec<Case> {
     let mut p = dmll_apps::q1::stage_q1();
     pipeline::optimize(&mut p, Target::Cpu);
     let inputs = dmll_apps::q1::inputs_for(&p, &cols);
-    out.push(Case {
+    out.push(Workload {
         app: "Q1",
         program: p,
         inputs,
@@ -165,7 +172,7 @@ pub fn tier_comparison(scale: usize) -> Vec<TierRow> {
 /// work-stealing chunked executor, so the comparison isolates the batched
 /// inner loop rather than the scheduler.
 pub fn tier_comparison_threads(scale: usize, threads: usize) -> Vec<TierRow> {
-    cases(scale.max(1))
+    workloads(scale.max(1))
         .into_iter()
         .map(|c| run_case(c, threads.max(1)))
         .collect()
@@ -180,7 +187,7 @@ enum Tier {
 }
 
 fn run_tier(
-    case: &Case,
+    case: &Workload,
     borrowed: &[(&str, Value)],
     tier: Tier,
     threads: usize,
@@ -218,7 +225,7 @@ fn run_tier(
     (secs, out.expect("two runs"), compiled_loops, stolen)
 }
 
-fn run_case(case: Case, threads: usize) -> TierRow {
+fn run_case(case: Workload, threads: usize) -> TierRow {
     let borrowed: Vec<(&str, Value)> = case
         .inputs
         .iter()
@@ -251,9 +258,27 @@ fn run_case(case: Case, threads: usize) -> TierRow {
     };
     let tt = tier_totals();
 
+    // Supervised phase: one batched run under a default supervisor
+    // (speculation + quarantine enabled, no deadline). Outputs must match
+    // the unsupervised batched run bit-for-bit — speculation only clones
+    // deterministic tasks — and the supervision counters land in the
+    // report.
+    reset_tier_totals();
+    let supervised_identical = if threads > 1 {
+        let sup = Supervisor::new(SupervisorPolicy::default());
+        let opts = ParallelOptions::new(threads).supervised(sup);
+        let (v, _) = dmll_interp::eval_parallel_supervised(&case.program, &borrowed, &opts)
+            .expect("supervised tier run");
+        v == batched_out
+    } else {
+        true
+    };
+    let st = tier_totals();
+
     // Bridge the interpreter counters into the runtime's profiling type:
     // kernel/compile/batched numbers from the batched phase, walk numbers
-    // from the forced tree-walk phase.
+    // from the forced tree-walk phase, supervision numbers from the
+    // supervised phase.
     let stats = ExecTierStats {
         kernels_compiled: ct.kernels_compiled,
         kernel_cache_hits: ct.kernel_cache_hits,
@@ -273,6 +298,11 @@ fn run_case(case: Case, threads: usize) -> TierRow {
         tasks_stolen: ct.tasks_stolen.max(stolen),
         cache_evictions: ct.cache_evictions,
         negative_hits: ct.negative_hits,
+        speculative_launches: st.speculative_launches,
+        speculation_wins: st.speculation_wins,
+        quarantine_trips: st.quarantine_trips,
+        deadline_aborts: st.deadline_aborts,
+        cancelled_aborts: st.cancelled_aborts,
     };
     TierRow {
         app: case.app,
@@ -281,7 +311,9 @@ fn run_case(case: Case, threads: usize) -> TierRow {
         batched_secs,
         compiled_secs,
         treewalk_secs,
-        identical: batched_out == scalar_out && batched_out == treewalk_out,
+        identical: batched_out == scalar_out
+            && batched_out == treewalk_out
+            && supervised_identical,
         compiled_loops,
         batched_loops: ct.batched_loops,
         fallback_loops: ct.fallback_loops,
@@ -306,6 +338,9 @@ pub fn to_json(rows: &[TierRow]) -> String {
              \"batched_blocks\": {}, \"tail_elements\": {}, \
              \"tasks_stolen\": {}, \"cache_evictions\": {}, \
              \"negative_hits\": {}, \
+             \"speculative_launches\": {}, \"speculation_wins\": {}, \
+             \"quarantine_trips\": {}, \"deadline_aborts\": {}, \
+             \"cancelled_aborts\": {}, \
              \"batched_elements_per_sec\": {:.0}, \
              \"compiled_elements_per_sec\": {:.0}, \
              \"treewalk_elements_per_sec\": {:.0}}}{}",
@@ -329,6 +364,11 @@ pub fn to_json(rows: &[TierRow]) -> String {
             r.stats.tasks_stolen,
             r.stats.cache_evictions,
             r.stats.negative_hits,
+            r.stats.speculative_launches,
+            r.stats.speculation_wins,
+            r.stats.quarantine_trips,
+            r.stats.deadline_aborts,
+            r.stats.cancelled_aborts,
             r.stats.batched_elements_per_sec().unwrap_or(0.0),
             r.stats.compiled_elements_per_sec().unwrap_or(0.0),
             r.stats.treewalk_elements_per_sec().unwrap_or(0.0),

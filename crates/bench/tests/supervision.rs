@@ -1,0 +1,139 @@
+//! End-to-end supervision acceptance over the real `kernels_tier`
+//! workloads: speculation on/off produces bit-identical outputs on every
+//! benchmark program, and a deadline below a workload's runtime aborts
+//! with a typed error and a partial report.
+
+use dmll_bench::tiers::workloads;
+use dmll_interp::{
+    eval_parallel_supervised, ChunkFaults, ExecError, ParallelOptions, Value,
+};
+use dmll_runtime::{SpeculationPolicy, Supervisor, SupervisorPolicy};
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 4;
+
+fn borrowed(inputs: &[(String, Value)]) -> Vec<(&str, Value)> {
+    inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect()
+}
+
+fn policy(speculation: SpeculationPolicy) -> SupervisorPolicy {
+    SupervisorPolicy {
+        speculation,
+        ..SupervisorPolicy::default()
+    }
+}
+
+/// Every completed task immediately makes the rest straggler candidates.
+fn aggressive() -> SpeculationPolicy {
+    SpeculationPolicy {
+        enabled: true,
+        min_samples: 1,
+        percentile: 50.0,
+        multiplier: 1.5,
+        floor: Duration::from_micros(50),
+    }
+}
+
+/// ISSUE acceptance: speculation on and off yield bit-identical outputs on
+/// every kernels_tier workload, with and without injected stragglers.
+/// Merging is by task id in task order, so which clone finishes first can
+/// never reach the output bits — including on the f64 workloads.
+#[test]
+fn speculation_parity_on_kernels_tier_workloads() {
+    for case in workloads(1) {
+        let inputs = borrowed(&case.inputs);
+        let off = Supervisor::new(policy(SpeculationPolicy::disabled()));
+        let (baseline, _) = eval_parallel_supervised(
+            &case.program,
+            &inputs,
+            &ParallelOptions::new(THREADS).supervised(off),
+        )
+        .unwrap_or_else(|e| panic!("{}: unspeculated run: {e}", case.app));
+
+        // Plain speculation, no induced stragglers.
+        let on = Supervisor::new(policy(aggressive()));
+        let (quiet, _) = eval_parallel_supervised(
+            &case.program,
+            &inputs,
+            &ParallelOptions::new(THREADS).supervised(on),
+        )
+        .unwrap_or_else(|e| panic!("{}: speculated run: {e}", case.app));
+        assert_eq!(quiet, baseline, "{}: speculation changed output", case.app);
+
+        // Induced straggler: one early task delayed well past the adaptive
+        // cutoff. The delay must dominate real task latencies — debug-build
+        // tasks on these workloads run tens of milliseconds, and a delay
+        // inside the p50×1.5 cutoff is (correctly) not a straggler.
+        let on = Supervisor::new(policy(aggressive()));
+        let faults = ChunkFaults::default().and_delay(1, Duration::from_millis(250));
+        let (raced, report) = eval_parallel_supervised(
+            &case.program,
+            &inputs,
+            &ParallelOptions::new(THREADS)
+                .with_faults(faults)
+                .supervised(on),
+        )
+        .unwrap_or_else(|e| panic!("{}: straggler run: {e}", case.app));
+        assert_eq!(
+            raced, baseline,
+            "{}: speculation against a straggler changed output",
+            case.app
+        );
+        assert!(
+            report.speculative_tasks >= 1,
+            "{}: straggler never speculated ({report:?})",
+            case.app
+        );
+    }
+}
+
+/// ISSUE acceptance: a deadline below the workload's runtime aborts within
+/// one task granularity, returning `ExecError::Deadline` with the partial
+/// report of work completed before the abort.
+#[test]
+fn deadline_aborts_real_workload_with_partial_report() {
+    let case = workloads(1)
+        .into_iter()
+        .find(|c| c.app == "Gene")
+        .expect("Gene workload");
+    let inputs = borrowed(&case.inputs);
+
+    // Slow every task to ~2ms so the full run would take far longer than
+    // the 5ms deadline on any thread count.
+    let mut faults = ChunkFaults::default();
+    for ci in 0..64 {
+        faults = faults.and_delay(ci, Duration::from_millis(2));
+    }
+    let sup = Supervisor::new(SupervisorPolicy {
+        deadline: Some(Duration::from_millis(5)),
+        speculation: SpeculationPolicy::disabled(),
+        ..SupervisorPolicy::default()
+    });
+    let opts = ParallelOptions::new(THREADS)
+        .with_faults(faults)
+        .supervised(sup);
+    let t0 = Instant::now();
+    match eval_parallel_supervised(&case.program, &inputs, &opts) {
+        Err(ExecError::Deadline {
+            deadline,
+            elapsed,
+            partial,
+        }) => {
+            assert_eq!(deadline, Duration::from_millis(5));
+            assert!(elapsed >= deadline);
+            // Drain bound: deadline + one in-flight ~2ms task per worker,
+            // with generous slack for debug-build scheduling noise.
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "drain took {:?}",
+                t0.elapsed()
+            );
+            assert!(
+                partial.chunk_executions < 64,
+                "deadline left most tasks unexecuted: {partial:?}"
+            );
+        }
+        Ok(_) => panic!("run beat a 5ms deadline despite 64 delayed tasks"),
+        Err(other) => panic!("expected Deadline, got {other}"),
+    }
+}

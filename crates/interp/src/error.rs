@@ -1,6 +1,18 @@
-//! Evaluation errors.
+//! Evaluation errors, plus the unified [`ExecError`] surface shared with
+//! the distributed runtime.
+//!
+//! [`EvalError`] is the interpreter-local error (pure evaluation failures
+//! plus chunk-retry exhaustion). [`ExecError`] is the one enum supervised
+//! callers match on: it source-chains [`EvalError`] and
+//! [`dmll_runtime::RuntimeError`] and adds the supervision outcomes —
+//! deadline, cancellation, retry-budget exhaustion — each carrying the
+//! partial [`crate::ExecReport`] of the aborted run, so no failure mode is
+//! a stringly panic.
 
+use crate::parallel::ExecReport;
+use dmll_runtime::RuntimeError;
 use std::fmt;
+use std::time::Duration;
 
 /// An error raised while interpreting a DMLL program.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +47,12 @@ pub enum EvalError {
         /// Message of the last failure.
         message: String,
     },
+    /// The run was aborted by its supervisor (deadline, cancellation, or
+    /// retry budget). This is the *legacy* stringly form surfaced by
+    /// [`crate::eval_parallel_report`]; supervised callers should use
+    /// [`crate::eval_parallel_supervised`], whose [`ExecError`] keeps the
+    /// typed reason and partial report.
+    Aborted(String),
 }
 
 impl fmt::Display for EvalError {
@@ -62,15 +80,129 @@ impl fmt::Display for EvalError {
                 f,
                 "chunk {chunk} failed after {attempts} executions: {message}"
             ),
+            EvalError::Aborted(why) => write!(f, "run aborted by supervisor: {why}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
 
+/// The unified execution-error surface: everything a supervised parallel
+/// run can fail with, as one matchable enum. Interpreter errors and runtime
+/// errors are wrapped (and exposed through [`std::error::Error::source`]);
+/// supervision aborts carry the partial [`ExecReport`] accumulated up to
+/// the abort, so callers can see how far the run got.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A deterministic interpreter error (retrying cannot help).
+    Eval(EvalError),
+    /// A distributed-runtime error (dead node, exhausted remote reads, …).
+    Runtime(RuntimeError),
+    /// The wall-clock deadline expired: in-flight tasks drained, queued
+    /// tasks were abandoned.
+    Deadline {
+        /// The configured budget.
+        deadline: Duration,
+        /// Wall time actually elapsed when the abort committed.
+        elapsed: Duration,
+        /// What completed before the abort.
+        partial: ExecReport,
+    },
+    /// The run's [`dmll_runtime::CancelToken`] was cancelled.
+    Cancelled {
+        /// What completed before the abort.
+        partial: ExecReport,
+    },
+    /// The run-wide retry budget was spent mid-recovery: some chunk still
+    /// needed a re-execution and none were left.
+    RetryBudgetExhausted {
+        /// The chunk whose retry was denied.
+        chunk: usize,
+        /// The budget that was configured.
+        budget: u32,
+        /// Message of the failure that wanted the retry.
+        message: String,
+        /// What completed before giving up.
+        partial: ExecReport,
+    },
+}
+
+impl ExecError {
+    /// Collapse into the legacy [`EvalError`] surface: wrapped evaluation
+    /// errors pass through; supervision aborts become
+    /// [`EvalError::Aborted`] (stringly — callers that care about the
+    /// typed reason should match [`ExecError`] instead).
+    pub fn into_eval(self) -> EvalError {
+        match self {
+            ExecError::Eval(e) => e,
+            other => EvalError::Aborted(other.to_string()),
+        }
+    }
+
+    /// The partial report of an aborted run, if this error carries one.
+    pub fn partial_report(&self) -> Option<&ExecReport> {
+        match self {
+            ExecError::Deadline { partial, .. }
+            | ExecError::Cancelled { partial }
+            | ExecError::RetryBudgetExhausted { partial, .. } => Some(partial),
+            ExecError::Eval(_) | ExecError::Runtime(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ExecError::Runtime(e) => write!(f, "runtime failed: {e}"),
+            ExecError::Deadline {
+                deadline, elapsed, ..
+            } => write!(
+                f,
+                "deadline of {:.3}s exceeded after {:.3}s",
+                deadline.as_secs_f64(),
+                elapsed.as_secs_f64()
+            ),
+            ExecError::Cancelled { .. } => write!(f, "run cancelled"),
+            ExecError::RetryBudgetExhausted {
+                chunk,
+                budget,
+                message,
+                ..
+            } => write!(
+                f,
+                "retry budget of {budget} spent; chunk {chunk} still failing: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Eval(e) => Some(e),
+            ExecError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> ExecError {
+        ExecError::Eval(e)
+    }
+}
+
+impl From<RuntimeError> for ExecError {
+    fn from(e: RuntimeError) -> ExecError {
+        ExecError::Runtime(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn display() {
@@ -85,5 +217,39 @@ mod tests {
     fn error_trait() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
         assert_err(EvalError::EmptyReduce);
+        assert_err(ExecError::Cancelled {
+            partial: ExecReport::default(),
+        });
+    }
+
+    #[test]
+    fn exec_error_chains_sources() {
+        let e = ExecError::from(EvalError::DivisionByZero);
+        assert!(e.source().unwrap().to_string().contains("division"));
+        let r = ExecError::from(RuntimeError::NoSurvivors);
+        assert!(r.source().unwrap().to_string().contains("replan"));
+        let d = ExecError::Deadline {
+            deadline: Duration::from_millis(10),
+            elapsed: Duration::from_millis(11),
+            partial: ExecReport::default(),
+        };
+        assert!(d.source().is_none());
+        assert!(d.partial_report().is_some());
+    }
+
+    #[test]
+    fn into_eval_keeps_eval_and_stringifies_aborts() {
+        assert_eq!(
+            ExecError::from(EvalError::EmptyReduce).into_eval(),
+            EvalError::EmptyReduce
+        );
+        match (ExecError::Cancelled {
+            partial: ExecReport::default(),
+        })
+        .into_eval()
+        {
+            EvalError::Aborted(msg) => assert!(msg.contains("cancelled"), "{msg}"),
+            other => panic!("expected Aborted, got {other:?}"),
+        }
     }
 }

@@ -34,10 +34,11 @@ pub mod parallel;
 pub mod stats;
 pub mod value;
 
-pub use error::EvalError;
+pub use error::{EvalError, ExecError};
 pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};
 pub use parallel::{
-    eval_parallel, eval_parallel_report, ChunkFaults, ExecReport, ParallelOptions,
+    eval_parallel, eval_parallel_report, eval_parallel_supervised, ChunkFaults, ExecReport,
+    ParallelOptions,
 };
 pub use stats::{reset_tier_totals, tier_totals, TierTotals};
 pub use value::{ArrayVal, BucketsVal, Key, StructVal, Value};

@@ -18,9 +18,9 @@
 //! empty, steals from the *back* of a victim's deque — so stragglers
 //! (including fault-injected latency spikes) no longer bound wall-clock the
 //! way a static one-chunk-per-thread split did. Stealing only changes
-//! *which thread* runs a task, never the merge: per-task accumulators are
-//! collected by task id and merged in task order after the round, so
-//! results remain bit-identical under any steal interleaving.
+//! *which thread* runs a task, never the merge: task results are recorded
+//! by task id and merged in task order after the round, so results remain
+//! bit-identical under any steal interleaving.
 //!
 //! ## Fault tolerance
 //!
@@ -31,9 +31,40 @@
 //! chunk order regardless of *when* each chunk's accumulator was produced.
 //! Workers run under `catch_unwind`, so a panicking chunk cannot abort the
 //! process; deterministic interpreter errors (a real out-of-bounds read,
-//! say) propagate immediately rather than being retried. The
-//! [`ExecReport`] returned by [`eval_parallel_report`] makes recovery
-//! observable to tests and benchmarks.
+//! say) propagate immediately rather than being retried. A chunk whose
+//! injected fault is *persistent* fails every attempt and surfaces a typed
+//! [`EvalError::ChunkRetriesExhausted`] once the per-chunk retry cap is
+//! spent — never an infinite retry loop, never a silently dropped
+//! subrange. The [`ExecReport`] returned by [`eval_parallel_report`] makes
+//! recovery observable to tests and benchmarks.
+//!
+//! ## Supervision
+//!
+//! A [`dmll_runtime::Supervisor`] attached via
+//! [`ParallelOptions::supervised`] turns the executor into a *supervised*
+//! run, polled at every task boundary:
+//!
+//! * **Deadline / cancellation** — when the wall-clock deadline expires or
+//!   the run's [`dmll_runtime::CancelToken`] fires, workers drain their
+//!   in-flight task and abandon everything queued; the run surfaces a typed
+//!   [`ExecError::Deadline`] / [`ExecError::Cancelled`] carrying the
+//!   partial [`ExecReport`]. Abort latency is therefore bounded by one task
+//!   granularity.
+//! * **Straggler speculation** — an idle worker with nothing to steal
+//!   clones a task running past the adaptive latency cutoff
+//!   ([`dmll_runtime::SpeculationPolicy`]) and races it; the first result
+//!   recorded for a task id wins. Task execution is deterministic over a
+//!   fixed subrange, so both copies produce identical accumulators and
+//!   speculation can never change output — only wall-clock.
+//! * **Quarantine** — workers whose tasks keep dying trip a per-worker
+//!   circuit breaker ([`dmll_runtime::Quarantine`]) and stop receiving or
+//!   stealing work until a half-open probe readmits them. Worker 0 is the
+//!   designated survivor: it never parks, so the pool can always drain
+//!   even if every other breaker is open.
+//! * **Retry budget** — chunk re-executions across the whole run are
+//!   charged against [`dmll_runtime::SupervisorPolicy::retry_budget`];
+//!   exhaustion surfaces [`ExecError::RetryBudgetExhausted`] instead of
+//!   retrying forever in aggregate.
 //!
 //! ## Execution tiers
 //!
@@ -46,23 +77,26 @@
 //! of cloning the full environment for every chunk and retry.
 
 use crate::compile::{self, batch, KAcc, Kernel};
-use crate::error::EvalError;
+use crate::error::{EvalError, ExecError};
 use crate::eval::{Acc, Env, Interp};
-use crate::value::{Key, Value};
 use crate::stats;
+use crate::value::{Key, Value};
 use dmll_core::visit::bound_syms;
 use dmll_core::{Def, Exp, Gen, Program};
-use std::collections::{BTreeSet, VecDeque};
+use dmll_runtime::supervise::{StopReason, Supervisor};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-/// Injected chunk failures for chaos-testing the executor: the listed
-/// chunk indices fail on their first execution attempt, then succeed.
+/// Injected chunk failures for chaos-testing the executor.
 #[derive(Clone, Debug, Default)]
 pub struct ChunkFaults {
     fail_once: BTreeSet<usize>,
+    fail_persistent: BTreeSet<usize>,
+    delays: BTreeMap<usize, Duration>,
+    flaky_workers: BTreeSet<usize>,
     panic_workers: bool,
 }
 
@@ -73,8 +107,41 @@ impl ChunkFaults {
     pub fn fail_once(chunks: impl IntoIterator<Item = usize>) -> ChunkFaults {
         ChunkFaults {
             fail_once: chunks.into_iter().collect(),
-            panic_workers: false,
+            ..ChunkFaults::default()
         }
+    }
+
+    /// Additionally fail the given chunk indices on *every* execution
+    /// attempt, including recovery re-executions — modelling a persistent
+    /// failure (bad memory, a poisoned shard). Such a chunk exhausts its
+    /// retry cap and surfaces [`EvalError::ChunkRetriesExhausted`].
+    pub fn and_fail_persistent(mut self, chunks: impl IntoIterator<Item = usize>) -> ChunkFaults {
+        self.fail_persistent.extend(chunks);
+        self
+    }
+
+    /// Persistent failures only (see
+    /// [`ChunkFaults::and_fail_persistent`]).
+    pub fn fail_persistent(chunks: impl IntoIterator<Item = usize>) -> ChunkFaults {
+        ChunkFaults::default().and_fail_persistent(chunks)
+    }
+
+    /// Delay the first execution of the given chunk by `delay` (an
+    /// injected straggler). The delay is consumed by the first *fresh*
+    /// execution; speculative clones of the task do not sleep, so
+    /// straggler speculation is exercised deterministically.
+    pub fn and_delay(mut self, chunk: usize, delay: Duration) -> ChunkFaults {
+        self.delays.insert(chunk, delay);
+        self
+    }
+
+    /// Make every first-round task executed *by worker `w`* die (recovery
+    /// on the coordinator still succeeds). Used to chaos-test the
+    /// quarantine circuit breaker: the flaky worker accumulates failures
+    /// and trips its breaker while the work itself stays recoverable.
+    pub fn and_flaky_worker(mut self, w: usize) -> ChunkFaults {
+        self.flaky_workers.insert(w);
+        self
     }
 
     /// Deliver the injected failures as real worker panics (exercising the
@@ -82,6 +149,14 @@ impl ChunkFaults {
     pub fn panicking(mut self) -> ChunkFaults {
         self.panic_workers = true;
         self
+    }
+
+    /// True when no faults are configured at all.
+    pub fn is_empty(&self) -> bool {
+        self.fail_once.is_empty()
+            && self.fail_persistent.is_empty()
+            && self.delays.is_empty()
+            && self.flaky_workers.is_empty()
     }
 }
 
@@ -100,10 +175,15 @@ pub struct ParallelOptions {
     /// Run batchable kernels block-at-a-time (the default). Disable to
     /// force the scalar bytecode loop on every compiled chunk.
     pub use_batched: bool,
+    /// Supervisor polled at task boundaries (deadline, cancellation,
+    /// speculation, quarantine, retry budget). `None` = unsupervised, the
+    /// pre-supervision behaviour.
+    pub supervisor: Option<Arc<Supervisor>>,
 }
 
 impl ParallelOptions {
-    /// Defaults with the given thread count: 2 re-executions, no faults.
+    /// Defaults with the given thread count: 2 re-executions, no faults,
+    /// no supervisor.
     pub fn new(threads: usize) -> ParallelOptions {
         ParallelOptions {
             threads: threads.max(1),
@@ -111,12 +191,20 @@ impl ParallelOptions {
             faults: ChunkFaults::default(),
             use_compiled: true,
             use_batched: true,
+            supervisor: None,
         }
     }
 
     /// Set injected faults.
     pub fn with_faults(mut self, faults: ChunkFaults) -> ParallelOptions {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a supervisor. Create the supervisor immediately before the
+    /// run: its deadline countdown starts at construction.
+    pub fn supervised(mut self, supervisor: Arc<Supervisor>) -> ParallelOptions {
+        self.supervisor = Some(supervisor);
         self
     }
 
@@ -135,10 +223,11 @@ impl ParallelOptions {
     }
 }
 
-/// What recovery happened during one parallel evaluation.
+/// What recovery and supervision happened during one parallel evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecReport {
-    /// Chunk executions across all top-level loops (including re-runs).
+    /// Chunk executions across all top-level loops (including re-runs and
+    /// speculative clones).
     pub chunk_executions: usize,
     /// Chunk executions that failed (injected or panicked).
     pub failed_executions: usize,
@@ -153,6 +242,12 @@ pub struct ExecReport {
     pub batched_loops: usize,
     /// Tasks executed by a worker other than the one they were seeded on.
     pub stolen_tasks: usize,
+    /// Speculative task clones launched against stragglers.
+    pub speculative_tasks: usize,
+    /// Speculative clones whose result was recorded first.
+    pub speculation_wins: usize,
+    /// Worker circuit-breaker trips observed during this run.
+    pub quarantine_trips: usize,
 }
 
 /// Run `program` evaluating top-level multiloops across `threads` worker
@@ -177,13 +272,36 @@ pub fn eval_parallel(
 ///
 /// Same failure modes as [`crate::eval`], plus
 /// [`EvalError::ChunkRetriesExhausted`] when a chunk keeps dying past its
-/// retry budget.
+/// retry budget. When a supervisor is attached, supervision aborts are
+/// collapsed into the stringly [`EvalError::Aborted`]; supervised callers
+/// should prefer [`eval_parallel_supervised`], which keeps them typed.
 pub fn eval_parallel_report(
     program: &Program,
     inputs: &[(&str, Value)],
     options: &ParallelOptions,
 ) -> Result<(Value, ExecReport), EvalError> {
+    eval_parallel_supervised(program, inputs, options).map_err(ExecError::into_eval)
+}
+
+/// Supervised parallel evaluation: the full typed error surface. On a
+/// deadline or cancellation, in-flight tasks drain, queued tasks are
+/// abandoned, and the [`ExecError`] carries the partial [`ExecReport`] of
+/// everything that completed before the abort.
+///
+/// # Errors
+///
+/// [`ExecError::Eval`] for deterministic interpreter failures (including
+/// [`EvalError::ChunkRetriesExhausted`] for persistently dying chunks),
+/// [`ExecError::Deadline`] / [`ExecError::Cancelled`] /
+/// [`ExecError::RetryBudgetExhausted`] for supervision aborts.
+pub fn eval_parallel_supervised(
+    program: &Program,
+    inputs: &[(&str, Value)],
+    options: &ParallelOptions,
+) -> Result<(Value, ExecReport), ExecError> {
     let threads = options.threads.max(1);
+    let supervisor = options.supervisor.as_deref();
+    let trips_before = supervisor.map_or(0, |s| s.quarantine().trips());
     let interp = Interp::new(program);
     let mut env: Env = vec![None; program.next_sym_id() as usize];
     for input in &program.inputs {
@@ -195,21 +313,30 @@ pub fn eval_parallel_report(
         env[input.sym.0 as usize] = Some(v);
     }
     let mut report = ExecReport::default();
-    // Faults not yet delivered: each listed chunk index dies at most once
+    // Faults not yet delivered. Fail-once faults and delays are consumed
     // across the whole evaluation (the coordinator decides before spawning,
-    // so injection is deterministic under any thread interleaving).
-    let mut pending_faults: BTreeSet<usize> = options.faults.fail_once.clone();
+    // so injection is deterministic under any thread interleaving);
+    // persistent faults re-fire on every loop and every retry.
+    let mut pending = PendingFaults::from(&options.faults);
     // Per-worker scratch environments for the tree-walking chunk path,
     // reused across loops and retries.
     let mut scratch_pool: Vec<ScratchEnv> = Vec::new();
     for stmt in &program.body.stmts {
+        // Task-granularity stop polling covers the chunked executor below;
+        // this statement-boundary poll additionally bounds abort latency
+        // for non-loop statements and small in-place loops.
+        if let Some(sup) = supervisor {
+            if let Some(reason) = sup.check() {
+                return Err(stop_error(sup, reason, finish_report(report, supervisor, trips_before)));
+            }
+        }
         match &stmt.def {
             Def::Loop(ml) => {
                 let size = match interp_eval_size(&interp, &ml.size, &env)? {
                     n if n <= 0 => 0,
                     n => n,
                 };
-                let vals = if size < threads as i64 * 4 && pending_faults.is_empty() {
+                let vals = if size < threads as i64 * 4 && pending.is_empty() {
                     // Not worth splitting: run in place on whichever tier
                     // applies. Loop bodies only bind loop-local symbols, so
                     // no defensive clone of the environment is needed.
@@ -233,10 +360,11 @@ pub fn eval_parallel_report(
                         size,
                         threads,
                         options,
-                        &mut pending_faults,
+                        &mut pending,
                         &mut report,
                         &mut scratch_pool,
-                    )?
+                    )
+                    .map_err(|e| attach_partial(e, finish_report(report, supervisor, trips_before)))?
                 };
                 for (s, v) in stmt.lhs.iter().zip(vals) {
                     env[s.0 as usize] = Some(v);
@@ -251,7 +379,68 @@ pub fn eval_parallel_report(
         }
     }
     let value = interp.eval_exp(&program.body.result, &env)?;
-    Ok((value, report))
+    Ok((value, finish_report(report, supervisor, trips_before)))
+}
+
+/// Fold end-of-run supervision counters into the report.
+fn finish_report(
+    mut report: ExecReport,
+    supervisor: Option<&Supervisor>,
+    trips_before: u64,
+) -> ExecReport {
+    if let Some(sup) = supervisor {
+        let trips = sup.quarantine().trips().saturating_sub(trips_before);
+        report.quarantine_trips = trips as usize;
+        stats::record_quarantine_trips(trips);
+    }
+    report
+}
+
+/// Rewrite the placeholder partial report inside a supervision abort with
+/// the coordinator's up-to-date one.
+fn attach_partial(e: ExecError, partial: ExecReport) -> ExecError {
+    match e {
+        ExecError::Deadline {
+            deadline, elapsed, ..
+        } => ExecError::Deadline {
+            deadline,
+            elapsed,
+            partial,
+        },
+        ExecError::Cancelled { .. } => ExecError::Cancelled { partial },
+        ExecError::RetryBudgetExhausted {
+            chunk,
+            budget,
+            message,
+            ..
+        } => ExecError::RetryBudgetExhausted {
+            chunk,
+            budget,
+            message,
+            partial,
+        },
+        other => other,
+    }
+}
+
+/// Build the typed abort error for a stop reason, recording it with the
+/// supervisor and the process-wide counters (called once per aborted run).
+fn stop_error(sup: &Supervisor, reason: StopReason, partial: ExecReport) -> ExecError {
+    sup.record_abort(reason);
+    match reason {
+        StopReason::Deadline => {
+            stats::record_deadline_abort();
+            ExecError::Deadline {
+                deadline: sup.policy().deadline.unwrap_or_default(),
+                elapsed: sup.elapsed(),
+                partial,
+            }
+        }
+        StopReason::Cancelled => {
+            stats::record_cancelled_abort();
+            ExecError::Cancelled { partial }
+        }
+    }
 }
 
 fn interp_eval_size(interp: &Interp<'_>, size: &Exp, env: &Env) -> Result<i64, EvalError> {
@@ -272,6 +461,60 @@ enum ChunkFailure {
 /// What one task execution produced: per-generator accumulators, or how
 /// it failed.
 type TaskResult<A> = Result<Vec<A>, ChunkFailure>;
+
+/// Faults not yet delivered across the evaluation.
+struct PendingFaults {
+    fail_once: BTreeSet<usize>,
+    fail_persistent: BTreeSet<usize>,
+    delays: BTreeMap<usize, Duration>,
+    flaky_workers: BTreeSet<usize>,
+    panic_workers: bool,
+}
+
+impl PendingFaults {
+    fn from(faults: &ChunkFaults) -> PendingFaults {
+        PendingFaults {
+            fail_once: faults.fail_once.clone(),
+            fail_persistent: faults.fail_persistent.clone(),
+            delays: faults.delays.clone(),
+            flaky_workers: faults.flaky_workers.clone(),
+            panic_workers: faults.panic_workers,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fail_once.is_empty()
+            && self.fail_persistent.is_empty()
+            && self.delays.is_empty()
+            && self.flaky_workers.is_empty()
+    }
+
+    /// Materialize this loop's per-task fault state, consuming one-shot
+    /// faults. The coordinator does this before spawning workers, so
+    /// injection is deterministic under any thread interleaving; the
+    /// atomics only arbitrate *which execution* (fresh vs speculative)
+    /// consumes a one-shot fault.
+    fn for_tasks(&mut self, n_tasks: usize) -> Vec<TaskFault> {
+        (0..n_tasks)
+            .map(|ci| TaskFault {
+                fail_once: AtomicBool::new(self.fail_once.remove(&ci)),
+                persistent: self.fail_persistent.contains(&ci),
+                delay_nanos: AtomicU64::new(
+                    self.delays
+                        .remove(&ci)
+                        .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64),
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Per-task injected-fault state for one loop's round.
+struct TaskFault {
+    fail_once: AtomicBool,
+    persistent: bool,
+    delay_nanos: AtomicU64,
+}
 
 /// A reusable per-chunk environment for the tree-walking tier. Chunk
 /// evaluation only reads the loop's free symbols (plus its size) and only
@@ -443,6 +686,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Smallest task worth scheduling when the range doesn't span full blocks.
 const MIN_TASK_ELEMS: i64 = 16;
 
+/// How long an idle worker sleeps between polls while waiting for a
+/// straggler to become speculatable or the run to finish.
+const PARK: Duration = Duration::from_micros(30);
+
 /// Over-decompose `[0, size)` into contiguous tasks for work stealing:
 /// roughly four tasks per worker, block-aligned whenever the range spans at
 /// least one full block per worker so batched tasks are all-blocks (no
@@ -473,7 +720,6 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// of the first non-empty victim.
 struct StealQueues {
     deques: Vec<Mutex<VecDeque<usize>>>,
-    stolen: AtomicUsize,
 }
 
 impl StealQueues {
@@ -487,21 +733,19 @@ impl StealQueues {
                 Mutex::new((lo..hi).collect::<VecDeque<usize>>())
             })
             .collect();
-        StealQueues {
-            deques,
-            stolen: AtomicUsize::new(0),
-        }
+        StealQueues { deques }
     }
 
-    /// Next task for worker `w`: own front, else steal a victim's back.
-    fn next(&self, w: usize) -> Option<usize> {
-        if let Some(t) = lock(&self.deques[w]).pop_front() {
-            return Some(t);
-        }
+    /// Pop worker `w`'s own front.
+    fn own(&self, w: usize) -> Option<usize> {
+        lock(&self.deques[w]).pop_front()
+    }
+
+    /// Steal the back of the first non-empty victim deque.
+    fn steal(&self, w: usize) -> Option<usize> {
         let n = self.deques.len();
         for off in 1..n {
             if let Some(t) = lock(&self.deques[(w + off) % n]).pop_back() {
-                self.stolen.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -509,46 +753,273 @@ impl StealQueues {
     }
 }
 
-/// Run all tasks across `states.len()` workers with work stealing. Results
-/// come back indexed by task id (so merge order is independent of which
-/// worker ran what); a task whose worker died before reporting is `None`
-/// and gets re-executed by the recovery pass. Returns the results and the
-/// number of stolen tasks.
+/// Result board of one stealing round: first result per task id wins (so a
+/// speculative clone and its straggler original can race safely — task
+/// execution is deterministic over a fixed subrange, so whichever copy
+/// lands first carries the same accumulators).
+struct Board<A> {
+    slots: Vec<Option<TaskResult<A>>>,
+    /// Latencies (nanos) of completed executions, feeding the adaptive
+    /// straggler cutoff.
+    latencies: Vec<u64>,
+    done: usize,
+}
+
+/// Shared state of one work-stealing round.
+struct RoundShared<'a, A> {
+    tasks: &'a [(i64, i64)],
+    faults: &'a [TaskFault],
+    flaky_workers: &'a BTreeSet<usize>,
+    queues: StealQueues,
+    board: Mutex<Board<A>>,
+    /// Per-task first-start instant (fresh executions only).
+    started: Vec<Mutex<Option<Instant>>>,
+    /// At most one speculative clone per task.
+    spec_claimed: Vec<AtomicBool>,
+    all_done: AtomicBool,
+    stop_flag: AtomicBool,
+    stop_reason: Mutex<Option<StopReason>>,
+    executions: AtomicUsize,
+    failed: AtomicUsize,
+    stolen: AtomicUsize,
+    speculative: AtomicUsize,
+    spec_wins: AtomicUsize,
+}
+
+/// What one stealing round produced.
+struct RoundOutcome<A> {
+    results: Vec<Option<TaskResult<A>>>,
+    executions: usize,
+    failed: usize,
+    stolen: usize,
+    speculative: usize,
+    spec_wins: usize,
+    stopped: Option<StopReason>,
+}
+
+enum Job {
+    Fresh { task: usize, stolen: bool },
+    Spec { task: usize },
+}
+
+impl<'a, A> RoundShared<'a, A> {
+    fn request_stop(&self, reason: StopReason) {
+        let mut r = lock(&self.stop_reason);
+        if r.is_none() {
+            *r = Some(reason);
+        }
+        self.stop_flag.store(true, Ordering::Release);
+    }
+
+    /// Record one execution's result; first write per task id wins.
+    fn record(&self, t: usize, r: TaskResult<A>, nanos: u64, spec: bool, sup: Option<&Supervisor>) {
+        let mut b = lock(&self.board);
+        if b.slots[t].is_some() {
+            return; // lost the race; identical result discarded
+        }
+        b.slots[t] = Some(r);
+        b.latencies.push(nanos);
+        b.done += 1;
+        if b.done == self.tasks.len() {
+            self.all_done.store(true, Ordering::Release);
+        }
+        if spec {
+            self.spec_wins.fetch_add(1, Ordering::Relaxed);
+            stats::record_speculation_win();
+            if let Some(sup) = sup {
+                sup.record_speculation_win();
+            }
+        }
+    }
+
+    /// An unclaimed straggler past the adaptive cutoff, if any.
+    fn find_straggler(&self, sup: &Supervisor) -> Option<Job> {
+        let pol = sup.policy().speculation;
+        if !pol.enabled {
+            return None;
+        }
+        let cutoff = {
+            let b = lock(&self.board);
+            pol.cutoff_nanos(&b.latencies)?
+        };
+        for t in 0..self.tasks.len() {
+            if self.spec_claimed[t].load(Ordering::Relaxed) {
+                continue;
+            }
+            if lock(&self.board).slots[t].is_some() {
+                continue;
+            }
+            let Some(started) = *lock(&self.started[t]) else {
+                continue; // still queued; it will be claimed normally
+            };
+            if started.elapsed().as_nanos() as u64 > cutoff
+                && !self.spec_claimed[t].swap(true, Ordering::Relaxed)
+            {
+                self.speculative.fetch_add(1, Ordering::Relaxed);
+                stats::record_speculation_launch();
+                sup.record_speculation_launch();
+                return Some(Job::Spec { task: t });
+            }
+        }
+        None
+    }
+}
+
+/// One worker's execution of one job (fresh or speculative).
+fn run_job<A, S>(
+    w: usize,
+    st: &mut S,
+    job: Job,
+    shared: &RoundShared<'_, A>,
+    sup: Option<&Supervisor>,
+    exec: &(impl Fn(&mut S, usize, (i64, i64), bool) -> TaskResult<A> + Sync),
+) {
+    let (t, spec) = match job {
+        Job::Fresh { task, stolen } => {
+            if stolen {
+                shared.stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            (task, false)
+        }
+        Job::Spec { task } => (task, true),
+    };
+    let fault = &shared.faults[t];
+    let injected = if spec {
+        fault.persistent
+    } else {
+        {
+            let mut s = lock(&shared.started[t]);
+            if s.is_none() {
+                *s = Some(Instant::now());
+            }
+        }
+        let delay = fault.delay_nanos.swap(0, Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_nanos(delay));
+        }
+        fault.persistent
+            | fault.fail_once.swap(false, Ordering::Relaxed)
+            | shared.flaky_workers.contains(&w)
+    };
+    shared.executions.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let r = exec(st, t, shared.tasks[t], injected);
+    let failed = r.is_err();
+    if failed {
+        shared.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.record(t, r, t0.elapsed().as_nanos() as u64, spec, sup);
+    if let Some(sup) = sup {
+        sup.quarantine().record(w, failed);
+    }
+}
+
+/// Run all tasks across `states.len()` workers with work stealing and
+/// (when supervised) straggler speculation, quarantine, and stop polling.
+/// Results come back indexed by task id so merge order is independent of
+/// which worker ran what; a task with no result (worker died before
+/// reporting, or the round stopped) is `None`.
 fn run_stealing<A: Send, S: Send>(
     tasks: &[(i64, i64)],
-    inject: &[bool],
+    faults: &[TaskFault],
+    pending: &PendingFaults,
     states: &mut [S],
+    supervisor: Option<&Supervisor>,
     exec: &(impl Fn(&mut S, usize, (i64, i64), bool) -> TaskResult<A> + Sync),
-) -> (Vec<Option<TaskResult<A>>>, usize) {
-    let queues = StealQueues::new(tasks.len(), states.len());
-    let mut results: Vec<Option<TaskResult<A>>> = (0..tasks.len()).map(|_| None).collect();
-    let reported: Vec<Vec<(usize, TaskResult<A>)>> = std::thread::scope(|scope| {
-        let queues = &queues;
+) -> RoundOutcome<A> {
+    let shared = RoundShared {
+        tasks,
+        faults,
+        flaky_workers: &pending.flaky_workers,
+        queues: StealQueues::new(tasks.len(), states.len()),
+        board: Mutex::new(Board {
+            slots: (0..tasks.len()).map(|_| None).collect(),
+            latencies: Vec::new(),
+            done: 0,
+        }),
+        started: (0..tasks.len()).map(|_| Mutex::new(None)).collect(),
+        spec_claimed: (0..tasks.len()).map(|_| AtomicBool::new(false)).collect(),
+        all_done: AtomicBool::new(tasks.is_empty()),
+        stop_flag: AtomicBool::new(false),
+        stop_reason: Mutex::new(None),
+        executions: AtomicUsize::new(0),
+        failed: AtomicUsize::new(0),
+        stolen: AtomicUsize::new(0),
+        speculative: AtomicUsize::new(0),
+        spec_wins: AtomicUsize::new(0),
+    };
+    std::thread::scope(|scope| {
+        let shared = &shared;
         let handles: Vec<_> = states
             .iter_mut()
             .enumerate()
             .map(|(w, st)| {
-                scope.spawn(move || {
-                    let mut done = Vec::new();
-                    while let Some(t) = queues.next(w) {
-                        let r = exec(st, t, tasks[t], inject[t]);
-                        done.push((t, r));
+                scope.spawn(move || loop {
+                    if shared.stop_flag.load(Ordering::Acquire)
+                        || shared.all_done.load(Ordering::Acquire)
+                    {
+                        break;
                     }
-                    done
+                    if let Some(sup) = supervisor {
+                        if let Some(reason) = sup.check() {
+                            shared.request_stop(reason);
+                            break;
+                        }
+                        // Worker 0 is the designated survivor: it never
+                        // parks, so the pool always drains even when every
+                        // other breaker is open.
+                        if w != 0 && sup.quarantine().is_quarantined(w) {
+                            std::thread::sleep(PARK);
+                            continue;
+                        }
+                    }
+                    let job = if let Some(t) = shared.queues.own(w) {
+                        Some(Job::Fresh {
+                            task: t,
+                            stolen: false,
+                        })
+                    } else if let Some(t) = shared.queues.steal(w) {
+                        Some(Job::Fresh {
+                            task: t,
+                            stolen: true,
+                        })
+                    } else {
+                        supervisor.and_then(|sup| shared.find_straggler(sup))
+                    };
+                    match job {
+                        Some(job) => run_job(w, st, job, shared, supervisor, exec),
+                        None => {
+                            // Nothing queued, nothing stealable, nothing
+                            // speculatable. Unsupervised workers are done;
+                            // supervised ones park until the stragglers
+                            // resolve (a task may yet become speculatable,
+                            // and stop conditions still need polling).
+                            match supervisor {
+                                Some(sup) if sup.policy().speculation.enabled => {
+                                    std::thread::sleep(PARK)
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_default())
-            .collect()
-    });
-    for worker_done in reported {
-        for (t, r) in worker_done {
-            results[t] = Some(r);
+        for h in handles {
+            let _ = h.join();
         }
+    });
+    let stopped = *lock(&shared.stop_reason);
+    let board = shared.board.into_inner().unwrap_or_else(PoisonError::into_inner);
+    RoundOutcome {
+        results: board.slots,
+        executions: shared.executions.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        stolen: shared.stolen.load(Ordering::Relaxed),
+        speculative: shared.speculative.load(Ordering::Relaxed),
+        spec_wins: shared.spec_wins.load(Ordering::Relaxed),
+        stopped,
     }
-    (results, queues.stolen.load(Ordering::Relaxed))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -559,13 +1030,13 @@ fn run_chunked(
     size: i64,
     threads: usize,
     options: &ParallelOptions,
-    pending_faults: &mut BTreeSet<usize>,
+    pending: &mut PendingFaults,
     report: &mut ExecReport,
     pool: &mut Vec<ScratchEnv>,
-) -> Result<Vec<Value>, EvalError> {
+) -> Result<Vec<Value>, ExecError> {
     let tasks = plan_tasks(size, threads);
     let workers = threads.min(tasks.len()).max(1);
-    let inject: Vec<bool> = (0..tasks.len()).map(|ci| pending_faults.remove(&ci)).collect();
+    let faults = pending.for_tasks(tasks.len());
 
     // Compiled tier first: worker tasks and chunk recovery execute the
     // very same cached kernel, so results (and fault-tolerance semantics)
@@ -574,8 +1045,9 @@ fn run_chunked(
         if let Some(kernel) = compile::kernel_for(ml, env) {
             let batched = options.use_batched && kernel.batchable;
             let t0 = Instant::now();
-            let out =
-                run_chunked_kernel(&kernel, env, &tasks, &inject, workers, batched, options, report)?;
+            let out = run_chunked_kernel(
+                &kernel, env, &tasks, &faults, pending, workers, batched, options, report,
+            )?;
             let dt = t0.elapsed();
             stats::record_compiled(size.max(0) as u64, dt);
             if batched {
@@ -588,34 +1060,69 @@ fn run_chunked(
     }
     let t0 = Instant::now();
     let out = run_chunked_treewalk(
-        interp, ml, env, &tasks, &inject, workers, options, report, pool,
+        interp, ml, env, &tasks, &faults, pending, workers, options, report, pool,
     )?;
     stats::record_treewalk(size.max(0) as u64, t0.elapsed());
     report.treewalk_loops += 1;
     Ok(out)
 }
 
+/// Fold one stealing round's counters into the report and surface a stop
+/// as the typed abort error (the partial report is patched in by the
+/// coordinator's `attach_partial`).
+fn absorb_round<A>(
+    outcome: RoundOutcome<A>,
+    report: &mut ExecReport,
+    supervisor: Option<&Supervisor>,
+) -> Result<Vec<Option<TaskResult<A>>>, ExecError> {
+    report.chunk_executions += outcome.executions;
+    report.failed_executions += outcome.failed;
+    report.stolen_tasks += outcome.stolen;
+    report.speculative_tasks += outcome.speculative;
+    report.speculation_wins += outcome.spec_wins;
+    stats::record_steals(outcome.stolen as u64);
+    if let Some(reason) = outcome.stopped {
+        let sup = supervisor.expect("stop reasons only arise under supervision");
+        return Err(stop_error(sup, reason, *report));
+    }
+    Ok(outcome.results)
+}
+
 /// Recover failed first-round chunks by re-executing just their subranges
 /// (the retry closure runs on the coordinator thread). A multiloop is
 /// agnostic to its bounds, so re-running `ranges[ci]` alone yields the
 /// same accumulator the lost worker would have produced. Shared by both
-/// execution tiers.
+/// execution tiers. Retries are bounded twice: per-chunk by
+/// `max_chunk_retries`, and run-wide by the supervisor's retry budget.
 fn recover_chunks<A>(
     first_round: Vec<Result<Vec<A>, ChunkFailure>>,
     ranges: &[(i64, i64)],
     options: &ParallelOptions,
     report: &mut ExecReport,
     mut retry: impl FnMut(usize, (i64, i64)) -> Result<Vec<A>, ChunkFailure>,
-) -> Result<Vec<Vec<A>>, EvalError> {
+) -> Result<Vec<Vec<A>>, ExecError> {
+    let supervisor = options.supervisor.as_deref();
     let mut per_chunk: Vec<Vec<A>> = Vec::with_capacity(first_round.len());
     for (ci, outcome) in first_round.into_iter().enumerate() {
         match outcome {
             Ok(accs) => per_chunk.push(accs),
-            Err(ChunkFailure::Eval(e)) => return Err(e),
+            Err(ChunkFailure::Eval(e)) => return Err(e.into()),
             Err(ChunkFailure::Died(mut message)) => {
-                report.failed_executions += 1;
                 let mut recovered = None;
                 for _attempt in 1..=options.max_chunk_retries {
+                    if let Some(sup) = supervisor {
+                        if let Some(reason) = sup.check() {
+                            return Err(stop_error(sup, reason, *report));
+                        }
+                        if !sup.try_consume_retry() {
+                            return Err(ExecError::RetryBudgetExhausted {
+                                chunk: ci,
+                                budget: sup.policy().retry_budget,
+                                message,
+                                partial: *report,
+                            });
+                        }
+                    }
                     report.chunk_executions += 1;
                     match retry(ci, ranges[ci]) {
                         Ok(accs) => {
@@ -623,7 +1130,7 @@ fn recover_chunks<A>(
                             recovered = Some(accs);
                             break;
                         }
-                        Err(ChunkFailure::Eval(e)) => return Err(e),
+                        Err(ChunkFailure::Eval(e)) => return Err(e.into()),
                         Err(ChunkFailure::Died(m)) => {
                             report.failed_executions += 1;
                             message = m;
@@ -637,7 +1144,8 @@ fn recover_chunks<A>(
                             chunk: ci,
                             attempts: options.max_chunk_retries + 1,
                             message,
-                        })
+                        }
+                        .into())
                     }
                 }
             }
@@ -654,13 +1162,15 @@ fn run_chunked_treewalk(
     ml: &dmll_core::Multiloop,
     env: &mut Env,
     tasks: &[(i64, i64)],
-    inject: &[bool],
+    faults: &[TaskFault],
+    pending: &PendingFaults,
     workers: usize,
     options: &ParallelOptions,
     report: &mut ExecReport,
     pool: &mut Vec<ScratchEnv>,
-) -> Result<Vec<Value>, EvalError> {
-    let panic_workers = options.faults.panic_workers;
+) -> Result<Vec<Value>, ExecError> {
+    let panic_workers = pending.panic_workers;
+    let supervisor = options.supervisor.as_deref();
     let (reads, writes) = loop_touched_slots(ml);
     if pool.len() < workers {
         let len = env.len();
@@ -669,13 +1179,15 @@ fn run_chunked_treewalk(
 
     // First round: tasks run under work stealing, one scratch env per
     // worker (reused across that worker's tasks), failures caught.
-    let (first_round, stolen) = {
+    let outcome = {
         let env_ref = &*env;
         let (reads, writes) = (&reads, &writes);
         run_stealing(
             tasks,
-            inject,
+            faults,
+            pending,
             &mut pool[..workers],
+            supervisor,
             &|scratch, ci, range, injected| {
                 execute_chunk(
                     interp,
@@ -692,10 +1204,7 @@ fn run_chunked_treewalk(
             },
         )
     };
-    report.chunk_executions += tasks.len();
-    report.stolen_tasks += stolen;
-    stats::record_steals(stolen as u64);
-    let first_round = unreported_as_died(first_round);
+    let first_round = unreported_as_died(absorb_round(outcome, report, supervisor)?);
 
     let mut per_chunk = recover_chunks(first_round, tasks, options, report, |ci, range| {
         execute_chunk(
@@ -705,7 +1214,7 @@ fn run_chunked_treewalk(
             &mut pool[0],
             range,
             ci,
-            false,
+            faults[ci].persistent,
             panic_workers,
             &reads,
             &writes,
@@ -751,19 +1260,23 @@ fn run_chunked_kernel(
     kernel: &Kernel,
     env: &Env,
     tasks: &[(i64, i64)],
-    inject: &[bool],
+    faults: &[TaskFault],
+    pending: &PendingFaults,
     workers: usize,
     batched: bool,
     options: &ParallelOptions,
     report: &mut ExecReport,
-) -> Result<Vec<Value>, EvalError> {
-    let panic_workers = options.faults.panic_workers;
+) -> Result<Vec<Value>, ExecError> {
+    let panic_workers = pending.panic_workers;
+    let supervisor = options.supervisor.as_deref();
 
     let mut states: Vec<Option<KernelState>> = (0..workers).map(|_| None).collect();
-    let (first_round, stolen) = run_stealing(
+    let outcome = run_stealing(
         tasks,
-        inject,
+        faults,
+        pending,
         &mut states,
+        supervisor,
         &|state, ci, range, injected| {
             execute_chunk_kernel(
                 kernel,
@@ -777,10 +1290,7 @@ fn run_chunked_kernel(
             )
         },
     );
-    report.chunk_executions += tasks.len();
-    report.stolen_tasks += stolen;
-    stats::record_steals(stolen as u64);
-    let first_round = unreported_as_died(first_round);
+    let first_round = unreported_as_died(absorb_round(outcome, report, supervisor)?);
 
     let mut retry_state: Option<KernelState> = None;
     let per_chunk = recover_chunks(first_round, tasks, options, report, |ci, range| {
@@ -791,7 +1301,7 @@ fn run_chunked_kernel(
             batched,
             range,
             ci,
-            false,
+            faults[ci].persistent,
             panic_workers,
         )
     })?;
@@ -939,6 +1449,7 @@ mod tests {
     use crate::eval::eval;
     use dmll_core::{LayoutHint, Ty};
     use dmll_frontend::Stage;
+    use dmll_runtime::supervise::{SpeculationPolicy, SupervisorPolicy};
 
     fn sum_squares_program() -> Program {
         let mut st = Stage::new();
@@ -1083,6 +1594,22 @@ mod tests {
     }
 
     #[test]
+    fn persistent_faults_exhaust_retries_with_typed_error() {
+        // A persistently failing chunk must not loop forever or be
+        // silently dropped: it fails its cap and surfaces the typed error.
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..2000).collect();
+        let opts = ParallelOptions::new(4).with_faults(ChunkFaults::fail_persistent([2]));
+        match eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts) {
+            Err(ExecError::Eval(EvalError::ChunkRetriesExhausted { chunk, attempts, .. })) => {
+                assert_eq!(chunk, 2);
+                assert_eq!(attempts, 3, "first run + max_chunk_retries");
+            }
+            other => panic!("expected ChunkRetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn report_counts_execution_tiers() {
         let p = sum_squares_program();
         let data: Vec<i64> = (0..2000).collect();
@@ -1131,5 +1658,163 @@ mod tests {
         let p = sum_squares_program();
         let err = eval_parallel(&p, &[], 4).unwrap_err();
         assert_eq!(err, EvalError::MissingInput("x".into()));
+    }
+
+    #[test]
+    fn precancelled_run_aborts_before_any_task() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..5000).collect();
+        let sup = Supervisor::new(SupervisorPolicy::default());
+        sup.cancel_token().cancel();
+        let opts = ParallelOptions::new(4).supervised(sup);
+        let err =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
+        match err {
+            ExecError::Cancelled { partial } => {
+                assert_eq!(partial.chunk_executions, 0, "no task ran: {partial:?}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_partial_report() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..5000).collect();
+        let sup = Supervisor::new(SupervisorPolicy::with_deadline(Duration::ZERO));
+        let opts = ParallelOptions::new(4).supervised(sup.clone());
+        let err =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
+        match err {
+            ExecError::Deadline { partial, .. } => {
+                assert_eq!(partial.chunk_executions, 0, "{partial:?}");
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert_eq!(sup.stats().deadline_aborts, 1);
+    }
+
+    #[test]
+    fn mid_run_deadline_drains_within_task_granularity() {
+        // Every task sleeps ~2ms; the deadline lands mid-run. The abort
+        // must drain (no hang) and leave most tasks unexecuted.
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..4000).collect();
+        let mut faults = ChunkFaults::default();
+        for ci in 0..64 {
+            faults = faults.and_delay(ci, Duration::from_millis(2));
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            deadline: Some(Duration::from_millis(5)),
+            speculation: SpeculationPolicy::disabled(),
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(2).with_faults(faults).supervised(sup);
+        let t0 = Instant::now();
+        let err =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
+        let elapsed = t0.elapsed();
+        match err {
+            ExecError::Deadline { partial, .. } => {
+                assert!(
+                    partial.chunk_executions < 16,
+                    "most tasks abandoned: {partial:?}"
+                );
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        // 16 tasks × 2ms each on 2 workers would be ≥ 16ms serial-ish;
+        // the drain bound is deadline + one in-flight task per worker.
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "drained promptly, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn speculation_clones_stragglers_without_changing_output() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..4000).collect();
+        let clean = eval_parallel(&p, &[("x", Value::i64_arr(data.clone()))], 4).unwrap();
+        // One task sleeps 30ms; everything else is microseconds. With an
+        // aggressive policy an idle worker clones the straggler.
+        let sup = Supervisor::new(SupervisorPolicy {
+            speculation: SpeculationPolicy {
+                enabled: true,
+                min_samples: 2,
+                percentile: 50.0,
+                multiplier: 2.0,
+                floor: Duration::from_micros(50),
+            },
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(4)
+            .with_faults(ChunkFaults::default().and_delay(1, Duration::from_millis(30)))
+            .supervised(sup.clone());
+        let (value, report) =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap();
+        assert_eq!(value, clean, "speculation cannot change output");
+        assert!(
+            report.speculative_tasks >= 1,
+            "straggler was cloned: {report:?}"
+        );
+        assert_eq!(sup.stats().speculative_launches, report.speculative_tasks as u64);
+    }
+
+    #[test]
+    fn flaky_worker_trips_quarantine_but_run_succeeds() {
+        let p = sum_squares_program();
+        // Large enough that worker 1's own deque holds several tasks (the
+        // default breaker trips after 3 failures in its window), with every
+        // task delayed a little so all three workers actually participate —
+        // otherwise the first worker to spawn can drain the whole round
+        // before the flaky one starts.
+        let data: Vec<i64> = (0..20_000).collect();
+        let clean = eval_parallel(&p, &[("x", Value::i64_arr(data.clone()))], 3).unwrap();
+        let sup = Supervisor::new(SupervisorPolicy {
+            speculation: SpeculationPolicy::disabled(),
+            retry_budget: 256,
+            ..SupervisorPolicy::default()
+        });
+        let mut faults = ChunkFaults::default().and_flaky_worker(1);
+        for ci in 0..32 {
+            faults = faults.and_delay(ci, Duration::from_millis(2));
+        }
+        let mut opts = ParallelOptions::new(3)
+            .with_faults(faults)
+            .supervised(sup.clone());
+        opts.max_chunk_retries = 4;
+        let (value, report) =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap();
+        assert_eq!(value, clean, "flaky worker cannot corrupt the result");
+        assert!(
+            sup.stats().quarantine_trips >= 1,
+            "worker 1 tripped its breaker: {:?}",
+            sup.stats()
+        );
+        assert_eq!(report.quarantine_trips as u64, sup.stats().quarantine_trips);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let p = sum_squares_program();
+        let data: Vec<i64> = (0..4000).collect();
+        let sup = Supervisor::new(SupervisorPolicy {
+            retry_budget: 0,
+            speculation: SpeculationPolicy::disabled(),
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(4)
+            .with_faults(ChunkFaults::fail_once([0]))
+            .supervised(sup);
+        let err =
+            eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
+        match err {
+            ExecError::RetryBudgetExhausted { chunk, budget, .. } => {
+                assert_eq!(chunk, 0);
+                assert_eq!(budget, 0);
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
     }
 }

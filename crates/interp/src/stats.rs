@@ -32,6 +32,12 @@ static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static NEGATIVE_HITS: AtomicU64 = AtomicU64::new(0);
 
+static SPECULATIVE_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static SPECULATION_WINS: AtomicU64 = AtomicU64::new(0);
+static QUARANTINE_TRIPS: AtomicU64 = AtomicU64::new(0);
+static DEADLINE_ABORTS: AtomicU64 = AtomicU64::new(0);
+static CANCELLED_ABORTS: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) fn record_compile(d: Duration) {
     KERNELS_COMPILED.fetch_add(1, Ordering::Relaxed);
     COMPILE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -83,6 +89,26 @@ pub(crate) fn record_negative_hit() {
     NEGATIVE_HITS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_speculation_launch() {
+    SPECULATIVE_LAUNCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_speculation_win() {
+    SPECULATION_WINS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_quarantine_trips(n: u64) {
+    QUARANTINE_TRIPS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_deadline_abort() {
+    DEADLINE_ABORTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cancelled_abort() {
+    CANCELLED_ABORTS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A snapshot of the tier counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierTotals {
@@ -124,6 +150,16 @@ pub struct TierTotals {
     pub cache_evictions: u64,
     /// Cache hits on negative (rejected-compilation) entries.
     pub negative_hits: u64,
+    /// Speculative task clones launched against stragglers.
+    pub speculative_launches: u64,
+    /// Speculative clones whose result was recorded first.
+    pub speculation_wins: u64,
+    /// Worker circuit-breaker trips (quarantine entries).
+    pub quarantine_trips: u64,
+    /// Supervised runs aborted by their wall-clock deadline.
+    pub deadline_aborts: u64,
+    /// Supervised runs aborted by cancellation.
+    pub cancelled_aborts: u64,
 }
 
 impl TierTotals {
@@ -172,6 +208,11 @@ pub fn tier_totals() -> TierTotals {
         tasks_stolen: TASKS_STOLEN.load(Ordering::Relaxed),
         cache_evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
         negative_hits: NEGATIVE_HITS.load(Ordering::Relaxed),
+        speculative_launches: SPECULATIVE_LAUNCHES.load(Ordering::Relaxed),
+        speculation_wins: SPECULATION_WINS.load(Ordering::Relaxed),
+        quarantine_trips: QUARANTINE_TRIPS.load(Ordering::Relaxed),
+        deadline_aborts: DEADLINE_ABORTS.load(Ordering::Relaxed),
+        cancelled_aborts: CANCELLED_ABORTS.load(Ordering::Relaxed),
     }
 }
 
@@ -196,6 +237,11 @@ pub fn reset_tier_totals() {
         &TASKS_STOLEN,
         &CACHE_EVICTIONS,
         &NEGATIVE_HITS,
+        &SPECULATIVE_LAUNCHES,
+        &SPECULATION_WINS,
+        &QUARANTINE_TRIPS,
+        &DEADLINE_ABORTS,
+        &CANCELLED_ABORTS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

@@ -1,0 +1,192 @@
+//! Property-based tests for the supervised executor: speculation can never
+//! change output, cancellation and deadlines abort within one task
+//! granularity, and supervision is invisible to fault recovery.
+
+use dmll_core::{LayoutHint, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::{
+    eval_parallel, eval_parallel_supervised, ChunkFaults, ExecError, ParallelOptions, Value,
+};
+use dmll_runtime::{SpeculationPolicy, Supervisor, SupervisorPolicy};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Sum of squares: one Collect + one Reduce loop, exact over i64.
+fn sum_squares() -> dmll_core::Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let sq = st.map(&x, |st, e| st.mul(e, e));
+    let total = st.sum(&sq);
+    st.finish(&total)
+}
+
+/// Group-by-reduce: bucket merging across chunks, exact over i64.
+fn bucket_sums() -> dmll_core::Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let zero = st.lit_i(0);
+    let b = st.group_by_reduce(
+        &x,
+        |st, e| {
+            let seven = st.lit_i(7);
+            st.rem(e, &seven)
+        },
+        |_st, e| e.clone(),
+        |st, a, b| st.add(a, b),
+        Some(&zero),
+    );
+    let keys = st.bucket_keys(&b);
+    let vals = st.bucket_values(&b);
+    let pair = st.tuple(&[&keys, &vals]);
+    st.finish(&pair)
+}
+
+/// The most trigger-happy speculation policy: every completed sample makes
+/// every still-running task a straggler candidate almost immediately.
+fn aggressive_speculation() -> SpeculationPolicy {
+    SpeculationPolicy {
+        enabled: true,
+        min_samples: 1,
+        percentile: 50.0,
+        multiplier: 1.0,
+        floor: Duration::ZERO,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Speculation never changes output: for random data, thread counts
+    /// and injected straggler delays, a run under the most aggressive
+    /// speculation policy is bit-identical to the unsupervised run.
+    #[test]
+    fn speculation_never_changes_output(
+        seed in 0u64..1_000,
+        threads in 2usize..5,
+        rows in 2_000usize..6_000,
+        delayed in prop::collection::vec(0usize..8, 0usize..3),
+        bucketed in any::<bool>(),
+    ) {
+        let program = if bucketed { bucket_sums() } else { sum_squares() };
+        let data: Vec<i64> = (0..rows as u64)
+            .map(|i| ((seed.wrapping_mul(31).wrapping_add(i * 17)) % 1_000) as i64)
+            .collect();
+        let inputs = [("x", Value::i64_arr(data))];
+        let baseline = eval_parallel(&program, &inputs, threads).unwrap();
+
+        let mut faults = ChunkFaults::default();
+        for &ci in &delayed {
+            faults = faults.and_delay(ci, Duration::from_millis(3));
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            speculation: aggressive_speculation(),
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_faults(faults)
+            .supervised(sup);
+        let (value, _report) =
+            eval_parallel_supervised(&program, &inputs, &opts).unwrap();
+        prop_assert_eq!(value, baseline);
+    }
+
+    /// A cancelled run returns promptly with a typed error: cancellation
+    /// before the run starts means zero chunk executions; the returned
+    /// partial report is consistent.
+    #[test]
+    fn precancelled_runs_do_no_work(
+        threads in 1usize..5,
+        rows in 1_000usize..8_000,
+    ) {
+        let program = sum_squares();
+        let data: Vec<i64> = (0..rows as i64).collect();
+        let inputs = [("x", Value::i64_arr(data))];
+        let sup = Supervisor::new(SupervisorPolicy::default());
+        sup.cancel_token().cancel();
+        let opts = ParallelOptions::new(threads).supervised(sup);
+        match eval_parallel_supervised(&program, &inputs, &opts) {
+            Err(ExecError::Cancelled { partial }) => {
+                prop_assert_eq!(partial.chunk_executions, 0);
+            }
+            other => prop_assert!(false, "expected Cancelled, got {:?}", other),
+        }
+    }
+
+    /// A deadline below the workload's runtime aborts within one task
+    /// granularity: with every task delayed ~2ms, the run returns a typed
+    /// `Deadline` carrying a partial report, leaves most tasks unexecuted,
+    /// and drains in far less time than running everything would take.
+    #[test]
+    fn deadline_aborts_within_task_granularity(
+        threads in 1usize..4,
+        deadline_ms in 3u64..10,
+    ) {
+        let program = sum_squares();
+        let data: Vec<i64> = (0..20_000).collect();
+        let inputs = [("x", Value::i64_arr(data))];
+        let mut faults = ChunkFaults::default();
+        for ci in 0..64 {
+            faults = faults.and_delay(ci, Duration::from_millis(2));
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            deadline: Some(Duration::from_millis(deadline_ms)),
+            speculation: SpeculationPolicy::disabled(),
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_faults(faults)
+            .supervised(sup);
+        let t0 = Instant::now();
+        match eval_parallel_supervised(&program, &inputs, &opts) {
+            Err(ExecError::Deadline { partial, elapsed, .. }) => {
+                // ~40 tasks at 2ms each per loop would be >= 25ms even on
+                // 3 workers; the drain bound is deadline + one in-flight
+                // task per worker (plus scheduling noise, hence the slack).
+                prop_assert!(
+                    t0.elapsed() < Duration::from_secs(2),
+                    "drain took {:?}",
+                    t0.elapsed()
+                );
+                prop_assert!(elapsed >= Duration::from_millis(deadline_ms));
+                prop_assert!(
+                    partial.chunk_executions < 40,
+                    "most tasks abandoned: {:?}",
+                    partial
+                );
+            }
+            other => prop_assert!(false, "expected Deadline, got {:?}", other),
+        }
+    }
+
+    /// Supervision is invisible to recovery: runs with injected one-shot
+    /// chunk deaths produce bit-identical results with and without a
+    /// (no-deadline) supervisor attached.
+    #[test]
+    fn supervision_is_invisible_to_recovery(
+        threads in 2usize..5,
+        rows in 2_000usize..6_000,
+        killed in prop::collection::vec(0usize..6, 0usize..3),
+        panicking in any::<bool>(),
+    ) {
+        let program = bucket_sums();
+        let data: Vec<i64> = (0..rows as i64).map(|i| i * 13 % 101).collect();
+        let inputs = [("x", Value::i64_arr(data))];
+        let baseline = eval_parallel(&program, &inputs, threads).unwrap();
+        let mut faults = ChunkFaults::fail_once(killed.iter().copied());
+        if panicking {
+            faults = faults.panicking();
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            retry_budget: 64,
+            speculation: SpeculationPolicy::disabled(),
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_faults(faults)
+            .supervised(sup);
+        let (value, report) =
+            eval_parallel_supervised(&program, &inputs, &opts).unwrap();
+        prop_assert_eq!(value, baseline);
+        prop_assert!(report.reexecuted_chunks <= killed.len());
+    }
+}

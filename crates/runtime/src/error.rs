@@ -37,6 +37,12 @@ pub enum RuntimeError {
     },
     /// A replan was requested but no surviving nodes remain.
     NoSurvivors,
+    /// A replan had survivors, but every one of them is quarantined by the
+    /// circuit breaker, so orphaned work has nowhere eligible to go.
+    AllQuarantined {
+        /// How many nodes survived (all of them quarantined).
+        survivors: usize,
+    },
     /// A replan named a node outside the cluster.
     UnknownNode {
         /// The out-of-range node index.
@@ -65,6 +71,12 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::NoSurvivors => {
                 write!(f, "cannot replan: every node of the cluster has failed")
+            }
+            RuntimeError::AllQuarantined { survivors } => {
+                write!(
+                    f,
+                    "cannot replan: all {survivors} surviving nodes are quarantined"
+                )
             }
             RuntimeError::UnknownNode { node, nodes } => {
                 write!(f, "node {node} does not exist in a {nodes}-node cluster")

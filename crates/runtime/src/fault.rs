@@ -60,6 +60,15 @@ pub enum FaultEvent {
         /// Multiplicative slowdown (≥ 1.0).
         slowdown: f64,
     },
+    /// Work unit `unit` (a chunk/task index) fails deterministically on
+    /// *every* execution attempt — modelling a persistent failure (bad
+    /// memory, a poisoned input shard) rather than a transient one. A
+    /// supervised executor must surface a typed retries-exhausted error for
+    /// it instead of retrying forever or silently dropping the unit.
+    RepeatFailure {
+        /// The persistently failing work unit.
+        unit: usize,
+    },
 }
 
 /// A reproducible failure scenario: a seed plus scripted events.
@@ -115,6 +124,27 @@ impl FaultPlan {
             slowdown,
         });
         self
+    }
+
+    /// Script a persistent failure of work unit `unit`.
+    pub fn repeat_failure(mut self, unit: usize) -> FaultPlan {
+        self.events.push(FaultEvent::RepeatFailure { unit });
+        self
+    }
+
+    /// Work units scripted to fail on every execution attempt.
+    pub fn repeat_failures(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RepeatFailure { unit } => Some(unit),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Nodes whose scripted failure time is `<= step`.

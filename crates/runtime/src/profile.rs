@@ -361,6 +361,16 @@ pub struct ExecTierStats {
     pub cache_evictions: u64,
     /// Kernel-cache hits on negative (rejected-compilation) entries.
     pub negative_hits: u64,
+    /// Speculative task clones launched against stragglers.
+    pub speculative_launches: u64,
+    /// Speculative clones whose result was recorded first.
+    pub speculation_wins: u64,
+    /// Worker circuit-breaker trips (quarantine entries).
+    pub quarantine_trips: u64,
+    /// Supervised runs aborted by their wall-clock deadline.
+    pub deadline_aborts: u64,
+    /// Supervised runs aborted by cancellation.
+    pub cancelled_aborts: u64,
 }
 
 impl ExecTierStats {

@@ -74,6 +74,29 @@ impl SchedulePlan {
         cluster: &ClusterSpec,
         directory: Option<&[(i64, i64, usize)]>,
     ) -> Result<SchedulePlan, RuntimeError> {
+        self.replan_avoiding(failed_nodes, &[], cluster, directory)
+    }
+
+    /// [`SchedulePlan::replan`] with a quarantine list: nodes in
+    /// `quarantined` are alive (they keep the chunks they already own) but
+    /// are excluded as *targets* for orphaned chunks — the circuit breaker
+    /// has tripped on them, so recovery must not pile more work onto a node
+    /// that keeps failing. Directory alignment is also skipped when the
+    /// data's surviving owner is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SchedulePlan::replan`] returns, plus
+    /// [`RuntimeError::AllQuarantined`] when nodes survive but every one of
+    /// them is quarantined (callers should wait for a half-open probe to
+    /// readmit one, or escalate).
+    pub fn replan_avoiding(
+        &self,
+        failed_nodes: &[usize],
+        quarantined: &[usize],
+        cluster: &ClusterSpec,
+        directory: Option<&[(i64, i64, usize)]>,
+    ) -> Result<SchedulePlan, RuntimeError> {
         for &node in failed_nodes {
             if node >= cluster.nodes {
                 return Err(RuntimeError::UnknownNode {
@@ -82,11 +105,21 @@ impl SchedulePlan {
                 });
             }
         }
-        let survivors: Vec<usize> = (0..cluster.nodes)
+        let alive: Vec<usize> = (0..cluster.nodes)
             .filter(|n| !failed_nodes.contains(n))
             .collect();
-        if survivors.is_empty() {
+        if alive.is_empty() {
             return Err(RuntimeError::NoSurvivors);
+        }
+        let survivors: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|n| !quarantined.contains(n))
+            .collect();
+        if survivors.is_empty() {
+            return Err(RuntimeError::AllQuarantined {
+                survivors: alive.len(),
+            });
         }
         let is_dead = |node: usize| failed_nodes.contains(&node);
         let mut out = SchedulePlan {
@@ -110,7 +143,9 @@ impl SchedulePlan {
                 dir.iter()
                     .find(|&&(s, e, _)| s <= chunk.range.0 && chunk.range.1 <= e)
                     .map(|&(_, _, node)| node)
-                    .filter(|&node| !is_dead(node) && node < cluster.nodes)
+                    .filter(|&node| {
+                        !is_dead(node) && node < cluster.nodes && !quarantined.contains(&node)
+                    })
             });
             let (node, socket, core) = match owner {
                 Some(node) => {

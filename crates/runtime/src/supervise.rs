@@ -1,0 +1,664 @@
+//! Supervised execution: deadlines, cancellation, straggler speculation
+//! policy, and a quarantine circuit breaker.
+//!
+//! A production runtime has to survive hardware that *misbehaves*, not just
+//! hardware that dies once: hung workers, stragglers, and nodes that fail
+//! repeatedly. The [`Supervisor`] owns the run-wide controls the parallel
+//! executor polls at task boundaries:
+//!
+//! * a [`CancelToken`] plus an optional wall-clock **deadline** — on either,
+//!   in-flight tasks drain, queued tasks are abandoned, and the executor
+//!   surfaces a typed error with a partial report;
+//! * a run-wide **retry budget** complementing the per-chunk retry cap, so
+//!   a cascade of failures cannot retry forever in aggregate;
+//! * a [`SpeculationPolicy`] for **straggler re-execution**: tasks running
+//!   past an adaptive percentile of completed-task latency are cloned onto
+//!   an idle worker, first result wins by task id (tasks are deterministic
+//!   over their subrange, so speculation can never change output);
+//! * a [`Quarantine`] **circuit breaker** per worker (or per cluster node):
+//!   units whose tasks fail more than `max_failures` times within a window
+//!   of recent outcomes trip open and are excluded from stealing and from
+//!   [`crate::SchedulePlan::replan_avoiding`] targets, then readmitted via
+//!   half-open probes.
+//!
+//! Everything here is *policy*: none of these knobs can change the value a
+//! run produces, only whether it completes, how fast, and with what typed
+//! error. The chaos harness in `crates/bench` sweeps seeded fault plans to
+//! pin exactly that property.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why the supervisor stopped a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// A cloneable cancellation handle. Cancelling is sticky: once set, every
+/// clone observes it, and the supervised executor drains at the next task
+/// boundary.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent, thread-safe).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Straggler-speculation policy. A running task is a straggler once its
+/// elapsed time exceeds
+/// `max(floor, multiplier × percentile(completed latencies))`, provided at
+/// least `min_samples` tasks have completed (the adaptive threshold needs a
+/// latency population to be meaningful).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Master switch; disabled policies never speculate.
+    pub enabled: bool,
+    /// Completed-task latencies required before speculation can trigger.
+    pub min_samples: usize,
+    /// Latency percentile (0–100) used as the adaptive base.
+    pub percentile: f64,
+    /// A task is a straggler past `multiplier ×` the percentile latency.
+    pub multiplier: f64,
+    /// Absolute lower bound on the straggler threshold; tasks faster than
+    /// this are never worth cloning.
+    pub floor: Duration,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> SpeculationPolicy {
+        SpeculationPolicy {
+            enabled: true,
+            min_samples: 3,
+            percentile: 75.0,
+            multiplier: 4.0,
+            floor: Duration::from_micros(200),
+        }
+    }
+}
+
+impl SpeculationPolicy {
+    /// Speculation switched off entirely.
+    pub fn disabled() -> SpeculationPolicy {
+        SpeculationPolicy {
+            enabled: false,
+            ..SpeculationPolicy::default()
+        }
+    }
+
+    /// The straggler cutoff given the latencies (nanoseconds) of completed
+    /// tasks, or `None` when speculation should not trigger yet.
+    pub fn cutoff_nanos(&self, completed: &[u64]) -> Option<u64> {
+        if !self.enabled || completed.len() < self.min_samples.max(1) {
+            return None;
+        }
+        let mut sorted: Vec<u64> = completed.to_vec();
+        sorted.sort_unstable();
+        let rank = (self.percentile.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round();
+        let base = sorted[rank as usize];
+        let scaled = (base as f64 * self.multiplier.max(1.0)) as u64;
+        Some(scaled.max(self.floor.as_nanos() as u64))
+    }
+}
+
+/// Quarantine circuit-breaker policy, applied per unit (worker thread or
+/// cluster node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Master switch; disabled policies never quarantine.
+    pub enabled: bool,
+    /// Failures within the window that trip the breaker open.
+    pub max_failures: u32,
+    /// Size of the sliding window of recent outcomes per unit.
+    pub window: u32,
+    /// Global outcomes that must elapse after tripping before a half-open
+    /// probe is allowed ("time" is the shared outcome counter, so the state
+    /// machine is deterministic given an outcome sequence — no wall clock).
+    pub cooldown: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> QuarantinePolicy {
+        QuarantinePolicy {
+            enabled: true,
+            max_failures: 3,
+            window: 8,
+            cooldown: 16,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Quarantining switched off entirely.
+    pub fn disabled() -> QuarantinePolicy {
+        QuarantinePolicy {
+            enabled: false,
+            ..QuarantinePolicy::default()
+        }
+    }
+}
+
+/// Circuit-breaker state of one unit.
+#[derive(Clone, Debug)]
+enum Breaker {
+    /// Healthy: sliding window of recent outcomes (`true` = failure).
+    Closed { recent: VecDeque<bool> },
+    /// Tripped at outcome-clock `since`: no work until the cooldown passes.
+    Open { since: u64 },
+    /// Cooldown passed: one probe decides readmission or re-tripping.
+    HalfOpen,
+}
+
+/// Per-unit quarantine tracker. Units are dense indices (worker ids or
+/// cluster node ids). The "clock" is the total number of outcomes recorded
+/// across all units, so cooldowns advance exactly when work is being done —
+/// a fully idle system never silently readmits a bad unit.
+#[derive(Debug)]
+pub struct Quarantine {
+    policy: QuarantinePolicy,
+    states: Mutex<Vec<Breaker>>,
+    clock: AtomicU64,
+    trips: AtomicU64,
+    probes: AtomicU64,
+    readmissions: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Quarantine {
+    /// A tracker for `units` units under `policy`.
+    pub fn new(units: usize, policy: QuarantinePolicy) -> Quarantine {
+        Quarantine {
+            policy,
+            states: Mutex::new(vec![
+                Breaker::Closed {
+                    recent: VecDeque::new()
+                };
+                units
+            ]),
+            clock: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> QuarantinePolicy {
+        self.policy
+    }
+
+    fn ensure(states: &mut Vec<Breaker>, unit: usize) {
+        if states.len() <= unit {
+            states.resize(
+                unit + 1,
+                Breaker::Closed {
+                    recent: VecDeque::new(),
+                },
+            );
+        }
+    }
+
+    /// Record one task outcome for `unit` (`failed = true` for a death).
+    /// Advances the shared outcome clock and runs the breaker transitions.
+    pub fn record(&self, unit: usize, failed: bool) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.policy.enabled {
+            return;
+        }
+        let mut states = lock(&self.states);
+        Self::ensure(&mut states, unit);
+        let state = &mut states[unit];
+        match state {
+            Breaker::Closed { recent } => {
+                recent.push_back(failed);
+                while recent.len() > self.policy.window.max(1) as usize {
+                    recent.pop_front();
+                }
+                let failures = recent.iter().filter(|f| **f).count() as u32;
+                if failures >= self.policy.max_failures.max(1) {
+                    *state = Breaker::Open { since: now };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Breaker::HalfOpen => {
+                if failed {
+                    *state = Breaker::Open { since: now };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *state = Breaker::Closed {
+                        recent: VecDeque::new(),
+                    };
+                    self.readmissions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Outcomes reported for an open unit (work already in flight
+            // when it tripped) don't move the state machine.
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    /// Is `unit` currently excluded from receiving work? An open breaker
+    /// whose cooldown has passed transitions to half-open here and becomes
+    /// eligible again for exactly the probe that will decide its fate.
+    pub fn is_quarantined(&self, unit: usize) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut states = lock(&self.states);
+        Self::ensure(&mut states, unit);
+        match states[unit] {
+            Breaker::Closed { .. } | Breaker::HalfOpen => false,
+            Breaker::Open { since } => {
+                if now.saturating_sub(since) >= self.policy.cooldown {
+                    states[unit] = Breaker::HalfOpen;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Units currently quarantined (open breakers still cooling down).
+    pub fn quarantined_units(&self) -> Vec<usize> {
+        if !self.policy.enabled {
+            return Vec::new();
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let states = lock(&self.states);
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(u, s)| match s {
+                Breaker::Open { since } if now.saturating_sub(*since) < self.policy.cooldown => {
+                    Some(u)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Breaker trips so far (a unit re-tripping counts again).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Half-open probes granted so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Units readmitted after a successful probe.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions.load(Ordering::Relaxed)
+    }
+}
+
+/// Run-wide supervision policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Wall-clock budget for the whole run; `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Total chunk re-executions allowed across the run (complements the
+    /// per-chunk retry cap).
+    pub retry_budget: u32,
+    /// Straggler speculation policy.
+    pub speculation: SpeculationPolicy,
+    /// Worker quarantine policy.
+    pub quarantine: QuarantinePolicy,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            deadline: None,
+            retry_budget: 64,
+            speculation: SpeculationPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// A policy with only a deadline set (defaults elsewhere).
+    pub fn with_deadline(deadline: Duration) -> SupervisorPolicy {
+        SupervisorPolicy {
+            deadline: Some(deadline),
+            ..SupervisorPolicy::default()
+        }
+    }
+}
+
+/// Counter snapshot of one supervised run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuperviseStats {
+    /// Speculative task clones launched.
+    pub speculative_launches: u64,
+    /// Speculative clones whose result was recorded first.
+    pub speculation_wins: u64,
+    /// Circuit-breaker trips (worker quarantined; re-trips count again).
+    pub quarantine_trips: u64,
+    /// Half-open probes granted to quarantined workers.
+    pub quarantine_probes: u64,
+    /// Workers readmitted after a successful probe.
+    pub quarantine_readmissions: u64,
+    /// Runs aborted by deadline.
+    pub deadline_aborts: u64,
+    /// Runs aborted by cancellation.
+    pub cancelled_aborts: u64,
+    /// Chunk re-executions charged against the retry budget.
+    pub retries_consumed: u64,
+}
+
+/// The supervision controller one run polls at task boundaries. Create it
+/// just before the run starts: the deadline countdown begins at
+/// construction.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    cancel: CancelToken,
+    started: Instant,
+    retries_used: AtomicU64,
+    quarantine: Quarantine,
+    spec_launches: AtomicU64,
+    spec_wins: AtomicU64,
+    deadline_aborts: AtomicU64,
+    cancelled_aborts: AtomicU64,
+}
+
+impl Supervisor {
+    /// Start supervising now under `policy` with a fresh cancel token.
+    pub fn new(policy: SupervisorPolicy) -> Arc<Supervisor> {
+        Supervisor::with_token(policy, CancelToken::new())
+    }
+
+    /// Start supervising now, observing an existing token (so callers can
+    /// cancel a run they handed to another thread).
+    pub fn with_token(policy: SupervisorPolicy, cancel: CancelToken) -> Arc<Supervisor> {
+        let quarantine = Quarantine::new(0, policy.quarantine);
+        Arc::new(Supervisor {
+            policy,
+            cancel,
+            started: Instant::now(),
+            retries_used: AtomicU64::new(0),
+            quarantine,
+            spec_launches: AtomicU64::new(0),
+            spec_wins: AtomicU64::new(0),
+            deadline_aborts: AtomicU64::new(0),
+            cancelled_aborts: AtomicU64::new(0),
+        })
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &SupervisorPolicy {
+        &self.policy
+    }
+
+    /// A clone of the run's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Time since supervision started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Poll for a stop condition. Cancellation wins over the deadline when
+    /// both hold (it is the more explicit signal). Executors call this at
+    /// every task boundary; the first worker observing a stop also counts
+    /// the abort (once per observation — callers record the abort exactly
+    /// once per run via [`Supervisor::record_abort`]).
+    pub fn check(&self) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        match self.policy.deadline {
+            Some(d) if self.started.elapsed() >= d => Some(StopReason::Deadline),
+            _ => None,
+        }
+    }
+
+    /// Count one aborted run (called by the executor once it commits to
+    /// surfacing the stop as an error).
+    pub fn record_abort(&self, reason: StopReason) {
+        match reason {
+            StopReason::Deadline => self.deadline_aborts.fetch_add(1, Ordering::Relaxed),
+            StopReason::Cancelled => self.cancelled_aborts.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Try to charge one re-execution against the run-wide retry budget;
+    /// `false` means the budget is spent and the caller must give up with a
+    /// typed error instead of retrying.
+    pub fn try_consume_retry(&self) -> bool {
+        loop {
+            let used = self.retries_used.load(Ordering::Relaxed);
+            if used >= u64::from(self.policy.retry_budget) {
+                return false;
+            }
+            if self
+                .retries_used
+                .compare_exchange(used, used + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// The worker-keyed quarantine tracker.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Count one speculative launch.
+    pub fn record_speculation_launch(&self) {
+        self.spec_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one speculation win (the clone's result landed first).
+    pub fn record_speculation_win(&self) {
+        self.spec_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the run's supervision counters.
+    pub fn stats(&self) -> SuperviseStats {
+        SuperviseStats {
+            speculative_launches: self.spec_launches.load(Ordering::Relaxed),
+            speculation_wins: self.spec_wins.load(Ordering::Relaxed),
+            quarantine_trips: self.quarantine.trips(),
+            quarantine_probes: self.quarantine.probes(),
+            quarantine_readmissions: self.quarantine.readmissions(),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            cancelled_aborts: self.cancelled_aborts.load(Ordering::Relaxed),
+            retries_consumed: self.retries_used.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "deadline exceeded"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_check_fires_after_budget() {
+        let sup = Supervisor::new(SupervisorPolicy::with_deadline(Duration::ZERO));
+        assert_eq!(sup.check(), Some(StopReason::Deadline));
+        let sup = Supervisor::new(SupervisorPolicy::with_deadline(Duration::from_secs(3600)));
+        assert_eq!(sup.check(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let sup = Supervisor::new(SupervisorPolicy::with_deadline(Duration::ZERO));
+        sup.cancel_token().cancel();
+        assert_eq!(sup.check(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn retry_budget_is_finite() {
+        let sup = Supervisor::new(SupervisorPolicy {
+            retry_budget: 2,
+            ..SupervisorPolicy::default()
+        });
+        assert!(sup.try_consume_retry());
+        assert!(sup.try_consume_retry());
+        assert!(!sup.try_consume_retry());
+        assert_eq!(sup.stats().retries_consumed, 2);
+    }
+
+    #[test]
+    fn speculation_cutoff_is_adaptive() {
+        let pol = SpeculationPolicy {
+            enabled: true,
+            min_samples: 3,
+            percentile: 50.0,
+            multiplier: 2.0,
+            floor: Duration::from_nanos(10),
+        };
+        assert_eq!(pol.cutoff_nanos(&[100, 200]), None, "too few samples");
+        // Median of {100, 200, 300} = 200; ×2 = 400.
+        assert_eq!(pol.cutoff_nanos(&[300, 100, 200]), Some(400));
+        let floored = SpeculationPolicy {
+            floor: Duration::from_micros(1),
+            ..pol
+        };
+        assert_eq!(floored.cutoff_nanos(&[1, 1, 1]), Some(1_000), "floor wins");
+        assert_eq!(
+            SpeculationPolicy::disabled().cutoff_nanos(&[1, 2, 3, 4]),
+            None
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_in_window() {
+        let q = Quarantine::new(
+            2,
+            QuarantinePolicy {
+                enabled: true,
+                max_failures: 3,
+                window: 4,
+                cooldown: 5,
+            },
+        );
+        q.record(1, true);
+        q.record(1, true);
+        assert!(!q.is_quarantined(1), "two failures under threshold");
+        q.record(1, true);
+        assert!(q.is_quarantined(1), "three failures trip the breaker");
+        assert!(!q.is_quarantined(0), "other units unaffected");
+        assert_eq!(q.trips(), 1);
+        assert_eq!(q.quarantined_units(), vec![1]);
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let q = Quarantine::new(
+            1,
+            QuarantinePolicy {
+                enabled: true,
+                max_failures: 3,
+                window: 3,
+                cooldown: 5,
+            },
+        );
+        // Two failures, then successes push them out of the window.
+        q.record(0, true);
+        q.record(0, true);
+        q.record(0, false);
+        q.record(0, false);
+        q.record(0, true);
+        assert!(!q.is_quarantined(0), "window slid: only 1 failure in last 3");
+    }
+
+    #[test]
+    fn half_open_probe_readmits_or_retrips() {
+        let pol = QuarantinePolicy {
+            enabled: true,
+            max_failures: 2,
+            window: 4,
+            cooldown: 3,
+        };
+        // Readmission path.
+        let q = Quarantine::new(2, pol);
+        q.record(0, true);
+        q.record(0, true);
+        assert!(q.is_quarantined(0));
+        // Other units doing work advances the outcome clock.
+        q.record(1, false);
+        q.record(1, false);
+        q.record(1, false);
+        assert!(!q.is_quarantined(0), "cooldown passed: half-open");
+        assert_eq!(q.probes(), 1);
+        q.record(0, false);
+        assert!(!q.is_quarantined(0), "probe succeeded: readmitted");
+        assert_eq!(q.readmissions(), 1);
+
+        // Re-trip path.
+        let q = Quarantine::new(2, pol);
+        q.record(0, true);
+        q.record(0, true);
+        q.record(1, false);
+        q.record(1, false);
+        q.record(1, false);
+        assert!(!q.is_quarantined(0), "half-open probe allowed");
+        q.record(0, true);
+        assert!(q.is_quarantined(0), "probe failed: breaker re-trips");
+        assert_eq!(q.trips(), 2);
+    }
+
+    #[test]
+    fn disabled_quarantine_never_trips() {
+        let q = Quarantine::new(1, QuarantinePolicy::disabled());
+        for _ in 0..10 {
+            q.record(0, true);
+        }
+        assert!(!q.is_quarantined(0));
+        assert!(q.quarantined_units().is_empty());
+    }
+}

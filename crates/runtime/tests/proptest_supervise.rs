@@ -1,0 +1,218 @@
+//! Property-based tests for the supervision layer: quarantine-aware
+//! replanning never hands recovered work to a quarantined node, exhausted
+//! survivor sets surface as typed errors, and the circuit breaker's state
+//! machine obeys its invariants under arbitrary outcome sequences.
+
+use dmll_runtime::{
+    plan_loop, ClusterSpec, MachineSpec, Quarantine, QuarantinePolicy, RuntimeError,
+};
+use proptest::prelude::*;
+
+fn cluster_of(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        ..ClusterSpec::single(MachineSpec::m1_xlarge())
+    }
+}
+
+fn mask_to_nodes(mask: u32, nodes: usize) -> Vec<usize> {
+    (0..nodes).filter(|n| mask >> n & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any loop size, cluster, failed subset and quarantined subset
+    /// with at least one healthy survivor, `replan_avoiding` keeps exact
+    /// iteration coverage, places nothing on a dead node, and places no
+    /// *recovered* (orphaned) chunk on a quarantined node. Chunks that
+    /// were already on a quarantined-but-alive node are deliberately left
+    /// in place — quarantine throttles new placement, it does not migrate
+    /// running work.
+    #[test]
+    fn replan_avoiding_never_targets_quarantined(
+        iterations in 1i64..50_000,
+        nodes in 2usize..9,
+        chunks_per_core in 1usize..4,
+        failed_raw in 0u32..256,
+        quarantined_raw in 0u32..256,
+    ) {
+        let cluster = cluster_of(nodes);
+        let full = (1u32 << nodes) - 1;
+        // Clamp both masks so node 0 is alive and unquarantined: the
+        // healthy-survivor precondition holds by construction.
+        let failed_mask = failed_raw & full & !1;
+        let quarantined_mask = quarantined_raw & full & !1;
+        let failed = mask_to_nodes(failed_mask, nodes);
+        let quarantined = mask_to_nodes(quarantined_mask, nodes);
+
+        let plan = plan_loop(iterations, &cluster, None, chunks_per_core);
+        let replanned = plan
+            .replan_avoiding(&failed, &quarantined, &cluster, None)
+            .unwrap();
+        prop_assert!(replanned.covers(iterations));
+        prop_assert_eq!(replanned.chunks.len(), plan.chunks.len());
+        for (before, after) in plan.chunks.iter().zip(&replanned.chunks) {
+            prop_assert!(!failed.contains(&after.node), "chunk on dead node");
+            if failed.contains(&before.node) {
+                prop_assert!(
+                    !quarantined.contains(&after.node),
+                    "orphan of node {} recovered onto quarantined node {}",
+                    before.node,
+                    after.node
+                );
+            } else {
+                prop_assert_eq!(before.node, after.node, "healthy chunk moved");
+            }
+        }
+    }
+
+    /// The same guarantee holds when a data directory is in play: the
+    /// directory may pull an orphan to its data's owner, but never to a
+    /// dead or quarantined owner.
+    #[test]
+    fn replan_avoiding_with_directory_respects_quarantine(
+        per_node in 10i64..2_000,
+        failed_raw in 0u32..15,
+        quarantined_raw in 0u32..15,
+    ) {
+        let nodes = 4;
+        let cluster = cluster_of(nodes);
+        let n = per_node * nodes as i64;
+        let dir: Vec<(i64, i64, usize)> = (0..nodes)
+            .map(|k| (k as i64 * per_node, (k as i64 + 1) * per_node, k))
+            .collect();
+        let failed = mask_to_nodes(failed_raw & !1, nodes);
+        let quarantined = mask_to_nodes(quarantined_raw & !1, nodes);
+
+        let plan = plan_loop(n, &cluster, Some(&dir), 2);
+        let replanned = plan
+            .replan_avoiding(&failed, &quarantined, &cluster, Some(&dir))
+            .unwrap();
+        prop_assert!(replanned.covers(n));
+        for (before, after) in plan.chunks.iter().zip(&replanned.chunks) {
+            prop_assert!(!failed.contains(&after.node));
+            if failed.contains(&before.node) {
+                prop_assert!(!quarantined.contains(&after.node));
+            }
+        }
+    }
+
+    /// When nodes survive the failure but every survivor is quarantined,
+    /// replanning fails with the typed [`RuntimeError::AllQuarantined`]
+    /// carrying the survivor count — callers can distinguish "no machines
+    /// left" from "machines left, none trusted".
+    #[test]
+    fn all_quarantined_survivors_is_typed(
+        iterations in 1i64..10_000,
+        nodes in 2usize..7,
+        failed_raw in 0u32..64,
+    ) {
+        let cluster = cluster_of(nodes);
+        let full = (1u32 << nodes) - 1;
+        let failed_mask = failed_raw & full & !1;
+        let failed = mask_to_nodes(failed_mask, nodes);
+        // Quarantine exactly the alive set.
+        let quarantined = mask_to_nodes(full & !failed_mask, nodes);
+
+        let plan = plan_loop(iterations, &cluster, None, 2);
+        match plan.replan_avoiding(&failed, &quarantined, &cluster, None) {
+            Err(RuntimeError::AllQuarantined { survivors }) => {
+                prop_assert_eq!(survivors, nodes - failed.len());
+            }
+            other => prop_assert!(false, "expected AllQuarantined, got {:?}", other),
+        }
+    }
+
+    /// Circuit-breaker invariants under arbitrary outcome sequences:
+    /// trips never exceed recorded failures, units that only ever
+    /// succeeded are never quarantined, and a disabled policy never
+    /// quarantines anything.
+    #[test]
+    fn breaker_invariants_hold_for_any_outcome_sequence(
+        outcomes in prop::collection::vec((0usize..4, any::<bool>()), 0usize..64),
+        max_failures in 1u32..5,
+        window in 1u32..10,
+        cooldown in 0u64..20,
+        enabled in any::<bool>(),
+    ) {
+        let policy = QuarantinePolicy { enabled, max_failures, window, cooldown };
+        let q = Quarantine::new(4, policy);
+        let mut failures_seen = [0u64; 4];
+        for &(unit, failed) in &outcomes {
+            q.record(unit, failed);
+            if failed {
+                failures_seen[unit] += 1;
+            }
+        }
+        let total_failures: u64 = failures_seen.iter().sum();
+        prop_assert!(q.trips() <= total_failures, "a trip needs a failure");
+        for (unit, &failures) in failures_seen.iter().enumerate() {
+            if failures == 0 || !enabled {
+                prop_assert!(
+                    !q.is_quarantined(unit),
+                    "unit {} quarantined without failing (enabled={})",
+                    unit,
+                    enabled
+                );
+            }
+        }
+        if !enabled {
+            prop_assert_eq!(q.trips(), 0);
+            prop_assert!(q.quarantined_units().is_empty());
+        }
+    }
+}
+
+/// Deterministic walk through the full breaker life cycle: failures trip
+/// the breaker exactly at `max_failures`, the unit stays excluded through
+/// the cooldown, the first check afterwards grants a half-open probe, a
+/// successful probe readmits, and a failed probe re-trips.
+#[test]
+fn breaker_life_cycle_is_deterministic() {
+    let policy = QuarantinePolicy {
+        enabled: true,
+        max_failures: 3,
+        window: 8,
+        cooldown: 4,
+    };
+    let q = Quarantine::new(2, policy);
+
+    q.record(1, true);
+    q.record(1, true);
+    assert!(!q.is_quarantined(1), "below the failure threshold");
+    q.record(1, true);
+    assert!(q.is_quarantined(1), "tripped at max_failures");
+    assert_eq!(q.trips(), 1);
+    assert_eq!(q.quarantined_units(), vec![1]);
+
+    // Healthy traffic on another unit advances the outcome clock through
+    // the cooldown.
+    for _ in 0..policy.cooldown {
+        q.record(0, false);
+        assert!(!q.is_quarantined(0));
+    }
+    // Cooldown over: the next check grants exactly one half-open probe.
+    assert!(!q.is_quarantined(1), "half-open probe granted");
+    assert_eq!(q.probes(), 1);
+
+    // Probe succeeds: readmitted with a clean window.
+    q.record(1, false);
+    assert_eq!(q.readmissions(), 1);
+    assert!(!q.is_quarantined(1));
+    q.record(1, true);
+    q.record(1, true);
+    assert!(!q.is_quarantined(1), "window reset on readmission");
+
+    // Third failure re-trips; a failed probe after cooldown trips again.
+    q.record(1, true);
+    assert!(q.is_quarantined(1));
+    assert_eq!(q.trips(), 2);
+    for _ in 0..policy.cooldown {
+        q.record(0, false);
+    }
+    assert!(!q.is_quarantined(1), "second probe granted");
+    q.record(1, true);
+    assert!(q.is_quarantined(1), "failed probe re-trips immediately");
+    assert_eq!(q.trips(), 3);
+}
