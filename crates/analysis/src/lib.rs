@@ -10,6 +10,9 @@
 //!   dataflow that propagates `Local` / `Partitioned` layouts from annotated
 //!   data sources through parallel patterns, warning on sequential
 //!   consumption of partitioned data (with a whitelist).
+//! * [`plan`] — exports the two reports as a per-loop access plan
+//!   (partition / broadcast / fallback per collection) that the runtime
+//!   data plane consumes directly.
 //! * [`driver`] — ties the two together per §4.2: when a partitioned
 //!   collection is read with a problematic stencil, attempt the Figure 3
 //!   rewrites one at a time and keep whichever repairs the access pattern;
@@ -17,8 +20,10 @@
 
 pub mod driver;
 pub mod partition;
+pub mod plan;
 pub mod stencil;
 
 pub use driver::{analyze, improve_stencils, AnalysisResult};
 pub use partition::{DataLayout, PartitionReport, Warning};
+pub use plan::{export as export_plan, LoopPlan, Placement, ProgramPlan};
 pub use stencil::{Stencil, StencilReport};

@@ -1,0 +1,168 @@
+//! Access-plan export (§4.2 → the executor).
+//!
+//! The stencil and partitioning analyses decide *where data should live*;
+//! this module turns their reports into a per-loop **access plan** the
+//! runtime data plane can act on without re-running any analysis:
+//!
+//! * `Interval` stencil over a `Partitioned` collection → the collection is
+//!   split on the shared region boundary map and each task reads only its
+//!   aligned slice (plus an explicit halo where offsets cross a boundary);
+//! * `Const` / `All` stencils — and every `Local` collection — → one replica
+//!   per region (a broadcast);
+//! * `Unknown` stencil over a `Partitioned` collection → the reads cannot be
+//!   localized, so the loop serves that collection from the shared path at
+//!   runtime (the paper's "fall back to runtime data movement") and the
+//!   executor bumps a surfaced fallback counter.
+//!
+//! A fallback is **explained** when the partitioning analysis also warned
+//! about the same symbol; the locality bench gates on zero *unexplained*
+//! fallbacks.
+
+use crate::driver::AnalysisResult;
+use crate::partition::DataLayout;
+use crate::stencil::Stencil;
+use dmll_core::Sym;
+use std::collections::BTreeMap;
+
+/// Where one collection read by one loop is placed across regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Split on the shared region boundary map; tasks read aligned slices.
+    Partitioned,
+    /// One replica per region.
+    Broadcast,
+    /// Served from the shared path at runtime; counted and surfaced.
+    Fallback,
+}
+
+/// The access plan for a single multiloop, keyed by the collections it reads.
+#[derive(Clone, Debug, Default)]
+pub struct LoopPlan {
+    /// Placement per collection read inside the loop.
+    pub placements: BTreeMap<Sym, Placement>,
+    /// Number of `Fallback` placements.
+    pub fallbacks: usize,
+    /// `Fallback` placements with no matching partition warning. The §4.2
+    /// driver always warns when it gives up on a read, so anything counted
+    /// here indicates the analyses disagree and the bench gate fails.
+    pub unexplained_fallbacks: usize,
+}
+
+/// The whole program's access plan plus the partition diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramPlan {
+    /// Per-loop plans, keyed by the loop's first output symbol (the same key
+    /// `StencilReport::per_loop` uses).
+    pub per_loop: BTreeMap<Sym, LoopPlan>,
+    /// Human-readable partition warnings, in analysis order.
+    pub warnings: Vec<String>,
+}
+
+impl ProgramPlan {
+    /// The plan for the loop whose first output is `out`, if any.
+    pub fn loop_plan(&self, out: Sym) -> Option<&LoopPlan> {
+        self.per_loop.get(&out)
+    }
+
+    /// Total `Fallback` placements across all loops.
+    pub fn total_fallbacks(&self) -> usize {
+        self.per_loop.values().map(|l| l.fallbacks).sum()
+    }
+
+    /// Total unexplained fallbacks across all loops (bench gate: zero).
+    pub fn total_unexplained(&self) -> usize {
+        self.per_loop.values().map(|l| l.unexplained_fallbacks).sum()
+    }
+}
+
+/// Export an [`AnalysisResult`] as an executor-facing [`ProgramPlan`].
+pub fn export(result: &AnalysisResult) -> ProgramPlan {
+    let mut plan = ProgramPlan {
+        warnings: result
+            .partition
+            .warnings
+            .iter()
+            .map(|w| match w.sym {
+                Some(s) => format!("{s}: {}", w.message),
+                None => w.message.clone(),
+            })
+            .collect(),
+        ..ProgramPlan::default()
+    };
+    for (&out, stencils) in &result.stencils.per_loop {
+        let mut lp = LoopPlan::default();
+        for (&col, &st) in stencils {
+            let layout = result.partition.layout_of(col);
+            let placement = match (st, layout) {
+                (Stencil::Interval, DataLayout::Partitioned) => Placement::Partitioned,
+                (Stencil::Unknown, DataLayout::Partitioned) => Placement::Fallback,
+                _ => Placement::Broadcast,
+            };
+            if placement == Placement::Fallback {
+                lp.fallbacks += 1;
+                let warned = result
+                    .partition
+                    .warnings
+                    .iter()
+                    .any(|w| w.sym == Some(col));
+                if !warned {
+                    lp.unexplained_fallbacks += 1;
+                }
+            }
+            lp.placements.insert(col, placement);
+        }
+        plan.per_loop.insert(out, lp);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::analyze;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    /// An element-aligned map over a partitioned collection: Partitioned
+    /// placement, no fallbacks.
+    #[test]
+    fn aligned_read_is_partitioned() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| st.add(e, e));
+        let mut p = st.finish(&doubled);
+        let plan = export(&analyze(&mut p));
+        assert_eq!(plan.total_fallbacks(), 0, "{plan:?}");
+        assert_eq!(plan.total_unexplained(), 0);
+        assert!(
+            plan.per_loop
+                .values()
+                .any(|lp| lp.placements.values().any(|p| *p == Placement::Partitioned)),
+            "{plan:?}"
+        );
+    }
+
+    /// A data-dependent gather `x[ix[i]]` from a partitioned collection:
+    /// Fallback placement that the partition analysis explains with a
+    /// warning on the same symbol.
+    #[test]
+    fn random_read_is_explained_fallback() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let ix = st.input("ix", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&ix);
+        let gathered = st.collect(&n, move |st, i| {
+            let j = st.read(&ix, i);
+            st.read(&x, &j)
+        });
+        let mut p = st.finish(&gathered);
+        let plan = export(&analyze(&mut p));
+        assert!(plan.total_fallbacks() >= 1, "{plan:?}");
+        assert_eq!(
+            plan.total_unexplained(),
+            0,
+            "driver must warn whenever it falls back: {plan:?}"
+        );
+        assert!(!plan.warnings.is_empty());
+    }
+}

@@ -69,8 +69,16 @@ fn main() {
         if parity.0 { "ok" } else { "FAIL" },
         parity.1
     );
+    // One recoverable seeded plan on the sharded, locality-aware data
+    // plane: placement, region tasks, and stitch merge under chaos.
+    let sharded = chaos::sharded_probe(threads, 4, 4);
+    println!(
+        "sharded probe: {} ({})",
+        if sharded.0 { "ok" } else { "FAIL" },
+        sharded.1
+    );
 
-    let json = chaos::to_json(&runs, threads, &deadline, &parity);
+    let json = chaos::to_json(&runs, threads, &deadline, &parity, &sharded);
     let path = format!("BENCH_chaos_t{threads}.json");
     std::fs::write(&path, &json).expect("write chaos report");
     println!("wrote {path}");
@@ -82,7 +90,7 @@ fn main() {
             v.seed, v.gen, v.tier, v.outcome
         );
     }
-    if !violations.is_empty() || !deadline.0 || !parity.0 {
+    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 {
         std::process::exit(1);
     }
 }

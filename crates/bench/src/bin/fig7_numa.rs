@@ -1,8 +1,24 @@
 //! Regenerates Figure 7: scaling on the 4-socket NUMA machine.
+//!
+//! By default prints the cost-model curves (DMLL / pin-only / Delite /
+//! Spark on the modeled 4x12 machine). With `--measured`, additionally
+//! runs the real sharded executor on this host — inputs staged through
+//! the shard layer under their planned placements — and prints its
+//! measured scaling curve next to the model's.
 
-use dmll_bench::{experiments, render};
+use dmll_bench::{experiments, locality, render};
 
 fn main() {
+    let measured = std::env::args().skip(1).any(|a| a == "--measured");
     println!("Figure 7: speedup over sequential DMLL, 4-socket x 12-core machine\n");
     print!("{}", render::fig7(&experiments::fig7()));
+
+    if measured {
+        println!(
+            "\nMeasured on this host: sharded executor, plan-driven placement,\n\
+             speedup over the same executor on 1 thread\n"
+        );
+        let curves = locality::measured_scaling(4, &[1, 2, 4]);
+        print!("{}", locality::render_measured(&curves));
+    }
 }

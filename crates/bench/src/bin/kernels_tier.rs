@@ -2,18 +2,25 @@
 //! vs the tree-walking interpreter on real data, emitting
 //! `BENCH_kernels.json`.
 //!
-//! Usage: `kernels_tier [--smoke] [--threads N]`. `--threads N` runs every
-//! tier through the work-stealing chunked executor on `N` workers
-//! (default 1 = sequential). `--smoke` runs the small CI size and exits
-//! nonzero if any app's tiers disagree, if the batched tier is slower than
-//! the tree-walker, or if an app that ran batched blocks is slower than
-//! its own scalar bytecode tier (beyond a small timing-noise allowance).
+//! Usage: `kernels_tier [--smoke] [--threads N] [--regions R]`.
+//! `--threads N` runs every tier through the work-stealing chunked
+//! executor on `N` workers (default 1 = sequential). `--regions R`
+//! additionally enables the sharded, locality-aware data plane: the
+//! batched tier runs region-aware (plan-driven placement, same-region
+//! stealing, one-pass stitch merge), and a blind-vs-sharded locality
+//! comparison is measured and written to `BENCH_locality.json`. `--smoke`
+//! runs the small CI size and exits nonzero if any app's tiers disagree,
+//! if the batched tier is slower than the tree-walker, if an app that ran
+//! batched blocks is slower than its own scalar bytecode tier (beyond a
+//! small timing-noise allowance), or — with `--regions` — if the sharded
+//! plane's output diverges or any stencil fallback is unexplained.
 
-use dmll_bench::{render, tiers};
+use dmll_bench::{locality, render, tiers};
 
-fn parse_args() -> (bool, usize) {
+fn parse_args() -> (bool, usize, usize) {
     let mut smoke = false;
     let mut threads = 1usize;
+    let mut regions = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -25,21 +32,28 @@ fn parse_args() -> (bool, usize) {
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
                 threads = if n == 0 { usage("--threads needs a positive integer") } else { n };
             }
+            "--regions" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--regions needs a positive integer"));
+                regions = if n == 0 { usage("--regions needs a positive integer") } else { n };
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    (smoke, threads)
+    (smoke, threads, regions)
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: kernels_tier [--smoke] [--threads N]");
+    eprintln!("error: {msg}\nusage: kernels_tier [--smoke] [--threads N] [--regions R]");
     std::process::exit(2);
 }
 
 fn main() {
-    let (smoke, threads) = parse_args();
+    let (smoke, threads, regions) = parse_args();
     let scale = if smoke { 1 } else { 10 };
-    let rows = tiers::tier_comparison_threads(scale, threads);
+    let rows = tiers::tier_comparison_regions(scale, threads, regions);
     print!("{}", render::kernels(&rows));
 
     let json = tiers::to_json(&rows);
@@ -72,6 +86,32 @@ fn main() {
                 r.batched_speedup()
             );
             failed = true;
+        }
+    }
+
+    // Locality comparison: blind vs sharded on the same batched executor.
+    // The bit-identical and explained-fallback gates are hard failures
+    // regardless of --smoke; the speedup itself is informational here
+    // (asserted by the full-scale bench run, not the CI smoke size).
+    if regions > 0 {
+        let lrows = locality::locality_comparison(scale, threads, regions);
+        print!("\n{}", locality::render(&lrows));
+        let ljson = locality::to_json(&lrows);
+        let lpath = "BENCH_locality.json";
+        std::fs::write(lpath, &ljson).expect("write BENCH_locality.json");
+        println!("\nwrote {lpath}");
+        for r in &lrows {
+            if !r.identical {
+                eprintln!("FAIL: {} sharded output diverged from blind/tree-walk", r.app);
+                failed = true;
+            }
+            if r.unexplained_fallbacks > 0 {
+                eprintln!(
+                    "FAIL: {} has {} unexplained stencil fallbacks",
+                    r.app, r.unexplained_fallbacks
+                );
+                failed = true;
+            }
         }
     }
     if failed {

@@ -360,6 +360,9 @@ fn run_one(
         .with_faults(faults_for_plan(plan))
         .supervised(sup);
     let t0 = Instant::now();
+    // The abort variants of `ExecError` carry the partial report by value
+    // (see dmll-interp's `parallel` module); this closure just forwards it.
+    #[allow(clippy::result_large_err)]
     let result = catch_unwind(AssertUnwindSafe(|| {
         eval_parallel_supervised(program, inputs, &opts)
     }));
@@ -500,18 +503,75 @@ pub fn speculation_parity(threads: usize) -> (bool, String) {
     }
 }
 
+/// Sharded-plane probe: one seeded fault plan (kills, stragglers, latency
+/// spikes, panicking delivery) runs every generator kind on the sharded,
+/// locality-aware data plane — plan-driven placement, region-granular
+/// tasks where exact, same-region stealing, stitch merge — under the full
+/// supervision stack. Every run must be bit-identical to the fault-free
+/// sequential evaluation. Returns `(ok, detail)`.
+pub fn sharded_probe(threads: usize, regions: usize, seed: u64) -> (bool, String) {
+    let plan = plan_for_seed(seed);
+    let mut sharded_loops = 0u64;
+    for kind in GenKind::ALL {
+        let (mut program, inputs) = workload(kind, seed);
+        let access =
+            std::sync::Arc::new(dmll_analysis::export_plan(&dmll_analysis::analyze(&mut program)));
+        let borrowed: Vec<(&str, Value)> =
+            inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let reference = eval(&program, &borrowed).expect("fault-free reference");
+        let sup = Supervisor::new(SupervisorPolicy {
+            deadline: Some(WATCHDOG),
+            retry_budget: 64,
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_regions(regions)
+            .with_plan(access)
+            .with_faults(faults_for_plan(&plan))
+            .supervised(sup);
+        match eval_parallel_supervised(&program, &borrowed, &opts) {
+            Ok((value, report)) => {
+                if value != reference {
+                    return (
+                        false,
+                        format!("seed {seed} {}: sharded output diverged", kind.name()),
+                    );
+                }
+                sharded_loops += report.sharded_loops as u64;
+            }
+            Err(e) => {
+                return (
+                    false,
+                    format!("seed {seed} {}: unexpected error {e}", kind.name()),
+                );
+            }
+        }
+    }
+    if sharded_loops == 0 {
+        return (false, format!("seed {seed}: no loop ran sharded"));
+    }
+    (
+        true,
+        format!(
+            "seed {seed}: all kinds identical on {regions} regions ({sharded_loops} sharded loops)"
+        ),
+    )
+}
+
 /// Serialize a sweep (plus the probes) as the `BENCH_chaos.json` document.
 pub fn to_json(
     runs: &[ChaosRun],
     threads: usize,
     deadline: &(bool, String),
     parity: &(bool, String),
+    sharded: &(bool, String),
 ) -> String {
     let mut out = format!(
         "{{\n  \"experiment\": \"chaos\",\n  \"threads\": {threads},\n  \
          \"deadline_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
-         \"speculation_parity\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
-        deadline.0, deadline.1, parity.0, parity.1
+         \"speculation_parity\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
+         \"sharded_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
+        deadline.0, deadline.1, parity.0, parity.1, sharded.0, sharded.1
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
@@ -536,7 +596,7 @@ pub fn to_json(
     let _ = write!(
         out,
         "  ],\n  \"gate_ok\": {}\n}}\n",
-        runs.iter().all(ChaosRun::ok) && deadline.0 && parity.0
+        runs.iter().all(ChaosRun::ok) && deadline.0 && parity.0 && sharded.0
     );
     out
 }
@@ -611,6 +671,8 @@ mod tests {
         let (ok, detail) = deadline_probe(2);
         assert!(ok, "{detail}");
         let (ok, detail) = speculation_parity(4);
+        assert!(ok, "{detail}");
+        let (ok, detail) = sharded_probe(2, 2, 4);
         assert!(ok, "{detail}");
     }
 }

@@ -25,10 +25,14 @@
 //!   `BENCH_kernels.json`;
 //! * `chaos` — deterministic chaos sweep of the supervised executor
 //!   (seeded fault plans × generator kinds × execution tiers, plus
-//!   deadline and speculation-parity probes), emitting `BENCH_chaos.json`.
+//!   deadline and speculation-parity probes), emitting `BENCH_chaos.json`;
+//! * `locality` (via `kernels_tier --regions R`) — measured blind-vs-
+//!   sharded comparison of the locality-aware partitioned data plane,
+//!   emitting `BENCH_locality.json`.
 
 pub mod chaos;
 pub mod experiments;
+pub mod locality;
 pub mod render;
 pub mod tiers;
 pub mod workloads;

@@ -172,9 +172,18 @@ pub fn tier_comparison(scale: usize) -> Vec<TierRow> {
 /// work-stealing chunked executor, so the comparison isolates the batched
 /// inner loop rather than the scheduler.
 pub fn tier_comparison_threads(scale: usize, threads: usize) -> Vec<TierRow> {
+    tier_comparison_regions(scale, threads, 0)
+}
+
+/// Like [`tier_comparison_threads`], with the sharded data plane enabled
+/// on the batched tier when `regions >= 1`: each workload is analyzed,
+/// the exported access plan drives placement, and the batched phase runs
+/// region-aware. Outputs must still match the scalar and tree-walking
+/// tiers bit-for-bit.
+pub fn tier_comparison_regions(scale: usize, threads: usize, regions: usize) -> Vec<TierRow> {
     workloads(scale.max(1))
         .into_iter()
-        .map(|c| run_case(c, threads.max(1)))
+        .map(|c| run_case(c, threads.max(1), regions))
         .collect()
 }
 
@@ -191,17 +200,21 @@ fn run_tier(
     borrowed: &[(&str, Value)],
     tier: Tier,
     threads: usize,
+    sharding: Option<(usize, std::sync::Arc<dmll_analysis::ProgramPlan>)>,
 ) -> (f64, Value, u64, u64) {
     let interp = match tier {
         Tier::Batched => Interp::new(&case.program),
         Tier::ScalarKernel => Interp::new(&case.program).without_batched_tier(),
         Tier::TreeWalk => Interp::new(&case.program).without_compiled_tier(),
     };
-    let options = match tier {
+    let mut options = match tier {
         Tier::Batched => ParallelOptions::new(threads),
         Tier::ScalarKernel => ParallelOptions::new(threads).scalar_kernel_only(),
         Tier::TreeWalk => ParallelOptions::new(threads).tree_walk_only(),
     };
+    if let Some((regions, plan)) = sharding {
+        options = options.with_regions(regions).with_plan(plan);
+    }
     let mut secs = f64::INFINITY;
     let mut out = None;
     let mut compiled_loops: u64 = 0;
@@ -225,7 +238,18 @@ fn run_tier(
     (secs, out.expect("two runs"), compiled_loops, stolen)
 }
 
-fn run_case(case: Workload, threads: usize) -> TierRow {
+fn run_case(mut case: Workload, threads: usize, regions: usize) -> TierRow {
+    // Sharded data plane on the batched tier: analyze once, export the
+    // access plan, and hand it to the executor alongside the region
+    // count. The scalar and tree-walk comparison phases stay blind — the
+    // tier gate then also certifies sharded == blind bit-identity.
+    let sharding = (regions > 0).then(|| {
+        let result = dmll_analysis::analyze(&mut case.program);
+        (
+            regions,
+            std::sync::Arc::new(dmll_analysis::export_plan(&result)),
+        )
+    });
     let borrowed: Vec<(&str, Value)> = case
         .inputs
         .iter()
@@ -234,15 +258,16 @@ fn run_case(case: Workload, threads: usize) -> TierRow {
 
     reset_tier_totals();
     let (batched_secs, batched_out, compiled_loops, stolen) =
-        run_tier(&case, &borrowed, Tier::Batched, threads);
+        run_tier(&case, &borrowed, Tier::Batched, threads, sharding);
     let ct = tier_totals();
 
     reset_tier_totals();
-    let (compiled_secs, scalar_out, _, _) = run_tier(&case, &borrowed, Tier::ScalarKernel, threads);
+    let (compiled_secs, scalar_out, _, _) =
+        run_tier(&case, &borrowed, Tier::ScalarKernel, threads, None);
 
     reset_tier_totals();
     let (treewalk_secs, treewalk_out, _, _) = if threads > 1 {
-        run_tier(&case, &borrowed, Tier::TreeWalk, threads)
+        run_tier(&case, &borrowed, Tier::TreeWalk, threads, None)
     } else {
         // The sequential tree-walk baseline bypasses the interpreter
         // wrapper entirely, matching the paper's naive-recursive baseline.
@@ -303,6 +328,11 @@ fn run_case(case: Workload, threads: usize) -> TierRow {
         quarantine_trips: st.quarantine_trips,
         deadline_aborts: st.deadline_aborts,
         cancelled_aborts: st.cancelled_aborts,
+        sharded_loops: ct.sharded_loops,
+        stencil_fallbacks: ct.stencil_fallbacks,
+        partition_warnings: ct.partition_warnings,
+        region_local_tasks: ct.region_local_tasks,
+        cross_region_steals: ct.cross_region_steals,
     };
     TierRow {
         app: case.app,
@@ -341,6 +371,9 @@ pub fn to_json(rows: &[TierRow]) -> String {
              \"speculative_launches\": {}, \"speculation_wins\": {}, \
              \"quarantine_trips\": {}, \"deadline_aborts\": {}, \
              \"cancelled_aborts\": {}, \
+             \"sharded_loops\": {}, \"stencil_fallbacks\": {}, \
+             \"partition_warnings\": {}, \"region_local_tasks\": {}, \
+             \"cross_region_steals\": {}, \
              \"batched_elements_per_sec\": {:.0}, \
              \"compiled_elements_per_sec\": {:.0}, \
              \"treewalk_elements_per_sec\": {:.0}}}{}",
@@ -369,6 +402,11 @@ pub fn to_json(rows: &[TierRow]) -> String {
             r.stats.quarantine_trips,
             r.stats.deadline_aborts,
             r.stats.cancelled_aborts,
+            r.stats.sharded_loops,
+            r.stats.stencil_fallbacks,
+            r.stats.partition_warnings,
+            r.stats.region_local_tasks,
+            r.stats.cross_region_steals,
             r.stats.batched_elements_per_sec().unwrap_or(0.0),
             r.stats.compiled_elements_per_sec().unwrap_or(0.0),
             r.stats.treewalk_elements_per_sec().unwrap_or(0.0),

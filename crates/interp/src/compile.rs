@@ -682,6 +682,58 @@ impl KAcc {
     }
 }
 
+/// Build a direct-indexed slot table covering every typed bucket key in
+/// `accs`, when the key range is dense enough to beat per-key hashing.
+/// Returns the minimum key and a table of `u32::MAX` sentinels, or `None`
+/// when the accumulators are not typed-key buckets, hold no keys, or the
+/// key range is too sparse for direct indexing.
+fn dense_slot_table(accs: &[KAcc]) -> Option<(i64, Vec<u32>)> {
+    let mut min_k = i64::MAX;
+    let mut max_k = i64::MIN;
+    let mut total = 0usize;
+    for acc in accs {
+        let keys = match acc {
+            KAcc::BRed {
+                keys: KeyIx::I { keys, .. },
+                ..
+            }
+            | KAcc::BCol {
+                keys: KeyIx::I { keys, .. },
+                ..
+            } => keys,
+            _ => return None,
+        };
+        for &k in keys {
+            min_k = min_k.min(k);
+            max_k = max_k.max(k);
+        }
+        total += keys.len();
+    }
+    if total == 0 {
+        return None; // nothing to stitch; the pairwise fold is free here
+    }
+    let span = (max_k as i128) - (min_k as i128) + 1;
+    if span > (4 * total + 1024) as i128 || span >= u32::MAX as i128 {
+        return None; // sparse keys: direct indexing would waste memory
+    }
+    Some((min_k, vec![u32::MAX; span as usize]))
+}
+
+/// Append a fresh typed key to a `KeyIx::I` directory, returning its slot.
+/// The hash index is deliberately *not* maintained: the dense slot table
+/// is the stitch's directory, and a stitched accumulator is sealed
+/// immediately — it is never re-merged, so nothing reads the index.
+fn push_typed_key(keys: &mut KeyIx, k: i64) -> usize {
+    match keys {
+        KeyIx::I { keys, .. } => {
+            let s = keys.len();
+            keys.push(k);
+            s
+        }
+        KeyIx::V { .. } => unreachable!("dense stitch only runs on typed keys"),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -780,6 +832,24 @@ impl Kernel {
 
     /// Merge two chunk accumulators for generator `gi`, `a` from the earlier
     /// chunk — exactly the tree-walking executor's `merge_pair` semantics.
+    /// True when every top-level generator's merge is *exactly*
+    /// associative, so regrouping chunk boundaries cannot change the
+    /// output bit pattern: collects concatenate contiguous subranges in
+    /// order (any cut points yield the same sequence), and reductions are
+    /// recognized single-instruction integer ops whose wrapping semantics
+    /// are associative (`+`, `*`, `min`, `max` — not `-`). Float
+    /// reductions reassociate rounding and never qualify. The sharded
+    /// data plane uses this to run such loops on region-granular tasks.
+    pub(crate) fn exact_assoc(&self) -> bool {
+        self.gens.iter().all(|g| match g.kind {
+            GenKind::Collect | GenKind::BucketCollect => true,
+            GenKind::Reduce | GenKind::BucketReduce => matches!(
+                g.fast_red,
+                Some(FastRed::I(IOp::Add | IOp::Mul | IOp::Min | IOp::Max))
+            ),
+        })
+    }
+
     pub(crate) fn merge(
         &self,
         gi: usize,
@@ -860,6 +930,160 @@ impl Kernel {
                 ))
             }
         })
+    }
+
+    /// Merge all task accumulators for generator `gi` in one pass, in task
+    /// order — the sharded data plane's "stitch once at merge, by task id".
+    ///
+    /// Bit-identical to folding [`Kernel::merge`] pairwise over the same
+    /// sequence: both visit tasks in task order and keys in first-seen
+    /// order, and both combine values with the same `reduce_*` call on the
+    /// same `(accumulated, incoming)` operands — only the slot-lookup
+    /// bookkeeping differs. For bucket generators with typed `i64` keys and
+    /// a dense key range, the per-task key boxing and per-key hash lookups
+    /// of the pairwise fold are replaced by one direct-indexed slot table;
+    /// everything else falls back to the pairwise fold.
+    pub(crate) fn stitch(
+        &self,
+        gi: usize,
+        accs: Vec<KAcc>,
+        st: &mut KState,
+    ) -> Result<KAcc, EvalError> {
+        match accs.first() {
+            Some(KAcc::BRed {
+                keys: KeyIx::I { .. },
+                ..
+            })
+            | Some(KAcc::BCol {
+                keys: KeyIx::I { .. },
+                ..
+            }) => {}
+            _ => return self.stitch_pairwise(gi, accs, st),
+        }
+        let Some((base, slots)) = dense_slot_table(&accs) else {
+            return self.stitch_pairwise(gi, accs, st);
+        };
+        let mut slots = slots;
+        let gen = &self.gens[gi];
+        // The first task's accumulator is adopted wholesale — exactly what
+        // the pairwise fold does — and only its keys are registered in the
+        // slot table; later tasks stitch into it.
+        let mut it = accs.into_iter();
+        let mut out = it.next().unwrap_or_else(|| KAcc::for_gen(gen, 0));
+        match &out {
+            KAcc::BRed {
+                keys: KeyIx::I { keys, .. },
+                ..
+            }
+            | KAcc::BCol {
+                keys: KeyIx::I { keys, .. },
+                ..
+            } => {
+                for (s, &k) in keys.iter().enumerate() {
+                    slots[(k - base) as usize] = s as u32;
+                }
+            }
+            _ => unreachable!("dense stitch only runs on typed-key buckets"),
+        }
+        for acc in it {
+            match (acc, &mut out) {
+                (
+                    KAcc::BRed {
+                        keys: KeyIx::I { keys, .. },
+                        vals: bv,
+                    },
+                    KAcc::BRed {
+                        keys: out_keys,
+                        vals: out_vals,
+                    },
+                ) => match (&mut *out_vals, bv, gen.fast_red) {
+                    // Recognized single-instruction reducers run natively
+                    // over the unboxed buffers: same arithmetic op on the
+                    // same operands, so still bit-identical — only the
+                    // per-key block dispatch and scalar boxing disappear.
+                    (RedBuf::I(ov), RedBuf::I(bv), Some(FastRed::I(op))) => {
+                        for (ki, k) in keys.into_iter().enumerate() {
+                            let slot = &mut slots[(k - base) as usize];
+                            if *slot == u32::MAX {
+                                *slot = push_typed_key(out_keys, k) as u32;
+                                ov.push(bv[ki]);
+                            } else {
+                                let s = *slot as usize;
+                                ov[s] = apply_i(op, ov[s], bv[ki]);
+                            }
+                        }
+                    }
+                    (RedBuf::F(ov), RedBuf::F(bv), Some(FastRed::F(op))) => {
+                        for (ki, k) in keys.into_iter().enumerate() {
+                            let slot = &mut slots[(k - base) as usize];
+                            if *slot == u32::MAX {
+                                *slot = push_typed_key(out_keys, k) as u32;
+                                ov.push(bv[ki]);
+                            } else {
+                                let s = *slot as usize;
+                                ov[s] = apply_f(op, ov[s], bv[ki]);
+                            }
+                        }
+                    }
+                    (out_vals, bv, _) => {
+                        for (ki, k) in keys.into_iter().enumerate() {
+                            let slot = &mut slots[(k - base) as usize];
+                            let v = bv.get(ki);
+                            if *slot == u32::MAX {
+                                *slot = push_typed_key(out_keys, k) as u32;
+                                out_vals.push(v)?;
+                            } else {
+                                let cur = out_vals.get(*slot as usize);
+                                let next = self.reduce_scalar(gen, cur, v, st)?;
+                                out_vals.set(*slot as usize, next)?;
+                            }
+                        }
+                    }
+                },
+                (
+                    KAcc::BCol {
+                        keys: KeyIx::I { keys, .. },
+                        vals: bv,
+                    },
+                    KAcc::BCol {
+                        keys: out_keys,
+                        vals: out_vals,
+                    },
+                ) => {
+                    for (k, v) in keys.into_iter().zip(bv) {
+                        let slot = &mut slots[(k - base) as usize];
+                        if *slot == u32::MAX {
+                            *slot = push_typed_key(out_keys, k) as u32;
+                            out_vals.push(v);
+                        } else {
+                            out_vals[*slot as usize].extend(v)?;
+                        }
+                    }
+                }
+                _ => {
+                    return Err(EvalError::TypeMismatch(
+                        "mismatched accumulators across chunks".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fold [`Kernel::merge`] over the task accumulators in task order (the
+    /// locality-blind merge, and the stitch's fallback).
+    fn stitch_pairwise(
+        &self,
+        gi: usize,
+        accs: Vec<KAcc>,
+        st: &mut KState,
+    ) -> Result<KAcc, EvalError> {
+        let mut it = accs.into_iter();
+        let mut merged = it.next().ok_or(EvalError::EmptyReduce)?;
+        for acc in it {
+            merged = self.merge(gi, merged, acc, st)?;
+        }
+        Ok(merged)
     }
 
     /// The per-element loop shared by the top level and nested loops;

@@ -76,14 +76,22 @@
 //! chunk path below, which reuses per-worker scratch environments instead
 //! of cloning the full environment for every chunk and retry.
 
+// `ExecError` deliberately embeds the partial `ExecReport` inline in its
+// abort variants: the report is `Copy`, callers (the chaos harness, tests)
+// read it by value via `partial_report().copied()`, and the Err path only
+// fires on supervision aborts — boxing the report would trade a cold-path
+// copy for an allocation and break the by-value contract.
+#![allow(clippy::result_large_err)]
+
 use crate::compile::{self, batch, KAcc, Kernel};
 use crate::error::{EvalError, ExecError};
 use crate::eval::{Acc, Env, Interp};
 use crate::stats;
 use crate::value::{Key, Value};
 use dmll_core::visit::bound_syms;
-use dmll_core::{Def, Exp, Gen, Program};
+use dmll_core::{Def, Exp, Gen, Program, Sym};
 use dmll_runtime::supervise::{StopReason, Supervisor};
+use dmll_runtime::{worker_regions, LoopPlan, ProgramPlan, RegionMap};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -179,6 +187,22 @@ pub struct ParallelOptions {
     /// speculation, quarantine, retry budget). `None` = unsupervised, the
     /// pre-supervision behaviour.
     pub supervisor: Option<Arc<Supervisor>>,
+    /// Execution regions for the locality-aware partitioned data plane.
+    /// `0` (the default) is the locality-blind path: tasks are seeded
+    /// round-robin and any victim is fair game for stealing. `>= 1`
+    /// enables sharded execution on the compiled tier: tasks carry a home
+    /// region derived from [`RegionMap`], workers pop local tasks first
+    /// and steal within their region before crossing, and per-task bucket
+    /// accumulators are stitched once at merge (by task id) instead of
+    /// pairwise-folded.
+    pub regions: usize,
+    /// Per-program access plan from the §4 analyses ([`ProgramPlan`]).
+    /// When set alongside `regions >= 1`, each loop's stencil-driven
+    /// placement decisions are consulted: `Unknown`-stencil collections
+    /// are served from the shared path and counted as fallbacks
+    /// (surfaced through [`ExecReport::stencil_fallbacks`] and the
+    /// process-wide tier stats).
+    pub plan: Option<Arc<ProgramPlan>>,
 }
 
 impl ParallelOptions {
@@ -192,7 +216,26 @@ impl ParallelOptions {
             use_compiled: true,
             use_batched: true,
             supervisor: None,
+            regions: 0,
+            plan: None,
         }
+    }
+
+    /// Enable the sharded, locality-aware data plane with the given number
+    /// of execution regions (clamped to at least 1 task home). Pass the
+    /// machine-derived count from
+    /// [`dmll_runtime::MachineSpec::execution_regions`] to model a real
+    /// socket topology.
+    pub fn with_regions(mut self, regions: usize) -> ParallelOptions {
+        self.regions = regions;
+        self
+    }
+
+    /// Attach the exported access plan so sharded loops can honour
+    /// per-collection placement decisions and surface stencil fallbacks.
+    pub fn with_plan(mut self, plan: Arc<ProgramPlan>) -> ParallelOptions {
+        self.plan = Some(plan);
+        self
     }
 
     /// Set injected faults.
@@ -248,6 +291,16 @@ pub struct ExecReport {
     pub speculation_wins: usize,
     /// Worker circuit-breaker trips observed during this run.
     pub quarantine_trips: usize,
+    /// Top-level loops executed on the sharded (region-aware) data plane.
+    pub sharded_loops: usize,
+    /// Collections served from the shared fallback path because their
+    /// read stencil was `Unknown` (summed over sharded loops).
+    pub stencil_fallbacks: usize,
+    /// Tasks of sharded loops that ran in (or were stolen within) their
+    /// home region.
+    pub region_local_tasks: usize,
+    /// Steals that crossed a region boundary during sharded loops.
+    pub cross_region_steals: usize,
 }
 
 /// Run `program` evaluating top-level multiloops across `threads` worker
@@ -313,6 +366,11 @@ pub fn eval_parallel_supervised(
         env[input.sym.0 as usize] = Some(v);
     }
     let mut report = ExecReport::default();
+    if options.regions > 0 {
+        if let Some(plan) = &options.plan {
+            stats::record_partition_warnings(plan.warnings.len() as u64);
+        }
+    }
     // Faults not yet delivered. Fail-once faults and delays are consumed
     // across the whole evaluation (the coordinator decides before spawning,
     // so injection is deterministic under any thread interleaving);
@@ -359,6 +417,7 @@ pub fn eval_parallel_supervised(
                         &mut env,
                         size,
                         threads,
+                        stmt.lhs.first().copied(),
                         options,
                         &mut pending,
                         &mut report,
@@ -711,19 +770,41 @@ fn plan_tasks(size: i64, threads: usize) -> Vec<(i64, i64)> {
     tasks
 }
 
+/// One task per execution region: the shard itself is the unit of work.
+///
+/// Only used when the loop's kernel is exactly associative (see
+/// [`compile::Kernel::exact_assoc`]) — regrouping chunk boundaries is then
+/// provably bit-exact, and the coarser tasks skip the per-task accumulator
+/// setup and most of the merge that the blind over-decomposition pays for.
+fn region_tasks(size: i64, regions: usize) -> Vec<(i64, i64)> {
+    let rmap = RegionMap::new(size, regions);
+    (0..regions)
+        .map(|r| rmap.bounds(r))
+        .filter(|&(s, e)| s < e)
+        .collect()
+}
+
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Per-worker deques of task ids. Owners pop from the front of their own
 /// deque (preserving range locality); an idle worker steals from the back
-/// of the first non-empty victim.
+/// of the first non-empty victim. In sharded mode tasks carry a home
+/// region: they are seeded onto the workers of that region and each
+/// worker's victim order visits same-region deques before crossing a
+/// region boundary, so cross-region traffic only happens once a whole
+/// region has drained.
 struct StealQueues {
     deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Per-worker victim order as `(victim, crosses_region)` pairs.
+    /// `None` = locality-blind rotation (every steal counts as local).
+    victims: Option<Vec<Vec<(usize, bool)>>>,
 }
 
 impl StealQueues {
-    /// Seed `n_tasks` task ids contiguously across `workers` deques.
+    /// Seed `n_tasks` task ids contiguously across `workers` deques
+    /// (locality-blind).
     fn new(n_tasks: usize, workers: usize) -> StealQueues {
         let per = n_tasks.div_ceil(workers.max(1));
         let deques = (0..workers)
@@ -733,7 +814,67 @@ impl StealQueues {
                 Mutex::new((lo..hi).collect::<VecDeque<usize>>())
             })
             .collect();
-        StealQueues { deques }
+        StealQueues {
+            deques,
+            victims: None,
+        }
+    }
+
+    /// Seed tasks onto the workers of their home region (`homes[t]` is
+    /// task `t`'s region, `worker_region[w]` is worker `w`'s region), with
+    /// a same-region-first victim order per worker. A region with tasks
+    /// but no worker (more regions than workers) seeds onto the last
+    /// worker; stealing redistributes from there.
+    fn new_sharded(homes: &[usize], worker_region: &[usize]) -> StealQueues {
+        let workers = worker_region.len().max(1);
+        let regions = worker_region.iter().copied().max().unwrap_or(0) + 1;
+        let regions = regions.max(homes.iter().copied().max().map_or(1, |m| m + 1));
+        let mut region_tasks: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        for (t, &r) in homes.iter().enumerate() {
+            region_tasks[r.min(regions - 1)].push(t);
+        }
+        let mut region_workers: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        for (w, &r) in worker_region.iter().enumerate() {
+            region_workers[r.min(regions - 1)].push(w);
+        }
+        let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for r in 0..regions {
+            let ts = &region_tasks[r];
+            if ts.is_empty() {
+                continue;
+            }
+            let ws: &[usize] = if region_workers[r].is_empty() {
+                &[workers - 1]
+            } else {
+                &region_workers[r]
+            };
+            let per = ts.len().div_ceil(ws.len());
+            for (k, &w) in ws.iter().enumerate() {
+                let lo = (k * per).min(ts.len());
+                let hi = ((k + 1) * per).min(ts.len());
+                deques[w].extend(ts[lo..hi].iter().copied());
+            }
+        }
+        let victims = (0..workers)
+            .map(|w| {
+                let mut same = Vec::new();
+                let mut cross = Vec::new();
+                for off in 1..workers {
+                    let v = (w + off) % workers;
+                    if worker_region[v] == worker_region[w] {
+                        same.push((v, false));
+                    } else {
+                        cross.push((v, true));
+                    }
+                }
+                same.extend(cross);
+                same
+            })
+            .collect();
+        StealQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            victims: Some(victims),
+        }
     }
 
     /// Pop worker `w`'s own front.
@@ -741,15 +882,29 @@ impl StealQueues {
         lock(&self.deques[w]).pop_front()
     }
 
-    /// Steal the back of the first non-empty victim deque.
-    fn steal(&self, w: usize) -> Option<usize> {
-        let n = self.deques.len();
-        for off in 1..n {
-            if let Some(t) = lock(&self.deques[(w + off) % n]).pop_back() {
-                return Some(t);
+    /// Steal the back of the first non-empty victim deque, same-region
+    /// victims first in sharded mode. The flag reports whether the steal
+    /// crossed a region boundary.
+    fn steal(&self, w: usize) -> Option<(usize, bool)> {
+        match &self.victims {
+            None => {
+                let n = self.deques.len();
+                for off in 1..n {
+                    if let Some(t) = lock(&self.deques[(w + off) % n]).pop_back() {
+                        return Some((t, false));
+                    }
+                }
+                None
+            }
+            Some(orders) => {
+                for &(v, crosses) in &orders[w] {
+                    if let Some(t) = lock(&self.deques[v]).pop_back() {
+                        return Some((t, crosses));
+                    }
+                }
+                None
             }
         }
-        None
     }
 }
 
@@ -782,6 +937,7 @@ struct RoundShared<'a, A> {
     executions: AtomicUsize,
     failed: AtomicUsize,
     stolen: AtomicUsize,
+    cross_steals: AtomicUsize,
     speculative: AtomicUsize,
     spec_wins: AtomicUsize,
 }
@@ -792,6 +948,7 @@ struct RoundOutcome<A> {
     executions: usize,
     failed: usize,
     stolen: usize,
+    cross_steals: usize,
     speculative: usize,
     spec_wins: usize,
     stopped: Option<StopReason>,
@@ -925,13 +1082,14 @@ fn run_stealing<A: Send, S: Send>(
     pending: &PendingFaults,
     states: &mut [S],
     supervisor: Option<&Supervisor>,
+    queues: StealQueues,
     exec: &(impl Fn(&mut S, usize, (i64, i64), bool) -> TaskResult<A> + Sync),
 ) -> RoundOutcome<A> {
     let shared = RoundShared {
         tasks,
         faults,
         flaky_workers: &pending.flaky_workers,
-        queues: StealQueues::new(tasks.len(), states.len()),
+        queues,
         board: Mutex::new(Board {
             slots: (0..tasks.len()).map(|_| None).collect(),
             latencies: Vec::new(),
@@ -945,6 +1103,7 @@ fn run_stealing<A: Send, S: Send>(
         executions: AtomicUsize::new(0),
         failed: AtomicUsize::new(0),
         stolen: AtomicUsize::new(0),
+        cross_steals: AtomicUsize::new(0),
         speculative: AtomicUsize::new(0),
         spec_wins: AtomicUsize::new(0),
     };
@@ -978,7 +1137,10 @@ fn run_stealing<A: Send, S: Send>(
                             task: t,
                             stolen: false,
                         })
-                    } else if let Some(t) = shared.queues.steal(w) {
+                    } else if let Some((t, crosses)) = shared.queues.steal(w) {
+                        if crosses {
+                            shared.cross_steals.fetch_add(1, Ordering::Relaxed);
+                        }
                         Some(Job::Fresh {
                             task: t,
                             stolen: true,
@@ -1016,6 +1178,7 @@ fn run_stealing<A: Send, S: Send>(
         executions: shared.executions.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
         stolen: shared.stolen.load(Ordering::Relaxed),
+        cross_steals: shared.cross_steals.load(Ordering::Relaxed),
         speculative: shared.speculative.load(Ordering::Relaxed),
         spec_wins: shared.spec_wins.load(Ordering::Relaxed),
         stopped,
@@ -1029,20 +1192,55 @@ fn run_chunked(
     env: &mut Env,
     size: i64,
     threads: usize,
+    loop_sym: Option<Sym>,
     options: &ParallelOptions,
     pending: &mut PendingFaults,
     report: &mut ExecReport,
     pool: &mut Vec<ScratchEnv>,
 ) -> Result<Vec<Value>, ExecError> {
-    let tasks = plan_tasks(size, threads);
-    let workers = threads.min(tasks.len()).max(1);
-    let faults = pending.for_tasks(tasks.len());
+    // Stencil-driven placement for this loop (sharded runs only): loops
+    // reading a collection with an `Unknown` stencil still run sharded,
+    // but that collection is served from the shared path and the fallback
+    // is surfaced rather than silently absorbed.
+    let lplan: Option<&LoopPlan> = if options.regions > 0 {
+        options
+            .plan
+            .as_deref()
+            .zip(loop_sym)
+            .and_then(|(p, s)| p.loop_plan(s))
+    } else {
+        None
+    };
+    if let Some(lp) = lplan {
+        if lp.fallbacks > 0 {
+            stats::record_stencil_fallbacks(lp.fallbacks as u64);
+            report.stencil_fallbacks += lp.fallbacks;
+        }
+    }
 
     // Compiled tier first: worker tasks and chunk recovery execute the
     // very same cached kernel, so results (and fault-tolerance semantics)
     // are bit-identical to the tree-walking tier.
-    if options.use_compiled {
-        if let Some(kernel) = compile::kernel_for(ml, env) {
+    let kernel = if options.use_compiled {
+        compile::kernel_for(ml, env)
+    } else {
+        None
+    };
+    // Task plan: the blind over-decomposition by default; one task per
+    // region (the shard itself) on the sharded plane when every merge is
+    // exactly associative, so the regrouping provably cannot change the
+    // output bit pattern. Float-reducing loops keep the blind granularity
+    // — their merge order must match the blind path bit-for-bit.
+    let tasks = if options.regions > 0 && kernel.as_ref().is_some_and(|k| k.exact_assoc()) {
+        region_tasks(size, options.regions.min(threads).max(1))
+    } else {
+        plan_tasks(size, threads)
+    };
+    let workers = threads.min(tasks.len()).max(1);
+    let faults = pending.for_tasks(tasks.len());
+
+    if let Some(kernel) = kernel {
+        {
             let batched = options.use_batched && kernel.batchable;
             let t0 = Instant::now();
             let out = run_chunked_kernel(
@@ -1078,9 +1276,11 @@ fn absorb_round<A>(
     report.chunk_executions += outcome.executions;
     report.failed_executions += outcome.failed;
     report.stolen_tasks += outcome.stolen;
+    report.cross_region_steals += outcome.cross_steals;
     report.speculative_tasks += outcome.speculative;
     report.speculation_wins += outcome.spec_wins;
     stats::record_steals(outcome.stolen as u64);
+    stats::record_cross_region_steals(outcome.cross_steals as u64);
     if let Some(reason) = outcome.stopped {
         let sup = supervisor.expect("stop reasons only arise under supervision");
         return Err(stop_error(sup, reason, *report));
@@ -1188,6 +1388,7 @@ fn run_chunked_treewalk(
             pending,
             &mut pool[..workers],
             supervisor,
+            StealQueues::new(tasks.len(), workers),
             &|scratch, ci, range, injected| {
                 execute_chunk(
                     interp,
@@ -1270,6 +1471,19 @@ fn run_chunked_kernel(
     let panic_workers = pending.panic_workers;
     let supervisor = options.supervisor.as_deref();
 
+    // Sharded data plane: derive each task's home region from the block-
+    // aligned region map over the loop bounds, pin workers to regions, and
+    // let the steal order prefer same-region victims.
+    let sharded = options.regions > 0 && !tasks.is_empty();
+    let queues = if sharded {
+        let r_eff = options.regions.min(workers).max(1);
+        let rmap = RegionMap::new(tasks.last().map_or(0, |t| t.1), r_eff);
+        let homes: Vec<usize> = tasks.iter().map(|&(s, _)| rmap.region_of(s)).collect();
+        StealQueues::new_sharded(&homes, &worker_regions(workers, r_eff))
+    } else {
+        StealQueues::new(tasks.len(), workers)
+    };
+
     let mut states: Vec<Option<KernelState>> = (0..workers).map(|_| None).collect();
     let outcome = run_stealing(
         tasks,
@@ -1277,6 +1491,7 @@ fn run_chunked_kernel(
         pending,
         &mut states,
         supervisor,
+        queues,
         &|state, ci, range, injected| {
             execute_chunk_kernel(
                 kernel,
@@ -1290,7 +1505,15 @@ fn run_chunked_kernel(
             )
         },
     );
+    let cross = outcome.cross_steals;
     let first_round = unreported_as_died(absorb_round(outcome, report, supervisor)?);
+    if sharded {
+        stats::record_sharded_loop();
+        report.sharded_loops += 1;
+        let local = tasks.len().saturating_sub(cross);
+        stats::record_region_local_tasks(local as u64);
+        report.region_local_tasks += local;
+    }
 
     let mut retry_state: Option<KernelState> = None;
     let per_chunk = recover_chunks(first_round, tasks, options, report, |ci, range| {
@@ -1307,22 +1530,46 @@ fn run_chunked_kernel(
     })?;
 
     // Merge in chunk order on a coordinator state (reducer blocks execute
-    // as bytecode too), then seal each generator's accumulator.
+    // as bytecode too), then seal each generator's accumulator. The
+    // sharded plane stitches each generator's per-task accumulators once,
+    // by task id (dense slot directory for integer bucket keys); the
+    // blind plane folds them pairwise. Both apply the same reducer calls
+    // to the same operands in the same order, so outputs are
+    // bit-identical across planes.
     let mut st = kernel.new_state(env)?;
     let n_gens = kernel.gens.len();
-    let mut merged: Vec<Option<KAcc>> = (0..n_gens).map(|_| None).collect();
-    for chunk_accs in per_chunk {
-        for (gi, acc) in chunk_accs.into_iter().enumerate() {
-            merged[gi] = Some(match merged[gi].take() {
-                None => acc,
-                Some(m) => kernel.merge(gi, m, acc, &mut st)?,
-            });
-        }
-    }
     let mut outputs = Vec::with_capacity(n_gens);
-    for (gi, m) in merged.into_iter().enumerate() {
-        let acc = m.unwrap_or_else(|| KAcc::for_gen(&kernel.gens[gi], 0));
-        outputs.push(kernel.seal_gen_value(gi, acc, &mut st)?);
+    if sharded {
+        let mut per_gen: Vec<Vec<KAcc>> = (0..n_gens)
+            .map(|_| Vec::with_capacity(per_chunk.len()))
+            .collect();
+        for chunk_accs in per_chunk {
+            for (gi, acc) in chunk_accs.into_iter().enumerate() {
+                per_gen[gi].push(acc);
+            }
+        }
+        for (gi, accs) in per_gen.into_iter().enumerate() {
+            let acc = if accs.is_empty() {
+                KAcc::for_gen(&kernel.gens[gi], 0)
+            } else {
+                kernel.stitch(gi, accs, &mut st)?
+            };
+            outputs.push(kernel.seal_gen_value(gi, acc, &mut st)?);
+        }
+    } else {
+        let mut merged: Vec<Option<KAcc>> = (0..n_gens).map(|_| None).collect();
+        for chunk_accs in per_chunk {
+            for (gi, acc) in chunk_accs.into_iter().enumerate() {
+                merged[gi] = Some(match merged[gi].take() {
+                    None => acc,
+                    Some(m) => kernel.merge(gi, m, acc, &mut st)?,
+                });
+            }
+        }
+        for (gi, m) in merged.into_iter().enumerate() {
+            let acc = m.unwrap_or_else(|| KAcc::for_gen(&kernel.gens[gi], 0));
+            outputs.push(kernel.seal_gen_value(gi, acc, &mut st)?);
+        }
     }
     Ok(outputs)
 }

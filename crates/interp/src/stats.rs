@@ -38,6 +38,12 @@ static QUARANTINE_TRIPS: AtomicU64 = AtomicU64::new(0);
 static DEADLINE_ABORTS: AtomicU64 = AtomicU64::new(0);
 static CANCELLED_ABORTS: AtomicU64 = AtomicU64::new(0);
 
+static SHARDED_LOOPS: AtomicU64 = AtomicU64::new(0);
+static STENCIL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static PARTITION_WARNINGS: AtomicU64 = AtomicU64::new(0);
+static REGION_LOCAL_TASKS: AtomicU64 = AtomicU64::new(0);
+static CROSS_REGION_STEALS: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) fn record_compile(d: Duration) {
     KERNELS_COMPILED.fetch_add(1, Ordering::Relaxed);
     COMPILE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -109,6 +115,26 @@ pub(crate) fn record_cancelled_abort() {
     CANCELLED_ABORTS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_sharded_loop() {
+    SHARDED_LOOPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_stencil_fallbacks(n: u64) {
+    STENCIL_FALLBACKS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_partition_warnings(n: u64) {
+    PARTITION_WARNINGS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_region_local_tasks(n: u64) {
+    REGION_LOCAL_TASKS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cross_region_steals(n: u64) {
+    CROSS_REGION_STEALS.fetch_add(n, Ordering::Relaxed);
+}
+
 /// A snapshot of the tier counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierTotals {
@@ -160,6 +186,19 @@ pub struct TierTotals {
     pub deadline_aborts: u64,
     /// Supervised runs aborted by cancellation.
     pub cancelled_aborts: u64,
+    /// Loop executions scheduled by the partitioned data plane (tasks had
+    /// home regions; bucket merges used the region stitch).
+    pub sharded_loops: u64,
+    /// Per-loop collection reads served from the shared path because their
+    /// stencil was `Unknown` (§4.2's "fall back to runtime data movement").
+    pub stencil_fallbacks: u64,
+    /// Partition-analysis warnings attached to executed access plans.
+    pub partition_warnings: u64,
+    /// Sharded tasks executed inside their home region.
+    pub region_local_tasks: u64,
+    /// Sharded tasks stolen across a region boundary (only after the
+    /// thief's own region ran dry).
+    pub cross_region_steals: u64,
 }
 
 impl TierTotals {
@@ -213,6 +252,11 @@ pub fn tier_totals() -> TierTotals {
         quarantine_trips: QUARANTINE_TRIPS.load(Ordering::Relaxed),
         deadline_aborts: DEADLINE_ABORTS.load(Ordering::Relaxed),
         cancelled_aborts: CANCELLED_ABORTS.load(Ordering::Relaxed),
+        sharded_loops: SHARDED_LOOPS.load(Ordering::Relaxed),
+        stencil_fallbacks: STENCIL_FALLBACKS.load(Ordering::Relaxed),
+        partition_warnings: PARTITION_WARNINGS.load(Ordering::Relaxed),
+        region_local_tasks: REGION_LOCAL_TASKS.load(Ordering::Relaxed),
+        cross_region_steals: CROSS_REGION_STEALS.load(Ordering::Relaxed),
     }
 }
 
@@ -242,6 +286,11 @@ pub fn reset_tier_totals() {
         &QUARANTINE_TRIPS,
         &DEADLINE_ABORTS,
         &CANCELLED_ABORTS,
+        &SHARDED_LOOPS,
+        &STENCIL_FALLBACKS,
+        &PARTITION_WARNINGS,
+        &REGION_LOCAL_TASKS,
+        &CROSS_REGION_STEALS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

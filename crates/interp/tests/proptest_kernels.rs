@@ -438,6 +438,134 @@ proptest! {
     }
 }
 
+// Differential tests for the sharded (locality-aware) data plane: the
+// plan-driven region-aware configuration must stay bit-identical to the
+// locality-blind executor and to the tree-walking tier over the same
+// chunked executor, for every generator kind, including under injected
+// chunk faults. Exact-associative (all-integer) programs additionally
+// exercise the region-granular task path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All four generator kinds in one program, float and int outputs,
+    /// random region counts and chunk faults: sharded == blind == chunked
+    /// tree-walker, bit-for-bit. The float Reduce keeps the loop on blind
+    /// task granularity, so this pins the stitch merge + region-aware
+    /// stealing, not task regrouping.
+    #[test]
+    fn sharded_plane_matches_blind_and_treewalk(
+        data in prop::collection::vec(0i64..3000, 1500..4000),
+        threads in 2usize..6,
+        regions in 1usize..5,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        panicking in any::<bool>(),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let scaled = st.map(&x, |st, e| {
+            let ef = st.i2f(e);
+            let c = st.lit_f(3.0);
+            st.div(&ef, &c)
+        });
+        let total = st.sum(&scaled);
+        let m = st.lit_i(7);
+        let zero = st.lit_i(0);
+        let counts = st.group_by_reduce(
+            &x,
+            move |st, e| st.rem(e, &m),
+            |st, _e| st.lit_i(1),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let groups = st.group_by(&x, |st, e| {
+            let m = st.lit_i(3);
+            st.rem(e, &m)
+        });
+        let ckeys = st.bucket_keys(&counts);
+        let cvals = st.bucket_values(&counts);
+        let gkeys = st.bucket_keys(&groups);
+        let out = st.tuple(&[&total, &ckeys, &cvals, &gkeys]);
+        let mut p = st.finish(&out);
+
+        let plan = std::sync::Arc::new(dmll_analysis::export_plan(&dmll_analysis::analyze(&mut p)));
+        let inputs = [("x", Value::i64_arr(data))];
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let blind_opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (blind, _) = eval_parallel_report(&p, &inputs, &blind_opts).unwrap();
+
+        let sharded_opts = ParallelOptions::new(threads)
+            .with_regions(regions)
+            .with_plan(plan)
+            .with_faults(faults.clone());
+        let (sharded, report) = eval_parallel_report(&p, &inputs, &sharded_opts).unwrap();
+        prop_assert!(report.sharded_loops >= 1, "never ran sharded: {report:?}");
+        prop_assert_eq!(&sharded, &blind, "sharded vs blind");
+
+        let walk_opts = ParallelOptions::new(threads)
+            .tree_walk_only()
+            .with_faults(faults);
+        let (walked, _) = eval_parallel_report(&p, &inputs, &walk_opts).unwrap();
+        prop_assert_eq!(sharded, walked, "sharded vs chunked tree-walker");
+    }
+
+    /// All-integer program (every reduce is a recognized wrapping int op):
+    /// the sharded plane regroups the loop onto region-granular tasks, and
+    /// the output must still match the blind path and the *sequential*
+    /// tree-walker exactly — integer regrouping is bit-exact.
+    #[test]
+    fn sharded_region_tasks_are_exact(
+        data in prop::collection::vec(-2000i64..2000, 1500..5000),
+        threads in 2usize..6,
+        regions in 2usize..5,
+        fail_a in 0usize..4,
+        panicking in any::<bool>(),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let doubled = st.map(&x, |st, e| st.add(e, e));
+        let total = st.sum(&doubled);
+        let m = st.lit_i(11);
+        let zero = st.lit_i(0);
+        let maxes = st.group_by_reduce(
+            &x,
+            move |st, e| st.rem(e, &m),
+            |_st, e| e.clone(),
+            |st, a, b| st.max(a, b),
+            Some(&zero),
+        );
+        let mkeys = st.bucket_keys(&maxes);
+        let mvals = st.bucket_values(&maxes);
+        let out = st.tuple(&[&total, &mkeys, &mvals]);
+        let mut p = st.finish(&out);
+
+        let plan = std::sync::Arc::new(dmll_analysis::export_plan(&dmll_analysis::analyze(&mut p)));
+        let inputs = [("x", Value::i64_arr(data))];
+        let mut faults = ChunkFaults::fail_once([fail_a]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let blind_opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (blind, _) = eval_parallel_report(&p, &inputs, &blind_opts).unwrap();
+
+        let sharded_opts = ParallelOptions::new(threads)
+            .with_regions(regions)
+            .with_plan(plan)
+            .with_faults(faults);
+        let (sharded, report) = eval_parallel_report(&p, &inputs, &sharded_opts).unwrap();
+        prop_assert!(report.sharded_loops >= 1, "never ran sharded: {report:?}");
+        prop_assert_eq!(&sharded, &blind, "sharded (region tasks) vs blind");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(sharded, seq, "sharded (region tasks) vs sequential");
+    }
+}
+
 /// Exact multiple of the block width: no scalar tail at all.
 #[test]
 fn batched_exact_block_multiple() {

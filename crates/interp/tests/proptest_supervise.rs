@@ -7,7 +7,7 @@ use dmll_frontend::Stage;
 use dmll_interp::{
     eval_parallel, eval_parallel_supervised, ChunkFaults, ExecError, ParallelOptions, Value,
 };
-use dmll_runtime::{SpeculationPolicy, Supervisor, SupervisorPolicy};
+use dmll_runtime::{QuarantinePolicy, SpeculationPolicy, Supervisor, SupervisorPolicy};
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -156,6 +156,58 @@ proptest! {
             }
             other => prop_assert!(false, "expected Deadline, got {:?}", other),
         }
+    }
+
+    /// The sharded data plane composes with the full supervision stack:
+    /// under aggressive speculation, a hair-trigger quarantine breaker,
+    /// injected chunk deaths, and straggler delays, the plan-driven
+    /// region-aware run stays bit-identical to the plain blind run.
+    #[test]
+    fn sharded_plane_composes_with_supervision(
+        seed in 0u64..1_000,
+        threads in 2usize..5,
+        regions in 1usize..5,
+        rows in 2_000usize..6_000,
+        killed in prop::collection::vec(0usize..6, 0usize..3),
+        delayed in prop::collection::vec(0usize..8, 0usize..2),
+        panicking in any::<bool>(),
+    ) {
+        let mut program = bucket_sums();
+        let plan = std::sync::Arc::new(
+            dmll_analysis::export_plan(&dmll_analysis::analyze(&mut program)),
+        );
+        let data: Vec<i64> = (0..rows as u64)
+            .map(|i| ((seed.wrapping_mul(29).wrapping_add(i * 13)) % 977) as i64)
+            .collect();
+        let inputs = [("x", Value::i64_arr(data))];
+        let baseline = eval_parallel(&program, &inputs, threads).unwrap();
+
+        let mut faults = ChunkFaults::fail_once(killed.iter().copied());
+        if panicking {
+            faults = faults.panicking();
+        }
+        for &ci in &delayed {
+            faults = faults.and_delay(ci, Duration::from_millis(2));
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            retry_budget: 64,
+            speculation: aggressive_speculation(),
+            quarantine: QuarantinePolicy {
+                enabled: true,
+                max_failures: 1,
+                window: 4,
+                cooldown: 4,
+            },
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_regions(regions)
+            .with_plan(plan)
+            .with_faults(faults)
+            .supervised(sup);
+        let (value, report) = eval_parallel_supervised(&program, &inputs, &opts).unwrap();
+        prop_assert!(report.sharded_loops >= 1, "never ran sharded: {report:?}");
+        prop_assert_eq!(value, baseline);
     }
 
     /// Supervision is invisible to recovery: runs with injected one-shot

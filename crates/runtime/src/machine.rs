@@ -110,6 +110,14 @@ impl MachineSpec {
         let cores = cores.clamp(1, self.total_cores());
         cores.div_ceil(self.cores_per_socket)
     }
+
+    /// How many execution regions the partitioned data plane splits a
+    /// `threads`-wide run into: at most one per socket, never more than the
+    /// thread count. On the paper's 4-socket testbed this is the default
+    /// `min(threads, 4)`.
+    pub fn execution_regions(&self, threads: usize) -> usize {
+        threads.clamp(1, self.sockets.max(1))
+    }
 }
 
 /// A cluster of identical machines.

@@ -371,6 +371,19 @@ pub struct ExecTierStats {
     pub deadline_aborts: u64,
     /// Supervised runs aborted by cancellation.
     pub cancelled_aborts: u64,
+    /// Loop executions scheduled by the partitioned data plane (tasks had
+    /// home regions; bucket merges used the region stitch).
+    pub sharded_loops: u64,
+    /// Per-loop collection reads served from the shared path because their
+    /// stencil was `Unknown` (§4.2's "fall back to runtime data movement").
+    pub stencil_fallbacks: u64,
+    /// Partition-analysis warnings attached to executed access plans.
+    pub partition_warnings: u64,
+    /// Sharded tasks executed inside their home region.
+    pub region_local_tasks: u64,
+    /// Sharded tasks stolen across a region boundary (only after the
+    /// thief's own region ran dry).
+    pub cross_region_steals: u64,
 }
 
 impl ExecTierStats {

@@ -269,6 +269,24 @@ pub fn plan_loop(
     plan
 }
 
+/// Assign `workers` threads to `regions` execution regions, contiguously
+/// and as evenly as possible (the same shape `RegionMap` uses for data, so
+/// a worker's tasks live in its own region by construction). With fewer
+/// workers than regions, later regions have no dedicated worker and their
+/// tasks are reached by cross-region stealing.
+pub fn worker_regions(workers: usize, regions: usize) -> Vec<usize> {
+    let regions = regions.max(1);
+    let base = workers / regions;
+    let rem = workers % regions;
+    let mut out = Vec::with_capacity(workers);
+    for r in 0..regions {
+        let n = base + usize::from(r < rem);
+        out.extend(std::iter::repeat_n(r, n));
+    }
+    debug_assert_eq!(out.len(), workers);
+    out
+}
+
 /// Derive a node-level directory from a [`crate::DistArray`] directory,
 /// mapping element ranges to owning nodes (socket detail dropped).
 pub fn node_directory(dir: &[(usize, usize, Location)]) -> Vec<(i64, i64, usize)> {
@@ -286,6 +304,29 @@ pub fn node_directory(dir: &[(usize, usize, Location)]) -> Vec<(i64, i64, usize)
 mod tests {
     use super::*;
     use crate::machine::MachineSpec;
+
+    #[test]
+    fn worker_regions_contiguous_and_even() {
+        assert_eq!(worker_regions(4, 4), vec![0, 1, 2, 3]);
+        assert_eq!(worker_regions(6, 4), vec![0, 0, 1, 1, 2, 3]);
+        assert_eq!(worker_regions(2, 4), vec![0, 1]);
+        assert_eq!(worker_regions(5, 1), vec![0, 0, 0, 0, 0]);
+        assert_eq!(worker_regions(0, 3), Vec::<usize>::new());
+        // Never skips a region when workers >= regions; never exceeds bounds.
+        for workers in 1..10 {
+            for regions in 1..10 {
+                let wr = worker_regions(workers, regions);
+                assert_eq!(wr.len(), workers);
+                assert!(wr.windows(2).all(|w| w[0] <= w[1]), "monotone: {wr:?}");
+                assert!(wr.iter().all(|&r| r < regions));
+                if workers >= regions {
+                    for r in 0..regions {
+                        assert!(wr.contains(&r), "region {r} unstaffed: {wr:?}");
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn even_split_covers_everything() {

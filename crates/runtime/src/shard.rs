@@ -1,0 +1,339 @@
+//! The partitioned data plane (§4 → §5).
+//!
+//! [`RegionMap`] partitions an index space `[0, len)` into *execution
+//! regions* — simulated sockets derived from [`MachineSpec`] — with
+//! block-aligned boundaries. Co-partitioned collections share one map by
+//! `Arc`, which is exactly the paper's "boundary map": aligned reads on any
+//! of them stay within the same region.
+//!
+//! [`ShardedArray`] holds one owned shard per region plus the shared map.
+//! The three §4.2 placements are materialized here:
+//!
+//! * **aligned / halo** — [`ShardedArray::halo`] copies exactly the
+//!   elements a region's tasks read: its own slice plus `lo`/`hi` extra
+//!   elements across each boundary (clamped at the ends);
+//! * **broadcast** — [`ShardedArray::replica`] materializes one full
+//!   replica (one per region in a real multi-socket run);
+//! * **fallback** — reads that cannot be localized route through
+//!   [`ShardedArray::get`], which walks the region directory at runtime
+//!   (the counted "runtime data movement" path).
+//!
+//! In this reproduction's single-address-space embodiment the executor
+//! reads shared `Arc` buffers (placement is free on one memory region), so
+//! the shard layer is exercised directly by its tests, by the locality
+//! bench's data staging, and by `fig7_numa --measured`; the *decisions* —
+//! which collection gets which placement, which region owns which task —
+//! drive the real executor through [`ProgramPlan`].
+
+use crate::machine::MachineSpec;
+use std::sync::Arc;
+
+pub use dmll_analysis::plan::{export as export_plan, LoopPlan, Placement, ProgramPlan};
+
+/// Region boundaries are aligned to the batched tier's block width so a
+/// block-granular task almost always falls entirely inside one region.
+pub const REGION_ALIGN: i64 = 1024;
+
+/// A contiguous, block-aligned partition of `[0, len)` into execution
+/// regions. Cheap to share: collections co-partitioned by the analysis hold
+/// the same `Arc<RegionMap>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    len: i64,
+    bounds: Vec<(i64, i64)>,
+}
+
+impl RegionMap {
+    /// Split `[0, len)` into `regions` block-aligned contiguous pieces.
+    /// Blocks are dealt as evenly as possible; trailing regions may be
+    /// empty when there are fewer blocks than regions.
+    pub fn new(len: i64, regions: usize) -> RegionMap {
+        let regions = regions.max(1);
+        let len = len.max(0);
+        let blocks = (len + REGION_ALIGN - 1) / REGION_ALIGN;
+        let base = blocks / regions as i64;
+        let rem = (blocks % regions as i64) as usize;
+        let mut bounds = Vec::with_capacity(regions);
+        let mut start = 0i64;
+        for r in 0..regions {
+            let nb = base + i64::from(r < rem);
+            let end = (start + nb * REGION_ALIGN).min(len);
+            bounds.push((start, end));
+            start = end;
+        }
+        RegionMap { len, bounds }
+    }
+
+    /// The map for a `threads`-wide run on `spec`: one region per socket
+    /// the run occupies (`min(threads, sockets)`).
+    pub fn for_machine(spec: &MachineSpec, threads: usize, len: i64) -> RegionMap {
+        RegionMap::new(len, spec.execution_regions(threads))
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total length of the partitioned index space.
+    pub fn len(&self) -> i64 {
+        self.len
+    }
+
+    /// True when the index space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Half-open bounds of region `r`.
+    pub fn bounds(&self, r: usize) -> (i64, i64) {
+        self.bounds[r]
+    }
+
+    /// The region owning index `i` (indices past the end map to the last
+    /// region, so task ranges clamped to `len` still resolve).
+    pub fn region_of(&self, i: i64) -> usize {
+        let r = self.bounds.partition_point(|&(_, end)| end <= i);
+        r.min(self.bounds.len() - 1)
+    }
+}
+
+/// A read-only window over one region's data: the shard plus its halo.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardView<T> {
+    /// Global index of the first element in `data`.
+    pub offset: i64,
+    /// The materialized elements.
+    pub data: Vec<T>,
+}
+
+impl<T> ShardView<T> {
+    /// The element at *global* index `i`, if this view holds it.
+    pub fn get(&self, i: i64) -> Option<&T> {
+        usize::try_from(i - self.offset).ok().and_then(|k| self.data.get(k))
+    }
+}
+
+/// An SoA collection split into per-region owned shards sharing one
+/// boundary map.
+#[derive(Clone, Debug)]
+pub struct ShardedArray<T> {
+    map: Arc<RegionMap>,
+    /// Elements of region `r` per shard; `scale` elements per index.
+    shards: Vec<Arc<Vec<T>>>,
+    /// Elements per partitioned index (1 for flat arrays, `cols` for a
+    /// row-partitioned matrix stored flat).
+    scale: usize,
+}
+
+impl<T: Clone> ShardedArray<T> {
+    /// Split `data` (one element per index) on `map`'s boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` disagrees with the map.
+    pub fn split(data: &[T], map: Arc<RegionMap>) -> ShardedArray<T> {
+        ShardedArray::split_scaled(data, map, 1)
+    }
+
+    /// Split `data` holding `scale` elements per partitioned index (e.g. a
+    /// row-major matrix with `scale = cols`, co-partitioned with its row
+    /// space). The resulting collection shares `map` — the boundary map —
+    /// with every other collection split on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != map.len() * scale`.
+    pub fn split_scaled(data: &[T], map: Arc<RegionMap>, scale: usize) -> ShardedArray<T> {
+        assert!(scale >= 1, "scale must be at least 1");
+        assert_eq!(
+            data.len() as i64,
+            map.len() * scale as i64,
+            "data length disagrees with the region map"
+        );
+        let shards = (0..map.regions())
+            .map(|r| {
+                let (s, e) = map.bounds(r);
+                Arc::new(data[s as usize * scale..e as usize * scale].to_vec())
+            })
+            .collect();
+        ShardedArray { map, shards, scale }
+    }
+
+    /// The shared boundary map.
+    pub fn region_map(&self) -> &Arc<RegionMap> {
+        &self.map
+    }
+
+    /// Region `r`'s owned shard.
+    pub fn shard(&self, r: usize) -> &Arc<Vec<T>> {
+        &self.shards[r]
+    }
+
+    /// Materialize exactly what region `r`'s aligned tasks read: its own
+    /// slice plus `lo` indices before and `hi` after (clamped to the
+    /// collection). Halo elements are copied from the neighbouring shards —
+    /// no access to a shared backing array.
+    pub fn halo(&self, r: usize, lo: i64, hi: i64) -> ShardView<T> {
+        let (s, e) = self.map.bounds(r);
+        let start = (s - lo.max(0)).max(0);
+        let end = (e + hi.max(0)).min(self.map.len());
+        let mut data = Vec::with_capacity(((end - start).max(0) as usize) * self.scale);
+        let mut i = start;
+        while i < end {
+            let owner = self.map.region_of(i);
+            let (os, oe) = self.map.bounds(owner);
+            let take_to = oe.min(end);
+            let shard = &self.shards[owner];
+            data.extend_from_slice(
+                &shard[(i - os) as usize * self.scale..(take_to - os) as usize * self.scale],
+            );
+            i = take_to.max(i + 1);
+        }
+        ShardView {
+            offset: start * self.scale as i64,
+            data,
+        }
+    }
+
+    /// One full broadcast replica (what each region receives for a
+    /// `Const`/`All` stencil).
+    pub fn replica(&self) -> Arc<Vec<T>> {
+        Arc::new(self.gather())
+    }
+
+    /// Reassemble the collection in index order.
+    pub fn gather(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.map.len() as usize * self.scale);
+        for shard in &self.shards {
+            out.extend_from_slice(shard);
+        }
+        out
+    }
+
+    /// The fallback path: resolve a single *element* index through the
+    /// region directory at runtime ("runtime data movement").
+    pub fn get(&self, i: i64) -> Option<&T> {
+        if i < 0 || i >= self.map.len() * self.scale as i64 {
+            return None;
+        }
+        let idx = i / self.scale as i64;
+        let r = self.map.region_of(idx);
+        let (s, _) = self.map.bounds(r);
+        self.shards[r].get((i - s * self.scale as i64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_map_covers_exactly_once() {
+        for (len, regions) in [(0i64, 3), (10, 4), (4096, 4), (5000, 4), (100_000, 3), (1024, 1)] {
+            let m = RegionMap::new(len, regions);
+            assert_eq!(m.regions(), regions);
+            let mut prev = 0;
+            for r in 0..regions {
+                let (s, e) = m.bounds(r);
+                assert_eq!(s, prev, "contiguous at region {r}");
+                assert!(e >= s);
+                assert!(
+                    s % REGION_ALIGN == 0 || s == len,
+                    "region boundaries are block-aligned (or the clamped end)"
+                );
+                prev = e;
+            }
+            assert_eq!(prev, len.max(0), "covers the whole space");
+            for i in 0..len {
+                let r = m.region_of(i);
+                let (s, e) = m.bounds(r);
+                assert!(s <= i && i < e, "index {i} routed to region {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_regions_default_min_threads_sockets() {
+        let numa = MachineSpec::numa_4x12();
+        assert_eq!(numa.execution_regions(1), 1);
+        assert_eq!(numa.execution_regions(4), 4);
+        assert_eq!(numa.execution_regions(48), 4);
+        let ec2 = MachineSpec::m1_xlarge();
+        assert_eq!(ec2.execution_regions(4), 1);
+    }
+
+    #[test]
+    fn split_gather_roundtrip() {
+        let data: Vec<i64> = (0..5000).collect();
+        let map = Arc::new(RegionMap::new(5000, 4));
+        let sa = ShardedArray::split(&data, map.clone());
+        assert_eq!(sa.gather(), data);
+        assert_eq!(*sa.replica(), data);
+        for i in [0i64, 1023, 1024, 4999] {
+            assert_eq!(sa.get(i), Some(&i));
+        }
+        assert_eq!(sa.get(5000), None);
+        assert_eq!(sa.get(-1), None);
+    }
+
+    #[test]
+    fn halo_materializes_exactly_the_needed_window() {
+        let data: Vec<i64> = (0..4096).collect();
+        let map = Arc::new(RegionMap::new(4096, 4));
+        let sa = ShardedArray::split(&data, map);
+        // Interior region with a symmetric halo of 2.
+        let v = sa.halo(1, 2, 2);
+        assert_eq!(v.offset, 1022);
+        assert_eq!(v.data, (1022..2050).collect::<Vec<i64>>());
+        assert_eq!(v.get(1022), Some(&1022));
+        assert_eq!(v.get(2049), Some(&2049));
+        assert_eq!(v.get(1021), None);
+        assert_eq!(v.get(2050), None);
+        // Edge regions clamp at the collection bounds.
+        let first = sa.halo(0, 5, 1);
+        assert_eq!(first.offset, 0);
+        assert_eq!(first.data.len(), 1025);
+        let last = sa.halo(3, 1, 5);
+        assert_eq!(last.offset, 3071);
+        assert_eq!(last.data, (3071..4096).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn copartitioned_collections_share_one_boundary_map() {
+        let n = 3000i64;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<i64> = (0..n).rev().collect();
+        let map = Arc::new(RegionMap::new(n, 3));
+        let sx = ShardedArray::split(&xs, map.clone());
+        let sy = ShardedArray::split(&ys, map.clone());
+        assert!(Arc::ptr_eq(sx.region_map(), sy.region_map()));
+        // Aligned reads resolve in the same region on both collections.
+        for i in [0i64, 1024, 2047, 2999] {
+            let r = map.region_of(i);
+            let (s, _) = map.bounds(r);
+            assert_eq!(sx.shard(r)[(i - s) as usize], i as f64);
+            assert_eq!(sy.shard(r)[(i - s) as usize], n - 1 - i);
+        }
+    }
+
+    #[test]
+    fn scaled_split_copartitions_matrix_rows() {
+        let rows = 2048i64;
+        let cols = 3usize;
+        let data: Vec<i64> = (0..rows * cols as i64).collect();
+        let map = Arc::new(RegionMap::new(rows, 2));
+        let sm = ShardedArray::split_scaled(&data, map.clone(), cols);
+        assert_eq!(sm.gather(), data);
+        // Row 1024 lives in region 1, all three of its elements together.
+        let (s, _) = map.bounds(1);
+        let shard = sm.shard(1);
+        for c in 0..cols {
+            assert_eq!(shard[(1024 - s) as usize * cols + c], 1024 * cols as i64 + c as i64);
+        }
+        // The element-level fallback path agrees.
+        for i in [0i64, 3071, 3072, rows * cols as i64 - 1] {
+            assert_eq!(sm.get(i), Some(&i));
+        }
+    }
+}
