@@ -6,7 +6,8 @@
 //! tiers; each run must be bit-identical to the fault-free sequential
 //! evaluation or fail with a typed error. The process exits nonzero on any
 //! contract violation (a mismatch, an escaped panic, an unexpected typed
-//! error), or if the deadline / speculation-parity probes fail.
+//! error), or if the deadline / speculation-parity / sharded / service
+//! probes fail.
 
 use dmll_bench::chaos;
 
@@ -77,8 +78,16 @@ fn main() {
         if sharded.0 { "ok" } else { "FAIL" },
         sharded.1
     );
+    // The multi-tenant query service under worker panics, flaky tenants
+    // and a deadline storm: bit-identical or typed, and no deadlock.
+    let service = chaos::service_probe(threads, 4);
+    println!(
+        "service probe: {} ({})",
+        if service.0 { "ok" } else { "FAIL" },
+        service.1
+    );
 
-    let json = chaos::to_json(&runs, threads, &deadline, &parity, &sharded);
+    let json = chaos::to_json(&runs, threads, &deadline, &parity, &sharded, &service);
     let path = format!("BENCH_chaos_t{threads}.json");
     std::fs::write(&path, &json).expect("write chaos report");
     println!("wrote {path}");
@@ -90,7 +99,7 @@ fn main() {
             v.seed, v.gen, v.tier, v.outcome
         );
     }
-    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 {
+    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 || !service.0 {
         std::process::exit(1);
     }
 }

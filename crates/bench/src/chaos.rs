@@ -28,8 +28,10 @@ use dmll_interp::{
     eval, eval_parallel_supervised, ChunkFaults, EvalError, ExecError, ParallelOptions, Value,
 };
 use dmll_runtime::{FaultEvent, FaultPlan, SpeculationPolicy, Supervisor, SupervisorPolicy};
+use dmll_service::{QueryRequest, ServiceBuilder, ServiceConfig, ServiceError, TenantPolicy};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Elements per chaos workload: enough for ~10–40 work-stealing tasks.
@@ -558,6 +560,167 @@ pub fn sharded_probe(threads: usize, regions: usize, seed: u64) -> (bool, String
     )
 }
 
+/// Service probe: the always-on multi-tenant query service under chaos.
+/// Three tenants share one service. A *flaky* tenant's queries carry
+/// seeded fault plans — chunk kills, stragglers, persistent failures,
+/// with odd seeds delivered as real worker panics. A *stormy* tenant's
+/// straggler-laden queries run under a tenant deadline far below their
+/// runtime (a deadline storm: every one must abort typed, and queries
+/// that sat queued past the deadline must shed without touching a
+/// kernel). A *steady* tenant reads a published dataset snapshot and
+/// must stay bit-exact throughout. Gate: every admitted query resolves
+/// with a value bit-identical to the fault-free sequential evaluation or
+/// a typed error, no panic escapes the evaluator into the service's
+/// containment, and shutdown drains within the watchdog — no deadlock,
+/// no collapse. Returns `(ok, detail)`.
+pub fn service_probe(threads: usize, seed: u64) -> (bool, String) {
+    const SCENARIOS: u64 = 6;
+    let (flaky_prog, flaky_inputs) = workload(GenKind::Reduce, seed);
+    let (storm_prog, storm_inputs) = workload(GenKind::BucketReduce, seed ^ 0x570F);
+    let (steady_prog, steady_inputs) = workload(GenKind::Collect, seed ^ 0x51EA);
+    let reference = |p: &dmll_core::Program, inputs: &[(String, Value)]| {
+        let borrowed: Vec<(&str, Value)> =
+            inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        eval(p, &borrowed).expect("fault-free reference")
+    };
+    let flaky_ref = reference(&flaky_prog, &flaky_inputs);
+    let steady_ref = reference(&steady_prog, &steady_inputs);
+    let (flaky_prog, storm_prog, steady_prog) =
+        (Arc::new(flaky_prog), Arc::new(storm_prog), Arc::new(steady_prog));
+
+    let mut b = ServiceBuilder::new(ServiceConfig {
+        workers: threads,
+        query_threads: 2,
+        ..ServiceConfig::default()
+    });
+    let roomy = TenantPolicy {
+        deadline: WATCHDOG,
+        retry_budget: 64,
+        queue_cap: 64,
+        ..TenantPolicy::default()
+    };
+    let flaky = b.tenant("flaky", roomy.clone());
+    let stormy = b.tenant(
+        "stormy",
+        TenantPolicy {
+            deadline: Duration::from_millis(5),
+            queue_cap: 64,
+            ..TenantPolicy::default()
+        },
+    );
+    let steady = b.tenant("steady", roomy);
+    let svc = b.start();
+    svc.publish_dataset("table", steady_inputs);
+
+    // A storm query cannot finish inside its 5ms deadline: every task
+    // drags by 2ms, same recipe as the executor-level deadline probe.
+    let mut storm_faults = ChunkFaults::default();
+    for ci in 0..64 {
+        storm_faults = storm_faults.and_delay(ci, Duration::from_millis(2));
+    }
+
+    let mut pending = Vec::new();
+    for s in 0..SCENARIOS {
+        let plan = plan_for_seed(seed + s);
+        let expects_typed = !plan.repeat_failures().is_empty();
+        let rx = match svc.submit(
+            flaky,
+            QueryRequest::new(Arc::clone(&flaky_prog))
+                .with_input("x", flaky_inputs[0].1.clone())
+                .with_faults(faults_for_plan(&plan)),
+        ) {
+            Ok(rx) => rx,
+            Err(e) => return (false, format!("flaky submit rejected: {e}")),
+        };
+        pending.push(("flaky", expects_typed, rx));
+        let rx = match svc.submit(
+            stormy,
+            QueryRequest::new(Arc::clone(&storm_prog))
+                .with_input("x", storm_inputs[0].1.clone())
+                .with_faults(storm_faults.clone()),
+        ) {
+            Ok(rx) => rx,
+            Err(e) => return (false, format!("storm submit rejected: {e}")),
+        };
+        pending.push(("storm", false, rx));
+        let rx = match svc.submit(
+            steady,
+            QueryRequest::new(Arc::clone(&steady_prog)).with_dataset("table"),
+        ) {
+            Ok(rx) => rx,
+            Err(e) => return (false, format!("steady submit rejected: {e}")),
+        };
+        pending.push(("steady", false, rx));
+    }
+
+    let (mut identical, mut typed, mut storm_aborts) = (0u64, 0u64, 0u64);
+    for (kind, expects_typed, rx) in pending {
+        let out = match rx.recv_timeout(WATCHDOG) {
+            Ok(out) => out,
+            Err(_) => return (false, format!("{kind} query never resolved: deadlock")),
+        };
+        match (&out.result, kind) {
+            (Ok(v), "flaky") if *v == flaky_ref => identical += 1,
+            (Ok(v), "steady") if *v == steady_ref => identical += 1,
+            (Ok(_), "flaky" | "steady") => {
+                return (false, format!("{kind} query diverged from the reference"));
+            }
+            (Ok(_), _) => return (false, "storm query beat its deadline".to_string()),
+            (Err(ServiceError::Exec(ExecError::Deadline { .. })), "storm") => {
+                typed += 1;
+                storm_aborts += 1;
+            }
+            (Err(ServiceError::Exec(_)), "flaky") if expects_typed => typed += 1,
+            (Err(e), _) => {
+                return (false, format!("{kind} query failed unexpectedly: {e}"));
+            }
+        }
+    }
+    let expected = SCENARIOS * 3;
+    if identical + typed != expected {
+        return (
+            false,
+            format!("{identical} identical + {typed} typed != {expected} submitted"),
+        );
+    }
+    if storm_aborts != SCENARIOS {
+        return (
+            false,
+            format!("only {storm_aborts}/{SCENARIOS} storm queries aborted typed"),
+        );
+    }
+    if typed == storm_aborts {
+        return (
+            false,
+            "persistent-failure scenario surfaced no typed error".to_string(),
+        );
+    }
+
+    // Shutdown under the watchdog: a deadlocked pool would hang the join.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(svc.shutdown());
+    });
+    let m = match rx.recv_timeout(WATCHDOG) {
+        Ok(m) => m,
+        Err(_) => return (false, "shutdown hung: service deadlocked".to_string()),
+    };
+    if m.worker_panics != 0 {
+        return (
+            false,
+            format!("{} panics escaped the evaluator", m.worker_panics),
+        );
+    }
+    (
+        true,
+        format!(
+            "{identical} identical, {typed} typed ({storm_aborts} deadline aborts), \
+             {} admitted, clean shutdown",
+            m.admitted
+        ),
+    )
+}
+
 /// Serialize a sweep (plus the probes) as the `BENCH_chaos.json` document.
 pub fn to_json(
     runs: &[ChaosRun],
@@ -565,13 +728,22 @@ pub fn to_json(
     deadline: &(bool, String),
     parity: &(bool, String),
     sharded: &(bool, String),
+    service: &(bool, String),
 ) -> String {
     let mut out = format!(
         "{{\n  \"experiment\": \"chaos\",\n  \"threads\": {threads},\n  \
          \"deadline_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"speculation_parity\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
-         \"sharded_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
-        deadline.0, deadline.1, parity.0, parity.1, sharded.0, sharded.1
+         \"sharded_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
+         \"service_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
+        deadline.0,
+        deadline.1,
+        parity.0,
+        parity.1,
+        sharded.0,
+        sharded.1,
+        service.0,
+        service.1
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
@@ -596,7 +768,7 @@ pub fn to_json(
     let _ = write!(
         out,
         "  ],\n  \"gate_ok\": {}\n}}\n",
-        runs.iter().all(ChaosRun::ok) && deadline.0 && parity.0 && sharded.0
+        runs.iter().all(ChaosRun::ok) && deadline.0 && parity.0 && sharded.0 && service.0
     );
     out
 }
@@ -673,6 +845,15 @@ mod tests {
         let (ok, detail) = speculation_parity(4);
         assert!(ok, "{detail}");
         let (ok, detail) = sharded_probe(2, 2, 4);
+        assert!(ok, "{detail}");
+    }
+
+    #[test]
+    fn service_probe_passes() {
+        // Seeds 4..10 cover a persistent-failure scenario (7 % 4 == 3)
+        // and panicking delivery (odd seeds), alongside the deadline
+        // storm and the steady dataset tenant.
+        let (ok, detail) = service_probe(2, 4);
         assert!(ok, "{detail}");
     }
 }

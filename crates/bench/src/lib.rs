@@ -25,7 +25,11 @@
 //!   `BENCH_kernels.json`;
 //! * `chaos` — deterministic chaos sweep of the supervised executor
 //!   (seeded fault plans × generator kinds × execution tiers, plus
-//!   deadline and speculation-parity probes), emitting `BENCH_chaos.json`;
+//!   deadline, speculation-parity and service probes), emitting
+//!   `BENCH_chaos.json`;
+//! * `service_bench` — open-/closed-loop seeded traffic against the
+//!   multi-tenant query service (admission control, load shedding,
+//!   graceful degradation), emitting `BENCH_service.json`;
 //! * `locality` (via `kernels_tier --regions R`) — measured blind-vs-
 //!   sharded comparison of the locality-aware partitioned data plane,
 //!   emitting `BENCH_locality.json`.
@@ -34,5 +38,6 @@ pub mod chaos;
 pub mod experiments;
 pub mod locality;
 pub mod render;
+pub mod service;
 pub mod tiers;
 pub mod workloads;

@@ -33,9 +33,12 @@
 //!   that cannot be typed still compile — into generic instructions over
 //!   `Value` registers that call the same helpers as the tree-walker.
 //!
-//! Kernels are cached process-wide, keyed by a structural hash of the
+//! Kernels are cached in an LRU store keyed by a structural hash of the
 //! multiloop plus the free-variable [`VTy`]s, so iterative apps (k-means,
-//! logreg, PageRank epochs) compile each loop once.
+//! logreg, PageRank epochs) compile each loop once. The store is an
+//! injectable [`KernelCacheHandle`] — one process-global default for
+//! one-shot runs, or a caller-owned handle (the query service shares one
+//! across tenants and surfaces per-tenant hit rates through handle views).
 
 pub(crate) mod batch;
 
@@ -47,7 +50,9 @@ use dmll_core::gen::GenKind;
 use dmll_core::visit::free_syms;
 use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, StructTy, Sym, Ty};
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -2789,17 +2794,19 @@ impl KernelCache {
     }
 
     /// Evict the least-recently-used entry (O(n) scan; eviction is rare and
-    /// the cap is small, so a heap would cost more than it saves).
-    fn evict_lru(&mut self) {
+    /// the cap is small, so a heap would cost more than it saves). Returns
+    /// whether an entry was actually removed.
+    fn evict_lru(&mut self) -> bool {
         let victim = self
             .map
             .iter()
             .flat_map(|(k, es)| es.iter().map(move |e| (e.last_used, k.hash)))
             .min();
         let Some((stamp, key_hash)) = victim else {
-            return;
+            return false;
         };
         let mut emptied = None;
+        let mut evicted = false;
         for (k, es) in self.map.iter_mut() {
             if k.hash != key_hash {
                 continue;
@@ -2807,7 +2814,7 @@ impl KernelCache {
             if let Some(pos) = es.iter().position(|e| e.last_used == stamp) {
                 es.remove(pos);
                 self.len -= 1;
-                stats::record_eviction();
+                evicted = true;
                 if es.is_empty() {
                     emptied = Some(k.hash);
                 }
@@ -2817,82 +2824,241 @@ impl KernelCache {
         if emptied.is_some() {
             self.map.retain(|_, es| !es.is_empty());
         }
+        evicted
     }
 }
 
-static CACHE: OnceLock<Mutex<KernelCache>> = OnceLock::new();
+/// Counter snapshot of one [`KernelCacheHandle`] view.
+///
+/// Counters belong to the *view*, not the store: two views sharing a store
+/// (see [`KernelCacheHandle::view`]) account their own lookups separately,
+/// which is how the service layer surfaces per-tenant hit rates over one
+/// shared cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached kernel.
+    pub hits: u64,
+    /// Lookups that missed and compiled a new kernel.
+    pub misses: u64,
+    /// Lookups that hit a negative (rejected-compilation) entry.
+    pub negative_hits: u64,
+    /// Lookups that missed and were rejected by the compiler.
+    pub rejections: u64,
+    /// Entries this view evicted while inserting (LRU victims may have
+    /// been inserted by any view of the store).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over positive lookups (hits + misses), if any happened.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    negative_hits: AtomicU64,
+    rejections: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// An injectable handle to a kernel cache: a shared LRU store plus
+/// view-local counters.
+///
+/// Historically the kernel cache was one process-global `static`, which
+/// meant cross-test counter interference and no way for a long-lived
+/// service to observe per-tenant hit rates. The handle decouples the two
+/// concerns:
+///
+/// * [`KernelCacheHandle::global`] is the process-wide default every
+///   un-configured run uses (so one-shot callers keep sharing compiles);
+/// * [`KernelCacheHandle::with_capacity`] makes an isolated store (tests,
+///   or a service that wants cache lifetime tied to its own);
+/// * [`KernelCacheHandle::view`] makes a second handle onto the *same*
+///   store with fresh counters — lookups through either handle hit the
+///   shared entries, but each view's [`CacheStats`] count only its own
+///   traffic.
+///
+/// `Clone` shares both the store and the counters (same view).
+#[derive(Clone)]
+pub struct KernelCacheHandle {
+    store: Arc<Mutex<KernelCache>>,
+    counters: Arc<CacheCounters>,
+    cap: usize,
+}
+
+impl fmt::Debug for KernelCacheHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelCacheHandle")
+            .field("cap", &self.cap)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for KernelCacheHandle {
+    fn default() -> KernelCacheHandle {
+        KernelCacheHandle::new()
+    }
+}
+
+static GLOBAL_CACHE: OnceLock<KernelCacheHandle> = OnceLock::new();
 
 /// Largest number of distinct (loop, refinement) entries kept; beyond this
 /// the least-recently-used entry is evicted.
 const CACHE_CAP: usize = 512;
 
-/// Look up or compile the kernel for `ml` under the refined types of `env`.
-/// Returns `None` when the loop must run on the tree-walker (free variable
-/// missing from the environment, or the compiler rejected the loop).
-pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
-    let mut kinds = Vec::new();
-    for s in loop_free_syms(ml) {
-        let v = env.get(s.0 as usize)?.as_ref()?;
-        kinds.push(VTy::of(v, 0));
+impl KernelCacheHandle {
+    /// A fresh, isolated cache with the default capacity.
+    pub fn new() -> KernelCacheHandle {
+        KernelCacheHandle::with_capacity(CACHE_CAP)
     }
-    let key = CacheKey {
-        hash: structural_hash(ml),
-        kinds,
-    };
-    let cache = CACHE.get_or_init(|| Mutex::new(KernelCache::default()));
-    {
-        let mut guard = cache.lock().expect("kernel cache poisoned");
-        let stamp = guard.touch();
-        if let Some(entries) = guard.map.get_mut(&key) {
-            for e in entries {
-                if e.ml == *ml {
-                    e.last_used = stamp;
-                    return match &e.cached {
-                        Cached::Kernel(k) => {
-                            stats::record_cache_hit();
-                            Some(k.clone())
-                        }
-                        Cached::Fallback => {
-                            stats::record_negative_hit();
-                            None
-                        }
-                    };
+
+    /// A fresh, isolated cache holding at most `cap` entries.
+    pub fn with_capacity(cap: usize) -> KernelCacheHandle {
+        KernelCacheHandle {
+            store: Arc::new(Mutex::new(KernelCache::default())),
+            counters: Arc::new(CacheCounters::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The process-global default cache (what un-injected runs use).
+    pub fn global() -> KernelCacheHandle {
+        GLOBAL_CACHE.get_or_init(KernelCacheHandle::new).clone()
+    }
+
+    /// A new view onto the same store with zeroed counters. Entries
+    /// (including negative ones) are shared; statistics are not.
+    pub fn view(&self) -> KernelCacheHandle {
+        KernelCacheHandle {
+            store: self.store.clone(),
+            counters: Arc::new(CacheCounters::default()),
+            cap: self.cap,
+        }
+    }
+
+    /// Do two handles share one underlying store?
+    pub fn shares_store_with(&self, other: &KernelCacheHandle) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
+    /// Entries currently cached (positive and negative).
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("kernel cache poisoned").len
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot this view's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(AtomicOrdering::Relaxed),
+            misses: self.counters.misses.load(AtomicOrdering::Relaxed),
+            negative_hits: self.counters.negative_hits.load(AtomicOrdering::Relaxed),
+            rejections: self.counters.rejections.load(AtomicOrdering::Relaxed),
+            evictions: self.counters.evictions.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Look up or compile the kernel for `ml` under the refined types of
+    /// `env`. Returns `None` when the loop must run on the tree-walker
+    /// (free variable missing from the environment, or the compiler
+    /// rejected the loop). Process-wide tier counters are mirrored for
+    /// every handle so [`crate::tier_totals`] stays meaningful; the
+    /// view-local counters additionally attribute the lookup to this
+    /// handle.
+    pub(crate) fn kernel_for(&self, ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
+        let mut kinds = Vec::new();
+        for s in loop_free_syms(ml) {
+            let v = env.get(s.0 as usize)?.as_ref()?;
+            kinds.push(VTy::of(v, 0));
+        }
+        let key = CacheKey {
+            hash: structural_hash(ml),
+            kinds,
+        };
+        {
+            let mut guard = self.store.lock().expect("kernel cache poisoned");
+            let stamp = guard.touch();
+            if let Some(entries) = guard.map.get_mut(&key) {
+                for e in entries {
+                    if e.ml == *ml {
+                        e.last_used = stamp;
+                        return match &e.cached {
+                            Cached::Kernel(k) => {
+                                stats::record_cache_hit();
+                                self.counters.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                                Some(k.clone())
+                            }
+                            Cached::Fallback => {
+                                stats::record_negative_hit();
+                                self.counters
+                                    .negative_hits
+                                    .fetch_add(1, AtomicOrdering::Relaxed);
+                                None
+                            }
+                        };
+                    }
                 }
             }
         }
-    }
-    let t0 = Instant::now();
-    let compiled = compile_multiloop(ml, env);
-    let dt = t0.elapsed();
-    let mut guard = cache.lock().expect("kernel cache poisoned");
-    while guard.len >= CACHE_CAP {
-        guard.evict_lru();
-    }
-    let stamp = guard.touch();
-    let entries = guard.map.entry(key).or_default();
-    let out = match compiled {
-        Ok(k) => {
-            let k = Arc::new(k);
-            stats::record_compile(dt);
-            entries.push(CacheEntry {
-                ml: ml.clone(),
-                cached: Cached::Kernel(k.clone()),
-                last_used: stamp,
-            });
-            Some(k)
+        let t0 = Instant::now();
+        let compiled = compile_multiloop(ml, env);
+        let dt = t0.elapsed();
+        let mut guard = self.store.lock().expect("kernel cache poisoned");
+        while guard.len >= self.cap {
+            if !guard.evict_lru() {
+                break;
+            }
+            stats::record_eviction();
+            self.counters.evictions.fetch_add(1, AtomicOrdering::Relaxed);
         }
-        Err(_reject) => {
-            stats::record_fallback();
-            entries.push(CacheEntry {
-                ml: ml.clone(),
-                cached: Cached::Fallback,
-                last_used: stamp,
-            });
-            None
-        }
-    };
-    guard.len += 1;
-    out
+        let stamp = guard.touch();
+        let entries = guard.map.entry(key).or_default();
+        let out = match compiled {
+            Ok(k) => {
+                let k = Arc::new(k);
+                stats::record_compile(dt);
+                self.counters.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                entries.push(CacheEntry {
+                    ml: ml.clone(),
+                    cached: Cached::Kernel(k.clone()),
+                    last_used: stamp,
+                });
+                Some(k)
+            }
+            Err(_reject) => {
+                stats::record_fallback();
+                self.counters.rejections.fetch_add(1, AtomicOrdering::Relaxed);
+                entries.push(CacheEntry {
+                    ml: ml.clone(),
+                    cached: Cached::Fallback,
+                    last_used: stamp,
+                });
+                None
+            }
+        };
+        guard.len += 1;
+        out
+    }
+}
+
+/// Look up or compile via the process-global cache (the un-injected
+/// default). See [`KernelCacheHandle::kernel_for`].
+pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
+    KernelCacheHandle::global().kernel_for(ml, env)
 }
 
 #[cfg(test)]
@@ -3022,6 +3188,48 @@ mod tests {
         let env2 = env_with(vec![(10, Value::i64_arr(vec![1, 2]))]);
         let k3 = kernel_for(&ml, &env2).expect("recompiled");
         assert!(!Arc::ptr_eq(&k1, &k3));
+    }
+
+    #[test]
+    fn cache_views_share_store_but_not_counters() {
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
+        let ml = square_sum_loop();
+        let cache = KernelCacheHandle::with_capacity(8);
+        let tenant_a = cache.view();
+        let tenant_b = cache.view();
+        assert!(tenant_a.shares_store_with(&tenant_b));
+
+        let k1 = tenant_a.kernel_for(&ml, &env).expect("compiled");
+        let k2 = tenant_b.kernel_for(&ml, &env).expect("cached via shared store");
+        assert!(Arc::ptr_eq(&k1, &k2), "views share compiled kernels");
+        assert_eq!(tenant_a.stats().misses, 1, "A compiled");
+        assert_eq!(tenant_a.stats().hits, 0);
+        assert_eq!(tenant_b.stats().hits, 1, "B hit A's compile");
+        assert_eq!(tenant_b.stats().misses, 0);
+        assert_eq!(cache.stats(), CacheStats::default(), "root view untouched");
+        assert_eq!(cache.len(), 1);
+
+        // An isolated cache neither shares entries nor counters.
+        let isolated = KernelCacheHandle::with_capacity(8);
+        assert!(!isolated.shares_store_with(&cache));
+        let k3 = isolated.kernel_for(&ml, &env).expect("recompiled");
+        assert!(!Arc::ptr_eq(&k1, &k3));
+        assert_eq!(isolated.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_handle_evictions_are_attributed_to_the_inserting_view() {
+        // Capacity 1: every second distinct refinement evicts.
+        let cache = KernelCacheHandle::with_capacity(1);
+        let ml = square_sum_loop();
+        let env_f = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
+        let env_i = env_with(vec![(10, Value::i64_arr(vec![1]))]);
+        cache.kernel_for(&ml, &env_f).expect("compiles f64");
+        let view = cache.view();
+        view.kernel_for(&ml, &env_i).expect("compiles i64, evicting");
+        assert_eq!(view.stats().evictions, 1, "evicting view pays");
+        assert_eq!(cache.stats().evictions, 0, "other view does not");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -156,14 +156,21 @@ impl fmt::Display for ExecError {
             ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
             ExecError::Runtime(e) => write!(f, "runtime failed: {e}"),
             ExecError::Deadline {
-                deadline, elapsed, ..
+                deadline,
+                elapsed,
+                partial,
             } => write!(
                 f,
-                "deadline of {:.3}s exceeded after {:.3}s",
+                "deadline of {:.3}s exceeded after {:.3}s ({} chunk executions completed)",
                 deadline.as_secs_f64(),
-                elapsed.as_secs_f64()
+                elapsed.as_secs_f64(),
+                partial.chunk_executions
             ),
-            ExecError::Cancelled { .. } => write!(f, "run cancelled"),
+            ExecError::Cancelled { partial } => write!(
+                f,
+                "run cancelled ({} chunk executions completed)",
+                partial.chunk_executions
+            ),
             ExecError::RetryBudgetExhausted {
                 chunk,
                 budget,

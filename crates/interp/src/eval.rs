@@ -22,6 +22,9 @@ pub struct Interp<'p> {
     /// compiled loop uses the scalar bytecode loop (benches use this to
     /// isolate the batched tier's contribution).
     use_batched: bool,
+    /// Kernel cache used by the compiled tier; `None` = the process-global
+    /// default store.
+    kernel_cache: Option<crate::KernelCacheHandle>,
 }
 
 /// Per-run execution-tier accounting: how many top-level multiloops ran on
@@ -46,7 +49,16 @@ impl<'p> Interp<'p> {
             externs: HashMap::new(),
             use_compiled: true,
             use_batched: true,
+            kernel_cache: None,
         }
+    }
+
+    /// Compile kernels through `cache` instead of the process-global store
+    /// (long-lived services inject a shared cache so concurrent queries
+    /// reuse each other's compiles and hit rates are observable per view).
+    pub fn with_kernel_cache(mut self, cache: crate::KernelCacheHandle) -> Self {
+        self.kernel_cache = Some(cache);
+        self
     }
 
     /// Disable the compiled kernel tier: every loop tree-walks. Benches use
@@ -150,7 +162,11 @@ impl<'p> Interp<'p> {
         use_batched: bool,
     ) -> Result<(Vec<Value>, bool), EvalError> {
         if use_compiled {
-            if let Some(kernel) = compile::kernel_for(ml, env) {
+            let kernel = match &self.kernel_cache {
+                Some(cache) => cache.kernel_for(ml, env),
+                None => compile::kernel_for(ml, env),
+            };
+            if let Some(kernel) = kernel {
                 let size = self
                     .eval_exp(&ml.size, env)?
                     .as_i64()

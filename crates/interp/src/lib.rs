@@ -34,6 +34,7 @@ pub mod parallel;
 pub mod stats;
 pub mod value;
 
+pub use compile::{CacheStats, KernelCacheHandle};
 pub use error::{EvalError, ExecError};
 pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};
 pub use parallel::{

@@ -203,6 +203,10 @@ pub struct ParallelOptions {
     /// (surfaced through [`ExecReport::stencil_fallbacks`] and the
     /// process-wide tier stats).
     pub plan: Option<Arc<ProgramPlan>>,
+    /// Kernel cache for the compiled tier. `None` (the default) uses the
+    /// process-global store; a long-lived service injects its own handle so
+    /// queries share compiles and hit rates are attributable per view.
+    pub kernel_cache: Option<crate::KernelCacheHandle>,
 }
 
 impl ParallelOptions {
@@ -218,7 +222,14 @@ impl ParallelOptions {
             supervisor: None,
             regions: 0,
             plan: None,
+            kernel_cache: None,
         }
+    }
+
+    /// Compile kernels through `cache` instead of the process-global store.
+    pub fn with_kernel_cache(mut self, cache: crate::KernelCacheHandle) -> ParallelOptions {
+        self.kernel_cache = Some(cache);
+        self
     }
 
     /// Enable the sharded, locality-aware data plane with the given number
@@ -355,7 +366,11 @@ pub fn eval_parallel_supervised(
     let threads = options.threads.max(1);
     let supervisor = options.supervisor.as_deref();
     let trips_before = supervisor.map_or(0, |s| s.quarantine().trips());
-    let interp = Interp::new(program);
+    let mut interp = Interp::new(program);
+    if let Some(cache) = &options.kernel_cache {
+        interp = interp.with_kernel_cache(cache.clone());
+    }
+    let interp = interp;
     let mut env: Env = vec![None; program.next_sym_id() as usize];
     for input in &program.inputs {
         let v = inputs
@@ -1222,7 +1237,10 @@ fn run_chunked(
     // very same cached kernel, so results (and fault-tolerance semantics)
     // are bit-identical to the tree-walking tier.
     let kernel = if options.use_compiled {
-        compile::kernel_for(ml, env)
+        match &options.kernel_cache {
+            Some(cache) => cache.kernel_for(ml, env),
+            None => compile::kernel_for(ml, env),
+        }
     } else {
         None
     };

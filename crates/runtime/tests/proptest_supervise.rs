@@ -1,12 +1,15 @@
 //! Property-based tests for the supervision layer: quarantine-aware
 //! replanning never hands recovered work to a quarantined node, exhausted
-//! survivor sets surface as typed errors, and the circuit breaker's state
-//! machine obeys its invariants under arbitrary outcome sequences.
+//! survivor sets surface as typed errors, the circuit breaker's state
+//! machine obeys its invariants under arbitrary outcome sequences, and the
+//! half-open probe is exclusive — one probe, one decision — no matter how
+//! many threads race the breaker.
 
 use dmll_runtime::{
     plan_loop, ClusterSpec, MachineSpec, Quarantine, QuarantinePolicy, RuntimeError,
 };
 use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
 
 fn cluster_of(nodes: usize) -> ClusterSpec {
     ClusterSpec {
@@ -161,6 +164,106 @@ proptest! {
             prop_assert_eq!(q.trips(), 0);
             prop_assert!(q.quarantined_units().is_empty());
         }
+    }
+}
+
+/// Trip `unit` and advance the shared outcome clock through the cooldown
+/// with healthy traffic on a sibling unit, leaving the breaker open and
+/// probe-eligible (but not yet half-open: no check has been made).
+fn trip_and_cool(q: &Quarantine, unit: usize, sibling: usize, policy: &QuarantinePolicy) {
+    for _ in 0..policy.max_failures {
+        q.record(unit, true);
+    }
+    assert!(q.is_quarantined(unit), "tripped");
+    for _ in 0..policy.cooldown {
+        q.record(sibling, false);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Half-open probe exclusivity under concurrent load: once an open
+    /// breaker's cooldown expires, any number of threads hammering
+    /// `is_quarantined` are all told the unit is eligible, but exactly
+    /// **one** half-open probe is granted — the counter moves once, and
+    /// no thread observes a spurious extra transition. Until the probe's
+    /// outcome is recorded there is no decision: no readmission, no
+    /// re-trip.
+    #[test]
+    fn half_open_probe_is_exclusive_under_concurrent_checks(
+        threads in 2usize..6,
+        checks in 1usize..8,
+        cooldown in 1u64..12,
+    ) {
+        let policy = QuarantinePolicy { enabled: true, max_failures: 2, window: 8, cooldown };
+        let q = Arc::new(Quarantine::new(2, policy));
+        trip_and_cool(&q, 0, 1, &policy);
+        let trips_before = q.trips();
+
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..checks).map(|_| q.is_quarantined(0)).collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for saw_quarantined in h.join().expect("checker thread") {
+                prop_assert!(!saw_quarantined, "eligible unit reported quarantined");
+            }
+        }
+        prop_assert_eq!(q.probes(), 1, "exactly one probe for one cooldown expiry");
+        prop_assert_eq!(q.trips(), trips_before, "a probe alone decides nothing");
+        prop_assert_eq!(q.readmissions(), 0, "a probe alone readmits nothing");
+    }
+
+    /// One probe, one decision: with the breaker half-open, concurrent
+    /// threads recording a mix of probe outcomes resolve it exactly once —
+    /// either one readmission (first record was a success) or one re-trip
+    /// (first record was a failure), never both, never more. Later records
+    /// land on the already-decided state and cannot double-count.
+    #[test]
+    fn concurrent_probe_outcomes_decide_exactly_once(
+        threads in 2usize..6,
+        records_per_thread in 1usize..5,
+        fail_mask in 0u32..32,
+        cooldown in 1u64..10,
+    ) {
+        // max_failures far above anything the concurrent phase can record
+        // (at most 5 threads x 4 records), so a readmitted unit's clean
+        // window cannot *independently* re-trip and muddy the
+        // one-decision count.
+        let policy = QuarantinePolicy { enabled: true, max_failures: 64, window: 64, cooldown };
+        let q = Arc::new(Quarantine::new(2, policy));
+        trip_and_cool(&q, 0, 1, &policy);
+        prop_assert!(!q.is_quarantined(0), "probe granted");
+        prop_assert_eq!(q.probes(), 1);
+        let trips_before = q.trips();
+
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                let fails = fail_mask >> t & 1 == 1;
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..records_per_thread {
+                        q.record(0, fails);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        let decisions = q.readmissions() + (q.trips() - trips_before);
+        prop_assert_eq!(decisions, 1, "one probe must yield exactly one decision");
     }
 }
 

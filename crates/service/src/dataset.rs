@@ -1,0 +1,90 @@
+//! Copy-on-write dataset snapshots.
+//!
+//! A dataset is a named set of input bindings. Queries resolve their
+//! dataset at dispatch and hold an `Arc` to the snapshot for the whole
+//! run; replacing a dataset swaps the `Arc` in the store, so in-flight
+//! queries keep computing over the version they started with while new
+//! queries see the update. DMLL [`Value`]s are themselves `Arc`-backed,
+//! so a snapshot clone is pointer-sized no matter how large the arrays —
+//! copy-on-write falls out of the value representation.
+
+use dmll_interp::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One immutable dataset version: named input bindings.
+pub type Snapshot = Arc<Vec<(String, Value)>>;
+
+/// Named dataset snapshots, swappable while queries are in flight.
+#[derive(Debug, Default)]
+pub struct DatasetStore {
+    inner: RwLock<HashMap<String, Snapshot>>,
+}
+
+impl DatasetStore {
+    /// An empty store.
+    pub fn new() -> DatasetStore {
+        DatasetStore::default()
+    }
+
+    /// Publish (or replace) a dataset. In-flight queries holding the old
+    /// snapshot are unaffected. Returns the published snapshot.
+    pub fn publish(&self, name: &str, bindings: Vec<(String, Value)>) -> Snapshot {
+        let snap: Snapshot = Arc::new(bindings);
+        self.inner
+            .write()
+            .expect("dataset lock poisoned")
+            .insert(name.to_string(), Arc::clone(&snap));
+        snap
+    }
+
+    /// The current snapshot of a dataset, if published.
+    pub fn get(&self, name: &str) -> Option<Snapshot> {
+        self.inner
+            .read()
+            .expect("dataset lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Published dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .expect("dataset lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replacing_a_dataset_leaves_old_snapshots_intact() {
+        let store = DatasetStore::new();
+        store.publish("sales", vec![("x".into(), Value::f64_arr(vec![1.0]))]);
+        let held = store.get("sales").expect("published");
+        store.publish("sales", vec![("x".into(), Value::f64_arr(vec![2.0]))]);
+        // The in-flight snapshot still sees version 1…
+        assert_eq!(held[0].1, Value::f64_arr(vec![1.0]));
+        // …while new resolutions see version 2.
+        let fresh = store.get("sales").expect("published");
+        assert_eq!(fresh[0].1, Value::f64_arr(vec![2.0]));
+    }
+
+    #[test]
+    fn snapshots_share_storage_not_copies() {
+        let store = DatasetStore::new();
+        let v = Value::f64_arr((0..1024).map(|i| i as f64).collect());
+        store.publish("big", vec![("x".into(), v)]);
+        let a = store.get("big").unwrap();
+        let b = store.get("big").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

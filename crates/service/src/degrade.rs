@@ -1,0 +1,322 @@
+//! The graceful-degradation ladder and its hysteresis controller.
+//!
+//! Under sustained overload the service walks down a fixed ladder — first
+//! disable straggler speculation (cloned work is pure overhead when every
+//! worker is busy), then drop the compiled tier to scalar granularity
+//! (smaller batches bound the latency cost of every admission decision),
+//! then shed the lowest-priority tenants outright — and walks back **up in
+//! reverse order** as pressure clears.
+//!
+//! Transitions are driven by two signals, queue depth and the p99 of
+//! recently admitted latencies, through a hysteresis controller: the
+//! thresholds for entering a rung are strictly higher than for leaving it,
+//! one rung moves per evaluation, and a dwell time must elapse between
+//! moves. Together these keep the level from flapping when load sits near
+//! a threshold.
+
+use std::time::{Duration, Instant};
+
+/// The degradation rungs, mildest first. Ordering is meaningful:
+/// `level >= NoSpeculation` means "speculation is off".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum DegradeLevel {
+    /// Full service: speculation on, batched kernels, everyone admitted.
+    Normal = 0,
+    /// Straggler speculation disabled.
+    NoSpeculation = 1,
+    /// Compiled kernels run scalar (fine-grained) instead of batched.
+    FineGrain = 2,
+    /// Tenants below the priority floor are rejected at admission.
+    ShedLowPriority = 3,
+}
+
+impl DegradeLevel {
+    /// All rungs, mildest first.
+    pub const ALL: [DegradeLevel; 4] = [
+        DegradeLevel::Normal,
+        DegradeLevel::NoSpeculation,
+        DegradeLevel::FineGrain,
+        DegradeLevel::ShedLowPriority,
+    ];
+
+    /// Decode from the `repr(u8)` value (clamps above the ladder).
+    pub fn from_u8(v: u8) -> DegradeLevel {
+        match v {
+            0 => DegradeLevel::Normal,
+            1 => DegradeLevel::NoSpeculation,
+            2 => DegradeLevel::FineGrain,
+            _ => DegradeLevel::ShedLowPriority,
+        }
+    }
+
+    /// Stable snake_case label for counters and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeLevel::Normal => "normal",
+            DegradeLevel::NoSpeculation => "no_speculation",
+            DegradeLevel::FineGrain => "fine_grain",
+            DegradeLevel::ShedLowPriority => "shed_low_priority",
+        }
+    }
+
+    fn up(self) -> DegradeLevel {
+        DegradeLevel::from_u8((self as u8).saturating_add(1).min(3))
+    }
+
+    fn down(self) -> DegradeLevel {
+        DegradeLevel::from_u8((self as u8).saturating_sub(1))
+    }
+}
+
+/// Thresholds for the hysteresis controller. Enter thresholds must sit
+/// above exit thresholds; the constructor enforces it.
+#[derive(Clone, Debug)]
+pub struct DegradePolicy {
+    /// Escalate when total queued queries exceed this.
+    pub enter_queue: usize,
+    /// De-escalation requires queued queries at or below this.
+    pub exit_queue: usize,
+    /// Escalate when admitted p99 exceeds this.
+    pub enter_p99: Duration,
+    /// De-escalation requires admitted p99 at or below this.
+    pub exit_p99: Duration,
+    /// Minimum time between level changes, in either direction.
+    pub dwell: Duration,
+    /// Admitted latencies kept for the rolling p99 window.
+    pub window: usize,
+    /// Priority floor for the final rung: tenants with priority strictly
+    /// below this are shed at [`DegradeLevel::ShedLowPriority`].
+    pub shed_floor: u8,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            enter_queue: 48,
+            exit_queue: 12,
+            enter_p99: Duration::from_millis(50),
+            exit_p99: Duration::from_millis(20),
+            dwell: Duration::from_millis(20),
+            window: 256,
+            shed_floor: 1,
+        }
+    }
+}
+
+impl DegradePolicy {
+    fn validate(mut self) -> DegradePolicy {
+        self.exit_queue = self.exit_queue.min(self.enter_queue);
+        self.exit_p99 = self.exit_p99.min(self.enter_p99);
+        self.window = self.window.max(8);
+        self
+    }
+}
+
+/// One transition the controller committed: `(from, to)`.
+pub type Transition = (DegradeLevel, DegradeLevel);
+
+/// Hysteresis controller over queue depth and rolling p99.
+#[derive(Debug)]
+pub struct DegradeController {
+    policy: DegradePolicy,
+    level: DegradeLevel,
+    last_change: Option<Instant>,
+    /// Ring buffer of admitted latencies, nanoseconds.
+    ring: Vec<u64>,
+    idx: usize,
+    filled: usize,
+    observed: u64,
+    cached_p99: Option<Duration>,
+    stale: bool,
+    escalations: u64,
+    deescalations: u64,
+}
+
+/// Recompute the cached p99 every this many observations — the window is
+/// sorted on recompute, so amortise it.
+const P99_REFRESH: u64 = 16;
+
+impl DegradeController {
+    /// A controller at [`DegradeLevel::Normal`] with an empty window.
+    pub fn new(policy: DegradePolicy) -> DegradeController {
+        let policy = policy.validate();
+        let window = policy.window;
+        DegradeController {
+            policy,
+            level: DegradeLevel::Normal,
+            last_change: None,
+            ring: vec![0; window],
+            idx: 0,
+            filled: 0,
+            observed: 0,
+            cached_p99: None,
+            stale: false,
+            escalations: 0,
+            deescalations: 0,
+        }
+    }
+
+    /// Record one admitted-query latency into the rolling window.
+    pub fn observe(&mut self, latency: Duration) {
+        self.ring[self.idx] = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.idx = (self.idx + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        self.observed += 1;
+        self.stale = true;
+    }
+
+    /// The rolling p99 of admitted latencies (amortised recompute), or
+    /// `None` until the window has a meaningful sample count.
+    pub fn p99(&mut self) -> Option<Duration> {
+        if self.filled < 8 {
+            return None;
+        }
+        if self.stale && self.observed.is_multiple_of(P99_REFRESH) || self.cached_p99.is_none() {
+            let mut window = self.ring[..self.filled].to_vec();
+            window.sort_unstable();
+            let rank = ((self.filled as f64) * 0.99).ceil() as usize;
+            let nanos = window[rank.clamp(1, self.filled) - 1];
+            self.cached_p99 = Some(Duration::from_nanos(nanos));
+            self.stale = false;
+        }
+        self.cached_p99
+    }
+
+    /// Evaluate the signals and move at most one rung, respecting dwell.
+    /// Returns the committed transition, if any.
+    pub fn evaluate(&mut self, queue_depth: usize, now: Instant) -> Option<Transition> {
+        if let Some(at) = self.last_change {
+            if now.saturating_duration_since(at) < self.policy.dwell {
+                return None;
+            }
+        }
+        let p99 = self.p99();
+        let hot = queue_depth > self.policy.enter_queue
+            || p99.is_some_and(|p| p > self.policy.enter_p99);
+        let cool = queue_depth <= self.policy.exit_queue
+            && p99.is_none_or(|p| p <= self.policy.exit_p99);
+        let from = self.level;
+        let to = if hot {
+            from.up()
+        } else if cool {
+            from.down()
+        } else {
+            from
+        };
+        if to == from {
+            return None;
+        }
+        self.level = to;
+        self.last_change = Some(now);
+        if to > from {
+            self.escalations += 1;
+        } else {
+            self.deescalations += 1;
+        }
+        Some((from, to))
+    }
+
+    /// The current rung.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Rungs climbed (cumulative).
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Rungs descended (cumulative).
+    pub fn deescalations(&self) -> u64 {
+        self.deescalations
+    }
+
+    /// The governing thresholds.
+    pub fn policy(&self) -> &DegradePolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DegradePolicy {
+        DegradePolicy {
+            enter_queue: 10,
+            exit_queue: 2,
+            enter_p99: Duration::from_millis(100),
+            exit_p99: Duration::from_millis(10),
+            dwell: Duration::from_millis(5),
+            window: 16,
+            shed_floor: 1,
+        }
+    }
+
+    #[test]
+    fn escalates_one_rung_at_a_time_and_recovers_in_reverse() {
+        let mut ctl = DegradeController::new(policy());
+        let t0 = Instant::now();
+        let step = Duration::from_millis(10);
+        // Sustained deep queues walk down the whole ladder, one rung per
+        // dwell-spaced evaluation.
+        for (i, want) in [
+            DegradeLevel::NoSpeculation,
+            DegradeLevel::FineGrain,
+            DegradeLevel::ShedLowPriority,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let got = ctl.evaluate(50, t0 + step * (i as u32 + 1));
+            assert_eq!(got.map(|(_, to)| to), Some(*want));
+        }
+        // The ladder is bounded.
+        assert_eq!(ctl.evaluate(50, t0 + step * 10), None);
+        // Pressure clears: recovery retraces the rungs in reverse.
+        for (i, want) in [
+            DegradeLevel::FineGrain,
+            DegradeLevel::NoSpeculation,
+            DegradeLevel::Normal,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let got = ctl.evaluate(0, t0 + step * (20 + i as u32));
+            assert_eq!(got.map(|(_, to)| to), Some(*want));
+        }
+        assert_eq!(ctl.escalations(), 3);
+        assert_eq!(ctl.deescalations(), 3);
+    }
+
+    #[test]
+    fn dwell_blocks_back_to_back_transitions() {
+        let mut ctl = DegradeController::new(policy());
+        let t0 = Instant::now();
+        assert!(ctl.evaluate(50, t0 + Duration::from_millis(10)).is_some());
+        // Inside the dwell window nothing moves, hot or cold.
+        assert_eq!(ctl.evaluate(50, t0 + Duration::from_millis(11)), None);
+        assert_eq!(ctl.evaluate(0, t0 + Duration::from_millis(12)), None);
+    }
+
+    #[test]
+    fn middle_band_holds_the_level() {
+        let mut ctl = DegradeController::new(policy());
+        let t0 = Instant::now();
+        assert!(ctl.evaluate(50, t0 + Duration::from_millis(10)).is_some());
+        // Depth 5 is above exit (2) but below enter (10): hysteresis holds.
+        assert_eq!(ctl.evaluate(5, t0 + Duration::from_millis(30)), None);
+        assert_eq!(ctl.level(), DegradeLevel::NoSpeculation);
+    }
+
+    #[test]
+    fn p99_signal_escalates_without_queue_pressure() {
+        let mut ctl = DegradeController::new(policy());
+        for _ in 0..16 {
+            ctl.observe(Duration::from_millis(500));
+        }
+        let got = ctl.evaluate(0, Instant::now() + Duration::from_millis(10));
+        assert_eq!(got.map(|(_, to)| to), Some(DegradeLevel::NoSpeculation));
+    }
+}

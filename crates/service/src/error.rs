@@ -1,0 +1,202 @@
+//! The service-level error surface.
+//!
+//! Two rules. First, overload is a *typed outcome*, not an accident: every
+//! way the service can refuse or abandon a query has its own variant, so
+//! callers (and the chaos gate) can distinguish "you were shed" from "your
+//! query is wrong" from "the run timed out". Second, the source chain never
+//! drops context: a [`ServiceError::Exec`] renders its own frame and
+//! exposes the full [`ExecError`] chain through
+//! [`std::error::Error::source`], so a harness that prints the chain sees
+//! every layer down to the root `EvalError`/`RuntimeError`.
+
+use dmll_interp::ExecError;
+use std::fmt;
+
+/// Why the admission controller refused a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RejectReason {
+    /// The tenant's bounded queue is full — queuing unboundedly would turn
+    /// overload into collapse.
+    QueueFull {
+        /// Queue depth at rejection.
+        depth: usize,
+        /// The tenant's configured cap.
+        cap: usize,
+    },
+    /// The tenant's token bucket is empty (sustained rate above its limit).
+    RateLimited {
+        /// Configured sustained rate, queries per second.
+        rate_per_sec: f64,
+    },
+    /// The query's cost estimate does not fit the service-wide in-flight
+    /// cost budget (cost-estimate-based load shedding).
+    CostShed {
+        /// The query's estimated cost (abstract units; benches use rows).
+        estimated: f64,
+        /// Cost already admitted and not yet completed.
+        outstanding: f64,
+        /// The service-wide budget.
+        budget: f64,
+    },
+    /// The degradation ladder is at its last rung and this tenant's
+    /// priority is below the shed floor.
+    TenantShed {
+        /// The tenant's priority.
+        priority: u8,
+        /// Priorities strictly below this are shed.
+        floor: u8,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, cap } => {
+                write!(f, "tenant queue full ({depth} of {cap})")
+            }
+            RejectReason::RateLimited { rate_per_sec } => {
+                write!(f, "rate limit exceeded ({rate_per_sec} queries/s sustained)")
+            }
+            RejectReason::CostShed {
+                estimated,
+                outstanding,
+                budget,
+            } => write!(
+                f,
+                "load shed: estimated cost {estimated} does not fit budget \
+                 ({outstanding} of {budget} outstanding)"
+            ),
+            RejectReason::TenantShed { priority, floor } => write!(
+                f,
+                "tenant shed under overload (priority {priority} below floor {floor})"
+            ),
+            RejectReason::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl RejectReason {
+    /// Stable snake_case label for counters and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::RateLimited { .. } => "rate_limited",
+            RejectReason::CostShed { .. } => "cost_shed",
+            RejectReason::TenantShed { .. } => "tenant_shed",
+            RejectReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Everything a query submitted to the service can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The admission controller refused the query before any work ran.
+    Rejected {
+        /// The submitting tenant's name.
+        tenant: String,
+        /// Why admission refused.
+        reason: RejectReason,
+    },
+    /// The query was admitted and its supervised run failed; the inner
+    /// [`ExecError`] is exposed via `source()` and keeps its own chain
+    /// (deadline aborts carry the partial report, eval errors chain the
+    /// root cause).
+    Exec(ExecError),
+    /// A worker panicked *outside* the supervised executor's containment
+    /// (the executor's own `catch_unwind` normally absorbs chunk panics;
+    /// this is the service's last-resort boundary).
+    WorkerPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Rejected { tenant, reason } => {
+                write!(f, "query from tenant {tenant:?} rejected: {reason}")
+            }
+            ServiceError::Exec(e) => write!(f, "query execution failed: {e}"),
+            ServiceError::WorkerPanicked { message } => {
+                write!(f, "service worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Exec(e) => Some(e),
+            ServiceError::Rejected { .. } | ServiceError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<ExecError> for ServiceError {
+    fn from(e: ExecError) -> ServiceError {
+        ServiceError::Exec(e)
+    }
+}
+
+impl ServiceError {
+    /// Stable snake_case label of the failure class (for counters/JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceError::Rejected { reason, .. } => reason.label(),
+            ServiceError::Exec(ExecError::Eval(_)) => "eval_error",
+            ServiceError::Exec(ExecError::Runtime(_)) => "runtime_error",
+            ServiceError::Exec(ExecError::Deadline { .. }) => "deadline",
+            ServiceError::Exec(ExecError::Cancelled { .. }) => "cancelled",
+            ServiceError::Exec(ExecError::RetryBudgetExhausted { .. }) => "retry_budget",
+            ServiceError::WorkerPanicked { .. } => "worker_panic",
+        }
+    }
+
+    /// Was the query refused before any work ran?
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, ServiceError::Rejected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_interp::EvalError;
+    use std::error::Error as _;
+
+    #[test]
+    fn rejection_labels_are_stable() {
+        assert_eq!(
+            RejectReason::QueueFull { depth: 3, cap: 3 }.label(),
+            "queue_full"
+        );
+        assert_eq!(RejectReason::ShuttingDown.label(), "shutting_down");
+    }
+
+    #[test]
+    fn exec_errors_chain_to_the_root_cause() {
+        let e = ServiceError::from(ExecError::Eval(EvalError::DivisionByZero));
+        assert_eq!(e.label(), "eval_error");
+        // ServiceError -> ExecError -> EvalError, each level reachable.
+        let exec = e.source().expect("ExecError");
+        let eval = exec.source().expect("EvalError");
+        assert!(eval.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn rejections_are_terminal_and_typed() {
+        let e = ServiceError::Rejected {
+            tenant: "acme".into(),
+            reason: RejectReason::RateLimited { rate_per_sec: 10.0 },
+        };
+        assert!(e.is_rejection());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("acme"));
+        assert!(e.to_string().contains("rate limit"));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # DMLL multi-tenant query service
+//!
+//! An always-on worker-pool service that runs DMLL programs for many
+//! tenants and **survives overload by design** rather than by luck:
+//!
+//! - **Admission control** ([`ServiceBuilder`], [`QueryService::submit`]):
+//!   per-tenant bounded queues, token-bucket rate limits, and
+//!   cost-estimate load shedding. Excess load is *rejected* with a typed
+//!   [`ServiceError::Rejected`] — queues never grow without bound, so
+//!   admitted-query latency stays flat while throughput saturates.
+//! - **Per-tenant policy** ([`TenantPolicy`]): deadline, priority, and
+//!   retry budget, compiled per query into the runtime's
+//!   `SupervisorPolicy` with the *remaining* deadline propagated — a
+//!   query sheds all remaining work the moment its tenant deadline
+//!   passes, even if that moment arrives while it is still queued.
+//! - **Graceful degradation** ([`DegradeLevel`], [`DegradePolicy`]):
+//!   under sustained overload the service first disables straggler
+//!   speculation, then drops compiled kernels to scalar granularity,
+//!   then sheds the lowest-priority tenants — recovering in reverse
+//!   order under a hysteresis controller driven by queue depth and
+//!   admitted p99.
+//! - **Shared compilation** ([`QueryService::kernel_cache`]): all
+//!   tenants share one kernel cache through per-tenant *views* (same
+//!   store, private hit/miss/eviction counters), so a hot query compiled
+//!   for one tenant is a cache hit for every other. Datasets are
+//!   copy-on-write snapshots ([`DatasetStore`]): republishing swaps an
+//!   `Arc` while in-flight queries keep the version they started with.
+//!
+//! The contract the chaos harness enforces: every submitted query gets
+//! either a bit-identical result (vs. the sequential interpreter) or a
+//! typed error — and the service never deadlocks or collapses, no matter
+//! the overload, fault injection, or deadline pressure.
+
+mod admission;
+mod dataset;
+mod degrade;
+mod error;
+mod metrics;
+mod policy;
+mod service;
+
+pub use admission::TokenBucket;
+pub use dataset::{DatasetStore, Snapshot};
+pub use degrade::{DegradeController, DegradeLevel, DegradePolicy, Transition};
+pub use error::{RejectReason, ServiceError};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use policy::TenantPolicy;
+pub use service::{
+    QueryOutcome, QueryRequest, QueryService, ServiceBuilder, ServiceConfig, TenantId,
+    TenantSnapshot,
+};

@@ -1,0 +1,160 @@
+//! Lock-free service counters and their snapshot type.
+//!
+//! Counters are plain relaxed atomics — they are observability, not
+//! control flow, so no ordering stronger than `Relaxed` is needed.
+
+use crate::degrade::DegradeLevel;
+use crate::error::{RejectReason, ServiceError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, shared by every worker and submitter.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_rate_limited: AtomicU64,
+    rejected_cost_shed: AtomicU64,
+    rejected_tenant_shed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    completed_ok: AtomicU64,
+    completed_error: AtomicU64,
+    supervision_aborts: AtomicU64,
+    worker_panics: AtomicU64,
+    escalations: AtomicU64,
+    deescalations: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejection(&self, reason: &RejectReason) {
+        let counter = match reason {
+            RejectReason::QueueFull { .. } => &self.rejected_queue_full,
+            RejectReason::RateLimited { .. } => &self.rejected_rate_limited,
+            RejectReason::CostShed { .. } => &self.rejected_cost_shed,
+            RejectReason::TenantShed { .. } => &self.rejected_tenant_shed,
+            RejectReason::ShuttingDown => &self.rejected_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(&self, result: &Result<(), &ServiceError>) {
+        match result {
+            Ok(()) => {
+                self.completed_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.completed_error.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    ServiceError::Exec(exec) if exec.partial_report().is_some() => {
+                        self.supervision_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServiceError::WorkerPanicked { .. } => {
+                        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    pub(crate) fn record_transition(&self, from: DegradeLevel, to: DegradeLevel) {
+        if to > from {
+            self.escalations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.deescalations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy for reporting (individual counters are
+    /// exact; cross-counter sums can be mid-update by design).
+    pub fn snapshot(&self, level: DegradeLevel) -> MetricsSnapshot {
+        let r = Ordering::Relaxed;
+        MetricsSnapshot {
+            submitted: self.submitted.load(r),
+            admitted: self.admitted.load(r),
+            rejected_queue_full: self.rejected_queue_full.load(r),
+            rejected_rate_limited: self.rejected_rate_limited.load(r),
+            rejected_cost_shed: self.rejected_cost_shed.load(r),
+            rejected_tenant_shed: self.rejected_tenant_shed.load(r),
+            rejected_shutdown: self.rejected_shutdown.load(r),
+            completed_ok: self.completed_ok.load(r),
+            completed_error: self.completed_error.load(r),
+            supervision_aborts: self.supervision_aborts.load(r),
+            worker_panics: self.worker_panics.load(r),
+            escalations: self.escalations.load(r),
+            deescalations: self.deescalations.load(r),
+            level,
+        }
+    }
+}
+
+/// Point-in-time counter values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries offered to admission (admitted + rejected).
+    pub submitted: u64,
+    /// Queries past admission and queued.
+    pub admitted: u64,
+    /// Rejections: tenant queue at cap.
+    pub rejected_queue_full: u64,
+    /// Rejections: token bucket empty.
+    pub rejected_rate_limited: u64,
+    /// Rejections: cost estimate did not fit the in-flight budget.
+    pub rejected_cost_shed: u64,
+    /// Rejections: tenant below the shed floor at the deepest rung.
+    pub rejected_tenant_shed: u64,
+    /// Rejections: service shutting down.
+    pub rejected_shutdown: u64,
+    /// Admitted queries that returned a value.
+    pub completed_ok: u64,
+    /// Admitted queries that returned a typed error.
+    pub completed_error: u64,
+    /// Subset of errors that were supervision aborts (deadline,
+    /// cancellation, retry-budget) carrying a partial report.
+    pub supervision_aborts: u64,
+    /// Worker panics absorbed at the service boundary.
+    pub worker_panics: u64,
+    /// Degradation rungs climbed.
+    pub escalations: u64,
+    /// Degradation rungs descended.
+    pub deescalations: u64,
+    /// The degradation level at snapshot time.
+    pub level: DegradeLevel,
+}
+
+impl MetricsSnapshot {
+    /// Total rejections across all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_rate_limited
+            + self.rejected_cost_shed
+            + self.rejected_tenant_shed
+            + self.rejected_shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_bucket_by_reason() {
+        let m = ServiceMetrics::default();
+        m.record_submitted();
+        m.record_rejection(&RejectReason::ShuttingDown);
+        m.record_rejection(&RejectReason::RateLimited { rate_per_sec: 1.0 });
+        m.record_rejection(&RejectReason::RateLimited { rate_per_sec: 1.0 });
+        let snap = m.snapshot(DegradeLevel::Normal);
+        assert_eq!(snap.rejected_shutdown, 1);
+        assert_eq!(snap.rejected_rate_limited, 2);
+        assert_eq!(snap.rejected(), 3);
+    }
+}

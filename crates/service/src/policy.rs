@@ -1,0 +1,101 @@
+//! Per-tenant policy and its compilation into per-query supervision.
+//!
+//! A tenant registers once with a [`TenantPolicy`]; every query it submits
+//! is then supervised under a [`SupervisorPolicy`] *derived* from it at
+//! dispatch time. The derivation is where deadline propagation happens:
+//! the supervisor's budget is the tenant deadline **minus time already
+//! spent queued**, so a query that sat in the queue past its deadline
+//! aborts at the first statement boundary with a typed
+//! `ExecError::Deadline` and an all-zero partial report — it does zero
+//! kernel work.
+
+use crate::degrade::DegradeLevel;
+use dmll_runtime::{QuarantinePolicy, SpeculationPolicy, SupervisorPolicy};
+use std::time::Duration;
+
+/// What a tenant is entitled to. Immutable once the service starts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantPolicy {
+    /// Scheduling priority; higher runs first, and under the deepest
+    /// degradation rung tenants below the shed floor are rejected outright.
+    pub priority: u8,
+    /// Per-query wall-clock deadline, measured from *submission* (queue
+    /// wait counts against it).
+    pub deadline: Duration,
+    /// Chunk re-executions allowed per query (the supervisor's run-wide
+    /// retry budget).
+    pub retry_budget: u32,
+    /// Sustained admission rate, queries per second (token-bucket refill).
+    pub rate_per_sec: f64,
+    /// Burst allowance (token-bucket capacity).
+    pub burst: f64,
+    /// Bounded queue depth; submissions beyond it are rejected, never
+    /// buffered.
+    pub queue_cap: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            priority: 1,
+            deadline: Duration::from_secs(1),
+            retry_budget: 16,
+            rate_per_sec: 50_000.0,
+            burst: 1_000.0,
+            queue_cap: 8,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// Compile this policy into the supervision for one query, given the
+    /// deadline budget *remaining* at dispatch and the service's current
+    /// degradation level (speculation is the first thing overload turns
+    /// off).
+    pub fn supervisor_policy(
+        &self,
+        remaining: Duration,
+        level: DegradeLevel,
+    ) -> SupervisorPolicy {
+        SupervisorPolicy {
+            deadline: Some(remaining),
+            retry_budget: self.retry_budget,
+            speculation: if level >= DegradeLevel::NoSpeculation {
+                SpeculationPolicy::disabled()
+            } else {
+                SpeculationPolicy::default()
+            },
+            quarantine: QuarantinePolicy::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_propagates_as_the_remaining_budget() {
+        let policy = TenantPolicy::default();
+        let sup = policy.supervisor_policy(Duration::from_millis(7), DegradeLevel::Normal);
+        assert_eq!(sup.deadline, Some(Duration::from_millis(7)));
+        assert!(sup.speculation.enabled);
+        // An exhausted budget still compiles — to a zero deadline, which
+        // the supervisor trips at the first statement boundary.
+        let spent = policy.supervisor_policy(Duration::ZERO, DegradeLevel::Normal);
+        assert_eq!(spent.deadline, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn degradation_disables_speculation_first() {
+        let policy = TenantPolicy::default();
+        for level in [
+            DegradeLevel::NoSpeculation,
+            DegradeLevel::FineGrain,
+            DegradeLevel::ShedLowPriority,
+        ] {
+            let sup = policy.supervisor_policy(Duration::from_secs(1), level);
+            assert!(!sup.speculation.enabled, "speculation on at {level:?}");
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! The always-on query service: bounded queues, a priority-scheduling
+//! worker pool, per-query supervision, and degradation-aware dispatch.
+//!
+//! Structure of a query's life:
+//!
+//! 1. **Admission** ([`QueryService::submit`]): shed check (deepest
+//!    degradation rung), token bucket, then — under one pool lock — the
+//!    shutdown flag, the service-wide cost budget, and the tenant's
+//!    bounded queue. Every refusal is a typed
+//!    [`ServiceError::Rejected`]; nothing queues unboundedly.
+//! 2. **Dispatch**: a worker pops the highest-priority non-empty queue
+//!    (round-robin among ties), derives the query's [`SupervisorPolicy`]
+//!    from the tenant policy with the *remaining* deadline budget, and
+//!    runs it through the supervised chunked executor with the tenant's
+//!    kernel-cache view injected. A query whose deadline passed while
+//!    queued aborts at the first statement boundary having done zero
+//!    kernel work.
+//! 3. **Completion**: the outstanding-cost ledger is credited, the
+//!    latency feeds the degradation controller's p99 window, and the
+//!    outcome (value or typed error, never a silent drop) goes back on
+//!    the query's channel.
+//!
+//! Locking is deliberately flat: the pool mutex guards only queue state,
+//! workers never hold it while evaluating, and the degradation controller
+//! has its own mutex taken after the pool lock is released — there is no
+//! lock order to violate, which is what the chaos probe's no-deadlock
+//! gate leans on.
+
+use crate::admission::TokenBucket;
+use crate::dataset::{DatasetStore, Snapshot};
+use crate::degrade::{DegradeController, DegradeLevel, DegradePolicy};
+use crate::error::{RejectReason, ServiceError};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::policy::TenantPolicy;
+use dmll_core::Program;
+use dmll_interp::{
+    eval_parallel_supervised, CacheStats, ChunkFaults, ExecReport, KernelCacheHandle,
+    ParallelOptions, Value,
+};
+use dmll_runtime::Supervisor;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-wide knobs (per-tenant knobs live in [`TenantPolicy`]).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queues.
+    pub workers: usize,
+    /// Threads each query's chunked executor may use. Keep small: the
+    /// pool is the parallelism; this is intra-query parallelism for
+    /// heavyweight queries.
+    pub query_threads: usize,
+    /// Service-wide budget for the summed cost estimates of admitted,
+    /// not-yet-completed queries.
+    pub cost_budget: f64,
+    /// Degradation thresholds.
+    pub degrade: DegradePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            query_threads: 1,
+            cost_budget: 1_000_000.0,
+            degrade: DegradePolicy::default(),
+        }
+    }
+}
+
+/// Handle for a registered tenant (its index in registration order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TenantId(pub usize);
+
+/// One query: a program plus how to bind its inputs and what it costs.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The program to run.
+    pub program: Arc<Program>,
+    /// Dataset snapshot to resolve input bindings from (explicit
+    /// `inputs` take precedence over dataset bindings of the same name).
+    pub dataset: Option<String>,
+    /// Explicit input bindings.
+    pub inputs: Vec<(String, Value)>,
+    /// Cost estimate in abstract units (benches use input rows), checked
+    /// against [`ServiceConfig::cost_budget`] at admission.
+    pub cost: f64,
+    /// Injected faults for chaos runs (empty in production).
+    pub faults: ChunkFaults,
+}
+
+impl QueryRequest {
+    /// A unit-cost query with no dataset and no explicit inputs.
+    pub fn new(program: Arc<Program>) -> QueryRequest {
+        QueryRequest {
+            program,
+            dataset: None,
+            inputs: Vec::new(),
+            cost: 1.0,
+            faults: ChunkFaults::default(),
+        }
+    }
+
+    /// Resolve inputs from the named dataset.
+    pub fn with_dataset(mut self, name: &str) -> QueryRequest {
+        self.dataset = Some(name.to_string());
+        self
+    }
+
+    /// Bind one input explicitly (overrides a dataset binding).
+    pub fn with_input(mut self, name: &str, value: Value) -> QueryRequest {
+        self.inputs.push((name.to_string(), value));
+        self
+    }
+
+    /// Set the admission cost estimate.
+    pub fn with_cost(mut self, cost: f64) -> QueryRequest {
+        self.cost = cost.max(0.0);
+        self
+    }
+
+    /// Inject chunk faults (chaos runs).
+    pub fn with_faults(mut self, faults: ChunkFaults) -> QueryRequest {
+        self.faults = faults;
+        self
+    }
+}
+
+/// What comes back on a query's channel: a value or a typed error,
+/// always exactly one of them, never a silent drop.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Admission-assigned query id (unique per service).
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The result.
+    pub result: Result<Value, ServiceError>,
+    /// The executor's report, when the query ran far enough to have one
+    /// (supervision aborts carry their partial report here too).
+    pub report: Option<ExecReport>,
+    /// Time spent queued before a worker picked the query up.
+    pub queued_for: Duration,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+    /// The degradation level the query was dispatched under.
+    pub level: DegradeLevel,
+}
+
+/// Per-tenant live state.
+struct TenantState {
+    name: String,
+    policy: TenantPolicy,
+    bucket: Mutex<TokenBucket>,
+    /// This tenant's view of the shared kernel cache: same store, private
+    /// hit/miss/eviction counters.
+    cache: KernelCacheHandle,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// Point-in-time view of one tenant, for reporting.
+#[derive(Clone, Debug)]
+pub struct TenantSnapshot {
+    /// Registered tenant name.
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Queries admitted.
+    pub admitted: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+    /// Queries completed (ok or typed error).
+    pub completed: u64,
+    /// This tenant's kernel-cache counters (hits/misses over the shared
+    /// store).
+    pub cache: CacheStats,
+}
+
+struct Job {
+    id: u64,
+    tenant: usize,
+    request: QueryRequest,
+    enqueued: Instant,
+    deadline_at: Instant,
+    out: Sender<QueryOutcome>,
+}
+
+/// Queue state under the pool mutex. Nothing else lives here: workers
+/// release this lock before touching a query.
+struct PoolState {
+    queues: Vec<VecDeque<Job>>,
+    queued: usize,
+    outstanding_cost: f64,
+    shutdown: bool,
+    cursor: usize,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    tenants: Vec<TenantState>,
+    state: Mutex<PoolState>,
+    work: Condvar,
+    degrade: Mutex<DegradeController>,
+    /// Mirror of the controller's level for lock-free reads on the
+    /// admission path.
+    level: AtomicU8,
+    metrics: ServiceMetrics,
+    datasets: DatasetStore,
+    cache: KernelCacheHandle,
+    next_id: AtomicU64,
+}
+
+/// Configures and starts a [`QueryService`].
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    tenants: Vec<(String, TenantPolicy)>,
+    datasets: Vec<(String, Vec<(String, Value)>)>,
+    cache: Option<KernelCacheHandle>,
+}
+
+impl ServiceBuilder {
+    /// A builder with the given service-wide config and no tenants.
+    pub fn new(config: ServiceConfig) -> ServiceBuilder {
+        ServiceBuilder {
+            config,
+            tenants: Vec::new(),
+            datasets: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Register a tenant; the returned id addresses it in `submit`.
+    pub fn tenant(&mut self, name: &str, policy: TenantPolicy) -> TenantId {
+        self.tenants.push((name.to_string(), policy));
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Publish a dataset before start (more can be published later via
+    /// [`QueryService::publish_dataset`]).
+    pub fn dataset(&mut self, name: &str, bindings: Vec<(String, Value)>) -> &mut ServiceBuilder {
+        self.datasets.push((name.to_string(), bindings));
+        self
+    }
+
+    /// Use this kernel cache instead of a service-private one (e.g. to
+    /// share compiles with another service, or to inspect from tests).
+    pub fn kernel_cache(&mut self, cache: KernelCacheHandle) -> &mut ServiceBuilder {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Spawn the worker pool and go live.
+    pub fn start(self) -> QueryService {
+        let cache = self.cache.unwrap_or_default();
+        let now = Instant::now();
+        let tenants: Vec<TenantState> = self
+            .tenants
+            .into_iter()
+            .map(|(name, policy)| TenantState {
+                bucket: Mutex::new(TokenBucket::new(policy.rate_per_sec, policy.burst, now)),
+                cache: cache.view(),
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                name,
+                policy,
+            })
+            .collect();
+        let datasets = DatasetStore::new();
+        for (name, bindings) in self.datasets {
+            datasets.publish(&name, bindings);
+        }
+        let n = tenants.len();
+        let shared = Arc::new(Shared {
+            degrade: Mutex::new(DegradeController::new(self.config.degrade.clone())),
+            level: AtomicU8::new(DegradeLevel::Normal as u8),
+            state: Mutex::new(PoolState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                outstanding_cost: 0.0,
+                shutdown: false,
+                cursor: 0,
+            }),
+            work: Condvar::new(),
+            metrics: ServiceMetrics::default(),
+            datasets,
+            cache,
+            next_id: AtomicU64::new(0),
+            tenants,
+            config: self.config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+}
+
+/// The running service. Dropping without [`QueryService::shutdown`]
+/// leaks the workers; call `shutdown` to drain and join.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Submit a query on a fresh channel; the [`QueryOutcome`] arrives on
+    /// the returned receiver. A rejection is returned directly (nothing
+    /// was queued).
+    // Rejections carry their full typed context by value, same trade as
+    // `ExecError` in dmll-interp.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        request: QueryRequest,
+    ) -> Result<Receiver<QueryOutcome>, ServiceError> {
+        let (tx, rx) = channel();
+        self.submit_with(tenant, request, tx)?;
+        Ok(rx)
+    }
+
+    /// Submit a query whose outcome goes to a caller-supplied sender —
+    /// the open-loop bench funnels millions of outcomes into one channel
+    /// this way. Returns the admitted query's id.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_with(
+        &self,
+        tenant: TenantId,
+        request: QueryRequest,
+        out: Sender<QueryOutcome>,
+    ) -> Result<u64, ServiceError> {
+        let shared = &self.shared;
+        let t = shared
+            .tenants
+            .get(tenant.0)
+            .unwrap_or_else(|| panic!("unknown tenant id {}", tenant.0));
+        shared.metrics.record_submitted();
+        let reject = |reason: RejectReason| {
+            shared.metrics.record_rejection(&reason);
+            t.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(ServiceError::Rejected {
+                tenant: t.name.clone(),
+                reason,
+            })
+        };
+        // Gate 1: the deepest degradation rung sheds low-priority tenants.
+        let level = self.level();
+        if level >= DegradeLevel::ShedLowPriority
+            && t.policy.priority < shared.config.degrade.shed_floor
+        {
+            return reject(RejectReason::TenantShed {
+                priority: t.policy.priority,
+                floor: shared.config.degrade.shed_floor,
+            });
+        }
+        // Gate 2: per-tenant token bucket.
+        let now = Instant::now();
+        if !t.bucket.lock().expect("bucket lock poisoned").try_take(now) {
+            return reject(RejectReason::RateLimited {
+                rate_per_sec: t.policy.rate_per_sec,
+            });
+        }
+        // Gates 3–5 under the pool lock: shutdown, cost budget, queue cap.
+        let mut st = shared.state.lock().expect("pool lock poisoned");
+        if st.shutdown {
+            drop(st);
+            return reject(RejectReason::ShuttingDown);
+        }
+        if st.outstanding_cost + request.cost > shared.config.cost_budget {
+            let outstanding = st.outstanding_cost;
+            drop(st);
+            return reject(RejectReason::CostShed {
+                estimated: request.cost,
+                outstanding,
+                budget: shared.config.cost_budget,
+            });
+        }
+        let depth = st.queues[tenant.0].len();
+        if depth >= t.policy.queue_cap {
+            drop(st);
+            return reject(RejectReason::QueueFull {
+                depth,
+                cap: t.policy.queue_cap,
+            });
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        st.outstanding_cost += request.cost;
+        st.queued += 1;
+        st.queues[tenant.0].push_back(Job {
+            id,
+            tenant: tenant.0,
+            deadline_at: now + t.policy.deadline,
+            enqueued: now,
+            request,
+            out,
+        });
+        drop(st);
+        shared.work.notify_one();
+        shared.metrics.record_admitted();
+        t.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Publish (or replace) a dataset while running; in-flight queries
+    /// keep their snapshot (see [`DatasetStore`]).
+    pub fn publish_dataset(&self, name: &str, bindings: Vec<(String, Value)>) -> Snapshot {
+        self.shared.datasets.publish(name, bindings)
+    }
+
+    /// The current degradation level.
+    pub fn level(&self) -> DegradeLevel {
+        DegradeLevel::from_u8(self.shared.level.load(Ordering::Relaxed))
+    }
+
+    /// Total queries queued across all tenants right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool lock poisoned").queued
+    }
+
+    /// Service-wide counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.level())
+    }
+
+    /// Per-tenant counters, including each tenant's kernel-cache view.
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| TenantSnapshot {
+                name: t.name.clone(),
+                priority: t.policy.priority,
+                admitted: t.admitted.load(Ordering::Relaxed),
+                rejected: t.rejected.load(Ordering::Relaxed),
+                completed: t.completed.load(Ordering::Relaxed),
+                cache: t.cache.stats(),
+            })
+            .collect()
+    }
+
+    /// The shared kernel cache (service-wide counters; per-tenant views
+    /// are in [`QueryService::tenant_stats`]).
+    pub fn kernel_cache(&self) -> &KernelCacheHandle {
+        &self.shared.cache
+    }
+
+    /// Stop admitting, drain every queued query (each still gets its
+    /// outcome), join the workers, and return the final counters.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers {
+            // A worker that panicked already routed the query's outcome;
+            // the join error carries nothing actionable.
+            let _ = w.join();
+        }
+        self.shared.metrics.snapshot(DegradeLevel::from_u8(
+            self.shared.level.load(Ordering::Relaxed),
+        ))
+    }
+}
+
+/// Pick the next job: highest priority wins, ties rotate round-robin so
+/// equal-priority tenants share capacity instead of starving each other.
+fn pick_job(shared: &Shared, st: &mut PoolState) -> Option<Job> {
+    let n = st.queues.len();
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<usize> = None;
+    for off in 0..n {
+        let i = (st.cursor + off) % n;
+        if st.queues[i].is_empty() {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => shared.tenants[i].policy.priority > shared.tenants[b].policy.priority,
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    let i = best?;
+    st.cursor = (i + 1) % n;
+    st.queued -= 1;
+    st.queues[i].pop_front()
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = pick_job(&shared, &mut st) {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st).expect("pool lock poisoned");
+            }
+        };
+        match job {
+            Some(job) => run_job(&shared, job),
+            // Shutdown with every queue drained: the worker retires.
+            None => return,
+        }
+    }
+}
+
+/// Execute one admitted query end to end: supervision derived from the
+/// tenant policy and remaining deadline, tenant cache view injected,
+/// panics contained, cost credited back, degradation controller fed.
+#[allow(clippy::result_large_err)]
+fn run_job(shared: &Shared, job: Job) {
+    let t = &shared.tenants[job.tenant];
+    let picked_up = Instant::now();
+    let queued_for = picked_up.saturating_duration_since(job.enqueued);
+    let remaining = job.deadline_at.saturating_duration_since(picked_up);
+    let level = DegradeLevel::from_u8(shared.level.load(Ordering::Relaxed));
+
+    let supervisor = Supervisor::new(t.policy.supervisor_policy(remaining, level));
+    let mut options = ParallelOptions::new(shared.config.query_threads)
+        .with_kernel_cache(t.cache.clone())
+        .with_faults(job.request.faults.clone());
+    options.supervisor = Some(supervisor);
+    if level >= DegradeLevel::FineGrain {
+        options.use_batched = false;
+    }
+
+    // Bind inputs: explicit bindings first (they win name lookups), then
+    // the dataset snapshot. Value clones are Arc bumps, not copies.
+    let snapshot = job
+        .request
+        .dataset
+        .as_deref()
+        .and_then(|name| shared.datasets.get(name));
+    let mut inputs: Vec<(&str, Value)> = job
+        .request
+        .inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    if let Some(snap) = &snapshot {
+        for (n, v) in snap.iter() {
+            if !inputs.iter().any(|(m, _)| *m == n.as_str()) {
+                inputs.push((n.as_str(), v.clone()));
+            }
+        }
+    }
+
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        eval_parallel_supervised(&job.request.program, &inputs, &options)
+    }));
+    let (result, report) = match ran {
+        Ok(Ok((value, report))) => (Ok(value), Some(report)),
+        Ok(Err(e)) => {
+            let partial = e.partial_report().cloned();
+            (Err(ServiceError::Exec(e)), partial)
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            (Err(ServiceError::WorkerPanicked { message }), None)
+        }
+    };
+
+    // Credit the cost ledger and read the queue depth in one short lock.
+    let depth = {
+        let mut st = shared.state.lock().expect("pool lock poisoned");
+        st.outstanding_cost = (st.outstanding_cost - job.request.cost).max(0.0);
+        st.queued
+    };
+    let latency = job.enqueued.elapsed();
+    shared
+        .metrics
+        .record_completion(&result.as_ref().map(|_| ()));
+    t.completed.fetch_add(1, Ordering::Relaxed);
+
+    // Feed the degradation controller. Pool lock is already released;
+    // the controller mutex is the only one held here.
+    {
+        let mut ctl = shared.degrade.lock().expect("degrade lock poisoned");
+        ctl.observe(latency);
+        if let Some((from, to)) = ctl.evaluate(depth, Instant::now()) {
+            shared.level.store(to as u8, Ordering::Relaxed);
+            shared.metrics.record_transition(from, to);
+        }
+    }
+
+    // A dropped receiver is the caller's choice; the service still did
+    // (and accounted) the work.
+    let _ = job.out.send(QueryOutcome {
+        id: job.id,
+        tenant: TenantId(job.tenant),
+        result,
+        report,
+        queued_for,
+        latency,
+        level,
+    });
+}

@@ -1,0 +1,161 @@
+//! Display/source-chain round-trip for the typed error surface.
+//!
+//! The contract under test: rendering a [`ServiceError`] — its own
+//! `Display` frame plus every frame reachable through
+//! [`std::error::Error::source`] — preserves the context of every layer.
+//! Tenant names and rejection parameters, supervision details (deadline
+//! budget, elapsed time, retry budget, failing chunk) and the partial
+//! progress of aborted runs, all the way down to the root
+//! `EvalError`/`RuntimeError`. No variant may collapse to a bare label.
+
+use dmll_interp::{EvalError, ExecError, ExecReport};
+use dmll_runtime::RuntimeError;
+use dmll_service::{RejectReason, ServiceError};
+use std::error::Error as _;
+use std::time::Duration;
+
+/// Walk the source chain, outermost first.
+fn render_chain(e: &dyn std::error::Error) -> Vec<String> {
+    let mut frames = vec![e.to_string()];
+    let mut cur = e.source();
+    while let Some(s) = cur {
+        frames.push(s.to_string());
+        cur = s.source();
+    }
+    frames
+}
+
+fn progressed_report() -> ExecReport {
+    ExecReport {
+        chunk_executions: 7,
+        ..ExecReport::default()
+    }
+}
+
+#[test]
+fn eval_chain_round_trips_every_frame() {
+    let e = ServiceError::from(ExecError::Eval(EvalError::ChunkRetriesExhausted {
+        chunk: 9,
+        attempts: 5,
+        message: "injected kill".into(),
+    }));
+    let frames = render_chain(&e);
+    assert_eq!(frames.len(), 3, "service -> exec -> eval: {frames:?}");
+    // Each outer frame embeds the inner one verbatim: no layer may
+    // summarize away the context beneath it.
+    for w in frames.windows(2) {
+        assert!(w[0].contains(&w[1]), "outer {:?} drops inner {:?}", w[0], w[1]);
+    }
+    let root = frames.last().unwrap();
+    assert!(root.contains("chunk 9"), "{root}");
+    assert!(root.contains("5 executions"), "{root}");
+    assert!(root.contains("injected kill"), "{root}");
+}
+
+#[test]
+fn runtime_chain_round_trips() {
+    let e = ServiceError::from(ExecError::Runtime(RuntimeError::NoSurvivors));
+    let frames = render_chain(&e);
+    assert_eq!(frames.len(), 3, "service -> exec -> runtime: {frames:?}");
+    for w in frames.windows(2) {
+        assert!(w[0].contains(&w[1]), "outer {:?} drops inner {:?}", w[0], w[1]);
+    }
+    assert_eq!(e.label(), "runtime_error");
+}
+
+#[test]
+fn deadline_abort_keeps_budget_elapsed_and_progress() {
+    let e = ServiceError::from(ExecError::Deadline {
+        deadline: Duration::from_millis(10),
+        elapsed: Duration::from_millis(13),
+        partial: progressed_report(),
+    });
+    let text = e.to_string();
+    assert!(text.contains("0.010"), "budget missing: {text}");
+    assert!(text.contains("0.013"), "elapsed missing: {text}");
+    assert!(text.contains("7 chunk executions"), "progress missing: {text}");
+    assert_eq!(e.label(), "deadline");
+}
+
+#[test]
+fn cancellation_keeps_progress() {
+    let e = ServiceError::from(ExecError::Cancelled {
+        partial: progressed_report(),
+    });
+    let text = e.to_string();
+    assert!(text.contains("cancelled"), "{text}");
+    assert!(text.contains("7 chunk executions"), "progress missing: {text}");
+    assert_eq!(e.label(), "cancelled");
+}
+
+#[test]
+fn retry_budget_abort_keeps_chunk_budget_and_message() {
+    let e = ServiceError::from(ExecError::RetryBudgetExhausted {
+        chunk: 4,
+        budget: 16,
+        message: "persistent fault".into(),
+        partial: progressed_report(),
+    });
+    let text = e.to_string();
+    assert!(text.contains("chunk 4"), "{text}");
+    assert!(text.contains("16"), "{text}");
+    assert!(text.contains("persistent fault"), "{text}");
+    assert_eq!(e.label(), "retry_budget");
+}
+
+#[test]
+fn rejections_render_tenant_and_every_parameter() {
+    let cases: Vec<(RejectReason, Vec<&str>)> = vec![
+        (
+            RejectReason::QueueFull { depth: 8, cap: 8 },
+            vec!["queue full", "8 of 8"],
+        ),
+        (
+            RejectReason::RateLimited {
+                rate_per_sec: 250.0,
+            },
+            vec!["rate limit", "250"],
+        ),
+        (
+            RejectReason::CostShed {
+                estimated: 40.0,
+                outstanding: 90.0,
+                budget: 100.0,
+            },
+            vec!["load shed", "40", "90", "100"],
+        ),
+        (
+            RejectReason::TenantShed {
+                priority: 0,
+                floor: 2,
+            },
+            vec!["shed under overload", "priority 0", "floor 2"],
+        ),
+        (RejectReason::ShuttingDown, vec!["shutting down"]),
+    ];
+    for (reason, needles) in cases {
+        let label = reason.label();
+        let e = ServiceError::Rejected {
+            tenant: "acme".into(),
+            reason,
+        };
+        let text = e.to_string();
+        assert!(text.contains("acme"), "tenant missing: {text}");
+        for needle in needles {
+            assert!(text.contains(needle), "{label}: {needle:?} missing: {text}");
+        }
+        assert_eq!(e.label(), label, "label round-trip");
+        assert!(e.is_rejection());
+        assert!(e.source().is_none(), "rejections are terminal");
+    }
+}
+
+#[test]
+fn worker_panic_keeps_payload() {
+    let e = ServiceError::WorkerPanicked {
+        message: "index out of bounds in user extern".into(),
+    };
+    assert!(e.to_string().contains("index out of bounds in user extern"));
+    assert_eq!(e.label(), "worker_panic");
+    assert!(e.source().is_none());
+}

@@ -1,0 +1,140 @@
+//! Property tests for the zero-work invariants, mirroring the executor's
+//! pre-cancelled invariant at the service layer:
+//!
+//! - a query *rejected at admission* does zero kernel work (no cache
+//!   traffic, no report — nothing ran);
+//! - a query whose *deadline expired* (here: a zero-budget deadline that
+//!   is already spent when the worker picks the query up) aborts with a
+//!   typed error whose partial report has every tier counter at zero.
+
+use dmll_core::{LayoutHint, Program, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::Value;
+use dmll_service::{
+    DegradePolicy, QueryRequest, ServiceBuilder, ServiceConfig, ServiceError, TenantPolicy,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sum_squares() -> Arc<Program> {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let sq = st.map(&x, |st, e| st.mul(e, e));
+    let total = st.sum(&sq);
+    Arc::new(st.finish(&total))
+}
+
+fn inert_degrade() -> DegradePolicy {
+    DegradePolicy {
+        enter_queue: usize::MAX / 2,
+        exit_queue: 0,
+        enter_p99: Duration::from_secs(3600),
+        exit_p99: Duration::from_secs(3600),
+        dwell: Duration::from_secs(3600),
+        window: 64,
+        shed_floor: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pre-rejected queries never touch a kernel: for random data sizes
+    /// and a token bucket that admits nothing, every submission returns a
+    /// typed rejection and the tenant's kernel-cache view stays at zero.
+    #[test]
+    fn rejected_queries_do_zero_kernel_work(
+        rows in 1usize..2_000,
+        attempts in 1usize..6,
+    ) {
+        let program = sum_squares();
+        let mut b = ServiceBuilder::new(ServiceConfig {
+            workers: 1,
+            degrade: inert_degrade(),
+            ..ServiceConfig::default()
+        });
+        // burst is clamped to >= 1 token, so spend it on a doomed query
+        // first (deadline ZERO -> typed error, no kernel work), leaving
+        // the bucket empty for the attempts under test.
+        let t = b.tenant("starved", TenantPolicy {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            deadline: Duration::ZERO,
+            ..TenantPolicy::default()
+        });
+        let svc = b.start();
+        let data: Vec<i64> = (0..rows as i64).collect();
+        let req = QueryRequest::new(Arc::clone(&program))
+            .with_input("x", Value::i64_arr(data));
+        let warm = svc.submit(t, req.clone()).expect("burst token admits one");
+        prop_assert!(warm.recv().unwrap().result.is_err());
+
+        for _ in 0..attempts {
+            match svc.submit(t, req.clone()) {
+                Err(ServiceError::Rejected { reason, .. }) => {
+                    prop_assert_eq!(reason.label(), "rate_limited");
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("expected rejection, got {other:?}")));
+                }
+            }
+        }
+        let stats = &svc.tenant_stats()[0];
+        prop_assert_eq!(stats.cache.hits, 0);
+        prop_assert_eq!(stats.cache.misses, 0);
+        prop_assert_eq!(stats.rejected, attempts as u64);
+        let m = svc.shutdown();
+        prop_assert_eq!(m.rejected_rate_limited, attempts as u64);
+    }
+
+    /// Deadline-expired queries do zero kernel work: the typed abort's
+    /// partial report has every execution counter at zero and the
+    /// tenant's cache view never saw a lookup, for any data size and
+    /// queue depth.
+    #[test]
+    fn deadline_expired_queries_do_zero_kernel_work(
+        rows in 1usize..50_000,
+        backlog in 1usize..8,
+    ) {
+        let program = sum_squares();
+        let mut b = ServiceBuilder::new(ServiceConfig {
+            workers: 1,
+            degrade: inert_degrade(),
+            ..ServiceConfig::default()
+        });
+        let t = b.tenant("expired", TenantPolicy {
+            deadline: Duration::ZERO,
+            queue_cap: 16,
+            ..TenantPolicy::default()
+        });
+        let svc = b.start();
+        let data: Vec<i64> = (0..rows as i64).map(|i| i % 97).collect();
+        let req = QueryRequest::new(Arc::clone(&program))
+            .with_input("x", Value::i64_arr(data));
+        let receivers: Vec<_> = (0..backlog)
+            .map(|_| svc.submit(t, req.clone()).expect("admitted"))
+            .collect();
+        for rx in receivers {
+            let out = rx.recv().unwrap();
+            match &out.result {
+                Err(ServiceError::Exec(e)) => {
+                    let partial = e.partial_report().expect("abort carries a report");
+                    prop_assert_eq!(partial.chunk_executions, 0);
+                    prop_assert_eq!(partial.compiled_loops, 0);
+                    prop_assert_eq!(partial.treewalk_loops, 0);
+                    prop_assert_eq!(partial.batched_loops, 0);
+                    prop_assert_eq!(partial.speculative_tasks, 0);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("expected deadline abort, got {other:?}")));
+                }
+            }
+        }
+        let stats = &svc.tenant_stats()[0];
+        prop_assert_eq!(stats.cache.hits + stats.cache.misses, 0);
+        let m = svc.shutdown();
+        prop_assert_eq!(m.completed_ok, 0);
+        prop_assert_eq!(m.supervision_aborts, backlog as u64);
+    }
+}
