@@ -60,7 +60,9 @@ fn find_problem(program: &Program) -> Option<(Sym, Stencil)> {
     let roots = partitioned_roots(program);
     let rep = stencil::analyze(program);
     for (&coll, &st) in &rep.global {
-        if roots.contains(&coll) && matches!(st, Stencil::All | Stencil::Unknown) {
+        if roots.contains(&coll)
+            && matches!(st, Stencil::All | Stencil::Gather(_) | Stencil::Unknown)
+        {
             return Some((coll, st));
         }
     }
@@ -249,7 +251,8 @@ mod tests {
 
     #[test]
     fn genuinely_random_access_falls_back_with_warning() {
-        // Graph-style gather: no rule can fix it; analysis warns and the
+        // Graph-style gather: no rule can fix it; the stencil analysis
+        // names the index column, the partition analysis warns, and the
         // runtime will move data dynamically (§5 remote reads).
         let mut st = Stage::new();
         let values = st.input("values", Ty::arr(Ty::F64), LayoutHint::Partitioned);
@@ -261,7 +264,7 @@ mod tests {
         assert!(result.repairs.is_empty(), "{:?}", result.repairs);
         assert_eq!(
             result.stencils.global_of(values.exp.as_sym().unwrap()),
-            Some(Stencil::Unknown)
+            Some(Stencil::Gather(nbrs.exp.as_sym().unwrap()))
         );
         assert!(result.partition.has_warnings());
     }

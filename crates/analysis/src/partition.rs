@@ -121,6 +121,14 @@ pub fn analyze(program: &Program, stencils: &StencilReport) -> PartitionReport {
                                  falling back to runtime data movement"
                             ),
                         }),
+                        Some(Stencil::Gather(via)) => report.warnings.push(Warning {
+                            sym: Some(p),
+                            message: format!(
+                                "partitioned collection {p} is gathered through co-traversed \
+                                 index column {via} (push-style graph access); reads stay \
+                                 data-dependent, so the runtime serves them from the shared path"
+                            ),
+                        }),
                         Some(Stencil::All) => report.warnings.push(Warning {
                             sym: Some(p),
                             message: format!(
@@ -299,11 +307,44 @@ mod tests {
     }
 
     #[test]
-    fn unknown_stencil_warns() {
+    fn gather_stencil_warns_with_named_index_column() {
         let mut st = Stage::new();
         let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
         let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
         let out = st.map(&idx, |st, e| st.read(&x, e));
+        let p = st.finish(&out);
+        let stencils = crate::stencil::analyze(&p);
+        let rep = analyze(&p, &stencils);
+        let x_sym = x.exp.as_sym().unwrap();
+        let w = rep
+            .warnings
+            .iter()
+            .find(|w| w.sym == Some(x_sym))
+            .expect("gathered collection warns");
+        assert!(
+            w.message.contains("push-style graph access"),
+            "{}",
+            w.message
+        );
+        assert!(
+            w.message
+                .contains(&idx.exp.as_sym().unwrap().to_string()),
+            "warning names the index column: {}",
+            w.message
+        );
+    }
+
+    #[test]
+    fn unknown_stencil_warns() {
+        // Arithmetic on the gathered index drops provenance: plain Unknown.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let out = st.map(&idx, |st, e| {
+            let one = st.lit_i(1);
+            let j = st.add(e, &one);
+            st.read(&x, &j)
+        });
         let p = st.finish(&out);
         let stencils = crate::stencil::analyze(&p);
         let rep = analyze(&p, &stencils);

@@ -95,7 +95,9 @@ pub fn export(result: &AnalysisResult) -> ProgramPlan {
             let layout = result.partition.layout_of(col);
             let placement = match (st, layout) {
                 (Stencil::Interval, DataLayout::Partitioned) => Placement::Partitioned,
-                (Stencil::Unknown, DataLayout::Partitioned) => Placement::Fallback,
+                (Stencil::Unknown | Stencil::Gather(_), DataLayout::Partitioned) => {
+                    Placement::Fallback
+                }
                 _ => Placement::Broadcast,
             };
             if placement == Placement::Fallback {

@@ -10,11 +10,15 @@
 //! * [`Stencil::Const`] — a loop-invariant index: broadcast one element;
 //! * [`Stencil::All`] — the whole collection is consumed at each index
 //!   (inner full scans, e.g. the centroids in k-means): broadcast it;
+//! * [`Stencil::Gather`] — a data-dependent index that was itself loaded
+//!   element-aligned from another collection (`ranks(src(i))`, the
+//!   push-style graph access): still served dynamically, but the analysis
+//!   names the index column instead of giving up;
 //! * [`Stencil::Unknown`] — a data-dependent index: either replicate or trap
 //!   and fetch remotely at runtime.
 //!
 //! Per-collection stencils from different loops are joined with
-//! `Const < Interval < All < Unknown`.
+//! `Const < Interval < All < Gather < Unknown`.
 
 use dmll_core::visit::{def_blocks, free_syms};
 use dmll_core::{Block, Def, Exp, Program, Sym};
@@ -30,6 +34,11 @@ pub enum Stencil {
     Interval,
     /// Entire collection consumed per iteration: broadcast the collection.
     All,
+    /// Data-dependent index loaded element-aligned from the named index
+    /// column (push-style graph gather, e.g. `ranks(edge_src(i))`). The
+    /// reads still cannot be localized, but the fallback is understood:
+    /// the runtime serves them from the shared path.
+    Gather(Sym),
     /// Data-dependent index: replicate or fetch dynamically.
     Unknown,
 }
@@ -49,13 +58,13 @@ impl Stencil {
 
 impl fmt::Display for Stencil {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Stencil::Const => "Const",
-            Stencil::Interval => "Interval",
-            Stencil::All => "All",
-            Stencil::Unknown => "Unknown",
-        };
-        write!(f, "{s}")
+        match self {
+            Stencil::Const => write!(f, "Const"),
+            Stencil::Interval => write!(f, "Interval"),
+            Stencil::All => write!(f, "All"),
+            Stencil::Gather(via) => write!(f, "Gather(via {via})"),
+            Stencil::Unknown => write!(f, "Unknown"),
+        }
     }
 }
 
@@ -133,6 +142,11 @@ enum Form {
     /// Depends on the outer index but with a footprint spanning the whole
     /// collection per iteration (e.g. the column access `j*cols + i`).
     Spread,
+    /// The result of an element-aligned read of the named external
+    /// collection (`src(i)` with an Interval index): a data-dependent value
+    /// whose provenance is a co-traversed index column. Using it as an
+    /// index is the push-style graph gather.
+    GatherIdx(Sym),
     /// Anything else (data-dependent).
     Opaque,
 }
@@ -187,6 +201,8 @@ fn combine_add(a: Form, b: Form) -> Form {
     use Form::*;
     match (a, b) {
         (Opaque, _) | (_, Opaque) => Opaque,
+        // Arithmetic on a gathered index loses the provenance.
+        (GatherIdx(_), _) | (_, GatherIdx(_)) => Opaque,
         (Inv, Inv) => Inv,
         // Row-aligned combinations.
         (Outer, Inv) | (Inv, Outer) => OuterLinear,
@@ -229,18 +245,28 @@ fn classify_block(b: &Block, outer: Option<Sym>, ctx: &mut Ctx, per: &mut HashMa
     for stmt in &b.stmts {
         match &stmt.def {
             Def::ArrayRead { arr, index } => {
+                let iform = ctx.form_of_exp(index, outer);
+                let mut res = Form::Opaque;
                 if let Some(a) = arr.as_sym() {
                     if !ctx.bound_inside.contains(&a) {
-                        let st = match ctx.form_of_exp(index, outer) {
+                        let st = match iform {
                             Form::Outer | Form::OuterLinear => Stencil::Interval,
                             Form::Inv => Stencil::Const,
                             Form::Inner | Form::InnerScaled | Form::Spread => Stencil::All,
+                            Form::GatherIdx(via) => Stencil::Gather(via),
                             Form::Opaque => Stencil::Unknown,
                         };
                         per.entry(a).and_modify(|g| *g = g.join(st)).or_insert(st);
+                        // An element-aligned load from an external column
+                        // yields a value whose provenance we keep: indexing
+                        // another collection with it is a push-style gather
+                        // through `a`, not an arbitrary Unknown access.
+                        if matches!(iform, Form::Outer | Form::OuterLinear) {
+                            res = Form::GatherIdx(a);
+                        }
                     }
                 }
-                ctx.forms.insert(stmt.lhs[0], Form::Opaque);
+                ctx.forms.insert(stmt.lhs[0], res);
             }
             Def::Prim { op, args } => {
                 let form = match op {
@@ -330,6 +356,14 @@ mod tests {
         assert_eq!(Stencil::Const.join(Stencil::Interval), Stencil::Interval);
         assert_eq!(Stencil::Interval.join(Stencil::All), Stencil::All);
         assert_eq!(Stencil::All.join(Stencil::Unknown), Stencil::Unknown);
+        assert_eq!(
+            Stencil::All.join(Stencil::Gather(Sym(1))),
+            Stencil::Gather(Sym(1))
+        );
+        assert_eq!(
+            Stencil::Gather(Sym(1)).join(Stencil::Unknown),
+            Stencil::Unknown
+        );
         assert!(Stencil::Interval.is_local_friendly());
         assert!(!Stencil::All.is_local_friendly());
     }
@@ -413,21 +447,37 @@ mod tests {
     }
 
     #[test]
-    fn data_dependent_index_is_unknown() {
-        // x(idx(i)): gather through an index array.
+    fn gather_through_index_column_is_named() {
+        // x(idx(i)): the push-style gather through a co-traversed index
+        // array — data-dependent, but the provenance is kept.
         let mut st = Stage::new();
         let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
         let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
         let out = st.map(&idx, |st, e| st.read(&x, e));
         let p = st.finish(&out);
         let rep = analyze(&p);
+        let via = idx.exp.as_sym().unwrap();
+        assert_eq!(rep.global_of(x.exp.as_sym().unwrap()), Some(Stencil::Gather(via)));
+        assert_eq!(rep.global_of(via), Some(Stencil::Interval));
+    }
+
+    #[test]
+    fn arithmetic_on_gathered_index_is_unknown() {
+        // x(idx(i) + 1): once the gathered value is computed with, the
+        // provenance is gone and the access is a plain Unknown.
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let idx = st.input("idx", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let out = st.map(&idx, |st, e| {
+            let one = st.lit_i(1);
+            let j = st.add(e, &one);
+            st.read(&x, &j)
+        });
+        let p = st.finish(&out);
+        let rep = analyze(&p);
         assert_eq!(
             rep.global_of(x.exp.as_sym().unwrap()),
             Some(Stencil::Unknown)
-        );
-        assert_eq!(
-            rep.global_of(idx.exp.as_sym().unwrap()),
-            Some(Stencil::Interval)
         );
     }
 

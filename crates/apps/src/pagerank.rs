@@ -181,6 +181,41 @@ mod tests {
     }
 
     #[test]
+    fn push_gather_is_named_not_unknown() {
+        // The push model's per-edge reads `ranks(src(i))`/`degree(src(i))`
+        // are data-dependent but recognized: the stencil names the edge_src
+        // index column and the partition warning explains the fallback
+        // instead of an anonymous Unknown counter bump.
+        let mut p = stage_pagerank_push(0.85);
+        let result = dmll_analysis::analyze(&mut p);
+        let src_sym = p.input("edge_src").unwrap().sym;
+        let ranks_sym = p.input("ranks").unwrap().sym;
+        let deg_sym = p.input("out_degree").unwrap().sym;
+        assert_eq!(
+            result.stencils.global_of(ranks_sym),
+            Some(Stencil::Gather(src_sym))
+        );
+        assert_eq!(
+            result.stencils.global_of(deg_sym),
+            Some(Stencil::Gather(src_sym))
+        );
+        let explained = |sym| {
+            result
+                .partition
+                .warnings
+                .iter()
+                .any(|w| w.sym == Some(sym) && w.message.contains("push-style graph access"))
+        };
+        assert!(explained(ranks_sym), "{:?}", result.partition.warnings);
+        assert!(explained(deg_sym), "{:?}", result.partition.warnings);
+        // The exported plan still falls back (the communication is real),
+        // but every fallback is explained.
+        let plan = dmll_analysis::plan::export(&result);
+        assert!(plan.total_fallbacks() >= 2, "{plan:?}");
+        assert_eq!(plan.total_unexplained(), 0, "{plan:?}");
+    }
+
+    #[test]
     fn repeated_iterations_converge() {
         let g = rmat(6, 6, 11);
         let n = g.num_vertices();

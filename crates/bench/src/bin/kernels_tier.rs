@@ -2,29 +2,35 @@
 //! vs the tree-walking interpreter on real data, emitting
 //! `BENCH_kernels.json`.
 //!
-//! Usage: `kernels_tier [--smoke] [--threads N] [--regions R]`.
+//! Usage: `kernels_tier [--smoke] [--threads N] [--regions R] [--no-fuse]`.
 //! `--threads N` runs every tier through the work-stealing chunked
 //! executor on `N` workers (default 1 = sequential). `--regions R`
 //! additionally enables the sharded, locality-aware data plane: the
 //! batched tier runs region-aware (plan-driven placement, same-region
 //! stealing, one-pass stitch merge), and a blind-vs-sharded locality
-//! comparison is measured and written to `BENCH_locality.json`. `--smoke`
-//! runs the small CI size and exits nonzero if any app's tiers disagree,
-//! if the batched tier is slower than the tree-walker, if an app that ran
-//! batched blocks is slower than its own scalar bytecode tier (beyond a
-//! small timing-noise allowance), or — with `--regions` — if the sharded
+//! comparison is measured and written to `BENCH_locality.json`.
+//! `--no-fuse` pins the runtime fuse-then-compile hook off, so the
+//! batched tier runs the loops exactly as staged (the unfused baseline
+//! configuration). `--smoke` runs the small CI size and exits nonzero if
+//! any app's tiers (fused and unfused) disagree, if the batched tier is
+//! slower than the tree-walker, if an app that ran batched blocks is
+//! slower than its own scalar bytecode tier (beyond a small timing-noise
+//! allowance), if Q1's fused path is slower than its unfused baseline
+//! beyond the same allowance, or — with `--regions` — if the sharded
 //! plane's output diverges or any stencil fallback is unexplained.
 
 use dmll_bench::{locality, render, tiers};
 
-fn parse_args() -> (bool, usize, usize) {
+fn parse_args() -> (bool, usize, usize, bool) {
     let mut smoke = false;
     let mut threads = 1usize;
     let mut regions = 0usize;
+    let mut fuse = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--no-fuse" => fuse = false,
             "--threads" => {
                 let n = args
                     .next()
@@ -42,18 +48,20 @@ fn parse_args() -> (bool, usize, usize) {
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    (smoke, threads, regions)
+    (smoke, threads, regions, fuse)
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: kernels_tier [--smoke] [--threads N] [--regions R]");
+    eprintln!(
+        "error: {msg}\nusage: kernels_tier [--smoke] [--threads N] [--regions R] [--no-fuse]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
-    let (smoke, threads, regions) = parse_args();
+    let (smoke, threads, regions, fuse) = parse_args();
     let scale = if smoke { 1 } else { 10 };
-    let rows = tiers::tier_comparison_regions(scale, threads, regions);
+    let rows = tiers::tier_comparison_full(scale, threads, regions, fuse);
     print!("{}", render::kernels(&rows));
 
     let json = tiers::to_json(&rows);
@@ -84,6 +92,17 @@ fn main() {
                 "FAIL: {} batched tier slower than scalar bytecode ({:.2}x)",
                 r.app,
                 r.batched_speedup()
+            );
+            failed = true;
+        }
+        // Fuse-then-compile must never lose on the flagship fusion app:
+        // Q1's fused single-pass kernel vs its unfused loop chain. 0.95
+        // absorbs run-to-run timing noise at the smoke size; the >= 1.2x
+        // win itself is asserted by the full-scale bench run.
+        if smoke && fuse && r.app == "Q1" && r.fused_speedup() < 0.95 {
+            eprintln!(
+                "FAIL: Q1 fused path slower than unfused baseline ({:.2}x)",
+                r.fused_speedup()
             );
             failed = true;
         }

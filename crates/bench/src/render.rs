@@ -70,35 +70,52 @@ pub fn kernels(rows: &[crate::tiers::TierRow]) -> String {
         String::from("Execution tiers: batched kernels vs scalar bytecode vs tree-walker\n");
     let _ = writeln!(
         out,
-        "{:<10} {:>10} {:>7} {:>11} {:>10} {:>11} {:>8} {:>8} {:>7} {:>6} {:>9}",
+        "{:<10} {:>10} {:>7} {:>11} {:>11} {:>10} {:>11} {:>8} {:>8} {:>7} {:>9} {:>7} {:>9}",
         "Benchmark",
         "Rows",
         "Threads",
         "Batched(s)",
+        "Unfused(s)",
         "Scalar(s)",
         "Treewalk(s)",
         "Speedup",
         "vScalar",
+        "vFused",
+        "Fused+/-",
         "Blocks",
-        "Stolen",
         "Identical"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<10} {:>10} {:>7} {:>11.4} {:>10.4} {:>11.4} {:>7.2}x {:>7.2}x {:>7} {:>6} {:>9}",
+            "{:<10} {:>10} {:>7} {:>11.4} {:>11.4} {:>10.4} {:>11.4} {:>7.2}x {:>7.2}x \
+             {:>6.2}x {:>7}/{:<1} {:>7} {:>9}",
             r.app,
             r.rows,
             r.threads,
             r.batched_secs,
+            r.unfused_secs,
             r.compiled_secs,
             r.treewalk_secs,
             r.speedup(),
             r.batched_speedup(),
+            r.fused_speedup(),
+            r.stats.fusion_applied,
+            r.stats.fusion_rejected,
             r.stats.batched_blocks,
-            r.stats.tasks_stolen,
             if r.identical { "yes" } else { "NO" }
         );
+    }
+    // Batch-certification fallbacks, with their typed reasons.
+    for r in rows {
+        if !r.batch_reject.is_empty() {
+            let reasons: Vec<String> = r
+                .batch_reject
+                .iter()
+                .map(|(reason, count)| format!("{reason} x{count}"))
+                .collect();
+            let _ = writeln!(out, "{}: scalar fallback — {}", r.app, reasons.join(", "));
+        }
     }
     // Supervision counters from the supervised measurement phase (one
     // summary line: they are run-wide, not per-tier).
@@ -180,14 +197,22 @@ mod tests {
             rows: 3000,
             threads: 1,
             batched_secs: 0.01,
+            unfused_secs: 0.03,
             compiled_secs: 0.02,
             treewalk_secs: 0.05,
             identical: true,
             compiled_loops: 2,
             batched_loops: 2,
             fallback_loops: 0,
+            fusion_passes: vec![("Conditional Reduce".into(), 2)],
+            fusion_rejections: Vec::new(),
+            batch_reject: vec![("nested loop in generator body".into(), 1)],
             stats: Default::default(),
         }]);
-        assert!(k.contains("5.00x") && k.contains("2.00x") && k.contains("yes"), "{k}");
+        assert!(
+            k.contains("5.00x") && k.contains("2.00x") && k.contains("3.00x") && k.contains("yes"),
+            "{k}"
+        );
+        assert!(k.contains("nested loop in generator body x1"), "{k}");
     }
 }

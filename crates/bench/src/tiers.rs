@@ -8,7 +8,12 @@
 //! post-SoA loop shapes), and executed twice per tier on deterministic
 //! synthetic data. Float reductions fold in the same lane order on every
 //! tier (the batched executor never reassociates), so outputs must match
-//! exactly, whether sequential or chunked across worker threads.
+//! exactly, whether sequential or chunked across worker threads. The
+//! programs arrive *unfused* and the runtime fuse-then-compile hook does
+//! the structural fusion, so the fused-vs-unfused phases measure exactly
+//! what the hook buys — with the fused output demanded bit-identical to
+//! the unfused tree-walker (sequentially even across the two loop
+//! structures; chunked, within each program across its tiers).
 
 use dmll_core::Program;
 use dmll_interp::{
@@ -28,13 +33,22 @@ pub struct TierRow {
     pub rows: usize,
     /// Worker threads used for every tier (1 = sequential).
     pub threads: usize,
-    /// Best-of-two wall time on the batched kernel tier, seconds.
+    /// Best-of-two wall time on the batched kernel tier with the fusion
+    /// hook on (fuse-then-compile), seconds.
     pub batched_secs: f64,
+    /// Best-of-two wall time on the batched kernel tier with the fusion
+    /// hook off (the unfused baseline: same loops as staged), seconds.
+    pub unfused_secs: f64,
     /// Best-of-two wall time on the scalar bytecode tier, seconds.
     pub compiled_secs: f64,
     /// Best-of-two wall time on the tree-walking tier, seconds.
     pub treewalk_secs: f64,
-    /// Outputs of all three tiers compared equal.
+    /// Outputs of every tier compared equal: fused batched == fused
+    /// scalar == tree-walk == supervised, plus (sequentially) the fused
+    /// output bit-identical to the unfused baseline. At `threads > 1`
+    /// the fused-vs-unfused comparison is skipped — chunked float
+    /// reduces merge per-chunk partials, and the fused program's loop
+    /// structure chunks differently from the unfused one's.
     pub identical: bool,
     /// Top-level loops that ran compiled in one batched-tier execution.
     pub compiled_loops: u64,
@@ -42,6 +56,15 @@ pub struct TierRow {
     pub batched_loops: u64,
     /// Top-level loops the compiler rejected (ran on the tree-walker).
     pub fallback_loops: u64,
+    /// Structural rewrites the runtime fusion recipe applied, per rule
+    /// (paper name, times applied) — the `OptReport` pass log.
+    pub fusion_passes: Vec<(String, usize)>,
+    /// Fusion candidates the cost model declined, per rule (paper name,
+    /// distinct declined candidates).
+    pub fusion_rejections: Vec<(String, usize)>,
+    /// Typed reasons batch certification kept compiled loops scalar,
+    /// with per-run execution counts.
+    pub batch_reject: Vec<(String, u64)>,
     /// Tier counters bridged into the runtime's profiling type.
     pub stats: ExecTierStats,
 }
@@ -55,6 +78,12 @@ impl TierRow {
     /// Scalar bytecode time over batched time: the batched tier's own win.
     pub fn batched_speedup(&self) -> f64 {
         self.compiled_secs / self.batched_secs.max(1e-12)
+    }
+
+    /// Unfused-batched time over fused-batched time: what the
+    /// fuse-then-compile hook buys on top of the batched tier.
+    pub fn fused_speedup(&self) -> f64 {
+        self.unfused_secs / self.batched_secs.max(1e-12)
     }
 }
 
@@ -77,15 +106,34 @@ fn owned(inputs: Vec<(&'static str, Value)>) -> Vec<(String, Value)> {
 }
 
 /// Build the five tier-comparison workloads at a size multiplier
-/// (`scale = 1` is the CI smoke size; the full bench uses 10).
+/// (`scale = 1` is the CI smoke size; the full bench uses 10), fully
+/// optimized at staging. The locality bench and chaos harness use these:
+/// their plans and fault schedules are keyed to the staged loop structure,
+/// so the programs arrive with every rewrite already applied.
 pub fn workloads(scale: usize) -> Vec<Workload> {
+    staged_workloads(scale, pipeline::optimize)
+}
+
+/// The same five workloads staged with the *unfused* recipe (cleanup, SoA
+/// and interchange, no Figure 3 structural rewrites). This is what the
+/// tier comparison runs: the interpreter's fuse-then-compile hook performs
+/// the structural fusion at run time, so the fused-vs-unfused phases
+/// measure exactly what the hook buys.
+pub fn workloads_unfused(scale: usize) -> Vec<Workload> {
+    staged_workloads(scale, pipeline::optimize_unfused)
+}
+
+fn staged_workloads(
+    scale: usize,
+    recipe: fn(&mut Program, Target) -> dmll_transform::OptReport,
+) -> Vec<Workload> {
     let mut out = Vec::new();
 
     // k-means: one assignment + update iteration.
     let (km_rows, km_cols, k) = (3_000 * scale, 16, 8);
     let (x, cents, _) = dmll_data::matrix::gaussian_clusters(km_rows, km_cols, k, 0.5, 1);
     let mut p = dmll_apps::kmeans::stage_kmeans(k as i64);
-    pipeline::optimize(&mut p, Target::Cpu);
+    recipe(&mut p, Target::Cpu);
     out.push(Workload {
         app: "k-means",
         program: p,
@@ -100,7 +148,7 @@ pub fn workloads(scale: usize) -> Vec<Workload> {
     let (lr_rows, lr_cols) = (10_000 * scale, 16);
     let (x, y) = dmll_data::matrix::labeled_binary(lr_rows, lr_cols, 2);
     let mut p = dmll_apps::logreg::stage_logreg(0.01);
-    pipeline::optimize(&mut p, Target::Cpu);
+    recipe(&mut p, Target::Cpu);
     out.push(Workload {
         app: "LogReg",
         program: p,
@@ -116,7 +164,7 @@ pub fn workloads(scale: usize) -> Vec<Workload> {
     let reads = 40_000 * scale;
     let cols = dmll_data::gene::to_columns(&dmll_data::gene::gen_reads(reads, 1024, 64, 3));
     let mut p = dmll_apps::gene::stage_gene();
-    pipeline::optimize(&mut p, Target::Cpu);
+    recipe(&mut p, Target::Cpu);
     out.push(Workload {
         app: "Gene",
         program: p,
@@ -134,7 +182,7 @@ pub fn workloads(scale: usize) -> Vec<Workload> {
     let n = g.num_vertices();
     let ranks = vec![1.0 / n as f64; n];
     let mut p = dmll_apps::pagerank::stage_pagerank_push(0.85);
-    pipeline::optimize(&mut p, Target::Cpu);
+    recipe(&mut p, Target::Cpu);
     let edges = g.num_edges();
     out.push(Workload {
         app: "PageRank",
@@ -148,7 +196,7 @@ pub fn workloads(scale: usize) -> Vec<Workload> {
     let li_rows = 30_000 * scale;
     let cols = dmll_data::tpch::to_columns(&dmll_data::tpch::gen_lineitems(li_rows, 11));
     let mut p = dmll_apps::q1::stage_q1();
-    pipeline::optimize(&mut p, Target::Cpu);
+    recipe(&mut p, Target::Cpu);
     let inputs = dmll_apps::q1::inputs_for(&p, &cols);
     out.push(Workload {
         app: "Q1",
@@ -181,9 +229,22 @@ pub fn tier_comparison_threads(scale: usize, threads: usize) -> Vec<TierRow> {
 /// region-aware. Outputs must still match the scalar and tree-walking
 /// tiers bit-for-bit.
 pub fn tier_comparison_regions(scale: usize, threads: usize, regions: usize) -> Vec<TierRow> {
-    workloads(scale.max(1))
+    tier_comparison_full(scale, threads, regions, true)
+}
+
+/// The fully-parameterized tier comparison. `fuse = false` is the
+/// `--no-fuse` knob: the runtime fusion hook stays off everywhere, so the
+/// batched and "unfused" phases measure the same configuration and
+/// `fused_speedup` reads ~1.0.
+pub fn tier_comparison_full(
+    scale: usize,
+    threads: usize,
+    regions: usize,
+    fuse: bool,
+) -> Vec<TierRow> {
+    workloads_unfused(scale.max(1))
         .into_iter()
-        .map(|c| run_case(c, threads.max(1), regions))
+        .map(|c| run_case(c, threads.max(1), regions, fuse))
         .collect()
 }
 
@@ -195,23 +256,34 @@ enum Tier {
     TreeWalk,
 }
 
+/// Timed executions per phase (the first pays kernel compilation).
+const RUNS: u64 = 2;
+
 fn run_tier(
-    case: &Workload,
+    program: &Program,
     borrowed: &[(&str, Value)],
     tier: Tier,
     threads: usize,
     sharding: Option<(usize, std::sync::Arc<dmll_analysis::ProgramPlan>)>,
+    fuse: bool,
 ) -> (f64, Value, u64, u64) {
-    let interp = match tier {
-        Tier::Batched => Interp::new(&case.program),
-        Tier::ScalarKernel => Interp::new(&case.program).without_batched_tier(),
-        Tier::TreeWalk => Interp::new(&case.program).without_compiled_tier(),
+    let mut interp = match tier {
+        Tier::Batched => Interp::new(program),
+        Tier::ScalarKernel => Interp::new(program).without_batched_tier(),
+        Tier::TreeWalk => Interp::new(program).without_compiled_tier(),
     };
+    if !fuse {
+        interp = interp.without_fusion();
+    }
+    let interp = interp;
     let mut options = match tier {
         Tier::Batched => ParallelOptions::new(threads),
         Tier::ScalarKernel => ParallelOptions::new(threads).scalar_kernel_only(),
         Tier::TreeWalk => ParallelOptions::new(threads).tree_walk_only(),
     };
+    if !fuse {
+        options = options.without_fusion();
+    }
     if let Some((regions, plan)) = sharding {
         options = options.with_regions(regions).with_plan(plan);
     }
@@ -219,11 +291,11 @@ fn run_tier(
     let mut out = None;
     let mut compiled_loops: u64 = 0;
     let mut stolen: u64 = 0;
-    for _ in 0..2 {
+    for _ in 0..RUNS {
         let t0 = Instant::now();
         let v = if threads > 1 {
             let (v, report) =
-                eval_parallel_report(&case.program, borrowed, &options).expect("parallel tier run");
+                eval_parallel_report(program, borrowed, &options).expect("parallel tier run");
             compiled_loops = report.compiled_loops as u64;
             stolen += report.stolen_tasks as u64;
             v
@@ -238,18 +310,44 @@ fn run_tier(
     (secs, out.expect("two runs"), compiled_loops, stolen)
 }
 
-fn run_case(mut case: Workload, threads: usize, regions: usize) -> TierRow {
-    // Sharded data plane on the batched tier: analyze once, export the
-    // access plan, and hand it to the executor alongside the region
-    // count. The scalar and tree-walk comparison phases stay blind — the
-    // tier gate then also certifies sharded == blind bit-identity.
+fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool) -> TierRow {
+    // The program as staged (unfused): the baseline phases run this with
+    // the fusion hook pinned off, so the comparison below isolates what
+    // fuse-then-compile buys.
+    let unfused_program = case.program.clone();
+
+    // What the runtime fusion recipe does to this program, counted once
+    // (the hook memoizes, so executions would double-count): per-rule
+    // applied/rejected numbers for the report and JSON.
+    let fuse_report = if fuse {
+        let mut fused = case.program.clone();
+        pipeline::optimize_runtime(&mut fused, Target::Cpu)
+    } else {
+        dmll_transform::OptReport::default()
+    };
+
+    // Sharded data plane on the batched tier: fuse first, then analyze —
+    // the exported access plan must describe the loops that actually
+    // execute, and the fusion hook is a no-op on its own output, so the
+    // analyzed (and possibly repaired) program runs with the hook off to
+    // keep the plan's symbols authoritative. The scalar and tree-walk
+    // comparison phases stay blind — the tier gate then also certifies
+    // sharded == blind bit-identity.
     let sharding = (regions > 0).then(|| {
+        if fuse {
+            pipeline::optimize_runtime(&mut case.program, Target::Cpu);
+        }
         let result = dmll_analysis::analyze(&mut case.program);
         (
             regions,
             std::sync::Arc::new(dmll_analysis::export_plan(&result)),
         )
     });
+    // With the sharded plane the program above is already fused and the
+    // plan is keyed to it; everywhere else the hook fuses at run time
+    // (the production configuration, exercising the fingerprinted kernel
+    // cache).
+    let hook = fuse && regions == 0;
     let borrowed: Vec<(&str, Value)> = case
         .inputs
         .iter()
@@ -258,24 +356,42 @@ fn run_case(mut case: Workload, threads: usize, regions: usize) -> TierRow {
 
     reset_tier_totals();
     let (batched_secs, batched_out, compiled_loops, stolen) =
-        run_tier(&case, &borrowed, Tier::Batched, threads, sharding);
+        run_tier(&case.program, &borrowed, Tier::Batched, threads, sharding, hook);
     let ct = tier_totals();
+    let batch_reject: Vec<(String, u64)> = dmll_interp::batch_reject_reasons()
+        .into_iter()
+        .map(|(reason, count)| (reason.to_string(), count / RUNS))
+        .collect();
+
+    // Unfused baseline: the same batched executor over the program as
+    // staged, fusion hook off.
+    reset_tier_totals();
+    let (unfused_secs, unfused_out, _, _) =
+        run_tier(&unfused_program, &borrowed, Tier::Batched, threads, None, false);
 
     reset_tier_totals();
     let (compiled_secs, scalar_out, _, _) =
-        run_tier(&case, &borrowed, Tier::ScalarKernel, threads, None);
+        run_tier(&case.program, &borrowed, Tier::ScalarKernel, threads, None, hook);
 
+    // Tree-walk reference. Sequentially this is the *unfused* program —
+    // the paper's semantics as written, which the fused batched and
+    // scalar tiers must match bit-for-bit, lane-order float folds
+    // included. Chunked (threads > 1) it runs the same configuration as
+    // the batched phase: per-chunk float-reduce partials merge with the
+    // reduction operator, which reassociates rounding differently for
+    // different loop structures, so the cross-program identity claim is
+    // sequential and the chunked gate is within-program across tiers.
     reset_tier_totals();
     let (treewalk_secs, treewalk_out, _, _) = if threads > 1 {
-        run_tier(&case, &borrowed, Tier::TreeWalk, threads, None)
+        run_tier(&case.program, &borrowed, Tier::TreeWalk, threads, None, hook)
     } else {
         // The sequential tree-walk baseline bypasses the interpreter
         // wrapper entirely, matching the paper's naive-recursive baseline.
         let mut secs = f64::INFINITY;
         let mut out = None;
-        for _ in 0..2 {
+        for _ in 0..RUNS {
             let t0 = Instant::now();
-            let v = eval_tree_walk(&case.program, &borrowed).expect("tree-walk tier run");
+            let v = eval_tree_walk(&unfused_program, &borrowed).expect("tree-walk tier run");
             secs = secs.min(t0.elapsed().as_secs_f64());
             out = Some(v);
         }
@@ -291,7 +407,10 @@ fn run_case(mut case: Workload, threads: usize, regions: usize) -> TierRow {
     reset_tier_totals();
     let supervised_identical = if threads > 1 {
         let sup = Supervisor::new(SupervisorPolicy::default());
-        let opts = ParallelOptions::new(threads).supervised(sup);
+        let mut opts = ParallelOptions::new(threads).supervised(sup);
+        if !hook {
+            opts = opts.without_fusion();
+        }
         let (v, _) = dmll_interp::eval_parallel_supervised(&case.program, &borrowed, &opts)
             .expect("supervised tier run");
         v == batched_out
@@ -333,22 +452,48 @@ fn run_case(mut case: Workload, threads: usize, regions: usize) -> TierRow {
         partition_warnings: ct.partition_warnings,
         region_local_tasks: ct.region_local_tasks,
         cross_region_steals: ct.cross_region_steals,
+        // Per-program facts from the rewrite report, not the per-run
+        // counters (executions would multiply them by RUNS).
+        fusion_applied: fuse_report.applied_total() as u64,
+        fusion_rejected: fuse_report.rejected_total() as u64,
+        batch_ineligible: ct.batch_ineligible / RUNS,
     };
     TierRow {
         app: case.app,
         rows: case.rows,
         threads,
         batched_secs,
+        unfused_secs,
         compiled_secs,
         treewalk_secs,
         identical: batched_out == scalar_out
             && batched_out == treewalk_out
+            // Fused-vs-unfused bit identity is the sequential claim;
+            // chunked float reduces fold per-chunk partials, and the two
+            // programs chunk different loop structures.
+            && (threads > 1 || batched_out == unfused_out)
             && supervised_identical,
         compiled_loops,
         batched_loops: ct.batched_loops,
         fallback_loops: ct.fallback_loops,
+        fusion_passes: fuse_report.passes.clone(),
+        fusion_rejections: fuse_report
+            .rejections
+            .iter()
+            .map(|(name, set)| (name.clone(), set.len()))
+            .collect(),
+        batch_reject,
         stats,
     }
+}
+
+fn json_count_map<K: std::fmt::Display, V: std::fmt::Display>(entries: &[(K, V)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let _ = write!(out, "{}\"{}\": {}", if i == 0 { "" } else { ", " }, k, v);
+    }
+    out.push('}');
+    out
 }
 
 /// Serialize rows as the `BENCH_kernels.json` document.
@@ -358,11 +503,16 @@ pub fn to_json(rows: &[TierRow]) -> String {
         let _ = write!(
             out,
             "    {{\"app\": \"{}\", \"rows\": {}, \"threads\": {}, \
-             \"batched_secs\": {:.6}, \"compiled_secs\": {:.6}, \
+             \"batched_secs\": {:.6}, \"unfused_secs\": {:.6}, \
+             \"compiled_secs\": {:.6}, \
              \"treewalk_secs\": {:.6}, \"speedup\": {:.2}, \
-             \"batched_speedup\": {:.2}, \"identical\": {}, \
+             \"batched_speedup\": {:.2}, \"fused_speedup\": {:.2}, \
+             \"identical\": {}, \
              \"compiled_loops\": {}, \"batched_loops\": {}, \
              \"fallback_loops\": {}, \
+             \"fusion_applied\": {}, \"fusion_rejected\": {}, \
+             \"fusion_passes\": {}, \"fusion_rejections\": {}, \
+             \"batch_ineligible\": {}, \"batch_fallback_reasons\": {}, \
              \"kernels_compiled\": {}, \"kernel_cache_hits\": {}, \
              \"compile_millis\": {:.3}, \
              \"batched_blocks\": {}, \"tail_elements\": {}, \
@@ -381,14 +531,22 @@ pub fn to_json(rows: &[TierRow]) -> String {
             r.rows,
             r.threads,
             r.batched_secs,
+            r.unfused_secs,
             r.compiled_secs,
             r.treewalk_secs,
             r.speedup(),
             r.batched_speedup(),
+            r.fused_speedup(),
             r.identical,
             r.compiled_loops,
             r.batched_loops,
             r.fallback_loops,
+            r.stats.fusion_applied,
+            r.stats.fusion_rejected,
+            json_count_map(&r.fusion_passes),
+            json_count_map(&r.fusion_rejections),
+            r.stats.batch_ineligible,
+            json_count_map(&r.batch_reject),
             r.stats.kernels_compiled,
             r.stats.kernel_cache_hits,
             r.stats.compile_nanos as f64 / 1e6,
@@ -444,11 +602,24 @@ mod tests {
             batched_apps >= 2,
             "expected at least two apps on the batched tier, got {batched_apps}"
         );
+        // Fuse-then-compile: the hook must find structural rewrites on the
+        // unfused-staged flagship apps and surface the counters.
+        for app in ["Q1", "k-means"] {
+            let r = rows.iter().find(|r| r.app == app).expect("row");
+            assert!(
+                r.stats.fusion_applied > 0,
+                "{} runtime recipe applied nothing: {:?}",
+                app,
+                r.fusion_passes
+            );
+        }
         let json = to_json(&rows);
         assert!(json.contains("\"k-means\""), "{json}");
         assert!(json.contains("\"PageRank\""), "{json}");
         assert!(json.contains("\"Q1\""), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
+        assert!(json.contains("\"fused_speedup\""), "{json}");
+        assert!(json.contains("\"fusion_passes\""), "{json}");
     }
 
     #[test]
@@ -456,6 +627,16 @@ mod tests {
         // The work-stealing chunked path must stay bit-identical too.
         for r in tier_comparison_threads(1, 3) {
             assert!(r.identical, "{} tiers disagree at 3 threads", r.app);
+        }
+    }
+
+    #[test]
+    fn no_fuse_knob_pins_hook_off() {
+        let rows = tier_comparison_full(1, 1, 0, false);
+        for r in &rows {
+            assert!(r.identical, "{} tiers disagree with fusion off", r.app);
+            assert_eq!(r.stats.fusion_applied, 0, "{} fused anyway", r.app);
+            assert!(r.fusion_passes.is_empty(), "{}", r.app);
         }
     }
 }

@@ -48,7 +48,7 @@ use crate::stats;
 use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
 use dmll_core::gen::GenKind;
 use dmll_core::visit::free_syms;
-use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, StructTy, Sym, Ty};
+use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, Program, StructTy, Sym, Ty};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -306,6 +306,9 @@ pub(crate) struct Kernel {
     /// Whether every generator's per-element blocks certify for the batched
     /// (block-at-a-time) executor; see [`batch`].
     pub batchable: bool,
+    /// When not batchable, the typed reason for the first certification
+    /// failure (surfaced as a per-loop fallback reason in tier stats).
+    pub batch_reject: Option<&'static str>,
 }
 
 // ---------------------------------------------------------------------------
@@ -1718,8 +1721,10 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
         free: c.free,
         n_regs: c.n,
         batchable: false,
+        batch_reject: None,
     };
-    kernel.batchable = batch::kernel_batchable(&kernel);
+    kernel.batch_reject = batch::batch_reject_reason(&kernel);
+    kernel.batchable = kernel.batch_reject.is_none();
     Ok(kernel)
 }
 
@@ -2599,6 +2604,22 @@ fn structural_hash(ml: &Multiloop) -> u64 {
     h.finish()
 }
 
+/// Structural hash of a whole program: inputs (symbol, name, layout) plus
+/// the body, deep. The fuse-then-compile hook uses this both to key its
+/// rewrite cache and as the rewrite fingerprint mixed into kernel cache
+/// keys, so fused and unfused variants of one source loop never collide.
+pub(crate) fn hash_program(p: &Program) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    p.inputs.len().hash(&mut h);
+    for i in &p.inputs {
+        i.sym.0.hash(&mut h);
+        i.name.hash(&mut h);
+        i.layout.hash(&mut h);
+    }
+    hash_block(&p.body, &mut h);
+    h.finish()
+}
+
 fn hash_multiloop(ml: &Multiloop, h: &mut impl Hasher) {
     hash_exp(&ml.size, h);
     ml.gens.len().hash(h);
@@ -2762,6 +2783,13 @@ struct CacheKey {
     /// certified against `ArrayVal::F64` storage must not run against a
     /// `Boxed` array, so the refinement is part of the key.
     kinds: Vec<VTy>,
+    /// Rewrite fingerprint of the program the loop came from: `0` for
+    /// source programs the fuse hook left untouched, otherwise the fused
+    /// program's structural hash. Two structurally-identical loops reached
+    /// through different rewrites are different cache citizens — without
+    /// this, a fused and an unfused variant that happen to hash and compare
+    /// equal (same syms reused across `Program::clone`) could collide.
+    fuse: u64,
 }
 
 enum Cached {
@@ -2979,7 +3007,7 @@ impl KernelCacheHandle {
     /// every handle so [`crate::tier_totals`] stays meaningful; the
     /// view-local counters additionally attribute the lookup to this
     /// handle.
-    pub(crate) fn kernel_for(&self, ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
+    pub(crate) fn kernel_for(&self, ml: &Multiloop, env: &Env, fuse: u64) -> Option<Arc<Kernel>> {
         let mut kinds = Vec::new();
         for s in loop_free_syms(ml) {
             let v = env.get(s.0 as usize)?.as_ref()?;
@@ -2988,6 +3016,7 @@ impl KernelCacheHandle {
         let key = CacheKey {
             hash: structural_hash(ml),
             kinds,
+            fuse,
         };
         {
             let mut guard = self.store.lock().expect("kernel cache poisoned");
@@ -3057,8 +3086,8 @@ impl KernelCacheHandle {
 
 /// Look up or compile via the process-global cache (the un-injected
 /// default). See [`KernelCacheHandle::kernel_for`].
-pub(crate) fn kernel_for(ml: &Multiloop, env: &Env) -> Option<Arc<Kernel>> {
-    KernelCacheHandle::global().kernel_for(ml, env)
+pub(crate) fn kernel_for(ml: &Multiloop, env: &Env, fuse: u64) -> Option<Arc<Kernel>> {
+    KernelCacheHandle::global().kernel_for(ml, env, fuse)
 }
 
 #[cfg(test)]
@@ -3181,12 +3210,12 @@ mod tests {
     fn cache_reuses_kernel_for_same_types() {
         let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
         let ml = square_sum_loop();
-        let k1 = kernel_for(&ml, &env).expect("compiled");
-        let k2 = kernel_for(&ml, &env).expect("cached");
+        let k1 = kernel_for(&ml, &env, 0).expect("compiled");
+        let k2 = kernel_for(&ml, &env, 0).expect("cached");
         assert!(Arc::ptr_eq(&k1, &k2));
         // Different storage refinement → distinct kernel (not reused).
         let env2 = env_with(vec![(10, Value::i64_arr(vec![1, 2]))]);
-        let k3 = kernel_for(&ml, &env2).expect("recompiled");
+        let k3 = kernel_for(&ml, &env2, 0).expect("recompiled");
         assert!(!Arc::ptr_eq(&k1, &k3));
     }
 
@@ -3199,8 +3228,8 @@ mod tests {
         let tenant_b = cache.view();
         assert!(tenant_a.shares_store_with(&tenant_b));
 
-        let k1 = tenant_a.kernel_for(&ml, &env).expect("compiled");
-        let k2 = tenant_b.kernel_for(&ml, &env).expect("cached via shared store");
+        let k1 = tenant_a.kernel_for(&ml, &env, 0).expect("compiled");
+        let k2 = tenant_b.kernel_for(&ml, &env, 0).expect("cached via shared store");
         assert!(Arc::ptr_eq(&k1, &k2), "views share compiled kernels");
         assert_eq!(tenant_a.stats().misses, 1, "A compiled");
         assert_eq!(tenant_a.stats().hits, 0);
@@ -3212,7 +3241,7 @@ mod tests {
         // An isolated cache neither shares entries nor counters.
         let isolated = KernelCacheHandle::with_capacity(8);
         assert!(!isolated.shares_store_with(&cache));
-        let k3 = isolated.kernel_for(&ml, &env).expect("recompiled");
+        let k3 = isolated.kernel_for(&ml, &env, 0).expect("recompiled");
         assert!(!Arc::ptr_eq(&k1, &k3));
         assert_eq!(isolated.stats().misses, 1);
     }
@@ -3224,12 +3253,33 @@ mod tests {
         let ml = square_sum_loop();
         let env_f = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
         let env_i = env_with(vec![(10, Value::i64_arr(vec![1]))]);
-        cache.kernel_for(&ml, &env_f).expect("compiles f64");
+        cache.kernel_for(&ml, &env_f, 0).expect("compiles f64");
         let view = cache.view();
-        view.kernel_for(&ml, &env_i).expect("compiles i64, evicting");
+        view.kernel_for(&ml, &env_i, 0).expect("compiles i64, evicting");
         assert_eq!(view.stats().evictions, 1, "evicting view pays");
         assert_eq!(cache.stats().evictions, 0, "other view does not");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_keys_fused_and_unfused_variants_separately() {
+        // Regression: before the rewrite fingerprint joined the cache key,
+        // a loop appearing both in a fused program and an as-written one
+        // (structurally identical, same refinements) would share one LRU
+        // entry — so any variant-specific compilation would be silently
+        // reused across variants. Distinct fingerprints must miss and
+        // store separately; each variant then hits only its own entry.
+        let cache = KernelCacheHandle::with_capacity(8);
+        let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
+        let ml = square_sum_loop();
+        let unfused = cache.kernel_for(&ml, &env, 0).expect("compiled");
+        let fused = cache.kernel_for(&ml, &env, 0xF00D).expect("compiled separately");
+        assert!(!Arc::ptr_eq(&unfused, &fused), "fingerprints key distinct entries");
+        assert_eq!(cache.stats().misses, 2, "no cross-fingerprint hit");
+        assert_eq!(cache.len(), 2);
+        let again = cache.kernel_for(&ml, &env, 0xF00D).expect("cached");
+        assert!(Arc::ptr_eq(&fused, &again));
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //!
 //! * **Certification.** Only kernels whose per-element blocks (cond, key,
 //!   value) consist entirely of typed, column-executable instructions are
-//!   batchable ([`kernel_batchable`]); everything else runs the scalar
-//!   bytecode loop. Reducer blocks are exempt — they execute on the embedded
-//!   scalar state per element, so any compilable reducer batches.
+//!   batchable ([`batch_reject_reason`] returns `None`); everything else
+//!   runs the scalar bytecode loop and carries the typed rejection reason.
+//!   Reducer blocks are exempt — they execute on the embedded scalar state
+//!   per element, so any compilable reducer batches.
 //! * **Deferred errors.** A fallible instruction (division, bounds-checked
 //!   read) may fault at some lane; the scalar loop would have stopped there.
 //!   The batched executor records the first faulting lane, truncates the
@@ -35,10 +36,22 @@
 //! authoritative first-seen-order [`KeyIx`], turning the per-element hash
 //! into an array index for the small key domains real workloads have
 //! (quantiles of group-bys: flags, barcodes, vertex ids).
+//!
+//! **Nested loops and virtual tuples.** A nested `Reduce` loop whose trip
+//! count is loop-invariant (preamble-only size register) runs columnar too:
+//! iteration-major, with one accumulator *column* per lane, so the fuse-
+//! then-compile pipeline's flagship shapes — k-means' per-row argmin over
+//! `k` centroids — stay on the batched tier instead of falling back to
+//! scalar bytecode. Per-lane folds apply the reducer lane-wise (never
+//! across lanes), so float bits match the element-at-a-time loop exactly.
+//! Small tuples of typed components (`(dist, idx)` accumulators) become
+//! **virtual tuple columns**: `TupleNewV`/`TupleGet*`/`MuxV` over them
+//! execute as per-component column ops, and certification tracks which
+//! `V` registers are virtual so nothing ever boxes.
 
 use super::{
-    apply_f, apply_i, bounds, read_array, stats, ArrayVal, CBlock, CGen, Class, ColBuf, EvalError,
-    FastRed, Instr, KAcc, KState, Kernel, KeyIx, RedBuf, Reg, Scalar, Value,
+    apply_f, apply_i, bounds, read_array, stats, ArrayVal, CBlock, CGen, CLoop, Class, ColBuf,
+    EvalError, FastRed, GenKind, Instr, KAcc, KState, Kernel, KeyIx, RedBuf, Reg, Scalar, Value,
 };
 use crate::eval::{eval_math, Env};
 
@@ -86,18 +99,229 @@ fn instr_batchable(ins: &Instr) -> bool {
     )
 }
 
-fn cblock_batchable(b: &CBlock) -> bool {
-    b.result.class != Class::V && b.instrs.iter().all(instr_batchable)
+/// The typed rejection reason for an instruction outside the whitelist
+/// (and outside the virtual-tuple/nested-loop cases the certifier handles
+/// separately).
+fn reject_reason(ins: &Instr) -> &'static str {
+    match ins {
+        Instr::ReadVV { .. } | Instr::ReadDyn { .. } => "boxed or dynamically-typed array read",
+        Instr::ConstV { .. } | Instr::MuxV { .. } | Instr::MathV { .. } => "boxed (V-class) operand",
+        Instr::CastDyn { .. } | Instr::SizeI { .. } | Instr::CondB { .. } => "dynamic coercion",
+        Instr::LenA { .. } => "array length of a dynamic operand",
+        Instr::PrimV { .. } => "fallback primitive (boxed operands)",
+        Instr::TupleNewV { .. }
+        | Instr::TupleGetI { .. }
+        | Instr::TupleGetF { .. }
+        | Instr::TupleGetB { .. }
+        | Instr::TupleGetV { .. }
+        | Instr::TupleGetDyn { .. } => "tuple construction or projection",
+        Instr::StructNewV { .. } | Instr::StructGetIdx { .. } | Instr::StructGetDyn { .. } => {
+            "struct construction or field read"
+        }
+        Instr::FlattenV { .. }
+        | Instr::BucketValuesV { .. }
+        | Instr::BucketKeysV { .. }
+        | Instr::BucketLenV { .. }
+        | Instr::BucketGetV { .. } => "bucket operation in generator body",
+        _ => "instruction outside the batched whitelist",
+    }
 }
 
-/// A kernel is batchable when every generator's per-element blocks certify.
-/// Reducer blocks always run on the scalar state, so they are not checked.
-pub(crate) fn kernel_batchable(k: &Kernel) -> bool {
-    k.gens.iter().all(|g| {
-        cblock_batchable(&g.value)
-            && g.cond.as_ref().is_none_or(cblock_batchable)
-            && g.key.as_ref().is_none_or(cblock_batchable)
-    })
+/// The integer register an instruction writes, if any — used to prove a
+/// nested loop's size register is preamble-only (invariant across lanes).
+fn instr_i_dst(ins: &Instr) -> Option<u16> {
+    match ins {
+        Instr::ConstI { dst, .. }
+        | Instr::BinI { dst, .. }
+        | Instr::DivI { dst, .. }
+        | Instr::RemI { dst, .. }
+        | Instr::NegI { dst, .. }
+        | Instr::MuxI { dst, .. }
+        | Instr::CastFI { dst, .. }
+        | Instr::ReadVI { dst, .. }
+        | Instr::TupleGetI { dst, .. }
+        | Instr::SizeI { dst, .. }
+        | Instr::LenA { dst, .. }
+        | Instr::BucketLenV { dst, .. } => Some(*dst),
+        Instr::CastDyn { dst, .. } | Instr::PrimV { dst, .. } | Instr::StructGetIdx { dst, .. } => {
+            (dst.class == Class::I).then_some(dst.idx)
+        }
+        _ => None,
+    }
+}
+
+fn note_gen_writes(gens: &[CGen], varying: &mut [bool]) {
+    for g in gens {
+        let blocks = [
+            Some(&g.value),
+            g.cond.as_ref(),
+            g.key.as_ref(),
+            g.reducer.as_ref(),
+        ];
+        for b in blocks.into_iter().flatten() {
+            for p in &b.params {
+                if p.class == Class::I {
+                    varying[p.idx as usize] = true;
+                }
+            }
+            for ins in &b.instrs {
+                if let Some(d) = instr_i_dst(ins) {
+                    varying[d as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Certifier state: walks the kernel's per-element blocks in execution
+/// order, tracking which `V` registers hold *virtual tuples* (tuples of
+/// typed components kept as per-component columns) and which `I` registers
+/// vary per element (so nested loop sizes can be proven invariant).
+struct Cert<'a> {
+    k: &'a Kernel,
+    /// Component classes per virtual `V` register.
+    virt: Vec<Option<Vec<Class>>>,
+    /// `I` registers written inside any per-element block; a batched
+    /// nested loop shares one trip count across lanes, so its size
+    /// register must not be among these.
+    varying_i: Vec<bool>,
+}
+
+impl<'a> Cert<'a> {
+    fn new(k: &'a Kernel) -> Cert<'a> {
+        let mut varying_i = vec![false; k.n_regs[0]];
+        note_gen_writes(&k.gens, &mut varying_i);
+        for cl in &k.loops {
+            note_gen_writes(&cl.gens, &mut varying_i);
+            for d in &cl.dsts {
+                if d.class == Class::I {
+                    varying_i[d.idx as usize] = true;
+                }
+            }
+        }
+        Cert {
+            k,
+            virt: vec![None; k.n_regs[3]],
+            varying_i,
+        }
+    }
+
+    fn comps_of(&self, t: u16) -> Option<&Vec<Class>> {
+        self.virt[t as usize].as_ref()
+    }
+
+    fn expect_comp(&self, t: u16, idx: u32, class: Class) -> Result<(), &'static str> {
+        match self.comps_of(t) {
+            Some(comps) if comps.get(idx as usize) == Some(&class) => Ok(()),
+            _ => Err("tuple construction or projection"),
+        }
+    }
+
+    fn certify_block(&mut self, b: &CBlock) -> Result<(), &'static str> {
+        for ins in &b.instrs {
+            if instr_batchable(ins) {
+                continue;
+            }
+            match ins {
+                Instr::TupleNewV { dst, args } => {
+                    if args.iter().any(|r| r.class == Class::V) {
+                        return Err("tuple construction or projection");
+                    }
+                    self.virt[*dst as usize] = Some(args.iter().map(|r| r.class).collect());
+                }
+                Instr::TupleGetI { t, idx, .. } => self.expect_comp(*t, *idx, Class::I)?,
+                Instr::TupleGetF { t, idx, .. } => self.expect_comp(*t, *idx, Class::F)?,
+                Instr::TupleGetB { t, idx, .. } => self.expect_comp(*t, *idx, Class::B)?,
+                Instr::MuxV { dst, a, b, .. } => {
+                    match (self.comps_of(*a), self.comps_of(*b)) {
+                        (Some(x), Some(y)) if x == y => {
+                            let comps = x.clone();
+                            self.virt[*dst as usize] = Some(comps);
+                        }
+                        _ => return Err("boxed (V-class) operand"),
+                    }
+                }
+                Instr::Loop(li) => self.certify_cloop(&self.k.loops[*li as usize])?,
+                ins => return Err(reject_reason(ins)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Certify a nested loop: invariant trip count, `Reduce`-only
+    /// unconditional generators, batchable value blocks, and reducers that
+    /// either fast-fold or certify columnar themselves (typed or over
+    /// matching virtual tuples).
+    fn certify_cloop(&mut self, cl: &CLoop) -> Result<(), &'static str> {
+        if self.varying_i[cl.size as usize] {
+            return Err("nested loop with per-element trip count");
+        }
+        for (gen, dst) in cl.gens.iter().zip(&cl.dsts) {
+            if gen.kind != GenKind::Reduce || gen.cond.is_some() {
+                return Err("nested loop in generator body");
+            }
+            self.certify_block(&gen.value)?;
+            let res = gen.value.result;
+            if res.class == Class::V {
+                let Some(comps) = self.comps_of(res.idx).cloned() else {
+                    return Err("vector-valued generator element (boxed result)");
+                };
+                if gen.init.is_some() {
+                    return Err("nested reduce over boxed values");
+                }
+                let rb = gen
+                    .reducer
+                    .as_ref()
+                    .ok_or("nested reduce over boxed values")?;
+                if rb.params.len() != 2 || rb.params.iter().any(|p| p.class != Class::V) {
+                    return Err("nested reduce over boxed values");
+                }
+                self.virt[rb.params[0].idx as usize] = Some(comps.clone());
+                self.virt[rb.params[1].idx as usize] = Some(comps.clone());
+                self.certify_block(rb)?;
+                if rb.result.class != Class::V
+                    || self.comps_of(rb.result.idx) != Some(&comps)
+                    || dst.class != Class::V
+                {
+                    return Err("nested reduce over boxed values");
+                }
+                self.virt[dst.idx as usize] = Some(comps);
+            } else if gen.fast_red.is_none() {
+                let rb = gen
+                    .reducer
+                    .as_ref()
+                    .ok_or("nested reduce over boxed values")?;
+                if rb.params.len() != 2
+                    || rb.params.iter().any(|p| p.class != res.class)
+                    || rb.result.class != res.class
+                {
+                    return Err("nested reduce over boxed values");
+                }
+                self.certify_block(rb)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a compiled kernel cannot run on the batched tier: the first
+/// non-certifying block/instruction mapped to a stable, typed reason.
+/// `None` means the kernel certifies. Surfaced through the per-loop
+/// fallback counters so "batched_loops: 0" is never an unexplained miss.
+pub(crate) fn batch_reject_reason(k: &Kernel) -> Option<&'static str> {
+    let mut cert = Cert::new(k);
+    for g in &k.gens {
+        let blocks = [Some(&g.value), g.cond.as_ref(), g.key.as_ref()];
+        for b in blocks.into_iter().flatten() {
+            if b.result.class == Class::V {
+                return Some("vector-valued generator element (boxed result)");
+            }
+            if let Err(r) = cert.certify_block(b) {
+                return Some(r);
+            }
+        }
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -121,6 +345,14 @@ impl DenseDir {
     }
 }
 
+/// One component column of a virtual tuple.
+#[derive(Clone)]
+enum VCol {
+    I(Vec<i64>),
+    F(Vec<f64>),
+    B(Vec<bool>),
+}
+
 /// Batched register files: one [`BLOCK`]-wide column per typed register,
 /// plus the embedded scalar state that holds `V` registers (all invariant
 /// under certification), runs the preamble, reducer blocks, and the tail.
@@ -128,6 +360,9 @@ pub(crate) struct BState {
     ci: Vec<Vec<i64>>,
     cf: Vec<Vec<f64>>,
     cb: Vec<Vec<bool>>,
+    /// Virtual tuple columns per `V` register (`None` = a real boxed value
+    /// living in `scalar.rv`; certification keeps the two disjoint).
+    cv: Vec<Option<Vec<VCol>>>,
     /// One dense key directory per top-level generator.
     dense: Vec<DenseDir>,
     pub(crate) scalar: KState,
@@ -146,6 +381,7 @@ impl Kernel {
             ci: scalar.ri.iter().map(|&v| vec![v; BLOCK]).collect(),
             cf: scalar.rf.iter().map(|&v| vec![v; BLOCK]).collect(),
             cb: scalar.rb.iter().map(|&v| vec![v; BLOCK]).collect(),
+            cv: vec![None; scalar.rv.len()],
             dense: self.gens.iter().map(|_| DenseDir::new()).collect(),
             scalar,
         })
@@ -153,6 +389,7 @@ impl Kernel {
 }
 
 /// Active lanes of one block, in increasing order.
+#[derive(Clone)]
 enum Lanes {
     /// All `0..BLOCK` lanes.
     Full,
@@ -174,6 +411,14 @@ impl Lanes {
 
     fn is_empty(&self) -> bool {
         matches!(self, Lanes::Sel(s) if s.is_empty())
+    }
+
+    /// The lowest active lane.
+    fn first(&self) -> Option<usize> {
+        match self {
+            Lanes::Full => Some(0),
+            Lanes::Sel(s) => s.first().map(|&l| l as usize),
+        }
     }
 }
 
@@ -266,6 +511,48 @@ fn muxop<T: Copy>(d: &mut [T], c: &[bool], a: &[T], b: &[T], lanes: &Lanes) {
             for &l in s {
                 let l = l as usize;
                 d[l] = if c[l] { a[l] } else { b[l] };
+            }
+        }
+    }
+}
+
+/// Blend `b` into `d` (which holds `a`'s values) where the condition is
+/// false — the in-place half of a `MuxV` over virtual tuple components.
+fn blend<T: Copy>(d: &mut [T], c: &[bool], b: &[T], lanes: &Lanes) {
+    match lanes {
+        Lanes::Full => {
+            let (d, c, b) = (&mut d[..BLOCK], &c[..BLOCK], &b[..BLOCK]);
+            for l in 0..BLOCK {
+                if !c[l] {
+                    d[l] = b[l];
+                }
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                if !c[l] {
+                    d[l] = b[l];
+                }
+            }
+        }
+    }
+}
+
+/// Fold `col` into `acc` lane-wise. Per-lane chains are independent, so
+/// float folds here never reassociate across lanes.
+fn fold_lanes<T: Copy>(acc: &mut [T], col: &[T], lanes: &Lanes, f: impl Fn(T, T) -> T) {
+    match lanes {
+        Lanes::Full => {
+            let (a, c) = (&mut acc[..BLOCK], &col[..BLOCK]);
+            for l in 0..BLOCK {
+                a[l] = f(a[l], c[l]);
+            }
+        }
+        Lanes::Sel(s) => {
+            for &l in s {
+                let l = l as usize;
+                acc[l] = f(acc[l], col[l]);
             }
         }
     }
@@ -531,14 +818,103 @@ impl Kernel {
                 st.cb[*dst as usize] = d;
                 r?;
             }
+            Instr::TupleNewV { dst, args } => {
+                let comps = args
+                    .iter()
+                    .map(|r| match r.class {
+                        Class::I => VCol::I(st.ci[r.idx as usize].clone()),
+                        Class::F => VCol::F(st.cf[r.idx as usize].clone()),
+                        Class::B => VCol::B(st.cb[r.idx as usize].clone()),
+                        Class::V => unreachable!("certified tuple components are typed"),
+                    })
+                    .collect();
+                st.cv[*dst as usize] = Some(comps);
+            }
+            Instr::TupleGetI { dst, t, idx } => {
+                let mut d = take_col!(st, ci, *dst);
+                match &st.cv[*t as usize].as_ref().expect("virtual tuple register")
+                    [*idx as usize]
+                {
+                    VCol::I(c) => unop(&mut d, c, lanes, |x| x),
+                    _ => unreachable!("certified tuple component class"),
+                }
+                st.ci[*dst as usize] = d;
+            }
+            Instr::TupleGetF { dst, t, idx } => {
+                let mut d = take_col!(st, cf, *dst);
+                match &st.cv[*t as usize].as_ref().expect("virtual tuple register")
+                    [*idx as usize]
+                {
+                    VCol::F(c) => unop(&mut d, c, lanes, |x| x),
+                    _ => unreachable!("certified tuple component class"),
+                }
+                st.cf[*dst as usize] = d;
+            }
+            Instr::TupleGetB { dst, t, idx } => {
+                let mut d = take_col!(st, cb, *dst);
+                match &st.cv[*t as usize].as_ref().expect("virtual tuple register")
+                    [*idx as usize]
+                {
+                    VCol::B(c) => unop(&mut d, c, lanes, |x| x),
+                    _ => unreachable!("certified tuple component class"),
+                }
+                st.cb[*dst as usize] = d;
+            }
+            Instr::MuxV { dst, c, a, b } => {
+                let mut out = st.cv[*a as usize].clone().expect("virtual tuple register");
+                {
+                    let bv = st.cv[*b as usize].as_ref().expect("virtual tuple register");
+                    let cc = &st.cb[*c as usize];
+                    for (oc, bc) in out.iter_mut().zip(bv) {
+                        match (oc, bc) {
+                            (VCol::I(o), VCol::I(bb)) => blend(o, cc, bb, lanes),
+                            (VCol::F(o), VCol::F(bb)) => blend(o, cc, bb, lanes),
+                            (VCol::B(o), VCol::B(bb)) => blend(o, cc, bb, lanes),
+                            _ => unreachable!("certified tuple component class"),
+                        }
+                    }
+                }
+                st.cv[*dst as usize] = Some(out);
+            }
+            Instr::Loop(li) => {
+                return self.run_cloop_batched(&self.loops[*li as usize], st, lanes);
+            }
             other => unreachable!("instruction not certified for batched execution: {other:?}"),
         }
         Ok(())
     }
 
+    /// Run a straight-line instruction sequence over the active lanes,
+    /// surviving faults: a fault truncates the lanes to those before it and
+    /// execution continues for the survivors (the scalar loop runs earlier
+    /// elements to completion before a later element ever faults, so a
+    /// survivor's own later fault must still be discovered — it wins).
+    /// Returns the minimum-lane fault.
+    fn run_instrs_resilient(
+        &self,
+        instrs: &[Instr],
+        st: &mut BState,
+        lanes: &mut Lanes,
+    ) -> Option<(usize, EvalError)> {
+        let mut pend: Option<(usize, EvalError)> = None;
+        for ins in instrs {
+            if lanes.is_empty() {
+                break;
+            }
+            if let Err((lane, e)) = self.bstep(ins, st, lanes) {
+                lanes.truncate_before(lane);
+                if pend.as_ref().is_none_or(|(pl, _)| lane < *pl) {
+                    pend = Some((lane, e));
+                }
+            }
+        }
+        pend
+    }
+
     /// Write the index-parameter column and run `b`'s instructions over the
-    /// active lanes. On a fault, truncates `lanes` to the lanes before the
-    /// faulting one and returns the (lane, error) pair.
+    /// active lanes. On faults, truncates `lanes` to the lanes before the
+    /// earliest one, finishes the block for the survivors, and returns the
+    /// winning (lane, error) pair.
     fn run_cblock_batched(
         &self,
         b: &CBlock,
@@ -552,13 +928,231 @@ impl Kernel {
         for (l, c) in col.iter_mut().enumerate() {
             *c = base + l as i64;
         }
-        for ins in &b.instrs {
-            if let Err((lane, e)) = self.bstep(ins, st, lanes) {
-                lanes.truncate_before(lane);
-                return Some((lane, e));
+        self.run_instrs_resilient(&b.instrs, st, lanes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nested loops
+// ---------------------------------------------------------------------------
+
+/// A nested reduce accumulator: one lane-wide column (or virtual tuple of
+/// columns) holding every lane's running reduction.
+enum NAcc {
+    I(Vec<i64>),
+    F(Vec<f64>),
+    B(Vec<bool>),
+    V(Vec<VCol>),
+}
+
+/// Record `new` into `pend` if it is the earliest-lane fault seen so far.
+fn note_fault(pend: &mut Option<(usize, EvalError)>, new: Option<(usize, EvalError)>) {
+    if let Some((lane, e)) = new {
+        if pend.as_ref().is_none_or(|(pl, _)| lane < *pl) {
+            *pend = Some((lane, e));
+        }
+    }
+}
+
+impl Kernel {
+    /// Execute a certified nested loop columnar: iteration-major over the
+    /// active lanes, folding each iteration's value column into per-lane
+    /// accumulators. Per-lane fold chains run in iteration order (the
+    /// scalar loop's order), so float bits match exactly; faults truncate
+    /// the local lane set and the earliest lane's error wins, matching the
+    /// element-major scalar loop.
+    fn run_cloop_batched(
+        &self,
+        cl: &CLoop,
+        st: &mut BState,
+        lanes: &Lanes,
+    ) -> Result<(), (usize, EvalError)> {
+        // Certification proved the size register preamble-only, so the
+        // scalar state holds its (lane-invariant) value.
+        let size = st.scalar.ri[cl.size as usize];
+        let mut local = lanes.clone();
+        let mut pend: Option<(usize, EvalError)> = None;
+        // An explicit identity seeds the accumulator with its column, so
+        // iteration 0 folds reduce(init, x0) exactly like the scalar loop.
+        let mut accs: Vec<Option<NAcc>> = cl
+            .gens
+            .iter()
+            .map(|g| g.init.map(|r| init_nacc(r, st)))
+            .collect();
+        for it in 0..size.max(0) {
+            if local.is_empty() {
+                break;
+            }
+            for (gen, acc) in cl.gens.iter().zip(accs.iter_mut()) {
+                if local.is_empty() {
+                    break;
+                }
+                note_fault(
+                    &mut pend,
+                    self.run_nested_value(&gen.value, st, it, &mut local),
+                );
+                if local.is_empty() {
+                    break;
+                }
+                note_fault(&mut pend, self.nested_fold(gen, acc, st, &mut local));
             }
         }
-        None
+        for (dst, acc) in cl.dsts.iter().zip(accs) {
+            match acc {
+                Some(a) => write_nacc(*dst, a, st),
+                None => {
+                    // No iterations ran and no identity: every surviving
+                    // element's reduce is empty; the element-major scalar
+                    // loop faults at the first of them.
+                    if let Some(l) = local.first() {
+                        note_fault(&mut pend, Some((l, EvalError::EmptyReduce)));
+                    }
+                    break;
+                }
+            }
+        }
+        match pend {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    /// Run a nested value block for one iteration: the index parameter is
+    /// the iteration number, identical in every lane.
+    fn run_nested_value(
+        &self,
+        b: &CBlock,
+        st: &mut BState,
+        it: i64,
+        lanes: &mut Lanes,
+    ) -> Option<(usize, EvalError)> {
+        debug_assert_eq!(b.params.len(), 1);
+        debug_assert_eq!(b.params[0].class, Class::I);
+        st.ci[b.params[0].idx as usize].fill(it);
+        self.run_instrs_resilient(&b.instrs, st, lanes)
+    }
+
+    /// Fold the value column of one nested iteration into the per-lane
+    /// accumulator (seeding it from the first iteration when there is no
+    /// explicit identity).
+    fn nested_fold(
+        &self,
+        gen: &CGen,
+        acc: &mut Option<NAcc>,
+        st: &mut BState,
+        lanes: &mut Lanes,
+    ) -> Option<(usize, EvalError)> {
+        let res = gen.value.result;
+        let Some(a) = acc else {
+            *acc = Some(match res.class {
+                Class::I => NAcc::I(st.ci[res.idx as usize].clone()),
+                Class::F => NAcc::F(st.cf[res.idx as usize].clone()),
+                Class::B => NAcc::B(st.cb[res.idx as usize].clone()),
+                Class::V => NAcc::V(
+                    st.cv[res.idx as usize]
+                        .as_ref()
+                        .expect("virtual tuple register")
+                        .clone(),
+                ),
+            });
+            return None;
+        };
+        match (&mut *a, gen.fast_red) {
+            (NAcc::I(av), Some(FastRed::I(op))) => {
+                fold_lanes(av, &st.ci[res.idx as usize], lanes, |x, y| apply_i(op, x, y));
+                None
+            }
+            (NAcc::F(av), Some(FastRed::F(op))) => {
+                fold_lanes(av, &st.cf[res.idx as usize], lanes, |x, y| apply_f(op, x, y));
+                None
+            }
+            _ => self.nested_fold_reducer(gen, a, st, lanes),
+        }
+    }
+
+    /// Apply a block reducer columnar: bind the accumulator and value
+    /// columns to the parameter registers, run the block over the active
+    /// lanes, and read the result column back as the new accumulator.
+    fn nested_fold_reducer(
+        &self,
+        gen: &CGen,
+        acc: &mut NAcc,
+        st: &mut BState,
+        lanes: &mut Lanes,
+    ) -> Option<(usize, EvalError)> {
+        let rb = gen.reducer.as_ref().expect("reduce gen has reducer");
+        let (p0, p1) = (rb.params[0], rb.params[1]);
+        let res = gen.value.result;
+        match acc {
+            NAcc::I(av) => {
+                st.ci[p0.idx as usize].clone_from(av);
+                if p1.idx != res.idx {
+                    let mut d = take_col!(st, ci, p1.idx);
+                    d.clone_from(&st.ci[res.idx as usize]);
+                    st.ci[p1.idx as usize] = d;
+                }
+                let pend = self.run_instrs_resilient(&rb.instrs, st, lanes);
+                av.clone_from(&st.ci[rb.result.idx as usize]);
+                pend
+            }
+            NAcc::F(av) => {
+                st.cf[p0.idx as usize].clone_from(av);
+                if p1.idx != res.idx {
+                    let mut d = take_col!(st, cf, p1.idx);
+                    d.clone_from(&st.cf[res.idx as usize]);
+                    st.cf[p1.idx as usize] = d;
+                }
+                let pend = self.run_instrs_resilient(&rb.instrs, st, lanes);
+                av.clone_from(&st.cf[rb.result.idx as usize]);
+                pend
+            }
+            NAcc::B(av) => {
+                st.cb[p0.idx as usize].clone_from(av);
+                if p1.idx != res.idx {
+                    let mut d = take_col!(st, cb, p1.idx);
+                    d.clone_from(&st.cb[res.idx as usize]);
+                    st.cb[p1.idx as usize] = d;
+                }
+                let pend = self.run_instrs_resilient(&rb.instrs, st, lanes);
+                av.clone_from(&st.cb[rb.result.idx as usize]);
+                pend
+            }
+            NAcc::V(comps) => {
+                st.cv[p0.idx as usize] = Some(std::mem::take(comps));
+                if p1.idx != res.idx {
+                    let val = st.cv[res.idx as usize]
+                        .as_ref()
+                        .expect("virtual tuple register")
+                        .clone();
+                    st.cv[p1.idx as usize] = Some(val);
+                }
+                let pend = self.run_instrs_resilient(&rb.instrs, st, lanes);
+                *comps = st.cv[rb.result.idx as usize]
+                    .clone()
+                    .expect("virtual reducer result");
+                pend
+            }
+        }
+    }
+}
+
+/// Seed an accumulator from an explicit identity register's column.
+fn init_nacc(r: Reg, st: &BState) -> NAcc {
+    match r.class {
+        Class::I => NAcc::I(st.ci[r.idx as usize].clone()),
+        Class::F => NAcc::F(st.cf[r.idx as usize].clone()),
+        Class::B => NAcc::B(st.cb[r.idx as usize].clone()),
+        Class::V => unreachable!("certified nested reduce identity is typed"),
+    }
+}
+
+/// Write a sealed accumulator into its destination register's column.
+fn write_nacc(dst: Reg, a: NAcc, st: &mut BState) {
+    match a {
+        NAcc::I(v) => st.ci[dst.idx as usize] = v,
+        NAcc::F(v) => st.cf[dst.idx as usize] = v,
+        NAcc::B(v) => st.cb[dst.idx as usize] = v,
+        NAcc::V(comps) => st.cv[dst.idx as usize] = Some(comps),
     }
 }
 

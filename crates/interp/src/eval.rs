@@ -2,7 +2,7 @@
 
 use crate::error::EvalError;
 use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
-use crate::{compile, stats};
+use crate::{compile, fuse, stats};
 use dmll_core::{Block, Const, Def, Exp, Gen, MathFn, Multiloop, PrimOp, Program};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,6 +25,12 @@ pub struct Interp<'p> {
     /// Kernel cache used by the compiled tier; `None` = the process-global
     /// default store.
     kernel_cache: Option<crate::KernelCacheHandle>,
+    /// Whether to run the fuse-then-compile rewrite before execution.
+    fuse: bool,
+    /// Rewrite fingerprint of `program` (0 = as-written / identity rewrite).
+    /// Participates in kernel-cache keys so fused and unfused variants of a
+    /// loop never share an entry.
+    fuse_fingerprint: u64,
 }
 
 /// Per-run execution-tier accounting: how many top-level multiloops ran on
@@ -50,6 +56,8 @@ impl<'p> Interp<'p> {
             use_compiled: true,
             use_batched: true,
             kernel_cache: None,
+            fuse: true,
+            fuse_fingerprint: 0,
         }
     }
 
@@ -76,6 +84,14 @@ impl<'p> Interp<'p> {
         self
     }
 
+    /// Skip the fuse-then-compile rewrite: execute the program exactly as
+    /// written. Benches use this to measure the unfused tiers; differential
+    /// tests use it to pin fused against unfused results.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
+        self
+    }
+
     /// Register a handler for an extern operation.
     pub fn with_extern(
         mut self,
@@ -89,6 +105,20 @@ impl<'p> Interp<'p> {
     /// The program being interpreted.
     pub fn program(&self) -> &'p Program {
         self.program
+    }
+
+    /// Bind this interpreter to an already-fused program: skip the rewrite
+    /// hook and key kernels under `fingerprint`. The parallel executor does
+    /// its own program swap and uses this to thread the fingerprint through.
+    pub(crate) fn with_fuse_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fuse = false;
+        self.fuse_fingerprint = fingerprint;
+        self
+    }
+
+    /// The rewrite fingerprint kernels are keyed under (0 = as-written).
+    pub(crate) fn fuse_fingerprint(&self) -> u64 {
+        self.fuse_fingerprint
     }
 
     /// Run the program with named inputs, returning its result value.
@@ -108,6 +138,31 @@ impl<'p> Interp<'p> {
     ///
     /// See [`Interp::run`].
     pub fn run_report(&self, inputs: &[(&str, Value)]) -> Result<(Value, RunReport), EvalError> {
+        if self.fuse {
+            let fused = fuse::fused_program(self.program);
+            stats::record_fusion(fused.applied, fused.rejected);
+            if let Some(fp) = &fused.program {
+                // Delegate to a sub-interpreter bound to the fused body,
+                // carrying the fingerprint into kernel-cache keys.
+                let sub = Interp {
+                    program: fp,
+                    externs: self.externs.clone(),
+                    use_compiled: self.use_compiled,
+                    use_batched: self.use_batched,
+                    kernel_cache: self.kernel_cache.clone(),
+                    fuse: false,
+                    fuse_fingerprint: fused.fingerprint,
+                };
+                // Rewrites preserve values but can shift *which* error a
+                // faulting program raises (e.g. Conditional Reduce turns
+                // an empty-cluster EmptyReduce into a MissingBucket).
+                // On error, re-running the program as written keeps error
+                // identity exact, and costs nothing on the non-error path.
+                if let ok @ Ok(_) = sub.run_report(inputs) {
+                    return ok;
+                }
+            }
+        }
         let mut env: Env = vec![None; self.program.next_sym_id() as usize];
         for input in &self.program.inputs {
             let v = inputs
@@ -163,8 +218,8 @@ impl<'p> Interp<'p> {
     ) -> Result<(Vec<Value>, bool), EvalError> {
         if use_compiled {
             let kernel = match &self.kernel_cache {
-                Some(cache) => cache.kernel_for(ml, env),
-                None => compile::kernel_for(ml, env),
+                Some(cache) => cache.kernel_for(ml, env, self.fuse_fingerprint),
+                None => compile::kernel_for(ml, env, self.fuse_fingerprint),
             };
             if let Some(kernel) = kernel {
                 let size = self
@@ -179,6 +234,11 @@ impl<'p> Interp<'p> {
                     stats::record_batched(size.max(0) as u64, t0.elapsed());
                     vals
                 } else {
+                    if use_batched {
+                        if let Some(reason) = kernel.batch_reject {
+                            stats::record_batch_ineligible(reason);
+                        }
+                    }
                     let mut st = kernel.new_state(env)?;
                     let accs = kernel.run_range(&mut st, 0, size)?;
                     kernel.seal_values(accs, &mut st)?
@@ -661,14 +721,18 @@ pub fn eval(program: &Program, inputs: &[(&str, Value)]) -> Result<Value, EvalEr
     Interp::new(program).run(inputs)
 }
 
-/// Run `program` with the compiled tier disabled — pure tree-walking.
+/// Run `program` with the compiled tier disabled and the fusion rewrite
+/// skipped — pure tree-walking over the program exactly as written.
 /// Differential tests and tier benches use this as the reference.
 ///
 /// # Errors
 ///
 /// See [`Interp::run`].
 pub fn eval_tree_walk(program: &Program, inputs: &[(&str, Value)]) -> Result<Value, EvalError> {
-    Interp::new(program).without_compiled_tier().run(inputs)
+    Interp::new(program)
+        .without_compiled_tier()
+        .without_fusion()
+        .run(inputs)
 }
 
 /// Run `program` with a set of extern handlers.

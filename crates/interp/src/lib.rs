@@ -30,6 +30,7 @@
 mod compile;
 pub mod error;
 pub mod eval;
+mod fuse;
 pub mod parallel;
 pub mod stats;
 pub mod value;
@@ -41,5 +42,5 @@ pub use parallel::{
     eval_parallel, eval_parallel_report, eval_parallel_supervised, ChunkFaults, ExecReport,
     ParallelOptions,
 };
-pub use stats::{reset_tier_totals, tier_totals, TierTotals};
+pub use stats::{batch_reject_reasons, reset_tier_totals, tier_totals, TierTotals};
 pub use value::{ArrayVal, BucketsVal, Key, StructVal, Value};

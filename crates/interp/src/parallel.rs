@@ -207,6 +207,9 @@ pub struct ParallelOptions {
     /// process-global store; a long-lived service injects its own handle so
     /// queries share compiles and hit rates are attributable per view.
     pub kernel_cache: Option<crate::KernelCacheHandle>,
+    /// Run the fuse-then-compile rewrite before execution (the default).
+    /// Disable to execute the program exactly as written.
+    pub fuse: bool,
 }
 
 impl ParallelOptions {
@@ -223,7 +226,15 @@ impl ParallelOptions {
             regions: 0,
             plan: None,
             kernel_cache: None,
+            fuse: true,
         }
+    }
+
+    /// Skip the fuse-then-compile rewrite: execute the program exactly as
+    /// written (benches use this to measure the unfused tiers).
+    pub fn without_fusion(mut self) -> ParallelOptions {
+        self.fuse = false;
+        self
     }
 
     /// Compile kernels through `cache` instead of the process-global store.
@@ -363,10 +374,28 @@ pub fn eval_parallel_supervised(
     inputs: &[(&str, Value)],
     options: &ParallelOptions,
 ) -> Result<(Value, ExecReport), ExecError> {
+    if options.fuse {
+        let fused = crate::fuse::fused_program(program);
+        stats::record_fusion(fused.applied, fused.rejected);
+        if let Some(fp) = &fused.program {
+            // Execute the fused body; kernels key under the rewrite
+            // fingerprint so they never collide with unfused variants.
+            return supervised_on(fp, inputs, options, fused.fingerprint);
+        }
+    }
+    supervised_on(program, inputs, options, 0)
+}
+
+fn supervised_on(
+    program: &Program,
+    inputs: &[(&str, Value)],
+    options: &ParallelOptions,
+    fingerprint: u64,
+) -> Result<(Value, ExecReport), ExecError> {
     let threads = options.threads.max(1);
     let supervisor = options.supervisor.as_deref();
     let trips_before = supervisor.map_or(0, |s| s.quarantine().trips());
-    let mut interp = Interp::new(program);
+    let mut interp = Interp::new(program).with_fuse_fingerprint(fingerprint);
     if let Some(cache) = &options.kernel_cache {
         interp = interp.with_kernel_cache(cache.clone());
     }
@@ -1238,8 +1267,8 @@ fn run_chunked(
     // are bit-identical to the tree-walking tier.
     let kernel = if options.use_compiled {
         match &options.kernel_cache {
-            Some(cache) => cache.kernel_for(ml, env),
-            None => compile::kernel_for(ml, env),
+            Some(cache) => cache.kernel_for(ml, env, interp.fuse_fingerprint()),
+            None => compile::kernel_for(ml, env, interp.fuse_fingerprint()),
         }
     } else {
         None
@@ -1260,6 +1289,11 @@ fn run_chunked(
     if let Some(kernel) = kernel {
         {
             let batched = options.use_batched && kernel.batchable;
+            if options.use_batched && !batched {
+                if let Some(reason) = kernel.batch_reject {
+                    stats::record_batch_ineligible(reason);
+                }
+            }
             let t0 = Instant::now();
             let out = run_chunked_kernel(
                 &kernel, env, &tasks, &faults, pending, workers, batched, options, report,
@@ -1961,20 +1995,28 @@ mod tests {
 
     #[test]
     fn mid_run_deadline_drains_within_task_granularity() {
-        // Every task sleeps ~2ms; the deadline lands mid-run. The abort
-        // must drain (no hang) and leave most tasks unexecuted.
+        // The first loop's tasks each sleep ~3ms (delays are consumed per
+        // chunk index, so only round one is delayed): 4 tasks on 2 workers
+        // is ≥ 6ms of injected wall time, past the 5ms deadline no matter
+        // how warm the kernel cache is. The abort must drain (no hang) and
+        // leave most tasks unexecuted. Fusion is off so the two-loop task
+        // structure (and thus the task count the deadline math assumes) is
+        // pinned.
         let p = sum_squares_program();
         let data: Vec<i64> = (0..4000).collect();
         let mut faults = ChunkFaults::default();
         for ci in 0..64 {
-            faults = faults.and_delay(ci, Duration::from_millis(2));
+            faults = faults.and_delay(ci, Duration::from_millis(3));
         }
         let sup = Supervisor::new(SupervisorPolicy {
             deadline: Some(Duration::from_millis(5)),
             speculation: SpeculationPolicy::disabled(),
             ..SupervisorPolicy::default()
         });
-        let opts = ParallelOptions::new(2).with_faults(faults).supervised(sup);
+        let opts = ParallelOptions::new(2)
+            .with_faults(faults)
+            .supervised(sup)
+            .without_fusion();
         let t0 = Instant::now();
         let err =
             eval_parallel_supervised(&p, &[("x", Value::i64_arr(data))], &opts).unwrap_err();
@@ -1988,8 +2030,8 @@ mod tests {
             }
             other => panic!("expected Deadline, got {other:?}"),
         }
-        // 16 tasks × 2ms each on 2 workers would be ≥ 16ms serial-ish;
-        // the drain bound is deadline + one in-flight task per worker.
+        // The drain bound is the deadline plus one in-flight task per
+        // worker, far under this ceiling.
         assert!(
             elapsed < Duration::from_millis(500),
             "drained promptly, took {elapsed:?}"

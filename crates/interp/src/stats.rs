@@ -6,7 +6,9 @@
 //! its profiling report via [`TierTotals`]; see
 //! `crates/runtime/src/profile.rs`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 static KERNELS_COMPILED: AtomicU64 = AtomicU64::new(0);
@@ -37,6 +39,11 @@ static SPECULATION_WINS: AtomicU64 = AtomicU64::new(0);
 static QUARANTINE_TRIPS: AtomicU64 = AtomicU64::new(0);
 static DEADLINE_ABORTS: AtomicU64 = AtomicU64::new(0);
 static CANCELLED_ABORTS: AtomicU64 = AtomicU64::new(0);
+
+static FUSION_APPLIED: AtomicU64 = AtomicU64::new(0);
+static FUSION_REJECTED: AtomicU64 = AtomicU64::new(0);
+static BATCH_INELIGIBLE: AtomicU64 = AtomicU64::new(0);
+static BATCH_REJECT_REASONS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
 
 static SHARDED_LOOPS: AtomicU64 = AtomicU64::new(0);
 static STENCIL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
@@ -113,6 +120,26 @@ pub(crate) fn record_deadline_abort() {
 
 pub(crate) fn record_cancelled_abort() {
     CANCELLED_ABORTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Fusion rewrites the pre-compile hook applied / declined to this run's
+/// program (taken from the cached rewrite report, once per execution).
+pub(crate) fn record_fusion(applied: u64, rejected: u64) {
+    FUSION_APPLIED.fetch_add(applied, Ordering::Relaxed);
+    FUSION_REJECTED.fetch_add(rejected, Ordering::Relaxed);
+}
+
+/// A compiled loop that ran scalar because its kernel failed batch
+/// certification, with the typed reason from the certifier.
+pub(crate) fn record_batch_ineligible(reason: &'static str) {
+    BATCH_INELIGIBLE.fetch_add(1, Ordering::Relaxed);
+    *BATCH_REJECT_REASONS.lock().unwrap().entry(reason).or_insert(0) += 1;
+}
+
+/// Snapshot of batch-certification rejection reasons seen so far, with
+/// per-reason loop-execution counts.
+pub fn batch_reject_reasons() -> BTreeMap<&'static str, u64> {
+    BATCH_REJECT_REASONS.lock().unwrap().clone()
 }
 
 pub(crate) fn record_sharded_loop() {
@@ -199,6 +226,13 @@ pub struct TierTotals {
     /// Sharded tasks stolen across a region boundary (only after the
     /// thief's own region ran dry).
     pub cross_region_steals: u64,
+    /// Fusion rewrites applied by the pre-compile hook (per executed run).
+    pub fusion_applied: u64,
+    /// Fusion candidates the cost model declined (per executed run).
+    pub fusion_rejected: u64,
+    /// Compiled-loop executions that ran scalar because batch certification
+    /// rejected the kernel (see [`batch_reject_reasons`] for the why).
+    pub batch_ineligible: u64,
 }
 
 impl TierTotals {
@@ -257,6 +291,9 @@ pub fn tier_totals() -> TierTotals {
         partition_warnings: PARTITION_WARNINGS.load(Ordering::Relaxed),
         region_local_tasks: REGION_LOCAL_TASKS.load(Ordering::Relaxed),
         cross_region_steals: CROSS_REGION_STEALS.load(Ordering::Relaxed),
+        fusion_applied: FUSION_APPLIED.load(Ordering::Relaxed),
+        fusion_rejected: FUSION_REJECTED.load(Ordering::Relaxed),
+        batch_ineligible: BATCH_INELIGIBLE.load(Ordering::Relaxed),
     }
 }
 
@@ -291,9 +328,13 @@ pub fn reset_tier_totals() {
         &PARTITION_WARNINGS,
         &REGION_LOCAL_TASKS,
         &CROSS_REGION_STEALS,
+        &FUSION_APPLIED,
+        &FUSION_REJECTED,
+        &BATCH_INELIGIBLE,
     ] {
         c.store(0, Ordering::Relaxed);
     }
+    BATCH_REJECT_REASONS.lock().unwrap().clear();
 }
 
 #[cfg(test)]

@@ -1,0 +1,303 @@
+//! Differential property tests for the fuse-then-compile path: for every
+//! generator kind, running a program through the pre-compile rewrite
+//! pipeline must produce output bit-identical to executing it as written
+//! and to the tree-walking reference — sequentially, under the parallel
+//! executor with work stealing and injected chunk faults, under
+//! supervision with aggressive speculation, and on the sharded
+//! (locality-aware) data plane.
+//!
+//! Sequential fused-vs-unfused identity is exact even for floats: fusion
+//! inlines producers without reordering any per-element arithmetic or fold.
+//! The parallel fixtures stick to i64 (wrapping ops are associative), so
+//! chunk boundaries can differ between the fused and unfused bodies without
+//! perturbing results.
+
+use dmll_core::{LayoutHint, MathFn, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::{
+    eval_parallel_report, eval_parallel_supervised, eval_tree_walk, ChunkFaults, Interp,
+    ParallelOptions, Value,
+};
+use dmll_runtime::{SpeculationPolicy, Supervisor, SupervisorPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Pin fused == unfused == tree-walker sequentially. Also demand that the
+/// rewrite actually restructured this fixture (otherwise the test silently
+/// compares a program with itself) and that kernels compiled.
+fn assert_fused_identical(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let mut rewritten = p.clone();
+    let rep = dmll_transform::optimize_runtime(&mut rewritten, dmll_transform::Target::Cpu);
+    prop_assert!(
+        rep.applied_total() >= 1,
+        "fixture must trigger at least one fusion: {:?}",
+        rep.passes
+    );
+    let (fused, report) = Interp::new(p).run_report(inputs).expect("fused run");
+    prop_assert!(report.compiled_loops >= 1, "no loop compiled: {report:?}");
+    let (unfused, _) = Interp::new(p)
+        .without_fusion()
+        .run_report(inputs)
+        .expect("unfused run");
+    let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
+    prop_assert_eq!(&fused, &unfused, "fused vs unfused");
+    prop_assert_eq!(fused, walked, "fused vs tree-walker");
+    Ok(())
+}
+
+/// An all-integer program exercising all four generator kinds behind
+/// fusible producer chains: map → map → filter (Collect), map → sum
+/// (Reduce), map → group_by (BucketCollect), map → group_by_reduce
+/// (BucketReduce).
+fn four_kinds_int(modulus: i64) -> dmll_core::Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let shifted = st.map(&x, |st, e| {
+        let three = st.lit_i(3);
+        st.add(e, &three)
+    });
+    let squared = st.map(&shifted, |st, e| st.mul(e, e));
+    let kept = st.filter(&squared, |st, e| {
+        let two = st.lit_i(2);
+        let r = st.rem(e, &two);
+        let zero = st.lit_i(0);
+        st.eq(&r, &zero)
+    });
+    let total = st.sum(&squared);
+    let m = st.lit_i(modulus);
+    let groups = st.group_by(&shifted, move |st, e| st.rem(e, &m));
+    let zero = st.lit_i(0);
+    let m2 = st.lit_i(modulus);
+    let sums = st.group_by_reduce(
+        &squared,
+        move |st, e| st.rem(e, &m2),
+        |_st, e| e.clone(),
+        |st, a, b| st.add(a, b),
+        Some(&zero),
+    );
+    let gkeys = st.bucket_keys(&groups);
+    let gvals = st.bucket_values(&groups);
+    let skeys = st.bucket_keys(&sums);
+    let svals = st.bucket_values(&sums);
+    let out = st.tuple(&[&kept, &total, &gkeys, &gvals, &skeys, &svals]);
+    st.finish(&out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Collect: a map → map → conditional-collect chain over f64 fuses into
+    /// one loop; the fused kernel must keep per-element float arithmetic
+    /// bit-identical.
+    #[test]
+    fn fused_collect_chain_identical(
+        data in prop::collection::vec(-500i64..500, 0..600),
+    ) {
+        let floats: Vec<f64> = data.iter().map(|v| *v as f64 / 3.0).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let scaled = st.map(&x, |st, e| {
+            let c = st.lit_f(1.25);
+            st.mul(e, &c)
+        });
+        let shifted = st.map(&scaled, |st, e| {
+            let c = st.lit_f(-4.0);
+            st.add(e, &c)
+        });
+        let kept = st.filter(&shifted, |st, e| {
+            let zero = st.lit_f(0.0);
+            st.gt(e, &zero)
+        });
+        let p = st.finish(&kept);
+        assert_fused_identical(&p, &[("x", Value::f64_arr(floats))])?;
+    }
+
+    /// Reduce: map → math → sum fuses to a single-pass reduction whose fold
+    /// order must survive fusion bit-for-bit.
+    #[test]
+    fn fused_reduce_chain_identical(
+        data in prop::collection::vec(-400i64..400, 0..600),
+    ) {
+        let floats: Vec<f64> = data.iter().map(|v| *v as f64 / 7.0).collect();
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::F64), LayoutHint::Partitioned);
+        let sq = st.map(&x, |st, e| st.mul(e, e));
+        let root = st.map(&sq, |st, e| st.math(MathFn::Sqrt, e));
+        let s = st.sum(&root);
+        let p = st.finish(&s);
+        assert_fused_identical(&p, &[("x", Value::f64_arr(floats))])?;
+    }
+
+    /// BucketCollect: a mapped producer feeding group_by; first-seen key
+    /// order and per-bucket element order must survive the fused loop.
+    #[test]
+    fn fused_bucket_collect_identical(
+        data in prop::collection::vec(0i64..4000, 0..600),
+        modulus in 1i64..11,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let shifted = st.map(&x, |st, e| {
+            let seven = st.lit_i(7);
+            st.add(e, &seven)
+        });
+        let g = st.group_by(&shifted, |st, e| {
+            let m = st.lit_i(modulus);
+            st.rem(e, &m)
+        });
+        let keys = st.bucket_keys(&g);
+        let vals = st.bucket_values(&g);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_fused_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// BucketReduce: map → group_by_reduce with a float accumulator; the
+    /// per-bucket fold order must survive fusion.
+    #[test]
+    fn fused_bucket_reduce_identical(
+        data in prop::collection::vec(-800i64..800, 0..600),
+        modulus in 1i64..9,
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let scaled = st.map(&x, |st, e| {
+            let ef = st.i2f(e);
+            let c = st.lit_f(5.0);
+            st.div(&ef, &c)
+        });
+        let fzero = st.lit_f(0.0);
+        let x2 = x.clone();
+        let n = st.len(&x);
+        let scaled2 = scaled.clone();
+        let sums = st.bucket_reduce(
+            &n,
+            move |st, i| {
+                let xi = st.read(&x2, i);
+                let m = st.lit_i(modulus);
+                st.rem(&xi, &m)
+            },
+            move |st, i| st.read(&scaled2, i),
+            |st, a, b| st.add(a, b),
+            Some(&fzero),
+        );
+        let keys = st.bucket_keys(&sums);
+        let vals = st.bucket_values(&sums);
+        let pair = st.tuple(&[&keys, &vals]);
+        let p = st.finish(&pair);
+        assert_fused_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// All four generator kinds under the work-stealing parallel executor
+    /// with injected chunk faults: the fused run must match the unfused
+    /// run under identical fault schedules, and both must match the
+    /// sequential tree-walker.
+    #[test]
+    fn fused_parallel_stealing_survives_faults(
+        data in prop::collection::vec(0i64..3000, 1200..3500),
+        modulus in 2i64..9,
+        threads in 2usize..6,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        panicking in any::<bool>(),
+    ) {
+        let p = four_kinds_int(modulus);
+        let inputs = [("x", Value::i64_arr(data))];
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let fused_opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (fused, report) = eval_parallel_report(&p, &inputs, &fused_opts).unwrap();
+        prop_assert!(report.compiled_loops >= 1, "{report:?}");
+
+        let unfused_opts = ParallelOptions::new(threads)
+            .without_fusion()
+            .with_faults(faults);
+        let (unfused, _) = eval_parallel_report(&p, &inputs, &unfused_opts).unwrap();
+        prop_assert_eq!(&fused, &unfused, "fused vs unfused (parallel, faults)");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(fused, seq, "fused (parallel) vs sequential tree-walker");
+    }
+
+    /// Fusion under supervision: a run with the most aggressive speculation
+    /// policy and injected straggler delays must match the unfused,
+    /// unsupervised baseline exactly.
+    #[test]
+    fn fused_supervised_speculation_identical(
+        data in prop::collection::vec(0i64..2500, 1200..3500),
+        modulus in 2i64..9,
+        threads in 2usize..5,
+        delayed in prop::collection::vec(0usize..8, 0usize..3),
+    ) {
+        let p = four_kinds_int(modulus);
+        let inputs = [("x", Value::i64_arr(data))];
+
+        let baseline_opts = ParallelOptions::new(threads).without_fusion();
+        let (baseline, _) = eval_parallel_report(&p, &inputs, &baseline_opts).unwrap();
+
+        let mut faults = ChunkFaults::default();
+        for &ci in &delayed {
+            faults = faults.and_delay(ci, Duration::from_millis(3));
+        }
+        let sup = Supervisor::new(SupervisorPolicy {
+            speculation: SpeculationPolicy {
+                enabled: true,
+                min_samples: 1,
+                percentile: 50.0,
+                multiplier: 1.0,
+                floor: Duration::ZERO,
+            },
+            ..SupervisorPolicy::default()
+        });
+        let opts = ParallelOptions::new(threads)
+            .with_faults(faults)
+            .supervised(sup);
+        let (fused, _) = eval_parallel_supervised(&p, &inputs, &opts).unwrap();
+        prop_assert_eq!(fused, baseline, "fused supervised vs unfused baseline");
+    }
+
+    /// Fusion on the sharded (locality-aware) data plane: the plan-driven
+    /// region-aware configuration with fusion enabled must match the
+    /// unfused sharded run and the sequential tree-walker.
+    #[test]
+    fn fused_sharded_plane_identical(
+        data in prop::collection::vec(0i64..3000, 1200..3500),
+        modulus in 2i64..9,
+        threads in 2usize..5,
+        regions in 1usize..5,
+        fail_a in 0usize..5,
+    ) {
+        let mut p = four_kinds_int(modulus);
+        let plan = std::sync::Arc::new(dmll_analysis::export_plan(&dmll_analysis::analyze(&mut p)));
+        let inputs = [("x", Value::i64_arr(data))];
+        let faults = ChunkFaults::fail_once([fail_a]);
+
+        let fused_opts = ParallelOptions::new(threads)
+            .with_regions(regions)
+            .with_plan(plan.clone())
+            .with_faults(faults.clone());
+        let (fused, report) = eval_parallel_report(&p, &inputs, &fused_opts).unwrap();
+        prop_assert!(report.sharded_loops >= 1, "never ran sharded: {report:?}");
+
+        let unfused_opts = ParallelOptions::new(threads)
+            .without_fusion()
+            .with_regions(regions)
+            .with_plan(plan)
+            .with_faults(faults);
+        let (unfused, _) = eval_parallel_report(&p, &inputs, &unfused_opts).unwrap();
+        prop_assert_eq!(&fused, &unfused, "fused vs unfused (sharded)");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(fused, seq, "fused (sharded) vs sequential tree-walker");
+    }
+}

@@ -384,6 +384,14 @@ pub struct ExecTierStats {
     /// Sharded tasks stolen across a region boundary (only after the
     /// thief's own region ran dry).
     pub cross_region_steals: u64,
+    /// Fusion rewrites the pre-compile hook applied before kernel
+    /// certification.
+    pub fusion_applied: u64,
+    /// Fusion candidates the hook's cost model declined.
+    pub fusion_rejected: u64,
+    /// Compiled-loop executions that ran scalar because batch
+    /// certification rejected the kernel.
+    pub batch_ineligible: u64,
 }
 
 impl ExecTierStats {
@@ -448,7 +456,7 @@ fn classify_read(arr: &Exp, ctx: &Ctx<'_>) -> ReadClass {
     }
     match ctx.stencils.get(&s) {
         Some(Stencil::Interval) => ReadClass::Stream,
-        Some(Stencil::Unknown) => ReadClass::Random,
+        Some(Stencil::Unknown | Stencil::Gather(_)) => ReadClass::Random,
         // Const / All: served from the broadcast replica.
         _ => ReadClass::Local,
     }

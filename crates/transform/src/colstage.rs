@@ -1,0 +1,400 @@
+//! Column staging: materialize projected fields of a record collection as
+//! primitive columns ahead of the loops that consume them.
+//!
+//! [`crate::soa::run`] splits a `Coll[Struct]` *input* into per-field array
+//! inputs, but refuses whenever a whole record escapes — and the runtime
+//! (pre-compile) recipe skips it entirely because the input signature must
+//! stay stable. Both cases leave fused loops reading boxed records
+//! (`aos(i).field`), which the kernel tier cannot batch: the element read is
+//! vector-class, so the loop falls back to scalar bytecode.
+//!
+//! This pass recovers the column layout without touching the signature: for
+//! each `Coll[Struct]` input whose elements are projected inside loops, it
+//! inserts one multi-generator `Collect` loop that peels the used fields
+//! into primitive columns in a single pass, then rewrites the in-loop
+//! `StructGet`s to typed column reads. The original record reads stay
+//! behind for cleanup's DCE; the input itself is never modified, so staging
+//! is sound even when whole records escape elsewhere.
+//!
+//! The staging loop reads `aos(i)` for `i < len(aos)` only, and copies field
+//! values verbatim (no arithmetic), so results — including float bits and
+//! out-of-bounds faults in the consumers, which hit the same index against a
+//! column of the same length — are unchanged.
+//!
+//! Cost gate: a materialization pass over the data only pays for itself when
+//! it unlocks more than one projection site, so single-site candidates are
+//! declined and counted as rejections.
+
+use crate::rewrite::PassReport;
+use dmll_core::visit::{def_blocks, def_blocks_mut, for_each_exp_shallow};
+use dmll_core::{Block, Def, Exp, Gen, Multiloop, Program, Stmt, StructTy, Sym, Ty};
+use std::collections::{BTreeSet, HashMap};
+
+/// Stage projected fields of every eligible `Coll[Struct]` input into
+/// primitive columns before the first loop that consumes them.
+pub fn run(program: &mut Program) -> PassReport {
+    let mut report = PassReport::none();
+    let candidates: Vec<(Sym, String, StructTy)> = program
+        .inputs
+        .iter()
+        .filter_map(|i| match &i.ty {
+            Ty::Arr(elem) => match elem.as_ref() {
+                Ty::Struct(sty) => Some((i.sym, i.name.clone(), sty.clone())),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    for (aos, name, sty) in candidates {
+        stage_input(program, aos, &name, &sty, &mut report);
+    }
+    report
+}
+
+/// A projection-only record read inside a loop: `r = aos(idx)` whose result
+/// is consumed exclusively by `StructGet`s.
+struct ReadSite {
+    index: Exp,
+    fields: Vec<String>,
+}
+
+fn stage_input(
+    program: &mut Program,
+    aos: Sym,
+    name: &str,
+    sty: &StructTy,
+    report: &mut PassReport,
+) {
+    // Find record reads under each top-level loop statement. Reads whose
+    // result escapes a StructGet (compared, stored, returned) are left
+    // alone — staging is per-site, so partial coverage is fine.
+    let mut sites: HashMap<Sym, ReadSite> = HashMap::new();
+    let mut first_loop: Option<usize> = None;
+    for (ti, stmt) in program.body.stmts.iter().enumerate() {
+        if !matches!(stmt.def, Def::Loop(_)) {
+            continue;
+        }
+        let mut reads: HashMap<Sym, Exp> = HashMap::new();
+        for b in def_blocks(&stmt.def) {
+            collect_reads(b, aos, &mut reads);
+        }
+        for (r, index) in reads {
+            if let Some(fields) = projection_only_fields(&program.body, r) {
+                if !fields.is_empty() {
+                    first_loop.get_or_insert(ti);
+                    sites.insert(r, ReadSite { index, fields });
+                }
+            }
+        }
+    }
+    let Some(first_loop) = first_loop else { return };
+
+    let used_fields: BTreeSet<&str> = sites
+        .values()
+        .flat_map(|s| s.fields.iter().map(String::as_str))
+        .collect();
+    let n_sites: usize = sites.values().map(|s| s.fields.len()).sum();
+    if n_sites < 2 {
+        report.reject(format!(
+            "column staging: {name} has a single projection site, \
+             not worth a materialization pass"
+        ));
+        return;
+    }
+
+    // One multi-generator Collect loop peels all used fields in a single
+    // pass over the records; sty order keeps output deterministic.
+    let staged: Vec<&(String, Ty)> = sty
+        .fields
+        .iter()
+        .filter(|(f, _)| used_fields.contains(f.as_str()))
+        .collect();
+    let n = program.fresh();
+    let mut cols: HashMap<String, Sym> = HashMap::new();
+    let mut lhs = Vec::new();
+    let mut gens = Vec::new();
+    for (field, _) in &staged {
+        let col = program.fresh();
+        cols.insert(field.clone(), col);
+        lhs.push(col);
+        let i = program.fresh();
+        let r = program.fresh();
+        let v = program.fresh();
+        let mut value = Block::ret(vec![i], Exp::Sym(v));
+        value.stmts.push(Stmt::one(
+            r,
+            Def::ArrayRead {
+                arr: Exp::Sym(aos),
+                index: Exp::Sym(i),
+            },
+        ));
+        value.stmts.push(Stmt::one(
+            v,
+            Def::StructGet {
+                obj: Exp::Sym(r),
+                field: field.clone(),
+            },
+        ));
+        gens.push(Gen::Collect { cond: None, value });
+    }
+    program
+        .body
+        .stmts
+        .insert(first_loop, Stmt::one(n, Def::ArrayLen(Exp::Sym(aos))));
+    program.body.stmts.insert(
+        first_loop + 1,
+        Stmt {
+            lhs,
+            def: Def::Loop(Multiloop {
+                size: Exp::Sym(n),
+                gens,
+            }),
+        },
+    );
+
+    // Retarget each site's StructGets at the columns. The record read
+    // itself stays; cleanup's DCE drops it once unused.
+    let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
+    rewrite(&mut body, &sites, &cols);
+    program.body = body;
+
+    report.record(format!(
+        "column staging: materialized {} columns of {name} for {n_sites} projection sites",
+        staged.len()
+    ));
+}
+
+/// Gather `r = aos(idx)` reads in `b` and below.
+fn collect_reads(b: &Block, aos: Sym, reads: &mut HashMap<Sym, Exp>) {
+    for stmt in &b.stmts {
+        if let Def::ArrayRead { arr, index } = &stmt.def {
+            if arr.as_sym() == Some(aos) && index.as_sym() != Some(aos) {
+                reads.insert(stmt.lhs[0], index.clone());
+            }
+        }
+        for nb in def_blocks(&stmt.def) {
+            collect_reads(nb, aos, reads);
+        }
+    }
+}
+
+/// The fields projected from `r`, or `None` if any use of `r` is not a
+/// `StructGet`.
+fn projection_only_fields(body: &Block, r: Sym) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut ok = true;
+    fn scan(b: &Block, r: Sym, fields: &mut Vec<String>, ok: &mut bool) {
+        for stmt in &b.stmts {
+            match &stmt.def {
+                Def::StructGet { obj, field } if obj.as_sym() == Some(r) => {
+                    fields.push(field.clone());
+                }
+                other => {
+                    for_each_exp_shallow(other, &mut |e| {
+                        if e.as_sym() == Some(r) {
+                            *ok = false;
+                        }
+                    });
+                    for nb in def_blocks(other) {
+                        scan(nb, r, fields, ok);
+                    }
+                }
+            }
+        }
+        if b.result.as_sym() == Some(r) {
+            *ok = false;
+        }
+    }
+    scan(body, r, &mut fields, &mut ok);
+    ok.then_some(fields)
+}
+
+/// Rewrite `StructGet`s over staged reads into column reads.
+fn rewrite(b: &mut Block, sites: &HashMap<Sym, ReadSite>, cols: &HashMap<String, Sym>) {
+    for stmt in &mut b.stmts {
+        let new_def = match &stmt.def {
+            Def::StructGet { obj, field } => obj
+                .as_sym()
+                .filter(|o| sites.contains_key(o))
+                .map(|o| Def::ArrayRead {
+                    arr: Exp::Sym(cols[field]),
+                    index: sites[&o].index.clone(),
+                }),
+            _ => None,
+        };
+        if let Some(d) = new_def {
+            stmt.def = d;
+        }
+        for nb in def_blocks_mut(&mut stmt.def) {
+            rewrite(nb, sites, cols);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{typecheck, LayoutHint};
+    use dmll_frontend::Stage;
+    use dmll_interp::{eval, Value};
+    use std::sync::Arc;
+
+    fn item_ty() -> StructTy {
+        StructTy::new(
+            "Item",
+            vec![
+                ("qty".into(), Ty::F64),
+                ("price".into(), Ty::F64),
+                ("status".into(), Ty::I64),
+            ],
+        )
+    }
+
+    fn items_value() -> Value {
+        let rows = [(2.0, 10.0, 1i64), (3.0, 20.0, 0), (4.0, 30.0, 1)];
+        Value::boxed_arr(
+            rows.iter()
+                .map(|(q, p, s)| {
+                    Value::Struct(Arc::new(dmll_interp::StructVal {
+                        ty: item_ty(),
+                        fields: vec![Value::F64(*q), Value::F64(*p), Value::I64(*s)],
+                    }))
+                })
+                .collect(),
+        )
+    }
+
+    /// sum of qty*price over items with status == 1; reads the record
+    /// twice (cond + value), so 3 projection sites total.
+    fn query() -> Program {
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let n = st.len(&items);
+        let zero = st.lit_f(0.0);
+        let items2 = items.clone();
+        let total = st.reduce_if(
+            &n,
+            Some(move |st: &mut Stage, i: &dmll_frontend::Val| {
+                let it = st.read(&items2, i);
+                let status = st.field(&it, "status");
+                let one = st.lit_i(1);
+                st.eq(&status, &one)
+            }),
+            move |st, i| {
+                let it = st.read(&items, i);
+                let q = st.field(&it, "qty");
+                let p = st.field(&it, "price");
+                st.mul(&q, &p)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        st.finish(&total)
+    }
+
+    #[test]
+    fn stages_used_fields_and_preserves_output() {
+        let mut p = query();
+        let p0 = p.clone();
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 1, "{p}");
+        assert!(typecheck::infer(&p).is_ok(), "{p}");
+        // Input signature untouched.
+        assert_eq!(p.inputs.len(), 1);
+        // One staging loop with one gen per *used* field (price, qty,
+        // status — all three project here).
+        let staged = p
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match &s.def {
+                Def::Loop(ml) => Some(ml.gens.len()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(staged.len(), 2, "staging loop + original loop:\n{p}");
+        assert_eq!(staged[0], 3, "{p}");
+        let before = eval(&p0, &[("items", items_value())]).unwrap();
+        let after = eval(&p, &[("items", items_value())]).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after, Value::F64(2.0 * 10.0 + 4.0 * 30.0));
+    }
+
+    #[test]
+    fn single_site_is_declined() {
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let n = st.len(&items);
+        let zero = st.lit_f(0.0);
+        let total = st.reduce_if(
+            &n,
+            None::<fn(&mut Stage, &dmll_frontend::Val) -> dmll_frontend::Val>,
+            move |st, i| {
+                let it = st.read(&items, i);
+                st.field(&it, "qty")
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let mut p = st.finish(&total);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(rep.rejected, 1, "{rep:?}");
+    }
+
+    #[test]
+    fn escaping_record_read_is_skipped() {
+        // The record itself is passed whole to an extern: that read must
+        // not be staged, and with no other sites the pass does nothing.
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let n = st.len(&items);
+        let zero = st.lit_i(0);
+        let total = st.reduce_if(
+            &n,
+            None::<fn(&mut Stage, &dmll_frontend::Val) -> dmll_frontend::Val>,
+            move |st, i| {
+                let it = st.read(&items, i);
+                st.extern_call("inspect", &[&it], Ty::I64, false, false)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        );
+        let mut p = st.finish(&total);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(rep.rejected, 0, "{rep:?}");
+    }
+
+    #[test]
+    fn top_level_reads_are_left_alone() {
+        // A straight-line projection outside any loop gains nothing from
+        // a materialization pass.
+        let mut st = Stage::new();
+        let items = st.input(
+            "items",
+            Ty::arr(Ty::Struct(item_ty())),
+            LayoutHint::Partitioned,
+        );
+        let zero = st.lit_i(0);
+        let it = st.read(&items, &zero);
+        let q = st.field(&it, "qty");
+        let p2 = st.field(&it, "price");
+        let out = st.add(&q, &p2);
+        let mut p = st.finish(&out);
+        let rep = run(&mut p);
+        assert_eq!(rep.applied, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Memory-traffic / register-pressure cost model for fusion selection.
+//!
+//! The greedy Figure 3 rewriter fuses every legal producer→consumer pair.
+//! That is usually right — eliminating an intermediate collection saves a
+//! write, a read-back and an allocation per element — but it loses when the
+//! producer's element function is inlined into *several* consumer component
+//! blocks (condition, key and value each take their own copy), recomputing an
+//! expensive body per copy, or when the merged loop would overflow the kernel
+//! tier's register file and drop the whole loop back to the tree-walker.
+//!
+//! Following the ILP formulation of "Fusing Gathers with Integer Linear
+//! Programming" (PAPERS.md) we phrase selection as: maximize the summed
+//! per-site gain (traffic saved minus recompute added) subject to a register
+//! budget per fused loop. Program sizes here are tiny, so the solver is an
+//! exhaustive subset search (≤ [`EXHAUSTIVE_LIMIT`] candidate sites) with a
+//! greedy fallback beyond that.
+
+use crate::fusion::Site;
+use dmll_core::visit::def_blocks;
+use dmll_core::{Block, Def, Multiloop, Program, Sym};
+
+/// Units of saved memory traffic per element when an intermediate collection
+/// is eliminated: one store, one load back, and amortized allocation.
+pub(crate) const TRAFFIC_SAVED: i64 = 3;
+
+/// Assumed trip count of a nested loop inside a producer body (we have no
+/// static sizes, so recomputing a nested loop is "expensive" by fiat).
+const NEST_WEIGHT: usize = 16;
+
+/// Register budget per fused loop. The bytecode compiler addresses registers
+/// with `u16`, but well before that limit long kernels stop fitting hot in
+/// cache; stay conservative.
+pub(crate) const REG_BUDGET: usize = 256;
+
+/// Candidate count up to which the selector enumerates all subsets.
+const EXHAUSTIVE_LIMIT: usize = 16;
+
+/// A scored fusion candidate.
+#[derive(Clone, Debug)]
+pub(crate) struct SiteCost {
+    pub producer_sym: Sym,
+    pub consumer_sym: Sym,
+    /// Traffic saved minus recompute added, per element (positive = win).
+    pub gain: i64,
+    /// Estimated registers of the fused consumer loop.
+    pub fused_regs: usize,
+    /// Estimated registers of the consumer before fusion.
+    pub consumer_regs: usize,
+    /// Why the site was declined (filled in by the selector).
+    pub reason: String,
+}
+
+/// Weighted *recompute* cost of a block: only work that is expensive to
+/// redo counts — nested loops (trip count × body, `NEST_WEIGHT` each) and
+/// transcendental math. Flat arithmetic, comparisons and field/array reads
+/// are register-or-cache work, far cheaper than the DRAM traffic a fused
+/// intermediate saves, so they cost zero (this is what lets Q1's wide
+/// struct-projecting producer fuse into its many-component aggregation).
+pub(crate) fn block_ops(b: &Block) -> usize {
+    let mut n = 0;
+    for stmt in &b.stmts {
+        match &stmt.def {
+            Def::Loop(ml) => n += NEST_WEIGHT * (1 + ml_ops(ml)),
+            Def::Math { .. } => n += 1,
+            d => {
+                for nb in def_blocks(d) {
+                    n += block_ops(nb);
+                }
+            }
+        }
+    }
+    n
+}
+
+fn ml_ops(ml: &Multiloop) -> usize {
+    ml.gens.iter().map(|g| g.blocks().iter().map(|b| block_ops(b)).sum::<usize>()).sum()
+}
+
+/// Rough register estimate for a multiloop: one register per statement and
+/// parameter across every component block, plus loop bookkeeping.
+pub(crate) fn ml_regs(ml: &Multiloop) -> usize {
+    fn block_regs(b: &Block) -> usize {
+        let mut n = b.params.len() + b.stmts.len();
+        for stmt in &b.stmts {
+            for nb in def_blocks(&stmt.def) {
+                n += block_regs(nb);
+            }
+        }
+        n
+    }
+    2 + ml.gens.iter().map(|g| g.blocks().iter().map(|b| block_regs(b)).sum::<usize>()).sum::<usize>()
+}
+
+/// The component blocks of `ml` that take the loop index and read `a`:
+/// each of these receives its own inlined copy of the producer body.
+fn reading_components(ml: &Multiloop, a: Sym) -> usize {
+    let mut n = 0;
+    for gen in &ml.gens {
+        let mut blocks: Vec<&Block> = Vec::new();
+        if let Some(c) = gen.cond() {
+            blocks.push(c);
+        }
+        if let Some(k) = gen.key() {
+            blocks.push(k);
+        }
+        blocks.push(gen.value());
+        for b in blocks {
+            if block_reads(b, a) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn block_reads(b: &Block, a: Sym) -> bool {
+    let mut found = false;
+    dmll_core::visit::for_each_exp_deep(b, &mut |e| {
+        if e.as_sym() == Some(a) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Score one legal fusion site under the traffic/recompute model.
+pub(crate) fn score_site(program: &Program, site: &Site) -> SiteCost {
+    let block = crate::fusion::block_at(program, &site.path);
+    let Def::Loop(ml_a) = &block.stmts[site.producer_idx].def else {
+        unreachable!("site points at a producer loop")
+    };
+    let Def::Loop(ml_b) = &block.stmts[site.consumer_idx].def else {
+        unreachable!("site points at a consumer loop")
+    };
+    let producer_ops = ml_ops(ml_a);
+    let copies = reading_components(ml_b, site.producer_sym).max(1);
+    let recompute = producer_ops as i64 * (copies as i64 - 1);
+    let gain = TRAFFIC_SAVED - recompute;
+    let consumer_regs = ml_regs(ml_b);
+    let producer_regs = ml_regs(ml_a);
+    // Each reading component inlines its own copy of the producer body.
+    let fused_regs = consumer_regs + copies * producer_regs;
+    SiteCost {
+        producer_sym: site.producer_sym,
+        consumer_sym: site.consumer_sym,
+        gain,
+        fused_regs,
+        consumer_regs,
+        reason: String::new(),
+    }
+}
+
+/// Split candidates into (chosen, rejected). Chosen is the subset maximizing
+/// total gain subject to the per-consumer register budget; exhaustive for
+/// small candidate counts, greedy-by-gain beyond [`EXHAUSTIVE_LIMIT`].
+pub(crate) fn select(cands: Vec<SiteCost>) -> (Vec<SiteCost>, Vec<SiteCost>) {
+    if cands.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let chosen_mask = if cands.len() <= EXHAUSTIVE_LIMIT {
+        best_subset(&cands)
+    } else {
+        greedy_subset(&cands)
+    };
+    let mut chosen = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, mut c) in cands.into_iter().enumerate() {
+        if chosen_mask & (1u32 << i) != 0 {
+            chosen.push(c);
+        } else {
+            c.reason = if c.gain < 0 {
+                format!(
+                    "cost model: recompute of producer {} across consumer {} components \
+                     outweighs traffic saved (gain {})",
+                    c.producer_sym, c.consumer_sym, c.gain
+                )
+            } else {
+                format!(
+                    "register budget: fusing {} into {} needs ~{} registers (budget {})",
+                    c.producer_sym, c.consumer_sym, c.fused_regs, REG_BUDGET
+                )
+            };
+            rejected.push(c);
+        }
+    }
+    (chosen, rejected)
+}
+
+/// True when every chosen site fits the register budget, accounting for
+/// several producers fusing into the same consumer loop.
+fn feasible(cands: &[SiteCost], mask: u32) -> bool {
+    // Sites sharing a consumer stack their producer copies onto one loop.
+    let mut per_consumer: Vec<(Sym, usize)> = Vec::new();
+    for (i, c) in cands.iter().enumerate() {
+        if mask & (1u32 << i) == 0 {
+            continue;
+        }
+        let added = c.fused_regs - c.consumer_regs;
+        match per_consumer.iter_mut().find(|(s, _)| *s == c.consumer_sym) {
+            Some((_, regs)) => *regs += added,
+            None => per_consumer.push((c.consumer_sym, c.consumer_regs + added)),
+        }
+    }
+    per_consumer.iter().all(|(_, regs)| *regs <= REG_BUDGET)
+}
+
+fn subset_gain(cands: &[SiteCost], mask: u32) -> i64 {
+    cands
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1u32 << i) != 0)
+        .map(|(_, c)| c.gain)
+        .sum()
+}
+
+/// Exhaustive subset search: the ILP objective solved by enumeration.
+fn best_subset(cands: &[SiteCost]) -> u32 {
+    let n = cands.len();
+    let mut best_mask = 0u32;
+    let mut best_gain = 0i64;
+    for mask in 0..(1u32 << n) {
+        if !feasible(cands, mask) {
+            continue;
+        }
+        let g = subset_gain(cands, mask);
+        // Prefer larger subsets on ties so zero-gain fusions (still one
+        // fewer pass over memory) are taken.
+        if g > best_gain || (g == best_gain && mask.count_ones() > best_mask.count_ones()) {
+            best_gain = g;
+            best_mask = mask;
+        }
+    }
+    best_mask
+}
+
+/// Greedy fallback: take sites by descending gain while they win and fit.
+fn greedy_subset(cands: &[SiteCost]) -> u32 {
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cands[i].gain));
+    let mut mask = 0u32;
+    for i in order {
+        if cands[i].gain < 0 {
+            break;
+        }
+        let trial = mask | (1u32 << i);
+        if feasible(cands, trial) {
+            mask = trial;
+        }
+    }
+    mask
+}
+
+/// Gate for horizontal fusion: merging two loops is free in traffic terms
+/// (strictly fewer passes over memory) but concentrates registers; decline
+/// merges that would overflow the budget and force a tree-walk fallback.
+pub(crate) fn horizontal_ok(a: &Multiloop, b: &Multiloop) -> Result<(), String> {
+    let merged = ml_regs(a) + ml_regs(b);
+    if merged <= REG_BUDGET {
+        Ok(())
+    } else {
+        Err(format!(
+            "register budget: merging loops needs ~{merged} registers (budget {REG_BUDGET})"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(p: u32, c: u32, gain: i64, fused_regs: usize) -> SiteCost {
+        SiteCost {
+            producer_sym: Sym(p),
+            consumer_sym: Sym(c),
+            gain,
+            fused_regs,
+            consumer_regs: 8,
+            reason: String::new(),
+        }
+    }
+
+    #[test]
+    fn positive_gains_all_chosen() {
+        let (chosen, rejected) = select(vec![cand(1, 2, 3, 20), cand(3, 4, 1, 20)]);
+        assert_eq!(chosen.len(), 2);
+        assert!(rejected.is_empty());
+    }
+
+    #[test]
+    fn negative_gain_rejected_with_reason() {
+        let (chosen, rejected) = select(vec![cand(1, 2, 3, 20), cand(3, 4, -5, 20)]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0].reason.contains("cost model"), "{}", rejected[0].reason);
+    }
+
+    #[test]
+    fn register_budget_rejects_oversized_site() {
+        let (chosen, rejected) = select(vec![cand(1, 2, 3, REG_BUDGET + 100)]);
+        assert!(chosen.is_empty());
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected[0].reason.contains("register budget"), "{}", rejected[0].reason);
+    }
+
+    #[test]
+    fn shared_consumer_budget_is_cumulative() {
+        // Two producers into one consumer: each fits alone, not together.
+        let a = cand(1, 9, 5, 160); // adds 152 regs
+        let b = cand(2, 9, 4, 160); // adds 152 regs -> 8 + 304 > 256
+        let (chosen, rejected) = select(vec![a, b]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].producer_sym, Sym(1), "higher gain wins the slot");
+        assert_eq!(rejected.len(), 1);
+    }
+
+    #[test]
+    fn zero_gain_still_chosen() {
+        let (chosen, rejected) = select(vec![cand(1, 2, 0, 20)]);
+        assert_eq!(chosen.len(), 1);
+        assert!(rejected.is_empty());
+    }
+}

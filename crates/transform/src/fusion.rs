@@ -42,20 +42,20 @@ pub fn run(program: &mut Program) -> PassReport {
 
 /// A fusable producer/consumer pair, identified by a path of block indices
 /// from the program body plus statement indices within that block.
-struct Site {
+pub(crate) struct Site {
     /// Block path: sequence of (stmt index, block index within the def) to
     /// descend from the program body.
-    path: Vec<(usize, usize)>,
-    producer_idx: usize,
-    consumer_idx: usize,
+    pub(crate) path: Vec<(usize, usize)>,
+    pub(crate) producer_idx: usize,
+    pub(crate) consumer_idx: usize,
     /// Statement index of `n = len(producer)` when the consumer's size is
     /// that symbol.
     len_idx: Option<usize>,
-    producer_sym: Sym,
-    consumer_sym: Sym,
+    pub(crate) producer_sym: Sym,
+    pub(crate) consumer_sym: Sym,
 }
 
-fn block_at<'a>(program: &'a Program, path: &[(usize, usize)]) -> &'a Block {
+pub(crate) fn block_at<'a>(program: &'a Program, path: &[(usize, usize)]) -> &'a Block {
     let mut b = &program.body;
     for &(si, bi) in path {
         b = def_blocks(&b.stmts[si].def)[bi];
@@ -75,31 +75,37 @@ fn block_at_mut<'a>(program: &'a mut Program, path: &[(usize, usize)]) -> &'a mu
 }
 
 fn find_site(program: &Program) -> Option<Site> {
-    let mut uses = HashMap::new();
-    count_uses(&program.body, &mut uses);
-    find_in_block(&program.body, &mut Vec::new(), &uses)
+    find_sites(program).into_iter().next()
 }
 
-fn find_in_block(
+/// Enumerate every legal fusion site in the program at its current state.
+/// The cost-guided selector scores these; the greedy [`run`] takes the first.
+pub(crate) fn find_sites(program: &Program) -> Vec<Site> {
+    let mut uses = HashMap::new();
+    count_uses(&program.body, &mut uses);
+    let mut sites = Vec::new();
+    collect_in_block(&program.body, &mut Vec::new(), &uses, &mut sites);
+    sites
+}
+
+fn collect_in_block(
     block: &Block,
     path: &mut Vec<(usize, usize)>,
     uses: &HashMap<Sym, usize>,
-) -> Option<Site> {
+    out: &mut Vec<Site>,
+) {
     for (a_idx, stmt_a) in block.stmts.iter().enumerate() {
         if let Some(site) = match_producer(block, a_idx, stmt_a, path, uses) {
-            return Some(site);
+            out.push(site);
         }
     }
     for (si, stmt) in block.stmts.iter().enumerate() {
         for (bi, nb) in def_blocks(&stmt.def).into_iter().enumerate() {
             path.push((si, bi));
-            if let Some(site) = find_in_block(nb, path, uses) {
-                return Some(site);
-            }
+            collect_in_block(nb, path, uses, out);
             path.pop();
         }
     }
-    None
 }
 
 fn match_producer(
@@ -265,7 +271,7 @@ fn count_reads_of(ml: &Multiloop, a: Sym) -> usize {
     n
 }
 
-fn apply(program: &mut Program, site: &Site) {
+pub(crate) fn apply(program: &mut Program, site: &Site) {
     let block = block_at(program, &site.path);
     let stmt_a = block.stmts[site.producer_idx].clone();
     let stmt_b = block.stmts[site.consumer_idx].clone();

@@ -8,26 +8,38 @@
 
 use crate::rewrite::PassReport;
 use dmll_core::visit::{def_blocks, for_each_exp_shallow, free_syms};
-use dmll_core::{Block, Def, Exp, Program, Sym};
+use dmll_core::{Block, Def, Exp, Multiloop, Program, Sym};
 use std::collections::BTreeSet;
 
-/// Run horizontal fusion to a local fixpoint.
+/// A predicate deciding whether two loops may merge; `Err` carries the
+/// reason for declining (recorded as a rejection in the pass report).
+pub type MergeGate<'a> = dyn FnMut(&Multiloop, &Multiloop) -> Result<(), String> + 'a;
+
+/// Run horizontal fusion to a local fixpoint, merging every legal pair.
 pub fn run(program: &mut Program) -> PassReport {
+    run_gated(program, &mut |_, _| Ok(()))
+}
+
+/// Run horizontal fusion with a cost gate: legal pairs the gate declines are
+/// left unmerged and recorded as rejections.
+pub fn run_gated(program: &mut Program, gate: &mut MergeGate) -> PassReport {
     let mut report = PassReport::none();
     let mut body = std::mem::replace(&mut program.body, Block::ret(vec![], Exp::unit()));
-    fuse_block(&mut body, &mut report);
+    fuse_block(&mut body, gate, &mut report);
     program.body = body;
     report
 }
 
-fn fuse_block(block: &mut Block, report: &mut PassReport) {
-    // Repeat until no pair in this block fuses.
-    while let Some((a_idx, b_idx, up)) = find_pair(block) {
+fn fuse_block(block: &mut Block, gate: &mut MergeGate, report: &mut PassReport) {
+    // Repeat until no pair in this block fuses. Gated-out pairs are
+    // remembered so each rejection is reported once per block walk.
+    let mut declined: BTreeSet<(Sym, Sym)> = BTreeSet::new();
+    while let Some((a_idx, b_idx, up)) = find_pair(block, gate, &mut declined, report) {
         apply(block, a_idx, b_idx, up, report);
     }
     for stmt in &mut block.stmts {
         for nb in dmll_core::visit::def_blocks_mut(&mut stmt.def) {
-            fuse_block(nb, report);
+            fuse_block(nb, gate, report);
         }
     }
 }
@@ -49,8 +61,13 @@ fn stmt_uses(stmt: &dmll_core::Stmt) -> BTreeSet<Sym> {
 
 /// Find a fusable pair: returns `(a_idx, b_idx, merge_up)` where `merge_up`
 /// means B's generators move up into A's position (otherwise A's move down
-/// into B's).
-fn find_pair(block: &Block) -> Option<(usize, usize, bool)> {
+/// into B's). Pairs the gate declines are skipped (reported once each).
+fn find_pair(
+    block: &Block,
+    gate: &mut MergeGate,
+    declined: &mut BTreeSet<(Sym, Sym)>,
+    report: &mut PassReport,
+) -> Option<(usize, usize, bool)> {
     for a_idx in 0..block.stmts.len() {
         let Def::Loop(ml_a) = &block.stmts[a_idx].def else {
             continue;
@@ -62,22 +79,46 @@ fn find_pair(block: &Block) -> Option<(usize, usize, bool)> {
             if ml_a.size != ml_b.size {
                 continue;
             }
-            let between: BTreeSet<Sym> = block.stmts[a_idx..b_idx]
-                .iter()
-                .flat_map(|s| s.lhs.iter().copied())
-                .collect();
-            let b_uses = stmt_uses(&block.stmts[b_idx]);
-            // Merge-up: B must not read anything defined in [a, b).
-            if b_uses.is_disjoint(&between) {
-                return Some((a_idx, b_idx, true));
+            let pair_key = (
+                block.stmts[a_idx].lhs.first().copied().unwrap_or(Sym(0)),
+                block.stmts[b_idx].lhs.first().copied().unwrap_or(Sym(0)),
+            );
+            let legal = {
+                let between: BTreeSet<Sym> = block.stmts[a_idx..b_idx]
+                    .iter()
+                    .flat_map(|s| s.lhs.iter().copied())
+                    .collect();
+                let b_uses = stmt_uses(&block.stmts[b_idx]);
+                // Merge-up: B must not read anything defined in [a, b).
+                if b_uses.is_disjoint(&between) {
+                    Some(true)
+                } else {
+                    // Merge-down: nothing in (a, b] may read A's outputs.
+                    let a_outs: BTreeSet<Sym> =
+                        block.stmts[a_idx].lhs.iter().copied().collect();
+                    let blocked = block.stmts[a_idx + 1..=b_idx]
+                        .iter()
+                        .any(|s| !stmt_uses(s).is_disjoint(&a_outs));
+                    if blocked {
+                        None
+                    } else {
+                        Some(false)
+                    }
+                }
+            };
+            let Some(up) = legal else { continue };
+            if declined.contains(&pair_key) {
+                continue;
             }
-            // Merge-down: nothing in (a, b] may read A's outputs.
-            let a_outs: BTreeSet<Sym> = block.stmts[a_idx].lhs.iter().copied().collect();
-            let blocked = block.stmts[a_idx + 1..=b_idx]
-                .iter()
-                .any(|s| !stmt_uses(s).is_disjoint(&a_outs));
-            if !blocked {
-                return Some((a_idx, b_idx, false));
+            match gate(ml_a, ml_b) {
+                Ok(()) => return Some((a_idx, b_idx, up)),
+                Err(reason) => {
+                    declined.insert(pair_key);
+                    report.reject(format!(
+                        "horizontal fusion of {} with {} declined: {reason}",
+                        pair_key.0, pair_key.1
+                    ));
+                }
             }
         }
     }

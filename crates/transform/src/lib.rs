@@ -21,19 +21,27 @@
 //! recipes (CPU / NUMA / cluster / GPU) and keeps the optimization log that
 //! the evaluation's Table 2 reports per benchmark.
 //!
+//! Fusion decisions are cost-guided rather than greedy: [`selector`]
+//! enumerates legal fusion sites and [`cost`] scores them with a
+//! memory-traffic / register-pressure model; only winning sets are
+//! rewritten, and declined candidates are reported as rejections.
+//!
 //! Every pass is semantics-preserving; the test suites verify this by
 //! interpreting programs before and after on random inputs.
 
 pub mod cleanup;
 pub mod code_motion;
+pub mod colstage;
 pub mod conditional_reduce;
+pub(crate) mod cost;
 pub mod fusion;
 pub mod groupby_reduce;
 pub mod horizontal;
 pub mod interchange;
 pub mod pipeline;
 pub mod rewrite;
+pub mod selector;
 pub mod soa;
 
-pub use pipeline::{OptReport, Optimizer, Target};
+pub use pipeline::{optimize, optimize_runtime, optimize_unfused, OptReport, Optimizer, Target};
 pub use rewrite::PassReport;

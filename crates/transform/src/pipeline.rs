@@ -32,6 +32,11 @@ pub struct OptReport {
     pub passes: Vec<(String, usize)>,
     /// Individual rewrite notes, for debugging and logs.
     pub notes: Vec<String>,
+    /// `(paper name, distinct rejected candidates)` for cost-gated passes.
+    /// Candidates are deduplicated by note across recipe rounds, so the
+    /// count means "this many legal rewrites were declined", not "the
+    /// selector looked at them this many times".
+    pub rejections: Vec<(String, std::collections::BTreeSet<String>)>,
 }
 
 impl OptReport {
@@ -43,6 +48,17 @@ impl OptReport {
             }
             self.notes.extend(rep.notes);
         }
+        if rep.rejected > 0 {
+            let idx = match self.rejections.iter().position(|(n, _)| n == name) {
+                Some(i) => i,
+                None => {
+                    self.rejections
+                        .push((name.to_string(), Default::default()));
+                    self.rejections.len() - 1
+                }
+            };
+            self.rejections[idx].1.extend(rep.rejected_notes);
+        }
     }
 
     /// Times a pass (by paper name) was applied.
@@ -52,6 +68,33 @@ impl OptReport {
             .find(|(n, _)| n == name)
             .map(|(_, c)| *c)
             .unwrap_or(0)
+    }
+
+    /// Distinct candidates a cost-gated pass (by paper name) declined.
+    pub fn rejected(&self, name: &str) -> usize {
+        self.rejections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, set)| set.len())
+            .unwrap_or(0)
+    }
+
+    /// Total rewrites applied across all passes.
+    pub fn applied_total(&self) -> usize {
+        self.passes.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total distinct candidates declined across all passes.
+    pub fn rejected_total(&self) -> usize {
+        self.rejections.iter().map(|(_, set)| set.len()).sum()
+    }
+
+    /// All rejection notes, for logs and JSON.
+    pub fn rejected_notes(&self) -> Vec<&str> {
+        self.rejections
+            .iter()
+            .flat_map(|(_, set)| set.iter().map(|s| s.as_str()))
+            .collect()
     }
 
     /// Comma-separated list of headline optimizations that fired (the
@@ -81,12 +124,48 @@ impl OptReport {
 #[derive(Clone, Copy, Debug)]
 pub struct Optimizer {
     target: Target,
+    /// Whether the Figure 3 structural rewrites (pipeline fusion,
+    /// GroupBy-Reduce, Conditional Reduce, horizontal fusion) run. The
+    /// unfused recipe keeps cleanup, SoA, interchange and DFE so the
+    /// fused-vs-unfused bench comparison isolates fusion itself.
+    structural: bool,
+    /// Keep the program's input signature byte-for-byte: skip AoS→SoA
+    /// input splitting and dead-input pruning. The interpreter's
+    /// fuse-then-compile hook needs this — inputs are bound by name at
+    /// run time, so a rewrite that renames or drops them would break
+    /// every caller.
+    preserve_inputs: bool,
 }
 
 impl Optimizer {
     /// An optimizer for the given target.
     pub fn new(target: Target) -> Optimizer {
-        Optimizer { target }
+        Optimizer {
+            target,
+            structural: true,
+            preserve_inputs: false,
+        }
+    }
+
+    /// An optimizer with the structural (Figure 3) rewrites disabled:
+    /// the baseline for fused-vs-unfused comparisons.
+    pub fn unfused(target: Target) -> Optimizer {
+        Optimizer {
+            target,
+            structural: false,
+            preserve_inputs: false,
+        }
+    }
+
+    /// The runtime (pre-compile) recipe: all structural rewrites, but the
+    /// input signature is left untouched so a program optimized just
+    /// before execution still binds the same named inputs.
+    pub fn runtime(target: Target) -> Optimizer {
+        Optimizer {
+            target,
+            structural: true,
+            preserve_inputs: true,
+        }
     }
 
     /// The target this optimizer compiles for.
@@ -115,11 +194,14 @@ impl Optimizer {
         // into the consuming generators, record inputs become
         // projection-only and split into primitive columns ("reducing
         // complex data structures to simple arrays of primitives", §5).
-        let soa = crate::soa::run(program);
-        if soa.changed() {
-            report.add("AoS to SoA", soa);
-            self.structural_round(program, &mut report);
-            self.cleanup_round(program, &mut report);
+        // Skipped when the input signature must stay stable.
+        if !self.preserve_inputs {
+            let soa = crate::soa::run(program);
+            if soa.changed() {
+                report.add("AoS to SoA", soa);
+                self.structural_round(program, &mut report);
+                self.cleanup_round(program, &mut report);
+            }
         }
 
         // Target-specific interchange.
@@ -144,8 +226,25 @@ impl Optimizer {
             }
         }
 
-        // Dead field elimination and final cleanup.
-        report.add("DFE", crate::cleanup::prune_inputs(program));
+        // Dead field elimination and final cleanup. Input pruning also
+        // changes the signature, so it obeys the same gate as SoA.
+        if !self.preserve_inputs {
+            report.add("DFE", crate::cleanup::prune_inputs(program));
+        }
+
+        // Column staging: where SoA could not (or must not) split a record
+        // input, stage its projected fields as primitive columns so the
+        // fused loops can batch-certify. Runs after every fusion round so
+        // a later rewrite cannot inline the staged columns back into
+        // their consumers as record projections.
+        if self.structural {
+            let rep = crate::colstage::run(program);
+            let changed = rep.changed();
+            report.add("column staging", rep);
+            if changed {
+                self.cleanup_round(program, &mut report);
+            }
+        }
         self.cleanup_round(program, &mut report);
         debug_assert!(
             dmll_core::typecheck::infer(program).is_ok(),
@@ -155,8 +254,14 @@ impl Optimizer {
     }
 
     fn structural_round(&self, program: &mut Program, report: &mut OptReport) -> bool {
+        if !self.structural {
+            return false;
+        }
         let mut changed = false;
-        let rep = fixpoint(program, crate::fusion::run);
+        // Pipeline fusion goes through the cost-guided selector: legal
+        // sites the traffic/register model scores as losses stay unfused
+        // and are reported as rejections.
+        let rep = fixpoint(program, crate::selector::run);
         changed |= rep.changed();
         report.add("pipeline fusion", rep);
 
@@ -168,7 +273,7 @@ impl Optimizer {
         changed |= rep.changed();
         report.add("Conditional Reduce", rep);
 
-        let rep = fixpoint(program, crate::horizontal::run);
+        let rep = fixpoint(program, crate::selector::horizontal_gated);
         changed |= rep.changed();
         report.add("horizontal fusion", rep);
         changed
@@ -206,6 +311,20 @@ impl Optimizer {
 /// Optimize `program` for `target` with the default recipe.
 pub fn optimize(program: &mut Program, target: Target) -> OptReport {
     Optimizer::new(target).run(program)
+}
+
+/// Optimize `program` without the Figure 3 structural rewrites: cleanup,
+/// SoA and interchange still run. This is the unfused baseline used by the
+/// `kernels_tier` fused-vs-unfused comparison and the `--no-fuse` knob.
+pub fn optimize_unfused(program: &mut Program, target: Target) -> OptReport {
+    Optimizer::unfused(target).run(program)
+}
+
+/// Optimize `program` with the runtime (pre-compile) recipe: structural
+/// rewrites and cleanup, input signature untouched. This is what the
+/// interpreter's fuse-then-compile hook runs before kernel compilation.
+pub fn optimize_runtime(program: &mut Program, target: Target) -> OptReport {
+    Optimizer::runtime(target).run(program)
 }
 
 #[cfg(test)]

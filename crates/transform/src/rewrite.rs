@@ -10,6 +10,11 @@ pub struct PassReport {
     pub applied: usize,
     /// Human-readable notes (one per rewrite, used for optimization logs).
     pub notes: Vec<String>,
+    /// Number of legal rewrite candidates the pass declined (cost model said
+    /// the rewrite loses, or a resource budget would be exceeded).
+    pub rejected: usize,
+    /// One note per rejected candidate, explaining why it was declined.
+    pub rejected_notes: Vec<String>,
 }
 
 impl PassReport {
@@ -18,7 +23,8 @@ impl PassReport {
         PassReport::default()
     }
 
-    /// True if the pass changed the program.
+    /// True if the pass changed the program. Rejections are not changes:
+    /// a pass that only declines candidates leaves the program untouched.
     pub fn changed(&self) -> bool {
         self.applied > 0
     }
@@ -29,10 +35,18 @@ impl PassReport {
         self.notes.push(note.into());
     }
 
+    /// Record one legal-but-declined rewrite candidate.
+    pub fn reject(&mut self, note: impl Into<String>) {
+        self.rejected += 1;
+        self.rejected_notes.push(note.into());
+    }
+
     /// Merge another report into this one.
     pub fn absorb(&mut self, other: PassReport) {
         self.applied += other.applied;
         self.notes.extend(other.notes);
+        self.rejected += other.rejected;
+        self.rejected_notes.extend(other.rejected_notes);
     }
 }
 
