@@ -118,7 +118,9 @@ pub fn stage_q1() -> Program {
 
 /// The lineitem table as a boxed record collection (pre-SoA input).
 pub fn boxed_items(cols: &LineItemColumns) -> Value {
-    let ty = lineitem_ty();
+    // One shared type allocation across every row: consumers that walk the
+    // collection can validate the record shape by pointer, not by name.
+    let ty = Arc::new(lineitem_ty());
     let n = cols.quantity.len();
     Value::boxed_arr(
         (0..n)

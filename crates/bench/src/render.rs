@@ -106,6 +106,30 @@ pub fn kernels(rows: &[crate::tiers::TierRow]) -> String {
             if r.identical { "yes" } else { "NO" }
         );
     }
+    // Native (compiled C) tier lines, when the --native phase ran.
+    for r in rows {
+        if let (Some(secs), Some(speedup)) = (r.native_secs, r.native_speedup()) {
+            let _ = writeln!(
+                out,
+                "{}: native {:.4}s ({:.2}x over batched), {} loops, {} compiles, \
+                 {} fallbacks",
+                r.app,
+                secs,
+                speedup,
+                r.stats.native_loops,
+                r.stats.native_compiles,
+                r.stats.native_fallbacks
+            );
+            if !r.native_fallback.is_empty() {
+                let reasons: Vec<String> = r
+                    .native_fallback
+                    .iter()
+                    .map(|(reason, count)| format!("{reason} x{count}"))
+                    .collect();
+                let _ = writeln!(out, "{}: native fallback — {}", r.app, reasons.join(", "));
+            }
+        }
+    }
     // Batch-certification fallbacks, with their typed reasons.
     for r in rows {
         if !r.batch_reject.is_empty() {
@@ -206,13 +230,16 @@ mod tests {
             fallback_loops: 0,
             fusion_passes: vec![("Conditional Reduce".into(), 2)],
             fusion_rejections: Vec::new(),
-            batch_reject: vec![("nested loop in generator body".into(), 1)],
+            batch_reject: vec![("nested_loop_in_body".into(), 1)],
+            native_secs: Some(0.005),
+            native_fallback: vec![("compiler_unavailable".into(), 1)],
             stats: Default::default(),
         }]);
         assert!(
             k.contains("5.00x") && k.contains("2.00x") && k.contains("3.00x") && k.contains("yes"),
             "{k}"
         );
-        assert!(k.contains("nested loop in generator body x1"), "{k}");
+        assert!(k.contains("nested_loop_in_body x1"), "{k}");
+        assert!(k.contains("native 0.0050s") && k.contains("compiler_unavailable x1"), "{k}");
     }
 }

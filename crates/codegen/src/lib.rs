@@ -20,12 +20,22 @@
 //!
 //! The output is human-readable source text; golden tests pin the structural
 //! differences between the targets.
+//!
+//! One emitter is also *executable*: [`cpp::emit_kernel_entry`] lowers a
+//! certified multiloop to an `extern "C"` function over SoA pointers, and
+//! [`native`] compiles it with the system C++ compiler and `dlopen`s the
+//! result — the interpreter's native execution tier.
 
 pub mod cpp;
 pub mod cuda;
 mod exprs;
+pub mod native;
 pub mod scala;
 
-pub use cpp::emit_cpp;
+pub use cpp::{emit_cpp, emit_kernel_entry};
 pub use cuda::{emit_cuda, CudaError};
+pub use native::{
+    compile_and_load, find_compiler, NativeArr, NativeEntryFn, NativeGenOut, NativeIneligible,
+    NativeLib, NativeVarTy,
+};
 pub use scala::emit_scala;

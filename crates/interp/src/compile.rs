@@ -41,6 +41,9 @@
 //! across tenants and surfaces per-tenant hit rates through handle views).
 
 pub(crate) mod batch;
+pub(crate) mod native;
+
+pub use batch::BatchIneligible;
 
 use crate::error::EvalError;
 use crate::eval::{eval_math, eval_prim, read_array, seal_array, Env};
@@ -141,7 +144,7 @@ impl VTy {
                 vs.iter().map(|x| VTy::of(x, depth + 1)).collect(),
             )),
             Value::Struct(s) => VTy::Struct(
-                Arc::new(s.ty.clone()),
+                s.ty.clone(),
                 Arc::new(s.fields.iter().map(|x| VTy::of(x, depth + 1)).collect()),
             ),
             Value::Buckets(_) => VTy::Buckets,
@@ -308,7 +311,28 @@ pub(crate) struct Kernel {
     pub batchable: bool,
     /// When not batchable, the typed reason for the first certification
     /// failure (surfaced as a per-loop fallback reason in tier stats).
-    pub batch_reject: Option<&'static str>,
+    pub batch_reject: Option<batch::BatchIneligible>,
+    /// Lazily initialized native (compiled C) tier entry: `Ok` holds the
+    /// loaded shared object, `Err` the typed decline. Lives on the kernel
+    /// so the LRU cache owns the `dlopen` handle — eviction drops (and
+    /// `dlclose`s) it with the kernel.
+    pub native: std::sync::OnceLock<Result<native::NativeEntry, dmll_codegen::NativeIneligible>>,
+    /// AoS→SoA column-extraction plan: set when every generator is an
+    /// unconditional `collect(arr(i).field)` over a boxed struct array.
+    /// Such loops (the runtime SoA pass's scatter) cannot batch — the
+    /// element reads are boxed — but a dedicated extraction loop avoids
+    /// per-element bytecode dispatch entirely; see [`Kernel::run_scatter`].
+    pub scatter: Option<Vec<ScatterField>>,
+}
+
+/// One generator of an AoS→SoA scatter loop: which V register holds the
+/// boxed struct array, and which field each element contributes.
+#[derive(Debug)]
+pub(crate) struct ScatterField {
+    /// Index into the V register file (a free-variable binding).
+    pub arr: u16,
+    /// Field name, resolved per element exactly like `StructGet`.
+    pub field: String,
 }
 
 // ---------------------------------------------------------------------------
@@ -448,13 +472,27 @@ impl ColBuf {
             (ColBuf::F(a), ColBuf::F(b)) => a.extend(b),
             (ColBuf::B(a), ColBuf::B(b)) => a.extend(b),
             (ColBuf::V(a), ColBuf::V(b)) => a.extend(b),
-            _ => {
-                return Err(EvalError::TypeMismatch(
-                    "mismatched accumulators across chunks".into(),
-                ))
+            // Scatter chunks latch their column type from their own first
+            // element, so chunks of a heterogeneous array can disagree; box
+            // both sides — exactly the boxed sequence the generic path
+            // collects before `seal_array` decides storage.
+            (slf, other) => {
+                let mut vals = std::mem::replace(slf, ColBuf::V(Vec::new())).into_values();
+                vals.extend(other.into_values());
+                *slf = ColBuf::V(vals);
             }
         }
         Ok(())
+    }
+
+    /// Box every element (the generic collect representation).
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            ColBuf::I(v) => v.into_iter().map(Value::I64).collect(),
+            ColBuf::F(v) => v.into_iter().map(Value::F64).collect(),
+            ColBuf::B(v) => v.into_iter().map(Value::Bool).collect(),
+            ColBuf::V(v) => v,
+        }
     }
 
     /// Seal with the tree-walker's `seal_array` storage rules: typed
@@ -776,9 +814,145 @@ impl Kernel {
         end: i64,
     ) -> Result<Vec<KAcc>, EvalError> {
         let hint = (end - start).max(0) as usize;
+        if hint > 0 {
+            if let Some(plan) = &self.scatter {
+                if let Some(accs) = self.run_scatter(plan, st, start, end) {
+                    stats::record_scatter_loop();
+                    return Ok(accs);
+                }
+            }
+        }
         let mut accs: Vec<KAcc> = self.gens.iter().map(|g| KAcc::for_gen(g, hint)).collect();
         self.exec_gens(&self.gens, &mut accs, st, start, end)?;
         Ok(accs)
+    }
+
+    /// Dedicated AoS→SoA extraction: one traversal pulling every planned
+    /// field straight into typed column buffers, with no per-element
+    /// bytecode dispatch or `Value` boxing. Bails with `None` (caller runs
+    /// the generic path, which reproduces the interpreter's exact output or
+    /// error) on anything the plan did not anticipate: a short array, a
+    /// non-struct element, a missing field, or a field whose scalar type
+    /// varies. Uniform typed columns seal exactly like `seal_array`'s
+    /// promotion of uniform boxed collects, so outputs are bit-identical.
+    fn run_scatter(
+        &self,
+        plan: &[ScatterField],
+        st: &KState,
+        start: i64,
+        end: i64,
+    ) -> Option<Vec<KAcc>> {
+        let n = (end - start) as usize;
+        let mut arrs: Vec<&[Value]> = Vec::with_capacity(plan.len());
+        for f in plan {
+            let Value::Arr(ArrayVal::Boxed(a)) = &st.rv[f.arr as usize] else {
+                return None;
+            };
+            if start < 0 || (end as usize) > a.len() {
+                return None;
+            }
+            arrs.push(a);
+        }
+        // Per-generator column; the scalar type latches on first element.
+        let mut cols: Vec<Option<ColBuf>> = plan.iter().map(|_| None).collect();
+        // Cached field position: struct arrays are homogeneous in practice,
+        // so one name comparison per element usually suffices.
+        let mut fpos: Vec<usize> = vec![0; plan.len()];
+        let push = |slot: &mut Option<ColBuf>, v: &Value| -> Option<()> {
+            match (slot, v) {
+                (Some(ColBuf::I(v)), Value::I64(x)) => v.push(*x),
+                (Some(ColBuf::F(v)), Value::F64(x)) => v.push(*x),
+                (Some(ColBuf::B(v)), Value::Bool(x)) => v.push(*x),
+                (slot @ None, Value::I64(x)) => {
+                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    v.push(*x);
+                    *slot = Some(ColBuf::I(v));
+                }
+                (slot @ None, Value::F64(x)) => {
+                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    v.push(*x);
+                    *slot = Some(ColBuf::F(v));
+                }
+                (slot @ None, Value::Bool(x)) => {
+                    let mut v = Vec::with_capacity(n.min(1 << 22));
+                    v.push(*x);
+                    *slot = Some(ColBuf::B(v));
+                }
+                _ => return None,
+            }
+            Some(())
+        };
+        if plan.iter().all(|f| f.arr == plan[0].arr) {
+            // Every generator reads the same source array (the common
+            // AoS-input shape): one struct deref per element serves all
+            // columns, and the dependent pointer chases — element header,
+            // its field vector, its type's field list — are prefetched a
+            // few elements ahead so the traversal is not latency-bound.
+            let a = arrs[0];
+            // Pointer identity of the (shared) `Arc<StructTy>` certifies the
+            // cached field positions for the whole element: producers build
+            // homogeneous collections off one type allocation, so after the
+            // first element this is one compare instead of per-field name
+            // lookups. All the arcs in `a` outlive the loop, so a stale
+            // address can never alias a new allocation mid-traversal.
+            let mut last_ty: *const StructTy = std::ptr::null();
+            for i in start as usize..end as usize {
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    if let Some(Value::Struct(s2)) = a.get(i + 16) {
+                        _mm_prefetch(std::sync::Arc::as_ptr(s2) as *const i8, _MM_HINT_T0);
+                    }
+                    if let Some(Value::Struct(s2)) = a.get(i + 6) {
+                        _mm_prefetch(s2.fields.as_ptr() as *const i8, _MM_HINT_T0);
+                    }
+                }
+                let Value::Struct(s) = &a[i] else {
+                    return None;
+                };
+                if std::sync::Arc::as_ptr(&s.ty) != last_ty {
+                    let tyf = &s.ty.fields;
+                    for (j, f) in plan.iter().enumerate() {
+                        let cached = fpos[j];
+                        match tyf.get(cached) {
+                            Some((name, _)) if *name == f.field => {}
+                            _ => {
+                                fpos[j] =
+                                    tyf.iter().position(|(name, _)| *name == f.field)?;
+                            }
+                        }
+                    }
+                    last_ty = std::sync::Arc::as_ptr(&s.ty);
+                }
+                for (j, col) in cols.iter_mut().enumerate() {
+                    push(col, s.fields.get(fpos[j])?)?;
+                }
+            }
+        } else {
+            for i in start..end {
+                for (j, f) in plan.iter().enumerate() {
+                    let Value::Struct(s) = &arrs[j][i as usize] else {
+                        return None;
+                    };
+                    let cached = fpos[j];
+                    let fi = match s.ty.fields.get(cached) {
+                        Some((name, _)) if *name == f.field => cached,
+                        _ => {
+                            let fi =
+                                s.ty.fields.iter().position(|(name, _)| *name == f.field)?;
+                            fpos[j] = fi;
+                            fi
+                        }
+                    };
+                    push(&mut cols[j], s.fields.get(fi)?)?;
+                }
+            }
+        }
+        Some(
+            cols.into_iter()
+                .map(|c| KAcc::Col(c.expect("n > 0 fills every column")))
+                .collect(),
+        )
     }
 
     /// Seal top-level accumulators into output values, one per generator.
@@ -1492,7 +1666,7 @@ impl Kernel {
             Instr::StructNewV { dst, ty, args } => {
                 let vs: Vec<Value> = args.iter().map(|r| st.value_of(*r)).collect();
                 st.rv[*dst as usize] = Value::Struct(Arc::new(StructVal {
-                    ty: ty.as_ref().clone(),
+                    ty: ty.clone(),
                     fields: vs,
                 }));
             }
@@ -1714,6 +1888,7 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
     for g in &ml.gens {
         gens.push(c.compile_gen(g)?.0);
     }
+    let scatter = scatter_plan(ml, &c);
     let mut kernel = Kernel {
         gens,
         preamble: c.preamble,
@@ -1722,10 +1897,57 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
         n_regs: c.n,
         batchable: false,
         batch_reject: None,
+        native: std::sync::OnceLock::new(),
+        scatter,
     };
     kernel.batch_reject = batch::batch_reject_reason(&kernel);
     kernel.batchable = kernel.batch_reject.is_none();
     Ok(kernel)
+}
+
+/// Recognize the runtime SoA pass's scatter shape: every generator is an
+/// unconditional `Collect` whose value block is exactly
+/// `e = arr(i); f = e.field; => f` with `arr` a free variable refined to a
+/// boxed array. Anything else (conditions, extra statements, typed
+/// arrays) keeps the generic path.
+fn scatter_plan(ml: &Multiloop, c: &Compiler) -> Option<Vec<ScatterField>> {
+    let mut plan = Vec::with_capacity(ml.gens.len());
+    for g in &ml.gens {
+        let Gen::Collect { cond: None, value } = g else {
+            return None;
+        };
+        if value.params.len() != 1 || value.stmts.len() != 2 {
+            return None;
+        }
+        let p = value.params[0];
+        let (read, get) = (&value.stmts[0], &value.stmts[1]);
+        let Def::ArrayRead {
+            arr: Exp::Sym(arr),
+            index: Exp::Sym(ix),
+        } = &read.def
+        else {
+            return None;
+        };
+        let Def::StructGet {
+            obj: Exp::Sym(obj),
+            field,
+        } = &get.def
+        else {
+            return None;
+        };
+        if *ix != p || *obj != read.lhs[0] || value.result != Exp::Sym(get.lhs[0]) {
+            return None;
+        }
+        let info = c.syms.get(arr)?;
+        if info.reg.class != Class::V || !matches!(info.vty, VTy::ArrGen) {
+            return None;
+        }
+        plan.push(ScatterField {
+            arr: info.reg.idx,
+            field: field.clone(),
+        });
+    }
+    (!plan.is_empty()).then_some(plan)
 }
 
 impl<'e> Compiler<'e> {
@@ -2595,11 +2817,82 @@ fn recognize_fast_red(blk: &CBlock) -> Option<FastRed> {
 // Kernel cache
 // ---------------------------------------------------------------------------
 
+/// Fast multiply-xor structural hasher (the FxHash recipe). These hashes
+/// sit on per-run hot paths — the kernel-cache lookup hashes every executed
+/// loop and the fusion hook hashes the whole program per run — and SipHash's
+/// per-write overhead measurably taxes small programs. Collisions are
+/// tolerated everywhere the hashes are used: the kernel cache verifies full
+/// structural equality on hit, and the fusion identity memo treats a
+/// collision as a missed optimization, never changed semantics.
+struct FxHasher(u64);
+
+impl FxHasher {
+    fn new() -> FxHasher {
+        FxHasher(0)
+    }
+
+    #[inline(always)]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        self.add(tail ^ (bytes.len() as u64) << 56);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
 /// Structural hash of a multiloop: discriminants, symbols, operators and
 /// constants, deep through nested blocks. Collisions are tolerated — cache
 /// entries store the loop itself and verify with full structural equality.
 fn structural_hash(ml: &Multiloop) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = FxHasher::new();
     hash_multiloop(ml, &mut h);
     h.finish()
 }
@@ -2609,7 +2902,7 @@ fn structural_hash(ml: &Multiloop) -> u64 {
 /// rewrite cache and as the rewrite fingerprint mixed into kernel cache
 /// keys, so fused and unfused variants of one source loop never collide.
 pub(crate) fn hash_program(p: &Program) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = FxHasher::new();
     p.inputs.len().hash(&mut h);
     for i in &p.inputs {
         i.sym.0.hash(&mut h);

@@ -59,12 +59,101 @@ use crate::eval::{eval_math, Env};
 /// small enough that per-worker column files stay cache-resident.
 pub(crate) const BLOCK: usize = 1024;
 
+/// SIMD lane-chunk width for the full-block column loops: every full-width
+/// column op runs as `BLOCK / LANES` fixed-trip inner loops of `LANES`
+/// elements (`chunks_exact` proves the bound to the optimizer), which is
+/// the shape LLVM reliably turns into vector code — 8×`i64`/`f64` fills a
+/// 512-bit register and two AVX2 registers. `BLOCK % LANES == 0` (checked
+/// below), so the chunked path has no remainder.
+pub(crate) const LANES: usize = 8;
+
+const _: () = assert!(BLOCK.is_multiple_of(LANES), "full blocks must chunk evenly");
+
 /// Keys `0 <= k < DENSE_KEY_CAP` use the dense bucket directory.
 const DENSE_KEY_CAP: usize = 1 << 20;
 
 // ---------------------------------------------------------------------------
 // Certification
 // ---------------------------------------------------------------------------
+
+/// Why a compiled kernel cannot run on the batched tier. A closed, typed
+/// taxonomy — not free-form text — so fallback reasons aggregate stably
+/// across runs and the bench JSON key set ([`BatchIneligible::key`]) never
+/// shifts when a human-facing message is reworded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum BatchIneligible {
+    /// A read from a boxed or dynamically-typed array.
+    BoxedArrayRead,
+    /// A boxed (`V`-class) operand outside the virtual-tuple cases.
+    BoxedOperand,
+    /// A dynamic coercion (`CastDyn`, collection size of a dynamic value).
+    DynamicCoercion,
+    /// `len` of an operand whose array type is not statically known.
+    DynamicLength,
+    /// A fallback primitive over boxed operands.
+    FallbackPrimitive,
+    /// Tuple construction or projection outside the virtual-tuple cases.
+    TupleOp,
+    /// Struct construction or field read.
+    StructOp,
+    /// A bucket operation inside a generator body.
+    BucketOp,
+    /// Any other instruction outside the batched whitelist.
+    OutsideWhitelist,
+    /// A nested loop whose trip count varies per element.
+    NestedTripCountVaries,
+    /// A nested loop shape the columnar executor does not run
+    /// (non-`Reduce` generator or a conditioned nested generator).
+    NestedLoopInBody,
+    /// A nested reduce over boxed values.
+    NestedBoxedReduce,
+    /// A generator whose element value is a boxed (`V`-class) result.
+    BoxedGenResult,
+}
+
+impl BatchIneligible {
+    /// The stable snake_case identifier used as the JSON key in bench
+    /// artifacts. Renaming one of these is a breaking schema change.
+    pub fn key(self) -> &'static str {
+        match self {
+            BatchIneligible::BoxedArrayRead => "boxed_array_read",
+            BatchIneligible::BoxedOperand => "boxed_operand",
+            BatchIneligible::DynamicCoercion => "dynamic_coercion",
+            BatchIneligible::DynamicLength => "dynamic_length",
+            BatchIneligible::FallbackPrimitive => "fallback_primitive",
+            BatchIneligible::TupleOp => "tuple_op",
+            BatchIneligible::StructOp => "struct_op",
+            BatchIneligible::BucketOp => "bucket_op",
+            BatchIneligible::OutsideWhitelist => "outside_whitelist",
+            BatchIneligible::NestedTripCountVaries => "nested_trip_count_varies",
+            BatchIneligible::NestedLoopInBody => "nested_loop_in_body",
+            BatchIneligible::NestedBoxedReduce => "nested_boxed_reduce",
+            BatchIneligible::BoxedGenResult => "boxed_gen_result",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchIneligible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            BatchIneligible::BoxedArrayRead => "boxed or dynamically-typed array read",
+            BatchIneligible::BoxedOperand => "boxed (V-class) operand",
+            BatchIneligible::DynamicCoercion => "dynamic coercion",
+            BatchIneligible::DynamicLength => "array length of a dynamic operand",
+            BatchIneligible::FallbackPrimitive => "fallback primitive (boxed operands)",
+            BatchIneligible::TupleOp => "tuple construction or projection",
+            BatchIneligible::StructOp => "struct construction or field read",
+            BatchIneligible::BucketOp => "bucket operation in generator body",
+            BatchIneligible::OutsideWhitelist => "instruction outside the batched whitelist",
+            BatchIneligible::NestedTripCountVaries => "nested loop with per-element trip count",
+            BatchIneligible::NestedLoopInBody => "nested loop in generator body",
+            BatchIneligible::NestedBoxedReduce => "nested reduce over boxed values",
+            BatchIneligible::BoxedGenResult => "vector-valued generator element (boxed result)",
+        };
+        f.write_str(msg)
+    }
+}
 
 /// Instructions the column executor implements. Everything here is typed
 /// (no `V`-class destinations) and loop-free, so a block made only of these
@@ -102,28 +191,32 @@ fn instr_batchable(ins: &Instr) -> bool {
 /// The typed rejection reason for an instruction outside the whitelist
 /// (and outside the virtual-tuple/nested-loop cases the certifier handles
 /// separately).
-fn reject_reason(ins: &Instr) -> &'static str {
+fn reject_reason(ins: &Instr) -> BatchIneligible {
     match ins {
-        Instr::ReadVV { .. } | Instr::ReadDyn { .. } => "boxed or dynamically-typed array read",
-        Instr::ConstV { .. } | Instr::MuxV { .. } | Instr::MathV { .. } => "boxed (V-class) operand",
-        Instr::CastDyn { .. } | Instr::SizeI { .. } | Instr::CondB { .. } => "dynamic coercion",
-        Instr::LenA { .. } => "array length of a dynamic operand",
-        Instr::PrimV { .. } => "fallback primitive (boxed operands)",
+        Instr::ReadVV { .. } | Instr::ReadDyn { .. } => BatchIneligible::BoxedArrayRead,
+        Instr::ConstV { .. } | Instr::MuxV { .. } | Instr::MathV { .. } => {
+            BatchIneligible::BoxedOperand
+        }
+        Instr::CastDyn { .. } | Instr::SizeI { .. } | Instr::CondB { .. } => {
+            BatchIneligible::DynamicCoercion
+        }
+        Instr::LenA { .. } => BatchIneligible::DynamicLength,
+        Instr::PrimV { .. } => BatchIneligible::FallbackPrimitive,
         Instr::TupleNewV { .. }
         | Instr::TupleGetI { .. }
         | Instr::TupleGetF { .. }
         | Instr::TupleGetB { .. }
         | Instr::TupleGetV { .. }
-        | Instr::TupleGetDyn { .. } => "tuple construction or projection",
+        | Instr::TupleGetDyn { .. } => BatchIneligible::TupleOp,
         Instr::StructNewV { .. } | Instr::StructGetIdx { .. } | Instr::StructGetDyn { .. } => {
-            "struct construction or field read"
+            BatchIneligible::StructOp
         }
         Instr::FlattenV { .. }
         | Instr::BucketValuesV { .. }
         | Instr::BucketKeysV { .. }
         | Instr::BucketLenV { .. }
-        | Instr::BucketGetV { .. } => "bucket operation in generator body",
-        _ => "instruction outside the batched whitelist",
+        | Instr::BucketGetV { .. } => BatchIneligible::BucketOp,
+        _ => BatchIneligible::OutsideWhitelist,
     }
 }
 
@@ -210,14 +303,14 @@ impl<'a> Cert<'a> {
         self.virt[t as usize].as_ref()
     }
 
-    fn expect_comp(&self, t: u16, idx: u32, class: Class) -> Result<(), &'static str> {
+    fn expect_comp(&self, t: u16, idx: u32, class: Class) -> Result<(), BatchIneligible> {
         match self.comps_of(t) {
             Some(comps) if comps.get(idx as usize) == Some(&class) => Ok(()),
-            _ => Err("tuple construction or projection"),
+            _ => Err(BatchIneligible::TupleOp),
         }
     }
 
-    fn certify_block(&mut self, b: &CBlock) -> Result<(), &'static str> {
+    fn certify_block(&mut self, b: &CBlock) -> Result<(), BatchIneligible> {
         for ins in &b.instrs {
             if instr_batchable(ins) {
                 continue;
@@ -225,7 +318,7 @@ impl<'a> Cert<'a> {
             match ins {
                 Instr::TupleNewV { dst, args } => {
                     if args.iter().any(|r| r.class == Class::V) {
-                        return Err("tuple construction or projection");
+                        return Err(BatchIneligible::TupleOp);
                     }
                     self.virt[*dst as usize] = Some(args.iter().map(|r| r.class).collect());
                 }
@@ -238,7 +331,7 @@ impl<'a> Cert<'a> {
                             let comps = x.clone();
                             self.virt[*dst as usize] = Some(comps);
                         }
-                        _ => return Err("boxed (V-class) operand"),
+                        _ => return Err(BatchIneligible::BoxedOperand),
                     }
                 }
                 Instr::Loop(li) => self.certify_cloop(&self.k.loops[*li as usize])?,
@@ -252,29 +345,29 @@ impl<'a> Cert<'a> {
     /// unconditional generators, batchable value blocks, and reducers that
     /// either fast-fold or certify columnar themselves (typed or over
     /// matching virtual tuples).
-    fn certify_cloop(&mut self, cl: &CLoop) -> Result<(), &'static str> {
+    fn certify_cloop(&mut self, cl: &CLoop) -> Result<(), BatchIneligible> {
         if self.varying_i[cl.size as usize] {
-            return Err("nested loop with per-element trip count");
+            return Err(BatchIneligible::NestedTripCountVaries);
         }
         for (gen, dst) in cl.gens.iter().zip(&cl.dsts) {
             if gen.kind != GenKind::Reduce || gen.cond.is_some() {
-                return Err("nested loop in generator body");
+                return Err(BatchIneligible::NestedLoopInBody);
             }
             self.certify_block(&gen.value)?;
             let res = gen.value.result;
             if res.class == Class::V {
                 let Some(comps) = self.comps_of(res.idx).cloned() else {
-                    return Err("vector-valued generator element (boxed result)");
+                    return Err(BatchIneligible::BoxedGenResult);
                 };
                 if gen.init.is_some() {
-                    return Err("nested reduce over boxed values");
+                    return Err(BatchIneligible::NestedBoxedReduce);
                 }
                 let rb = gen
                     .reducer
                     .as_ref()
-                    .ok_or("nested reduce over boxed values")?;
+                    .ok_or(BatchIneligible::NestedBoxedReduce)?;
                 if rb.params.len() != 2 || rb.params.iter().any(|p| p.class != Class::V) {
-                    return Err("nested reduce over boxed values");
+                    return Err(BatchIneligible::NestedBoxedReduce);
                 }
                 self.virt[rb.params[0].idx as usize] = Some(comps.clone());
                 self.virt[rb.params[1].idx as usize] = Some(comps.clone());
@@ -283,19 +376,19 @@ impl<'a> Cert<'a> {
                     || self.comps_of(rb.result.idx) != Some(&comps)
                     || dst.class != Class::V
                 {
-                    return Err("nested reduce over boxed values");
+                    return Err(BatchIneligible::NestedBoxedReduce);
                 }
                 self.virt[dst.idx as usize] = Some(comps);
             } else if gen.fast_red.is_none() {
                 let rb = gen
                     .reducer
                     .as_ref()
-                    .ok_or("nested reduce over boxed values")?;
+                    .ok_or(BatchIneligible::NestedBoxedReduce)?;
                 if rb.params.len() != 2
                     || rb.params.iter().any(|p| p.class != res.class)
                     || rb.result.class != res.class
                 {
-                    return Err("nested reduce over boxed values");
+                    return Err(BatchIneligible::NestedBoxedReduce);
                 }
                 self.certify_block(rb)?;
             }
@@ -308,13 +401,13 @@ impl<'a> Cert<'a> {
 /// non-certifying block/instruction mapped to a stable, typed reason.
 /// `None` means the kernel certifies. Surfaced through the per-loop
 /// fallback counters so "batched_loops: 0" is never an unexplained miss.
-pub(crate) fn batch_reject_reason(k: &Kernel) -> Option<&'static str> {
+pub(crate) fn batch_reject_reason(k: &Kernel) -> Option<BatchIneligible> {
     let mut cert = Cert::new(k);
     for g in &k.gens {
         let blocks = [Some(&g.value), g.cond.as_ref(), g.key.as_ref()];
         for b in blocks.into_iter().flatten() {
             if b.result.class == Class::V {
-                return Some("vector-valued generator element (boxed result)");
+                return Some(BatchIneligible::BoxedGenResult);
             }
             if let Err(r) = cert.certify_block(b) {
                 return Some(r);
@@ -365,6 +458,10 @@ pub(crate) struct BState {
     cv: Vec<Option<Vec<VCol>>>,
     /// One dense key directory per top-level generator.
     dense: Vec<DenseDir>,
+    /// Per-element block executions since the last flush that ran the
+    /// full-width lane-chunked (SIMD) path; drained into the process-wide
+    /// counter once per `run_range_batched` call.
+    simd_blocks: u64,
     pub(crate) scalar: KState,
 }
 
@@ -383,6 +480,7 @@ impl Kernel {
             cb: scalar.rb.iter().map(|&v| vec![v; BLOCK]).collect(),
             cv: vec![None; scalar.rv.len()],
             dense: self.gens.iter().map(|_| DenseDir::new()).collect(),
+            simd_blocks: 0,
             scalar,
         })
     }
@@ -456,8 +554,10 @@ fn unop<T: Copy, U: Copy>(d: &mut [U], a: &[T], lanes: &Lanes, f: impl Fn(T) -> 
     match lanes {
         Lanes::Full => {
             let (d, a) = (&mut d[..BLOCK], &a[..BLOCK]);
-            for l in 0..BLOCK {
-                d[l] = f(a[l]);
+            for (dc, ac) in d.chunks_exact_mut(LANES).zip(a.chunks_exact(LANES)) {
+                for l in 0..LANES {
+                    dc[l] = f(ac[l]);
+                }
             }
         }
         Lanes::Sel(s) => {
@@ -473,8 +573,14 @@ fn binop<T: Copy, U: Copy>(d: &mut [U], a: &[T], b: &[T], lanes: &Lanes, f: impl
     match lanes {
         Lanes::Full => {
             let (d, a, b) = (&mut d[..BLOCK], &a[..BLOCK], &b[..BLOCK]);
-            for l in 0..BLOCK {
-                d[l] = f(a[l], b[l]);
+            for ((dc, ac), bc) in d
+                .chunks_exact_mut(LANES)
+                .zip(a.chunks_exact(LANES))
+                .zip(b.chunks_exact(LANES))
+            {
+                for l in 0..LANES {
+                    dc[l] = f(ac[l], bc[l]);
+                }
             }
         }
         Lanes::Sel(s) => {
@@ -503,8 +609,15 @@ fn muxop<T: Copy>(d: &mut [T], c: &[bool], a: &[T], b: &[T], lanes: &Lanes) {
     match lanes {
         Lanes::Full => {
             let (d, c, a, b) = (&mut d[..BLOCK], &c[..BLOCK], &a[..BLOCK], &b[..BLOCK]);
-            for l in 0..BLOCK {
-                d[l] = if c[l] { a[l] } else { b[l] };
+            for (((dc, cc), ac), bc) in d
+                .chunks_exact_mut(LANES)
+                .zip(c.chunks_exact(LANES))
+                .zip(a.chunks_exact(LANES))
+                .zip(b.chunks_exact(LANES))
+            {
+                for l in 0..LANES {
+                    dc[l] = if cc[l] { ac[l] } else { bc[l] };
+                }
             }
         }
         Lanes::Sel(s) => {
@@ -522,9 +635,14 @@ fn blend<T: Copy>(d: &mut [T], c: &[bool], b: &[T], lanes: &Lanes) {
     match lanes {
         Lanes::Full => {
             let (d, c, b) = (&mut d[..BLOCK], &c[..BLOCK], &b[..BLOCK]);
-            for l in 0..BLOCK {
-                if !c[l] {
-                    d[l] = b[l];
+            for ((dc, cc), bc) in d
+                .chunks_exact_mut(LANES)
+                .zip(c.chunks_exact(LANES))
+                .zip(b.chunks_exact(LANES))
+            {
+                for l in 0..LANES {
+                    // Branchless select keeps the chunk vectorizable.
+                    dc[l] = if cc[l] { dc[l] } else { bc[l] };
                 }
             }
         }
@@ -545,8 +663,10 @@ fn fold_lanes<T: Copy>(acc: &mut [T], col: &[T], lanes: &Lanes, f: impl Fn(T, T)
     match lanes {
         Lanes::Full => {
             let (a, c) = (&mut acc[..BLOCK], &col[..BLOCK]);
-            for l in 0..BLOCK {
-                a[l] = f(a[l], c[l]);
+            for (ac, cc) in a.chunks_exact_mut(LANES).zip(c.chunks_exact(LANES)) {
+                for l in 0..LANES {
+                    ac[l] = f(ac[l], cc[l]);
+                }
             }
         }
         Lanes::Sel(s) => {
@@ -924,6 +1044,9 @@ impl Kernel {
     ) -> Option<(usize, EvalError)> {
         debug_assert_eq!(b.params.len(), 1);
         debug_assert_eq!(b.params[0].class, Class::I);
+        if matches!(lanes, Lanes::Full) {
+            st.simd_blocks += 1;
+        }
         let col = &mut st.ci[b.params[0].idx as usize];
         for (l, c) in col.iter_mut().enumerate() {
             *c = base + l as i64;
@@ -1028,6 +1151,9 @@ impl Kernel {
     ) -> Option<(usize, EvalError)> {
         debug_assert_eq!(b.params.len(), 1);
         debug_assert_eq!(b.params[0].class, Class::I);
+        if matches!(lanes, Lanes::Full) {
+            st.simd_blocks += 1;
+        }
         st.ci[b.params[0].idx as usize].fill(it);
         self.run_instrs_resilient(&b.instrs, st, lanes)
     }
@@ -1221,9 +1347,9 @@ fn slot_dense(kx: &mut KeyIx, dir: &mut DenseDir, k: i64) -> Result<usize, usize
     }
 }
 
-/// Fold a column slice with a monomorphized combiner (so integer folds get
-/// clean, vectorizable loops — wrapping arithmetic is associative, which is
-/// the block-level "tree fold" the hardware actually performs).
+/// Fold a column slice with a monomorphized combiner, strictly in lane
+/// order — the only legal shape for floats, whose rounding makes the fold
+/// order observable in the bits.
 fn fold_slice<T: Copy>(cur: T, col: &[T], f: impl Fn(T, T) -> T) -> T {
     let mut c = cur;
     for &x in col {
@@ -1232,14 +1358,39 @@ fn fold_slice<T: Copy>(cur: T, col: &[T], f: impl Fn(T, T) -> T) -> T {
     c
 }
 
+/// Tree-fold an integer column through [`LANES`] independent partial
+/// accumulators — the explicitly SIMD-shaped reduction. Exact for any
+/// associative-and-commutative combiner with identity `id` (wrapping
+/// `+`/`*`, `min`/`max`): regrouping wrapping arithmetic cannot change the
+/// result, so this matches the sequential lane-order fold bit-for-bit.
+fn tree_fold_i(cur: i64, col: &[i64], id: i64, f: impl Fn(i64, i64) -> i64) -> i64 {
+    let mut part = [id; LANES];
+    let mut chunks = col.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        for l in 0..LANES {
+            part[l] = f(part[l], ch[l]);
+        }
+    }
+    let mut acc = cur;
+    for p in part {
+        acc = f(acc, p);
+    }
+    for &x in chunks.remainder() {
+        acc = f(acc, x);
+    }
+    acc
+}
+
 fn fold_i(op: super::IOp, cur: i64, col: &[i64]) -> i64 {
     use super::IOp;
     match op {
-        IOp::Add => fold_slice(cur, col, |a, b| a.wrapping_add(b)),
+        IOp::Add => tree_fold_i(cur, col, 0, |a, b| a.wrapping_add(b)),
+        // Subtraction is not associative: the running difference must walk
+        // the lanes in order.
         IOp::Sub => fold_slice(cur, col, |a, b| a.wrapping_sub(b)),
-        IOp::Mul => fold_slice(cur, col, |a, b| a.wrapping_mul(b)),
-        IOp::Min => fold_slice(cur, col, |a, b| a.min(b)),
-        IOp::Max => fold_slice(cur, col, |a, b| a.max(b)),
+        IOp::Mul => tree_fold_i(cur, col, 1, |a, b| a.wrapping_mul(b)),
+        IOp::Min => tree_fold_i(cur, col, i64::MAX, |a, b| a.min(b)),
+        IOp::Max => tree_fold_i(cur, col, i64::MIN, |a, b| a.max(b)),
     }
 }
 
@@ -1483,7 +1634,21 @@ impl Kernel {
             }
             let col = &bst.cb[c.result.idx as usize];
             let sel: Vec<u32> = match &lanes {
-                Lanes::Full => (0..BLOCK as u32).filter(|&l| col[l as usize]).collect(),
+                // Branch-free cursor compaction: write every lane id at the
+                // cursor, advance the cursor by the condition bit. No
+                // per-lane branch, so the dense full-block case compacts at
+                // memory speed regardless of the predicate's selectivity.
+                Lanes::Full => {
+                    let col = &col[..BLOCK];
+                    let mut sel = vec![0u32; BLOCK];
+                    let mut n = 0usize;
+                    for (l, &keep) in col.iter().enumerate() {
+                        sel[n] = l as u32;
+                        n += keep as usize;
+                    }
+                    sel.truncate(n);
+                    sel
+                }
                 Lanes::Sel(s) => s.iter().copied().filter(|&l| col[l as usize]).collect(),
             };
             lanes = Lanes::Sel(sel);
@@ -1556,6 +1721,7 @@ impl Kernel {
             self.exec_gens(&self.gens, &mut accs, &mut bst.scalar, i, end)?;
         }
         stats::record_batched_range(blocks, tail);
+        stats::record_simd_blocks(std::mem::take(&mut bst.simd_blocks));
         Ok(accs)
     }
 }

@@ -22,6 +22,11 @@ pub struct Interp<'p> {
     /// compiled loop uses the scalar bytecode loop (benches use this to
     /// isolate the batched tier's contribution).
     use_batched: bool,
+    /// Whether certified kernels may run on the native (compiled C) tier.
+    /// Off by default: the native tier needs a system C++ compiler and is
+    /// opted into explicitly; ineligible or uncompilable loops fall back to
+    /// the batched tier with a typed, counted reason.
+    use_native: bool,
     /// Kernel cache used by the compiled tier; `None` = the process-global
     /// default store.
     kernel_cache: Option<crate::KernelCacheHandle>,
@@ -31,6 +36,10 @@ pub struct Interp<'p> {
     /// Participates in kernel-cache keys so fused and unfused variants of a
     /// loop never share an entry.
     fuse_fingerprint: u64,
+    /// Per-instance memo of the fusion outcome. Sound because `program` is
+    /// borrowed immutably for this interpreter's whole lifetime — repeat
+    /// `run` calls on one `Interp` skip even the global memo's hash lookup.
+    fused_memo: std::sync::OnceLock<Arc<fuse::FusedProgram>>,
 }
 
 /// Per-run execution-tier accounting: how many top-level multiloops ran on
@@ -55,9 +64,11 @@ impl<'p> Interp<'p> {
             externs: HashMap::new(),
             use_compiled: true,
             use_batched: true,
+            use_native: false,
             kernel_cache: None,
             fuse: true,
             fuse_fingerprint: 0,
+            fused_memo: std::sync::OnceLock::new(),
         }
     }
 
@@ -81,6 +92,15 @@ impl<'p> Interp<'p> {
     /// bytecode loop, never the batched executor.
     pub fn without_batched_tier(mut self) -> Self {
         self.use_batched = false;
+        self
+    }
+
+    /// Enable the native tier: certified batchable kernels are lowered to
+    /// C, compiled with the system C++ compiler, and `dlopen`ed. Loops that
+    /// fail certification or compilation fall back to the batched tier
+    /// with a typed, counted reason — never an error.
+    pub fn with_native(mut self) -> Self {
+        self.use_native = true;
         self
     }
 
@@ -139,7 +159,10 @@ impl<'p> Interp<'p> {
     /// See [`Interp::run`].
     pub fn run_report(&self, inputs: &[(&str, Value)]) -> Result<(Value, RunReport), EvalError> {
         if self.fuse {
-            let fused = fuse::fused_program(self.program);
+            let fused = self
+                .fused_memo
+                .get_or_init(|| fuse::fused_program(self.program))
+                .clone();
             stats::record_fusion(fused.applied, fused.rejected);
             if let Some(fp) = &fused.program {
                 // Delegate to a sub-interpreter bound to the fused body,
@@ -149,9 +172,11 @@ impl<'p> Interp<'p> {
                     externs: self.externs.clone(),
                     use_compiled: self.use_compiled,
                     use_batched: self.use_batched,
+                    use_native: self.use_native,
                     kernel_cache: self.kernel_cache.clone(),
                     fuse: false,
                     fuse_fingerprint: fused.fingerprint,
+                    fused_memo: std::sync::OnceLock::new(),
                 };
                 // Rewrites preserve values but can shift *which* error a
                 // faulting program raises (e.g. Conditional Reduce turns
@@ -196,7 +221,8 @@ impl<'p> Interp<'p> {
         env: &mut Env,
         report: &mut RunReport,
     ) -> Result<Vec<Value>, EvalError> {
-        let (vals, compiled) = self.eval_loop_tiered(ml, env, self.use_compiled, self.use_batched)?;
+        let (vals, compiled) =
+            self.eval_loop_tiered(ml, env, self.use_compiled, self.use_batched, self.use_native)?;
         if compiled {
             report.compiled_loops += 1;
         } else {
@@ -215,6 +241,7 @@ impl<'p> Interp<'p> {
         env: &mut Env,
         use_compiled: bool,
         use_batched: bool,
+        use_native: bool,
     ) -> Result<(Vec<Value>, bool), EvalError> {
         if use_compiled {
             let kernel = match &self.kernel_cache {
@@ -227,6 +254,26 @@ impl<'p> Interp<'p> {
                     .as_i64()
                     .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
                 let t0 = Instant::now();
+                // Native tier: only offered batch-certified loops, so a
+                // runtime fault (or decline) always has the batched path
+                // below to land on.
+                if use_native && use_batched && kernel.batchable {
+                    match kernel.native_entry(ml, env) {
+                        Ok(entry) => {
+                            if let Some(accs) = kernel.run_range_native(entry, env, 0, size) {
+                                let mut st = kernel.new_state(env)?;
+                                let vals = kernel.seal_values(accs, &mut st)?;
+                                let dt = t0.elapsed();
+                                stats::record_native(size.max(0) as u64, dt);
+                                stats::record_compiled(size.max(0) as u64, dt);
+                                return Ok((vals, true));
+                            }
+                            // Fault: fall through to batched, which
+                            // reproduces the interpreter's exact outcome.
+                        }
+                        Err(reason) => stats::record_native_fallback(reason.key()),
+                    }
+                }
                 let vals = if use_batched && kernel.batchable {
                     let mut bst = kernel.new_batched_state(env)?;
                     let accs = kernel.run_range_batched(&mut bst, 0, size)?;
@@ -356,7 +403,7 @@ impl<'p> Interp<'p> {
                     vs.push(self.eval_exp(e, env)?);
                 }
                 one(Value::Struct(Arc::new(StructVal {
-                    ty: ty.clone(),
+                    ty: Arc::new(ty.clone()),
                     fields: vs,
                 })))
             }

@@ -53,6 +53,23 @@ fn cache() -> &'static FuseCache {
     CACHE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Hash-only memo of programs whose rewrite came back an identity, carrying
+/// the discovering run's applied/rejected counts. Checked before the
+/// printed-program memo, so steady-state zero-rewrite executions pay one
+/// cheap AST hash per run instead of printing the whole program for the
+/// collision-proof cache key. Safe on a (vanishingly unlikely) 64-bit hash
+/// collision: identity means "run the program as written", so the worst
+/// case is a missed optimization for the colliding program, never changed
+/// semantics.
+const IDENTITY_CACHE_CAP: usize = 256;
+
+type IdentityCache = Mutex<Vec<(u64, (u64, u64))>>;
+
+fn identity_cache() -> &'static IdentityCache {
+    static CACHE: OnceLock<IdentityCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 /// Fuse `program` (memoized). Returns the cached rewrite outcome; callers
 /// execute `program` when `.program` is `None`, the fused body otherwise.
 pub(crate) fn fused_program(program: &Program) -> Arc<FusedProgram> {
@@ -63,6 +80,15 @@ pub(crate) fn fused_program(program: &Program) -> Arc<FusedProgram> {
         return identity();
     }
     let hash = hash_program(program);
+    {
+        let mut c = identity_cache().lock().unwrap();
+        if let Some(pos) = c.iter().position(|(h, _)| *h == hash) {
+            let entry = c.remove(pos);
+            c.insert(0, entry);
+            let (applied, rejected) = entry.1;
+            return Arc::new(FusedProgram { program: None, fingerprint: 0, applied, rejected });
+        }
+    }
     let printed = program.to_string();
     {
         let mut c = cache().lock().unwrap();
@@ -74,9 +100,15 @@ pub(crate) fn fused_program(program: &Program) -> Arc<FusedProgram> {
         }
     }
     let fused = compute(program, hash);
-    let mut c = cache().lock().unwrap();
-    c.insert(0, ((hash, printed), fused.clone()));
-    c.truncate(FUSE_CACHE_CAP);
+    if fused.program.is_none() && fused.fingerprint == 0 {
+        let mut c = identity_cache().lock().unwrap();
+        c.insert(0, (hash, (fused.applied, fused.rejected)));
+        c.truncate(IDENTITY_CACHE_CAP);
+    } else {
+        let mut c = cache().lock().unwrap();
+        c.insert(0, ((hash, printed), fused.clone()));
+        c.truncate(FUSE_CACHE_CAP);
+    }
     fused
 }
 
@@ -152,6 +184,12 @@ mod tests {
         let f = fused_program(&p);
         assert!(f.program.is_none(), "optimizer recipe is idempotent");
         assert_eq!(f.fingerprint, 0);
+        // Steady state: the hash-only identity memo serves repeat lookups
+        // with the same outcome and the discovering run's counters.
+        let g = fused_program(&p);
+        assert!(g.program.is_none());
+        assert_eq!(g.fingerprint, 0);
+        assert_eq!((g.applied, g.rejected), (f.applied, f.rejected));
     }
 
     #[test]

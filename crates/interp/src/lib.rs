@@ -35,12 +35,14 @@ pub mod parallel;
 pub mod stats;
 pub mod value;
 
-pub use compile::{CacheStats, KernelCacheHandle};
+pub use compile::{BatchIneligible, CacheStats, KernelCacheHandle};
 pub use error::{EvalError, ExecError};
 pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};
 pub use parallel::{
     eval_parallel, eval_parallel_report, eval_parallel_supervised, ChunkFaults, ExecReport,
     ParallelOptions,
 };
-pub use stats::{batch_reject_reasons, reset_tier_totals, tier_totals, TierTotals};
+pub use stats::{
+    batch_reject_reasons, native_fallback_reasons, reset_tier_totals, tier_totals, TierTotals,
+};
 pub use value::{ArrayVal, BucketsVal, Key, StructVal, Value};

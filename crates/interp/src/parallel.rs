@@ -183,6 +183,10 @@ pub struct ParallelOptions {
     /// Run batchable kernels block-at-a-time (the default). Disable to
     /// force the scalar bytecode loop on every compiled chunk.
     pub use_batched: bool,
+    /// Run certified kernels on the native (compiled C) tier when a system
+    /// C++ compiler is available. Off by default; ineligible loops fall
+    /// back to the batched tier with a typed, counted reason.
+    pub use_native: bool,
     /// Supervisor polled at task boundaries (deadline, cancellation,
     /// speculation, quarantine, retry budget). `None` = unsupervised, the
     /// pre-supervision behaviour.
@@ -222,6 +226,7 @@ impl ParallelOptions {
             faults: ChunkFaults::default(),
             use_compiled: true,
             use_batched: true,
+            use_native: false,
             supervisor: None,
             regions: 0,
             plan: None,
@@ -284,6 +289,14 @@ impl ParallelOptions {
     /// bytecode loop (used to isolate the batched tier's speedup).
     pub fn scalar_kernel_only(mut self) -> ParallelOptions {
         self.use_batched = false;
+        self
+    }
+
+    /// Enable the native tier: certified kernels are lowered to C, compiled
+    /// with the system C++ compiler, and `dlopen`ed. Ineligible loops fall
+    /// back to the batched tier with a typed, counted reason.
+    pub fn with_native(mut self) -> ParallelOptions {
+        self.use_native = true;
         self
     }
 }
@@ -447,6 +460,7 @@ fn supervised_on(
                         &mut env,
                         options.use_compiled,
                         options.use_batched,
+                        options.use_native,
                     )?;
                     if compiled {
                         report.compiled_loops += 1;
@@ -730,6 +744,8 @@ fn execute_chunk_kernel(
     env: &Env,
     state: &mut Option<KernelState>,
     batched: bool,
+    native: Option<&compile::native::NativeEntry>,
+    native_elems: &AtomicU64,
     range: (i64, i64),
     chunk_index: usize,
     injected: bool,
@@ -743,6 +759,15 @@ fn execute_chunk_kernel(
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if injected {
             panic!("injected panic on chunk {chunk_index}");
+        }
+        // Native first: a faulting chunk (nonzero rc) falls through to the
+        // batched path below, which reproduces the interpreter's exact
+        // error or panic for that subrange.
+        if let Some(entry) = native {
+            if let Some(accs) = kernel.run_range_native(entry, env, range.0, range.1) {
+                native_elems.fetch_add((range.1 - range.0).max(0) as u64, Ordering::Relaxed);
+                return Ok(accs);
+            }
         }
         match (batched, &mut *state) {
             (true, Some(KernelState::Batched(bst))) => {
@@ -1294,15 +1319,44 @@ fn run_chunked(
                     stats::record_batch_ineligible(reason);
                 }
             }
+            // Native tier: chunks run the dlopen'd kernel when one is
+            // available; each faulting chunk individually lands back on
+            // the batched executor, which reproduces the exact outcome.
+            let native = if batched && options.use_native {
+                match kernel.native_entry(ml, env) {
+                    Ok(entry) => Some(entry),
+                    Err(reason) => {
+                        stats::record_native_fallback(reason.key());
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            let native_elems = AtomicU64::new(0);
             let t0 = Instant::now();
             let out = run_chunked_kernel(
-                &kernel, env, &tasks, &faults, pending, workers, batched, options, report,
+                &kernel,
+                env,
+                &tasks,
+                &faults,
+                pending,
+                workers,
+                batched,
+                native,
+                &native_elems,
+                options,
+                report,
             )?;
             let dt = t0.elapsed();
             stats::record_compiled(size.max(0) as u64, dt);
             if batched {
                 stats::record_batched(size.max(0) as u64, dt);
                 report.batched_loops += 1;
+            }
+            let ne = native_elems.load(Ordering::Relaxed);
+            if ne > 0 {
+                stats::record_native(ne, dt);
             }
             report.compiled_loops += 1;
             return Ok(out);
@@ -1517,6 +1571,8 @@ fn run_chunked_kernel(
     pending: &PendingFaults,
     workers: usize,
     batched: bool,
+    native: Option<&compile::native::NativeEntry>,
+    native_elems: &AtomicU64,
     options: &ParallelOptions,
     report: &mut ExecReport,
 ) -> Result<Vec<Value>, ExecError> {
@@ -1550,6 +1606,8 @@ fn run_chunked_kernel(
                 env,
                 state,
                 batched,
+                native,
+                native_elems,
                 range,
                 ci,
                 injected,
@@ -1574,6 +1632,8 @@ fn run_chunked_kernel(
             env,
             &mut retry_state,
             batched,
+            native,
+            native_elems,
             range,
             ci,
             faults[ci].persistent,

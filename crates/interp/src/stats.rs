@@ -6,6 +6,7 @@
 //! its profiling report via [`TierTotals`]; see
 //! `crates/runtime/src/profile.rs`.
 
+use crate::compile::BatchIneligible;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -29,6 +30,16 @@ static BATCHED_ELEMENTS: AtomicU64 = AtomicU64::new(0);
 static BATCHED_NANOS: AtomicU64 = AtomicU64::new(0);
 static BATCHED_BLOCKS: AtomicU64 = AtomicU64::new(0);
 static TAIL_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+static SIMD_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SCATTER_LOOPS: AtomicU64 = AtomicU64::new(0);
+
+static NATIVE_LOOPS: AtomicU64 = AtomicU64::new(0);
+static NATIVE_ELEMENTS: AtomicU64 = AtomicU64::new(0);
+static NATIVE_NANOS: AtomicU64 = AtomicU64::new(0);
+static NATIVE_COMPILES: AtomicU64 = AtomicU64::new(0);
+static NATIVE_COMPILE_NANOS: AtomicU64 = AtomicU64::new(0);
+static NATIVE_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static NATIVE_FALLBACK_REASONS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
 
 static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
@@ -43,7 +54,7 @@ static CANCELLED_ABORTS: AtomicU64 = AtomicU64::new(0);
 static FUSION_APPLIED: AtomicU64 = AtomicU64::new(0);
 static FUSION_REJECTED: AtomicU64 = AtomicU64::new(0);
 static BATCH_INELIGIBLE: AtomicU64 = AtomicU64::new(0);
-static BATCH_REJECT_REASONS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+static BATCH_REJECT_REASONS: Mutex<BTreeMap<BatchIneligible, u64>> = Mutex::new(BTreeMap::new());
 
 static SHARDED_LOOPS: AtomicU64 = AtomicU64::new(0);
 static STENCIL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
@@ -90,6 +101,48 @@ pub(crate) fn record_batched_range(blocks: u64, tail_elements: u64) {
     TAIL_ELEMENTS.fetch_add(tail_elements, Ordering::Relaxed);
 }
 
+/// Per-element block executions that took the full-width lane-chunked
+/// (SIMD-lowered) path — no selection vector, all [`BLOCK`] lanes live.
+///
+/// [`BLOCK`]: crate::compile::batch::BLOCK
+pub(crate) fn record_simd_blocks(n: u64) {
+    SIMD_BLOCKS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A loop range served by the dedicated AoS→SoA scatter path: typed
+/// column extraction with no per-element bytecode dispatch.
+pub(crate) fn record_scatter_loop() {
+    SCATTER_LOOPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A top-level loop that ran through a compiled-and-`dlopen`ed native
+/// kernel. Native loops are a subset of compiled loops, disjoint from
+/// batched loops (a loop runs one or the other).
+pub(crate) fn record_native(elements: u64, d: Duration) {
+    NATIVE_LOOPS.fetch_add(1, Ordering::Relaxed);
+    NATIVE_ELEMENTS.fetch_add(elements, Ordering::Relaxed);
+    NATIVE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// One kernel emitted, compiled by the system C compiler, and loaded.
+pub(crate) fn record_native_compile(d: Duration) {
+    NATIVE_COMPILES.fetch_add(1, Ordering::Relaxed);
+    NATIVE_COMPILE_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// A native-tier request that fell back to the batched tier, with the
+/// typed decline's stable key (see `dmll_codegen::NativeIneligible`).
+pub(crate) fn record_native_fallback(reason: &'static str) {
+    NATIVE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    *NATIVE_FALLBACK_REASONS.lock().unwrap().entry(reason).or_insert(0) += 1;
+}
+
+/// Snapshot of native-tier decline reasons seen so far, keyed by the
+/// typed `NativeIneligible` taxonomy's stable identifiers.
+pub fn native_fallback_reasons() -> BTreeMap<&'static str, u64> {
+    NATIVE_FALLBACK_REASONS.lock().unwrap().clone()
+}
+
 pub(crate) fn record_steals(n: u64) {
     TASKS_STOLEN.fetch_add(n, Ordering::Relaxed);
 }
@@ -131,14 +184,16 @@ pub(crate) fn record_fusion(applied: u64, rejected: u64) {
 
 /// A compiled loop that ran scalar because its kernel failed batch
 /// certification, with the typed reason from the certifier.
-pub(crate) fn record_batch_ineligible(reason: &'static str) {
+pub(crate) fn record_batch_ineligible(reason: BatchIneligible) {
     BATCH_INELIGIBLE.fetch_add(1, Ordering::Relaxed);
     *BATCH_REJECT_REASONS.lock().unwrap().entry(reason).or_insert(0) += 1;
 }
 
 /// Snapshot of batch-certification rejection reasons seen so far, with
-/// per-reason loop-execution counts.
-pub fn batch_reject_reasons() -> BTreeMap<&'static str, u64> {
+/// per-reason loop-execution counts, keyed by the typed
+/// [`BatchIneligible`] taxonomy (use [`BatchIneligible::key`] for a
+/// stable JSON identifier).
+pub fn batch_reject_reasons() -> BTreeMap<BatchIneligible, u64> {
     BATCH_REJECT_REASONS.lock().unwrap().clone()
 }
 
@@ -197,6 +252,26 @@ pub struct TierTotals {
     pub batched_blocks: u64,
     /// Elements handled by the scalar-tail path of batched executions.
     pub tail_elements: u64,
+    /// Per-element block executions that ran the full-width lane-chunked
+    /// (SIMD-lowered) path — all lanes live, no selection vector.
+    pub simd_blocks: u64,
+    /// Loop ranges served by the dedicated AoS→SoA scatter fast path
+    /// (typed field extraction from a boxed struct array).
+    pub scatter_loops: u64,
+    /// Top-level loop executions on the native (compiled C) tier.
+    pub native_loops: u64,
+    /// Elements traversed by the native tier.
+    pub native_elements: u64,
+    /// Wall time of native-tier loop execution, in nanoseconds (also
+    /// counted in `compiled_nanos`).
+    pub native_nanos: u64,
+    /// Kernels emitted as C, compiled, and `dlopen`ed.
+    pub native_compiles: u64,
+    /// Total time spent invoking the system C compiler, in nanoseconds.
+    pub native_compile_nanos: u64,
+    /// Native-tier requests that fell back to the batched tier (see
+    /// [`native_fallback_reasons`] for the why).
+    pub native_fallbacks: u64,
     /// Block-granular tasks executed by a worker other than their owner.
     pub tasks_stolen: u64,
     /// Kernel-cache entries evicted (LRU).
@@ -250,6 +325,11 @@ impl TierTotals {
     pub fn batched_elements_per_sec(&self) -> Option<f64> {
         rate(self.batched_elements, self.batched_nanos)
     }
+
+    /// Elements per second on the native tier, if it ran at all.
+    pub fn native_elements_per_sec(&self) -> Option<f64> {
+        rate(self.native_elements, self.native_nanos)
+    }
 }
 
 fn rate(elements: u64, nanos: u64) -> Option<f64> {
@@ -278,6 +358,14 @@ pub fn tier_totals() -> TierTotals {
         batched_nanos: BATCHED_NANOS.load(Ordering::Relaxed),
         batched_blocks: BATCHED_BLOCKS.load(Ordering::Relaxed),
         tail_elements: TAIL_ELEMENTS.load(Ordering::Relaxed),
+        simd_blocks: SIMD_BLOCKS.load(Ordering::Relaxed),
+        scatter_loops: SCATTER_LOOPS.load(Ordering::Relaxed),
+        native_loops: NATIVE_LOOPS.load(Ordering::Relaxed),
+        native_elements: NATIVE_ELEMENTS.load(Ordering::Relaxed),
+        native_nanos: NATIVE_NANOS.load(Ordering::Relaxed),
+        native_compiles: NATIVE_COMPILES.load(Ordering::Relaxed),
+        native_compile_nanos: NATIVE_COMPILE_NANOS.load(Ordering::Relaxed),
+        native_fallbacks: NATIVE_FALLBACKS.load(Ordering::Relaxed),
         tasks_stolen: TASKS_STOLEN.load(Ordering::Relaxed),
         cache_evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
         negative_hits: NEGATIVE_HITS.load(Ordering::Relaxed),
@@ -315,6 +403,14 @@ pub fn reset_tier_totals() {
         &BATCHED_NANOS,
         &BATCHED_BLOCKS,
         &TAIL_ELEMENTS,
+        &SIMD_BLOCKS,
+        &SCATTER_LOOPS,
+        &NATIVE_LOOPS,
+        &NATIVE_ELEMENTS,
+        &NATIVE_NANOS,
+        &NATIVE_COMPILES,
+        &NATIVE_COMPILE_NANOS,
+        &NATIVE_FALLBACKS,
         &TASKS_STOLEN,
         &CACHE_EVICTIONS,
         &NEGATIVE_HITS,
@@ -335,6 +431,7 @@ pub fn reset_tier_totals() {
         c.store(0, Ordering::Relaxed);
     }
     BATCH_REJECT_REASONS.lock().unwrap().clear();
+    NATIVE_FALLBACK_REASONS.lock().unwrap().clear();
 }
 
 #[cfg(test)]

@@ -117,8 +117,11 @@ impl BucketsVal {
 /// A record value.
 #[derive(Clone, Debug)]
 pub struct StructVal {
-    /// The struct type.
-    pub ty: StructTy,
+    /// The struct type. Shared: every value of a given nominal type can
+    /// (and should) point at one allocation, so consumers that walk a
+    /// homogeneous collection can validate the type once by pointer
+    /// instead of re-comparing field names per element.
+    pub ty: Arc<StructTy>,
     /// Field values, in declaration order.
     pub fields: Vec<Value>,
 }
@@ -228,7 +231,7 @@ impl Value {
     pub fn matrix(data: Vec<f64>, rows: usize, cols: usize) -> Value {
         assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
         Value::Struct(Arc::new(StructVal {
-            ty: matrix_struct_ty(),
+            ty: Arc::new(matrix_struct_ty()),
             fields: vec![
                 Value::f64_arr(data),
                 Value::I64(rows as i64),

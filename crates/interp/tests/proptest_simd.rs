@@ -1,0 +1,221 @@
+//! Differential property tests for the SIMD-lowered batched tier: full
+//! blocks run their generator blocks as fixed-trip lane loops (branchless
+//! blends, lane-order folds), and every result must stay bit-identical to
+//! the scalar bytecode kernel and the tree-walking reference — across
+//! lane-width boundary sizes, all-true/all-false/mixed selection vectors,
+//! partial tail blocks, and injected chunk faults under work stealing.
+//!
+//! Each test also pins that the SIMD path actually ran by watching the
+//! monotonic global `simd_blocks` counter (full 1024-element blocks run
+//! 128 lane-chunks of 8; any partial block falls back to gathered lanes).
+
+use dmll_core::{LayoutHint, Ty};
+use dmll_frontend::{Stage, Val};
+use dmll_interp::{
+    eval_parallel_report, eval_tree_walk, tier_totals, ChunkFaults, Interp, ParallelOptions, Value,
+};
+use proptest::prelude::*;
+
+/// Sizes that straddle the 8-lane chunk width and the 1024-element block
+/// width: exact multiples, one element either side, and odd tails.
+const BOUNDARY_OFFSETS: [usize; 9] = [0, 1, 7, 8, 9, 15, 16, 17, 511];
+
+/// Run batched (SIMD), scalar bytecode, and tree-walker; demand
+/// bit-identical outputs and that full blocks went down the SIMD path.
+fn assert_simd_tiers_identical(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let before = tier_totals();
+    let (batched, report) = Interp::new(p).run_report(inputs).expect("batched run");
+    let after = tier_totals();
+    prop_assert!(report.compiled_loops >= 1, "no loop compiled: {report:?}");
+    prop_assert!(
+        after.simd_blocks > before.simd_blocks,
+        "no full block took the SIMD path"
+    );
+    let (scalar, _) = Interp::new(p)
+        .without_batched_tier()
+        .run_report(inputs)
+        .expect("scalar kernel run");
+    let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
+    prop_assert_eq!(&batched, &scalar, "SIMD batched vs scalar bytecode");
+    prop_assert_eq!(batched, walked, "SIMD batched vs tree-walker");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unconditional int + float maps and a float reduction at lane-width
+    /// boundary sizes: 1024k, 1024k ± around the 8-lane chunk width, and
+    /// odd tails. The float fold must keep exact lane order.
+    #[test]
+    fn simd_lane_boundary_sizes(
+        mut data in prop::collection::vec(-1000i64..1000, 2600..2700),
+        blocks in 1usize..3,
+        off_ix in 0usize..BOUNDARY_OFFSETS.len(),
+    ) {
+        // Max size is 2*1024 + 511 = 2559, under the generated minimum of
+        // 2600, so the truncation always lands exactly on `size`.
+        let size = 1024 * blocks + BOUNDARY_OFFSETS[off_ix];
+        data.truncate(size);
+        prop_assert!(data.len() == size);
+
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let tripled = st.map(&x, |st, e: &Val| {
+            let three = st.lit_i(3);
+            let m = st.mul(e, &three);
+            st.add(&m, e)
+        });
+        let scaled = st.map(&x, |st, e: &Val| {
+            let f = st.i2f(e);
+            let c = st.lit_f(0.125);
+            st.mul(&f, &c)
+        });
+        let total = st.sum(&scaled);
+        let out = st.tuple(&[&tripled, &scaled, &total]);
+        let p = st.finish(&out);
+        assert_simd_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Conditioned Collect and conditioned Reduce where the selection
+    /// vector is all-false, all-true, or mixed per `mode`: the branchless
+    /// blend must keep counts, element order, and fold order identical to
+    /// the scalar tiers in every regime.
+    #[test]
+    fn simd_selection_vector_regimes(
+        data in prop::collection::vec(-1000i64..1000, 1024..2400),
+        mode in 0i64..3,
+    ) {
+        let threshold = match mode {
+            0 => -1001, // all-false: nothing selected in any lane
+            1 => 1001,  // all-true: every lane selected
+            _ => 0,     // mixed masks
+        };
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let n = st.len(&x);
+        let x1 = x.clone();
+        let x2 = x.clone();
+        let x3 = x.clone();
+        let kept = st.collect_if(
+            &n,
+            move |st, i| {
+                let xi = st.read(&x, i);
+                let t = st.lit_i(threshold);
+                st.lt(&xi, &t)
+            },
+            move |st, i| {
+                let xi = st.read(&x1, i);
+                st.mul(&xi, &xi)
+            },
+        );
+        let izero = st.lit_i(0);
+        let s = st.reduce_if(
+            &n,
+            Some(move |st: &mut Stage, i: &Val| {
+                let xi = st.read(&x2, i);
+                let t = st.lit_i(threshold);
+                st.lt(&xi, &t)
+            }),
+            move |st, i| st.read(&x3, i),
+            |st, a, b| st.add(a, b),
+            Some(&izero),
+        );
+        let out = st.tuple(&[&kept, &s]);
+        let p = st.finish(&out);
+        assert_simd_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Tail blocks: sizes just over a block boundary leave a sub-block
+    /// remainder that must splice seamlessly after the SIMD-run full
+    /// blocks, for both collect output order and float fold order.
+    #[test]
+    fn simd_tail_blocks_are_seamless(
+        mut data in prop::collection::vec(-500i64..500, 1100..2100),
+        tail in 1usize..1024,
+    ) {
+        let size = 1024 + tail.min(data.len().saturating_sub(1024));
+        data.truncate(size);
+        prop_assert!(data.len() > 1024);
+
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let halves = st.map(&x, |st, e: &Val| {
+            let f = st.i2f(e);
+            let c = st.lit_f(2.0);
+            st.div(&f, &c)
+        });
+        let total = st.sum(&halves);
+        let out = st.tuple(&[&halves, &total]);
+        let p = st.finish(&out);
+        assert_simd_tiers_identical(&p, &[("x", Value::i64_arr(data))])?;
+    }
+
+    /// Injected chunk faults under work stealing: recovery re-runs the
+    /// same kernel in the same (SIMD-lowered batched) mode, so the result
+    /// matches a fault-free run, the scalar-kernel parallel run, and the
+    /// sequential tree-walker bit-for-bit.
+    #[test]
+    fn simd_parallel_stealing_survives_faults(
+        // Large enough that plan_tasks block-aligns every worker's tasks
+        // (size >= threads * 1024), so chunks contain full SIMD blocks.
+        data in prop::collection::vec(0i64..3000, 8192..9216),
+        threads in 2usize..6,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        panicking in any::<bool>(),
+    ) {
+        let mut st = Stage::new();
+        let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let x1 = x.clone();
+        let n = st.len(&x);
+        let kept = st.collect_if(
+            &n,
+            move |st, i| {
+                let xi = st.read(&x, i);
+                let t = st.lit_i(1500);
+                st.lt(&xi, &t)
+            },
+            move |st, i| {
+                let xi = st.read(&x1, i);
+                let two = st.lit_i(2);
+                st.mul(&xi, &two)
+            },
+        );
+        let total = st.sum(&kept);
+        let out = st.tuple(&[&kept, &total]);
+        let p = st.finish(&out);
+        let inputs = [("x", Value::i64_arr(data))];
+
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let before = tier_totals();
+        let opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (batched, report) = eval_parallel_report(&p, &inputs, &opts).unwrap();
+        let after = tier_totals();
+        prop_assert!(report.compiled_loops >= 1, "{report:?}");
+        prop_assert!(
+            after.simd_blocks > before.simd_blocks,
+            "no full block took the SIMD path in the parallel run"
+        );
+
+        let clean_opts = ParallelOptions::new(threads);
+        let (clean, _) = eval_parallel_report(&p, &inputs, &clean_opts).unwrap();
+        prop_assert_eq!(&batched, &clean, "faulted vs fault-free (SIMD parallel)");
+
+        let scalar_opts = ParallelOptions::new(threads)
+            .scalar_kernel_only()
+            .with_faults(faults);
+        let (scalar, _) = eval_parallel_report(&p, &inputs, &scalar_opts).unwrap();
+        prop_assert_eq!(&batched, &scalar, "SIMD parallel vs scalar kernel parallel");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(batched, seq, "SIMD parallel vs sequential tree-walker");
+    }
+}

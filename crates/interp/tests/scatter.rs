@@ -1,0 +1,189 @@
+//! Differential tests for the AoS→SoA scatter fast path: unconditional
+//! field-extraction loops over a boxed struct array run through a
+//! dedicated typed traversal instead of per-element bytecode. The fast
+//! path must be bit-identical to the tree-walker in every case, and must
+//! bail to the generic interpreter (reproducing its exact output or
+//! error) on anything it did not anticipate: mixed scalar types within a
+//! column, records of differing field order, or a missing field.
+
+use dmll_core::{LayoutHint, StructTy, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::{
+    eval_parallel_report, eval_tree_walk, tier_totals, Interp, ParallelOptions, StructVal, Value,
+};
+use std::sync::Arc;
+
+fn point_ty() -> StructTy {
+    StructTy::new(
+        "Point",
+        vec![
+            ("x".into(), Ty::F64),
+            ("w".into(), Ty::I64),
+            ("live".into(), Ty::Bool),
+        ],
+    )
+}
+
+/// A program whose only loop collects three fields from a record array —
+/// exactly the shape the scatter plan recognizes.
+fn scatter_program() -> dmll_core::Program {
+    let mut st = Stage::new();
+    let pts = st.input("pts", Ty::arr(Ty::Struct(point_ty())), LayoutHint::Partitioned);
+    let n = st.len(&pts);
+    let p1 = pts.clone();
+    let xs = st.collect(&n, move |st, i| {
+        let e = st.read(&p1, i);
+        st.field(&e, "x")
+    });
+    let p2 = pts.clone();
+    let ws = st.collect(&n, move |st, i| {
+        let e = st.read(&p2, i);
+        st.field(&e, "w")
+    });
+    let p3 = pts.clone();
+    let ls = st.collect(&n, move |st, i| {
+        let e = st.read(&p3, i);
+        st.field(&e, "live")
+    });
+    let out = st.tuple(&[&xs, &ws, &ls]);
+    st.finish(&out)
+}
+
+fn point(ty: &Arc<StructTy>, x: f64, w: i64, live: bool) -> Value {
+    Value::Struct(Arc::new(StructVal {
+        ty: ty.clone(),
+        fields: vec![Value::F64(x), Value::I64(w), Value::Bool(live)],
+    }))
+}
+
+fn uniform_points(n: i64) -> Value {
+    let ty = Arc::new(point_ty());
+    Value::boxed_arr(
+        (0..n)
+            .map(|i| point(&ty, i as f64 * 0.5, i * 3, i % 2 == 0))
+            .collect(),
+    )
+}
+
+/// Homogeneous records: the fast path must engage (counted) and the
+/// extracted typed columns must match the tree-walker bit-for-bit.
+#[test]
+fn scatter_extracts_columns_bit_identically() {
+    let p = scatter_program();
+    let inputs = [("pts", uniform_points(2048))];
+
+    let before = tier_totals();
+    let (got, report) = Interp::new(&p).run_report(&inputs).expect("batched run");
+    let after = tier_totals();
+    assert!(report.compiled_loops >= 1, "{report:?}");
+    assert!(
+        after.scatter_loops > before.scatter_loops,
+        "scatter fast path never engaged"
+    );
+
+    let walked = eval_tree_walk(&p, &inputs).expect("tree-walk run");
+    assert_eq!(got, walked, "scatter vs tree-walker");
+}
+
+/// A column whose scalar type varies mid-array is not a typed column: the
+/// fast path must bail and the generic path must still reproduce the
+/// tree-walker's (boxed) result exactly.
+#[test]
+fn scatter_bails_on_mixed_scalar_field() {
+    let p = scatter_program();
+    let ty = Arc::new(point_ty());
+    let mut pts: Vec<Value> = (0..600).map(|i| point(&ty, i as f64, i, true)).collect();
+    // One element's `x` is an i64 where every other row holds f64.
+    pts[451] = Value::Struct(Arc::new(StructVal {
+        ty: ty.clone(),
+        fields: vec![Value::I64(-7), Value::I64(451), Value::Bool(false)],
+    }));
+    let inputs = [("pts", Value::boxed_arr(pts))];
+
+    let (got, _) = Interp::new(&p).run_report(&inputs).expect("batched run");
+    let walked = eval_tree_walk(&p, &inputs).expect("tree-walk run");
+    assert_eq!(got, walked, "bailed scatter vs tree-walker");
+}
+
+/// Records of two nominal types with the same fields in different order:
+/// the cached positions are re-validated per type change, so values land
+/// in the right columns.
+#[test]
+fn scatter_handles_field_order_polymorphism() {
+    let p = scatter_program();
+    let ty_a = Arc::new(point_ty());
+    let ty_b = Arc::new(StructTy::new(
+        "Point",
+        vec![
+            ("live".into(), Ty::Bool),
+            ("w".into(), Ty::I64),
+            ("x".into(), Ty::F64),
+        ],
+    ));
+    let pts: Vec<Value> = (0..800)
+        .map(|i| {
+            if i % 3 == 0 {
+                Value::Struct(Arc::new(StructVal {
+                    ty: ty_b.clone(),
+                    fields: vec![Value::Bool(i % 2 == 0), Value::I64(i * 3), Value::F64(i as f64)],
+                }))
+            } else {
+                point(&ty_a, i as f64, i * 3, i % 2 == 0)
+            }
+        })
+        .collect();
+    let inputs = [("pts", Value::boxed_arr(pts))];
+
+    let (got, _) = Interp::new(&p).run_report(&inputs).expect("batched run");
+    let walked = eval_tree_walk(&p, &inputs).expect("tree-walk run");
+    assert_eq!(got, walked, "reordered-field records vs tree-walker");
+}
+
+/// A record missing a planned field must produce the interpreter's exact
+/// error, not a fast-path panic or a silent wrong answer.
+#[test]
+fn scatter_missing_field_errors_identically() {
+    let p = scatter_program();
+    let ty = Arc::new(point_ty());
+    let bare = Arc::new(StructTy::new("Bare", vec![("x".into(), Ty::F64)]));
+    let mut pts: Vec<Value> = (0..300).map(|i| point(&ty, i as f64, i, false)).collect();
+    pts[200] = Value::Struct(Arc::new(StructVal {
+        ty: bare.clone(),
+        fields: vec![Value::F64(2.5)],
+    }));
+    let inputs = [("pts", Value::boxed_arr(pts))];
+
+    let fast_err = Interp::new(&p).run_report(&inputs).expect_err("missing field must error");
+    let walk_err = eval_tree_walk(&p, &inputs).expect_err("missing field must error");
+    assert_eq!(format!("{fast_err}"), format!("{walk_err}"));
+}
+
+/// Parallel chunks latch column types independently; a half-i64 /
+/// half-f64 column makes adjacent chunks disagree, and the merge must
+/// coerce to the same boxed sequence the generic path produces.
+#[test]
+fn scatter_parallel_chunk_merge_coerces() {
+    let p = scatter_program();
+    let ty = Arc::new(point_ty());
+    let n = 4096;
+    let pts: Vec<Value> = (0..n)
+        .map(|i| {
+            if i < n / 2 {
+                point(&ty, i as f64, i, true)
+            } else {
+                Value::Struct(Arc::new(StructVal {
+                    ty: ty.clone(),
+                    fields: vec![Value::I64(i), Value::I64(i), Value::Bool(false)],
+                }))
+            }
+        })
+        .collect();
+    let inputs = [("pts", Value::boxed_arr(pts))];
+
+    let opts = ParallelOptions::new(4);
+    let (par, _) = eval_parallel_report(&p, &inputs, &opts).expect("parallel run");
+    let (seq, _) = Interp::new(&p).run_report(&inputs).expect("sequential run");
+    let walked = eval_tree_walk(&p, &inputs).expect("tree-walk run");
+    assert_eq!(par, seq, "parallel vs sequential");
+    assert_eq!(par, walked, "parallel vs tree-walker");
+}

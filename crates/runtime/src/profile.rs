@@ -355,6 +355,26 @@ pub struct ExecTierStats {
     pub batched_blocks: u64,
     /// Elements handled by the scalar-tail path of batched executions.
     pub tail_elements: u64,
+    /// Per-element block executions that ran the full-width lane-chunked
+    /// (SIMD-lowered) path — all lanes live, no selection vector.
+    pub simd_blocks: u64,
+    /// Loop ranges served by the dedicated AoS→SoA scatter fast path
+    /// (typed field extraction from a boxed struct array).
+    pub scatter_loops: u64,
+    /// Top-level loop executions on the native (compiled C) tier.
+    pub native_loops: u64,
+    /// Elements traversed by the native tier.
+    pub native_elements: u64,
+    /// Wall time of native-tier loop execution, in nanoseconds (also
+    /// counted in `compiled_nanos`).
+    pub native_nanos: u64,
+    /// Kernels emitted as C, compiled, and `dlopen`ed.
+    pub native_compiles: u64,
+    /// Total time spent invoking the system C compiler, in nanoseconds.
+    pub native_compile_nanos: u64,
+    /// Native-tier requests that fell back to the batched tier with a
+    /// typed decline.
+    pub native_fallbacks: u64,
     /// Work-stealing tasks executed off their seeded worker.
     pub tasks_stolen: u64,
     /// Kernel-cache entries evicted (LRU).
@@ -408,6 +428,11 @@ impl ExecTierStats {
     /// Elements per second on the batched sub-tier, if it ran at all.
     pub fn batched_elements_per_sec(&self) -> Option<f64> {
         tier_rate(self.batched_elements, self.batched_nanos)
+    }
+
+    /// Elements per second on the native tier, if it ran at all.
+    pub fn native_elements_per_sec(&self) -> Option<f64> {
+        tier_rate(self.native_elements, self.native_nanos)
     }
 
     /// Compiled-tier throughput relative to the tree-walker, when both

@@ -256,7 +256,7 @@ mod tests {
             rows.iter()
                 .map(|(q, p, s)| {
                     Value::Struct(Arc::new(dmll_interp::StructVal {
-                        ty: item_ty(),
+                        ty: Arc::new(item_ty()),
                         fields: vec![Value::F64(*q), Value::F64(*p), Value::I64(*s)],
                     }))
                 })
