@@ -25,15 +25,46 @@ use dmll_core::Sym;
 use std::collections::BTreeMap;
 
 /// Where one collection read by one loop is placed across regions.
+///
+/// "Region" is deliberately dimension-agnostic: the same plan drives the
+/// NUMA data plane (regions = sockets, `shard.rs`) and the cluster data
+/// plane (regions = nodes, `cluster.rs`), so one `LoopPlan` describes both
+/// levels of the machine hierarchy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Placement {
-    /// Split on the shared region boundary map; tasks read aligned slices.
-    Partitioned,
+    /// Split on the shared region boundary map; tasks read aligned slices
+    /// plus an explicit halo where affine offsets cross a region boundary.
+    /// The halo extents are in elements per side; region boundaries
+    /// (socket or node) exchange exactly these margins.
+    Partitioned {
+        /// Elements of overlap staged *below* each region's lower bound.
+        halo_lo: u32,
+        /// Elements of overlap staged *above* each region's upper bound.
+        halo_hi: u32,
+    },
     /// One replica per region.
     Broadcast,
     /// Served from the shared path at runtime; counted and surfaced.
     Fallback,
 }
+
+impl Placement {
+    /// The halo a `Partitioned` placement stages per side, `(0, 0)` for
+    /// the other placements.
+    pub fn halo(&self) -> (u32, u32) {
+        match *self {
+            Placement::Partitioned { halo_lo, halo_hi } => (halo_lo, halo_hi),
+            _ => (0, 0),
+        }
+    }
+}
+
+/// Halo staged for `Interval` reads. The stencil lattice collapses affine
+/// offsets without tracking their extent, so the exporter stages one
+/// element of overlap per side — enough for the ±1 stencils the analyses
+/// admit today, and checked end-to-end by the cluster bit-identity gate
+/// (an under-staged window surfaces as a mismatch, never silently).
+pub const INTERVAL_HALO: u32 = 1;
 
 /// The access plan for a single multiloop, keyed by the collections it reads.
 #[derive(Clone, Debug, Default)]
@@ -94,7 +125,10 @@ pub fn export(result: &AnalysisResult) -> ProgramPlan {
         for (&col, &st) in stencils {
             let layout = result.partition.layout_of(col);
             let placement = match (st, layout) {
-                (Stencil::Interval, DataLayout::Partitioned) => Placement::Partitioned,
+                (Stencil::Interval, DataLayout::Partitioned) => Placement::Partitioned {
+                    halo_lo: INTERVAL_HALO,
+                    halo_hi: INTERVAL_HALO,
+                },
                 (Stencil::Unknown | Stencil::Gather(_), DataLayout::Partitioned) => {
                     Placement::Fallback
                 }
@@ -137,9 +171,10 @@ mod tests {
         assert_eq!(plan.total_fallbacks(), 0, "{plan:?}");
         assert_eq!(plan.total_unexplained(), 0);
         assert!(
-            plan.per_loop
+            plan.per_loop.values().any(|lp| lp
+                .placements
                 .values()
-                .any(|lp| lp.placements.values().any(|p| *p == Placement::Partitioned)),
+                .any(|p| matches!(p, Placement::Partitioned { .. }))),
             "{plan:?}"
         );
     }

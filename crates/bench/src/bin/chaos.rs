@@ -6,8 +6,8 @@
 //! tiers; each run must be bit-identical to the fault-free sequential
 //! evaluation or fail with a typed error. The process exits nonzero on any
 //! contract violation (a mismatch, an escaped panic, an unexpected typed
-//! error), or if the deadline / speculation-parity / sharded / service
-//! probes fail.
+//! error), or if the deadline / speculation-parity / sharded / service /
+//! cluster probes fail.
 
 use dmll_bench::chaos;
 
@@ -86,8 +86,18 @@ fn main() {
         if service.0 { "ok" } else { "FAIL" },
         service.1
     );
+    // The measured cluster executor with 1..N-1 worker nodes killed at
+    // the pre-shuffle boundary: bit-identical via lineage recovery.
+    let cluster = chaos::cluster_probe(threads, 4, 4);
+    println!(
+        "cluster probe: {} ({})",
+        if cluster.0 { "ok" } else { "FAIL" },
+        cluster.1
+    );
 
-    let json = chaos::to_json(&runs, threads, &deadline, &parity, &sharded, &service);
+    let json = chaos::to_json(
+        &runs, threads, &deadline, &parity, &sharded, &service, &cluster,
+    );
     let path = format!("BENCH_chaos_t{threads}.json");
     std::fs::write(&path, &json).expect("write chaos report");
     println!("wrote {path}");
@@ -99,7 +109,8 @@ fn main() {
             v.seed, v.gen, v.tier, v.outcome
         );
     }
-    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 || !service.0 {
+    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 || !service.0 || !cluster.0
+    {
         std::process::exit(1);
     }
 }

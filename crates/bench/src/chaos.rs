@@ -24,8 +24,10 @@
 
 use dmll_core::{LayoutHint, Ty};
 use dmll_frontend::Stage;
+use dmll_interp::cluster::shuffle_step;
 use dmll_interp::{
-    eval, eval_parallel_supervised, ChunkFaults, EvalError, ExecError, ParallelOptions, Value,
+    eval, eval_cluster_measured, eval_parallel_supervised, ChunkFaults, ClusterOptions, EvalError,
+    ExecError, ParallelOptions, Value,
 };
 use dmll_runtime::{FaultEvent, FaultPlan, SpeculationPolicy, Supervisor, SupervisorPolicy};
 use dmll_service::{QueryRequest, ServiceBuilder, ServiceConfig, ServiceError, TenantPolicy};
@@ -560,6 +562,79 @@ pub fn sharded_probe(threads: usize, regions: usize, seed: u64) -> (bool, String
     )
 }
 
+/// Cluster probe: the measured multi-node executor under scripted node
+/// deaths. Every generator kind runs on an `nodes`-node simulated cluster
+/// while `1..nodes` worker nodes are killed at the first epoch's
+/// pre-shuffle boundary — the worst spot, where the dead nodes hold
+/// finished task results that only lineage re-execution on survivors can
+/// reproduce. Each run executes under the chaos watchdog and must be
+/// bit-identical to the fault-free sequential evaluation or fail with a
+/// typed error — and across the sweep the deaths must be *observed*
+/// (killed nodes counted, shards actually recovered), so a silently
+/// ignored fault plan also fails the gate. Returns `(ok, detail)`.
+pub fn cluster_probe(threads: usize, nodes: usize, seed: u64) -> (bool, String) {
+    let mut deaths = 0u64;
+    let mut recoveries = 0u64;
+    let mut runs = 0u64;
+    for kind in GenKind::ALL {
+        let (program, inputs) = workload(kind, seed);
+        let borrowed: Vec<(&str, Value)> =
+            inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let reference = eval(&program, &borrowed).expect("fault-free reference");
+        for kill in 1..nodes.max(2) {
+            // Kill nodes 1..=kill; node 0 (the coordinator's home) always
+            // survives, so recovery always has a target.
+            let mut faults = FaultPlan::new(seed);
+            for victim in 1..=kill {
+                faults = faults.kill_node(victim, shuffle_step(0));
+            }
+            let mut opts = ClusterOptions::new(nodes, threads).with_faults(faults);
+            opts.watchdog = WATCHDOG;
+            runs += 1;
+            match eval_cluster_measured(&program, &borrowed, &opts) {
+                Ok((value, report)) => {
+                    if value != reference {
+                        return (
+                            false,
+                            format!(
+                                "seed {seed} {} kill={kill}: cluster output diverged",
+                                kind.name()
+                            ),
+                        );
+                    }
+                    deaths += report.node_deaths;
+                    recoveries += report.lineage_recoveries;
+                }
+                // Survivors always exist (node 0 lives), so recovery must
+                // succeed: any error here is a gate failure, not an
+                // acceptable typed outcome.
+                Err(e) => {
+                    return (
+                        false,
+                        format!("seed {seed} {} kill={kill}: unexpected error {e}", kind.name()),
+                    );
+                }
+            }
+        }
+    }
+    if deaths == 0 {
+        return (false, format!("seed {seed}: no scripted node death fired"));
+    }
+    if recoveries == 0 {
+        return (
+            false,
+            format!("seed {seed}: deaths fired but no shard was lineage-recovered"),
+        );
+    }
+    (
+        true,
+        format!(
+            "seed {seed}: {runs} runs on {nodes} nodes all identical \
+             ({deaths} node deaths, {recoveries} shards lineage-recovered)"
+        ),
+    )
+}
+
 /// Service probe: the always-on multi-tenant query service under chaos.
 /// Three tenants share one service. A *flaky* tenant's queries carry
 /// seeded fault plans — chunk kills, stragglers, persistent failures,
@@ -729,13 +804,15 @@ pub fn to_json(
     parity: &(bool, String),
     sharded: &(bool, String),
     service: &(bool, String),
+    cluster: &(bool, String),
 ) -> String {
     let mut out = format!(
         "{{\n  \"experiment\": \"chaos\",\n  \"threads\": {threads},\n  \
          \"deadline_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"speculation_parity\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"sharded_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
-         \"service_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
+         \"service_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
+         \"cluster_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
         deadline.0,
         deadline.1,
         parity.0,
@@ -743,7 +820,9 @@ pub fn to_json(
         sharded.0,
         sharded.1,
         service.0,
-        service.1
+        service.1,
+        cluster.0,
+        cluster.1
     );
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
@@ -768,7 +847,12 @@ pub fn to_json(
     let _ = write!(
         out,
         "  ],\n  \"gate_ok\": {}\n}}\n",
-        runs.iter().all(ChaosRun::ok) && deadline.0 && parity.0 && sharded.0 && service.0
+        runs.iter().all(ChaosRun::ok)
+            && deadline.0
+            && parity.0
+            && sharded.0
+            && service.0
+            && cluster.0
     );
     out
 }
@@ -846,6 +930,13 @@ mod tests {
         assert!(ok, "{detail}");
         let (ok, detail) = sharded_probe(2, 2, 4);
         assert!(ok, "{detail}");
+    }
+
+    #[test]
+    fn cluster_probe_passes() {
+        let (ok, detail) = cluster_probe(2, 3, 4);
+        assert!(ok, "{detail}");
+        assert!(detail.contains("lineage-recovered"), "{detail}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //!   emitting `BENCH_locality.json`.
 
 pub mod chaos;
+pub mod cluster;
 pub mod experiments;
 pub mod locality;
 pub mod render;

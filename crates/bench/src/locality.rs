@@ -301,17 +301,20 @@ fn stage_one<T: Clone + PartialEq + std::fmt::Debug>(
         .clone();
     let sharded = ShardedArray::split_scaled(data, map.clone(), scale);
     match placement {
-        Placement::Partitioned => {
-            // Aligned reads: each region's halo-free view must be exactly
-            // its owned slice of the original.
+        Placement::Partitioned { halo_lo, halo_hi } => {
+            // Aligned reads: each region's view must be exactly its owned
+            // slice of the original plus the plan's halo margins (clamped
+            // at the collection edges).
             for r in 0..map.regions() {
                 let (s, e) = map.bounds(r);
-                let view = sharded.halo(r, 0, 0);
-                assert_eq!(view.offset, s * scale as i64, "shard offset");
+                let (lo, hi) = (halo_lo as i64, halo_hi as i64);
+                let view = sharded.halo(r, lo, hi);
+                let (ws, we) = ((s - lo).max(0), (e + hi).min(map.len()));
+                assert_eq!(view.offset, ws * scale as i64, "shard offset");
                 assert_eq!(
                     view.data,
-                    &data[s as usize * scale..e as usize * scale],
-                    "shard bytes"
+                    &data[ws as usize * scale..we as usize * scale],
+                    "shard bytes (incl. halo)"
                 );
             }
             counts.0 += 1;

@@ -539,6 +539,16 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
         fusion_applied: fuse_report.applied_total() as u64,
         fusion_rejected: fuse_report.rejected_total() as u64,
         batch_ineligible: ct.batch_ineligible / RUNS,
+        // The kernel-tier bench never runs the cluster data plane; these
+        // stay zero here and are populated by the fig8_cluster bench.
+        cluster_loops: ct.cluster_loops,
+        cluster_shuffles: ct.cluster_shuffles,
+        shuffle_sends: ct.shuffle_sends,
+        shuffle_bytes: ct.shuffle_bytes,
+        link_retries: ct.link_retries,
+        lineage_recoveries: ct.lineage_recoveries,
+        halo_exchanges: ct.halo_exchanges,
+        cluster_network_nanos: ct.cluster_network_nanos,
     };
     TierRow {
         app: case.app,

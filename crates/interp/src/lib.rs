@@ -27,6 +27,7 @@
 //! # Ok::<(), dmll_interp::EvalError>(())
 //! ```
 
+pub mod cluster;
 mod compile;
 pub mod error;
 pub mod eval;
@@ -35,6 +36,7 @@ pub mod parallel;
 pub mod stats;
 pub mod value;
 
+pub use cluster::{eval_cluster_measured, ClusterOptions, ClusterReport};
 pub use compile::{BatchIneligible, CacheStats, KernelCacheHandle};
 pub use error::{EvalError, ExecError};
 pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};

@@ -560,7 +560,7 @@ fn stop_error(sup: &Supervisor, reason: StopReason, partial: ExecReport) -> Exec
     }
 }
 
-fn interp_eval_size(interp: &Interp<'_>, size: &Exp, env: &Env) -> Result<i64, EvalError> {
+pub(crate) fn interp_eval_size(interp: &Interp<'_>, size: &Exp, env: &Env) -> Result<i64, EvalError> {
     interp
         .eval_exp(size, env)?
         .as_i64()
@@ -674,7 +674,7 @@ impl ScratchEnv {
 /// Environment slots a chunked tree-walk of `ml` can read (free symbols
 /// plus the loop size) and write (symbols bound inside generator blocks,
 /// including nested loops).
-fn loop_touched_slots(ml: &dmll_core::Multiloop) -> (Vec<usize>, Vec<usize>) {
+pub(crate) fn loop_touched_slots(ml: &dmll_core::Multiloop) -> (Vec<usize>, Vec<usize>) {
     let mut reads: BTreeSet<usize> = compile::loop_free_syms(ml)
         .iter()
         .map(|s| s.0 as usize)
@@ -822,7 +822,7 @@ const PARK: Duration = Duration::from_micros(30);
 /// roughly four tasks per worker, block-aligned whenever the range spans at
 /// least one full block per worker so batched tasks are all-blocks (no
 /// scalar tail except in the final task).
-fn plan_tasks(size: i64, threads: usize) -> Vec<(i64, i64)> {
+pub(crate) fn plan_tasks(size: i64, threads: usize) -> Vec<(i64, i64)> {
     let threads = threads.max(1) as i64;
     let block = batch::BLOCK as i64;
     let task_len = if size >= threads * block {
@@ -1686,7 +1686,7 @@ fn run_chunked_kernel(
     Ok(outputs)
 }
 
-fn merge_pair(
+pub(crate) fn merge_pair(
     interp: &Interp<'_>,
     gen: &Gen,
     a: Acc,

@@ -56,6 +56,15 @@ static FUSION_REJECTED: AtomicU64 = AtomicU64::new(0);
 static BATCH_INELIGIBLE: AtomicU64 = AtomicU64::new(0);
 static BATCH_REJECT_REASONS: Mutex<BTreeMap<BatchIneligible, u64>> = Mutex::new(BTreeMap::new());
 
+static CLUSTER_LOOPS: AtomicU64 = AtomicU64::new(0);
+static CLUSTER_SHUFFLES: AtomicU64 = AtomicU64::new(0);
+static SHUFFLE_SENDS: AtomicU64 = AtomicU64::new(0);
+static SHUFFLE_BYTES: AtomicU64 = AtomicU64::new(0);
+static LINK_RETRIES: AtomicU64 = AtomicU64::new(0);
+static LINEAGE_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+static HALO_EXCHANGES: AtomicU64 = AtomicU64::new(0);
+static CLUSTER_NETWORK_NANOS: AtomicU64 = AtomicU64::new(0);
+
 static SHARDED_LOOPS: AtomicU64 = AtomicU64::new(0);
 static STENCIL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static PARTITION_WARNINGS: AtomicU64 = AtomicU64::new(0);
@@ -197,6 +206,42 @@ pub fn batch_reject_reasons() -> BTreeMap<BatchIneligible, u64> {
     BATCH_REJECT_REASONS.lock().unwrap().clone()
 }
 
+/// One top-level loop executed on the measured cluster data plane.
+pub(crate) fn record_cluster_loop() {
+    CLUSTER_LOOPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One cluster epoch that ran a real shuffle phase.
+pub(crate) fn record_cluster_shuffle() {
+    CLUSTER_SHUFFLES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Inter-node traffic from one cluster epoch: messages and payload bytes.
+pub(crate) fn record_cluster_traffic(sends: u64, bytes: u64) {
+    SHUFFLE_SENDS.fetch_add(sends, Ordering::Relaxed);
+    SHUFFLE_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Cluster sends retried after an injected link flake.
+pub(crate) fn record_link_retries(n: u64) {
+    LINK_RETRIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Tasks re-executed on survivors after a node died holding their results.
+pub(crate) fn record_lineage_recoveries(n: u64) {
+    LINEAGE_RECOVERIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Halo margins exchanged for stencil reads during partitioned staging.
+pub(crate) fn record_halo_exchanges(n: u64) {
+    HALO_EXCHANGES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Simulated nanoseconds charged through the cluster network model.
+pub(crate) fn record_cluster_network_nanos(n: u64) {
+    CLUSTER_NETWORK_NANOS.fetch_add(n, Ordering::Relaxed);
+}
+
 pub(crate) fn record_sharded_loop() {
     SHARDED_LOOPS.fetch_add(1, Ordering::Relaxed);
 }
@@ -308,6 +353,27 @@ pub struct TierTotals {
     /// Compiled-loop executions that ran scalar because batch certification
     /// rejected the kernel (see [`batch_reject_reasons`] for the why).
     pub batch_ineligible: u64,
+    /// Top-level loops executed on the measured cluster data plane
+    /// (directory-partitioned tasks over N simulated nodes).
+    pub cluster_loops: u64,
+    /// Cluster epochs that ran a real shuffle phase (bucket outputs
+    /// hash-partitioned to owner nodes).
+    pub cluster_shuffles: u64,
+    /// Inter-node messages sent by cluster epochs (staging, acks,
+    /// shuffle, recovery).
+    pub shuffle_sends: u64,
+    /// Payload bytes moved by those messages.
+    pub shuffle_bytes: u64,
+    /// Cluster sends retried after an injected link flake.
+    pub link_retries: u64,
+    /// Tasks re-executed on survivors after losing a node's held results
+    /// (lineage recovery).
+    pub lineage_recoveries: u64,
+    /// Halo margins exchanged between neighbouring nodes for stencil
+    /// reads during partitioned staging.
+    pub halo_exchanges: u64,
+    /// Simulated nanoseconds charged through the cluster network model.
+    pub cluster_network_nanos: u64,
 }
 
 impl TierTotals {
@@ -382,6 +448,14 @@ pub fn tier_totals() -> TierTotals {
         fusion_applied: FUSION_APPLIED.load(Ordering::Relaxed),
         fusion_rejected: FUSION_REJECTED.load(Ordering::Relaxed),
         batch_ineligible: BATCH_INELIGIBLE.load(Ordering::Relaxed),
+        cluster_loops: CLUSTER_LOOPS.load(Ordering::Relaxed),
+        cluster_shuffles: CLUSTER_SHUFFLES.load(Ordering::Relaxed),
+        shuffle_sends: SHUFFLE_SENDS.load(Ordering::Relaxed),
+        shuffle_bytes: SHUFFLE_BYTES.load(Ordering::Relaxed),
+        link_retries: LINK_RETRIES.load(Ordering::Relaxed),
+        lineage_recoveries: LINEAGE_RECOVERIES.load(Ordering::Relaxed),
+        halo_exchanges: HALO_EXCHANGES.load(Ordering::Relaxed),
+        cluster_network_nanos: CLUSTER_NETWORK_NANOS.load(Ordering::Relaxed),
     }
 }
 
@@ -427,6 +501,14 @@ pub fn reset_tier_totals() {
         &FUSION_APPLIED,
         &FUSION_REJECTED,
         &BATCH_INELIGIBLE,
+        &CLUSTER_LOOPS,
+        &CLUSTER_SHUFFLES,
+        &SHUFFLE_SENDS,
+        &SHUFFLE_BYTES,
+        &LINK_RETRIES,
+        &LINEAGE_RECOVERIES,
+        &HALO_EXCHANGES,
+        &CLUSTER_NETWORK_NANOS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

@@ -1,0 +1,115 @@
+//! Differential properties for the measured cluster executor: for any
+//! input data, node count, and seeded fault scenario (node deaths at
+//! epoch/shuffle boundaries, link flakes, straggler speculation), the
+//! cluster result is bit-identical to the sequential tree-walker and to
+//! the single-node parallel tiers at the same task-plan width — across
+//! all four generator kinds (collect, reduce, bucket-collect,
+//! bucket-reduce).
+
+use dmll_core::{LayoutHint, Ty};
+use dmll_frontend::Stage;
+use dmll_interp::cluster::{shuffle_step, ClusterOptions};
+use dmll_interp::{eval, eval_cluster_measured, eval_parallel, ExecError, Value};
+use dmll_runtime::{FaultPlan, SpeculationPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One program exercising every generator kind: a map (collect), a sum
+/// (reduce), keyed sums (bucket-reduce), and keyed groups
+/// (bucket-collect). Integer arithmetic keeps every fold associative, so
+/// sequential, parallel, and cluster agree exactly.
+fn all_kinds_program() -> dmll_core::Program {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let mapped = st.map(&x, |st, e| {
+        let three = st.lit_i(3);
+        st.mul(e, &three)
+    });
+    let total = st.sum(&mapped);
+    let zero = st.lit_i(0);
+    let sums = st.group_by_reduce(
+        &x,
+        |st, e| {
+            let seven = st.lit_i(7);
+            st.rem(e, &seven)
+        },
+        |_st, e| e.clone(),
+        |st, a, b| st.add(a, b),
+        Some(&zero),
+    );
+    let groups = st.group_by(&x, |st, e| {
+        let five = st.lit_i(5);
+        st.rem(e, &five)
+    });
+    let sk = st.bucket_keys(&sums);
+    let sv = st.bucket_values(&sums);
+    let gk = st.bucket_keys(&groups);
+    let gv = st.bucket_values(&groups);
+    let out = st.tuple(&[&total, &sk, &sv, &gk, &gv]);
+    st.finish(&out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cluster == tree-walker == single-node parallel, under any
+    /// combination of node death, link flakes, and speculation.
+    #[test]
+    fn cluster_is_bit_identical_under_faults(
+        data in prop::collection::vec(-1_000i64..1_000, 64..600),
+        nodes in 2usize..5,
+        threads in 2usize..4,
+        kill_some in any::<bool>(),
+        kill_node in 0usize..8,
+        kill_epoch in 0u64..3,
+        flake_tenths in 0u32..3,
+        speculate in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let p = all_kinds_program();
+        let inputs = [("x", Value::i64_arr(data))];
+        let seq = eval(&p, &inputs).unwrap();
+        let par = eval_parallel(&p, &inputs, threads).unwrap();
+        prop_assert_eq!(&seq, &par, "tree-walker vs single-node parallel");
+
+        let mut faults = FaultPlan::new(seed);
+        if kill_some {
+            // Only worker nodes die; the coordinator is co-located with
+            // node 0. Deaths land on epoch/shuffle step boundaries.
+            let victim = 1 + kill_node % (nodes - 1).max(1);
+            faults = faults.kill_node(victim, shuffle_step(kill_epoch));
+        }
+        if flake_tenths > 0 {
+            faults = faults.drop_remote_reads(flake_tenths as f64 * 0.1);
+        }
+        let mut opts = ClusterOptions::new(nodes, threads).with_faults(faults);
+        if speculate {
+            opts = opts.with_speculation(SpeculationPolicy {
+                enabled: true,
+                min_samples: 3,
+                percentile: 75.0,
+                multiplier: 2.0,
+                floor: Duration::from_micros(100),
+            });
+        }
+        match eval_cluster_measured(&p, &inputs, &opts) {
+            Ok((clu, report)) => {
+                prop_assert_eq!(&seq, &clu, "cluster diverged: {:?}", report);
+                prop_assert!(report.cluster_loops > 0 || report.coordinator_loops > 0);
+                // The first shuffle boundary is always reached (the sizes
+                // above guarantee at least one cluster epoch); later kill
+                // steps may fall past the last loop once fusion merges
+                // epochs, so only the epoch-0 death is asserted observable.
+                if kill_some && kill_epoch == 0 {
+                    prop_assert!(report.node_deaths >= 1, "epoch-0 death fired: {:?}", report);
+                }
+            }
+            // A flaky link may exhaust its retry budget; the gate is
+            // "bit-identical or typed error", never a wrong answer.
+            Err(ExecError::Runtime(_)) if flake_tenths > 0 => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("untyped failure: {other:?}")));
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The unified cluster data plane: placement + transport for measured
+//! multi-node execution.
+//!
+//! [`shard`](crate::shard) partitions index spaces into block-aligned
+//! regions and [`distarray`](crate::distarray) owns the directory / retry /
+//! fault vocabulary. [`ClusterPlane`] composes the two with the
+//! [`machine`](crate::machine) network model into the single object a
+//! measured cluster executor needs:
+//!
+//! * **Placement** — a [`RegionMap`] over *nodes* (instead of sockets)
+//!   assigns contiguous index ranges to machines; the same map doubles as
+//!   the directory fed to [`SchedulePlan::replan_avoiding`] during lineage
+//!   recovery.
+//! * **Transport** — every inter-node message goes through [`ClusterPlane::send`],
+//!   which consults the [`FaultInjector`] for link flakes, retries under the
+//!   capped-backoff [`RetryPolicy`], and charges `latency + bytes/bandwidth`
+//!   through the cluster's network model in *simulated* nanoseconds
+//!   (recorded, never slept — scenario replay stays fast and
+//!   bit-deterministic).
+//!
+//! Nothing here moves payload bytes itself: the executor moves values over
+//! channels and calls [`ClusterPlane::send`] to decide whether the message
+//! survives and what it costs. That split keeps the plane transport-agnostic
+//! and trivially testable.
+
+use crate::distarray::{Location, RetryPolicy, TransferStats};
+use crate::error::RuntimeError;
+use crate::fault::FaultInjector;
+use crate::machine::ClusterSpec;
+use crate::shard::RegionMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Placement + charged transport for one simulated cluster.
+#[derive(Clone)]
+pub struct ClusterPlane {
+    spec: ClusterSpec,
+    injector: Arc<FaultInjector>,
+    retry: RetryPolicy,
+    stats: Arc<TransferStats>,
+}
+
+impl ClusterPlane {
+    /// A plane over `spec` with faults scripted by `injector` and sends
+    /// retried under `retry`.
+    pub fn new(spec: ClusterSpec, injector: Arc<FaultInjector>, retry: RetryPolicy) -> ClusterPlane {
+        ClusterPlane {
+            spec,
+            injector,
+            retry,
+            stats: Arc::new(TransferStats::default()),
+        }
+    }
+
+    /// The cluster description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The fault injector every decision consults.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// The retry policy applied to sends.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Shared transfer counters (sends, retries, network nanos).
+    pub fn stats(&self) -> Arc<TransferStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Partition `[0, len)` across the cluster's nodes, block-aligned —
+    /// the node-level analogue of the socket-level region map.
+    pub fn node_map(&self, len: i64) -> RegionMap {
+        RegionMap::new(len, self.spec.nodes.max(1))
+    }
+
+    /// The `(start, end, node)` directory for a `len`-element index space —
+    /// the shape [`crate::SchedulePlan::replan_avoiding`] expects, used to
+    /// prefer data-local survivors as lineage-recovery targets.
+    pub fn directory(&self, len: i64) -> Vec<(i64, i64, usize)> {
+        let map = self.node_map(len);
+        (0..map.regions())
+            .map(|r| {
+                let (s, e) = map.bounds(r);
+                (s, e, r)
+            })
+            .collect()
+    }
+
+    /// Simulated cost of one `bytes`-sized message: latency + bytes/bw,
+    /// in nanoseconds. Zero on the degenerate single-node cluster.
+    pub fn transfer_nanos(&self, bytes: u64) -> u64 {
+        let secs = self.spec.network_latency + bytes as f64 / self.spec.network_bw;
+        if !secs.is_finite() {
+            return 0;
+        }
+        (secs * 1e9) as u64
+    }
+
+    /// Nodes currently down per the injector, sorted and deduplicated.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        self.injector.failed_nodes()
+    }
+
+    /// Send a `bytes`-sized message `msg_id` from node `from` to node `to`,
+    /// with link-flake injection and capped-backoff retries. Returns the
+    /// simulated nanoseconds charged. Intra-node sends are free and
+    /// infallible.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::NodeFailed`] when `to` is permanently down;
+    /// * [`RuntimeError::SendTimeout`] when every attempt was dropped.
+    pub fn send(&self, from: usize, to: usize, msg_id: u64, bytes: u64) -> Result<u64, RuntimeError> {
+        if from == to {
+            return Ok(0);
+        }
+        let src = Location { node: from, socket: 0 };
+        let dst = Location { node: to, socket: 0 };
+        if self.injector.node_is_down(to) {
+            self.stats.failed_sends.fetch_add(1, Ordering::Relaxed);
+            return Err(RuntimeError::NodeFailed { node: to });
+        }
+        let mut charged = 0u64;
+        let spike = self.injector.remote_read_latency_nanos();
+        if spike > 0 {
+            charged += spike;
+        }
+        let max_attempts = self.retry.max_attempts.max(1);
+        for attempt in 0..max_attempts {
+            if self.injector.remote_read_fails(src, dst, msg_id as usize, attempt) {
+                if attempt + 1 < max_attempts {
+                    self.stats.send_retries.fetch_add(1, Ordering::Relaxed);
+                    charged += self.retry.backoff_nanos(attempt + 1);
+                }
+                continue;
+            }
+            charged += self.transfer_nanos(bytes);
+            self.stats.sends.fetch_add(1, Ordering::Relaxed);
+            self.stats.send_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.stats.network_nanos.fetch_add(charged, Ordering::Relaxed);
+            return Ok(charged);
+        }
+        self.stats.failed_sends.fetch_add(1, Ordering::Relaxed);
+        self.stats.network_nanos.fetch_add(charged, Ordering::Relaxed);
+        Err(RuntimeError::SendTimeout {
+            from,
+            to,
+            attempts: max_attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn plane(nodes: usize, plan: FaultPlan) -> ClusterPlane {
+        let spec = ClusterSpec {
+            nodes,
+            ..ClusterSpec::amazon_20()
+        };
+        ClusterPlane::new(spec, Arc::new(FaultInjector::new(plan)), RetryPolicy::default())
+    }
+
+    #[test]
+    fn directory_covers_index_space_in_node_order() {
+        let p = plane(4, FaultPlan::new(0));
+        let dir = p.directory(10_000);
+        assert_eq!(dir.first().unwrap().0, 0);
+        assert_eq!(dir.last().unwrap().1, 10_000);
+        for w in dir.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous");
+            assert!(w[0].2 < w[1].2, "node-ordered");
+        }
+    }
+
+    #[test]
+    fn sends_are_counted_and_charged() {
+        let p = plane(4, FaultPlan::new(0));
+        let nanos = p.send(0, 1, 7, 125_000).unwrap();
+        // 200 µs latency + 125 kB / 125 MB/s = 1 ms.
+        assert_eq!(nanos, 1_200_000);
+        let net = p.stats().net_snapshot();
+        assert_eq!(net.sends, 1);
+        assert_eq!(net.send_bytes, 125_000);
+        assert_eq!(net.network_nanos, nanos);
+    }
+
+    #[test]
+    fn intra_node_sends_are_free() {
+        let p = plane(4, FaultPlan::new(0));
+        assert_eq!(p.send(2, 2, 0, 1 << 30), Ok(0));
+        assert_eq!(p.stats().net_snapshot().sends, 0);
+    }
+
+    #[test]
+    fn flaky_links_retry_then_deliver() {
+        let p = plane(4, FaultPlan::new(11).drop_remote_reads(0.5));
+        let mut delivered = 0u32;
+        for msg in 0..200 {
+            if p.send(0, 1, msg, 64).is_ok() {
+                delivered += 1;
+            }
+        }
+        let net = p.stats().net_snapshot();
+        assert!(net.send_retries > 0, "flakes must cause retries: {net:?}");
+        assert!(delivered > 150, "most sends recover under retry: {delivered}");
+    }
+
+    #[test]
+    fn certain_drop_times_out_typed() {
+        let p = plane(2, FaultPlan::new(3).drop_remote_reads(1.0));
+        assert_eq!(
+            p.send(0, 1, 9, 8),
+            Err(RuntimeError::SendTimeout {
+                from: 0,
+                to: 1,
+                attempts: 4
+            })
+        );
+        assert_eq!(p.stats().net_snapshot().failed_sends, 1);
+    }
+
+    #[test]
+    fn sends_to_dead_nodes_fail_fast() {
+        let p = plane(2, FaultPlan::new(0).kill_node(1, 0));
+        assert_eq!(p.send(0, 1, 0, 8), Err(RuntimeError::NodeFailed { node: 1 }));
+    }
+
+    #[test]
+    fn single_node_cluster_transfers_are_free() {
+        let p = ClusterPlane::new(
+            ClusterSpec::single(crate::machine::MachineSpec::m1_xlarge()),
+            Arc::new(FaultInjector::new(FaultPlan::new(0))),
+            RetryPolicy::default(),
+        );
+        assert_eq!(p.transfer_nanos(1 << 40), 0);
+    }
+}

@@ -59,6 +59,24 @@ pub struct TransferStats {
     pub recovered_reads: AtomicU64,
     /// Simulated nanoseconds spent in retry backoff and latency spikes.
     pub backoff_nanos: AtomicU64,
+    /// Writes served by the local chunk.
+    pub local_writes: AtomicU64,
+    /// Writes trapped and forwarded to a remote owner.
+    pub remote_writes: AtomicU64,
+    /// Remote writes that ultimately failed (retries exhausted or owner
+    /// node permanently down).
+    pub failed_writes: AtomicU64,
+    /// Cluster messages sent between nodes (shuffle / staging / recovery).
+    pub sends: AtomicU64,
+    /// Payload bytes moved by cluster sends.
+    pub send_bytes: AtomicU64,
+    /// Cluster sends retried after a transient link flake.
+    pub send_retries: AtomicU64,
+    /// Cluster sends that ultimately failed.
+    pub failed_sends: AtomicU64,
+    /// Simulated nanoseconds charged through the network model
+    /// (latency + bytes / bandwidth per send).
+    pub network_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of the fault-related counters.
@@ -72,6 +90,27 @@ pub struct FaultStats {
     pub recovered_reads: u64,
     /// Simulated nanoseconds of backoff + injected latency.
     pub backoff_nanos: u64,
+    /// Remote writes that ultimately failed.
+    pub failed_writes: u64,
+    /// Cluster sends retried after a transient link flake.
+    pub send_retries: u64,
+    /// Cluster sends that ultimately failed.
+    pub failed_sends: u64,
+}
+
+/// A point-in-time copy of the cluster-traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Cluster messages sent between nodes.
+    pub sends: u64,
+    /// Payload bytes moved by cluster sends.
+    pub send_bytes: u64,
+    /// Sends retried after a transient link flake.
+    pub send_retries: u64,
+    /// Sends that ultimately failed.
+    pub failed_sends: u64,
+    /// Simulated nanoseconds charged through the network model.
+    pub network_nanos: u64,
 }
 
 impl TransferStats {
@@ -91,6 +130,28 @@ impl TransferStats {
             failed_reads: self.failed_reads.load(Ordering::Relaxed),
             recovered_reads: self.recovered_reads.load(Ordering::Relaxed),
             backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
+            failed_writes: self.failed_writes.load(Ordering::Relaxed),
+            send_retries: self.send_retries.load(Ordering::Relaxed),
+            failed_sends: self.failed_sends.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot `(local_writes, remote_writes)`.
+    pub fn write_snapshot(&self) -> (u64, u64) {
+        (
+            self.local_writes.load(Ordering::Relaxed),
+            self.remote_writes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the cluster-traffic counters.
+    pub fn net_snapshot(&self) -> NetStats {
+        NetStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            send_retries: self.send_retries.load(Ordering::Relaxed),
+            failed_sends: self.failed_sends.load(Ordering::Relaxed),
+            network_nanos: self.network_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -345,25 +406,95 @@ impl<T: Clone> DistArray<T> {
         lock_recovering(&chunk.data)[idx - chunk.start].clone()
     }
 
-    /// Write `idx` (used when materializing partitioned collect outputs).
+    /// Write `idx` from the perspective of a worker at `from` (used when
+    /// materializing partitioned collect outputs). Symmetric with
+    /// [`DistArray::read`]: remote writes are trapped, counted and
+    /// fault-injectable.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of bounds. Use [`DistArray::try_write`] for a
-    /// fallible write.
-    pub fn write(&self, idx: usize, value: T) {
-        self.try_write(idx, value).unwrap_or_else(|e| panic!("{e}"))
+    /// Panics if `idx` is out of bounds or an injected fault makes the
+    /// write unrecoverable. Use [`DistArray::try_write`] or
+    /// [`DistArray::write_retrying`] for fallible writes.
+    pub fn write(&self, from: Location, idx: usize, value: T) {
+        self.write_retrying(from, idx, value, &RetryPolicy::default())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible write.
+    /// Fallible write with the default [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::IndexOutOfBounds`] when `idx >= len`.
-    pub fn try_write(&self, idx: usize, value: T) -> Result<(), RuntimeError> {
+    /// See [`DistArray::write_retrying`].
+    pub fn try_write(&self, from: Location, idx: usize, value: T) -> Result<(), RuntimeError> {
+        self.write_retrying(from, idx, value, &RetryPolicy::default())
+    }
+
+    /// Write `idx` from `from`, retrying trapped remote stores under
+    /// `policy` with capped exponential backoff — the mirror image of
+    /// [`DistArray::read_retrying`]. Local writes never fail.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::IndexOutOfBounds`] when `idx >= len`;
+    /// * [`RuntimeError::NodeFailed`] when the owning node is permanently
+    ///   down per the attached injector;
+    /// * [`RuntimeError::WriteTimeout`] when every attempt was dropped.
+    pub fn write_retrying(
+        &self,
+        from: Location,
+        idx: usize,
+        value: T,
+        policy: &RetryPolicy,
+    ) -> Result<(), RuntimeError> {
         let chunk = self.chunk_of(idx)?;
-        lock_recovering(&chunk.data)[idx - chunk.start] = value;
+        if chunk.location == from {
+            self.stats.local_writes.fetch_add(1, Ordering::Relaxed);
+            lock_recovering(&chunk.data)[idx - chunk.start] = value;
+            return Ok(());
+        }
+        // Trapped remote store.
+        let owner = chunk.location;
+        let max_attempts = policy.max_attempts.max(1);
+        if let Some(inj) = &self.faults {
+            let spike = inj.remote_read_latency_nanos();
+            if spike > 0 {
+                self.stats.backoff_nanos.fetch_add(spike, Ordering::Relaxed);
+            }
+            if inj.node_is_down(owner.node) {
+                self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+                return Err(RuntimeError::NodeFailed { node: owner.node });
+            }
+            for attempt in 0..max_attempts {
+                if inj.remote_read_fails(from, owner, idx, attempt) {
+                    if attempt + 1 < max_attempts {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .backoff_nanos
+                            .fetch_add(policy.backoff_nanos(attempt + 1), Ordering::Relaxed);
+                    }
+                    continue;
+                }
+                self.complete_remote_write(chunk, idx, value);
+                return Ok(());
+            }
+            self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(RuntimeError::WriteTimeout {
+                index: idx,
+                owner,
+                attempts: max_attempts,
+            });
+        }
+        self.complete_remote_write(chunk, idx, value);
         Ok(())
+    }
+
+    fn complete_remote_write(&self, chunk: &ChunkEntry<T>, idx: usize, value: T) {
+        self.stats.remote_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .remote_bytes
+            .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        lock_recovering(&chunk.data)[idx - chunk.start] = value;
     }
 
     /// Shared transfer counters.
@@ -475,9 +606,77 @@ mod tests {
     #[test]
     fn writes_land_in_right_chunk() {
         let a = DistArray::partition(vec![0i64; 10], &locs(2));
-        a.write(7, 42);
+        a.write(Location::root(), 7, 42);
         assert_eq!(a.read(Location::root(), 7), 42);
         assert_eq!(a.gather()[7], 42);
+    }
+
+    #[test]
+    fn local_vs_remote_writes_are_counted() {
+        let a = DistArray::partition(vec![0i64; 100], &locs(4));
+        let first = a.owner(0);
+        a.write(first, 0, 1);
+        a.write(first, 99, 2);
+        let (local_w, remote_w) = a.stats().write_snapshot();
+        assert_eq!(local_w, 1);
+        assert_eq!(remote_w, 1);
+        assert_eq!(a.read(a.owner(99), 99), 2);
+    }
+
+    #[test]
+    fn transient_drops_on_writes_recover_with_retries() {
+        let locations: Vec<Location> = (0..4).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(11).drop_remote_reads(0.5)));
+        let a = DistArray::partition(vec![0i64; 1000], &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        let generous = RetryPolicy {
+            max_attempts: 40,
+            base_backoff_nanos: 100,
+            max_backoff_nanos: 10_000,
+        };
+        for i in 0..1000 {
+            assert_eq!(a.write_retrying(me, i, i as i64, &generous), Ok(()));
+        }
+        assert_eq!(a.gather(), (0..1000).collect::<Vec<i64>>());
+        let f = a.stats().fault_snapshot();
+        assert!(f.retries > 0, "50% drop rate must cause retries: {f:?}");
+        assert_eq!(f.failed_writes, 0);
+    }
+
+    #[test]
+    fn certain_drop_write_times_out_with_counted_failure() {
+        let locations: Vec<Location> = (0..2).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(3).drop_remote_reads(1.0)));
+        let a = DistArray::partition(vec![5i64; 10], &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        let err = a.write_retrying(me, 9, 7, &RetryPolicy::default());
+        assert_eq!(
+            err,
+            Err(RuntimeError::WriteTimeout {
+                index: 9,
+                owner: Location { node: 1, socket: 0 },
+                attempts: 4,
+            })
+        );
+        assert_eq!(a.stats().fault_snapshot().failed_writes, 1);
+        // The target chunk is untouched.
+        assert_eq!(a.gather()[9], 5);
+        // Local writes are unaffected.
+        assert_eq!(a.write_retrying(me, 0, 8, &RetryPolicy::default()), Ok(()));
+    }
+
+    #[test]
+    fn dead_owner_write_fails_fast() {
+        let locations: Vec<Location> = (0..2).map(|node| Location { node, socket: 0 }).collect();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(0).kill_node(1, 0)));
+        let a = DistArray::partition(vec![1i64; 10], &locations).with_faults(inj);
+        let me = Location { node: 0, socket: 0 };
+        assert_eq!(
+            a.write_retrying(me, 9, 3, &RetryPolicy::default()),
+            Err(RuntimeError::NodeFailed { node: 1 })
+        );
+        // Writes local to the survivor still work.
+        assert_eq!(a.write_retrying(me, 0, 3, &RetryPolicy::default()), Ok(()));
     }
 
     #[test]
@@ -499,7 +698,7 @@ mod tests {
             Err(RuntimeError::IndexOutOfBounds { index: 5, len: 1 })
         );
         assert_eq!(
-            a.try_write(5, 0),
+            a.try_write(Location::root(), 5, 0),
             Err(RuntimeError::IndexOutOfBounds { index: 5, len: 1 })
         );
     }

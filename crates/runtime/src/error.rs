@@ -35,6 +35,25 @@ pub enum RuntimeError {
         /// How many attempts were made (first try + retries).
         attempts: u32,
     },
+    /// A trapped remote write kept failing after exhausting its retries.
+    WriteTimeout {
+        /// The index being written.
+        index: usize,
+        /// The owning location the write targeted.
+        owner: Location,
+        /// How many attempts were made (first try + retries).
+        attempts: u32,
+    },
+    /// A cluster message send kept being dropped after exhausting its
+    /// retries (shuffle / staging / recovery traffic).
+    SendTimeout {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// How many attempts were made (first try + retries).
+        attempts: u32,
+    },
     /// A replan was requested but no surviving nodes remain.
     NoSurvivors,
     /// A replan had survivors, but every one of them is quarantined by the
@@ -68,6 +87,19 @@ impl fmt::Display for RuntimeError {
                 f,
                 "remote read of index {index} from node {}/socket {} failed after {attempts} attempts",
                 owner.node, owner.socket
+            ),
+            RuntimeError::WriteTimeout {
+                index,
+                owner,
+                attempts,
+            } => write!(
+                f,
+                "remote write of index {index} to node {}/socket {} failed after {attempts} attempts",
+                owner.node, owner.socket
+            ),
+            RuntimeError::SendTimeout { from, to, attempts } => write!(
+                f,
+                "cluster send from node {from} to node {to} dropped after {attempts} attempts"
             ),
             RuntimeError::NoSurvivors => {
                 write!(f, "cannot replan: every node of the cluster has failed")

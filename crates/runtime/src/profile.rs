@@ -412,6 +412,23 @@ pub struct ExecTierStats {
     /// Compiled-loop executions that ran scalar because batch
     /// certification rejected the kernel.
     pub batch_ineligible: u64,
+    /// Top-level loops executed on the measured cluster data plane.
+    pub cluster_loops: u64,
+    /// Cluster epochs that ran a real shuffle phase.
+    pub cluster_shuffles: u64,
+    /// Inter-node messages sent by cluster epochs (staging, acks, shuffle,
+    /// recovery).
+    pub shuffle_sends: u64,
+    /// Payload bytes moved by those messages.
+    pub shuffle_bytes: u64,
+    /// Cluster sends retried after an injected link flake.
+    pub link_retries: u64,
+    /// Tasks re-executed on survivors after losing a node's held results.
+    pub lineage_recoveries: u64,
+    /// Halo margins exchanged between neighbouring nodes for stencil reads.
+    pub halo_exchanges: u64,
+    /// Simulated nanoseconds charged through the cluster network model.
+    pub cluster_network_nanos: u64,
 }
 
 impl ExecTierStats {

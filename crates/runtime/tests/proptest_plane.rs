@@ -1,0 +1,135 @@
+//! Property-based tests for the cluster data plane's transport: send
+//! outcomes and charged costs are a pure function of the fault plan and
+//! message ids (replayable scenarios), intra-node sends are free and
+//! infallible, dead targets surface typed errors, and retries never
+//! exceed the policy's budget.
+
+use dmll_runtime::{
+    ClusterPlane, ClusterSpec, FaultInjector, FaultPlan, MachineSpec, RetryPolicy, RuntimeError,
+};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+fn plane_of(nodes: usize, plan: FaultPlan, retry: RetryPolicy) -> ClusterPlane {
+    let spec = ClusterSpec {
+        nodes,
+        ..ClusterSpec::single(MachineSpec::m1_xlarge())
+    };
+    ClusterPlane::new(spec, Arc::new(FaultInjector::new(plan)), retry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Two planes built from the same fault plan agree on every send's
+    /// outcome *and* its simulated cost — the bit-determinism that makes
+    /// injected failure scenarios replayable.
+    #[test]
+    fn send_outcomes_are_deterministic(
+        seed in any::<u64>(),
+        permille in 0u32..600,
+        sends in prop::collection::vec(
+            (0usize..6, 0usize..6, 0u64..10_000, 0u64..4_096),
+            1usize..60,
+        ),
+    ) {
+        let plan = FaultPlan::new(seed).drop_remote_reads(f64::from(permille) / 1000.0);
+        let a = plane_of(6, plan.clone(), RetryPolicy::default());
+        let b = plane_of(6, plan, RetryPolicy::default());
+        for &(from, to, msg, bytes) in &sends {
+            prop_assert_eq!(
+                a.send(from, to, msg, bytes),
+                b.send(from, to, msg, bytes),
+                "send ({}, {}, {}) outcome must replay identically", from, to, msg
+            );
+        }
+        let (sa, sb) = (a.stats().net_snapshot(), b.stats().net_snapshot());
+        prop_assert_eq!(sa.sends, sb.sends);
+        prop_assert_eq!(sa.send_retries, sb.send_retries);
+        prop_assert_eq!(sa.failed_sends, sb.failed_sends);
+        prop_assert_eq!(sa.network_nanos, sb.network_nanos);
+    }
+
+    /// Intra-node sends cost nothing and never fail, even under certain
+    /// link loss and with the node itself scripted dead: a message that
+    /// never leaves the machine has no link to flake.
+    #[test]
+    fn intra_node_sends_are_free_and_infallible(
+        node in 0usize..6,
+        msg in any::<u64>(),
+        bytes in 0u64..1_000_000,
+        step in 0u64..5,
+    ) {
+        let plan = FaultPlan::new(1).drop_remote_reads(1.0).kill_node(node, step);
+        let p = plane_of(6, plan, RetryPolicy::none());
+        for _ in 0..step {
+            p.injector().advance_step();
+        }
+        prop_assert_eq!(p.send(node, node, msg, bytes), Ok(0));
+        prop_assert_eq!(p.stats().net_snapshot().network_nanos, 0);
+    }
+
+    /// Sending to a node that is down at the current step fails fast with
+    /// the typed `NodeFailed` error — never a panic, never a retry loop.
+    #[test]
+    fn dead_targets_surface_typed_errors(
+        victim in 1usize..6,
+        from in 0usize..6,
+        msg in any::<u64>(),
+    ) {
+        let p = plane_of(6, FaultPlan::new(2).kill_node(victim, 1), RetryPolicy::default());
+        p.injector().advance_step();
+        if from == victim {
+            return Ok(());
+        }
+        prop_assert_eq!(
+            p.send(from, victim, msg, 64),
+            Err(RuntimeError::NodeFailed { node: victim })
+        );
+        let snap = p.stats().net_snapshot();
+        prop_assert_eq!(snap.failed_sends, 1);
+        prop_assert_eq!(snap.send_retries, 0, "dead targets are not retried");
+    }
+
+    /// Retries are bounded by the policy: across any message batch under
+    /// any flake rate, recorded retries never exceed `(max_attempts - 1)`
+    /// per send, and every outcome is `Ok` or the typed `SendTimeout`.
+    #[test]
+    fn retries_respect_the_budget(
+        seed in any::<u64>(),
+        permille in 0u32..1_001,
+        max_attempts in 1u32..6,
+        sends in prop::collection::vec((0u64..10_000, 1u64..2_048), 1usize..40),
+    ) {
+        let plan = FaultPlan::new(seed).drop_remote_reads(f64::from(permille) / 1000.0);
+        let retry = RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        };
+        let p = plane_of(4, plan, retry);
+        let mut timeouts = 0u64;
+        for &(msg, bytes) in &sends {
+            match p.send(0, 1, msg, bytes) {
+                Ok(_) => {}
+                Err(RuntimeError::SendTimeout { from, to, attempts }) => {
+                    prop_assert_eq!((from, to), (0, 1));
+                    prop_assert_eq!(attempts, max_attempts);
+                    timeouts += 1;
+                }
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!("unexpected error: {other:?}")));
+                }
+            }
+        }
+        let snap = p.stats().net_snapshot();
+        prop_assert_eq!(snap.failed_sends, timeouts);
+        prop_assert!(
+            snap.send_retries <= sends.len() as u64 * u64::from(max_attempts - 1),
+            "retries {} exceed budget", snap.send_retries
+        );
+        if permille == 1_000 {
+            prop_assert_eq!(timeouts, sends.len() as u64, "certain loss always times out");
+        }
+    }
+}

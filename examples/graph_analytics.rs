@@ -13,9 +13,9 @@
 use dmll::apps::{pagerank, triangles};
 use dmll::baselines::handopt;
 use dmll::data::graph::rmat;
-use dmll::runtime::{DistArray, Location};
+use dmll::runtime::{DistArray, Location, RuntimeError};
 
-fn main() {
+fn main() -> Result<(), RuntimeError> {
     let g = rmat(9, 8, 11);
     let n = g.num_vertices();
     println!("R-MAT graph: {} vertices, {} edges", n, g.num_edges());
@@ -46,7 +46,7 @@ fn main() {
     let mut sum = 0.0;
     for v in 0..64 {
         for &u in g.neighbors(v) {
-            sum += dist_ranks.read(me, u as usize); // trapped when remote
+            sum += dist_ranks.try_read(me, u as usize)?; // trapped when remote
         }
     }
     let (local, remote, bytes) = dist_ranks.stats().snapshot();
@@ -71,4 +71,5 @@ fn main() {
     let mut top: Vec<(usize, f64)> = r.iter().copied().enumerate().collect();
     top.sort_by(|x, y| y.1.total_cmp(&x.1));
     println!("top-5 vertices by rank: {:?}", &top[..5]);
+    Ok(())
 }

@@ -4,7 +4,7 @@
 //! data".
 
 use dmll::runtime::schedule::node_directory;
-use dmll::runtime::{plan_loop, ClusterSpec, DistArray, Location, MachineSpec};
+use dmll::runtime::{plan_loop, ClusterSpec, DistArray, Location, MachineSpec, RuntimeError};
 
 fn cluster() -> ClusterSpec {
     ClusterSpec {
@@ -20,8 +20,13 @@ fn locations() -> Vec<Location> {
 
 /// Execute an element-wise loop over a distributed array according to a
 /// schedule plan, reading each index from the executing chunk's location,
-/// and report the remote-read count.
-fn execute_elementwise(plan: &dmll::runtime::SchedulePlan, arr: &DistArray<f64>) -> (f64, u64) {
+/// and report the remote-read count. Reads go through the fallible path so
+/// injected cluster faults would surface as typed `RuntimeError`s, not
+/// panics.
+fn execute_elementwise(
+    plan: &dmll::runtime::SchedulePlan,
+    arr: &DistArray<f64>,
+) -> Result<(f64, u64), RuntimeError> {
     let mut sum = 0.0;
     for chunk in &plan.chunks {
         let here = Location {
@@ -29,15 +34,15 @@ fn execute_elementwise(plan: &dmll::runtime::SchedulePlan, arr: &DistArray<f64>)
             socket: 0,
         };
         for i in chunk.range.0..chunk.range.1 {
-            sum += arr.read(here, i as usize);
+            sum += arr.try_read(here, i as usize)?;
         }
     }
     let (_, remote, _) = arr.stats().snapshot();
-    (sum, remote)
+    Ok((sum, remote))
 }
 
 #[test]
-fn aligned_schedule_has_zero_remote_reads() {
+fn aligned_schedule_has_zero_remote_reads() -> Result<(), RuntimeError> {
     let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
     let expected: f64 = data.iter().sum();
     let arr = DistArray::partition(data, &locations());
@@ -45,13 +50,14 @@ fn aligned_schedule_has_zero_remote_reads() {
     let plan = plan_loop(10_000, &cluster(), Some(&dir), 2);
     assert!(plan.aligned_to_data);
     assert!(plan.covers(10_000));
-    let (sum, remote) = execute_elementwise(&plan, &arr);
+    let (sum, remote) = execute_elementwise(&plan, &arr)?;
     assert_eq!(sum, expected);
     assert_eq!(remote, 0, "computation moved to the data: all reads local");
+    Ok(())
 }
 
 #[test]
-fn misaligned_schedule_traps_remote_reads() {
+fn misaligned_schedule_traps_remote_reads() -> Result<(), RuntimeError> {
     // The same loop scheduled obliviously (even split, but the data is
     // skewed toward node 0) must fetch remotely — and still be correct.
     let data: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64).collect();
@@ -67,7 +73,7 @@ fn misaligned_schedule_traps_remote_reads() {
     // Even split across nodes ignores the directory.
     let plan = plan_loop(10_000, &cluster(), None, 1);
     assert!(!plan.aligned_to_data);
-    let (sum, remote) = execute_elementwise(&plan, &arr);
+    let (sum, remote) = execute_elementwise(&plan, &arr)?;
     assert_eq!(sum, expected, "remote reads are transparent");
     assert!(
         remote > 1000,
@@ -79,7 +85,7 @@ fn misaligned_schedule_traps_remote_reads() {
     let arr2 = DistArray::partition((0..10_000).map(|i| (i % 97) as f64).collect(), &skewed_locs);
     let dir = node_directory(&arr2.directory());
     let plan2 = plan_loop(10_000, &cluster(), Some(&dir), 1);
-    let (sum2, remote2) = execute_elementwise(&plan2, &arr2);
+    let (sum2, remote2) = execute_elementwise(&plan2, &arr2)?;
     assert_eq!(sum2, expected);
     assert_eq!(remote2, 0);
     let node0: i64 = plan2
@@ -89,17 +95,18 @@ fn misaligned_schedule_traps_remote_reads() {
         .map(|c| c.range.1 - c.range.0)
         .sum();
     assert_eq!(node0, 7_000, "work follows the skewed data");
+    Ok(())
 }
 
 #[test]
-fn directory_is_broadcast_knowledge() {
+fn directory_is_broadcast_knowledge() -> Result<(), RuntimeError> {
     // Every physical instance can resolve any index's owner purely from the
     // directory, as §5 requires.
     let data: Vec<i64> = (0..1_001).collect();
     let arr = DistArray::partition(data, &locations());
     let dir = arr.directory();
     for i in (0..1_001).step_by(13) {
-        let owner = arr.owner(i);
+        let owner = arr.try_owner(i)?;
         let from_dir = dir
             .iter()
             .find(|(s, e, _)| *s <= i && i < *e)
@@ -107,10 +114,11 @@ fn directory_is_broadcast_knowledge() {
             .expect("covered");
         assert_eq!(owner, from_dir);
     }
+    Ok(())
 }
 
 #[test]
-fn gather_style_access_counts_match_cost_model_expectations() {
+fn gather_style_access_counts_match_cost_model_expectations() -> Result<(), RuntimeError> {
     // A gather with uniformly random targets from one node of a p-node
     // cluster should see ~ (p-1)/p of reads remote — the fraction the cost
     // model charges for Unknown stencils.
@@ -125,7 +133,7 @@ fn gather_style_access_counts_match_cost_model_expectations() {
         x ^= x >> 7;
         x ^= x << 17;
         let idx = (x % n as u64) as usize;
-        let _ = arr.read(me, idx);
+        arr.try_read(me, idx)?;
     }
     let (local, remote, _) = arr.stats().snapshot();
     let frac = remote as f64 / (local + remote) as f64;
@@ -133,4 +141,5 @@ fn gather_style_access_counts_match_cost_model_expectations() {
         (frac - 0.75).abs() < 0.03,
         "expected ~3/4 remote from one of four nodes, got {frac:.3}"
     );
+    Ok(())
 }

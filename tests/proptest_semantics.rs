@@ -185,8 +185,8 @@ proptest! {
         prop_assert_eq!(a.gather(), data.clone());
         for (start, end, loc) in a.directory() {
             for (i, &v) in data.iter().enumerate().take(end).skip(start) {
-                prop_assert_eq!(a.owner(i), loc);
-                prop_assert_eq!(a.read(loc, i), v);
+                prop_assert_eq!(a.try_owner(i), Ok(loc));
+                prop_assert_eq!(a.try_read(loc, i), Ok(v));
             }
         }
         let (_, remote, _) = a.stats().snapshot();
