@@ -25,5 +25,7 @@ pub mod stencil;
 
 pub use driver::{analyze, improve_stencils, AnalysisResult};
 pub use partition::{DataLayout, PartitionReport, Warning};
-pub use plan::{export as export_plan, LoopPlan, Placement, ProgramPlan};
+pub use plan::{
+    annotate_trips, export as export_plan, trip_counts, LoopPlan, Placement, ProgramPlan, TripCount,
+};
 pub use stencil::{Stencil, StencilReport};

@@ -21,8 +21,8 @@
 use crate::driver::AnalysisResult;
 use crate::partition::DataLayout;
 use crate::stencil::Stencil;
-use dmll_core::Sym;
-use std::collections::BTreeMap;
+use dmll_core::{Block, Const, Def, Exp, Multiloop, Program, Sym};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where one collection read by one loop is placed across regions.
 ///
@@ -66,6 +66,23 @@ impl Placement {
 /// (an under-staged window surfaces as a mismatch, never silently).
 pub const INTERVAL_HALO: u32 = 1;
 
+/// Provenance of one loop's trip count, decided statically per nesting
+/// site. The executor's batch tier keys its strategy on exactly this
+/// split: `Static` and `Invariant` nested trips run on the rectangular
+/// columnar path (one trip count for all lanes), while `DataDependent`
+/// trips vary per lane and take the segmented (CSR-flattened) path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TripCount {
+    /// A compile-time literal; the iteration space is a known rectangle.
+    Static(i64),
+    /// Bound outside the enclosing loop's blocks: unknown until runtime
+    /// but identical for every lane of the enclosing loop.
+    Invariant,
+    /// Bound inside the enclosing loop (from the index or values derived
+    /// from it), so each lane may iterate a different number of times.
+    DataDependent,
+}
+
 /// The access plan for a single multiloop, keyed by the collections it reads.
 #[derive(Clone, Debug, Default)]
 pub struct LoopPlan {
@@ -77,6 +94,9 @@ pub struct LoopPlan {
     /// driver always warns when it gives up on a read, so anything counted
     /// here indicates the analyses disagree and the bench gate fails.
     pub unexplained_fallbacks: usize,
+    /// Trip-count provenance of every loop nested inside this one, in
+    /// pre-order. Empty for flat loops.
+    pub nested_trips: Vec<TripCount>,
 }
 
 /// The whole program's access plan plus the partition diagnostics.
@@ -152,6 +172,66 @@ pub fn export(result: &AnalysisResult) -> ProgramPlan {
     plan
 }
 
+/// Classify the trip-count provenance of every loop nested inside each
+/// top-level loop, keyed by the top-level loop's first output symbol (the
+/// same key [`ProgramPlan::per_loop`] uses). Pre-order per loop.
+///
+/// Symbols are bound once program-wide, so a symbol seen bound anywhere
+/// inside the enclosing loop's blocks is exactly a symbol the lanes can
+/// disagree on — no scope tracking is needed beyond membership.
+pub fn trip_counts(program: &Program) -> BTreeMap<Sym, Vec<TripCount>> {
+    let mut map = BTreeMap::new();
+    for stmt in &program.body.stmts {
+        if let Def::Loop(ml) = &stmt.def {
+            let Some(&out) = stmt.lhs.first() else {
+                continue;
+            };
+            let mut bound = BTreeSet::new();
+            let mut trips = Vec::new();
+            walk_gen_blocks(ml, &mut bound, &mut trips);
+            map.insert(out, trips);
+        }
+    }
+    map
+}
+
+/// Attach nested trip-count provenance to an exported plan.
+pub fn annotate_trips(plan: &mut ProgramPlan, program: &Program) {
+    for (out, trips) in trip_counts(program) {
+        plan.per_loop.entry(out).or_default().nested_trips = trips;
+    }
+}
+
+fn walk_gen_blocks(ml: &Multiloop, bound: &mut BTreeSet<Sym>, out: &mut Vec<TripCount>) {
+    for gen in &ml.gens {
+        for b in gen.blocks() {
+            walk_block(b, bound, out);
+        }
+    }
+}
+
+fn walk_block(b: &Block, bound: &mut BTreeSet<Sym>, out: &mut Vec<TripCount>) {
+    bound.extend(b.params.iter().copied());
+    for stmt in &b.stmts {
+        if let Def::Loop(inner) = &stmt.def {
+            out.push(classify_size(&inner.size, bound));
+            walk_gen_blocks(inner, bound, out);
+        }
+        bound.extend(stmt.lhs.iter().copied());
+    }
+}
+
+fn classify_size(size: &Exp, bound: &BTreeSet<Sym>) -> TripCount {
+    match size {
+        Exp::Const(Const::I64(v)) => TripCount::Static(*v),
+        // Loop sizes are I64-typed; a non-integer literal cannot occur in
+        // a well-typed program, but it is at least lane-invariant.
+        Exp::Const(_) => TripCount::Invariant,
+        Exp::Sym(s) if bound.contains(s) => TripCount::DataDependent,
+        Exp::Sym(_) => TripCount::Invariant,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +281,49 @@ mod tests {
             "driver must warn whenever it falls back: {plan:?}"
         );
         assert!(!plan.warnings.is_empty());
+    }
+
+    /// Three nested loops under one outer collect: a constant-trip inner
+    /// loop, one sized by a symbol bound outside the outer loop, and one
+    /// sized by `deg[i]` — static, invariant and data-dependent, in order.
+    #[test]
+    fn nested_trip_provenance_is_classified() {
+        let mut st = Stage::new();
+        let deg = st.input("deg", Ty::arr(Ty::I64), LayoutHint::Local);
+        let k = st.input("k", Ty::I64, LayoutHint::Local);
+        let n = st.len(&deg);
+        let zero = st.lit_i(0);
+        let out = st.collect(&n, |st, i| {
+            let four = st.lit_i(4);
+            let a = st.reduce(&four, |_st, j| j.clone(), |st, x, y| st.add(x, y), Some(&zero));
+            let b = st.reduce(&k, |_st, j| j.clone(), |st, x, y| st.add(x, y), Some(&zero));
+            let d = st.read(&deg, i);
+            let c = st.reduce(&d, |_st, j| j.clone(), |st, x, y| st.add(x, y), Some(&zero));
+            let ab = st.add(&a, &b);
+            st.add(&ab, &c)
+        });
+        let mut p = st.finish(&out);
+
+        let trips = trip_counts(&p);
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        let nested = trips.values().next().unwrap();
+        assert_eq!(
+            nested,
+            &vec![
+                TripCount::Static(4),
+                TripCount::Invariant,
+                TripCount::DataDependent
+            ],
+            "{trips:?}"
+        );
+
+        let mut plan = export(&analyze(&mut p));
+        annotate_trips(&mut plan, &p);
+        assert!(
+            plan.per_loop
+                .values()
+                .any(|lp| lp.nested_trips.contains(&TripCount::DataDependent)),
+            "{plan:?}"
+        );
     }
 }

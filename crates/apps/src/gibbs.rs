@@ -119,6 +119,20 @@ pub fn inputs_for(
     ]
 }
 
+/// The extern registry a Gibbs program needs: the counter-based
+/// `hash_unit` coin flip. Shared by the apps runner and the tier bench so
+/// every executor resolves the same handler.
+pub fn externs() -> dmll_interp::Externs {
+    let mut ex = dmll_interp::Externs::new();
+    ex.insert("hash_unit", |args: &[Value]| {
+        let seed = args[0].as_i64().unwrap_or(0) as u64;
+        let sweep = args[1].as_i64().unwrap_or(0) as u64;
+        let v = args[2].as_i64().unwrap_or(0) as u64;
+        Ok(Value::F64(hash_unit(seed, sweep, v)))
+    });
+    ex
+}
+
 /// Run one staged sweep.
 ///
 /// # Errors
@@ -131,12 +145,7 @@ pub fn run_sweep(
     seed: u64,
     sweep: u64,
 ) -> Result<Vec<i8>, EvalError> {
-    let interp = Interp::new(program).with_extern("hash_unit", |args: &[Value]| {
-        let seed = args[0].as_i64().unwrap_or(0) as u64;
-        let sweep = args[1].as_i64().unwrap_or(0) as u64;
-        let v = args[2].as_i64().unwrap_or(0) as u64;
-        Ok(Value::F64(hash_unit(seed, sweep, v)))
-    });
+    let interp = Interp::new(program).with_externs(externs());
     let inputs = inputs_for(fg, assignment, seed, sweep);
     let out = interp.run(&inputs)?;
     Ok(out

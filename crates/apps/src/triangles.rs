@@ -2,19 +2,110 @@
 //! themselves connected; every triangle is seen from its three corners, so
 //! the total divides by three.
 //!
-//! Edge-membership tests use a dense adjacency indicator at these simulation
-//! scales (the hand-optimized baseline uses sorted-adjacency intersection,
-//! as the real system would).
+//! Edge-membership tests binary-search the sorted adjacency rows of the
+//! CSR itself (the same structure the hand-optimized baseline uses), so
+//! memory stays `O(edges)` at any scale. The search is unrolled to a fixed
+//! number of halving steps — straight-line integer code the batch tier
+//! vectorizes — and the nested per-vertex pair loop has a data-dependent
+//! trip count (`deg²`), exercising the segmented batch path. A dense
+//! `n×n`-indicator variant is kept as a differential reference for small
+//! graphs.
 
 use dmll_core::{LayoutHint, Program, Ty};
 use dmll_data::graph::CsrGraph;
 use dmll_frontend::Stage;
 use dmll_interp::{eval, EvalError, Value};
 
-/// Stage the count for an undirected graph.
-/// Inputs: `offsets`, `targets` (symmetrized CSR), `adj` (dense n×n 0/1
-/// indicator), `n_vertices`. Output: the triangle count.
+/// Unrolled binary-search depth: a `lower_bound` over a window of `n`
+/// elements converges in `floor(log2 n) + 1` halvings, so 17 steps cover
+/// rows of up to 2^16 neighbors. [`inputs_for`] asserts the bound.
+const SEARCH_STEPS: usize = 17;
+
+/// Maximum row degree the unrolled search supports.
+pub const MAX_DEGREE: usize = 1 << (SEARCH_STEPS - 1);
+
+/// Stage the count for an undirected graph, testing edge membership by
+/// binary search over the sorted CSR rows.
+/// Inputs: `offsets`, `targets` (symmetrized CSR), `n_vertices`.
+/// Output: the triangle count.
 pub fn stage_triangles() -> Program {
+    let mut st = Stage::new();
+    let offs = st.input("offsets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let targets = st.input("targets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let nv = st.input("n_vertices", Ty::I64, LayoutHint::Local);
+    let one = st.lit_i(1);
+    let two = st.lit_i(2);
+    let izero = st.lit_i(0);
+    // Clamp index for speculative mid-point reads once the window is
+    // empty; never used for a live comparison. Safe even for an edgeless
+    // graph (-1): a zero-trip pair loop never executes the body.
+    let m = st.len(&targets);
+    let mlast = st.sub(&m, &one);
+    let per_vertex = st.collect(&nv, |st, v| {
+        let start = st.read(&offs, v);
+        let v1 = st.add(v, &one);
+        let end = st.read(&offs, &v1);
+        let deg = st.sub(&end, &start);
+        let pairs = st.mul(&deg, &deg);
+        let offs = offs.clone();
+        let targets = targets.clone();
+        let start2 = start.clone();
+        let deg2 = deg.clone();
+        let (one, two, mlast) = (one.clone(), two.clone(), mlast.clone());
+        st.reduce(
+            &pairs,
+            move |st, t| {
+                let i = st.div(t, &deg2);
+                let j = st.rem(t, &deg2);
+                let ordered = st.lt(&i, &j);
+                let ai = st.add(&start2, &i);
+                let aj = st.add(&start2, &j);
+                let a = st.read(&targets, &ai);
+                let b = st.read(&targets, &aj);
+                // lower_bound for `b` in the sorted row of `a`. Each step
+                // halves `[lo, hi)`; exhausted windows keep lo == hi.
+                let a1 = st.add(&a, &one);
+                let mut lo = st.read(&offs, &a);
+                let hi_end = st.read(&offs, &a1);
+                let mut hi = hi_end.clone();
+                for _ in 0..SEARCH_STEPS {
+                    let live = st.lt(&lo, &hi);
+                    let span = st.add(&lo, &hi);
+                    let mid = st.div(&span, &two);
+                    let midc = st.min(&mid, &mlast);
+                    let probe = st.read(&targets, &midc);
+                    let right = st.lt(&probe, &b);
+                    let go_right = st.and(&live, &right);
+                    let left = st.not(&right);
+                    let go_left = st.and(&live, &left);
+                    let mid1 = st.add(&mid, &one);
+                    lo = st.mux(&go_right, &mid1, &lo);
+                    hi = st.mux(&go_left, &mid, &hi);
+                }
+                let in_row = st.lt(&lo, &hi_end);
+                let loc = st.min(&lo, &mlast);
+                let hit = st.read(&targets, &loc);
+                let is_b = st.eq(&hit, &b);
+                let found = st.and(&in_row, &is_b);
+                let counted = st.and(&ordered, &found);
+                let one_i = st.lit_i(1);
+                let zero_i = st.lit_i(0);
+                st.mux(&counted, &one_i, &zero_i)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&izero),
+        )
+    });
+    let total = st.sum(&per_vertex);
+    let three = st.lit_i(3);
+    let count = st.div(&total, &three);
+    st.finish(&count)
+}
+
+/// Stage the dense-indicator variant: membership via an `n×n` 0/1 array.
+/// Kept as the differential reference for the CSR search at small `n`.
+/// Inputs: `offsets`, `targets`, `adj`, `n_vertices`.
+pub fn stage_triangles_dense() -> Program {
     let mut st = Stage::new();
     let offs = st.input("offsets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
     let targets = st.input("targets", Ty::arr(Ty::I64), LayoutHint::Partitioned);
@@ -59,12 +150,34 @@ pub fn stage_triangles() -> Program {
     st.finish(&count)
 }
 
-/// Build the inputs from a symmetrized graph.
+/// Build the CSR inputs from a symmetrized graph.
+///
+/// # Panics
+///
+/// Panics if any vertex exceeds [`MAX_DEGREE`] neighbors (the unrolled
+/// search depth would not converge).
+pub fn inputs_for(g: &CsrGraph) -> Vec<(&'static str, Value)> {
+    let max_deg = (0..g.num_vertices())
+        .map(|v| g.neighbors(v).len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_deg <= MAX_DEGREE,
+        "vertex degree {max_deg} exceeds the unrolled search bound {MAX_DEGREE}"
+    );
+    vec![
+        ("offsets", Value::i64_arr(g.offsets.clone())),
+        ("targets", Value::i64_arr(g.targets.clone())),
+        ("n_vertices", Value::I64(g.num_vertices() as i64)),
+    ]
+}
+
+/// Build the dense-indicator inputs from a symmetrized graph.
 ///
 /// # Panics
 ///
 /// Panics if the graph is too large for a dense indicator (> 4096 vertices).
-pub fn inputs_for(g: &CsrGraph) -> Vec<(&'static str, Value)> {
+pub fn inputs_for_dense(g: &CsrGraph) -> Vec<(&'static str, Value)> {
     let n = g.num_vertices();
     assert!(
         n <= 4096,
@@ -120,6 +233,48 @@ mod tests {
         let g = rmat(6, 4, 21).symmetrized();
         let p = stage_triangles();
         assert_eq!(run(&p, &g).unwrap(), handopt::triangles(&g));
+    }
+
+    /// The CSR binary-search membership must agree with the dense
+    /// indicator wherever the indicator fits.
+    #[test]
+    fn csr_search_matches_dense_indicator() {
+        let csr = stage_triangles();
+        let dense = stage_triangles_dense();
+        for seed in [7, 21, 33] {
+            let g = rmat(6, 5, seed).symmetrized();
+            let via_csr = run(&csr, &g).unwrap();
+            let via_dense = eval(&dense, &inputs_for_dense(&g))
+                .unwrap()
+                .as_i64()
+                .expect("count") as u64;
+            assert_eq!(via_csr, via_dense, "seed {seed}");
+        }
+    }
+
+    /// The nested pair loop's trip count varies per vertex (`deg²`), so
+    /// the batch tier must take the segmented path — no scalar fallback.
+    #[test]
+    fn pair_loop_batches_segmented() {
+        // ≥ BLOCK vertices so the outer loop runs full columnar blocks
+        // (a smaller graph would drain entirely through the scalar tail).
+        let g = rmat(10, 6, 9).symmetrized();
+        let p = stage_triangles();
+        let before = dmll_interp::tier_totals();
+        let opts = dmll_interp::ParallelOptions::new(1);
+        let (out, report) =
+            dmll_interp::eval_parallel_report(&p, &inputs_for(&g), &opts).unwrap();
+        let after = dmll_interp::tier_totals();
+        assert_eq!(out.as_i64().expect("count") as u64, handopt::triangles(&g));
+        assert!(report.batched_loops >= 1, "{report:?}");
+        assert!(
+            after.segmented_blocks > before.segmented_blocks,
+            "pair loop never took the segmented path: {after:?}"
+        );
+        assert_eq!(
+            after.fallback_loops, before.fallback_loops,
+            "triangles must not fall back: {after:?}"
+        );
     }
 
     #[test]

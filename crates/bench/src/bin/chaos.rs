@@ -78,6 +78,15 @@ fn main() {
         if sharded.0 { "ok" } else { "FAIL" },
         sharded.1
     );
+    // A nested-loop workload (data-dependent inner trip counts on the
+    // segmented batch path) under one recoverable seeded plan: every tier
+    // bit-identical, and the segmented executor actually exercised.
+    let nested = chaos::nested_probe(threads, 4);
+    println!(
+        "nested probe: {} ({})",
+        if nested.0 { "ok" } else { "FAIL" },
+        nested.1
+    );
     // The multi-tenant query service under worker panics, flaky tenants
     // and a deadline storm: bit-identical or typed, and no deadlock.
     let service = chaos::service_probe(threads, 4);
@@ -96,7 +105,7 @@ fn main() {
     );
 
     let json = chaos::to_json(
-        &runs, threads, &deadline, &parity, &sharded, &service, &cluster,
+        &runs, threads, &deadline, &parity, &sharded, &nested, &service, &cluster,
     );
     let path = format!("BENCH_chaos_t{threads}.json");
     std::fs::write(&path, &json).expect("write chaos report");
@@ -109,7 +118,13 @@ fn main() {
             v.seed, v.gen, v.tier, v.outcome
         );
     }
-    if !violations.is_empty() || !deadline.0 || !parity.0 || !sharded.0 || !service.0 || !cluster.0
+    if !violations.is_empty()
+        || !deadline.0
+        || !parity.0
+        || !sharded.0
+        || !nested.0
+        || !service.0
+        || !cluster.0
     {
         std::process::exit(1);
     }

@@ -26,7 +26,11 @@
 //! slower than its unfused baseline beyond the same allowance, if an app
 //! with zero applied rewrites pays more than the identity fast-path for
 //! the fusion round-trip, or — with `--regions` — if the sharded plane's
-//! output diverges or any stencil fallback is unexplained.
+//! output diverges or any stencil fallback is unexplained. The
+//! nested-loop workloads (Gibbs, Triangles) are additionally gated at
+//! every size: their variable-trip inner loops must run segmented with
+//! zero fallbacks, and sequentially the segmented-batched tier must beat
+//! the tree-walker by at least 5x.
 
 use dmll_bench::{locality, render, tiers};
 
@@ -150,6 +154,36 @@ fn main() {
         }
         if args.native {
             failed |= check_native(r, &args);
+        }
+        // Nested-loop workloads: the variable-trip inner loops must run
+        // through the segmented batch path end to end — no scalar
+        // fallbacks — and the segmented tier must clear the tree-walker
+        // by a wide margin. Both segmented gates are sequential-only:
+        // chunked runs split the smoke-size outer loops below a full
+        // columnar block (legitimately draining the scalar tail), and
+        // they compare different schedulers; the chaos nested probe
+        // covers multi-threaded segmented execution on a thread-scaled
+        // graph.
+        if r.app == "Gibbs" || r.app == "Triangles" {
+            if args.threads == 1 && r.stats.segmented_blocks == 0 {
+                eprintln!("FAIL: {} never took the segmented batch path", r.app);
+                failed = true;
+            }
+            if r.fallback_loops > 0 {
+                eprintln!(
+                    "FAIL: {} fell back to the tree-walker on {} loops",
+                    r.app, r.fallback_loops
+                );
+                failed = true;
+            }
+            if args.threads == 1 && r.speedup() < 5.0 {
+                eprintln!(
+                    "FAIL: {} segmented-batched only {:.2}x over tree-walker (want >= 5x)",
+                    r.app,
+                    r.speedup()
+                );
+                failed = true;
+            }
         }
     }
     // The compiler-absent path must actually be exercised somewhere in the

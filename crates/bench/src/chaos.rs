@@ -562,6 +562,77 @@ pub fn sharded_probe(threads: usize, regions: usize, seed: u64) -> (bool, String
     )
 }
 
+/// Nested-loop probe: the triangle-counting workload — whose per-vertex
+/// pair loop has a data-dependent trip count (`deg²`) that the batched
+/// tier runs through the segmented (CSR-flattened) path — under one
+/// seeded recoverable fault plan on all three tiers. The data is integer,
+/// so chunk-order merging is exact: every run must be bit-identical to
+/// the fault-free sequential evaluation, and the batched run must have
+/// actually executed segmented chunks (a silent fallback to scalar or
+/// tree-walking also fails the gate). Returns `(ok, detail)`.
+pub fn nested_probe(threads: usize, seed: u64) -> (bool, String) {
+    let plan = plan_for_seed(seed);
+    // ≥ threads × 1024 vertices: the chunked executor only keeps task
+    // boundaries on full columnar-block multiples when the loop is at
+    // least that large, and a sub-block chunk drains through the scalar
+    // tail without ever reaching the segmented executor.
+    let mut g_scale = 10u32;
+    while (1usize << g_scale) < threads.max(1) * 1024 {
+        g_scale += 1;
+    }
+    let g = dmll_data::graph::rmat(g_scale, 2, seed).symmetrized();
+    let mut program = dmll_apps::triangles::stage_triangles();
+    dmll_transform::pipeline::optimize_unfused(&mut program, dmll_transform::Target::Cpu);
+    let inputs = dmll_apps::triangles::inputs_for(&g);
+    let reference = eval(&program, &inputs).expect("fault-free reference");
+    let mut segmented = 0u64;
+    for tier in TierKind::ALL {
+        let sup = Supervisor::new(SupervisorPolicy {
+            deadline: Some(WATCHDOG),
+            retry_budget: 64,
+            ..SupervisorPolicy::default()
+        });
+        let opts = tier
+            .options(threads)
+            .with_faults(faults_for_plan(&plan))
+            .supervised(sup);
+        let before = dmll_interp::tier_totals();
+        match eval_parallel_supervised(&program, &inputs, &opts) {
+            Ok((value, _)) => {
+                if value != reference {
+                    return (
+                        false,
+                        format!("seed {seed} {}: nested output diverged", tier.name()),
+                    );
+                }
+            }
+            Err(e) => {
+                return (
+                    false,
+                    format!("seed {seed} {}: unexpected error {e}", tier.name()),
+                );
+            }
+        }
+        let after = dmll_interp::tier_totals();
+        if matches!(tier, TierKind::Batched) {
+            // Saturating: the counters are process-global and another
+            // thread (a concurrently-running bench test) may reset them
+            // mid-probe.
+            segmented = after.segmented_blocks.saturating_sub(before.segmented_blocks);
+        }
+    }
+    if segmented == 0 {
+        return (
+            false,
+            format!("seed {seed}: the pair loop never took the segmented batch path"),
+        );
+    }
+    (
+        true,
+        format!("seed {seed}: all tiers identical under faults ({segmented} segmented chunks)"),
+    )
+}
+
 /// Cluster probe: the measured multi-node executor under scripted node
 /// deaths. Every generator kind runs on an `nodes`-node simulated cluster
 /// while `1..nodes` worker nodes are killed at the first epoch's
@@ -797,12 +868,14 @@ pub fn service_probe(threads: usize, seed: u64) -> (bool, String) {
 }
 
 /// Serialize a sweep (plus the probes) as the `BENCH_chaos.json` document.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     runs: &[ChaosRun],
     threads: usize,
     deadline: &(bool, String),
     parity: &(bool, String),
     sharded: &(bool, String),
+    nested: &(bool, String),
     service: &(bool, String),
     cluster: &(bool, String),
 ) -> String {
@@ -811,6 +884,7 @@ pub fn to_json(
          \"deadline_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"speculation_parity\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"sharded_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
+         \"nested_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"service_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \
          \"cluster_probe\": {{\"ok\": {}, \"detail\": \"{}\"}},\n  \"runs\": [\n",
         deadline.0,
@@ -819,6 +893,8 @@ pub fn to_json(
         parity.1,
         sharded.0,
         sharded.1,
+        nested.0,
+        nested.1,
         service.0,
         service.1,
         cluster.0,
@@ -851,6 +927,7 @@ pub fn to_json(
             && deadline.0
             && parity.0
             && sharded.0
+            && nested.0
             && service.0
             && cluster.0
     );
@@ -930,6 +1007,19 @@ mod tests {
         assert!(ok, "{detail}");
         let (ok, detail) = sharded_probe(2, 2, 4);
         assert!(ok, "{detail}");
+    }
+
+    #[test]
+    fn nested_probe_passes() {
+        // The probe reads process-global tier counters that a
+        // concurrently-running tiers test can reset mid-probe; one retry
+        // absorbs that race.
+        let (ok, detail) = nested_probe(2, 4);
+        if ok {
+            return;
+        }
+        let (ok, retry_detail) = nested_probe(2, 4);
+        assert!(ok, "{detail}; retry: {retry_detail}");
     }
 
     #[test]

@@ -17,8 +17,7 @@
 
 use dmll_core::Program;
 use dmll_interp::{
-    eval_parallel_report, eval_tree_walk, reset_tier_totals, tier_totals, Interp, ParallelOptions,
-    Value,
+    eval_parallel_report, reset_tier_totals, tier_totals, Externs, Interp, ParallelOptions, Value,
 };
 use dmll_runtime::{ExecTierStats, Supervisor, SupervisorPolicy};
 use dmll_transform::{pipeline, Target};
@@ -111,6 +110,10 @@ pub struct Workload {
     pub inputs: Vec<(String, Value)>,
     /// Primary data dimension (rows / reads / edges).
     pub rows: usize,
+    /// Extern handlers the program needs (empty for most workloads; the
+    /// Gibbs sweep registers its counter-based coin flip here). Every
+    /// tier resolves the same registry, so outputs stay comparable.
+    pub externs: Externs,
 }
 
 fn owned(inputs: Vec<(&'static str, Value)>) -> Vec<(String, Value)> {
@@ -135,6 +138,67 @@ pub fn workloads_unfused(scale: usize) -> Vec<Workload> {
     staged_workloads(scale, pipeline::optimize_unfused)
 }
 
+/// The nested-loop workloads: programs whose inner trip counts vary per
+/// lane of the outer loop, so the batched tier must run them through the
+/// segmented (CSR-flattened) path rather than the rectangular columnar
+/// one. Kept separate from [`workloads`] — the locality and cluster
+/// benches key their plans to the flat five — and appended by the tier
+/// comparison and the chaos harness.
+pub fn workloads_nested(scale: usize) -> Vec<Workload> {
+    nested_staged(scale, pipeline::optimize)
+}
+
+/// [`workloads_nested`] staged with the unfused recipe (what the tier
+/// comparison runs; the runtime hook fuses at execution time).
+pub fn workloads_nested_unfused(scale: usize) -> Vec<Workload> {
+    nested_staged(scale, pipeline::optimize_unfused)
+}
+
+fn nested_staged(
+    scale: usize,
+    recipe: fn(&mut Program, Target) -> dmll_transform::OptReport,
+) -> Vec<Workload> {
+    let mut out = Vec::new();
+
+    // Gibbs sampling: one synchronous sweep over a factor graph. The
+    // per-variable field reduce iterates that variable's adjacency row —
+    // a lane-varying trip count with a lane-varying float init (the
+    // bias), folded in lane order on every tier.
+    let vars = 2_000 * scale;
+    let fg = dmll_data::factor::gen_factor_graph(vars, 4, 5);
+    let asg = vec![1i8; vars];
+    let mut p = dmll_apps::gibbs::stage_gibbs_sweep();
+    recipe(&mut p, Target::Cpu);
+    out.push(Workload {
+        app: "Gibbs",
+        program: p,
+        inputs: owned(dmll_apps::gibbs::inputs_for(&fg, &asg, 9, 0)),
+        rows: vars,
+        externs: dmll_apps::gibbs::externs(),
+    });
+
+    // Triangle counting: the per-vertex pair loop iterates `deg²` — a
+    // data-dependent trip count with heavy-tailed RMAT degrees — and
+    // tests membership by binary search over the sorted CSR rows. The
+    // smoke graph is the smallest that still fills a full columnar block
+    // (1024 vertices): the naive tree-walk baseline pays ~100 evaluated
+    // nodes per candidate pair, so `sum(deg²)` dominates harness time.
+    let (g_scale, edge_factor) = if scale > 1 { (12, 4) } else { (10, 2) };
+    let g = dmll_data::graph::rmat(g_scale, edge_factor, 5).symmetrized();
+    let edges = g.num_edges();
+    let mut p = dmll_apps::triangles::stage_triangles();
+    recipe(&mut p, Target::Cpu);
+    out.push(Workload {
+        app: "Triangles",
+        program: p,
+        inputs: owned(dmll_apps::triangles::inputs_for(&g)),
+        rows: edges,
+        externs: Externs::default(),
+    });
+
+    out
+}
+
 fn staged_workloads(
     scale: usize,
     recipe: fn(&mut Program, Target) -> dmll_transform::OptReport,
@@ -154,6 +218,7 @@ fn staged_workloads(
             ("clusters", dmll_apps::util::matrix_value(&cents)),
         ]),
         rows: km_rows,
+        externs: Externs::default(),
     });
 
     // Logistic regression: one gradient step.
@@ -170,6 +235,7 @@ fn staged_workloads(
             ("theta", Value::f64_arr(vec![0.0; lr_cols])),
         ]),
         rows: lr_rows,
+        externs: Externs::default(),
     });
 
     // Gene barcoding: group reads by barcode, count + mean quality.
@@ -185,6 +251,7 @@ fn staged_workloads(
             ("quality", Value::i64_arr(cols.quality)),
         ]),
         rows: reads,
+        externs: Externs::default(),
     });
 
     // PageRank (push model): bucket-reduce contributions over the edge
@@ -201,6 +268,7 @@ fn staged_workloads(
         program: p,
         inputs: owned(dmll_apps::pagerank::inputs_push(&g, &ranks)),
         rows: edges,
+        externs: Externs::default(),
     });
 
     // TPC-H Q1: filtered group-by with five fused aggregates
@@ -215,6 +283,7 @@ fn staged_workloads(
         program: p,
         inputs,
         rows: li_rows,
+        externs: Externs::default(),
     });
 
     out
@@ -258,8 +327,10 @@ pub fn tier_comparison_full(
     fuse: bool,
     native: bool,
 ) -> Vec<TierRow> {
-    workloads_unfused(scale.max(1))
+    let scale = scale.max(1);
+    workloads_unfused(scale)
         .into_iter()
+        .chain(workloads_nested_unfused(scale))
         .map(|c| run_case(c, threads.max(1), regions, fuse, native))
         .collect()
 }
@@ -283,6 +354,7 @@ fn run_tier(
     threads: usize,
     sharding: Option<(usize, std::sync::Arc<dmll_analysis::ProgramPlan>)>,
     fuse: bool,
+    externs: &Externs,
 ) -> (f64, Value, u64, u64) {
     let mut interp = match tier {
         Tier::Batched => Interp::new(program),
@@ -293,7 +365,7 @@ fn run_tier(
     if !fuse {
         interp = interp.without_fusion();
     }
-    let interp = interp;
+    let interp = interp.with_externs(externs.clone());
     let mut options = match tier {
         Tier::Batched => ParallelOptions::new(threads),
         Tier::Native => ParallelOptions::new(threads).with_native(),
@@ -303,6 +375,7 @@ fn run_tier(
     if !fuse {
         options = options.without_fusion();
     }
+    options = options.with_externs(externs.clone());
     if let Some((regions, plan)) = sharding {
         options = options.with_regions(regions).with_plan(plan);
     }
@@ -374,8 +447,15 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
         .collect();
 
     reset_tier_totals();
-    let (batched_secs, batched_out, compiled_loops, stolen) =
-        run_tier(&case.program, &borrowed, Tier::Batched, threads, sharding, hook);
+    let (batched_secs, batched_out, compiled_loops, stolen) = run_tier(
+        &case.program,
+        &borrowed,
+        Tier::Batched,
+        threads,
+        sharding,
+        hook,
+        &case.externs,
+    );
     let ct = tier_totals();
     // Keys are the typed `BatchIneligible` taxonomy's stable snake_case
     // identifiers, so the JSON key set never depends on message wording.
@@ -391,8 +471,15 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
     // unpinned, unsupported shape).
     reset_tier_totals();
     let (native_secs, native_identical, nt, native_fallback) = if native {
-        let (secs, native_out, _, _) =
-            run_tier(&case.program, &borrowed, Tier::Native, threads, None, hook);
+        let (secs, native_out, _, _) = run_tier(
+            &case.program,
+            &borrowed,
+            Tier::Native,
+            threads,
+            None,
+            hook,
+            &case.externs,
+        );
         let nt = tier_totals();
         let fallback: Vec<(String, u64)> = dmll_interp::native_fallback_reasons()
             .into_iter()
@@ -406,8 +493,15 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
     // Unfused baseline: the same batched executor over the program as
     // staged, fusion hook off.
     reset_tier_totals();
-    let (mut unfused_secs, unfused_out, _, _) =
-        run_tier(&unfused_program, &borrowed, Tier::Batched, threads, None, false);
+    let (mut unfused_secs, unfused_out, _, _) = run_tier(
+        &unfused_program,
+        &borrowed,
+        Tier::Batched,
+        threads,
+        None,
+        false,
+        &case.externs,
+    );
 
     // When the rewrite recipe applied nothing, the fused and unfused
     // phases execute identical code (the hook memoizes an identity and
@@ -425,18 +519,36 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
             // Alternate which side is measured first so a monotonic
             // frequency/load drift on the runner biases each side equally
             // across the retry budget instead of always favoring one.
+            let fused_once = || {
+                run_tier(
+                    &case.program,
+                    &borrowed,
+                    Tier::Batched,
+                    threads,
+                    None,
+                    hook,
+                    &case.externs,
+                )
+                .0
+            };
+            let unfused_once = || {
+                run_tier(
+                    &unfused_program,
+                    &borrowed,
+                    Tier::Batched,
+                    threads,
+                    None,
+                    false,
+                    &case.externs,
+                )
+                .0
+            };
             let (b2, u2) = if retry % 2 == 0 {
-                let (b, _, _, _) =
-                    run_tier(&case.program, &borrowed, Tier::Batched, threads, None, hook);
-                let (u, _, _, _) =
-                    run_tier(&unfused_program, &borrowed, Tier::Batched, threads, None, false);
-                (b, u)
+                let b = fused_once();
+                (b, unfused_once())
             } else {
-                let (u, _, _, _) =
-                    run_tier(&unfused_program, &borrowed, Tier::Batched, threads, None, false);
-                let (b, _, _, _) =
-                    run_tier(&case.program, &borrowed, Tier::Batched, threads, None, hook);
-                (b, u)
+                let u = unfused_once();
+                (fused_once(), u)
             };
             batched_secs = batched_secs.min(b2);
             unfused_secs = unfused_secs.min(u2);
@@ -444,8 +556,15 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
     }
 
     reset_tier_totals();
-    let (compiled_secs, scalar_out, _, _) =
-        run_tier(&case.program, &borrowed, Tier::ScalarKernel, threads, None, hook);
+    let (compiled_secs, scalar_out, _, _) = run_tier(
+        &case.program,
+        &borrowed,
+        Tier::ScalarKernel,
+        threads,
+        None,
+        hook,
+        &case.externs,
+    );
 
     // Tree-walk reference. Sequentially this is the *unfused* program —
     // the paper's semantics as written, which the fused batched and
@@ -457,15 +576,28 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
     // sequential and the chunked gate is within-program across tiers.
     reset_tier_totals();
     let (treewalk_secs, treewalk_out, _, _) = if threads > 1 {
-        run_tier(&case.program, &borrowed, Tier::TreeWalk, threads, None, hook)
+        run_tier(
+            &case.program,
+            &borrowed,
+            Tier::TreeWalk,
+            threads,
+            None,
+            hook,
+            &case.externs,
+        )
     } else {
-        // The sequential tree-walk baseline bypasses the interpreter
-        // wrapper entirely, matching the paper's naive-recursive baseline.
+        // The sequential tree-walk baseline runs the *unfused* program
+        // with both the compiled tier and the fusion hook off — the
+        // paper's naive-recursive baseline, exactly as staged.
+        let walker = Interp::new(&unfused_program)
+            .without_compiled_tier()
+            .without_fusion()
+            .with_externs(case.externs.clone());
         let mut secs = f64::INFINITY;
         let mut out = None;
         for _ in 0..RUNS {
             let t0 = Instant::now();
-            let v = eval_tree_walk(&unfused_program, &borrowed).expect("tree-walk tier run");
+            let v = walker.run(&borrowed).expect("tree-walk tier run");
             secs = secs.min(t0.elapsed().as_secs_f64());
             out = Some(v);
         }
@@ -481,7 +613,9 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
     reset_tier_totals();
     let supervised_identical = if threads > 1 {
         let sup = Supervisor::new(SupervisorPolicy::default());
-        let mut opts = ParallelOptions::new(threads).supervised(sup);
+        let mut opts = ParallelOptions::new(threads)
+            .supervised(sup)
+            .with_externs(case.externs.clone());
         if !hook {
             opts = opts.without_fusion();
         }
@@ -514,13 +648,16 @@ fn run_case(mut case: Workload, threads: usize, regions: usize, fuse: bool, nati
         batched_blocks: ct.batched_blocks,
         tail_elements: ct.tail_elements,
         simd_blocks: ct.simd_blocks,
+        segmented_blocks: ct.segmented_blocks,
         scatter_loops: ct.scatter_loops,
         native_loops: nt.native_loops,
         native_elements: nt.native_elements,
         native_nanos: nt.native_nanos,
         native_compiles: nt.native_compiles,
         native_compile_nanos: nt.native_compile_nanos,
-        native_fallbacks: nt.native_fallbacks,
+        // Per-run, matching `native_fallback_reasons` and
+        // `batch_ineligible` below (each execution re-requests the tier).
+        native_fallbacks: nt.native_fallbacks / RUNS,
         tasks_stolen: ct.tasks_stolen.max(stolen),
         cache_evictions: ct.cache_evictions,
         negative_hits: ct.negative_hits,
@@ -611,7 +748,8 @@ pub fn to_json(rows: &[TierRow]) -> String {
              \"kernels_compiled\": {}, \"kernel_cache_hits\": {}, \
              \"compile_millis\": {:.3}, \
              \"batched_blocks\": {}, \"tail_elements\": {}, \
-             \"simd_blocks\": {}, \"scatter_loops\": {}, \
+             \"simd_blocks\": {}, \"segmented_blocks\": {}, \
+             \"scatter_loops\": {}, \
              \"native_secs\": {}, \"native_speedup\": {}, \
              \"native_loops\": {}, \"native_compiles\": {}, \
              \"native_compile_millis\": {:.3}, \
@@ -654,6 +792,7 @@ pub fn to_json(rows: &[TierRow]) -> String {
             r.stats.batched_blocks,
             r.stats.tail_elements,
             r.stats.simd_blocks,
+            r.stats.segmented_blocks,
             r.stats.scatter_loops,
             r.native_secs
                 .map_or("null".to_string(), |s| format!("{s:.6}")),
@@ -696,7 +835,7 @@ mod tests {
     fn tiers_agree_and_kernels_fire() {
         // Smallest scale: correctness of the comparison harness, not speed.
         let rows = tier_comparison(1);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 7);
         let mut batched_apps = 0;
         for r in &rows {
             assert!(r.identical, "{} tiers disagree", r.app);
@@ -726,13 +865,28 @@ mod tests {
                 r.fusion_passes
             );
         }
+        // The nested-loop workloads must run their variable-trip inner
+        // loops through the segmented batch path — fully batched, zero
+        // scalar fallbacks.
+        for app in ["Gibbs", "Triangles"] {
+            let r = rows.iter().find(|r| r.app == app).expect("row");
+            assert!(r.batched_loops > 0, "{app} never batched");
+            assert!(
+                r.stats.segmented_blocks > 0,
+                "{app} never took the segmented path"
+            );
+            assert_eq!(r.fallback_loops, 0, "{app} fell back to the tree-walker");
+        }
         let json = to_json(&rows);
         assert!(json.contains("\"k-means\""), "{json}");
         assert!(json.contains("\"PageRank\""), "{json}");
         assert!(json.contains("\"Q1\""), "{json}");
+        assert!(json.contains("\"Gibbs\""), "{json}");
+        assert!(json.contains("\"Triangles\""), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
         assert!(json.contains("\"fused_speedup\""), "{json}");
         assert!(json.contains("\"fusion_passes\""), "{json}");
+        assert!(json.contains("\"segmented_blocks\""), "{json}");
     }
 
     #[test]

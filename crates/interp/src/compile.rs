@@ -46,7 +46,7 @@ pub(crate) mod native;
 pub use batch::BatchIneligible;
 
 use crate::error::EvalError;
-use crate::eval::{eval_math, eval_prim, read_array, seal_array, Env};
+use crate::eval::{check_extern_ret, eval_math, eval_prim, read_array, seal_array, Env, ExternFn, Externs};
 use crate::stats;
 use crate::value::{ArrayVal, BucketsVal, Key, StructVal, Value};
 use dmll_core::gen::GenKind;
@@ -253,6 +253,10 @@ pub(crate) enum Instr {
     BucketKeysV { dst: u16, a: Reg },
     BucketLenV { dst: u16, a: Reg },
     BucketGetV { dst: u16, b: Reg, k: Reg, default: Option<Reg> },
+    /// Call pure extern `kernel.externs[ext]` with the argument registers.
+    /// Handlers resolve by name when a state is built; the declared scalar
+    /// return type is enforced at the call site, like the tree-walker.
+    CallExtern { dst: Reg, ext: u16, args: Vec<Reg> },
     /// Execute nested compiled loop `kernel.loops[i]`.
     Loop(u32),
 }
@@ -317,12 +321,28 @@ pub(crate) struct Kernel {
     /// so the LRU cache owns the `dlopen` handle — eviction drops (and
     /// `dlclose`s) it with the kernel.
     pub native: std::sync::OnceLock<Result<native::NativeEntry, dmll_codegen::NativeIneligible>>,
+    /// Pure extern operations the kernel calls, indexed by
+    /// [`Instr::CallExtern`]'s `ext` operand. Handlers are resolved by name
+    /// per state (not per kernel), so cached kernels stay registry-agnostic.
+    pub externs: Vec<ExternDecl>,
+    /// Segmented execution plans, parallel to `loops`: `Some` for a nested
+    /// loop whose trip count varies per element and whose body certifies
+    /// for CSR-style flattened execution; see [`batch::SegPlan`].
+    pub seg_plans: Vec<Option<batch::SegPlan>>,
     /// AoS→SoA column-extraction plan: set when every generator is an
     /// unconditional `collect(arr(i).field)` over a boxed struct array.
     /// Such loops (the runtime SoA pass's scatter) cannot batch — the
     /// element reads are boxed — but a dedicated extraction loop avoids
     /// per-element bytecode dispatch entirely; see [`Kernel::run_scatter`].
     pub scatter: Option<Vec<ScatterField>>,
+}
+
+/// One pure extern operation a kernel calls: the handler name and the
+/// declared scalar return type enforced on every call's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ExternDecl {
+    pub name: String,
+    pub ret: Ty,
 }
 
 /// One generator of an AoS→SoA scatter loop: which V register holds the
@@ -346,6 +366,10 @@ pub(crate) struct KState {
     rf: Vec<f64>,
     rb: Vec<bool>,
     rv: Vec<Value>,
+    /// Handlers resolved per [`Kernel::externs`] entry (`None` = missing
+    /// from the registry: the call site raises `UnknownExtern`, so a loop
+    /// that never calls it still runs, matching the tree-walker).
+    ext: Vec<Option<ExternFn>>,
 }
 
 /// An unboxed-or-boxed scalar crossing the accumulator boundary.
@@ -785,13 +809,19 @@ fn push_typed_key(keys: &mut KeyIx, k: i64) -> usize {
 // ---------------------------------------------------------------------------
 
 impl Kernel {
-    /// Bind free variables from `env` and run the loop-invariant preamble.
-    pub(crate) fn new_state(&self, env: &Env) -> Result<KState, EvalError> {
+    /// Bind free variables from `env`, resolve extern handlers, and run the
+    /// loop-invariant preamble.
+    pub(crate) fn new_state(&self, env: &Env, externs: &Externs) -> Result<KState, EvalError> {
         let mut st = KState {
             ri: vec![0; self.n_regs[0]],
             rf: vec![0.0; self.n_regs[1]],
             rb: vec![false; self.n_regs[2]],
             rv: vec![Value::Unit; self.n_regs[3]],
+            ext: self
+                .externs
+                .iter()
+                .map(|d| externs.get(&d.name).cloned())
+                .collect(),
         };
         for (sym, reg) in &self.free {
             let v = env[sym.0 as usize]
@@ -1029,6 +1059,26 @@ impl Kernel {
                 g.fast_red,
                 Some(FastRed::I(IOp::Add | IOp::Mul | IOp::Min | IOp::Max))
             ),
+        })
+    }
+
+    /// The divide-and-conquer extension of [`Kernel::exact_assoc`]: also
+    /// certifies *selection* reducers keyed by an integer — `mux(cmp(key(a),
+    /// key(b)), a, b)` with a relational comparison. Min-by/max-by over a
+    /// total order with a consistent tie-break is associative, so regrouping
+    /// chunk boundaries picks the same winner bit-for-bit. Float keys never
+    /// qualify: every comparison against a NaN key is false, so the winner
+    /// would depend on where the split lands. Mirrors the transform layer's
+    /// `dnc` certification pass at bytecode level.
+    pub(crate) fn dnc_assoc(&self) -> bool {
+        self.gens.iter().all(|g| match g.kind {
+            GenKind::Collect | GenKind::BucketCollect => true,
+            GenKind::Reduce | GenKind::BucketReduce => {
+                matches!(
+                    g.fast_red,
+                    Some(FastRed::I(IOp::Add | IOp::Mul | IOp::Min | IOp::Max))
+                ) || g.reducer.as_ref().is_some_and(selection_reducer_exact)
+            }
         })
     }
 
@@ -1763,6 +1813,16 @@ impl Kernel {
                 };
                 st.rv[*dst as usize] = out;
             }
+            Instr::CallExtern { dst, ext, args } => {
+                let decl = &self.externs[*ext as usize];
+                let f = st.ext[*ext as usize]
+                    .clone()
+                    .ok_or_else(|| EvalError::UnknownExtern(decl.name.clone()))?;
+                let vs: Vec<Value> = args.iter().map(|r| st.value_of(*r)).collect();
+                let out = f(&vs)?;
+                check_extern_ret(&decl.name, &decl.ret, &out)?;
+                st.write_value(*dst, out)?;
+            }
             Instr::Loop(li) => self.run_cloop(&self.loops[*li as usize], st)?,
         }
         Ok(())
@@ -1777,6 +1837,52 @@ fn tuple_component(v: &Value, idx: u32) -> Result<&Value, EvalError> {
         other => Err(EvalError::TypeMismatch(format!(
             "tuple projection from {other:?}"
         ))),
+    }
+}
+
+/// True when `rb` is a selection reducer over an integer key: either
+/// `mux(a <rel> b, a, b)` picking one of two `i64` accumulands, or
+/// argmin/argmax over virtual tuples comparing the same `i64` component
+/// of each accumuland. Both shapes return one param unmodified, so the
+/// merge is a pure choice and associativity follows from the total order
+/// on `i64` plus the consistent tie-break the comparison direction fixes.
+fn selection_reducer_exact(rb: &CBlock) -> bool {
+    let [p0, p1] = rb.params[..] else { return false };
+    if p0.idx == p1.idx || p0.class != p1.class || rb.result.class != p0.class {
+        return false;
+    }
+    let pair = |x: u16, y: u16| (x == p0.idx && y == p1.idx) || (x == p1.idx && y == p0.idx);
+    let rel = |op: &CmpOp| matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
+    match (p0.class, rb.instrs.as_slice()) {
+        (
+            Class::I,
+            [Instr::CmpI { op, dst: c, a, b }, Instr::MuxI { dst, c: mc, a: ma, b: mb }],
+        ) => rel(op) && pair(*a, *b) && mc == c && pair(*ma, *mb) && *dst == rb.result.idx,
+        (
+            Class::V,
+            [Instr::TupleGetI { dst: k0, t: t0, idx: i0 }, Instr::TupleGetI { dst: k1, t: t1, idx: i1 }, Instr::CmpI { op, dst: c, a, b }, Instr::MuxV { dst, c: mc, a: ma, b: mb }],
+        ) => {
+            // Map each comparison operand back to the accumuland whose key
+            // it extracts; the pair check then demands one key per param.
+            let key_param = |k: u16| {
+                if k == *k0 {
+                    Some(*t0)
+                } else if k == *k1 {
+                    Some(*t1)
+                } else {
+                    None
+                }
+            };
+            rel(op)
+                && i0 == i1
+                && k0 != k1
+                && pair(*t0, *t1)
+                && matches!((key_param(*a), key_param(*b)), (Some(x), Some(y)) if pair(x, y))
+                && mc == c
+                && pair(*ma, *mb)
+                && *dst == rb.result.idx
+        }
+        _ => false,
     }
 }
 
@@ -1847,6 +1953,7 @@ struct Compiler<'e> {
     preamble: Vec<Instr>,
     loops: Vec<CLoop>,
     free: Vec<(Sym, Reg)>,
+    externs: Vec<ExternDecl>,
 }
 
 /// Free variables a multiloop's generators reference, in `Sym` order —
@@ -1880,6 +1987,7 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
         preamble: Vec::new(),
         loops: Vec::new(),
         free: Vec::new(),
+        externs: Vec::new(),
     };
     for sym in loop_free_syms(ml) {
         c.bind_free(sym)?;
@@ -1894,13 +2002,17 @@ pub(crate) fn compile_multiloop(ml: &Multiloop, env: &Env) -> Result<Kernel, Rej
         preamble: c.preamble,
         loops: c.loops,
         free: c.free,
+        externs: c.externs,
         n_regs: c.n,
         batchable: false,
         batch_reject: None,
         native: std::sync::OnceLock::new(),
+        seg_plans: Vec::new(),
         scatter,
     };
-    kernel.batch_reject = batch::batch_reject_reason(&kernel);
+    let (reject, seg_plans) = batch::batch_certify(&kernel);
+    kernel.batch_reject = reject;
+    kernel.seg_plans = seg_plans;
     kernel.batchable = kernel.batch_reject.is_none();
     Ok(kernel)
 }
@@ -2475,8 +2587,62 @@ impl<'e> Compiler<'e> {
                 Ok((dst, VTy::Gen, false))
             }
             Def::Loop(_) => unreachable!("handled by compile_stmt"),
-            Def::Extern { .. } => Err(Reject("extern call")),
+            Def::Extern {
+                name,
+                args,
+                ret,
+                effectful,
+                ..
+            } => {
+                if *effectful {
+                    // Effectful calls must not be reordered, re-executed on
+                    // chunk retry, or skipped — the compiled tiers give no
+                    // such guarantees.
+                    return Err(Reject("effectful extern"));
+                }
+                let (class, vty) = match ret {
+                    Ty::I64 => (Class::I, VTy::I),
+                    Ty::F64 => (Class::F, VTy::F),
+                    Ty::Bool => (Class::B, VTy::B),
+                    _ => return Err(Reject("extern with non-scalar return type")),
+                };
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.operand(a)?.0);
+                }
+                let ext = self.extern_slot(name, ret)?;
+                let dst = self.alloc(class)?;
+                // Never hoisted: handlers are fallible and externally
+                // observable, so each element performs exactly one call,
+                // like the tree-walker.
+                out.push(Instr::CallExtern {
+                    dst,
+                    ext,
+                    args: regs,
+                });
+                Ok((dst, vty, false))
+            }
         }
+    }
+
+    /// Intern one (name, return type) extern declaration, reusing the slot
+    /// when the same operation is called more than once.
+    fn extern_slot(&mut self, name: &str, ret: &Ty) -> Result<u16, Reject> {
+        if let Some(i) = self
+            .externs
+            .iter()
+            .position(|d| d.name == name && d.ret == *ret)
+        {
+            return Ok(i as u16);
+        }
+        if self.externs.len() > u16::MAX as usize {
+            return Err(Reject("extern table overflow"));
+        }
+        self.externs.push(ExternDecl {
+            name: name.to_string(),
+            ret: ret.clone(),
+        });
+        Ok((self.externs.len() - 1) as u16)
     }
 
     fn compile_prim(
@@ -3435,7 +3601,7 @@ mod tests {
         let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
         assert!(matches!(k.gens[0].fast_red, Some(FastRed::F(FOp::Add))));
         assert_eq!(k.gens[0].val_class as u8, Class::F as u8);
-        let mut st = k.new_state(&env).unwrap();
+        let mut st = k.new_state(&env, &Externs::default()).unwrap();
         let accs = k.run_range(&mut st, 0, 3).unwrap();
         let vals = k.seal_values(accs, &mut st).unwrap();
         assert_eq!(vals, vec![Value::F64(14.0)]);
@@ -3445,7 +3611,7 @@ mod tests {
     fn chunked_runs_merge_like_one_run() {
         let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.0, 3.0, 4.0]))]);
         let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
-        let mut st = k.new_state(&env).unwrap();
+        let mut st = k.new_state(&env, &Externs::default()).unwrap();
         let a = k.run_range(&mut st, 0, 2).unwrap();
         let b = k.run_range(&mut st, 2, 4).unwrap();
         let merged: Vec<KAcc> = a
@@ -3462,7 +3628,7 @@ mod tests {
     fn empty_reduce_errors_without_init() {
         let env = env_with(vec![(10, Value::f64_arr(vec![1.0]))]);
         let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
-        let mut st = k.new_state(&env).unwrap();
+        let mut st = k.new_state(&env, &Externs::default()).unwrap();
         let accs = k.run_range(&mut st, 0, 0).unwrap();
         assert_eq!(
             k.seal_values(accs, &mut st).unwrap_err(),
@@ -3474,7 +3640,7 @@ mod tests {
     fn read_out_of_bounds_matches_walker_error() {
         let env = env_with(vec![(10, Value::f64_arr(vec![1.0, 2.0]))]);
         let k = compile_multiloop(&square_sum_loop(), &env).expect("compiles");
-        let mut st = k.new_state(&env).unwrap();
+        let mut st = k.new_state(&env, &Externs::default()).unwrap();
         let err = k.run_range(&mut st, 0, 5).unwrap_err();
         assert_eq!(err, EvalError::IndexOutOfBounds { index: 2, len: 2 });
     }
@@ -3510,6 +3676,127 @@ mod tests {
         let env2 = env_with(vec![(10, Value::i64_arr(vec![1, 2]))]);
         let k3 = kernel_for(&ml, &env2, 0).expect("recompiled");
         assert!(!Arc::ptr_eq(&k1, &k3));
+    }
+
+    /// argmin over `(key, index)` tuples: the key is element 0 of `x`, so
+    /// the key's class follows `x`'s storage refinement — an `i64` array
+    /// gives an integer-keyed selection, an `f64` array a float-keyed one.
+    fn argmin_loop() -> Multiloop {
+        let value = Block {
+            params: vec![Sym(0)],
+            stmts: vec![
+                Stmt::one(
+                    Sym(1),
+                    Def::ArrayRead {
+                        arr: Exp::Sym(Sym(10)),
+                        index: Exp::Sym(Sym(0)),
+                    },
+                ),
+                Stmt::one(Sym(2), Def::TupleNew(vec![Exp::Sym(Sym(1)), Exp::Sym(Sym(0))])),
+            ],
+            result: Exp::Sym(Sym(2)),
+        };
+        let reducer = Block {
+            params: vec![Sym(3), Sym(4)],
+            stmts: vec![
+                Stmt::one(
+                    Sym(5),
+                    Def::TupleGet {
+                        tuple: Exp::Sym(Sym(3)),
+                        index: 0,
+                    },
+                ),
+                Stmt::one(
+                    Sym(6),
+                    Def::TupleGet {
+                        tuple: Exp::Sym(Sym(4)),
+                        index: 0,
+                    },
+                ),
+                Stmt::one(Sym(7), Def::prim2(PrimOp::Lt, Sym(5), Sym(6))),
+                Stmt::one(
+                    Sym(8),
+                    Def::Prim {
+                        op: PrimOp::Mux,
+                        args: vec![Exp::Sym(Sym(7)), Exp::Sym(Sym(3)), Exp::Sym(Sym(4))],
+                    },
+                ),
+            ],
+            result: Exp::Sym(Sym(8)),
+        };
+        Multiloop::single(
+            Exp::Sym(Sym(11)),
+            Gen::Reduce {
+                cond: None,
+                value,
+                reducer,
+                init: None,
+            },
+        )
+    }
+
+    #[test]
+    fn dnc_assoc_certifies_int_keyed_selection_only() {
+        let env = env_with(vec![(10, Value::i64_arr(vec![5, 2, 9]))]);
+        let k = compile_multiloop(&argmin_loop(), &env).expect("compiles");
+        assert!(k.gens[0].fast_red.is_none(), "selection is not a fast-red");
+        assert!(!k.exact_assoc(), "fast-red gate alone must not certify");
+        assert!(k.dnc_assoc(), "i64-keyed argmin is D&C-associative");
+
+        // Same IR, f64 keys: NaN breaks the total order, never certified.
+        let envf = env_with(vec![(10, Value::f64_arr(vec![5.0, 2.0, 9.0]))]);
+        let kf = compile_multiloop(&argmin_loop(), &envf).expect("compiles");
+        assert!(!kf.dnc_assoc(), "float-keyed selection must decline");
+    }
+
+    #[test]
+    fn dnc_assoc_certifies_direct_int_selection() {
+        // r(a, b) = mux(a < b, a, b): min of the value itself via selection.
+        let value = Block {
+            params: vec![Sym(0)],
+            stmts: vec![Stmt::one(
+                Sym(1),
+                Def::ArrayRead {
+                    arr: Exp::Sym(Sym(10)),
+                    index: Exp::Sym(Sym(0)),
+                },
+            )],
+            result: Exp::Sym(Sym(1)),
+        };
+        let reducer = Block {
+            params: vec![Sym(3), Sym(4)],
+            stmts: vec![
+                Stmt::one(Sym(5), Def::prim2(PrimOp::Lt, Sym(3), Sym(4))),
+                Stmt::one(
+                    Sym(6),
+                    Def::Prim {
+                        op: PrimOp::Mux,
+                        args: vec![Exp::Sym(Sym(5)), Exp::Sym(Sym(3)), Exp::Sym(Sym(4))],
+                    },
+                ),
+            ],
+            result: Exp::Sym(Sym(6)),
+        };
+        let ml = Multiloop::single(
+            Exp::Sym(Sym(11)),
+            Gen::Reduce {
+                cond: None,
+                value,
+                reducer,
+                init: None,
+            },
+        );
+        let env = env_with(vec![(10, Value::i64_arr(vec![5, 2, 9]))]);
+        let k = compile_multiloop(&ml, &env).expect("compiles");
+        assert!(k.dnc_assoc());
+
+        // Subtraction in the same slot stays uncertified.
+        let mut bad = ml.clone();
+        if let Gen::Reduce { reducer, .. } = &mut bad.gens[0] {
+            reducer.stmts = vec![Stmt::one(Sym(6), Def::prim2(PrimOp::Sub, Sym(3), Sym(4)))];
+        }
+        let kb = compile_multiloop(&bad, &env).expect("compiles");
+        assert!(!kb.dnc_assoc());
     }
 
     #[test]
@@ -3604,7 +3891,7 @@ mod tests {
         let k = compile_multiloop(&ml, &env).expect("compiles");
         assert_eq!(k.preamble.len(), 1, "const load hoisted");
         assert_eq!(k.gens[0].value.instrs.len(), 2, "read + mul in body");
-        let mut st = k.new_state(&env).unwrap();
+        let mut st = k.new_state(&env, &Externs::default()).unwrap();
         let accs = k.run_range(&mut st, 0, 2).unwrap();
         let vals = k.seal_values(accs, &mut st).unwrap();
         assert_eq!(vals[0], Value::f64_arr(vec![2.0, 5.0]));

@@ -13,7 +13,7 @@
 //!
 //! * **Certification.** Only kernels whose per-element blocks (cond, key,
 //!   value) consist entirely of typed, column-executable instructions are
-//!   batchable ([`batch_reject_reason`] returns `None`); everything else
+//!   batchable ([`batch_certify`] reports no reason); everything else
 //!   runs the scalar bytecode loop and carries the typed rejection reason.
 //!   Reducer blocks are exempt — they execute on the embedded scalar state
 //!   per element, so any compilable reducer batches.
@@ -53,7 +53,7 @@ use super::{
     apply_f, apply_i, bounds, read_array, stats, ArrayVal, CBlock, CGen, CLoop, Class, ColBuf,
     EvalError, FastRed, GenKind, Instr, KAcc, KState, Kernel, KeyIx, RedBuf, Reg, Scalar, Value,
 };
-use crate::eval::{eval_math, Env};
+use crate::eval::{check_extern_ret, eval_math, Env, Externs};
 
 /// Lanes per block. Wide enough to amortize dispatch and fill vector units;
 /// small enough that per-worker column files stay cache-resident.
@@ -110,6 +110,13 @@ pub enum BatchIneligible {
     NestedBoxedReduce,
     /// A generator whose element value is a boxed (`V`-class) result.
     BoxedGenResult,
+    /// A variable-trip nested loop whose body produces or consumes boxed
+    /// (or virtual-tuple) values; the segmented executor is scalar-typed.
+    SegmentedBoxedValue,
+    /// A variable-trip nested loop whose block reducer reads per-element
+    /// state beyond its own parameters, so per-lane folds cannot run on
+    /// the shared scalar register file.
+    SegmentedReducerVaries,
 }
 
 impl BatchIneligible {
@@ -130,6 +137,8 @@ impl BatchIneligible {
             BatchIneligible::NestedLoopInBody => "nested_loop_in_body",
             BatchIneligible::NestedBoxedReduce => "nested_boxed_reduce",
             BatchIneligible::BoxedGenResult => "boxed_gen_result",
+            BatchIneligible::SegmentedBoxedValue => "segmented_boxed_value",
+            BatchIneligible::SegmentedReducerVaries => "segmented_reducer_varies",
         }
     }
 }
@@ -150,6 +159,12 @@ impl std::fmt::Display for BatchIneligible {
             BatchIneligible::NestedLoopInBody => "nested loop in generator body",
             BatchIneligible::NestedBoxedReduce => "nested reduce over boxed values",
             BatchIneligible::BoxedGenResult => "vector-valued generator element (boxed result)",
+            BatchIneligible::SegmentedBoxedValue => {
+                "boxed value in a variable-trip (segmented) nested loop"
+            }
+            BatchIneligible::SegmentedReducerVaries => {
+                "segmented nested reducer reads per-element state"
+            }
         };
         f.write_str(msg)
     }
@@ -220,9 +235,23 @@ fn reject_reason(ins: &Instr) -> BatchIneligible {
     }
 }
 
-/// The integer register an instruction writes, if any — used to prove a
-/// nested loop's size register is preamble-only (invariant across lanes).
-fn instr_i_dst(ins: &Instr) -> Option<u16> {
+/// The per-class slot in the lane-varying bitmaps (`V` registers are never
+/// tracked: boxed values cannot hold trip counts and are never gathered).
+fn class_slot(c: Class) -> Option<usize> {
+    match c {
+        Class::I => Some(0),
+        Class::F => Some(1),
+        Class::B => Some(2),
+        Class::V => None,
+    }
+}
+
+/// The typed scalar register an instruction writes, if any — used to prove
+/// a nested loop's size register preamble-only, and to track which
+/// registers vary per element (so segmented bodies know what to gather).
+/// `V`-class destinations return `None`.
+fn instr_dst_reg(ins: &Instr) -> Option<Reg> {
+    let r = |class: Class, idx: u16| Some(Reg { class, idx });
     match ins {
         Instr::ConstI { dst, .. }
         | Instr::BinI { dst, .. }
@@ -235,15 +264,143 @@ fn instr_i_dst(ins: &Instr) -> Option<u16> {
         | Instr::TupleGetI { dst, .. }
         | Instr::SizeI { dst, .. }
         | Instr::LenA { dst, .. }
-        | Instr::BucketLenV { dst, .. } => Some(*dst),
-        Instr::CastDyn { dst, .. } | Instr::PrimV { dst, .. } | Instr::StructGetIdx { dst, .. } => {
-            (dst.class == Class::I).then_some(dst.idx)
-        }
-        _ => None,
+        | Instr::BucketLenV { dst, .. } => r(Class::I, *dst),
+        Instr::ConstF { dst, .. }
+        | Instr::BinF { dst, .. }
+        | Instr::NegF { dst, .. }
+        | Instr::MuxF { dst, .. }
+        | Instr::MathF { dst, .. }
+        | Instr::MathV { dst, .. }
+        | Instr::CastIF { dst, .. }
+        | Instr::ReadVF { dst, .. }
+        | Instr::TupleGetF { dst, .. } => r(Class::F, *dst),
+        Instr::ConstB { dst, .. }
+        | Instr::CmpI { dst, .. }
+        | Instr::CmpF { dst, .. }
+        | Instr::CmpB { dst, .. }
+        | Instr::AndB { dst, .. }
+        | Instr::OrB { dst, .. }
+        | Instr::NotB { dst, .. }
+        | Instr::MuxB { dst, .. }
+        | Instr::CondB { dst, .. }
+        | Instr::ReadVB { dst, .. }
+        | Instr::TupleGetB { dst, .. } => r(Class::B, *dst),
+        Instr::CastDyn { dst, .. }
+        | Instr::PrimV { dst, .. }
+        | Instr::StructGetIdx { dst, .. }
+        | Instr::CallExtern { dst, .. } => (dst.class != Class::V).then_some(*dst),
+        Instr::ConstV { .. }
+        | Instr::ReadDyn { .. }
+        | Instr::MuxV { .. }
+        | Instr::ReadVV { .. }
+        | Instr::TupleNewV { .. }
+        | Instr::TupleGetV { .. }
+        | Instr::TupleGetDyn { .. }
+        | Instr::StructNewV { .. }
+        | Instr::StructGetDyn { .. }
+        | Instr::FlattenV { .. }
+        | Instr::BucketValuesV { .. }
+        | Instr::BucketKeysV { .. }
+        | Instr::BucketGetV { .. }
+        | Instr::Loop(_) => None,
     }
 }
 
-fn note_gen_writes(gens: &[CGen], varying: &mut [bool]) {
+/// Visit every typed register a certified *segmented-body* instruction
+/// reads. Only whitelist instructions and `CallExtern` reach this —
+/// segmented certification rejects everything else first.
+fn seg_instr_reads(ins: &Instr, mut f: impl FnMut(Reg)) {
+    let i = |idx: u16| Reg {
+        class: Class::I,
+        idx,
+    };
+    let fl = |idx: u16| Reg {
+        class: Class::F,
+        idx,
+    };
+    let b = |idx: u16| Reg {
+        class: Class::B,
+        idx,
+    };
+    let v = |idx: u16| Reg {
+        class: Class::V,
+        idx,
+    };
+    match ins {
+        Instr::ConstI { .. } | Instr::ConstF { .. } | Instr::ConstB { .. } => {}
+        Instr::BinI { a, b: y, .. } | Instr::DivI { a, b: y, .. } | Instr::RemI { a, b: y, .. } => {
+            f(i(*a));
+            f(i(*y));
+        }
+        Instr::BinF { a, b: y, .. } => {
+            f(fl(*a));
+            f(fl(*y));
+        }
+        Instr::NegI { a, .. } => f(i(*a)),
+        Instr::NegF { a, .. } | Instr::MathF { a, .. } => f(fl(*a)),
+        Instr::CmpI { a, b: y, .. } => {
+            f(i(*a));
+            f(i(*y));
+        }
+        Instr::CmpF { a, b: y, .. } => {
+            f(fl(*a));
+            f(fl(*y));
+        }
+        Instr::CmpB { a, b: y, .. } | Instr::AndB { a, b: y, .. } | Instr::OrB { a, b: y, .. } => {
+            f(b(*a));
+            f(b(*y));
+        }
+        Instr::NotB { a, .. } => f(b(*a)),
+        Instr::MuxI { c, a, b: y, .. } => {
+            f(b(*c));
+            f(i(*a));
+            f(i(*y));
+        }
+        Instr::MuxF { c, a, b: y, .. } => {
+            f(b(*c));
+            f(fl(*a));
+            f(fl(*y));
+        }
+        Instr::MuxB { c, a, b: y, .. } => {
+            f(b(*c));
+            f(b(*a));
+            f(b(*y));
+        }
+        Instr::CastIF { a, .. } => f(i(*a)),
+        Instr::CastFI { a, .. } => f(fl(*a)),
+        Instr::ReadVI { arr, idx, .. }
+        | Instr::ReadVF { arr, idx, .. }
+        | Instr::ReadVB { arr, idx, .. } => {
+            f(v(*arr));
+            f(i(*idx));
+        }
+        Instr::CallExtern { args, .. } => {
+            for a in args {
+                f(*a);
+            }
+        }
+        other => unreachable!("segmented bodies only contain whitelist instructions: {other:?}"),
+    }
+}
+
+/// Visit each register `b` reads before any write inside `b` — its free
+/// reads, the values it pulls from the enclosing (outer) block. Only valid
+/// on certified segmented blocks.
+fn free_seg_reads(b: &CBlock, mut f: impl FnMut(Reg)) {
+    let mut written: Vec<Reg> = b.params.clone();
+    for ins in &b.instrs {
+        seg_instr_reads(ins, |r| {
+            if !written.contains(&r) {
+                f(r);
+            }
+        });
+        if let Some(d) = instr_dst_reg(ins) {
+            written.push(d);
+        }
+    }
+}
+
+fn note_gen_writes(gens: &[CGen], varying: &mut [Vec<bool>; 3]) {
     for g in gens {
         let blocks = [
             Some(&g.value),
@@ -253,13 +410,15 @@ fn note_gen_writes(gens: &[CGen], varying: &mut [bool]) {
         ];
         for b in blocks.into_iter().flatten() {
             for p in &b.params {
-                if p.class == Class::I {
-                    varying[p.idx as usize] = true;
+                if let Some(s) = class_slot(p.class) {
+                    varying[s][p.idx as usize] = true;
                 }
             }
             for ins in &b.instrs {
-                if let Some(d) = instr_i_dst(ins) {
-                    varying[d as usize] = true;
+                if let Some(d) = instr_dst_reg(ins) {
+                    if let Some(s) = class_slot(d.class) {
+                        varying[s][d.idx as usize] = true;
+                    }
                 }
             }
         }
@@ -274,29 +433,43 @@ struct Cert<'a> {
     k: &'a Kernel,
     /// Component classes per virtual `V` register.
     virt: Vec<Option<Vec<Class>>>,
-    /// `I` registers written inside any per-element block; a batched
-    /// nested loop shares one trip count across lanes, so its size
-    /// register must not be among these.
-    varying_i: Vec<bool>,
+    /// Typed registers written inside any per-element block, per class
+    /// (`I`/`F`/`B`). A batched nested loop shares one trip count across
+    /// lanes, so its size register must not be among the `I` entries; a
+    /// *segmented* nested loop gathers exactly these registers from its
+    /// owner lane into the flattened iteration space.
+    varying: [Vec<bool>; 3],
+    /// Execution plans for segmented nested loops, parallel to `k.loops`
+    /// (`None` = invariant-trip, runs the columnar nested path).
+    seg_plans: Vec<Option<SegPlan>>,
 }
 
 impl<'a> Cert<'a> {
     fn new(k: &'a Kernel) -> Cert<'a> {
-        let mut varying_i = vec![false; k.n_regs[0]];
-        note_gen_writes(&k.gens, &mut varying_i);
+        let mut varying = [
+            vec![false; k.n_regs[0]],
+            vec![false; k.n_regs[1]],
+            vec![false; k.n_regs[2]],
+        ];
+        note_gen_writes(&k.gens, &mut varying);
         for cl in &k.loops {
-            note_gen_writes(&cl.gens, &mut varying_i);
+            note_gen_writes(&cl.gens, &mut varying);
             for d in &cl.dsts {
-                if d.class == Class::I {
-                    varying_i[d.idx as usize] = true;
+                if let Some(s) = class_slot(d.class) {
+                    varying[s][d.idx as usize] = true;
                 }
             }
         }
         Cert {
             k,
             virt: vec![None; k.n_regs[3]],
-            varying_i,
+            varying,
+            seg_plans: (0..k.loops.len()).map(|_| None).collect(),
         }
+    }
+
+    fn is_varying(&self, r: Reg) -> bool {
+        class_slot(r.class).is_some_and(|s| self.varying[s][r.idx as usize])
     }
 
     fn comps_of(&self, t: u16) -> Option<&Vec<Class>> {
@@ -334,7 +507,18 @@ impl<'a> Cert<'a> {
                         _ => return Err(BatchIneligible::BoxedOperand),
                     }
                 }
-                Instr::Loop(li) => self.certify_cloop(&self.k.loops[*li as usize])?,
+                Instr::CallExtern { args, .. } => {
+                    // Per-lane scalar calls: every typed operand has a
+                    // column, and a `V` operand must be a real boxed value
+                    // in `scalar.rv` (invariant), not a virtual tuple.
+                    if args
+                        .iter()
+                        .any(|r| r.class == Class::V && self.virt[r.idx as usize].is_some())
+                    {
+                        return Err(BatchIneligible::BoxedOperand);
+                    }
+                }
+                Instr::Loop(li) => self.certify_cloop(*li)?,
                 ins => return Err(reject_reason(ins)),
             }
         }
@@ -344,10 +528,13 @@ impl<'a> Cert<'a> {
     /// Certify a nested loop: invariant trip count, `Reduce`-only
     /// unconditional generators, batchable value blocks, and reducers that
     /// either fast-fold or certify columnar themselves (typed or over
-    /// matching virtual tuples).
-    fn certify_cloop(&mut self, cl: &CLoop) -> Result<(), BatchIneligible> {
-        if self.varying_i[cl.size as usize] {
-            return Err(BatchIneligible::NestedTripCountVaries);
+    /// matching virtual tuples). Loops whose trip count *varies* per lane
+    /// take the segmented path instead of rejecting outright.
+    fn certify_cloop(&mut self, li: u32) -> Result<(), BatchIneligible> {
+        let k = self.k;
+        let cl = &k.loops[li as usize];
+        if self.varying[0][cl.size as usize] {
+            return self.certify_cloop_segmented(li, cl);
         }
         for (gen, dst) in cl.gens.iter().zip(&cl.dsts) {
             if gen.kind != GenKind::Reduce || gen.cond.is_some() {
@@ -395,26 +582,136 @@ impl<'a> Cert<'a> {
         }
         Ok(())
     }
+
+    /// Certify a nested loop whose trip count is lane-varying for the
+    /// *segmented* executor: flatten the per-lane iteration spaces
+    /// CSR-style into [`BLOCK`]-wide chunks, run the value blocks over the
+    /// flat space, and fold back per owner lane. Requirements: `Reduce`-
+    /// only unconditional generators with typed (non-boxed) results, value
+    /// blocks of whitelist instructions (plus `CallExtern`; no third
+    /// nesting level), and reducers that fast-fold or read nothing
+    /// lane-varying beyond their parameters (the fold runs on the shared
+    /// scalar register file).
+    fn certify_cloop_segmented(&mut self, li: u32, cl: &CLoop) -> Result<(), BatchIneligible> {
+        for (gen, dst) in cl.gens.iter().zip(&cl.dsts) {
+            if gen.kind != GenKind::Reduce || gen.cond.is_some() {
+                return Err(BatchIneligible::NestedLoopInBody);
+            }
+            let res = gen.value.result;
+            if res.class == Class::V || dst.class == Class::V {
+                return Err(BatchIneligible::SegmentedBoxedValue);
+            }
+            self.certify_seg_block(&gen.value)?;
+            if gen.fast_red.is_none() {
+                let rb = gen
+                    .reducer
+                    .as_ref()
+                    .ok_or(BatchIneligible::NestedBoxedReduce)?;
+                if rb.params.len() != 2
+                    || rb.params.iter().any(|p| p.class != res.class)
+                    || rb.result.class != res.class
+                {
+                    return Err(BatchIneligible::NestedBoxedReduce);
+                }
+                self.certify_seg_reducer(rb)?;
+            }
+        }
+        // Gather set: lane-varying outer registers the flattened bodies
+        // read, deduped in first-read order.
+        let mut gather: Vec<Reg> = Vec::new();
+        for gen in &cl.gens {
+            free_seg_reads(&gen.value, |r| {
+                if self.is_varying(r) && !gather.contains(&r) {
+                    gather.push(r);
+                }
+            });
+        }
+        self.seg_plans[li as usize] = Some(SegPlan { gather });
+        Ok(())
+    }
+
+    /// A segmented value block: whitelist instructions plus per-lane
+    /// `CallExtern`. No nested `Instr::Loop` (a third, data-dependent
+    /// nesting level falls back with a typed reason) and nothing virtual
+    /// or boxed-producing.
+    fn certify_seg_block(&self, b: &CBlock) -> Result<(), BatchIneligible> {
+        for ins in &b.instrs {
+            match ins {
+                Instr::Loop(_) => return Err(BatchIneligible::NestedLoopInBody),
+                Instr::CallExtern { args, .. } => {
+                    if args
+                        .iter()
+                        .any(|r| r.class == Class::V && self.virt[r.idx as usize].is_some())
+                    {
+                        return Err(BatchIneligible::BoxedOperand);
+                    }
+                }
+                ins if instr_batchable(ins) => {}
+                ins => {
+                    return Err(match reject_reason(ins) {
+                        BatchIneligible::TupleOp => BatchIneligible::SegmentedBoxedValue,
+                        r => r,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A segmented block reducer folds per flat element on the shared
+    /// scalar register file, so beyond its two parameters it may only read
+    /// lane-invariant registers (whose true values the scalar state holds).
+    fn certify_seg_reducer(&self, rb: &CBlock) -> Result<(), BatchIneligible> {
+        for ins in &rb.instrs {
+            match ins {
+                Instr::CallExtern { args, .. } => {
+                    if args
+                        .iter()
+                        .any(|r| r.class == Class::V && self.virt[r.idx as usize].is_some())
+                    {
+                        return Err(BatchIneligible::BoxedOperand);
+                    }
+                }
+                ins if instr_batchable(ins) => {}
+                _ => return Err(BatchIneligible::NestedBoxedReduce),
+            }
+        }
+        let mut varies = false;
+        free_seg_reads(rb, |r| varies = varies || self.is_varying(r));
+        if varies {
+            return Err(BatchIneligible::SegmentedReducerVaries);
+        }
+        Ok(())
+    }
 }
 
-/// Why a compiled kernel cannot run on the batched tier: the first
-/// non-certifying block/instruction mapped to a stable, typed reason.
-/// `None` means the kernel certifies. Surfaced through the per-loop
-/// fallback counters so "batched_loops: 0" is never an unexplained miss.
-pub(crate) fn batch_reject_reason(k: &Kernel) -> Option<BatchIneligible> {
+/// Execution plan for a *segmented* nested loop (lane-varying trip count):
+/// the lane-varying outer registers its flattened bodies read, gathered
+/// from the saved outer column into each flat position by owner lane.
+#[derive(Debug)]
+pub(crate) struct SegPlan {
+    pub gather: Vec<Reg>,
+}
+
+/// Certify a kernel for the batched tier: the first non-certifying
+/// block/instruction mapped to a stable, typed reason (`None` = the kernel
+/// certifies), plus the segmented execution plans for any lane-varying
+/// nested loops. Surfaced through the per-loop fallback counters so
+/// "batched_loops: 0" is never an unexplained miss.
+pub(crate) fn batch_certify(k: &Kernel) -> (Option<BatchIneligible>, Vec<Option<SegPlan>>) {
     let mut cert = Cert::new(k);
     for g in &k.gens {
         let blocks = [Some(&g.value), g.cond.as_ref(), g.key.as_ref()];
         for b in blocks.into_iter().flatten() {
             if b.result.class == Class::V {
-                return Some(BatchIneligible::BoxedGenResult);
+                return (Some(BatchIneligible::BoxedGenResult), Vec::new());
             }
             if let Err(r) = cert.certify_block(b) {
-                return Some(r);
+                return (Some(r), Vec::new());
             }
         }
     }
-    None
+    (None, cert.seg_plans)
 }
 
 // ---------------------------------------------------------------------------
@@ -462,6 +759,9 @@ pub(crate) struct BState {
     /// full-width lane-chunked (SIMD) path; drained into the process-wide
     /// counter once per `run_range_batched` call.
     simd_blocks: u64,
+    /// Flattened-chunk executions of segmented nested loops since the last
+    /// flush; drained alongside `simd_blocks`.
+    segmented_blocks: u64,
     pub(crate) scalar: KState,
 }
 
@@ -472,8 +772,8 @@ impl Kernel {
     /// always overwritten before it is read (every non-invariant register
     /// is a block param or an instruction destination, written over the
     /// active lanes before any use in the same block run).
-    pub(crate) fn new_batched_state(&self, env: &Env) -> Result<BState, EvalError> {
-        let scalar = self.new_state(env)?;
+    pub(crate) fn new_batched_state(&self, env: &Env, externs: &Externs) -> Result<BState, EvalError> {
+        let scalar = self.new_state(env, externs)?;
         Ok(BState {
             ci: scalar.ri.iter().map(|&v| vec![v; BLOCK]).collect(),
             cf: scalar.rf.iter().map(|&v| vec![v; BLOCK]).collect(),
@@ -481,6 +781,7 @@ impl Kernel {
             cv: vec![None; scalar.rv.len()],
             dense: self.gens.iter().map(|_| DenseDir::new()).collect(),
             simd_blocks: 0,
+            segmented_blocks: 0,
             scalar,
         })
     }
@@ -996,8 +1297,70 @@ impl Kernel {
                 }
                 st.cv[*dst as usize] = Some(out);
             }
+            Instr::CallExtern { dst, ext, args } => {
+                // Per-lane scalar calls in lane order: handlers are opaque,
+                // so there is no columnar form, but certification guarantees
+                // every operand marshals from a column (or an invariant
+                // boxed value) and the checked return lands in a column.
+                let decl = &self.externs[*ext as usize];
+                let Some(f) = st.scalar.ext[*ext as usize].clone() else {
+                    return Err((
+                        lanes.first().unwrap_or(0),
+                        EvalError::UnknownExtern(decl.name.clone()),
+                    ));
+                };
+                let marshal = |st: &BState, l: usize| -> Vec<Value> {
+                    args.iter()
+                        .map(|a| match a.class {
+                            Class::I => Value::I64(st.ci[a.idx as usize][l]),
+                            Class::F => Value::F64(st.cf[a.idx as usize][l]),
+                            Class::B => Value::Bool(st.cb[a.idx as usize][l]),
+                            Class::V => st.scalar.rv[a.idx as usize].clone(),
+                        })
+                        .collect()
+                };
+                let call = |st: &BState, l: usize| -> Result<Value, EvalError> {
+                    let v = f(&marshal(st, l))?;
+                    check_extern_ret(&decl.name, &decl.ret, &v)?;
+                    Ok(v)
+                };
+                match dst.class {
+                    Class::I => {
+                        let mut d = take_col!(st, ci, dst.idx);
+                        let r = each_lane(lanes, |l| {
+                            d[l] = call(st, l)?.as_i64().expect("checked extern return");
+                            Ok(())
+                        });
+                        st.ci[dst.idx as usize] = d;
+                        r?;
+                    }
+                    Class::F => {
+                        let mut d = take_col!(st, cf, dst.idx);
+                        let r = each_lane(lanes, |l| {
+                            d[l] = call(st, l)?.as_f64().expect("checked extern return");
+                            Ok(())
+                        });
+                        st.cf[dst.idx as usize] = d;
+                        r?;
+                    }
+                    Class::B => {
+                        let mut d = take_col!(st, cb, dst.idx);
+                        let r = each_lane(lanes, |l| {
+                            d[l] = call(st, l)?.as_bool().expect("checked extern return");
+                            Ok(())
+                        });
+                        st.cb[dst.idx as usize] = d;
+                        r?;
+                    }
+                    Class::V => unreachable!("extern returns are scalar-typed"),
+                }
+            }
             Instr::Loop(li) => {
-                return self.run_cloop_batched(&self.loops[*li as usize], st, lanes);
+                let cl = &self.loops[*li as usize];
+                return match self.seg_plans.get(*li as usize).and_then(Option::as_ref) {
+                    Some(plan) => self.run_cloop_segmented(cl, plan, st, lanes),
+                    None => self.run_cloop_batched(cl, st, lanes),
+                };
             }
             other => unreachable!("instruction not certified for batched execution: {other:?}"),
         }
@@ -1279,6 +1642,321 @@ fn write_nacc(dst: Reg, a: NAcc, st: &mut BState) {
         NAcc::F(v) => st.cf[dst.idx as usize] = v,
         NAcc::B(v) => st.cb[dst.idx as usize] = v,
         NAcc::V(comps) => st.cv[dst.idx as usize] = Some(comps),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented nested loops
+// ---------------------------------------------------------------------------
+//
+// A nested loop whose trip count *varies* per lane cannot run iteration-major
+// (lanes disagree on when to stop). The segmented executor flattens the
+// per-lane iteration spaces CSR-style instead: walking the active lanes in
+// order, each lane contributes `trips[lane]` flat positions, and the flat
+// space executes in [`BLOCK`]-wide chunks — the value blocks run columnar
+// over the chunk with the iteration number in the index-parameter column and
+// every lane-varying outer register *gathered* from its owner lane. Results
+// fold back per owner with the same reducers the scalar loop uses.
+//
+// Bit-identity: lane-major flat order IS the element-at-a-time execution
+// order (element `l` runs all its iterations before element `l+1`), so
+// per-owner fold chains see values in exactly the scalar sequence — float
+// bits match — and the minimum faulting flat position (ties broken by
+// generator order) is exactly the scalar loop's first error. On a chunk
+// fault the remaining chunks are abandoned: they only hold positions of
+// lanes at or after the faulting owner, and the caller truncates those
+// lanes anyway.
+
+/// Per-lane running reductions of one segmented generator (typed only —
+/// certification rejects boxed/virtual segmented accumulators).
+enum SegAcc {
+    I(Vec<i64>),
+    F(Vec<f64>),
+    B(Vec<bool>),
+}
+
+/// An outer column displaced for the duration of a segmented loop: the
+/// original (per-lane) values, read by owner when gathering, while the
+/// register file holds a scratch column of gathered per-position values.
+enum SegSaved {
+    I(u16, Vec<i64>),
+    F(u16, Vec<f64>),
+    B(u16, Vec<bool>),
+}
+
+/// Fold one chunk's value column into the per-owner accumulators, in flat
+/// position order. Positions whose owner has no running value yet seed it
+/// (matching the scalar loop's first-iteration seeding); the rest fold
+/// through `red`. Returns the first faulting position and its error.
+fn seg_fold_col<T: Copy>(
+    av: &mut [T],
+    started: &mut [bool],
+    col: &[T],
+    owner: &[u32],
+    lanes: &Lanes,
+    mut red: impl FnMut(T, T) -> Result<T, EvalError>,
+) -> Option<(usize, EvalError)> {
+    let mut go = |j: usize| -> Result<(), EvalError> {
+        let o = owner[j] as usize;
+        if started[o] {
+            av[o] = red(av[o], col[j])?;
+        } else {
+            av[o] = col[j];
+            started[o] = true;
+        }
+        Ok(())
+    };
+    match lanes {
+        Lanes::Full => {
+            for j in 0..BLOCK {
+                if let Err(e) = go(j) {
+                    return Some((j, e));
+                }
+            }
+        }
+        Lanes::Sel(s) => {
+            for &j in s {
+                let j = j as usize;
+                if let Err(e) = go(j) {
+                    return Some((j, e));
+                }
+            }
+        }
+    }
+    None
+}
+
+impl Kernel {
+    /// Fold the surviving chunk positions of `gen`'s value column into its
+    /// accumulator. Block reducers run per position on the embedded scalar
+    /// state (certification proved their free reads lane-invariant); the
+    /// value column is displaced around the fold so the scalar state can be
+    /// borrowed mutably.
+    fn seg_fold(
+        &self,
+        gen: &CGen,
+        acc: &mut SegAcc,
+        started: &mut [bool],
+        owner: &[u32],
+        st: &mut BState,
+        lanes: &Lanes,
+    ) -> Option<(usize, EvalError)> {
+        let res = gen.value.result;
+        match acc {
+            SegAcc::I(av) => {
+                let col = take_col!(st, ci, res.idx);
+                let pend = seg_fold_col(av, started, &col, owner, lanes, |a, b| {
+                    self.reduce_i(gen, a, b, &mut st.scalar)
+                });
+                st.ci[res.idx as usize] = col;
+                pend
+            }
+            SegAcc::F(av) => {
+                let col = take_col!(st, cf, res.idx);
+                let pend = seg_fold_col(av, started, &col, owner, lanes, |a, b| {
+                    self.reduce_f(gen, a, b, &mut st.scalar)
+                });
+                st.cf[res.idx as usize] = col;
+                pend
+            }
+            SegAcc::B(av) => {
+                let col = take_col!(st, cb, res.idx);
+                let pend = seg_fold_col(av, started, &col, owner, lanes, |a, b| {
+                    self.reduce_b(gen, a, b, &mut st.scalar)
+                });
+                st.cb[res.idx as usize] = col;
+                pend
+            }
+        }
+    }
+
+    /// Execute a lane-varying nested loop segmented (see the module note
+    /// above): flatten lane-major, run the value blocks chunk-at-a-time
+    /// over the flat space, fold back per owner lane, and reconstruct the
+    /// exact scalar error (earliest flat position, then generator order,
+    /// with `EmptyReduce` surfacing at its owner's element position).
+    #[allow(clippy::too_many_lines)]
+    fn run_cloop_segmented(
+        &self,
+        cl: &CLoop,
+        plan: &SegPlan,
+        st: &mut BState,
+        lanes: &Lanes,
+    ) -> Result<(), (usize, EvalError)> {
+        let active: Vec<u32> = match lanes {
+            Lanes::Full => (0..BLOCK as u32).collect(),
+            Lanes::Sel(s) => s.clone(),
+        };
+        // Per-active-lane trip counts, read before any column is displaced.
+        let trips: Vec<i64> = active
+            .iter()
+            .map(|&l| st.ci[cl.size as usize][l as usize].max(0))
+            .collect();
+        // An explicit identity seeds every lane's accumulator — including
+        // zero-trip lanes, whose reduce seals to the identity exactly as
+        // the scalar loop's `seal_gen` does.
+        let mut accs: Vec<SegAcc> = Vec::with_capacity(cl.gens.len());
+        let mut started: Vec<Vec<bool>> = Vec::with_capacity(cl.gens.len());
+        for gen in &cl.gens {
+            let res = gen.value.result;
+            match gen.init {
+                Some(r) => {
+                    debug_assert_eq!(r.class, res.class);
+                    accs.push(match res.class {
+                        Class::I => SegAcc::I(st.ci[r.idx as usize].clone()),
+                        Class::F => SegAcc::F(st.cf[r.idx as usize].clone()),
+                        Class::B => SegAcc::B(st.cb[r.idx as usize].clone()),
+                        Class::V => unreachable!("segmented accumulators are typed"),
+                    });
+                    started.push(vec![true; BLOCK]);
+                }
+                None => {
+                    accs.push(match res.class {
+                        Class::I => SegAcc::I(vec![0; BLOCK]),
+                        Class::F => SegAcc::F(vec![0.0; BLOCK]),
+                        Class::B => SegAcc::B(vec![false; BLOCK]),
+                        Class::V => unreachable!("segmented accumulators are typed"),
+                    });
+                    started.push(vec![false; BLOCK]);
+                }
+            }
+        }
+        // Displace the gathered outer columns: the originals feed the
+        // per-position gathers; scratch columns take their register slots.
+        let saved: Vec<SegSaved> = plan
+            .gather
+            .iter()
+            .map(|r| match r.class {
+                Class::I => SegSaved::I(
+                    r.idx,
+                    std::mem::replace(&mut st.ci[r.idx as usize], vec![0; BLOCK]),
+                ),
+                Class::F => SegSaved::F(
+                    r.idx,
+                    std::mem::replace(&mut st.cf[r.idx as usize], vec![0.0; BLOCK]),
+                ),
+                Class::B => SegSaved::B(
+                    r.idx,
+                    std::mem::replace(&mut st.cb[r.idx as usize], vec![false; BLOCK]),
+                ),
+                Class::V => unreachable!("gathered registers are typed"),
+            })
+            .collect();
+        let mut owner = vec![0u32; BLOCK];
+        let mut itbuf = vec![0i64; BLOCK];
+        // During the chunk loop `pend` holds (flat chunk position, error);
+        // it is remapped to (owner lane, error) once the loop exits.
+        let mut pend: Option<(usize, EvalError)> = None;
+        let (mut ai, mut it) = (0usize, 0i64);
+        while ai < active.len() {
+            // Fill the next chunk lane-major: lane `active[ai]` contributes
+            // iterations `it..trips[ai]`, then the cursor moves on.
+            let mut m = 0usize;
+            while m < BLOCK && ai < active.len() {
+                if it >= trips[ai] {
+                    ai += 1;
+                    it = 0;
+                    continue;
+                }
+                owner[m] = active[ai];
+                itbuf[m] = it;
+                it += 1;
+                m += 1;
+            }
+            if m == 0 {
+                break;
+            }
+            st.segmented_blocks += 1;
+            let mut chunk_lanes = if m == BLOCK {
+                Lanes::Full
+            } else {
+                Lanes::Sel((0..m as u32).collect())
+            };
+            for s in &saved {
+                match s {
+                    SegSaved::I(idx, outer) => {
+                        let col = &mut st.ci[*idx as usize];
+                        for j in 0..m {
+                            col[j] = outer[owner[j] as usize];
+                        }
+                    }
+                    SegSaved::F(idx, outer) => {
+                        let col = &mut st.cf[*idx as usize];
+                        for j in 0..m {
+                            col[j] = outer[owner[j] as usize];
+                        }
+                    }
+                    SegSaved::B(idx, outer) => {
+                        let col = &mut st.cb[*idx as usize];
+                        for j in 0..m {
+                            col[j] = outer[owner[j] as usize];
+                        }
+                    }
+                }
+            }
+            for (gen, (acc, strt)) in cl.gens.iter().zip(accs.iter_mut().zip(started.iter_mut())) {
+                if chunk_lanes.is_empty() {
+                    break;
+                }
+                let p = gen.value.params[0];
+                debug_assert_eq!(gen.value.params.len(), 1);
+                debug_assert_eq!(p.class, Class::I);
+                st.ci[p.idx as usize][..m].copy_from_slice(&itbuf[..m]);
+                if matches!(chunk_lanes, Lanes::Full) {
+                    st.simd_blocks += 1;
+                }
+                note_fault(
+                    &mut pend,
+                    self.run_instrs_resilient(&gen.value.instrs, st, &mut chunk_lanes),
+                );
+                if chunk_lanes.is_empty() {
+                    break;
+                }
+                let fault = self.seg_fold(gen, acc, strt, &owner, st, &chunk_lanes);
+                if let Some((j, _)) = fault {
+                    chunk_lanes.truncate_before(j);
+                }
+                note_fault(&mut pend, fault);
+            }
+            if pend.is_some() {
+                // Every remaining position belongs to the faulting owner or
+                // a later lane; the caller drops those lanes regardless.
+                break;
+            }
+        }
+        for s in saved {
+            match s {
+                SegSaved::I(idx, outer) => st.ci[idx as usize] = outer,
+                SegSaved::F(idx, outer) => st.cf[idx as usize] = outer,
+                SegSaved::B(idx, outer) => st.cb[idx as usize] = outer,
+            }
+        }
+        let mut pend = pend.map(|(j, e)| (owner[j] as usize, e));
+        // A zero-trip lane with no identity seals to `EmptyReduce` at its
+        // element position — which beats any fault at a *later* owner lane
+        // (the element-major loop reaches the seal first). `note_fault`'s
+        // strict minimum also keeps unstarted lanes at or after a faulting
+        // owner (whose chunks never ran) from masking the real error.
+        'seal: for &l in &active {
+            let l = l as usize;
+            for strt in &started {
+                if !strt[l] {
+                    note_fault(&mut pend, Some((l, EvalError::EmptyReduce)));
+                    break 'seal;
+                }
+            }
+        }
+        for (dst, acc) in cl.dsts.iter().zip(accs) {
+            match acc {
+                SegAcc::I(v) => st.ci[dst.idx as usize] = v,
+                SegAcc::F(v) => st.cf[dst.idx as usize] = v,
+                SegAcc::B(v) => st.cb[dst.idx as usize] = v,
+            }
+        }
+        match pend {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
     }
 }
 
@@ -1722,6 +2400,7 @@ impl Kernel {
         }
         stats::record_batched_range(blocks, tail);
         stats::record_simd_blocks(std::mem::take(&mut bst.simd_blocks));
+        stats::record_segmented_blocks(std::mem::take(&mut bst.segmented_blocks));
         Ok(accs)
     }
 }

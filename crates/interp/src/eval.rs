@@ -11,10 +11,72 @@ use std::time::Instant;
 /// A handler for [`Def::Extern`] operations.
 pub type ExternFn = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>;
 
+/// A named registry of [`ExternFn`] handlers, shared between the
+/// sequential interpreter, the compiled kernel tiers (which resolve
+/// handlers by name when a kernel state is built), and the parallel
+/// executor.
+#[derive(Clone, Default)]
+pub struct Externs(HashMap<String, ExternFn>);
+
+impl Externs {
+    /// An empty registry.
+    pub fn new() -> Externs {
+        Externs(HashMap::new())
+    }
+
+    /// Register a handler under `name` (replacing any previous one).
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    ) {
+        self.0.insert(name.into(), Arc::new(f));
+    }
+
+    pub(crate) fn insert_fn(&mut self, name: String, f: ExternFn) {
+        self.0.insert(name, f);
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<&ExternFn> {
+        self.0.get(name)
+    }
+}
+
+impl std::fmt::Debug for Externs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.0.keys()).finish()
+    }
+}
+
+/// Enforce an extern's declared scalar return type at the call site, so
+/// every tier (tree-walker, scalar kernel, batched kernel) raises the same
+/// error for a handler that violates its declaration. Non-scalar
+/// declarations are not checked: the walker stores whatever the handler
+/// returned, and the compiler declines such externs anyway.
+pub(crate) fn check_extern_ret(
+    name: &str,
+    ret: &dmll_core::Ty,
+    v: &Value,
+) -> Result<(), EvalError> {
+    let ok = match ret {
+        dmll_core::Ty::I64 => matches!(v, Value::I64(_)),
+        dmll_core::Ty::F64 => matches!(v, Value::F64(_)),
+        dmll_core::Ty::Bool => matches!(v, Value::Bool(_)),
+        _ => true,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(EvalError::TypeMismatch(format!(
+            "extern {name} returned {v:?} but declares {ret}"
+        )))
+    }
+}
+
 /// An interpreter instance bound to one program.
 pub struct Interp<'p> {
     program: &'p Program,
-    externs: HashMap<String, ExternFn>,
+    externs: Externs,
     /// Whether top-level multiloops may run on the compiled kernel tier.
     /// Loops the compiler rejects fall back to the tree-walker either way.
     use_compiled: bool,
@@ -61,7 +123,7 @@ impl<'p> Interp<'p> {
     pub fn new(program: &'p Program) -> Interp<'p> {
         Interp {
             program,
-            externs: HashMap::new(),
+            externs: Externs::new(),
             use_compiled: true,
             use_batched: true,
             use_native: false,
@@ -118,8 +180,22 @@ impl<'p> Interp<'p> {
         name: impl Into<String>,
         f: impl Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
     ) -> Self {
-        self.externs.insert(name.into(), Arc::new(f));
+        self.externs.insert(name, f);
         self
+    }
+
+    /// Install a whole extern registry (replacing the current one). The
+    /// parallel executor and benches use this to thread a shared registry
+    /// into worker interpreters.
+    pub fn with_externs(mut self, externs: Externs) -> Self {
+        self.externs = externs;
+        self
+    }
+
+    /// The extern registry this interpreter resolves [`Def::Extern`] calls
+    /// against.
+    pub(crate) fn externs(&self) -> &Externs {
+        &self.externs
     }
 
     /// The program being interpreted.
@@ -261,7 +337,7 @@ impl<'p> Interp<'p> {
                     match kernel.native_entry(ml, env) {
                         Ok(entry) => {
                             if let Some(accs) = kernel.run_range_native(entry, env, 0, size) {
-                                let mut st = kernel.new_state(env)?;
+                                let mut st = kernel.new_state(env, &self.externs)?;
                                 let vals = kernel.seal_values(accs, &mut st)?;
                                 let dt = t0.elapsed();
                                 stats::record_native(size.max(0) as u64, dt);
@@ -275,7 +351,7 @@ impl<'p> Interp<'p> {
                     }
                 }
                 let vals = if use_batched && kernel.batchable {
-                    let mut bst = kernel.new_batched_state(env)?;
+                    let mut bst = kernel.new_batched_state(env, &self.externs)?;
                     let accs = kernel.run_range_batched(&mut bst, 0, size)?;
                     let vals = kernel.seal_values(accs, &mut bst.scalar)?;
                     stats::record_batched(size.max(0) as u64, t0.elapsed());
@@ -286,7 +362,7 @@ impl<'p> Interp<'p> {
                             stats::record_batch_ineligible(reason);
                         }
                     }
-                    let mut st = kernel.new_state(env)?;
+                    let mut st = kernel.new_state(env, &self.externs)?;
                     let accs = kernel.run_range(&mut st, 0, size)?;
                     kernel.seal_values(accs, &mut st)?
                 };
@@ -315,14 +391,10 @@ impl<'p> Interp<'p> {
         for (p, a) in b.params.iter().zip(args) {
             env[p.0 as usize] = Some(a.clone());
         }
-        for stmt in &b.stmts {
-            let vals = self.eval_def_internal(&stmt.def, env)?;
-            debug_assert_eq!(vals.len(), stmt.lhs.len());
-            for (s, v) in stmt.lhs.iter().zip(vals) {
-                env[s.0 as usize] = Some(v);
-            }
+        match self.drive(Frame::Block(BlockFrame { block: b, si: 0 }), env)? {
+            Driven::Value(v) => Ok(v),
+            Driven::Accs(_) => unreachable!("root block yields a value"),
         }
-        self.eval_exp(&b.result, env)
     }
 
     pub(crate) fn eval_exp(&self, e: &Exp, env: &Env) -> Result<Value, EvalError> {
@@ -479,7 +551,9 @@ impl<'p> Interp<'p> {
                 }
             }
             Def::Loop(ml) => self.eval_loop(ml, env, 0, None),
-            Def::Extern { name, args, .. } => {
+            Def::Extern {
+                name, args, ret, ..
+            } => {
                 let f = self
                     .externs
                     .get(name)
@@ -489,7 +563,9 @@ impl<'p> Interp<'p> {
                 for a in args {
                     vs.push(self.eval_exp(a, env)?);
                 }
-                one(f(&vs)?)
+                let v = f(&vs)?;
+                check_extern_ret(name, ret, &v)?;
+                one(v)
             }
         }
     }
@@ -522,72 +598,246 @@ impl<'p> Interp<'p> {
         start: i64,
         end: Option<i64>,
     ) -> Result<Vec<Acc>, EvalError> {
+        let root = self.loop_frame(ml, env, start, end, None)?;
+        match self.drive(Frame::Loop(root), env)? {
+            Driven::Accs(accs) => Ok(accs),
+            Driven::Value(_) => unreachable!("root loop yields accumulators"),
+        }
+    }
+
+    /// Build a suspended frame for one multiloop activation, evaluating its
+    /// size bound eagerly (exactly where the recursive walker evaluated it).
+    fn loop_frame<'a>(
+        &self,
+        ml: &'a Multiloop,
+        env: &Env,
+        start: i64,
+        end: Option<i64>,
+        lhs: Option<&'a [dmll_core::Sym]>,
+    ) -> Result<LoopFrame<'a>, EvalError> {
         let size = self
             .eval_exp(&ml.size, env)?
             .as_i64()
             .ok_or_else(|| EvalError::TypeMismatch("loop size".into()))?;
         let end = end.unwrap_or(size).min(size);
-        let mut accs: Vec<Acc> = ml.gens.iter().map(Acc::for_gen).collect();
-        for i in start..end {
-            let iv = Value::I64(i);
-            for (gen, acc) in ml.gens.iter().zip(&mut accs) {
-                let pass = match gen.cond() {
-                    Some(c) => self
-                        .eval_block(c, std::slice::from_ref(&iv), env)?
-                        .as_bool()
-                        .ok_or_else(|| EvalError::TypeMismatch("condition".into()))?,
-                    None => true,
-                };
-                if !pass {
-                    continue;
+        Ok(LoopFrame {
+            ml,
+            lhs,
+            i: start,
+            end,
+            gi: 0,
+            accs: ml.gens.iter().map(Acc::for_gen).collect(),
+            phase: Phase::NextGen,
+        })
+    }
+
+    /// The stackless driver: runs the frame machine to completion starting
+    /// from `root`. Loop nesting lives on the explicit frame stack — only
+    /// straight-line work (expressions, non-loop defs) touches the native
+    /// stack — so IR depth is bounded by the heap, not by thread stack size.
+    fn drive<'a>(&self, root: Frame<'a>, env: &mut Env) -> Result<Driven, EvalError> {
+        let mut frames: Vec<Frame<'a>> = vec![root];
+        // Results of completed sub-blocks, consumed by the loop frame that
+        // pushed them.
+        let mut vals: Vec<Value> = Vec::new();
+        loop {
+            let top = frames.last_mut().expect("machine has a frame");
+            match top {
+                Frame::Block(bf) => {
+                    if let Some(stmt) = bf.block.stmts.get(bf.si) {
+                        bf.si += 1;
+                        if let Def::Loop(ml) = &stmt.def {
+                            let lf =
+                                self.loop_frame(ml, env, 0, None, Some(stmt.lhs.as_slice()))?;
+                            frames.push(Frame::Loop(lf));
+                        } else {
+                            let out = self.eval_def_internal(&stmt.def, env)?;
+                            debug_assert_eq!(out.len(), stmt.lhs.len());
+                            for (s, v) in stmt.lhs.iter().zip(out) {
+                                env[s.0 as usize] = Some(v);
+                            }
+                        }
+                    } else {
+                        let v = self.eval_exp(&bf.block.result, env)?;
+                        frames.pop();
+                        if frames.is_empty() {
+                            return Ok(Driven::Value(v));
+                        }
+                        vals.push(v);
+                    }
                 }
-                let v = self.eval_block(gen.value(), std::slice::from_ref(&iv), env)?;
-                match (gen, acc) {
-                    (Gen::Collect { .. }, Acc::Collect(out)) => out.push(v),
-                    (Gen::Reduce { reducer, init, .. }, Acc::Reduce(state)) => {
-                        let next = match state.take() {
-                            Some(cur) => self.eval_block(reducer, &[cur, v], env)?,
-                            None => match init {
-                                Some(ie) => {
-                                    let i0 = self.eval_exp(ie, env)?;
-                                    self.eval_block(reducer, &[i0, v], env)?
-                                }
-                                None => v,
-                            },
+                Frame::Loop(lf) => {
+                    if let Some(block) = self.step_loop(lf, env, &mut vals)? {
+                        frames.push(Frame::Block(BlockFrame { block, si: 0 }));
+                    } else {
+                        let Some(Frame::Loop(lf)) = frames.pop() else {
+                            unreachable!("loop frame on top");
                         };
-                        *state = Some(next);
+                        match lf.lhs {
+                            Some(lhs) => {
+                                debug_assert_eq!(lhs.len(), lf.ml.gens.len());
+                                for ((gen, acc), s) in
+                                    lf.ml.gens.iter().zip(lf.accs).zip(lhs)
+                                {
+                                    let v = self.seal_acc(gen, acc, env)?;
+                                    env[s.0 as usize] = Some(v);
+                                }
+                            }
+                            None => {
+                                debug_assert!(frames.is_empty());
+                                return Ok(Driven::Accs(lf.accs));
+                            }
+                        }
                     }
-                    (Gen::BucketCollect { key, .. }, Acc::BucketCollect { keys, vals, index }) => {
-                        let k = self.eval_block(key, std::slice::from_ref(&iv), env)?;
-                        let slot = *index.entry(Key(k.clone())).or_insert_with(|| {
-                            keys.push(k);
-                            vals.push(Vec::new());
-                            keys.len() - 1
-                        });
-                        vals[slot].push(v);
+                }
+            }
+        }
+    }
+
+    /// Advance one loop frame until it either needs a sub-block evaluated
+    /// (returns the block, with its parameters already bound in `env`) or
+    /// has consumed its whole range (returns `None`; the driver seals).
+    /// State transitions mirror the recursive walker's per-element,
+    /// per-generator order exactly: cond → value → (bucket key) → fold.
+    fn step_loop<'a>(
+        &self,
+        lf: &mut LoopFrame<'a>,
+        env: &mut Env,
+        vals: &mut Vec<Value>,
+    ) -> Result<Option<&'a Block>, EvalError> {
+        let ml = lf.ml;
+        loop {
+            match std::mem::replace(&mut lf.phase, Phase::NextGen) {
+                Phase::NextGen => {
+                    if ml.gens.is_empty() {
+                        // Generator-free loop: nothing to do per element.
+                        return Ok(None);
                     }
-                    (
-                        Gen::BucketReduce { key, reducer, .. },
-                        Acc::BucketReduce { keys, vals, index },
-                    ) => {
-                        let k = self.eval_block(key, std::slice::from_ref(&iv), env)?;
-                        match index.get(&Key(k.clone())) {
+                    if lf.gi >= ml.gens.len() {
+                        lf.gi = 0;
+                        lf.i += 1;
+                    }
+                    if lf.i >= lf.end {
+                        return Ok(None);
+                    }
+                    let gen = &ml.gens[lf.gi];
+                    match gen.cond() {
+                        Some(c) => {
+                            bind_params(env, c, &[Value::I64(lf.i)]);
+                            lf.phase = Phase::AwaitCond;
+                            return Ok(Some(c));
+                        }
+                        None => {
+                            let b = gen.value();
+                            bind_params(env, b, &[Value::I64(lf.i)]);
+                            lf.phase = Phase::AwaitValue;
+                            return Ok(Some(b));
+                        }
+                    }
+                }
+                Phase::AwaitCond => {
+                    let pass = vals
+                        .pop()
+                        .expect("cond result")
+                        .as_bool()
+                        .ok_or_else(|| EvalError::TypeMismatch("condition".into()))?;
+                    if pass {
+                        let b = ml.gens[lf.gi].value();
+                        bind_params(env, b, &[Value::I64(lf.i)]);
+                        lf.phase = Phase::AwaitValue;
+                        return Ok(Some(b));
+                    }
+                    lf.gi += 1;
+                }
+                Phase::AwaitValue => {
+                    let v = vals.pop().expect("value result");
+                    match (&ml.gens[lf.gi], &mut lf.accs[lf.gi]) {
+                        (Gen::Collect { .. }, Acc::Collect(out)) => {
+                            out.push(v);
+                            lf.gi += 1;
+                        }
+                        (Gen::Reduce { reducer, init, .. }, Acc::Reduce(state)) => {
+                            match state.take() {
+                                Some(cur) => {
+                                    bind_params(env, reducer, &[cur, v]);
+                                    lf.phase = Phase::AwaitReduce;
+                                    return Ok(Some(reducer));
+                                }
+                                None => match init {
+                                    Some(ie) => {
+                                        let i0 = self.eval_exp(ie, env)?;
+                                        bind_params(env, reducer, &[i0, v]);
+                                        lf.phase = Phase::AwaitReduce;
+                                        return Ok(Some(reducer));
+                                    }
+                                    None => {
+                                        *state = Some(v);
+                                        lf.gi += 1;
+                                    }
+                                },
+                            }
+                        }
+                        (Gen::BucketCollect { key, .. }, _) | (Gen::BucketReduce { key, .. }, _) => {
+                            bind_params(env, key, &[Value::I64(lf.i)]);
+                            lf.phase = Phase::AwaitKey { v };
+                            return Ok(Some(key));
+                        }
+                        _ => unreachable!("accumulator matches generator"),
+                    }
+                }
+                Phase::AwaitReduce => {
+                    let next = vals.pop().expect("reducer result");
+                    match &mut lf.accs[lf.gi] {
+                        Acc::Reduce(state) => *state = Some(next),
+                        _ => unreachable!("reduce accumulator"),
+                    }
+                    lf.gi += 1;
+                }
+                Phase::AwaitKey { v } => {
+                    let k = vals.pop().expect("key result");
+                    match (&ml.gens[lf.gi], &mut lf.accs[lf.gi]) {
+                        (
+                            Gen::BucketCollect { .. },
+                            Acc::BucketCollect { keys, vals: bvals, index },
+                        ) => {
+                            let slot = *index.entry(Key(k.clone())).or_insert_with(|| {
+                                keys.push(k);
+                                bvals.push(Vec::new());
+                                keys.len() - 1
+                            });
+                            bvals[slot].push(v);
+                            lf.gi += 1;
+                        }
+                        (
+                            Gen::BucketReduce { reducer, .. },
+                            Acc::BucketReduce { keys, vals: bvals, index },
+                        ) => match index.get(&Key(k.clone())) {
                             Some(&slot) => {
-                                let cur = vals[slot].clone();
-                                vals[slot] = self.eval_block(reducer, &[cur, v], env)?;
+                                let cur = bvals[slot].clone();
+                                bind_params(env, reducer, &[cur, v]);
+                                lf.phase = Phase::AwaitBucketReduce { slot };
+                                return Ok(Some(reducer));
                             }
                             None => {
                                 index.insert(Key(k.clone()), keys.len());
                                 keys.push(k);
-                                vals.push(v);
+                                bvals.push(v);
+                                lf.gi += 1;
                             }
-                        }
+                        },
+                        _ => unreachable!("accumulator matches generator"),
                     }
-                    _ => unreachable!("accumulator matches generator"),
+                }
+                Phase::AwaitBucketReduce { slot } => {
+                    let r = vals.pop().expect("bucket reducer result");
+                    match &mut lf.accs[lf.gi] {
+                        Acc::BucketReduce { vals: bvals, .. } => bvals[slot] = r,
+                        _ => unreachable!("bucket reduce accumulator"),
+                    }
+                    lf.gi += 1;
                 }
             }
         }
-        Ok(accs)
     }
 
     pub(crate) fn seal_acc(&self, gen: &Gen, acc: Acc, env: &mut Env) -> Result<Value, EvalError> {
@@ -610,6 +860,70 @@ impl<'p> Interp<'p> {
                 Value::Buckets(Arc::new(BucketsVal::new(keys, vals)))
             }
         })
+    }
+}
+
+/// One suspended activation of the stackless frame machine. The tree-walker
+/// used to recurse Rust-natively through nested [`Def::Loop`]s, so deep IR
+/// could overflow the native stack; the machine keeps loop and block
+/// continuations on an explicit heap stack instead.
+enum Frame<'a> {
+    Block(BlockFrame<'a>),
+    Loop(LoopFrame<'a>),
+}
+
+/// A block mid-execution: statements before `si` have run.
+struct BlockFrame<'a> {
+    block: &'a Block,
+    si: usize,
+}
+
+/// A multiloop mid-execution.
+struct LoopFrame<'a> {
+    ml: &'a Multiloop,
+    /// Destination symbols in the enclosing block; `None` marks the root
+    /// frame of an accumulator-level entry ([`Interp::eval_loop_accs`]),
+    /// whose accumulators are returned unsealed.
+    lhs: Option<&'a [dmll_core::Sym]>,
+    /// Current element, in `[start, end)`.
+    i: i64,
+    end: i64,
+    /// Current generator index for element `i`.
+    gi: usize,
+    accs: Vec<Acc>,
+    phase: Phase,
+}
+
+/// What the loop frame is waiting on from the sub-block it last pushed.
+enum Phase {
+    /// Not waiting: dispatch the next generator (or element).
+    NextGen,
+    /// A condition block's result is on the value stack.
+    AwaitCond,
+    /// The generator's value block result is on the value stack.
+    AwaitValue,
+    /// A bucket generator's key block result is on the value stack;
+    /// `v` is the already-evaluated element value.
+    AwaitKey { v: Value },
+    /// A reducer block's result is on the value stack.
+    AwaitReduce,
+    /// A bucket reducer's result is on the value stack, destined for `slot`.
+    AwaitBucketReduce { slot: usize },
+}
+
+/// What the machine's root frame produced.
+enum Driven {
+    Value(Value),
+    Accs(Vec<Acc>),
+}
+
+/// Bind a block's parameters in the environment. Symbols are globally
+/// unique within a program, so binding at push time (rather than keeping
+/// per-frame scopes) cannot clobber an outer frame's live slots.
+fn bind_params(env: &mut Env, b: &Block, args: &[Value]) {
+    debug_assert_eq!(b.params.len(), args.len());
+    for (p, a) in b.params.iter().zip(args) {
+        env[p.0 as usize] = Some(a.clone());
     }
 }
 
@@ -794,7 +1108,7 @@ pub fn eval_with_externs(
 ) -> Result<Value, EvalError> {
     let mut interp = Interp::new(program);
     for (name, f) in externs {
-        interp.externs.insert(name, f);
+        interp.externs.insert_fn(name, f);
     }
     interp.run(inputs)
 }

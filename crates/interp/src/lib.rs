@@ -39,7 +39,7 @@ pub mod value;
 pub use cluster::{eval_cluster_measured, ClusterOptions, ClusterReport};
 pub use compile::{BatchIneligible, CacheStats, KernelCacheHandle};
 pub use error::{EvalError, ExecError};
-pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Interp, RunReport};
+pub use eval::{eval, eval_tree_walk, eval_with_externs, ExternFn, Externs, Interp, RunReport};
 pub use parallel::{
     eval_parallel, eval_parallel_report, eval_parallel_supervised, ChunkFaults, ExecReport,
     ParallelOptions,

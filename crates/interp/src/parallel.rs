@@ -85,7 +85,7 @@
 
 use crate::compile::{self, batch, KAcc, Kernel};
 use crate::error::{EvalError, ExecError};
-use crate::eval::{Acc, Env, Interp};
+use crate::eval::{Acc, Env, Externs, Interp};
 use crate::stats;
 use crate::value::{Key, Value};
 use dmll_core::visit::bound_syms;
@@ -214,6 +214,11 @@ pub struct ParallelOptions {
     /// Run the fuse-then-compile rewrite before execution (the default).
     /// Disable to execute the program exactly as written.
     pub fuse: bool,
+    /// Handlers for whitelisted `Def::Extern` calls. Installed on the
+    /// interpreter before execution; compiled tiers resolve handlers per
+    /// kernel state so scalar, batched, and segmented execution call the
+    /// same function the tree-walker would.
+    pub externs: Externs,
 }
 
 impl ParallelOptions {
@@ -232,7 +237,26 @@ impl ParallelOptions {
             plan: None,
             kernel_cache: None,
             fuse: true,
+            externs: Externs::default(),
         }
+    }
+
+    /// Register a handler for a whitelisted extern. Pure handlers only:
+    /// the executor may re-invoke them during chunk recovery and
+    /// speculation, so results must be a function of the arguments.
+    pub fn with_extern(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    ) -> ParallelOptions {
+        self.externs.insert(name, f);
+        self
+    }
+
+    /// Install a pre-built extern registry (shared across runs).
+    pub fn with_externs(mut self, externs: Externs) -> ParallelOptions {
+        self.externs = externs;
+        self
     }
 
     /// Skip the fuse-then-compile rewrite: execute the program exactly as
@@ -408,7 +432,9 @@ fn supervised_on(
     let threads = options.threads.max(1);
     let supervisor = options.supervisor.as_deref();
     let trips_before = supervisor.map_or(0, |s| s.quarantine().trips());
-    let mut interp = Interp::new(program).with_fuse_fingerprint(fingerprint);
+    let mut interp = Interp::new(program)
+        .with_fuse_fingerprint(fingerprint)
+        .with_externs(options.externs.clone());
     if let Some(cache) = &options.kernel_cache {
         interp = interp.with_kernel_cache(cache.clone());
     }
@@ -742,6 +768,7 @@ enum KernelState {
 fn execute_chunk_kernel(
     kernel: &Kernel,
     env: &Env,
+    externs: &Externs,
     state: &mut Option<KernelState>,
     batched: bool,
     native: Option<&compile::native::NativeEntry>,
@@ -774,14 +801,14 @@ fn execute_chunk_kernel(
                 kernel.run_range_batched(bst, range.0, range.1)
             }
             (true, _) => {
-                let mut bst = kernel.new_batched_state(env)?;
+                let mut bst = kernel.new_batched_state(env, externs)?;
                 let accs = kernel.run_range_batched(&mut bst, range.0, range.1)?;
                 *state = Some(KernelState::Batched(bst));
                 Ok(accs)
             }
             (false, Some(KernelState::Scalar(st))) => kernel.run_range(st, range.0, range.1),
             (false, _) => {
-                let mut st = kernel.new_state(env)?;
+                let mut st = kernel.new_state(env, externs)?;
                 let accs = kernel.run_range(&mut st, range.0, range.1)?;
                 *state = Some(KernelState::Scalar(st));
                 Ok(accs)
@@ -1301,9 +1328,16 @@ fn run_chunked(
     // Task plan: the blind over-decomposition by default; one task per
     // region (the shard itself) on the sharded plane when every merge is
     // exactly associative, so the regrouping provably cannot change the
-    // output bit pattern. Float-reducing loops keep the blind granularity
-    // — their merge order must match the blind path bit-for-bit.
-    let tasks = if options.regions > 0 && kernel.as_ref().is_some_and(|k| k.exact_assoc()) {
+    // output bit pattern. The divide-and-conquer certificate extends the
+    // fast-red check to integer-keyed selection reducers (argmin/argmax
+    // by an `i64` key), which are exact for the same reason. Float
+    // reductions keep the blind granularity — their merge order must
+    // match the blind path bit-for-bit.
+    let tasks = if options.regions > 0
+        && kernel
+            .as_ref()
+            .is_some_and(|k| k.exact_assoc() || k.dnc_assoc())
+    {
         region_tasks(size, options.regions.min(threads).max(1))
     } else {
         plan_tasks(size, threads)
@@ -1338,6 +1372,7 @@ fn run_chunked(
             let out = run_chunked_kernel(
                 &kernel,
                 env,
+                interp.externs(),
                 &tasks,
                 &faults,
                 pending,
@@ -1566,6 +1601,7 @@ fn unreported_as_died<A>(
 fn run_chunked_kernel(
     kernel: &Kernel,
     env: &Env,
+    externs: &Externs,
     tasks: &[(i64, i64)],
     faults: &[TaskFault],
     pending: &PendingFaults,
@@ -1604,6 +1640,7 @@ fn run_chunked_kernel(
             execute_chunk_kernel(
                 kernel,
                 env,
+                externs,
                 state,
                 batched,
                 native,
@@ -1630,6 +1667,7 @@ fn run_chunked_kernel(
         execute_chunk_kernel(
             kernel,
             env,
+            externs,
             &mut retry_state,
             batched,
             native,
@@ -1648,7 +1686,7 @@ fn run_chunked_kernel(
     // blind plane folds them pairwise. Both apply the same reducer calls
     // to the same operands in the same order, so outputs are
     // bit-identical across planes.
-    let mut st = kernel.new_state(env)?;
+    let mut st = kernel.new_state(env, externs)?;
     let n_gens = kernel.gens.len();
     let mut outputs = Vec::with_capacity(n_gens);
     if sharded {

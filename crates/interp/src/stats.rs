@@ -31,6 +31,7 @@ static BATCHED_NANOS: AtomicU64 = AtomicU64::new(0);
 static BATCHED_BLOCKS: AtomicU64 = AtomicU64::new(0);
 static TAIL_ELEMENTS: AtomicU64 = AtomicU64::new(0);
 static SIMD_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SEGMENTED_BLOCKS: AtomicU64 = AtomicU64::new(0);
 static SCATTER_LOOPS: AtomicU64 = AtomicU64::new(0);
 
 static NATIVE_LOOPS: AtomicU64 = AtomicU64::new(0);
@@ -116,6 +117,12 @@ pub(crate) fn record_batched_range(blocks: u64, tail_elements: u64) {
 /// [`BLOCK`]: crate::compile::batch::BLOCK
 pub(crate) fn record_simd_blocks(n: u64) {
     SIMD_BLOCKS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Flattened-chunk executions of segmented nested loops (variable per-lane
+/// trip counts, CSR-style flattening; see `crate::compile::batch`).
+pub(crate) fn record_segmented_blocks(n: u64) {
+    SEGMENTED_BLOCKS.fetch_add(n, Ordering::Relaxed);
 }
 
 /// A loop range served by the dedicated AoS→SoA scatter path: typed
@@ -300,6 +307,9 @@ pub struct TierTotals {
     /// Per-element block executions that ran the full-width lane-chunked
     /// (SIMD-lowered) path — all lanes live, no selection vector.
     pub simd_blocks: u64,
+    /// Flattened iteration-space chunks executed by segmented nested loops
+    /// (variable per-lane trip counts batched via CSR-style flattening).
+    pub segmented_blocks: u64,
     /// Loop ranges served by the dedicated AoS→SoA scatter fast path
     /// (typed field extraction from a boxed struct array).
     pub scatter_loops: u64,
@@ -425,6 +435,7 @@ pub fn tier_totals() -> TierTotals {
         batched_blocks: BATCHED_BLOCKS.load(Ordering::Relaxed),
         tail_elements: TAIL_ELEMENTS.load(Ordering::Relaxed),
         simd_blocks: SIMD_BLOCKS.load(Ordering::Relaxed),
+        segmented_blocks: SEGMENTED_BLOCKS.load(Ordering::Relaxed),
         scatter_loops: SCATTER_LOOPS.load(Ordering::Relaxed),
         native_loops: NATIVE_LOOPS.load(Ordering::Relaxed),
         native_elements: NATIVE_ELEMENTS.load(Ordering::Relaxed),
@@ -478,6 +489,7 @@ pub fn reset_tier_totals() {
         &BATCHED_BLOCKS,
         &TAIL_ELEMENTS,
         &SIMD_BLOCKS,
+        &SEGMENTED_BLOCKS,
         &SCATTER_LOOPS,
         &NATIVE_LOOPS,
         &NATIVE_ELEMENTS,

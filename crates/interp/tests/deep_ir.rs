@@ -1,0 +1,100 @@
+//! Depth stress test for the tree-walking evaluator: the walker is an
+//! explicit state machine with heap-allocated value/frame stacks, so IR
+//! nesting depth must never translate into native stack depth. A 50'000-
+//! level tower of nested single-trip reduces evaluates on a deliberately
+//! tiny (1 MiB) thread stack — a depth at which a recursive evaluator
+//! would overflow by two orders of magnitude.
+//!
+//! Construction and destruction of the tower stay on a big-stack thread:
+//! the IR's `Drop` glue *is* recursive (a plain nested enum), which is
+//! exactly why the evaluator cannot afford to be.
+
+use dmll_core::{Block, Def, Exp, Gen, Multiloop, PrimOp, Program, Stmt};
+use dmll_interp::{eval_tree_walk, Value};
+use std::sync::Arc;
+
+const DEPTH: usize = 50_000;
+
+/// A `DEPTH`-level tower: each level is a one-trip `Reduce` whose value
+/// block contains the next level; the innermost value is the literal 1,
+/// so every level's single-element reduce seeds from it and the tower
+/// evaluates to 1.
+fn build_tower(p: &mut Program, depth: usize) -> Block {
+    let mut inner = Block::ret(vec![p.fresh()], Exp::i64(1));
+    for _ in 0..depth {
+        let idx = p.fresh();
+        let (a, b, r) = (p.fresh(), p.fresh(), p.fresh());
+        let reducer = Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(r, Def::prim2(PrimOp::Add, a, b))],
+            result: r.into(),
+        };
+        let s = p.fresh();
+        let ml = Multiloop::single(
+            Exp::i64(1),
+            Gen::Reduce {
+                cond: None,
+                value: inner,
+                reducer,
+                init: None,
+            },
+        );
+        inner = Block {
+            params: vec![idx],
+            stmts: vec![Stmt::one(s, Def::Loop(ml))],
+            result: s.into(),
+        };
+    }
+    inner
+}
+
+#[test]
+fn deep_ir_evaluates_on_a_tiny_stack() {
+    // Building and dropping the tower recurse through the IR's derive'd
+    // glue, so both happen on a 256 MiB stack; only evaluation runs small.
+    let big = std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(|| {
+            let mut p = Program::new();
+            let top_value = build_tower(&mut p, DEPTH);
+            let out = p.fresh();
+            let (a, b, r) = (p.fresh(), p.fresh(), p.fresh());
+            let reducer = Block {
+                params: vec![a, b],
+                stmts: vec![Stmt::one(r, Def::prim2(PrimOp::Add, a, b))],
+                result: r.into(),
+            };
+            let ml = Multiloop::single(
+                Exp::i64(1),
+                Gen::Reduce {
+                    cond: None,
+                    value: top_value,
+                    reducer,
+                    init: None,
+                },
+            );
+            p.body = Block {
+                params: vec![],
+                stmts: vec![Stmt::one(out, Def::Loop(ml))],
+                result: out.into(),
+            };
+
+            let p = Arc::new(p);
+            let p_eval = Arc::clone(&p);
+            let small = std::thread::Builder::new()
+                .stack_size(1 << 20)
+                .spawn(move || {
+                    let v = eval_tree_walk(&p_eval, &[]).expect("deep IR evaluates");
+                    assert_eq!(v, Value::I64(1));
+                    // `p_eval` drops here with the parent still holding a
+                    // reference, so the recursive IR drop never runs on
+                    // this thread's tiny stack.
+                    drop(p_eval);
+                })
+                .expect("spawn evaluator thread");
+            small.join().expect("tiny-stack evaluation");
+            drop(p);
+        })
+        .expect("spawn builder thread");
+    big.join().expect("builder thread");
+}

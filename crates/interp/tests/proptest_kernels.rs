@@ -566,6 +566,61 @@ proptest! {
     }
 }
 
+/// Integer-keyed argmin rides the divide-and-conquer certificate onto
+/// region-granular tasks: selection by a total-ordered `i64` key is
+/// associative (consistent tie-break), so the sharded plane may use one
+/// task per region — observable as at most `regions` tasks — while
+/// staying bit-identical to the blind decomposition and the walker.
+#[test]
+fn argmin_by_int_key_runs_on_region_tasks() {
+    let n = 100_000usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 2_654_435_761) % 10_007).collect();
+
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let len = st.len(&x);
+    let best = st.reduce(
+        &len,
+        |st, i| {
+            let key = st.read(&x, i);
+            st.tuple(&[&key, i])
+        },
+        |st, a, b| {
+            let ka = st.tuple_get(a, 0);
+            let kb = st.tuple_get(b, 0);
+            let c = st.lt(&ka, &kb);
+            st.mux(&c, a, b)
+        },
+        None,
+    );
+    let p = st.finish(&best);
+
+    let inputs = [("x", Value::i64_arr(data))];
+    let seq = eval_tree_walk(&p, &inputs).unwrap();
+
+    let (threads, regions) = (4, 2);
+    let blind_opts = ParallelOptions::new(threads);
+    let (blind, _) = eval_parallel_report(&p, &inputs, &blind_opts).unwrap();
+
+    let plan = std::sync::Arc::new(dmll_analysis::export_plan(&dmll_analysis::analyze(
+        &mut p.clone(),
+    )));
+    let sharded_opts = ParallelOptions::new(threads)
+        .with_regions(regions)
+        .with_plan(plan);
+    let (sharded, report) = eval_parallel_report(&p, &inputs, &sharded_opts).unwrap();
+
+    assert!(report.sharded_loops >= 1, "never ran sharded: {report:?}");
+    assert!(
+        report.region_local_tasks + report.cross_region_steals <= regions,
+        "expected region-granular tasks (<= {regions}), got {} local + {} stolen",
+        report.region_local_tasks,
+        report.cross_region_steals
+    );
+    assert_eq!(sharded, blind, "region tasks vs blind decomposition");
+    assert_eq!(sharded, seq, "region tasks vs sequential walker");
+}
+
 /// Exact multiple of the block width: no scalar tail at all.
 #[test]
 fn batched_exact_block_multiple() {

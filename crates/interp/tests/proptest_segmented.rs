@@ -1,0 +1,313 @@
+//! Differential property tests for *segmented* nested-loop execution:
+//! nested reduces whose trip counts vary per element (per-row degrees)
+//! must batch through the CSR-flattened segmented executor and stay
+//! bit-identical to the scalar bytecode kernel and the tree-walking
+//! reference — for values, for float fold order, and for the exact error
+//! the element-at-a-time loop would raise first (faults, `EmptyReduce`) —
+//! sequentially, under the work-stealing executor with injected chunk
+//! faults, and on the measured cluster with straggler speculation.
+
+use dmll_core::{LayoutHint, MathFn, Ty};
+use dmll_frontend::{Stage, Val};
+use dmll_interp::cluster::ClusterOptions;
+use dmll_interp::{
+    eval_cluster_measured, eval_parallel_report, eval_tree_walk, tier_totals, ChunkFaults,
+    EvalError, ExecError, Interp, ParallelOptions, Value,
+};
+use dmll_runtime::{FaultPlan, SpeculationPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Run on all three tiers sequentially and demand bit-identical values —
+/// and demand the segmented executor actually ran (the global segmented
+/// chunk counter grew; it is monotonic, so this is sound with other tests
+/// in the same process).
+fn assert_segmented_identical(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let before = tier_totals();
+    let (batched, report) = Interp::new(p).run_report(inputs).expect("batched tier run");
+    let after = tier_totals();
+    prop_assert!(report.compiled_loops >= 1, "no loop compiled: {report:?}");
+    prop_assert!(
+        after.batched_loops > before.batched_loops,
+        "no loop ran on the batched tier"
+    );
+    prop_assert!(
+        after.segmented_blocks > before.segmented_blocks,
+        "no segmented chunk ran: {after:?}"
+    );
+    let (scalar, _) = Interp::new(p)
+        .without_batched_tier()
+        .run_report(inputs)
+        .expect("scalar kernel tier run");
+    let walked = eval_tree_walk(p, inputs).expect("tree-walk run");
+    prop_assert_eq!(&batched, &scalar, "segmented-batched vs scalar bytecode");
+    prop_assert_eq!(batched, walked, "segmented-batched vs tree-walker");
+    Ok(())
+}
+
+/// Run on all three tiers sequentially and demand the *results* — value or
+/// typed error — are identical. Used by the fault-shape generators, where
+/// the scalar loop's first error (element-major, then generator order) is
+/// part of the contract.
+fn assert_segmented_results_match(
+    p: &dmll_core::Program,
+    inputs: &[(&str, Value)],
+) -> Result<(), TestCaseError> {
+    let batched: Result<Value, EvalError> = Interp::new(p).run(inputs);
+    let scalar = Interp::new(p).without_batched_tier().run(inputs);
+    let walked = eval_tree_walk(p, inputs);
+    prop_assert_eq!(&batched, &scalar, "segmented-batched vs scalar bytecode");
+    prop_assert_eq!(batched, walked, "segmented-batched vs tree-walker");
+    Ok(())
+}
+
+/// Outer collect over `deg.len()` rows; per row, a nested integer reduce
+/// over `deg[i]` iterations (lane-varying trips, zero-trip rows included)
+/// mixing the outer row index, a gathered per-row value, and a `y` read
+/// indexed by the inner iteration.
+fn varying_int_program(with_init: bool) -> dmll_core::Program {
+    let mut st = Stage::new();
+    let deg = st.input("deg", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let y = st.input("y", Ty::arr(Ty::I64), LayoutHint::Local);
+    let n = st.len(&deg);
+    let out = st.collect(&n, |st, i| {
+        let di = st.read(&deg, i);
+        let xi = st.mul(&di, i);
+        let zero = st.lit_i(0);
+        let init = with_init.then_some(&zero);
+        st.reduce(
+            &di,
+            |st, j| {
+                let yj = st.read(&y, j);
+                let a = st.add(&yj, &xi);
+                st.add(&a, j)
+            },
+            |st, a, b| st.add(a, b),
+            init,
+        )
+    });
+    st.finish(&out)
+}
+
+/// Float flavour: lane-varying trip count *and* a lane-varying float
+/// identity, with math in the value block — per-row fold chains must keep
+/// the scalar iteration order bit-for-bit.
+fn varying_float_program() -> dmll_core::Program {
+    let mut st = Stage::new();
+    let deg = st.input("deg", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let n = st.len(&deg);
+    let out = st.collect(&n, |st, i| {
+        let di = st.read(&deg, i);
+        let ifl = st.i2f(i);
+        let c = st.lit_f(3.0);
+        let init = st.div(&ifl, &c);
+        st.reduce(
+            &di,
+            |st, j: &Val| {
+                let jf = st.i2f(j);
+                let one = st.lit_f(1.0);
+                let t = st.add(&jf, &one);
+                let r = st.math(MathFn::Sqrt, &t);
+                st.add(&r, &init)
+            },
+            |st, a, b| st.add(a, b),
+            Some(&init),
+        )
+    });
+    st.finish(&out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Integer nested reduce with explicit identity: variable degrees
+    /// (zero-trip rows seal to the identity), enough rows that full
+    /// [`BLOCK`]-wide outer blocks reach the segmented path.
+    #[test]
+    fn segmented_int_reduce_matches(
+        degs in prop::collection::vec(0i64..12, 1100..2400),
+        y in prop::collection::vec(-500i64..500, 12..40),
+    ) {
+        let p = varying_int_program(true);
+        let inputs = [("deg", Value::i64_arr(degs)), ("y", Value::i64_arr(y))];
+        assert_segmented_identical(&p, &inputs)?;
+    }
+
+    /// No identity: the first iteration seeds each row's accumulator; rows
+    /// are kept non-empty so the reduce is total.
+    #[test]
+    fn segmented_seeded_reduce_matches(
+        degs in prop::collection::vec(1i64..12, 1100..2400),
+        y in prop::collection::vec(-500i64..500, 12..40),
+    ) {
+        let p = varying_int_program(false);
+        let inputs = [("deg", Value::i64_arr(degs)), ("y", Value::i64_arr(y))];
+        assert_segmented_identical(&p, &inputs)?;
+    }
+
+    /// Float fold order: lane-varying trips and a lane-varying identity;
+    /// float addition is not associative, so any chunk-order slip shows in
+    /// the bits.
+    #[test]
+    fn segmented_float_fold_matches(
+        degs in prop::collection::vec(0i64..9, 1100..2400),
+    ) {
+        let p = varying_float_program();
+        let inputs = [("deg", Value::i64_arr(degs))];
+        assert_segmented_identical(&p, &inputs)?;
+    }
+
+    /// Fault shapes: degrees may be zero with *no* identity (the scalar
+    /// loop raises `EmptyReduce` at the first empty row) and the inner
+    /// body divides by `y[j]`, which may be zero (raising
+    /// `DivisionByZero` at some flat position). The three tiers must
+    /// agree on the result — value or the exact first error.
+    #[test]
+    fn segmented_first_error_matches(
+        degs in prop::collection::vec(0i64..12, 1100..2400),
+        y in prop::collection::vec(0i64..4, 12..40),
+        with_init in any::<bool>(),
+    ) {
+        let mut st = Stage::new();
+        let deg = st.input("deg", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+        let yv = st.input("y", Ty::arr(Ty::I64), LayoutHint::Local);
+        let n = st.len(&deg);
+        let out = st.collect(&n, |st, i| {
+            let di = st.read(&deg, i);
+            let zero = st.lit_i(0);
+            let init = with_init.then_some(&zero);
+            st.reduce(
+                &di,
+                |st, j| {
+                    let yj = st.read(&yv, j);
+                    let num = st.add(&di, j);
+                    st.div(&num, &yj)
+                },
+                |st, a, b| st.add(a, b),
+                init,
+            )
+        });
+        let p = st.finish(&out);
+        let inputs = [("deg", Value::i64_arr(degs)), ("y", Value::i64_arr(y))];
+        assert_segmented_results_match(&p, &inputs)?;
+    }
+
+    /// The work-stealing executor with injected chunk faults: segmented
+    /// batched parallel == scalar-kernel parallel == sequential
+    /// tree-walker, because recovery re-executes stolen blocks with the
+    /// same kernel and mode.
+    #[test]
+    fn segmented_parallel_stealing_survives_faults(
+        degs in prop::collection::vec(0i64..10, 1500..3000),
+        y in prop::collection::vec(-500i64..500, 10..30),
+        threads in 2usize..6,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        panicking in any::<bool>(),
+    ) {
+        let p = varying_int_program(true);
+        let inputs = [("deg", Value::i64_arr(degs)), ("y", Value::i64_arr(y))];
+
+        let mut faults = ChunkFaults::fail_once([fail_a, fail_b]);
+        if panicking {
+            faults = faults.panicking();
+        }
+
+        let opts = ParallelOptions::new(threads).with_faults(faults.clone());
+        let (batched, report) = eval_parallel_report(&p, &inputs, &opts).unwrap();
+        prop_assert!(report.compiled_loops >= 1, "{report:?}");
+        prop_assert!(report.batched_loops >= 1, "no batched loop: {report:?}");
+
+        let scalar_opts = ParallelOptions::new(threads)
+            .scalar_kernel_only()
+            .with_faults(faults);
+        let (scalar, scalar_report) = eval_parallel_report(&p, &inputs, &scalar_opts).unwrap();
+        prop_assert_eq!(scalar_report.batched_loops, 0);
+        prop_assert_eq!(&batched, &scalar, "batched vs scalar bytecode (parallel)");
+
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+        prop_assert_eq!(batched, seq, "batched (parallel) vs sequential tree-walker");
+    }
+
+    /// The measured cluster with node deaths, link flakes, and straggler
+    /// speculation: bit-identical or a typed error, never a wrong answer.
+    #[test]
+    fn segmented_cluster_is_bit_identical(
+        degs in prop::collection::vec(0i64..8, 600..1400),
+        y in prop::collection::vec(-200i64..200, 8..24),
+        nodes in 2usize..4,
+        threads in 2usize..4,
+        kill_some in any::<bool>(),
+        flake_tenths in 0u32..3,
+        speculate in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let p = varying_int_program(true);
+        let inputs = [("deg", Value::i64_arr(degs)), ("y", Value::i64_arr(y))];
+        let seq = eval_tree_walk(&p, &inputs).unwrap();
+
+        let mut faults = FaultPlan::new(seed);
+        if kill_some {
+            faults = faults.kill_node(1 + (seed as usize) % (nodes - 1).max(1), 0);
+        }
+        if flake_tenths > 0 {
+            faults = faults.drop_remote_reads(f64::from(flake_tenths) * 0.1);
+        }
+        let mut opts = ClusterOptions::new(nodes, threads).with_faults(faults);
+        if speculate {
+            opts = opts.with_speculation(SpeculationPolicy {
+                enabled: true,
+                min_samples: 3,
+                percentile: 75.0,
+                multiplier: 2.0,
+                floor: Duration::from_micros(100),
+            });
+        }
+        match eval_cluster_measured(&p, &inputs, &opts) {
+            Ok((clu, report)) => {
+                prop_assert_eq!(&seq, &clu, "cluster diverged: {:?}", report);
+            }
+            Err(ExecError::Runtime(_)) if flake_tenths > 0 => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("untyped failure: {other:?}")));
+            }
+        }
+    }
+}
+
+/// The dense-path guard: a nested loop with an *invariant* trip count must
+/// keep using the iteration-major columnar path (no segmented chunks), so
+/// the segmented dispatch only fires where it is needed.
+#[test]
+fn invariant_trips_stay_on_columnar_path() {
+    let mut st = Stage::new();
+    let x = st.input("x", Ty::arr(Ty::I64), LayoutHint::Partitioned);
+    let n = st.len(&x);
+    let k = st.lit_i(8);
+    let out = st.collect(&n, |st, i| {
+        let xi = st.read(&x, i);
+        let zero = st.lit_i(0);
+        st.reduce(
+            &k,
+            |st, j| st.add(&xi, j),
+            |st, a, b| st.add(a, b),
+            Some(&zero),
+        )
+    });
+    let p = st.finish(&out);
+    let data: Vec<i64> = (0..3000).collect();
+    let inputs = [("x", Value::i64_arr(data))];
+    let before = tier_totals();
+    let (batched, report) = Interp::new(&p).run_report(&inputs).expect("batched run");
+    let after = tier_totals();
+    assert!(report.compiled_loops >= 1, "{report:?}");
+    assert_eq!(
+        after.segmented_blocks, before.segmented_blocks,
+        "invariant-trip loop took the segmented path"
+    );
+    let walked = eval_tree_walk(&p, &inputs).expect("tree-walk run");
+    assert_eq!(batched, walked);
+}

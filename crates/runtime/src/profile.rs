@@ -358,6 +358,9 @@ pub struct ExecTierStats {
     /// Per-element block executions that ran the full-width lane-chunked
     /// (SIMD-lowered) path — all lanes live, no selection vector.
     pub simd_blocks: u64,
+    /// Flattened iteration-space chunks executed by segmented nested loops
+    /// (variable per-lane trip counts run through the CSR-flattened path).
+    pub segmented_blocks: u64,
     /// Loop ranges served by the dedicated AoS→SoA scatter fast path
     /// (typed field extraction from a boxed struct array).
     pub scatter_loops: u64,

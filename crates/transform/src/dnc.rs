@@ -1,0 +1,467 @@
+//! Divide-and-conquer certification for reduction chains.
+//!
+//! Following Farzan-style divide-and-conquer synthesis, a sequential
+//! accumulator chain `acc = r(acc, f(i))` decomposes across chunks,
+//! NUMA regions and cluster shards exactly when `r` splits and merges
+//! associatively *over the value representation the executor uses*.
+//! This pass certifies each reduction chain — including the per-lane
+//! chains of nested loops that the segmented batch tier flattens — or
+//! declines it with a typed reason in the optimization log.
+//!
+//! Certification is per *operator × type*, not per operator:
+//!
+//! - `i64` add/mul/min/max: wrapping two's-complement arithmetic is
+//!   exactly associative, so any split point yields the same bits.
+//! - `bool` and/or: idempotent lattice joins, exactly associative.
+//! - `f64` add/mul: reassociation changes rounding, so a D&C split is
+//!   *not* bit-identical to the sequential chain. Declined; these
+//!   chains still parallelize through the executor's ordered
+//!   chunk-merge path, which preserves the sequential fold order.
+//! - Selection reducers (`mux` on a comparison) keyed by `i64`:
+//!   min-by/max-by over a total order with a consistent tie-break is
+//!   associative, so argmin/argmax by an integer key certifies.
+//! - Selection keyed by `f64`: declined. NaN breaks associativity —
+//!   with keys `1.0`, `NaN`, `0.0` every comparison against NaN is
+//!   false, so `sel(sel(a,b),c)` and `sel(a,sel(b,c))` pick different
+//!   winners depending on where the NaN lands.
+//! - Anything else: declined as an opaque chain.
+//!
+//! The pass is analysis-only: it never rewrites the program. The
+//! executor's region gate re-derives the same certificate at kernel
+//! level (`Kernel::dnc_assoc`), so the log here is the user-facing
+//! explanation of why a chain did or did not decompose.
+
+use crate::rewrite::PassReport;
+use dmll_core::typecheck::{self, TypeMap};
+use dmll_core::{Block, Def, Exp, Multiloop, PrimOp, Program, Sym, Ty};
+
+/// Certify every reduction chain in `program`; applied = certified
+/// chains, rejected = typed declines. Never mutates the program.
+pub fn run(program: &Program) -> PassReport {
+    let mut rep = PassReport::none();
+    // Certification is type-directed; an ill-typed program (impossible
+    // after the optimizer's own invariants) simply certifies nothing.
+    let Ok(tys) = typecheck::infer(program) else {
+        return rep;
+    };
+    walk_block(&program.body, &tys, &mut rep);
+    rep
+}
+
+fn walk_block(block: &Block, tys: &TypeMap, rep: &mut PassReport) {
+    for stmt in &block.stmts {
+        if let Def::Loop(ml) = &stmt.def {
+            let label = stmt
+                .lhs
+                .first()
+                .map_or_else(|| "loop".to_string(), |s| format!("loop {s}"));
+            walk_loop(ml, &label, tys, rep);
+        }
+    }
+}
+
+fn walk_loop(ml: &Multiloop, label: &str, tys: &TypeMap, rep: &mut PassReport) {
+    for (gi, gen) in ml.gens.iter().enumerate() {
+        if let Some(reducer) = gen.reducer() {
+            let chain = format!("{label} gen{gi} ({})", gen.kind());
+            match classify(reducer, tys) {
+                Ok(why) => rep.record(format!("{chain}: {why}")),
+                Err(why) => rep.reject(format!("{chain}: {why}")),
+            }
+        }
+        for b in gen.blocks() {
+            walk_block(b, tys, rep);
+        }
+    }
+}
+
+/// Classify one reducer block: `Ok(note)` when the chain provably
+/// splits/merges associatively, `Err(reason)` with a typed decline
+/// otherwise.
+fn classify(reducer: &Block, tys: &TypeMap) -> Result<String, String> {
+    let [pa, pb] = reducer.params[..] else {
+        return Err(format!(
+            "opaque reducer: expected 2 accumulator params, found {}",
+            reducer.params.len()
+        ));
+    };
+    if let Some(verdict) = classify_single_op(reducer, pa, pb, tys) {
+        return verdict;
+    }
+    if let Some(verdict) = classify_selection(reducer, pa, pb, tys) {
+        return verdict;
+    }
+    Err("opaque reducer: chain shape not recognized, cannot prove an associative split".into())
+}
+
+/// `r(a, b) = a <op> b` as a single primitive statement.
+fn classify_single_op(
+    reducer: &Block,
+    pa: Sym,
+    pb: Sym,
+    tys: &TypeMap,
+) -> Option<Result<String, String>> {
+    let [stmt] = reducer.stmts.as_slice() else {
+        return None;
+    };
+    let Def::Prim { op, args } = &stmt.def else {
+        return None;
+    };
+    let [r] = stmt.lhs[..] else { return None };
+    if reducer.result.as_sym() != Some(r) {
+        return None;
+    }
+    let [x, y] = args.as_slice() else { return None };
+    if !is_param_pair(x, y, pa, pb) {
+        return None;
+    }
+    let ty = tys.get(&pa)?;
+    let name = op_name(*op);
+    Some(match (op, ty) {
+        (PrimOp::Add | PrimOp::Mul | PrimOp::Min | PrimOp::Max, Ty::I64) => Ok(format!(
+            "wrapping i64 {name} splits and merges associatively (D&C certified)"
+        )),
+        (PrimOp::And | PrimOp::Or, Ty::Bool) => Ok(format!(
+            "boolean {name} splits and merges associatively (D&C certified)"
+        )),
+        (PrimOp::Add | PrimOp::Mul | PrimOp::Min | PrimOp::Max, Ty::F64) => Err(format!(
+            "f64 {name} reassociates rounding: a D&C split is not bit-identical \
+             to the sequential chain"
+        )),
+        (PrimOp::Sub | PrimOp::Div | PrimOp::Rem, _) => {
+            Err(format!("{name} is non-associative: the chain cannot split"))
+        }
+        _ => Err(format!(
+            "opaque reducer: {name} over {ty:?} has no associativity certificate"
+        )),
+    })
+}
+
+/// Selection reducers: `r(a, b) = mux(key(a) < key(b), a, b)` with a
+/// relational comparison — min-by/max-by with a consistent tie-break.
+/// Two shapes: the key is the value itself (2 statements) or one tuple
+/// component of it (4 statements).
+fn classify_selection(
+    reducer: &Block,
+    pa: Sym,
+    pb: Sym,
+    tys: &TypeMap,
+) -> Option<Result<String, String>> {
+    let (key_ty, keyed) = match reducer.stmts.as_slice() {
+        [cmp, mux] => {
+            let (c, ka, kb) = match_cmp(cmp)?;
+            if !is_param_pair(&Exp::Sym(ka), &Exp::Sym(kb), pa, pb) {
+                return None;
+            }
+            match_mux(mux, reducer, c, pa, pb)?;
+            (tys.get(&pa)?.clone(), "the value itself".to_string())
+        }
+        [ga, gb, cmp, mux] => {
+            let (ka, ta, ia) = match_tuple_get(ga)?;
+            let (kb, tb, ib) = match_tuple_get(gb)?;
+            if ia != ib {
+                return None;
+            }
+            let (c, ca, cb) = match_cmp(cmp)?;
+            // The comparison must read the two extracted keys, one per
+            // param, in either order.
+            let keys_of = |k: Sym| if k == ka { Some(ta) } else if k == kb { Some(tb) } else { None };
+            let (sa, sb) = (keys_of(ca)?, keys_of(cb)?);
+            if !is_param_pair(&Exp::Sym(sa), &Exp::Sym(sb), pa, pb) {
+                return None;
+            }
+            match_mux(mux, reducer, c, pa, pb)?;
+            let Ty::Tuple(comps) = tys.get(&pa)? else {
+                return None;
+            };
+            (comps.get(ia)?.clone(), format!("tuple component {ia}"))
+        }
+        _ => return None,
+    };
+    Some(match key_ty {
+        Ty::I64 => Ok(format!(
+            "selection by i64 key ({keyed}): total order with consistent \
+             tie-break is associative (D&C certified)"
+        )),
+        Ty::F64 => Err(format!(
+            "float-keyed selection ({keyed}): NaN keys break associativity \
+             (all comparisons against NaN are false, so the winner depends \
+             on the split point)"
+        )),
+        other => Err(format!(
+            "selection by {other:?} key ({keyed}): no total-order certificate"
+        )),
+    })
+}
+
+/// Spelled-out operator names for log notes (`Display` is symbolic).
+fn op_name(op: PrimOp) -> String {
+    match op {
+        PrimOp::Add => "add".into(),
+        PrimOp::Sub => "sub".into(),
+        PrimOp::Mul => "mul".into(),
+        PrimOp::Div => "div".into(),
+        PrimOp::Rem => "rem".into(),
+        PrimOp::And => "and".into(),
+        PrimOp::Or => "or".into(),
+        other => other.to_string(),
+    }
+}
+
+/// `c = a <rel> b` with a relational (not equality) comparison.
+fn match_cmp(stmt: &dmll_core::Stmt) -> Option<(Sym, Sym, Sym)> {
+    let Def::Prim { op, args } = &stmt.def else {
+        return None;
+    };
+    if !matches!(op, PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge) {
+        return None;
+    }
+    let [c] = stmt.lhs[..] else { return None };
+    let [a, b] = args.as_slice() else { return None };
+    Some((c, a.as_sym()?, b.as_sym()?))
+}
+
+/// `k = tuple.index` where the tuple is a plain symbol.
+fn match_tuple_get(stmt: &dmll_core::Stmt) -> Option<(Sym, Sym, usize)> {
+    let Def::TupleGet { tuple, index } = &stmt.def else {
+        return None;
+    };
+    let [k] = stmt.lhs[..] else { return None };
+    Some((k, tuple.as_sym()?, *index))
+}
+
+/// The block result is `mux(c, a, b)` selecting exactly the two whole
+/// params (in either order), so the reducer returns one accumuland
+/// unmodified — the defining property of a selection.
+fn match_mux(stmt: &dmll_core::Stmt, reducer: &Block, c: Sym, pa: Sym, pb: Sym) -> Option<()> {
+    let Def::Prim {
+        op: PrimOp::Mux,
+        args,
+    } = &stmt.def
+    else {
+        return None;
+    };
+    let [r] = stmt.lhs[..] else { return None };
+    if reducer.result.as_sym() != Some(r) {
+        return None;
+    }
+    let [cond, x, y] = args.as_slice() else {
+        return None;
+    };
+    if cond.as_sym() != Some(c) || !is_param_pair(x, y, pa, pb) {
+        return None;
+    }
+    Some(())
+}
+
+/// True when `{x, y}` is exactly `{pa, pb}` as an unordered pair.
+fn is_param_pair(x: &Exp, y: &Exp, pa: Sym, pb: Sym) -> bool {
+    match (x.as_sym(), y.as_sym()) {
+        (Some(x), Some(y)) => (x == pa && y == pb) || (x == pb && y == pa),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmll_core::{Gen, Multiloop, Stmt};
+
+    fn prim_reducer(p: &mut Program, op: PrimOp) -> Block {
+        let (a, b, r) = (p.fresh(), p.fresh(), p.fresh());
+        Block {
+            params: vec![a, b],
+            stmts: vec![Stmt::one(r, Def::prim2(op, a, b))],
+            result: r.into(),
+        }
+    }
+
+    fn reduce_loop(p: &mut Program, value: Block, reducer: Block, init: Option<Exp>) -> Sym {
+        let out = p.fresh();
+        let ml = Multiloop::single(
+            Exp::i64(8),
+            Gen::Reduce {
+                cond: None,
+                value,
+                reducer,
+                init,
+            },
+        );
+        p.body.stmts.push(Stmt::one(out, Def::Loop(ml)));
+        out
+    }
+
+    fn int_value(p: &mut Program) -> Block {
+        let i = p.fresh();
+        Block::ret(vec![i], Exp::Sym(i))
+    }
+
+    fn float_value(p: &mut Program) -> Block {
+        let i = p.fresh();
+        let f = p.fresh();
+        Block {
+            params: vec![i],
+            stmts: vec![Stmt::one(
+                f,
+                Def::Cast {
+                    to: Ty::F64,
+                    value: Exp::Sym(i),
+                },
+            )],
+            result: f.into(),
+        }
+    }
+
+    #[test]
+    fn int_add_certifies_and_float_add_declines() {
+        let mut p = Program::new();
+        let (v, r) = (int_value(&mut p), prim_reducer(&mut p, PrimOp::Add));
+        let out = reduce_loop(&mut p, v, r, None);
+        let (vf, rf) = (float_value(&mut p), prim_reducer(&mut p, PrimOp::Add));
+        reduce_loop(&mut p, vf, rf, None);
+        p.body.result = out.into();
+
+        let rep = run(&p);
+        assert_eq!(rep.applied, 1, "notes: {:?}", rep.notes);
+        assert_eq!(rep.rejected, 1, "rejects: {:?}", rep.rejected_notes);
+        assert!(rep.notes[0].contains("wrapping i64 add"), "{:?}", rep.notes);
+        assert!(
+            rep.rejected_notes[0].contains("reassociates rounding"),
+            "{:?}",
+            rep.rejected_notes
+        );
+    }
+
+    #[test]
+    fn sub_declines_as_non_associative() {
+        let mut p = Program::new();
+        let (v, r) = (int_value(&mut p), prim_reducer(&mut p, PrimOp::Sub));
+        let out = reduce_loop(&mut p, v, r, None);
+        p.body.result = out.into();
+
+        let rep = run(&p);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(rep.rejected, 1);
+        assert!(
+            rep.rejected_notes[0].contains("non-associative"),
+            "{:?}",
+            rep.rejected_notes
+        );
+    }
+
+    /// argmin over (i64 key, payload) tuples certifies; the same shape
+    /// with an f64 key declines on the NaN counterexample.
+    #[test]
+    fn selection_reducers_split_on_key_type() {
+        let mut p = Program::new();
+        for float_key in [false, true] {
+            let i = p.fresh();
+            let (k, t) = (p.fresh(), p.fresh());
+            let mut stmts = Vec::new();
+            let key = if float_key {
+                stmts.push(Stmt::one(
+                    k,
+                    Def::Cast {
+                        to: Ty::F64,
+                        value: Exp::Sym(i),
+                    },
+                ));
+                k
+            } else {
+                i
+            };
+            stmts.push(Stmt::one(t, Def::TupleNew(vec![Exp::Sym(key), Exp::Sym(i)])));
+            let value = Block {
+                params: vec![i],
+                stmts,
+                result: t.into(),
+            };
+
+            let (a, b) = (p.fresh(), p.fresh());
+            let (ka, kb, c, r) = (p.fresh(), p.fresh(), p.fresh(), p.fresh());
+            let reducer = Block {
+                params: vec![a, b],
+                stmts: vec![
+                    Stmt::one(
+                        ka,
+                        Def::TupleGet {
+                            tuple: Exp::Sym(a),
+                            index: 0,
+                        },
+                    ),
+                    Stmt::one(
+                        kb,
+                        Def::TupleGet {
+                            tuple: Exp::Sym(b),
+                            index: 0,
+                        },
+                    ),
+                    Stmt::one(c, Def::prim2(PrimOp::Lt, ka, kb)),
+                    Stmt::one(
+                        r,
+                        Def::Prim {
+                            op: PrimOp::Mux,
+                            args: vec![Exp::Sym(c), Exp::Sym(a), Exp::Sym(b)],
+                        },
+                    ),
+                ],
+                result: r.into(),
+            };
+            let out = reduce_loop(&mut p, value, reducer, None);
+            p.body.result = out.into();
+        }
+
+        let rep = run(&p);
+        assert_eq!(rep.applied, 1, "notes: {:?}", rep.notes);
+        assert_eq!(rep.rejected, 1, "rejects: {:?}", rep.rejected_notes);
+        assert!(
+            rep.notes[0].contains("selection by i64 key"),
+            "{:?}",
+            rep.notes
+        );
+        assert!(
+            rep.rejected_notes[0].contains("NaN"),
+            "{:?}",
+            rep.rejected_notes
+        );
+    }
+
+    /// Nested reduction chains are certified too — the segmented batch
+    /// tier flattens exactly these per-lane chains.
+    #[test]
+    fn nested_reducers_are_walked() {
+        let mut p = Program::new();
+        let n = p.add_input("n", Ty::I64, dmll_core::LayoutHint::Local);
+
+        // inner: reduce j < n of j with i64 add
+        let j = p.fresh();
+        let inner_value = Block::ret(vec![j], Exp::Sym(j));
+        let inner_red = prim_reducer(&mut p, PrimOp::Add);
+        let s = p.fresh();
+        let inner = Multiloop::single(
+            Exp::Sym(n),
+            Gen::Reduce {
+                cond: None,
+                value: inner_value,
+                reducer: inner_red,
+                init: Some(Exp::i64(0)),
+            },
+        );
+
+        // outer: reduce i < 8 of inner with i64 max
+        let i = p.fresh();
+        let outer_value = Block {
+            params: vec![i],
+            stmts: vec![Stmt::one(s, Def::Loop(inner))],
+            result: s.into(),
+        };
+        let outer_red = prim_reducer(&mut p, PrimOp::Max);
+        let out = reduce_loop(&mut p, outer_value, outer_red, None);
+        p.body.result = out.into();
+
+        let rep = run(&p);
+        assert_eq!(rep.applied, 2, "notes: {:?}", rep.notes);
+        assert!(rep.notes.iter().any(|n| n.contains("i64 max")));
+        assert!(rep.notes.iter().any(|n| n.contains("i64 add")));
+    }
+}

@@ -34,6 +34,7 @@ pub mod code_motion;
 pub mod colstage;
 pub mod conditional_reduce;
 pub(crate) mod cost;
+pub mod dnc;
 pub mod fusion;
 pub mod groupby_reduce;
 pub mod horizontal;

@@ -246,6 +246,16 @@ impl Optimizer {
             }
         }
         self.cleanup_round(program, &mut report);
+
+        // Divide-and-conquer certification: after all rewrites settle,
+        // prove (or decline, with a typed reason) that each reduction
+        // chain splits and merges associatively, so the executor may
+        // decompose it across chunks, regions and cluster shards. The
+        // GPU recipe skips it: row-to-column interchange keeps the big
+        // dimension inside the loop, so chains are not split there.
+        if matches!(self.target, Target::Cpu | Target::Numa | Target::Cluster) {
+            report.add("Divide-and-Conquer Reduce", crate::dnc::run(program));
+        }
         debug_assert!(
             dmll_core::typecheck::infer(program).is_ok(),
             "optimizer produced ill-typed IR:\n{program}"
